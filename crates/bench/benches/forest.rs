@@ -1,0 +1,67 @@
+//! iRF training microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exec::ThreadPool;
+use iorf::forest::{ForestConfig, RandomForest};
+use iorf::irf_loop::{run_feature, LoopConfig};
+use iorf::synth::SynthConfig;
+use iorf::tree::TreeConfig;
+use iorf::IrfConfig;
+
+fn data(features: usize) -> iorf::Matrix {
+    SynthConfig {
+        samples: 300,
+        features,
+        roots: features / 4,
+        edge_weight: 1.0,
+        noise_sd: 0.3,
+        seed: 9,
+    }
+    .generate()
+    .0
+}
+
+fn bench_forest_fit(c: &mut Criterion) {
+    let pool = ThreadPool::with_default_threads();
+    let mut group = c.benchmark_group("forest_fit");
+    group.sample_size(10);
+    for features in [12usize, 24] {
+        let m = data(features);
+        let y = m.column(features - 1);
+        let (x, _) = m.without_column(features - 1);
+        let config = ForestConfig {
+            n_trees: 30,
+            tree: TreeConfig { max_depth: 8, min_samples_leaf: 3, mtry: 4 },
+            seed: 3,
+        };
+        let weights = vec![1.0; x.cols()];
+        group.bench_with_input(BenchmarkId::from_parameter(features), &x, |b, x| {
+            b.iter(|| RandomForest::fit(x, &y, &config, &weights, &pool));
+        });
+    }
+    group.finish();
+}
+
+fn bench_irf_loop_feature(c: &mut Criterion) {
+    let pool = ThreadPool::with_default_threads();
+    let m = data(16);
+    let config = LoopConfig {
+        irf: IrfConfig {
+            forest: ForestConfig {
+                n_trees: 20,
+                tree: TreeConfig { max_depth: 6, min_samples_leaf: 3, mtry: 4 },
+                seed: 3,
+            },
+            iterations: 2,
+        },
+    };
+    let mut group = c.benchmark_group("irf_loop");
+    group.sample_size(10);
+    group.bench_function("one_feature_n16", |b| {
+        b.iter(|| run_feature(&m, 0, &config, &pool));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest_fit, bench_irf_loop_feature);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! fair-core microbenchmarks: assessment and catalog queries must be
+//! cheap enough to run inside composition loops.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fair_core::prelude::*;
+
+fn rich_component(i: usize) -> ComponentDescriptor {
+    let mut c = ComponentDescriptor::new(format!("comp-{i}"), "1.0", ComponentKind::Executable);
+    c.has_templates = i.is_multiple_of(2);
+    c.has_generation_model = i.is_multiple_of(3);
+    for p in 0..4 {
+        c.inputs.push(PortDescriptor {
+            name: format!("in{p}"),
+            data: DataDescriptor {
+                protocol: Some(AccessProtocol::PosixFile),
+                interface: Some("tsv".into()),
+                format: Some("tsv".into()),
+                schema: Some(SchemaInfo::Typed {
+                    columns: vec![("x".into(), "f64".into())],
+                }),
+                semantics: vec![SemanticsAnnotation::ElementWise],
+                ..DataDescriptor::default()
+            },
+        });
+    }
+    c
+}
+
+fn bench_assess(c: &mut Criterion) {
+    let comp = rich_component(0);
+    c.bench_function("assess_rich_component", |b| {
+        b.iter(|| fair_core::assess(std::hint::black_box(&comp)));
+    });
+}
+
+fn bench_catalog_query(c: &mut Criterion) {
+    let mut catalog = Catalog::new();
+    for i in 0..500 {
+        catalog.register(rich_component(i));
+    }
+    let need = GaugeProfile::from_pairs([
+        (Gauge::DataAccess, Tier(2)),
+        (Gauge::SoftwareGranularity, Tier(2)),
+    ]);
+    let mut group = c.benchmark_group("catalog");
+    group.throughput(Throughput::Elements(500));
+    group.bench_function("satisfying_over_500", |b| {
+        b.iter(|| catalog.satisfying(std::hint::black_box(&need)));
+    });
+    group.finish();
+}
+
+fn bench_debt(c: &mut Criterion) {
+    let scenario = ReuseScenario::regenerate_ingest(100);
+    let have = GaugeProfile::from_pairs([(Gauge::DataAccess, Tier(1))]);
+    c.bench_function("debt_estimate", |b| {
+        b.iter(|| fair_core::debt::estimate(std::hint::black_box(&have), &scenario));
+    });
+}
+
+criterion_group!(benches, bench_assess, bench_catalog_query, bench_debt);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §V-C wire-format microbenchmarks: the generated communication code's
+//! encode/decode path and end-to-end scheduler throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dataflow::policy::ForwardAll;
+use dataflow::{scheduler, DataItem};
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marshal");
+    for payload in [64usize, 1024, 16 * 1024] {
+        let item = DataItem::text(7, "instrument-1", "frame.v2", &"x".repeat(payload));
+        let wire = item.encode();
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", payload), &item, |b, item| {
+            b.iter(|| std::hint::black_box(item.encode()));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", payload), &wire, |b, wire| {
+            b.iter(|| DataItem::decode(std::hint::black_box(wire.clone())).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("forward_all_10k", |b| {
+        b.iter(|| {
+            let sched = scheduler::spawn();
+            sched.install("q", Box::new(ForwardAll));
+            let rx = sched.subscribe("q");
+            for s in 0..10_000u64 {
+                sched.send(DataItem::text(s, "src", "k", "payload"));
+            }
+            let stats = sched.shutdown();
+            assert_eq!(stats.received, 10_000);
+            std::hint::black_box(rx.try_iter().count())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_decode, bench_scheduler_throughput);
+criterion_main!(benches);

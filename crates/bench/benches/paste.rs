@@ -1,0 +1,56 @@
+//! §V-A microbenchmarks: column-wise paste strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn make_inputs(files: usize, rows: usize) -> Vec<String> {
+    (0..files)
+        .map(|i| (0..rows).map(|r| format!("v{i}_{r}\n")).collect())
+        .collect()
+}
+
+fn bench_paste_contents(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paste_contents");
+    group.sample_size(20);
+    for files in [8usize, 32, 128] {
+        let inputs = make_inputs(files, 500);
+        let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+        let bytes: usize = inputs.iter().map(String::len).sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(files), &refs, |b, refs| {
+            b.iter(|| tabular::paste_contents(std::hint::black_box(refs)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_staged_vs_single(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("bench-paste-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths: Vec<std::path::PathBuf> = (0..64)
+        .map(|i| {
+            let p = dir.join(format!("in{i:03}.tsv"));
+            let body: String = (0..200).map(|r| format!("c{i}r{r}\n")).collect();
+            std::fs::write(&p, body).unwrap();
+            p
+        })
+        .collect();
+    let pool = exec::ThreadPool::with_default_threads();
+
+    let mut group = c.benchmark_group("staged_vs_single_64files");
+    group.sample_size(10);
+    group.bench_function("single", |b| {
+        b.iter(|| tabular::paste::paste_files(&paths, &dir.join("single.tsv")).unwrap());
+    });
+    group.bench_function("staged_fanout8", |b| {
+        b.iter(|| {
+            tabular::staged_paste(&paths, &dir.join("staged.tsv"), 8, &dir.join("w"), &pool)
+                .unwrap()
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_paste_contents, bench_staged_vs_single);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Simulator-substrate microbenchmarks: event-engine throughput and
+//! scheduler cost at campaign scale. Campaign simulations must stay
+//! sub-second so the figure binaries can sweep parameters freely.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpcsim::batch::{BatchJob, BatchQueue};
+use hpcsim::engine::{EventHandler, Simulation};
+use hpcsim::time::{SimDuration, SimTime};
+use savanna::pilot::PilotScheduler;
+use savanna::setsync::SetSyncScheduler;
+use savanna::task::{AllocationScheduler, SimTask};
+
+struct Chain {
+    remaining: u64,
+}
+
+impl EventHandler for Chain {
+    type Event = ();
+    fn handle(&mut self, _now: SimTime, _ev: (), sim: &mut Simulation<()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sim.schedule_in(SimDuration::from_secs(1), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_engine");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("chain_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let mut world = Chain { remaining: 100_000 };
+            sim.schedule_at(SimTime::ZERO, ());
+            sim.run_to_completion(&mut world)
+        });
+    });
+    group.finish();
+}
+
+fn tasks(n: usize) -> Vec<SimTask> {
+    (0..n)
+        .map(|i| {
+            SimTask::new(
+                format!("t{i}"),
+                1,
+                SimDuration::from_secs(120 + (i as u64 * 937) % 1700),
+            )
+        })
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let ts = tasks(2000);
+    let alloc = BatchQueue::instant(1).submit(BatchJob::new(20, SimDuration::from_hours(2)));
+    let mut group = c.benchmark_group("allocation_schedulers_2k_tasks");
+    group.bench_function("pilot", |b| {
+        b.iter(|| PilotScheduler::new().schedule(std::hint::black_box(&ts), &alloc));
+    });
+    group.bench_function("setsync", |b| {
+        b.iter(|| SetSyncScheduler::new(20).schedule(std::hint::black_box(&ts), &alloc));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Skel template engine microbenchmarks: model-driven generation must be
+//! cheap enough to regenerate freely ("no debt accrues from code that can
+//! be efficiently deleted and regenerated").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skel::{Model, PasteModel, Template};
+
+fn bench_parse(c: &mut Criterion) {
+    let source = r#"#!/bin/sh
+# {{ machine.name }} / {{ machine.account }}
+{% for phase in plan.phases %}# phase {{ phase.index }}
+{% for job in phase.tasks %}paste{% for f in job.inputs %} {{ f }}{% endfor %} > {{ job.output }}
+{% endfor %}{% endfor %}"#;
+    c.bench_function("template_parse", |b| {
+        b.iter(|| Template::parse(std::hint::black_box(source)).unwrap());
+    });
+}
+
+fn bench_render(c: &mut Criterion) {
+    let model = PasteModel::example().render_model().unwrap();
+    let generator = PasteModel::generator();
+    c.bench_function("paste_generate_full_fileset", |b| {
+        b.iter(|| generator.generate(std::hint::black_box(&model)).unwrap());
+    });
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let model = Model::from_json(r#"{"a":{"b":{"c":{"d":{"e":42}}}}}"#).unwrap();
+    c.bench_function("model_deep_lookup", |b| {
+        b.iter(|| model.lookup(std::hint::black_box("a.b.c.d.e")));
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_render, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! Ablations for the design choices called out in DESIGN.md §6:
+//! paste fanout, pilot packing policy, checkpoint-policy floor, and
+//! work-stealing parallel speedup.
+
+use std::time::Instant;
+
+use bench::{acs_campaign, acs_durations, print_table};
+use checkpoint::manager::CheckpointManager;
+use checkpoint::policy::{CheckpointPolicy, MinFrequencyFloor, OverheadBudget};
+use cheetah::status::StatusBoard;
+use exec::ThreadPool;
+use hpcsim::batch::{AllocationSeries, BatchJob};
+use hpcsim::fs::{FsLoad, SharedFs};
+use hpcsim::time::SimDuration;
+use savanna::driver::run_campaign_sim;
+use savanna::pilot::{PilotScheduler, PlacementPolicy};
+
+fn ablation_paste_fanout() {
+    let dir = std::env::temp_dir().join(format!("ablate-paste-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let pool = ThreadPool::with_default_threads();
+    let inputs: Vec<std::path::PathBuf> = (0..256)
+        .map(|i| {
+            let p = dir.join(format!("in_{i:03}.tsv"));
+            let body: String = (0..400).map(|r| format!("c{i}r{r}\n")).collect();
+            std::fs::write(&p, body).unwrap();
+            p
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    // single paste baseline
+    let start = Instant::now();
+    tabular::paste::paste_files(&inputs, &dir.join("single.tsv")).unwrap();
+    rows.push(("single paste (fan-in 256)".to_string(), format!("{:.2?}", start.elapsed())));
+    for &fanout in &[4usize, 16, 64] {
+        let start = Instant::now();
+        tabular::staged_paste(&inputs, &dir.join("staged.tsv"), fanout, &dir.join("w"), &pool)
+            .unwrap();
+        rows.push((format!("staged, fanout {fanout}"), format!("{:.2?}", start.elapsed())));
+    }
+    print_table("Ablation: paste fanout (256 files × 400 rows)", ("strategy", "time"), &rows);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn ablation_pilot_policy() {
+    let manifest = acs_campaign(400);
+    let durations = acs_durations(&manifest, 8.0, 1.2, 123);
+    let job = BatchJob::new(20, SimDuration::from_hours(2));
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("fifo (realistic)", PlacementPolicy::Fifo),
+        ("longest-first (oracle)", PlacementPolicy::LongestFirst),
+        ("widest-first", PlacementPolicy::WidestFirst),
+    ] {
+        let sched = PilotScheduler::with_policy(policy);
+        let mut board = StatusBoard::for_manifest(&manifest);
+        let mut series = AllocationSeries::new(job, SimDuration::from_mins(30), 0.5, 9);
+        let report = run_campaign_sim(&manifest, &durations, &sched, &mut series, &mut board, 200);
+        rows.push((
+            name.to_string(),
+            format!(
+                "{:>2} allocations, {:>5.1} h total, {:>5.1} runs/alloc",
+                report.allocations.len(),
+                report.total_span.as_hours_f64(),
+                report.runs_per_allocation()
+            ),
+        ));
+    }
+    print_table(
+        "Ablation: pilot packing policy (400 heavy-tailed features)",
+        ("policy", "result"),
+        &rows,
+    );
+}
+
+fn run_ckpt(policy: impl CheckpointPolicy, seed: u64) -> (u32, f64, f64) {
+    let mut fs = SharedFs::new(5e10, FsLoad::busy(), seed);
+    let mut mgr = CheckpointManager::new(policy, 1e12, 4096);
+    let dist = hpcsim::dist::LogNormal::from_mean_cv(100.0, 0.15);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let mut max_gap_steps = 0u32;
+    let mut since = 0u32;
+    for _ in 0..50 {
+        let out = mgr.step(SimDuration::from_secs_f64(dist.sample(&mut rng)), &mut fs);
+        if out.wrote {
+            since = 0;
+        } else {
+            since += 1;
+            max_gap_steps = max_gap_steps.max(since);
+        }
+    }
+    let acc = mgr.accounting();
+    (acc.checkpoints, acc.overhead(), max_gap_steps as f64)
+}
+
+fn ablation_ckpt_floor() {
+    let mut rows = Vec::new();
+    // a tight 2% budget starves checkpoints; the floor bounds the gap
+    let (c, o, gap) = run_ckpt(OverheadBudget::new(0.02), 31);
+    rows.push((
+        "overhead 2%, no floor".to_string(),
+        format!("{c:>2} ckpts, overhead {:>4.1}%, longest gap {gap:>2.0} steps", o * 100.0),
+    ));
+    let (c, o, gap) = run_ckpt(MinFrequencyFloor::new(OverheadBudget::new(0.02), 10), 31);
+    rows.push((
+        "overhead 2% + floor(10 steps)".to_string(),
+        format!("{c:>2} ckpts, overhead {:>4.1}%, longest gap {gap:>2.0} steps", o * 100.0),
+    ));
+    print_table(
+        "Ablation: minimum-frequency floor on the overhead-budget policy",
+        ("policy", "result"),
+        &rows,
+    );
+}
+
+fn ablation_parallel_speedup() {
+    use iorf::forest::{ForestConfig, RandomForest};
+    use iorf::synth::SynthConfig;
+    let (data, _) = SynthConfig {
+        samples: 600,
+        features: 30,
+        roots: 8,
+        edge_weight: 1.0,
+        noise_sd: 0.3,
+        seed: 2,
+    }
+    .generate();
+    let y = data.column(29);
+    let (x, _) = data.without_column(29);
+    let config = ForestConfig { n_trees: 64, seed: 5, ..Default::default() };
+    let mut rows = Vec::new();
+    let mut t1 = 0.0;
+    for threads in [1usize, 2, 4, exec::default_threads()] {
+        let pool = ThreadPool::new(threads);
+        let start = Instant::now();
+        let forest = RandomForest::fit(&x, &y, &config, &vec![1.0; x.cols()], &pool);
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(&forest);
+        if threads == 1 {
+            t1 = elapsed;
+        }
+        rows.push((
+            format!("{threads} threads"),
+            format!("{elapsed:>6.3} s   speedup {:.2}×", t1 / elapsed),
+        ));
+    }
+    print_table(
+        "Ablation: work-stealing pool speedup on forest training (64 trees)",
+        ("pool", "result"),
+        &rows,
+    );
+}
+
+fn ablation_emergent_queue_waits() {
+    use hpcsim::cluster::ClusterSpec;
+    use hpcsim::machine::{simulate_queue, summarize, JobRequest, QueuePolicy};
+    use hpcsim::time::SimTime;
+
+    // a contended 64-node machine: 300 jobs with mixed sizes/durations
+    let dist = hpcsim::dist::LogNormal::from_mean_cv(90.0 * 60.0, 1.0);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(44);
+    let jobs: Vec<JobRequest> = (0..300u64)
+        .map(|i| {
+            let runtime = SimDuration::from_secs_f64(dist.sample(&mut rng));
+            let walltime = runtime.mul_f64(1.3); // users over-request ~30%
+            JobRequest::new(
+                format!("j{i}"),
+                1 + ((i * 17) % 24) as u32,
+                walltime,
+                runtime,
+                SimTime::ZERO + SimDuration::from_secs(i * 120),
+            )
+        })
+        .collect();
+    let machine = ClusterSpec::new("contended", 64, 32, 1e10);
+    let mut rows = Vec::new();
+    for (name, policy) in [("fcfs", QueuePolicy::Fcfs), ("easy-backfill", QueuePolicy::EasyBackfill)] {
+        let outcomes = simulate_queue(&machine, &jobs, policy);
+        let stats = summarize(&outcomes);
+        rows.push((
+            name.to_string(),
+            format!(
+                "mean wait {:>6.1} min   max {:>6.1} min   backfilled {:>4.0}%   makespan {:>5.1} h",
+                stats.mean_wait_secs / 60.0,
+                stats.max_wait_secs / 60.0,
+                stats.backfill_fraction * 100.0,
+                stats.makespan_secs / 3600.0
+            ),
+        ));
+    }
+    print_table(
+        "Ablation: emergent queue waits on a contended 64-node machine (300 jobs)",
+        ("policy", "result"),
+        &rows,
+    );
+    println!(
+        "(the campaign drivers' lognormal wait model is calibrated against this\n regime: long right tail, backfill trimming the mean)"
+    );
+}
+
+fn main() {
+    ablation_paste_fanout();
+    ablation_pilot_policy();
+    ablation_ckpt_floor();
+    ablation_parallel_speedup();
+    ablation_emergent_queue_waits();
+}

@@ -1,0 +1,144 @@
+//! §V-C / Fig. 5: the collection/selection/forwarding workflow — virtual
+//! data queues over generated communication code, with selection policies
+//! installed and swapped at runtime through the control channel.
+//!
+//! Reported: per-policy delivered-item counts, end-to-end throughput of
+//! the marshalled pipeline, and the correctness of a mid-stream policy
+//! swap (the paper's remote-steering scenario).
+
+use std::time::Instant;
+
+use bench::print_table;
+use dataflow::policy::{DirectSelect, EveryN, ForwardAll, WindowCount, WindowTime};
+use dataflow::scheduler;
+use dataflow::source::{spawn_source, SourceConfig};
+use fair_core::prelude::*;
+
+fn motif_check() {
+    // the workflow's graph view contains exactly the reusable subgraph of
+    // Fig. 5 (instruments → data scheduler → consumers)
+    let mut g = WorkflowGraph::new();
+    let port = |name: &str| PortDescriptor {
+        name: name.into(),
+        data: DataDescriptor::default(),
+    };
+    let mut instrument = ComponentDescriptor::new("instrument", "1", ComponentKind::Service);
+    instrument.outputs.push(port("frames"));
+    let mut instrument2 = instrument.clone();
+    instrument2.name = "instrument-2".into();
+    let mut sched = ComponentDescriptor::new("data-scheduler", "1", ComponentKind::Service);
+    sched.inputs.push(port("in"));
+    sched.outputs.push(port("out"));
+    let mut analysis = ComponentDescriptor::new("analysis", "1", ComponentKind::Executable);
+    analysis.inputs.push(port("in"));
+    let mut archive = ComponentDescriptor::new("archive", "1", ComponentKind::Executable);
+    archive.inputs.push(port("in"));
+
+    let i1 = g.add(instrument);
+    let i2 = g.add(instrument2);
+    let s = g.add(sched);
+    let a1 = g.add(analysis);
+    let a2 = g.add(archive);
+    g.connect(i1, "frames", s, "in").unwrap();
+    g.connect(i2, "frames", s, "in").unwrap();
+    g.connect(s, "out", a1, "in").unwrap();
+    g.connect(s, "out", a2, "in").unwrap();
+    let motifs = g.find_motifs();
+    assert_eq!(motifs.len(), 1);
+    println!(
+        "motif detection: found 1 × {} (scheduler = node {})",
+        motifs[0].name, motifs[0].scheduler.0
+    );
+}
+
+fn main() {
+    motif_check();
+
+    const ITEMS: u64 = 200_000;
+    let policies: Vec<(&str, Box<dyn dataflow::SelectionPolicy>)> = vec![
+        ("forward-all", Box::new(ForwardAll)),
+        ("every-10", Box::new(EveryN::new(10))),
+        ("window-64", Box::new(WindowCount::new(64))),
+        // source cadence is 1 ms/item → a 32 ms time window ≈ 33 items
+        ("window-32ms", Box::new(WindowTime::new(32_000))),
+        (
+            "direct-select (4096-bounded queue)",
+            Box::new(DirectSelect::new((0..ITEMS).step_by(200))),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        let sched = scheduler::spawn();
+        sched.install(name, policy);
+        let rx = sched.subscribe(name);
+        let start = Instant::now();
+        let producer = spawn_source(
+            SourceConfig {
+                name: "instrument".into(),
+                schema: "frame.v1".into(),
+                count: ITEMS,
+                payload_bytes: 256,
+                cadence_micros: 1000,
+            },
+            sched.data_sender(),
+        );
+        producer.join().unwrap();
+        sched.punctuate(Some(name));
+        let stats = sched.shutdown();
+        let elapsed = start.elapsed();
+        let delivered = rx.try_iter().count();
+        let rate = stats.received as f64 / elapsed.as_secs_f64() / 1e6;
+        rows.push((
+            name.to_string(),
+            format!(
+                "{delivered:>7} delivered of {ITEMS}   ({rate:.2} M items/s through scheduler)"
+            ),
+        ));
+    }
+    print_table(
+        "Fig. 5 workload: virtual data queues (200k × 256 B items, one punctuation at end)",
+        ("policy", "delivered"),
+        &rows,
+    );
+
+    // the remote-steering scenario: swap ForwardAll → DirectSelect mid-stream
+    let sched = scheduler::spawn();
+    sched.install("q", Box::new(ForwardAll));
+    let rx = sched.subscribe("q");
+    for s in 0..1000u64 {
+        sched.send(dataflow::DataItem::text(s, "ins", "frame", "x"));
+    }
+    sched.install("q", Box::new(DirectSelect::new([1500, 1750])));
+    for s in 1000..2000u64 {
+        sched.send(dataflow::DataItem::text(s, "ins", "frame", "x"));
+    }
+    sched.punctuate(Some("q"));
+    sched.shutdown();
+    let delivered: Vec<u64> = rx.try_iter().map(|i| i.seq).collect();
+    assert_eq!(delivered.len(), 1002);
+    assert_eq!(&delivered[1000..], &[1500, 1750]);
+    println!(
+        "\nmid-stream swap: 1000 forwarded live, then a steering-installed \
+         direct-select policy delivered exactly the 2 requested items — \
+         policy unknown at generation time, installed at runtime"
+    );
+
+    // marshalling roundtrip rate (the generated communication code path)
+    let item = dataflow::DataItem::text(1, "instrument", "frame.v1", &"x".repeat(256));
+    let start = Instant::now();
+    let mut bytes = 0usize;
+    for _ in 0..200_000 {
+        let wire = item.encode();
+        bytes += wire.len();
+        let back = dataflow::DataItem::decode(wire).unwrap();
+        std::hint::black_box(&back);
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "marshalling: {:.0} MB encoded+decoded in {:.2?} ({:.1} MB/s)",
+        bytes as f64 / 1e6,
+        elapsed,
+        bytes as f64 / 1e6 / elapsed.as_secs_f64()
+    );
+}

@@ -1,0 +1,108 @@
+//! Fig. 6: "Comparison of workflows between the original iRF-LOOP
+//! workflow and the improved Cheetah workflow. The original workflow
+//! required all runs within a set to complete before moving to the next
+//! set, resulting in idle nodes. This is eliminated using Cheetah."
+//!
+//! One 2-hour × 20-node allocation, heterogeneous (lognormal) per-feature
+//! iRF runtimes, both schedulers; the busy-node timeline is printed as an
+//! ASCII strip chart.
+
+use bench::{acs_campaign, acs_durations};
+use cheetah::status::StatusBoard;
+use hpcsim::batch::{BatchJob, BatchQueue};
+use hpcsim::time::SimDuration;
+use savanna::pilot::PilotScheduler;
+use savanna::setsync::SetSyncScheduler;
+use savanna::task::{AllocationScheduler, SimTask};
+
+fn main() {
+    let manifest = acs_campaign(300);
+    let durations = acs_durations(&manifest, 8.0, 1.0, 6060);
+    let group = &manifest.groups[0];
+    let tasks: Vec<SimTask> = group
+        .runs
+        .iter()
+        .map(|r| SimTask::new(r.id.clone(), 1, durations[&r.id]))
+        .collect();
+
+    let alloc = BatchQueue::instant(1).submit(BatchJob::new(20, SimDuration::from_hours(2)));
+    let set_sync = SetSyncScheduler::node_sized(&alloc);
+    let pilot = PilotScheduler::new();
+
+    println!("== Fig. 6: busy nodes over one 2-hour / 20-node allocation ==");
+    println!("(300 queued iRF features, lognormal runtimes mean 8 min cv 1.0)\n");
+
+    for sched in [&set_sync as &dyn AllocationScheduler, &pilot] {
+        let outcome = sched.schedule(&tasks, &alloc);
+        let samples = outcome.trace.series().resample(alloc.start, alloc.end, 60);
+        println!("{:<18} busy-node timeline (each char = 2 min, 0-9/X = busy nodes/2):", sched.name());
+        let strip: String = samples
+            .iter()
+            .map(|&(_, v)| {
+                let level = (v / 2.0).round() as u32;
+                if level >= 10 {
+                    'X'
+                } else {
+                    char::from_digit(level, 10).unwrap()
+                }
+            })
+            .collect();
+        println!("  |{strip}|");
+        let util = outcome.trace.mean_utilization(alloc.start, alloc.end);
+        let idle = outcome.trace.idle_node_hours(alloc.start, alloc.end);
+        println!(
+            "  completed {:>3} runs   mean utilization {:>5.1}%   idle {:>5.1} node-hours\n",
+            outcome.completed_count(),
+            util * 100.0,
+            idle
+        );
+    }
+
+    // quantitative shape check
+    let sync_out = set_sync.schedule(&tasks, &alloc);
+    let pilot_out = pilot.schedule(&tasks, &alloc);
+
+    // dump the raw busy-node series for external plotting
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write("results/fig6_setsync.csv", sync_out.trace.series().to_csv());
+        let _ = std::fs::write("results/fig6_pilot.csv", pilot_out.trace.series().to_csv());
+        println!("(raw series written to results/fig6_setsync.csv and results/fig6_pilot.csv)\n");
+    }
+    assert!(
+        pilot_out.completed_count() > sync_out.completed_count(),
+        "pilot {} vs sync {}",
+        pilot_out.completed_count(),
+        sync_out.completed_count()
+    );
+    let sync_util = sync_out.trace.mean_utilization(alloc.start, alloc.end);
+    let pilot_util = pilot_out.trace.mean_utilization(alloc.start, alloc.end);
+    assert!(pilot_util > sync_util);
+    println!(
+        "shape check: set-synchronization leaves end-of-set idle troughs; the \
+         dynamic pilot keeps nodes busy ({:.0}% vs {:.0}% utilization) — matches Fig. 6",
+        pilot_util * 100.0,
+        sync_util * 100.0
+    );
+
+    // resubmission view: how many allocations does each engine need for
+    // the full 300-feature group?
+    for (name, sched) in [
+        ("set-synchronized", &set_sync as &dyn AllocationScheduler),
+        ("cheetah-savanna", &pilot),
+    ] {
+        let mut board = StatusBoard::for_manifest(&manifest);
+        let mut series = hpcsim::batch::AllocationSeries::new(
+            BatchJob::new(20, SimDuration::from_hours(2)),
+            SimDuration::from_mins(30),
+            0.6,
+            99,
+        );
+        let report =
+            savanna::driver::run_campaign_sim(&manifest, &durations, sched, &mut series, &mut board, 100);
+        println!(
+            "{name:<18} completes 300 features in {:>2} allocations, total span {:>5.1} h",
+            report.allocations.len(),
+            report.total_span.as_hours_f64()
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared harness code for the figure-regeneration binaries and the
+//! Criterion benches.
+//!
+//! Each binary under `src/bin/` regenerates one table/figure of the
+//! paper's evaluation (see `EXPERIMENTS.md` at the workspace root for the
+//! index and the recorded outputs). The helpers here build the common
+//! workloads: the ACS-like iRF-LOOP campaign of §V-D and its per-feature
+//! runtime model.
+
+use std::collections::BTreeMap;
+
+use cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use cheetah::manifest::CampaignManifest;
+use cheetah::param::SweepSpec;
+use cheetah::sweep::Sweep;
+use hpcsim::dist::LogNormal;
+use hpcsim::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The §V-D campaign: one iRF run per ACS feature (paper: 1606 features),
+/// 20 nodes per allocation, 2-hour walltime, one node per run.
+pub fn acs_campaign(features: i64) -> CampaignManifest {
+    Campaign::new("acs-irf-loop", "institutional", AppDef::new("irf", "irf.exe"))
+        .with_group(SweepGroup::new(
+            "features",
+            Sweep::new().with(
+                "feature",
+                SweepSpec::IntRange { start: 0, end: features - 1, step: 1 },
+            ),
+            20,
+            1,
+            2 * 3600,
+        ))
+        .manifest()
+        .expect("acs campaign is valid")
+}
+
+/// Per-feature runtime model: lognormal with the given mean (minutes) and
+/// coefficient of variation. iRF run times are heavy-tailed ("the run
+/// times between the individual iRF processes can differ within one
+/// submission"); cv ≈ 1.0 reproduces that spread.
+pub fn acs_durations(
+    manifest: &CampaignManifest,
+    mean_mins: f64,
+    cv: f64,
+    seed: u64,
+) -> BTreeMap<String, SimDuration> {
+    let dist = LogNormal::from_mean_cv(mean_mins * 60.0, cv);
+    let mut rng = StdRng::seed_from_u64(seed);
+    manifest
+        .groups
+        .iter()
+        .flat_map(|g| g.runs.iter())
+        .map(|r| {
+            // cap at 110 minutes so every run individually fits a 2 h slot
+            let secs = dist.sample(&mut rng).min(110.0 * 60.0);
+            (r.id.clone(), SimDuration::from_secs_f64(secs))
+        })
+        .collect()
+}
+
+/// Prints a two-column table with a title, right-aligning numbers.
+pub fn print_table(title: &str, headers: (&str, &str), rows: &[(String, String)]) {
+    println!("\n== {title} ==");
+    let w0 = rows
+        .iter()
+        .map(|(a, _)| a.len())
+        .chain([headers.0.len()])
+        .max()
+        .unwrap_or(8);
+    let w1 = rows
+        .iter()
+        .map(|(_, b)| b.len())
+        .chain([headers.1.len()])
+        .max()
+        .unwrap_or(8);
+    println!("{:<w0$}  {:>w1$}", headers.0, headers.1);
+    println!("{}", "-".repeat(w0 + w1 + 2));
+    for (a, b) in rows {
+        println!("{a:<w0$}  {b:>w1$}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acs_campaign_shape() {
+        let m = acs_campaign(100);
+        assert_eq!(m.total_runs(), 100);
+        let g = &m.groups[0];
+        assert_eq!(g.nodes, 20);
+        assert_eq!(g.walltime_secs, 7200);
+    }
+
+    #[test]
+    fn durations_cover_every_run_and_fit_walltime() {
+        let m = acs_campaign(200);
+        let d = acs_durations(&m, 8.0, 1.0, 1);
+        assert_eq!(d.len(), 200);
+        assert!(d.values().all(|&v| v <= SimDuration::from_mins(110)));
+        // heavy tail: max at least 3× mean
+        let mean: f64 = d.values().map(|v| v.as_secs_f64()).sum::<f64>() / 200.0;
+        let max = d.values().map(|v| v.as_secs_f64()).fold(0.0, f64::max);
+        assert!(max > 2.0 * mean, "max {max} mean {mean}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Failure-aware checkpoint-interval analysis (Young/Daly).
+//!
+//! §V-B frames checkpoint frequency as "a representation of the wall
+//! clock time gap between checkpoints and the underlying characteristics
+//! of the system, such as the mean-time-to-failure (MTTF)". This module
+//! supplies that analysis: the classic Young/Daly optimal interval, the
+//! exponential-failure expected-runtime model, and a failure-injected
+//! simulator that validates the model against actual restart dynamics —
+//! the quantitative backbone for choosing checkpoint policies.
+
+use hpcsim::failure::FailureModel;
+use hpcsim::time::SimDuration;
+
+/// The Young/Daly first-order optimal compute interval between
+/// checkpoints: `sqrt(2 · C · MTTF)` for checkpoint cost `C`.
+pub fn young_daly_interval(mttf: SimDuration, checkpoint_cost: SimDuration) -> SimDuration {
+    assert!(mttf > SimDuration::ZERO && checkpoint_cost > SimDuration::ZERO);
+    let tau = (2.0 * checkpoint_cost.as_secs_f64() * mttf.as_secs_f64()).sqrt();
+    SimDuration::from_secs_f64(tau)
+}
+
+/// Expected wall-clock time to complete `work` of compute under
+/// exponential failures with mean `mttf`, checkpointing every `interval`
+/// of compute at cost `checkpoint_cost`, with restart overhead
+/// `restart_cost` after each failure.
+///
+/// Per segment of `interval + checkpoint_cost`, the expected time under
+/// the memoryless model is `(MTTF + restart) · (exp(seg/MTTF) − 1)`
+/// (Daly's exact exponential formulation).
+pub fn expected_runtime(
+    work: SimDuration,
+    interval: SimDuration,
+    checkpoint_cost: SimDuration,
+    restart_cost: SimDuration,
+    mttf: SimDuration,
+) -> SimDuration {
+    assert!(interval > SimDuration::ZERO);
+    let m = mttf.as_secs_f64();
+    let seg = interval.as_secs_f64() + checkpoint_cost.as_secs_f64();
+    let segments = work.as_secs_f64() / interval.as_secs_f64();
+    let per_segment = (m + restart_cost.as_secs_f64()) * ((seg / m).exp() - 1.0);
+    SimDuration::from_secs_f64(segments * per_segment)
+}
+
+/// Grid-searches the best interval in `[lo, hi]` under
+/// [`expected_runtime`]; used by tests and ablations to confirm the
+/// closed form.
+pub fn best_interval_by_search(
+    work: SimDuration,
+    checkpoint_cost: SimDuration,
+    restart_cost: SimDuration,
+    mttf: SimDuration,
+    lo: SimDuration,
+    hi: SimDuration,
+    steps: u32,
+) -> SimDuration {
+    assert!(steps >= 2 && hi > lo);
+    let mut best = (SimDuration(u64::MAX), lo);
+    for k in 0..=steps {
+        let tau = SimDuration(lo.0 + (hi.0 - lo.0) * k as u64 / steps as u64);
+        if tau == SimDuration::ZERO {
+            continue;
+        }
+        let t = expected_runtime(work, tau, checkpoint_cost, restart_cost, mttf);
+        if t < best.0 {
+            best = (t, tau);
+        }
+    }
+    best.1
+}
+
+/// Result of a failure-injected run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureSimResult {
+    /// Total wall-clock time to finish the work.
+    pub total_time: SimDuration,
+    /// Failures encountered.
+    pub failures: u32,
+    /// Checkpoints written.
+    pub checkpoints: u32,
+    /// Compute time redone after failures.
+    pub rework: SimDuration,
+}
+
+/// Simulates executing `work` of compute with checkpoints every
+/// `interval` of compute time, under failures from `FailureModel`.
+/// On failure, the run restarts (paying `restart_cost`) from the last
+/// checkpoint.
+pub fn simulate_with_failures(
+    work: SimDuration,
+    interval: SimDuration,
+    checkpoint_cost: SimDuration,
+    restart_cost: SimDuration,
+    mttf: SimDuration,
+    seed: u64,
+) -> FailureSimResult {
+    assert!(interval > SimDuration::ZERO);
+    let mut failures = FailureModel::new(mttf, seed);
+    let mut clock = SimDuration::ZERO; // wall time
+    let mut next_failure = failures
+        .next_failure_after(hpcsim::time::SimTime::ZERO)
+        .since(hpcsim::time::SimTime::ZERO);
+    let mut done = SimDuration::ZERO; // checkpointed progress
+    let mut failure_count = 0u32;
+    let mut checkpoints = 0u32;
+    let mut rework = SimDuration::ZERO;
+
+    while done < work {
+        let segment = interval.min(work - done);
+        let segment_cost = segment
+            + if done + segment < work {
+                checkpoint_cost
+            } else {
+                SimDuration::ZERO // no checkpoint after the final segment
+            };
+        if clock + segment_cost <= next_failure {
+            // segment (and its checkpoint) completes
+            clock += segment_cost;
+            done += segment;
+            if done < work {
+                checkpoints += 1;
+            }
+        } else {
+            // failure mid-segment: lose partial progress, restart
+            let lost = next_failure.saturating_sub(clock);
+            rework += lost.min(segment);
+            clock = next_failure + restart_cost;
+            failure_count += 1;
+            next_failure = clock
+                + SimDuration(
+                    failures
+                        .next_failure_after(hpcsim::time::SimTime::ZERO)
+                        .since(hpcsim::time::SimTime::ZERO)
+                        .0,
+                );
+        }
+    }
+    FailureSimResult {
+        total_time: clock,
+        failures: failure_count,
+        checkpoints,
+        rework,
+    }
+}
+
+/// Mean total time over `runs` seeded simulations.
+pub fn mean_simulated_runtime(
+    work: SimDuration,
+    interval: SimDuration,
+    checkpoint_cost: SimDuration,
+    restart_cost: SimDuration,
+    mttf: SimDuration,
+    runs: u32,
+    base_seed: u64,
+) -> SimDuration {
+    assert!(runs > 0);
+    let total: u64 = (0..runs)
+        .map(|i| {
+            simulate_with_failures(
+                work,
+                interval,
+                checkpoint_cost,
+                restart_cost,
+                mttf,
+                base_seed + i as u64,
+            )
+            .total_time
+            .0
+        })
+        .sum();
+    SimDuration(total / runs as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mins(m: u64) -> SimDuration {
+        SimDuration::from_mins(m)
+    }
+    fn hours(h: u64) -> SimDuration {
+        SimDuration::from_hours(h)
+    }
+
+    #[test]
+    fn young_daly_formula() {
+        // C = 2 min, MTTF = 4 h → sqrt(2 · 120 · 14400) = sqrt(3456000) ≈ 1859 s
+        let tau = young_daly_interval(hours(4), mins(2));
+        assert!((tau.as_secs_f64() - 1858.06).abs() < 1.0, "{tau}");
+    }
+
+    #[test]
+    fn closed_form_minimum_matches_grid_search() {
+        let work = hours(100);
+        let c = mins(3);
+        let r = mins(5);
+        let mttf = hours(8);
+        let daly = young_daly_interval(mttf, c);
+        let searched = best_interval_by_search(work, c, r, mttf, mins(2), hours(4), 400);
+        let rel = (searched.as_secs_f64() - daly.as_secs_f64()).abs() / daly.as_secs_f64();
+        assert!(rel < 0.15, "daly {daly} vs searched {searched}");
+    }
+
+    #[test]
+    fn expected_runtime_increases_at_extremes() {
+        let work = hours(50);
+        let c = mins(2);
+        let r = mins(2);
+        let mttf = hours(6);
+        let daly = young_daly_interval(mttf, c);
+        let at_daly = expected_runtime(work, daly, c, r, mttf);
+        let too_often = expected_runtime(work, daly / 16, c, r, mttf);
+        let too_rare = expected_runtime(work, daly * 16, c, r, mttf);
+        assert!(too_often > at_daly, "{too_often} vs {at_daly}");
+        assert!(too_rare > at_daly, "{too_rare} vs {at_daly}");
+    }
+
+    #[test]
+    fn simulation_agrees_with_model_ordering() {
+        // simulate three intervals; the Daly interval should not lose to
+        // either extreme
+        let work = hours(30);
+        let c = mins(2);
+        let r = mins(2);
+        let mttf = hours(4);
+        let daly = young_daly_interval(mttf, c);
+        let sim = |tau| mean_simulated_runtime(work, tau, c, r, mttf, 40, 11);
+        let at_daly = sim(daly);
+        let too_often = sim(daly / 12);
+        let too_rare = sim(daly * 12);
+        assert!(
+            at_daly <= too_often,
+            "daly {at_daly} vs frequent {too_often}"
+        );
+        assert!(at_daly <= too_rare, "daly {at_daly} vs rare {too_rare}");
+    }
+
+    #[test]
+    fn no_failures_simulation_is_exact() {
+        // astronomically large MTTF → time = work + checkpoints · cost
+        let work = hours(10);
+        let tau = hours(1);
+        let c = mins(6);
+        let result = simulate_with_failures(work, tau, c, mins(1), hours(1_000_000), 1);
+        assert_eq!(result.failures, 0);
+        assert_eq!(result.checkpoints, 9, "no checkpoint after the last segment");
+        assert_eq!(result.total_time, work + c * 9);
+        assert_eq!(result.rework, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn failures_cause_rework_and_delay() {
+        let work = hours(20);
+        let result =
+            simulate_with_failures(work, mins(30), mins(2), mins(2), hours(3), 5);
+        assert!(result.failures > 0);
+        assert!(result.rework > SimDuration::ZERO);
+        assert!(result.total_time > work);
+    }
+
+    #[test]
+    fn simulation_deterministic_per_seed() {
+        let args = (hours(10), mins(20), mins(2), mins(1), hours(2));
+        let a = simulate_with_failures(args.0, args.1, args.2, args.3, args.4, 9);
+        let b = simulate_with_failures(args.0, args.1, args.2, args.3, args.4, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,362 @@
+//! A real Gray–Scott reaction–diffusion solver.
+//!
+//! §V-B ran "a common reaction-diffusion benchmark" (Summit's gray-scott
+//! ADIOS demo). This is that mini-app: two species on a 2-D periodic
+//! grid,
+//!
+//! ```text
+//! ∂u/∂t = Du ∇²u − u v² + F (1 − u)
+//! ∂v/∂t = Dv ∇²v + u v² − (F + k) v
+//! ```
+//!
+//! with binary checkpoint/restore so restart *correctness* (not just
+//! policy behaviour) is testable, and an [`exec`]-parallel step for
+//! multi-core runs.
+
+use exec::ThreadPool;
+
+/// Solver parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GsParams {
+    /// Diffusion rate of u.
+    pub du: f64,
+    /// Diffusion rate of v.
+    pub dv: f64,
+    /// Feed rate F.
+    pub f: f64,
+    /// Kill rate k.
+    pub k: f64,
+    /// Timestep.
+    pub dt: f64,
+}
+
+impl Default for GsParams {
+    fn default() -> Self {
+        // the classic "soliton" regime
+        Self {
+            du: 0.16,
+            dv: 0.08,
+            f: 0.060,
+            k: 0.062,
+            dt: 1.0,
+        }
+    }
+}
+
+/// The Gray–Scott state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayScott {
+    width: usize,
+    height: usize,
+    params: GsParams,
+    u: Vec<f64>,
+    v: Vec<f64>,
+    steps_taken: u64,
+}
+
+/// Restore errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// Buffer too short or structurally invalid.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl GrayScott {
+    /// Creates a grid seeded with the standard central perturbation:
+    /// `u = 1, v = 0` everywhere except a square where `u = 0.5, v = 0.25`.
+    pub fn new(width: usize, height: usize, params: GsParams) -> Self {
+        assert!(width >= 8 && height >= 8, "grid must be at least 8×8");
+        let mut gs = Self {
+            width,
+            height,
+            params,
+            u: vec![1.0; width * height],
+            v: vec![0.0; width * height],
+            steps_taken: 0,
+        };
+        let (cx, cy) = (width / 2, height / 2);
+        let r = (width.min(height) / 8).max(2);
+        for y in cy - r..cy + r {
+            for x in cx - r..cx + r {
+                let i = y * width + x;
+                gs.u[i] = 0.50;
+                gs.v[i] = 0.25;
+            }
+        }
+        gs
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Steps taken since seeding (survives checkpoint/restore).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    fn laplacian(field: &[f64], w: usize, h: usize, x: usize, y: usize) -> f64 {
+        let xm = if x == 0 { w - 1 } else { x - 1 };
+        let xp = if x == w - 1 { 0 } else { x + 1 };
+        let ym = if y == 0 { h - 1 } else { y - 1 };
+        let yp = if y == h - 1 { 0 } else { y + 1 };
+        field[y * w + xm] + field[y * w + xp] + field[ym * w + x] + field[yp * w + x]
+            - 4.0 * field[y * w + x]
+    }
+
+    #[allow(clippy::too_many_arguments)] // hot kernel: grids + bounds passed flat to stay borrow-splittable
+    fn step_rows(
+        params: &GsParams,
+        u: &[f64],
+        v: &[f64],
+        w: usize,
+        h: usize,
+        y0: usize,
+        y1: usize,
+        nu: &mut [f64],
+        nv: &mut [f64],
+    ) {
+        for y in y0..y1 {
+            for x in 0..w {
+                let i = y * w + x;
+                let uv2 = u[i] * v[i] * v[i];
+                let lap_u = Self::laplacian(u, w, h, x, y);
+                let lap_v = Self::laplacian(v, w, h, x, y);
+                nu[(y - y0) * w + x] =
+                    u[i] + params.dt * (params.du * lap_u - uv2 + params.f * (1.0 - u[i]));
+                nv[(y - y0) * w + x] =
+                    v[i] + params.dt * (params.dv * lap_v + uv2 - (params.f + params.k) * v[i]);
+            }
+        }
+    }
+
+    /// Advances one timestep (serial).
+    pub fn step(&mut self) {
+        let (w, h) = (self.width, self.height);
+        let mut nu = vec![0.0; w * h];
+        let mut nv = vec![0.0; w * h];
+        Self::step_rows(&self.params, &self.u, &self.v, w, h, 0, h, &mut nu, &mut nv);
+        self.u = nu;
+        self.v = nv;
+        self.steps_taken += 1;
+    }
+
+    /// Advances one timestep using the pool (row-block domain
+    /// decomposition — the same decomposition an MPI run would use).
+    pub fn step_parallel(&mut self, pool: &ThreadPool) {
+        let (w, h) = (self.width, self.height);
+        let blocks = pool.num_threads().min(h).max(1);
+        let rows_per = h.div_ceil(blocks);
+        let params = self.params;
+        let u = &self.u;
+        let v = &self.v;
+        let results: Vec<(usize, Vec<f64>, Vec<f64>)> = pool.map_index(blocks, |b| {
+            let y0 = b * rows_per;
+            let y1 = ((b + 1) * rows_per).min(h);
+            let rows = y1.saturating_sub(y0);
+            let mut nu = vec![0.0; rows * w];
+            let mut nv = vec![0.0; rows * w];
+            if rows > 0 {
+                Self::step_rows(&params, u, v, w, h, y0, y1, &mut nu, &mut nv);
+            }
+            (y0, nu, nv)
+        });
+        for (y0, nu, nv) in results {
+            let base = y0 * w;
+            self.u[base..base + nu.len()].copy_from_slice(&nu);
+            self.v[base..base + nv.len()].copy_from_slice(&nv);
+        }
+        self.steps_taken += 1;
+    }
+
+    /// Sum of the v field — a cheap invariant-ish scalar for tests.
+    pub fn v_mass(&self) -> f64 {
+        self.v.iter().sum()
+    }
+
+    /// Checkpoint size in bytes for a grid of these dimensions.
+    pub fn checkpoint_bytes(&self) -> usize {
+        8 * 4 + 8 * 5 + self.u.len() * 8 * 2
+    }
+
+    /// Serializes the full state to bytes (little-endian f64 grids).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.checkpoint_bytes());
+        out.extend_from_slice(&(self.width as u64).to_le_bytes());
+        out.extend_from_slice(&(self.height as u64).to_le_bytes());
+        out.extend_from_slice(&self.steps_taken.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes()); // reserved
+        for p in [self.params.du, self.params.dv, self.params.f, self.params.k, self.params.dt] {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        for x in self.u.iter().chain(self.v.iter()) {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restores a solver from checkpoint bytes.
+    pub fn restore(bytes: &[u8]) -> Result<Self, RestoreError> {
+        let mut off = 0usize;
+        let mut take_u64 = |bytes: &[u8]| -> Result<u64, RestoreError> {
+            let end = off + 8;
+            let chunk = bytes.get(off..end).ok_or(RestoreError::Corrupt("short header"))?;
+            off = end;
+            Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte slice")))
+        };
+        let width = take_u64(bytes)? as usize;
+        let height = take_u64(bytes)? as usize;
+        let steps_taken = take_u64(bytes)?;
+        let _reserved = take_u64(bytes)?;
+        if width < 8 || height < 8 || width * height > 1 << 28 {
+            return Err(RestoreError::Corrupt("implausible dimensions"));
+        }
+        let mut take_f64 = |bytes: &[u8]| -> Result<f64, RestoreError> {
+            let end = off + 8;
+            let chunk = bytes.get(off..end).ok_or(RestoreError::Corrupt("short params"))?;
+            off = end;
+            Ok(f64::from_le_bytes(chunk.try_into().expect("8-byte slice")))
+        };
+        let params = GsParams {
+            du: take_f64(bytes)?,
+            dv: take_f64(bytes)?,
+            f: take_f64(bytes)?,
+            k: take_f64(bytes)?,
+            dt: take_f64(bytes)?,
+        };
+        let n = width * height;
+        let expected = off + n * 16;
+        if bytes.len() != expected {
+            return Err(RestoreError::Corrupt("grid payload length mismatch"));
+        }
+        let read_grid = |start: usize| -> Vec<f64> {
+            bytes[start..start + n * 8]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect()
+        };
+        let u = read_grid(off);
+        let v = read_grid(off + n * 8);
+        Ok(Self {
+            width,
+            height,
+            params,
+            u,
+            v,
+            steps_taken,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GrayScott {
+        GrayScott::new(32, 32, GsParams::default())
+    }
+
+    #[test]
+    fn seeding_perturbs_center() {
+        let gs = small();
+        assert!(gs.v_mass() > 0.0);
+        assert_eq!(gs.steps_taken(), 0);
+    }
+
+    #[test]
+    fn stepping_is_deterministic() {
+        let mut a = small();
+        let mut b = small();
+        for _ in 0..20 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.steps_taken(), 20);
+    }
+
+    #[test]
+    fn pattern_evolves_and_stays_finite() {
+        let mut gs = small();
+        let before = gs.v_mass();
+        for _ in 0..50 {
+            gs.step();
+        }
+        let after = gs.v_mass();
+        assert_ne!(before, after);
+        assert!(gs.u.iter().chain(gs.v.iter()).all(|x| x.is_finite()));
+        assert!(gs.u.iter().all(|&x| (-0.5..=1.5).contains(&x)), "u out of physical range");
+    }
+
+    #[test]
+    fn parallel_step_matches_serial() {
+        let pool = ThreadPool::new(4);
+        let mut serial = small();
+        let mut parallel = small();
+        for _ in 0..10 {
+            serial.step();
+            parallel.step_parallel(&pool);
+        }
+        // identical update order within rows → bitwise equality
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let mut gs = small();
+        for _ in 0..7 {
+            gs.step();
+        }
+        let bytes = gs.checkpoint();
+        assert_eq!(bytes.len(), gs.checkpoint_bytes());
+        let restored = GrayScott::restore(&bytes).unwrap();
+        assert_eq!(gs, restored);
+    }
+
+    #[test]
+    fn restart_equivalence() {
+        // run 20 straight == run 10, checkpoint, restore, run 10
+        let mut straight = small();
+        for _ in 0..20 {
+            straight.step();
+        }
+        let mut first = small();
+        for _ in 0..10 {
+            first.step();
+        }
+        let ckpt = first.checkpoint();
+        let mut resumed = GrayScott::restore(&ckpt).unwrap();
+        for _ in 0..10 {
+            resumed.step();
+        }
+        assert_eq!(straight, resumed);
+        assert_eq!(resumed.steps_taken(), 20);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_rejected() {
+        let gs = small();
+        let bytes = gs.checkpoint();
+        assert!(GrayScott::restore(&bytes[..10]).is_err());
+        assert!(GrayScott::restore(&bytes[..bytes.len() - 8]).is_err());
+        let mut zeroed = bytes.clone();
+        zeroed[0..8].copy_from_slice(&0u64.to_le_bytes()); // width = 0
+        assert!(GrayScott::restore(&zeroed).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Dynamic checkpoint-restart as a **workflow component** (§V-B).
+//!
+//! "A common practice is to implement a simple checkpointing mechanism in
+//! which a checkpoint is generated after a preset number of 'timesteps'…
+//! It can be argued that this approach does not capture the true intent
+//! behind checkpoint-restarts." The paper's alternative: the application
+//! declares the **maximum allowable checkpointing I/O overhead as a
+//! percentage of total runtime**, and the I/O middleware issues a
+//! checkpoint only while the observed overhead is within that budget.
+//!
+//! * [`policy`] — the policy trait and implementations: fixed interval,
+//!   wall-clock gap, the paper's overhead budget, and a minimum-frequency
+//!   floor combinator;
+//! * [`manager`] — the checkpoint manager mediating between a policy and
+//!   the (simulated) shared filesystem, with full accounting;
+//! * [`grayscott`] — a real Gray–Scott reaction–diffusion solver (the
+//!   paper's experiment ran "a common reaction-diffusion benchmark on
+//!   Summit") with serialize/restore so restart correctness is testable;
+//! * [`figure`] — the figure-scale drivers reproducing Fig. 3 (checkpoints
+//!   vs overhead budget) and Fig. 4 (run-to-run variation at 10%);
+//! * [`daly`] — Young/Daly failure-aware interval analysis plus a
+//!   failure-injected restart simulator validating it.
+
+#![deny(missing_docs)]
+
+pub mod daly;
+pub mod figure;
+pub mod grayscott;
+pub mod manager;
+pub mod policy;
+
+pub use daly::{expected_runtime, simulate_with_failures, young_daly_interval};
+pub use figure::{fig3_sweep, fig4_variation, FigureRun, SummitRunConfig};
+pub use grayscott::GrayScott;
+pub use manager::{CheckpointManager, RunAccounting, StepOutcome};
+pub use policy::{CheckpointPolicy, FixedInterval, MinFrequencyFloor, OverheadBudget, StepContext, WallClockGap};

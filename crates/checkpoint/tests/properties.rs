@@ -1,0 +1,123 @@
+//! Property tests: checkpoint accounting invariants, policy bounds, and
+//! Gray–Scott checkpoint/restore.
+
+use checkpoint::grayscott::{GrayScott, GsParams};
+use checkpoint::manager::CheckpointManager;
+use checkpoint::policy::{FixedInterval, OverheadBudget};
+use hpcsim::fs::{FsLoad, SharedFs};
+use hpcsim::time::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fixed_interval_count_is_exact(
+        steps in 1u32..200,
+        every in 1u32..50,
+        step_secs in 1u64..500,
+    ) {
+        let mut mgr = CheckpointManager::new(FixedInterval::new(every), 1e9, 4);
+        let mut fs = SharedFs::new(1e9, FsLoad::quiet(), 1);
+        for _ in 0..steps {
+            mgr.step(SimDuration::from_secs(step_secs), &mut fs);
+        }
+        let acc = mgr.accounting();
+        prop_assert_eq!(acc.checkpoints, steps / every);
+        prop_assert_eq!(acc.steps, steps);
+        prop_assert_eq!(acc.compute_time, SimDuration::from_secs(step_secs * steps as u64));
+        // io time = checkpoints × (1 GB / 1 GB/s) on the quiet filesystem
+        prop_assert_eq!(acc.io_time, SimDuration::from_secs((steps / every) as u64));
+    }
+
+    #[test]
+    fn overhead_budget_respected_within_one_write(
+        budget_pct in 1u32..60,
+        bw_exp in 7u32..10, // 10^7..10^9 B/s
+        steps in 10u32..120,
+    ) {
+        let budget = budget_pct as f64 / 100.0;
+        let bw = 10f64.powi(bw_exp as i32);
+        let mut mgr = CheckpointManager::new(OverheadBudget::new(budget), 1e9, 1);
+        let mut fs = SharedFs::new(bw, FsLoad::quiet(), 1);
+        let write_secs = 1e9 / bw;
+        for _ in 0..steps {
+            mgr.step(SimDuration::from_secs(10), &mut fs);
+        }
+        let acc = mgr.accounting();
+        // the decision precedes the write, so the final overshoot is at
+        // most one write over the budget
+        let total = acc.compute_time.as_secs_f64() + acc.io_time.as_secs_f64();
+        let max_io = budget * total + write_secs + 1e-6;
+        prop_assert!(
+            acc.io_time.as_secs_f64() <= max_io,
+            "io {} exceeds budget {} + one write {}",
+            acc.io_time.as_secs_f64(),
+            budget * total,
+            write_secs
+        );
+        prop_assert!(acc.checkpoints <= acc.steps);
+    }
+
+    #[test]
+    fn accounting_time_is_conserved(
+        steps in 1u32..80,
+        every in 1u32..20,
+        step_secs in 1u64..100,
+    ) {
+        let mut mgr = CheckpointManager::new(FixedInterval::new(every), 5e8, 2);
+        let mut fs = SharedFs::new(1e9, FsLoad::busy(), 3);
+        let mut summed = SimDuration::ZERO;
+        for _ in 0..steps {
+            let out = mgr.step(SimDuration::from_secs(step_secs), &mut fs);
+            summed += SimDuration::from_secs(step_secs) + out.io_time;
+        }
+        // the manager's clock equals the sum of everything it reported
+        prop_assert_eq!(mgr.now().since(hpcsim::time::SimTime::ZERO), summed);
+        let acc = mgr.accounting();
+        prop_assert_eq!(acc.compute_time + acc.io_time, summed);
+    }
+
+    #[test]
+    fn grayscott_checkpoint_restore_identity(
+        w in 8usize..24,
+        h in 8usize..24,
+        pre_steps in 0u64..12,
+    ) {
+        let mut gs = GrayScott::new(w, h, GsParams::default());
+        for _ in 0..pre_steps {
+            gs.step();
+        }
+        let restored = GrayScott::restore(&gs.checkpoint()).unwrap();
+        prop_assert_eq!(&restored, &gs);
+        prop_assert_eq!(restored.steps_taken(), pre_steps);
+    }
+
+    #[test]
+    fn grayscott_restart_equivalence(
+        split in 1u64..10,
+        extra in 1u64..10,
+    ) {
+        let mut straight = GrayScott::new(16, 16, GsParams::default());
+        for _ in 0..split + extra {
+            straight.step();
+        }
+        let mut first = GrayScott::new(16, 16, GsParams::default());
+        for _ in 0..split {
+            first.step();
+        }
+        let mut resumed = GrayScott::restore(&first.checkpoint()).unwrap();
+        for _ in 0..extra {
+            resumed.step();
+        }
+        prop_assert_eq!(straight, resumed);
+    }
+
+    #[test]
+    fn corrupting_any_truncation_is_detected(cut_frac in 0.0f64..0.999) {
+        let gs = GrayScott::new(8, 8, GsParams::default());
+        let bytes = gs.checkpoint();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(GrayScott::restore(&bytes[..cut]).is_err());
+    }
+}

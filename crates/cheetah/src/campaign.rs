@@ -1,0 +1,264 @@
+//! Campaigns and sweep groups.
+
+use serde::{Deserialize, Serialize};
+
+use crate::manifest::{CampaignManifest, GroupManifest, RunManifest};
+use crate::sweep::{RunConfig, Sweep};
+
+/// The science application a campaign drives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppDef {
+    /// Application name.
+    pub name: String,
+    /// Executable (or logical task name for in-process executors).
+    pub executable: String,
+}
+
+impl AppDef {
+    /// Creates an application definition.
+    pub fn new(name: impl Into<String>, executable: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            executable: executable.into(),
+        }
+    }
+}
+
+/// A group of sweeps sharing a resource envelope. "The Campaign
+/// abstraction in Cheetah allows creating a large ensemble study composed
+/// of one or more parameter 'Sweeps', which may be grouped into
+/// 'SweepGroups'" (§V-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGroup {
+    /// Group name (unique within the campaign).
+    pub name: String,
+    /// The sweeps; the group's runs are the concatenation of each sweep's
+    /// expansion.
+    pub sweeps: Vec<Sweep>,
+    /// Nodes the group requests per allocation.
+    pub nodes: u32,
+    /// Nodes each individual run occupies.
+    pub per_run_nodes: u32,
+    /// Walltime per allocation, seconds.
+    pub walltime_secs: u64,
+}
+
+impl SweepGroup {
+    /// Creates a group with a single sweep.
+    pub fn new(
+        name: impl Into<String>,
+        sweep: Sweep,
+        nodes: u32,
+        per_run_nodes: u32,
+        walltime_secs: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            sweeps: vec![sweep],
+            nodes,
+            per_run_nodes,
+            walltime_secs,
+        }
+    }
+
+    /// All run configurations in the group, sweep by sweep.
+    pub fn runs(&self) -> Vec<RunConfig> {
+        self.sweeps.iter().flat_map(Sweep::expand).collect()
+    }
+
+    /// Number of runs.
+    pub fn cardinality(&self) -> usize {
+        self.sweeps.iter().map(Sweep::cardinality).sum()
+    }
+
+    /// Validates resource sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("sweep group needs a name".into());
+        }
+        if self.nodes == 0 || self.per_run_nodes == 0 {
+            return Err(format!("group {:?}: node counts must be positive", self.name));
+        }
+        if self.per_run_nodes > self.nodes {
+            return Err(format!(
+                "group {:?}: per-run nodes ({}) exceed group nodes ({})",
+                self.name, self.per_run_nodes, self.nodes
+            ));
+        }
+        if self.walltime_secs == 0 {
+            return Err(format!("group {:?}: walltime must be positive", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// A complete codesign/ensemble campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Campaign name.
+    pub name: String,
+    /// Target machine name (informational; execution binds it).
+    pub machine: String,
+    /// The application under study.
+    pub app: AppDef,
+    /// Sweep groups.
+    pub groups: Vec<SweepGroup>,
+}
+
+impl Campaign {
+    /// Creates an empty campaign.
+    pub fn new(name: impl Into<String>, machine: impl Into<String>, app: AppDef) -> Self {
+        Self {
+            name: name.into(),
+            machine: machine.into(),
+            app,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Adds a sweep group; builder-style.
+    pub fn with_group(mut self, group: SweepGroup) -> Self {
+        self.groups.push(group);
+        self
+    }
+
+    /// Total runs across all groups.
+    pub fn total_runs(&self) -> usize {
+        self.groups.iter().map(SweepGroup::cardinality).sum()
+    }
+
+    /// Validates the whole campaign (names unique, groups sane).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("campaign needs a name".into());
+        }
+        let mut names: Vec<&str> = self.groups.iter().map(|g| g.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        if names.len() != before {
+            return Err("sweep group names must be unique".into());
+        }
+        for g in &self.groups {
+            g.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Compiles the campaign into the Cheetah↔Savanna JSON manifest.
+    /// Run ids are `{group}/{config-id}`; duplicate configurations within
+    /// a group get a `#k` suffix so ids stay unique.
+    pub fn manifest(&self) -> Result<CampaignManifest, String> {
+        self.validate()?;
+        let groups = self
+            .groups
+            .iter()
+            .map(|g| {
+                let mut seen = std::collections::BTreeMap::new();
+                let runs = g
+                    .runs()
+                    .into_iter()
+                    .map(|config| {
+                        let base = config.id();
+                        let n = seen.entry(base.clone()).or_insert(0u32);
+                        let id = if *n == 0 {
+                            base.clone()
+                        } else {
+                            format!("{base}#{n}")
+                        };
+                        *n += 1;
+                        let workdir = format!("{}/{}/{}", self.name, g.name, id);
+                        RunManifest {
+                            id: format!("{}/{}", g.name, id),
+                            group: g.name.clone(),
+                            params: config,
+                            workdir,
+                        }
+                    })
+                    .collect();
+                GroupManifest {
+                    name: g.name.clone(),
+                    nodes: g.nodes,
+                    per_run_nodes: g.per_run_nodes,
+                    walltime_secs: g.walltime_secs,
+                    runs,
+                }
+            })
+            .collect();
+        Ok(CampaignManifest {
+            campaign: self.name.clone(),
+            machine: self.machine.clone(),
+            app: self.app.clone(),
+            schema_version: CampaignManifest::SCHEMA_VERSION,
+            groups,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::SweepSpec;
+
+    fn sample_campaign() -> Campaign {
+        let sweep = Sweep::new()
+            .with("feature", SweepSpec::IntRange { start: 0, end: 9, step: 1 })
+            .with("trees", SweepSpec::fixed(100));
+        Campaign::new("irf-loop", "institutional", AppDef::new("irf", "irf.exe"))
+            .with_group(SweepGroup::new("features", sweep, 20, 1, 7200))
+    }
+
+    #[test]
+    fn totals_and_validation() {
+        let c = sample_campaign();
+        assert_eq!(c.total_runs(), 10);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_group_names_rejected() {
+        let mut c = sample_campaign();
+        c.groups.push(c.groups[0].clone());
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn group_resource_validation() {
+        let mut g = SweepGroup::new("g", Sweep::new(), 4, 8, 100);
+        assert!(g.validate().is_err(), "per-run > group nodes");
+        g.per_run_nodes = 2;
+        assert!(g.validate().is_ok());
+        g.nodes = 0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn manifest_ids_unique_and_workdirs_nested() {
+        let manifest = sample_campaign().manifest().unwrap();
+        assert_eq!(manifest.total_runs(), 10);
+        let g = &manifest.groups[0];
+        let mut ids: Vec<&String> = g.runs.iter().map(|r| &r.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+        assert!(g.runs[0].workdir.starts_with("irf-loop/features/"));
+    }
+
+    #[test]
+    fn duplicate_configs_get_suffixes() {
+        // two identical sweeps in one group → duplicate configurations
+        let sweep = Sweep::new().with("x", SweepSpec::fixed(1));
+        let mut group = SweepGroup::new("g", sweep.clone(), 1, 1, 60);
+        group.sweeps.push(sweep);
+        let c = Campaign::new("c", "m", AppDef::new("a", "a.exe")).with_group(group);
+        let manifest = c.manifest().unwrap();
+        let ids: Vec<&String> = manifest.groups[0].runs.iter().map(|r| &r.id).collect();
+        assert_eq!(ids, ["g/x-1", "g/x-1#1"]);
+    }
+
+    #[test]
+    fn invalid_campaign_fails_manifest() {
+        let c = Campaign::new("", "m", AppDef::new("a", "a"));
+        assert!(c.manifest().is_err());
+    }
+}

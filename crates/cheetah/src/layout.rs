@@ -1,0 +1,179 @@
+//! The campaign directory schema.
+//!
+//! "The directory hierarchy represents simulation runs, and campaign
+//! metadata is hidden from the user" (§IV). The layout is:
+//!
+//! ```text
+//! <root>/<campaign>/
+//!   campaign-manifest.json        ← the Cheetah↔Savanna manifest
+//!   .cheetah/status.json          ← hidden campaign metadata
+//!   <group>/<run-id>/params.json  ← one directory per run
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use crate::manifest::CampaignManifest;
+use crate::status::StatusBoard;
+
+/// Name of the manifest file inside the campaign directory.
+pub const MANIFEST_FILE: &str = "campaign-manifest.json";
+/// Hidden metadata directory.
+pub const META_DIR: &str = ".cheetah";
+/// Status file inside [`META_DIR`].
+pub const STATUS_FILE: &str = "status.json";
+
+/// Materializes the campaign end-point under `root`: run directories,
+/// per-run `params.json`, the manifest, and a fresh status board (unless
+/// one already exists — re-creating a campaign must not clobber progress,
+/// that is what makes resubmission safe).
+///
+/// Returns the campaign directory.
+pub fn create_campaign_dirs(
+    root: impl AsRef<Path>,
+    manifest: &CampaignManifest,
+) -> std::io::Result<PathBuf> {
+    let campaign_dir = root.as_ref().join(&manifest.campaign);
+    for group in &manifest.groups {
+        for run in &group.runs {
+            let run_dir = root.as_ref().join(&run.workdir);
+            std::fs::create_dir_all(&run_dir)?;
+            let params = serde_json::to_string_pretty(&run.params).expect("params serialize");
+            std::fs::write(run_dir.join("params.json"), params)?;
+        }
+    }
+    std::fs::create_dir_all(campaign_dir.join(META_DIR))?;
+    std::fs::write(campaign_dir.join(MANIFEST_FILE), manifest.to_json())?;
+    let status_path = campaign_dir.join(META_DIR).join(STATUS_FILE);
+    if !status_path.exists() {
+        let board = StatusBoard::for_manifest(manifest);
+        save_status(&campaign_dir, &board)?;
+    }
+    Ok(campaign_dir)
+}
+
+/// Loads the manifest from a campaign directory.
+pub fn load_manifest(campaign_dir: impl AsRef<Path>) -> std::io::Result<CampaignManifest> {
+    let text = std::fs::read_to_string(campaign_dir.as_ref().join(MANIFEST_FILE))?;
+    CampaignManifest::from_json(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Persists the status board into the hidden metadata directory.
+pub fn save_status(campaign_dir: impl AsRef<Path>, board: &StatusBoard) -> std::io::Result<()> {
+    let dir = campaign_dir.as_ref().join(META_DIR);
+    std::fs::create_dir_all(&dir)?;
+    let json = serde_json::to_string_pretty(board).expect("status serializes");
+    std::fs::write(dir.join(STATUS_FILE), json)
+}
+
+/// Loads the status board.
+pub fn load_status(campaign_dir: impl AsRef<Path>) -> std::io::Result<StatusBoard> {
+    let text = std::fs::read_to_string(campaign_dir.as_ref().join(META_DIR).join(STATUS_FILE))?;
+    serde_json::from_str(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Codesign result catalog file inside the campaign directory (visible,
+/// not hidden — "the output of a codesign campaign is a catalog").
+pub const CATALOG_FILE: &str = "result-catalog.json";
+
+/// Persists the codesign result catalog into the campaign directory.
+pub fn save_catalog(
+    campaign_dir: impl AsRef<Path>,
+    catalog: &crate::objective::ResultCatalog,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(campaign_dir.as_ref())?;
+    std::fs::write(campaign_dir.as_ref().join(CATALOG_FILE), catalog.to_json())
+}
+
+/// Loads the codesign result catalog from the campaign directory.
+pub fn load_catalog(
+    campaign_dir: impl AsRef<Path>,
+) -> std::io::Result<crate::objective::ResultCatalog> {
+    let text = std::fs::read_to_string(campaign_dir.as_ref().join(CATALOG_FILE))?;
+    crate::objective::ResultCatalog::from_json(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{AppDef, Campaign, SweepGroup};
+    use crate::param::SweepSpec;
+    use crate::status::RunStatus;
+    use crate::sweep::Sweep;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cheetah-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn manifest() -> CampaignManifest {
+        Campaign::new("camp", "m", AppDef::new("a", "a.exe"))
+            .with_group(SweepGroup::new(
+                "g",
+                Sweep::new().with("n", SweepSpec::list([1, 2])),
+                2,
+                1,
+                60,
+            ))
+            .manifest()
+            .unwrap()
+    }
+
+    #[test]
+    fn create_and_reload_roundtrip() {
+        let root = tempdir("roundtrip");
+        let m = manifest();
+        let dir = create_campaign_dirs(&root, &m).unwrap();
+        assert!(dir.join("g/n-1/params.json").exists());
+        assert!(dir.join("g/n-2/params.json").exists());
+        let back = load_manifest(&dir).unwrap();
+        assert_eq!(m, back);
+        let board = load_status(&dir).unwrap();
+        assert_eq!(board.summary().pending, 2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn recreation_preserves_status() {
+        let root = tempdir("preserve");
+        let m = manifest();
+        let dir = create_campaign_dirs(&root, &m).unwrap();
+        let mut board = load_status(&dir).unwrap();
+        board.set("g/n-1", RunStatus::Done);
+        save_status(&dir, &board).unwrap();
+        // re-create (resubmission path) — must not reset the board
+        create_campaign_dirs(&root, &m).unwrap();
+        let board = load_status(&dir).unwrap();
+        assert_eq!(board.get("g/n-1"), RunStatus::Done);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn catalog_persists_in_campaign_dir() {
+        let root = tempdir("catalog");
+        let m = manifest();
+        let dir = create_campaign_dirs(&root, &m).unwrap();
+        let mut catalog = crate::objective::ResultCatalog::new();
+        catalog.record("g/n-1", "runtime", 12.5);
+        save_catalog(&dir, &catalog).unwrap();
+        let back = load_catalog(&dir).unwrap();
+        assert_eq!(back, catalog);
+        assert!(dir.join(CATALOG_FILE).exists());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn params_json_contents() {
+        let root = tempdir("params");
+        let m = manifest();
+        let dir = create_campaign_dirs(&root, &m).unwrap();
+        let text = std::fs::read_to_string(dir.join("g/n-2/params.json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["params"]["n"], 2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! **Cheetah**: campaign composition (§IV).
+//!
+//! > "Cheetah's composition interface provides an API that allows focusing
+//! > on expressing parameters across the software stack, while omitting
+//! > low-level system details … The composition engine further adopts its
+//! > own directory schema to represent a campaign end-point."
+//!
+//! A **campaign** is an ensemble study composed of one or more parameter
+//! **sweeps**, grouped into **sweep groups** that carry the resource
+//! envelope (nodes × walltime) they should run under — exactly the
+//! Campaign/Sweep/SweepGroup model of §V-D. Cheetah's output is a JSON
+//! [`manifest`] (the Cheetah↔Savanna interoperability layer) plus an
+//! on-disk [`layout`] with one directory per run; execution belongs to
+//! `savanna`.
+//!
+//! * [`param`] — parameter values and sweep specifications (lists, integer
+//!   ranges, log ranges);
+//! * [`sweep`] — cross-product expansion into run configurations;
+//! * [`campaign`] — campaigns, sweep groups, and composition;
+//! * [`manifest`] — the JSON interop schema consumed by Savanna;
+//! * [`layout`] — the campaign directory schema and per-run metadata;
+//! * [`status`] — run/campaign status tracking and resume support;
+//! * [`objective`] — §II-C codesign objectives and the result catalog
+//!   ("the output of a codesign campaign is a catalog that describes the
+//!   impact of different parameters on different output metrics").
+
+#![deny(missing_docs)]
+
+pub mod campaign;
+pub mod layout;
+pub mod manifest;
+pub mod objective;
+pub mod param;
+pub mod status;
+pub mod sweep;
+
+pub use campaign::{AppDef, Campaign, SweepGroup};
+pub use manifest::{CampaignManifest, GroupManifest, RunManifest};
+pub use objective::{Direction, MarginalImpact, Objective, ResultCatalog};
+pub use param::{ParamValue, SweepSpec};
+pub use status::{CampaignStatus, RunStatus};
+pub use sweep::{RunConfig, Sweep};

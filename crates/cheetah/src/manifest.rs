@@ -1,0 +1,139 @@
+//! The Cheetah↔Savanna interoperability manifest.
+//!
+//! "Cheetah and Savanna communicate via an interoperability layer designed
+//! to represent an abstract manifest of the campaign. This layer
+//! implements a JSON schema to describe the full campaign" (§IV). The
+//! structs here are that schema; `savanna` consumes them without any
+//! knowledge of how they were composed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::AppDef;
+use crate::sweep::RunConfig;
+
+/// One run in the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Globally unique run id (`group/config-id`).
+    pub id: String,
+    /// Owning group name.
+    pub group: String,
+    /// The parameter assignment.
+    pub params: RunConfig,
+    /// Relative working directory for the run.
+    pub workdir: String,
+}
+
+/// One sweep group in the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupManifest {
+    /// Group name.
+    pub name: String,
+    /// Nodes per allocation.
+    pub nodes: u32,
+    /// Nodes per run.
+    pub per_run_nodes: u32,
+    /// Walltime per allocation, seconds.
+    pub walltime_secs: u64,
+    /// The runs.
+    pub runs: Vec<RunManifest>,
+}
+
+/// The full campaign manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignManifest {
+    /// Campaign name.
+    pub campaign: String,
+    /// Target machine.
+    pub machine: String,
+    /// Application definition.
+    pub app: AppDef,
+    /// Manifest schema version.
+    pub schema_version: u32,
+    /// Sweep groups.
+    pub groups: Vec<GroupManifest>,
+}
+
+impl CampaignManifest {
+    /// Current manifest schema version.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Total runs across groups.
+    pub fn total_runs(&self) -> usize {
+        self.groups.iter().map(|g| g.runs.len()).sum()
+    }
+
+    /// Finds a run by id.
+    pub fn find_run(&self, id: &str) -> Option<&RunManifest> {
+        self.groups.iter().flat_map(|g| g.runs.iter()).find(|r| r.id == id)
+    }
+
+    /// Finds a group by name.
+    pub fn group(&self, name: &str) -> Option<&GroupManifest> {
+        self.groups.iter().find(|g| g.name == name)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serializes")
+    }
+
+    /// Parses from JSON, rejecting unknown schema versions.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let m: CampaignManifest = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if m.schema_version != Self::SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported manifest schema version {} (expected {})",
+                m.schema_version,
+                Self::SCHEMA_VERSION
+            ));
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, SweepGroup};
+    use crate::param::SweepSpec;
+    use crate::sweep::Sweep;
+
+    fn manifest() -> CampaignManifest {
+        Campaign::new("c", "m", AppDef::new("app", "app.exe"))
+            .with_group(SweepGroup::new(
+                "g1",
+                Sweep::new().with("n", SweepSpec::list([1, 2])),
+                4,
+                1,
+                600,
+            ))
+            .manifest()
+            .unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = manifest();
+        let back = CampaignManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn version_gate() {
+        let mut m = manifest();
+        m.schema_version = 99;
+        let err = CampaignManifest::from_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("schema version"));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let m = manifest();
+        assert_eq!(m.total_runs(), 2);
+        assert!(m.find_run("g1/n-1").is_some());
+        assert!(m.find_run("g1/n-9").is_none());
+        assert!(m.group("g1").is_some());
+        assert!(m.group("g2").is_none());
+    }
+}

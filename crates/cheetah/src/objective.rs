@@ -1,0 +1,311 @@
+//! Codesign objectives and the campaign result catalog (§II-C).
+//!
+//! "The output of a codesign campaign is a catalog that describes the
+//! impact of different parameters on different output metrics. … A
+//! codesign abstraction that allows declaring an *objective* of the study
+//! using different metrics such as searching for optimal runtime,
+//! minimizing storage space, reducing communication overhead etc. can
+//! further help build high-level composition and query interfaces."
+//!
+//! [`ResultCatalog`] collects per-run metric maps; [`Objective`] declares
+//! what "better" means for a metric; the query interface answers the two
+//! questions codesign teams ask: *which configuration wins* and *what is
+//! the marginal impact of each parameter*.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::manifest::CampaignManifest;
+use crate::param::ParamValue;
+
+/// What "better" means for the objective metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Smaller metric values win (runtime, storage, overhead).
+    Minimize,
+    /// Larger metric values win (throughput, accuracy).
+    Maximize,
+}
+
+/// A declared study objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    /// Metric name as recorded in the catalog.
+    pub metric: String,
+    /// Optimization direction.
+    pub direction: Direction,
+}
+
+impl Objective {
+    /// Minimize a metric.
+    pub fn minimize(metric: impl Into<String>) -> Self {
+        Self {
+            metric: metric.into(),
+            direction: Direction::Minimize,
+        }
+    }
+
+    /// Maximize a metric.
+    pub fn maximize(metric: impl Into<String>) -> Self {
+        Self {
+            metric: metric.into(),
+            direction: Direction::Maximize,
+        }
+    }
+
+    /// True when `a` is better than `b` under this objective.
+    pub fn better(&self, a: f64, b: f64) -> bool {
+        match self.direction {
+            Direction::Minimize => a < b,
+            Direction::Maximize => a > b,
+        }
+    }
+}
+
+/// Per-parameter marginal impact on a metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarginalImpact {
+    /// Parameter name.
+    pub param: String,
+    /// `(value, mean metric, runs)` per observed parameter value, in
+    /// value order.
+    pub by_value: Vec<(String, f64, usize)>,
+    /// Spread between the best and worst value means — a quick "does this
+    /// knob matter" signal.
+    pub spread: f64,
+}
+
+/// The codesign result catalog: metrics recorded per run id.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResultCatalog {
+    records: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+impl ResultCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one metric for one run (overwrites an earlier value).
+    pub fn record(&mut self, run_id: &str, metric: &str, value: f64) {
+        assert!(value.is_finite(), "metrics must be finite");
+        self.records
+            .entry(run_id.to_string())
+            .or_default()
+            .insert(metric.to_string(), value);
+    }
+
+    /// Number of runs with at least one metric.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no metrics are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// A metric value for a run, if recorded.
+    pub fn get(&self, run_id: &str, metric: &str) -> Option<f64> {
+        self.records.get(run_id).and_then(|m| m.get(metric)).copied()
+    }
+
+    /// The best run under an objective: `(run_id, value)`.
+    pub fn best(&self, objective: &Objective) -> Option<(&str, f64)> {
+        self.records
+            .iter()
+            .filter_map(|(id, metrics)| metrics.get(&objective.metric).map(|&v| (id.as_str(), v)))
+            .reduce(|best, cand| if objective.better(cand.1, best.1) { cand } else { best })
+    }
+
+    /// All runs ranked under an objective, best first.
+    pub fn ranked(&self, objective: &Objective) -> Vec<(&str, f64)> {
+        let mut rows: Vec<(&str, f64)> = self
+            .records
+            .iter()
+            .filter_map(|(id, metrics)| metrics.get(&objective.metric).map(|&v| (id.as_str(), v)))
+            .collect();
+        rows.sort_by(|a, b| {
+            let ord = a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal);
+            match objective.direction {
+                Direction::Minimize => ord,
+                Direction::Maximize => ord.reverse(),
+            }
+        });
+        rows
+    }
+
+    /// Marginal impact of every swept parameter on a metric: group runs
+    /// by each parameter's value and average the metric per group. Runs
+    /// without the metric are skipped.
+    pub fn marginal_impacts(
+        &self,
+        manifest: &CampaignManifest,
+        metric: &str,
+    ) -> Vec<MarginalImpact> {
+        // parameter name → value string → (sum, count)
+        let mut acc: BTreeMap<String, BTreeMap<String, (f64, usize)>> = BTreeMap::new();
+        for group in &manifest.groups {
+            for run in &group.runs {
+                let Some(value) = self.get(&run.id, metric) else {
+                    continue;
+                };
+                for (param, pv) in &run.params.params {
+                    let slot = acc
+                        .entry(param.clone())
+                        .or_default()
+                        .entry(render_sortable(pv))
+                        .or_insert((0.0, 0));
+                    slot.0 += value;
+                    slot.1 += count_one();
+                }
+            }
+        }
+        acc.into_iter()
+            .map(|(param, groups)| {
+                let by_value: Vec<(String, f64, usize)> = groups
+                    .into_iter()
+                    .map(|(v, (sum, n))| (v, sum / n as f64, n))
+                    .collect();
+                let means: Vec<f64> = by_value.iter().map(|&(_, m, _)| m).collect();
+                let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                    - means.iter().cloned().fold(f64::INFINITY, f64::min);
+                MarginalImpact {
+                    param,
+                    by_value,
+                    spread,
+                }
+            })
+            .collect()
+    }
+
+    /// Serializes to pretty JSON (the campaign's distributable artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("catalog serializes")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+const fn count_one() -> usize {
+    1
+}
+
+/// Renders parameter values so numeric values sort numerically in the
+/// by-value tables (zero-padded integers).
+fn render_sortable(v: &ParamValue) -> String {
+    match v {
+        ParamValue::Int(i) => format!("{i:+020}"),
+        other => other.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{AppDef, Campaign, SweepGroup};
+    use crate::param::SweepSpec;
+    use crate::sweep::Sweep;
+
+    fn manifest() -> CampaignManifest {
+        Campaign::new("codesign", "m", AppDef::new("sim", "sim.exe"))
+            .with_group(SweepGroup::new(
+                "g",
+                Sweep::new()
+                    .with("nprocs", SweepSpec::list([1i64, 2, 4]))
+                    .with("agg", SweepSpec::list(["posix", "mpiio"])),
+                4,
+                1,
+                600,
+            ))
+            .manifest()
+            .unwrap()
+    }
+
+    fn filled_catalog(m: &CampaignManifest) -> ResultCatalog {
+        let mut cat = ResultCatalog::new();
+        for group in &m.groups {
+            for run in &group.runs {
+                let n = run.params.get("nprocs").unwrap().as_int().unwrap() as f64;
+                let agg = run.params.get("agg").unwrap().as_str().unwrap();
+                // runtime improves with nprocs; mpiio has a fixed edge
+                let runtime = 100.0 / n + if agg == "mpiio" { 0.0 } else { 5.0 };
+                cat.record(&run.id, "runtime", runtime);
+                cat.record(&run.id, "storage_gb", 2.0 * n);
+            }
+        }
+        cat
+    }
+
+    #[test]
+    fn best_and_ranked() {
+        let m = manifest();
+        let cat = filled_catalog(&m);
+        let obj = Objective::minimize("runtime");
+        let (best_id, best_v) = cat.best(&obj).unwrap();
+        assert!(best_id.contains("nprocs-4") && best_id.contains("agg-mpiio"));
+        assert!((best_v - 25.0).abs() < 1e-9);
+        let ranked = cat.ranked(&obj);
+        assert_eq!(ranked.len(), 6);
+        assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1));
+
+        // opposite objective flips the winner
+        let (worst_under_max, _) = cat.best(&Objective::maximize("runtime")).unwrap();
+        assert!(worst_under_max.contains("nprocs-1"));
+    }
+
+    #[test]
+    fn conflicting_objectives_have_different_winners() {
+        let m = manifest();
+        let cat = filled_catalog(&m);
+        let fast = cat.best(&Objective::minimize("runtime")).unwrap().0;
+        let small = cat.best(&Objective::minimize("storage_gb")).unwrap().0;
+        assert!(fast.contains("nprocs-4"));
+        assert!(small.contains("nprocs-1"));
+    }
+
+    #[test]
+    fn marginal_impacts_identify_the_knob_that_matters() {
+        let m = manifest();
+        let cat = filled_catalog(&m);
+        let impacts = cat.marginal_impacts(&m, "runtime");
+        let nprocs = impacts.iter().find(|i| i.param == "nprocs").unwrap();
+        let agg = impacts.iter().find(|i| i.param == "agg").unwrap();
+        // nprocs swings runtime by 75 s, agg by only 5 s
+        assert!((nprocs.spread - 75.0).abs() < 1e-9, "{:?}", nprocs);
+        assert!((agg.spread - 5.0).abs() < 1e-9);
+        // per-value means ordered by value, 2 runs each for nprocs values
+        assert!(nprocs.by_value.iter().all(|&(_, _, n)| n == 2));
+        assert!(agg.by_value.iter().all(|&(_, _, n)| n == 3));
+    }
+
+    #[test]
+    fn missing_metric_runs_are_skipped() {
+        let m = manifest();
+        let mut cat = ResultCatalog::new();
+        cat.record("g/agg-posix__nprocs-1", "runtime", 42.0);
+        let impacts = cat.marginal_impacts(&m, "runtime");
+        let nprocs = impacts.iter().find(|i| i.param == "nprocs").unwrap();
+        assert_eq!(nprocs.by_value.len(), 1);
+        assert!(cat.best(&Objective::minimize("nope")).is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = manifest();
+        let cat = filled_catalog(&m);
+        let back = ResultCatalog::from_json(&cat.to_json()).unwrap();
+        assert_eq!(cat, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_metric_rejected() {
+        ResultCatalog::new().record("r", "m", f64::NAN);
+    }
+}

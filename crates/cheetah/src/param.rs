@@ -1,0 +1,230 @@
+//! Parameter values and sweep specifications.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single parameter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ParamValue {
+    /// Integer parameter.
+    Int(i64),
+    /// Floating-point parameter.
+    Float(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-text parameter.
+    Str(String),
+}
+
+impl ParamValue {
+    /// Renders the value the way it appears in run ids and command lines.
+    pub fn render(&self) -> String {
+        match self {
+            ParamValue::Int(v) => v.to_string(),
+            ParamValue::Float(v) => format!("{v}"),
+            ParamValue::Bool(v) => v.to_string(),
+            ParamValue::Str(v) => v.clone(),
+        }
+    }
+
+    /// The value as `i64` when it is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` when numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            ParamValue::Int(v) => Some(*v as f64),
+            ParamValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` when textual.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> Self {
+        ParamValue::Int(v)
+    }
+}
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Float(v)
+    }
+}
+impl From<bool> for ParamValue {
+    fn from(v: bool) -> Self {
+        ParamValue::Bool(v)
+    }
+}
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_string())
+    }
+}
+impl From<String> for ParamValue {
+    fn from(v: String) -> Self {
+        ParamValue::Str(v)
+    }
+}
+
+/// How one parameter varies across a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SweepSpec {
+    /// An explicit list of values.
+    List(Vec<ParamValue>),
+    /// Integers `start, start+step, … ≤ end` (inclusive).
+    IntRange {
+        /// First value.
+        start: i64,
+        /// Inclusive upper bound.
+        end: i64,
+        /// Positive step.
+        step: i64,
+    },
+    /// Geometric series `start, start*factor, … ≤ end` (inclusive,
+    /// floating point).
+    LogRange {
+        /// First value (positive).
+        start: f64,
+        /// Inclusive upper bound.
+        end: f64,
+        /// Factor > 1.
+        factor: f64,
+    },
+}
+
+impl SweepSpec {
+    /// A single fixed value (a degenerate sweep).
+    pub fn fixed(value: impl Into<ParamValue>) -> Self {
+        SweepSpec::List(vec![value.into()])
+    }
+
+    /// A list sweep from anything convertible.
+    pub fn list<T: Into<ParamValue>>(values: impl IntoIterator<Item = T>) -> Self {
+        SweepSpec::List(values.into_iter().map(Into::into).collect())
+    }
+
+    /// Expands the spec into concrete values.
+    ///
+    /// # Panics
+    /// On degenerate ranges (zero/negative step, factor ≤ 1, non-positive
+    /// log start).
+    pub fn expand(&self) -> Vec<ParamValue> {
+        match self {
+            SweepSpec::List(values) => values.clone(),
+            SweepSpec::IntRange { start, end, step } => {
+                assert!(*step > 0, "IntRange step must be positive");
+                let mut out = Vec::new();
+                let mut v = *start;
+                while v <= *end {
+                    out.push(ParamValue::Int(v));
+                    v += step;
+                }
+                out
+            }
+            SweepSpec::LogRange { start, end, factor } => {
+                assert!(*start > 0.0, "LogRange start must be positive");
+                assert!(*factor > 1.0, "LogRange factor must exceed 1");
+                let mut out = Vec::new();
+                let mut v = *start;
+                // tiny epsilon so exact endpoints survive rounding
+                while v <= *end * (1.0 + 1e-12) {
+                    out.push(ParamValue::Float(v));
+                    v *= factor;
+                }
+                out
+            }
+        }
+    }
+
+    /// Number of values the spec expands to.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            SweepSpec::List(values) => values.len(),
+            _ => self.expand().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_forms() {
+        assert_eq!(ParamValue::Int(3).render(), "3");
+        assert_eq!(ParamValue::Float(0.5).render(), "0.5");
+        assert_eq!(ParamValue::Bool(true).render(), "true");
+        assert_eq!(ParamValue::from("x").render(), "x");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ParamValue::Int(3).as_float(), Some(3.0));
+        assert_eq!(ParamValue::Float(2.5).as_int(), None);
+        assert_eq!(ParamValue::from("s").as_str(), Some("s"));
+    }
+
+    #[test]
+    fn int_range_inclusive() {
+        let spec = SweepSpec::IntRange { start: 2, end: 10, step: 4 };
+        assert_eq!(
+            spec.expand(),
+            vec![ParamValue::Int(2), ParamValue::Int(6), ParamValue::Int(10)]
+        );
+        assert_eq!(spec.cardinality(), 3);
+    }
+
+    #[test]
+    fn int_range_single_point() {
+        let spec = SweepSpec::IntRange { start: 5, end: 5, step: 1 };
+        assert_eq!(spec.expand(), vec![ParamValue::Int(5)]);
+    }
+
+    #[test]
+    fn log_range_hits_endpoint() {
+        let spec = SweepSpec::LogRange { start: 1.0, end: 8.0, factor: 2.0 };
+        let vals: Vec<f64> = spec.expand().iter().map(|v| v.as_float().unwrap()).collect();
+        assert_eq!(vals, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        SweepSpec::IntRange { start: 0, end: 5, step: 0 }.expand();
+    }
+
+    #[test]
+    fn fixed_and_list_helpers() {
+        assert_eq!(SweepSpec::fixed(7).cardinality(), 1);
+        assert_eq!(SweepSpec::list([1, 2, 3]).cardinality(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = SweepSpec::list(["a", "b"]);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

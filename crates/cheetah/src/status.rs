@@ -1,0 +1,210 @@
+//! Run and campaign status tracking.
+//!
+//! "An API to submit a campaign and query its status is provided to
+//! investigate and interact with the campaign" (§IV), and resubmission of
+//! a partially completed SweepGroup "simply" continues where it stopped
+//! (§V-D). Status lives in a [`StatusBoard`] keyed by run id; persistence
+//! to the campaign directory is handled by [`crate::layout`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::manifest::{CampaignManifest, RunManifest};
+
+/// Lifecycle state of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// Not started.
+    Pending,
+    /// Currently executing.
+    Running,
+    /// Finished successfully.
+    Done,
+    /// Finished with an error.
+    Failed,
+    /// Killed by the allocation's walltime end; eligible for resubmission.
+    TimedOut,
+}
+
+impl RunStatus {
+    /// True for states that no longer occupy resources.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, RunStatus::Done | RunStatus::Failed | RunStatus::TimedOut)
+    }
+
+    /// True for runs a resubmission should execute again.
+    pub fn needs_rerun(self) -> bool {
+        matches!(self, RunStatus::Pending | RunStatus::Running | RunStatus::TimedOut)
+    }
+}
+
+/// Status of every run in a campaign.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatusBoard {
+    statuses: BTreeMap<String, RunStatus>,
+}
+
+impl StatusBoard {
+    /// A board with every manifest run `Pending`.
+    pub fn for_manifest(manifest: &CampaignManifest) -> Self {
+        let statuses = manifest
+            .groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .map(|r| (r.id.clone(), RunStatus::Pending))
+            .collect();
+        Self { statuses }
+    }
+
+    /// Sets one run's status.
+    pub fn set(&mut self, run_id: &str, status: RunStatus) {
+        self.statuses.insert(run_id.to_string(), status);
+    }
+
+    /// Gets one run's status (`Pending` if unknown).
+    pub fn get(&self, run_id: &str) -> RunStatus {
+        self.statuses.get(run_id).copied().unwrap_or(RunStatus::Pending)
+    }
+
+    /// Iterates `(run_id, status)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, RunStatus)> {
+        self.statuses.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Aggregates counts.
+    pub fn summary(&self) -> CampaignStatus {
+        let mut s = CampaignStatus::default();
+        for &v in self.statuses.values() {
+            match v {
+                RunStatus::Pending => s.pending += 1,
+                RunStatus::Running => s.running += 1,
+                RunStatus::Done => s.done += 1,
+                RunStatus::Failed => s.failed += 1,
+                RunStatus::TimedOut => s.timed_out += 1,
+            }
+        }
+        s
+    }
+
+    /// The runs a resubmission must still execute — the heart of "users
+    /// may simply re-submit a partially completed SweepGroup".
+    pub fn incomplete_runs<'m>(&self, manifest: &'m CampaignManifest) -> Vec<&'m RunManifest> {
+        manifest
+            .groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .filter(|r| self.get(&r.id).needs_rerun())
+            .collect()
+    }
+}
+
+/// Aggregate campaign status counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignStatus {
+    /// Runs not yet started.
+    pub pending: usize,
+    /// Runs currently executing.
+    pub running: usize,
+    /// Runs completed successfully.
+    pub done: usize,
+    /// Runs that failed.
+    pub failed: usize,
+    /// Runs cut off by walltime.
+    pub timed_out: usize,
+}
+
+impl CampaignStatus {
+    /// Total runs accounted for.
+    pub fn total(&self) -> usize {
+        self.pending + self.running + self.done + self.failed + self.timed_out
+    }
+
+    /// True when every run is `Done`.
+    pub fn is_complete(&self) -> bool {
+        self.total() > 0 && self.done == self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{AppDef, Campaign, SweepGroup};
+    use crate::param::SweepSpec;
+    use crate::sweep::Sweep;
+
+    fn manifest() -> CampaignManifest {
+        Campaign::new("c", "m", AppDef::new("a", "a.exe"))
+            .with_group(SweepGroup::new(
+                "g",
+                Sweep::new().with("n", SweepSpec::list([1, 2, 3])),
+                2,
+                1,
+                60,
+            ))
+            .manifest()
+            .unwrap()
+    }
+
+    #[test]
+    fn board_starts_all_pending() {
+        let m = manifest();
+        let board = StatusBoard::for_manifest(&m);
+        let s = board.summary();
+        assert_eq!(s.pending, 3);
+        assert_eq!(s.total(), 3);
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn transitions_and_summary() {
+        let m = manifest();
+        let mut board = StatusBoard::for_manifest(&m);
+        board.set("g/n-1", RunStatus::Done);
+        board.set("g/n-2", RunStatus::TimedOut);
+        let s = board.summary();
+        assert_eq!((s.done, s.timed_out, s.pending), (1, 1, 1));
+    }
+
+    #[test]
+    fn incomplete_runs_drive_resubmission() {
+        let m = manifest();
+        let mut board = StatusBoard::for_manifest(&m);
+        board.set("g/n-1", RunStatus::Done);
+        board.set("g/n-2", RunStatus::TimedOut);
+        let rerun: Vec<&str> = board
+            .incomplete_runs(&m)
+            .iter()
+            .map(|r| r.id.as_str())
+            .collect();
+        assert_eq!(rerun, ["g/n-2", "g/n-3"]);
+    }
+
+    #[test]
+    fn failed_runs_are_not_rerun_by_default() {
+        // failures need human triage; the paper's workflow curates a list
+        let m = manifest();
+        let mut board = StatusBoard::for_manifest(&m);
+        board.set("g/n-1", RunStatus::Failed);
+        board.set("g/n-2", RunStatus::Done);
+        board.set("g/n-3", RunStatus::Done);
+        assert!(board.incomplete_runs(&m).is_empty());
+        assert!(!board.summary().is_complete());
+    }
+
+    #[test]
+    fn unknown_run_is_pending() {
+        let board = StatusBoard::default();
+        assert_eq!(board.get("nope"), RunStatus::Pending);
+    }
+
+    #[test]
+    fn completion() {
+        let m = manifest();
+        let mut board = StatusBoard::for_manifest(&m);
+        for id in ["g/n-1", "g/n-2", "g/n-3"] {
+            board.set(id, RunStatus::Done);
+        }
+        assert!(board.summary().is_complete());
+    }
+}

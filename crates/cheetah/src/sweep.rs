@@ -1,0 +1,179 @@
+//! Cross-product sweep expansion.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::param::{ParamValue, SweepSpec};
+
+/// One concrete run configuration: a full assignment of parameter values.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Parameter assignments, name-ordered.
+    pub params: BTreeMap<String, ParamValue>,
+}
+
+impl RunConfig {
+    /// Gets a parameter by name.
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.params.get(name)
+    }
+
+    /// A filesystem-safe identifier, e.g. `nprocs-4__solver-cg`.
+    /// Characters outside `[A-Za-z0-9._-]` are replaced with `_`.
+    pub fn id(&self) -> String {
+        let sanitize = |s: &str| -> String {
+            s.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        };
+        self.params
+            .iter()
+            .map(|(k, v)| format!("{}-{}", sanitize(k), sanitize(&v.render())))
+            .collect::<Vec<_>>()
+            .join("__")
+    }
+}
+
+/// A parameter sweep: one [`SweepSpec`] per parameter name; runs are the
+/// cross product.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Sweep {
+    /// Per-parameter specifications (name-ordered, so expansion order is
+    /// deterministic).
+    pub params: BTreeMap<String, SweepSpec>,
+}
+
+impl Sweep {
+    /// Creates an empty sweep.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a parameter; builder-style.
+    pub fn with(mut self, name: impl Into<String>, spec: SweepSpec) -> Self {
+        self.params.insert(name.into(), spec);
+        self
+    }
+
+    /// Number of run configurations in the cross product. An empty sweep
+    /// has cardinality 1 (the single empty configuration).
+    pub fn cardinality(&self) -> usize {
+        self.params.values().map(SweepSpec::cardinality).product()
+    }
+
+    /// Expands the cross product in row-major order (last-added parameter
+    /// varies fastest under name ordering).
+    pub fn expand(&self) -> Vec<RunConfig> {
+        let names: Vec<&String> = self.params.keys().collect();
+        let values: Vec<Vec<ParamValue>> = self.params.values().map(SweepSpec::expand).collect();
+        if values.iter().any(Vec::is_empty) {
+            return Vec::new();
+        }
+        let total: usize = values.iter().map(Vec::len).product();
+        let mut out = Vec::with_capacity(total);
+        let mut indices = vec![0usize; names.len()];
+        loop {
+            let mut params = BTreeMap::new();
+            for (k, name) in names.iter().enumerate() {
+                params.insert((*name).clone(), values[k][indices[k]].clone());
+            }
+            out.push(RunConfig { params });
+            // odometer increment, last dimension fastest
+            let mut dim = names.len();
+            loop {
+                if dim == 0 {
+                    return out;
+                }
+                dim -= 1;
+                indices[dim] += 1;
+                if indices[dim] < values[dim].len() {
+                    break;
+                }
+                indices[dim] = 0;
+            }
+            if names.is_empty() {
+                return out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sweep_is_single_empty_run() {
+        let s = Sweep::new();
+        assert_eq!(s.cardinality(), 1);
+        let runs = s.expand();
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].params.is_empty());
+    }
+
+    #[test]
+    fn cross_product_cardinality() {
+        let s = Sweep::new()
+            .with("a", SweepSpec::list([1, 2, 3]))
+            .with("b", SweepSpec::list(["x", "y"]));
+        assert_eq!(s.cardinality(), 6);
+        let runs = s.expand();
+        assert_eq!(runs.len(), 6);
+        // all unique
+        let mut ids: Vec<String> = runs.iter().map(RunConfig::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn expansion_order_is_deterministic() {
+        let s = Sweep::new()
+            .with("b", SweepSpec::list([1, 2]))
+            .with("a", SweepSpec::list(["p", "q"]));
+        let runs = s.expand();
+        // name order: a then b; b varies fastest
+        assert_eq!(runs[0].id(), "a-p__b-1");
+        assert_eq!(runs[1].id(), "a-p__b-2");
+        assert_eq!(runs[2].id(), "a-q__b-1");
+    }
+
+    #[test]
+    fn empty_list_spec_yields_no_runs() {
+        let s = Sweep::new().with("a", SweepSpec::List(vec![]));
+        assert_eq!(s.expand().len(), 0);
+        assert_eq!(s.cardinality(), 0);
+    }
+
+    #[test]
+    fn id_sanitizes_hostile_characters() {
+        let mut params = BTreeMap::new();
+        params.insert("path".to_string(), ParamValue::from("/tmp/x y"));
+        let cfg = RunConfig { params };
+        assert_eq!(cfg.id(), "path-_tmp_x_y");
+    }
+
+    #[test]
+    fn with_replaces_existing() {
+        let s = Sweep::new()
+            .with("a", SweepSpec::list([1, 2, 3]))
+            .with("a", SweepSpec::fixed(9));
+        assert_eq!(s.cardinality(), 1);
+        assert_eq!(s.expand()[0].get("a"), Some(&ParamValue::Int(9)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Sweep::new().with("n", SweepSpec::IntRange { start: 1, end: 3, step: 1 });
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sweep = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

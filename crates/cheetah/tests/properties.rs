@@ -1,0 +1,117 @@
+//! Property tests: sweep expansion, manifests, status, objectives.
+
+use cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use cheetah::objective::{Objective, ResultCatalog};
+use cheetah::param::{ParamValue, SweepSpec};
+use cheetah::status::{RunStatus, StatusBoard};
+use cheetah::sweep::Sweep;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SweepSpec> {
+    prop_oneof![
+        proptest::collection::btree_set(-100i64..100, 1..6)
+            .prop_map(|v| SweepSpec::List(v.into_iter().map(ParamValue::Int).collect())),
+        (0i64..50, 1i64..10).prop_map(|(start, step)| SweepSpec::IntRange {
+            start,
+            end: start + step * 4,
+            step,
+        }),
+    ]
+}
+
+fn arb_sweep() -> impl Strategy<Value = Sweep> {
+    proptest::collection::btree_map("[a-z]{1,6}", arb_spec(), 1..4).prop_map(|params| {
+        let mut sweep = Sweep::new();
+        for (k, v) in params {
+            sweep = sweep.with(k, v);
+        }
+        sweep
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cardinality_equals_expansion_length(sweep in arb_sweep()) {
+        prop_assert_eq!(sweep.cardinality(), sweep.expand().len());
+    }
+
+    #[test]
+    fn expansion_covers_the_full_cross_product(sweep in arb_sweep()) {
+        let runs = sweep.expand();
+        // every run assigns every parameter
+        for run in &runs {
+            prop_assert_eq!(run.params.len(), sweep.params.len());
+        }
+        // all configurations distinct (specs are duplicate-free by
+        // construction here; duplicate *values* in user lists are legal
+        // and handled by the manifest's #k suffixing)
+        let mut ids: Vec<String> = runs.iter().map(|r| format!("{:?}", r.params)).collect();
+        ids.sort();
+        let n = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "duplicate configurations in expansion");
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_ids_unique(sweep in arb_sweep(), nodes in 1u32..50) {
+        let campaign = Campaign::new("prop", "m", AppDef::new("a", "a.exe"))
+            .with_group(SweepGroup::new("g", sweep, nodes, 1, 600));
+        let manifest = campaign.manifest().unwrap();
+        let back = cheetah::manifest::CampaignManifest::from_json(&manifest.to_json()).unwrap();
+        prop_assert_eq!(&manifest, &back);
+        let mut ids: Vec<&String> = manifest.groups[0].runs.iter().map(|r| &r.id).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn status_board_conserves_runs(
+        sweep in arb_sweep(),
+        marks in proptest::collection::vec(0u8..5, 0..40),
+    ) {
+        let campaign = Campaign::new("prop", "m", AppDef::new("a", "a.exe"))
+            .with_group(SweepGroup::new("g", sweep, 4, 1, 600));
+        let manifest = campaign.manifest().unwrap();
+        let mut board = StatusBoard::for_manifest(&manifest);
+        let ids: Vec<String> = manifest.groups[0].runs.iter().map(|r| r.id.clone()).collect();
+        for (i, &m) in marks.iter().enumerate() {
+            let id = &ids[i % ids.len()];
+            let status = match m {
+                0 => RunStatus::Pending,
+                1 => RunStatus::Running,
+                2 => RunStatus::Done,
+                3 => RunStatus::Failed,
+                _ => RunStatus::TimedOut,
+            };
+            board.set(id, status);
+        }
+        let summary = board.summary();
+        prop_assert_eq!(summary.total(), ids.len());
+        // incomplete = pending + running + timed_out
+        prop_assert_eq!(
+            board.incomplete_runs(&manifest).len(),
+            summary.pending + summary.running + summary.timed_out
+        );
+    }
+
+    #[test]
+    fn catalog_best_is_extreme_of_ranked(values in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+        let mut cat = ResultCatalog::new();
+        for (i, &v) in values.iter().enumerate() {
+            cat.record(&format!("run-{i}"), "metric", v);
+        }
+        for obj in [Objective::minimize("metric"), Objective::maximize("metric")] {
+            let ranked = cat.ranked(&obj);
+            let (best_id, best_v) = cat.best(&obj).unwrap();
+            prop_assert_eq!(ranked[0].1, best_v);
+            prop_assert_eq!(ranked[0].0, best_id);
+            for w in ranked.windows(2) {
+                prop_assert!(!obj.better(w[1].1, w[0].1), "ranked out of order");
+            }
+        }
+    }
+}

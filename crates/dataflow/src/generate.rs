@@ -1,0 +1,204 @@
+//! Pipeline generation from workflow graphs.
+//!
+//! "In a collection/selection/forwarding workflow, the communication
+//! pieces (collection and forwarding) can be generated automatically
+//! given sufficient knowledge of data access patterns, data schema and
+//! semantics" (§V-C). This module is that generator: it takes a
+//! `fair_core` workflow graph, derives the chain of data-scheduling
+//! stages, *checks the gauge precondition* (every stage's input must be
+//! access-plannable — the machine-actionable form of "sufficient
+//! knowledge"), and instantiates a running [`Pipeline`]. Policies are
+//! supplied per stage at generation time and remain swappable at runtime.
+
+use fair_core::access_plan::{plan_access, NeedsTier};
+use fair_core::workflow::{NodeIdx, WorkflowGraph};
+
+use crate::pipeline::{Pipeline, StageSpec};
+use crate::policy::SelectionPolicy;
+
+/// Why generation failed.
+#[derive(Debug)]
+pub enum GenerateError {
+    /// The graph has no intermediate (scheduling) nodes to generate.
+    NoStages,
+    /// The graph is not a DAG.
+    Cyclic,
+    /// A stage's input metadata is too weak to generate its communication
+    /// code — the exact gauge tier needed is attached.
+    NotAutomatable {
+        /// Component name of the offending stage.
+        component: String,
+        /// The missing tier.
+        needs: NeedsTier,
+    },
+}
+
+impl std::fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenerateError::NoStages => write!(f, "graph has no scheduling stages to generate"),
+            GenerateError::Cyclic => write!(f, "graph is cyclic"),
+            GenerateError::NotAutomatable { component, needs } => {
+                write!(f, "stage {component:?} is not automatable: {needs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// The derived stage chain: node indices of intermediate components in
+/// topological order.
+pub fn stage_nodes(graph: &WorkflowGraph) -> Result<Vec<NodeIdx>, GenerateError> {
+    let order = graph.topo_order().map_err(|_| GenerateError::Cyclic)?;
+    let stages: Vec<NodeIdx> = order
+        .into_iter()
+        .filter(|&idx| {
+            !graph.predecessors(idx).is_empty() && !graph.successors(idx).is_empty()
+        })
+        .collect();
+    if stages.is_empty() {
+        return Err(GenerateError::NoStages);
+    }
+    Ok(stages)
+}
+
+/// Generates and starts a pipeline from the graph's scheduling chain.
+///
+/// `policy_for` maps each stage's component name to its initial policy.
+/// Every stage input port must satisfy the access-planning precondition;
+/// the first violation aborts generation with the missing gauge tier.
+pub fn pipeline_from_graph<F>(
+    graph: &WorkflowGraph,
+    policy_for: F,
+) -> Result<Pipeline, GenerateError>
+where
+    F: Fn(&str) -> Box<dyn SelectionPolicy>,
+{
+    let stages = stage_nodes(graph)?;
+    let mut specs = Vec::with_capacity(stages.len());
+    for idx in stages {
+        let component = graph.node(idx);
+        for port in &component.inputs {
+            if let Err(needs) = plan_access(&port.data) {
+                return Err(GenerateError::NotAutomatable {
+                    component: component.name.clone(),
+                    needs,
+                });
+            }
+        }
+        specs.push(StageSpec::new(
+            component.name.clone(),
+            policy_for(&component.name),
+        ));
+    }
+    Ok(Pipeline::start(specs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::DataItem;
+    use crate::policy::{EveryN, ForwardAll};
+    use fair_core::prelude::*;
+
+    fn port(name: &str, explicit: bool) -> PortDescriptor {
+        PortDescriptor {
+            name: name.into(),
+            data: if explicit {
+                DataDescriptor {
+                    protocol: Some(AccessProtocol::Staged),
+                    interface: Some("fair-wire".into()),
+                    schema: Some(SchemaInfo::SelfDescribing { container: "fair-wire".into() }),
+                    ..DataDescriptor::default()
+                }
+            } else {
+                DataDescriptor::default()
+            },
+        }
+    }
+
+    /// instrument → triage → analysis-sched → sink
+    fn chain_graph(explicit: bool) -> WorkflowGraph {
+        let mut g = WorkflowGraph::new();
+        let mut ins = ComponentDescriptor::new("instrument", "1", ComponentKind::Service);
+        ins.outputs.push(port("out", true));
+        let mut triage = ComponentDescriptor::new("triage", "1", ComponentKind::Service);
+        triage.inputs.push(port("in", explicit));
+        triage.outputs.push(port("out", true));
+        let mut sched = ComponentDescriptor::new("analysis-sched", "1", ComponentKind::Service);
+        sched.inputs.push(port("in", explicit));
+        sched.outputs.push(port("out", true));
+        let mut sink = ComponentDescriptor::new("archive", "1", ComponentKind::Executable);
+        sink.inputs.push(port("in", true));
+        let a = g.add(ins);
+        let b = g.add(triage);
+        let c = g.add(sched);
+        let d = g.add(sink);
+        g.connect(a, "out", b, "in").unwrap();
+        g.connect(b, "out", c, "in").unwrap();
+        g.connect(c, "out", d, "in").unwrap();
+        g
+    }
+
+    #[test]
+    fn stage_chain_is_the_intermediate_nodes_in_order() {
+        let g = chain_graph(true);
+        let stages = stage_nodes(&g).unwrap();
+        let names: Vec<&str> = stages.iter().map(|&i| g.node(i).name.as_str()).collect();
+        assert_eq!(names, ["triage", "analysis-sched"]);
+    }
+
+    #[test]
+    fn generated_pipeline_runs_end_to_end() {
+        let g = chain_graph(true);
+        let pipe = pipeline_from_graph(&g, |name| -> Box<dyn SelectionPolicy> {
+            if name == "triage" {
+                Box::new(EveryN::new(10))
+            } else {
+                Box::new(ForwardAll)
+            }
+        })
+        .unwrap();
+        let tap = pipe.subscribe("analysis-sched");
+        for s in 1..=500 {
+            pipe.send(DataItem::text(s, "instrument", "frame", "x"));
+        }
+        pipe.shutdown();
+        assert_eq!(tap.try_iter().count(), 50, "triage decimated by 10");
+    }
+
+    #[test]
+    fn weak_metadata_blocks_generation_with_the_missing_tier() {
+        let g = chain_graph(false);
+        let err = match pipeline_from_graph(&g, |_| Box::new(ForwardAll) as Box<dyn SelectionPolicy>)
+        {
+            Ok(pipe) => {
+                pipe.shutdown();
+                panic!("generation must fail on weak metadata");
+            }
+            Err(e) => e,
+        };
+        match err {
+            GenerateError::NotAutomatable { component, needs } => {
+                assert_eq!(component, "triage");
+                assert_eq!(needs.gauge, Gauge::DataAccess);
+                assert_eq!(needs.tier, Tier(1));
+            }
+            other => panic!("expected NotAutomatable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn source_sink_only_graph_has_no_stages() {
+        let mut g = WorkflowGraph::new();
+        let mut src = ComponentDescriptor::new("src", "1", ComponentKind::Service);
+        src.outputs.push(port("out", true));
+        let mut dst = ComponentDescriptor::new("dst", "1", ComponentKind::Executable);
+        dst.inputs.push(port("in", true));
+        let a = g.add(src);
+        let b = g.add(dst);
+        g.connect(a, "out", b, "in").unwrap();
+        assert!(matches!(stage_nodes(&g), Err(GenerateError::NoStages)));
+    }
+}

@@ -1,0 +1,40 @@
+//! Streaming pub/sub substrate with **virtual data queues** (§V-C, Fig. 5).
+//!
+//! The paper's synthetic workflow captures data at an instrument and
+//! disseminates it to downstream consumers through a *data scheduling*
+//! component. The communication pieces are generated (they rarely
+//! change); the **selection policies** are installed and swapped *at
+//! runtime* through a control channel — "including policies not known at
+//! code generation or compile time":
+//!
+//! > "the data scheduler implements a number of virtual data queues, each
+//! > defined by its own selection policy \[which\] can be selectively
+//! > invoked using input from the control channel."
+//!
+//! * [`message`] — self-describing marshalled data items (the generated
+//!   communication code's wire format);
+//! * [`policy`] — the [`policy::SelectionPolicy`] trait and the policies
+//!   the paper names: forward-all, count/time sliding windows, direct
+//!   selection of queued items, plus every-N sampling;
+//! * [`scheduler`] — the data-scheduling component: virtual queues,
+//!   runtime policy installation, punctuation, per-queue statistics;
+//! * [`source`] — simple instrument-style sources for tests and examples;
+//! * [`pipeline`] — multi-stage composition of schedulers;
+//! * [`generate`] — pipeline generation from `fair_core` workflow graphs,
+//!   gated on the access-planning gauge precondition ("communication
+//!   pieces can be generated automatically given sufficient knowledge").
+
+#![deny(missing_docs)]
+
+pub mod generate;
+pub mod message;
+pub mod pipeline;
+pub mod policy;
+pub mod scheduler;
+pub mod source;
+
+pub use generate::{pipeline_from_graph, GenerateError};
+pub use message::DataItem;
+pub use pipeline::{Pipeline, StageSpec};
+pub use policy::{DirectSelect, EveryN, ForwardAll, SelectionPolicy, WindowCount, WindowTime};
+pub use scheduler::{Command, QueueStats, SchedulerHandle, SchedulerStats};

@@ -1,0 +1,213 @@
+//! Self-describing marshalled data items.
+//!
+//! The generated communication code of §V-C exchanges binary records whose
+//! header carries enough description to decode them without out-of-band
+//! agreement ("given sufficient data description and marshalling support,
+//! complete a priori knowledge is not necessary even in high-performance
+//! binary data exchanges"). The format:
+//!
+//! ```text
+//! magic  u32  = 0xFA17D0CA
+//! seq    u64
+//! ts     u64  capture timestamp, microseconds
+//! slen   u16  source name length    ┐
+//! klen   u16  schema name length    │ self-describing header
+//! plen   u32  payload length        ┘
+//! source, schema, payload bytes
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Wire-format magic number.
+pub const MAGIC: u32 = 0xFA17_D0CA;
+
+/// One unit of collected data flowing through the workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataItem {
+    /// Monotone sequence number assigned by the source.
+    pub seq: u64,
+    /// Capture timestamp in microseconds (source-defined epoch). Drives
+    /// time-based selection policies.
+    pub ts: u64,
+    /// Producing component name.
+    pub source: String,
+    /// Schema tag describing the payload (self-description).
+    pub schema: String,
+    /// Opaque payload bytes.
+    pub payload: Bytes,
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than a header requires.
+    Truncated,
+    /// Magic number mismatch.
+    BadMagic(u32),
+    /// Header-declared lengths exceed the buffer.
+    LengthMismatch,
+    /// Source/schema bytes were not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer shorter than header"),
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            DecodeError::LengthMismatch => write!(f, "declared lengths exceed buffer"),
+            DecodeError::BadUtf8 => write!(f, "name fields are not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl DataItem {
+    /// Creates an item with a UTF-8 payload (convenience); the timestamp
+    /// defaults to the sequence number, which keeps time-based policies
+    /// meaningful in tests without a clock.
+    pub fn text(seq: u64, source: &str, schema: &str, payload: &str) -> Self {
+        Self {
+            seq,
+            ts: seq,
+            source: source.to_string(),
+            schema: schema.to_string(),
+            payload: Bytes::copy_from_slice(payload.as_bytes()),
+        }
+    }
+
+    /// [`DataItem::text`] with an explicit capture timestamp.
+    pub fn text_at(seq: u64, ts: u64, source: &str, schema: &str, payload: &str) -> Self {
+        let mut item = Self::text(seq, source, schema, payload);
+        item.ts = ts;
+        item
+    }
+
+    /// Serializes to the self-describing wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(
+            4 + 8 + 8 + 2 + 2 + 4 + self.source.len() + self.schema.len() + self.payload.len(),
+        );
+        buf.put_u32(MAGIC);
+        buf.put_u64(self.seq);
+        buf.put_u64(self.ts);
+        buf.put_u16(u16::try_from(self.source.len()).expect("source name ≤ 64 KiB"));
+        buf.put_u16(u16::try_from(self.schema.len()).expect("schema name ≤ 64 KiB"));
+        buf.put_u32(u32::try_from(self.payload.len()).expect("payload ≤ 4 GiB"));
+        buf.put_slice(self.source.as_bytes());
+        buf.put_slice(self.schema.as_bytes());
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses the wire format.
+    pub fn decode(mut buf: Bytes) -> Result<Self, DecodeError> {
+        const HEADER: usize = 4 + 8 + 8 + 2 + 2 + 4;
+        if buf.len() < HEADER {
+            return Err(DecodeError::Truncated);
+        }
+        let magic = buf.get_u32();
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let seq = buf.get_u64();
+        let ts = buf.get_u64();
+        let slen = buf.get_u16() as usize;
+        let klen = buf.get_u16() as usize;
+        let plen = buf.get_u32() as usize;
+        if buf.len() < slen + klen + plen {
+            return Err(DecodeError::LengthMismatch);
+        }
+        let source = String::from_utf8(buf.split_to(slen).to_vec())
+            .map_err(|_| DecodeError::BadUtf8)?;
+        let schema = String::from_utf8(buf.split_to(klen).to_vec())
+            .map_err(|_| DecodeError::BadUtf8)?;
+        let payload = buf.split_to(plen);
+        Ok(Self {
+            seq,
+            ts,
+            source,
+            schema,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let item = DataItem::text(42, "instrument-1", "frame.v2", "hello");
+        let wire = item.encode();
+        let back = DataItem::decode(wire).unwrap();
+        assert_eq!(item, back);
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let item = DataItem::text(0, "s", "k", "");
+        assert_eq!(DataItem::decode(item.encode()).unwrap(), item);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let item = DataItem::text(1, "s", "k", "x");
+        let mut raw = BytesMut::from(&item.encode()[..]);
+        raw[0] = 0;
+        assert!(matches!(
+            DataItem::decode(raw.freeze()),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let item = DataItem::text(1, "source", "schema", "payload");
+        let wire = item.encode();
+        assert_eq!(
+            DataItem::decode(wire.slice(0..10)),
+            Err(DecodeError::Truncated)
+        );
+        // header intact but body short
+        assert_eq!(
+            DataItem::decode(wire.slice(0..wire.len() - 2)),
+            Err(DecodeError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn schema_is_self_describing() {
+        // a consumer that knows nothing about the producer can still read
+        // the schema tag and dispatch
+        let wire = DataItem::text(7, "ins", "image.tiled", "...").encode();
+        let item = DataItem::decode(wire).unwrap();
+        assert_eq!(item.schema, "image.tiled");
+        assert_eq!(item.source, "ins");
+    }
+
+    #[test]
+    fn binary_payload_preserved() {
+        let payload: Vec<u8> = (0..=255).collect();
+        let item = DataItem {
+            seq: 9,
+            ts: 77,
+            source: "s".into(),
+            schema: "raw".into(),
+            payload: Bytes::from(payload.clone()),
+        };
+        let back = DataItem::decode(item.encode()).unwrap();
+        assert_eq!(&back.payload[..], &payload[..]);
+        assert_eq!(back.ts, 77);
+    }
+
+    #[test]
+    fn timestamp_roundtrips_and_defaults() {
+        let explicit = DataItem::text_at(3, 12345, "s", "k", "p");
+        assert_eq!(DataItem::decode(explicit.encode()).unwrap().ts, 12345);
+        let defaulted = DataItem::text(42, "s", "k", "p");
+        assert_eq!(defaulted.ts, 42, "ts defaults to seq");
+    }
+}

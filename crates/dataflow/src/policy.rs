@@ -1,0 +1,357 @@
+//! Selection policies for virtual data queues.
+//!
+//! Each virtual queue is "defined by its own selection policy". Policies
+//! see every arriving item and the control channel's **punctuation**
+//! marks ("signaling abstract divisions between groups of data") and
+//! decide what the queue emits.
+
+use std::collections::VecDeque;
+
+use crate::message::DataItem;
+
+/// A queue discipline: what to emit on each arrival and at punctuation.
+pub trait SelectionPolicy: Send {
+    /// Policy name for stats and control messages.
+    fn name(&self) -> &str;
+
+    /// Handles one arriving item; returns the items to emit immediately.
+    fn on_item(&mut self, item: DataItem) -> Vec<DataItem>;
+
+    /// Handles a punctuation mark; returns the items to emit (e.g. a
+    /// window snapshot or a direct selection of queued items).
+    fn on_punctuation(&mut self) -> Vec<DataItem>;
+}
+
+/// Forward every item as it arrives — the workflow's initial "simple data
+/// scheduling policy: forward each data item received to subscribers".
+#[derive(Debug, Default)]
+pub struct ForwardAll;
+
+impl SelectionPolicy for ForwardAll {
+    fn name(&self) -> &str {
+        "forward-all"
+    }
+    fn on_item(&mut self, item: DataItem) -> Vec<DataItem> {
+        vec![item]
+    }
+    fn on_punctuation(&mut self) -> Vec<DataItem> {
+        Vec::new()
+    }
+}
+
+/// Keep a sliding window of the last `size` items; emit the window
+/// snapshot at each punctuation.
+#[derive(Debug)]
+pub struct WindowCount {
+    size: usize,
+    window: VecDeque<DataItem>,
+}
+
+impl WindowCount {
+    /// Creates a count-based sliding window.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "window size must be positive");
+        Self {
+            size,
+            window: VecDeque::with_capacity(size),
+        }
+    }
+
+    /// Items currently retained.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+impl SelectionPolicy for WindowCount {
+    fn name(&self) -> &str {
+        "window-count"
+    }
+    fn on_item(&mut self, item: DataItem) -> Vec<DataItem> {
+        if self.window.len() == self.size {
+            self.window.pop_front();
+        }
+        self.window.push_back(item);
+        Vec::new()
+    }
+    fn on_punctuation(&mut self) -> Vec<DataItem> {
+        self.window.iter().cloned().collect()
+    }
+}
+
+/// Keep a sliding window of the items captured within the last
+/// `span_micros` of stream time (by item timestamp); emit the window
+/// snapshot at each punctuation. Items are assumed to arrive in
+/// non-decreasing timestamp order, which sources guarantee.
+#[derive(Debug)]
+pub struct WindowTime {
+    span_micros: u64,
+    window: VecDeque<DataItem>,
+}
+
+impl WindowTime {
+    /// Creates a time-based sliding window.
+    pub fn new(span_micros: u64) -> Self {
+        assert!(span_micros > 0, "window span must be positive");
+        Self {
+            span_micros,
+            window: VecDeque::new(),
+        }
+    }
+
+    fn evict_older_than(&mut self, now: u64) {
+        let cutoff = now.saturating_sub(self.span_micros);
+        while self
+            .window
+            .front()
+            .is_some_and(|oldest| oldest.ts < cutoff)
+        {
+            self.window.pop_front();
+        }
+    }
+
+    /// Items currently retained.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+impl SelectionPolicy for WindowTime {
+    fn name(&self) -> &str {
+        "window-time"
+    }
+    fn on_item(&mut self, item: DataItem) -> Vec<DataItem> {
+        let now = item.ts;
+        self.window.push_back(item);
+        self.evict_older_than(now);
+        Vec::new()
+    }
+    fn on_punctuation(&mut self) -> Vec<DataItem> {
+        self.window.iter().cloned().collect()
+    }
+}
+
+/// Emit every `n`-th item (a decimating sampler).
+#[derive(Debug)]
+pub struct EveryN {
+    n: u64,
+    count: u64,
+}
+
+impl EveryN {
+    /// Creates a sampler that forwards one item in `n`.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "sampling interval must be positive");
+        Self { n, count: 0 }
+    }
+}
+
+impl SelectionPolicy for EveryN {
+    fn name(&self) -> &str {
+        "every-n"
+    }
+    fn on_item(&mut self, item: DataItem) -> Vec<DataItem> {
+        self.count += 1;
+        if self.count.is_multiple_of(self.n) {
+            vec![item]
+        } else {
+            Vec::new()
+        }
+    }
+    fn on_punctuation(&mut self) -> Vec<DataItem> {
+        Vec::new()
+    }
+}
+
+/// Queue items and, at punctuation, emit exactly the ones whose sequence
+/// numbers were requested — the paper's "direct selection of queued data
+/// items" installed from a remote steering process.
+#[derive(Debug)]
+pub struct DirectSelect {
+    wanted: std::collections::BTreeSet<u64>,
+    queued: VecDeque<DataItem>,
+    /// Cap on retained items so a forgotten queue cannot grow unboundedly.
+    capacity: usize,
+}
+
+impl DirectSelect {
+    /// Creates a direct-selection policy for the given sequence numbers.
+    pub fn new(wanted: impl IntoIterator<Item = u64>) -> Self {
+        Self {
+            wanted: wanted.into_iter().collect(),
+            queued: VecDeque::new(),
+            capacity: 4096,
+        }
+    }
+
+    /// Replaces the wanted set (steering input mid-stream).
+    pub fn retarget(&mut self, wanted: impl IntoIterator<Item = u64>) {
+        self.wanted = wanted.into_iter().collect();
+    }
+}
+
+impl SelectionPolicy for DirectSelect {
+    fn name(&self) -> &str {
+        "direct-select"
+    }
+    fn on_item(&mut self, item: DataItem) -> Vec<DataItem> {
+        if self.queued.len() == self.capacity {
+            self.queued.pop_front();
+        }
+        self.queued.push_back(item);
+        Vec::new()
+    }
+    fn on_punctuation(&mut self) -> Vec<DataItem> {
+        let selected: Vec<DataItem> = self
+            .queued
+            .iter()
+            .filter(|i| self.wanted.contains(&i.seq))
+            .cloned()
+            .collect();
+        self.queued.clear();
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(seq: u64) -> DataItem {
+        DataItem::text(seq, "src", "k", "p")
+    }
+
+    #[test]
+    fn forward_all_passes_everything() {
+        let mut p = ForwardAll;
+        assert_eq!(p.on_item(item(1)).len(), 1);
+        assert_eq!(p.on_item(item(2)).len(), 1);
+        assert!(p.on_punctuation().is_empty());
+    }
+
+    #[test]
+    fn window_count_keeps_last_n() {
+        let mut p = WindowCount::new(3);
+        for s in 0..10 {
+            assert!(p.on_item(item(s)).is_empty());
+        }
+        let snap = p.on_punctuation();
+        let seqs: Vec<u64> = snap.iter().map(|i| i.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        // window persists across punctuations (sliding, not tumbling)
+        assert_eq!(p.on_punctuation().len(), 3);
+        p.on_item(item(10));
+        let seqs: Vec<u64> = p.on_punctuation().iter().map(|i| i.seq).collect();
+        assert_eq!(seqs, vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn window_smaller_stream() {
+        let mut p = WindowCount::new(5);
+        p.on_item(item(0));
+        p.on_item(item(1));
+        assert_eq!(p.on_punctuation().len(), 2);
+    }
+
+    #[test]
+    fn every_n_decimates() {
+        let mut p = EveryN::new(3);
+        let forwarded: Vec<u64> = (1..=9)
+            .flat_map(|s| p.on_item(item(s)))
+            .map(|i| i.seq)
+            .collect();
+        assert_eq!(forwarded, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn every_1_is_forward_all() {
+        let mut p = EveryN::new(1);
+        assert_eq!(p.on_item(item(5)).len(), 1);
+    }
+
+    #[test]
+    fn direct_select_emits_requested_then_clears() {
+        let mut p = DirectSelect::new([2, 4]);
+        for s in 0..6 {
+            p.on_item(item(s));
+        }
+        let picked: Vec<u64> = p.on_punctuation().iter().map(|i| i.seq).collect();
+        assert_eq!(picked, vec![2, 4]);
+        // queue was drained
+        assert!(p.on_punctuation().is_empty());
+    }
+
+    #[test]
+    fn direct_select_retarget() {
+        let mut p = DirectSelect::new([0]);
+        p.on_item(item(7));
+        p.retarget([7]);
+        let picked: Vec<u64> = p.on_punctuation().iter().map(|i| i.seq).collect();
+        assert_eq!(picked, vec![7]);
+    }
+
+    #[test]
+    fn direct_select_bounded() {
+        let mut p = DirectSelect::new([0]);
+        p.capacity = 10;
+        for s in 0..100 {
+            p.on_item(item(s));
+        }
+        assert!(p.queued.len() <= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        WindowCount::new(0);
+    }
+
+    fn item_at(seq: u64, ts: u64) -> DataItem {
+        DataItem::text_at(seq, ts, "src", "k", "p")
+    }
+
+    #[test]
+    fn window_time_keeps_recent_span() {
+        let mut p = WindowTime::new(100);
+        for (seq, ts) in [(0u64, 0u64), (1, 50), (2, 120), (3, 180), (4, 260)] {
+            assert!(p.on_item(item_at(seq, ts)).is_empty());
+        }
+        // at ts=260, cutoff=160: items with ts ∈ {180, 260} remain
+        let seqs: Vec<u64> = p.on_punctuation().iter().map(|i| i.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn window_time_boundary_inclusive() {
+        let mut p = WindowTime::new(100);
+        p.on_item(item_at(0, 100));
+        p.on_item(item_at(1, 200));
+        // cutoff = 200 - 100 = 100; ts == cutoff is retained (ts < cutoff evicts)
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn window_time_all_within_span() {
+        let mut p = WindowTime::new(1_000_000);
+        for s in 0..50 {
+            p.on_item(item_at(s, s * 10));
+        }
+        assert_eq!(p.on_punctuation().len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "span must be positive")]
+    fn zero_time_window_rejected() {
+        WindowTime::new(0);
+    }
+}

@@ -1,0 +1,477 @@
+//! The data-scheduling component: virtual queues + runtime control.
+//!
+//! "This demonstration workflow supports the simultaneous installation of
+//! multiple data scheduling policies in its workflow subgraph; those
+//! policies can be selectively invoked using input from the control
+//! channel. In this way, the data scheduler implements a number of
+//! virtual data queues, each defined by its own selection policy" (§V-C).
+//!
+//! The scheduler runs on its own thread and consumes a single
+//! **totally-ordered** event stream multiplexing data and control. Total
+//! order is a deliberate design choice: a steering command takes effect
+//! at a well-defined point in the data stream, so "install policy P,
+//! then punctuate" means the punctuation sees exactly the items that
+//! arrived before it — the determinism that makes swapped-in policies
+//! auditable.
+
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::message::DataItem;
+use crate::policy::SelectionPolicy;
+
+/// Control-channel commands.
+pub enum Command {
+    /// Installs (or replaces) a policy as virtual queue `name`; the queue
+    /// starts active. Re-installation keeps subscribers.
+    Install {
+        /// Queue name.
+        name: String,
+        /// The policy implementation.
+        policy: Box<dyn SelectionPolicy>,
+    },
+    /// Activates a queue (items are offered to it).
+    Activate(String),
+    /// Deactivates a queue (retains state, sees no items).
+    Deactivate(String),
+    /// Sends a punctuation mark to one queue (`Some`) or all (`None`).
+    Punctuate(Option<String>),
+    /// Attaches a subscriber to a queue's output, with an optional
+    /// per-subscriber filter — the "rich subscriber customizations" of the
+    /// event-based systems the paper builds on.
+    Subscribe {
+        /// Queue name.
+        name: String,
+        /// Channel the queue's emissions are sent to.
+        sink: Sender<DataItem>,
+        /// Optional predicate: only matching items are delivered to this
+        /// subscriber (others still see them).
+        filter: Option<SubscriberFilter>,
+    },
+    /// Stops the scheduler; events already enqueued before this command
+    /// are processed first (single ordered stream).
+    Shutdown,
+}
+
+enum Event {
+    Data(DataItem),
+    Control(Command),
+}
+
+/// Per-queue counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items offered to the queue while active.
+    pub offered: u64,
+    /// Items the queue emitted to subscribers.
+    pub emitted: u64,
+    /// Punctuation marks delivered.
+    pub punctuations: u64,
+}
+
+/// Scheduler-wide statistics, returned at shutdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Total data items received.
+    pub received: u64,
+    /// Per-queue counters.
+    pub queues: BTreeMap<String, QueueStats>,
+}
+
+/// A per-subscriber delivery predicate.
+pub type SubscriberFilter = Box<dyn Fn(&DataItem) -> bool + Send>;
+
+struct Subscriber {
+    sink: Sender<DataItem>,
+    filter: Option<SubscriberFilter>,
+}
+
+struct VirtualQueue {
+    policy: Box<dyn SelectionPolicy>,
+    active: bool,
+    subscribers: Vec<Subscriber>,
+    stats: QueueStats,
+}
+
+impl VirtualQueue {
+    fn emit(&mut self, items: Vec<DataItem>) {
+        for item in items {
+            self.stats.emitted += 1;
+            // dead subscribers are dropped silently; the scheduler must
+            // not crash because a consumer went away
+            self.subscribers.retain(|s| {
+                if s.filter.as_ref().is_some_and(|f| !f(&item)) {
+                    return true; // filtered out, subscriber stays
+                }
+                s.sink.send(item.clone()).is_ok()
+            });
+        }
+    }
+}
+
+/// A cloneable handle for producing data into the scheduler.
+#[derive(Clone)]
+pub struct DataSender {
+    tx: Sender<Event>,
+}
+
+impl DataSender {
+    /// Sends one item; silently dropped if the scheduler has shut down.
+    pub fn send(&self, item: DataItem) {
+        let _ = self.tx.send(Event::Data(item));
+    }
+}
+
+/// Handle to a running scheduler thread.
+pub struct SchedulerHandle {
+    tx: Sender<Event>,
+    join: JoinHandle<SchedulerStats>,
+}
+
+impl SchedulerHandle {
+    /// Sends a data item into the scheduler.
+    pub fn send(&self, item: DataItem) {
+        let _ = self.tx.send(Event::Data(item));
+    }
+
+    /// A cloneable sender for sources running on their own threads.
+    pub fn data_sender(&self) -> DataSender {
+        DataSender { tx: self.tx.clone() }
+    }
+
+    /// Sends a control command.
+    pub fn control(&self, cmd: Command) {
+        let _ = self.tx.send(Event::Control(cmd));
+    }
+
+    /// Installs a policy (convenience).
+    pub fn install(&self, name: &str, policy: Box<dyn SelectionPolicy>) {
+        self.control(Command::Install {
+            name: name.to_string(),
+            policy,
+        });
+    }
+
+    /// Subscribes to a queue, returning the receiving side.
+    pub fn subscribe(&self, name: &str) -> Receiver<DataItem> {
+        let (tx, rx) = unbounded();
+        self.control(Command::Subscribe {
+            name: name.to_string(),
+            sink: tx,
+            filter: None,
+        });
+        rx
+    }
+
+    /// Subscribes with a per-subscriber predicate: this subscriber sees
+    /// only items for which `filter` returns true; other subscribers are
+    /// unaffected.
+    pub fn subscribe_where<F>(&self, name: &str, filter: F) -> Receiver<DataItem>
+    where
+        F: Fn(&DataItem) -> bool + Send + 'static,
+    {
+        let (tx, rx) = unbounded();
+        self.control(Command::Subscribe {
+            name: name.to_string(),
+            sink: tx,
+            filter: Some(Box::new(filter)),
+        });
+        rx
+    }
+
+    /// Punctuates one queue or all.
+    pub fn punctuate(&self, name: Option<&str>) {
+        self.control(Command::Punctuate(name.map(str::to_string)));
+    }
+
+    /// Shuts the scheduler down (after all previously enqueued events)
+    /// and returns its statistics.
+    pub fn shutdown(self) -> SchedulerStats {
+        let _ = self.tx.send(Event::Control(Command::Shutdown));
+        self.join.join().expect("scheduler thread panicked")
+    }
+}
+
+/// Spawns a scheduler thread with no queues installed.
+pub fn spawn() -> SchedulerHandle {
+    let (tx, rx) = unbounded::<Event>();
+    let join = std::thread::Builder::new()
+        .name("dataflow-scheduler".into())
+        .spawn(move || scheduler_loop(rx))
+        .expect("failed to spawn scheduler thread");
+    SchedulerHandle { tx, join }
+}
+
+fn scheduler_loop(rx: Receiver<Event>) -> SchedulerStats {
+    let mut queues: BTreeMap<String, VirtualQueue> = BTreeMap::new();
+    let mut stats = SchedulerStats::default();
+
+    while let Ok(event) = rx.recv() {
+        match event {
+            Event::Data(item) => {
+                stats.received += 1;
+                for q in queues.values_mut().filter(|q| q.active) {
+                    q.stats.offered += 1;
+                    let out = q.policy.on_item(item.clone());
+                    q.emit(out);
+                }
+            }
+            Event::Control(cmd) => match cmd {
+                Command::Install { name, policy } => {
+                    let subscribers = queues
+                        .remove(&name)
+                        .map(|q| q.subscribers)
+                        .unwrap_or_default();
+                    queues.insert(
+                        name,
+                        VirtualQueue {
+                            policy,
+                            active: true,
+                            subscribers,
+                            stats: QueueStats::default(),
+                        },
+                    );
+                }
+                Command::Activate(name) => {
+                    if let Some(q) = queues.get_mut(&name) {
+                        q.active = true;
+                    }
+                }
+                Command::Deactivate(name) => {
+                    if let Some(q) = queues.get_mut(&name) {
+                        q.active = false;
+                    }
+                }
+                Command::Punctuate(target) => {
+                    for (name, q) in queues.iter_mut() {
+                        if target.as_deref().is_none_or(|t| t == name) {
+                            q.stats.punctuations += 1;
+                            let out = q.policy.on_punctuation();
+                            q.emit(out);
+                        }
+                    }
+                }
+                Command::Subscribe { name, sink, filter } => {
+                    if let Some(q) = queues.get_mut(&name) {
+                        q.subscribers.push(Subscriber { sink, filter });
+                    }
+                }
+                Command::Shutdown => break,
+            },
+        }
+    }
+
+    for (name, q) in queues {
+        let merged = stats.queues.entry(name).or_default();
+        merged.offered += q.stats.offered;
+        merged.emitted += q.stats.emitted;
+        merged.punctuations += q.stats.punctuations;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DirectSelect, EveryN, ForwardAll, WindowCount};
+
+    fn item(seq: u64) -> DataItem {
+        DataItem::text(seq, "instrument", "frame", "payload")
+    }
+
+    #[test]
+    fn forward_all_delivers_everything() {
+        let sched = spawn();
+        sched.install("all", Box::new(ForwardAll));
+        let rx = sched.subscribe("all");
+        for s in 0..100 {
+            sched.send(item(s));
+        }
+        let stats = sched.shutdown();
+        let got: Vec<u64> = rx.try_iter().map(|i| i.seq).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(stats.received, 100);
+        assert_eq!(stats.queues["all"].emitted, 100);
+    }
+
+    #[test]
+    fn multiple_simultaneous_queues() {
+        let sched = spawn();
+        sched.install("all", Box::new(ForwardAll));
+        sched.install("sampled", Box::new(EveryN::new(10)));
+        let rx_all = sched.subscribe("all");
+        let rx_sampled = sched.subscribe("sampled");
+        for s in 1..=100 {
+            sched.send(item(s));
+        }
+        sched.shutdown();
+        assert_eq!(rx_all.try_iter().count(), 100);
+        assert_eq!(rx_sampled.try_iter().count(), 10);
+    }
+
+    #[test]
+    fn window_policy_emits_on_punctuation() {
+        let sched = spawn();
+        sched.install("win", Box::new(WindowCount::new(4)));
+        let rx = sched.subscribe("win");
+        for s in 0..20 {
+            sched.send(item(s));
+        }
+        sched.punctuate(Some("win"));
+        let stats = sched.shutdown();
+        let got: Vec<u64> = rx.try_iter().map(|i| i.seq).collect();
+        assert_eq!(got, vec![16, 17, 18, 19]);
+        assert_eq!(stats.queues["win"].punctuations, 1);
+    }
+
+    #[test]
+    fn runtime_policy_swap_mid_stream() {
+        // the paper's headline capability: a policy unknown at
+        // "code-generation time" installed while data flows
+        let sched = spawn();
+        sched.install("q", Box::new(ForwardAll));
+        let rx = sched.subscribe("q");
+        for s in 0..10 {
+            sched.send(item(s));
+        }
+        // steering input arrives: replace the policy with direct selection
+        sched.install("q", Box::new(DirectSelect::new([12, 14])));
+        for s in 10..20 {
+            sched.send(item(s));
+        }
+        sched.punctuate(Some("q"));
+        sched.shutdown();
+        let got: Vec<u64> = rx.try_iter().map(|i| i.seq).collect();
+        // first 10 forwarded live; then only the selected two
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 14]);
+    }
+
+    #[test]
+    fn deactivated_queue_sees_nothing() {
+        let sched = spawn();
+        sched.install("q", Box::new(ForwardAll));
+        let rx = sched.subscribe("q");
+        sched.send(item(0));
+        sched.control(Command::Deactivate("q".into()));
+        for s in 1..5 {
+            sched.send(item(s));
+        }
+        sched.control(Command::Activate("q".into()));
+        sched.send(item(5));
+        let stats = sched.shutdown();
+        let got: Vec<u64> = rx.try_iter().map(|i| i.seq).collect();
+        assert_eq!(got, vec![0, 5]);
+        assert_eq!(stats.queues["q"].offered, 2);
+    }
+
+    #[test]
+    fn punctuate_all_queues() {
+        let sched = spawn();
+        sched.install("w1", Box::new(WindowCount::new(2)));
+        sched.install("w2", Box::new(WindowCount::new(3)));
+        let rx1 = sched.subscribe("w1");
+        let rx2 = sched.subscribe("w2");
+        for s in 0..5 {
+            sched.send(item(s));
+        }
+        sched.punctuate(None);
+        sched.shutdown();
+        assert_eq!(rx1.try_iter().count(), 2);
+        assert_eq!(rx2.try_iter().count(), 3);
+    }
+
+    #[test]
+    fn dropped_subscriber_does_not_crash() {
+        let sched = spawn();
+        sched.install("q", Box::new(ForwardAll));
+        let rx = sched.subscribe("q");
+        drop(rx);
+        for s in 0..10 {
+            sched.send(item(s));
+        }
+        let stats = sched.shutdown();
+        assert_eq!(stats.received, 10);
+    }
+
+    #[test]
+    fn subscribe_to_missing_queue_is_silent_noop() {
+        let sched = spawn();
+        let rx = sched.subscribe("ghost");
+        sched.send(item(1));
+        sched.shutdown();
+        assert_eq!(rx.try_iter().count(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_previously_enqueued_data() {
+        let sched = spawn();
+        sched.install("q", Box::new(ForwardAll));
+        let rx = sched.subscribe("q");
+        for s in 0..1000 {
+            sched.send(item(s));
+        }
+        // shutdown is ordered after the 1000 sends: all are processed
+        let stats = sched.shutdown();
+        assert_eq!(stats.received, 1000);
+        assert_eq!(rx.try_iter().count(), 1000);
+    }
+
+    #[test]
+    fn reinstall_keeps_subscribers_resets_stats() {
+        let sched = spawn();
+        sched.install("q", Box::new(ForwardAll));
+        let rx = sched.subscribe("q");
+        sched.send(item(0));
+        sched.install("q", Box::new(ForwardAll));
+        sched.send(item(1));
+        let stats = sched.shutdown();
+        assert_eq!(rx.try_iter().count(), 2, "subscriber survives reinstall");
+        // stats merged from the replaced queue (1) and the new one (1)
+        assert_eq!(stats.queues["q"].emitted, 1);
+    }
+
+    #[test]
+    fn filtered_subscribers_see_only_matching_items() {
+        let sched = spawn();
+        sched.install("q", Box::new(ForwardAll));
+        let everything = sched.subscribe("q");
+        let evens = sched.subscribe_where("q", |i| i.seq % 2 == 0);
+        let from_b = sched.subscribe_where("q", |i| i.source == "b");
+        for s in 0..10 {
+            sched.send(DataItem::text(s, if s < 5 { "a" } else { "b" }, "k", "p"));
+        }
+        let stats = sched.shutdown();
+        assert_eq!(everything.try_iter().count(), 10);
+        let even_seqs: Vec<u64> = evens.try_iter().map(|i| i.seq).collect();
+        assert_eq!(even_seqs, vec![0, 2, 4, 6, 8]);
+        let b_seqs: Vec<u64> = from_b.try_iter().map(|i| i.seq).collect();
+        assert_eq!(b_seqs, vec![5, 6, 7, 8, 9]);
+        // queue-level emit counting is per item, not per delivery
+        assert_eq!(stats.queues["q"].emitted, 10);
+    }
+
+    #[test]
+    fn concurrent_sources_all_counted() {
+        let sched = spawn();
+        sched.install("q", Box::new(ForwardAll));
+        let rx = sched.subscribe("q");
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let tx = sched.data_sender();
+                std::thread::spawn(move || {
+                    for s in 0..250 {
+                        tx.send(DataItem::text(t * 1000 + s, "src", "k", "p"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = sched.shutdown();
+        assert_eq!(stats.received, 1000);
+        assert_eq!(rx.try_iter().count(), 1000);
+    }
+}

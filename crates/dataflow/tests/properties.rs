@@ -1,0 +1,133 @@
+//! Property tests: wire-format roundtrips and policy conservation laws.
+
+use bytes::Bytes;
+use dataflow::message::DataItem;
+use dataflow::policy::{DirectSelect, EveryN, ForwardAll, SelectionPolicy, WindowCount, WindowTime};
+use proptest::prelude::*;
+
+fn arb_item() -> impl Strategy<Value = DataItem> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        "[a-zA-Z0-9._-]{0,30}",
+        "[a-zA-Z0-9._-]{0,30}",
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(seq, ts, source, schema, payload)| DataItem {
+            seq,
+            ts,
+            source,
+            schema,
+            payload: Bytes::from(payload),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_roundtrip(item in arb_item()) {
+        let wire = item.encode();
+        let back = DataItem::decode(wire).unwrap();
+        prop_assert_eq!(item, back);
+    }
+
+    #[test]
+    fn truncated_wire_never_panics(item in arb_item(), cut in 0usize..300) {
+        let wire = item.encode();
+        let cut = cut.min(wire.len());
+        let _ = DataItem::decode(wire.slice(0..cut)); // Ok or Err, no panic
+    }
+
+    #[test]
+    fn corrupted_wire_never_panics(item in arb_item(), idx in 0usize..100, byte in any::<u8>()) {
+        let wire = item.encode();
+        let mut raw = wire.to_vec();
+        let idx = idx % raw.len();
+        raw[idx] = byte;
+        let _ = DataItem::decode(Bytes::from(raw));
+    }
+
+    #[test]
+    fn policies_only_emit_received_items(
+        seqs in proptest::collection::vec(any::<u64>(), 0..100),
+        window in 1usize..20,
+        every in 1u64..10,
+        span in 1u64..1000,
+    ) {
+        let items: Vec<DataItem> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| DataItem::text_at(s, i as u64 * 10, "src", "k", "p"))
+            .collect();
+        let mut policies: Vec<Box<dyn SelectionPolicy>> = vec![
+            Box::new(ForwardAll),
+            Box::new(WindowCount::new(window)),
+            Box::new(WindowTime::new(span)),
+            Box::new(EveryN::new(every)),
+            Box::new(DirectSelect::new(seqs.iter().copied().take(5))),
+        ];
+        for p in policies.iter_mut() {
+            let mut emitted = Vec::new();
+            for item in &items {
+                emitted.extend(p.on_item(item.clone()));
+            }
+            emitted.extend(p.on_punctuation());
+            // everything emitted was genuinely offered
+            for e in &emitted {
+                prop_assert!(items.contains(e), "{} emitted unseen item", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_all_is_identity(seqs in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let mut p = ForwardAll;
+        let mut emitted = Vec::new();
+        for &s in &seqs {
+            emitted.extend(p.on_item(DataItem::text(s, "s", "k", "x")));
+        }
+        prop_assert_eq!(emitted.len(), seqs.len());
+        prop_assert!(emitted.iter().map(|i| i.seq).eq(seqs.iter().copied()));
+    }
+
+    #[test]
+    fn window_count_never_exceeds_size(n in 0usize..200, window in 1usize..50) {
+        let mut p = WindowCount::new(window);
+        for s in 0..n as u64 {
+            p.on_item(DataItem::text(s, "s", "k", "x"));
+        }
+        let snap = p.on_punctuation();
+        prop_assert!(snap.len() <= window);
+        prop_assert_eq!(snap.len(), n.min(window));
+        // snapshot is the *latest* n items in order
+        let seqs: Vec<u64> = snap.iter().map(|i| i.seq).collect();
+        let expected: Vec<u64> = (n.saturating_sub(window)..n).map(|x| x as u64).collect();
+        prop_assert_eq!(seqs, expected);
+    }
+
+    #[test]
+    fn every_n_emits_floor_div(n in 0u64..500, every in 1u64..20) {
+        let mut p = EveryN::new(every);
+        let mut count = 0usize;
+        for s in 0..n {
+            count += p.on_item(DataItem::text(s, "s", "k", "x")).len();
+        }
+        prop_assert_eq!(count as u64, n / every);
+    }
+
+    #[test]
+    fn window_time_retains_only_span(span in 1u64..500, n in 1u64..100) {
+        let mut p = WindowTime::new(span);
+        for s in 0..n {
+            p.on_item(DataItem::text_at(s, s * 10, "s", "k", "x"));
+        }
+        let snap = p.on_punctuation();
+        let newest = (n - 1) * 10;
+        let cutoff = newest.saturating_sub(span);
+        prop_assert!(snap.iter().all(|i| i.ts >= cutoff));
+        // count matches the arithmetic exactly
+        let expected = (0..n).filter(|s| s * 10 >= cutoff).count();
+        prop_assert_eq!(snap.len(), expected);
+    }
+}

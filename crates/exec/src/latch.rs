@@ -1,0 +1,112 @@
+//! A counting latch used to wait for a dynamic set of jobs to finish.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting latch: jobs are registered with [`CountLatch::add`], signal
+/// completion with [`CountLatch::done`], and a waiter blocks in
+/// [`CountLatch::wait`] until the count returns to zero.
+///
+/// Unlike a one-shot barrier, the count may grow while jobs are running
+/// (a running job may spawn more jobs), which is exactly what
+/// [`crate::Scope`] needs.
+#[derive(Debug, Default)]
+pub struct CountLatch {
+    state: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    /// Creates a latch with an initial count of zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `n` additional outstanding jobs.
+    pub fn add(&self, n: usize) {
+        let mut count = self.state.lock();
+        *count += n;
+    }
+
+    /// Marks one job as complete, waking waiters if the count hits zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more times than jobs were added; that always
+    /// indicates a bookkeeping bug in the caller.
+    pub fn done(&self) {
+        let mut count = self.state.lock();
+        assert!(*count > 0, "CountLatch::done called with zero outstanding jobs");
+        *count -= 1;
+        if *count == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Blocks until the outstanding-job count is zero.
+    ///
+    /// Returns immediately if nothing is outstanding.
+    pub fn wait(&self) {
+        let mut count = self.state.lock();
+        while *count > 0 {
+            self.cond.wait(&mut count);
+        }
+    }
+
+    /// Returns the current outstanding-job count (racy; for diagnostics).
+    pub fn outstanding(&self) -> usize {
+        *self.state.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_on_zero_returns_immediately() {
+        let latch = CountLatch::new();
+        latch.wait();
+    }
+
+    #[test]
+    fn add_done_wait_roundtrip() {
+        let latch = Arc::new(CountLatch::new());
+        latch.add(3);
+        assert_eq!(latch.outstanding(), 3);
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let l = Arc::clone(&latch);
+                std::thread::spawn(move || l.done())
+            })
+            .collect();
+        latch.wait();
+        assert_eq!(latch.outstanding(), 0);
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero outstanding")]
+    fn done_without_add_panics() {
+        CountLatch::new().done();
+    }
+
+    #[test]
+    fn count_may_grow_while_waiting() {
+        let latch = Arc::new(CountLatch::new());
+        latch.add(1);
+        let l = Arc::clone(&latch);
+        let t = std::thread::spawn(move || {
+            // Simulate a job that registers a successor before finishing.
+            l.add(1);
+            l.done();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            l.done();
+        });
+        latch.wait();
+        assert_eq!(latch.outstanding(), 0);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! Work-stealing thread pool and parallel primitives.
+//!
+//! This crate is the parallel-execution substrate shared by the
+//! `fair-workflows` workspace: `iorf` trains forests on it, `tabular`
+//! pastes file groups on it, and `savanna`'s local executor runs campaign
+//! tasks on it.
+//!
+//! The design follows the classic work-stealing architecture (one
+//! [`crossbeam::deque::Worker`] per thread, a global injector, random
+//! stealing) with a small, safe surface:
+//!
+//! * [`ThreadPool::spawn`] for fire-and-forget `'static` jobs,
+//! * [`ThreadPool::scope`] for structured, borrowing parallelism (waiters
+//!   *help* execute queued jobs, so nested scopes and recursive
+//!   [`ThreadPool::join`] never deadlock the pool),
+//! * [`ThreadPool::join`] for fork–join divide and conquer,
+//! * [`ThreadPool::for_each_index`] / [`ThreadPool::map_index`] for
+//!   data-parallel loops with dynamic (counter-based) load balancing —
+//!   important because workloads like iRF-LOOP have heavy-tailed,
+//!   heterogeneous task durations.
+//!
+//! # Example
+//!
+//! ```
+//! let pool = exec::ThreadPool::new(4);
+//! let squares = pool.map_index(16, |i| i * i);
+//! assert_eq!(squares[5], 25);
+//! ```
+
+#![deny(missing_docs)]
+
+mod latch;
+mod par;
+mod pool;
+mod scope;
+
+pub use latch::CountLatch;
+pub use pool::ThreadPool;
+pub use scope::Scope;
+
+/// Returns a sensible default parallelism degree for this machine.
+///
+/// This is [`std::thread::available_parallelism`] clamped to at least 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -1,0 +1,259 @@
+//! Data-parallel loop helpers with dynamic load balancing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool::ThreadPool;
+
+/// Picks a chunk size that amortizes the shared-counter traffic while
+/// still giving each worker many chunks to balance a heavy tail.
+fn auto_chunk(n: usize, threads: usize) -> usize {
+    // Aim for ~8 chunks per worker, floor of 1.
+    (n / (threads * 8)).max(1)
+}
+
+impl ThreadPool {
+    /// Runs `f(i)` for every `i in 0..n`, in parallel.
+    ///
+    /// Iterations are handed out in chunks from a shared atomic counter, so
+    /// workers that draw short iterations simply come back for more — the
+    /// right behaviour for heterogeneous workloads like per-feature iRF
+    /// runs.
+    pub fn for_each_index<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.for_each_index_chunked(n, auto_chunk(n, self.num_threads()), f);
+    }
+
+    /// [`ThreadPool::for_each_index`] with an explicit chunk size.
+    pub fn for_each_index_chunked<F>(&self, n: usize, chunk: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let chunk = chunk.max(1);
+        if n <= chunk || self.num_threads() == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let next = &next;
+        self.scope(|s| {
+            for _ in 0..self.num_threads() {
+                s.spawn(move || loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        return;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Computes `f(i)` for every `i in 0..n` in parallel and collects the
+    /// results in index order.
+    pub fn map_index<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        {
+            let slots = SliceCells::new(&mut out);
+            self.for_each_index(n, |i| {
+                // SAFETY (inside SliceCells): each index is written exactly once.
+                slots.write(i, Some(f(i)));
+            });
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("map_index slot not filled"))
+            .collect()
+    }
+
+    /// Classic fork–join: runs `a` on the calling thread and `b` on the
+    /// pool, returning both results. The building block for recursive
+    /// divide-and-conquer parallelism.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let mut rb: Option<RB> = None;
+        let ra = {
+            let rb_slot = &mut rb;
+            self.scope(|s| {
+                s.spawn(move || {
+                    *rb_slot = Some(b());
+                });
+                a()
+            })
+        };
+        (ra, rb.expect("scope waits for b"))
+    }
+
+    /// Parallel fold: maps every index through `f` and reduces the partial
+    /// results with `reduce`, starting from `init` on each worker.
+    pub fn map_reduce<T, F, R>(&self, n: usize, init: T, f: F, reduce: R) -> T
+    where
+        T: Send + Sync + Clone,
+        F: Fn(usize) -> T + Sync,
+        R: Fn(T, T) -> T + Sync + Send,
+    {
+        let partials = parking_lot::Mutex::new(Vec::new());
+        let chunk = auto_chunk(n, self.num_threads());
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let reduce = &reduce;
+        let next = &next;
+        let partials_ref = &partials;
+        let init_ref = &init;
+        self.scope(|s| {
+            for _ in 0..self.num_threads() {
+                s.spawn(move || {
+                    let mut acc = init_ref.clone();
+                    let mut touched = false;
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for i in start..end {
+                            acc = reduce(acc, f(i));
+                            touched = true;
+                        }
+                    }
+                    if touched {
+                        partials_ref.lock().push(acc);
+                    }
+                });
+            }
+        });
+        partials
+            .into_inner()
+            .into_iter()
+            .fold(init, reduce)
+    }
+}
+
+/// A shared view of a mutable slice in which each index is written at most
+/// once by exactly one thread. This is the standard "scatter into disjoint
+/// slots" pattern used to collect parallel map results.
+struct SliceCells<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access discipline (disjoint single writes, enforced by the
+// index-partitioning of for_each_index) makes concurrent use sound.
+unsafe impl<T: Send> Sync for SliceCells<'_, T> {}
+unsafe impl<T: Send> Send for SliceCells<'_, T> {}
+
+impl<'a, T> SliceCells<'a, T> {
+    fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn write(&self, index: usize, value: T) {
+        assert!(index < self.len, "SliceCells index out of bounds");
+        // SAFETY: bounds-checked above; each index written exactly once by
+        // one thread (guaranteed by the chunked counter in the callers), so
+        // no two threads alias the same slot.
+        unsafe {
+            self.ptr.add(index).write(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_index_orders_results() {
+        let pool = ThreadPool::new(4);
+        let out = pool.map_index(1000, |i| i * 2);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn map_index_empty() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<usize> = pool.map_index(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn for_each_index_visits_everything_once() {
+        let pool = ThreadPool::new(8);
+        let flags: Vec<AtomicUsize> = (0..5000).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each_index(flags.len(), |i| {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_small_n_runs_inline() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.for_each_index_chunked(3, 10, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| (0..100u64).sum::<u64>(), || "side".to_string());
+        assert_eq!(a, 4950);
+        assert_eq!(b, "side");
+    }
+
+    #[test]
+    fn join_recursive_divide_and_conquer() {
+        fn psum(pool: &ThreadPool, xs: &[u64]) -> u64 {
+            if xs.len() <= 64 {
+                return xs.iter().sum();
+            }
+            let mid = xs.len() / 2;
+            let (lo, hi) = xs.split_at(mid);
+            let (a, b) = pool.join(|| psum(pool, lo), || psum(pool, hi));
+            a + b
+        }
+        let pool = ThreadPool::new(4);
+        let xs: Vec<u64> = (0..5000).collect();
+        assert_eq!(psum(&pool, &xs), xs.iter().sum());
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let pool = ThreadPool::new(4);
+        let total = pool.map_reduce(1001, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, (0..1001u64).sum());
+    }
+
+    #[test]
+    fn map_reduce_empty_returns_init() {
+        let pool = ThreadPool::new(4);
+        let total = pool.map_reduce(0, 7u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, 7);
+    }
+}

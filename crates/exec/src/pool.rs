@@ -1,0 +1,309 @@
+//! The work-stealing thread pool.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between pool handle and worker threads.
+pub(crate) struct Shared {
+    pub(crate) injector: Injector<Job>,
+    pub(crate) stealers: Vec<Stealer<Job>>,
+    /// Number of sleeping workers, used to avoid needless wakeups.
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Mutex/condvar pair used only for parking idle workers.
+    sleep_lock: Mutex<()>,
+    sleep_cond: Condvar,
+}
+
+impl Shared {
+    /// Wakes at least one parked worker (no-op if none are parked).
+    pub(crate) fn notify_one(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.sleep_lock.lock();
+            self.sleep_cond.notify_one();
+        }
+    }
+
+    fn notify_all(&self) {
+        let _guard = self.sleep_lock.lock();
+        self.sleep_cond.notify_all();
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Each worker owns a LIFO deque; idle workers steal from the global
+/// injector first and then from sibling deques, which keeps hot data local
+/// while still balancing heavy-tailed workloads.
+///
+/// Dropping the pool signals shutdown and joins all workers; jobs already
+/// queued are drained first.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.handles.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` worker threads (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, worker)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("exec-worker-{index}"))
+                    .spawn(move || worker_loop(index, worker, &shared))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Creates a pool sized to the machine ([`crate::default_threads`]).
+    pub fn with_default_threads() -> Self {
+        Self::new(crate::default_threads())
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn num_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submits a fire-and-forget job.
+    ///
+    /// The job may run on any worker thread at any later time. Use
+    /// [`ThreadPool::scope`] when the job borrows stack data or when you
+    /// need to wait for completion.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.injector.push(Box::new(job));
+        self.shared.notify_one();
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+impl Shared {
+    /// Steals one runnable job from the injector or any worker deque —
+    /// used by helping waiters (threads blocked in `scope`) so nested
+    /// scopes cannot deadlock the pool.
+    pub(crate) fn steal_one(&self) -> Option<Job> {
+        loop {
+            let mut retry = false;
+            match self.injector.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+            for stealer in &self.stealers {
+                match stealer.steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !retry {
+                return None;
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Finds the next runnable job for worker `index`.
+fn find_job(index: usize, local: &Worker<Job>, shared: &Shared) -> Option<Job> {
+    if let Some(job) = local.pop() {
+        return Some(job);
+    }
+    // Repeatedly try the injector (batch-stealing into the local deque) and
+    // then sibling deques until everything reports Empty.
+    loop {
+        let mut retry = false;
+        match shared.injector.steal_batch_and_pop(local) {
+            Steal::Success(job) => return Some(job),
+            Steal::Retry => retry = true,
+            Steal::Empty => {}
+        }
+        for (victim, stealer) in shared.stealers.iter().enumerate() {
+            if victim == index {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+fn worker_loop(index: usize, local: Worker<Job>, shared: &Shared) {
+    loop {
+        if let Some(job) = find_job(index, &local, shared) {
+            // A panicking raw `spawn` job must not kill the worker: the
+            // pool would silently lose capacity. Scope jobs catch their
+            // own panics and re-raise at the scope boundary; raw jobs'
+            // panics are contained here (the paying caller is gone).
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Park until new work arrives. Re-check queues under the sleep lock
+        // to close the race between the emptiness check and parking.
+        let mut guard = shared.sleep_lock.lock();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if !shared.injector.is_empty() {
+            continue;
+        }
+        shared.sleepers.fetch_add(1, Ordering::Relaxed);
+        shared.sleep_cond.wait_for(&mut guard, std::time::Duration::from_millis(50));
+        shared.sleepers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn spawn_runs_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let latch = Arc::new(crate::CountLatch::new());
+        latch.add(100);
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            let l = Arc::clone(&latch);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                l.done();
+            });
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let latch = Arc::new(crate::CountLatch::new());
+        latch.add(8);
+        for _ in 0..8 {
+            let c = Arc::clone(&counter);
+            let l = Arc::clone(&latch);
+            pool.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                c.fetch_add(1, Ordering::Relaxed);
+                l.done();
+            });
+        }
+        latch.wait();
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn panicking_spawn_job_does_not_kill_the_worker() {
+        let pool = ThreadPool::new(1);
+        let latch = Arc::new(crate::CountLatch::new());
+        latch.add(1);
+        let l = Arc::clone(&latch);
+        pool.spawn(move || {
+            l.done();
+            panic!("raw job panic");
+        });
+        latch.wait();
+        // the single worker must still be alive to run this job
+        let counter = Arc::new(AtomicU64::new(0));
+        let latch2 = Arc::new(crate::CountLatch::new());
+        latch2.add(1);
+        let c = Arc::clone(&counter);
+        let l2 = Arc::clone(&latch2);
+        pool.spawn(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+            l2.done();
+        });
+        latch2.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.num_threads(), 1);
+    }
+
+    #[test]
+    fn jobs_spawned_from_jobs_complete() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        let latch = Arc::new(crate::CountLatch::new());
+        latch.add(10);
+        let shared = pool.shared().clone();
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            let l = Arc::clone(&latch);
+            let s = Arc::clone(&shared);
+            pool.spawn(move || {
+                // nested job via raw injector, mirroring what Scope does
+                let c2 = Arc::clone(&c);
+                l.add(1);
+                let l2 = Arc::clone(&l);
+                s.injector.push(Box::new(move || {
+                    c2.fetch_add(1, Ordering::Relaxed);
+                    l2.done();
+                }));
+                s.notify_one();
+                c.fetch_add(1, Ordering::Relaxed);
+                l.done();
+            });
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+}

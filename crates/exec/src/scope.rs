@@ -1,0 +1,166 @@
+//! Structured (borrowing) parallelism on top of the pool.
+
+use std::marker::PhantomData;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::latch::CountLatch;
+use crate::pool::{Job, Shared, ThreadPool};
+
+/// A scope in which borrowed jobs can be spawned onto the pool.
+///
+/// Created by [`ThreadPool::scope`]. All jobs spawned on the scope are
+/// guaranteed to have finished before `scope` returns, which is what makes
+/// borrowing the enclosing stack frame sound.
+pub struct Scope<'scope> {
+    shared: Arc<Shared>,
+    latch: Arc<CountLatch>,
+    panicked: Arc<AtomicBool>,
+    /// Invariant over 'scope, mirroring `std::thread::Scope`.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a job that may borrow data living at least as long as the
+    /// scope. Panics inside the job are caught and re-raised (as a generic
+    /// panic) when the scope closes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.add(1);
+        let latch = Arc::clone(&self.latch);
+        let panicked = Arc::clone(&self.panicked);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+            if result.is_err() {
+                panicked.store(true, Ordering::SeqCst);
+            }
+            latch.done();
+        });
+        // SAFETY: the closing `scope` call waits on `latch` before
+        // returning, so the job cannot outlive the 'scope borrow. The
+        // transmute only erases the lifetime; the type is otherwise
+        // identical.
+        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.shared.injector.push(job);
+        self.shared.notify_one();
+    }
+}
+
+impl ThreadPool {
+    /// Runs `f` with a [`Scope`] on which borrowing jobs can be spawned,
+    /// waiting for all of them to finish before returning.
+    ///
+    /// # Panics
+    ///
+    /// If any spawned job panicked, the panic is surfaced here after all
+    /// jobs have completed.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let pool = exec::ThreadPool::new(2);
+    /// let mut halves = vec![0u64; 2];
+    /// let (lo, hi) = halves.split_at_mut(1);
+    /// pool.scope(|s| {
+    ///     s.spawn(|| lo[0] = (0..100u64).sum());
+    ///     s.spawn(|| hi[0] = (100..200u64).sum());
+    /// });
+    /// assert_eq!(halves.iter().sum::<u64>(), (0..200u64).sum());
+    /// ```
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            shared: Arc::clone(self.shared()),
+            latch: Arc::new(CountLatch::new()),
+            panicked: Arc::new(AtomicBool::new(false)),
+            _marker: PhantomData,
+        };
+        let result = f(&scope);
+        // Helping wait: while this scope's jobs are outstanding, execute
+        // *any* queued pool job instead of blocking. Without this, nested
+        // scopes (e.g. recursive `join`) deadlock once every worker is
+        // parked in a latch. Jobs run here may belong to other scopes —
+        // they are self-contained closures, so that is safe.
+        while scope.latch.outstanding() > 0 {
+            match scope.shared.steal_one() {
+                // contain panics from foreign raw-spawn jobs: they must
+                // not unwind through this unrelated scope
+                Some(job) => {
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                }
+                None => {
+                    // nothing stealable: our jobs are mid-flight on other
+                    // threads; yield briefly rather than spinning hot
+                    std::thread::yield_now();
+                }
+            }
+        }
+        if scope.panicked.load(Ordering::SeqCst) {
+            panic!("a job spawned in ThreadPool::scope panicked");
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_waits_for_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = ThreadPool::new(2);
+        let value = pool.scope(|_| 42);
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn scope_jobs_can_borrow_mutably_via_split() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 100];
+        pool.scope(|s| {
+            for (i, chunk) in data.chunks_mut(10).enumerate() {
+                s.spawn(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = i * 10 + j;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn scope_propagates_job_panic() {
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| {
+            s.spawn(|| panic!("boom"));
+        });
+    }
+
+    #[test]
+    fn empty_scope_is_fine() {
+        let pool = ThreadPool::new(1);
+        pool.scope(|_| {});
+    }
+}

@@ -1,0 +1,36 @@
+//! Property tests: the pool's data-parallel results must equal the
+//! sequential computation for arbitrary shapes.
+
+use exec::ThreadPool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_index_equals_sequential(n in 0usize..2000, threads in 1usize..8, mul in 1u64..1000) {
+        let pool = ThreadPool::new(threads);
+        let parallel = pool.map_index(n, |i| i as u64 * mul);
+        let sequential: Vec<u64> = (0..n).map(|i| i as u64 * mul).collect();
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn map_reduce_equals_fold(n in 0usize..3000, threads in 1usize..8) {
+        let pool = ThreadPool::new(threads);
+        let parallel = pool.map_reduce(n, 0u64, |i| (i as u64).wrapping_mul(2_654_435_761), |a, b| a.wrapping_add(b));
+        let sequential = (0..n).fold(0u64, |acc, i| acc.wrapping_add((i as u64).wrapping_mul(2_654_435_761)));
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn chunk_size_never_changes_results(n in 1usize..500, chunk in 1usize..600) {
+        let pool = ThreadPool::new(4);
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        pool.for_each_index_chunked(n, chunk, |i| {
+            sum.fetch_add(i as u64 + 1, std::sync::atomic::Ordering::Relaxed);
+        });
+        let expected: u64 = (1..=n as u64).sum();
+        prop_assert_eq!(sum.into_inner(), expected);
+    }
+}

@@ -1,0 +1,247 @@
+//! Machine-actionable access planning.
+//!
+//! "The type of representation …, the library interface(s) available to
+//! interface it …, and the types of data query … are all necessary
+//! information if one were to automatically construct new interfaces to
+//! reuse pre-existing work" (§III, Data Access). This module is that
+//! construction: given a [`DataDescriptor`], derive the mechanical
+//! [`AccessPlan`] a code generator would follow — or report precisely
+//! which gauge tier is missing, which is the actionable form of the
+//! technical-debt item.
+
+use serde::{Deserialize, Serialize};
+
+use crate::component::{AccessProtocol, DataDescriptor, QueryModel, SchemaInfo, SemanticsAnnotation};
+use crate::gauge::{Gauge, Tier};
+
+/// One mechanical step in constructing an interface to the data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessStep {
+    /// Open the named representation (file, queue, database, staging).
+    Open(String),
+    /// Bind the named library interface (csv reader, HDF5, ADIOS…).
+    BindInterface(String),
+    /// Drive the interface with this query discipline.
+    Query(String),
+    /// Decode records against this schema.
+    DecodeSchema(String),
+    /// Enforce an intended-use constraint while reading.
+    HonorSemantics(String),
+}
+
+/// A derived plan for constructing a reader/writer automatically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessPlan {
+    /// Mechanical steps, in execution order.
+    pub steps: Vec<AccessStep>,
+    /// True when the plan needs no human input at all: protocol,
+    /// interface, query model *and* schema are all explicit.
+    pub fully_automatic: bool,
+}
+
+impl AccessPlan {
+    /// Renders the plan as a short script-like listing (for reports and
+    /// the quickstart example).
+    pub fn describe(&self) -> String {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                AccessStep::Open(x) => format!("open {x}"),
+                AccessStep::BindInterface(x) => format!("bind {x}"),
+                AccessStep::Query(x) => format!("query {x}"),
+                AccessStep::DecodeSchema(x) => format!("decode {x}"),
+                AccessStep::HonorSemantics(x) => format!("honor {x}"),
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Why a plan cannot be derived: the gauge tier the descriptor must reach
+/// first. This is the machine-readable "run down the hall and ask" item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeedsTier {
+    /// Gauge that falls short.
+    pub gauge: Gauge,
+    /// Tier required for automation to proceed.
+    pub tier: Tier,
+}
+
+impl std::fmt::Display for NeedsTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot construct an interface automatically: {} must reach {} ({})",
+            self.gauge.name(),
+            self.tier,
+            self.gauge.tier_spec(self.tier).name
+        )
+    }
+}
+
+impl std::error::Error for NeedsTier {}
+
+fn protocol_label(p: &AccessProtocol) -> String {
+    match p {
+        AccessProtocol::PosixFile => "posix-file".into(),
+        AccessProtocol::MessageQueue => "message-queue".into(),
+        AccessProtocol::Database => "database".into(),
+        AccessProtocol::Staged => "staging-area".into(),
+        AccessProtocol::Other(name) => name.clone(),
+    }
+}
+
+fn query_label(q: QueryModel) -> &'static str {
+    match q {
+        QueryModel::Linear => "linear-scan",
+        QueryModel::RandomAccess => "random-access",
+        QueryModel::Declarative => "declarative",
+    }
+}
+
+fn schema_label(s: &SchemaInfo) -> String {
+    match s {
+        SchemaInfo::Named { format } => format!("format:{format}"),
+        SchemaInfo::Typed { columns } => format!("typed:{}-columns", columns.len()),
+        SchemaInfo::SelfDescribing { container } => format!("self-describing:{container}"),
+        SchemaInfo::Evolvable { container, version } => {
+            format!("evolvable:{container}@{version}")
+        }
+    }
+}
+
+fn semantics_label(a: &SemanticsAnnotation) -> String {
+    match a {
+        SemanticsAnnotation::OrderingSignificant => "ordering-significant".into(),
+        SemanticsAnnotation::Windowed(n) => format!("windowed:{n}"),
+        SemanticsAnnotation::ElementWise => "element-wise".into(),
+        SemanticsAnnotation::FirstPrecious => "first-precious".into(),
+        SemanticsAnnotation::FusionRule(r) => format!("fusion:{r}"),
+        SemanticsAnnotation::FormatEvolution(v) => format!("format-evolution:{v}"),
+        SemanticsAnnotation::DatasetLabel(l) => format!("dataset:{l}"),
+    }
+}
+
+/// Derives the access plan for one data descriptor.
+///
+/// Automation needs Data Access tier 2 at minimum (protocol + interface);
+/// without those the error names the exact missing tier. Query model and
+/// schema make the plan *fully* automatic; semantics annotations become
+/// enforced constraints.
+pub fn plan_access(d: &DataDescriptor) -> Result<AccessPlan, NeedsTier> {
+    let protocol = d.protocol.as_ref().ok_or(NeedsTier {
+        gauge: Gauge::DataAccess,
+        tier: Tier(1),
+    })?;
+    let interface = d.interface.as_ref().ok_or(NeedsTier {
+        gauge: Gauge::DataAccess,
+        tier: Tier(2),
+    })?;
+    let mut steps = vec![
+        AccessStep::Open(protocol_label(protocol)),
+        AccessStep::BindInterface(interface.clone()),
+    ];
+    if let Some(q) = d.query {
+        steps.push(AccessStep::Query(query_label(q).into()));
+    }
+    if let Some(schema) = &d.schema {
+        steps.push(AccessStep::DecodeSchema(schema_label(schema)));
+    } else if let Some(format) = &d.format {
+        steps.push(AccessStep::DecodeSchema(format!("format:{format}")));
+    }
+    for ann in &d.semantics {
+        steps.push(AccessStep::HonorSemantics(semantics_label(ann)));
+    }
+    let fully_automatic = d.query.is_some() && d.schema.is_some();
+    Ok(AccessPlan {
+        steps,
+        fully_automatic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_box_names_the_missing_tier() {
+        let err = plan_access(&DataDescriptor::default()).unwrap_err();
+        assert_eq!(err.gauge, Gauge::DataAccess);
+        assert_eq!(err.tier, Tier(1));
+        assert!(err.to_string().contains("Data Access"));
+    }
+
+    #[test]
+    fn protocol_without_interface_needs_tier_two() {
+        let d = DataDescriptor {
+            protocol: Some(AccessProtocol::PosixFile),
+            ..DataDescriptor::default()
+        };
+        let err = plan_access(&d).unwrap_err();
+        assert_eq!(err.tier, Tier(2));
+    }
+
+    #[test]
+    fn minimal_plan_is_partial() {
+        let d = DataDescriptor {
+            protocol: Some(AccessProtocol::PosixFile),
+            interface: Some("tsv".into()),
+            ..DataDescriptor::default()
+        };
+        let plan = plan_access(&d).unwrap();
+        assert_eq!(plan.steps.len(), 2);
+        assert!(!plan.fully_automatic);
+        assert_eq!(plan.describe(), "open posix-file; bind tsv");
+    }
+
+    #[test]
+    fn rich_descriptor_plans_fully_automatic() {
+        let d = DataDescriptor {
+            protocol: Some(AccessProtocol::Staged),
+            interface: Some("adios".into()),
+            query: Some(QueryModel::RandomAccess),
+            format: None,
+            schema: Some(SchemaInfo::SelfDescribing { container: "adios".into() }),
+            semantics: vec![
+                SemanticsAnnotation::FirstPrecious,
+                SemanticsAnnotation::Windowed(16),
+            ],
+        };
+        let plan = plan_access(&d).unwrap();
+        assert!(plan.fully_automatic);
+        let text = plan.describe();
+        assert!(text.contains("open staging-area"));
+        assert!(text.contains("query random-access"));
+        assert!(text.contains("decode self-describing:adios"));
+        assert!(text.contains("honor first-precious"));
+        assert!(text.contains("honor windowed:16"));
+    }
+
+    #[test]
+    fn coarse_format_fallback_decodes_by_name() {
+        let d = DataDescriptor {
+            protocol: Some(AccessProtocol::PosixFile),
+            interface: Some("csv".into()),
+            format: Some("gff3".into()),
+            ..DataDescriptor::default()
+        };
+        let plan = plan_access(&d).unwrap();
+        assert!(plan.describe().contains("decode format:gff3"));
+        assert!(!plan.fully_automatic, "no query model, no typed schema");
+    }
+
+    #[test]
+    fn plan_serializes() {
+        let d = DataDescriptor {
+            protocol: Some(AccessProtocol::Database),
+            interface: Some("mysql".into()),
+            query: Some(QueryModel::Declarative),
+            schema: Some(SchemaInfo::Typed { columns: vec![("a".into(), "i64".into())] }),
+            ..DataDescriptor::default()
+        };
+        let plan = plan_access(&d).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: AccessPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

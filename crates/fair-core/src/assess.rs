@@ -1,0 +1,276 @@
+//! Rule-based automatic gauge assessment.
+//!
+//! "The gauges are useful from a human-driven provenance auditing
+//! perspective, while they can also be made machine-actionable" (§III-A).
+//! This module is the machine-actionable part: it inspects a
+//! [`ComponentDescriptor`] and derives the highest tier each gauge's
+//! evidence supports. The rules mirror the ladder criteria in
+//! [`crate::gauge`] one-to-one, so the assessment is auditable.
+
+use crate::component::{ComponentDescriptor, DataDescriptor, SchemaInfo, SemanticsAnnotation};
+use crate::gauge::{Gauge, Tier};
+use crate::profile::GaugeProfile;
+
+/// Assesses a single data descriptor's access tier.
+fn access_tier(d: &DataDescriptor) -> Tier {
+    if d.protocol.is_none() {
+        return Tier(0);
+    }
+    if d.interface.is_none() {
+        return Tier(1);
+    }
+    if d.query.is_none() {
+        return Tier(2);
+    }
+    // Tier 4 (machine-queriable ontology) additionally requires schema
+    // knowledge — the paper notes higher access tiers depend on the schema
+    // gauge ("to capture information on a relevant SQL query … one would
+    // need some minimal degree of data schema characterization").
+    if d.schema.is_some() {
+        Tier(4)
+    } else {
+        Tier(3)
+    }
+}
+
+/// Assesses a single data descriptor's schema tier.
+fn schema_tier(d: &DataDescriptor) -> Tier {
+    match &d.schema {
+        Some(SchemaInfo::Evolvable { .. }) => Tier(4),
+        Some(SchemaInfo::SelfDescribing { .. }) => Tier(3),
+        Some(SchemaInfo::Typed { .. }) => Tier(2),
+        Some(SchemaInfo::Named { .. }) => Tier(1),
+        None if d.format.is_some() => Tier(1),
+        None => Tier(0),
+    }
+}
+
+/// Assesses a single data descriptor's semantics tier.
+fn semantics_tier(d: &DataDescriptor) -> Tier {
+    let mut tier = Tier(0);
+    for ann in &d.semantics {
+        let t = match ann {
+            SemanticsAnnotation::OrderingSignificant
+            | SemanticsAnnotation::Windowed(_)
+            | SemanticsAnnotation::ElementWise
+            | SemanticsAnnotation::FirstPrecious => Tier(1),
+            SemanticsAnnotation::FusionRule(_) => Tier(2),
+            SemanticsAnnotation::FormatEvolution(_) => Tier(3),
+            SemanticsAnnotation::DatasetLabel(_) => Tier(4),
+        };
+        tier = tier.max(t);
+    }
+    tier
+}
+
+/// The minimum over ports of a per-port tier — a component is only as
+/// automatable as its *least* explicit port. Components with no ports at
+/// all stay at tier 0 (nothing is known about their data behaviour).
+fn min_over_ports(c: &ComponentDescriptor, f: impl Fn(&DataDescriptor) -> Tier) -> Tier {
+    c.ports().map(|p| f(&p.data)).min().unwrap_or(Tier(0))
+}
+
+/// Assesses software granularity.
+fn granularity_tier(c: &ComponentDescriptor) -> Tier {
+    // Being described at all (with a kind) is tier 1.
+    let mut tier = Tier(1);
+    if c.has_templates {
+        tier = Tier(2);
+    }
+    // Tier 3 needs captured I/O semantics, which live on the ports.
+    let has_io_semantics =
+        c.ports().next().is_some() && c.ports().all(|p| !p.data.semantics.is_empty());
+    if c.has_templates && has_io_semantics {
+        tier = Tier(3);
+    }
+    tier
+}
+
+/// Assesses software customizability.
+fn customizability_tier(c: &ComponentDescriptor) -> Tier {
+    if c.config.is_empty() {
+        return Tier(0);
+    }
+    if !c.has_generation_model {
+        return Tier(1);
+    }
+    let has_relations = c.config.iter().any(|v| !v.related_to.is_empty());
+    if has_relations {
+        Tier(3)
+    } else {
+        Tier(2)
+    }
+}
+
+/// Assesses software provenance.
+fn provenance_tier(c: &ComponentDescriptor) -> Tier {
+    if c.provenance.is_empty() {
+        return Tier(0);
+    }
+    let any_campaign = c.provenance.iter().any(|r| r.campaign.is_some());
+    let all_export_policied = c.provenance.iter().all(|r| r.exportable.is_some());
+    match (any_campaign, all_export_policied) {
+        (true, true) => Tier(3),
+        (true, false) => Tier(2),
+        _ => Tier(1),
+    }
+}
+
+/// Derives the full [`GaugeProfile`] a descriptor's metadata supports.
+pub fn assess(c: &ComponentDescriptor) -> GaugeProfile {
+    GaugeProfile::from_pairs([
+        (Gauge::DataAccess, min_over_ports(c, access_tier)),
+        (Gauge::DataSchema, min_over_ports(c, schema_tier)),
+        (Gauge::DataSemantics, min_over_ports(c, semantics_tier)),
+        (Gauge::SoftwareGranularity, granularity_tier(c)),
+        (Gauge::SoftwareCustomizability, customizability_tier(c)),
+        (Gauge::SoftwareProvenance, provenance_tier(c)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{
+        AccessProtocol, ComponentKind, ConfigVariable, PortDescriptor, ProvenanceRecord,
+        QueryModel,
+    };
+
+    fn port(name: &str, data: DataDescriptor) -> PortDescriptor {
+        PortDescriptor {
+            name: name.into(),
+            data,
+        }
+    }
+
+    #[test]
+    fn black_box_assesses_to_mostly_unknown() {
+        let c = ComponentDescriptor::new("bb", "0", ComponentKind::Executable);
+        let p = assess(&c);
+        assert_eq!(p.get(Gauge::DataAccess), Tier(0));
+        assert_eq!(p.get(Gauge::DataSchema), Tier(0));
+        assert_eq!(p.get(Gauge::SoftwareGranularity), Tier(1), "kind alone is tier 1");
+        assert_eq!(p.get(Gauge::SoftwareCustomizability), Tier(0));
+        assert_eq!(p.get(Gauge::SoftwareProvenance), Tier(0));
+    }
+
+    #[test]
+    fn access_ladder_climbs_with_evidence() {
+        let mut d = DataDescriptor::default();
+        assert_eq!(access_tier(&d), Tier(0));
+        d.protocol = Some(AccessProtocol::PosixFile);
+        assert_eq!(access_tier(&d), Tier(1));
+        d.interface = Some("hdf5".into());
+        assert_eq!(access_tier(&d), Tier(2));
+        d.query = Some(QueryModel::RandomAccess);
+        assert_eq!(access_tier(&d), Tier(3));
+        d.schema = Some(SchemaInfo::SelfDescribing { container: "hdf5".into() });
+        assert_eq!(access_tier(&d), Tier(4));
+    }
+
+    #[test]
+    fn schema_ladder() {
+        let mut d = DataDescriptor::default();
+        assert_eq!(schema_tier(&d), Tier(0));
+        d.format = Some("csv".into());
+        assert_eq!(schema_tier(&d), Tier(1), "coarse format name is tier 1");
+        d.schema = Some(SchemaInfo::Typed { columns: vec![("a".into(), "f64".into())] });
+        assert_eq!(schema_tier(&d), Tier(2));
+        d.schema = Some(SchemaInfo::Evolvable { container: "adios".into(), version: "2".into() });
+        assert_eq!(schema_tier(&d), Tier(4));
+    }
+
+    #[test]
+    fn semantics_takes_strongest_annotation() {
+        let d = DataDescriptor {
+            semantics: vec![
+                SemanticsAnnotation::ElementWise,
+                SemanticsAnnotation::DatasetLabel("tumor/healthy".into()),
+            ],
+            ..DataDescriptor::default()
+        };
+        assert_eq!(semantics_tier(&d), Tier(4));
+    }
+
+    #[test]
+    fn component_tier_is_min_over_ports() {
+        let mut c = ComponentDescriptor::new("x", "0", ComponentKind::Executable);
+        c.inputs.push(port(
+            "good",
+            DataDescriptor {
+                protocol: Some(AccessProtocol::PosixFile),
+                interface: Some("csv".into()),
+                ..DataDescriptor::default()
+            },
+        ));
+        c.outputs.push(port("bad", DataDescriptor::default()));
+        assert_eq!(assess(&c).get(Gauge::DataAccess), Tier(0), "weakest port dominates");
+    }
+
+    #[test]
+    fn customizability_requires_model_for_tier2() {
+        let mut c = ComponentDescriptor::new("x", "0", ComponentKind::Executable);
+        c.config.push(ConfigVariable {
+            name: "n".into(),
+            var_type: "int".into(),
+            default: None,
+            description: String::new(),
+            related_to: vec![],
+        });
+        assert_eq!(assess(&c).get(Gauge::SoftwareCustomizability), Tier(1));
+        c.has_generation_model = true;
+        assert_eq!(assess(&c).get(Gauge::SoftwareCustomizability), Tier(2));
+        c.config[0].related_to.push("walltime".into());
+        assert_eq!(assess(&c).get(Gauge::SoftwareCustomizability), Tier(3));
+    }
+
+    #[test]
+    fn provenance_ladder() {
+        let mut c = ComponentDescriptor::new("x", "0", ComponentKind::Executable);
+        c.provenance.push(ProvenanceRecord {
+            execution_id: "run-1".into(),
+            campaign: None,
+            exportable: None,
+            notes: String::new(),
+        });
+        assert_eq!(assess(&c).get(Gauge::SoftwareProvenance), Tier(1));
+        c.provenance[0].campaign = Some("camp-A".into());
+        assert_eq!(assess(&c).get(Gauge::SoftwareProvenance), Tier(2));
+        c.provenance[0].exportable = Some(true);
+        assert_eq!(assess(&c).get(Gauge::SoftwareProvenance), Tier(3));
+    }
+
+    #[test]
+    fn granularity_tier3_needs_templates_and_io_semantics() {
+        let mut c = ComponentDescriptor::new("x", "0", ComponentKind::Service);
+        c.has_templates = true;
+        assert_eq!(assess(&c).get(Gauge::SoftwareGranularity), Tier(2));
+        c.inputs.push(port(
+            "in",
+            DataDescriptor {
+                semantics: vec![SemanticsAnnotation::FirstPrecious],
+                ..DataDescriptor::default()
+            },
+        ));
+        assert_eq!(assess(&c).get(Gauge::SoftwareGranularity), Tier(3));
+    }
+
+    #[test]
+    fn adding_metadata_never_lowers_the_profile() {
+        // Monotonicity spot-check: enriching one port's metadata must not
+        // lower any gauge.
+        let mut c = ComponentDescriptor::new("x", "0", ComponentKind::Executable);
+        c.inputs.push(port(
+            "in",
+            DataDescriptor {
+                protocol: Some(AccessProtocol::PosixFile),
+                ..DataDescriptor::default()
+            },
+        ));
+        let before = assess(&c);
+        c.inputs[0].data.interface = Some("csv".into());
+        c.inputs[0].data.semantics.push(SemanticsAnnotation::ElementWise);
+        let after = assess(&c);
+        assert!(after.dominates(&before));
+    }
+}

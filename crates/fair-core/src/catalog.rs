@@ -1,0 +1,226 @@
+//! A queryable metadata catalog with profile history.
+//!
+//! "Structuring metadata catalogs to offer new abstractions for
+//! automation" (§I) — the catalog stores component descriptors together
+//! with their assessed gauge profiles, keeps the history of each
+//! component's profile over time (the *gauge* as progress-tracker, not a
+//! score), and answers the queries automation needs ("which components
+//! satisfy this minimum profile?").
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::assess::assess;
+use crate::component::ComponentDescriptor;
+use crate::error::FairError;
+use crate::profile::GaugeProfile;
+
+/// One catalog entry: the current descriptor plus its profile history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// The component descriptor as last registered.
+    pub descriptor: ComponentDescriptor,
+    /// Assessed profiles, oldest first; the last is current.
+    pub history: Vec<GaugeProfile>,
+}
+
+impl CatalogEntry {
+    /// Current profile.
+    pub fn current(&self) -> &GaugeProfile {
+        self.history.last().expect("entries always have ≥1 profile")
+    }
+
+    /// Progress made since first registration (score delta).
+    pub fn progress_delta(&self) -> i64 {
+        let first = self.history.first().expect("non-empty history");
+        self.current().progress_score() as i64 - first.progress_score() as i64
+    }
+}
+
+/// The metadata catalog.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    entries: BTreeMap<String, CatalogEntry>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new component (or re-registers an updated descriptor
+    /// for an existing name, appending to its history).
+    ///
+    /// Returns the assessed profile.
+    pub fn register(&mut self, descriptor: ComponentDescriptor) -> GaugeProfile {
+        let profile = assess(&descriptor);
+        self.entries
+            .entry(descriptor.name.clone())
+            .and_modify(|e| {
+                e.descriptor = descriptor.clone();
+                if e.current() != &profile {
+                    e.history.push(profile);
+                }
+            })
+            .or_insert_with(|| CatalogEntry {
+                descriptor,
+                history: vec![profile],
+            });
+        profile
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.get(name)
+    }
+
+    /// All entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CatalogEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Components whose current profile dominates `minimum` — i.e. the
+    /// ones an automated composer may safely wire into a context that
+    /// requires that much explicitness.
+    pub fn satisfying(&self, minimum: &GaugeProfile) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.current().dominates(minimum))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Exports the named components as a distributable research object,
+    /// applying the exportability policy (see
+    /// [`crate::research_object::export`]).
+    ///
+    /// Unknown names are an error — exporting "whatever happens to exist"
+    /// is how provenance leaks.
+    pub fn export_research_object(
+        &self,
+        id: &str,
+        names: &[&str],
+    ) -> Result<crate::research_object::ResearchObject, FairError> {
+        let mut descriptors = Vec::with_capacity(names.len());
+        for &name in names {
+            let entry = self
+                .get(name)
+                .ok_or_else(|| FairError::UnknownReference(format!("component {name:?}")))?;
+            descriptors.push(entry.descriptor.clone());
+        }
+        crate::research_object::export(id, &descriptors)
+            .map_err(|e| FairError::Parse(e.to_string()))
+    }
+
+    /// Serializes the whole catalog to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("catalog serialization cannot fail")
+    }
+
+    /// Parses a catalog from JSON.
+    pub fn from_json(json: &str) -> Result<Self, FairError> {
+        serde_json::from_str(json).map_err(|e| FairError::Parse(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{AccessProtocol, ComponentKind, DataDescriptor, PortDescriptor};
+    use crate::gauge::{Gauge, Tier};
+
+    fn component(name: &str) -> ComponentDescriptor {
+        ComponentDescriptor::new(name, "0.1", ComponentKind::Executable)
+    }
+
+    #[test]
+    fn register_and_query() {
+        let mut cat = Catalog::new();
+        cat.register(component("a"));
+        cat.register(component("b"));
+        assert_eq!(cat.len(), 2);
+        assert!(cat.get("a").is_some());
+        assert!(cat.get("zz").is_none());
+    }
+
+    #[test]
+    fn reregistration_appends_history_only_on_change() {
+        let mut cat = Catalog::new();
+        let mut c = component("a");
+        cat.register(c.clone());
+        // identical re-registration: history stays length 1
+        cat.register(c.clone());
+        assert_eq!(cat.get("a").unwrap().history.len(), 1);
+        // enriched descriptor: history grows
+        c.inputs.push(PortDescriptor {
+            name: "in".into(),
+            data: DataDescriptor {
+                protocol: Some(AccessProtocol::PosixFile),
+                ..DataDescriptor::default()
+            },
+        });
+        cat.register(c);
+        let entry = cat.get("a").unwrap();
+        assert_eq!(entry.history.len(), 2);
+        assert!(entry.progress_delta() > 0);
+    }
+
+    #[test]
+    fn satisfying_filters_by_domination() {
+        let mut cat = Catalog::new();
+        cat.register(component("weak"));
+        let mut strong = component("strong");
+        strong.inputs.push(PortDescriptor {
+            name: "in".into(),
+            data: DataDescriptor {
+                protocol: Some(AccessProtocol::PosixFile),
+                interface: Some("csv".into()),
+                ..DataDescriptor::default()
+            },
+        });
+        cat.register(strong);
+        let min = GaugeProfile::from_pairs([(Gauge::DataAccess, Tier(2))]);
+        assert_eq!(cat.satisfying(&min), vec!["strong"]);
+        assert_eq!(cat.satisfying(&GaugeProfile::unknown()).len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut cat = Catalog::new();
+        cat.register(component("a"));
+        let json = cat.to_json();
+        let back = Catalog::from_json(&json).unwrap();
+        assert_eq!(cat, back);
+    }
+
+    #[test]
+    fn research_object_export_from_catalog() {
+        let mut cat = Catalog::new();
+        let mut c = component("exportable");
+        c.provenance.push(crate::component::ProvenanceRecord {
+            execution_id: "r1".into(),
+            campaign: Some("camp".into()),
+            exportable: Some(true),
+            notes: String::new(),
+        });
+        cat.register(c);
+        let ro = cat.export_research_object("obj", &["exportable"]).unwrap();
+        assert_eq!(ro.components.len(), 1);
+        assert!(matches!(
+            cat.export_research_object("obj", &["missing"]),
+            Err(crate::FairError::UnknownReference(_))
+        ));
+    }
+}

@@ -1,0 +1,274 @@
+//! Machine-readable workflow-component descriptors.
+//!
+//! These are the "actionable metadata characteristics that can be attached
+//! to data and computational aspects of workflow components" (§I). A
+//! [`ComponentDescriptor`] is deliberately permissive — everything is
+//! optional, because the whole point of the gauge model is to let software
+//! "begin in a black-box configuration and progressively expand".
+
+use serde::{Deserialize, Serialize};
+
+/// Scale at which a software artifact is captured (§III, Software
+/// Granularity: "a code fragment, an individual executable code, a
+/// bundled workflow, or an internal service").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// A fragment of code inside some larger program.
+    CodeFragment,
+    /// A single executable program.
+    Executable,
+    /// A multi-step workflow bundled as one artifact.
+    BundledWorkflow,
+    /// A long-running internal service.
+    Service,
+}
+
+/// Known access protocols/representations (Data Access tier 1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessProtocol {
+    /// A POSIX file or directory.
+    PosixFile,
+    /// A message queue (the paper's zeroMQ example).
+    MessageQueue,
+    /// A relational or other database endpoint.
+    Database,
+    /// An in-memory / staging-area object (ADIOS-style).
+    Staged,
+    /// Some other named protocol.
+    Other(String),
+}
+
+/// Query models an access point supports (Data Access tier 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryModel {
+    /// Front-to-back linear access only.
+    Linear,
+    /// Random element access.
+    RandomAccess,
+    /// Declarative query (SQL-like).
+    Declarative,
+}
+
+/// Schema knowledge for a port (Data Schema tiers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchemaInfo {
+    /// The bytes follow a named format (tier 1).
+    Named {
+        /// Format name, e.g. `"csv"`, `"gff3"`.
+        format: String,
+    },
+    /// Column/element types are captured (tier 2).
+    Typed {
+        /// `(name, type)` pairs.
+        columns: Vec<(String, String)>,
+    },
+    /// The data carries its own schema (tier 3).
+    SelfDescribing {
+        /// Container technology, e.g. `"adios"`, `"hdf5"`.
+        container: String,
+    },
+    /// Self-describing *and* versioned (tier 4).
+    Evolvable {
+        /// Container technology.
+        container: String,
+        /// Schema version string.
+        version: String,
+    },
+}
+
+/// Intended-use semantics attached to a port (Data Semantics tiers).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SemanticsAnnotation {
+    /// Ordering of elements matters.
+    OrderingSignificant,
+    /// Elements are consumed in windows of the given size.
+    Windowed(u32),
+    /// Elements are consumed one at a time.
+    ElementWise,
+    /// The first element is special ("first precious", §III).
+    FirstPrecious,
+    /// An automatable fusion/conversion transaction is recorded.
+    FusionRule(String),
+    /// Format-version evolution info is recorded.
+    FormatEvolution(String),
+    /// Dataset-level semantics (e.g. labeled training classes).
+    DatasetLabel(String),
+}
+
+/// Everything known about the data flowing through one port.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DataDescriptor {
+    /// Access protocol, if known.
+    pub protocol: Option<AccessProtocol>,
+    /// Library interface used to touch the data (HDF5, ADIOS, csv, …).
+    pub interface: Option<String>,
+    /// Query model supported, if known.
+    pub query: Option<QueryModel>,
+    /// Named format (coarse; superseded by `schema` when present).
+    pub format: Option<String>,
+    /// Structured schema knowledge.
+    pub schema: Option<SchemaInfo>,
+    /// Intended-use semantics annotations.
+    pub semantics: Vec<SemanticsAnnotation>,
+}
+
+/// A named input or output of a component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortDescriptor {
+    /// Port name, unique within the component.
+    pub name: String,
+    /// What is known about the data at this port.
+    pub data: DataDescriptor,
+}
+
+/// A declared configuration degree of freedom (Software Customizability).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigVariable {
+    /// Variable name as it appears in the model.
+    pub name: String,
+    /// Type, e.g. `"int"`, `"path"`, `"enum(a|b)"`.
+    pub var_type: String,
+    /// Default value rendered as text, if any.
+    pub default: Option<String>,
+    /// Free-text description.
+    pub description: String,
+    /// Names of other variables this one is functionally related to
+    /// (tier 3 "model parameterization": relations between variables).
+    pub related_to: Vec<String>,
+}
+
+/// One provenance record attached to a component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceRecord {
+    /// Execution identifier (run directory, job id…).
+    pub execution_id: String,
+    /// Campaign the execution belonged to, when known (tier 2).
+    pub campaign: Option<String>,
+    /// Whether this record is marked exportable into a distributable
+    /// research object (tier 3 "exportability").
+    pub exportable: Option<bool>,
+    /// Free-form log/notes.
+    pub notes: String,
+}
+
+/// The full machine-readable description of one workflow component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentDescriptor {
+    /// Component name (unique within a catalog).
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// Scale at which the component is captured.
+    pub kind: ComponentKind,
+    /// Input ports.
+    pub inputs: Vec<PortDescriptor>,
+    /// Output ports.
+    pub outputs: Vec<PortDescriptor>,
+    /// Declared configuration variables.
+    pub config: Vec<ConfigVariable>,
+    /// True when build/launch/execute templates exist for the component
+    /// (Software Granularity tier 2 "config-templated").
+    pub has_templates: bool,
+    /// True when the config variables are captured in a machine-actionable
+    /// generation model (Skel-style; Customizability tier 2).
+    pub has_generation_model: bool,
+    /// Provenance records.
+    pub provenance: Vec<ProvenanceRecord>,
+    /// Free-text description.
+    pub description: String,
+}
+
+impl ComponentDescriptor {
+    /// Creates a minimal (black-box) descriptor.
+    pub fn new(name: impl Into<String>, version: impl Into<String>, kind: ComponentKind) -> Self {
+        Self {
+            name: name.into(),
+            version: version.into(),
+            kind,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            config: Vec::new(),
+            has_templates: false,
+            has_generation_model: false,
+            provenance: Vec::new(),
+            description: String::new(),
+        }
+    }
+
+    /// All ports, inputs first.
+    pub fn ports(&self) -> impl Iterator<Item = &PortDescriptor> {
+        self.inputs.iter().chain(self.outputs.iter())
+    }
+
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&PortDescriptor> {
+        self.ports().find(|p| p.name == name)
+    }
+
+    /// Serializes the descriptor to pretty JSON (the catalog exchange
+    /// format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("descriptor serialization cannot fail")
+    }
+
+    /// Parses a descriptor from JSON.
+    pub fn from_json(json: &str) -> Result<Self, crate::FairError> {
+        serde_json::from_str(json).map_err(|e| crate::FairError::Parse(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ComponentDescriptor {
+        let mut c = ComponentDescriptor::new("stage-writer", "1.2.0", ComponentKind::Service);
+        c.inputs.push(PortDescriptor {
+            name: "frames".into(),
+            data: DataDescriptor {
+                protocol: Some(AccessProtocol::Staged),
+                interface: Some("adios".into()),
+                query: Some(QueryModel::Linear),
+                format: None,
+                schema: Some(SchemaInfo::SelfDescribing { container: "adios".into() }),
+                semantics: vec![SemanticsAnnotation::OrderingSignificant, SemanticsAnnotation::Windowed(16)],
+            },
+        });
+        c.config.push(ConfigVariable {
+            name: "window".into(),
+            var_type: "int".into(),
+            default: Some("16".into()),
+            description: "frames per window".into(),
+            related_to: vec![],
+        });
+        c
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = sample();
+        let json = c.to_json();
+        let back = ComponentDescriptor::from_json(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn port_lookup() {
+        let c = sample();
+        assert!(c.port("frames").is_some());
+        assert!(c.port("nope").is_none());
+        assert_eq!(c.ports().count(), 1);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(ComponentDescriptor::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn new_is_black_box() {
+        let c = ComponentDescriptor::new("x", "0", ComponentKind::Executable);
+        assert!(c.inputs.is_empty() && c.outputs.is_empty() && c.config.is_empty());
+        assert!(!c.has_templates && !c.has_generation_model);
+    }
+}

@@ -1,0 +1,223 @@
+//! Technical-debt accounting over gauge gaps.
+//!
+//! The paper frames technical debt as "the degree of human effort needed
+//! to repurpose or reuse a piece of data or code" (§I) and argues FAIR
+//! workflows should make that metadata machine-actionable so reuse can be
+//! *automated*. This module turns a gauge gap into a concrete reuse bill:
+//! for each gauge where a component falls short of what a scenario
+//! requires, how many **manual interventions** does the gap cost per
+//! reuse, and is closing the gap automatable once the next tier of
+//! metadata exists?
+//!
+//! The per-gap costs are deliberately simple and auditable: one
+//! intervention per missing tier, weighted by the scenario. They power the
+//! Fig. 2 comparison (manual script vs Skel-generated script) where the
+//! units are literally "fields a human must edit per new run
+//! configuration".
+
+use serde::{Deserialize, Serialize};
+
+use crate::gauge::{Gauge, Tier, ALL_GAUGES};
+use crate::profile::GaugeProfile;
+
+/// A reuse scenario: the profile a new context demands, plus how often the
+/// artifact will be reconfigured there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReuseScenario {
+    /// Scenario name (for reports).
+    pub name: String,
+    /// Gauge levels the new context requires.
+    pub required: GaugeProfile,
+    /// Expected number of reconfigurations (new datasets, new machines…)
+    /// over the scenario's lifetime.
+    pub reconfigurations: u32,
+}
+
+impl ReuseScenario {
+    /// Creates a scenario.
+    pub fn new(name: impl Into<String>, required: GaugeProfile, reconfigurations: u32) -> Self {
+        Self {
+            name: name.into(),
+            required,
+            reconfigurations,
+        }
+    }
+
+    /// The paper's GWAS-style scenario: data must be explicit enough to
+    /// regenerate ingest code (access/schema tier 2) and the software must
+    /// be templated with modeled variables.
+    pub fn regenerate_ingest(reconfigurations: u32) -> Self {
+        Self::new(
+            "regenerate-ingest",
+            GaugeProfile::from_pairs([
+                (Gauge::DataAccess, Tier(2)),
+                (Gauge::DataSchema, Tier(2)),
+                (Gauge::SoftwareGranularity, Tier(2)),
+                (Gauge::SoftwareCustomizability, Tier(2)),
+            ]),
+            reconfigurations,
+        )
+    }
+}
+
+/// One gauge's contribution to the reuse bill.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DebtItem {
+    /// Gauge in question.
+    pub gauge: Gauge,
+    /// Level the artifact has.
+    pub have: Tier,
+    /// Level the scenario requires.
+    pub need: Tier,
+    /// Manual interventions this gap costs *per reconfiguration*.
+    pub interventions_per_use: u32,
+    /// True when one tier of extra metadata would let tooling close the
+    /// gap automatically thereafter.
+    pub automatable: bool,
+}
+
+/// The full reuse bill for one artifact in one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DebtReport {
+    /// Scenario evaluated.
+    pub scenario: String,
+    /// Per-gauge line items (only gauges with gaps appear).
+    pub items: Vec<DebtItem>,
+    /// Interventions per single reconfiguration.
+    pub interventions_per_use: u32,
+    /// Total over the scenario lifetime.
+    pub total_interventions: u64,
+}
+
+impl DebtReport {
+    /// True when the artifact can be reused with zero manual work.
+    pub fn is_debt_free(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Interventions-per-use cost of one missing tier on one gauge.
+///
+/// Data gauges bill per missing tier (each missing rung is another
+/// manual translation/wrangling step); software gauges bill the gap once
+/// per use (you edit the script once per reconfiguration regardless of
+/// how far below the requirement you are) plus one for each rung when no
+/// generation model exists at all.
+fn gap_cost(gauge: Gauge, have: Tier, need: Tier) -> u32 {
+    let gap = (need.0 - have.0) as u32;
+    if gauge.is_data_gauge() {
+        gap
+    } else {
+        1 + gap / 2
+    }
+}
+
+/// A gap is automatable when the *next* tier of metadata is one that the
+/// toolchain can exploit mechanically: everything except bottom-tier
+/// discovery (tier 0 → 1), which always needs a human to write down what
+/// the thing even is.
+fn gap_automatable(have: Tier) -> bool {
+    have > Tier(0)
+}
+
+/// Estimates the reuse bill for an artifact with profile `have` under a
+/// scenario.
+pub fn estimate(have: &GaugeProfile, scenario: &ReuseScenario) -> DebtReport {
+    let mut items = Vec::new();
+    for g in ALL_GAUGES {
+        let h = have.get(g);
+        let n = scenario.required.get(g);
+        if n > h {
+            items.push(DebtItem {
+                gauge: g,
+                have: h,
+                need: n,
+                interventions_per_use: gap_cost(g, h, n),
+                automatable: gap_automatable(h),
+            });
+        }
+    }
+    let per_use: u32 = items.iter().map(|i| i.interventions_per_use).sum();
+    DebtReport {
+        scenario: scenario.name.clone(),
+        items,
+        interventions_per_use: per_use,
+        total_interventions: per_use as u64 * scenario.reconfigurations as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_meeting_requirements_is_debt_free() {
+        let scenario = ReuseScenario::regenerate_ingest(10);
+        let report = estimate(&scenario.required, &scenario);
+        assert!(report.is_debt_free());
+        assert_eq!(report.total_interventions, 0);
+    }
+
+    #[test]
+    fn black_box_pays_per_reconfiguration() {
+        let scenario = ReuseScenario::regenerate_ingest(10);
+        let report = estimate(&GaugeProfile::unknown(), &scenario);
+        assert!(!report.is_debt_free());
+        assert_eq!(report.items.len(), 4);
+        assert_eq!(
+            report.total_interventions,
+            report.interventions_per_use as u64 * 10
+        );
+        // tier-0 gaps need human discovery first
+        assert!(report.items.iter().all(|i| !i.automatable));
+    }
+
+    #[test]
+    fn partial_progress_reduces_the_bill_and_becomes_automatable() {
+        let scenario = ReuseScenario::regenerate_ingest(10);
+        let black_box = estimate(&GaugeProfile::unknown(), &scenario);
+        let halfway = GaugeProfile::from_pairs([
+            (Gauge::DataAccess, Tier(1)),
+            (Gauge::DataSchema, Tier(1)),
+            (Gauge::SoftwareGranularity, Tier(1)),
+            (Gauge::SoftwareCustomizability, Tier(1)),
+        ]);
+        let report = estimate(&halfway, &scenario);
+        assert!(report.interventions_per_use < black_box.interventions_per_use);
+        assert!(report.items.iter().all(|i| i.automatable));
+    }
+
+    #[test]
+    fn exceeding_requirements_incurs_nothing() {
+        let scenario = ReuseScenario::regenerate_ingest(5);
+        let over = GaugeProfile::max_documented();
+        assert!(estimate(&over, &scenario).is_debt_free());
+    }
+
+    #[test]
+    fn data_gaps_bill_per_tier() {
+        let scenario = ReuseScenario::new(
+            "s",
+            GaugeProfile::from_pairs([(Gauge::DataSchema, Tier(3))]),
+            1,
+        );
+        let report = estimate(&GaugeProfile::unknown(), &scenario);
+        assert_eq!(report.items.len(), 1);
+        assert_eq!(report.items[0].interventions_per_use, 3);
+    }
+
+    #[test]
+    fn monotone_in_have_profile() {
+        // Raising any gauge can only lower (or keep) the bill.
+        let scenario = ReuseScenario::regenerate_ingest(1);
+        let mut have = GaugeProfile::unknown();
+        let mut last = estimate(&have, &scenario).interventions_per_use;
+        for g in ALL_GAUGES {
+            have = have.raised(g, Tier(2));
+            let now = estimate(&have, &scenario).interventions_per_use;
+            assert!(now <= last, "raising {g} increased the bill");
+            last = now;
+        }
+        assert_eq!(last, 0);
+    }
+}

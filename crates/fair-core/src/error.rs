@@ -1,0 +1,40 @@
+//! Crate error type.
+
+use std::fmt;
+
+/// Errors produced by the fair-core model layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FairError {
+    /// A serialized artifact could not be parsed.
+    Parse(String),
+    /// A workflow graph referenced an unknown node or port.
+    UnknownReference(String),
+    /// A workflow graph edge connects incompatible ports.
+    Incompatible(String),
+    /// A workflow graph contains a cycle.
+    Cyclic(String),
+}
+
+impl fmt::Display for FairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FairError::Parse(m) => write!(f, "parse error: {m}"),
+            FairError::UnknownReference(m) => write!(f, "unknown reference: {m}"),
+            FairError::Incompatible(m) => write!(f, "incompatible connection: {m}"),
+            FairError::Cyclic(m) => write!(f, "workflow graph is cyclic: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FairError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(FairError::Parse("x".into()).to_string().contains("parse"));
+        assert!(FairError::Cyclic("n1".into()).to_string().contains("cyclic"));
+    }
+}

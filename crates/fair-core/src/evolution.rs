@@ -1,0 +1,287 @@
+//! Format-evolution registry (Data Schema tier 4 / Data Semantics
+//! "format evolution").
+//!
+//! "The 'format evolution' tier leverages format version information to
+//! capture the conversions that would take a particular materials format
+//! back to an earlier version" (§III). The registry stores directed
+//! converters between `(container, version)` pairs and *derives* multi-hop
+//! conversion chains by path search — so once each adjacent-version
+//! converter is registered, any reachable version pair converts
+//! automatically. That derivation is exactly what "machine-actionable
+//! version metadata" buys.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// A format identity: container technology plus version.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FormatId {
+    /// Container name, e.g. `"matml"`, `"adios"`.
+    pub container: String,
+    /// Version string.
+    pub version: String,
+}
+
+impl FormatId {
+    /// Creates a format id.
+    pub fn new(container: impl Into<String>, version: impl Into<String>) -> Self {
+        Self {
+            container: container.into(),
+            version: version.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for FormatId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.container, self.version)
+    }
+}
+
+/// A registered single-hop converter.
+type Converter = Box<dyn Fn(&str) -> Result<String, String> + Send + Sync>;
+
+/// Conversion errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvolutionError {
+    /// No path of registered converters connects the two formats.
+    NoPath {
+        /// Source format.
+        from: FormatId,
+        /// Destination format.
+        to: FormatId,
+    },
+    /// A converter along the chain rejected the payload.
+    StepFailed {
+        /// The hop that failed.
+        from: FormatId,
+        /// The hop's destination.
+        to: FormatId,
+        /// Converter's error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for EvolutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvolutionError::NoPath { from, to } => {
+                write!(f, "no conversion path from {from} to {to}")
+            }
+            EvolutionError::StepFailed { from, to, message } => {
+                write!(f, "conversion {from} -> {to} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvolutionError {}
+
+/// The registry of format converters.
+#[derive(Default)]
+pub struct FormatRegistry {
+    edges: BTreeMap<FormatId, Vec<(FormatId, Converter)>>,
+}
+
+impl std::fmt::Debug for FormatRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let edges: Vec<String> = self
+            .edges
+            .iter()
+            .flat_map(|(from, tos)| tos.iter().map(move |(to, _)| format!("{from}->{to}")))
+            .collect();
+        f.debug_struct("FormatRegistry").field("edges", &edges).finish()
+    }
+}
+
+impl FormatRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a one-hop converter.
+    pub fn register<F>(&mut self, from: FormatId, to: FormatId, convert: F)
+    where
+        F: Fn(&str) -> Result<String, String> + Send + Sync + 'static,
+    {
+        self.edges
+            .entry(from)
+            .or_default()
+            .push((to, Box::new(convert)));
+    }
+
+    /// Number of registered one-hop converters.
+    pub fn len(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Derives the shortest conversion chain between two formats (BFS over
+    /// registered hops). Identity is always derivable.
+    pub fn plan(&self, from: &FormatId, to: &FormatId) -> Result<Vec<FormatId>, EvolutionError> {
+        if from == to {
+            return Ok(vec![from.clone()]);
+        }
+        let mut prev: BTreeMap<FormatId, FormatId> = BTreeMap::new();
+        let mut queue = VecDeque::from([from.clone()]);
+        while let Some(cur) = queue.pop_front() {
+            for (next, _) in self.edges.get(&cur).map(Vec::as_slice).unwrap_or(&[]) {
+                if next != from && !prev.contains_key(next) {
+                    prev.insert(next.clone(), cur.clone());
+                    if next == to {
+                        // reconstruct
+                        let mut path = vec![to.clone()];
+                        let mut at = to;
+                        while let Some(p) = prev.get(at) {
+                            path.push(p.clone());
+                            at = p;
+                        }
+                        path.reverse();
+                        return Ok(path);
+                    }
+                    queue.push_back(next.clone());
+                }
+            }
+        }
+        Err(EvolutionError::NoPath {
+            from: from.clone(),
+            to: to.clone(),
+        })
+    }
+
+    /// Converts `payload` along the derived chain.
+    pub fn convert(
+        &self,
+        from: &FormatId,
+        to: &FormatId,
+        payload: &str,
+    ) -> Result<String, EvolutionError> {
+        let path = self.plan(from, to)?;
+        let mut current = payload.to_string();
+        for hop in path.windows(2) {
+            let (a, b) = (&hop[0], &hop[1]);
+            let converter = self
+                .edges
+                .get(a)
+                .and_then(|tos| tos.iter().find(|(t, _)| t == b))
+                .map(|(_, f)| f)
+                .expect("plan only uses registered hops");
+            current = converter(&current).map_err(|message| EvolutionError::StepFailed {
+                from: a.clone(),
+                to: b.clone(),
+                message,
+            })?;
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy lineage: matml v3 → v2 strips a `unit=` suffix; v2 → v1
+    /// renames the leading tag.
+    fn registry() -> FormatRegistry {
+        let mut reg = FormatRegistry::new();
+        reg.register(FormatId::new("matml", "3"), FormatId::new("matml", "2"), |s| {
+            Ok(s.replace(";unit=si", ""))
+        });
+        reg.register(FormatId::new("matml", "2"), FormatId::new("matml", "1"), |s| {
+            s.strip_prefix("material:")
+                .map(|rest| format!("mat:{rest}"))
+                .ok_or_else(|| "not a v2 payload".to_string())
+        });
+        // an upgrade edge too, so the graph is not a pure chain
+        reg.register(FormatId::new("matml", "1"), FormatId::new("matml", "2"), |s| {
+            s.strip_prefix("mat:")
+                .map(|rest| format!("material:{rest}"))
+                .ok_or_else(|| "not a v1 payload".to_string())
+        });
+        reg
+    }
+
+    #[test]
+    fn single_hop_conversion() {
+        let reg = registry();
+        let out = reg
+            .convert(
+                &FormatId::new("matml", "3"),
+                &FormatId::new("matml", "2"),
+                "material:steel;unit=si",
+            )
+            .unwrap();
+        assert_eq!(out, "material:steel");
+    }
+
+    #[test]
+    fn multi_hop_chain_is_derived() {
+        let reg = registry();
+        let from = FormatId::new("matml", "3");
+        let to = FormatId::new("matml", "1");
+        let plan = reg.plan(&from, &to).unwrap();
+        assert_eq!(plan.len(), 3, "v3 → v2 → v1");
+        let out = reg.convert(&from, &to, "material:steel;unit=si").unwrap();
+        assert_eq!(out, "mat:steel");
+    }
+
+    #[test]
+    fn identity_needs_no_converters() {
+        let reg = FormatRegistry::new();
+        let id = FormatId::new("x", "1");
+        assert_eq!(reg.plan(&id, &id).unwrap(), vec![id.clone()]);
+        assert_eq!(reg.convert(&id, &id, "payload").unwrap(), "payload");
+    }
+
+    #[test]
+    fn missing_path_is_reported() {
+        let reg = registry();
+        let err = reg
+            .plan(&FormatId::new("matml", "1"), &FormatId::new("hdf5", "1"))
+            .unwrap_err();
+        assert!(matches!(err, EvolutionError::NoPath { .. }));
+        assert!(err.to_string().contains("matml@1"));
+    }
+
+    #[test]
+    fn step_failures_name_the_hop() {
+        let reg = registry();
+        let err = reg
+            .convert(
+                &FormatId::new("matml", "2"),
+                &FormatId::new("matml", "1"),
+                "garbage",
+            )
+            .unwrap_err();
+        assert!(matches!(err, EvolutionError::StepFailed { .. }));
+        assert!(err.to_string().contains("matml@2 -> matml@1"));
+    }
+
+    #[test]
+    fn roundtrip_through_versions() {
+        let reg = registry();
+        let v2 = FormatId::new("matml", "2");
+        let v1 = FormatId::new("matml", "1");
+        let original = "material:graphene";
+        let down = reg.convert(&v2, &v1, original).unwrap();
+        let up = reg.convert(&v1, &v2, &down).unwrap();
+        assert_eq!(up, original);
+    }
+
+    #[test]
+    fn bfs_finds_shortest_path() {
+        // add a long detour and a direct edge; plan must take the direct one
+        let mut reg = registry();
+        reg.register(FormatId::new("matml", "3"), FormatId::new("matml", "1"), |s| {
+            Ok(s.replace(";unit=si", "").replacen("material:", "mat:", 1))
+        });
+        let plan = reg
+            .plan(&FormatId::new("matml", "3"), &FormatId::new("matml", "1"))
+            .unwrap();
+        assert_eq!(plan.len(), 2, "direct edge wins: {plan:?}");
+    }
+}

@@ -1,0 +1,279 @@
+//! The six gauges and their tier ladders.
+//!
+//! Box I of the paper names the gauges; §III describes the lower tiers of
+//! each ladder. The paper is explicit that the ladders "are not intended
+//! to be exhaustive lists", so tiers here are ordinary `u8` ranks behind a
+//! [`Tier`] newtype, and each gauge exposes its named ladder through
+//! [`Gauge::tiers`]; downstream code can extend a ladder without touching
+//! the core ordering logic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the six gauge properties (Box I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Gauge {
+    /// How explicit/automatable access to the data is (protocol,
+    /// interface library, query model).
+    DataAccess,
+    /// How explicit the structure of the data is (bytes → named format →
+    /// typed structure → self-describing → evolvable).
+    DataSchema,
+    /// How explicit the *intended use* semantics are (ordering, fusion,
+    /// format evolution, dataset-level semantics).
+    DataSemantics,
+    /// At what scale the component is captured and how explicit its
+    /// configuration/build/launch support is.
+    SoftwareGranularity,
+    /// Which configuration degrees of freedom are exposed, modeled, and
+    /// related to one another.
+    SoftwareCustomizability,
+    /// What execution/campaign/export provenance is captured.
+    SoftwareProvenance,
+}
+
+/// All six gauges, in the paper's Box I order (data first, then software).
+pub const ALL_GAUGES: [Gauge; 6] = [
+    Gauge::DataAccess,
+    Gauge::DataSchema,
+    Gauge::DataSemantics,
+    Gauge::SoftwareGranularity,
+    Gauge::SoftwareCustomizability,
+    Gauge::SoftwareProvenance,
+];
+
+/// A rank on a gauge's ladder; higher is more explicit / more automatable.
+///
+/// `Tier(0)` always means "nothing is known".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tier(pub u8);
+
+impl Tier {
+    /// The bottom tier: no metadata captured.
+    pub const UNKNOWN: Tier = Tier(0);
+
+    /// The next tier up (saturating at `u8::MAX`).
+    pub fn next(self) -> Tier {
+        Tier(self.0.saturating_add(1))
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A named, documented rung on a gauge ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSpec {
+    /// Rank of this rung.
+    pub tier: Tier,
+    /// Short machine-friendly name.
+    pub name: &'static str,
+    /// What must be true of the component's metadata to sit at this rung.
+    pub criterion: &'static str,
+}
+
+const fn spec(rank: u8, name: &'static str, criterion: &'static str) -> TierSpec {
+    TierSpec {
+        tier: Tier(rank),
+        name,
+        criterion,
+    }
+}
+
+/// Ladder for [`Gauge::DataAccess`] (§III "Data Access").
+pub const DATA_ACCESS_TIERS: &[TierSpec] = &[
+    spec(0, "unknown", "nothing is known about how the data is accessed"),
+    spec(1, "protocol", "basic representation/protocol known (e.g. POSIX file, zeroMQ queue, database)"),
+    spec(2, "interface", "library interface to the data known (e.g. CSV reader, HDF5, ADIOS, mySQL)"),
+    spec(3, "query-model", "supported query types known (linear access, random element access, SQL query)"),
+    spec(4, "machine-queriable", "access ontology mapped to machine-queriable form; new interfaces can be constructed automatically"),
+];
+
+/// Ladder for [`Gauge::DataSchema`] (§III "Data Schema").
+pub const DATA_SCHEMA_TIERS: &[TierSpec] = &[
+    spec(0, "unknown", "structure unknown: opaque bytes"),
+    spec(1, "format-named", "a concrete format name is recorded (e.g. CSV, JSON, BED, GFF3)"),
+    spec(2, "typed", "element/column types are captured (typed arrays, tables, graphs, meshes)"),
+    spec(3, "self-describing", "data carries its own schema (ADIOS/HDF5-style); automated conversion possible"),
+    spec(4, "evolvable", "schema versioning captured; conversions between format versions derivable"),
+];
+
+/// Ladder for [`Gauge::DataSemantics`] (§III "Data Semantics").
+pub const DATA_SEMANTICS_TIERS: &[TierSpec] = &[
+    spec(0, "unknown", "no intended-use semantics captured"),
+    spec(1, "ordering", "consumption semantics known: ordering significance, windowed vs element-by-element"),
+    spec(2, "data-fusion", "automatable format transactions (the paper's 'data fusion' category) captured"),
+    spec(3, "format-evolution", "format version info captured; conversions back to earlier versions derivable"),
+    spec(4, "dataset-semantics", "dataset-level engineering semantics captured (e.g. labeled cancerous/healthy training sets)"),
+];
+
+/// Ladder for [`Gauge::SoftwareGranularity`] (§III "Software Granularity").
+pub const SOFTWARE_GRANULARITY_TIERS: &[TierSpec] = &[
+    spec(0, "unknown", "granularity of the artifact not even recorded"),
+    spec(1, "captured", "component captured at some scale (code fragment, executable, bundled workflow, or service)"),
+    spec(2, "config-templated", "configuration support explicit: templates exist for building, launching and executing"),
+    spec(3, "io-semantics", "component I/O semantics captured (e.g. the 'first precious' data element), machine-actionable deployment plan possible"),
+];
+
+/// Ladder for [`Gauge::SoftwareCustomizability`] (§III "Software Customizability").
+pub const SOFTWARE_CUSTOMIZABILITY_TIERS: &[TierSpec] = &[
+    spec(0, "opaque", "no modifiable configuration characteristics are declared"),
+    spec(1, "config-listed", "the modifiable configuration characteristics are listed in the packaging"),
+    spec(2, "variables-modeled", "the relevant customization variables are formalized in a machine-actionable model (Skel-style)"),
+    spec(3, "model-parameterized", "relations between variables and their campaign-context behaviour are modeled"),
+];
+
+/// Ladder for [`Gauge::SoftwareProvenance`] (§III "Software Provenance").
+pub const SOFTWARE_PROVENANCE_TIERS: &[TierSpec] = &[
+    spec(0, "none", "no provenance captured"),
+    spec(1, "execution-logs", "standard provenance data/logs per component and execution instance"),
+    spec(2, "campaign-knowledge", "explicit context for the campaign in which each execution took place"),
+    spec(3, "exportability", "policies track which provenance is appropriate to include in a distributable research object"),
+];
+
+impl Gauge {
+    /// Short, stable identifier (used in manifests and printed tables).
+    pub fn key(self) -> &'static str {
+        match self {
+            Gauge::DataAccess => "data.access",
+            Gauge::DataSchema => "data.schema",
+            Gauge::DataSemantics => "data.semantics",
+            Gauge::SoftwareGranularity => "software.granularity",
+            Gauge::SoftwareCustomizability => "software.customizability",
+            Gauge::SoftwareProvenance => "software.provenance",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::DataAccess => "Data Access",
+            Gauge::DataSchema => "Data Schema",
+            Gauge::DataSemantics => "Data Semantics",
+            Gauge::SoftwareGranularity => "Software Granularity",
+            Gauge::SoftwareCustomizability => "Software Customizability",
+            Gauge::SoftwareProvenance => "Software Provenance",
+        }
+    }
+
+    /// True for the three data-side gauges.
+    pub fn is_data_gauge(self) -> bool {
+        matches!(self, Gauge::DataAccess | Gauge::DataSchema | Gauge::DataSemantics)
+    }
+
+    /// This gauge's documented ladder.
+    pub fn tiers(self) -> &'static [TierSpec] {
+        match self {
+            Gauge::DataAccess => DATA_ACCESS_TIERS,
+            Gauge::DataSchema => DATA_SCHEMA_TIERS,
+            Gauge::DataSemantics => DATA_SEMANTICS_TIERS,
+            Gauge::SoftwareGranularity => SOFTWARE_GRANULARITY_TIERS,
+            Gauge::SoftwareCustomizability => SOFTWARE_CUSTOMIZABILITY_TIERS,
+            Gauge::SoftwareProvenance => SOFTWARE_PROVENANCE_TIERS,
+        }
+    }
+
+    /// Top documented tier of this gauge's ladder.
+    pub fn max_tier(self) -> Tier {
+        self.tiers().last().expect("every gauge has at least one tier").tier
+    }
+
+    /// Looks up the documented spec for `tier`, clamping above the ladder
+    /// top (extensions are allowed but undocumented here).
+    pub fn tier_spec(self, tier: Tier) -> &'static TierSpec {
+        let ladder = self.tiers();
+        ladder
+            .iter()
+            .rev()
+            .find(|s| s.tier <= tier)
+            .unwrap_or(&ladder[0])
+    }
+
+    /// Dense index of the gauge in [`ALL_GAUGES`] order.
+    pub fn index(self) -> usize {
+        match self {
+            Gauge::DataAccess => 0,
+            Gauge::DataSchema => 1,
+            Gauge::DataSemantics => 2,
+            Gauge::SoftwareGranularity => 3,
+            Gauge::SoftwareCustomizability => 4,
+            Gauge::SoftwareProvenance => 5,
+        }
+    }
+}
+
+impl fmt::Display for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_start_at_zero_and_are_strictly_increasing() {
+        for gauge in ALL_GAUGES {
+            let ladder = gauge.tiers();
+            assert_eq!(ladder[0].tier, Tier::UNKNOWN, "{gauge}");
+            assert!(
+                ladder.windows(2).all(|w| w[1].tier.0 == w[0].tier.0 + 1),
+                "{gauge} ladder must be dense and increasing"
+            );
+        }
+    }
+
+    #[test]
+    fn indexes_match_all_gauges_order() {
+        for (i, gauge) in ALL_GAUGES.iter().enumerate() {
+            assert_eq!(gauge.index(), i);
+        }
+    }
+
+    #[test]
+    fn data_software_split_is_three_three() {
+        assert_eq!(ALL_GAUGES.iter().filter(|g| g.is_data_gauge()).count(), 3);
+    }
+
+    #[test]
+    fn tier_spec_clamps_above_ladder_top() {
+        let spec = Gauge::DataAccess.tier_spec(Tier(200));
+        assert_eq!(spec.tier, Gauge::DataAccess.max_tier());
+    }
+
+    #[test]
+    fn tier_spec_exact_lookup() {
+        let spec = Gauge::DataSchema.tier_spec(Tier(2));
+        assert_eq!(spec.name, "typed");
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let mut keys: Vec<&str> = ALL_GAUGES.iter().map(|g| g.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn tier_next_saturates() {
+        assert_eq!(Tier(0).next(), Tier(1));
+        assert_eq!(Tier(u8::MAX).next(), Tier(u8::MAX));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Gauge::DataSchema).unwrap();
+        let back: Gauge = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Gauge::DataSchema);
+        let t: Tier = serde_json::from_str("3").unwrap();
+        assert_eq!(t, Tier(3));
+    }
+}

@@ -1,0 +1,94 @@
+//! The six **gauge properties** for reusable workflows — the paper's
+//! primary contribution (§III, Box I, Fig. 1).
+//!
+//! The paper's key insight: *reuse is a continuum of actions that may
+//! require human intervention or may be automatable*, and no single scalar
+//! metric can rank arbitrary workflows. Instead, six **gauges** — three
+//! for data (access, schema, semantics) and three for software
+//! (granularity, customizability, provenance) — each define an ordered
+//! ladder of tiers of increasingly explicit, machine-actionable metadata.
+//!
+//! This crate realizes that model:
+//!
+//! * [`gauge`] — the six gauges and their tier ladders, each tier carrying
+//!   a testable description;
+//! * [`profile`] — [`GaugeProfile`]: one level per gauge, with the partial
+//!   order the paper implies (a profile *dominates* another only if it is
+//!   at least as explicit on **every** gauge — deliberately not a total
+//!   order, because gauges are not comparable across axes);
+//! * [`component`] — machine-readable descriptors for workflow components
+//!   (ports, formats, config variables, provenance records);
+//! * [`assess`] — rule-based automatic gauge assessment of a descriptor
+//!   ("the gauges … can also be made machine-actionable");
+//! * [`debt`] — technical-debt accounting: given a reuse scenario, which
+//!   gauge gaps force *human interventions* and which are automatable;
+//! * [`catalog`] — a queryable metadata catalog with profile history, so
+//!   a workflow's progress along the continuum can be tracked;
+//! * [`workflow`] — workflow graphs of components and the
+//!   collection/selection/forwarding motif detection used in §V-C.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fair_core::prelude::*;
+//!
+//! // Describe a black-box component …
+//! let mut comp = ComponentDescriptor::new("gwas-paste", "0.1.0", ComponentKind::Executable);
+//! let before = assess(&comp);
+//!
+//! // … then make its input data access + format explicit.
+//! comp.inputs.push(PortDescriptor {
+//!     name: "tables".into(),
+//!     data: DataDescriptor {
+//!         protocol: Some(AccessProtocol::PosixFile),
+//!         format: Some("tsv".into()),
+//!         schema: Some(SchemaInfo::Typed { columns: vec![("snp".into(), "f64".into())] }),
+//!         ..DataDescriptor::default()
+//!     },
+//! });
+//! let after = assess(&comp);
+//! assert!(after.dominates(&before) && after != before);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod access_plan;
+pub mod assess;
+pub mod catalog;
+pub mod component;
+pub mod debt;
+pub mod error;
+pub mod evolution;
+pub mod gauge;
+pub mod profile;
+pub mod research_object;
+pub mod workflow;
+
+pub use access_plan::{plan_access, AccessPlan, AccessStep, NeedsTier};
+pub use assess::assess;
+pub use catalog::Catalog;
+pub use component::{
+    AccessProtocol, ComponentDescriptor, ComponentKind, ConfigVariable, DataDescriptor,
+    PortDescriptor, ProvenanceRecord, SchemaInfo, SemanticsAnnotation,
+};
+pub use debt::{DebtItem, DebtReport, ReuseScenario};
+pub use error::FairError;
+pub use evolution::{FormatId, FormatRegistry};
+pub use gauge::{Gauge, Tier, ALL_GAUGES};
+pub use profile::GaugeProfile;
+pub use research_object::{export, ResearchObject};
+pub use workflow::{WorkflowGraph, MOTIF_COLLECT_SELECT_FORWARD};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::assess::assess;
+    pub use crate::catalog::Catalog;
+    pub use crate::component::{
+        AccessProtocol, ComponentDescriptor, ComponentKind, ConfigVariable, DataDescriptor,
+        PortDescriptor, ProvenanceRecord, SchemaInfo, SemanticsAnnotation,
+    };
+    pub use crate::debt::{DebtItem, DebtReport, ReuseScenario};
+    pub use crate::gauge::{Gauge, Tier, ALL_GAUGES};
+    pub use crate::profile::GaugeProfile;
+    pub use crate::workflow::WorkflowGraph;
+}

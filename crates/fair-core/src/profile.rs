@@ -1,0 +1,225 @@
+//! Gauge profiles and their partial order.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gauge::{Gauge, Tier, ALL_GAUGES};
+
+/// One tier per gauge — the complete reusability characterization of a
+/// component or workflow at a point in time.
+///
+/// Profiles are *partially* ordered: `a.dominates(b)` iff `a` is at least
+/// as explicit as `b` on **every** gauge. The paper insists on "gauge
+/// rather than metric" — two profiles that trade one axis against another
+/// are simply incomparable, and [`GaugeProfile::join`]/[`GaugeProfile::meet`]
+/// give the lattice operations automation needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct GaugeProfile {
+    levels: [Tier; 6],
+}
+
+impl GaugeProfile {
+    /// The bottom profile: nothing known on any gauge.
+    pub fn unknown() -> Self {
+        Self::default()
+    }
+
+    /// The top *documented* profile: every gauge at its ladder maximum.
+    pub fn max_documented() -> Self {
+        let mut p = Self::default();
+        for g in ALL_GAUGES {
+            p.set(g, g.max_tier());
+        }
+        p
+    }
+
+    /// Builds a profile from `(gauge, tier)` pairs; unspecified gauges are
+    /// [`Tier::UNKNOWN`]. Later pairs override earlier ones.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Gauge, Tier)>) -> Self {
+        let mut p = Self::default();
+        for (g, t) in pairs {
+            p.set(g, t);
+        }
+        p
+    }
+
+    /// Tier on one gauge.
+    pub fn get(&self, gauge: Gauge) -> Tier {
+        self.levels[gauge.index()]
+    }
+
+    /// Sets the tier on one gauge.
+    pub fn set(&mut self, gauge: Gauge, tier: Tier) {
+        self.levels[gauge.index()] = tier;
+    }
+
+    /// Returns a copy with one gauge raised to `tier` (no-op if already
+    /// at or above it — gauges record knowledge, which does not regress
+    /// by adding more).
+    pub fn raised(&self, gauge: Gauge, tier: Tier) -> Self {
+        let mut p = *self;
+        if tier > p.get(gauge) {
+            p.set(gauge, tier);
+        }
+        p
+    }
+
+    /// True iff `self` is ≥ `other` on every gauge.
+    pub fn dominates(&self, other: &GaugeProfile) -> bool {
+        self.levels.iter().zip(other.levels.iter()).all(|(a, b)| a >= b)
+    }
+
+    /// True iff the two profiles are ordered in neither direction.
+    pub fn incomparable(&self, other: &GaugeProfile) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+
+    /// Pointwise maximum (least upper bound).
+    pub fn join(&self, other: &GaugeProfile) -> GaugeProfile {
+        let mut out = *self;
+        for g in ALL_GAUGES {
+            out.set(g, self.get(g).max(other.get(g)));
+        }
+        out
+    }
+
+    /// Pointwise minimum (greatest lower bound).
+    pub fn meet(&self, other: &GaugeProfile) -> GaugeProfile {
+        let mut out = *self;
+        for g in ALL_GAUGES {
+            out.set(g, self.get(g).min(other.get(g)));
+        }
+        out
+    }
+
+    /// Gauges on which `self` falls short of `required`, with the gap.
+    pub fn gaps_to(&self, required: &GaugeProfile) -> Vec<(Gauge, Tier, Tier)> {
+        ALL_GAUGES
+            .iter()
+            .filter_map(|&g| {
+                let have = self.get(g);
+                let need = required.get(g);
+                (need > have).then_some((g, have, need))
+            })
+            .collect()
+    }
+
+    /// Sum of tier ranks — a *progress* number for one artifact over time.
+    /// (Deliberately not meaningful across unrelated workflows; see the
+    /// paper's gauge-vs-metric discussion.)
+    pub fn progress_score(&self) -> u32 {
+        self.levels.iter().map(|t| t.0 as u32).sum()
+    }
+
+    /// Iterates `(gauge, tier)` in Box I order.
+    pub fn iter(&self) -> impl Iterator<Item = (Gauge, Tier)> + '_ {
+        ALL_GAUGES.iter().map(move |&g| (g, self.get(g)))
+    }
+
+    /// Renders the profile as a compact single-line table cell, e.g.
+    /// `A1 S2 M0 G1 C0 P1`.
+    pub fn compact(&self) -> String {
+        let letters = ["A", "S", "M", "G", "C", "P"];
+        self.iter()
+            .zip(letters.iter())
+            .map(|((_, t), l)| format!("{l}{}", t.0))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for GaugeProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .iter()
+            .map(|(g, t)| format!("{}={}", g.key(), t.0))
+            .collect();
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(levels: [u8; 6]) -> GaugeProfile {
+        GaugeProfile::from_pairs(ALL_GAUGES.iter().copied().zip(levels.map(Tier)))
+    }
+
+    #[test]
+    fn dominates_is_pointwise() {
+        let low = p([1, 1, 0, 1, 0, 0]);
+        let high = p([2, 1, 0, 1, 1, 0]);
+        assert!(high.dominates(&low));
+        assert!(!low.dominates(&high));
+        assert!(high.dominates(&high));
+    }
+
+    #[test]
+    fn tradeoffs_are_incomparable() {
+        let a = p([2, 0, 0, 0, 0, 0]);
+        let b = p([0, 2, 0, 0, 0, 0]);
+        assert!(a.incomparable(&b));
+        assert!(!a.incomparable(&a));
+    }
+
+    #[test]
+    fn join_meet_lattice_laws() {
+        let a = p([2, 0, 1, 3, 0, 1]);
+        let b = p([1, 2, 1, 0, 2, 0]);
+        let j = a.join(&b);
+        let m = a.meet(&b);
+        assert!(j.dominates(&a) && j.dominates(&b));
+        assert!(a.dominates(&m) && b.dominates(&m));
+        assert_eq!(j, p([2, 2, 1, 3, 2, 1]));
+        assert_eq!(m, p([1, 0, 1, 0, 0, 0]));
+    }
+
+    #[test]
+    fn gaps_report_only_shortfalls() {
+        let have = p([1, 0, 0, 2, 0, 0]);
+        let need = p([2, 1, 0, 1, 0, 0]);
+        let gaps = have.gaps_to(&need);
+        assert_eq!(gaps.len(), 2);
+        assert_eq!(gaps[0], (Gauge::DataAccess, Tier(1), Tier(2)));
+        assert_eq!(gaps[1], (Gauge::DataSchema, Tier(0), Tier(1)));
+    }
+
+    #[test]
+    fn raised_never_lowers() {
+        let a = p([3, 0, 0, 0, 0, 0]);
+        let r = a.raised(Gauge::DataAccess, Tier(1));
+        assert_eq!(r.get(Gauge::DataAccess), Tier(3));
+        let r2 = a.raised(Gauge::DataSchema, Tier(2));
+        assert_eq!(r2.get(Gauge::DataSchema), Tier(2));
+    }
+
+    #[test]
+    fn progress_score_sums() {
+        assert_eq!(p([1, 2, 3, 0, 0, 1]).progress_score(), 7);
+        assert_eq!(GaugeProfile::unknown().progress_score(), 0);
+    }
+
+    #[test]
+    fn max_documented_dominates_everything_reasonable() {
+        let top = GaugeProfile::max_documented();
+        assert!(top.dominates(&p([4, 4, 4, 3, 3, 3])));
+        assert!(top.dominates(&GaugeProfile::unknown()));
+    }
+
+    #[test]
+    fn compact_and_display_render() {
+        let a = p([1, 2, 0, 3, 0, 1]);
+        assert_eq!(a.compact(), "A1 S2 M0 G3 C0 P1");
+        assert!(a.to_string().contains("data.schema=2"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = p([1, 2, 0, 3, 0, 1]);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: GaugeProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

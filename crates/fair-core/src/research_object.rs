@@ -1,0 +1,225 @@
+//! Distributable research objects (Provenance tier 3, "Exportability").
+//!
+//! "Not all provenance that is useful to the original author is
+//! appropriate to include in a distributable, reusable research object.
+//! However, some provenance is crucial when reusing workflow components
+//! in a new context. So the policies of tracking the amenability and
+//! relevance of the gathered provenance … is tracked through this
+//! exportability tier" (§III).
+//!
+//! [`export`] bundles a component (or set of components) into a single
+//! JSON research object containing **only** provenance records whose
+//! exportability policy allows it, together with the assessed gauge
+//! profiles — the metadata a receiving context needs to reason about
+//! reuse (the paper's refinement of FAIR points R1.2, R1.3 and I3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::assess::assess;
+use crate::component::{ComponentDescriptor, ProvenanceRecord};
+use crate::error::FairError;
+use crate::profile::GaugeProfile;
+
+/// One exported component entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExportedComponent {
+    /// The descriptor, with non-exportable provenance stripped.
+    pub descriptor: ComponentDescriptor,
+    /// The assessed gauge profile at export time.
+    pub profile: GaugeProfile,
+    /// Provenance records withheld by policy (count only — the content
+    /// stays home).
+    pub withheld_provenance: usize,
+}
+
+/// A distributable research object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResearchObject {
+    /// Object identifier chosen by the exporter.
+    pub id: String,
+    /// Format version.
+    pub version: u32,
+    /// Exported components.
+    pub components: Vec<ExportedComponent>,
+}
+
+impl ResearchObject {
+    /// Current research-object format version.
+    pub const VERSION: u32 = 1;
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("research object serializes")
+    }
+
+    /// Parses from JSON, rejecting unknown versions.
+    pub fn from_json(json: &str) -> Result<Self, FairError> {
+        let ro: ResearchObject =
+            serde_json::from_str(json).map_err(|e| FairError::Parse(e.to_string()))?;
+        if ro.version != Self::VERSION {
+            return Err(FairError::Parse(format!(
+                "unsupported research-object version {}",
+                ro.version
+            )));
+        }
+        Ok(ro)
+    }
+}
+
+/// Export errors specific to policy checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportError {
+    /// A provenance record has no exportability decision recorded — the
+    /// component has not reached the exportability tier, so a distributable
+    /// object cannot be cut from it safely.
+    UndecidedProvenance {
+        /// Component name.
+        component: String,
+        /// Execution id of the undecided record.
+        execution_id: String,
+    },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::UndecidedProvenance { component, execution_id } => write!(
+                f,
+                "component {component:?} has provenance record {execution_id:?} with no exportability policy"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+fn is_exportable(record: &ProvenanceRecord) -> Option<bool> {
+    record.exportable
+}
+
+/// Builds a research object from components, applying the exportability
+/// policy: records marked `exportable: Some(false)` are stripped (and
+/// counted); records with **no** policy (`None`) abort the export —
+/// shipping undecided provenance is exactly the leak the tier prevents.
+pub fn export(
+    id: impl Into<String>,
+    components: &[ComponentDescriptor],
+) -> Result<ResearchObject, ExportError> {
+    let mut exported = Vec::with_capacity(components.len());
+    for comp in components {
+        if let Some(undecided) = comp.provenance.iter().find(|r| is_exportable(r).is_none()) {
+            return Err(ExportError::UndecidedProvenance {
+                component: comp.name.clone(),
+                execution_id: undecided.execution_id.clone(),
+            });
+        }
+        let mut stripped = comp.clone();
+        let before = stripped.provenance.len();
+        stripped.provenance.retain(|r| r.exportable == Some(true));
+        let withheld = before - stripped.provenance.len();
+        let profile = assess(comp);
+        exported.push(ExportedComponent {
+            descriptor: stripped,
+            profile,
+            withheld_provenance: withheld,
+        });
+    }
+    Ok(ResearchObject {
+        id: id.into(),
+        version: ResearchObject::VERSION,
+        components: exported,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ComponentKind;
+
+    fn record(id: &str, exportable: Option<bool>) -> ProvenanceRecord {
+        ProvenanceRecord {
+            execution_id: id.into(),
+            campaign: Some("camp".into()),
+            exportable,
+            notes: format!("notes for {id}"),
+        }
+    }
+
+    fn component(records: Vec<ProvenanceRecord>) -> ComponentDescriptor {
+        let mut c = ComponentDescriptor::new("comp", "1.0", ComponentKind::Executable);
+        c.provenance = records;
+        c
+    }
+
+    #[test]
+    fn export_strips_withheld_records() {
+        let c = component(vec![
+            record("run-1", Some(true)),
+            record("run-2", Some(false)),
+            record("run-3", Some(true)),
+        ]);
+        let ro = export("obj-1", &[c]).unwrap();
+        let entry = &ro.components[0];
+        assert_eq!(entry.descriptor.provenance.len(), 2);
+        assert_eq!(entry.withheld_provenance, 1);
+        assert!(entry
+            .descriptor
+            .provenance
+            .iter()
+            .all(|r| r.exportable == Some(true)));
+    }
+
+    #[test]
+    fn undecided_provenance_aborts_export() {
+        let c = component(vec![record("run-1", Some(true)), record("run-2", None)]);
+        let err = export("obj", &[c]).unwrap_err();
+        assert_eq!(
+            err,
+            ExportError::UndecidedProvenance {
+                component: "comp".into(),
+                execution_id: "run-2".into()
+            }
+        );
+    }
+
+    #[test]
+    fn profile_is_assessed_pre_strip() {
+        // the exported profile reflects the component as it exists at the
+        // exporter, including withheld records (tier 3 there)
+        let c = component(vec![record("run-1", Some(false))]);
+        let ro = export("obj", &[c]).unwrap();
+        assert_eq!(
+            ro.components[0].profile.get(crate::gauge::Gauge::SoftwareProvenance),
+            crate::gauge::Tier(3)
+        );
+    }
+
+    #[test]
+    fn empty_provenance_exports_cleanly() {
+        let c = component(vec![]);
+        let ro = export("obj", &[c]).unwrap();
+        assert_eq!(ro.components[0].withheld_provenance, 0);
+    }
+
+    #[test]
+    fn json_roundtrip_and_version_gate() {
+        let c = component(vec![record("run-1", Some(true))]);
+        let ro = export("obj", &[c]).unwrap();
+        let back = ResearchObject::from_json(&ro.to_json()).unwrap();
+        assert_eq!(ro, back);
+
+        let mut bad = ro;
+        bad.version = 9;
+        assert!(ResearchObject::from_json(&bad.to_json()).is_err());
+    }
+
+    #[test]
+    fn multi_component_objects() {
+        let a = component(vec![record("a-1", Some(true))]);
+        let mut b = component(vec![record("b-1", Some(false))]);
+        b.name = "other".into();
+        let ro = export("obj", &[a, b]).unwrap();
+        assert_eq!(ro.components.len(), 2);
+        assert_eq!(ro.components[1].withheld_provenance, 1);
+    }
+}

@@ -1,0 +1,422 @@
+//! Workflow graphs of components, validation, and reusable-motif
+//! detection.
+//!
+//! "In a data-flow graph view of a workflow, such encapsulations appear
+//! as repeated subgraphs. Perhaps the most basic of these is a workflow in
+//! which data is collected in discrete units and forwarded to an
+//! aggregation or 'data scheduling' component" (§V-C). This module hosts
+//! that graph view: typed nodes (component descriptors), port-to-port
+//! edges with schema compatibility checks, topological ordering, workflow-
+//! level gauge assessment, and detection of the
+//! collection/selection/forwarding motif.
+
+use serde::{Deserialize, Serialize};
+
+use crate::assess::assess;
+use crate::component::{ComponentDescriptor, SchemaInfo};
+use crate::error::FairError;
+use crate::profile::GaugeProfile;
+
+/// Name of the collection/selection/forwarding motif (Fig. 5).
+pub const MOTIF_COLLECT_SELECT_FORWARD: &str = "collect-select-forward";
+
+/// Index of a node within a [`WorkflowGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeIdx(pub usize);
+
+/// A directed port-to-port connection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producing node.
+    pub from: NodeIdx,
+    /// Output port on the producer.
+    pub from_port: String,
+    /// Consuming node.
+    pub to: NodeIdx,
+    /// Input port on the consumer.
+    pub to_port: String,
+}
+
+/// An instance of a detected reusable subgraph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Motif {
+    /// Motif name (e.g. [`MOTIF_COLLECT_SELECT_FORWARD`]).
+    pub name: String,
+    /// The central data-scheduling node.
+    pub scheduler: NodeIdx,
+    /// Upstream collection nodes (pure producers).
+    pub collectors: Vec<NodeIdx>,
+    /// Downstream consumers (pure sinks).
+    pub consumers: Vec<NodeIdx>,
+}
+
+/// A DAG of workflow components.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowGraph {
+    nodes: Vec<ComponentDescriptor>,
+    edges: Vec<Edge>,
+}
+
+impl WorkflowGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a component; returns its node index.
+    pub fn add(&mut self, component: ComponentDescriptor) -> NodeIdx {
+        self.nodes.push(component);
+        NodeIdx(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The component at `idx`.
+    pub fn node(&self, idx: NodeIdx) -> &ComponentDescriptor {
+        &self.nodes[idx.0]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    fn check_node(&self, idx: NodeIdx) -> Result<(), FairError> {
+        if idx.0 >= self.nodes.len() {
+            return Err(FairError::UnknownReference(format!("node {}", idx.0)));
+        }
+        Ok(())
+    }
+
+    /// Connects `from.from_port` (an output) to `to.to_port` (an input).
+    ///
+    /// Validation: both nodes and ports must exist, and when both ports
+    /// declare schema knowledge the schemas must be compatible. Unknown
+    /// schemas pass (a tier-0 port can be wired to anything — the debt
+    /// model, not the type system, accounts for that risk). Self-loops and
+    /// edges that would create a cycle are rejected.
+    pub fn connect(
+        &mut self,
+        from: NodeIdx,
+        from_port: &str,
+        to: NodeIdx,
+        to_port: &str,
+    ) -> Result<(), FairError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(FairError::Cyclic(format!("self-loop on node {}", from.0)));
+        }
+        let out = self
+            .nodes[from.0]
+            .outputs
+            .iter()
+            .find(|p| p.name == from_port)
+            .ok_or_else(|| {
+                FairError::UnknownReference(format!(
+                    "output port {from_port:?} on {}",
+                    self.nodes[from.0].name
+                ))
+            })?;
+        let inp = self
+            .nodes[to.0]
+            .inputs
+            .iter()
+            .find(|p| p.name == to_port)
+            .ok_or_else(|| {
+                FairError::UnknownReference(format!(
+                    "input port {to_port:?} on {}",
+                    self.nodes[to.0].name
+                ))
+            })?;
+        if let (Some(a), Some(b)) = (&out.data.schema, &inp.data.schema) {
+            if !schemas_compatible(a, b) {
+                return Err(FairError::Incompatible(format!(
+                    "{}.{from_port} -> {}.{to_port}",
+                    self.nodes[from.0].name, self.nodes[to.0].name
+                )));
+            }
+        }
+        self.edges.push(Edge {
+            from,
+            from_port: from_port.to_string(),
+            to,
+            to_port: to_port.to_string(),
+        });
+        if self.topo_order().is_err() {
+            self.edges.pop();
+            return Err(FairError::Cyclic(format!(
+                "edge {} -> {} closes a cycle",
+                from.0, to.0
+            )));
+        }
+        Ok(())
+    }
+
+    /// Direct successors of a node.
+    pub fn successors(&self, idx: NodeIdx) -> Vec<NodeIdx> {
+        let mut out: Vec<NodeIdx> = self
+            .edges
+            .iter()
+            .filter(|e| e.from == idx)
+            .map(|e| e.to)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Direct predecessors of a node.
+    pub fn predecessors(&self, idx: NodeIdx) -> Vec<NodeIdx> {
+        let mut out: Vec<NodeIdx> = self
+            .edges
+            .iter()
+            .filter(|e| e.to == idx)
+            .map(|e| e.from)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Kahn topological order; error if the graph is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<NodeIdx>, FairError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to.0] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        ready.reverse(); // pop from the back, lowest index first
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(NodeIdx(i));
+            for e in self.edges.iter().filter(|e| e.from.0 == i) {
+                indeg[e.to.0] -= 1;
+                if indeg[e.to.0] == 0 {
+                    ready.push(e.to.0);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(FairError::Cyclic("topological sort failed".into()))
+        }
+    }
+
+    /// The workflow's gauge profile: the **meet** of the member profiles —
+    /// a workflow is only as reusable as its least explicit component.
+    pub fn assess(&self) -> GaugeProfile {
+        self.nodes
+            .iter()
+            .map(assess)
+            .reduce(|a, b| a.meet(&b))
+            .unwrap_or_else(GaugeProfile::unknown)
+    }
+
+    /// Finds all collection/selection/forwarding motifs: a central node
+    /// whose predecessors are all pure producers (no inputs from elsewhere)
+    /// and whose successors are all pure sinks (no outputs to elsewhere).
+    pub fn find_motifs(&self) -> Vec<Motif> {
+        let mut motifs = Vec::new();
+        for idx in (0..self.nodes.len()).map(NodeIdx) {
+            let preds = self.predecessors(idx);
+            let succs = self.successors(idx);
+            if preds.is_empty() || succs.is_empty() {
+                continue;
+            }
+            let preds_pure = preds.iter().all(|&p| self.predecessors(p).is_empty());
+            let succs_pure = succs.iter().all(|&s| self.successors(s).is_empty());
+            if preds_pure && succs_pure {
+                motifs.push(Motif {
+                    name: MOTIF_COLLECT_SELECT_FORWARD.to_string(),
+                    scheduler: idx,
+                    collectors: preds,
+                    consumers: succs,
+                });
+            }
+        }
+        motifs
+    }
+}
+
+/// Schema compatibility: identical containers/formats are compatible;
+/// typed schemas require matching column lists; self-describing data is
+/// compatible with anything typed or self-describing (it carries enough
+/// information to convert).
+fn schemas_compatible(a: &SchemaInfo, b: &SchemaInfo) -> bool {
+    use SchemaInfo::*;
+    match (a, b) {
+        (Named { format: f1 }, Named { format: f2 }) => f1 == f2,
+        (Typed { columns: c1 }, Typed { columns: c2 }) => c1 == c2,
+        (SelfDescribing { .. } | Evolvable { .. }, _) => true,
+        (_, SelfDescribing { .. } | Evolvable { .. }) => true,
+        (Named { .. }, Typed { .. }) | (Typed { .. }, Named { .. }) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{ComponentKind, DataDescriptor, PortDescriptor};
+
+    fn comp(name: &str, inputs: &[&str], outputs: &[&str]) -> ComponentDescriptor {
+        let mut c = ComponentDescriptor::new(name, "0", ComponentKind::Executable);
+        for i in inputs {
+            c.inputs.push(PortDescriptor {
+                name: (*i).into(),
+                data: DataDescriptor::default(),
+            });
+        }
+        for o in outputs {
+            c.outputs.push(PortDescriptor {
+                name: (*o).into(),
+                data: DataDescriptor::default(),
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn connect_validates_ports() {
+        let mut g = WorkflowGraph::new();
+        let a = g.add(comp("a", &[], &["out"]));
+        let b = g.add(comp("b", &["in"], &[]));
+        assert!(g.connect(a, "out", b, "in").is_ok());
+        assert!(matches!(
+            g.connect(a, "nope", b, "in"),
+            Err(FairError::UnknownReference(_))
+        ));
+        assert!(matches!(
+            g.connect(a, "out", b, "nope"),
+            Err(FairError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected_and_rolled_back() {
+        let mut g = WorkflowGraph::new();
+        let a = g.add(comp("a", &["in"], &["out"]));
+        let b = g.add(comp("b", &["in"], &["out"]));
+        g.connect(a, "out", b, "in").unwrap();
+        let err = g.connect(b, "out", a, "in");
+        assert!(matches!(err, Err(FairError::Cyclic(_))));
+        assert_eq!(g.edges().len(), 1, "failed edge must be rolled back");
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = WorkflowGraph::new();
+        let a = g.add(comp("a", &["in"], &["out"]));
+        assert!(matches!(
+            g.connect(a, "out", a, "in"),
+            Err(FairError::Cyclic(_))
+        ));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let mut g = WorkflowGraph::new();
+        let a = g.add(comp("a", &[], &["o"]));
+        let b = g.add(comp("b", &["i"], &["o"]));
+        let c = g.add(comp("c", &["i"], &[]));
+        g.connect(a, "o", b, "i").unwrap();
+        g.connect(b, "o", c, "i").unwrap();
+        let order = g.topo_order().unwrap();
+        let pos = |n: NodeIdx| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b) && pos(b) < pos(c));
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut g = WorkflowGraph::new();
+        let mut producer = comp("p", &[], &["o"]);
+        producer.outputs[0].data.schema = Some(SchemaInfo::Named { format: "csv".into() });
+        let mut consumer = comp("c", &["i"], &[]);
+        consumer.inputs[0].data.schema = Some(SchemaInfo::Named { format: "hdf5".into() });
+        let p = g.add(producer);
+        let c = g.add(consumer);
+        assert!(matches!(
+            g.connect(p, "o", c, "i"),
+            Err(FairError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn self_describing_bridges_formats() {
+        let mut g = WorkflowGraph::new();
+        let mut producer = comp("p", &[], &["o"]);
+        producer.outputs[0].data.schema =
+            Some(SchemaInfo::SelfDescribing { container: "adios".into() });
+        let mut consumer = comp("c", &["i"], &[]);
+        consumer.inputs[0].data.schema = Some(SchemaInfo::Named { format: "csv".into() });
+        let p = g.add(producer);
+        let c = g.add(consumer);
+        assert!(g.connect(p, "o", c, "i").is_ok());
+    }
+
+    #[test]
+    fn workflow_profile_is_meet() {
+        let mut g = WorkflowGraph::new();
+        // one templated component, one black box: workflow granularity is
+        // dragged down to the black box's level 1
+        let mut strong = comp("s", &[], &[]);
+        strong.has_templates = true;
+        g.add(strong);
+        g.add(comp("w", &[], &[]));
+        let p = g.assess();
+        assert_eq!(p.get(crate::gauge::Gauge::SoftwareGranularity).0, 1);
+    }
+
+    #[test]
+    fn motif_detection_finds_collect_select_forward() {
+        let mut g = WorkflowGraph::new();
+        let s1 = g.add(comp("instrument-1", &[], &["o"]));
+        let s2 = g.add(comp("instrument-2", &[], &["o"]));
+        let sched = g.add(comp("scheduler", &["i"], &["o"]));
+        let c1 = g.add(comp("analysis", &["i"], &[]));
+        let c2 = g.add(comp("archive", &["i"], &[]));
+        g.connect(s1, "o", sched, "i").unwrap();
+        g.connect(s2, "o", sched, "i").unwrap();
+        g.connect(sched, "o", c1, "i").unwrap();
+        g.connect(sched, "o", c2, "i").unwrap();
+        let motifs = g.find_motifs();
+        assert_eq!(motifs.len(), 1);
+        let m = &motifs[0];
+        assert_eq!(m.scheduler, sched);
+        assert_eq!(m.collectors, vec![s1, s2]);
+        assert_eq!(m.consumers, vec![c1, c2]);
+        assert_eq!(m.name, MOTIF_COLLECT_SELECT_FORWARD);
+    }
+
+    #[test]
+    fn chain_of_three_is_also_a_motif_but_longer_pipelines_are_not() {
+        let mut g = WorkflowGraph::new();
+        let a = g.add(comp("a", &[], &["o"]));
+        let b = g.add(comp("b", &["i"], &["o"]));
+        let c = g.add(comp("c", &["i"], &["o"]));
+        let d = g.add(comp("d", &["i"], &[]));
+        g.connect(a, "o", b, "i").unwrap();
+        g.connect(b, "o", c, "i").unwrap();
+        g.connect(c, "o", d, "i").unwrap();
+        // b's successor (c) is not a pure sink, and c's predecessor (b) is
+        // not a pure source: no motif in a 4-chain.
+        assert!(g.find_motifs().is_empty());
+    }
+
+    #[test]
+    fn empty_graph_assesses_to_unknown() {
+        let g = WorkflowGraph::new();
+        assert_eq!(g.assess(), GaugeProfile::unknown());
+        assert!(g.topo_order().unwrap().is_empty());
+    }
+}

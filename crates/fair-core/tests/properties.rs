@@ -1,0 +1,169 @@
+//! Property-based tests for the gauge lattice and debt model.
+
+use fair_core::prelude::*;
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = GaugeProfile> {
+    proptest::array::uniform6(0u8..=5).prop_map(|levels| {
+        GaugeProfile::from_pairs(
+            ALL_GAUGES
+                .iter()
+                .copied()
+                .zip(levels.into_iter().map(Tier)),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn dominates_is_reflexive(p in arb_profile()) {
+        prop_assert!(p.dominates(&p));
+    }
+
+    #[test]
+    fn dominates_is_antisymmetric(a in arb_profile(), b in arb_profile()) {
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn dominates_is_transitive(a in arb_profile(), b in arb_profile(), c in arb_profile()) {
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in arb_profile(), b in arb_profile()) {
+        let j = a.join(&b);
+        prop_assert!(j.dominates(&a) && j.dominates(&b));
+        // least: any other upper bound dominates the join
+        let top = GaugeProfile::max_documented().join(&j);
+        prop_assert!(top.dominates(&j));
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound(a in arb_profile(), b in arb_profile()) {
+        let m = a.meet(&b);
+        prop_assert!(a.dominates(&m) && b.dominates(&m));
+    }
+
+    #[test]
+    fn join_meet_absorption(a in arb_profile(), b in arb_profile()) {
+        prop_assert_eq!(a.join(&a.meet(&b)), a);
+        prop_assert_eq!(a.meet(&a.join(&b)), a);
+    }
+
+    #[test]
+    fn join_commutative_associative(a in arb_profile(), b in arb_profile(), c in arb_profile()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    }
+
+    #[test]
+    fn gaps_empty_iff_dominates(a in arb_profile(), b in arb_profile()) {
+        prop_assert_eq!(a.gaps_to(&b).is_empty(), a.dominates(&b));
+    }
+
+    #[test]
+    fn raising_never_decreases_progress(p in arb_profile(), idx in 0usize..6, tier in 0u8..=6) {
+        let g = ALL_GAUGES[idx];
+        let raised = p.raised(g, Tier(tier));
+        prop_assert!(raised.dominates(&p));
+        prop_assert!(raised.progress_score() >= p.progress_score());
+    }
+
+    #[test]
+    fn debt_is_zero_iff_requirements_met(have in arb_profile(), need in arb_profile()) {
+        let scenario = ReuseScenario::new("prop", need, 3);
+        let report = fair_core::debt::estimate(&have, &scenario);
+        prop_assert_eq!(report.is_debt_free(), have.dominates(&need));
+        prop_assert_eq!(
+            report.total_interventions,
+            report.interventions_per_use as u64 * 3
+        );
+    }
+
+    #[test]
+    fn debt_monotone_in_have(have in arb_profile(), need in arb_profile(), idx in 0usize..6) {
+        let scenario = ReuseScenario::new("prop", need, 1);
+        let before = fair_core::debt::estimate(&have, &scenario);
+        let g = ALL_GAUGES[idx];
+        let raised = have.raised(g, have.get(g).next());
+        let after = fair_core::debt::estimate(&raised, &scenario);
+        prop_assert!(after.interventions_per_use <= before.interventions_per_use);
+    }
+
+    #[test]
+    fn profile_json_roundtrip(p in arb_profile()) {
+        let json = serde_json::to_string(&p).unwrap();
+        let back: GaugeProfile = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(p, back);
+    }
+}
+
+mod evolution_props {
+    use fair_core::evolution::{FormatId, FormatRegistry};
+    use proptest::prelude::*;
+
+    /// Builds a chain registry v0 → v1 → … → v(n-1), each hop appending
+    /// its index, plus the reverse hops stripping it.
+    fn chain(n: usize) -> FormatRegistry {
+        let mut reg = FormatRegistry::new();
+        for i in 0..n.saturating_sub(1) {
+            let from = FormatId::new("fmt", i.to_string());
+            let to = FormatId::new("fmt", (i + 1).to_string());
+            let tag = format!("|up{i}");
+            let tag_rm = tag.clone();
+            reg.register(from.clone(), to.clone(), move |s| Ok(format!("{s}{tag}")));
+            reg.register(to, from, move |s| {
+                s.strip_suffix(&tag_rm)
+                    .map(str::to_string)
+                    .ok_or_else(|| "wrong version".to_string())
+            });
+        }
+        reg
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn any_version_pair_is_reachable(n in 2usize..10, a in 0usize..10, b in 0usize..10) {
+            let (a, b) = (a % n, b % n);
+            let reg = chain(n);
+            let from = FormatId::new("fmt", a.to_string());
+            let to = FormatId::new("fmt", b.to_string());
+            let plan = reg.plan(&from, &to).unwrap();
+            // shortest path on a chain has |a-b| hops
+            prop_assert_eq!(plan.len(), a.abs_diff(b) + 1);
+            prop_assert_eq!(plan.first().unwrap(), &from);
+            prop_assert_eq!(plan.last().unwrap(), &to);
+        }
+
+        #[test]
+        fn round_trips_compose_losslessly(n in 2usize..8, a in 0usize..8, b in 0usize..8, base in "[a-z]{0,12}") {
+            let (a, b) = (a % n, b % n);
+            let reg = chain(n);
+            let v0 = FormatId::new("fmt", "0");
+            let from = FormatId::new("fmt", a.to_string());
+            let to = FormatId::new("fmt", b.to_string());
+            // materialize a *valid* v_a payload by upgrading the v0 base
+            let at_a = reg.convert(&v0, &from, &base).unwrap();
+            let there = reg.convert(&from, &to, &at_a).unwrap();
+            let back = reg.convert(&to, &from, &there).unwrap();
+            prop_assert_eq!(back, at_a);
+            // and converting all the way down recovers the base
+            prop_assert_eq!(reg.convert(&to, &v0, &there).unwrap(), base);
+        }
+
+        #[test]
+        fn unknown_container_has_no_path(n in 2usize..6) {
+            let reg = chain(n);
+            let from = FormatId::new("fmt", "0");
+            let alien = FormatId::new("alien", "1");
+            prop_assert!(reg.plan(&from, &alien).is_err());
+        }
+    }
+}

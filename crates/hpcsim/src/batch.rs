@@ -1,0 +1,233 @@
+//! Batch queue and allocation model.
+//!
+//! Campaigns on shared machines run as a *sequence of allocations*: submit
+//! a job asking for N nodes × walltime, wait in the queue, run, and if the
+//! campaign is not finished, resubmit (the paper's iRF-LOOP workflow
+//! "simply re-submits" a partially completed SweepGroup, §V-D). The model
+//! here provides allocation handles and a stochastic queue-wait process so
+//! total-campaign-runtime comparisons include resubmission cost.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cluster::NodeId;
+use crate::dist::LogNormal;
+use crate::time::{SimDuration, SimTime};
+
+/// A request for `nodes` nodes for at most `walltime`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchJob {
+    /// Requested node count.
+    pub nodes: u32,
+    /// Requested walltime limit.
+    pub walltime: SimDuration,
+}
+
+impl BatchJob {
+    /// Creates a batch job request.
+    pub fn new(nodes: u32, walltime: SimDuration) -> Self {
+        assert!(nodes > 0, "must request at least one node");
+        assert!(walltime > SimDuration::ZERO, "walltime must be positive");
+        Self { nodes, walltime }
+    }
+}
+
+/// A granted allocation: a set of nodes usable from `start` until `end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Dense allocation index within its series (0-based).
+    pub index: u32,
+    /// Nodes granted (always `0..nodes` — node identity is job-local).
+    pub nodes: Vec<NodeId>,
+    /// Allocation start time.
+    pub start: SimTime,
+    /// Hard end (start + walltime).
+    pub end: SimTime,
+}
+
+impl Allocation {
+    /// Walltime span of this allocation.
+    pub fn walltime(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Node-hours contained in the allocation.
+    pub fn node_hours(&self) -> f64 {
+        self.nodes.len() as f64 * self.walltime().as_hours_f64()
+    }
+}
+
+/// The machine-level batch queue: grants allocations one at a time with a
+/// sampled queue wait before each.
+#[derive(Debug)]
+pub struct BatchQueue {
+    wait_dist: Option<LogNormal>,
+    rng: StdRng,
+    clock: SimTime,
+    granted: u32,
+}
+
+impl BatchQueue {
+    /// Creates a queue whose waits are lognormal with the given mean and
+    /// coefficient of variation.
+    pub fn new(mean_wait: SimDuration, cv: f64, seed: u64) -> Self {
+        Self {
+            wait_dist: Some(LogNormal::from_mean_cv(mean_wait.as_secs_f64().max(1e-6), cv)),
+            rng: StdRng::seed_from_u64(seed),
+            clock: SimTime::ZERO,
+            granted: 0,
+        }
+    }
+
+    /// A queue that grants instantly (for unit tests and quick examples).
+    pub fn instant(seed: u64) -> Self {
+        Self {
+            wait_dist: None,
+            rng: StdRng::seed_from_u64(seed),
+            clock: SimTime::ZERO,
+            granted: 0,
+        }
+    }
+
+    /// Current queue-clock (end of the last granted allocation, or the
+    /// submission front).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Submits a job and returns the allocation it eventually receives.
+    /// The queue clock advances past the allocation, so successive calls
+    /// model back-to-back resubmission.
+    pub fn submit(&mut self, job: BatchJob) -> Allocation {
+        let wait = match &self.wait_dist {
+            Some(dist) => SimDuration::from_secs_f64(dist.sample(&mut self.rng)),
+            None => SimDuration::ZERO,
+        };
+        let start = self.clock + wait;
+        let end = start + job.walltime;
+        let alloc = Allocation {
+            index: self.granted,
+            nodes: (0..job.nodes).map(NodeId).collect(),
+            start,
+            end,
+        };
+        self.granted += 1;
+        self.clock = end;
+        alloc
+    }
+
+    /// Notifies the queue that the job released its allocation early, at
+    /// `at`. Subsequent submissions queue from that point instead of the
+    /// walltime end.
+    pub fn release_early(&mut self, at: SimTime) {
+        assert!(at <= self.clock, "cannot release after the allocation end");
+        self.clock = at;
+    }
+
+    /// Inserts a dead period before the next submission — e.g. the human
+    /// turnaround of manually curating failures and rewriting a submit
+    /// script.
+    pub fn advance(&mut self, delay: SimDuration) {
+        self.clock += delay;
+    }
+}
+
+/// Convenience: an unbounded series of identical allocations with queue
+/// waits in between.
+#[derive(Debug)]
+pub struct AllocationSeries {
+    queue: BatchQueue,
+    job: BatchJob,
+}
+
+impl AllocationSeries {
+    /// Creates a series for repeated submissions of `job`.
+    pub fn new(job: BatchJob, mean_wait: SimDuration, cv: f64, seed: u64) -> Self {
+        Self {
+            queue: BatchQueue::new(mean_wait, cv, seed),
+            job,
+        }
+    }
+
+    /// Grants the next allocation in the series.
+    pub fn next_allocation(&mut self) -> Allocation {
+        self.queue.submit(self.job)
+    }
+
+    /// Ends the current allocation early (job finished before walltime).
+    pub fn release_early(&mut self, at: SimTime) {
+        self.queue.release_early(at);
+    }
+
+    /// Inserts a dead period (human turnaround) before the next
+    /// allocation.
+    pub fn advance(&mut self, delay: SimDuration) {
+        self.queue.advance(delay);
+    }
+
+    /// Current series clock.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_queue_grants_back_to_back() {
+        let mut q = BatchQueue::instant(1);
+        let job = BatchJob::new(4, SimDuration::from_hours(2));
+        let a = q.submit(job);
+        let b = q.submit(job);
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(a.end, SimTime::ZERO + SimDuration::from_hours(2));
+        assert_eq!(b.start, a.end);
+        assert_eq!(a.nodes.len(), 4);
+        assert_eq!(b.index, 1);
+    }
+
+    #[test]
+    fn queue_waits_accumulate() {
+        let mut q = BatchQueue::new(SimDuration::from_mins(30), 0.5, 9);
+        let job = BatchJob::new(20, SimDuration::from_hours(2));
+        let a = q.submit(job);
+        assert!(a.start > SimTime::ZERO, "expected nonzero queue wait");
+        let b = q.submit(job);
+        assert!(b.start > a.end);
+    }
+
+    #[test]
+    fn early_release_shortens_series() {
+        let mut q = BatchQueue::instant(1);
+        let job = BatchJob::new(1, SimDuration::from_hours(2));
+        let a = q.submit(job);
+        let early = a.start + SimDuration::from_mins(30);
+        q.release_early(early);
+        let b = q.submit(job);
+        assert_eq!(b.start, early);
+    }
+
+    #[test]
+    fn node_hours_math() {
+        let mut q = BatchQueue::instant(1);
+        let a = q.submit(BatchJob::new(20, SimDuration::from_hours(2)));
+        assert!((a.node_hours() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = AllocationSeries::new(
+                BatchJob::new(20, SimDuration::from_hours(2)),
+                SimDuration::from_mins(45),
+                0.8,
+                seed,
+            );
+            (0..5).map(|_| s.next_allocation().start.0).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -1,0 +1,85 @@
+//! Cluster topology descriptions.
+
+use std::fmt;
+
+/// Identifier of a node within a cluster or allocation (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Static description of a machine: how many nodes, how many usable cores
+/// per node, and the aggregate parallel-filesystem bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Human-readable machine name (used in traces and manifests).
+    pub name: String,
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// Schedulable cores per node.
+    pub cores_per_node: u32,
+    /// Aggregate filesystem bandwidth in bytes/second available to jobs.
+    pub fs_bandwidth_bps: f64,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster spec.
+    pub fn new(name: impl Into<String>, nodes: u32, cores_per_node: u32, fs_bandwidth_bps: f64) -> Self {
+        assert!(nodes > 0 && cores_per_node > 0, "cluster must have nodes and cores");
+        assert!(fs_bandwidth_bps > 0.0, "filesystem bandwidth must be positive");
+        Self {
+            name: name.into(),
+            nodes,
+            cores_per_node,
+            fs_bandwidth_bps,
+        }
+    }
+
+    /// A Summit-like leadership machine: 42 usable cores/node and an
+    /// Alpine-class (~2.5 TB/s) shared filesystem. Node count is the
+    /// *allocation* size used by the paper's experiments, not the full
+    /// 4608-node machine.
+    pub fn summit_like(nodes: u32) -> Self {
+        Self::new("summit-like", nodes, 42, 2.5e12)
+    }
+
+    /// An institutional-cluster profile: 32 cores/node, 40 GB/s shared
+    /// filesystem.
+    pub fn institutional(nodes: u32) -> Self {
+        Self::new("institutional", nodes, 32, 4.0e10)
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> u64 {
+        self.nodes as u64 * self.cores_per_node as u64
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let s = ClusterSpec::summit_like(128);
+        assert_eq!(s.nodes, 128);
+        assert_eq!(s.total_cores(), 128 * 42);
+        let i = ClusterSpec::institutional(20);
+        assert_eq!(i.node_ids().count(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes and cores")]
+    fn zero_nodes_rejected() {
+        ClusterSpec::new("bad", 0, 4, 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Distribution samplers for workload modeling.
+//!
+//! Only `rand`'s core RNG machinery is an allowed dependency, so the
+//! distributions themselves (normal, lognormal, exponential) are
+//! implemented here. Lognormal matters most: per-feature iRF run times are
+//! heavy-tailed, and that tail is what makes set-synchronized execution
+//! waste nodes (Fig. 6).
+
+use rand::{Rng, RngExt};
+
+/// Standard-normal sample via the Box–Muller transform.
+///
+/// The transform yields pairs; we deliberately discard the second value to
+/// keep the sampler stateless (determinism is easier to reason about and
+/// sampling is nowhere near a hot path here).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 so ln is finite.
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::EPSILON {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean of the distribution.
+    pub mean: f64,
+    /// Standard deviation (must be non-negative).
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    /// If `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0);
+        Self { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// A lognormal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Location parameter of the underlying normal.
+    pub mu: f64,
+    /// Scale parameter of the underlying normal (non-negative).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal from the underlying normal's parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        Self { mu, sigma }
+    }
+
+    /// Creates a lognormal with the given *arithmetic* mean and coefficient
+    /// of variation (`cv = std/mean`). This is the natural way to say "mean
+    /// task time 90 s, heavy tail cv=0.8".
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0 && cv >= 0.0, "mean must be positive, cv non-negative");
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// Arithmetic mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Draws one sample (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// An exponential distribution with the given rate (`1/mean`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter λ (positive).
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate λ.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Self { rate }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    pub fn from_mean(mean: f64) -> Self {
+        Self::new(1.0 / mean)
+    }
+
+    /// Draws one sample via inverse transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = loop {
+            let u: f64 = rng.random();
+            if u > f64::EPSILON {
+                break u;
+            }
+        };
+        -u.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Normal::new(5.0, 2.0);
+        let samples: Vec<f64> = (0..40_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 5.0).abs() < 0.05, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_from_mean_cv_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = LogNormal::from_mean_cv(90.0, 0.8);
+        assert!((d.mean() - 90.0).abs() < 1e-9);
+        let samples: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 90.0).abs() / 90.0 < 0.02, "mean={mean}");
+        let cv = var.sqrt() / mean;
+        assert!((cv - 0.8).abs() < 0.05, "cv={cv}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = Exponential::from_mean(42.0);
+        let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, _) = mean_and_var(&samples);
+        assert!((mean - 42.0).abs() / 42.0 < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = LogNormal::from_mean_cv(10.0, 0.5);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        Exponential::new(0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulation`] owns the virtual clock and a time-ordered event queue;
+//! the *world state* lives in a user type implementing [`EventHandler`].
+//! Handling an event may schedule further events, which is how processes
+//! (task completions, filesystem load shifts, failures) are chained.
+//!
+//! Ties in time are broken by insertion order (a monotone sequence
+//! number), so simulations are fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// World-state callback: receives each event in time order and may
+/// schedule new ones.
+pub trait EventHandler {
+    /// The event payload type.
+    type Event;
+
+    /// Handles one event at virtual time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sim: &mut Simulation<Self::Event>);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event queue plus virtual clock.
+pub struct Simulation<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates an empty simulation at t = 0.
+    pub fn new() -> Self {
+        Self {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events handled so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is in the simulated past.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Runs until the queue drains or `deadline` is reached, whichever is
+    /// first. Events scheduled exactly at the deadline still run; later
+    /// events remain queued. Returns the number of events handled.
+    pub fn run_until<H>(&mut self, handler: &mut H, deadline: SimTime) -> u64
+    where
+        H: EventHandler<Event = E>,
+    {
+        let mut handled = 0;
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let item = self.queue.pop().expect("peeked event vanished");
+            self.now = item.at;
+            self.processed += 1;
+            handled += 1;
+            handler.handle(self.now, item.event, self);
+        }
+        // Advance the clock to the deadline even if the queue drained early,
+        // so wall-clock-bounded simulations (allocations) report full spans.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        handled
+    }
+
+    /// Runs until the event queue is completely drained.
+    pub fn run_to_completion<H>(&mut self, handler: &mut H) -> u64
+    where
+        H: EventHandler<Event = E>,
+    {
+        let mut handled = 0;
+        while let Some(item) = self.queue.pop() {
+            self.now = item.at;
+            self.processed += 1;
+            handled += 1;
+            handler.handle(self.now, item.event, self);
+        }
+        handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Chain(u32),
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl EventHandler for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, ev: Ev, sim: &mut Simulation<Ev>) {
+            match ev {
+                Ev::Ping(id) => self.seen.push((now, id)),
+                Ev::Chain(depth) => {
+                    self.seen.push((now, 1000 + depth));
+                    if depth > 0 {
+                        sim.schedule_in(SimDuration::from_secs(1), Ev::Chain(depth - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new();
+        let mut world = Recorder::default();
+        sim.schedule_at(SimTime::from_secs(3), Ev::Ping(3));
+        sim.schedule_at(SimTime::from_secs(1), Ev::Ping(1));
+        sim.schedule_at(SimTime::from_secs(2), Ev::Ping(2));
+        sim.run_to_completion(&mut world);
+        let ids: Vec<u32> = world.seen.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Simulation::new();
+        let mut world = Recorder::default();
+        for id in 0..5 {
+            sim.schedule_at(SimTime::from_secs(1), Ev::Ping(id));
+        }
+        sim.run_to_completion(&mut world);
+        let ids: Vec<u32> = world.seen.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut sim = Simulation::new();
+        let mut world = Recorder::default();
+        sim.schedule_at(SimTime::ZERO, Ev::Chain(3));
+        sim.run_to_completion(&mut world);
+        assert_eq!(world.seen.len(), 4);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn run_until_respects_deadline_inclusively() {
+        let mut sim = Simulation::new();
+        let mut world = Recorder::default();
+        sim.schedule_at(SimTime::from_secs(1), Ev::Ping(1));
+        sim.schedule_at(SimTime::from_secs(2), Ev::Ping(2));
+        sim.schedule_at(SimTime::from_secs(3), Ev::Ping(3));
+        let handled = sim.run_until(&mut world, SimTime::from_secs(2));
+        assert_eq!(handled, 2);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_queue_drains() {
+        let mut sim: Simulation<Ev> = Simulation::new();
+        let mut world = Recorder::default();
+        sim.run_until(&mut world, SimTime::from_secs(100));
+        assert_eq!(sim.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulation::new();
+        let mut world = Recorder::default();
+        sim.schedule_at(SimTime::from_secs(5), Ev::Ping(1));
+        sim.run_to_completion(&mut world);
+        sim.schedule_at(SimTime::from_secs(1), Ev::Ping(2));
+    }
+}

@@ -1,0 +1,105 @@
+//! Failure injection.
+//!
+//! Checkpoint frequency "is determined beforehand and depends on the
+//! failure rate of the underlying system" (§V-B). We model node/system
+//! failures as a Poisson process (exponential inter-failure times), the
+//! standard assumption behind mean-time-to-failure reasoning.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dist::Exponential;
+use crate::time::{SimDuration, SimTime};
+
+/// A Poisson failure process with a given mean time to failure.
+#[derive(Debug)]
+pub struct FailureModel {
+    mttf: SimDuration,
+    rng: StdRng,
+}
+
+impl FailureModel {
+    /// Creates a failure model with the given MTTF and seed.
+    pub fn new(mttf: SimDuration, seed: u64) -> Self {
+        assert!(mttf > SimDuration::ZERO, "MTTF must be positive");
+        Self {
+            mttf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Configured mean time to failure.
+    pub fn mttf(&self) -> SimDuration {
+        self.mttf
+    }
+
+    /// Samples the next failure instant strictly after `now`.
+    pub fn next_failure_after(&mut self, now: SimTime) -> SimTime {
+        let d = Exponential::from_mean(self.mttf.as_secs_f64()).sample(&mut self.rng);
+        now + SimDuration::from_secs_f64(d.max(1e-6))
+    }
+
+    /// Samples a full failure schedule covering `[start, end)`.
+    pub fn schedule(&mut self, start: SimTime, end: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = self.next_failure_after(start);
+        while t < end {
+            out.push(t);
+            t = self.next_failure_after(t);
+        }
+        out
+    }
+}
+
+/// Expected amount of work lost per failure when checkpointing every
+/// `interval` (the classic half-interval approximation). Useful for
+/// comparing policies analytically in tests and ablations.
+pub fn expected_rework_per_failure(interval: SimDuration) -> SimDuration {
+    interval / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inter_failure_times_average_to_mttf() {
+        let mttf = SimDuration::from_hours(6);
+        let mut fm = FailureModel::new(mttf, 42);
+        let horizon = SimTime::ZERO + SimDuration::from_hours(6 * 2000);
+        let schedule = fm.schedule(SimTime::ZERO, horizon);
+        assert!(!schedule.is_empty());
+        let mean_gap_hours = horizon.as_hours_f64() / schedule.len() as f64;
+        assert!(
+            (mean_gap_hours - 6.0).abs() < 0.5,
+            "mean inter-failure gap {mean_gap_hours}h, expected ~6h"
+        );
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_in_range() {
+        let mut fm = FailureModel::new(SimDuration::from_hours(1), 7);
+        let end = SimTime::ZERO + SimDuration::from_hours(100);
+        let schedule = fm.schedule(SimTime::ZERO, end);
+        assert!(schedule.windows(2).all(|w| w[0] < w[1]));
+        assert!(schedule.iter().all(|&t| t > SimTime::ZERO && t < end));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let make = |seed| {
+            FailureModel::new(SimDuration::from_hours(2), seed)
+                .schedule(SimTime::ZERO, SimTime::ZERO + SimDuration::from_hours(50))
+        };
+        assert_eq!(make(1), make(1));
+        assert_ne!(make(1), make(2));
+    }
+
+    #[test]
+    fn rework_is_half_interval() {
+        assert_eq!(
+            expected_rework_per_failure(SimDuration::from_mins(30)),
+            SimDuration::from_mins(15)
+        );
+    }
+}

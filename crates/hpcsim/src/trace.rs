@@ -1,0 +1,245 @@
+//! Time-series traces for figures.
+//!
+//! Figure 6 is a busy-nodes-over-time comparison; these helpers record
+//! step-function series in virtual time and compute the time-weighted
+//! aggregates (mean utilization, idle node-hours) the comparison needs.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A right-continuous step-function time series: the value set at `t`
+/// holds until the next recorded point.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `value` from time `at` onward.
+    ///
+    /// # Panics
+    /// If `at` precedes the last recorded point.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, prev)) = self.points.last() {
+            assert!(at >= last, "time series must be recorded in order");
+            if at == last {
+                // Same-instant overwrite keeps the latest value.
+                let idx = self.points.len() - 1;
+                self.points[idx] = (at, value);
+                return;
+            }
+            if prev == value {
+                return; // no step; keep the series compact
+            }
+        }
+        self.points.push((at, value));
+    }
+
+    /// Raw recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Value in effect at `t` (None before the first point).
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Integral of the series over `[start, end]` (value × seconds).
+    pub fn integrate(&self, start: SimTime, end: SimTime) -> f64 {
+        assert!(end >= start);
+        let mut total = 0.0;
+        let mut cursor = start;
+        let mut current = self.value_at(start).unwrap_or(0.0);
+        for &(t, v) in &self.points {
+            if t <= cursor {
+                continue;
+            }
+            if t >= end {
+                break;
+            }
+            total += current * (t - cursor).as_secs_f64();
+            cursor = t;
+            current = v;
+        }
+        total += current * (end - cursor).as_secs_f64();
+        total
+    }
+
+    /// Time-weighted mean over `[start, end]`.
+    pub fn mean(&self, start: SimTime, end: SimTime) -> f64 {
+        let span = (end - start).as_secs_f64();
+        if span == 0.0 {
+            return 0.0;
+        }
+        self.integrate(start, end) / span
+    }
+
+    /// Renders the series as two-column CSV (`time_s,value`) for external
+    /// plotting of figure data.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,value\n");
+        for &(t, v) in &self.points {
+            out.push_str(&format!("{},{}\n", t.as_secs_f64(), v));
+        }
+        out
+    }
+
+    /// Resamples the series at `n` evenly spaced instants across
+    /// `[start, end]` — used for printing figure rows.
+    pub fn resample(&self, start: SimTime, end: SimTime, n: usize) -> Vec<(SimTime, f64)> {
+        assert!(n >= 2, "need at least two sample points");
+        let span = end - start;
+        (0..n)
+            .map(|i| {
+                let t = start + SimDuration(span.0 * i as u64 / (n as u64 - 1));
+                (t, self.value_at(t).unwrap_or(0.0))
+            })
+            .collect()
+    }
+}
+
+/// Tracks how many nodes are busy over time inside an allocation.
+#[derive(Debug, Clone)]
+pub struct UtilizationTrace {
+    series: TimeSeries,
+    total_nodes: u32,
+    busy: u32,
+}
+
+impl UtilizationTrace {
+    /// Creates a trace for an allocation of `total_nodes`, all idle at
+    /// `start`.
+    pub fn new(total_nodes: u32, start: SimTime) -> Self {
+        let mut series = TimeSeries::new();
+        series.record(start, 0.0);
+        Self {
+            series,
+            total_nodes,
+            busy: 0,
+        }
+    }
+
+    /// Marks one more node busy at `at`.
+    pub fn node_busy(&mut self, at: SimTime) {
+        assert!(self.busy < self.total_nodes, "more busy nodes than allocated");
+        self.busy += 1;
+        self.series.record(at, self.busy as f64);
+    }
+
+    /// Marks one node idle at `at`.
+    pub fn node_idle(&mut self, at: SimTime) {
+        assert!(self.busy > 0, "no busy nodes to release");
+        self.busy -= 1;
+        self.series.record(at, self.busy as f64);
+    }
+
+    /// Underlying busy-node step series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Mean utilization fraction over `[start, end]`.
+    pub fn mean_utilization(&self, start: SimTime, end: SimTime) -> f64 {
+        self.series.mean(start, end) / self.total_nodes as f64
+    }
+
+    /// Idle node-hours over `[start, end]`.
+    pub fn idle_node_hours(&self, start: SimTime, end: SimTime) -> f64 {
+        let span_h = (end - start).as_hours_f64();
+        let busy_node_hours = self.series.integrate(start, end) / 3600.0;
+        self.total_nodes as f64 * span_h - busy_node_hours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrate_step_function() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(0), 1.0);
+        ts.record(SimTime::from_secs(10), 3.0);
+        // [0,10) at 1.0 → 10; [10,20] at 3.0 → 30
+        let total = ts.integrate(SimTime::from_secs(0), SimTime::from_secs(20));
+        assert!((total - 40.0).abs() < 1e-9);
+        assert!((ts.mean(SimTime::from_secs(0), SimTime::from_secs(20)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_at_boundaries() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(5), 2.0);
+        assert_eq!(ts.value_at(SimTime::from_secs(4)), None);
+        assert_eq!(ts.value_at(SimTime::from_secs(5)), Some(2.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(100)), Some(2.0));
+    }
+
+    #[test]
+    fn duplicate_values_are_compacted() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(0), 1.0);
+        ts.record(SimTime::from_secs(1), 1.0);
+        ts.record(SimTime::from_secs(2), 2.0);
+        assert_eq!(ts.points().len(), 2);
+    }
+
+    #[test]
+    fn same_instant_overwrites() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(1), 1.0);
+        ts.record(SimTime::from_secs(1), 5.0);
+        assert_eq!(ts.value_at(SimTime::from_secs(1)), Some(5.0));
+        assert_eq!(ts.points().len(), 1);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let start = SimTime::ZERO;
+        let end = SimTime::from_secs(3600);
+        let mut ut = UtilizationTrace::new(2, start);
+        ut.node_busy(start); // one node busy the whole hour
+        ut.node_busy(SimTime::from_secs(1800)); // second node busy half
+        let util = ut.mean_utilization(start, end);
+        assert!((util - 0.75).abs() < 1e-9, "util={util}");
+        let idle = ut.idle_node_hours(start, end);
+        assert!((idle - 0.5).abs() < 1e-9, "idle={idle}");
+    }
+
+    #[test]
+    fn resample_covers_span() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::ZERO, 1.0);
+        ts.record(SimTime::from_secs(50), 2.0);
+        let pts = ts.resample(SimTime::ZERO, SimTime::from_secs(100), 5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], (SimTime::ZERO, 1.0));
+        assert_eq!(pts[4], (SimTime::from_secs(100), 2.0));
+        assert_eq!(pts[2], (SimTime::from_secs(50), 2.0));
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::ZERO, 1.0);
+        ts.record(SimTime::from_secs(2), 3.5);
+        assert_eq!(ts.to_csv(), "time_s,value\n0,1\n2,3.5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_recording_panics() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(10), 1.0);
+        ts.record(SimTime::from_secs(5), 2.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The samples × features matrix.
+
+/// A dense row-major matrix: `rows` samples by `cols` features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+    names: Vec<String>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols` or any value is non-finite.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        assert!(data.iter().all(|x| x.is_finite()), "matrix values must be finite");
+        let names = (0..cols).map(|j| format!("f{j}")).collect();
+        Self {
+            rows,
+            cols,
+            data,
+            names,
+        }
+    }
+
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::new(rows, cols, vec![0.0; rows * cols])
+    }
+
+    /// Replaces feature names.
+    ///
+    /// # Panics
+    /// If the count differs from the column count.
+    pub fn with_names(mut self, names: Vec<String>) -> Self {
+        assert_eq!(names.len(), self.cols, "one name per column");
+        self.names = names;
+        self
+    }
+
+    /// Number of samples.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of features.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Feature names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Value at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(value.is_finite());
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// One sample as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// One feature as an owned column vector.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// A copy with column `drop_col` removed — the X matrix for an
+    /// iRF-LOOP run targeting that feature. Returns the new matrix and a
+    /// mapping from new column index to original column index.
+    pub fn without_column(&self, drop_col: usize) -> (Matrix, Vec<usize>) {
+        assert!(drop_col < self.cols);
+        let mut data = Vec::with_capacity(self.rows * (self.cols - 1));
+        for r in 0..self.rows {
+            let row = self.row(r);
+            data.extend_from_slice(&row[..drop_col]);
+            data.extend_from_slice(&row[drop_col + 1..]);
+        }
+        let mapping: Vec<usize> = (0..self.cols).filter(|&j| j != drop_col).collect();
+        let names = mapping.iter().map(|&j| self.names[j].clone()).collect();
+        (
+            Matrix::new(self.rows, self.cols - 1, data).with_names(names),
+            mapping,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn indexing() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.column(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn without_column_maps_indices() {
+        let m = sample();
+        let (x, map) = m.without_column(1);
+        assert_eq!(x.cols(), 2);
+        assert_eq!(x.row(0), &[1.0, 3.0]);
+        assert_eq!(x.row(1), &[4.0, 6.0]);
+        assert_eq!(map, vec![0, 2]);
+        assert_eq!(x.names(), &["f0", "f2"]);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(1, 0, 7.5);
+        assert_eq!(m.get(1, 0), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_rejected() {
+        Matrix::new(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        Matrix::new(1, 1, vec![f64::NAN]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Network serialization: adjacency matrices and edge lists as TSV.
+//!
+//! iRF-LOOP's product is "an n × n directional adjacency matrix" that
+//! downstream network-analysis tools consume. This module gives it a FAIR
+//! exchange form: a named-column TSV edge list (the format Cytoscape-like
+//! tools ingest), with a lossless round-trip back to [`Adjacency`].
+
+use crate::irf_loop::{Adjacency, Edge};
+
+/// Encodes the adjacency as a TSV edge list: header
+/// `from\tto\tweight`, one row per nonzero edge, feature names applied
+/// when given (falls back to `f{i}`).
+pub fn encode_edge_list(adj: &Adjacency, names: Option<&[String]>) -> String {
+    if let Some(names) = names {
+        assert_eq!(names.len(), adj.n(), "one name per feature");
+    }
+    let label = |i: usize| -> String {
+        names
+            .map(|n| n[i].clone())
+            .unwrap_or_else(|| format!("f{i}"))
+    };
+    let mut out = String::from("from\tto\tweight\n");
+    for edge in adj.top_edges(adj.n() * adj.n()) {
+        out.push_str(&format!(
+            "{}\t{}\t{}\n",
+            label(edge.from),
+            label(edge.to),
+            edge.weight
+        ));
+    }
+    out
+}
+
+/// Edge-list parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeListError {
+    /// Missing or wrong header row.
+    BadHeader,
+    /// A row failed to parse.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// An edge referenced a feature not in the name table.
+    UnknownFeature {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown label.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::BadHeader => write!(f, "edge list must start with from\\tto\\tweight"),
+            EdgeListError::BadRow { line, message } => write!(f, "line {line}: {message}"),
+            EdgeListError::UnknownFeature { line, label } => {
+                write!(f, "line {line}: unknown feature {label:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+/// Parses a TSV edge list back into an adjacency over `names`.
+pub fn decode_edge_list(text: &str, names: &[String]) -> Result<Adjacency, EdgeListError> {
+    let mut lines = text.lines();
+    if lines.next() != Some("from\tto\tweight") {
+        return Err(EdgeListError::BadHeader);
+    }
+    let index_of = |label: &str, line: usize| -> Result<usize, EdgeListError> {
+        names
+            .iter()
+            .position(|n| n == label)
+            .ok_or(EdgeListError::UnknownFeature {
+                line,
+                label: label.to_string(),
+            })
+    };
+    // collect columns, then install (set_column requires whole columns)
+    let n = names.len();
+    let mut columns: Vec<Vec<f64>> = vec![vec![0.0; n]; n];
+    for (i, raw) in lines.enumerate() {
+        let line_no = i + 2;
+        if raw.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = raw.split('\t').collect();
+        if cols.len() != 3 {
+            return Err(EdgeListError::BadRow {
+                line: line_no,
+                message: format!("{} columns, need 3", cols.len()),
+            });
+        }
+        let from = index_of(cols[0], line_no)?;
+        let to = index_of(cols[1], line_no)?;
+        let weight: f64 = cols[2].parse().map_err(|_| EdgeListError::BadRow {
+            line: line_no,
+            message: format!("bad weight {:?}", cols[2]),
+        })?;
+        if from == to {
+            return Err(EdgeListError::BadRow {
+                line: line_no,
+                message: "self edges are not representable".into(),
+            });
+        }
+        columns[to][from] = weight;
+    }
+    let mut adj = Adjacency::new(n);
+    for (target, column) in columns.into_iter().enumerate() {
+        adj.set_column(target, &column);
+    }
+    Ok(adj)
+}
+
+/// Convenience: the strongest `k` edges with labels, for reports.
+pub fn labeled_top_edges(adj: &Adjacency, names: &[String], k: usize) -> Vec<(String, String, f64)> {
+    adj.top_edges(k)
+        .into_iter()
+        .map(|Edge { from, to, weight }| (names[from].clone(), names[to].clone(), weight))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Adjacency, Vec<String>) {
+        let mut adj = Adjacency::new(3);
+        adj.set_column(0, &[0.0, 0.75, 0.25]);
+        adj.set_column(2, &[0.6, 0.4, 0.0]);
+        let names = vec!["alpha".into(), "beta".into(), "gamma".into()];
+        (adj, names)
+    }
+
+    #[test]
+    fn roundtrip_with_names() {
+        let (adj, names) = sample();
+        let text = encode_edge_list(&adj, Some(&names));
+        assert!(text.starts_with("from\tto\tweight\n"));
+        assert!(text.contains("beta\talpha\t0.75"));
+        let back = decode_edge_list(&text, &names).unwrap();
+        assert_eq!(adj, back);
+    }
+
+    #[test]
+    fn roundtrip_default_names() {
+        let (adj, _) = sample();
+        let text = encode_edge_list(&adj, None);
+        let names: Vec<String> = (0..3).map(|i| format!("f{i}")).collect();
+        assert_eq!(decode_edge_list(&text, &names).unwrap(), adj);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let names: Vec<String> = vec!["a".into(), "b".into()];
+        assert_eq!(
+            decode_edge_list("wrong\theader\n", &names),
+            Err(EdgeListError::BadHeader)
+        );
+        assert!(matches!(
+            decode_edge_list("from\tto\tweight\nx\tb\t0.5\n", &names),
+            Err(EdgeListError::UnknownFeature { line: 2, .. })
+        ));
+        assert!(matches!(
+            decode_edge_list("from\tto\tweight\na\tb\tnope\n", &names),
+            Err(EdgeListError::BadRow { line: 2, .. })
+        ));
+        assert!(matches!(
+            decode_edge_list("from\tto\tweight\na\ta\t0.5\n", &names),
+            Err(EdgeListError::BadRow { .. })
+        ));
+    }
+
+    #[test]
+    fn labeled_edges_sorted() {
+        let (adj, names) = sample();
+        let top = labeled_top_edges(&adj, &names, 2);
+        assert_eq!(top[0], ("beta".into(), "alpha".into(), 0.75));
+        assert_eq!(top[1], ("alpha".into(), "gamma".into(), 0.6));
+    }
+
+    #[test]
+    fn empty_adjacency_roundtrips() {
+        let adj = Adjacency::new(2);
+        let names: Vec<String> = vec!["x".into(), "y".into()];
+        let text = encode_edge_list(&adj, Some(&names));
+        assert_eq!(text, "from\tto\tweight\n");
+        assert_eq!(decode_edge_list(&text, &names).unwrap(), adj);
+    }
+}

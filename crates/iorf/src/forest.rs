@@ -1,0 +1,293 @@
+//! Bagged random forests with OOB error, trained in parallel.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use exec::ThreadPool;
+
+use crate::data::Matrix;
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+    /// Master seed; tree *t* uses `seed + t`.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            tree: TreeConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    importance: Vec<f64>,
+    oob_mse: Option<f64>,
+}
+
+impl RandomForest {
+    /// Fits a forest of `config.n_trees` bootstrap trees in parallel,
+    /// with feature-sampling `weights` (uniform for a plain RF).
+    pub fn fit(
+        x: &Matrix,
+        y: &[f64],
+        config: &ForestConfig,
+        weights: &[f64],
+        pool: &ThreadPool,
+    ) -> Self {
+        assert_eq!(x.rows(), y.len());
+        assert_eq!(weights.len(), x.cols());
+        assert!(config.n_trees > 0, "need at least one tree");
+        assert!(x.rows() >= 2, "need at least two samples");
+        let n = x.rows();
+
+        // (tree, oob sample indices)
+        let fitted: Vec<(DecisionTree, Vec<usize>)> = pool.map_index(config.n_trees, |t| {
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(t as u64));
+            let mut in_bag = vec![false; n];
+            let indices: Vec<usize> = (0..n)
+                .map(|_| {
+                    let i = (rng.random::<f64>() * n as f64) as usize;
+                    let i = i.min(n - 1);
+                    in_bag[i] = true;
+                    i
+                })
+                .collect();
+            let tree = DecisionTree::fit(x, y, &indices, config.tree, weights, &mut rng);
+            let oob: Vec<usize> = (0..n).filter(|&i| !in_bag[i]).collect();
+            (tree, oob)
+        });
+
+        // aggregate importance
+        let mut importance = vec![0.0; x.cols()];
+        for (tree, _) in &fitted {
+            for (j, v) in tree.importance().iter().enumerate() {
+                importance[j] += v;
+            }
+        }
+        let total: f64 = importance.iter().sum();
+        if total > 0.0 {
+            for v in &mut importance {
+                *v /= total;
+            }
+        }
+
+        // OOB error: mean over samples of (mean OOB prediction − y)²
+        let mut oob_sum = vec![0.0; n];
+        let mut oob_count = vec![0usize; n];
+        for (tree, oob) in &fitted {
+            for &i in oob {
+                oob_sum[i] += tree.predict(x.row(i));
+                oob_count[i] += 1;
+            }
+        }
+        let mut se = 0.0;
+        let mut covered = 0usize;
+        for i in 0..n {
+            if oob_count[i] > 0 {
+                let pred = oob_sum[i] / oob_count[i] as f64;
+                se += (pred - y[i]).powi(2);
+                covered += 1;
+            }
+        }
+        let oob_mse = (covered > 0).then(|| se / covered as f64);
+
+        RandomForest {
+            trees: fitted.into_iter().map(|(t, _)| t).collect(),
+            importance,
+            oob_mse,
+        }
+    }
+
+    /// Mean prediction over trees.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Normalized per-feature importance (sums to 1 when any split
+    /// happened, all-zero otherwise).
+    pub fn importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Out-of-bag mean squared error (`None` when no sample was ever OOB).
+    pub fn oob_mse(&self) -> Option<f64> {
+        self.oob_mse
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Permutation importance: for each feature, how much does the mean
+    /// squared error degrade when that feature's column is shuffled?
+    /// An independent check on the impurity-based [`RandomForest::importance`]
+    /// (they should agree on which features carry signal). Returns raw
+    /// MSE increases (may be slightly negative for pure-noise features).
+    pub fn permutation_importance(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        seed: u64,
+        pool: &ThreadPool,
+    ) -> Vec<f64> {
+        assert_eq!(x.rows(), y.len());
+        let n = x.rows();
+        let base_mse: f64 = (0..n)
+            .map(|i| (self.predict(x.row(i)) - y[i]).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        pool.map_index(x.cols(), |j| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(j as u64));
+            // Fisher–Yates permutation of row indices for column j
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let k = (rng.random::<f64>() * (i + 1) as f64) as usize;
+                perm.swap(i, k.min(i));
+            }
+            let mut row_buf = vec![0.0; x.cols()];
+            let mse: f64 = (0..n)
+                .map(|i| {
+                    row_buf.copy_from_slice(x.row(i));
+                    row_buf[j] = x.get(perm[i], j);
+                    (self.predict(&row_buf) - y[i]).powi(2)
+                })
+                .sum::<f64>()
+                / n as f64;
+            mse - base_mse
+        })
+    }
+
+    /// R² of predictions against `y` on `x` (in-sample unless you pass
+    /// held-out data).
+    pub fn r2(&self, x: &Matrix, y: &[f64]) -> f64 {
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let ss_tot: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+        if ss_tot == 0.0 {
+            return 0.0;
+        }
+        let ss_res: f64 = (0..x.rows())
+            .map(|i| (y[i] - self.predict(x.row(i))).powi(2))
+            .sum();
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 3·x₀ − 2·x₂ + small noise; x₁ is pure noise.
+    fn linear_data(n: usize) -> (Matrix, Vec<f64>) {
+        let mut data = Vec::with_capacity(n * 3);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let x0 = ((i * 7) % 23) as f64 / 23.0;
+            let x1 = ((i * 13) % 31) as f64 / 31.0;
+            let x2 = ((i * 5) % 19) as f64 / 19.0;
+            data.extend_from_slice(&[x0, x1, x2]);
+            y.push(3.0 * x0 - 2.0 * x2 + 0.01 * ((i % 7) as f64 - 3.0));
+        }
+        (Matrix::new(n, 3, data), y)
+    }
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn learns_linear_signal() {
+        let (x, y) = linear_data(300);
+        let config = ForestConfig { n_trees: 60, seed: 1, ..Default::default() };
+        let forest = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
+        let r2 = forest.r2(&x, &y);
+        assert!(r2 > 0.9, "r2={r2}");
+        let imp = forest.importance();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[1] && imp[2] > imp[1], "imp={imp:?}");
+    }
+
+    #[test]
+    fn oob_error_reasonable() {
+        let (x, y) = linear_data(300);
+        let config = ForestConfig { n_trees: 60, seed: 2, ..Default::default() };
+        let forest = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
+        let oob = forest.oob_mse().expect("60 trees cover everything OOB");
+        let var = {
+            let m = y.iter().sum::<f64>() / y.len() as f64;
+            y.iter().map(|v| (v - m).powi(2)).sum::<f64>() / y.len() as f64
+        };
+        assert!(oob < var, "oob {oob} should beat predicting the mean {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_threads() {
+        let (x, y) = linear_data(120);
+        let config = ForestConfig { n_trees: 20, seed: 3, ..Default::default() };
+        let a = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
+        let b = RandomForest::fit(&x, &y, &config, &[1.0; 3], &ThreadPool::new(1));
+        // per-tree seeds are independent of thread scheduling
+        assert_eq!(a.importance(), b.importance());
+        assert_eq!(a.predict(x.row(0)), b.predict(x.row(0)));
+    }
+
+    #[test]
+    fn importance_all_zero_when_unlearnable() {
+        let x = Matrix::new(20, 2, vec![1.0; 40]); // constant features
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let config = ForestConfig { n_trees: 10, seed: 4, ..Default::default() };
+        let forest = RandomForest::fit(&x, &y, &config, &[1.0; 2], &pool());
+        assert!(forest.importance().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn permutation_importance_agrees_with_impurity() {
+        let (x, y) = linear_data(300);
+        let config = ForestConfig { n_trees: 40, seed: 8, ..Default::default() };
+        let forest = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
+        let perm = forest.permutation_importance(&x, &y, 5, &pool());
+        // signal features (0 and 2) degrade prediction when shuffled far
+        // more than the noise feature (1)
+        assert!(perm[0] > perm[1] * 5.0, "perm={perm:?}");
+        assert!(perm[2] > perm[1] * 5.0, "perm={perm:?}");
+        // and the two estimators rank identically
+        let imp = forest.importance();
+        let rank = |v: &[f64]| {
+            let mut idx: Vec<usize> = (0..v.len()).collect();
+            idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).unwrap());
+            idx
+        };
+        assert_eq!(rank(imp), rank(&perm));
+    }
+
+    #[test]
+    fn permutation_importance_deterministic() {
+        let (x, y) = linear_data(120);
+        let config = ForestConfig { n_trees: 15, seed: 2, ..Default::default() };
+        let forest = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
+        let a = forest.permutation_importance(&x, &y, 3, &pool());
+        let b = forest.permutation_importance(&x, &y, 3, &ThreadPool::new(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let (x, y) = linear_data(80);
+        let config = ForestConfig { n_trees: 1, seed: 5, ..Default::default() };
+        let forest = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
+        assert_eq!(forest.n_trees(), 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! iRF-LOOP: the all-to-all network driver.
+//!
+//! One iRF model per feature: feature *j* becomes the Y vector, the other
+//! *n−1* features the X matrix; the resulting importance vector becomes
+//! column *j* of a directional adjacency matrix ("values that can be
+//! viewed as edge weights between the features", §II-B). Per-feature runs
+//! are independent — exactly the heterogeneous bag-of-tasks the Cheetah/
+//! Savanna campaign of §V-D schedules.
+
+use std::time::Instant;
+
+use exec::ThreadPool;
+
+use crate::data::Matrix;
+use crate::irf::{IrfConfig, IrfModel};
+
+/// iRF-LOOP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoopConfig {
+    /// The per-feature iRF settings.
+    pub irf: IrfConfig,
+}
+
+/// A directed, weighted edge `from → to` ("`from` predicts `to`").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Predictor feature index.
+    pub from: usize,
+    /// Target feature index.
+    pub to: usize,
+    /// Normalized importance weight.
+    pub weight: f64,
+}
+
+/// The n×n directional adjacency matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adjacency {
+    n: usize,
+    /// Row-major weights; `w[from * n + to]`.
+    weights: Vec<f64>,
+}
+
+impl Adjacency {
+    /// Creates an empty adjacency for `n` features.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            weights: vec![0.0; n * n],
+        }
+    }
+
+    /// Feature count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Weight of `from → to`.
+    pub fn weight(&self, from: usize, to: usize) -> f64 {
+        self.weights[from * self.n + to]
+    }
+
+    /// Installs one target's importance column. `importance` is indexed
+    /// by *original* feature index (the target's own slot must be 0).
+    pub fn set_column(&mut self, target: usize, importance: &[f64]) {
+        assert_eq!(importance.len(), self.n);
+        assert_eq!(importance[target], 0.0, "self-edge must be zero");
+        for (from, &w) in importance.iter().enumerate() {
+            self.weights[from * self.n + target] = w;
+        }
+    }
+
+    /// All nonzero edges, strongest first.
+    pub fn top_edges(&self, k: usize) -> Vec<Edge> {
+        let mut edges: Vec<Edge> = (0..self.n)
+            .flat_map(|from| {
+                (0..self.n).filter_map(move |to| {
+                    let weight = self.weight(from, to);
+                    (weight > 0.0).then_some(Edge { from, to, weight })
+                })
+            })
+            .collect();
+        edges.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+        edges.truncate(k);
+        edges
+    }
+
+    /// Every column (target) sums to 1 or 0 — the "normalized" part of
+    /// the iRF-LOOP definition. Exposed for tests/validation.
+    pub fn column_sums(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|to| (0..self.n).map(|from| self.weight(from, to)).sum())
+            .collect()
+    }
+}
+
+/// Runs one iRF-LOOP task: target feature `target`, returning the
+/// importance vector mapped back to full feature indexing (target slot
+/// zero, vector normalized to sum 1 unless the model learned nothing).
+pub fn run_feature(data: &Matrix, target: usize, config: &LoopConfig, pool: &ThreadPool) -> Vec<f64> {
+    let (x, mapping) = data.without_column(target);
+    let y = data.column(target);
+    let mut cfg = config.irf;
+    // decorrelate per-target runs deterministically
+    cfg.forest.seed = cfg.forest.seed.wrapping_add((target as u64).wrapping_mul(0x9E37_79B9));
+    let model = IrfModel::fit(&x, &y, &cfg, pool);
+    let mut full = vec![0.0; data.cols()];
+    for (compact_idx, &orig_idx) in mapping.iter().enumerate() {
+        full[orig_idx] = model.importance()[compact_idx];
+    }
+    full
+}
+
+/// Runs the full loop over every feature (parallelism inside each iRF via
+/// `pool`; features sequential — the campaign executors own cross-feature
+/// parallelism in the §V-D reproduction).
+pub fn run_loop(data: &Matrix, config: &LoopConfig, pool: &ThreadPool) -> Adjacency {
+    let mut adj = Adjacency::new(data.cols());
+    for target in 0..data.cols() {
+        let importance = run_feature(data, target, config, pool);
+        adj.set_column(target, &importance);
+    }
+    adj
+}
+
+/// Runs the full loop with **cross-feature** parallelism: every target's
+/// iRF trains concurrently on the pool (tree-level parallelism nests
+/// inside — the pool's helping waiters make that safe). Produces exactly
+/// the same adjacency as [`run_loop`].
+pub fn run_loop_parallel(data: &Matrix, config: &LoopConfig, pool: &ThreadPool) -> Adjacency {
+    let columns = pool.map_index(data.cols(), |target| run_feature(data, target, config, pool));
+    let mut adj = Adjacency::new(data.cols());
+    for (target, importance) in columns.iter().enumerate() {
+        adj.set_column(target, importance);
+    }
+    adj
+}
+
+/// Measures wall-clock training time per feature — the empirical runtime
+/// distribution that calibrates the Fig. 6/7 campaign simulations.
+pub fn measure_feature_runtimes(
+    data: &Matrix,
+    config: &LoopConfig,
+    pool: &ThreadPool,
+) -> Vec<std::time::Duration> {
+    (0..data.cols())
+        .map(|target| {
+            let start = Instant::now();
+            let _ = run_feature(data, target, config, pool);
+            start.elapsed()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestConfig;
+    use crate::synth::{PlantedNetwork, SynthConfig};
+    use crate::tree::TreeConfig;
+
+    fn fast_config() -> LoopConfig {
+        LoopConfig {
+            irf: IrfConfig {
+                forest: ForestConfig {
+                    n_trees: 25,
+                    tree: TreeConfig { max_depth: 6, min_samples_leaf: 3, mtry: 4 },
+                    seed: 42,
+                },
+                iterations: 2,
+            },
+        }
+    }
+
+    fn synth() -> (Matrix, PlantedNetwork) {
+        SynthConfig {
+            samples: 220,
+            features: 12,
+            roots: 4,
+            edge_weight: 1.0,
+            noise_sd: 0.25,
+            seed: 5,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn adjacency_columns_normalized_no_self_edges() {
+        let (data, _net) = synth();
+        let pool = ThreadPool::new(4);
+        let adj = run_loop(&data, &fast_config(), &pool);
+        assert_eq!(adj.n(), 12);
+        for j in 0..adj.n() {
+            assert_eq!(adj.weight(j, j), 0.0, "self edge at {j}");
+        }
+        for (j, s) in adj.column_sums().iter().enumerate() {
+            assert!(
+                (*s - 1.0).abs() < 1e-9 || *s == 0.0,
+                "column {j} sums to {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_planted_edges() {
+        let (data, net) = synth();
+        let pool = ThreadPool::new(4);
+        let adj = run_loop(&data, &fast_config(), &pool);
+        let k = net.edges.len();
+        let recovered = adj.top_edges(k);
+        let precision = net.precision(&recovered);
+        assert!(
+            precision >= 0.5,
+            "precision@{k} = {precision}; edges={recovered:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_loop_matches_sequential() {
+        let (data, _) = synth();
+        let pool = ThreadPool::new(4);
+        let sequential = run_loop(&data, &fast_config(), &pool);
+        let parallel = run_loop_parallel(&data, &fast_config(), &pool);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn run_feature_maps_indices_back() {
+        let (data, _) = synth();
+        let pool = ThreadPool::new(2);
+        let imp = run_feature(&data, 3, &fast_config(), &pool);
+        assert_eq!(imp.len(), data.cols());
+        assert_eq!(imp[3], 0.0);
+    }
+
+    #[test]
+    fn top_edges_sorted_and_truncated() {
+        let mut adj = Adjacency::new(3);
+        adj.set_column(0, &[0.0, 0.7, 0.3]);
+        adj.set_column(2, &[0.9, 0.1, 0.0]);
+        let top = adj.top_edges(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].weight >= top[1].weight);
+        assert_eq!((top[0].from, top[0].to), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edge")]
+    fn nonzero_self_edge_rejected() {
+        let mut adj = Adjacency::new(2);
+        adj.set_column(0, &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn measured_runtimes_have_one_entry_per_feature() {
+        let (data, _) = synth();
+        let pool = ThreadPool::new(4);
+        let times = measure_feature_runtimes(&data, &fast_config(), &pool);
+        assert_eq!(times.len(), data.cols());
+        assert!(times.iter().all(|t| t.as_nanos() > 0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Census-like synthetic data with a planted dependency network.
+//!
+//! The paper ran iRF-LOOP on the 2019 American Community Survey (1606
+//! features × 3220 counties) to build an all-to-all network of
+//! demographic/socioeconomic relationships. ACS data is external; what
+//! the experiment *needs* is a feature matrix with (a) genuinely
+//! inter-dependent features and (b) per-feature model runtimes with a
+//! spread. We generate a layered dependency network: root features are
+//! independent noise, each derived feature is a weighted sum of planted
+//! parent features plus noise. The planted edge set lets us score
+//! recovery — a validation the original data cannot offer.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::data::Matrix;
+use crate::irf_loop::Edge;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Samples (the paper's counties: 3220).
+    pub samples: usize,
+    /// Features (the paper's ACS columns: 1606 — keep small for tests).
+    pub features: usize,
+    /// Number of independent root features (must be ≥ 1, < features).
+    pub roots: usize,
+    /// Weight of each parent in a derived feature.
+    pub edge_weight: f64,
+    /// Additive noise standard deviation for derived features.
+    pub noise_sd: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            samples: 400,
+            features: 24,
+            roots: 6,
+            edge_weight: 1.0,
+            noise_sd: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+/// The ground-truth network planted by the generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedNetwork {
+    /// Planted directed edges `(parent, child)`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl PlantedNetwork {
+    /// True when `(from, to)` or `(to, from)` is planted — iRF-LOOP finds
+    /// association direction only as far as the data allows, so scoring
+    /// accepts either orientation.
+    pub fn contains_undirected(&self, from: usize, to: usize) -> bool {
+        self.edges.contains(&(from, to)) || self.edges.contains(&(to, from))
+    }
+
+    /// Fraction of `recovered` edges that are planted (either direction).
+    pub fn precision(&self, recovered: &[Edge]) -> f64 {
+        if recovered.is_empty() {
+            return 0.0;
+        }
+        let hits = recovered
+            .iter()
+            .filter(|e| self.contains_undirected(e.from, e.to))
+            .count();
+        hits as f64 / recovered.len() as f64
+    }
+
+    /// Fraction of planted edges present in `recovered` (either
+    /// direction).
+    pub fn recall(&self, recovered: &[Edge]) -> f64 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .edges
+            .iter()
+            .filter(|&&(a, b)| {
+                recovered
+                    .iter()
+                    .any(|e| (e.from == a && e.to == b) || (e.from == b && e.to == a))
+            })
+            .count();
+        hits as f64 / self.edges.len() as f64
+    }
+}
+
+fn box_muller(rng: &mut StdRng) -> f64 {
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::EPSILON {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl SynthConfig {
+    /// Generates the matrix and its planted network.
+    pub fn generate(&self) -> (Matrix, PlantedNetwork) {
+        assert!(self.samples > 1 && self.features > 1);
+        assert!(self.roots >= 1 && self.roots < self.features, "roots must be in [1, features)");
+        assert!(self.noise_sd >= 0.0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.samples;
+        let p = self.features;
+        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(p);
+        let mut edges = Vec::new();
+
+        for _ in 0..self.roots {
+            columns.push((0..n).map(|_| box_muller(&mut rng)).collect());
+        }
+        for j in self.roots..p {
+            // 1–2 parents chosen among existing features
+            let n_parents = 1 + (rng.random::<f64>() < 0.5) as usize;
+            let mut parents = Vec::with_capacity(n_parents);
+            while parents.len() < n_parents {
+                let cand = ((rng.random::<f64>() * j as f64) as usize).min(j - 1);
+                if !parents.contains(&cand) {
+                    parents.push(cand);
+                }
+            }
+            let col: Vec<f64> = (0..n)
+                .map(|s| {
+                    let signal: f64 = parents.iter().map(|&pi| self.edge_weight * columns[pi][s]).sum();
+                    signal + self.noise_sd * box_muller(&mut rng)
+                })
+                .collect();
+            for &parent in &parents {
+                edges.push((parent, j));
+            }
+            columns.push(col);
+        }
+
+        let mut data = Vec::with_capacity(n * p);
+        for s in 0..n {
+            for col in &columns {
+                data.push(col[s]);
+            }
+        }
+        let names = (0..p)
+            .map(|j| {
+                if j < self.roots {
+                    format!("root{j}")
+                } else {
+                    format!("derived{j}")
+                }
+            })
+            .collect();
+        (
+            Matrix::new(n, p, data).with_names(names),
+            PlantedNetwork { edges },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let cfg = SynthConfig::default();
+        let (a, net_a) = cfg.generate();
+        let (b, net_b) = cfg.generate();
+        assert_eq!(a, b);
+        assert_eq!(net_a, net_b);
+        assert_eq!(a.rows(), 400);
+        assert_eq!(a.cols(), 24);
+        assert!(!net_a.edges.is_empty());
+        // every derived feature has at least one parent
+        let children: std::collections::BTreeSet<usize> =
+            net_a.edges.iter().map(|&(_, c)| c).collect();
+        assert_eq!(children.len(), 24 - 6);
+    }
+
+    #[test]
+    fn edges_point_forward() {
+        let (_, net) = SynthConfig::default().generate();
+        assert!(net.edges.iter().all(|&(p, c)| p < c));
+    }
+
+    #[test]
+    fn derived_features_correlate_with_parents() {
+        let cfg = SynthConfig { noise_sd: 0.1, ..Default::default() };
+        let (m, net) = cfg.generate();
+        let (parent, child) = net.edges[0];
+        let a = m.column(parent);
+        let b = m.column(child);
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(&b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+        let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+        let corr = cov / (va.sqrt() * vb.sqrt());
+        assert!(corr.abs() > 0.4, "corr={corr}");
+    }
+
+    #[test]
+    fn precision_recall_scoring() {
+        let net = PlantedNetwork { edges: vec![(0, 1), (1, 2)] };
+        let recovered = vec![
+            Edge { from: 1, to: 0, weight: 0.9 }, // reversed planted edge: counts
+            Edge { from: 0, to: 2, weight: 0.5 }, // not planted
+        ];
+        assert!((net.precision(&recovered) - 0.5).abs() < 1e-12);
+        assert!((net.recall(&recovered) - 0.5).abs() < 1e-12);
+        assert_eq!(net.precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthConfig { seed: 1, ..Default::default() }.generate().0;
+        let b = SynthConfig { seed: 2, ..Default::default() }.generate().0;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "roots must be")]
+    fn degenerate_roots_rejected() {
+        SynthConfig { roots: 0, ..Default::default() }.generate();
+    }
+}

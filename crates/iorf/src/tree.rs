@@ -1,0 +1,420 @@
+//! CART regression trees with weighted feature sampling.
+//!
+//! Splits minimize the sum of squared errors (equivalently: maximize
+//! variance reduction). Candidate features at each split are drawn
+//! *without replacement* according to a weight vector — uniform weights
+//! give an ordinary random forest tree; importance-derived weights give
+//! the iterative-RF behaviour of Basu et al. that iRF-LOOP builds on.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::data::Matrix;
+
+/// Tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split.
+    pub mtry: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_leaf: 3,
+            mtry: 0, // 0 = derive from feature count at fit time
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    /// Total SSE decrease attributed to each feature.
+    importance: Vec<f64>,
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    config: TreeConfig,
+    weights: &'a [f64],
+    rng: &'a mut StdRng,
+    nodes: Vec<Node>,
+    importance: Vec<f64>,
+}
+
+/// Draws `k` distinct feature indices with probability proportional to
+/// `weights`. Features with zero weight can still be drawn once all
+/// positive-weight features are exhausted (keeps mtry honest when the
+/// weight vector is sparse).
+fn weighted_sample_without_replacement(
+    weights: &[f64],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let mut remaining: Vec<usize> = (0..weights.len()).collect();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k.min(weights.len()) {
+        let total: f64 = remaining.iter().map(|&i| weights[i]).sum();
+        let pick = if total <= 0.0 {
+            // uniform fallback over what's left
+            let r: f64 = rng.random();
+            ((r * remaining.len() as f64) as usize).min(remaining.len() - 1)
+        } else {
+            let mut target: f64 = rng.random::<f64>() * total;
+            let mut chosen = remaining.len() - 1;
+            for (pos, &i) in remaining.iter().enumerate() {
+                target -= weights[i];
+                if target <= 0.0 {
+                    chosen = pos;
+                    break;
+                }
+            }
+            chosen
+        };
+        out.push(remaining.swap_remove(pick));
+    }
+    out
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+    /// Indices partitioned: `left` then `right`.
+    left: Vec<usize>,
+    right: Vec<usize>,
+}
+
+impl<'a> Builder<'a> {
+    /// Finds the best split of `indices` on `feature`; returns None when
+    /// no valid split exists.
+    fn best_split_on_feature(&self, indices: &[usize], feature: usize) -> Option<(f64, f64)> {
+        let n = indices.len();
+        let mut order: Vec<usize> = indices.to_vec();
+        order.sort_by(|&a, &b| {
+            self.x
+                .get(a, feature)
+                .partial_cmp(&self.x.get(b, feature))
+                .expect("finite values")
+        });
+        // prefix sums of y and y² in sorted order
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let prefix: Vec<(f64, f64)> = order
+            .iter()
+            .map(|&i| {
+                sum += self.y[i];
+                sum2 += self.y[i] * self.y[i];
+                (sum, sum2)
+            })
+            .collect();
+        let (total_sum, total_sum2) = prefix[n - 1];
+        let parent_sse = total_sum2 - total_sum * total_sum / n as f64;
+        if parent_sse <= 1e-12 {
+            return None; // already pure
+        }
+        let min_leaf = self.config.min_samples_leaf;
+        let mut best: Option<(f64, f64)> = None; // (gain, threshold)
+        for split_at in min_leaf..=(n - min_leaf) {
+            if split_at == n {
+                break;
+            }
+            let lo = self.x.get(order[split_at - 1], feature);
+            let hi = self.x.get(order[split_at], feature);
+            if lo == hi {
+                continue; // cannot split between equal values
+            }
+            let (lsum, lsum2) = prefix[split_at - 1];
+            let left_sse = lsum2 - lsum * lsum / split_at as f64;
+            let rn = (n - split_at) as f64;
+            let rsum = total_sum - lsum;
+            let rsum2 = total_sum2 - lsum2;
+            let right_sse = rsum2 - rsum * rsum / rn;
+            let gain = parent_sse - left_sse - right_sse;
+            if gain > best.map_or(1e-12, |(g, _)| g) {
+                best = Some((gain, (lo + hi) / 2.0));
+            }
+        }
+        best
+    }
+
+    fn find_best_split(&mut self, indices: &[usize]) -> Option<BestSplit> {
+        let p = self.x.cols();
+        let mtry = if self.config.mtry == 0 {
+            (p / 3).max(1)
+        } else {
+            self.config.mtry.min(p)
+        };
+        let candidates = weighted_sample_without_replacement(self.weights, mtry, self.rng);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for feature in candidates {
+            if let Some((gain, threshold)) = self.best_split_on_feature(indices, feature) {
+                if gain > best.map_or(0.0, |(_, _, g)| g) {
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+        let (feature, threshold, gain) = best?;
+        let (left, right): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| self.x.get(i, feature) <= threshold);
+        Some(BestSplit {
+            feature,
+            threshold,
+            gain,
+            left,
+            right,
+        })
+    }
+
+    fn build(&mut self, indices: &[usize], depth: usize) -> usize {
+        let mean = indices.iter().map(|&i| self.y[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= self.config.max_depth || indices.len() < 2 * self.config.min_samples_leaf {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        match self.find_best_split(indices) {
+            None => {
+                self.nodes.push(Node::Leaf { value: mean });
+                self.nodes.len() - 1
+            }
+            Some(split) => {
+                self.importance[split.feature] += split.gain;
+                let node_idx = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                let left = self.build(&split.left, depth + 1);
+                let right = self.build(&split.right, depth + 1);
+                self.nodes[node_idx] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                };
+                node_idx
+            }
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Fits a tree on the samples in `indices` (with repetitions allowed,
+    /// i.e. a bootstrap sample), considering features according to
+    /// `weights`.
+    pub fn fit(
+        x: &Matrix,
+        y: &[f64],
+        indices: &[usize],
+        config: TreeConfig,
+        weights: &[f64],
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(x.rows(), y.len(), "one target per sample");
+        assert_eq!(weights.len(), x.cols(), "one weight per feature");
+        assert!(!indices.is_empty(), "cannot fit on zero samples");
+        assert!(config.min_samples_leaf >= 1);
+        let mut builder = Builder {
+            x,
+            y,
+            config,
+            weights,
+            rng,
+            nodes: Vec::new(),
+            importance: vec![0.0; x.cols()],
+        };
+        builder.build(indices, 0);
+        DecisionTree {
+            nodes: builder.nodes,
+            importance: builder.importance,
+        }
+    }
+
+    /// Predicts one sample.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Raw (unnormalized) per-feature SSE-decrease importance.
+    pub fn importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (diagnostics).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// y = step function of feature 1 (feature 0 is noise).
+    fn step_data() -> (Matrix, Vec<f64>) {
+        let n = 200;
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let noise = ((i * 31) % 17) as f64 / 17.0;
+            let signal = (i % 10) as f64;
+            data.push(noise);
+            data.push(signal);
+            y.push(if signal > 4.5 { 10.0 } else { -10.0 });
+        }
+        (Matrix::new(n, 2, data), y)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let (x, y) = step_data();
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        let config = TreeConfig { max_depth: 4, min_samples_leaf: 2, mtry: 2 };
+        let tree = DecisionTree::fit(&x, &y, &indices, config, &[1.0, 1.0], &mut rng(1));
+        // perfect recovery of the step
+        for (i, &target) in y.iter().enumerate() {
+            assert_eq!(tree.predict(x.row(i)), target, "sample {i}");
+        }
+        // importance concentrated on feature 1
+        let imp = tree.importance();
+        assert!(imp[1] > 0.0);
+        assert!(imp[1] > imp[0] * 10.0, "imp={imp:?}");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (x, y) = step_data();
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        let config = TreeConfig { max_depth: 2, min_samples_leaf: 1, mtry: 2 };
+        let tree = DecisionTree::fit(&x, &y, &indices, config, &[1.0, 1.0], &mut rng(1));
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let x = Matrix::new(10, 1, (0..10).map(|i| i as f64).collect());
+        let y = vec![3.0; 10];
+        let indices: Vec<usize> = (0..10).collect();
+        let tree = DecisionTree::fit(&x, &y, &indices, TreeConfig::default(), &[1.0], &mut rng(1));
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[99.0]), 3.0);
+    }
+
+    #[test]
+    fn zero_weight_features_avoided_when_alternatives_exist() {
+        let (x, y) = step_data();
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        // weight only feature 0 (the noise feature) to zero → splits use f1
+        let config = TreeConfig { max_depth: 6, min_samples_leaf: 2, mtry: 1 };
+        let tree = DecisionTree::fit(&x, &y, &indices, config, &[0.0, 1.0], &mut rng(2));
+        assert_eq!(tree.importance()[0], 0.0);
+        assert!(tree.importance()[1] > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = step_data();
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        let cfg = TreeConfig { max_depth: 6, min_samples_leaf: 2, mtry: 1 };
+        let a = DecisionTree::fit(&x, &y, &indices, cfg, &[1.0, 1.0], &mut rng(7));
+        let b = DecisionTree::fit(&x, &y, &indices, cfg, &[1.0, 1.0], &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let (x, y) = step_data();
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        let config = TreeConfig { max_depth: 30, min_samples_leaf: 50, mtry: 2 };
+        let tree = DecisionTree::fit(&x, &y, &indices, config, &[1.0, 1.0], &mut rng(3));
+        // with 200 samples and ≥50 per leaf, at most 4 leaves → ≤ 7 nodes
+        assert!(tree.node_count() <= 7, "nodes={}", tree.node_count());
+    }
+
+    #[test]
+    fn weighted_sampling_distinct_and_bounded() {
+        let mut r = rng(5);
+        let w = [0.5, 0.0, 0.2, 0.3];
+        for _ in 0..100 {
+            let picks = weighted_sample_without_replacement(&w, 3, &mut r);
+            assert_eq!(picks.len(), 3);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicates in {picks:?}");
+        }
+        // asking for more than available clamps
+        assert_eq!(weighted_sample_without_replacement(&w, 10, &mut r).len(), 4);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights_statistically() {
+        let mut r = rng(9);
+        let w = [0.9, 0.05, 0.05];
+        let mut first_counts = [0usize; 3];
+        for _ in 0..2000 {
+            let picks = weighted_sample_without_replacement(&w, 1, &mut r);
+            first_counts[picks[0]] += 1;
+        }
+        assert!(first_counts[0] > 1600, "counts={first_counts:?}");
+    }
+
+    #[test]
+    fn bootstrap_indices_with_repeats_work() {
+        let (x, y) = step_data();
+        let indices: Vec<usize> = (0..x.rows()).map(|i| i % 50).collect(); // heavy repeats
+        let cfg = TreeConfig { max_depth: 5, min_samples_leaf: 2, mtry: 2 };
+        let tree = DecisionTree::fit(&x, &y, &indices, cfg, &[1.0, 1.0], &mut rng(4));
+        assert!(tree.node_count() >= 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: tree/forest prediction bounds, importance invariants,
+//! adjacency normalization.
+
+use exec::ThreadPool;
+use iorf::data::Matrix;
+use iorf::forest::{ForestConfig, RandomForest};
+use iorf::irf_loop::Adjacency;
+use iorf::tree::{DecisionTree, TreeConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_dataset() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (2usize..5, 10usize..60).prop_flat_map(|(cols, rows)| {
+        (
+            proptest::collection::vec(-100.0f64..100.0, rows * cols),
+            proptest::collection::vec(-100.0f64..100.0, rows),
+        )
+            .prop_map(move |(data, y)| (Matrix::new(rows, cols, data), y))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_predictions_within_target_range((x, y) in arb_dataset(), seed in 0u64..100) {
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        let weights = vec![1.0; x.cols()];
+        let config = TreeConfig { max_depth: 6, min_samples_leaf: 2, mtry: x.cols() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = DecisionTree::fit(&x, &y, &indices, config, &weights, &mut rng);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for i in 0..x.rows() {
+            let p = tree.predict(x.row(i));
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "prediction {p} outside [{lo}, {hi}]");
+        }
+        // importance is non-negative
+        prop_assert!(tree.importance().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn forest_importance_normalized((x, y) in arb_dataset(), seed in 0u64..100) {
+        let pool = ThreadPool::new(2);
+        let config = ForestConfig {
+            n_trees: 8,
+            tree: TreeConfig { max_depth: 5, min_samples_leaf: 2, mtry: 0 },
+            seed,
+        };
+        let forest = RandomForest::fit(&x, &y, &config, &vec![1.0; x.cols()], &pool);
+        let total: f64 = forest.importance().sum_check();
+        prop_assert!(
+            (total - 1.0).abs() < 1e-9 || total == 0.0,
+            "importance sums to {total}"
+        );
+        // predictions bounded by target range (forest = mean of trees)
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = forest.predict(x.row(0));
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn adjacency_column_install_preserves_normalization(
+        n in 2usize..10,
+        target in 0usize..10,
+        raw in proptest::collection::vec(0.0f64..1.0, 10),
+    ) {
+        let target = target % n;
+        // build a normalized importance vector with zero at the target
+        let mut imp: Vec<f64> = raw[..n].to_vec();
+        imp[target] = 0.0;
+        let sum: f64 = imp.iter().sum();
+        if sum > 0.0 {
+            for v in &mut imp {
+                *v /= sum;
+            }
+        }
+        let mut adj = Adjacency::new(n);
+        adj.set_column(target, &imp);
+        let sums = adj.column_sums();
+        let expected = if sum > 0.0 { 1.0 } else { 0.0 };
+        prop_assert!((sums[target] - expected).abs() < 1e-9);
+        prop_assert_eq!(adj.weight(target, target), 0.0);
+        // top_edges never returns self-edges or zero weights
+        for e in adj.top_edges(n * n) {
+            prop_assert!(e.from != e.to);
+            prop_assert!(e.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn without_column_preserves_all_other_data(
+        rows in 2usize..15,
+        cols in 2usize..6,
+        drop in 0usize..6,
+        seed_vals in proptest::collection::vec(-50.0f64..50.0, 2 * 15 * 6),
+    ) {
+        let drop = drop % cols;
+        let data: Vec<f64> = seed_vals[..rows * cols].to_vec();
+        let m = Matrix::new(rows, cols, data);
+        let (x, mapping) = m.without_column(drop);
+        prop_assert_eq!(x.cols(), cols - 1);
+        prop_assert_eq!(x.rows(), rows);
+        for (newj, &origj) in mapping.iter().enumerate() {
+            for r in 0..rows {
+                prop_assert_eq!(x.get(r, newj), m.get(r, origj));
+            }
+        }
+        prop_assert!(!mapping.contains(&drop));
+    }
+}
+
+/// Small helper so the intent reads clearly above.
+trait SumCheck {
+    fn sum_check(&self) -> f64;
+}
+impl SumCheck for [f64] {
+    fn sum_check(&self) -> f64 {
+        self.iter().sum()
+    }
+}

@@ -1,0 +1,423 @@
+//! Campaign-level simulated execution with resubmission.
+//!
+//! "If all runs in the SweepGroup cannot be run in the allotted time, the
+//! SweepGroup is simply re-submitted, and Savanna resumes execution of
+//! the experiments" (§V-D). The driver loops: obtain an allocation from
+//! the batch queue, schedule the still-incomplete runs with the chosen
+//! [`AllocationScheduler`], fold the outcome into the status board, and
+//! repeat until the group completes (or an allocation cap is hit).
+
+use std::collections::BTreeMap;
+
+use cheetah::manifest::CampaignManifest;
+use cheetah::status::{RunStatus, StatusBoard};
+use hpcsim::batch::AllocationSeries;
+use hpcsim::time::{SimDuration, SimTime};
+use hpcsim::trace::UtilizationTrace;
+
+use crate::task::{AllocationScheduler, SimTask, TaskResult};
+
+/// What happened inside one allocation.
+#[derive(Debug, Clone)]
+pub struct AllocationRecord {
+    /// Allocation index within the campaign.
+    pub index: u32,
+    /// Allocation start (includes queue wait).
+    pub start: SimTime,
+    /// Allocation walltime end.
+    pub end: SimTime,
+    /// Runs completed in this allocation.
+    pub completed: usize,
+    /// Runs cut off at the walltime boundary.
+    pub timed_out: usize,
+    /// Mean node utilization over the *active* span (start → finished_at).
+    pub utilization: f64,
+    /// Idle node-hours over the active span.
+    pub idle_node_hours: f64,
+    /// Instant the allocation went quiet (early release point).
+    pub finished_at: SimTime,
+    /// Busy-node trace for figure plotting.
+    pub trace: UtilizationTrace,
+}
+
+/// Full campaign execution report.
+#[derive(Debug, Clone)]
+pub struct CampaignSimReport {
+    /// Scheduler used.
+    pub scheduler: &'static str,
+    /// Per-allocation records.
+    pub allocations: Vec<AllocationRecord>,
+    /// Runs completed over the whole campaign.
+    pub completed_runs: usize,
+    /// Runs still incomplete when the driver stopped.
+    pub remaining_runs: usize,
+    /// Total campaign span from first submission to last activity,
+    /// including queue waits.
+    pub total_span: SimDuration,
+}
+
+impl CampaignSimReport {
+    /// Mean completed runs per allocation (the Fig. 7 metric:
+    /// "average number of parameters explored in 2-hour allocations").
+    pub fn runs_per_allocation(&self) -> f64 {
+        if self.allocations.is_empty() {
+            return 0.0;
+        }
+        self.completed_runs as f64 / self.allocations.len() as f64
+    }
+
+    /// True when every run completed.
+    pub fn is_complete(&self) -> bool {
+        self.remaining_runs == 0
+    }
+}
+
+/// Simulates a campaign to completion (or `max_allocations`).
+///
+/// `durations` maps run ids to modeled execution times; runs missing from
+/// the map are skipped with a panic — a missing duration is a driver bug,
+/// not a runtime condition.
+pub fn run_campaign_sim(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &dyn AllocationScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+) -> CampaignSimReport {
+    assert!(max_allocations > 0);
+    let mut allocations = Vec::new();
+    let mut completed_total = 0usize;
+    let first_submission = series.now();
+    let mut last_activity = first_submission;
+
+    for _ in 0..max_allocations {
+        let incomplete = board.incomplete_runs(manifest);
+        if incomplete.is_empty() {
+            break;
+        }
+        let tasks: Vec<SimTask> = incomplete
+            .iter()
+            .map(|r| {
+                let d = durations
+                    .get(&r.id)
+                    .unwrap_or_else(|| panic!("no duration modeled for run {:?}", r.id));
+                let group = manifest.group(&r.group).expect("run's group exists");
+                SimTask::new(r.id.clone(), group.per_run_nodes, *d)
+            })
+            .collect();
+        let alloc = series.next_allocation();
+        let outcome = scheduler.schedule(&tasks, &alloc);
+
+        let mut completed_here = 0usize;
+        let mut timed_out_here = 0usize;
+        for (id, result) in &outcome.results {
+            match result {
+                TaskResult::Completed { .. } => {
+                    board.set(id, RunStatus::Done);
+                    completed_here += 1;
+                }
+                TaskResult::TimedOut => {
+                    board.set(id, RunStatus::TimedOut);
+                    timed_out_here += 1;
+                }
+                TaskResult::NotStarted => board.set(id, RunStatus::Pending),
+            }
+        }
+        completed_total += completed_here;
+        let active_end = outcome.finished_at.max(alloc.start);
+        if active_end < alloc.end {
+            series.release_early(active_end);
+        }
+        last_activity = last_activity.max(active_end);
+        let span_for_util = if active_end > alloc.start { active_end } else { alloc.end };
+        allocations.push(AllocationRecord {
+            index: alloc.index,
+            start: alloc.start,
+            end: alloc.end,
+            completed: completed_here,
+            timed_out: timed_out_here,
+            utilization: outcome.trace.mean_utilization(alloc.start, span_for_util),
+            idle_node_hours: outcome.trace.idle_node_hours(alloc.start, span_for_util),
+            finished_at: active_end,
+            trace: outcome.trace,
+        });
+    }
+
+    let remaining = board.incomplete_runs(manifest).len();
+    CampaignSimReport {
+        scheduler: scheduler.name(),
+        allocations,
+        completed_runs: completed_total,
+        remaining_runs: remaining,
+        total_span: last_activity.since(first_submission),
+    }
+}
+
+/// Per-group campaign execution: every sweep group runs under its **own**
+/// allocation series sized from the group's declared envelope
+/// (`nodes × walltime_secs`) — the full SweepGroup semantics of §V-D,
+/// where groups with different resource shapes coexist in one campaign.
+///
+/// Returns `(group name, report)` pairs in manifest order. Queue seeds
+/// are derived per group so the series are independent but reproducible.
+#[allow(clippy::too_many_arguments)] // mirrors run_campaign_sim with the per-group queue knobs
+pub fn run_campaign_groups_sim(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &dyn AllocationScheduler,
+    mean_queue_wait: SimDuration,
+    queue_cv: f64,
+    seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_group: u32,
+) -> Vec<(String, CampaignSimReport)> {
+    use hpcsim::batch::BatchJob;
+    manifest
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(gi, group)| {
+            // a manifest view containing only this group, so the shared
+            // board's other groups are untouched by this series
+            let sub = CampaignManifest {
+                campaign: manifest.campaign.clone(),
+                machine: manifest.machine.clone(),
+                app: manifest.app.clone(),
+                schema_version: manifest.schema_version,
+                groups: vec![group.clone()],
+            };
+            let mut series = AllocationSeries::new(
+                BatchJob::new(group.nodes, SimDuration::from_secs(group.walltime_secs)),
+                mean_queue_wait,
+                queue_cv,
+                seed.wrapping_add(gi as u64),
+            );
+            let report = run_campaign_sim(
+                &sub,
+                durations,
+                scheduler,
+                &mut series,
+                board,
+                max_allocations_per_group,
+            );
+            (group.name.clone(), report)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pilot::PilotScheduler;
+    use crate::setsync::SetSyncScheduler;
+    use cheetah::campaign::{AppDef, Campaign, SweepGroup};
+    use cheetah::param::SweepSpec;
+    use cheetah::sweep::Sweep;
+    use hpcsim::batch::BatchJob;
+
+    fn campaign(runs: i64) -> CampaignManifest {
+        Campaign::new("irf", "inst", AppDef::new("irf", "irf.exe"))
+            .with_group(SweepGroup::new(
+                "features",
+                Sweep::new().with("feature", SweepSpec::IntRange { start: 0, end: runs - 1, step: 1 }),
+                4,
+                1,
+                3600,
+            ))
+            .manifest()
+            .unwrap()
+    }
+
+    fn uniform_durations(manifest: &CampaignManifest, secs: u64) -> BTreeMap<String, SimDuration> {
+        manifest
+            .groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .map(|r| (r.id.clone(), SimDuration::from_secs(secs)))
+            .collect()
+    }
+
+    fn series() -> AllocationSeries {
+        AllocationSeries::new(
+            BatchJob::new(4, SimDuration::from_hours(1)),
+            SimDuration::from_mins(30),
+            0.5,
+            7,
+        )
+    }
+
+    #[test]
+    fn campaign_completes_within_one_allocation() {
+        let m = campaign(8);
+        let durations = uniform_durations(&m, 600);
+        let mut board = StatusBoard::for_manifest(&m);
+        let report = run_campaign_sim(
+            &m,
+            &durations,
+            &PilotScheduler::new(),
+            &mut series(),
+            &mut board,
+            10,
+        );
+        assert!(report.is_complete());
+        assert_eq!(report.allocations.len(), 1);
+        assert_eq!(report.completed_runs, 8);
+        assert!(board.summary().is_complete());
+    }
+
+    #[test]
+    fn resubmission_finishes_large_campaigns() {
+        let m = campaign(40);
+        // 40 × 600 s on 4 nodes = 6000 s of work per node-row → needs
+        // multiple 1 h allocations
+        let durations = uniform_durations(&m, 600);
+        let mut board = StatusBoard::for_manifest(&m);
+        let report = run_campaign_sim(
+            &m,
+            &durations,
+            &PilotScheduler::new(),
+            &mut series(),
+            &mut board,
+            10,
+        );
+        assert!(report.is_complete(), "remaining={}", report.remaining_runs);
+        assert!(report.allocations.len() >= 2);
+        assert_eq!(report.completed_runs, 40);
+        // every allocation contributed
+        assert!(report.allocations.iter().all(|a| a.completed > 0));
+    }
+
+    #[test]
+    fn allocation_cap_stops_early() {
+        let m = campaign(400);
+        let durations = uniform_durations(&m, 3000);
+        let mut board = StatusBoard::for_manifest(&m);
+        let report = run_campaign_sim(
+            &m,
+            &durations,
+            &PilotScheduler::new(),
+            &mut series(),
+            &mut board,
+            2,
+        );
+        assert!(!report.is_complete());
+        assert_eq!(report.allocations.len(), 2);
+        assert_eq!(
+            report.completed_runs + report.remaining_runs,
+            400
+        );
+    }
+
+    #[test]
+    fn pilot_needs_no_more_allocations_than_setsync() {
+        // heterogeneous durations: deterministic pseudo-random heavy tail
+        let m = campaign(60);
+        let durations: BTreeMap<String, SimDuration> = m
+            .groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .enumerate()
+            .map(|(i, r)| {
+                let base = 300 + (i * 937 % 1700) as u64; // 300..2000 s
+                (r.id.clone(), SimDuration::from_secs(base))
+            })
+            .collect();
+        let run = |sched: &dyn AllocationScheduler| {
+            let mut board = StatusBoard::for_manifest(&m);
+            run_campaign_sim(&m, &durations, sched, &mut series(), &mut board, 50)
+        };
+        let pilot = run(&PilotScheduler::new());
+        let sync = run(&SetSyncScheduler::new(4));
+        assert!(pilot.is_complete() && sync.is_complete());
+        assert!(
+            pilot.allocations.len() <= sync.allocations.len(),
+            "pilot {} allocs vs sync {}",
+            pilot.allocations.len(),
+            sync.allocations.len()
+        );
+        assert!(pilot.total_span <= sync.total_span);
+        assert!(pilot.runs_per_allocation() >= sync.runs_per_allocation());
+    }
+
+    #[test]
+    #[should_panic(expected = "no duration modeled")]
+    fn missing_duration_is_a_bug() {
+        let m = campaign(2);
+        let durations = BTreeMap::new();
+        let mut board = StatusBoard::for_manifest(&m);
+        run_campaign_sim(
+            &m,
+            &durations,
+            &PilotScheduler::new(),
+            &mut series(),
+            &mut board,
+            1,
+        );
+    }
+
+    #[test]
+    fn heterogeneous_groups_each_get_their_own_envelope() {
+        use cheetah::param::SweepSpec;
+        // group "small": 2 nodes × 30 min; group "big": 8 nodes × 2 h
+        let m = Campaign::new("hetero", "inst", AppDef::new("a", "a.exe"))
+            .with_group(SweepGroup::new(
+                "small",
+                Sweep::new().with("i", SweepSpec::IntRange { start: 0, end: 5, step: 1 }),
+                2,
+                1,
+                1800,
+            ))
+            .with_group(SweepGroup::new(
+                "big",
+                Sweep::new().with("j", SweepSpec::IntRange { start: 0, end: 19, step: 1 }),
+                8,
+                1,
+                7200,
+            ))
+            .manifest()
+            .unwrap();
+        let durations: BTreeMap<String, SimDuration> = m
+            .groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .map(|r| (r.id.clone(), SimDuration::from_mins(10)))
+            .collect();
+        let mut board = StatusBoard::for_manifest(&m);
+        let reports = run_campaign_groups_sim(
+            &m,
+            &durations,
+            &PilotScheduler::new(),
+            SimDuration::from_mins(10),
+            0.3,
+            7,
+            &mut board,
+            50,
+        );
+        assert_eq!(reports.len(), 2);
+        assert!(board.summary().is_complete());
+        let (small_name, small) = &reports[0];
+        let (big_name, big) = &reports[1];
+        assert_eq!(small_name, "small");
+        assert_eq!(big_name, "big");
+        assert_eq!(small.completed_runs, 6);
+        assert_eq!(big.completed_runs, 20);
+        // small group: 6 × 10 min on 2 nodes = 30 min of work per node —
+        // exactly one 30-min allocation can hold it
+        assert_eq!(small.allocations.len(), 1);
+        assert_eq!(big.allocations.len(), 1, "20 × 10 min on 8 nodes fits 2 h");
+    }
+
+    #[test]
+    fn early_release_shortens_the_series() {
+        let m = campaign(2);
+        let durations = uniform_durations(&m, 60);
+        let mut board = StatusBoard::for_manifest(&m);
+        let mut s = series();
+        let report = run_campaign_sim(&m, &durations, &PilotScheduler::new(), &mut s, &mut board, 5);
+        assert!(report.is_complete());
+        let rec = &report.allocations[0];
+        assert!(rec.finished_at < rec.end, "2×60 s should finish well before 1 h");
+        assert_eq!(s.now(), rec.finished_at);
+    }
+}

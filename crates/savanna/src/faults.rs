@@ -1,0 +1,343 @@
+//! Run-failure injection and curation policies.
+//!
+//! "Once a submission has completed, a list of failed runs is manually
+//! curated and requires a new submit script to be created and
+//! resubmitted" (§II-B) — for the original workflow. Savanna instead
+//! tracks failures itself and requeues them on the next allocation.
+//!
+//! [`run_campaign_sim_with_faults`] extends the plain driver with a
+//! per-attempt failure probability and a [`FailureHandling`] policy, so
+//! the cost of *manual* failure curation can be measured against
+//! automatic requeueing.
+
+use std::collections::BTreeMap;
+
+use cheetah::manifest::CampaignManifest;
+use cheetah::status::{RunStatus, StatusBoard};
+use hpcsim::batch::AllocationSeries;
+use hpcsim::time::SimDuration;
+
+use crate::driver::{AllocationRecord, CampaignSimReport};
+use crate::task::{AllocationScheduler, SimTask, TaskResult};
+
+/// Per-attempt run-failure model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that a run which *would* complete instead fails.
+    pub failure_probability: f64,
+    /// Seed for the per-(run, attempt) failure draws.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// Creates a fault spec.
+    pub fn new(failure_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&failure_probability),
+            "failure probability must be in [0,1)"
+        );
+        Self {
+            failure_probability,
+            seed,
+        }
+    }
+
+    /// Deterministic failure draw for one attempt of one run.
+    fn fails(&self, run_id: &str, attempt: u32) -> bool {
+        if self.failure_probability == 0.0 {
+            return false;
+        }
+        // FNV over the run id, then a splitmix finalizer mixing in the
+        // seed and attempt → uniform in [0,1)
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in run_id.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut z = h
+            ^ self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.failure_probability
+    }
+}
+
+/// How run failures get back into the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureHandling {
+    /// Savanna requeues failed runs automatically on the next allocation.
+    AutoRequeue,
+    /// A human curates the failed list after each allocation, paying a
+    /// turnaround delay before resubmission (the original workflow).
+    ManualCuration {
+        /// Human turnaround per curation round.
+        turnaround: SimDuration,
+    },
+}
+
+/// Extended campaign report including failure accounting.
+#[derive(Debug, Clone)]
+pub struct FaultyCampaignReport {
+    /// The base report.
+    pub report: CampaignSimReport,
+    /// Total failed attempts across the campaign.
+    pub failed_attempts: u32,
+    /// Curation rounds paid (manual handling only).
+    pub curation_rounds: u32,
+}
+
+/// Like [`crate::driver::run_campaign_sim`] but with failure injection.
+#[allow(clippy::too_many_arguments)] // mirrors run_campaign_sim + the two fault knobs
+pub fn run_campaign_sim_with_faults(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &dyn AllocationScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    faults: FaultSpec,
+    handling: FailureHandling,
+) -> FaultyCampaignReport {
+    assert!(max_allocations > 0);
+    let mut allocations = Vec::new();
+    let mut completed_total = 0usize;
+    let mut failed_attempts = 0u32;
+    let mut curation_rounds = 0u32;
+    let first_submission = series.now();
+    let mut last_activity = first_submission;
+    let mut attempts: BTreeMap<String, u32> = BTreeMap::new();
+
+    for _ in 0..max_allocations {
+        let incomplete = board.incomplete_runs(manifest);
+        if incomplete.is_empty() {
+            break;
+        }
+        let tasks: Vec<SimTask> = incomplete
+            .iter()
+            .map(|r| {
+                let d = durations
+                    .get(&r.id)
+                    .unwrap_or_else(|| panic!("no duration modeled for run {:?}", r.id));
+                let group = manifest.group(&r.group).expect("run's group exists");
+                SimTask::new(r.id.clone(), group.per_run_nodes, *d)
+            })
+            .collect();
+        let alloc = series.next_allocation();
+        let outcome = scheduler.schedule(&tasks, &alloc);
+
+        let mut completed_here = 0usize;
+        let mut timed_out_here = 0usize;
+        let mut failed_here = 0u32;
+        for (id, result) in &outcome.results {
+            match result {
+                TaskResult::Completed { .. } => {
+                    let attempt = attempts.entry(id.clone()).or_insert(0);
+                    *attempt += 1;
+                    if faults.fails(id, *attempt) {
+                        failed_here += 1;
+                        board.set(id, RunStatus::Failed);
+                    } else {
+                        board.set(id, RunStatus::Done);
+                        completed_here += 1;
+                    }
+                }
+                TaskResult::TimedOut => {
+                    board.set(id, RunStatus::TimedOut);
+                    timed_out_here += 1;
+                }
+                TaskResult::NotStarted => board.set(id, RunStatus::Pending),
+            }
+        }
+        failed_attempts += failed_here;
+        completed_total += completed_here;
+
+        let active_end = outcome.finished_at.max(alloc.start);
+        if active_end < alloc.end {
+            series.release_early(active_end);
+        }
+        last_activity = last_activity.max(active_end);
+        let span_for_util = if active_end > alloc.start { active_end } else { alloc.end };
+        allocations.push(AllocationRecord {
+            index: alloc.index,
+            start: alloc.start,
+            end: alloc.end,
+            completed: completed_here,
+            timed_out: timed_out_here,
+            utilization: outcome.trace.mean_utilization(alloc.start, span_for_util),
+            idle_node_hours: outcome.trace.idle_node_hours(alloc.start, span_for_util),
+            finished_at: active_end,
+            trace: outcome.trace,
+        });
+
+        // failed runs re-enter the queue per the handling policy
+        if failed_here > 0 {
+            match handling {
+                FailureHandling::AutoRequeue => {
+                    requeue_failures(manifest, board);
+                }
+                FailureHandling::ManualCuration { turnaround } => {
+                    series.advance(turnaround);
+                    curation_rounds += 1;
+                    requeue_failures(manifest, board);
+                }
+            }
+        }
+    }
+
+    let remaining = board.incomplete_runs(manifest).len()
+        + board.iter().filter(|&(_, s)| s == RunStatus::Failed).count();
+    FaultyCampaignReport {
+        report: CampaignSimReport {
+            scheduler: scheduler.name(),
+            allocations,
+            completed_runs: completed_total,
+            remaining_runs: remaining,
+            total_span: last_activity.since(first_submission),
+        },
+        failed_attempts,
+        curation_rounds,
+    }
+}
+
+fn requeue_failures(manifest: &CampaignManifest, board: &mut StatusBoard) {
+    let failed: Vec<String> = manifest
+        .groups
+        .iter()
+        .flat_map(|g| g.runs.iter())
+        .filter(|r| board.get(&r.id) == RunStatus::Failed)
+        .map(|r| r.id.clone())
+        .collect();
+    for id in failed {
+        board.set(&id, RunStatus::Pending);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pilot::PilotScheduler;
+    use cheetah::campaign::{AppDef, Campaign, SweepGroup};
+    use cheetah::param::SweepSpec;
+    use cheetah::sweep::Sweep;
+    use hpcsim::batch::BatchJob;
+
+    fn setup(runs: i64) -> (CampaignManifest, BTreeMap<String, SimDuration>) {
+        let m = Campaign::new("f", "m", AppDef::new("a", "a.exe"))
+            .with_group(SweepGroup::new(
+                "g",
+                Sweep::new().with("i", SweepSpec::IntRange { start: 0, end: runs - 1, step: 1 }),
+                4,
+                1,
+                3600,
+            ))
+            .manifest()
+            .unwrap();
+        let d = m
+            .groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .map(|r| (r.id.clone(), SimDuration::from_mins(10)))
+            .collect();
+        (m, d)
+    }
+
+    fn series(seed: u64) -> AllocationSeries {
+        AllocationSeries::new(
+            BatchJob::new(4, SimDuration::from_hours(1)),
+            SimDuration::from_mins(20),
+            0.3,
+            seed,
+        )
+    }
+
+    #[test]
+    fn zero_fault_rate_matches_plain_driver() {
+        let (m, d) = setup(16);
+        let mut board = StatusBoard::for_manifest(&m);
+        let faulty = run_campaign_sim_with_faults(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &mut series(1),
+            &mut board,
+            20,
+            FaultSpec::new(0.0, 1),
+            FailureHandling::AutoRequeue,
+        );
+        let mut board2 = StatusBoard::for_manifest(&m);
+        let plain = crate::driver::run_campaign_sim(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &mut series(1),
+            &mut board2,
+            20,
+        );
+        assert_eq!(faulty.failed_attempts, 0);
+        assert_eq!(faulty.report.completed_runs, plain.completed_runs);
+        assert_eq!(faulty.report.total_span, plain.total_span);
+    }
+
+    #[test]
+    fn failures_are_retried_to_completion() {
+        let (m, d) = setup(24);
+        let mut board = StatusBoard::for_manifest(&m);
+        let result = run_campaign_sim_with_faults(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &mut series(2),
+            &mut board,
+            60,
+            FaultSpec::new(0.3, 7),
+            FailureHandling::AutoRequeue,
+        );
+        assert!(result.failed_attempts > 0, "30% faults must bite");
+        assert!(result.report.is_complete(), "remaining {}", result.report.remaining_runs);
+        assert_eq!(result.report.completed_runs, 24);
+        assert!(board.summary().is_complete());
+    }
+
+    #[test]
+    fn manual_curation_costs_more_wall_clock() {
+        let (m, d) = setup(40);
+        let run = |handling| {
+            let mut board = StatusBoard::for_manifest(&m);
+            run_campaign_sim_with_faults(
+                &m,
+                &d,
+                &PilotScheduler::new(),
+                &mut series(3),
+                &mut board,
+                100,
+                FaultSpec::new(0.25, 5),
+                handling,
+            )
+        };
+        let auto = run(FailureHandling::AutoRequeue);
+        let manual = run(FailureHandling::ManualCuration {
+            turnaround: SimDuration::from_hours(3),
+        });
+        assert!(auto.report.is_complete() && manual.report.is_complete());
+        assert_eq!(auto.failed_attempts, manual.failed_attempts, "same fault draws");
+        assert!(manual.curation_rounds > 0);
+        assert!(
+            manual.report.total_span > auto.report.total_span,
+            "manual {} vs auto {}",
+            manual.report.total_span,
+            auto.report.total_span
+        );
+    }
+
+    #[test]
+    fn fault_draws_deterministic_and_attempt_sensitive() {
+        let spec = FaultSpec::new(0.5, 9);
+        assert_eq!(spec.fails("g/i-1", 1), spec.fails("g/i-1", 1));
+        // different attempts eventually succeed (not stuck failing forever)
+        let ever_succeeds = (1..50).any(|a| !spec.fails("g/i-1", a));
+        assert!(ever_succeeds);
+    }
+}

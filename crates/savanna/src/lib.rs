@@ -1,0 +1,39 @@
+//! **Savanna**: campaign execution (§IV).
+//!
+//! > "Savanna, the execution engine of the toolset, runs all experiments
+//! > in a campaign on the target system. It translates a high-level
+//! > campaign description into actual system and scheduler calls, and
+//! > provides a simple pilot runner to run experiments on available
+//! > resources. … It consists of a resource manager that dynamically
+//! > schedules and tracks runs on the allocated nodes, thereby no longer
+//! > requiring synchronizing runs and leading to better resource
+//! > utilization."
+//!
+//! Two executor families live here:
+//!
+//! * **Simulated** ([`pilot`], [`setsync`], [`driver`]) — schedule runs
+//!   with known (modeled) durations onto `hpcsim` allocations. The
+//!   [`pilot::PilotScheduler`] is Savanna's dynamic resource manager; the
+//!   [`setsync::SetSyncScheduler`] is the paper's *original* iRF-LOOP
+//!   workflow (submit scripts in sets with a barrier at the end of each
+//!   set) — the Fig. 6/7 baseline.
+//! * **Local** ([`local`]) — run real Rust closures for each campaign run
+//!   on the [`exec`] work-stealing pool, with the same status-board
+//!   bookkeeping, so examples and integration tests exercise identical
+//!   campaign mechanics end-to-end.
+
+#![deny(missing_docs)]
+
+pub mod driver;
+pub mod faults;
+pub mod local;
+pub mod pilot;
+pub mod setsync;
+pub mod task;
+
+pub use driver::{run_campaign_sim, AllocationRecord, CampaignSimReport};
+pub use faults::{run_campaign_sim_with_faults, FailureHandling, FaultSpec, FaultyCampaignReport};
+pub use local::LocalExecutor;
+pub use pilot::{PilotScheduler, PlacementPolicy};
+pub use setsync::SetSyncScheduler;
+pub use task::{AllocationScheduler, ScheduleOutcome, SimTask, TaskResult};

@@ -1,0 +1,231 @@
+//! The local executor: real work, same campaign mechanics.
+//!
+//! Savanna's design "allows us to import existing workflow tools that
+//! provide efficient implementations for workflow patterns such as
+//! bag-of-tasks" (§IV). The local executor is the bag-of-tasks backend
+//! for this repository: each incomplete campaign run is executed as a
+//! real Rust closure on the [`exec`] work-stealing pool, and outcomes are
+//! folded into the same [`StatusBoard`] the simulated executors use —
+//! so examples and integration tests drive genuine computation through
+//! genuine campaign bookkeeping.
+
+use cheetah::manifest::{CampaignManifest, RunManifest};
+use cheetah::status::{RunStatus, StatusBoard};
+
+/// Summary of one local execution pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalReport {
+    /// Runs attempted this pass.
+    pub attempted: usize,
+    /// Runs that returned `Ok`.
+    pub succeeded: usize,
+    /// Runs that returned `Err`.
+    pub failed: usize,
+}
+
+/// Executes campaign runs as in-process closures.
+pub struct LocalExecutor {
+    pool: exec::ThreadPool,
+}
+
+impl LocalExecutor {
+    /// Creates an executor with `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: exec::ThreadPool::new(threads),
+        }
+    }
+
+    /// Access to the underlying pool (for task bodies that want nested
+    /// parallelism).
+    pub fn pool(&self) -> &exec::ThreadPool {
+        &self.pool
+    }
+
+    /// Like [`LocalExecutor::run_campaign`] but rooted in a campaign
+    /// directory created by `cheetah::layout`: each run gets a `log.txt`
+    /// in its run directory recording the outcome, and the status board is
+    /// persisted to the hidden metadata directory afterwards — the
+    /// execution-log provenance tier, on disk where a later export can
+    /// find it.
+    pub fn run_campaign_on_disk<F>(
+        &self,
+        root: &std::path::Path,
+        manifest: &CampaignManifest,
+        board: &mut StatusBoard,
+        task: F,
+    ) -> std::io::Result<LocalReport>
+    where
+        F: Fn(&RunManifest) -> Result<(), String> + Sync,
+    {
+        let report = self.run_campaign(manifest, board, |run| {
+            let result = task(run);
+            let log = match &result {
+                Ok(()) => "status: done\n".to_string(),
+                Err(e) => format!("status: failed\nerror: {e}\n"),
+            };
+            let dir = root.join(&run.workdir);
+            let _ = std::fs::create_dir_all(&dir);
+            let _ = std::fs::write(dir.join("log.txt"), log);
+            result
+        });
+        let campaign_dir = root.join(&manifest.campaign);
+        cheetah::layout::save_status(&campaign_dir, board)?;
+        Ok(report)
+    }
+
+    /// Runs every incomplete run in the manifest through `task`, in
+    /// parallel, updating `board`. `task` receives the run manifest and
+    /// returns `Ok(())` or an error string (recorded as `Failed`).
+    pub fn run_campaign<F>(
+        &self,
+        manifest: &CampaignManifest,
+        board: &mut StatusBoard,
+        task: F,
+    ) -> LocalReport
+    where
+        F: Fn(&RunManifest) -> Result<(), String> + Sync,
+    {
+        let todo: Vec<&RunManifest> = board.incomplete_runs(manifest);
+        let attempted = todo.len();
+        let results: Vec<Result<(), String>> =
+            self.pool.map_index(todo.len(), |i| task(todo[i]));
+        let mut succeeded = 0;
+        let mut failed = 0;
+        let ids: Vec<String> = todo.iter().map(|r| r.id.clone()).collect();
+        for (id, result) in ids.iter().zip(results) {
+            match result {
+                Ok(()) => {
+                    board.set(id, RunStatus::Done);
+                    succeeded += 1;
+                }
+                Err(_) => {
+                    board.set(id, RunStatus::Failed);
+                    failed += 1;
+                }
+            }
+        }
+        LocalReport {
+            attempted,
+            succeeded,
+            failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah::campaign::{AppDef, Campaign, SweepGroup};
+    use cheetah::param::SweepSpec;
+    use cheetah::sweep::Sweep;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn manifest(n: i64) -> CampaignManifest {
+        Campaign::new("local", "laptop", AppDef::new("task", "builtin"))
+            .with_group(SweepGroup::new(
+                "g",
+                Sweep::new().with("i", SweepSpec::IntRange { start: 0, end: n - 1, step: 1 }),
+                1,
+                1,
+                60,
+            ))
+            .manifest()
+            .unwrap()
+    }
+
+    #[test]
+    fn runs_everything_once() {
+        let m = manifest(20);
+        let mut board = StatusBoard::for_manifest(&m);
+        let exec = LocalExecutor::new(4);
+        let counter = AtomicUsize::new(0);
+        let report = exec.run_campaign(&m, &mut board, |_run| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        assert_eq!(report.attempted, 20);
+        assert_eq!(report.succeeded, 20);
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+        assert!(board.summary().is_complete());
+    }
+
+    #[test]
+    fn failures_are_recorded_not_retried() {
+        let m = manifest(10);
+        let mut board = StatusBoard::for_manifest(&m);
+        let exec = LocalExecutor::new(2);
+        let report = exec.run_campaign(&m, &mut board, |run| {
+            let i = run.params.get("i").unwrap().as_int().unwrap();
+            if i % 3 == 0 {
+                Err(format!("task {i} exploded"))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(report.failed, 4); // i = 0,3,6,9
+        assert_eq!(board.summary().failed, 4);
+        // a second pass attempts nothing: failures need human triage
+        let second = exec.run_campaign(&m, &mut board, |_| Ok(()));
+        assert_eq!(second.attempted, 0);
+    }
+
+    #[test]
+    fn resubmission_picks_up_pending_only() {
+        let m = manifest(6);
+        let mut board = StatusBoard::for_manifest(&m);
+        board.set("g/i-0", RunStatus::Done);
+        board.set("g/i-1", RunStatus::Done);
+        let exec = LocalExecutor::new(2);
+        let report = exec.run_campaign(&m, &mut board, |_| Ok(()));
+        assert_eq!(report.attempted, 4);
+        assert!(board.summary().is_complete());
+    }
+
+    #[test]
+    fn on_disk_execution_leaves_logs_and_status() {
+        let root = std::env::temp_dir().join(format!("savanna-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let m = manifest(4);
+        cheetah::layout::create_campaign_dirs(&root, &m).unwrap();
+        let exec = LocalExecutor::new(2);
+        let mut board = cheetah::layout::load_status(root.join("local")).unwrap();
+        let report = exec
+            .run_campaign_on_disk(&root, &m, &mut board, |run| {
+                let i = run.params.get("i").unwrap().as_int().unwrap();
+                if i == 2 {
+                    Err("boom".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap();
+        assert_eq!(report.succeeded, 3);
+        assert_eq!(report.failed, 1);
+        // per-run logs exist and record outcomes
+        let ok_log = std::fs::read_to_string(root.join("local/g/i-0/log.txt")).unwrap();
+        assert!(ok_log.contains("status: done"));
+        let bad_log = std::fs::read_to_string(root.join("local/g/i-2/log.txt")).unwrap();
+        assert!(bad_log.contains("status: failed"));
+        assert!(bad_log.contains("boom"));
+        // status persisted
+        let reloaded = cheetah::layout::load_status(root.join("local")).unwrap();
+        assert_eq!(reloaded.summary().done, 3);
+        assert_eq!(reloaded.summary().failed, 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn task_sees_parameters() {
+        let m = manifest(3);
+        let mut board = StatusBoard::for_manifest(&m);
+        let exec = LocalExecutor::new(2);
+        let sum = AtomicUsize::new(0);
+        exec.run_campaign(&m, &mut board, |run| {
+            let i = run.params.get("i").unwrap().as_int().unwrap() as usize;
+            sum.fetch_add(i, Ordering::Relaxed);
+            Ok(())
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1 + 2);
+    }
+}

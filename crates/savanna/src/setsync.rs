@@ -1,0 +1,224 @@
+//! The set-synchronized baseline — the paper's *original* iRF-LOOP
+//! workflow.
+//!
+//! "The script creates the directory hierarchy for the runs and submits
+//! them in groups or 'sets' with explicit synchronization at the end of a
+//! set. … all experiments in a set must be complete before the next set is
+//! run. Straggler processes can severely limit the performance of the
+//! overall workflow" (§V-D). Every node that finishes early sits **idle**
+//! until the set's slowest member ends — that idle time is exactly what
+//! Fig. 6 visualizes.
+
+use hpcsim::batch::Allocation;
+use hpcsim::time::SimTime;
+use hpcsim::trace::UtilizationTrace;
+
+use crate::task::{AllocationScheduler, ScheduleOutcome, SimTask, TaskResult};
+
+/// The set-synchronized scheduler.
+#[derive(Debug, Clone)]
+pub struct SetSyncScheduler {
+    /// Tasks per set. The paper's scripts sized sets to the node count;
+    /// use [`SetSyncScheduler::node_sized`] for that.
+    pub set_size: usize,
+}
+
+impl SetSyncScheduler {
+    /// Creates a scheduler with an explicit set size.
+    pub fn new(set_size: usize) -> Self {
+        assert!(set_size > 0, "set size must be positive");
+        Self { set_size }
+    }
+
+    /// Creates a scheduler whose sets match the allocation node count —
+    /// one single-node run per node per set, the §V-D configuration.
+    pub fn node_sized(alloc: &Allocation) -> Self {
+        Self::new(alloc.nodes.len())
+    }
+}
+
+impl AllocationScheduler for SetSyncScheduler {
+    fn name(&self) -> &'static str {
+        "set-synchronized"
+    }
+
+    fn schedule(&self, tasks: &[SimTask], alloc: &Allocation) -> ScheduleOutcome {
+        let total_nodes = alloc.nodes.len() as u32;
+        let mut results: Vec<(String, TaskResult)> = tasks
+            .iter()
+            .map(|t| (t.id.clone(), TaskResult::NotStarted))
+            .collect();
+        // (time, delta): +1 node busy, -1 node idle. Collected out of
+        // order (placements are per-node serial chains), replayed sorted.
+        let mut events: Vec<(SimTime, i32)> = Vec::new();
+        let mut now = alloc.start;
+        let mut last_activity = alloc.start;
+
+        'sets: for set in (0..tasks.len()).collect::<Vec<_>>().chunks(self.set_size) {
+            if now >= alloc.end {
+                break;
+            }
+            // Lay the set out across nodes round-robin; a node may receive
+            // several of the set's tasks (run serially), mirroring scripts
+            // that launch `set_size` jobs over `nodes` nodes.
+            let mut node_finish: Vec<SimTime> = vec![now; total_nodes as usize];
+            let mut placements: Vec<(usize, SimTime, SimTime)> = Vec::new(); // (task, start, natural finish)
+            for (k, &idx) in set.iter().enumerate() {
+                let node = k % total_nodes as usize;
+                if tasks[idx].nodes > 1 {
+                    // multi-node tasks reserve whole set slots; keep the
+                    // model simple: treat as one node-serial task. The
+                    // paper's iRF runs are single-node.
+                }
+                let start = node_finish[node];
+                let finish = start + tasks[idx].duration;
+                node_finish[node] = finish;
+                placements.push((idx, start, finish));
+            }
+            // the set barrier: everyone waits for the slowest node
+            let barrier = *node_finish.iter().max().expect("at least one node");
+
+            for (idx, start, finish) in placements {
+                if start >= alloc.end {
+                    continue; // never started: stays NotStarted
+                }
+                events.push((start, 1));
+                if finish <= alloc.end {
+                    events.push((finish, -1));
+                    results[idx].1 = TaskResult::Completed { finish };
+                    last_activity = last_activity.max(finish);
+                } else {
+                    events.push((alloc.end, -1));
+                    results[idx].1 = TaskResult::TimedOut;
+                    last_activity = alloc.end;
+                }
+            }
+            now = barrier;
+            if now >= alloc.end {
+                break 'sets;
+            }
+        }
+
+        // Replay chronologically; at equal instants release before claim so
+        // the busy count never exceeds the node count.
+        events.sort_by_key(|&(t, delta)| (t, delta));
+        let mut trace = UtilizationTrace::new(total_nodes, alloc.start);
+        for (t, delta) in events {
+            if delta > 0 {
+                trace.node_busy(t);
+            } else {
+                trace.node_idle(t);
+            }
+        }
+
+        ScheduleOutcome {
+            results,
+            trace,
+            finished_at: last_activity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pilot::PilotScheduler;
+    use hpcsim::batch::{BatchJob, BatchQueue};
+    use hpcsim::time::SimDuration;
+
+    fn alloc(nodes: u32, hours: u64) -> Allocation {
+        BatchQueue::instant(1).submit(BatchJob::new(nodes, SimDuration::from_hours(hours)))
+    }
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn uniform_tasks_behave_like_pilot() {
+        let tasks: Vec<SimTask> = (0..8)
+            .map(|i| SimTask::new(format!("t{i}"), 1, secs(600)))
+            .collect();
+        let a = alloc(4, 2);
+        let sync = SetSyncScheduler::node_sized(&a).schedule(&tasks, &a);
+        assert_eq!(sync.completed_count(), 8);
+        assert_eq!(sync.finished_at, a.start + secs(1200));
+    }
+
+    #[test]
+    fn straggler_stalls_the_whole_set() {
+        // set of 4 on 4 nodes: three 600 s tasks + one 3000 s straggler,
+        // then a second set of four 600 s tasks.
+        let mut tasks = vec![
+            SimTask::new("a", 1, secs(600)),
+            SimTask::new("b", 1, secs(600)),
+            SimTask::new("c", 1, secs(600)),
+            SimTask::new("straggler", 1, secs(3000)),
+        ];
+        for i in 0..4 {
+            tasks.push(SimTask::new(format!("d{i}"), 1, secs(600)));
+        }
+        let a = alloc(4, 2);
+        let sync = SetSyncScheduler::node_sized(&a).schedule(&tasks, &a);
+        assert_eq!(sync.completed_count(), 8);
+        // second set starts only at the barrier (3000 s)
+        assert_eq!(sync.finished_at, a.start + secs(3600));
+
+        // the dynamic pilot backfills and finishes much earlier
+        let pilot = PilotScheduler::new().schedule(&tasks, &a);
+        assert_eq!(pilot.completed_count(), 8);
+        assert_eq!(pilot.finished_at, a.start + secs(3000));
+        // …and wastes fewer node-hours over its own active span (the
+        // pilot hands the allocation back at 3000 s; set-sync holds it
+        // until 3600 s)
+        let idle_sync = sync.trace.idle_node_hours(a.start, sync.finished_at);
+        let idle_pilot = pilot.trace.idle_node_hours(a.start, pilot.finished_at);
+        assert!(
+            idle_sync > idle_pilot,
+            "sync idle {idle_sync} should exceed pilot idle {idle_pilot}"
+        );
+    }
+
+    #[test]
+    fn walltime_cuts_a_set() {
+        let tasks = vec![
+            SimTask::new("ok", 1, secs(1800)),
+            SimTask::new("cut", 1, SimDuration::from_hours(3)),
+        ];
+        let a = alloc(2, 1);
+        let out = SetSyncScheduler::node_sized(&a).schedule(&tasks, &a);
+        assert_eq!(out.completed_ids(), ["ok"]);
+        assert_eq!(out.unfinished_ids(), ["cut"]);
+    }
+
+    #[test]
+    fn sets_beyond_walltime_never_start() {
+        let tasks: Vec<SimTask> = (0..6)
+            .map(|i| SimTask::new(format!("t{i}"), 1, SimDuration::from_hours(1)))
+            .collect();
+        // 2 nodes, 90 minutes: set 1 (2 tasks) completes at 60 min; set 2
+        // starts at 60 min and is cut at 90; set 3 never starts.
+        let a = BatchQueue::instant(1).submit(BatchJob::new(2, SimDuration::from_mins(90)));
+        let out = SetSyncScheduler::node_sized(&a).schedule(&tasks, &a);
+        assert_eq!(out.completed_count(), 2);
+        let not_started = out
+            .results
+            .iter()
+            .filter(|(_, r)| matches!(r, TaskResult::NotStarted))
+            .count();
+        assert_eq!(not_started, 2);
+    }
+
+    #[test]
+    fn set_smaller_than_nodes_leaves_nodes_idle() {
+        let tasks = vec![
+            SimTask::new("a", 1, secs(1000)),
+            SimTask::new("b", 1, secs(1000)),
+        ];
+        let a = alloc(4, 1);
+        let out = SetSyncScheduler::new(2).schedule(&tasks, &a);
+        assert_eq!(out.completed_count(), 2);
+        let util = out.trace.mean_utilization(a.start, a.start + secs(1000));
+        assert!((util - 0.5).abs() < 1e-9, "util={util}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Task and scheduling-outcome types shared by the executors.
+
+use hpcsim::batch::Allocation;
+use hpcsim::time::{SimDuration, SimTime};
+use hpcsim::trace::UtilizationTrace;
+
+/// One schedulable run inside an allocation, with its (modeled) duration.
+///
+/// Real pilots do not know durations in advance; schedulers here receive
+/// them because the simulation needs them to advance time. Whether a
+/// *policy* is allowed to look at `duration` is up to the policy (the
+/// default FIFO pilot does not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimTask {
+    /// Run id (matches the campaign manifest).
+    pub id: String,
+    /// Nodes the task occupies.
+    pub nodes: u32,
+    /// Modeled execution time.
+    pub duration: SimDuration,
+}
+
+impl SimTask {
+    /// Creates a task.
+    pub fn new(id: impl Into<String>, nodes: u32, duration: SimDuration) -> Self {
+        assert!(nodes > 0, "tasks need at least one node");
+        Self {
+            id: id.into(),
+            nodes,
+            duration,
+        }
+    }
+}
+
+/// What happened to one task within an allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskResult {
+    /// Completed at the given time.
+    Completed {
+        /// Virtual completion instant.
+        finish: SimTime,
+    },
+    /// Started but killed by the allocation's walltime end.
+    TimedOut,
+    /// Never started (no capacity before the allocation ended).
+    NotStarted,
+}
+
+/// The result of scheduling a task list into one allocation.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// Per-task results, in input order.
+    pub results: Vec<(String, TaskResult)>,
+    /// Busy-node trace across the allocation.
+    pub trace: UtilizationTrace,
+    /// When the last task activity ended (≤ allocation end). If every
+    /// task finished early this is the early-release instant.
+    pub finished_at: SimTime,
+}
+
+impl ScheduleOutcome {
+    /// Ids of tasks that completed.
+    pub fn completed_ids(&self) -> Vec<&str> {
+        self.results
+            .iter()
+            .filter(|(_, r)| matches!(r, TaskResult::Completed { .. }))
+            .map(|(id, _)| id.as_str())
+            .collect()
+    }
+
+    /// Number of completed tasks.
+    pub fn completed_count(&self) -> usize {
+        self.completed_ids().len()
+    }
+
+    /// Ids of tasks that must be resubmitted (timed out or never started).
+    pub fn unfinished_ids(&self) -> Vec<&str> {
+        self.results
+            .iter()
+            .filter(|(_, r)| !matches!(r, TaskResult::Completed { .. }))
+            .map(|(id, _)| id.as_str())
+            .collect()
+    }
+}
+
+/// A strategy for packing tasks into an allocation.
+pub trait AllocationScheduler {
+    /// Schedules `tasks` into `alloc`, returning per-task results and the
+    /// utilization trace.
+    fn schedule(&self, tasks: &[SimTask], alloc: &Allocation) -> ScheduleOutcome;
+
+    /// Human-readable scheduler name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_partitions_ids() {
+        let outcome = ScheduleOutcome {
+            results: vec![
+                ("a".into(), TaskResult::Completed { finish: SimTime::from_secs(5) }),
+                ("b".into(), TaskResult::TimedOut),
+                ("c".into(), TaskResult::NotStarted),
+            ],
+            trace: UtilizationTrace::new(1, SimTime::ZERO),
+            finished_at: SimTime::from_secs(5),
+        };
+        assert_eq!(outcome.completed_ids(), ["a"]);
+        assert_eq!(outcome.unfinished_ids(), ["b", "c"]);
+        assert_eq!(outcome.completed_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_task_rejected() {
+        SimTask::new("x", 0, SimDuration::from_secs(1));
+    }
+}

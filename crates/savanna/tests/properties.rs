@@ -1,0 +1,105 @@
+//! Property tests: scheduler conservation laws and the pilot-vs-setsync
+//! dominance the paper's Figs. 6–7 rest on.
+
+use hpcsim::batch::{Allocation, BatchJob, BatchQueue};
+use hpcsim::time::SimDuration;
+use proptest::prelude::*;
+use savanna::pilot::PilotScheduler;
+use savanna::setsync::SetSyncScheduler;
+use savanna::task::{AllocationScheduler, SimTask, TaskResult};
+
+fn alloc(nodes: u32, walltime_mins: u64) -> Allocation {
+    BatchQueue::instant(1).submit(BatchJob::new(nodes, SimDuration::from_mins(walltime_mins)))
+}
+
+fn tasks(durations_mins: &[u64]) -> Vec<SimTask> {
+    durations_mins
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| SimTask::new(format!("t{i}"), 1, SimDuration::from_mins(m.max(1))))
+        .collect()
+}
+
+fn check_invariants(
+    sched: &dyn AllocationScheduler,
+    ts: &[SimTask],
+    a: &Allocation,
+) -> Result<usize, TestCaseError> {
+    let out = sched.schedule(ts, a);
+    // every task gets exactly one result, in input order
+    prop_assert_eq!(out.results.len(), ts.len());
+    for (task, (id, _)) in ts.iter().zip(out.results.iter()) {
+        prop_assert_eq!(&task.id, id);
+    }
+    // conservation: completed + unfinished == all
+    prop_assert_eq!(out.completed_count() + out.unfinished_ids().len(), ts.len());
+    // completions fit inside the allocation
+    for (_, r) in &out.results {
+        if let TaskResult::Completed { finish } = r {
+            prop_assert!(*finish >= a.start && *finish <= a.end);
+        }
+    }
+    // activity never extends past walltime
+    prop_assert!(out.finished_at <= a.end);
+    // utilization trace bounded by the node count
+    for &(_, busy) in out.trace.series().points() {
+        prop_assert!(busy >= 0.0 && busy <= a.nodes.len() as f64);
+    }
+    Ok(out.completed_count())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pilot_invariants_hold(
+        durations in proptest::collection::vec(1u64..200, 1..80),
+        nodes in 1u32..30,
+        walltime in 10u64..300,
+    ) {
+        let ts = tasks(&durations);
+        let a = alloc(nodes, walltime);
+        check_invariants(&PilotScheduler::new(), &ts, &a)?;
+    }
+
+    #[test]
+    fn setsync_invariants_hold(
+        durations in proptest::collection::vec(1u64..200, 1..80),
+        nodes in 1u32..30,
+        walltime in 10u64..300,
+        set_size in 1usize..40,
+    ) {
+        let ts = tasks(&durations);
+        let a = alloc(nodes, walltime);
+        check_invariants(&SetSyncScheduler::new(set_size), &ts, &a)?;
+    }
+
+    #[test]
+    fn pilot_completes_at_least_as_many_as_node_sized_setsync(
+        durations in proptest::collection::vec(1u64..240, 1..80),
+        nodes in 1u32..25,
+        walltime in 30u64..300,
+    ) {
+        let ts = tasks(&durations);
+        let a = alloc(nodes, walltime);
+        let pilot = check_invariants(&PilotScheduler::new(), &ts, &a)?;
+        let sync = check_invariants(&SetSyncScheduler::node_sized(&a), &ts, &a)?;
+        prop_assert!(
+            pilot >= sync,
+            "pilot {pilot} < setsync {sync} (nodes {nodes}, walltime {walltime})"
+        );
+    }
+
+    #[test]
+    fn pilot_finishes_all_work_when_it_fits(
+        durations in proptest::collection::vec(1u64..30, 1..20),
+        nodes in 1u32..10,
+    ) {
+        // walltime = total work (serial bound): one node can always do it
+        let total: u64 = durations.iter().sum();
+        let ts = tasks(&durations);
+        let a = alloc(nodes, total.max(1));
+        let out = PilotScheduler::new().schedule(&ts, &a);
+        prop_assert_eq!(out.completed_count(), ts.len());
+    }
+}

@@ -1,0 +1,76 @@
+//! Skel error type.
+
+use std::fmt;
+
+/// Errors from model parsing, template parsing, or rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkelError {
+    /// Template text failed to parse.
+    TemplateSyntax {
+        /// Byte offset of the problem.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The model JSON failed to parse.
+    ModelParse(String),
+    /// A template referenced a path absent from the model.
+    MissingValue(String),
+    /// A value had the wrong shape for its use (e.g. looping over a
+    /// non-array).
+    TypeMismatch {
+        /// Dotted path of the offending value.
+        path: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Model validation against declared variables failed.
+    Validation(String),
+    /// Filesystem error while writing generated files.
+    Io(String),
+}
+
+impl fmt::Display for SkelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkelError::TemplateSyntax { offset, message } => {
+                write!(f, "template syntax error at byte {offset}: {message}")
+            }
+            SkelError::ModelParse(m) => write!(f, "model parse error: {m}"),
+            SkelError::MissingValue(p) => write!(f, "model has no value at path {p:?}"),
+            SkelError::TypeMismatch { path, expected } => {
+                write!(f, "value at {path:?} is not {expected}")
+            }
+            SkelError::Validation(m) => write!(f, "model validation failed: {m}"),
+            SkelError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SkelError {}
+
+impl From<std::io::Error> for SkelError {
+    fn from(e: std::io::Error) -> Self {
+        SkelError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<SkelError> = vec![
+            SkelError::TemplateSyntax { offset: 3, message: "x".into() },
+            SkelError::ModelParse("m".into()),
+            SkelError::MissingValue("a.b".into()),
+            SkelError::TypeMismatch { path: "a".into(), expected: "array" },
+            SkelError::Validation("v".into()),
+            SkelError::Io("e".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! **Skel**: model-driven code generation (§IV).
+//!
+//! > "Skel provides a model-driven code generation mechanism that couples
+//! > a model of a desired action with one or more textual templates that
+//! > drive the creation of files that implement the action."
+//!
+//! The user edits a single JSON **model** — "the single point of user
+//! interaction to specify the current problem" — and the **generator**
+//! instantiates a set of **templates** into a concrete file set (scripts,
+//! campaign specs, status tools). Because generated files can be deleted
+//! and regenerated at will, they carry *no technical debt*: debt
+//! accounting (see `fair_core::debt`) only ever applies to the model.
+//!
+//! * [`template`] — the text template engine (`{{ var }}`,
+//!   `{% for %}…{% endfor %}`, `{% if %}…{% else %}…{% endif %}`, filters);
+//! * [`model`] — JSON models with dotted-path lookup and validation
+//!   against declared [`fair_core::ConfigVariable`]s;
+//! * [`generate`] — file-set generation, manifests and regeneration;
+//! * [`paste`] — the concrete GWAS two-phase-paste model of §V-A with its
+//!   built-in templates, including the manual-intervention accounting the
+//!   Fig. 2 comparison reports.
+//!
+//! # Example
+//!
+//! ```
+//! use skel::prelude::*;
+//!
+//! let template = Template::parse("Hello {{ who }}! {% for f in files %}[{{ f }}] {% endfor %}").unwrap();
+//! let model = Model::from_json(r#"{"who": "HPC", "files": ["a.tsv", "b.tsv"]}"#).unwrap();
+//! assert_eq!(template.render(&model).unwrap(), "Hello HPC! [a.tsv] [b.tsv] ");
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod generate;
+pub mod model;
+pub mod paste;
+pub mod submit;
+pub mod template;
+
+pub use error::SkelError;
+pub use generate::{FileTemplate, GeneratedFile, GeneratedFileSet, Generator};
+pub use model::Model;
+pub use paste::{PasteModel, PasteWorkflowFiles};
+pub use submit::{SchedulerDialect, SubmitModel};
+pub use template::Template;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::error::SkelError;
+    pub use crate::generate::{FileTemplate, GeneratedFile, GeneratedFileSet, Generator};
+    pub use crate::model::Model;
+    pub use crate::paste::PasteModel;
+    pub use crate::template::Template;
+}

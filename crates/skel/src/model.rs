@@ -1,0 +1,242 @@
+//! Skel models: JSON documents with dotted-path lookup and validation.
+//!
+//! "By defining a model that is a concise representation of the user
+//! decisions required for an action … the user simply updates the model
+//! to reflect the current task, and the implementation is regenerated"
+//! (§IV). A [`Model`] is the machine-actionable form of the Software
+//! Customizability gauge: its paths *are* the declared degrees of
+//! freedom.
+
+use serde_json::Value;
+
+use fair_core::ConfigVariable;
+
+use crate::error::SkelError;
+
+/// A JSON model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    root: Value,
+}
+
+impl Model {
+    /// Parses a model from JSON text.
+    pub fn from_json(json: &str) -> Result<Self, SkelError> {
+        let root: Value =
+            serde_json::from_str(json).map_err(|e| SkelError::ModelParse(e.to_string()))?;
+        if !root.is_object() {
+            return Err(SkelError::ModelParse("model root must be a JSON object".into()));
+        }
+        Ok(Self { root })
+    }
+
+    /// Wraps an already-built JSON value.
+    pub fn from_value(root: Value) -> Result<Self, SkelError> {
+        if !root.is_object() {
+            return Err(SkelError::ModelParse("model root must be a JSON object".into()));
+        }
+        Ok(Self { root })
+    }
+
+    /// Builds a model by serializing any `Serialize` type.
+    pub fn from_serialize<T: serde::Serialize>(value: &T) -> Result<Self, SkelError> {
+        let root = serde_json::to_value(value).map_err(|e| SkelError::ModelParse(e.to_string()))?;
+        Self::from_value(root)
+    }
+
+    /// The underlying JSON value.
+    pub fn as_value(&self) -> &Value {
+        &self.root
+    }
+
+    /// Looks up a dotted path; `None` when any segment is missing.
+    pub fn lookup(&self, path: &str) -> Option<Value> {
+        let mut v = &self.root;
+        for seg in path.split('.') {
+            v = v.get(seg)?;
+        }
+        Some(v.clone())
+    }
+
+    /// Sets a dotted path, creating intermediate objects as needed — this
+    /// is "the single point of user interaction": edit the model, never
+    /// the generated files.
+    pub fn set(&mut self, path: &str, value: Value) -> Result<(), SkelError> {
+        let mut current = &mut self.root;
+        let segs: Vec<&str> = path.split('.').collect();
+        for (i, seg) in segs.iter().enumerate() {
+            if seg.is_empty() {
+                return Err(SkelError::ModelParse(format!("empty path segment in {path:?}")));
+            }
+            let obj = current.as_object_mut().ok_or_else(|| SkelError::TypeMismatch {
+                path: segs[..i].join("."),
+                expected: "an object",
+            })?;
+            if i == segs.len() - 1 {
+                obj.insert(seg.to_string(), value);
+                return Ok(());
+            }
+            current = obj
+                .entry(seg.to_string())
+                .or_insert_with(|| Value::Object(Default::default()));
+        }
+        unreachable!("paths have at least one segment")
+    }
+
+    /// Validates the model against declared configuration variables:
+    /// every variable without a default must be present, and present
+    /// values must match the declared primitive type (`int`, `float`,
+    /// `bool`, `string`, `path`, `list`).
+    pub fn validate(&self, variables: &[ConfigVariable]) -> Result<(), SkelError> {
+        for var in variables {
+            match self.lookup(&var.name) {
+                None => {
+                    if var.default.is_none() {
+                        return Err(SkelError::Validation(format!(
+                            "required variable {:?} missing from model",
+                            var.name
+                        )));
+                    }
+                }
+                Some(v) => {
+                    let ok = match var.var_type.as_str() {
+                        "int" => v.is_i64() || v.is_u64(),
+                        "float" => v.is_number(),
+                        "bool" => v.is_boolean(),
+                        "string" | "path" => v.is_string(),
+                        "list" => v.is_array(),
+                        _ => true, // unknown declared types are not checked
+                    };
+                    if !ok {
+                        return Err(SkelError::Validation(format!(
+                            "variable {:?} is not of declared type {:?}",
+                            var.name, var.var_type
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A stable fingerprint of the model content. Two models with the same
+    /// fingerprint regenerate identical file sets, which is what makes
+    /// generated code safely deletable.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the canonical (sorted-key) serialization.
+        fn canonical(v: &Value, out: &mut String) {
+            match v {
+                Value::Object(map) => {
+                    out.push('{');
+                    let mut keys: Vec<&String> = map.keys().collect();
+                    keys.sort();
+                    for k in keys {
+                        out.push_str(k);
+                        out.push(':');
+                        canonical(&map[k], out);
+                        out.push(',');
+                    }
+                    out.push('}');
+                }
+                Value::Array(items) => {
+                    out.push('[');
+                    for item in items {
+                        canonical(item, out);
+                        out.push(',');
+                    }
+                    out.push(']');
+                }
+                other => out.push_str(&other.to_string()),
+            }
+        }
+        let mut text = String::new();
+        canonical(&self.root, &mut text);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in text.as_bytes() {
+            hash ^= *byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str, ty: &str, default: Option<&str>) -> ConfigVariable {
+        ConfigVariable {
+            name: name.into(),
+            var_type: ty.into(),
+            default: default.map(str::to_string),
+            description: String::new(),
+            related_to: vec![],
+        }
+    }
+
+    #[test]
+    fn lookup_nested() {
+        let m = Model::from_json(r#"{"a": {"b": {"c": 3}}}"#).unwrap();
+        assert_eq!(m.lookup("a.b.c"), Some(Value::from(3)));
+        assert_eq!(m.lookup("a.b.missing"), None);
+        assert_eq!(m.lookup("a.b"), Some(serde_json::json!({"c": 3})));
+    }
+
+    #[test]
+    fn root_must_be_object() {
+        assert!(Model::from_json("[1,2]").is_err());
+        assert!(Model::from_json("3").is_err());
+    }
+
+    #[test]
+    fn set_creates_intermediates() {
+        let mut m = Model::from_json("{}").unwrap();
+        m.set("machine.nodes", Value::from(20)).unwrap();
+        assert_eq!(m.lookup("machine.nodes"), Some(Value::from(20)));
+        m.set("machine.nodes", Value::from(40)).unwrap();
+        assert_eq!(m.lookup("machine.nodes"), Some(Value::from(40)));
+    }
+
+    #[test]
+    fn set_through_scalar_fails() {
+        let mut m = Model::from_json(r#"{"a": 3}"#).unwrap();
+        assert!(matches!(
+            m.set("a.b", Value::from(1)),
+            Err(SkelError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_checks_presence_and_types() {
+        let m = Model::from_json(r#"{"n": 4, "name": "x", "flag": true, "files": []}"#).unwrap();
+        let vars = [
+            var("n", "int", None),
+            var("name", "string", None),
+            var("flag", "bool", None),
+            var("files", "list", None),
+        ];
+        assert!(m.validate(&vars).is_ok());
+        assert!(m.validate(&[var("missing", "int", None)]).is_err());
+        assert!(m.validate(&[var("missing", "int", Some("7"))]).is_ok());
+        assert!(m.validate(&[var("name", "int", None)]).is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_and_content_sensitive() {
+        let a = Model::from_json(r#"{"x": 1, "y": 2}"#).unwrap();
+        let b = Model::from_json(r#"{"y": 2, "x": 1}"#).unwrap();
+        let c = Model::from_json(r#"{"x": 1, "y": 3}"#).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn from_serialize_works() {
+        #[derive(serde::Serialize)]
+        struct S {
+            n: u32,
+        }
+        let m = Model::from_serialize(&S { n: 9 }).unwrap();
+        assert_eq!(m.lookup("n"), Some(Value::from(9)));
+    }
+}

@@ -1,0 +1,487 @@
+//! The GWAS two-phase paste model (§V-A, Fig. 2).
+//!
+//! The paper's first experiment wraps a human-centric preprocessing step —
+//! column-wise pasting of a large number of tabular genotype files — in a
+//! "focused model for the paste operation that allows us to specify input
+//! and output data sets … machine-specific details … and strategy for
+//! pasting. This model is provided as a JSON input file and is the single
+//! point of user interaction."
+//!
+//! This module defines that model ([`PasteModel`]), computes the staged
+//! paste plan (sub-pastes then a final join — generalized to as many
+//! phases as the fan-in requires), carries the built-in templates that
+//! generate the concrete script set, and accounts the **manual
+//! interventions** a traditional hand-edited script costs versus the
+//! model-driven flow — the quantity Fig. 2 highlights in red.
+
+use serde::{Deserialize, Serialize};
+
+use fair_core::ConfigVariable;
+
+use crate::error::SkelError;
+use crate::generate::{FileTemplate, GeneratedFileSet, Generator};
+use crate::model::Model;
+
+/// Dataset half of the model: where the input tables live and where the
+/// merged table goes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Directory containing the input files.
+    pub input_dir: String,
+    /// Filename prefix; file `i` is `{prefix}{i:05}.tsv`.
+    pub prefix: String,
+    /// Number of input files.
+    pub num_files: u32,
+    /// Path of the final merged output.
+    pub output_file: String,
+}
+
+/// Machine half of the model: scheduler-facing details.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Machine name.
+    pub name: String,
+    /// Allocation account to charge.
+    pub account: String,
+    /// Submission queue/partition.
+    pub queue: String,
+    /// Node-count ceiling for the whole operation.
+    pub max_nodes: u32,
+    /// Per-job walltime limit in minutes.
+    pub walltime_mins: u32,
+}
+
+/// Strategy half of the model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategySpec {
+    /// Files merged per paste invocation. "The paste operations become
+    /// very slow if too many files are merged at once" — this is the knob
+    /// that caps fan-in.
+    pub fanout: u32,
+}
+
+/// The complete §V-A paste model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PasteModel {
+    /// Dataset under consideration (path and naming conventions).
+    pub dataset: DatasetSpec,
+    /// Machine-specific resource details.
+    pub machine: MachineSpec,
+    /// Pasting strategy.
+    pub strategy: StrategySpec,
+}
+
+/// One paste invocation in the plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PasteJob {
+    /// Input file paths (relative to the working dir).
+    pub inputs: Vec<String>,
+    /// Output file path.
+    pub output: String,
+}
+
+/// The staged plan: each phase is a list of independent jobs; phases are
+/// sequential (phase *k+1* consumes phase *k*'s outputs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PastePlan {
+    /// Phases, earliest first. The last phase always has exactly one job
+    /// producing the final output.
+    pub phases: Vec<Vec<PasteJob>>,
+}
+
+impl PastePlan {
+    /// Total paste invocations across all phases.
+    pub fn total_jobs(&self) -> usize {
+        self.phases.iter().map(Vec::len).sum()
+    }
+
+    /// Maximum fan-in used by any job (must not exceed the strategy's
+    /// fanout).
+    pub fn max_fan_in(&self) -> usize {
+        self.phases
+            .iter()
+            .flatten()
+            .map(|j| j.inputs.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Well-known relative paths in the generated file set.
+pub struct PasteWorkflowFiles;
+
+impl PasteWorkflowFiles {
+    /// The per-phase driver script.
+    pub const RUN_SCRIPT: &'static str = "run_paste.sh";
+    /// The Cheetah-style campaign/task specification.
+    pub const CAMPAIGN_SPEC: &'static str = "paste_campaign.json";
+    /// The progress-query script.
+    pub const STATUS_SCRIPT: &'static str = "status.sh";
+}
+
+impl PasteModel {
+    /// A small, runnable example configuration.
+    pub fn example() -> Self {
+        Self {
+            dataset: DatasetSpec {
+                input_dir: "data/chunks".into(),
+                prefix: "geno_".into(),
+                num_files: 64,
+                output_file: "data/merged.tsv".into(),
+            },
+            machine: MachineSpec {
+                name: "institutional".into(),
+                account: "bio101".into(),
+                queue: "batch".into(),
+                max_nodes: 4,
+                walltime_mins: 120,
+            },
+            strategy: StrategySpec { fanout: 8 },
+        }
+    }
+
+    /// Parses a paste model from its JSON file form.
+    pub fn from_json(json: &str) -> Result<Self, SkelError> {
+        serde_json::from_str(json).map_err(|e| SkelError::ModelParse(e.to_string()))
+    }
+
+    /// Serializes to the JSON file form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("paste model serializes")
+    }
+
+    /// The declared degrees of freedom, as fair-core config variables —
+    /// this is what lifts the component to Software Customizability
+    /// tier ≥ 2 (variables captured in a machine-actionable model).
+    pub fn config_variables() -> Vec<ConfigVariable> {
+        let var = |name: &str, ty: &str, desc: &str, related: &[&str]| ConfigVariable {
+            name: name.into(),
+            var_type: ty.into(),
+            default: None,
+            description: desc.into(),
+            related_to: related.iter().map(|s| s.to_string()).collect(),
+        };
+        vec![
+            var("dataset.input_dir", "path", "directory holding input tables", &[]),
+            var("dataset.prefix", "string", "input filename prefix", &[]),
+            var(
+                "dataset.num_files",
+                "int",
+                "number of input tables",
+                &["strategy.fanout", "machine.max_nodes"],
+            ),
+            var("dataset.output_file", "path", "final merged output", &[]),
+            var("machine.name", "string", "target machine", &[]),
+            var("machine.account", "string", "allocation account", &[]),
+            var("machine.queue", "string", "submission queue", &[]),
+            var(
+                "machine.max_nodes",
+                "int",
+                "node ceiling",
+                &["dataset.num_files"],
+            ),
+            var(
+                "machine.walltime_mins",
+                "int",
+                "per-job walltime (minutes)",
+                &["strategy.fanout"],
+            ),
+            var(
+                "strategy.fanout",
+                "int",
+                "files merged per paste invocation",
+                &["dataset.num_files", "machine.walltime_mins"],
+            ),
+        ]
+    }
+
+    /// Input file name for index `i`.
+    pub fn input_file(&self, i: u32) -> String {
+        format!("{}/{}{i:05}.tsv", self.dataset.input_dir, self.dataset.prefix)
+    }
+
+    /// Computes the staged paste plan.
+    ///
+    /// # Panics
+    /// If the model is degenerate (`num_files == 0` or `fanout < 2`).
+    pub fn plan(&self) -> PastePlan {
+        assert!(self.dataset.num_files > 0, "no input files");
+        assert!(self.strategy.fanout >= 2, "fanout must be at least 2");
+        let mut current: Vec<String> = (0..self.dataset.num_files)
+            .map(|i| self.input_file(i))
+            .collect();
+        let fanout = self.strategy.fanout as usize;
+        let mut phases = Vec::new();
+        let mut stage = 0u32;
+        while current.len() > fanout {
+            let mut jobs = Vec::new();
+            let mut next = Vec::new();
+            for (gi, group) in current.chunks(fanout).enumerate() {
+                let output = format!("sub/s{stage}_{gi:05}.tsv");
+                jobs.push(PasteJob {
+                    inputs: group.to_vec(),
+                    output: output.clone(),
+                });
+                next.push(output);
+            }
+            phases.push(jobs);
+            current = next;
+            stage += 1;
+        }
+        phases.push(vec![PasteJob {
+            inputs: current,
+            output: self.dataset.output_file.clone(),
+        }]);
+        PastePlan { phases }
+    }
+
+    /// The built-in template set: driver script, campaign spec, status
+    /// script.
+    pub fn generator() -> Generator {
+        let mut g = Generator::new();
+        g.add(
+            FileTemplate::parse_executable(
+                PasteWorkflowFiles::RUN_SCRIPT,
+                r#"#!/bin/sh
+# Generated by skel — edit paste_model.json and regenerate; do not edit this file.
+# machine: {{ machine.name }}  account: {{ machine.account }}  queue: {{ machine.queue }}
+# limits:  {{ machine.max_nodes }} nodes, {{ machine.walltime_mins }} min walltime
+set -eu
+mkdir -p sub
+{% for phase in plan.phases %}# ---- phase {{ phase.index }} ----
+{% for job in phase.tasks %}paste -d '\t'{% for f in job.inputs %} {{ f }}{% endfor %} > {{ job.output }}
+{% endfor %}{% endfor %}echo "paste complete: {{ dataset.output_file }}"
+"#,
+            )
+            .expect("built-in run template parses"),
+        );
+        g.add(
+            FileTemplate::parse(
+                PasteWorkflowFiles::CAMPAIGN_SPEC,
+                r#"{
+  "campaign": "gwas-paste",
+  "machine": {"name": "{{ machine.name }}", "account": "{{ machine.account }}", "queue": "{{ machine.queue }}", "max_nodes": {{ machine.max_nodes }}, "walltime_mins": {{ machine.walltime_mins }}},
+  "phases": [
+{% for phase in plan.phases %}    {"index": {{ phase.index }}, "tasks": [
+{% for job in phase.tasks %}      {"inputs": {{ job.inputs | json }}, "output": "{{ job.output }}"}{{ job.comma }}
+{% endfor %}    ]}{{ phase.comma }}
+{% endfor %}  ]
+}
+"#,
+            )
+            .expect("built-in campaign template parses"),
+        );
+        g.add(
+            FileTemplate::parse_executable(
+                PasteWorkflowFiles::STATUS_SCRIPT,
+                r#"#!/bin/sh
+# Generated by skel — progress query for the {{ dataset.prefix }} paste campaign.
+total={{ plan.total_jobs }}
+done_count=$(ls sub 2>/dev/null | wc -l)
+test -f {{ dataset.output_file }} && done_count=$total
+echo "$done_count / $total paste tasks complete"
+"#,
+            )
+            .expect("built-in status template parses"),
+        );
+        g
+    }
+
+    /// Builds the render model: the paste model itself plus the computed
+    /// plan. List separators (`comma` fields) are precomputed here — the
+    /// template language is deliberately too small to express "last
+    /// element" logic, so the model carries it.
+    pub fn render_model(&self) -> Result<Model, SkelError> {
+        let plan = self.plan();
+        let mut root = serde_json::to_value(self).map_err(|e| SkelError::ModelParse(e.to_string()))?;
+        let obj = root.as_object_mut().expect("model is an object");
+        let n_phases = plan.phases.len();
+        let phases_value: Vec<serde_json::Value> = plan
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(pi, jobs)| {
+                let tasks: Vec<serde_json::Value> = jobs
+                    .iter()
+                    .enumerate()
+                    .map(|(ji, job)| {
+                        serde_json::json!({
+                            "inputs": job.inputs,
+                            "output": job.output,
+                            "comma": if ji + 1 < jobs.len() { "," } else { "" },
+                        })
+                    })
+                    .collect();
+                serde_json::json!({
+                    "index": pi,
+                    "tasks": tasks,
+                    "comma": if pi + 1 < n_phases { "," } else { "" },
+                })
+            })
+            .collect();
+        obj.insert(
+            "plan".into(),
+            serde_json::json!({
+                "phases": phases_value,
+                "total_jobs": plan.total_jobs(),
+            }),
+        );
+        Model::from_value(root)
+    }
+
+    /// Validates the model and generates the concrete file set.
+    pub fn generate(&self) -> Result<GeneratedFileSet, SkelError> {
+        let model = self.render_model()?;
+        model.validate(&Self::config_variables())?;
+        Self::generator().generate(&model)
+    }
+
+    /// Fig. 2 accounting: interventions a **traditional manual script**
+    /// costs per new run configuration. The user must fix scheduler
+    /// parameters (account, queue, nodes, walltime), directory paths
+    /// (input dir, output file), hard-code every partition of the data
+    /// (one edit per sub-paste group), then run each queued job by hand
+    /// with a manual check in between.
+    pub fn manual_interventions_per_reconfig(&self) -> u32 {
+        let plan = self.plan();
+        let scheduler_fields = 4u32;
+        let path_fields = 2u32;
+        let partition_edits = plan.total_jobs() as u32;
+        let submissions_and_checks = (plan.phases.len() as u32) * 2; // submit + verify per phase
+        scheduler_fields + path_fields + partition_edits + submissions_and_checks
+    }
+
+    /// Fig. 2 accounting: interventions the **Skel-driven flow** costs per
+    /// new run configuration — "the user only modifies the script once":
+    /// edit the changed model fields (bounded by the model's scalar field
+    /// count) and make a single campaign submission.
+    pub fn skel_interventions_per_reconfig(changed_fields: u32) -> u32 {
+        let model_fields = Self::config_variables().len() as u32;
+        changed_fields.min(model_fields) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_two_phase_shape() {
+        let m = PasteModel::example(); // 64 files, fanout 8
+        let plan = m.plan();
+        assert_eq!(plan.phases.len(), 2);
+        assert_eq!(plan.phases[0].len(), 8);
+        assert_eq!(plan.phases[1].len(), 1);
+        assert_eq!(plan.total_jobs(), 9);
+        assert!(plan.max_fan_in() <= 8);
+        assert_eq!(plan.phases[1][0].output, "data/merged.tsv");
+    }
+
+    #[test]
+    fn plan_single_phase_when_few_files() {
+        let mut m = PasteModel::example();
+        m.dataset.num_files = 5;
+        let plan = m.plan();
+        assert_eq!(plan.phases.len(), 1);
+        assert_eq!(plan.phases[0][0].inputs.len(), 5);
+    }
+
+    #[test]
+    fn plan_three_phases_for_large_inputs() {
+        let mut m = PasteModel::example();
+        m.dataset.num_files = 200;
+        m.strategy.fanout = 5;
+        let plan = m.plan();
+        // 200 -> 40 -> 8 -> 2 -> 1: reductions until ≤ fanout remain
+        assert_eq!(plan.phases.len(), 4);
+        assert!(plan.max_fan_in() <= 5);
+        // every intermediate output is consumed exactly once
+        let mut produced: Vec<&String> = Vec::new();
+        let mut consumed: Vec<&String> = Vec::new();
+        for phase in &plan.phases {
+            for job in phase {
+                produced.push(&job.output);
+                consumed.extend(job.inputs.iter().filter(|i| i.starts_with("sub/")));
+            }
+        }
+        produced.pop(); // final output is not consumed
+        produced.sort();
+        consumed.sort();
+        assert_eq!(produced, consumed);
+    }
+
+    #[test]
+    fn all_inputs_covered_exactly_once() {
+        let m = PasteModel::example();
+        let plan = m.plan();
+        let firsts: Vec<&String> = plan.phases[0].iter().flat_map(|j| j.inputs.iter()).collect();
+        assert_eq!(firsts.len(), 64);
+        let expected: Vec<String> = (0..64).map(|i| m.input_file(i)).collect();
+        assert_eq!(
+            firsts.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            expected.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = PasteModel::example();
+        let back = PasteModel::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn generate_produces_three_files() {
+        let set = PasteModel::example().generate().unwrap();
+        assert_eq!(set.files.len(), 3);
+        let run = set.file(PasteWorkflowFiles::RUN_SCRIPT).unwrap();
+        assert!(run.executable);
+        assert!(run.contents.contains("paste -d"));
+        assert!(run.contents.contains("data/merged.tsv"));
+        // 9 paste invocations for 64 files at fanout 8
+        assert_eq!(run.contents.matches("paste -d").count(), 9);
+        let status = set.file(PasteWorkflowFiles::STATUS_SCRIPT).unwrap();
+        assert!(status.contents.contains("total=9"));
+    }
+
+    #[test]
+    fn campaign_spec_is_valid_json() {
+        let set = PasteModel::example().generate().unwrap();
+        let spec = set.file(PasteWorkflowFiles::CAMPAIGN_SPEC).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&spec.contents)
+            .unwrap_or_else(|e| panic!("invalid campaign json: {e}\n{}", spec.contents));
+        assert_eq!(v["campaign"], "gwas-paste");
+        assert_eq!(v["phases"].as_array().unwrap().len(), 2);
+        assert_eq!(v["phases"][0]["tasks"].as_array().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn intervention_counts_favor_skel_and_scale_with_size() {
+        let small = PasteModel::example();
+        let manual_small = small.manual_interventions_per_reconfig();
+        let skel = PasteModel::skel_interventions_per_reconfig(3);
+        assert!(manual_small > skel, "manual={manual_small} skel={skel}");
+
+        let mut big = PasteModel::example();
+        big.dataset.num_files = 1024;
+        let manual_big = big.manual_interventions_per_reconfig();
+        assert!(manual_big > manual_small, "manual cost grows with dataset");
+        // skel cost does not depend on dataset size at all
+        assert_eq!(PasteModel::skel_interventions_per_reconfig(3), skel);
+    }
+
+    #[test]
+    fn config_variables_validate_example_model() {
+        let m = PasteModel::example();
+        let model = Model::from_serialize(&m).unwrap();
+        model.validate(&PasteModel::config_variables()).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn degenerate_fanout_panics() {
+        let mut m = PasteModel::example();
+        m.strategy.fanout = 1;
+        m.plan();
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: the template engine and paste planner.
+
+use proptest::prelude::*;
+use skel::{Model, PasteModel, Template};
+
+/// Strategy for simple JSON scalar values.
+fn arb_scalar() -> impl Strategy<Value = serde_json::Value> {
+    prop_oneof![
+        any::<i64>().prop_map(serde_json::Value::from),
+        any::<bool>().prop_map(serde_json::Value::from),
+        "[a-zA-Z0-9 _-]{0,20}".prop_map(serde_json::Value::from),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn plain_text_always_roundtrips(text in "[^{]*") {
+        let t = Template::parse(&text).unwrap();
+        let m = Model::from_json("{}").unwrap();
+        prop_assert_eq!(t.render(&m).unwrap(), text);
+    }
+
+    #[test]
+    fn substitution_renders_scalars(name in "[a-z][a-z0-9_]{0,10}", value in arb_scalar()) {
+        let src = format!("x={{{{ {name} }}}}!");
+        let t = Template::parse(&src).unwrap();
+        let mut m = Model::from_json("{}").unwrap();
+        m.set(&name, value.clone()).unwrap();
+        let rendered = t.render(&m).unwrap();
+        let expected = match &value {
+            serde_json::Value::String(s) => s.clone(),
+            other => other.to_string(),
+        };
+        prop_assert_eq!(rendered, format!("x={expected}!"));
+    }
+
+    #[test]
+    fn for_loop_renders_each_element(items in proptest::collection::vec(0i64..1000, 0..20)) {
+        let t = Template::parse("{% for x in xs %}{{ x }},{% endfor %}").unwrap();
+        let m = Model::from_value(serde_json::json!({ "xs": items.clone() })).unwrap();
+        let rendered = t.render(&m).unwrap();
+        let expected: String = items.iter().map(|x| format!("{x},")).collect();
+        prop_assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(src in ".{0,200}") {
+        let _ = Template::parse(&src); // Ok or Err, never panic
+    }
+
+    #[test]
+    fn model_set_then_lookup(path_segs in proptest::collection::vec("[a-z]{1,6}", 1..4), value in arb_scalar()) {
+        let path = path_segs.join(".");
+        let mut m = Model::from_json("{}").unwrap();
+        m.set(&path, value.clone()).unwrap();
+        prop_assert_eq!(m.lookup(&path), Some(value));
+    }
+
+    #[test]
+    fn fingerprint_stable_under_key_insertion_order(a in 0i64..100, b in 0i64..100) {
+        let m1 = Model::from_json(&format!(r#"{{"x": {a}, "y": {b}}}"#)).unwrap();
+        let m2 = Model::from_json(&format!(r#"{{"y": {b}, "x": {a}}}"#)).unwrap();
+        prop_assert_eq!(m1.fingerprint(), m2.fingerprint());
+    }
+
+    #[test]
+    fn paste_plan_partitions_inputs(num_files in 1u32..600, fanout in 2u32..40) {
+        let mut model = PasteModel::example();
+        model.dataset.num_files = num_files;
+        model.strategy.fanout = fanout;
+        let plan = model.plan();
+        // phase 0 covers every input exactly once, in order
+        let phase0: Vec<&String> = plan.phases[0].iter().flat_map(|j| j.inputs.iter()).collect();
+        prop_assert_eq!(phase0.len(), num_files as usize);
+        // fan-in bound holds everywhere
+        prop_assert!(plan.max_fan_in() <= fanout as usize);
+        // last phase produces the final output in a single job
+        let last = plan.phases.last().unwrap();
+        prop_assert_eq!(last.len(), 1);
+        prop_assert_eq!(&last[0].output, &model.dataset.output_file);
+        // every intermediate is produced exactly once and consumed exactly once
+        let mut produced: Vec<&str> = Vec::new();
+        let mut consumed: Vec<&str> = Vec::new();
+        for phase in &plan.phases {
+            for job in phase {
+                produced.push(&job.output);
+                consumed.extend(job.inputs.iter().filter(|i| i.starts_with("sub/")).map(|s| s.as_str()));
+            }
+        }
+        produced.pop();
+        produced.sort_unstable();
+        consumed.sort_unstable();
+        prop_assert_eq!(produced, consumed);
+    }
+
+    #[test]
+    fn manual_interventions_dominate_skel(num_files in 1u32..2000, fanout in 2u32..64, changed in 0u32..5) {
+        let mut model = PasteModel::example();
+        model.dataset.num_files = num_files;
+        model.strategy.fanout = fanout;
+        prop_assert!(
+            model.manual_interventions_per_reconfig()
+                > PasteModel::skel_interventions_per_reconfig(changed)
+        );
+    }
+}

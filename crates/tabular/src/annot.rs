@@ -1,0 +1,327 @@
+//! Genome-annotation interval formats and automated conversion.
+//!
+//! §II-A: "there can exist multiple formats for single types of data
+//! (e.g. genome annotations can be in BED, GTF2, GFF3, or PSL formats)
+//! … In cases where automated conversion tools do not exist, the
+//! researcher may create their own … often custom tools are poorly
+//! tested, which could result in downstream consequences such as
+//! incorrect scientific conclusions."
+//!
+//! The classic downstream-corrupting subtlety between these formats is
+//! the coordinate convention: **BED is 0-based half-open**, **GFF3 is
+//! 1-based closed**. This module holds a convention-neutral [`Interval`]
+//! and lossless converters in both directions — exactly the "data fusion
+//! rule" the Data Semantics gauge captures
+//! (`SemanticsAnnotation::FusionRule("bed<->gff3 coordinate shift")`).
+
+use std::fmt;
+
+/// A genomic interval in a convention-neutral representation
+/// (0-based, half-open — BED's convention, used internally).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interval {
+    /// Chromosome/sequence name.
+    pub chrom: String,
+    /// 0-based inclusive start.
+    pub start: u64,
+    /// 0-based exclusive end (`end > start`).
+    pub end: u64,
+    /// Feature name/ID.
+    pub name: String,
+    /// Optional score.
+    pub score: Option<f64>,
+    /// Optional strand (`+` or `-`).
+    pub strand: Option<char>,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    /// If `end <= start` (empty/negative intervals are always data bugs).
+    pub fn new(chrom: impl Into<String>, start: u64, end: u64, name: impl Into<String>) -> Self {
+        assert!(end > start, "interval end must exceed start");
+        Self {
+            chrom: chrom.into(),
+            start,
+            end,
+            name: name.into(),
+            score: None,
+            strand: None,
+        }
+    }
+
+    /// Interval length in bases.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True only for a degenerate zero-length interval (cannot be
+    /// constructed through [`Interval::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Annotation parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotError {
+    /// A row had too few columns.
+    TooFewColumns {
+        /// 1-based line number.
+        line: usize,
+        /// Columns found.
+        found: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// A coordinate failed to parse or was inconsistent.
+    BadCoordinate {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for AnnotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnotError::TooFewColumns { line, found, required } => {
+                write!(f, "line {line}: {found} columns, need at least {required}")
+            }
+            AnnotError::BadCoordinate { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnnotError {}
+
+fn parse_coord(s: &str, line: usize) -> Result<u64, AnnotError> {
+    s.parse().map_err(|_| AnnotError::BadCoordinate {
+        line,
+        message: format!("bad coordinate {s:?}"),
+    })
+}
+
+/// Parses BED text (≥3 columns: chrom, start, end; optional name, score,
+/// strand). Comment (`#`, `track`, `browser`) and blank lines skipped.
+pub fn parse_bed(text: &str) -> Result<Vec<Interval>, AnnotError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("track") || line.starts_with("browser") {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 3 {
+            return Err(AnnotError::TooFewColumns { line: line_no, found: cols.len(), required: 3 });
+        }
+        let start = parse_coord(cols[1], line_no)?;
+        let end = parse_coord(cols[2], line_no)?;
+        if end <= start {
+            return Err(AnnotError::BadCoordinate {
+                line: line_no,
+                message: format!("end {end} ≤ start {start}"),
+            });
+        }
+        out.push(Interval {
+            chrom: cols[0].to_string(),
+            start,
+            end,
+            name: cols.get(3).unwrap_or(&".").to_string(),
+            score: cols.get(4).and_then(|s| s.parse().ok()),
+            strand: cols.get(5).and_then(|s| s.chars().next()).filter(|&c| c == '+' || c == '-'),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes intervals as BED6.
+pub fn encode_bed(intervals: &[Interval]) -> String {
+    let mut out = String::new();
+    for iv in intervals {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            iv.chrom,
+            iv.start,
+            iv.end,
+            iv.name,
+            iv.score.map_or(".".to_string(), |s| format!("{s}")),
+            iv.strand.unwrap_or('.'),
+        ));
+    }
+    out
+}
+
+/// Parses GFF3 text (9 columns; coordinates 1-based closed — converted to
+/// the internal 0-based half-open convention). The feature name is taken
+/// from the `ID=` attribute when present, else `Name=`, else `.`.
+pub fn parse_gff3(text: &str) -> Result<Vec<Interval>, AnnotError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 9 {
+            return Err(AnnotError::TooFewColumns { line: line_no, found: cols.len(), required: 9 });
+        }
+        let start_1b = parse_coord(cols[3], line_no)?;
+        let end_1b = parse_coord(cols[4], line_no)?;
+        if start_1b == 0 {
+            return Err(AnnotError::BadCoordinate {
+                line: line_no,
+                message: "GFF3 coordinates are 1-based; got 0".into(),
+            });
+        }
+        if end_1b < start_1b {
+            return Err(AnnotError::BadCoordinate {
+                line: line_no,
+                message: format!("end {end_1b} < start {start_1b}"),
+            });
+        }
+        let attrs = cols[8];
+        let name = attrs
+            .split(';')
+            .find_map(|kv| kv.strip_prefix("ID="))
+            .or_else(|| attrs.split(';').find_map(|kv| kv.strip_prefix("Name=")))
+            .unwrap_or(".")
+            .to_string();
+        out.push(Interval {
+            chrom: cols[0].to_string(),
+            start: start_1b - 1, // the fusion rule: 1-based closed → 0-based half-open
+            end: end_1b,
+            name,
+            score: (cols[5] != ".").then(|| cols[5].parse().ok()).flatten(),
+            strand: cols[6].chars().next().filter(|&c| c == '+' || c == '-'),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes intervals as GFF3 with the given `source` and feature `ftype`.
+pub fn encode_gff3(intervals: &[Interval], source: &str, ftype: &str) -> String {
+    let mut out = String::from("##gff-version 3\n");
+    for iv in intervals {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t.\tID={}\n",
+            iv.chrom,
+            source,
+            ftype,
+            iv.start + 1, // 0-based half-open → 1-based closed
+            iv.end,
+            iv.score.map_or(".".to_string(), |s| format!("{s}")),
+            iv.strand.unwrap_or('.'),
+            iv.name,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Interval> {
+        vec![
+            Interval {
+                chrom: "chr1".into(),
+                start: 99,
+                end: 200,
+                name: "geneA".into(),
+                score: Some(12.5),
+                strand: Some('+'),
+            },
+            Interval {
+                chrom: "chr2".into(),
+                start: 0,
+                end: 50,
+                name: "geneB".into(),
+                score: None,
+                strand: Some('-'),
+            },
+        ]
+    }
+
+    #[test]
+    fn bed_roundtrip() {
+        let text = encode_bed(&sample());
+        let back = parse_bed(&text).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn gff3_roundtrip() {
+        let text = encode_gff3(&sample(), "fair", "gene");
+        assert!(text.starts_with("##gff-version 3"));
+        let back = parse_gff3(&text).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn coordinate_convention_is_converted_not_copied() {
+        // THE classic off-by-one: the same biological interval — first
+        // 100 bases of chr1 — is 0..100 in BED but 1..100 in GFF3
+        let iv = Interval::new("chr1", 0, 100, "x");
+        let bed = encode_bed(std::slice::from_ref(&iv));
+        assert!(bed.contains("chr1\t0\t100"));
+        let gff = encode_gff3(&[iv], "s", "gene");
+        assert!(gff.contains("chr1\ts\tgene\t1\t100"), "{gff}");
+        // and back again
+        let from_gff = parse_gff3(&gff).unwrap();
+        assert_eq!(from_gff[0].start, 0);
+        assert_eq!(from_gff[0].end, 100);
+        assert_eq!(from_gff[0].len(), 100);
+    }
+
+    #[test]
+    fn cross_format_roundtrip_is_lossless() {
+        let via_gff = parse_gff3(&encode_gff3(&sample(), "s", "gene")).unwrap();
+        let via_bed = parse_bed(&encode_bed(&via_gff)).unwrap();
+        assert_eq!(via_bed, sample());
+    }
+
+    #[test]
+    fn bed_minimal_three_columns() {
+        let parsed = parse_bed("chr3\t5\t10\n").unwrap();
+        assert_eq!(parsed[0].name, ".");
+        assert_eq!(parsed[0].score, None);
+        assert_eq!(parsed[0].strand, None);
+    }
+
+    #[test]
+    fn comments_and_headers_skipped() {
+        let bed = "# comment\ntrack name=x\nchr1\t0\t10\n\n";
+        assert_eq!(parse_bed(bed).unwrap().len(), 1);
+        let gff = "##gff-version 3\n# note\nchr1\ts\tgene\t1\t10\t.\t+\t.\tID=g\n";
+        assert_eq!(parse_gff3(gff).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn gff3_name_fallback() {
+        let gff = "chr1\ts\tgene\t1\t10\t.\t+\t.\tName=fallback\n";
+        assert_eq!(parse_gff3(gff).unwrap()[0].name, "fallback");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_bed("chr1\t0\n").unwrap_err();
+        assert_eq!(err, AnnotError::TooFewColumns { line: 1, found: 2, required: 3 });
+        let err = parse_bed("chr1\t10\t5\n").unwrap_err();
+        assert!(matches!(err, AnnotError::BadCoordinate { line: 1, .. }));
+        let err = parse_gff3("chr1\ts\tg\t0\t10\t.\t+\t.\tID=x\n").unwrap_err();
+        assert!(matches!(err, AnnotError::BadCoordinate { .. }), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "end must exceed start")]
+    fn degenerate_interval_rejected() {
+        Interval::new("chr1", 5, 5, "x");
+    }
+}

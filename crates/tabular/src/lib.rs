@@ -1,0 +1,33 @@
+//! Tabular-data substrate for the GWAS workflow (§II-A, §V-A).
+//!
+//! "Software tools used for GWAS analysis require specific formatting of
+//! the input data … data wrangling is usually a time-consuming process,
+//! often taking up to 80% of the time." This crate is the data-wrangling
+//! substrate the paper's first experiment runs on:
+//!
+//! * [`table`] — an in-memory typed column store;
+//! * [`tsv`] — TSV/CSV encode/decode with type inference;
+//! * [`paste`] — UNIX-`paste`-style column-wise merging of files,
+//!   including the staged (two-or-more-phase) execution strategy the
+//!   paper's Skel model plans, run in parallel on the [`exec`] pool;
+//! * [`gwas`] — synthetic genotype/phenotype generation and a GWAS-lite
+//!   per-SNP association scan, so the refactored workflow can be
+//!   validated end-to-end (does the pipeline still find the causal SNPs?);
+//! * [`stats`] — the small statistics kit used by the scan;
+//! * [`annot`] — BED/GFF3 genome-annotation formats with the lossless
+//!   coordinate-convention conversion (§II-A's "automated conversion
+//!   tools", the Data Semantics gauge's fusion rule made real).
+
+#![deny(missing_docs)]
+
+pub mod annot;
+pub mod gwas;
+pub mod paste;
+pub mod stats;
+pub mod table;
+pub mod tsv;
+
+pub use annot::{encode_bed, encode_gff3, parse_bed, parse_gff3, Interval};
+pub use gwas::{AssocResult, GenotypeData, GwasConfig};
+pub use paste::{paste_contents, staged_paste, PasteError};
+pub use table::{Column, Table};

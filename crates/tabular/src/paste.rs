@@ -1,0 +1,289 @@
+//! Column-wise pasting of delimited files (UNIX `paste` semantics).
+//!
+//! "One particular step involves *column-wise* pasting of a large number
+//! of individual tabular files into a single large file … there was a
+//! two-phase paste, where a series of 'sub-pastes' were performed to
+//! reduce the number of files, then a final paste was done to merge the
+//! pasted subsets" (§V-A).
+//!
+//! [`paste_contents`] is the single merge primitive; [`staged_paste`]
+//! executes a fan-in-limited multi-phase plan, running each phase's
+//! independent sub-pastes in parallel on the [`exec::ThreadPool`] — the
+//! parallelization the paper's humans did by hand with queued jobs.
+
+use std::fmt;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use exec::ThreadPool;
+
+/// Paste errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PasteError {
+    /// No inputs were given.
+    NoInputs,
+    /// Inputs disagree on line count.
+    LineCountMismatch {
+        /// Index of the offending input.
+        input: usize,
+        /// Its line count.
+        found: usize,
+        /// The first input's line count.
+        expected: usize,
+    },
+    /// Filesystem error.
+    Io(String),
+}
+
+impl fmt::Display for PasteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PasteError::NoInputs => write!(f, "paste requires at least one input"),
+            PasteError::LineCountMismatch { input, found, expected } => write!(
+                f,
+                "input #{input} has {found} lines, expected {expected}"
+            ),
+            PasteError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PasteError {}
+
+impl From<std::io::Error> for PasteError {
+    fn from(e: std::io::Error) -> Self {
+        PasteError::Io(e.to_string())
+    }
+}
+
+/// Pastes in-memory contents column-wise: output line *i* is the
+/// tab-join of line *i* of every input. All inputs must have equal line
+/// counts (unlike GNU `paste`, short inputs are an error — silent blank
+/// cells are precisely the GWAS-corrupting failure mode).
+pub fn paste_contents(inputs: &[&str]) -> Result<String, PasteError> {
+    if inputs.is_empty() {
+        return Err(PasteError::NoInputs);
+    }
+    let line_sets: Vec<Vec<&str>> = inputs.iter().map(|s| s.lines().collect()).collect();
+    let expected = line_sets[0].len();
+    for (i, ls) in line_sets.iter().enumerate() {
+        if ls.len() != expected {
+            return Err(PasteError::LineCountMismatch {
+                input: i,
+                found: ls.len(),
+                expected,
+            });
+        }
+    }
+    let total: usize = inputs.iter().map(|s| s.len()).sum();
+    let mut out = String::with_capacity(total + expected);
+    for row in 0..expected {
+        for (i, ls) in line_sets.iter().enumerate() {
+            if i > 0 {
+                out.push('\t');
+            }
+            out.push_str(ls[row]);
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Pastes files on disk into `output`.
+pub fn paste_files(inputs: &[PathBuf], output: &Path) -> Result<(), PasteError> {
+    if inputs.is_empty() {
+        return Err(PasteError::NoInputs);
+    }
+    let contents: Vec<String> = inputs
+        .iter()
+        .map(std::fs::read_to_string)
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&str> = contents.iter().map(String::as_str).collect();
+    let merged = paste_contents(&refs)?;
+    if let Some(parent) = output.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(output)?;
+    let mut writer = BufWriter::new(file);
+    writer.write_all(merged.as_bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// The multi-phase plan shape: groups of input indices per phase.
+/// Mirrors the Skel paste model's planner so both sides agree on shape.
+pub fn plan_phases(num_inputs: usize, fanout: usize) -> Vec<Vec<(usize, usize)>> {
+    assert!(fanout >= 2, "fanout must be at least 2");
+    let mut phases = Vec::new();
+    let mut count = num_inputs;
+    while count > fanout {
+        let groups: Vec<(usize, usize)> = (0..count)
+            .step_by(fanout)
+            .map(|start| (start, (start + fanout).min(count)))
+            .collect();
+        count = groups.len();
+        phases.push(groups);
+    }
+    phases.push(vec![(0, count)]);
+    phases
+}
+
+/// Executes a staged paste of `inputs` into `output`, limiting every merge
+/// to `fanout` files and running each phase's sub-pastes in parallel.
+/// Intermediate files are created under `workdir` and removed on success.
+///
+/// Returns the number of paste invocations performed.
+pub fn staged_paste(
+    inputs: &[PathBuf],
+    output: &Path,
+    fanout: usize,
+    workdir: &Path,
+    pool: &ThreadPool,
+) -> Result<usize, PasteError> {
+    if inputs.is_empty() {
+        return Err(PasteError::NoInputs);
+    }
+    std::fs::create_dir_all(workdir)?;
+    let mut current: Vec<PathBuf> = inputs.to_vec();
+    let mut intermediates: Vec<PathBuf> = Vec::new();
+    let mut stage = 0usize;
+    let mut invocations = 0usize;
+    while current.len() > fanout {
+        let groups: Vec<&[PathBuf]> = current.chunks(fanout).collect();
+        let outputs: Vec<PathBuf> = (0..groups.len())
+            .map(|gi| workdir.join(format!("s{stage}_{gi:05}.tsv")))
+            .collect();
+        let results: Vec<Result<(), PasteError>> = pool.map_index(groups.len(), |gi| {
+            paste_files(groups[gi], &outputs[gi])
+        });
+        for r in results {
+            r?;
+        }
+        invocations += groups.len();
+        intermediates.extend(outputs.iter().cloned());
+        current = outputs;
+        stage += 1;
+    }
+    paste_files(&current, output)?;
+    invocations += 1;
+    for f in intermediates {
+        let _ = std::fs::remove_file(f);
+    }
+    Ok(invocations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("paste-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn paste_joins_lines_with_tabs() {
+        let merged = paste_contents(&["a\nb\n", "1\n2\n", "x\ny\n"]).unwrap();
+        assert_eq!(merged, "a\t1\tx\nb\t2\ty\n");
+    }
+
+    #[test]
+    fn single_input_passes_through() {
+        assert_eq!(paste_contents(&["a\nb\n"]).unwrap(), "a\nb\n");
+    }
+
+    #[test]
+    fn no_inputs_is_error() {
+        assert_eq!(paste_contents(&[]), Err(PasteError::NoInputs));
+    }
+
+    #[test]
+    fn mismatched_line_counts_error() {
+        let err = paste_contents(&["a\nb\n", "1\n"]).unwrap_err();
+        assert_eq!(
+            err,
+            PasteError::LineCountMismatch { input: 1, found: 1, expected: 2 }
+        );
+    }
+
+    #[test]
+    fn plan_phases_shapes() {
+        assert_eq!(plan_phases(5, 8).len(), 1);
+        let p = plan_phases(64, 8);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].len(), 8);
+        assert_eq!(p[1], vec![(0, 8)]);
+        let p3 = plan_phases(200, 5);
+        assert_eq!(p3.len(), 4); // 200 -> 40 -> 8 -> 2 -> final
+    }
+
+    #[test]
+    fn staged_paste_matches_single_paste() {
+        let dir = tempdir("staged");
+        let pool = ThreadPool::new(4);
+        // 20 files, 3 rows each, single column
+        let inputs: Vec<PathBuf> = (0..20)
+            .map(|i| {
+                let p = dir.join(format!("in_{i:02}.tsv"));
+                std::fs::write(&p, format!("c{i}\nv{i}a\nv{i}b\n")).unwrap();
+                p
+            })
+            .collect();
+        let staged_out = dir.join("staged.tsv");
+        let single_out = dir.join("single.tsv");
+        let invocations =
+            staged_paste(&inputs, &staged_out, 4, &dir.join("work"), &pool).unwrap();
+        paste_files(&inputs, &single_out).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&staged_out).unwrap(),
+            std::fs::read_to_string(&single_out).unwrap()
+        );
+        // 20 -> 5 groups -> 2 groups -> 1 final = 5 + 2 + 1
+        assert_eq!(invocations, 8);
+        // intermediates cleaned up
+        assert_eq!(std::fs::read_dir(dir.join("work")).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn staged_paste_preserves_column_order() {
+        let dir = tempdir("order");
+        let pool = ThreadPool::new(2);
+        let inputs: Vec<PathBuf> = (0..10)
+            .map(|i| {
+                let p = dir.join(format!("in_{i:02}.tsv"));
+                std::fs::write(&p, format!("{i}\n")).unwrap();
+                p
+            })
+            .collect();
+        let out = dir.join("out.tsv");
+        staged_paste(&inputs, &out, 3, &dir.join("w"), &pool).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out).unwrap(),
+            "0\t1\t2\t3\t4\t5\t6\t7\t8\t9\n"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn staged_paste_propagates_ragged_errors() {
+        let dir = tempdir("ragged");
+        let pool = ThreadPool::new(2);
+        let a = dir.join("a.tsv");
+        let b = dir.join("b.tsv");
+        std::fs::write(&a, "1\n2\n").unwrap();
+        std::fs::write(&b, "1\n").unwrap();
+        let err = staged_paste(
+            &[a, b],
+            &dir.join("out.tsv"),
+            2,
+            &dir.join("w"),
+            &pool,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PasteError::LineCountMismatch { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

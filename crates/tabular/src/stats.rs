@@ -1,0 +1,237 @@
+//! Small statistics kit for the GWAS-lite scan.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (0 for fewer than two values).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Pearson correlation; 0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation needs equal lengths");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Ordinary least squares of `y` on `x`: returns `(slope, intercept,
+/// t_statistic)`. The t statistic is slope / SE(slope) with `n-2` residual
+/// degrees of freedom; it is `0` for degenerate inputs.
+pub fn simple_ols(x: &[f64], y: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(x.len(), y.len(), "OLS needs equal lengths");
+    let n = x.len();
+    if n < 3 {
+        return (0.0, mean(y), 0.0);
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        sxx += dx * dx;
+        sxy += dx * (y[i] - my);
+    }
+    if sxx == 0.0 {
+        return (0.0, my, 0.0);
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let mut rss = 0.0;
+    for i in 0..n {
+        let resid = y[i] - (intercept + slope * x[i]);
+        rss += resid * resid;
+    }
+    let dof = (n - 2) as f64;
+    let sigma2 = rss / dof;
+    if sigma2 <= 0.0 {
+        // perfect fit: report an effectively infinite t
+        return (slope, intercept, f64::INFINITY * slope.signum());
+    }
+    let se = (sigma2 / sxx).sqrt();
+    (slope, intercept, slope / se)
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max abs error ≈ 1.5e-7 — ample for screening p-values).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Two-sided p-value for a t statistic, using the normal approximation
+/// (fine for the n ≫ 30 sample sizes GWAS works with).
+pub fn two_sided_p(t: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    2.0 * (1.0 - normal_cdf(t.abs()))
+}
+
+/// Benjamini–Hochberg FDR adjustment: returns q-values in the input
+/// order. Standard step-up procedure: sort ascending, `q_i =
+/// min_{j≥i}(p_j · m / j)`, clamped to 1.
+pub fn benjamini_hochberg(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    assert!(
+        p_values.iter().all(|p| (0.0..=1.0).contains(p)),
+        "p-values must lie in [0,1]"
+    );
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("finite p"));
+    let mut q = vec![0.0; m];
+    let mut running_min = 1.0_f64;
+    for rank in (0..m).rev() {
+        let idx = order[rank];
+        let candidate = p_values[idx] * m as f64 / (rank + 1) as f64;
+        running_min = running_min.min(candidate);
+        q[idx] = running_min.min(1.0);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_constant() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[7.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn ols_recovers_line() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 * v + 1.0).collect();
+        let (slope, intercept, t) = simple_ols(&x, &y);
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert!((intercept - 1.0).abs() < 1e-9);
+        assert!(t.is_infinite() && t > 0.0, "perfect fit t={t}");
+    }
+
+    #[test]
+    fn ols_noisy_slope_significant() {
+        // deterministic "noise"
+        let x: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 2.0 * v + ((i * 37 % 17) as f64 - 8.0) * 0.3)
+            .collect();
+        let (slope, _, t) = simple_ols(&x, &y);
+        assert!((slope - 2.0).abs() < 0.05, "slope={slope}");
+        assert!(t > 10.0, "t={t}");
+        assert!(two_sided_p(t) < 1e-6);
+    }
+
+    #[test]
+    fn ols_constant_x_degenerate() {
+        let x = [1.0; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let (slope, _, t) = simple_ols(&x, &y);
+        assert_eq!(slope, 0.0);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn bh_adjustment_reference_case() {
+        // classic worked example: p = [0.01, 0.04, 0.03, 0.005], m = 4
+        // sorted: 0.005, 0.01, 0.03, 0.04
+        // raw:    0.02,  0.02, 0.04, 0.04 → step-up mins from the top
+        let q = benjamini_hochberg(&[0.01, 0.04, 0.03, 0.005]);
+        assert!((q[3] - 0.02).abs() < 1e-12, "q={q:?}");
+        assert!((q[0] - 0.02).abs() < 1e-12);
+        assert!((q[2] - 0.04).abs() < 1e-12);
+        assert!((q[1] - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bh_is_monotone_and_bounded() {
+        let p = [0.001, 0.2, 0.9, 0.04, 0.5, 1.0, 0.0];
+        let q = benjamini_hochberg(&p);
+        assert!(q.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // q preserves the order of p
+        let mut pairs: Vec<(f64, f64)> = p.iter().copied().zip(q.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!(pairs.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-15));
+        // q never smaller than p
+        assert!(p.iter().zip(&q).all(|(p, q)| q >= p));
+    }
+
+    #[test]
+    fn bh_empty_and_single() {
+        assert!(benjamini_hochberg(&[]).is_empty());
+        assert_eq!(benjamini_hochberg(&[0.3]), vec![0.3]);
+    }
+
+    #[test]
+    fn p_values_behave() {
+        assert!((two_sided_p(0.0) - 1.0).abs() < 1e-6);
+        assert!(two_sided_p(5.0) < 1e-5);
+        assert_eq!(two_sided_p(f64::INFINITY), 0.0);
+        // symmetric
+        assert!((two_sided_p(2.0) - two_sided_p(-2.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,253 @@
+//! A small in-memory typed column store.
+
+use std::fmt;
+
+/// A typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// UTF-8 strings.
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at `row` rendered as display text.
+    pub fn render(&self, row: usize) -> String {
+        match self {
+            Column::Int(v) => v[row].to_string(),
+            Column::Float(v) => format_float(v[row]),
+            Column::Str(v) => v[row].clone(),
+        }
+    }
+
+    /// The column as `f64` values, when numeric.
+    pub fn as_f64(&self) -> Option<Vec<f64>> {
+        match self {
+            Column::Int(v) => Some(v.iter().map(|&x| x as f64).collect()),
+            Column::Float(v) => Some(v.clone()),
+            Column::Str(_) => None,
+        }
+    }
+}
+
+/// Renders floats the way the TSV codec expects to round-trip them.
+pub(crate) fn format_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        // keep a decimal point so re-parsing stays a float column
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// A named-column table. All columns have equal length.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    names: Vec<String>,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates an empty table (no columns, no rows).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a column.
+    ///
+    /// # Panics
+    /// If the name already exists or the length differs from existing
+    /// columns.
+    pub fn push_column(&mut self, name: impl Into<String>, column: Column) {
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "duplicate column name {name:?}"
+        );
+        if let Some(first) = self.columns.first() {
+            assert_eq!(
+                first.len(),
+                column.len(),
+                "column {name:?} length mismatch"
+            );
+        }
+        self.names.push(name);
+        self.columns.push(column);
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Column by index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.columns[i])
+    }
+
+    /// Horizontally concatenates another table (column-wise paste).
+    ///
+    /// Duplicate names from `other` are suffixed `_2`, `_3`, … as UNIX
+    /// `paste` users end up doing by hand.
+    ///
+    /// # Panics
+    /// If row counts differ and both tables are non-empty.
+    pub fn hpaste(&mut self, other: Table) {
+        if !self.columns.is_empty() && !other.columns.is_empty() {
+            assert_eq!(self.nrows(), other.nrows(), "row count mismatch in hpaste");
+        }
+        for (name, col) in other.names.into_iter().zip(other.columns) {
+            let mut candidate = name.clone();
+            let mut k = 2;
+            while self.names.contains(&candidate) {
+                candidate = format!("{name}_{k}");
+                k += 1;
+            }
+            self.push_column(candidate, col);
+        }
+    }
+
+    /// Selects a subset of columns by name, in the given order.
+    pub fn select(&self, names: &[&str]) -> Option<Table> {
+        let mut out = Table::new();
+        for &n in names {
+            out.push_column(n, self.column_by_name(n)?.clone());
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.names.join("\t"))?;
+        for row in 0..self.nrows() {
+            let cells: Vec<String> = self.columns.iter().map(|c| c.render(row)).collect();
+            writeln!(f, "{}", cells.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new();
+        t.push_column("id", Column::Int(vec![1, 2, 3]));
+        t.push_column("val", Column::Float(vec![0.5, 1.0, 2.5]));
+        t.push_column("name", Column::Str(vec!["a".into(), "b".into(), "c".into()]));
+        t
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = sample();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 3);
+        assert_eq!(t.names(), &["id", "val", "name"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = sample();
+        assert_eq!(t.column_by_name("id"), Some(&Column::Int(vec![1, 2, 3])));
+        assert!(t.column_by_name("zz").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_rejected() {
+        let mut t = sample();
+        t.push_column("id", Column::Int(vec![0, 0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_columns_rejected() {
+        let mut t = sample();
+        t.push_column("short", Column::Int(vec![1]));
+    }
+
+    #[test]
+    fn hpaste_renames_duplicates() {
+        let mut a = sample();
+        let b = sample();
+        a.hpaste(b);
+        assert_eq!(a.ncols(), 6);
+        assert!(a.column_by_name("id_2").is_some());
+        assert_eq!(a.nrows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn hpaste_rejects_ragged() {
+        let mut a = sample();
+        let mut b = Table::new();
+        b.push_column("x", Column::Int(vec![1]));
+        a.hpaste(b);
+    }
+
+    #[test]
+    fn select_projects_columns() {
+        let t = sample();
+        let s = t.select(&["name", "id"]).unwrap();
+        assert_eq!(s.names(), &["name", "id"]);
+        assert!(t.select(&["nope"]).is_none());
+    }
+
+    #[test]
+    fn as_f64_conversion() {
+        let t = sample();
+        assert_eq!(t.column(0).as_f64(), Some(vec![1.0, 2.0, 3.0]));
+        assert_eq!(t.column(2).as_f64(), None);
+    }
+
+    #[test]
+    fn display_renders_tsv_like() {
+        let text = sample().to_string();
+        assert!(text.starts_with("id\tval\tname\n"));
+        assert!(text.contains("1\t0.5\ta"));
+    }
+
+    #[test]
+    fn float_formatting_round_trips_integral_floats() {
+        assert_eq!(format_float(2.0), "2.0");
+        assert_eq!(format_float(0.25), "0.25");
+    }
+}

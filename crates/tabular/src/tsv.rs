@@ -1,0 +1,233 @@
+//! TSV encode/decode with column type inference.
+//!
+//! Bioinformatics pipelines overwhelmingly exchange delimited text
+//! ("many still rely on custom I/O solutions or delimited text formats",
+//! §VI). The codec here is deliberately strict: ragged rows are errors,
+//! because silent row misalignment is exactly the class of bug the
+//! paper's data-schema gauge exists to catch.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::table::{format_float, Column, Table};
+
+/// TSV codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsvError {
+    /// Input had no header line.
+    Empty,
+    /// A data row had a different arity than the header.
+    Ragged {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Cells found.
+        found: usize,
+        /// Cells expected.
+        expected: usize,
+    },
+    /// Filesystem error.
+    Io(String),
+}
+
+impl fmt::Display for TsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsvError::Empty => write!(f, "empty input: no header line"),
+            TsvError::Ragged { line, found, expected } => {
+                write!(f, "ragged row at line {line}: {found} cells, expected {expected}")
+            }
+            TsvError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+impl From<std::io::Error> for TsvError {
+    fn from(e: std::io::Error) -> Self {
+        TsvError::Io(e.to_string())
+    }
+}
+
+/// Parses TSV text (tab-separated, first line is the header).
+///
+/// Column types are inferred: a column where every cell parses as `i64`
+/// becomes [`Column::Int`]; else if every cell parses as `f64` it becomes
+/// [`Column::Float`]; otherwise [`Column::Str`].
+pub fn parse(text: &str) -> Result<Table, TsvError> {
+    parse_delim(text, '\t')
+}
+
+/// [`parse`] with an arbitrary single-character delimiter (e.g. `,`).
+pub fn parse_delim(text: &str, delim: char) -> Result<Table, TsvError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(TsvError::Empty)?;
+    let names: Vec<String> = header.split(delim).map(str::to_string).collect();
+    let ncols = names.len();
+    let mut cells: Vec<Vec<&str>> = vec![Vec::new(); ncols];
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue; // tolerate a trailing newline / blank lines
+        }
+        let mut count = 0;
+        for (c, cell) in line.split(delim).enumerate() {
+            if c >= ncols {
+                count = line.split(delim).count();
+                return Err(TsvError::Ragged { line: i + 2, found: count, expected: ncols });
+            }
+            cells[c].push(cell);
+            count = c + 1;
+        }
+        if count != ncols {
+            // roll back the partial row before erroring
+            return Err(TsvError::Ragged { line: i + 2, found: count, expected: ncols });
+        }
+    }
+    let mut table = Table::new();
+    for (name, col_cells) in names.into_iter().zip(cells) {
+        table.push_column(dedup_name(&table, name), infer_column(&col_cells));
+    }
+    Ok(table)
+}
+
+fn dedup_name(table: &Table, name: String) -> String {
+    if !table.names().contains(&name) {
+        return name;
+    }
+    let mut k = 2;
+    loop {
+        let candidate = format!("{name}_{k}");
+        if !table.names().contains(&candidate) {
+            return candidate;
+        }
+        k += 1;
+    }
+}
+
+fn infer_column(cells: &[&str]) -> Column {
+    if !cells.is_empty() && cells.iter().all(|c| c.parse::<i64>().is_ok()) {
+        return Column::Int(cells.iter().map(|c| c.parse().unwrap()).collect());
+    }
+    if !cells.is_empty() && cells.iter().all(|c| c.parse::<f64>().is_ok()) {
+        return Column::Float(cells.iter().map(|c| c.parse().unwrap()).collect());
+    }
+    Column::Str(cells.iter().map(|c| c.to_string()).collect())
+}
+
+/// Encodes a table as TSV text (trailing newline included).
+pub fn encode(table: &Table) -> String {
+    encode_delim(table, '\t')
+}
+
+/// [`encode`] with an arbitrary delimiter.
+pub fn encode_delim(table: &Table, delim: char) -> String {
+    let mut out = String::new();
+    out.push_str(&table.names().join(&delim.to_string()));
+    out.push('\n');
+    for row in 0..table.nrows() {
+        for c in 0..table.ncols() {
+            if c > 0 {
+                out.push(delim);
+            }
+            match table.column(c) {
+                Column::Int(v) => out.push_str(&v[row].to_string()),
+                Column::Float(v) => out.push_str(&format_float(v[row])),
+                Column::Str(v) => out.push_str(&v[row]),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Reads a TSV file into a table.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Table, TsvError> {
+    let text = std::fs::read_to_string(path)?;
+    parse(&text)
+}
+
+/// Writes a table to a TSV file.
+pub fn write_file(table: &Table, path: impl AsRef<Path>) -> Result<(), TsvError> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, encode(table))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_infers_types() {
+        let t = parse("id\tval\tname\n1\t0.5\ta\n2\t1.5\tb\n").unwrap();
+        assert_eq!(t.column(0), &Column::Int(vec![1, 2]));
+        assert_eq!(t.column(1), &Column::Float(vec![0.5, 1.5]));
+        assert_eq!(t.column(2), &Column::Str(vec!["a".into(), "b".into()]));
+    }
+
+    #[test]
+    fn ints_with_one_float_become_float() {
+        let t = parse("x\n1\n2.5\n").unwrap();
+        assert_eq!(t.column(0), &Column::Float(vec![1.0, 2.5]));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(parse(""), Err(TsvError::Empty));
+    }
+
+    #[test]
+    fn header_only_is_zero_rows() {
+        let t = parse("a\tb\n").unwrap();
+        assert_eq!(t.nrows(), 0);
+        assert_eq!(t.ncols(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_error_with_line_number() {
+        let err = parse("a\tb\n1\t2\n3\n").unwrap_err();
+        assert_eq!(err, TsvError::Ragged { line: 3, found: 1, expected: 2 });
+        let err = parse("a\tb\n1\t2\t3\n").unwrap_err();
+        assert!(matches!(err, TsvError::Ragged { line: 2, .. }));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "id\tval\tname\n1\t0.5\talpha\n2\t2.0\tbeta\n";
+        let t = parse(src).unwrap();
+        assert_eq!(encode(&t), src);
+    }
+
+    #[test]
+    fn csv_delimiter() {
+        let t = parse_delim("a,b\n1,2\n", ',').unwrap();
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(encode_delim(&t, ','), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn duplicate_headers_deduped() {
+        let t = parse("x\tx\tx\n1\t2\t3\n").unwrap();
+        assert_eq!(t.names(), &["x", "x_2", "x_3"]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("tsv-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tsv");
+        let t = parse("a\tb\n1\tx\n").unwrap();
+        write_file(&t, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let t = parse("a\n1\n\n2\n").unwrap();
+        assert_eq!(t.nrows(), 2);
+    }
+}

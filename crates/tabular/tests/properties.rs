@@ -1,0 +1,127 @@
+//! Property tests: TSV codec, paste semantics, statistics.
+
+use proptest::prelude::*;
+use tabular::paste::{paste_contents, plan_phases};
+use tabular::stats;
+use tabular::tsv;
+
+/// Cell text safe for TSV (no tabs/newlines, non-empty, and not
+/// numeric-looking so column types stay `Str` deterministically).
+fn arb_cell() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z_ ]{0,10}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty", |s| !s.is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn tsv_roundtrip_string_tables(
+        ncols in 1usize..6,
+        rows in proptest::collection::vec(proptest::collection::vec(arb_cell(), 1..6), 0..12)
+    ) {
+        // build a rectangular grid
+        let rows: Vec<Vec<String>> = rows
+            .into_iter()
+            .map(|mut r| {
+                r.resize(ncols, "pad".to_string());
+                r
+            })
+            .collect();
+        let header: Vec<String> = (0..ncols).map(|i| format!("c{i}")).collect();
+        let mut text = header.join("\t");
+        text.push('\n');
+        for r in &rows {
+            text.push_str(&r.join("\t"));
+            text.push('\n');
+        }
+        let table = tsv::parse(&text).unwrap();
+        prop_assert_eq!(table.nrows(), rows.len());
+        prop_assert_eq!(table.ncols(), ncols);
+        prop_assert_eq!(tsv::encode(&table), text);
+    }
+
+    #[test]
+    fn tsv_numeric_roundtrip(values in proptest::collection::vec(-1_000_000i64..1_000_000, 1..40)) {
+        let mut text = String::from("v\n");
+        for v in &values {
+            text.push_str(&format!("{v}\n"));
+        }
+        let table = tsv::parse(&text).unwrap();
+        prop_assert_eq!(tsv::encode(&table), text);
+    }
+
+    #[test]
+    fn paste_preserves_line_count_and_content(
+        lines in 1usize..30,
+        inputs in 1usize..8,
+    ) {
+        let contents: Vec<String> = (0..inputs)
+            .map(|i| (0..lines).map(|r| format!("f{i}r{r}\n")).collect())
+            .collect();
+        let refs: Vec<&str> = contents.iter().map(String::as_str).collect();
+        let merged = paste_contents(&refs).unwrap();
+        let merged_lines: Vec<&str> = merged.lines().collect();
+        prop_assert_eq!(merged_lines.len(), lines);
+        for (r, line) in merged_lines.iter().enumerate() {
+            let cells: Vec<&str> = line.split('\t').collect();
+            prop_assert_eq!(cells.len(), inputs);
+            for (i, cell) in cells.iter().enumerate() {
+                prop_assert_eq!(*cell, format!("f{i}r{r}"));
+            }
+        }
+    }
+
+    #[test]
+    fn paste_is_associative(lines in 1usize..15) {
+        let a: String = (0..lines).map(|r| format!("a{r}\n")).collect();
+        let b: String = (0..lines).map(|r| format!("b{r}\n")).collect();
+        let c: String = (0..lines).map(|r| format!("c{r}\n")).collect();
+        let left = paste_contents(&[&paste_contents(&[&a, &b]).unwrap(), &c]).unwrap();
+        let right = paste_contents(&[&a, &paste_contents(&[&b, &c]).unwrap()]).unwrap();
+        let flat = paste_contents(&[&a, &b, &c]).unwrap();
+        prop_assert_eq!(&left, &flat);
+        prop_assert_eq!(&right, &flat);
+    }
+
+    #[test]
+    fn plan_phases_converges_and_respects_fanout(n in 1usize..5000, fanout in 2usize..50) {
+        let phases = plan_phases(n, fanout);
+        // last phase is a single group
+        prop_assert_eq!(phases.last().unwrap().len(), 1);
+        // groups within each phase are contiguous, ordered, and ≤ fanout wide
+        for phase in &phases {
+            let mut cursor = 0usize;
+            for &(start, end) in phase {
+                prop_assert_eq!(start, cursor);
+                prop_assert!(end > start);
+                prop_assert!(end - start <= fanout);
+                cursor = end;
+            }
+        }
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        xs in proptest::collection::vec(-1000.0f64..1000.0, 2..50),
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 0.5 + 1.0).collect();
+        let r = stats::pearson(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        prop_assert!((stats::pearson(&xs, &ys) - stats::pearson(&ys, &xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ols_recovers_exact_lines(slope in -50.0f64..50.0, intercept in -50.0f64..50.0, n in 3usize..60) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let (s, b, _) = stats::simple_ols(&xs, &ys);
+        prop_assert!((s - slope).abs() < 1e-6, "slope {s} vs {slope}");
+        prop_assert!((b - intercept).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_monotone(z1 in -6.0f64..6.0, z2 in -6.0f64..6.0) {
+        let (lo, hi) = if z1 <= z2 { (z1, z2) } else { (z2, z1) };
+        prop_assert!(stats::normal_cdf(lo) <= stats::normal_cdf(hi) + 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! iRF-LOOP on census-like synthetic data (§II-B / §V-D):
+//! build the all-to-all predictive network and score it against the
+//! planted ground truth.
+//!
+//! ```sh
+//! cargo run --release --example irf_loop_network
+//! ```
+
+use fair_workflows::exec::ThreadPool;
+use fair_workflows::iorf::forest::ForestConfig;
+use fair_workflows::iorf::irf::IrfConfig;
+use fair_workflows::iorf::irf_loop::{run_loop, LoopConfig};
+use fair_workflows::iorf::synth::SynthConfig;
+use fair_workflows::iorf::tree::TreeConfig;
+
+fn main() {
+    let (data, network) = SynthConfig {
+        samples: 320,
+        features: 20,
+        roots: 5,
+        edge_weight: 1.0,
+        noise_sd: 0.25,
+        seed: 2021,
+    }
+    .generate();
+    println!(
+        "synthetic ACS-like matrix: {} samples × {} features, {} planted edges",
+        data.rows(),
+        data.cols(),
+        network.edges.len()
+    );
+
+    let pool = ThreadPool::with_default_threads();
+    let config = LoopConfig {
+        irf: IrfConfig {
+            forest: ForestConfig {
+                n_trees: 40,
+                tree: TreeConfig { max_depth: 8, min_samples_leaf: 3, mtry: 6 },
+                seed: 7,
+            },
+            iterations: 3,
+        },
+    };
+    let start = std::time::Instant::now();
+    let adjacency = run_loop(&data, &config, &pool);
+    println!(
+        "iRF-LOOP: {} per-feature models trained in {:.2?}",
+        data.cols(),
+        start.elapsed()
+    );
+
+    let k = network.edges.len();
+    let recovered = adjacency.top_edges(k);
+    println!("\ntop {k} recovered edges (weight = normalized importance):");
+    for e in recovered.iter().take(12) {
+        let planted = network.contains_undirected(e.from, e.to);
+        println!(
+            "  {:<10} -> {:<10}  {:.3}  {}",
+            data.names()[e.from],
+            data.names()[e.to],
+            e.weight,
+            if planted { "PLANTED" } else { "" }
+        );
+    }
+    println!(
+        "\nprecision@{k} = {:.2}, recall = {:.2}",
+        network.precision(&recovered),
+        network.recall(&recovered)
+    );
+    assert!(network.precision(&recovered) >= 0.5);
+}

@@ -1,0 +1,114 @@
+//! Quickstart: the reusability-gauge workflow in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! A component starts life as a black box, gets progressively described,
+//! and the gauge model quantifies — at every stage — what reuse will cost
+//! and what tooling can automate.
+
+use fair_workflows::fair_core::prelude::*;
+
+fn main() {
+    // 1. A black-box component: someone's preprocessing script.
+    let mut comp = ComponentDescriptor::new("preprocess", "0.1.0", ComponentKind::Executable);
+    comp.description = "reformats raw genotype tables for the GWAS tool".into();
+    let profile = assess(&comp);
+    println!("black box profile:     {}", profile.compact());
+
+    // 2. What does reusing it cost? Say a collaborator wants to retarget
+    //    it to 25 new datasets and needs regenerable ingest code.
+    let scenario = ReuseScenario::regenerate_ingest(25);
+    let bill = fair_workflows::fair_core::debt::estimate(&profile, &scenario);
+    println!(
+        "reuse bill: {} manual interventions per dataset, {} total over the scenario",
+        bill.interventions_per_use, bill.total_interventions
+    );
+    for item in &bill.items {
+        println!(
+            "  gap on {:<26} T{} -> T{}  ({} interventions/use, automatable: {})",
+            item.gauge.key(),
+            item.have.0,
+            item.need.0,
+            item.interventions_per_use,
+            item.automatable
+        );
+    }
+
+    // 3. Raise the gauges: declare the data access + schema, add config
+    //    variables backed by a generation model.
+    comp.inputs.push(PortDescriptor {
+        name: "raw".into(),
+        data: DataDescriptor {
+            protocol: Some(AccessProtocol::PosixFile),
+            interface: Some("tsv".into()),
+            schema: Some(SchemaInfo::Typed {
+                columns: vec![("snp".into(), "i64".into()), ("sample".into(), "str".into())],
+            }),
+            semantics: vec![SemanticsAnnotation::ElementWise],
+            ..DataDescriptor::default()
+        },
+    });
+    comp.outputs.push(PortDescriptor {
+        name: "formatted".into(),
+        data: DataDescriptor {
+            protocol: Some(AccessProtocol::PosixFile),
+            interface: Some("tsv".into()),
+            schema: Some(SchemaInfo::Typed {
+                columns: vec![("snp".into(), "i64".into())],
+            }),
+            semantics: vec![SemanticsAnnotation::OrderingSignificant],
+            ..DataDescriptor::default()
+        },
+    });
+    comp.config.push(ConfigVariable {
+        name: "input_dir".into(),
+        var_type: "path".into(),
+        default: None,
+        description: "directory of raw tables".into(),
+        related_to: vec!["num_files".into()],
+    });
+    comp.config.push(ConfigVariable {
+        name: "num_files".into(),
+        var_type: "int".into(),
+        default: Some("64".into()),
+        description: "raw table count".into(),
+        related_to: vec!["input_dir".into()],
+    });
+    comp.has_templates = true;
+    comp.has_generation_model = true;
+    comp.version = "0.2.0".into();
+
+    let after = assess(&comp);
+    println!("\nrefactored profile:    {}", after.compact());
+    assert!(after.dominates(&profile));
+
+    let bill_after = fair_workflows::fair_core::debt::estimate(&after, &scenario);
+    println!(
+        "reuse bill now: {} manual interventions per dataset ({} saved over the scenario)",
+        bill_after.interventions_per_use,
+        bill.total_interventions - bill_after.total_interventions
+    );
+
+    // 4. Register both stages in a catalog — the progress history is the
+    //    gauge, not a score.
+    let mut catalog = Catalog::new();
+    let mut v01 = ComponentDescriptor::new("preprocess", "0.1.0", ComponentKind::Executable);
+    v01.description = comp.description.clone();
+    catalog.register(v01);
+    catalog.register(comp);
+    let entry = catalog.get("preprocess").unwrap();
+    println!(
+        "\ncatalog history: {} snapshots, progress delta +{}",
+        entry.history.len(),
+        entry.progress_delta()
+    );
+    println!(
+        "components an automated composer may wire into a tier-2 context: {:?}",
+        catalog.satisfying(&GaugeProfile::from_pairs([
+            (Gauge::DataAccess, Tier(2)),
+            (Gauge::SoftwareCustomizability, Tier(2)),
+        ]))
+    );
+}

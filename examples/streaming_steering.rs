@@ -1,0 +1,68 @@
+//! The §V-C synthetic workflow: instruments → data scheduler → consumers,
+//! with selection policies installed **at runtime** through the control
+//! channel — including one that did not exist when the communication
+//! code was generated.
+//!
+//! ```sh
+//! cargo run --example streaming_steering
+//! ```
+
+use fair_workflows::dataflow::policy::{DirectSelect, EveryN, ForwardAll, WindowCount};
+use fair_workflows::dataflow::scheduler;
+use fair_workflows::dataflow::source::{spawn_source, SourceConfig};
+
+fn main() {
+    let sched = scheduler::spawn();
+
+    // three simultaneous virtual data queues over the same stream
+    sched.install("archive", Box::new(ForwardAll));
+    sched.install("monitor", Box::new(EveryN::new(100)));
+    sched.install("recent", Box::new(WindowCount::new(5)));
+    let archive = sched.subscribe("archive");
+    let monitor = sched.subscribe("monitor");
+    let recent = sched.subscribe("recent");
+
+    // two instruments stream concurrently
+    let h1 = spawn_source(SourceConfig::new("microscope", 5_000), sched.data_sender());
+    let h2 = spawn_source(SourceConfig::new("spectrometer", 5_000), sched.data_sender());
+    h1.join().unwrap();
+    h2.join().unwrap();
+
+    // a scientist asks "what are the latest frames?" → punctuate the window
+    sched.punctuate(Some("recent"));
+
+    // remote steering: install a brand-new policy mid-session and replay a
+    // selection over the items that arrive afterwards
+    sched.install("steered", Box::new(DirectSelect::new([7_001, 7_002, 7_003])));
+    let steered = sched.subscribe("steered");
+    let h3 = spawn_source(
+        SourceConfig {
+            name: "microscope".into(),
+            schema: "frame.v2".into(),
+            count: 10_000,
+            payload_bytes: 64,
+            cadence_micros: 1000,
+        },
+        sched.data_sender(),
+    );
+    h3.join().unwrap();
+    sched.punctuate(Some("steered"));
+
+    let stats = sched.shutdown();
+    println!("scheduler processed {} items total", stats.received);
+    println!("  archive queue delivered : {}", archive.try_iter().count());
+    println!("  monitor (every 100th)   : {}", monitor.try_iter().count());
+    let recent_items: Vec<u64> = recent.try_iter().map(|i| i.seq).collect();
+    println!("  recent window snapshot  : {recent_items:?}");
+    let picked: Vec<u64> = steered.try_iter().map(|i| i.seq).collect();
+    println!("  steering selection      : {picked:?}");
+    assert_eq!(picked, vec![7_001, 7_002, 7_003]);
+
+    println!("\nper-queue stats:");
+    for (name, q) in &stats.queues {
+        println!(
+            "  {name:<8} offered {:>6}, emitted {:>6}, punctuations {}",
+            q.offered, q.emitted, q.punctuations
+        );
+    }
+}

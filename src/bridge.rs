@@ -1,0 +1,161 @@
+//! Cross-crate glue: conversions between the tabular and iorf data
+//! models, and result tables for the science workflows.
+//!
+//! The substrates deliberately do not depend on each other (a `tabular`
+//! table is file-oriented, an `iorf` matrix is compute-oriented); the
+//! facade owns the conversions, the way the paper's workflows shuttle
+//! between wrangling and modeling stages.
+
+use crate::iorf::Matrix;
+use crate::tabular::{Column, Table};
+
+/// Conversion errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BridgeError {
+    /// A column could not be interpreted as numeric.
+    NonNumericColumn {
+        /// Column name.
+        name: String,
+    },
+    /// The table has no rows or no columns.
+    Empty,
+}
+
+impl std::fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BridgeError::NonNumericColumn { name } => {
+                write!(f, "column {name:?} is not numeric")
+            }
+            BridgeError::Empty => write!(f, "table has no data"),
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {}
+
+/// Converts a numeric table into a samples × features matrix, preserving
+/// column names as feature names.
+pub fn table_to_matrix(table: &Table) -> Result<Matrix, BridgeError> {
+    if table.nrows() == 0 || table.ncols() == 0 {
+        return Err(BridgeError::Empty);
+    }
+    let mut columns = Vec::with_capacity(table.ncols());
+    for c in 0..table.ncols() {
+        let col = table
+            .column(c)
+            .as_f64()
+            .ok_or_else(|| BridgeError::NonNumericColumn {
+                name: table.names()[c].clone(),
+            })?;
+        columns.push(col);
+    }
+    let rows = table.nrows();
+    let cols = table.ncols();
+    let mut data = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for col in &columns {
+            data.push(col[r]);
+        }
+    }
+    Ok(Matrix::new(rows, cols, data).with_names(table.names().to_vec()))
+}
+
+/// Converts a matrix back into a float table (feature names become
+/// column names).
+pub fn matrix_to_table(matrix: &Matrix) -> Table {
+    let mut table = Table::new();
+    for j in 0..matrix.cols() {
+        table.push_column(matrix.names()[j].clone(), Column::Float(matrix.column(j)));
+    }
+    table
+}
+
+/// Renders an association scan (plus FDR q-values) as a results table —
+/// the artifact a GWAS workflow publishes.
+pub fn assoc_results_table(results: &[crate::tabular::AssocResult]) -> Table {
+    let q = crate::tabular::gwas::q_values(results);
+    let mut t = Table::new();
+    t.push_column(
+        "snp",
+        Column::Int(results.iter().map(|r| r.snp as i64).collect()),
+    );
+    t.push_column("beta", Column::Float(results.iter().map(|r| r.beta).collect()));
+    t.push_column("t", Column::Float(results.iter().map(|r| r.t).collect()));
+    t.push_column("p", Column::Float(results.iter().map(|r| r.p).collect()));
+    t.push_column("q", Column::Float(q));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tabular::tsv;
+
+    #[test]
+    fn table_matrix_roundtrip() {
+        let table = tsv::parse("a\tb\n1\t0.5\n2\t1.5\n3\t2.5\n").unwrap();
+        let matrix = table_to_matrix(&table).unwrap();
+        assert_eq!(matrix.rows(), 3);
+        assert_eq!(matrix.cols(), 2);
+        assert_eq!(matrix.get(1, 0), 2.0);
+        assert_eq!(matrix.names(), &["a", "b"]);
+        let back = matrix_to_table(&matrix);
+        assert_eq!(back.nrows(), 3);
+        assert_eq!(back.column(0).as_f64().unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn non_numeric_columns_are_rejected_by_name() {
+        let table = tsv::parse("x\tlabel\n1\tfoo\n2\tbar\n").unwrap();
+        let err = table_to_matrix(&table).unwrap_err();
+        assert_eq!(err, BridgeError::NonNumericColumn { name: "label".into() });
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        assert_eq!(table_to_matrix(&Table::new()).unwrap_err(), BridgeError::Empty);
+    }
+
+    #[test]
+    fn irf_runs_on_a_parsed_table() {
+        // a miniature end-to-end: TSV text → matrix → forest importance
+        let mut text = String::from("x0\tx1\ty\n");
+        for i in 0..60 {
+            let x0 = (i % 10) as f64;
+            let x1 = ((i * 7) % 13) as f64;
+            text.push_str(&format!("{x0}\t{x1}\t{}\n", 2.0 * x0));
+        }
+        let table = tsv::parse(&text).unwrap();
+        let matrix = table_to_matrix(&table).unwrap();
+        let y = matrix.column(2);
+        let (x, _) = matrix.without_column(2);
+        let pool = crate::exec::ThreadPool::new(2);
+        let config = crate::iorf::ForestConfig { n_trees: 20, seed: 1, ..Default::default() };
+        let forest = crate::iorf::RandomForest::fit(&x, &y, &config, &[1.0, 1.0], &pool);
+        let imp = forest.importance();
+        assert!(imp[0] > imp[1], "x0 drives y: {imp:?}");
+    }
+
+    #[test]
+    fn assoc_table_shape() {
+        let data = crate::tabular::GenotypeData::generate(&crate::tabular::GwasConfig {
+            samples: 120,
+            snps: 20,
+            causal: vec![(3, 1.2)],
+            maf_range: (0.2, 0.4),
+            noise_sd: 0.7,
+            seed: 5,
+        });
+        let pool = crate::exec::ThreadPool::new(2);
+        let results = crate::tabular::gwas::association_scan(&data, &pool);
+        let table = assoc_results_table(&results);
+        assert_eq!(table.ncols(), 5);
+        assert_eq!(table.nrows(), 20);
+        // round-trips through TSV
+        let text = tsv::encode(&table);
+        let back = tsv::parse(&text).unwrap();
+        assert_eq!(back.nrows(), 20);
+        assert_eq!(back.names(), &["snp", "beta", "t", "p", "q"]);
+    }
+}

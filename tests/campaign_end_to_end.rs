@@ -1,0 +1,126 @@
+//! Integration: Cheetah composition → on-disk campaign layout → Savanna
+//! local execution → persisted status → resubmission, with real work.
+
+use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use fair_workflows::cheetah::layout;
+use fair_workflows::cheetah::param::SweepSpec;
+use fair_workflows::cheetah::status::{RunStatus, StatusBoard};
+use fair_workflows::cheetah::sweep::Sweep;
+use fair_workflows::savanna::local::LocalExecutor;
+use std::path::PathBuf;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("it-campaign-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn campaign() -> Campaign {
+    Campaign::new("sums", "laptop", AppDef::new("summer", "builtin")).with_group(SweepGroup::new(
+        "grid",
+        Sweep::new()
+            .with("n", SweepSpec::IntRange { start: 1, end: 4, step: 1 })
+            .with("scale", SweepSpec::list([1i64, 10])),
+        2,
+        1,
+        600,
+    ))
+}
+
+#[test]
+fn full_campaign_lifecycle_on_disk() {
+    let root = tempdir("lifecycle");
+    let manifest = campaign().manifest().unwrap();
+    assert_eq!(manifest.total_runs(), 8);
+
+    // materialize the campaign end-point
+    let campaign_dir = layout::create_campaign_dirs(&root, &manifest).unwrap();
+    let reloaded = layout::load_manifest(&campaign_dir).unwrap();
+    assert_eq!(reloaded, manifest);
+
+    // execute: each run computes n * scale and writes result.txt into its
+    // own run directory — real work through real campaign bookkeeping
+    let executor = LocalExecutor::new(2);
+    let mut board = layout::load_status(&campaign_dir).unwrap();
+    let report = executor.run_campaign(&manifest, &mut board, |run| {
+        let n = run.params.get("n").unwrap().as_int().unwrap();
+        let scale = run.params.get("scale").unwrap().as_int().unwrap();
+        let out = root.join(&run.workdir).join("result.txt");
+        std::fs::write(out, format!("{}", n * scale)).map_err(|e| e.to_string())
+    });
+    assert_eq!(report.succeeded, 8);
+    layout::save_status(&campaign_dir, &board).unwrap();
+
+    // every run directory holds params.json + result.txt, and they agree
+    for group in &manifest.groups {
+        for run in &group.runs {
+            let dir = root.join(&run.workdir);
+            let params: serde_json::Value =
+                serde_json::from_str(&std::fs::read_to_string(dir.join("params.json")).unwrap())
+                    .unwrap();
+            let n = params["params"]["n"].as_i64().unwrap();
+            let scale = params["params"]["scale"].as_i64().unwrap();
+            let result: i64 = std::fs::read_to_string(dir.join("result.txt"))
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(result, n * scale, "run {}", run.id);
+        }
+    }
+
+    // status persisted as complete
+    let board = layout::load_status(&campaign_dir).unwrap();
+    assert!(board.summary().is_complete());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn resubmission_only_reruns_incomplete_work() {
+    let root = tempdir("resubmit");
+    let manifest = campaign().manifest().unwrap();
+    layout::create_campaign_dirs(&root, &manifest).unwrap();
+    let executor = LocalExecutor::new(2);
+
+    // first pass: half of the runs "time out" (we mark them manually, as
+    // an allocation boundary would)
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let ids: Vec<String> = manifest
+        .groups
+        .iter()
+        .flat_map(|g| g.runs.iter().map(|r| r.id.clone()))
+        .collect();
+    for id in ids.iter().take(4) {
+        board.set(id, RunStatus::Done);
+    }
+    for id in ids.iter().skip(4).take(2) {
+        board.set(id, RunStatus::TimedOut);
+    }
+    // remaining 2 stay Pending
+
+    let executed = std::sync::Mutex::new(Vec::new());
+    let report = executor.run_campaign(&manifest, &mut board, |run| {
+        executed.lock().unwrap().push(run.id.clone());
+        Ok(())
+    });
+    assert_eq!(report.attempted, 4, "2 timed-out + 2 pending");
+    let mut ran = executed.into_inner().unwrap();
+    ran.sort();
+    let mut expected: Vec<String> = ids[4..].to_vec();
+    expected.sort();
+    assert_eq!(ran, expected);
+    assert!(board.summary().is_complete());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn manifest_survives_json_roundtrip_through_disk() {
+    let root = tempdir("roundtrip");
+    let manifest = campaign().manifest().unwrap();
+    let dir = layout::create_campaign_dirs(&root, &manifest).unwrap();
+    let text = std::fs::read_to_string(dir.join(layout::MANIFEST_FILE)).unwrap();
+    let parsed = fair_workflows::cheetah::manifest::CampaignManifest::from_json(&text).unwrap();
+    assert_eq!(parsed.total_runs(), manifest.total_runs());
+    assert_eq!(parsed.app.name, "summer");
+    std::fs::remove_dir_all(&root).unwrap();
+}

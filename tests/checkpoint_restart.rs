@@ -1,0 +1,122 @@
+//! Integration: checkpoint policies over the real solver and the
+//! simulated filesystem, including failure-driven restart.
+
+use fair_workflows::checkpoint::figure::{fig3_sweep, fig4_variation, SummitRunConfig};
+use fair_workflows::checkpoint::grayscott::{GrayScott, GsParams};
+use fair_workflows::checkpoint::manager::CheckpointManager;
+use fair_workflows::checkpoint::policy::{MinFrequencyFloor, OverheadBudget};
+use fair_workflows::hpcsim::failure::FailureModel;
+use fair_workflows::hpcsim::fs::{FsLoad, SharedFs};
+use fair_workflows::hpcsim::time::{SimDuration, SimTime};
+
+#[test]
+fn gray_scott_survives_injected_failures() {
+    // drive the real solver; a failure schedule kills the run at random
+    // instants; we restart from the latest checkpoint each time and must
+    // end bit-identical to an uninterrupted run.
+    let steps_total = 60u64;
+    let step_cost = SimDuration::from_secs(10);
+    let mut failures = FailureModel::new(SimDuration::from_secs(150), 3)
+        .schedule(SimTime::ZERO, SimTime::ZERO + step_cost * steps_total);
+    failures.truncate(3);
+    assert!(!failures.is_empty(), "failure model must inject something");
+
+    let mut reference = GrayScott::new(48, 48, GsParams::default());
+    for _ in 0..steps_total {
+        reference.step();
+    }
+
+    // checkpoint every 5 steps; on failure, roll back to the last one
+    let mut sim = GrayScott::new(48, 48, GsParams::default());
+    let mut last_ckpt = sim.checkpoint();
+    let mut clock = SimTime::ZERO;
+    let mut failure_iter = failures.into_iter().peekable();
+    while sim.steps_taken() < steps_total {
+        clock += step_cost;
+        if let Some(&f) = failure_iter.peek() {
+            if f <= clock {
+                failure_iter.next();
+                // crash: lose in-memory state, restore from checkpoint
+                sim = GrayScott::restore(&last_ckpt).unwrap();
+                continue;
+            }
+        }
+        sim.step();
+        if sim.steps_taken().is_multiple_of(5) {
+            last_ckpt = sim.checkpoint();
+        }
+    }
+    assert_eq!(sim, reference, "recovered run must match uninterrupted run");
+}
+
+#[test]
+fn fig3_shape_holds_across_seeds() {
+    let cfg = SummitRunConfig::default();
+    let budgets = [0.02, 0.05, 0.10, 0.20, 0.50];
+    for seed in [1u64, 7, 21, 99] {
+        let runs = fig3_sweep(&cfg, &budgets, seed);
+        let counts: Vec<u32> = runs.iter().map(|r| r.checkpoints).collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "seed {seed}: {counts:?}"
+        );
+        assert!(counts[0] < counts[4], "seed {seed}: no spread {counts:?}");
+    }
+}
+
+#[test]
+fn fig4_variation_nonzero_and_bounded() {
+    let cfg = SummitRunConfig::default();
+    let runs = fig4_variation(&cfg, 0.10, 12, 555);
+    let counts: Vec<u32> = runs.iter().map(|r| r.checkpoints).collect();
+    assert!(counts.iter().max() > counts.iter().min());
+    // overhead never runs far past the budget (one write of overshoot)
+    assert!(runs.iter().all(|r| r.observed_overhead < 0.25));
+}
+
+#[test]
+fn floor_bounds_checkpoint_gaps_under_starvation() {
+    // at a 1% budget on a slow filesystem the plain policy starves;
+    // the floor caps the gap, trading a little overhead for recoverability
+    let run = |floored: bool| {
+        let mut fs = SharedFs::new(2e10, FsLoad::busy(), 5);
+        let mut max_gap = 0u32;
+        let mut since = 0u32;
+        let mut checkpoints = 0u32;
+        if floored {
+            let mut mgr = CheckpointManager::new(
+                MinFrequencyFloor::new(OverheadBudget::new(0.01), 8),
+                1e12,
+                4096,
+            );
+            for _ in 0..50 {
+                let out = mgr.step(SimDuration::from_secs(100), &mut fs);
+                if out.wrote {
+                    since = 0;
+                    checkpoints += 1;
+                } else {
+                    since += 1;
+                    max_gap = max_gap.max(since);
+                }
+            }
+        } else {
+            let mut mgr = CheckpointManager::new(OverheadBudget::new(0.01), 1e12, 4096);
+            for _ in 0..50 {
+                let out = mgr.step(SimDuration::from_secs(100), &mut fs);
+                if out.wrote {
+                    since = 0;
+                    checkpoints += 1;
+                } else {
+                    since += 1;
+                    max_gap = max_gap.max(since);
+                }
+            }
+        }
+        (checkpoints, max_gap)
+    };
+    let (plain_ckpts, plain_gap) = run(false);
+    let (floor_ckpts, floor_gap) = run(true);
+    assert!(floor_gap <= 8, "floor must bound the gap, got {floor_gap}");
+    assert!(plain_gap > floor_gap, "plain {plain_gap} vs floored {floor_gap}");
+    assert!(floor_ckpts >= plain_ckpts);
+}

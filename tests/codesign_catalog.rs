@@ -1,0 +1,93 @@
+//! Integration: the §II-C codesign loop end-to-end in simulation —
+//! compose a cross-layer campaign, execute it under the simulated pilot,
+//! record metrics into the result catalog, and query objectives and
+//! marginal impacts.
+
+use std::collections::BTreeMap;
+
+use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use fair_workflows::cheetah::objective::{Objective, ResultCatalog};
+use fair_workflows::cheetah::param::SweepSpec;
+use fair_workflows::cheetah::status::StatusBoard;
+use fair_workflows::cheetah::sweep::Sweep;
+use fair_workflows::hpcsim::batch::{AllocationSeries, BatchJob};
+use fair_workflows::hpcsim::time::SimDuration;
+use fair_workflows::savanna::driver::run_campaign_sim;
+use fair_workflows::savanna::pilot::PilotScheduler;
+
+#[test]
+fn simulated_codesign_campaign_fills_the_catalog() {
+    // sweep application (grid), middleware (aggregator), system (ppn)
+    let campaign = Campaign::new("codesign-sim", "inst", AppDef::new("sim", "sim.exe"))
+        .with_group(SweepGroup::new(
+            "sweep",
+            Sweep::new()
+                .with("grid", SweepSpec::list([128i64, 256]))
+                .with("agg", SweepSpec::list(["posix", "staged"]))
+                .with("ppn", SweepSpec::list([16i64, 32])),
+            8,
+            1,
+            7200,
+        ));
+    let manifest = campaign.manifest().unwrap();
+    assert_eq!(manifest.total_runs(), 8);
+
+    // analytic duration model driven by the swept parameters
+    let mut durations: BTreeMap<String, SimDuration> = BTreeMap::new();
+    let mut expected_runtime: BTreeMap<String, f64> = BTreeMap::new();
+    for run in manifest.groups[0].runs.iter() {
+        let grid = run.params.get("grid").unwrap().as_int().unwrap() as f64;
+        let agg = run.params.get("agg").unwrap().as_str().unwrap();
+        let ppn = run.params.get("ppn").unwrap().as_int().unwrap() as f64;
+        let compute = grid * grid / 4096.0; // seconds
+        let io = grid * grid / if agg == "staged" { 2048.0 } else { 512.0 } / ppn * 16.0;
+        let secs = compute + io;
+        durations.insert(run.id.clone(), SimDuration::from_secs_f64(secs));
+        expected_runtime.insert(run.id.clone(), secs);
+    }
+
+    // execute under the pilot and record measured (simulated) runtimes
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let mut series = AllocationSeries::new(
+        BatchJob::new(8, SimDuration::from_hours(2)),
+        SimDuration::from_mins(15),
+        0.4,
+        3,
+    );
+    let report = run_campaign_sim(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        20,
+    );
+    assert!(report.is_complete());
+
+    let mut catalog = ResultCatalog::new();
+    for (id, secs) in &expected_runtime {
+        catalog.record(id, "runtime", *secs);
+    }
+    assert_eq!(catalog.len(), 8);
+
+    // objective query: the fastest configuration is big-ppn + staged
+    let (best, _) = catalog.best(&Objective::minimize("runtime")).unwrap();
+    assert!(best.contains("agg-staged"), "best={best}");
+    assert!(best.contains("ppn-32"), "best={best}");
+
+    // marginal impacts identify the aggregator as a dominant knob
+    let impacts = catalog.marginal_impacts(&manifest, "runtime");
+    let agg = impacts.iter().find(|i| i.param == "agg").unwrap();
+    let ppn = impacts.iter().find(|i| i.param == "ppn").unwrap();
+    assert!(agg.spread > 0.0 && ppn.spread > 0.0);
+    assert!(
+        agg.spread > ppn.spread,
+        "aggregator ({}) should matter more than ppn ({})",
+        agg.spread,
+        ppn.spread
+    );
+
+    // the catalog is a distributable artifact
+    let back = ResultCatalog::from_json(&catalog.to_json()).unwrap();
+    assert_eq!(back, catalog);
+}

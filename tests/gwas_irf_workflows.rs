@@ -1,0 +1,112 @@
+//! Integration: the two science workflows at reduced scale — GWAS
+//! (shard → paste → scan) and iRF-LOOP (network recovery), run through
+//! the public APIs exactly as the examples do.
+
+use fair_workflows::exec::ThreadPool;
+use fair_workflows::iorf::forest::ForestConfig;
+use fair_workflows::iorf::irf::IrfConfig;
+use fair_workflows::iorf::irf_loop::{run_feature, run_loop, LoopConfig};
+use fair_workflows::iorf::synth::SynthConfig;
+use fair_workflows::iorf::tree::TreeConfig;
+use fair_workflows::tabular::gwas::{association_scan, association_scan_table, top_hits, GenotypeData, GwasConfig};
+use fair_workflows::tabular::{tsv, Table};
+
+#[test]
+fn gwas_shard_paste_scan_roundtrip() {
+    let cfg = GwasConfig {
+        samples: 300,
+        snps: 120,
+        causal: vec![(5, 1.0), (60, -0.9)],
+        maf_range: (0.15, 0.35),
+        noise_sd: 0.8,
+        seed: 77,
+    };
+    let data = GenotypeData::generate(&cfg);
+    let pool = ThreadPool::new(2);
+
+    // shard to TSV text and back (the file exchange the paste plan does)
+    let chunks = data.to_column_chunks(8);
+    let texts: Vec<String> = chunks.iter().map(tsv::encode).collect();
+    let mut merged = Table::new();
+    for text in &texts {
+        merged.hpaste(tsv::parse(text).unwrap());
+    }
+    assert_eq!(merged.ncols(), 120);
+    assert_eq!(merged.nrows(), 300);
+
+    // the merged-table scan equals the in-memory scan
+    let from_table = association_scan_table(&merged, &data.phenotype, &pool);
+    let direct = association_scan(&data, &pool);
+    for (a, b) in from_table.iter().zip(direct.iter()) {
+        assert_eq!(a.snp, b.snp);
+        assert!((a.t - b.t).abs() < 1e-9);
+    }
+    let hits = top_hits(direct, 2);
+    let mut found: Vec<usize> = hits.iter().map(|h| h.snp).collect();
+    found.sort_unstable();
+    assert_eq!(found, vec![5, 60]);
+}
+
+#[test]
+fn irf_loop_per_feature_runs_compose_to_the_full_adjacency() {
+    // campaign-style decomposition: running features one at a time (as
+    // savanna would) yields exactly the run_loop result
+    let (data, _) = SynthConfig {
+        samples: 150,
+        features: 8,
+        roots: 3,
+        edge_weight: 1.0,
+        noise_sd: 0.3,
+        seed: 31,
+    }
+    .generate();
+    let pool = ThreadPool::new(2);
+    let config = LoopConfig {
+        irf: IrfConfig {
+            forest: ForestConfig {
+                n_trees: 15,
+                tree: TreeConfig { max_depth: 6, min_samples_leaf: 3, mtry: 3 },
+                seed: 3,
+            },
+            iterations: 2,
+        },
+    };
+    let whole = run_loop(&data, &config, &pool);
+    let mut assembled = fair_workflows::iorf::irf_loop::Adjacency::new(8);
+    for target in 0..8 {
+        let imp = run_feature(&data, target, &config, &pool);
+        assembled.set_column(target, &imp);
+    }
+    assert_eq!(whole, assembled);
+}
+
+#[test]
+fn irf_loop_network_recovery_meets_threshold() {
+    let (data, net) = SynthConfig {
+        samples: 250,
+        features: 14,
+        roots: 4,
+        edge_weight: 1.0,
+        noise_sd: 0.25,
+        seed: 8,
+    }
+    .generate();
+    let pool = ThreadPool::new(2);
+    let config = LoopConfig {
+        irf: IrfConfig {
+            forest: ForestConfig {
+                n_trees: 30,
+                tree: TreeConfig { max_depth: 7, min_samples_leaf: 3, mtry: 4 },
+                seed: 21,
+            },
+            iterations: 2,
+        },
+    };
+    let adj = run_loop(&data, &config, &pool);
+    let recovered = adj.top_edges(net.edges.len());
+    assert!(
+        net.precision(&recovered) >= 0.5,
+        "precision {}",
+        net.precision(&recovered)
+    );
+}

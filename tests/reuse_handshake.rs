@@ -1,0 +1,141 @@
+//! Integration: the full reuse handshake the paper envisions — one group
+//! exports a component as a research object; another imports it, checks
+//! the gauges against its requirements, derives an access plan
+//! automatically, and applies the captured fusion rule to convert the
+//! data format — with zero "run down the hall" interventions.
+
+use fair_workflows::fair_core::access_plan::plan_access;
+use fair_workflows::fair_core::prelude::*;
+use fair_workflows::fair_core::research_object::{export, ResearchObject};
+use fair_workflows::tabular::annot;
+
+/// The exporting group's component: a genome-annotation producer whose
+/// output format and fusion rule are fully described.
+fn annotation_producer() -> ComponentDescriptor {
+    let mut c = ComponentDescriptor::new("annotator", "2.1.0", ComponentKind::Executable);
+    c.has_templates = true;
+    c.has_generation_model = true;
+    c.outputs.push(PortDescriptor {
+        name: "annotations".into(),
+        data: DataDescriptor {
+            protocol: Some(AccessProtocol::PosixFile),
+            interface: Some("bed".into()),
+            query: Some(fair_workflows::fair_core::component::QueryModel::Linear),
+            format: Some("bed".into()),
+            schema: Some(SchemaInfo::Typed {
+                columns: vec![
+                    ("chrom".into(), "str".into()),
+                    ("start".into(), "u64".into()),
+                    ("end".into(), "u64".into()),
+                ],
+            }),
+            semantics: vec![SemanticsAnnotation::FusionRule(
+                "bed<->gff3 coordinate shift".into(),
+            )],
+        },
+    });
+    c.config.push(ConfigVariable {
+        name: "genome".into(),
+        var_type: "string".into(),
+        default: Some("hg38".into()),
+        description: "reference genome build".into(),
+        related_to: vec![],
+    });
+    c.provenance.push(ProvenanceRecord {
+        execution_id: "run-0419".into(),
+        campaign: Some("annot-2021".into()),
+        exportable: Some(true),
+        notes: "production annotation run".into(),
+    });
+    c.provenance.push(ProvenanceRecord {
+        execution_id: "scratch-7".into(),
+        campaign: Some("annot-2021".into()),
+        exportable: Some(false),
+        notes: "internal debugging run — stays home".into(),
+    });
+    c
+}
+
+#[test]
+fn export_ship_import_plan_convert() {
+    // --- exporting side ---
+    let component = annotation_producer();
+    let ro = export("annot-release-1", &[component]).unwrap();
+    let wire = ro.to_json(); // what actually crosses the group boundary
+
+    // --- importing side ---
+    let received = ResearchObject::from_json(&wire).unwrap();
+    let entry = &received.components[0];
+    // the debugging provenance stayed home; the exportable record came
+    assert_eq!(entry.withheld_provenance, 1);
+    assert_eq!(entry.descriptor.provenance.len(), 1);
+    assert_eq!(entry.descriptor.provenance[0].execution_id, "run-0419");
+
+    // the importer's context demands machine-actionable data + software
+    let required = GaugeProfile::from_pairs([
+        (Gauge::DataAccess, Tier(3)),
+        (Gauge::DataSchema, Tier(2)),
+        (Gauge::DataSemantics, Tier(2)),
+        (Gauge::SoftwareCustomizability, Tier(2)),
+    ]);
+    assert!(
+        entry.profile.dominates(&required),
+        "shipped profile {} does not meet {}",
+        entry.profile.compact(),
+        required.compact()
+    );
+    // and the debt bill confirms: zero interventions to reuse
+    let bill = fair_workflows::fair_core::debt::estimate(
+        &entry.profile,
+        &ReuseScenario::new("import", required, 10),
+    );
+    assert!(bill.is_debt_free());
+
+    // an access plan can be constructed fully automatically
+    let port = entry.descriptor.port("annotations").unwrap();
+    let plan = plan_access(&port.data).unwrap();
+    assert!(plan.fully_automatic, "plan: {}", plan.describe());
+    assert!(plan.describe().contains("honor fusion:bed<->gff3"));
+
+    // --- and the fusion rule actually works on data ---
+    let bed_text = "chr1\t0\t100\tgeneA\t5\t+\nchr2\t10\t20\tgeneB\t.\t-\n";
+    let intervals = annot::parse_bed(bed_text).unwrap();
+    let gff = annot::encode_gff3(&intervals, "annotator", "gene");
+    // 1-based closed in GFF3: the first interval shows as 1..100
+    assert!(gff.contains("chr1\tannotator\tgene\t1\t100"));
+    let back = annot::parse_bed(&annot::encode_bed(&annot::parse_gff3(&gff).unwrap())).unwrap();
+    assert_eq!(back, intervals, "round-trip through the other format is lossless");
+}
+
+#[test]
+fn incomparable_profiles_block_automated_composition() {
+    // a component strong on data but opaque on software, and a context
+    // that needs both: the catalog correctly refuses to offer it
+    let mut weak = annotation_producer();
+    weak.config.clear();
+    weak.has_generation_model = false;
+    weak.has_templates = false;
+    let mut catalog = Catalog::new();
+    catalog.register(weak);
+    let need = GaugeProfile::from_pairs([
+        (Gauge::DataAccess, Tier(2)),
+        (Gauge::SoftwareCustomizability, Tier(2)),
+    ]);
+    assert!(catalog.satisfying(&need).is_empty());
+    // but a data-only context is satisfied
+    let data_only = GaugeProfile::from_pairs([(Gauge::DataAccess, Tier(2))]);
+    assert_eq!(catalog.satisfying(&data_only).len(), 1);
+}
+
+#[test]
+fn undecided_provenance_blocks_the_export_not_the_import() {
+    let mut component = annotation_producer();
+    component.provenance.push(ProvenanceRecord {
+        execution_id: "mystery-run".into(),
+        campaign: None,
+        exportable: None, // never triaged
+        notes: String::new(),
+    });
+    let err = export("obj", &[component]).unwrap_err();
+    assert!(err.to_string().contains("mystery-run"));
+}

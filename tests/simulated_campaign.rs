@@ -1,0 +1,156 @@
+//! Integration: the Fig. 6/7 machinery — set-synchronized vs dynamic
+//! pilot across seeds, resubmission to completion, determinism, and the
+//! paper's qualitative claims as invariants.
+
+use std::collections::BTreeMap;
+
+use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use fair_workflows::cheetah::manifest::CampaignManifest;
+use fair_workflows::cheetah::param::SweepSpec;
+use fair_workflows::cheetah::status::StatusBoard;
+use fair_workflows::cheetah::sweep::Sweep;
+use fair_workflows::hpcsim::batch::{AllocationSeries, BatchJob};
+use fair_workflows::hpcsim::dist::LogNormal;
+use fair_workflows::hpcsim::time::SimDuration;
+use fair_workflows::savanna::driver::run_campaign_sim;
+use fair_workflows::savanna::pilot::PilotScheduler;
+use fair_workflows::savanna::setsync::SetSyncScheduler;
+use fair_workflows::savanna::task::AllocationScheduler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn manifest(features: i64, nodes: u32) -> CampaignManifest {
+    Campaign::new("sim", "inst", AppDef::new("irf", "irf.exe"))
+        .with_group(SweepGroup::new(
+            "features",
+            Sweep::new().with(
+                "feature",
+                SweepSpec::IntRange { start: 0, end: features - 1, step: 1 },
+            ),
+            nodes,
+            1,
+            7200,
+        ))
+        .manifest()
+        .unwrap()
+}
+
+fn durations(m: &CampaignManifest, mean_s: f64, cv: f64, seed: u64) -> BTreeMap<String, SimDuration> {
+    let dist = LogNormal::from_mean_cv(mean_s, cv);
+    let mut rng = StdRng::seed_from_u64(seed);
+    m.groups
+        .iter()
+        .flat_map(|g| g.runs.iter())
+        .map(|r| {
+            (
+                r.id.clone(),
+                SimDuration::from_secs_f64(dist.sample(&mut rng).min(6600.0)),
+            )
+        })
+        .collect()
+}
+
+fn run(
+    m: &CampaignManifest,
+    d: &BTreeMap<String, SimDuration>,
+    sched: &dyn AllocationScheduler,
+    wait_mins: u64,
+    seed: u64,
+) -> fair_workflows::savanna::driver::CampaignSimReport {
+    let mut board = StatusBoard::for_manifest(m);
+    let mut series = AllocationSeries::new(
+        BatchJob::new(20, SimDuration::from_hours(2)),
+        SimDuration::from_mins(wait_mins),
+        0.5,
+        seed,
+    );
+    run_campaign_sim(m, d, sched, &mut series, &mut board, 300)
+}
+
+#[test]
+fn pilot_beats_setsync_across_seeds() {
+    let m = manifest(250, 20);
+    for seed in [1u64, 2, 3, 4, 5] {
+        let d = durations(&m, 480.0, 1.0, seed);
+        let pilot = run(&m, &d, &PilotScheduler::new(), 30, seed);
+        let sync = run(&m, &d, &SetSyncScheduler::new(20), 30, seed);
+        assert!(pilot.is_complete() && sync.is_complete(), "seed {seed}");
+        assert!(
+            pilot.allocations.len() <= sync.allocations.len(),
+            "seed {seed}: pilot {} allocs vs sync {}",
+            pilot.allocations.len(),
+            sync.allocations.len()
+        );
+        assert!(
+            pilot.runs_per_allocation() >= sync.runs_per_allocation(),
+            "seed {seed}"
+        );
+        assert!(pilot.total_span <= sync.total_span, "seed {seed}");
+        // utilization of the first (full) allocation: pilot keeps nodes busy
+        let pu = pilot.allocations[0].utilization;
+        let su = sync.allocations[0].utilization;
+        assert!(pu > su, "seed {seed}: pilot util {pu} vs sync {su}");
+    }
+}
+
+#[test]
+fn campaign_conserves_runs() {
+    let m = manifest(137, 20);
+    let d = durations(&m, 600.0, 1.2, 9);
+    let report = run(&m, &d, &PilotScheduler::new(), 15, 9);
+    assert!(report.is_complete());
+    assert_eq!(report.completed_runs, 137);
+    let sum: usize = report.allocations.iter().map(|a| a.completed).sum();
+    assert_eq!(sum, 137, "per-allocation counts must sum to the campaign");
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let m = manifest(80, 20);
+    let d = durations(&m, 500.0, 0.8, 4);
+    let a = run(&m, &d, &PilotScheduler::new(), 30, 4);
+    let b = run(&m, &d, &PilotScheduler::new(), 30, 4);
+    assert_eq!(a.allocations.len(), b.allocations.len());
+    assert_eq!(a.total_span, b.total_span);
+    for (x, y) in a.allocations.iter().zip(b.allocations.iter()) {
+        assert_eq!(x.completed, y.completed);
+        assert_eq!(x.finished_at, y.finished_at);
+    }
+}
+
+#[test]
+fn every_run_completes_exactly_once_across_allocations() {
+    let m = manifest(90, 20);
+    let d = durations(&m, 900.0, 1.0, 12);
+    let mut board = StatusBoard::for_manifest(&m);
+    let mut series = AllocationSeries::new(
+        BatchJob::new(20, SimDuration::from_hours(2)),
+        SimDuration::from_mins(30),
+        0.5,
+        12,
+    );
+    let report = run_campaign_sim(&m, &d, &PilotScheduler::new(), &mut series, &mut board, 300);
+    assert!(report.is_complete());
+    // the status board agrees with the report
+    let summary = board.summary();
+    assert_eq!(summary.done, 90);
+    assert_eq!(summary.timed_out + summary.pending + summary.running, 0);
+}
+
+#[test]
+fn heavier_tails_hurt_setsync_more() {
+    let m = manifest(200, 20);
+    let light = durations(&m, 480.0, 0.2, 77);
+    let heavy = durations(&m, 480.0, 1.5, 77);
+    let ratio = |d: &BTreeMap<String, SimDuration>| {
+        let p = run(&m, d, &PilotScheduler::new(), 30, 7);
+        let s = run(&m, d, &SetSyncScheduler::new(20), 30, 7);
+        s.total_span.as_secs_f64() / p.total_span.as_secs_f64()
+    };
+    let light_ratio = ratio(&light);
+    let heavy_ratio = ratio(&heavy);
+    assert!(
+        heavy_ratio >= light_ratio,
+        "straggler variance should widen the gap: light {light_ratio:.2} heavy {heavy_ratio:.2}"
+    );
+}

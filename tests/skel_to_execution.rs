@@ -1,0 +1,123 @@
+//! Integration: the §V-A chain — JSON model → Skel generation → Cheetah
+//! campaign spec → real staged-paste execution — agreeing with itself at
+//! every step.
+
+use fair_workflows::skel::{Model, PasteModel, PasteWorkflowFiles};
+use std::path::PathBuf;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("it-skel-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generated_campaign_spec_matches_plan_and_executes() {
+    let dir = tempdir("e2e");
+    // real input files
+    let n_files = 20u32;
+    let input_dir = dir.join("chunks");
+    std::fs::create_dir_all(&input_dir).unwrap();
+    for i in 0..n_files {
+        let body: String = (0..30).map(|r| format!("f{i}r{r}\n")).collect();
+        std::fs::write(input_dir.join(format!("part_{i:05}.tsv")), body).unwrap();
+    }
+
+    let mut model = PasteModel::example();
+    model.dataset.input_dir = input_dir.display().to_string();
+    model.dataset.prefix = "part_".into();
+    model.dataset.num_files = n_files;
+    model.dataset.output_file = dir.join("merged.tsv").display().to_string();
+    model.strategy.fanout = 4;
+
+    // generation
+    let set = model.generate().unwrap();
+    let written = set.write_to(dir.join("gen")).unwrap();
+    assert!(written.iter().any(|p| p.ends_with("skel-manifest.json")));
+
+    // the generated campaign JSON agrees with the programmatic plan
+    let spec: serde_json::Value = serde_json::from_str(
+        &set.file(PasteWorkflowFiles::CAMPAIGN_SPEC).unwrap().contents,
+    )
+    .unwrap();
+    let plan = model.plan();
+    let phases = spec["phases"].as_array().unwrap();
+    assert_eq!(phases.len(), plan.phases.len());
+    for (pi, phase) in phases.iter().enumerate() {
+        let tasks = phase["tasks"].as_array().unwrap();
+        assert_eq!(tasks.len(), plan.phases[pi].len(), "phase {pi}");
+        for (ti, task) in tasks.iter().enumerate() {
+            assert_eq!(
+                task["output"].as_str().unwrap(),
+                plan.phases[pi][ti].output
+            );
+            assert_eq!(
+                task["inputs"].as_array().unwrap().len(),
+                plan.phases[pi][ti].inputs.len()
+            );
+        }
+    }
+
+    // execute the plan for real via the tabular substrate and compare to
+    // a one-shot paste
+    let pool = fair_workflows::exec::ThreadPool::new(2);
+    let inputs: Vec<PathBuf> = (0..n_files)
+        .map(|i| input_dir.join(format!("part_{i:05}.tsv")))
+        .collect();
+    let staged_out = dir.join("staged.tsv");
+    fair_workflows::tabular::staged_paste(&inputs, &staged_out, 4, &dir.join("work"), &pool)
+        .unwrap();
+    let single_out = dir.join("single.tsv");
+    fair_workflows::tabular::paste::paste_files(&inputs, &single_out).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&staged_out).unwrap(),
+        std::fs::read_to_string(&single_out).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn regeneration_is_pure_and_fingerprinted() {
+    let model = PasteModel::example();
+    let a = model.generate().unwrap();
+    let b = model.generate().unwrap();
+    assert_eq!(a, b, "same model regenerates identical files");
+
+    let mut changed = model.clone();
+    changed.machine.walltime_mins += 1;
+    let c = changed.generate().unwrap();
+    assert_ne!(a.model_fingerprint, c.model_fingerprint);
+}
+
+#[test]
+fn model_json_is_the_single_point_of_interaction() {
+    // a user edits only the JSON; everything downstream follows
+    let json = PasteModel::example().to_json();
+    let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    value["dataset"]["num_files"] = serde_json::json!(200);
+    value["strategy"]["fanout"] = serde_json::json!(10);
+    let edited = PasteModel::from_json(&value.to_string()).unwrap();
+    let plan = edited.plan();
+    assert_eq!(plan.phases[0].len(), 20);
+    assert!(plan.max_fan_in() <= 10);
+}
+
+#[test]
+fn skel_model_validates_against_declared_variables() {
+    let model = PasteModel::example();
+    let m = Model::from_serialize(&model).unwrap();
+    m.validate(&PasteModel::config_variables()).unwrap();
+
+    // a template-referenced path audit: every degree of freedom the
+    // generator consumes is either a declared variable or derived plan data
+    let generator = PasteModel::generator();
+    let declared: Vec<String> = PasteModel::config_variables()
+        .iter()
+        .map(|v| v.name.clone())
+        .collect();
+    for path in generator.referenced_paths() {
+        let ok = declared.contains(&path) || path.starts_with("plan.") || path == "plan";
+        assert!(ok, "template references undeclared path {path:?}");
+    }
+}
