@@ -31,7 +31,11 @@ fn bench_forest_fit(c: &mut Criterion) {
         let (x, _) = m.without_column(features - 1);
         let config = ForestConfig {
             n_trees: 30,
-            tree: TreeConfig { max_depth: 8, min_samples_leaf: 3, mtry: 4 },
+            tree: TreeConfig {
+                max_depth: 8,
+                min_samples_leaf: 3,
+                mtry: 4,
+            },
             seed: 3,
         };
         let weights = vec![1.0; x.cols()];
@@ -49,7 +53,11 @@ fn bench_irf_loop_feature(c: &mut Criterion) {
         irf: IrfConfig {
             forest: ForestConfig {
                 n_trees: 20,
-                tree: TreeConfig { max_depth: 6, min_samples_leaf: 3, mtry: 4 },
+                tree: TreeConfig {
+                    max_depth: 6,
+                    min_samples_leaf: 3,
+                    mtry: 4,
+                },
                 seed: 3,
             },
             iterations: 2,

@@ -33,14 +33,30 @@ fn ablation_paste_fanout() {
     // single paste baseline
     let start = Instant::now();
     tabular::paste::paste_files(&inputs, &dir.join("single.tsv")).unwrap();
-    rows.push(("single paste (fan-in 256)".to_string(), format!("{:.2?}", start.elapsed())));
+    rows.push((
+        "single paste (fan-in 256)".to_string(),
+        format!("{:.2?}", start.elapsed()),
+    ));
     for &fanout in &[4usize, 16, 64] {
         let start = Instant::now();
-        tabular::staged_paste(&inputs, &dir.join("staged.tsv"), fanout, &dir.join("w"), &pool)
-            .unwrap();
-        rows.push((format!("staged, fanout {fanout}"), format!("{:.2?}", start.elapsed())));
+        tabular::staged_paste(
+            &inputs,
+            &dir.join("staged.tsv"),
+            fanout,
+            &dir.join("w"),
+            &pool,
+        )
+        .unwrap();
+        rows.push((
+            format!("staged, fanout {fanout}"),
+            format!("{:.2?}", start.elapsed()),
+        ));
     }
-    print_table("Ablation: paste fanout (256 files × 400 rows)", ("strategy", "time"), &rows);
+    print_table(
+        "Ablation: paste fanout (256 files × 400 rows)",
+        ("strategy", "time"),
+        &rows,
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -101,12 +117,18 @@ fn ablation_ckpt_floor() {
     let (c, o, gap) = run_ckpt(OverheadBudget::new(0.02), 31);
     rows.push((
         "overhead 2%, no floor".to_string(),
-        format!("{c:>2} ckpts, overhead {:>4.1}%, longest gap {gap:>2.0} steps", o * 100.0),
+        format!(
+            "{c:>2} ckpts, overhead {:>4.1}%, longest gap {gap:>2.0} steps",
+            o * 100.0
+        ),
     ));
     let (c, o, gap) = run_ckpt(MinFrequencyFloor::new(OverheadBudget::new(0.02), 10), 31);
     rows.push((
         "overhead 2% + floor(10 steps)".to_string(),
-        format!("{c:>2} ckpts, overhead {:>4.1}%, longest gap {gap:>2.0} steps", o * 100.0),
+        format!(
+            "{c:>2} ckpts, overhead {:>4.1}%, longest gap {gap:>2.0} steps",
+            o * 100.0
+        ),
     ));
     print_table(
         "Ablation: minimum-frequency floor on the overhead-budget policy",
@@ -129,7 +151,11 @@ fn ablation_parallel_speedup() {
     .generate();
     let y = data.column(29);
     let (x, _) = data.without_column(29);
-    let config = ForestConfig { n_trees: 64, seed: 5, ..Default::default() };
+    let config = ForestConfig {
+        n_trees: 64,
+        seed: 5,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     let mut t1 = 0.0;
     for threads in [1usize, 2, 4, exec::default_threads()] {
@@ -176,7 +202,10 @@ fn ablation_emergent_queue_waits() {
         .collect();
     let machine = ClusterSpec::new("contended", 64, 32, 1e10);
     let mut rows = Vec::new();
-    for (name, policy) in [("fcfs", QueuePolicy::Fcfs), ("easy-backfill", QueuePolicy::EasyBackfill)] {
+    for (name, policy) in [
+        ("fcfs", QueuePolicy::Fcfs),
+        ("easy-backfill", QueuePolicy::EasyBackfill),
+    ] {
         let outcomes = simulate_queue(&machine, &jobs, policy);
         let stats = summarize(&outcomes);
         rows.push((

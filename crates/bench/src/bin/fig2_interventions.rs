@@ -34,7 +34,10 @@ fn main() {
     // the generated artifact set
     let model = PasteModel::example();
     let set = model.generate().expect("generation succeeds");
-    println!("\ngenerated files from the JSON model ({} model fields):", PasteModel::config_variables().len());
+    println!(
+        "\ngenerated files from the JSON model ({} model fields):",
+        PasteModel::config_variables().len()
+    );
     for f in &set.files {
         println!(
             "  {:<22} {:>6} bytes{}",
@@ -77,8 +80,7 @@ fn main() {
         .collect();
     let staged = dir.join("staged.tsv");
     let single = dir.join("single.tsv");
-    let invocations =
-        tabular::staged_paste(&inputs, &staged, 8, &dir.join("work"), &pool).unwrap();
+    let invocations = tabular::staged_paste(&inputs, &staged, 8, &dir.join("work"), &pool).unwrap();
     tabular::paste::paste_files(&inputs, &single).unwrap();
     assert_eq!(
         std::fs::read_to_string(&staged).unwrap(),

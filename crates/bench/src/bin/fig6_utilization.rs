@@ -35,7 +35,10 @@ fn main() {
     for sched in [&set_sync as &dyn AllocationScheduler, &pilot] {
         let outcome = sched.schedule(&tasks, &alloc);
         let samples = outcome.trace.series().resample(alloc.start, alloc.end, 60);
-        println!("{:<18} busy-node timeline (each char = 2 min, 0-9/X = busy nodes/2):", sched.name());
+        println!(
+            "{:<18} busy-node timeline (each char = 2 min, 0-9/X = busy nodes/2):",
+            sched.name()
+        );
         let strip: String = samples
             .iter()
             .map(|&(_, v)| {
@@ -97,8 +100,14 @@ fn main() {
             0.6,
             99,
         );
-        let report =
-            savanna::driver::run_campaign_sim(&manifest, &durations, sched, &mut series, &mut board, 100);
+        let report = savanna::driver::run_campaign_sim(
+            &manifest,
+            &durations,
+            sched,
+            &mut series,
+            &mut board,
+            100,
+        );
         println!(
             "{name:<18} completes 300 features in {:>2} allocations, total span {:>5.1} h",
             report.allocations.len(),

@@ -33,8 +33,7 @@ fn main() {
 
     let run = |sched: &dyn AllocationScheduler, wait_mins: u64, seed: u64| {
         let mut board = StatusBoard::for_manifest(&manifest);
-        let mut series =
-            AllocationSeries::new(job, SimDuration::from_mins(wait_mins), 0.5, seed);
+        let mut series = AllocationSeries::new(job, SimDuration::from_mins(wait_mins), 0.5, seed);
         run_campaign_sim(&manifest, &durations, sched, &mut series, &mut board, 500)
     };
 
@@ -112,7 +111,14 @@ fn main() {
         let mut board = StatusBoard::for_manifest(&manifest);
         let mut series = AllocationSeries::new(job, SimDuration::from_mins(wait_mins), 0.5, 1);
         run_campaign_sim_with_faults(
-            &manifest, &durations, sched, &mut series, &mut board, 500, faults, handling,
+            &manifest,
+            &durations,
+            sched,
+            &mut series,
+            &mut board,
+            500,
+            faults,
+            handling,
         )
     };
     let baseline_f = run_faulty(
@@ -122,7 +128,11 @@ fn main() {
             turnaround: SimDuration::from_mins(HUMAN_TURNAROUND_MINS),
         },
     );
-    let savanna_f = run_faulty(&PilotScheduler::new(), QUEUE_WAIT_MINS, FailureHandling::AutoRequeue);
+    let savanna_f = run_faulty(
+        &PilotScheduler::new(),
+        QUEUE_WAIT_MINS,
+        FailureHandling::AutoRequeue,
+    );
     assert!(baseline_f.report.is_complete() && savanna_f.report.is_complete());
     let faulty_gain =
         baseline_f.report.total_span.as_hours_f64() / savanna_f.report.total_span.as_hours_f64();
@@ -136,5 +146,8 @@ fn main() {
         baseline_f.curation_rounds,
         savanna_f.report.total_span.as_hours_f64(),
     );
-    assert!(faulty_gain >= runtime_gain * 0.8, "failures must not erase the gain");
+    assert!(
+        faulty_gain >= runtime_gain * 0.8,
+        "failures must not erase the gain"
+    );
 }

@@ -29,7 +29,11 @@ fn main() {
             irf: IrfConfig {
                 forest: ForestConfig {
                     n_trees: 40,
-                    tree: TreeConfig { max_depth: 8, min_samples_leaf: 3, mtry: (features / 3).max(2) },
+                    tree: TreeConfig {
+                        max_depth: 8,
+                        min_samples_leaf: 3,
+                        mtry: (features / 3).max(2),
+                    },
                     seed: 17,
                 },
                 iterations,

@@ -21,19 +21,27 @@ use rand::SeedableRng;
 /// The §V-D campaign: one iRF run per ACS feature (paper: 1606 features),
 /// 20 nodes per allocation, 2-hour walltime, one node per run.
 pub fn acs_campaign(features: i64) -> CampaignManifest {
-    Campaign::new("acs-irf-loop", "institutional", AppDef::new("irf", "irf.exe"))
-        .with_group(SweepGroup::new(
-            "features",
-            Sweep::new().with(
-                "feature",
-                SweepSpec::IntRange { start: 0, end: features - 1, step: 1 },
-            ),
-            20,
-            1,
-            2 * 3600,
-        ))
-        .manifest()
-        .expect("acs campaign is valid")
+    Campaign::new(
+        "acs-irf-loop",
+        "institutional",
+        AppDef::new("irf", "irf.exe"),
+    )
+    .with_group(SweepGroup::new(
+        "features",
+        Sweep::new().with(
+            "feature",
+            SweepSpec::IntRange {
+                start: 0,
+                end: features - 1,
+                step: 1,
+            },
+        ),
+        20,
+        1,
+        2 * 3600,
+    ))
+    .manifest()
+    .expect("acs campaign is valid")
 }
 
 /// Per-feature runtime model: lognormal with the given mean (minutes) and

@@ -243,7 +243,10 @@ mod tests {
         let c = mins(6);
         let result = simulate_with_failures(work, tau, c, mins(1), hours(1_000_000), 1);
         assert_eq!(result.failures, 0);
-        assert_eq!(result.checkpoints, 9, "no checkpoint after the last segment");
+        assert_eq!(
+            result.checkpoints, 9,
+            "no checkpoint after the last segment"
+        );
         assert_eq!(result.total_time, work + c * 9);
         assert_eq!(result.rework, SimDuration::ZERO);
     }
@@ -251,8 +254,7 @@ mod tests {
     #[test]
     fn failures_cause_rework_and_delay() {
         let work = hours(20);
-        let result =
-            simulate_with_failures(work, mins(30), mins(2), mins(2), hours(3), 5);
+        let result = simulate_with_failures(work, mins(30), mins(2), mins(2), hours(3), 5);
         assert!(result.failures > 0);
         assert!(result.rework > SimDuration::ZERO);
         assert!(result.total_time > work);

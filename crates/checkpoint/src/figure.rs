@@ -139,7 +139,10 @@ mod tests {
             counts.windows(2).all(|w| w[0] <= w[1]),
             "counts not monotone: {counts:?}"
         );
-        assert!(counts[0] < counts[counts.len() - 1], "no spread: {counts:?}");
+        assert!(
+            counts[0] < counts[counts.len() - 1],
+            "no spread: {counts:?}"
+        );
         assert!(counts.iter().all(|&c| c <= cfg.timesteps));
         // a generous budget should checkpoint (nearly) every step
         assert!(counts[counts.len() - 1] >= cfg.timesteps - 1);
@@ -151,7 +154,11 @@ mod tests {
         let run = run_once(&cfg, 0.10, 3);
         // the policy checks before writing, so the final overhead can
         // overshoot by at most roughly one write
-        assert!(run.observed_overhead < 0.20, "overhead {}", run.observed_overhead);
+        assert!(
+            run.observed_overhead < 0.20,
+            "overhead {}",
+            run.observed_overhead
+        );
         assert!(run.checkpoints > 0);
     }
 

@@ -202,7 +202,13 @@ impl GrayScott {
         out.extend_from_slice(&(self.height as u64).to_le_bytes());
         out.extend_from_slice(&self.steps_taken.to_le_bytes());
         out.extend_from_slice(&0u64.to_le_bytes()); // reserved
-        for p in [self.params.du, self.params.dv, self.params.f, self.params.k, self.params.dt] {
+        for p in [
+            self.params.du,
+            self.params.dv,
+            self.params.f,
+            self.params.k,
+            self.params.dt,
+        ] {
             out.extend_from_slice(&p.to_le_bytes());
         }
         for x in self.u.iter().chain(self.v.iter()) {
@@ -216,7 +222,9 @@ impl GrayScott {
         let mut off = 0usize;
         let mut take_u64 = |bytes: &[u8]| -> Result<u64, RestoreError> {
             let end = off + 8;
-            let chunk = bytes.get(off..end).ok_or(RestoreError::Corrupt("short header"))?;
+            let chunk = bytes
+                .get(off..end)
+                .ok_or(RestoreError::Corrupt("short header"))?;
             off = end;
             Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte slice")))
         };
@@ -229,7 +237,9 @@ impl GrayScott {
         }
         let mut take_f64 = |bytes: &[u8]| -> Result<f64, RestoreError> {
             let end = off + 8;
-            let chunk = bytes.get(off..end).ok_or(RestoreError::Corrupt("short params"))?;
+            let chunk = bytes
+                .get(off..end)
+                .ok_or(RestoreError::Corrupt("short params"))?;
             off = end;
             Ok(f64::from_le_bytes(chunk.try_into().expect("8-byte slice")))
         };
@@ -301,7 +311,10 @@ mod tests {
         let after = gs.v_mass();
         assert_ne!(before, after);
         assert!(gs.u.iter().chain(gs.v.iter()).all(|x| x.is_finite()));
-        assert!(gs.u.iter().all(|&x| (-0.5..=1.5).contains(&x)), "u out of physical range");
+        assert!(
+            gs.u.iter().all(|&x| (-0.5..=1.5).contains(&x)),
+            "u out of physical range"
+        );
     }
 
     #[test]

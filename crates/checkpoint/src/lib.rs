@@ -33,4 +33,6 @@ pub use daly::{expected_runtime, simulate_with_failures, young_daly_interval};
 pub use figure::{fig3_sweep, fig4_variation, FigureRun, SummitRunConfig};
 pub use grayscott::GrayScott;
 pub use manager::{CheckpointManager, RunAccounting, StepOutcome};
-pub use policy::{CheckpointPolicy, FixedInterval, MinFrequencyFloor, OverheadBudget, StepContext, WallClockGap};
+pub use policy::{
+    CheckpointPolicy, FixedInterval, MinFrequencyFloor, OverheadBudget, StepContext, WallClockGap,
+};

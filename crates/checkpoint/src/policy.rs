@@ -172,7 +172,9 @@ mod tests {
     #[test]
     fn fixed_interval_fires_periodically() {
         let mut p = FixedInterval::new(5);
-        let fires: Vec<bool> = (0..10).map(|s| p.should_checkpoint(&ctx(s, 100, 0, 0))).collect();
+        let fires: Vec<bool> = (0..10)
+            .map(|s| p.should_checkpoint(&ctx(s, 100, 0, 0)))
+            .collect();
         assert_eq!(
             fires,
             vec![false, false, false, false, true, false, false, false, false, true]

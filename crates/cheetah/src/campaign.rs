@@ -77,7 +77,10 @@ impl SweepGroup {
             return Err("sweep group needs a name".into());
         }
         if self.nodes == 0 || self.per_run_nodes == 0 {
-            return Err(format!("group {:?}: node counts must be positive", self.name));
+            return Err(format!(
+                "group {:?}: node counts must be positive",
+                self.name
+            ));
         }
         if self.per_run_nodes > self.nodes {
             return Err(format!(
@@ -202,7 +205,14 @@ mod tests {
 
     fn sample_campaign() -> Campaign {
         let sweep = Sweep::new()
-            .with("feature", SweepSpec::IntRange { start: 0, end: 9, step: 1 })
+            .with(
+                "feature",
+                SweepSpec::IntRange {
+                    start: 0,
+                    end: 9,
+                    step: 1,
+                },
+            )
             .with("trees", SweepSpec::fixed(100));
         Campaign::new("irf-loop", "institutional", AppDef::new("irf", "irf.exe"))
             .with_group(SweepGroup::new("features", sweep, 20, 1, 7200))

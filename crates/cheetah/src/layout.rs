@@ -69,8 +69,7 @@ pub fn save_status(campaign_dir: impl AsRef<Path>, board: &StatusBoard) -> std::
 /// Loads the status board.
 pub fn load_status(campaign_dir: impl AsRef<Path>) -> std::io::Result<StatusBoard> {
     let text = std::fs::read_to_string(campaign_dir.as_ref().join(META_DIR).join(STATUS_FILE))?;
-    serde_json::from_str(&text)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    serde_json::from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// Codesign result catalog file inside the campaign directory (visible,

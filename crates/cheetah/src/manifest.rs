@@ -65,7 +65,10 @@ impl CampaignManifest {
 
     /// Finds a run by id.
     pub fn find_run(&self, id: &str) -> Option<&RunManifest> {
-        self.groups.iter().flat_map(|g| g.runs.iter()).find(|r| r.id == id)
+        self.groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .find(|r| r.id == id)
     }
 
     /// Finds a group by name.

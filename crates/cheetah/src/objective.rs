@@ -109,7 +109,10 @@ impl ResultCatalog {
 
     /// A metric value for a run, if recorded.
     pub fn get(&self, run_id: &str, metric: &str) -> Option<f64> {
-        self.records.get(run_id).and_then(|m| m.get(metric)).copied()
+        self.records
+            .get(run_id)
+            .and_then(|m| m.get(metric))
+            .copied()
     }
 
     /// The best run under an objective: `(run_id, value)`.
@@ -117,7 +120,13 @@ impl ResultCatalog {
         self.records
             .iter()
             .filter_map(|(id, metrics)| metrics.get(&objective.metric).map(|&v| (id.as_str(), v)))
-            .reduce(|best, cand| if objective.better(cand.1, best.1) { cand } else { best })
+            .reduce(|best, cand| {
+                if objective.better(cand.1, best.1) {
+                    cand
+                } else {
+                    best
+                }
+            })
     }
 
     /// All runs ranked under an objective, best first.

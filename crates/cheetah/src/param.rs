@@ -187,7 +187,11 @@ mod tests {
 
     #[test]
     fn int_range_inclusive() {
-        let spec = SweepSpec::IntRange { start: 2, end: 10, step: 4 };
+        let spec = SweepSpec::IntRange {
+            start: 2,
+            end: 10,
+            step: 4,
+        };
         assert_eq!(
             spec.expand(),
             vec![ParamValue::Int(2), ParamValue::Int(6), ParamValue::Int(10)]
@@ -197,21 +201,38 @@ mod tests {
 
     #[test]
     fn int_range_single_point() {
-        let spec = SweepSpec::IntRange { start: 5, end: 5, step: 1 };
+        let spec = SweepSpec::IntRange {
+            start: 5,
+            end: 5,
+            step: 1,
+        };
         assert_eq!(spec.expand(), vec![ParamValue::Int(5)]);
     }
 
     #[test]
     fn log_range_hits_endpoint() {
-        let spec = SweepSpec::LogRange { start: 1.0, end: 8.0, factor: 2.0 };
-        let vals: Vec<f64> = spec.expand().iter().map(|v| v.as_float().unwrap()).collect();
+        let spec = SweepSpec::LogRange {
+            start: 1.0,
+            end: 8.0,
+            factor: 2.0,
+        };
+        let vals: Vec<f64> = spec
+            .expand()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect();
         assert_eq!(vals, vec![1.0, 2.0, 4.0, 8.0]);
     }
 
     #[test]
     #[should_panic(expected = "step must be positive")]
     fn zero_step_panics() {
-        SweepSpec::IntRange { start: 0, end: 5, step: 0 }.expand();
+        SweepSpec::IntRange {
+            start: 0,
+            end: 5,
+            step: 0,
+        }
+        .expand();
     }
 
     #[test]

@@ -30,12 +30,18 @@ pub enum RunStatus {
 impl RunStatus {
     /// True for states that no longer occupy resources.
     pub fn is_terminal(self) -> bool {
-        matches!(self, RunStatus::Done | RunStatus::Failed | RunStatus::TimedOut)
+        matches!(
+            self,
+            RunStatus::Done | RunStatus::Failed | RunStatus::TimedOut
+        )
     }
 
     /// True for runs a resubmission should execute again.
     pub fn needs_rerun(self) -> bool {
-        matches!(self, RunStatus::Pending | RunStatus::Running | RunStatus::TimedOut)
+        matches!(
+            self,
+            RunStatus::Pending | RunStatus::Running | RunStatus::TimedOut
+        )
     }
 }
 
@@ -64,7 +70,10 @@ impl StatusBoard {
 
     /// Gets one run's status (`Pending` if unknown).
     pub fn get(&self, run_id: &str) -> RunStatus {
-        self.statuses.get(run_id).copied().unwrap_or(RunStatus::Pending)
+        self.statuses
+            .get(run_id)
+            .copied()
+            .unwrap_or(RunStatus::Pending)
     }
 
     /// Iterates `(run_id, status)`.

@@ -171,7 +171,14 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let s = Sweep::new().with("n", SweepSpec::IntRange { start: 1, end: 3, step: 1 });
+        let s = Sweep::new().with(
+            "n",
+            SweepSpec::IntRange {
+                start: 1,
+                end: 3,
+                step: 1,
+            },
+        );
         let json = serde_json::to_string(&s).unwrap();
         let back: Sweep = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);

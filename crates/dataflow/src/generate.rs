@@ -53,9 +53,7 @@ pub fn stage_nodes(graph: &WorkflowGraph) -> Result<Vec<NodeIdx>, GenerateError>
     let order = graph.topo_order().map_err(|_| GenerateError::Cyclic)?;
     let stages: Vec<NodeIdx> = order
         .into_iter()
-        .filter(|&idx| {
-            !graph.predecessors(idx).is_empty() && !graph.successors(idx).is_empty()
-        })
+        .filter(|&idx| !graph.predecessors(idx).is_empty() && !graph.successors(idx).is_empty())
         .collect();
     if stages.is_empty() {
         return Err(GenerateError::NoStages);
@@ -109,7 +107,9 @@ mod tests {
                 DataDescriptor {
                     protocol: Some(AccessProtocol::Staged),
                     interface: Some("fair-wire".into()),
-                    schema: Some(SchemaInfo::SelfDescribing { container: "fair-wire".into() }),
+                    schema: Some(SchemaInfo::SelfDescribing {
+                        container: "fair-wire".into(),
+                    }),
                     ..DataDescriptor::default()
                 }
             } else {
@@ -171,14 +171,14 @@ mod tests {
     #[test]
     fn weak_metadata_blocks_generation_with_the_missing_tier() {
         let g = chain_graph(false);
-        let err = match pipeline_from_graph(&g, |_| Box::new(ForwardAll) as Box<dyn SelectionPolicy>)
-        {
-            Ok(pipe) => {
-                pipe.shutdown();
-                panic!("generation must fail on weak metadata");
-            }
-            Err(e) => e,
-        };
+        let err =
+            match pipeline_from_graph(&g, |_| Box::new(ForwardAll) as Box<dyn SelectionPolicy>) {
+                Ok(pipe) => {
+                    pipe.shutdown();
+                    panic!("generation must fail on weak metadata");
+                }
+                Err(e) => e,
+            };
         match err {
             GenerateError::NotAutomatable { component, needs } => {
                 assert_eq!(component, "triage");

@@ -119,10 +119,10 @@ impl DataItem {
         if buf.len() < slen + klen + plen {
             return Err(DecodeError::LengthMismatch);
         }
-        let source = String::from_utf8(buf.split_to(slen).to_vec())
-            .map_err(|_| DecodeError::BadUtf8)?;
-        let schema = String::from_utf8(buf.split_to(klen).to_vec())
-            .map_err(|_| DecodeError::BadUtf8)?;
+        let source =
+            String::from_utf8(buf.split_to(slen).to_vec()).map_err(|_| DecodeError::BadUtf8)?;
+        let schema =
+            String::from_utf8(buf.split_to(klen).to_vec()).map_err(|_| DecodeError::BadUtf8)?;
         let payload = buf.split_to(plen);
         Ok(Self {
             seq,

@@ -203,7 +203,8 @@ mod tests {
         // still in flight through the forwarder — let the forwarder drain
         // before swapping to make the split deterministic.
         std::thread::sleep(std::time::Duration::from_millis(50));
-        pipe.stage("back").install("back", Box::new(WindowCount::new(2)));
+        pipe.stage("back")
+            .install("back", Box::new(WindowCount::new(2)));
         for s in 10..20 {
             pipe.send(item(s));
         }

@@ -106,11 +106,7 @@ impl WindowTime {
 
     fn evict_older_than(&mut self, now: u64) {
         let cutoff = now.saturating_sub(self.span_micros);
-        while self
-            .window
-            .front()
-            .is_some_and(|oldest| oldest.ts < cutoff)
-        {
+        while self.window.front().is_some_and(|oldest| oldest.ts < cutoff) {
             self.window.pop_front();
         }
     }

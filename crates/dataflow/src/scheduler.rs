@@ -138,7 +138,9 @@ impl SchedulerHandle {
 
     /// A cloneable sender for sources running on their own threads.
     pub fn data_sender(&self) -> DataSender {
-        DataSender { tx: self.tx.clone() }
+        DataSender {
+            tx: self.tx.clone(),
+        }
     }
 
     /// Sends a control command.

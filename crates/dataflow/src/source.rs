@@ -83,7 +83,11 @@ mod tests {
         assert_eq!(items.len(), 120);
         assert_eq!(items.iter().filter(|i| i.source == "ins-1").count(), 50);
         // per-source sequence numbers are each monotone
-        let seqs1: Vec<u64> = items.iter().filter(|i| i.source == "ins-1").map(|i| i.seq).collect();
+        let seqs1: Vec<u64> = items
+            .iter()
+            .filter(|i| i.source == "ins-1")
+            .map(|i| i.seq)
+            .collect();
         assert!(seqs1.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -2,7 +2,9 @@
 
 use bytes::Bytes;
 use dataflow::message::DataItem;
-use dataflow::policy::{DirectSelect, EveryN, ForwardAll, SelectionPolicy, WindowCount, WindowTime};
+use dataflow::policy::{
+    DirectSelect, EveryN, ForwardAll, SelectionPolicy, WindowCount, WindowTime,
+};
 use proptest::prelude::*;
 
 fn arb_item() -> impl Strategy<Value = DataItem> {

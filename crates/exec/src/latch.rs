@@ -35,7 +35,10 @@ impl CountLatch {
     /// indicates a bookkeeping bug in the caller.
     pub fn done(&self) {
         let mut count = self.state.lock();
-        assert!(*count > 0, "CountLatch::done called with zero outstanding jobs");
+        assert!(
+            *count > 0,
+            "CountLatch::done called with zero outstanding jobs"
+        );
         *count -= 1;
         if *count == 0 {
             self.cond.notify_all();

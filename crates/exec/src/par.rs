@@ -140,10 +140,7 @@ impl ThreadPool {
                 });
             }
         });
-        partials
-            .into_inner()
-            .into_iter()
-            .fold(init, reduce)
+        partials.into_inner().into_iter().fold(init, reduce)
     }
 }
 

@@ -199,7 +199,9 @@ fn worker_loop(index: usize, local: Worker<Job>, shared: &Shared) {
             continue;
         }
         shared.sleepers.fetch_add(1, Ordering::Relaxed);
-        shared.sleep_cond.wait_for(&mut guard, std::time::Duration::from_millis(50));
+        shared
+            .sleep_cond
+            .wait_for(&mut guard, std::time::Duration::from_millis(50));
         shared.sleepers.fetch_sub(1, Ordering::Relaxed);
     }
 }

@@ -43,7 +43,8 @@ impl<'scope> Scope<'scope> {
         // returning, so the job cannot outlive the 'scope borrow. The
         // transmute only erases the lifetime; the type is otherwise
         // identical.
-        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
         self.shared.injector.push(job);
         self.shared.notify_one();
     }

@@ -11,7 +11,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::component::{AccessProtocol, DataDescriptor, QueryModel, SchemaInfo, SemanticsAnnotation};
+use crate::component::{
+    AccessProtocol, DataDescriptor, QueryModel, SchemaInfo, SemanticsAnnotation,
+};
 use crate::gauge::{Gauge, Tier};
 
 /// One mechanical step in constructing an interface to the data.
@@ -201,7 +203,9 @@ mod tests {
             interface: Some("adios".into()),
             query: Some(QueryModel::RandomAccess),
             format: None,
-            schema: Some(SchemaInfo::SelfDescribing { container: "adios".into() }),
+            schema: Some(SchemaInfo::SelfDescribing {
+                container: "adios".into(),
+            }),
             semantics: vec![
                 SemanticsAnnotation::FirstPrecious,
                 SemanticsAnnotation::Windowed(16),
@@ -236,7 +240,9 @@ mod tests {
             protocol: Some(AccessProtocol::Database),
             interface: Some("mysql".into()),
             query: Some(QueryModel::Declarative),
-            schema: Some(SchemaInfo::Typed { columns: vec![("a".into(), "i64".into())] }),
+            schema: Some(SchemaInfo::Typed {
+                columns: vec![("a".into(), "i64".into())],
+            }),
             ..DataDescriptor::default()
         };
         let plan = plan_access(&d).unwrap();

@@ -132,8 +132,7 @@ pub fn assess(c: &ComponentDescriptor) -> GaugeProfile {
 mod tests {
     use super::*;
     use crate::component::{
-        AccessProtocol, ComponentKind, ConfigVariable, PortDescriptor, ProvenanceRecord,
-        QueryModel,
+        AccessProtocol, ComponentKind, ConfigVariable, PortDescriptor, ProvenanceRecord, QueryModel,
     };
 
     fn port(name: &str, data: DataDescriptor) -> PortDescriptor {
@@ -149,7 +148,11 @@ mod tests {
         let p = assess(&c);
         assert_eq!(p.get(Gauge::DataAccess), Tier(0));
         assert_eq!(p.get(Gauge::DataSchema), Tier(0));
-        assert_eq!(p.get(Gauge::SoftwareGranularity), Tier(1), "kind alone is tier 1");
+        assert_eq!(
+            p.get(Gauge::SoftwareGranularity),
+            Tier(1),
+            "kind alone is tier 1"
+        );
         assert_eq!(p.get(Gauge::SoftwareCustomizability), Tier(0));
         assert_eq!(p.get(Gauge::SoftwareProvenance), Tier(0));
     }
@@ -164,7 +167,9 @@ mod tests {
         assert_eq!(access_tier(&d), Tier(2));
         d.query = Some(QueryModel::RandomAccess);
         assert_eq!(access_tier(&d), Tier(3));
-        d.schema = Some(SchemaInfo::SelfDescribing { container: "hdf5".into() });
+        d.schema = Some(SchemaInfo::SelfDescribing {
+            container: "hdf5".into(),
+        });
         assert_eq!(access_tier(&d), Tier(4));
     }
 
@@ -174,9 +179,14 @@ mod tests {
         assert_eq!(schema_tier(&d), Tier(0));
         d.format = Some("csv".into());
         assert_eq!(schema_tier(&d), Tier(1), "coarse format name is tier 1");
-        d.schema = Some(SchemaInfo::Typed { columns: vec![("a".into(), "f64".into())] });
+        d.schema = Some(SchemaInfo::Typed {
+            columns: vec![("a".into(), "f64".into())],
+        });
         assert_eq!(schema_tier(&d), Tier(2));
-        d.schema = Some(SchemaInfo::Evolvable { container: "adios".into(), version: "2".into() });
+        d.schema = Some(SchemaInfo::Evolvable {
+            container: "adios".into(),
+            version: "2".into(),
+        });
         assert_eq!(schema_tier(&d), Tier(4));
     }
 
@@ -204,7 +214,11 @@ mod tests {
             },
         ));
         c.outputs.push(port("bad", DataDescriptor::default()));
-        assert_eq!(assess(&c).get(Gauge::DataAccess), Tier(0), "weakest port dominates");
+        assert_eq!(
+            assess(&c).get(Gauge::DataAccess),
+            Tier(0),
+            "weakest port dominates"
+        );
     }
 
     #[test]
@@ -269,7 +283,10 @@ mod tests {
         ));
         let before = assess(&c);
         c.inputs[0].data.interface = Some("csv".into());
-        c.inputs[0].data.semantics.push(SemanticsAnnotation::ElementWise);
+        c.inputs[0]
+            .data
+            .semantics
+            .push(SemanticsAnnotation::ElementWise);
         let after = assess(&c);
         assert!(after.dominates(&before));
     }

@@ -230,8 +230,13 @@ mod tests {
                 interface: Some("adios".into()),
                 query: Some(QueryModel::Linear),
                 format: None,
-                schema: Some(SchemaInfo::SelfDescribing { container: "adios".into() }),
-                semantics: vec![SemanticsAnnotation::OrderingSignificant, SemanticsAnnotation::Windowed(16)],
+                schema: Some(SchemaInfo::SelfDescribing {
+                    container: "adios".into(),
+                }),
+                semantics: vec![
+                    SemanticsAnnotation::OrderingSignificant,
+                    SemanticsAnnotation::Windowed(16),
+                ],
             },
         });
         c.config.push(ConfigVariable {

@@ -35,6 +35,8 @@ mod tests {
     #[test]
     fn display_formats() {
         assert!(FairError::Parse("x".into()).to_string().contains("parse"));
-        assert!(FairError::Cyclic("n1".into()).to_string().contains("cyclic"));
+        assert!(FairError::Cyclic("n1".into())
+            .to_string()
+            .contains("cyclic"));
     }
 }

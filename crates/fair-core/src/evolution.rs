@@ -89,7 +89,9 @@ impl std::fmt::Debug for FormatRegistry {
             .iter()
             .flat_map(|(from, tos)| tos.iter().map(move |(to, _)| format!("{from}->{to}")))
             .collect();
-        f.debug_struct("FormatRegistry").field("edges", &edges).finish()
+        f.debug_struct("FormatRegistry")
+            .field("edges", &edges)
+            .finish()
     }
 }
 
@@ -188,20 +190,30 @@ mod tests {
     /// renames the leading tag.
     fn registry() -> FormatRegistry {
         let mut reg = FormatRegistry::new();
-        reg.register(FormatId::new("matml", "3"), FormatId::new("matml", "2"), |s| {
-            Ok(s.replace(";unit=si", ""))
-        });
-        reg.register(FormatId::new("matml", "2"), FormatId::new("matml", "1"), |s| {
-            s.strip_prefix("material:")
-                .map(|rest| format!("mat:{rest}"))
-                .ok_or_else(|| "not a v2 payload".to_string())
-        });
+        reg.register(
+            FormatId::new("matml", "3"),
+            FormatId::new("matml", "2"),
+            |s| Ok(s.replace(";unit=si", "")),
+        );
+        reg.register(
+            FormatId::new("matml", "2"),
+            FormatId::new("matml", "1"),
+            |s| {
+                s.strip_prefix("material:")
+                    .map(|rest| format!("mat:{rest}"))
+                    .ok_or_else(|| "not a v2 payload".to_string())
+            },
+        );
         // an upgrade edge too, so the graph is not a pure chain
-        reg.register(FormatId::new("matml", "1"), FormatId::new("matml", "2"), |s| {
-            s.strip_prefix("mat:")
-                .map(|rest| format!("material:{rest}"))
-                .ok_or_else(|| "not a v1 payload".to_string())
-        });
+        reg.register(
+            FormatId::new("matml", "1"),
+            FormatId::new("matml", "2"),
+            |s| {
+                s.strip_prefix("mat:")
+                    .map(|rest| format!("material:{rest}"))
+                    .ok_or_else(|| "not a v1 payload".to_string())
+            },
+        );
         reg
     }
 
@@ -276,9 +288,11 @@ mod tests {
     fn bfs_finds_shortest_path() {
         // add a long detour and a direct edge; plan must take the direct one
         let mut reg = registry();
-        reg.register(FormatId::new("matml", "3"), FormatId::new("matml", "1"), |s| {
-            Ok(s.replace(";unit=si", "").replacen("material:", "mat:", 1))
-        });
+        reg.register(
+            FormatId::new("matml", "3"),
+            FormatId::new("matml", "1"),
+            |s| Ok(s.replace(";unit=si", "").replacen("material:", "mat:", 1)),
+        );
         let plan = reg
             .plan(&FormatId::new("matml", "3"), &FormatId::new("matml", "1"))
             .unwrap();

@@ -98,10 +98,26 @@ pub const DATA_ACCESS_TIERS: &[TierSpec] = &[
 /// Ladder for [`Gauge::DataSchema`] (§III "Data Schema").
 pub const DATA_SCHEMA_TIERS: &[TierSpec] = &[
     spec(0, "unknown", "structure unknown: opaque bytes"),
-    spec(1, "format-named", "a concrete format name is recorded (e.g. CSV, JSON, BED, GFF3)"),
-    spec(2, "typed", "element/column types are captured (typed arrays, tables, graphs, meshes)"),
-    spec(3, "self-describing", "data carries its own schema (ADIOS/HDF5-style); automated conversion possible"),
-    spec(4, "evolvable", "schema versioning captured; conversions between format versions derivable"),
+    spec(
+        1,
+        "format-named",
+        "a concrete format name is recorded (e.g. CSV, JSON, BED, GFF3)",
+    ),
+    spec(
+        2,
+        "typed",
+        "element/column types are captured (typed arrays, tables, graphs, meshes)",
+    ),
+    spec(
+        3,
+        "self-describing",
+        "data carries its own schema (ADIOS/HDF5-style); automated conversion possible",
+    ),
+    spec(
+        4,
+        "evolvable",
+        "schema versioning captured; conversions between format versions derivable",
+    ),
 ];
 
 /// Ladder for [`Gauge::DataSemantics`] (§III "Data Semantics").
@@ -164,7 +180,10 @@ impl Gauge {
 
     /// True for the three data-side gauges.
     pub fn is_data_gauge(self) -> bool {
-        matches!(self, Gauge::DataAccess | Gauge::DataSchema | Gauge::DataSemantics)
+        matches!(
+            self,
+            Gauge::DataAccess | Gauge::DataSchema | Gauge::DataSemantics
+        )
     }
 
     /// This gauge's documented ladder.
@@ -181,7 +200,10 @@ impl Gauge {
 
     /// Top documented tier of this gauge's ladder.
     pub fn max_tier(self) -> Tier {
-        self.tiers().last().expect("every gauge has at least one tier").tier
+        self.tiers()
+            .last()
+            .expect("every gauge has at least one tier")
+            .tier
     }
 
     /// Looks up the documented spec for `tier`, clamping above the ladder

@@ -67,7 +67,10 @@ impl GaugeProfile {
 
     /// True iff `self` is ≥ `other` on every gauge.
     pub fn dominates(&self, other: &GaugeProfile) -> bool {
-        self.levels.iter().zip(other.levels.iter()).all(|(a, b)| a >= b)
+        self.levels
+            .iter()
+            .zip(other.levels.iter())
+            .all(|(a, b)| a >= b)
     }
 
     /// True iff the two profiles are ordered in neither direction.

@@ -189,7 +189,9 @@ mod tests {
         let c = component(vec![record("run-1", Some(false))]);
         let ro = export("obj", &[c]).unwrap();
         assert_eq!(
-            ro.components[0].profile.get(crate::gauge::Gauge::SoftwareProvenance),
+            ro.components[0]
+                .profile
+                .get(crate::gauge::Gauge::SoftwareProvenance),
             crate::gauge::Tier(3)
         );
     }

@@ -115,8 +115,7 @@ impl WorkflowGraph {
         if from == to {
             return Err(FairError::Cyclic(format!("self-loop on node {}", from.0)));
         }
-        let out = self
-            .nodes[from.0]
+        let out = self.nodes[from.0]
             .outputs
             .iter()
             .find(|p| p.name == from_port)
@@ -126,8 +125,7 @@ impl WorkflowGraph {
                     self.nodes[from.0].name
                 ))
             })?;
-        let inp = self
-            .nodes[to.0]
+        let inp = self.nodes[to.0]
             .inputs
             .iter()
             .find(|p| p.name == to_port)
@@ -159,6 +157,30 @@ impl WorkflowGraph {
             )));
         }
         Ok(())
+    }
+
+    /// Appends an edge **without validation** — no node/port existence,
+    /// schema-compatibility, or acyclicity checks.
+    ///
+    /// This is the untrusted-construction path: deserialized or
+    /// programmatically assembled graphs can be materialized exactly as
+    /// described and then handed to a static checker (see the `fair-lint`
+    /// crate) that reports *all* defects at once instead of failing on the
+    /// first. [`WorkflowGraph::connect`] remains the validating path for
+    /// interactive construction.
+    pub fn connect_unchecked(
+        &mut self,
+        from: NodeIdx,
+        from_port: &str,
+        to: NodeIdx,
+        to_port: &str,
+    ) {
+        self.edges.push(Edge {
+            from,
+            from_port: from_port.to_string(),
+            to,
+            to_port: to_port.to_string(),
+        });
     }
 
     /// Direct successors of a node.
@@ -253,7 +275,7 @@ impl WorkflowGraph {
 /// typed schemas require matching column lists; self-describing data is
 /// compatible with anything typed or self-describing (it carries enough
 /// information to convert).
-fn schemas_compatible(a: &SchemaInfo, b: &SchemaInfo) -> bool {
+pub fn schemas_compatible(a: &SchemaInfo, b: &SchemaInfo) -> bool {
     use SchemaInfo::*;
     match (a, b) {
         (Named { format: f1 }, Named { format: f2 }) => f1 == f2,
@@ -340,9 +362,13 @@ mod tests {
     fn schema_mismatch_rejected() {
         let mut g = WorkflowGraph::new();
         let mut producer = comp("p", &[], &["o"]);
-        producer.outputs[0].data.schema = Some(SchemaInfo::Named { format: "csv".into() });
+        producer.outputs[0].data.schema = Some(SchemaInfo::Named {
+            format: "csv".into(),
+        });
         let mut consumer = comp("c", &["i"], &[]);
-        consumer.inputs[0].data.schema = Some(SchemaInfo::Named { format: "hdf5".into() });
+        consumer.inputs[0].data.schema = Some(SchemaInfo::Named {
+            format: "hdf5".into(),
+        });
         let p = g.add(producer);
         let c = g.add(consumer);
         assert!(matches!(
@@ -355,10 +381,13 @@ mod tests {
     fn self_describing_bridges_formats() {
         let mut g = WorkflowGraph::new();
         let mut producer = comp("p", &[], &["o"]);
-        producer.outputs[0].data.schema =
-            Some(SchemaInfo::SelfDescribing { container: "adios".into() });
+        producer.outputs[0].data.schema = Some(SchemaInfo::SelfDescribing {
+            container: "adios".into(),
+        });
         let mut consumer = comp("c", &["i"], &[]);
-        consumer.inputs[0].data.schema = Some(SchemaInfo::Named { format: "csv".into() });
+        consumer.inputs[0].data.schema = Some(SchemaInfo::Named {
+            format: "csv".into(),
+        });
         let p = g.add(producer);
         let c = g.add(consumer);
         assert!(g.connect(p, "o", c, "i").is_ok());

@@ -5,12 +5,7 @@ use proptest::prelude::*;
 
 fn arb_profile() -> impl Strategy<Value = GaugeProfile> {
     proptest::array::uniform6(0u8..=5).prop_map(|levels| {
-        GaugeProfile::from_pairs(
-            ALL_GAUGES
-                .iter()
-                .copied()
-                .zip(levels.into_iter().map(Tier)),
-        )
+        GaugeProfile::from_pairs(ALL_GAUGES.iter().copied().zip(levels.into_iter().map(Tier)))
     })
 }
 

@@ -1,0 +1,102 @@
+//! Per-rule configuration and analysis thresholds.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::diag::Severity;
+
+/// What to do with one rule's findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleSetting {
+    /// Suppress the rule entirely.
+    Allow,
+    /// Report at this severity instead of the rule's default.
+    Severity(Severity),
+}
+
+/// Linter configuration: per-rule overrides plus the numeric thresholds
+/// the heuristic rules use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintConfig {
+    /// Per-rule-code overrides (`"FW003"` → allow / severity).
+    overrides: BTreeMap<String, RuleSetting>,
+    /// FW102: a sweep group whose pre-expansion cross-product exceeds
+    /// this many runs is flagged as combinatorially explosive.
+    pub explosion_threshold: usize,
+    /// FW202: tolerated ratio between the configured checkpoint interval
+    /// and the Young/Daly optimum before the interval is flagged (both
+    /// `interval > daly × tol` and `interval < daly / tol` fire).
+    pub daly_tolerance: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        Self {
+            overrides: BTreeMap::new(),
+            explosion_threshold: 10_000,
+            daly_tolerance: 4.0,
+        }
+    }
+}
+
+impl LintConfig {
+    /// The default configuration: every rule at its default severity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Suppresses a rule; builder-style.
+    pub fn allow(mut self, code: impl Into<String>) -> Self {
+        self.overrides.insert(code.into(), RuleSetting::Allow);
+        self
+    }
+
+    /// Escalates a rule to [`Severity::Error`] (so it blocks the gate);
+    /// builder-style.
+    pub fn deny(self, code: impl Into<String>) -> Self {
+        self.set_severity(code, Severity::Error)
+    }
+
+    /// Overrides a rule's severity; builder-style.
+    pub fn set_severity(mut self, code: impl Into<String>, severity: Severity) -> Self {
+        self.overrides
+            .insert(code.into(), RuleSetting::Severity(severity));
+        self
+    }
+
+    /// The override for a rule, if any.
+    pub fn setting(&self, code: &str) -> Option<&RuleSetting> {
+        self.overrides.get(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_overrides() {
+        let c = LintConfig::new()
+            .allow("FW007")
+            .deny("FW005")
+            .set_severity("FW003", Severity::Hint);
+        assert_eq!(c.setting("FW007"), Some(&RuleSetting::Allow));
+        assert_eq!(
+            c.setting("FW005"),
+            Some(&RuleSetting::Severity(Severity::Error))
+        );
+        assert_eq!(
+            c.setting("FW003"),
+            Some(&RuleSetting::Severity(Severity::Hint))
+        );
+        assert_eq!(c.setting("FW001"), None);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = LintConfig::default();
+        assert_eq!(c.explosion_threshold, 10_000);
+        assert!(c.daly_tolerance > 1.0);
+    }
+}

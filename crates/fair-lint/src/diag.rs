@@ -1,0 +1,394 @@
+//! Diagnostics: severities, source locations, and renderers.
+//!
+//! A diagnostic names *what* is wrong (`code` + `message`), *how bad* it
+//! is (`severity`), and *where* it is (`location` — the node, port,
+//! parameter, or sweep group at fault). Both renderers are deterministic:
+//! the text form is for humans, the JSON form (2-space indent, keys in a
+//! fixed order, absent location fields omitted) is the machine-readable
+//! exchange format and is snapshot-tested.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{LintConfig, RuleSetting};
+
+/// How serious a finding is.
+///
+/// Ordered: `Hint < Warn < Error`. Only [`Severity::Error`] findings block
+/// a campaign at the pre-execution gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// A stylistic or reuse opportunity; never blocks.
+    Hint,
+    /// Probably a mistake; does not block.
+    Warn,
+    /// Definitely broken; blocks the pre-execution gate.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase keyword used in both renderers.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Severity::Hint => "hint",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Where in the workflow/campaign a finding points.
+///
+/// All fields optional; rules fill in whatever identifies the fault most
+/// precisely (e.g. node + port for a dangling edge, group + param for a
+/// dead parameter).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Location {
+    /// Workflow graph node (component name).
+    pub node: Option<String>,
+    /// Port on that node.
+    pub port: Option<String>,
+    /// Sweep parameter name.
+    pub param: Option<String>,
+    /// Sweep group name.
+    pub group: Option<String>,
+}
+
+impl Location {
+    /// A location naming nothing (campaign-level findings).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A location naming a graph node.
+    pub fn node(name: impl Into<String>) -> Self {
+        Self {
+            node: Some(name.into()),
+            ..Self::default()
+        }
+    }
+
+    /// A location naming a port on a node.
+    pub fn port(node: impl Into<String>, port: impl Into<String>) -> Self {
+        Self {
+            node: Some(node.into()),
+            port: Some(port.into()),
+            ..Self::default()
+        }
+    }
+
+    /// A location naming a sweep group.
+    pub fn group(name: impl Into<String>) -> Self {
+        Self {
+            group: Some(name.into()),
+            ..Self::default()
+        }
+    }
+
+    /// A location naming a parameter within a sweep group.
+    pub fn param(group: impl Into<String>, param: impl Into<String>) -> Self {
+        Self {
+            group: Some(group.into()),
+            param: Some(param.into()),
+            ..Self::default()
+        }
+    }
+
+    /// True when no field is set.
+    pub fn is_empty(&self) -> bool {
+        self.node.is_none() && self.port.is_none() && self.param.is_none() && self.group.is_none()
+    }
+
+    fn render_text(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(g) = &self.group {
+            parts.push(format!("group {g}"));
+        }
+        if let Some(n) = &self.node {
+            parts.push(format!("node {n}"));
+        }
+        if let Some(p) = &self.port {
+            parts.push(format!("port {p}"));
+        }
+        if let Some(p) = &self.param {
+            parts.push(format!("param {p}"));
+        }
+        parts.join(", ")
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable rule code, e.g. `"FW001"`.
+    pub code: String,
+    /// Effective severity (after configuration overrides).
+    pub severity: Severity,
+    /// Human-readable description of the fault.
+    pub message: String,
+    /// Where the fault is.
+    pub location: Location,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if !self.location.is_empty() {
+            write!(f, " ({})", self.location.render_text())?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of findings from one lint pass.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DiagnosticSet {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl DiagnosticSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reports a finding at its rule's default severity, applying the
+    /// configuration: allowed rules are dropped, overridden rules change
+    /// severity.
+    pub fn report(
+        &mut self,
+        config: &LintConfig,
+        code: &str,
+        default_severity: Severity,
+        message: impl Into<String>,
+        location: Location,
+    ) {
+        let severity = match config.setting(code) {
+            Some(RuleSetting::Allow) => return,
+            Some(RuleSetting::Severity(s)) => *s,
+            None => default_severity,
+        };
+        self.diagnostics.push(Diagnostic {
+            code: code.to_string(),
+            severity,
+            message: message.into(),
+            location,
+        });
+    }
+
+    /// Merges another set into this one.
+    pub fn extend(&mut self, other: DiagnosticSet) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Sorts findings by code, then message — the canonical order used by
+    /// both renderers (rules already emit deterministically; sorting makes
+    /// merged multi-layer passes stable too).
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.code, &a.message).cmp(&(&b.code, &b.message)));
+    }
+
+    /// All findings.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True when there are no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Error-severity findings (the ones that block the gate).
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// True when no finding is an error (warnings and hints may remain).
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Findings with a specific code.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// Renders all findings as text, one per line, plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let errors = self.errors().count();
+        let warns = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count();
+        let hints = self.len() - errors - warns;
+        out.push_str(&format!(
+            "{} finding(s): {errors} error(s), {warns} warning(s), {hints} hint(s)\n",
+            self.len()
+        ));
+        out
+    }
+
+    /// Renders the findings as stable, machine-readable JSON: a 2-space
+    /// indented array of objects with keys in the order `code`,
+    /// `severity`, `message`, `location`; unset location fields are
+    /// omitted, and a fully-empty location is omitted entirely.
+    ///
+    /// Hand-rolled (rather than delegated to a serializer) so the format
+    /// is stable by construction across dependency versions.
+    pub fn to_json(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return "[]".to_string();
+        }
+        let mut out = String::from("[\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str("  {\n");
+            out.push_str(&format!("    \"code\": {},\n", json_string(&d.code)));
+            out.push_str(&format!(
+                "    \"severity\": {},\n",
+                json_string(d.severity.keyword())
+            ));
+            out.push_str(&format!("    \"message\": {}", json_string(&d.message)));
+            if !d.location.is_empty() {
+                out.push_str(",\n    \"location\": {\n");
+                let fields = [
+                    ("node", &d.location.node),
+                    ("port", &d.location.port),
+                    ("param", &d.location.param),
+                    ("group", &d.location.group),
+                ];
+                let present: Vec<_> = fields
+                    .iter()
+                    .filter_map(|(k, v)| v.as_ref().map(|v| (*k, v)))
+                    .collect();
+                for (j, (key, value)) in present.iter().enumerate() {
+                    out.push_str(&format!("      \"{key}\": {}", json_string(value)));
+                    out.push_str(if j + 1 < present.len() { ",\n" } else { "\n" });
+                }
+                out.push_str("    }\n");
+            } else {
+                out.push('\n');
+            }
+            out.push_str(if i + 1 < self.diagnostics.len() {
+                "  },\n"
+            } else {
+                "  }\n"
+            });
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a DiagnosticSet {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.diagnostics.iter()
+    }
+}
+
+/// JSON string literal with the escapes RFC 8259 requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_hint_warn_error() {
+        assert!(Severity::Hint < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn report_respects_allow_and_override() {
+        let config = LintConfig::new()
+            .allow("FW003")
+            .set_severity("FW005", Severity::Error);
+        let mut set = DiagnosticSet::new();
+        set.report(&config, "FW003", Severity::Warn, "dup", Location::none());
+        set.report(&config, "FW005", Severity::Hint, "dead", Location::none());
+        set.report(&config, "FW001", Severity::Error, "cycle", Location::none());
+        assert_eq!(set.len(), 2, "allowed rule dropped");
+        assert_eq!(
+            set.with_code("FW005").next().unwrap().severity,
+            Severity::Error
+        );
+        assert!(!set.is_clean());
+    }
+
+    #[test]
+    fn display_includes_code_and_location() {
+        let d = Diagnostic {
+            code: "FW002".into(),
+            severity: Severity::Error,
+            message: "edge names unknown port \"out\"".into(),
+            location: Location::port("reader", "out"),
+        };
+        let text = d.to_string();
+        assert!(text.starts_with("error[FW002]:"), "{text}");
+        assert!(text.contains("node reader"), "{text}");
+        assert!(text.contains("port out"), "{text}");
+    }
+
+    #[test]
+    fn empty_set_renders_empty_array() {
+        assert_eq!(DiagnosticSet::new().to_json(), "[]");
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_control_chars() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn render_text_summarizes_counts() {
+        let mut set = DiagnosticSet::new();
+        let config = LintConfig::new();
+        set.report(&config, "FW001", Severity::Error, "a", Location::none());
+        set.report(&config, "FW003", Severity::Warn, "b", Location::none());
+        let text = set.render_text();
+        assert!(
+            text.contains("2 finding(s): 1 error(s), 1 warning(s), 0 hint(s)"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! **fair-lint**: static analysis for FAIR workflows.
+//!
+//! The paper's thesis is that reusability comes from making workflow
+//! knowledge *machine-actionable* (§I). This crate is that principle
+//! applied to defect detection: once graphs, campaigns, checkpoint plans
+//! and gauge profiles are explicit data, a whole class of mistakes can be
+//! caught **before** any allocation is requested — the same way a
+//! compiler rejects a program before it runs.
+//!
+//! Four rule layers, each with stable `FW` codes:
+//!
+//! | Codes | Layer | Checks |
+//! |-------|-------|--------|
+//! | `FW001`–`FW007` | [`rules::graph`] | cycles, dangling/duplicate edges, schema mismatches, unwired ports, isolated nodes, motif near-misses |
+//! | `FW101`–`FW103` | [`rules::campaign`] | dead parameters, empty/explosive sweeps, oversubscribed resource envelopes |
+//! | `FW201`–`FW202` | [`rules::policy`] | infeasible and suboptimal checkpoint plans (vs Young/Daly) |
+//! | `FW301`–`FW302` | [`rules::gauge`] | components below a declared minimum profile, catalog regressions |
+//!
+//! Findings are [`diag::Diagnostic`]s — code, severity, message, and a
+//! structured location — collected into a [`diag::DiagnosticSet`] that
+//! renders as text or stable JSON. [`config::LintConfig`] allows,
+//! escalates, or re-levels individual rules and carries the numeric
+//! thresholds.
+//!
+//! [`preflight_campaign`] bundles all four layers; `savanna`'s
+//! `run_campaign_sim_gated` uses it as an opt-out launch gate.
+
+pub mod config;
+pub mod diag;
+pub mod rules;
+
+use std::collections::BTreeMap;
+
+use cheetah::manifest::CampaignManifest;
+use fair_core::catalog::Catalog;
+use fair_core::component::ComponentDescriptor;
+use fair_core::profile::GaugeProfile;
+use fair_core::workflow::WorkflowGraph;
+use hpcsim::cluster::ClusterSpec;
+use hpcsim::time::SimDuration;
+
+pub use config::{LintConfig, RuleSetting};
+pub use diag::{Diagnostic, DiagnosticSet, Location, Severity};
+pub use rules::campaign::{lint_campaign_plan, lint_manifest};
+pub use rules::gauge::{lint_catalog_regressions, lint_minimum_profile};
+pub use rules::graph::lint_graph;
+pub use rules::policy::{lint_checkpoint_plan, CheckpointPlan};
+
+/// Everything the linter may cross-check a campaign against. Each field
+/// is optional; rules that need an absent field are skipped, so callers
+/// provide exactly as much context as they have.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreflightContext<'a> {
+    /// The workflow graph the campaign drives (graph + gauge rules).
+    pub graph: Option<&'a WorkflowGraph>,
+    /// The application descriptor (dead-parameter checks).
+    pub app: Option<&'a ComponentDescriptor>,
+    /// Metadata catalog (regression checks).
+    pub catalog: Option<&'a Catalog>,
+    /// Minimum gauge profile every workflow component must satisfy.
+    pub minimum_profile: Option<&'a GaugeProfile>,
+    /// The target machine (resource-envelope checks).
+    pub machine: Option<&'a ClusterSpec>,
+    /// The checkpoint plan runs will use (Young/Daly checks).
+    pub checkpoint: Option<CheckpointPlan>,
+}
+
+/// Runs every applicable rule layer over a compiled campaign manifest and
+/// its context. The result is sorted into canonical order.
+pub fn preflight_campaign(
+    manifest: &CampaignManifest,
+    durations: Option<&BTreeMap<String, SimDuration>>,
+    ctx: &PreflightContext<'_>,
+    config: &LintConfig,
+) -> DiagnosticSet {
+    let mut set = lint_manifest(manifest, durations, ctx.app, ctx.machine, config);
+    if let Some(graph) = ctx.graph {
+        set.extend(lint_graph(graph, config));
+        if let Some(minimum) = ctx.minimum_profile {
+            set.extend(lint_minimum_profile(graph, minimum, config));
+        }
+    }
+    if let Some(catalog) = ctx.catalog {
+        set.extend(lint_catalog_regressions(catalog, config));
+    }
+    if let Some(plan) = &ctx.checkpoint {
+        set.extend(lint_checkpoint_plan(plan, config));
+    }
+    set.sort();
+    set
+}

@@ -1,0 +1,248 @@
+//! Campaign-layer rules (`FW101`–`FW103`): sweep and resource checks on
+//! `cheetah` campaigns.
+//!
+//! Two entry points: [`lint_campaign_plan`] works on the *pre-expansion*
+//! [`Campaign`] (cardinalities are computed without materializing the
+//! cross product, so a combinatorially explosive sweep is caught before
+//! it allocates anything), and [`lint_manifest`] works on the compiled
+//! [`CampaignManifest`] that `savanna` executes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cheetah::campaign::Campaign;
+use cheetah::manifest::CampaignManifest;
+use fair_core::component::ComponentDescriptor;
+use hpcsim::cluster::ClusterSpec;
+use hpcsim::time::SimDuration;
+
+use crate::config::LintConfig;
+use crate::diag::{DiagnosticSet, Location, Severity};
+
+/// `FW101` — a swept parameter the application never declares, or one
+/// that only some runs of a group assign.
+pub const DEAD_PARAMETER: &str = "FW101";
+/// `FW102` — a sweep whose cross product is empty or combinatorially
+/// explosive.
+pub const DEGENERATE_SWEEP: &str = "FW102";
+/// `FW103` — resource demands the declared envelope or machine cannot
+/// satisfy.
+pub const OVERSUBSCRIBED: &str = "FW103";
+
+/// Lints a pre-expansion campaign definition. Cardinalities come from
+/// [`cheetah::sweep::Sweep::cardinality`], so nothing is expanded.
+pub fn lint_campaign_plan(
+    campaign: &Campaign,
+    app: Option<&ComponentDescriptor>,
+    machine: Option<&ClusterSpec>,
+    config: &LintConfig,
+) -> DiagnosticSet {
+    let mut set = DiagnosticSet::new();
+    for group in &campaign.groups {
+        let cardinality = group.cardinality();
+        check_cardinality(&group.name, cardinality, config, &mut set);
+        check_envelope(
+            &group.name,
+            group.nodes,
+            group.per_run_nodes,
+            group.walltime_secs,
+            machine,
+            config,
+            &mut set,
+        );
+        if let Some(app) = app {
+            let swept: BTreeSet<&str> = group
+                .sweeps
+                .iter()
+                .flat_map(|s| s.params.keys())
+                .map(String::as_str)
+                .collect();
+            check_declared_params(&group.name, &swept, app, config, &mut set);
+        }
+    }
+    set
+}
+
+/// Lints a compiled campaign manifest.
+pub fn lint_manifest(
+    manifest: &CampaignManifest,
+    durations: Option<&BTreeMap<String, SimDuration>>,
+    app: Option<&ComponentDescriptor>,
+    machine: Option<&ClusterSpec>,
+    config: &LintConfig,
+) -> DiagnosticSet {
+    let mut set = DiagnosticSet::new();
+    for group in &manifest.groups {
+        check_cardinality(&group.name, group.runs.len(), config, &mut set);
+        check_envelope(
+            &group.name,
+            group.nodes,
+            group.per_run_nodes,
+            group.walltime_secs,
+            machine,
+            config,
+            &mut set,
+        );
+
+        // Parameter census across the group's runs.
+        let mut occurrences: BTreeMap<&str, usize> = BTreeMap::new();
+        for run in &group.runs {
+            for name in run.params.params.keys() {
+                *occurrences.entry(name.as_str()).or_insert(0) += 1;
+            }
+        }
+        for (&name, &count) in &occurrences {
+            if count < group.runs.len() {
+                set.report(
+                    config,
+                    DEAD_PARAMETER,
+                    Severity::Warn,
+                    format!(
+                        "parameter {:?} is assigned in only {count} of {} runs of group {:?}",
+                        name,
+                        group.runs.len(),
+                        group.name
+                    ),
+                    Location::param(&group.name, name),
+                );
+            }
+        }
+        if let Some(app) = app {
+            let swept: BTreeSet<&str> = occurrences.keys().copied().collect();
+            check_declared_params(&group.name, &swept, app, config, &mut set);
+        }
+
+        if let Some(durations) = durations {
+            let walltime = SimDuration::from_secs(group.walltime_secs);
+            for run in &group.runs {
+                if let Some(&d) = durations.get(&run.id) {
+                    if d > walltime {
+                        set.report(
+                            config,
+                            OVERSUBSCRIBED,
+                            Severity::Error,
+                            format!(
+                                "run {:?} is modeled at {d} but group {:?} allocations last only {walltime} — it can never finish",
+                                run.id, group.name
+                            ),
+                            Location::group(&group.name),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    set
+}
+
+fn check_cardinality(
+    group: &str,
+    cardinality: usize,
+    config: &LintConfig,
+    set: &mut DiagnosticSet,
+) {
+    if cardinality == 0 {
+        set.report(
+            config,
+            DEGENERATE_SWEEP,
+            Severity::Error,
+            format!(
+                "group {group:?} expands to zero runs (an empty value list zeroes the whole cross product)"
+            ),
+            Location::group(group),
+        );
+    } else if cardinality > config.explosion_threshold {
+        set.report(
+            config,
+            DEGENERATE_SWEEP,
+            Severity::Warn,
+            format!(
+                "group {group:?} expands to {cardinality} runs, over the configured threshold of {}",
+                config.explosion_threshold
+            ),
+            Location::group(group),
+        );
+    }
+}
+
+fn check_envelope(
+    group: &str,
+    nodes: u32,
+    per_run_nodes: u32,
+    walltime_secs: u64,
+    machine: Option<&ClusterSpec>,
+    config: &LintConfig,
+    set: &mut DiagnosticSet,
+) {
+    if nodes == 0 || per_run_nodes == 0 {
+        set.report(
+            config,
+            OVERSUBSCRIBED,
+            Severity::Error,
+            format!("group {group:?} declares a zero node count"),
+            Location::group(group),
+        );
+    }
+    if walltime_secs == 0 {
+        set.report(
+            config,
+            OVERSUBSCRIBED,
+            Severity::Error,
+            format!("group {group:?} declares a zero walltime"),
+            Location::group(group),
+        );
+    }
+    if per_run_nodes > nodes {
+        set.report(
+            config,
+            OVERSUBSCRIBED,
+            Severity::Error,
+            format!(
+                "group {group:?} runs need {per_run_nodes} nodes but its allocations have only {nodes}"
+            ),
+            Location::group(group),
+        );
+    }
+    if let Some(machine) = machine {
+        if nodes > machine.nodes {
+            set.report(
+                config,
+                OVERSUBSCRIBED,
+                Severity::Error,
+                format!(
+                    "group {group:?} requests {nodes} nodes but machine {:?} has only {}",
+                    machine.name, machine.nodes
+                ),
+                Location::group(group),
+            );
+        }
+    }
+}
+
+fn check_declared_params(
+    group: &str,
+    swept: &BTreeSet<&str>,
+    app: &ComponentDescriptor,
+    config: &LintConfig,
+    set: &mut DiagnosticSet,
+) {
+    // A black-box app (no declared config variables at all) cannot be
+    // checked against — that absence is the debt model's business, not a
+    // per-parameter finding.
+    if app.config.is_empty() {
+        return;
+    }
+    for &name in swept {
+        if !app.config.iter().any(|v| v.name == name) {
+            set.report(
+                config,
+                DEAD_PARAMETER,
+                Severity::Warn,
+                format!(
+                    "group {group:?} sweeps parameter {name:?}, which application {:?} does not declare",
+                    app.name
+                ),
+                Location::param(group, name),
+            );
+        }
+    }
+}

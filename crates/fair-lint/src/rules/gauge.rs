@@ -1,0 +1,80 @@
+//! Gauge-layer rules (`FW301`–`FW302`): reusability-profile checks
+//! against the fair-core gauge model.
+
+use fair_core::assess::assess;
+use fair_core::catalog::Catalog;
+use fair_core::profile::GaugeProfile;
+use fair_core::workflow::{NodeIdx, WorkflowGraph};
+
+use crate::config::LintConfig;
+use crate::diag::{DiagnosticSet, Location, Severity};
+
+/// `FW301` — a workflow component whose assessed profile falls below the
+/// declared minimum.
+pub const BELOW_MINIMUM_PROFILE: &str = "FW301";
+/// `FW302` — a catalog entry whose current profile regressed below its
+/// own history.
+pub const PROFILE_REGRESSION: &str = "FW302";
+
+/// Flags every graph node whose assessed gauge profile fails to dominate
+/// `minimum`, listing the gauges that fall short.
+pub fn lint_minimum_profile(
+    graph: &WorkflowGraph,
+    minimum: &GaugeProfile,
+    config: &LintConfig,
+) -> DiagnosticSet {
+    let mut set = DiagnosticSet::new();
+    for i in 0..graph.len() {
+        let node = graph.node(NodeIdx(i));
+        let profile = assess(node);
+        let gaps = profile.gaps_to(minimum);
+        if gaps.is_empty() {
+            continue;
+        }
+        let rendered: Vec<String> = gaps
+            .iter()
+            .map(|(g, have, need)| format!("{} {have} < {need}", g.key()))
+            .collect();
+        set.report(
+            config,
+            BELOW_MINIMUM_PROFILE,
+            Severity::Error,
+            format!(
+                "component {:?} assesses below the declared minimum profile on {} gauge(s): {}",
+                node.name,
+                gaps.len(),
+                rendered.join(", ")
+            ),
+            Location::node(&node.name),
+        );
+    }
+    set
+}
+
+/// Flags catalog entries whose *current* progress score is below the best
+/// score in their own history — knowledge that was captured and then lost
+/// (e.g. a re-registration that dropped ports or provenance).
+pub fn lint_catalog_regressions(catalog: &Catalog, config: &LintConfig) -> DiagnosticSet {
+    let mut set = DiagnosticSet::new();
+    for (name, entry) in catalog.iter() {
+        let current = entry.current().progress_score();
+        let best = entry
+            .history
+            .iter()
+            .map(GaugeProfile::progress_score)
+            .max()
+            .unwrap_or(current);
+        if current < best {
+            set.report(
+                config,
+                PROFILE_REGRESSION,
+                Severity::Warn,
+                format!(
+                    "catalog entry {name:?} regressed: current progress score {current} is below its historical best {best}"
+                ),
+                Location::node(name),
+            );
+        }
+    }
+    set
+}

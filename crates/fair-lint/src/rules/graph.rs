@@ -1,0 +1,339 @@
+//! Graph-layer rules (`FW001`–`FW007`): structural checks on a
+//! [`WorkflowGraph`].
+//!
+//! These rules assume nothing about how the graph was built — in
+//! particular they handle graphs assembled with
+//! [`WorkflowGraph::connect_unchecked`] or deserialized from JSON, where
+//! every invariant [`WorkflowGraph::connect`] enforces may be violated.
+
+use std::collections::BTreeMap;
+
+use fair_core::workflow::{schemas_compatible, Edge, NodeIdx, WorkflowGraph};
+
+use crate::config::LintConfig;
+use crate::diag::{DiagnosticSet, Location, Severity};
+
+/// `FW001` — the graph contains a cycle (reported with an offending path).
+pub const CYCLE: &str = "FW001";
+/// `FW002` — an edge references a nonexistent node or port.
+pub const DANGLING_EDGE: &str = "FW002";
+/// `FW003` — the same port-to-port edge appears more than once.
+pub const DUPLICATE_EDGE: &str = "FW003";
+/// `FW004` — an edge connects ports with incompatible declared schemas.
+pub const SCHEMA_MISMATCH: &str = "FW004";
+/// `FW005` — a partially wired node: an unconsumed output on a node that
+/// feeds others, or an unfed input on a node that is otherwise fed.
+pub const UNWIRED_PORT: &str = "FW005";
+/// `FW006` — a node with no edges at all in a multi-node graph.
+pub const ISOLATED_NODE: &str = "FW006";
+/// `FW007` — one step away from the collect-select-forward motif.
+pub const MOTIF_NEAR_MISS: &str = "FW007";
+
+/// Runs every graph rule.
+pub fn lint_graph(graph: &WorkflowGraph, config: &LintConfig) -> DiagnosticSet {
+    let mut set = DiagnosticSet::new();
+    check_dangling_and_schemas(graph, config, &mut set);
+    check_duplicates(graph, config, &mut set);
+    check_cycles(graph, config, &mut set);
+    check_unwired_ports(graph, config, &mut set);
+    check_isolated(graph, config, &mut set);
+    check_motif_near_miss(graph, config, &mut set);
+    set
+}
+
+/// A display name for a node that may not exist.
+fn node_name(graph: &WorkflowGraph, idx: NodeIdx) -> String {
+    if idx.0 < graph.len() {
+        graph.node(idx).name.clone()
+    } else {
+        format!("#{}", idx.0)
+    }
+}
+
+/// True when both endpoints of an edge are real nodes.
+fn edge_nodes_exist(graph: &WorkflowGraph, e: &Edge) -> bool {
+    e.from.0 < graph.len() && e.to.0 < graph.len()
+}
+
+fn check_dangling_and_schemas(graph: &WorkflowGraph, config: &LintConfig, set: &mut DiagnosticSet) {
+    for e in graph.edges() {
+        if !edge_nodes_exist(graph, e) {
+            let missing = if e.from.0 >= graph.len() {
+                e.from
+            } else {
+                e.to
+            };
+            set.report(
+                config,
+                DANGLING_EDGE,
+                Severity::Error,
+                format!(
+                    "edge {}.{} -> {}.{} references nonexistent node #{}",
+                    node_name(graph, e.from),
+                    e.from_port,
+                    node_name(graph, e.to),
+                    e.to_port,
+                    missing.0
+                ),
+                Location::none(),
+            );
+            continue;
+        }
+        let from = graph.node(e.from);
+        let to = graph.node(e.to);
+        let out = from.outputs.iter().find(|p| p.name == e.from_port);
+        let inp = to.inputs.iter().find(|p| p.name == e.to_port);
+        if out.is_none() {
+            set.report(
+                config,
+                DANGLING_EDGE,
+                Severity::Error,
+                format!(
+                    "edge source names unknown output port {:?} on node {:?}",
+                    e.from_port, from.name
+                ),
+                Location::port(&from.name, &e.from_port),
+            );
+        }
+        if inp.is_none() {
+            set.report(
+                config,
+                DANGLING_EDGE,
+                Severity::Error,
+                format!(
+                    "edge target names unknown input port {:?} on node {:?}",
+                    e.to_port, to.name
+                ),
+                Location::port(&to.name, &e.to_port),
+            );
+        }
+        if let (Some(out), Some(inp)) = (out, inp) {
+            if let (Some(a), Some(b)) = (&out.data.schema, &inp.data.schema) {
+                if !schemas_compatible(a, b) {
+                    set.report(
+                        config,
+                        SCHEMA_MISMATCH,
+                        Severity::Error,
+                        format!(
+                            "incompatible schemas on edge {}.{} -> {}.{}",
+                            from.name, e.from_port, to.name, e.to_port
+                        ),
+                        Location::port(&to.name, &e.to_port),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_duplicates(graph: &WorkflowGraph, config: &LintConfig, set: &mut DiagnosticSet) {
+    let mut seen: BTreeMap<(usize, &str, usize, &str), usize> = BTreeMap::new();
+    for e in graph.edges() {
+        *seen
+            .entry((e.from.0, e.from_port.as_str(), e.to.0, e.to_port.as_str()))
+            .or_insert(0) += 1;
+    }
+    for ((from, from_port, to, to_port), count) in seen {
+        if count > 1 {
+            set.report(
+                config,
+                DUPLICATE_EDGE,
+                Severity::Warn,
+                format!(
+                    "edge {}.{} -> {}.{} appears {} times",
+                    node_name(graph, NodeIdx(from)),
+                    from_port,
+                    node_name(graph, NodeIdx(to)),
+                    to_port,
+                    count
+                ),
+                Location::port(node_name(graph, NodeIdx(to)), to_port),
+            );
+        }
+    }
+}
+
+/// Kahn elimination; whatever remains is cyclic. One representative cycle
+/// is reconstructed by walking successors inside the residual set.
+fn check_cycles(graph: &WorkflowGraph, config: &LintConfig, set: &mut DiagnosticSet) {
+    let n = graph.len();
+    let valid_edges: Vec<&Edge> = graph
+        .edges()
+        .iter()
+        .filter(|e| edge_nodes_exist(graph, e))
+        .collect();
+    let mut indeg = vec![0usize; n];
+    for e in &valid_edges {
+        indeg[e.to.0] += 1;
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut removed = vec![false; n];
+    while let Some(i) = ready.pop() {
+        removed[i] = true;
+        for e in valid_edges.iter().filter(|e| e.from.0 == i) {
+            indeg[e.to.0] -= 1;
+            if indeg[e.to.0] == 0 {
+                ready.push(e.to.0);
+            }
+        }
+    }
+    let residual: Vec<usize> = (0..n).filter(|&i| !removed[i]).collect();
+    if residual.is_empty() {
+        return;
+    }
+    // Walk successors within the residual set from its smallest member
+    // until a node repeats; the repeated suffix is a concrete cycle.
+    let start = residual[0];
+    let mut path = vec![start];
+    let mut cursor = start;
+    let cycle = loop {
+        let next = valid_edges
+            .iter()
+            .find(|e| e.from.0 == cursor && !removed[e.to.0])
+            .map(|e| e.to.0);
+        let Some(next) = next else {
+            break path.clone(); // unreachable in a true residual, but stay total
+        };
+        if let Some(pos) = path.iter().position(|&p| p == next) {
+            path.push(next);
+            break path[pos..].to_vec();
+        }
+        path.push(next);
+        cursor = next;
+    };
+    let rendered: Vec<String> = cycle
+        .iter()
+        .map(|&i| node_name(graph, NodeIdx(i)))
+        .collect();
+    set.report(
+        config,
+        CYCLE,
+        Severity::Error,
+        format!(
+            "workflow graph contains a cycle through {} node(s): {}",
+            residual.len(),
+            rendered.join(" -> ")
+        ),
+        Location::node(node_name(graph, NodeIdx(start))),
+    );
+}
+
+fn check_unwired_ports(graph: &WorkflowGraph, config: &LintConfig, set: &mut DiagnosticSet) {
+    for i in 0..graph.len() {
+        let idx = NodeIdx(i);
+        let node = graph.node(idx);
+        let incoming: Vec<&Edge> = graph
+            .edges()
+            .iter()
+            .filter(|e| e.to == idx && edge_nodes_exist(graph, e))
+            .collect();
+        let outgoing: Vec<&Edge> = graph
+            .edges()
+            .iter()
+            .filter(|e| e.from == idx && edge_nodes_exist(graph, e))
+            .collect();
+        // Unfed inputs only matter on nodes that are otherwise fed —
+        // pure sources (no incoming edges at all) are legitimate entry
+        // points, not mistakes.
+        if !incoming.is_empty() {
+            for p in &node.inputs {
+                if !incoming.iter().any(|e| e.to_port == p.name) {
+                    set.report(
+                        config,
+                        UNWIRED_PORT,
+                        Severity::Warn,
+                        format!(
+                            "input port {:?} on node {:?} is never fed while its siblings are",
+                            p.name, node.name
+                        ),
+                        Location::port(&node.name, &p.name),
+                    );
+                }
+            }
+        }
+        // Dually, dead outputs only matter on nodes that feed others —
+        // pure sinks keep their outputs for the outside world.
+        if !outgoing.is_empty() {
+            for p in &node.outputs {
+                if !outgoing.iter().any(|e| e.from_port == p.name) {
+                    set.report(
+                        config,
+                        UNWIRED_PORT,
+                        Severity::Hint,
+                        format!(
+                            "output port {:?} on node {:?} is never consumed while its siblings are",
+                            p.name, node.name
+                        ),
+                        Location::port(&node.name, &p.name),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_isolated(graph: &WorkflowGraph, config: &LintConfig, set: &mut DiagnosticSet) {
+    if graph.len() < 2 {
+        return;
+    }
+    for i in 0..graph.len() {
+        let idx = NodeIdx(i);
+        let touched = graph
+            .edges()
+            .iter()
+            .any(|e| (e.from == idx || e.to == idx) && edge_nodes_exist(graph, e));
+        if !touched {
+            set.report(
+                config,
+                ISOLATED_NODE,
+                Severity::Warn,
+                format!(
+                    "node {:?} is connected to nothing in a {}-node graph",
+                    graph.node(idx).name,
+                    graph.len()
+                ),
+                Location::node(&graph.node(idx).name),
+            );
+        }
+    }
+}
+
+/// A scheduler-shaped node (≥ 2 pure-producer predecessors, ≥ 1
+/// successor) whose successors are not all pure sinks is one re-wiring
+/// away from the reusable collect-select-forward motif of Fig. 5 —
+/// worth pointing out, never worth blocking on.
+fn check_motif_near_miss(graph: &WorkflowGraph, config: &LintConfig, set: &mut DiagnosticSet) {
+    for i in 0..graph.len() {
+        let idx = NodeIdx(i);
+        let preds = graph.predecessors(idx);
+        let succs = graph.successors(idx);
+        if preds.len() < 2 || succs.is_empty() {
+            continue;
+        }
+        let preds_pure = preds
+            .iter()
+            .all(|&p| p.0 < graph.len() && graph.predecessors(p).is_empty());
+        if !preds_pure {
+            continue;
+        }
+        let impure: Vec<&NodeIdx> = succs
+            .iter()
+            .filter(|&&s| s.0 >= graph.len() || !graph.successors(s).is_empty())
+            .collect();
+        if impure.is_empty() {
+            continue; // a full motif; find_motifs() reports it positively
+        }
+        let names: Vec<String> = impure.iter().map(|&&s| node_name(graph, s)).collect();
+        set.report(
+            config,
+            MOTIF_NEAR_MISS,
+            Severity::Hint,
+            format!(
+                "node {:?} nearly anchors a collect-select-forward motif; downstream node(s) {} forward data onward",
+                graph.node(idx).name,
+                names.join(", ")
+            ),
+            Location::node(&graph.node(idx).name),
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! The rule layers. Each module owns the rule codes it implements.
+
+pub mod campaign;
+pub mod gauge;
+pub mod graph;
+pub mod policy;

@@ -1,0 +1,90 @@
+//! Checkpoint-policy rules (`FW201`–`FW202`): failure-model sanity checks
+//! against the Young/Daly analysis in the `checkpoint` crate.
+
+use checkpoint::daly::young_daly_interval;
+use hpcsim::time::SimDuration;
+
+use crate::config::LintConfig;
+use crate::diag::{DiagnosticSet, Location, Severity};
+
+/// `FW201` — a checkpoint plan that cannot make progress under its own
+/// failure model.
+pub const INFEASIBLE_CHECKPOINTING: &str = "FW201";
+/// `FW202` — a feasible interval far from the Young/Daly optimum.
+pub const SUBOPTIMAL_INTERVAL: &str = "FW202";
+
+/// A declared checkpoint plan: how often checkpoints are taken, what one
+/// costs, and the failure rate it must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPlan {
+    /// Compute time between checkpoints.
+    pub interval: SimDuration,
+    /// Wall-clock cost of writing one checkpoint.
+    pub dump_cost: SimDuration,
+    /// Mean time to failure of the platform.
+    pub mttf: SimDuration,
+}
+
+/// Runs the checkpoint-policy rules on one plan.
+pub fn lint_checkpoint_plan(plan: &CheckpointPlan, config: &LintConfig) -> DiagnosticSet {
+    let mut set = DiagnosticSet::new();
+    if plan.interval == SimDuration::ZERO
+        || plan.dump_cost == SimDuration::ZERO
+        || plan.mttf == SimDuration::ZERO
+    {
+        set.report(
+            config,
+            INFEASIBLE_CHECKPOINTING,
+            Severity::Error,
+            "checkpoint plan has a zero interval, dump cost, or MTTF".to_string(),
+            Location::none(),
+        );
+        return set; // the remaining analysis divides by these
+    }
+    let mut feasible = true;
+    if plan.interval + plan.dump_cost >= plan.mttf {
+        feasible = false;
+        set.report(
+            config,
+            INFEASIBLE_CHECKPOINTING,
+            Severity::Error,
+            format!(
+                "a checkpoint segment ({} compute + {} dump) is at least the MTTF ({}) — the run expects to fail before it can save progress",
+                plan.interval, plan.dump_cost, plan.mttf
+            ),
+            Location::none(),
+        );
+    }
+    if plan.dump_cost >= plan.interval {
+        feasible = false;
+        set.report(
+            config,
+            INFEASIBLE_CHECKPOINTING,
+            Severity::Error,
+            format!(
+                "dump cost ({}) is at least the checkpoint interval ({}) — the run spends more time saving than computing",
+                plan.dump_cost, plan.interval
+            ),
+            Location::none(),
+        );
+    }
+    if feasible {
+        let daly = young_daly_interval(plan.mttf, plan.dump_cost);
+        let ratio = plan.interval.as_secs_f64() / daly.as_secs_f64();
+        let tol = config.daly_tolerance;
+        if ratio > tol || ratio < 1.0 / tol {
+            let direction = if ratio > tol { "sparser" } else { "denser" };
+            set.report(
+                config,
+                SUBOPTIMAL_INTERVAL,
+                Severity::Warn,
+                format!(
+                    "checkpoint interval {} is {ratio:.1}x the Young/Daly optimum {daly} — more than {tol}x {direction} than the failure model justifies",
+                    plan.interval
+                ),
+                Location::none(),
+            );
+        }
+    }
+    set
+}

@@ -1,0 +1,98 @@
+//! Property tests: the linter must never panic, even on garbage graphs
+//! built through `connect_unchecked`, and its cycle verdict must agree
+//! with `topo_order`.
+
+use fair_core::component::{ComponentDescriptor, ComponentKind, DataDescriptor, PortDescriptor};
+use fair_core::workflow::{NodeIdx, WorkflowGraph};
+use fair_lint::rules::graph::CYCLE;
+use fair_lint::{lint_graph, LintConfig};
+use proptest::prelude::*;
+
+const PORT_NAMES: [&str; 3] = ["a", "b", "c"];
+
+fn comp(tag: usize, inputs: &[usize], outputs: &[usize]) -> ComponentDescriptor {
+    let mut c = ComponentDescriptor::new(format!("n{tag}"), "0", ComponentKind::Executable);
+    for &i in inputs {
+        c.inputs.push(PortDescriptor {
+            name: PORT_NAMES[i % PORT_NAMES.len()].into(),
+            data: DataDescriptor::default(),
+        });
+    }
+    for &o in outputs {
+        c.outputs.push(PortDescriptor {
+            name: PORT_NAMES[o % PORT_NAMES.len()].into(),
+            data: DataDescriptor::default(),
+        });
+    }
+    c
+}
+
+/// `(node ports) × n, (from, from_port, to, to_port) × m` with indices that
+/// may point at nonexistent nodes and ports.
+fn arbitrary_graph() -> impl Strategy<Value = WorkflowGraph> {
+    let nodes = proptest::collection::vec(
+        (
+            proptest::collection::vec(0..3usize, 0..3),
+            proptest::collection::vec(0..3usize, 0..3),
+        ),
+        0..6,
+    );
+    let edges = proptest::collection::vec((0..10usize, 0..4usize, 0..10usize, 0..4usize), 0..12);
+    (nodes, edges).prop_map(|(nodes, edges)| {
+        let mut g = WorkflowGraph::new();
+        for (i, (ins, outs)) in nodes.iter().enumerate() {
+            g.add(comp(i, ins, outs));
+        }
+        for (from, fp, to, tp) in edges {
+            let fp = PORT_NAMES[fp % PORT_NAMES.len()];
+            let tp = PORT_NAMES[tp % PORT_NAMES.len()];
+            g.connect_unchecked(NodeIdx(from), fp, NodeIdx(to), tp);
+        }
+        g
+    })
+}
+
+/// Like [`arbitrary_graph`] but every edge endpoint is a real node, so
+/// `topo_order` is safe to call.
+fn valid_index_graph() -> impl Strategy<Value = WorkflowGraph> {
+    (1..8usize)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n, 0..4usize, 0..n, 0..4usize), 0..16),
+            )
+        })
+        .prop_map(|(n, edges)| {
+            let mut g = WorkflowGraph::new();
+            for i in 0..n {
+                g.add(comp(i, &[0, 1, 2], &[0, 1, 2]));
+            }
+            for (from, fp, to, tp) in edges {
+                let fp = PORT_NAMES[fp % PORT_NAMES.len()];
+                let tp = PORT_NAMES[tp % PORT_NAMES.len()];
+                g.connect_unchecked(NodeIdx(from), fp, NodeIdx(to), tp);
+            }
+            g
+        })
+}
+
+proptest! {
+    /// Garbage in (dangling node indices, unknown ports, self-loops,
+    /// duplicates), diagnostics out — never a panic. The JSON renderer
+    /// must also survive whatever messages come out.
+    #[test]
+    fn lint_never_panics_on_arbitrary_graphs(g in arbitrary_graph()) {
+        let set = lint_graph(&g, &LintConfig::new());
+        let _ = set.render_text();
+        let _ = set.to_json();
+    }
+
+    /// On structurally valid graphs the FW001 verdict and the scheduler's
+    /// topological sort must agree in both directions.
+    #[test]
+    fn cycle_verdict_matches_topo_order(g in valid_index_graph()) {
+        let set = lint_graph(&g, &LintConfig::new());
+        let flagged = set.with_code(CYCLE).next().is_some();
+        prop_assert_eq!(flagged, g.topo_order().is_err());
+    }
+}

@@ -1,0 +1,708 @@
+//! One firing and one non-firing case for every `FW` rule, plus the
+//! stable-JSON snapshot.
+
+use std::collections::BTreeMap;
+
+use cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use cheetah::manifest::CampaignManifest;
+use cheetah::param::SweepSpec;
+use cheetah::sweep::Sweep;
+use fair_core::catalog::Catalog;
+use fair_core::component::{
+    AccessProtocol, ComponentDescriptor, ComponentKind, ConfigVariable, DataDescriptor,
+    PortDescriptor, SchemaInfo,
+};
+use fair_core::profile::GaugeProfile;
+use fair_core::workflow::{NodeIdx, WorkflowGraph};
+use fair_lint::rules::{campaign, gauge, graph, policy};
+use fair_lint::{
+    lint_campaign_plan, lint_catalog_regressions, lint_checkpoint_plan, lint_graph, lint_manifest,
+    lint_minimum_profile, CheckpointPlan, LintConfig, Severity,
+};
+use hpcsim::cluster::ClusterSpec;
+use hpcsim::time::SimDuration;
+
+fn comp(name: &str, inputs: &[&str], outputs: &[&str]) -> ComponentDescriptor {
+    let mut c = ComponentDescriptor::new(name, "0", ComponentKind::Executable);
+    for i in inputs {
+        c.inputs.push(PortDescriptor {
+            name: (*i).into(),
+            data: DataDescriptor::default(),
+        });
+    }
+    for o in outputs {
+        c.outputs.push(PortDescriptor {
+            name: (*o).into(),
+            data: DataDescriptor::default(),
+        });
+    }
+    c
+}
+
+fn cfg() -> LintConfig {
+    LintConfig::new()
+}
+
+// ---------------------------------------------------------------- graph
+
+#[test]
+fn fw001_cycle_fires_with_path() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &["i"], &["o"]));
+    let b = g.add(comp("b", &["i"], &["o"]));
+    g.connect_unchecked(a, "o", b, "i");
+    g.connect_unchecked(b, "o", a, "i");
+    let set = lint_graph(&g, &cfg());
+    let d = set.with_code(graph::CYCLE).next().expect("cycle reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("a -> b -> a"), "{}", d.message);
+    assert!(!set.is_clean());
+}
+
+#[test]
+fn fw001_quiet_on_dag() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &[], &["o"]));
+    let b = g.add(comp("b", &["i"], &[]));
+    g.connect_unchecked(a, "o", b, "i");
+    assert!(lint_graph(&g, &cfg())
+        .with_code(graph::CYCLE)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw002_dangling_node_and_port_fire() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &[], &["o"]));
+    let b = g.add(comp("b", &["i"], &[]));
+    g.connect_unchecked(a, "o", NodeIdx(7), "i"); // node 7 does not exist
+    g.connect_unchecked(a, "nope", b, "i"); // port "nope" does not exist
+    let set = lint_graph(&g, &cfg());
+    let dangling: Vec<_> = set.with_code(graph::DANGLING_EDGE).collect();
+    assert_eq!(dangling.len(), 2, "{}", set.render_text());
+    assert!(dangling.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn fw002_quiet_on_valid_wiring() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &[], &["o"]));
+    let b = g.add(comp("b", &["i"], &[]));
+    g.connect_unchecked(a, "o", b, "i");
+    assert!(lint_graph(&g, &cfg())
+        .with_code(graph::DANGLING_EDGE)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw003_duplicate_edge_fires() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &[], &["o"]));
+    let b = g.add(comp("b", &["i"], &[]));
+    g.connect_unchecked(a, "o", b, "i");
+    g.connect_unchecked(a, "o", b, "i");
+    let set = lint_graph(&g, &cfg());
+    let d = set
+        .with_code(graph::DUPLICATE_EDGE)
+        .next()
+        .expect("duplicate reported");
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("2 times"), "{}", d.message);
+}
+
+#[test]
+fn fw003_quiet_on_distinct_edges() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &[], &["o1", "o2"]));
+    let b = g.add(comp("b", &["i1", "i2"], &[]));
+    g.connect_unchecked(a, "o1", b, "i1");
+    g.connect_unchecked(a, "o2", b, "i2");
+    assert!(lint_graph(&g, &cfg())
+        .with_code(graph::DUPLICATE_EDGE)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw004_schema_mismatch_fires() {
+    let mut g = WorkflowGraph::new();
+    let mut producer = comp("p", &[], &["o"]);
+    producer.outputs[0].data.schema = Some(SchemaInfo::Named {
+        format: "csv".into(),
+    });
+    let mut consumer = comp("c", &["i"], &[]);
+    consumer.inputs[0].data.schema = Some(SchemaInfo::Named {
+        format: "hdf5".into(),
+    });
+    let p = g.add(producer);
+    let c = g.add(consumer);
+    g.connect_unchecked(p, "o", c, "i");
+    let d = lint_graph(&g, &cfg());
+    let m = d
+        .with_code(graph::SCHEMA_MISMATCH)
+        .next()
+        .expect("mismatch reported");
+    assert_eq!(m.severity, Severity::Error);
+    assert_eq!(m.location.node.as_deref(), Some("c"));
+    assert_eq!(m.location.port.as_deref(), Some("i"));
+}
+
+#[test]
+fn fw004_quiet_when_self_describing_bridges() {
+    let mut g = WorkflowGraph::new();
+    let mut producer = comp("p", &[], &["o"]);
+    producer.outputs[0].data.schema = Some(SchemaInfo::SelfDescribing {
+        container: "adios".into(),
+    });
+    let mut consumer = comp("c", &["i"], &[]);
+    consumer.inputs[0].data.schema = Some(SchemaInfo::Named {
+        format: "csv".into(),
+    });
+    let p = g.add(producer);
+    let c = g.add(consumer);
+    g.connect_unchecked(p, "o", c, "i");
+    assert!(lint_graph(&g, &cfg())
+        .with_code(graph::SCHEMA_MISMATCH)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw005_partially_wired_node_fires_both_ways() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &[], &["o"]));
+    // b has two inputs but only one is fed, and two outputs but only one
+    // is consumed
+    let b = g.add(comp("b", &["fed", "starved"], &["used", "dead"]));
+    let c = g.add(comp("c", &["i"], &[]));
+    g.connect_unchecked(a, "o", b, "fed");
+    g.connect_unchecked(b, "used", c, "i");
+    let set = lint_graph(&g, &cfg());
+    let findings: Vec<_> = set.with_code(graph::UNWIRED_PORT).collect();
+    assert_eq!(findings.len(), 2, "{}", set.render_text());
+    let starved = findings
+        .iter()
+        .find(|d| d.location.port.as_deref() == Some("starved"));
+    assert_eq!(
+        starved.expect("starved input reported").severity,
+        Severity::Warn
+    );
+    let dead = findings
+        .iter()
+        .find(|d| d.location.port.as_deref() == Some("dead"));
+    assert_eq!(dead.expect("dead output reported").severity, Severity::Hint);
+}
+
+#[test]
+fn fw005_quiet_for_pure_sources_and_sinks() {
+    let mut g = WorkflowGraph::new();
+    // source with an input nobody feeds (an entry point) and a sink with
+    // an output nobody consumes (an exit point): both legitimate
+    let a = g.add(comp("a", &["entry"], &["o"]));
+    let b = g.add(comp("b", &["i"], &["exit"]));
+    g.connect_unchecked(a, "o", b, "i");
+    assert!(lint_graph(&g, &cfg())
+        .with_code(graph::UNWIRED_PORT)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw006_isolated_node_fires() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &[], &["o"]));
+    let b = g.add(comp("b", &["i"], &[]));
+    g.add(comp("loner", &[], &[]));
+    g.connect_unchecked(a, "o", b, "i");
+    let set = lint_graph(&g, &cfg());
+    let d = set
+        .with_code(graph::ISOLATED_NODE)
+        .next()
+        .expect("isolated reported");
+    assert_eq!(d.location.node.as_deref(), Some("loner"));
+}
+
+#[test]
+fn fw006_quiet_on_single_node_graph() {
+    let mut g = WorkflowGraph::new();
+    g.add(comp("only", &[], &[]));
+    assert!(lint_graph(&g, &cfg())
+        .with_code(graph::ISOLATED_NODE)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw007_motif_near_miss_fires() {
+    let mut g = WorkflowGraph::new();
+    let s1 = g.add(comp("instrument-1", &[], &["o"]));
+    let s2 = g.add(comp("instrument-2", &[], &["o"]));
+    let sched = g.add(comp("scheduler", &["i"], &["o"]));
+    let relay = g.add(comp("relay", &["i"], &["o"])); // forwards onward: not a pure sink
+    let sink = g.add(comp("archive", &["i"], &[]));
+    g.connect_unchecked(s1, "o", sched, "i");
+    g.connect_unchecked(s2, "o", sched, "i");
+    g.connect_unchecked(sched, "o", relay, "i");
+    g.connect_unchecked(relay, "o", sink, "i");
+    let set = lint_graph(&g, &cfg());
+    let d = set
+        .with_code(graph::MOTIF_NEAR_MISS)
+        .next()
+        .expect("near-miss reported");
+    assert_eq!(d.severity, Severity::Hint);
+    assert!(d.message.contains("relay"), "{}", d.message);
+}
+
+#[test]
+fn fw007_quiet_on_complete_motif() {
+    let mut g = WorkflowGraph::new();
+    let s1 = g.add(comp("instrument-1", &[], &["o"]));
+    let s2 = g.add(comp("instrument-2", &[], &["o"]));
+    let sched = g.add(comp("scheduler", &["i"], &["o"]));
+    let sink = g.add(comp("archive", &["i"], &[]));
+    g.connect_unchecked(s1, "o", sched, "i");
+    g.connect_unchecked(s2, "o", sched, "i");
+    g.connect_unchecked(sched, "o", sink, "i");
+    assert!(lint_graph(&g, &cfg())
+        .with_code(graph::MOTIF_NEAR_MISS)
+        .next()
+        .is_none());
+}
+
+// ------------------------------------------------------------- campaign
+
+fn app_with_config(params: &[&str]) -> ComponentDescriptor {
+    let mut app = ComponentDescriptor::new("irf", "1", ComponentKind::Executable);
+    for p in params {
+        app.config.push(ConfigVariable {
+            name: (*p).into(),
+            var_type: "int".into(),
+            default: None,
+            description: String::new(),
+            related_to: Vec::new(),
+        });
+    }
+    app
+}
+
+fn manifest_with(sweep: Sweep, nodes: u32, per_run: u32, walltime: u64) -> CampaignManifest {
+    Campaign::new("c", "m", AppDef::new("irf", "irf.exe"))
+        .with_group(SweepGroup::new("g", sweep, nodes, per_run, walltime))
+        .manifest()
+        .expect("valid campaign")
+}
+
+#[test]
+fn fw101_undeclared_parameter_fires() {
+    let m = manifest_with(
+        Sweep::new().with("trees", SweepSpec::list([1i64, 2])),
+        4,
+        1,
+        600,
+    );
+    let app = app_with_config(&["feature"]);
+    let set = lint_manifest(&m, None, Some(&app), None, &cfg());
+    let d = set
+        .with_code(campaign::DEAD_PARAMETER)
+        .next()
+        .expect("dead param reported");
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.location.param.as_deref(), Some("trees"));
+    assert_eq!(d.location.group.as_deref(), Some("g"));
+}
+
+#[test]
+fn fw101_quiet_for_declared_params_and_black_box_apps() {
+    let m = manifest_with(
+        Sweep::new().with("feature", SweepSpec::list([1i64, 2])),
+        4,
+        1,
+        600,
+    );
+    let declared = app_with_config(&["feature"]);
+    assert!(lint_manifest(&m, None, Some(&declared), None, &cfg())
+        .with_code(campaign::DEAD_PARAMETER)
+        .next()
+        .is_none());
+    // a black-box app declares nothing: the rule stands down entirely
+    let black_box = app_with_config(&[]);
+    assert!(lint_manifest(&m, None, Some(&black_box), None, &cfg())
+        .with_code(campaign::DEAD_PARAMETER)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw101_inconsistent_assignment_across_group_fires() {
+    // two sweeps in one group, only one assigns "extra"
+    let mut group = SweepGroup::new(
+        "g",
+        Sweep::new().with("n", SweepSpec::fixed(1i64)),
+        4,
+        1,
+        600,
+    );
+    group.sweeps.push(
+        Sweep::new()
+            .with("n", SweepSpec::fixed(2i64))
+            .with("extra", SweepSpec::fixed(7i64)),
+    );
+    let m = Campaign::new("c", "m", AppDef::new("a", "a.exe"))
+        .with_group(group)
+        .manifest()
+        .expect("valid campaign");
+    let set = lint_manifest(&m, None, None, None, &cfg());
+    let d = set
+        .with_code(campaign::DEAD_PARAMETER)
+        .next()
+        .expect("inconsistency reported");
+    assert!(d.message.contains("only 1 of 2 runs"), "{}", d.message);
+}
+
+#[test]
+fn fw102_empty_sweep_fires_as_error() {
+    let m = manifest_with(Sweep::new().with("a", SweepSpec::List(vec![])), 4, 1, 600);
+    let set = lint_manifest(&m, None, None, None, &cfg());
+    let d = set
+        .with_code(campaign::DEGENERATE_SWEEP)
+        .next()
+        .expect("empty sweep reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(!set.is_clean());
+}
+
+#[test]
+fn fw102_explosive_sweep_fires_pre_expansion() {
+    // 100 × 100 × 100 = 1e6 runs, never expanded: the plan linter sees it
+    // through cardinality alone
+    let sweep = Sweep::new()
+        .with(
+            "a",
+            SweepSpec::IntRange {
+                start: 1,
+                end: 100,
+                step: 1,
+            },
+        )
+        .with(
+            "b",
+            SweepSpec::IntRange {
+                start: 1,
+                end: 100,
+                step: 1,
+            },
+        )
+        .with(
+            "c",
+            SweepSpec::IntRange {
+                start: 1,
+                end: 100,
+                step: 1,
+            },
+        );
+    let plan = Campaign::new("c", "m", AppDef::new("a", "a.exe"))
+        .with_group(SweepGroup::new("g", sweep, 4, 1, 600));
+    let set = lint_campaign_plan(&plan, None, None, &cfg());
+    let d = set
+        .with_code(campaign::DEGENERATE_SWEEP)
+        .next()
+        .expect("explosion reported");
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("1000000"), "{}", d.message);
+}
+
+#[test]
+fn fw102_quiet_on_reasonable_sweeps() {
+    let m = manifest_with(
+        Sweep::new().with("a", SweepSpec::list([1i64, 2, 3])),
+        4,
+        1,
+        600,
+    );
+    assert!(lint_manifest(&m, None, None, None, &cfg())
+        .with_code(campaign::DEGENERATE_SWEEP)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw103_oversubscription_fires_three_ways() {
+    // per-run nodes exceed the group allocation: build via manifest structs
+    // directly since Campaign::validate would reject it
+    let mut m = manifest_with(Sweep::new().with("a", SweepSpec::fixed(1i64)), 4, 1, 600);
+    m.groups[0].per_run_nodes = 8;
+    let set = lint_manifest(&m, None, None, None, &cfg());
+    assert!(set
+        .with_code(campaign::OVERSUBSCRIBED)
+        .any(|d| d.message.contains("only 4")));
+
+    // the group wants more nodes than the machine has
+    let m = manifest_with(Sweep::new().with("a", SweepSpec::fixed(1i64)), 64, 1, 600);
+    let machine = ClusterSpec::institutional(20);
+    let set = lint_manifest(&m, None, None, Some(&machine), &cfg());
+    assert!(set
+        .with_code(campaign::OVERSUBSCRIBED)
+        .any(|d| d.message.contains("has only 20")));
+
+    // a run modeled longer than the walltime can never finish
+    let m = manifest_with(Sweep::new().with("a", SweepSpec::fixed(1i64)), 4, 1, 600);
+    let durations: BTreeMap<String, SimDuration> = m.groups[0]
+        .runs
+        .iter()
+        .map(|r| (r.id.clone(), SimDuration::from_secs(7200)))
+        .collect();
+    let set = lint_manifest(&m, Some(&durations), None, None, &cfg());
+    assert!(set
+        .with_code(campaign::OVERSUBSCRIBED)
+        .any(|d| d.message.contains("never finish")));
+}
+
+#[test]
+fn fw103_quiet_when_resources_fit() {
+    let m = manifest_with(Sweep::new().with("a", SweepSpec::fixed(1i64)), 4, 1, 3600);
+    let machine = ClusterSpec::institutional(20);
+    let durations: BTreeMap<String, SimDuration> = m.groups[0]
+        .runs
+        .iter()
+        .map(|r| (r.id.clone(), SimDuration::from_secs(600)))
+        .collect();
+    let set = lint_manifest(&m, Some(&durations), None, Some(&machine), &cfg());
+    assert!(
+        set.with_code(campaign::OVERSUBSCRIBED).next().is_none(),
+        "{}",
+        set.render_text()
+    );
+}
+
+// --------------------------------------------------------------- policy
+
+#[test]
+fn fw201_infeasible_plans_fire() {
+    // a checkpoint segment at least as long as the MTTF
+    let plan = CheckpointPlan {
+        interval: SimDuration::from_hours(3),
+        dump_cost: SimDuration::from_hours(1),
+        mttf: SimDuration::from_hours(2),
+    };
+    let set = lint_checkpoint_plan(&plan, &cfg());
+    assert!(set
+        .with_code(policy::INFEASIBLE_CHECKPOINTING)
+        .next()
+        .is_some());
+    assert!(!set.is_clean());
+
+    // dumping costs more than the compute it protects
+    let plan = CheckpointPlan {
+        interval: SimDuration::from_mins(2),
+        dump_cost: SimDuration::from_mins(5),
+        mttf: SimDuration::from_hours(100),
+    };
+    let set = lint_checkpoint_plan(&plan, &cfg());
+    assert!(set
+        .with_code(policy::INFEASIBLE_CHECKPOINTING)
+        .any(|d| d.message.contains("more time saving")));
+
+    // degenerate zero plan short-circuits instead of dividing by zero
+    let plan = CheckpointPlan {
+        interval: SimDuration::ZERO,
+        dump_cost: SimDuration::from_mins(1),
+        mttf: SimDuration::from_hours(1),
+    };
+    assert!(!lint_checkpoint_plan(&plan, &cfg()).is_clean());
+}
+
+#[test]
+fn fw201_quiet_on_feasible_plan() {
+    let plan = CheckpointPlan {
+        interval: SimDuration::from_mins(30),
+        dump_cost: SimDuration::from_mins(2),
+        mttf: SimDuration::from_hours(4),
+    };
+    assert!(lint_checkpoint_plan(&plan, &cfg())
+        .with_code(policy::INFEASIBLE_CHECKPOINTING)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw202_interval_far_from_daly_fires_both_directions() {
+    let mttf = SimDuration::from_hours(4);
+    let dump = SimDuration::from_mins(2);
+    // Young/Daly optimum ≈ 31 min; 4 min is > 4x denser, 3 h is > 4x
+    // sparser (while still feasible: 3 h + 2 min < the 4 h MTTF)
+    for interval in [SimDuration::from_mins(4), SimDuration::from_hours(3)] {
+        let plan = CheckpointPlan {
+            interval,
+            dump_cost: dump,
+            mttf,
+        };
+        let set = lint_checkpoint_plan(&plan, &cfg());
+        let d = set
+            .with_code(policy::SUBOPTIMAL_INTERVAL)
+            .next()
+            .expect("flagged");
+        assert_eq!(d.severity, Severity::Warn);
+        assert!(set.is_clean(), "suboptimal is a warning, not an error");
+    }
+}
+
+#[test]
+fn fw202_quiet_near_the_optimum() {
+    let mttf = SimDuration::from_hours(4);
+    let dump = SimDuration::from_mins(2);
+    let plan = CheckpointPlan {
+        interval: SimDuration::from_mins(31),
+        dump_cost: dump,
+        mttf,
+    };
+    assert!(lint_checkpoint_plan(&plan, &cfg())
+        .with_code(policy::SUBOPTIMAL_INTERVAL)
+        .next()
+        .is_none());
+}
+
+// ---------------------------------------------------------------- gauge
+
+#[test]
+fn fw301_below_minimum_profile_fires_with_gaps() {
+    let mut g = WorkflowGraph::new();
+    g.add(comp("black-box", &[], &[]));
+    let minimum = GaugeProfile::from_pairs([(
+        fair_core::gauge::Gauge::DataAccess,
+        fair_core::gauge::Tier(1),
+    )]);
+    let set = lint_minimum_profile(&g, &minimum, &cfg());
+    let d = set
+        .with_code(gauge::BELOW_MINIMUM_PROFILE)
+        .next()
+        .expect("gap reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("data.access"), "{}", d.message);
+}
+
+#[test]
+fn fw301_quiet_when_minimum_is_met() {
+    let mut g = WorkflowGraph::new();
+    let mut c = comp("annotated", &["i"], &[]);
+    c.inputs[0].data.protocol = Some(AccessProtocol::PosixFile);
+    g.add(c);
+    let minimum = GaugeProfile::from_pairs([(
+        fair_core::gauge::Gauge::DataAccess,
+        fair_core::gauge::Tier(1),
+    )]);
+    assert!(lint_minimum_profile(&g, &minimum, &cfg()).is_empty());
+}
+
+#[test]
+fn fw302_catalog_regression_fires() {
+    let mut cat = Catalog::new();
+    let mut strong = comp("drifter", &["i"], &[]);
+    strong.inputs[0].data.protocol = Some(AccessProtocol::PosixFile);
+    cat.register(strong);
+    // re-register as a black box: knowledge was lost
+    cat.register(ComponentDescriptor::new(
+        "drifter",
+        "0",
+        ComponentKind::Executable,
+    ));
+    let set = lint_catalog_regressions(&cat, &cfg());
+    let d = set
+        .with_code(gauge::PROFILE_REGRESSION)
+        .next()
+        .expect("regression reported");
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.location.node.as_deref(), Some("drifter"));
+}
+
+#[test]
+fn fw302_quiet_on_monotone_history() {
+    let mut cat = Catalog::new();
+    cat.register(comp("grower", &[], &[]));
+    let mut better = comp("grower", &["i"], &[]);
+    better.inputs[0].data.protocol = Some(AccessProtocol::PosixFile);
+    cat.register(better);
+    assert!(lint_catalog_regressions(&cat, &cfg()).is_empty());
+}
+
+// ------------------------------------------------------ config plumbing
+
+#[test]
+fn allow_and_deny_reshape_findings() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &[], &["o"]));
+    let b = g.add(comp("b", &["i"], &[]));
+    g.connect_unchecked(a, "o", b, "i");
+    g.connect_unchecked(a, "o", b, "i"); // FW003 warn by default
+
+    let allowed = lint_graph(&g, &LintConfig::new().allow(graph::DUPLICATE_EDGE));
+    assert!(allowed.is_empty(), "{}", allowed.render_text());
+
+    let denied = lint_graph(&g, &LintConfig::new().deny(graph::DUPLICATE_EDGE));
+    assert!(!denied.is_clean(), "denied rule must block");
+}
+
+// ------------------------------------------------------- JSON snapshot
+
+#[test]
+fn diagnostics_serialize_to_stable_json() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &["i"], &["o"]));
+    let b = g.add(comp("b", &["i"], &["o"]));
+    g.connect_unchecked(a, "o", b, "i");
+    g.connect_unchecked(b, "o", a, "i");
+    let set = lint_graph(&g, &cfg());
+    assert_eq!(
+        set.to_json(),
+        r#"[
+  {
+    "code": "FW001",
+    "severity": "error",
+    "message": "workflow graph contains a cycle through 2 node(s): a -> b -> a",
+    "location": {
+      "node": "a"
+    }
+  }
+]"#
+    );
+}
+
+#[test]
+fn json_renders_multi_field_locations_and_no_location() {
+    let mut set = fair_lint::DiagnosticSet::new();
+    let config = cfg();
+    set.report(
+        &config,
+        "FW101",
+        Severity::Warn,
+        "parameter \"trees\" is undeclared",
+        fair_lint::Location::param("g", "trees"),
+    );
+    set.report(
+        &config,
+        "FW201",
+        Severity::Error,
+        "plan infeasible",
+        fair_lint::Location::none(),
+    );
+    assert_eq!(
+        set.to_json(),
+        r#"[
+  {
+    "code": "FW101",
+    "severity": "warn",
+    "message": "parameter \"trees\" is undeclared",
+    "location": {
+      "param": "trees",
+      "group": "g"
+    }
+  },
+  {
+    "code": "FW201",
+    "severity": "error",
+    "message": "plan infeasible"
+  }
+]"#
+    );
+}

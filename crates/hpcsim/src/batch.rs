@@ -72,7 +72,10 @@ impl BatchQueue {
     /// coefficient of variation.
     pub fn new(mean_wait: SimDuration, cv: f64, seed: u64) -> Self {
         Self {
-            wait_dist: Some(LogNormal::from_mean_cv(mean_wait.as_secs_f64().max(1e-6), cv)),
+            wait_dist: Some(LogNormal::from_mean_cv(
+                mean_wait.as_secs_f64().max(1e-6),
+                cv,
+            )),
             rng: StdRng::seed_from_u64(seed),
             clock: SimTime::ZERO,
             granted: 0,
@@ -225,7 +228,9 @@ mod tests {
                 0.8,
                 seed,
             );
-            (0..5).map(|_| s.next_allocation().start.0).collect::<Vec<_>>()
+            (0..5)
+                .map(|_| s.next_allocation().start.0)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));

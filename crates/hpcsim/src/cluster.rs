@@ -28,9 +28,20 @@ pub struct ClusterSpec {
 
 impl ClusterSpec {
     /// Creates a cluster spec.
-    pub fn new(name: impl Into<String>, nodes: u32, cores_per_node: u32, fs_bandwidth_bps: f64) -> Self {
-        assert!(nodes > 0 && cores_per_node > 0, "cluster must have nodes and cores");
-        assert!(fs_bandwidth_bps > 0.0, "filesystem bandwidth must be positive");
+    pub fn new(
+        name: impl Into<String>,
+        nodes: u32,
+        cores_per_node: u32,
+        fs_bandwidth_bps: f64,
+    ) -> Self {
+        assert!(
+            nodes > 0 && cores_per_node > 0,
+            "cluster must have nodes and cores"
+        );
+        assert!(
+            fs_bandwidth_bps > 0.0,
+            "filesystem bandwidth must be positive"
+        );
         Self {
             name: name.into(),
             nodes,

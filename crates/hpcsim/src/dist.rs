@@ -70,7 +70,10 @@ impl LogNormal {
     /// of variation (`cv = std/mean`). This is the natural way to say "mean
     /// task time 90 s, heavy tail cv=0.8".
     pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
-        assert!(mean > 0.0 && cv >= 0.0, "mean must be positive, cv non-negative");
+        assert!(
+            mean > 0.0 && cv >= 0.0,
+            "mean must be positive, cv non-negative"
+        );
         let sigma2 = (1.0 + cv * cv).ln();
         let mu = mean.ln() - sigma2 / 2.0;
         Self::new(mu, sigma2.sqrt())

@@ -95,7 +95,11 @@ impl<E> Simulation<E> {
     /// # Panics
     /// If `at` is in the simulated past.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, event });

@@ -255,8 +255,8 @@ mod tests {
         let vals: Vec<f64> = (0..500)
             .map(|i| load.load_at(SimTime(i * load.step.0), 11))
             .collect();
-        let adjacent: f64 = vals.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
-            / (vals.len() - 1) as f64;
+        let adjacent: f64 =
+            vals.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (vals.len() - 1) as f64;
         let distant: f64 = vals
             .iter()
             .zip(vals.iter().skip(100))

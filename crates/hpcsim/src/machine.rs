@@ -148,7 +148,15 @@ pub fn simulate_queue(
             }
             let head = queue[0];
             if jobs[head].nodes <= free {
-                start_job(&mut outcomes, &mut running, &mut free, jobs, head, now, false);
+                start_job(
+                    &mut outcomes,
+                    &mut running,
+                    &mut free,
+                    jobs,
+                    head,
+                    now,
+                    false,
+                );
                 queue.remove(0);
                 started_any = true;
                 continue;
@@ -174,7 +182,15 @@ pub fn simulate_queue(
                     }
                 }
                 if let Some((qpos, cand)) = bf {
-                    start_job(&mut outcomes, &mut running, &mut free, jobs, cand, now, true);
+                    start_job(
+                        &mut outcomes,
+                        &mut running,
+                        &mut free,
+                        jobs,
+                        cand,
+                        now,
+                        true,
+                    );
                     queue.remove(qpos);
                     started_any = true;
                     continue;
@@ -347,7 +363,11 @@ mod tests {
         ];
         let outcomes = simulate_queue(&machine(10), &jobs, QueuePolicy::EasyBackfill);
         let ids = by_id(&outcomes);
-        assert_eq!(ids["c"].start, SimTime::ZERO + mins(2), "c backfills at submit");
+        assert_eq!(
+            ids["c"].start,
+            SimTime::ZERO + mins(2),
+            "c backfills at submit"
+        );
         assert!(ids["c"].backfilled);
         // head b still starts exactly at its reservation
         assert_eq!(ids["b"].start, SimTime::ZERO + mins(60));
@@ -385,7 +405,15 @@ mod tests {
     #[test]
     fn all_jobs_scheduled_exactly_once() {
         let jobs: Vec<JobRequest> = (0..40)
-            .map(|i: u64| job(&format!("j{i}"), 1 + (i % 5) as u32, 30 + i, 10 + (i * 7) % 25, i))
+            .map(|i: u64| {
+                job(
+                    &format!("j{i}"),
+                    1 + (i % 5) as u32,
+                    30 + i,
+                    10 + (i * 7) % 25,
+                    i,
+                )
+            })
             .collect();
         for policy in [QueuePolicy::Fcfs, QueuePolicy::EasyBackfill] {
             let outcomes = simulate_queue(&machine(12), &jobs, policy);
@@ -401,7 +429,12 @@ mod tests {
                     .filter(|p| p.start <= o.start && p.finish > o.start)
                     .map(|p| p.nodes)
                     .sum();
-                assert!(in_flight <= 12, "{} nodes in flight at {}", in_flight, o.start);
+                assert!(
+                    in_flight <= 12,
+                    "{} nodes in flight at {}",
+                    in_flight,
+                    o.start
+                );
             }
         }
     }
@@ -443,10 +476,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "requests")]
     fn oversize_job_rejected() {
-        simulate_queue(
-            &machine(4),
-            &[job("big", 8, 10, 10, 0)],
-            QueuePolicy::Fcfs,
-        );
+        simulate_queue(&machine(4), &[job("big", 8, 10, 10, 0)], QueuePolicy::Fcfs);
     }
 }

@@ -130,7 +130,10 @@ impl UtilizationTrace {
 
     /// Marks one more node busy at `at`.
     pub fn node_busy(&mut self, at: SimTime) {
-        assert!(self.busy < self.total_nodes, "more busy nodes than allocated");
+        assert!(
+            self.busy < self.total_nodes,
+            "more busy nodes than allocated"
+        );
         self.busy += 1;
         self.series.record(at, self.busy as f64);
     }

@@ -131,25 +131,23 @@ mod machine_props {
     use proptest::prelude::*;
 
     fn arb_jobs(max_nodes: u32) -> impl Strategy<Value = Vec<JobRequest>> {
-        proptest::collection::vec(
-            (1..=max_nodes, 1u64..120, 1u64..120, 0u64..500),
-            1..40,
+        proptest::collection::vec((1..=max_nodes, 1u64..120, 1u64..120, 0u64..500), 1..40).prop_map(
+            |specs| {
+                specs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (nodes, wall, run, submit))| {
+                        JobRequest::new(
+                            format!("j{i}"),
+                            nodes,
+                            SimDuration::from_mins(wall),
+                            SimDuration::from_mins(run),
+                            SimTime::ZERO + SimDuration::from_mins(submit),
+                        )
+                    })
+                    .collect()
+            },
         )
-        .prop_map(|specs| {
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (nodes, wall, run, submit))| {
-                    JobRequest::new(
-                        format!("j{i}"),
-                        nodes,
-                        SimDuration::from_mins(wall),
-                        SimDuration::from_mins(run),
-                        SimTime::ZERO + SimDuration::from_mins(submit),
-                    )
-                })
-                .collect()
-        })
     }
 
     proptest! {

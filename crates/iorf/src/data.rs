@@ -16,7 +16,10 @@ impl Matrix {
     /// If `data.len() != rows * cols` or any value is non-finite.
     pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "data length mismatch");
-        assert!(data.iter().all(|x| x.is_finite()), "matrix values must be finite");
+        assert!(
+            data.iter().all(|x| x.is_finite()),
+            "matrix values must be finite"
+        );
         let names = (0..cols).map(|j| format!("f{j}")).collect();
         Self {
             rows,

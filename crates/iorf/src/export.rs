@@ -118,7 +118,11 @@ pub fn decode_edge_list(text: &str, names: &[String]) -> Result<Adjacency, EdgeL
 }
 
 /// Convenience: the strongest `k` edges with labels, for reports.
-pub fn labeled_top_edges(adj: &Adjacency, names: &[String], k: usize) -> Vec<(String, String, f64)> {
+pub fn labeled_top_edges(
+    adj: &Adjacency,
+    names: &[String],
+    k: usize,
+) -> Vec<(String, String, f64)> {
     adj.top_edges(k)
         .into_iter()
         .map(|Edge { from, to, weight }| (names[from].clone(), names[to].clone(), weight))

@@ -211,7 +211,11 @@ mod tests {
     #[test]
     fn learns_linear_signal() {
         let (x, y) = linear_data(300);
-        let config = ForestConfig { n_trees: 60, seed: 1, ..Default::default() };
+        let config = ForestConfig {
+            n_trees: 60,
+            seed: 1,
+            ..Default::default()
+        };
         let forest = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
         let r2 = forest.r2(&x, &y);
         assert!(r2 > 0.9, "r2={r2}");
@@ -223,7 +227,11 @@ mod tests {
     #[test]
     fn oob_error_reasonable() {
         let (x, y) = linear_data(300);
-        let config = ForestConfig { n_trees: 60, seed: 2, ..Default::default() };
+        let config = ForestConfig {
+            n_trees: 60,
+            seed: 2,
+            ..Default::default()
+        };
         let forest = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
         let oob = forest.oob_mse().expect("60 trees cover everything OOB");
         let var = {
@@ -236,7 +244,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed_and_threads() {
         let (x, y) = linear_data(120);
-        let config = ForestConfig { n_trees: 20, seed: 3, ..Default::default() };
+        let config = ForestConfig {
+            n_trees: 20,
+            seed: 3,
+            ..Default::default()
+        };
         let a = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
         let b = RandomForest::fit(&x, &y, &config, &[1.0; 3], &ThreadPool::new(1));
         // per-tree seeds are independent of thread scheduling
@@ -248,7 +260,11 @@ mod tests {
     fn importance_all_zero_when_unlearnable() {
         let x = Matrix::new(20, 2, vec![1.0; 40]); // constant features
         let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let config = ForestConfig { n_trees: 10, seed: 4, ..Default::default() };
+        let config = ForestConfig {
+            n_trees: 10,
+            seed: 4,
+            ..Default::default()
+        };
         let forest = RandomForest::fit(&x, &y, &config, &[1.0; 2], &pool());
         assert!(forest.importance().iter().all(|&v| v == 0.0));
     }
@@ -256,7 +272,11 @@ mod tests {
     #[test]
     fn permutation_importance_agrees_with_impurity() {
         let (x, y) = linear_data(300);
-        let config = ForestConfig { n_trees: 40, seed: 8, ..Default::default() };
+        let config = ForestConfig {
+            n_trees: 40,
+            seed: 8,
+            ..Default::default()
+        };
         let forest = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
         let perm = forest.permutation_importance(&x, &y, 5, &pool());
         // signal features (0 and 2) degrade prediction when shuffled far
@@ -276,7 +296,11 @@ mod tests {
     #[test]
     fn permutation_importance_deterministic() {
         let (x, y) = linear_data(120);
-        let config = ForestConfig { n_trees: 15, seed: 2, ..Default::default() };
+        let config = ForestConfig {
+            n_trees: 15,
+            seed: 2,
+            ..Default::default()
+        };
         let forest = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
         let a = forest.permutation_importance(&x, &y, 3, &pool());
         let b = forest.permutation_importance(&x, &y, 3, &ThreadPool::new(1));
@@ -286,7 +310,11 @@ mod tests {
     #[test]
     fn single_tree_forest_works() {
         let (x, y) = linear_data(80);
-        let config = ForestConfig { n_trees: 1, seed: 5, ..Default::default() };
+        let config = ForestConfig {
+            n_trees: 1,
+            seed: 5,
+            ..Default::default()
+        };
         let forest = RandomForest::fit(&x, &y, &config, &[1.0; 3], &pool());
         assert_eq!(forest.n_trees(), 1);
     }

@@ -107,7 +107,11 @@ mod tests {
         IrfConfig {
             forest: ForestConfig {
                 n_trees: 30,
-                tree: TreeConfig { max_depth: 8, min_samples_leaf: 3, mtry: 3 },
+                tree: TreeConfig {
+                    max_depth: 8,
+                    min_samples_leaf: 3,
+                    mtry: 3,
+                },
                 seed: 11,
             },
             iterations,

@@ -79,7 +79,11 @@ impl Adjacency {
                 })
             })
             .collect();
-        edges.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+        edges.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         edges.truncate(k);
         edges
     }
@@ -96,12 +100,20 @@ impl Adjacency {
 /// Runs one iRF-LOOP task: target feature `target`, returning the
 /// importance vector mapped back to full feature indexing (target slot
 /// zero, vector normalized to sum 1 unless the model learned nothing).
-pub fn run_feature(data: &Matrix, target: usize, config: &LoopConfig, pool: &ThreadPool) -> Vec<f64> {
+pub fn run_feature(
+    data: &Matrix,
+    target: usize,
+    config: &LoopConfig,
+    pool: &ThreadPool,
+) -> Vec<f64> {
     let (x, mapping) = data.without_column(target);
     let y = data.column(target);
     let mut cfg = config.irf;
     // decorrelate per-target runs deterministically
-    cfg.forest.seed = cfg.forest.seed.wrapping_add((target as u64).wrapping_mul(0x9E37_79B9));
+    cfg.forest.seed = cfg
+        .forest
+        .seed
+        .wrapping_add((target as u64).wrapping_mul(0x9E37_79B9));
     let model = IrfModel::fit(&x, &y, &cfg, pool);
     let mut full = vec![0.0; data.cols()];
     for (compact_idx, &orig_idx) in mapping.iter().enumerate() {
@@ -127,7 +139,9 @@ pub fn run_loop(data: &Matrix, config: &LoopConfig, pool: &ThreadPool) -> Adjace
 /// inside — the pool's helping waiters make that safe). Produces exactly
 /// the same adjacency as [`run_loop`].
 pub fn run_loop_parallel(data: &Matrix, config: &LoopConfig, pool: &ThreadPool) -> Adjacency {
-    let columns = pool.map_index(data.cols(), |target| run_feature(data, target, config, pool));
+    let columns = pool.map_index(data.cols(), |target| {
+        run_feature(data, target, config, pool)
+    });
     let mut adj = Adjacency::new(data.cols());
     for (target, importance) in columns.iter().enumerate() {
         adj.set_column(target, importance);
@@ -163,7 +177,11 @@ mod tests {
             irf: IrfConfig {
                 forest: ForestConfig {
                     n_trees: 25,
-                    tree: TreeConfig { max_depth: 6, min_samples_leaf: 3, mtry: 4 },
+                    tree: TreeConfig {
+                        max_depth: 6,
+                        min_samples_leaf: 3,
+                        mtry: 4,
+                    },
                     seed: 42,
                 },
                 iterations: 2,

@@ -107,7 +107,10 @@ impl SynthConfig {
     /// Generates the matrix and its planted network.
     pub fn generate(&self) -> (Matrix, PlantedNetwork) {
         assert!(self.samples > 1 && self.features > 1);
-        assert!(self.roots >= 1 && self.roots < self.features, "roots must be in [1, features)");
+        assert!(
+            self.roots >= 1 && self.roots < self.features,
+            "roots must be in [1, features)"
+        );
         assert!(self.noise_sd >= 0.0);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = self.samples;
@@ -130,7 +133,10 @@ impl SynthConfig {
             }
             let col: Vec<f64> = (0..n)
                 .map(|s| {
-                    let signal: f64 = parents.iter().map(|&pi| self.edge_weight * columns[pi][s]).sum();
+                    let signal: f64 = parents
+                        .iter()
+                        .map(|&pi| self.edge_weight * columns[pi][s])
+                        .sum();
                     signal + self.noise_sd * box_muller(&mut rng)
                 })
                 .collect();
@@ -190,7 +196,10 @@ mod tests {
 
     #[test]
     fn derived_features_correlate_with_parents() {
-        let cfg = SynthConfig { noise_sd: 0.1, ..Default::default() };
+        let cfg = SynthConfig {
+            noise_sd: 0.1,
+            ..Default::default()
+        };
         let (m, net) = cfg.generate();
         let (parent, child) = net.edges[0];
         let a = m.column(parent);
@@ -207,10 +216,20 @@ mod tests {
 
     #[test]
     fn precision_recall_scoring() {
-        let net = PlantedNetwork { edges: vec![(0, 1), (1, 2)] };
+        let net = PlantedNetwork {
+            edges: vec![(0, 1), (1, 2)],
+        };
         let recovered = vec![
-            Edge { from: 1, to: 0, weight: 0.9 }, // reversed planted edge: counts
-            Edge { from: 0, to: 2, weight: 0.5 }, // not planted
+            Edge {
+                from: 1,
+                to: 0,
+                weight: 0.9,
+            }, // reversed planted edge: counts
+            Edge {
+                from: 0,
+                to: 2,
+                weight: 0.5,
+            }, // not planted
         ];
         assert!((net.precision(&recovered) - 0.5).abs() < 1e-12);
         assert!((net.recall(&recovered) - 0.5).abs() < 1e-12);
@@ -219,14 +238,28 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = SynthConfig { seed: 1, ..Default::default() }.generate().0;
-        let b = SynthConfig { seed: 2, ..Default::default() }.generate().0;
+        let a = SynthConfig {
+            seed: 1,
+            ..Default::default()
+        }
+        .generate()
+        .0;
+        let b = SynthConfig {
+            seed: 2,
+            ..Default::default()
+        }
+        .generate()
+        .0;
         assert_ne!(a, b);
     }
 
     #[test]
     #[should_panic(expected = "roots must be")]
     fn degenerate_roots_rejected() {
-        SynthConfig { roots: 0, ..Default::default() }.generate();
+        SynthConfig {
+            roots: 0,
+            ..Default::default()
+        }
+        .generate();
     }
 }

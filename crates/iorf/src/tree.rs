@@ -67,11 +67,7 @@ struct Builder<'a> {
 /// `weights`. Features with zero weight can still be drawn once all
 /// positive-weight features are exhausted (keeps mtry honest when the
 /// weight vector is sparse).
-fn weighted_sample_without_replacement(
-    weights: &[f64],
-    k: usize,
-    rng: &mut StdRng,
-) -> Vec<usize> {
+fn weighted_sample_without_replacement(weights: &[f64], k: usize, rng: &mut StdRng) -> Vec<usize> {
     let mut remaining: Vec<usize> = (0..weights.len()).collect();
     let mut out = Vec::with_capacity(k);
     for _ in 0..k.min(weights.len()) {
@@ -261,7 +257,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -319,7 +319,11 @@ mod tests {
     fn learns_a_step_function() {
         let (x, y) = step_data();
         let indices: Vec<usize> = (0..x.rows()).collect();
-        let config = TreeConfig { max_depth: 4, min_samples_leaf: 2, mtry: 2 };
+        let config = TreeConfig {
+            max_depth: 4,
+            min_samples_leaf: 2,
+            mtry: 2,
+        };
         let tree = DecisionTree::fit(&x, &y, &indices, config, &[1.0, 1.0], &mut rng(1));
         // perfect recovery of the step
         for (i, &target) in y.iter().enumerate() {
@@ -335,7 +339,11 @@ mod tests {
     fn respects_max_depth() {
         let (x, y) = step_data();
         let indices: Vec<usize> = (0..x.rows()).collect();
-        let config = TreeConfig { max_depth: 2, min_samples_leaf: 1, mtry: 2 };
+        let config = TreeConfig {
+            max_depth: 2,
+            min_samples_leaf: 1,
+            mtry: 2,
+        };
         let tree = DecisionTree::fit(&x, &y, &indices, config, &[1.0, 1.0], &mut rng(1));
         assert!(tree.depth() <= 2);
     }
@@ -355,7 +363,11 @@ mod tests {
         let (x, y) = step_data();
         let indices: Vec<usize> = (0..x.rows()).collect();
         // weight only feature 0 (the noise feature) to zero → splits use f1
-        let config = TreeConfig { max_depth: 6, min_samples_leaf: 2, mtry: 1 };
+        let config = TreeConfig {
+            max_depth: 6,
+            min_samples_leaf: 2,
+            mtry: 1,
+        };
         let tree = DecisionTree::fit(&x, &y, &indices, config, &[0.0, 1.0], &mut rng(2));
         assert_eq!(tree.importance()[0], 0.0);
         assert!(tree.importance()[1] > 0.0);
@@ -365,7 +377,11 @@ mod tests {
     fn deterministic_given_seed() {
         let (x, y) = step_data();
         let indices: Vec<usize> = (0..x.rows()).collect();
-        let cfg = TreeConfig { max_depth: 6, min_samples_leaf: 2, mtry: 1 };
+        let cfg = TreeConfig {
+            max_depth: 6,
+            min_samples_leaf: 2,
+            mtry: 1,
+        };
         let a = DecisionTree::fit(&x, &y, &indices, cfg, &[1.0, 1.0], &mut rng(7));
         let b = DecisionTree::fit(&x, &y, &indices, cfg, &[1.0, 1.0], &mut rng(7));
         assert_eq!(a, b);
@@ -375,7 +391,11 @@ mod tests {
     fn min_samples_leaf_respected() {
         let (x, y) = step_data();
         let indices: Vec<usize> = (0..x.rows()).collect();
-        let config = TreeConfig { max_depth: 30, min_samples_leaf: 50, mtry: 2 };
+        let config = TreeConfig {
+            max_depth: 30,
+            min_samples_leaf: 50,
+            mtry: 2,
+        };
         let tree = DecisionTree::fit(&x, &y, &indices, config, &[1.0, 1.0], &mut rng(3));
         // with 200 samples and ≥50 per leaf, at most 4 leaves → ≤ 7 nodes
         assert!(tree.node_count() <= 7, "nodes={}", tree.node_count());
@@ -413,7 +433,11 @@ mod tests {
     fn bootstrap_indices_with_repeats_work() {
         let (x, y) = step_data();
         let indices: Vec<usize> = (0..x.rows()).map(|i| i % 50).collect(); // heavy repeats
-        let cfg = TreeConfig { max_depth: 5, min_samples_leaf: 2, mtry: 2 };
+        let cfg = TreeConfig {
+            max_depth: 5,
+            min_samples_leaf: 2,
+            mtry: 2,
+        };
         let tree = DecisionTree::fit(&x, &y, &indices, cfg, &[1.0, 1.0], &mut rng(4));
         assert!(tree.node_count() >= 1);
     }

@@ -72,6 +72,97 @@ impl CampaignSimReport {
     }
 }
 
+/// Why a gated campaign was refused before any allocation was requested.
+///
+/// Carries the full diagnostic set — warnings and hints included — so the
+/// caller can render everything the linter saw, but only error-severity
+/// findings trigger the refusal.
+#[derive(Debug, Clone)]
+pub struct PreflightBlocked {
+    /// Everything the pre-flight lint pass reported.
+    pub diagnostics: fair_lint::DiagnosticSet,
+}
+
+impl std::fmt::Display for PreflightBlocked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "campaign refused by pre-flight lint ({} error(s)):",
+            self.diagnostics.errors().count()
+        )?;
+        for d in self.diagnostics.errors() {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PreflightBlocked {}
+
+/// Whether (and with what context) to lint a campaign before launching.
+///
+/// The gate is **opt-out**: [`PreflightGate::enforce`] is the intended
+/// default, and [`PreflightGate::Skip`] exists for callers that have
+/// already linted or that deliberately execute a defective campaign
+/// (e.g. fault-injection studies).
+#[derive(Debug, Clone, Default)]
+pub enum PreflightGate<'a> {
+    /// Lint with this context and configuration; refuse on any
+    /// error-severity finding.
+    Enforce {
+        /// Cross-checking context (graph, app, machine, …).
+        context: fair_lint::PreflightContext<'a>,
+        /// Per-rule configuration and thresholds.
+        config: fair_lint::LintConfig,
+    },
+    /// Launch without linting.
+    #[default]
+    Skip,
+}
+
+impl<'a> PreflightGate<'a> {
+    /// An enforcing gate with the given context and the default rule
+    /// configuration.
+    pub fn enforce(context: fair_lint::PreflightContext<'a>) -> Self {
+        PreflightGate::Enforce {
+            context,
+            config: fair_lint::LintConfig::new(),
+        }
+    }
+}
+
+/// [`run_campaign_sim`] behind a pre-execution lint gate.
+///
+/// With an enforcing gate, the manifest (and the modeled durations, which
+/// feed the run-vs-walltime check) is linted first; any error-severity
+/// finding refuses the launch and returns the full diagnostic set without
+/// consuming a single allocation. "Reusability first" includes not
+/// burning machine time on campaigns that are statically known to fail.
+pub fn run_campaign_sim_gated(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &dyn AllocationScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    gate: &PreflightGate<'_>,
+) -> Result<CampaignSimReport, PreflightBlocked> {
+    if let PreflightGate::Enforce { context, config } = gate {
+        let diagnostics = fair_lint::preflight_campaign(manifest, Some(durations), context, config);
+        if !diagnostics.is_clean() {
+            return Err(PreflightBlocked { diagnostics });
+        }
+    }
+    Ok(run_campaign_sim(
+        manifest,
+        durations,
+        scheduler,
+        series,
+        board,
+        max_allocations,
+    ))
+}
+
 /// Simulates a campaign to completion (or `max_allocations`).
 ///
 /// `durations` maps run ids to modeled execution times; runs missing from
@@ -130,7 +221,11 @@ pub fn run_campaign_sim(
             series.release_early(active_end);
         }
         last_activity = last_activity.max(active_end);
-        let span_for_util = if active_end > alloc.start { active_end } else { alloc.end };
+        let span_for_util = if active_end > alloc.start {
+            active_end
+        } else {
+            alloc.end
+        };
         allocations.push(AllocationRecord {
             index: alloc.index,
             start: alloc.start,
@@ -220,7 +315,14 @@ mod tests {
         Campaign::new("irf", "inst", AppDef::new("irf", "irf.exe"))
             .with_group(SweepGroup::new(
                 "features",
-                Sweep::new().with("feature", SweepSpec::IntRange { start: 0, end: runs - 1, step: 1 }),
+                Sweep::new().with(
+                    "feature",
+                    SweepSpec::IntRange {
+                        start: 0,
+                        end: runs - 1,
+                        step: 1,
+                    },
+                ),
                 4,
                 1,
                 3600,
@@ -303,10 +405,7 @@ mod tests {
         );
         assert!(!report.is_complete());
         assert_eq!(report.allocations.len(), 2);
-        assert_eq!(
-            report.completed_runs + report.remaining_runs,
-            400
-        );
+        assert_eq!(report.completed_runs + report.remaining_runs, 400);
     }
 
     #[test]
@@ -363,14 +462,28 @@ mod tests {
         let m = Campaign::new("hetero", "inst", AppDef::new("a", "a.exe"))
             .with_group(SweepGroup::new(
                 "small",
-                Sweep::new().with("i", SweepSpec::IntRange { start: 0, end: 5, step: 1 }),
+                Sweep::new().with(
+                    "i",
+                    SweepSpec::IntRange {
+                        start: 0,
+                        end: 5,
+                        step: 1,
+                    },
+                ),
                 2,
                 1,
                 1800,
             ))
             .with_group(SweepGroup::new(
                 "big",
-                Sweep::new().with("j", SweepSpec::IntRange { start: 0, end: 19, step: 1 }),
+                Sweep::new().with(
+                    "j",
+                    SweepSpec::IntRange {
+                        start: 0,
+                        end: 19,
+                        step: 1,
+                    },
+                ),
                 8,
                 1,
                 7200,
@@ -414,10 +527,20 @@ mod tests {
         let durations = uniform_durations(&m, 60);
         let mut board = StatusBoard::for_manifest(&m);
         let mut s = series();
-        let report = run_campaign_sim(&m, &durations, &PilotScheduler::new(), &mut s, &mut board, 5);
+        let report = run_campaign_sim(
+            &m,
+            &durations,
+            &PilotScheduler::new(),
+            &mut s,
+            &mut board,
+            5,
+        );
         assert!(report.is_complete());
         let rec = &report.allocations[0];
-        assert!(rec.finished_at < rec.end, "2×60 s should finish well before 1 h");
+        assert!(
+            rec.finished_at < rec.end,
+            "2×60 s should finish well before 1 h"
+        );
         assert_eq!(s.now(), rec.finished_at);
     }
 }

@@ -159,7 +159,11 @@ pub fn run_campaign_sim_with_faults(
             series.release_early(active_end);
         }
         last_activity = last_activity.max(active_end);
-        let span_for_util = if active_end > alloc.start { active_end } else { alloc.end };
+        let span_for_util = if active_end > alloc.start {
+            active_end
+        } else {
+            alloc.end
+        };
         allocations.push(AllocationRecord {
             index: alloc.index,
             start: alloc.start,
@@ -188,7 +192,10 @@ pub fn run_campaign_sim_with_faults(
     }
 
     let remaining = board.incomplete_runs(manifest).len()
-        + board.iter().filter(|&(_, s)| s == RunStatus::Failed).count();
+        + board
+            .iter()
+            .filter(|&(_, s)| s == RunStatus::Failed)
+            .count();
     FaultyCampaignReport {
         report: CampaignSimReport {
             scheduler: scheduler.name(),
@@ -228,7 +235,14 @@ mod tests {
         let m = Campaign::new("f", "m", AppDef::new("a", "a.exe"))
             .with_group(SweepGroup::new(
                 "g",
-                Sweep::new().with("i", SweepSpec::IntRange { start: 0, end: runs - 1, step: 1 }),
+                Sweep::new().with(
+                    "i",
+                    SweepSpec::IntRange {
+                        start: 0,
+                        end: runs - 1,
+                        step: 1,
+                    },
+                ),
                 4,
                 1,
                 3600,
@@ -296,7 +310,11 @@ mod tests {
             FailureHandling::AutoRequeue,
         );
         assert!(result.failed_attempts > 0, "30% faults must bite");
-        assert!(result.report.is_complete(), "remaining {}", result.report.remaining_runs);
+        assert!(
+            result.report.is_complete(),
+            "remaining {}",
+            result.report.remaining_runs
+        );
         assert_eq!(result.report.completed_runs, 24);
         assert!(board.summary().is_complete());
     }
@@ -322,7 +340,10 @@ mod tests {
             turnaround: SimDuration::from_hours(3),
         });
         assert!(auto.report.is_complete() && manual.report.is_complete());
-        assert_eq!(auto.failed_attempts, manual.failed_attempts, "same fault draws");
+        assert_eq!(
+            auto.failed_attempts, manual.failed_attempts,
+            "same fault draws"
+        );
         assert!(manual.curation_rounds > 0);
         assert!(
             manual.report.total_span > auto.report.total_span,

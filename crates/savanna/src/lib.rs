@@ -31,7 +31,10 @@ pub mod pilot;
 pub mod setsync;
 pub mod task;
 
-pub use driver::{run_campaign_sim, AllocationRecord, CampaignSimReport};
+pub use driver::{
+    run_campaign_sim, run_campaign_sim_gated, AllocationRecord, CampaignSimReport,
+    PreflightBlocked, PreflightGate,
+};
 pub use faults::{run_campaign_sim_with_faults, FailureHandling, FaultSpec, FaultyCampaignReport};
 pub use local::LocalExecutor;
 pub use pilot::{PilotScheduler, PlacementPolicy};

@@ -88,8 +88,7 @@ impl LocalExecutor {
     {
         let todo: Vec<&RunManifest> = board.incomplete_runs(manifest);
         let attempted = todo.len();
-        let results: Vec<Result<(), String>> =
-            self.pool.map_index(todo.len(), |i| task(todo[i]));
+        let results: Vec<Result<(), String>> = self.pool.map_index(todo.len(), |i| task(todo[i]));
         let mut succeeded = 0;
         let mut failed = 0;
         let ids: Vec<String> = todo.iter().map(|r| r.id.clone()).collect();
@@ -125,7 +124,14 @@ mod tests {
         Campaign::new("local", "laptop", AppDef::new("task", "builtin"))
             .with_group(SweepGroup::new(
                 "g",
-                Sweep::new().with("i", SweepSpec::IntRange { start: 0, end: n - 1, step: 1 }),
+                Sweep::new().with(
+                    "i",
+                    SweepSpec::IntRange {
+                        start: 0,
+                        end: n - 1,
+                        step: 1,
+                    },
+                ),
                 1,
                 1,
                 60,

@@ -6,8 +6,8 @@
 //! set-synchronized workflow (Fig. 6) and for the >5× campaign speedup
 //! (Fig. 7).
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use hpcsim::batch::Allocation;
 use hpcsim::time::SimTime;
@@ -224,11 +224,13 @@ mod tests {
         let unfinished = out.unfinished_ids();
         assert_eq!(unfinished.len(), 2);
         // the ones never started are NotStarted, not TimedOut
-        assert!(out
-            .results
-            .iter()
-            .filter(|(_, r)| matches!(r, TaskResult::NotStarted))
-            .count() >= 1);
+        assert!(
+            out.results
+                .iter()
+                .filter(|(_, r)| matches!(r, TaskResult::NotStarted))
+                .count()
+                >= 1
+        );
     }
 
     #[test]

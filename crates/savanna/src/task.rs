@@ -101,7 +101,12 @@ mod tests {
     fn outcome_partitions_ids() {
         let outcome = ScheduleOutcome {
             results: vec![
-                ("a".into(), TaskResult::Completed { finish: SimTime::from_secs(5) }),
+                (
+                    "a".into(),
+                    TaskResult::Completed {
+                        finish: SimTime::from_secs(5),
+                    },
+                ),
                 ("b".into(), TaskResult::TimedOut),
                 ("c".into(), TaskResult::NotStarted),
             ],

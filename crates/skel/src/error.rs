@@ -62,10 +62,16 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         let cases: Vec<SkelError> = vec![
-            SkelError::TemplateSyntax { offset: 3, message: "x".into() },
+            SkelError::TemplateSyntax {
+                offset: 3,
+                message: "x".into(),
+            },
             SkelError::ModelParse("m".into()),
             SkelError::MissingValue("a.b".into()),
-            SkelError::TypeMismatch { path: "a".into(), expected: "array" },
+            SkelError::TypeMismatch {
+                path: "a".into(),
+                expected: "array",
+            },
             SkelError::Validation("v".into()),
             SkelError::Io("e".into()),
         ];

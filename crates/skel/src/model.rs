@@ -25,7 +25,9 @@ impl Model {
         let root: Value =
             serde_json::from_str(json).map_err(|e| SkelError::ModelParse(e.to_string()))?;
         if !root.is_object() {
-            return Err(SkelError::ModelParse("model root must be a JSON object".into()));
+            return Err(SkelError::ModelParse(
+                "model root must be a JSON object".into(),
+            ));
         }
         Ok(Self { root })
     }
@@ -33,7 +35,9 @@ impl Model {
     /// Wraps an already-built JSON value.
     pub fn from_value(root: Value) -> Result<Self, SkelError> {
         if !root.is_object() {
-            return Err(SkelError::ModelParse("model root must be a JSON object".into()));
+            return Err(SkelError::ModelParse(
+                "model root must be a JSON object".into(),
+            ));
         }
         Ok(Self { root })
     }
@@ -66,12 +70,16 @@ impl Model {
         let segs: Vec<&str> = path.split('.').collect();
         for (i, seg) in segs.iter().enumerate() {
             if seg.is_empty() {
-                return Err(SkelError::ModelParse(format!("empty path segment in {path:?}")));
+                return Err(SkelError::ModelParse(format!(
+                    "empty path segment in {path:?}"
+                )));
             }
-            let obj = current.as_object_mut().ok_or_else(|| SkelError::TypeMismatch {
-                path: segs[..i].join("."),
-                expected: "an object",
-            })?;
+            let obj = current
+                .as_object_mut()
+                .ok_or_else(|| SkelError::TypeMismatch {
+                    path: segs[..i].join("."),
+                    expected: "an object",
+                })?;
             if i == segs.len() - 1 {
                 obj.insert(seg.to_string(), value);
                 return Ok(());

@@ -162,7 +162,12 @@ impl PasteModel {
             related_to: related.iter().map(|s| s.to_string()).collect(),
         };
         vec![
-            var("dataset.input_dir", "path", "directory holding input tables", &[]),
+            var(
+                "dataset.input_dir",
+                "path",
+                "directory holding input tables",
+                &[],
+            ),
             var("dataset.prefix", "string", "input filename prefix", &[]),
             var(
                 "dataset.num_files",
@@ -197,7 +202,10 @@ impl PasteModel {
 
     /// Input file name for index `i`.
     pub fn input_file(&self, i: u32) -> String {
-        format!("{}/{}{i:05}.tsv", self.dataset.input_dir, self.dataset.prefix)
+        format!(
+            "{}/{}{i:05}.tsv",
+            self.dataset.input_dir, self.dataset.prefix
+        )
     }
 
     /// Computes the staged paste plan.
@@ -293,7 +301,8 @@ echo "$done_count / $total paste tasks complete"
     /// element" logic, so the model carries it.
     pub fn render_model(&self) -> Result<Model, SkelError> {
         let plan = self.plan();
-        let mut root = serde_json::to_value(self).map_err(|e| SkelError::ModelParse(e.to_string()))?;
+        let mut root =
+            serde_json::to_value(self).map_err(|e| SkelError::ModelParse(e.to_string()))?;
         let obj = root.as_object_mut().expect("model is an object");
         let n_phases = plan.phases.len();
         let phases_value: Vec<serde_json::Value> = plan
@@ -414,7 +423,10 @@ mod tests {
     fn all_inputs_covered_exactly_once() {
         let m = PasteModel::example();
         let plan = m.plan();
-        let firsts: Vec<&String> = plan.phases[0].iter().flat_map(|j| j.inputs.iter()).collect();
+        let firsts: Vec<&String> = plan.phases[0]
+            .iter()
+            .flat_map(|j| j.inputs.iter())
+            .collect();
         assert_eq!(firsts.len(), 64);
         let expected: Vec<String> = (0..64).map(|i| m.input_file(i)).collect();
         assert_eq!(

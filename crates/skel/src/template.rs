@@ -58,9 +58,20 @@ enum Cond {
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
     Text(String),
-    Var { path: String, filters: Vec<Filter> },
-    For { var: String, list: String, body: Vec<Node> },
-    If { cond: Cond, then: Vec<Node>, otherwise: Vec<Node> },
+    Var {
+        path: String,
+        filters: Vec<Filter>,
+    },
+    For {
+        var: String,
+        list: String,
+        body: Vec<Node>,
+    },
+    If {
+        cond: Cond,
+        then: Vec<Node>,
+        otherwise: Vec<Node>,
+    },
 }
 
 /// A parsed template, ready to render against any [`Model`].
@@ -143,7 +154,11 @@ fn collect_paths(nodes: &[Node], loop_vars: &mut Vec<String>, out: &mut Vec<Stri
                 collect_paths(body, loop_vars, out);
                 loop_vars.pop();
             }
-            Node::If { cond, then, otherwise } => {
+            Node::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let path = match cond {
                     Cond::Truthy(p) | Cond::Eq(p, _) | Cond::NotEq(p, _) => p,
                 };
@@ -216,7 +231,11 @@ impl<'a> Parser<'a> {
                             let mut else_pending = Vec::new();
                             let otherwise = self.parse_nodes(&mut else_pending)?;
                             match else_pending.pop() {
-                                Some(Tag::EndIf) => nodes.push(Node::If { cond, then, otherwise }),
+                                Some(Tag::EndIf) => nodes.push(Node::If {
+                                    cond,
+                                    then,
+                                    otherwise,
+                                }),
                                 _ => return Err(self.err("unterminated {% else %}")),
                             }
                         }
@@ -306,9 +325,7 @@ impl<'a> Parser<'a> {
 
 fn validate_ident(s: &str) -> Result<(), String> {
     if s.is_empty()
-        || !s
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        || !s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         || s.chars().next().is_some_and(|c| c.is_ascii_digit())
     {
         return Err(format!("invalid identifier {s:?}"));
@@ -327,11 +344,7 @@ fn validate_path(s: &str) -> Result<(), String> {
 }
 
 /// Resolves `path` against loop scopes (innermost first) then the model.
-fn lookup<'v>(
-    path: &str,
-    model: &'v Model,
-    scopes: &'v [(String, Value)],
-) -> Option<Value> {
+fn lookup<'v>(path: &str, model: &'v Model, scopes: &'v [(String, Value)]) -> Option<Value> {
     let mut segs = path.split('.');
     let head = segs.next().expect("paths are non-empty");
     for (name, value) in scopes.iter().rev() {
@@ -443,7 +456,11 @@ fn render_nodes(
                     scopes.pop();
                 }
             }
-            Node::If { cond, then, otherwise } => {
+            Node::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let take_then = match cond {
                     Cond::Truthy(path) => truthy(lookup(path, model, scopes).as_ref()),
                     Cond::Eq(path, lit) | Cond::NotEq(path, lit) => {
@@ -505,18 +522,30 @@ mod tests {
     #[test]
     fn filters_chain() {
         assert_eq!(render("{{ s | upper }}", r#"{"s": "abc"}"#), "ABC");
-        assert_eq!(render("{{ s | trim | lower }}", r#"{"s": "  ABC "}"#), "abc");
+        assert_eq!(
+            render("{{ s | trim | lower }}", r#"{"s": "  ABC "}"#),
+            "abc"
+        );
         assert_eq!(render("{{ xs | len }}", r#"{"xs": [1,2,3]}"#), "3");
         assert_eq!(render("{{ xs | json }}", r#"{"xs": [1,2]}"#), "[1,2]");
     }
 
     #[test]
     fn path_filters() {
-        assert_eq!(render("{{ p | basename }}", r#"{"p": "/data/run/geno.tsv"}"#), "geno.tsv");
-        assert_eq!(render("{{ p | dirname }}", r#"{"p": "/data/run/geno.tsv"}"#), "/data/run");
+        assert_eq!(
+            render("{{ p | basename }}", r#"{"p": "/data/run/geno.tsv"}"#),
+            "geno.tsv"
+        );
+        assert_eq!(
+            render("{{ p | dirname }}", r#"{"p": "/data/run/geno.tsv"}"#),
+            "/data/run"
+        );
         assert_eq!(render("{{ p | dirname }}", r#"{"p": "/top"}"#), "/");
         assert_eq!(render("{{ p | dirname }}", r#"{"p": "bare.tsv"}"#), ".");
-        assert_eq!(render("{{ p | basename }}", r#"{"p": "bare.tsv"}"#), "bare.tsv");
+        assert_eq!(
+            render("{{ p | basename }}", r#"{"p": "bare.tsv"}"#),
+            "bare.tsv"
+        );
         assert_eq!(
             render("{{ p | basename | upper }}", r#"{"p": "/x/y.tsv"}"#),
             "Y.TSV"
@@ -609,11 +638,13 @@ mod tests {
         assert!(Template::parse("{{ unclosed").is_err());
         assert!(Template::parse("{% for x %}{% endfor %}").is_err());
         assert!(Template::parse("{% for x in xs %}").is_err());
-        assert!(Template::parse("{% endfor %}x").is_err() || {
-            // a stray endfor leaves pending tags; parse_nodes at top level
-            // treats it as end-of-block — ensure it errors.
-            false
-        });
+        assert!(
+            Template::parse("{% endfor %}x").is_err() || {
+                // a stray endfor leaves pending tags; parse_nodes at top level
+                // treats it as end-of-block — ensure it errors.
+                false
+            }
+        );
         assert!(Template::parse("{{ a | nosuch }}").is_err());
         assert!(Template::parse("{{ 9bad }}").is_err());
     }

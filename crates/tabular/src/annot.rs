@@ -87,7 +87,11 @@ pub enum AnnotError {
 impl fmt::Display for AnnotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AnnotError::TooFewColumns { line, found, required } => {
+            AnnotError::TooFewColumns {
+                line,
+                found,
+                required,
+            } => {
                 write!(f, "line {line}: {found} columns, need at least {required}")
             }
             AnnotError::BadCoordinate { line, message } => {
@@ -113,12 +117,20 @@ pub fn parse_bed(text: &str) -> Result<Vec<Interval>, AnnotError> {
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') || line.starts_with("track") || line.starts_with("browser") {
+        if line.is_empty()
+            || line.starts_with('#')
+            || line.starts_with("track")
+            || line.starts_with("browser")
+        {
             continue;
         }
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() < 3 {
-            return Err(AnnotError::TooFewColumns { line: line_no, found: cols.len(), required: 3 });
+            return Err(AnnotError::TooFewColumns {
+                line: line_no,
+                found: cols.len(),
+                required: 3,
+            });
         }
         let start = parse_coord(cols[1], line_no)?;
         let end = parse_coord(cols[2], line_no)?;
@@ -134,7 +146,10 @@ pub fn parse_bed(text: &str) -> Result<Vec<Interval>, AnnotError> {
             end,
             name: cols.get(3).unwrap_or(&".").to_string(),
             score: cols.get(4).and_then(|s| s.parse().ok()),
-            strand: cols.get(5).and_then(|s| s.chars().next()).filter(|&c| c == '+' || c == '-'),
+            strand: cols
+                .get(5)
+                .and_then(|s| s.chars().next())
+                .filter(|&c| c == '+' || c == '-'),
         });
     }
     Ok(out)
@@ -170,7 +185,11 @@ pub fn parse_gff3(text: &str) -> Result<Vec<Interval>, AnnotError> {
         }
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() < 9 {
-            return Err(AnnotError::TooFewColumns { line: line_no, found: cols.len(), required: 9 });
+            return Err(AnnotError::TooFewColumns {
+                line: line_no,
+                found: cols.len(),
+                required: 9,
+            });
         }
         let start_1b = parse_coord(cols[3], line_no)?;
         let end_1b = parse_coord(cols[4], line_no)?;
@@ -312,7 +331,14 @@ mod tests {
     #[test]
     fn errors_carry_line_numbers() {
         let err = parse_bed("chr1\t0\n").unwrap_err();
-        assert_eq!(err, AnnotError::TooFewColumns { line: 1, found: 2, required: 3 });
+        assert_eq!(
+            err,
+            AnnotError::TooFewColumns {
+                line: 1,
+                found: 2,
+                required: 3
+            }
+        );
         let err = parse_bed("chr1\t10\t5\n").unwrap_err();
         assert!(matches!(err, AnnotError::BadCoordinate { line: 1, .. }));
         let err = parse_gff3("chr1\ts\tg\t0\t10\t.\t+\t.\tID=x\n").unwrap_err();

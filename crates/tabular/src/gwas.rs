@@ -66,7 +66,10 @@ impl GenotypeData {
     pub fn generate(config: &GwasConfig) -> Self {
         assert!(config.samples > 0 && config.snps > 0);
         assert!(config.maf_range.0 > 0.0 && config.maf_range.1 < 1.0);
-        assert!(config.causal.iter().all(|&(i, _)| i < config.snps), "causal index out of range");
+        assert!(
+            config.causal.iter().all(|&(i, _)| i < config.snps),
+            "causal index out of range"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mafs: Vec<f64> = (0..config.snps)
             .map(|_| {

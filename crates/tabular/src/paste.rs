@@ -39,10 +39,11 @@ impl fmt::Display for PasteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PasteError::NoInputs => write!(f, "paste requires at least one input"),
-            PasteError::LineCountMismatch { input, found, expected } => write!(
-                f,
-                "input #{input} has {found} lines, expected {expected}"
-            ),
+            PasteError::LineCountMismatch {
+                input,
+                found,
+                expected,
+            } => write!(f, "input #{input} has {found} lines, expected {expected}"),
             PasteError::Io(m) => write!(f, "io error: {m}"),
         }
     }
@@ -153,9 +154,8 @@ pub fn staged_paste(
         let outputs: Vec<PathBuf> = (0..groups.len())
             .map(|gi| workdir.join(format!("s{stage}_{gi:05}.tsv")))
             .collect();
-        let results: Vec<Result<(), PasteError>> = pool.map_index(groups.len(), |gi| {
-            paste_files(groups[gi], &outputs[gi])
-        });
+        let results: Vec<Result<(), PasteError>> =
+            pool.map_index(groups.len(), |gi| paste_files(groups[gi], &outputs[gi]));
         for r in results {
             r?;
         }
@@ -204,7 +204,11 @@ mod tests {
         let err = paste_contents(&["a\nb\n", "1\n"]).unwrap_err();
         assert_eq!(
             err,
-            PasteError::LineCountMismatch { input: 1, found: 1, expected: 2 }
+            PasteError::LineCountMismatch {
+                input: 1,
+                found: 1,
+                expected: 2
+            }
         );
     }
 
@@ -233,8 +237,7 @@ mod tests {
             .collect();
         let staged_out = dir.join("staged.tsv");
         let single_out = dir.join("single.tsv");
-        let invocations =
-            staged_paste(&inputs, &staged_out, 4, &dir.join("work"), &pool).unwrap();
+        let invocations = staged_paste(&inputs, &staged_out, 4, &dir.join("work"), &pool).unwrap();
         paste_files(&inputs, &single_out).unwrap();
         assert_eq!(
             std::fs::read_to_string(&staged_out).unwrap(),
@@ -275,14 +278,8 @@ mod tests {
         let b = dir.join("b.tsv");
         std::fs::write(&a, "1\n2\n").unwrap();
         std::fs::write(&b, "1\n").unwrap();
-        let err = staged_paste(
-            &[a, b],
-            &dir.join("out.tsv"),
-            2,
-            &dir.join("w"),
-            &pool,
-        )
-        .unwrap_err();
+        let err =
+            staged_paste(&[a, b], &dir.join("out.tsv"), 2, &dir.join("w"), &pool).unwrap_err();
         assert!(matches!(err, PasteError::LineCountMismatch { .. }));
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -93,7 +93,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -119,7 +120,7 @@ pub fn benjamini_hochberg(p_values: &[f64]) -> Vec<f64> {
         "p-values must lie in [0,1]"
     );
     let mut order: Vec<usize> = (0..m).collect();
-    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).expect("finite p"));
+    order.sort_by(|&a, &b| p_values[a].total_cmp(&p_values[b]));
     let mut q = vec![0.0; m];
     let mut running_min = 1.0_f64;
     for rank in (0..m).rev() {
@@ -214,7 +215,7 @@ mod tests {
         assert!(q.iter().all(|&v| (0.0..=1.0).contains(&v)));
         // q preserves the order of p
         let mut pairs: Vec<(f64, f64)> = p.iter().copied().zip(q.iter().copied()).collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         assert!(pairs.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-15));
         // q never smaller than p
         assert!(p.iter().zip(&q).all(|(p, q)| q >= p));

@@ -82,11 +82,7 @@ impl Table {
             "duplicate column name {name:?}"
         );
         if let Some(first) = self.columns.first() {
-            assert_eq!(
-                first.len(),
-                column.len(),
-                "column {name:?} length mismatch"
-            );
+            assert_eq!(first.len(), column.len(), "column {name:?} length mismatch");
         }
         self.names.push(name);
         self.columns.push(column);
@@ -171,7 +167,10 @@ mod tests {
         let mut t = Table::new();
         t.push_column("id", Column::Int(vec![1, 2, 3]));
         t.push_column("val", Column::Float(vec![0.5, 1.0, 2.5]));
-        t.push_column("name", Column::Str(vec!["a".into(), "b".into(), "c".into()]));
+        t.push_column(
+            "name",
+            Column::Str(vec!["a".into(), "b".into(), "c".into()]),
+        );
         t
     }
 

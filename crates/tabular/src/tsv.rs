@@ -33,8 +33,15 @@ impl fmt::Display for TsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TsvError::Empty => write!(f, "empty input: no header line"),
-            TsvError::Ragged { line, found, expected } => {
-                write!(f, "ragged row at line {line}: {found} cells, expected {expected}")
+            TsvError::Ragged {
+                line,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "ragged row at line {line}: {found} cells, expected {expected}"
+                )
             }
             TsvError::Io(m) => write!(f, "io error: {m}"),
         }
@@ -73,14 +80,22 @@ pub fn parse_delim(text: &str, delim: char) -> Result<Table, TsvError> {
         for (c, cell) in line.split(delim).enumerate() {
             if c >= ncols {
                 count = line.split(delim).count();
-                return Err(TsvError::Ragged { line: i + 2, found: count, expected: ncols });
+                return Err(TsvError::Ragged {
+                    line: i + 2,
+                    found: count,
+                    expected: ncols,
+                });
             }
             cells[c].push(cell);
             count = c + 1;
         }
         if count != ncols {
             // roll back the partial row before erroring
-            return Err(TsvError::Ragged { line: i + 2, found: count, expected: ncols });
+            return Err(TsvError::Ragged {
+                line: i + 2,
+                found: count,
+                expected: ncols,
+            });
         }
     }
     let mut table = Table::new();
@@ -105,11 +120,16 @@ fn dedup_name(table: &Table, name: String) -> String {
 }
 
 fn infer_column(cells: &[&str]) -> Column {
-    if !cells.is_empty() && cells.iter().all(|c| c.parse::<i64>().is_ok()) {
-        return Column::Int(cells.iter().map(|c| c.parse().unwrap()).collect());
-    }
-    if !cells.is_empty() && cells.iter().all(|c| c.parse::<f64>().is_ok()) {
-        return Column::Float(cells.iter().map(|c| c.parse().unwrap()).collect());
+    // Parse each cell exactly once per candidate type; any cell that
+    // defeats inference demotes the whole column to strings instead of
+    // panicking on a check/parse mismatch.
+    if !cells.is_empty() {
+        if let Some(ints) = cells.iter().map(|c| c.parse::<i64>().ok()).collect() {
+            return Column::Int(ints);
+        }
+        if let Some(floats) = cells.iter().map(|c| c.parse::<f64>().ok()).collect() {
+            return Column::Float(floats);
+        }
     }
     Column::Str(cells.iter().map(|c| c.to_string()).collect())
 }
@@ -188,7 +208,14 @@ mod tests {
     #[test]
     fn ragged_rows_error_with_line_number() {
         let err = parse("a\tb\n1\t2\n3\n").unwrap_err();
-        assert_eq!(err, TsvError::Ragged { line: 3, found: 1, expected: 2 });
+        assert_eq!(
+            err,
+            TsvError::Ragged {
+                line: 3,
+                found: 1,
+                expected: 2
+            }
+        );
         let err = parse("a\tb\n1\t2\t3\n").unwrap_err();
         assert!(matches!(err, TsvError::Ragged { line: 2, .. }));
     }
@@ -223,6 +250,17 @@ mod tests {
         let back = read_file(&path).unwrap();
         assert_eq!(t, back);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inference_defeating_cells_fall_back_to_strings() {
+        // "0x1F" looks numeric but parses as neither i64 nor f64; the
+        // column must come back verbatim as strings, not panic
+        let t = parse("x\n12\n0x1F\n").unwrap();
+        assert_eq!(t.column(0), &Column::Str(vec!["12".into(), "0x1F".into()]));
+        // leading '+' and exponent forms stay floats
+        let t = parse("y\n+1.5\n2e3\n").unwrap();
+        assert_eq!(t.column(0), &Column::Float(vec![1.5, 2000.0]));
     }
 
     #[test]

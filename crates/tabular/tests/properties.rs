@@ -8,7 +8,9 @@ use tabular::tsv;
 /// Cell text safe for TSV (no tabs/newlines, non-empty, and not
 /// numeric-looking so column types stay `Str` deterministically).
 fn arb_cell() -> impl Strategy<Value = String> {
-    "[a-zA-Z][a-zA-Z_ ]{0,10}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty", |s| !s.is_empty())
+    "[a-zA-Z][a-zA-Z_ ]{0,10}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty", |s| !s.is_empty())
 }
 
 proptest! {

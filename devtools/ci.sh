@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline CI: the checks every change must pass before it lands.
+#
+#   1. cargo fmt --check            — formatting is canonical
+#   2. cargo check --all-targets    — everything compiles (stubbed deps)
+#   3. cargo clippy -- -D warnings  — zero clippy findings, including the
+#                                     workspace lint policy (unwrap_used,
+#                                     dbg_macro, missing_docs)
+#
+# Steps 2 and 3 run through devtools/offline-check.sh, so the whole script
+# works with no network and no registry access. With a warm registry,
+# `cargo build --release && cargo test -q` remains the authoritative gate.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO"
+
+echo "== ci: cargo fmt --check =="
+cargo fmt --check
+
+echo "== ci: offline check + clippy =="
+"$REPO/devtools/offline-check.sh" clippy
+
+echo "ci: OK"

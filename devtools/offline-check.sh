@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Offline typecheck + lint harness.
+#
+# The workspace's external dependencies (serde, rand, proptest, ...) are not
+# vendored, so `cargo check` against the real registry needs network access.
+# This script assembles a *shadow workspace* under target/offline-check/ in
+# which every external dependency is replaced by the API-shape-compatible
+# stub crates in devtools/stubs/, then runs `cargo check` (and optionally
+# clippy) fully offline. It verifies that the workspace's own code compiles
+# and lints cleanly; it does NOT produce runnable artifacts (the stubs are
+# typecheck-only).
+#
+# Usage:
+#   devtools/offline-check.sh            # cargo check --all-targets
+#   devtools/offline-check.sh clippy     # + cargo clippy -- -D warnings
+#   devtools/offline-check.sh fmt        # + cargo fmt --check (real tree)
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SHADOW="$REPO/target/offline-check"
+MODE="${1:-check}"
+
+mkdir -p "$REPO/target"
+rm -rf "$SHADOW"
+mkdir -p "$SHADOW"
+
+# --- assemble the shadow workspace -----------------------------------------
+cp -r "$REPO/crates" "$SHADOW/crates"
+cp -r "$REPO/src" "$SHADOW/src"
+[ -d "$REPO/tests" ] && cp -r "$REPO/tests" "$SHADOW/tests"
+[ -d "$REPO/examples" ] && cp -r "$REPO/examples" "$SHADOW/examples"
+cp -r "$REPO/devtools/stubs" "$SHADOW/stubs"
+[ -f "$REPO/clippy.toml" ] && cp "$REPO/clippy.toml" "$SHADOW/clippy.toml"
+
+# Point every external dependency at its stub. Path entries (the workspace's
+# own crates) pass through untouched.
+sed -E \
+    -e 's#^rand = .*#rand = { path = "stubs/rand" }#' \
+    -e 's#^proptest = .*#proptest = { path = "stubs/proptest" }#' \
+    -e 's#^criterion = .*#criterion = { path = "stubs/criterion" }#' \
+    -e 's#^crossbeam = .*#crossbeam = { path = "stubs/crossbeam" }#' \
+    -e 's#^parking_lot = .*#parking_lot = { path = "stubs/parking_lot" }#' \
+    -e 's#^bytes = .*#bytes = { path = "stubs/bytes" }#' \
+    -e 's#^serde = .*#serde = { path = "stubs/serde", features = ["derive"] }#' \
+    -e 's#^serde_json = .*#serde_json = { path = "stubs/serde_json" }#' \
+    "$REPO/Cargo.toml" >"$SHADOW/Cargo.toml"
+
+# --- run the checks ---------------------------------------------------------
+cd "$SHADOW"
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo check (stubbed deps, all targets) =="
+cargo check --workspace --all-targets --offline
+
+if [ "$MODE" = "clippy" ] || [ "$MODE" = "all" ]; then
+    echo "== cargo clippy (stubbed deps, -D warnings) =="
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+fi
+
+if [ "$MODE" = "fmt" ] || [ "$MODE" = "all" ]; then
+    echo "== cargo fmt --check (real tree) =="
+    cd "$REPO"
+    cargo fmt --check
+fi
+
+echo "offline-check: OK ($MODE)"

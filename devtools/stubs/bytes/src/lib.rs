@@ -1,0 +1,258 @@
+//! Offline typecheck stub for `bytes`.
+//!
+//! `Bytes`/`BytesMut` over plain `Vec<u8>` (no refcounted zero-copy —
+//! `clone`/`slice` copy). API-shape-compatible with the subset this
+//! workspace uses; built only by `devtools/offline-check.sh`.
+
+use std::ops::{Deref, DerefMut, RangeBounds};
+
+/// Immutable byte buffer (stub: owned `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: data.to_vec() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    ///
+    /// # Panics
+    /// If `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let rest = self.data.split_off(at);
+        Bytes { data: std::mem::replace(&mut self.data, rest) }
+    }
+
+    /// A copy of the given subrange (stub: copies, real crate refcounts).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.data.len(),
+        };
+        Bytes { data: self.data[start..end].to_vec() }
+    }
+
+    /// The bytes as a vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.data == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.data == other
+    }
+}
+impl PartialEq<str> for Bytes {
+    fn eq(&self, other: &str) -> bool {
+        self.data == other.as_bytes()
+    }
+}
+impl PartialEq<String> for Bytes {
+    fn eq(&self, other: &String) -> bool {
+        self.data == other.as_bytes()
+    }
+}
+impl PartialEq<Bytes> for String {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_bytes() == other.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(data: &str) -> Self {
+        Self::copy_from_slice(data.as_bytes())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Mutable byte buffer (stub: owned `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        Self { data: data.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+/// Read cursor over a byte buffer (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consumes and discards `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Consumes the next byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+    /// Consumes a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Consumes a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+}
+
+macro_rules! read_be {
+    ($self:ident, $t:ty) => {{
+        const N: usize = std::mem::size_of::<$t>();
+        let mut raw = [0u8; N];
+        raw.copy_from_slice(&$self.data[..N]);
+        $self.data.drain(..N);
+        <$t>::from_be_bytes(raw)
+    }};
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+    fn advance(&mut self, n: usize) {
+        self.data.drain(..n);
+    }
+    fn get_u8(&mut self) -> u8 {
+        read_be!(self, u8)
+    }
+    fn get_u16(&mut self) -> u16 {
+        read_be!(self, u16)
+    }
+    fn get_u32(&mut self) -> u32 {
+        read_be!(self, u32)
+    }
+    fn get_u64(&mut self) -> u64 {
+        read_be!(self, u64)
+    }
+}
+
+/// Write cursor over a growable byte buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+}

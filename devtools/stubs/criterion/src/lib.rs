@@ -1,0 +1,136 @@
+//! Offline typecheck stub for `criterion`.
+//!
+//! Benchmarks typecheck and run their closures exactly once (no
+//! measurement, no statistics, no reports). Built only by
+//! `devtools/offline-check.sh`.
+
+#![allow(dead_code)]
+
+use std::fmt::Display;
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Stand-in for `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+/// Stand-in for `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Stand-in for `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name + parameter id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing handle passed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {}
+
+impl Bencher {
+    /// Runs the routine (stub: once, unmeasured).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares group throughput (ignored).
+    pub fn throughput(&mut self, _throughput: Throughput) {}
+
+    /// Sets the sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let _ = (&self.parent, &self.name, id.to_string());
+        f(&mut Bencher::default());
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let _ = id;
+        f(&mut Bencher::default(), input);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into() }
+    }
+
+    /// Runs one benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let _ = id.to_string();
+        f(&mut Bencher::default());
+    }
+}
+
+/// Stand-in for `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Stand-in for `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

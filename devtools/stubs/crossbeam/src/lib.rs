@@ -1,0 +1,320 @@
+//! Offline typecheck stub for `crossbeam` (deque + channel subsets).
+//!
+//! Lock-based reimplementations with the same API shape — correct but slow;
+//! only the offline typecheck harness in `devtools/` should ever build this.
+
+#![allow(dead_code)]
+
+/// Stand-in for `crossbeam::deque`.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Result of a steal attempt.
+    pub enum Steal<T> {
+        /// A task was stolen.
+        Success(T),
+        /// The queue was observed empty.
+        Empty,
+        /// A race was lost; try again.
+        Retry,
+    }
+
+    /// FIFO global injector queue.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Self { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner).push_back(task);
+        }
+
+        /// Steals one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap_or_else(PoisonError::into_inner).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch into `dest`, popping one task.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            match q.pop_front() {
+                Some(first) => {
+                    let mut d = dest.shared.lock().unwrap_or_else(PoisonError::into_inner);
+                    for _ in 0..q.len().min(16) {
+                        if let Some(t) = q.pop_front() {
+                            d.push_back(t);
+                        }
+                    }
+                    Steal::Success(first)
+                }
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner).is_empty()
+        }
+    }
+
+    /// A worker-local deque.
+    pub struct Worker<T> {
+        shared: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO worker deque.
+        pub fn new_lifo() -> Self {
+            Self { shared: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Creates a FIFO worker deque (same lock-based stub engine).
+        pub fn new_fifo() -> Self {
+            Self::new_lifo()
+        }
+
+        /// Pushes a task onto the local end.
+        pub fn push(&self, task: T) {
+            self.shared.lock().unwrap_or_else(PoisonError::into_inner).push_back(task);
+        }
+
+        /// Pops from the local end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.shared.lock().unwrap_or_else(PoisonError::into_inner).pop_back()
+        }
+
+        /// A stealer handle viewing this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    /// A handle that steals from a [`Worker`]'s opposite end.
+    pub struct Stealer<T> {
+        shared: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.shared.lock().unwrap_or_else(PoisonError::into_inner).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().unwrap_or_else(PoisonError::into_inner).is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+}
+
+/// Stand-in for `crossbeam::channel` (unbounded MPMC).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error: all receivers dropped (stub never reports this).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error: channel empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error for `try_recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is currently empty.
+        Empty,
+        /// Channel is empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a value.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Self { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.inner.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.inner.senders.load(Ordering::SeqCst) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Iterator draining currently queued values without blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+
+        /// Blocking iterator until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// Owning blocking iterator.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// See [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
+    /// See [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}

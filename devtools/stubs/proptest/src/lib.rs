@@ -1,0 +1,396 @@
+//! Offline typecheck stub for `proptest`.
+//!
+//! Provides the `proptest!` grammar, `Strategy` combinators, and common
+//! strategy constructors with matching *types* only: generated tests
+//! typecheck their bodies inside a never-invoked closure, so running them
+//! is a no-op (they trivially pass). Built only by
+//! `devtools/offline-check.sh`; real property exploration requires the
+//! real crate.
+
+#![allow(dead_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Strategy trait (typecheck-only: no value generation).
+pub trait Strategy: Sized {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Maps produced values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { source: self, func: f }
+    }
+
+    /// Chains a dependent strategy.
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { source: self, func: f }
+    }
+
+    /// Filters produced values.
+    fn prop_filter<R, F: Fn(&Self::Value) -> bool>(self, _reason: R, f: F) -> Filter<Self, F> {
+        Filter { source: self, func: f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(PhantomData)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+}
+
+/// See [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(PhantomData<T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+}
+
+/// A strategy producing exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(PhantomData<T>);
+
+/// Produces arbitrary values of `T`.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T> {
+    type Value = T;
+}
+
+impl<T: Clone> Strategy for Range<T> {
+    type Value = T;
+}
+
+impl<T: Clone> Strategy for RangeInclusive<T> {
+    type Value = T;
+}
+
+/// Regex string strategies: `"[a-z]{1,5}"` produces matching `String`s.
+impl Strategy for &'static str {
+    type Value = String;
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+        }
+    };
+}
+
+tuple_strategy!(S1);
+tuple_strategy!(S1, S2);
+tuple_strategy!(S1, S2, S3);
+tuple_strategy!(S1, S2, S3, S4);
+tuple_strategy!(S1, S2, S3, S4, S5);
+tuple_strategy!(S1, S2, S3, S4, S5, S6);
+
+/// Strategy support machinery used by the `proptest!` expansion.
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Strategy};
+
+    /// Typechecks the test body against the strategies without running it.
+    pub fn run<S, F>(strategies: S, body: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), crate::test_runner::TestCaseError>,
+    {
+        let _ = (strategies, body);
+    }
+}
+
+/// Runner types (subset of `proptest::test_runner`).
+pub mod test_runner {
+    /// A failed or rejected test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure.
+        Fail(String),
+        /// Rejected input (`prop_assume!`).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejected test case.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    /// Result of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Runner configuration (accepted and ignored).
+#[derive(Debug, Clone, Default)]
+pub struct ProptestConfig {
+    /// Number of cases the real runner would execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::marker::PhantomData;
+
+    /// `Vec` strategy with the given element strategy and size range.
+    pub fn vec<S: Strategy, R>(element: S, _size: R) -> VecStrategy<S> {
+        VecStrategy { element }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+
+    /// `BTreeSet` strategy.
+    pub fn btree_set<S: Strategy, R>(element: S, _size: R) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S> {
+        type Value = BTreeSet<S::Value>;
+    }
+
+    /// `BTreeMap` strategy.
+    pub fn btree_map<K: Strategy, V: Strategy, R>(
+        key: K,
+        value: V,
+        _size: R,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V> {
+        type Value = BTreeMap<K::Value, V::Value>;
+    }
+
+    /// `HashMap` strategy.
+    pub fn hash_map<K: Strategy, V: Strategy, R>(
+        key: K,
+        value: V,
+        _size: R,
+    ) -> HashMapStrategy<K, V> {
+        HashMapStrategy { inner: (key, value), marker: PhantomData }
+    }
+
+    /// See [`hash_map`].
+    pub struct HashMapStrategy<K, V> {
+        inner: (K, V),
+        marker: PhantomData<()>,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V> {
+        type Value = std::collections::HashMap<K::Value, V::Value>;
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::Strategy;
+
+    macro_rules! uniform_array {
+        ($name:ident, $n:literal) => {
+            /// Array strategy repeating one element strategy.
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray { element }
+            }
+        };
+    }
+
+    uniform_array!(uniform1, 1);
+    uniform_array!(uniform2, 2);
+    uniform_array!(uniform3, 3);
+    uniform_array!(uniform4, 4);
+    uniform_array!(uniform5, 5);
+    uniform_array!(uniform6, 6);
+    uniform_array!(uniform7, 7);
+    uniform_array!(uniform8, 8);
+
+    /// See the `uniformN` constructors.
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Stand-in for `proptest::proptest!`: each property becomes a test whose
+/// body is typechecked inside a never-invoked closure.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#![proptest_config($cfg:expr)])?
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::strategy::run(
+                    ($($strat,)+),
+                    |($($arg,)+)| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Stand-in for `prop_assert!`: early-returns a `TestCaseError` like the
+/// real macro (so it works in helpers returning `Result<_, TestCaseError>`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Stand-in for `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, "assertion failed: {:?} != {:?}", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Stand-in for `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, "assertion failed: {:?} == {:?}", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+/// Stand-in for `prop_assume!`: rejects the case via an early return.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Stand-in for `prop_oneof!`: typechecks every arm, produces the first.
+/// All arms must share a `Strategy::Value` type in real proptest; the stub
+/// only requires (and only checks) that each arm is a valid expression.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        $( let _ = &$rest; )*
+        $first
+    }};
+}

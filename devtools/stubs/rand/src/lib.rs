@@ -1,0 +1,98 @@
+//! Offline typecheck stub for `rand` (0.10-style `Rng`/`RngExt` split).
+//!
+//! Functionally a SplitMix64 generator — deterministic and NOT suitable for
+//! anything beyond the offline typecheck harness in `devtools/`.
+
+/// Core RNG trait (object-safe).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait FromRandom {
+    /// Builds a value from 64 random bits.
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl FromRandom for f64 {
+    fn from_u64(bits: u64) -> Self {
+        // 53 mantissa bits -> [0, 1)
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl FromRandom for f32 {
+    fn from_u64(bits: u64) -> Self {
+        f64::from_u64(bits) as f32
+    }
+}
+impl FromRandom for bool {
+    fn from_u64(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+macro_rules! from_random_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl FromRandom for $t {
+                fn from_u64(bits: u64) -> Self {
+                    bits as $t
+                }
+            }
+        )*
+    };
+}
+from_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Extension methods over any [`Rng`] (mirrors rand 0.10's `RngExt`).
+pub trait RngExt: Rng {
+    /// A uniformly random value of `T`.
+    fn random<T: FromRandom>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng` backed by SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    /// Stand-in for `rand::rngs::SmallRng` (same engine as the stub StdRng).
+    pub type SmallRng = StdRng;
+}

@@ -1,0 +1,84 @@
+//! Offline typecheck stub for `serde`.
+//!
+//! Trait-shape-compatible with the real crate for the subset of the API this
+//! workspace uses. Carries no serialization logic: derives expand to empty
+//! trait impls, so code *typechecks* identically but must never be executed
+//! against these stubs. Used only by `devtools/offline-check.sh`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Stand-in for `serde::de`.
+pub mod de {
+    /// Stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+/// Stand-in for `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+macro_rules! impl_prim {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_prim!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl Serialize for str {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>, S: Default> Deserialize<'de>
+    for std::collections::HashMap<K, V, S>
+{
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+impl Serialize for () {}
+impl<'de> Deserialize<'de> for () {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}

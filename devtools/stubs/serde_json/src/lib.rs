@@ -1,0 +1,514 @@
+//! Offline typecheck stub for `serde_json`.
+//!
+//! API-shape-compatible `Value`/`Map`/`Number` plus the entry points this
+//! workspace calls. Serialization entry points are `unimplemented!()` —
+//! this crate exists so `devtools/offline-check.sh` can typecheck the
+//! workspace without network access; it must never be executed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stand-in for `serde_json::Map` (key-ordered, like the real crate with
+/// the `preserve_order` feature off).
+pub type Map<K = String, V = Value> = BTreeMap<K, V>;
+
+/// Stand-in for `serde_json::Number`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number(f64);
+
+impl Number {
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(self.0)
+    }
+
+    /// The number as `i64` when integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        if self.0.fract() == 0.0 {
+            Some(self.0 as i64)
+        } else {
+            None
+        }
+    }
+
+    /// The number as `u64` when integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        if self.0.fract() == 0.0 && self.0 >= 0.0 {
+            Some(self.0 as u64)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.fract() == 0.0 && self.0.abs() < 9.0e15 {
+            write!(f, "{}", self.0 as i64)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+macro_rules! number_from {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl From<$t> for Number {
+                fn from(v: $t) -> Self {
+                    Number(v as f64)
+                }
+            }
+            impl From<$t> for Value {
+                fn from(v: $t) -> Self {
+                    Value::Number(Number(v as f64))
+                }
+            }
+        )*
+    };
+}
+
+number_from!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Stand-in for `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Mutable member lookup on objects.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(m) => m.get_mut(key),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Object`.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+    /// True for `Value::Array`.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+    /// True for `Value::String`.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+    /// True for `Value::Bool`.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+    /// True for `Value::Number`.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    /// True for integral numbers representable as `i64`.
+    pub fn is_i64(&self) -> bool {
+        matches!(self, Value::Number(n) if n.as_i64().is_some())
+    }
+    /// True for integral numbers representable as `u64`.
+    pub fn is_u64(&self) -> bool {
+        matches!(self, Value::Number(n) if n.as_u64().is_some())
+    }
+    /// True for any number (mirrors `is_f64` loosely).
+    pub fn is_f64(&self) -> bool {
+        self.is_number()
+    }
+
+    /// The value as `&str` when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+    /// The value as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+    /// The value as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    /// The value as a mutable array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    /// The value as an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    /// The value as a mutable object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write!(f, "{s:?}"),
+            Value::Array(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{k:?}:{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<Value> for str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self)
+    }
+}
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self.as_str())
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+impl PartialEq<Value> for bool {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_bool() == Some(*self)
+    }
+}
+
+macro_rules! value_eq_num {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl PartialEq<$t> for Value {
+                fn eq(&self, other: &$t) -> bool {
+                    self.as_f64() == Some(*other as f64)
+                }
+            }
+            impl PartialEq<Value> for $t {
+                fn eq(&self, other: &Value) -> bool {
+                    other.as_f64() == Some(*self as f64)
+                }
+            }
+        )*
+    };
+}
+value_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+impl From<Number> for Value {
+    fn from(v: Number) -> Self {
+        Value::Number(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Self {
+        Value::Object(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(m) => m.entry(key.to_string()).or_insert(Value::Null),
+            _ => panic!("cannot index non-object value"),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(a) => &mut a[idx],
+            _ => panic!("cannot index non-array value"),
+        }
+    }
+}
+
+impl serde::Serialize for Value {}
+impl<'de> serde::Deserialize<'de> for Value {}
+impl serde::Serialize for Number {}
+impl<'de> serde::Deserialize<'de> for Number {}
+
+/// Stand-in for `serde_json::Error`.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stand-in for `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Typecheck-only stand-in; aborts if actually called.
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    unimplemented!("serde_json stub: offline typecheck only")
+}
+
+/// Typecheck-only stand-in; aborts if actually called.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    unimplemented!("serde_json stub: offline typecheck only")
+}
+
+/// Typecheck-only stand-in; aborts if actually called.
+pub fn to_vec<T: serde::Serialize + ?Sized>(_value: &T) -> Result<Vec<u8>> {
+    unimplemented!("serde_json stub: offline typecheck only")
+}
+
+/// Typecheck-only stand-in; aborts if actually called.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    unimplemented!("serde_json stub: offline typecheck only")
+}
+
+/// Typecheck-only stand-in; aborts if actually called.
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(_s: &'a [u8]) -> Result<T> {
+    unimplemented!("serde_json stub: offline typecheck only")
+}
+
+/// Typecheck-only stand-in; aborts if actually called.
+pub fn to_value<T: serde::Serialize>(_value: T) -> Result<Value> {
+    unimplemented!("serde_json stub: offline typecheck only")
+}
+
+/// Typecheck-only stand-in; aborts if actually called.
+pub fn from_value<T: serde::de::DeserializeOwned>(_value: Value) -> Result<T> {
+    unimplemented!("serde_json stub: offline typecheck only")
+}
+
+/// By-reference conversion used by the stub [`json!`] macro (the real macro
+/// serializes expressions behind a reference, so `json!({"k": s.field})`
+/// must not move out of `s`).
+pub trait ToJsonValue {
+    /// The expression as a [`Value`].
+    fn to_json_value(&self) -> Value;
+}
+
+impl ToJsonValue for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl ToJsonValue for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl ToJsonValue for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl ToJsonValue for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl<T: ToJsonValue + ?Sized> ToJsonValue for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+impl<T: ToJsonValue> ToJsonValue for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJsonValue::to_json_value).collect())
+    }
+}
+impl<T: ToJsonValue> ToJsonValue for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJsonValue::to_json_value).collect())
+    }
+}
+impl<T: ToJsonValue> ToJsonValue for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+macro_rules! to_json_value_num {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl ToJsonValue for $t {
+                fn to_json_value(&self) -> Value {
+                    Value::Number(Number(*self as f64))
+                }
+            }
+        )*
+    };
+}
+to_json_value_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Stand-in for `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::ToJsonValue::to_json_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        let mut __map: $crate::Map = ::std::default::Default::default();
+        $( __map.insert($key.to_string(), $crate::ToJsonValue::to_json_value(&$val)); )*
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::ToJsonValue::to_json_value(&$other) };
+}

@@ -49,7 +49,8 @@ fn main() {
     // fixed interval, the traditional baseline: every 5 steps, regardless
     // of what the filesystem is doing
     let mut fs = SharedFs::new(config.job_fs_bandwidth, FsLoad::busy(), 1);
-    let mut mgr = CheckpointManager::new(FixedInterval::new(5), config.checkpoint_bytes, config.ranks);
+    let mut mgr =
+        CheckpointManager::new(FixedInterval::new(5), config.checkpoint_bytes, config.ranks);
     for _ in 0..config.timesteps {
         mgr.step(SimDuration::from_secs_f64(config.mean_step_secs), &mut fs);
     }

@@ -7,6 +7,8 @@
 //! cargo run --example codesign_campaign
 //! ```
 
+#![allow(clippy::unwrap_used)] // demo code: panic loudly on demo data
+
 use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
 use fair_workflows::cheetah::objective::{Objective, ResultCatalog};
 use fair_workflows::cheetah::param::SweepSpec;
@@ -78,12 +80,22 @@ fn main() {
     });
     assert_eq!(report.failed, 0);
     let catalog = catalog.into_inner().unwrap();
-    println!("executed {} runs; catalog has {} records", report.succeeded, catalog.len());
+    println!(
+        "executed {} runs; catalog has {} records",
+        report.succeeded,
+        catalog.len()
+    );
 
     // query interface: winners under different objectives
-    for objective in [Objective::minimize("runtime"), Objective::minimize("storage_gb")] {
+    for objective in [
+        Objective::minimize("runtime"),
+        Objective::minimize("storage_gb"),
+    ] {
         let (id, v) = catalog.best(&objective).unwrap();
-        println!("\nbest under minimize({}): {id}  ({v:.4})", objective.metric);
+        println!(
+            "\nbest under minimize({}): {id}  ({v:.4})",
+            objective.metric
+        );
     }
 
     // marginal impact: which knob matters?
@@ -93,7 +105,11 @@ fn main() {
     for impact in &impacts {
         println!("  {:<12} spread {:.4}", impact.param, impact.spread);
         for (value, mean, n) in &impact.by_value {
-            println!("    {:<22} mean {:.4}  ({n} runs)", value.trim_start_matches(['+', '0']), mean);
+            println!(
+                "    {:<22} mean {:.4}  ({n} runs)",
+                value.trim_start_matches(['+', '0']),
+                mean
+            );
         }
     }
 }

@@ -14,6 +14,8 @@
 //! cargo run --example gwas_pipeline
 //! ```
 
+#![allow(clippy::unwrap_used)] // demo code: panic loudly on demo data
+
 use std::path::PathBuf;
 
 use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
@@ -79,7 +81,11 @@ fn main() {
             "tasks",
             Sweep::new().with(
                 "task",
-                SweepSpec::IntRange { start: 0, end: phase.len() as i64 - 1, step: 1 },
+                SweepSpec::IntRange {
+                    start: 0,
+                    end: phase.len() as i64 - 1,
+                    step: 1,
+                },
             ),
             1,
             1,
@@ -106,8 +112,7 @@ fn main() {
             } else {
                 PathBuf::from(&job.output)
             };
-            fair_workflows::tabular::paste::paste_files(&inputs, &output)
-                .map_err(|e| e.to_string())
+            fair_workflows::tabular::paste::paste_files(&inputs, &output).map_err(|e| e.to_string())
         });
         assert_eq!(report.failed, 0, "phase {pi} had failures");
         println!(
@@ -118,7 +123,11 @@ fn main() {
 
     // 5: scan the merged table
     let merged = tsv::read_file(dir.join("merged.tsv")).unwrap();
-    assert_eq!(merged.ncols(), data.snps, "merged table has every SNP column");
+    assert_eq!(
+        merged.ncols(),
+        data.snps,
+        "merged table has every SNP column"
+    );
     let pool = executor.pool();
     let results = association_scan_table(&merged, &data.phenotype, pool);
     let hits = top_hits(results, data.causal.len());

@@ -35,7 +35,11 @@ fn main() {
         irf: IrfConfig {
             forest: ForestConfig {
                 n_trees: 40,
-                tree: TreeConfig { max_depth: 8, min_samples_leaf: 3, mtry: 6 },
+                tree: TreeConfig {
+                    max_depth: 8,
+                    min_samples_leaf: 3,
+                    mtry: 6,
+                },
                 seed: 7,
             },
             iterations: 3,

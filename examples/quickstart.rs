@@ -8,6 +8,8 @@
 //! and the gauge model quantifies — at every stage — what reuse will cost
 //! and what tooling can automate.
 
+#![allow(clippy::unwrap_used)] // demo code: panic loudly on demo data
+
 use fair_workflows::fair_core::prelude::*;
 
 fn main() {
@@ -44,7 +46,10 @@ fn main() {
             protocol: Some(AccessProtocol::PosixFile),
             interface: Some("tsv".into()),
             schema: Some(SchemaInfo::Typed {
-                columns: vec![("snp".into(), "i64".into()), ("sample".into(), "str".into())],
+                columns: vec![
+                    ("snp".into(), "i64".into()),
+                    ("sample".into(), "str".into()),
+                ],
             }),
             semantics: vec![SemanticsAnnotation::ElementWise],
             ..DataDescriptor::default()

@@ -7,6 +7,8 @@
 //! cargo run --example streaming_steering
 //! ```
 
+#![allow(clippy::unwrap_used)] // demo code: panic loudly on demo data
+
 use fair_workflows::dataflow::policy::{DirectSelect, EveryN, ForwardAll, WindowCount};
 use fair_workflows::dataflow::scheduler;
 use fair_workflows::dataflow::source::{spawn_source, SourceConfig};
@@ -24,7 +26,10 @@ fn main() {
 
     // two instruments stream concurrently
     let h1 = spawn_source(SourceConfig::new("microscope", 5_000), sched.data_sender());
-    let h2 = spawn_source(SourceConfig::new("spectrometer", 5_000), sched.data_sender());
+    let h2 = spawn_source(
+        SourceConfig::new("spectrometer", 5_000),
+        sched.data_sender(),
+    );
     h1.join().unwrap();
     h2.join().unwrap();
 
@@ -33,7 +38,10 @@ fn main() {
 
     // remote steering: install a brand-new policy mid-session and replay a
     // selection over the items that arrive afterwards
-    sched.install("steered", Box::new(DirectSelect::new([7_001, 7_002, 7_003])));
+    sched.install(
+        "steered",
+        Box::new(DirectSelect::new([7_001, 7_002, 7_003])),
+    );
     let steered = sched.subscribe("steered");
     let h3 = spawn_source(
         SourceConfig {

@@ -80,7 +80,10 @@ pub fn assoc_results_table(results: &[crate::tabular::AssocResult]) -> Table {
         "snp",
         Column::Int(results.iter().map(|r| r.snp as i64).collect()),
     );
-    t.push_column("beta", Column::Float(results.iter().map(|r| r.beta).collect()));
+    t.push_column(
+        "beta",
+        Column::Float(results.iter().map(|r| r.beta).collect()),
+    );
     t.push_column("t", Column::Float(results.iter().map(|r| r.t).collect()));
     t.push_column("p", Column::Float(results.iter().map(|r| r.p).collect()));
     t.push_column("q", Column::Float(q));
@@ -109,12 +112,20 @@ mod tests {
     fn non_numeric_columns_are_rejected_by_name() {
         let table = tsv::parse("x\tlabel\n1\tfoo\n2\tbar\n").unwrap();
         let err = table_to_matrix(&table).unwrap_err();
-        assert_eq!(err, BridgeError::NonNumericColumn { name: "label".into() });
+        assert_eq!(
+            err,
+            BridgeError::NonNumericColumn {
+                name: "label".into()
+            }
+        );
     }
 
     #[test]
     fn empty_table_rejected() {
-        assert_eq!(table_to_matrix(&Table::new()).unwrap_err(), BridgeError::Empty);
+        assert_eq!(
+            table_to_matrix(&Table::new()).unwrap_err(),
+            BridgeError::Empty
+        );
     }
 
     #[test]
@@ -131,7 +142,11 @@ mod tests {
         let y = matrix.column(2);
         let (x, _) = matrix.without_column(2);
         let pool = crate::exec::ThreadPool::new(2);
-        let config = crate::iorf::ForestConfig { n_trees: 20, seed: 1, ..Default::default() };
+        let config = crate::iorf::ForestConfig {
+            n_trees: 20,
+            seed: 1,
+            ..Default::default()
+        };
         let forest = crate::iorf::RandomForest::fit(&x, &y, &config, &[1.0, 1.0], &pool);
         let imp = forest.importance();
         assert!(imp[0] > imp[1], "x0 drives y: {imp:?}");

@@ -7,6 +7,8 @@
 //!
 //! * [`fair_core`] — the six gauge properties, metadata catalog, assessment,
 //!   and technical-debt accounting (the paper's primary contribution).
+//! * [`fair_lint`] — static analysis over workflows, campaigns, checkpoint
+//!   plans and gauge profiles, with a pre-execution gate in `savanna`.
 //! * [`skel`] — model-driven code generation.
 //! * [`cheetah`] — campaign composition (sweeps, sweep groups, manifests).
 //! * [`savanna`] — campaign execution (pilot manager, executors).
@@ -30,6 +32,7 @@ pub use cheetah;
 pub use dataflow;
 pub use exec;
 pub use fair_core;
+pub use fair_lint;
 pub use hpcsim;
 pub use iorf;
 pub use savanna;

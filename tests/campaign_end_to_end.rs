@@ -12,7 +12,7 @@ use std::path::PathBuf;
 fn tempdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("it-campaign-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
     dir
 }
 
@@ -20,7 +20,14 @@ fn campaign() -> Campaign {
     Campaign::new("sums", "laptop", AppDef::new("summer", "builtin")).with_group(SweepGroup::new(
         "grid",
         Sweep::new()
-            .with("n", SweepSpec::IntRange { start: 1, end: 4, step: 1 })
+            .with(
+                "n",
+                SweepSpec::IntRange {
+                    start: 1,
+                    end: 4,
+                    step: 1,
+                },
+            )
             .with("scale", SweepSpec::list([1i64, 10])),
         2,
         1,

@@ -117,6 +117,9 @@ fn floor_bounds_checkpoint_gaps_under_starvation() {
     let (plain_ckpts, plain_gap) = run(false);
     let (floor_ckpts, floor_gap) = run(true);
     assert!(floor_gap <= 8, "floor must bound the gap, got {floor_gap}");
-    assert!(plain_gap > floor_gap, "plain {plain_gap} vs floored {floor_gap}");
+    assert!(
+        plain_gap > floor_gap,
+        "plain {plain_gap} vs floored {floor_gap}"
+    );
     assert!(floor_ckpts >= plain_ckpts);
 }

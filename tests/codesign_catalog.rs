@@ -18,8 +18,8 @@ use fair_workflows::savanna::pilot::PilotScheduler;
 #[test]
 fn simulated_codesign_campaign_fills_the_catalog() {
     // sweep application (grid), middleware (aggregator), system (ppn)
-    let campaign = Campaign::new("codesign-sim", "inst", AppDef::new("sim", "sim.exe"))
-        .with_group(SweepGroup::new(
+    let campaign = Campaign::new("codesign-sim", "inst", AppDef::new("sim", "sim.exe")).with_group(
+        SweepGroup::new(
             "sweep",
             Sweep::new()
                 .with("grid", SweepSpec::list([128i64, 256]))
@@ -28,7 +28,8 @@ fn simulated_codesign_campaign_fills_the_catalog() {
             8,
             1,
             7200,
-        ));
+        ),
+    );
     let manifest = campaign.manifest().unwrap();
     assert_eq!(manifest.total_runs(), 8);
 

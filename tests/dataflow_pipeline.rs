@@ -63,7 +63,9 @@ fn workflow_graph_of_the_pipeline_detects_the_motif_and_gauges_it() {
             DataDescriptor {
                 protocol: Some(AccessProtocol::Staged),
                 interface: Some("fair-wire".into()),
-                schema: Some(SchemaInfo::SelfDescribing { container: "fair-wire".into() }),
+                schema: Some(SchemaInfo::SelfDescribing {
+                    container: "fair-wire".into(),
+                }),
                 semantics: vec![SemanticsAnnotation::OrderingSignificant],
                 ..DataDescriptor::default()
             }
@@ -123,18 +125,18 @@ fn steering_informed_by_the_data_stream() {
     sched.shutdown(); // joins: everything above is processed
     let sampled: Vec<u64> = monitor_rx.try_iter().map(|i| i.seq).collect();
     let trigger = sampled.iter().find(|&&s| s >= 1200).copied();
-    assert!(trigger.is_some(), "monitor saw nothing past 1200: {sampled:?}");
+    assert!(
+        trigger.is_some(),
+        "monitor saw nothing past 1200: {sampled:?}"
+    );
 
     // phase 2: a fresh scheduler session steered by what the monitor saw —
     // replay the archive window and select the anomaly's neighbourhood
     let sched2 = fair_workflows::dataflow::scheduler::spawn();
-    sched2.install(
-        "focus",
-        Box::new(DirectSelect::new([1233, 1234, 1235])),
-    );
+    sched2.install("focus", Box::new(DirectSelect::new([1233, 1234, 1235])));
     let focus_rx = sched2.subscribe("focus");
     sched2.punctuate(Some("archive")); // no-op: queue doesn't exist here
-    // feed the archived window through the steering selection
+                                       // feed the archived window through the steering selection
     drop(steered_rx); // archive queue held everything; simulate replay:
     for s in 1000..1500u64 {
         let payload = if s == 1234 { "ANOMALY" } else { "ok" };

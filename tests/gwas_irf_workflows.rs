@@ -8,7 +8,9 @@ use fair_workflows::iorf::irf::IrfConfig;
 use fair_workflows::iorf::irf_loop::{run_feature, run_loop, LoopConfig};
 use fair_workflows::iorf::synth::SynthConfig;
 use fair_workflows::iorf::tree::TreeConfig;
-use fair_workflows::tabular::gwas::{association_scan, association_scan_table, top_hits, GenotypeData, GwasConfig};
+use fair_workflows::tabular::gwas::{
+    association_scan, association_scan_table, top_hits, GenotypeData, GwasConfig,
+};
 use fair_workflows::tabular::{tsv, Table};
 
 #[test]
@@ -65,7 +67,11 @@ fn irf_loop_per_feature_runs_compose_to_the_full_adjacency() {
         irf: IrfConfig {
             forest: ForestConfig {
                 n_trees: 15,
-                tree: TreeConfig { max_depth: 6, min_samples_leaf: 3, mtry: 3 },
+                tree: TreeConfig {
+                    max_depth: 6,
+                    min_samples_leaf: 3,
+                    mtry: 3,
+                },
                 seed: 3,
             },
             iterations: 2,
@@ -96,7 +102,11 @@ fn irf_loop_network_recovery_meets_threshold() {
         irf: IrfConfig {
             forest: ForestConfig {
                 n_trees: 30,
-                tree: TreeConfig { max_depth: 7, min_samples_leaf: 3, mtry: 4 },
+                tree: TreeConfig {
+                    max_depth: 7,
+                    min_samples_leaf: 3,
+                    mtry: 4,
+                },
                 seed: 21,
             },
             iterations: 2,

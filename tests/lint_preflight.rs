@@ -1,0 +1,290 @@
+//! Integration: the pre-execution lint gate. A statically defective
+//! campaign — cyclic workflow graph, undeclared ("dead") swept parameter,
+//! oversubscribed allocation — is refused by `run_campaign_sim_gated`
+//! before any allocation is consumed, while a healthy campaign modeled on
+//! the codesign example lints clean and executes to completion through
+//! the same gate.
+
+use std::collections::BTreeMap;
+
+use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use fair_workflows::cheetah::manifest::CampaignManifest;
+use fair_workflows::cheetah::param::SweepSpec;
+use fair_workflows::cheetah::status::StatusBoard;
+use fair_workflows::cheetah::sweep::Sweep;
+use fair_workflows::fair_core::component::{
+    ComponentDescriptor, ComponentKind, ConfigVariable, DataDescriptor, PortDescriptor,
+};
+use fair_workflows::fair_core::workflow::WorkflowGraph;
+use fair_workflows::fair_lint::{self, PreflightContext, Severity};
+use fair_workflows::hpcsim::batch::{AllocationSeries, BatchJob};
+use fair_workflows::hpcsim::cluster::ClusterSpec;
+use fair_workflows::hpcsim::time::SimDuration;
+use fair_workflows::savanna::driver::{run_campaign_sim_gated, PreflightGate};
+use fair_workflows::savanna::pilot::PilotScheduler;
+
+fn comp(name: &str, inputs: &[&str], outputs: &[&str]) -> ComponentDescriptor {
+    let mut c = ComponentDescriptor::new(name, "1", ComponentKind::Executable);
+    for i in inputs {
+        c.inputs.push(PortDescriptor {
+            name: (*i).into(),
+            data: DataDescriptor::default(),
+        });
+    }
+    for o in outputs {
+        c.outputs.push(PortDescriptor {
+            name: (*o).into(),
+            data: DataDescriptor::default(),
+        });
+    }
+    c
+}
+
+/// The reaction-diffusion app with its declared configuration surface,
+/// mirroring `examples/codesign_campaign.rs`.
+fn codesign_app() -> ComponentDescriptor {
+    let mut app = ComponentDescriptor::new("reaction-diffusion", "1", ComponentKind::Executable);
+    for (name, ty) in [
+        ("resolution", "int"),
+        ("aggregation", "enum(posix|staged)"),
+        ("ppn", "int"),
+    ] {
+        app.config.push(ConfigVariable {
+            name: name.into(),
+            var_type: ty.into(),
+            default: None,
+            description: String::new(),
+            related_to: Vec::new(),
+        });
+    }
+    app
+}
+
+fn codesign_sweep() -> Sweep {
+    Sweep::new()
+        .with("resolution", SweepSpec::list([64i64, 128]))
+        .with("aggregation", SweepSpec::list(["posix", "staged"]))
+        .with("ppn", SweepSpec::list([8i64, 16, 32]))
+}
+
+fn uniform_durations(m: &CampaignManifest, secs: u64) -> BTreeMap<String, SimDuration> {
+    m.groups
+        .iter()
+        .flat_map(|g| g.runs.iter())
+        .map(|r| (r.id.clone(), SimDuration::from_secs(secs)))
+        .collect()
+}
+
+fn series(nodes: u32) -> AllocationSeries {
+    AllocationSeries::new(
+        BatchJob::new(nodes, SimDuration::from_hours(1)),
+        SimDuration::from_mins(10),
+        0.3,
+        7,
+    )
+}
+
+#[test]
+fn gate_blocks_defective_campaign_without_consuming_allocations() {
+    // Defect 1: a cyclic two-stage workflow graph.
+    let mut graph = WorkflowGraph::new();
+    let sim = graph.add(comp("simulate", &["feedback"], &["field"]));
+    let analyze = graph.add(comp("analyze", &["field"], &["feedback"]));
+    graph.connect_unchecked(sim, "field", analyze, "field");
+    graph.connect_unchecked(analyze, "feedback", sim, "feedback");
+
+    // Defect 2: the sweep assigns "trees", which the app never declares.
+    let sweep = codesign_sweep().with("trees", SweepSpec::list([10i64, 100]));
+    // Defect 3: the group wants 64 nodes on a 20-node machine.
+    let manifest = Campaign::new(
+        "io-codesign",
+        "institutional",
+        AppDef::new("reaction-diffusion", "rd.exe"),
+    )
+    .with_group(SweepGroup::new("sweep", sweep, 64, 1, 3600))
+    .manifest()
+    .expect("structurally valid campaign");
+    let machine = ClusterSpec::institutional(20);
+    let app = codesign_app();
+
+    let context = PreflightContext {
+        graph: Some(&graph),
+        app: Some(&app),
+        machine: Some(&machine),
+        ..PreflightContext::default()
+    };
+    let durations = uniform_durations(&manifest, 600);
+    let mut s = series(64);
+    let start = s.now();
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let total_runs = board.incomplete_runs(&manifest).len();
+
+    let blocked = run_campaign_sim_gated(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut s,
+        &mut board,
+        10,
+        &PreflightGate::enforce(context),
+    )
+    .expect_err("defective campaign must be refused");
+
+    let diags = &blocked.diagnostics;
+    let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+    assert!(
+        codes.contains(&"FW001"),
+        "cycle error expected, got {codes:?}"
+    );
+    assert!(
+        codes.contains(&"FW103"),
+        "oversubscription error expected, got {codes:?}"
+    );
+    let dead = diags
+        .with_code("FW101")
+        .next()
+        .expect("dead-parameter finding rides along");
+    assert_eq!(
+        dead.severity,
+        Severity::Warn,
+        "FW101 warns but does not block by itself"
+    );
+    assert!(diags.errors().count() >= 2);
+
+    // Refusal happened strictly before execution: nothing ran, no
+    // allocation was requested.
+    assert_eq!(board.incomplete_runs(&manifest).len(), total_runs);
+    assert_eq!(s.now(), start, "no simulated time may pass");
+
+    let rendered = blocked.to_string();
+    assert!(
+        rendered.contains("refused by pre-flight lint"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("FW001"), "{rendered}");
+}
+
+#[test]
+fn warnings_alone_do_not_block_launch() {
+    // Same dead parameter, but resources fit and the graph is acyclic:
+    // the only findings are warnings, and the gate lets the campaign run.
+    let sweep = codesign_sweep().with("trees", SweepSpec::list([10i64, 100]));
+    let manifest = Campaign::new(
+        "io-codesign",
+        "institutional",
+        AppDef::new("reaction-diffusion", "rd.exe"),
+    )
+    .with_group(SweepGroup::new("sweep", sweep, 4, 1, 3600))
+    .manifest()
+    .expect("valid campaign");
+    let app = codesign_app();
+    let machine = ClusterSpec::institutional(20);
+    let context = PreflightContext {
+        app: Some(&app),
+        machine: Some(&machine),
+        ..PreflightContext::default()
+    };
+
+    // The dead parameter is visible to the linter…
+    let diags =
+        fair_lint::preflight_campaign(&manifest, None, &context, &fair_lint::LintConfig::new());
+    assert!(diags.with_code("FW101").next().is_some());
+    assert!(diags.is_clean(), "warnings only: {}", diags.render_text());
+
+    // …and the gate still launches.
+    let durations = uniform_durations(&manifest, 300);
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let report = run_campaign_sim_gated(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series(4),
+        &mut board,
+        20,
+        &PreflightGate::enforce(context),
+    )
+    .expect("warn-only campaign launches");
+    assert!(report.is_complete());
+}
+
+#[test]
+fn clean_codesign_campaign_lints_clean_and_executes() {
+    // The healthy pipeline: simulate → analyze, no cycle, declared params,
+    // resources inside the machine envelope.
+    let mut graph = WorkflowGraph::new();
+    let sim = graph.add(comp("simulate", &[], &["field"]));
+    let analyze = graph.add(comp("analyze", &["field"], &[]));
+    graph.connect_unchecked(sim, "field", analyze, "field");
+
+    let manifest = Campaign::new(
+        "io-codesign",
+        "institutional",
+        AppDef::new("reaction-diffusion", "rd.exe"),
+    )
+    .with_group(SweepGroup::new("sweep", codesign_sweep(), 4, 1, 3600))
+    .manifest()
+    .expect("valid campaign");
+    let app = codesign_app();
+    let machine = ClusterSpec::institutional(20);
+    let context = PreflightContext {
+        graph: Some(&graph),
+        app: Some(&app),
+        machine: Some(&machine),
+        ..PreflightContext::default()
+    };
+
+    let durations = uniform_durations(&manifest, 600);
+    let diags = fair_lint::preflight_campaign(
+        &manifest,
+        Some(&durations),
+        &context,
+        &fair_lint::LintConfig::new(),
+    );
+    assert!(
+        diags.is_empty(),
+        "expected a spotless lint:\n{}",
+        diags.render_text()
+    );
+    assert_eq!(diags.to_json(), "[]");
+
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let report = run_campaign_sim_gated(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series(4),
+        &mut board,
+        20,
+        &PreflightGate::enforce(context),
+    )
+    .expect("clean campaign launches");
+    assert!(report.is_complete());
+    assert_eq!(report.completed_runs, 12, "2 × 2 × 3 sweep points");
+}
+
+#[test]
+fn skip_gate_preserves_ungated_behavior() {
+    // Fault-injection studies deliberately run defective campaigns; the
+    // opt-out must behave exactly like the ungated driver.
+    let manifest = Campaign::new(
+        "io-codesign",
+        "institutional",
+        AppDef::new("reaction-diffusion", "rd.exe"),
+    )
+    .with_group(SweepGroup::new("sweep", codesign_sweep(), 64, 1, 3600))
+    .manifest()
+    .expect("valid campaign");
+    let durations = uniform_durations(&manifest, 600);
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let report = run_campaign_sim_gated(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series(64),
+        &mut board,
+        20,
+        &PreflightGate::Skip,
+    )
+    .expect("skip gate never refuses");
+    assert!(report.is_complete());
+}

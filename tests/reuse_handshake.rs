@@ -104,7 +104,10 @@ fn export_ship_import_plan_convert() {
     // 1-based closed in GFF3: the first interval shows as 1..100
     assert!(gff.contains("chr1\tannotator\tgene\t1\t100"));
     let back = annot::parse_bed(&annot::encode_bed(&annot::parse_gff3(&gff).unwrap())).unwrap();
-    assert_eq!(back, intervals, "round-trip through the other format is lossless");
+    assert_eq!(
+        back, intervals,
+        "round-trip through the other format is lossless"
+    );
 }
 
 #[test]

@@ -25,17 +25,26 @@ fn manifest(features: i64, nodes: u32) -> CampaignManifest {
             "features",
             Sweep::new().with(
                 "feature",
-                SweepSpec::IntRange { start: 0, end: features - 1, step: 1 },
+                SweepSpec::IntRange {
+                    start: 0,
+                    end: features - 1,
+                    step: 1,
+                },
             ),
             nodes,
             1,
             7200,
         ))
         .manifest()
-        .unwrap()
+        .expect("valid campaign")
 }
 
-fn durations(m: &CampaignManifest, mean_s: f64, cv: f64, seed: u64) -> BTreeMap<String, SimDuration> {
+fn durations(
+    m: &CampaignManifest,
+    mean_s: f64,
+    cv: f64,
+    seed: u64,
+) -> BTreeMap<String, SimDuration> {
     let dist = LogNormal::from_mean_cv(mean_s, cv);
     let mut rng = StdRng::seed_from_u64(seed);
     m.groups

@@ -8,7 +8,7 @@ use std::path::PathBuf;
 fn tempdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("it-skel-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
     dir
 }
 
@@ -38,7 +38,9 @@ fn generated_campaign_spec_matches_plan_and_executes() {
 
     // the generated campaign JSON agrees with the programmatic plan
     let spec: serde_json::Value = serde_json::from_str(
-        &set.file(PasteWorkflowFiles::CAMPAIGN_SPEC).unwrap().contents,
+        &set.file(PasteWorkflowFiles::CAMPAIGN_SPEC)
+            .unwrap()
+            .contents,
     )
     .unwrap();
     let plan = model.plan();
@@ -48,10 +50,7 @@ fn generated_campaign_spec_matches_plan_and_executes() {
         let tasks = phase["tasks"].as_array().unwrap();
         assert_eq!(tasks.len(), plan.phases[pi].len(), "phase {pi}");
         for (ti, task) in tasks.iter().enumerate() {
-            assert_eq!(
-                task["output"].as_str().unwrap(),
-                plan.phases[pi][ti].output
-            );
+            assert_eq!(task["output"].as_str().unwrap(), plan.phases[pi][ti].output);
             assert_eq!(
                 task["inputs"].as_array().unwrap().len(),
                 plan.phases[pi][ti].inputs.len()
