@@ -34,5 +34,6 @@ pub use figure::{fig3_sweep, fig4_variation, FigureRun, SummitRunConfig};
 pub use grayscott::GrayScott;
 pub use manager::{CheckpointManager, RunAccounting, StepOutcome};
 pub use policy::{
-    CheckpointPolicy, FixedInterval, MinFrequencyFloor, OverheadBudget, StepContext, WallClockGap,
+    checkpointed_progress, CheckpointPolicy, FixedInterval, MinFrequencyFloor, OverheadBudget,
+    StepContext, WallClockGap,
 };

@@ -38,6 +38,16 @@ impl StepContext {
     }
 }
 
+/// Progress that survives a kill `elapsed` into a run checkpointing every
+/// `interval`: work up to the last completed checkpoint boundary. This is
+/// the restart side of the policy contract — a scheduler that kills a run
+/// (node crash, walltime, hang timeout) resumes it from this point rather
+/// than from zero.
+pub fn checkpointed_progress(elapsed: SimDuration, interval: SimDuration) -> SimDuration {
+    assert!(interval > SimDuration::ZERO, "interval must be positive");
+    SimDuration((elapsed.0 / interval.0) * interval.0)
+}
+
 /// A checkpoint decision policy.
 pub trait CheckpointPolicy: Send {
     /// Policy name for reports.
@@ -228,5 +238,22 @@ mod tests {
     #[should_panic(expected = "overhead budget")]
     fn degenerate_budget_rejected() {
         OverheadBudget::new(0.0);
+    }
+
+    #[test]
+    fn checkpointed_progress_floors_to_boundary() {
+        let i = SimDuration::from_mins(10);
+        assert_eq!(
+            checkpointed_progress(SimDuration::from_mins(25), i),
+            SimDuration::from_mins(20)
+        );
+        assert_eq!(
+            checkpointed_progress(SimDuration::from_mins(9), i),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            checkpointed_progress(SimDuration::from_mins(30), i),
+            SimDuration::from_mins(30)
+        );
     }
 }

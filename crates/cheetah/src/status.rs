@@ -43,12 +43,37 @@ impl RunStatus {
             RunStatus::Pending | RunStatus::Running | RunStatus::TimedOut
         )
     }
+
+    /// Policy-gated rerun check: like [`RunStatus::needs_rerun`], but a
+    /// `Failed` run also reruns while its failure count stays within
+    /// `retry_budget` — the automated path back to the queue that replaces
+    /// the paper's manually curated failed-run lists (§II-B).
+    pub fn needs_rerun_with_budget(self, failures: u32, retry_budget: u32) -> bool {
+        match self {
+            RunStatus::Failed => failures <= retry_budget,
+            other => other.needs_rerun(),
+        }
+    }
 }
 
 /// Status of every run in a campaign.
+///
+/// Besides the per-run lifecycle state, the board records *execution
+/// provenance*: how many attempts each run has consumed and why the last
+/// one failed. Both maps are serde-defaulted so status files written
+/// before this schema extension still load.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StatusBoard {
     statuses: BTreeMap<String, RunStatus>,
+    /// Attempts started per run (absent = 0).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    attempts: BTreeMap<String, u32>,
+    /// Failed attempts per run (absent = 0).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    failures: BTreeMap<String, u32>,
+    /// Human-readable cause of the run's most recent failure.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    last_failure: BTreeMap<String, String>,
 }
 
 impl StatusBoard {
@@ -60,7 +85,43 @@ impl StatusBoard {
             .flat_map(|g| g.runs.iter())
             .map(|r| (r.id.clone(), RunStatus::Pending))
             .collect();
-        Self { statuses }
+        Self {
+            statuses,
+            attempts: BTreeMap::new(),
+            failures: BTreeMap::new(),
+            last_failure: BTreeMap::new(),
+        }
+    }
+
+    /// Records the start of one more attempt of `run_id`; returns the new
+    /// attempt count (1 for the first attempt).
+    pub fn record_attempt(&mut self, run_id: &str) -> u32 {
+        let n = self.attempts.entry(run_id.to_string()).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// Attempts started so far for `run_id` (0 if never attempted).
+    pub fn attempts(&self, run_id: &str) -> u32 {
+        self.attempts.get(run_id).copied().unwrap_or(0)
+    }
+
+    /// Marks `run_id` failed with a machine-readable cause, updating the
+    /// lifecycle state, the failure count, and the provenance record.
+    pub fn record_failure(&mut self, run_id: &str, cause: impl Into<String>) {
+        self.set(run_id, RunStatus::Failed);
+        *self.failures.entry(run_id.to_string()).or_insert(0) += 1;
+        self.last_failure.insert(run_id.to_string(), cause.into());
+    }
+
+    /// Failed attempts recorded so far for `run_id` (0 if none).
+    pub fn failures(&self, run_id: &str) -> u32 {
+        self.failures.get(run_id).copied().unwrap_or(0)
+    }
+
+    /// The cause of `run_id`'s most recent failure, if any was recorded.
+    pub fn last_failure_cause(&self, run_id: &str) -> Option<&str> {
+        self.last_failure.get(run_id).map(String::as_str)
     }
 
     /// Sets one run's status.
@@ -104,6 +165,25 @@ impl StatusBoard {
             .iter()
             .flat_map(|g| g.runs.iter())
             .filter(|r| self.get(&r.id).needs_rerun())
+            .collect()
+    }
+
+    /// Like [`StatusBoard::incomplete_runs`], but `Failed` runs whose
+    /// recorded failure count is still within `retry_budget` are also
+    /// returned — the automated requeue path a resilience policy drives.
+    pub fn incomplete_runs_with_budget<'m>(
+        &self,
+        manifest: &'m CampaignManifest,
+        retry_budget: u32,
+    ) -> Vec<&'m RunManifest> {
+        manifest
+            .groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .filter(|r| {
+                self.get(&r.id)
+                    .needs_rerun_with_budget(self.failures(&r.id), retry_budget)
+            })
             .collect()
     }
 }
@@ -205,6 +285,66 @@ mod tests {
     fn unknown_run_is_pending() {
         let board = StatusBoard::default();
         assert_eq!(board.get("nope"), RunStatus::Pending);
+    }
+
+    #[test]
+    fn failed_runs_rerun_within_budget() {
+        let m = manifest();
+        let mut board = StatusBoard::for_manifest(&m);
+        board.record_attempt("g/n-1");
+        board.record_failure("g/n-1", "node-crash");
+        board.set("g/n-2", RunStatus::Done);
+        board.set("g/n-3", RunStatus::Done);
+        // plain query still excludes failures (human-triage semantics)
+        assert!(board.incomplete_runs(&m).is_empty());
+        // a budget of 2 retries readmits the single failure
+        let rerun: Vec<&str> = board
+            .incomplete_runs_with_budget(&m, 2)
+            .iter()
+            .map(|r| r.id.as_str())
+            .collect();
+        assert_eq!(rerun, ["g/n-1"]);
+        // two more failures exhaust the budget
+        board.record_failure("g/n-1", "node-crash");
+        board.record_failure("g/n-1", "hang");
+        assert!(board.incomplete_runs_with_budget(&m, 2).is_empty());
+        assert_eq!(board.failures("g/n-1"), 3);
+        assert_eq!(board.last_failure_cause("g/n-1"), Some("hang"));
+    }
+
+    #[test]
+    fn attempt_counts_accumulate() {
+        let mut board = StatusBoard::default();
+        assert_eq!(board.attempts("r"), 0);
+        assert_eq!(board.record_attempt("r"), 1);
+        assert_eq!(board.record_attempt("r"), 2);
+        assert_eq!(board.attempts("r"), 2);
+    }
+
+    #[test]
+    fn provenance_survives_serde_round_trip() {
+        let m = manifest();
+        let mut board = StatusBoard::for_manifest(&m);
+        board.record_attempt("g/n-1");
+        board.record_attempt("g/n-1");
+        board.record_failure("g/n-1", "fs-stall hang");
+        board.set("g/n-2", RunStatus::Done);
+        let json = serde_json::to_string(&board).expect("serialize");
+        let back: StatusBoard = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, board);
+        assert_eq!(back.attempts("g/n-1"), 2);
+        assert_eq!(back.failures("g/n-1"), 1);
+        assert_eq!(back.last_failure_cause("g/n-1"), Some("fs-stall hang"));
+    }
+
+    #[test]
+    fn pre_provenance_status_files_still_load() {
+        // a status file written before the provenance fields existed
+        let legacy = r#"{"statuses":{"g/n-1":"Done","g/n-2":"Failed"}}"#;
+        let board: StatusBoard = serde_json::from_str(legacy).expect("legacy load");
+        assert_eq!(board.get("g/n-1"), RunStatus::Done);
+        assert_eq!(board.attempts("g/n-2"), 0);
+        assert_eq!(board.last_failure_cause("g/n-2"), None);
     }
 
     #[test]

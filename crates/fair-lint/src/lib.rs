@@ -13,7 +13,7 @@
 //! |-------|-------|--------|
 //! | `FW001`–`FW007` | [`rules::graph`] | cycles, dangling/duplicate edges, schema mismatches, unwired ports, isolated nodes, motif near-misses |
 //! | `FW101`–`FW103` | [`rules::campaign`] | dead parameters, empty/explosive sweeps, oversubscribed resource envelopes |
-//! | `FW201`–`FW202` | [`rules::policy`] | infeasible and suboptimal checkpoint plans (vs Young/Daly) |
+//! | `FW201`–`FW203` | [`rules::policy`] | infeasible and suboptimal checkpoint plans (vs Young/Daly), zero-retry policies under injected faults |
 //! | `FW301`–`FW302` | [`rules::gauge`] | components below a declared minimum profile, catalog regressions |
 //!
 //! Findings are [`diag::Diagnostic`]s — code, severity, message, and a
@@ -44,7 +44,9 @@ pub use diag::{Diagnostic, DiagnosticSet, Location, Severity};
 pub use rules::campaign::{lint_campaign_plan, lint_manifest};
 pub use rules::gauge::{lint_catalog_regressions, lint_minimum_profile};
 pub use rules::graph::lint_graph;
-pub use rules::policy::{lint_checkpoint_plan, CheckpointPlan};
+pub use rules::policy::{
+    lint_checkpoint_plan, lint_resilience_plan, CheckpointPlan, ResiliencePlan,
+};
 
 /// Everything the linter may cross-check a campaign against. Each field
 /// is optional; rules that need an absent field are skipped, so callers
@@ -63,6 +65,8 @@ pub struct PreflightContext<'a> {
     pub machine: Option<&'a ClusterSpec>,
     /// The checkpoint plan runs will use (Young/Daly checks).
     pub checkpoint: Option<CheckpointPlan>,
+    /// The retry budget vs. the fault environment (FW203).
+    pub resilience: Option<ResiliencePlan>,
 }
 
 /// Runs every applicable rule layer over a compiled campaign manifest and
@@ -85,6 +89,9 @@ pub fn preflight_campaign(
     }
     if let Some(plan) = &ctx.checkpoint {
         set.extend(lint_checkpoint_plan(plan, config));
+    }
+    if let Some(plan) = &ctx.resilience {
+        set.extend(lint_resilience_plan(plan, config));
     }
     set.sort();
     set

@@ -1,5 +1,6 @@
-//! Checkpoint-policy rules (`FW201`–`FW202`): failure-model sanity checks
-//! against the Young/Daly analysis in the `checkpoint` crate.
+//! Resilience-policy rules (`FW201`–`FW203`): failure-model sanity checks
+//! against the Young/Daly analysis in the `checkpoint` crate, and
+//! retry-budget checks against the declared fault environment.
 
 use checkpoint::daly::young_daly_interval;
 use hpcsim::time::SimDuration;
@@ -12,6 +13,8 @@ use crate::diag::{DiagnosticSet, Location, Severity};
 pub const INFEASIBLE_CHECKPOINTING: &str = "FW201";
 /// `FW202` — a feasible interval far from the Young/Daly optimum.
 pub const SUBOPTIMAL_INTERVAL: &str = "FW202";
+/// `FW203` — a fault environment the resilience policy cannot survive.
+pub const NO_RETRY_UNDER_FAULTS: &str = "FW203";
 
 /// A declared checkpoint plan: how often checkpoints are taken, what one
 /// costs, and the failure rate it must survive.
@@ -85,6 +88,63 @@ pub fn lint_checkpoint_plan(plan: &CheckpointPlan, config: &LintConfig) -> Diagn
                 Location::none(),
             );
         }
+    }
+    set
+}
+
+/// The resilience knobs a campaign declares, as far as the linter needs
+/// them: the retry budget and the fault environment it is expected to
+/// survive. Execution engines (e.g. `savanna`) project their richer
+/// policy types down to this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePlan {
+    /// Extra attempts allowed after failures (`0` = a single attempt).
+    pub retry_budget: u32,
+    /// Per-attempt run-failure probability in `[0, 1]`.
+    pub run_failure_probability: f64,
+    /// Whether node crashes are injected (a per-node MTTF is declared).
+    pub node_faults: bool,
+}
+
+/// Runs the resilience-policy rules (`FW203`) on one plan.
+///
+/// A campaign that injects faults but never retries is statically known
+/// to lose runs: the first failure of any run is permanent. Catching the
+/// mismatch before launch is exactly the pre-flight story of the
+/// checkpoint rules, applied to the retry budget.
+pub fn lint_resilience_plan(plan: &ResiliencePlan, config: &LintConfig) -> DiagnosticSet {
+    let mut set = DiagnosticSet::new();
+    let faulty = plan.run_failure_probability > 0.0 || plan.node_faults;
+    if plan.retry_budget == 0 && faulty {
+        let source = match (plan.run_failure_probability > 0.0, plan.node_faults) {
+            (true, true) => format!(
+                "run failures at p = {} and node crashes",
+                plan.run_failure_probability
+            ),
+            (true, false) => format!("run failures at p = {}", plan.run_failure_probability),
+            _ => "node crashes".to_string(),
+        };
+        set.report(
+            config,
+            NO_RETRY_UNDER_FAULTS,
+            Severity::Error,
+            format!(
+                "resilience policy has a zero retry budget while the fault model injects {source} — the first failure of any run is permanent"
+            ),
+            Location::none(),
+        );
+    }
+    if plan.run_failure_probability >= 1.0 {
+        set.report(
+            config,
+            NO_RETRY_UNDER_FAULTS,
+            Severity::Error,
+            format!(
+                "every attempt fails (p = {}): no retry budget can complete this campaign",
+                plan.run_failure_probability
+            ),
+            Location::none(),
+        );
     }
     set
 }

@@ -17,7 +17,8 @@ use fair_core::workflow::{NodeIdx, WorkflowGraph};
 use fair_lint::rules::{campaign, gauge, graph, policy};
 use fair_lint::{
     lint_campaign_plan, lint_catalog_regressions, lint_checkpoint_plan, lint_graph, lint_manifest,
-    lint_minimum_profile, CheckpointPlan, LintConfig, Severity,
+    lint_minimum_profile, lint_resilience_plan, CheckpointPlan, LintConfig, ResiliencePlan,
+    Severity,
 };
 use hpcsim::cluster::ClusterSpec;
 use hpcsim::time::SimDuration;
@@ -561,6 +562,66 @@ fn fw202_quiet_near_the_optimum() {
         .with_code(policy::SUBOPTIMAL_INTERVAL)
         .next()
         .is_none());
+}
+
+#[test]
+fn fw203_zero_retry_budget_under_faults_fires() {
+    // run faults but no retries: error
+    let plan = ResiliencePlan {
+        retry_budget: 0,
+        run_failure_probability: 0.3,
+        node_faults: false,
+    };
+    let set = lint_resilience_plan(&plan, &cfg());
+    let d = set
+        .with_code(policy::NO_RETRY_UNDER_FAULTS)
+        .next()
+        .expect("flagged");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("p = 0.3"), "{}", d.message);
+    assert!(!set.is_clean());
+
+    // node crashes alone also count as a fault source
+    let plan = ResiliencePlan {
+        retry_budget: 0,
+        run_failure_probability: 0.0,
+        node_faults: true,
+    };
+    let set = lint_resilience_plan(&plan, &cfg());
+    assert!(set
+        .with_code(policy::NO_RETRY_UNDER_FAULTS)
+        .any(|d| d.message.contains("node crashes")));
+}
+
+#[test]
+fn fw203_certain_failure_is_unwinnable_regardless_of_budget() {
+    let plan = ResiliencePlan {
+        retry_budget: 1000,
+        run_failure_probability: 1.0,
+        node_faults: false,
+    };
+    let set = lint_resilience_plan(&plan, &cfg());
+    assert!(set
+        .with_code(policy::NO_RETRY_UNDER_FAULTS)
+        .any(|d| d.message.contains("no retry budget")));
+}
+
+#[test]
+fn fw203_quiet_with_budget_or_without_faults() {
+    // a budget covers the faults
+    let plan = ResiliencePlan {
+        retry_budget: 3,
+        run_failure_probability: 0.3,
+        node_faults: true,
+    };
+    assert!(lint_resilience_plan(&plan, &cfg()).is_empty());
+    // no faults: zero budget is fine
+    let plan = ResiliencePlan {
+        retry_budget: 0,
+        run_failure_probability: 0.0,
+        node_faults: false,
+    };
+    assert!(lint_resilience_plan(&plan, &cfg()).is_empty());
 }
 
 // ---------------------------------------------------------------- gauge

@@ -6,8 +6,10 @@
 //! standard assumption behind mean-time-to-failure reasoning.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
+use crate::batch::Allocation;
+use crate::cluster::NodeId;
 use crate::dist::Exponential;
 use crate::time::{SimDuration, SimTime};
 
@@ -58,6 +60,119 @@ pub fn expected_rework_per_failure(interval: SimDuration) -> SimDuration {
     interval / 2
 }
 
+/// One node crash inside an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCrash {
+    /// Crash instant (strictly inside the allocation window).
+    pub at: SimTime,
+    /// The node that goes down (and stays down for the rest of the
+    /// allocation).
+    pub node: NodeId,
+}
+
+/// The node crashes hitting one allocation, time-ordered.
+///
+/// Produced by [`NodeFaultInjector::crashes_for`]; consumed by
+/// fault-aware schedulers, which kill whatever run occupies the crashed
+/// node and shrink the allocation's capacity by one node per crash.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    crashes: Vec<NodeCrash>,
+}
+
+impl CrashPlan {
+    /// A plan with no crashes (healthy allocation).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan from explicit crashes (sorted by time internally).
+    pub fn from_crashes(mut crashes: Vec<NodeCrash>) -> Self {
+        crashes.sort_by_key(|c| (c.at, c.node.0));
+        Self { crashes }
+    }
+
+    /// The crashes, in time order.
+    pub fn crashes(&self) -> &[NodeCrash] {
+        &self.crashes
+    }
+
+    /// Number of crashes in the plan.
+    pub fn len(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// True when no node crashes during the allocation.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
+}
+
+/// Samples node crashes for allocations: the fleet-level failure process
+/// of an N-node allocation is Poisson with rate `N / MTTF_node`, and each
+/// arrival takes down one uniformly drawn node.
+///
+/// This is the piece that turns [`FailureModel`]'s schedules into
+/// something campaign execution actually experiences: a run occupying the
+/// crashed node is killed mid-flight, and the allocation continues with
+/// one fewer node. Node identity is job-local (`0..nodes`), matching
+/// [`crate::batch::Allocation`]; an injector held across a whole
+/// allocation series models the *same* physical nodes being granted each
+/// time, which is what makes per-node failure counts (and quarantine
+/// decisions built on them) meaningful.
+#[derive(Debug)]
+pub struct NodeFaultInjector {
+    mttf_per_node: SimDuration,
+    rng: StdRng,
+}
+
+impl NodeFaultInjector {
+    /// Creates an injector with the given *per-node* MTTF and seed.
+    pub fn new(mttf_per_node: SimDuration, seed: u64) -> Self {
+        assert!(
+            mttf_per_node > SimDuration::ZERO,
+            "per-node MTTF must be positive"
+        );
+        Self {
+            mttf_per_node,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Configured per-node mean time to failure.
+    pub fn mttf_per_node(&self) -> SimDuration {
+        self.mttf_per_node
+    }
+
+    /// Samples the crash plan for one allocation. Consumes RNG state, so
+    /// successive allocations see fresh (but seed-reproducible) schedules.
+    pub fn crashes_for(&mut self, alloc: &Allocation) -> CrashPlan {
+        let n = alloc.nodes.len();
+        if n == 0 {
+            return CrashPlan::none();
+        }
+        // Aggregate exponential inter-arrival: mean = MTTF_node / N.
+        let mean_gap = self.mttf_per_node.as_secs_f64() / n as f64;
+        let gap_dist = Exponential::from_mean(mean_gap);
+        let mut crashes = Vec::new();
+        let mut t = alloc.start;
+        loop {
+            let gap = gap_dist.sample(&mut self.rng).max(1e-6);
+            t += SimDuration::from_secs_f64(gap);
+            if t >= alloc.end {
+                break;
+            }
+            let pick: f64 = self.rng.random();
+            let idx = ((pick * n as f64) as usize).min(n - 1);
+            crashes.push(NodeCrash {
+                at: t,
+                node: alloc.nodes[idx],
+            });
+        }
+        CrashPlan::from_crashes(crashes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +216,55 @@ mod tests {
             expected_rework_per_failure(SimDuration::from_mins(30)),
             SimDuration::from_mins(15)
         );
+    }
+
+    fn alloc(nodes: u32, hours: u64) -> Allocation {
+        crate::batch::BatchQueue::instant(1).submit(crate::batch::BatchJob::new(
+            nodes,
+            SimDuration::from_hours(hours),
+        ))
+    }
+
+    #[test]
+    fn crash_plan_is_sorted_in_window_and_on_granted_nodes() {
+        let a = alloc(16, 12);
+        let mut inj = NodeFaultInjector::new(SimDuration::from_hours(24), 3);
+        let plan = inj.crashes_for(&a);
+        assert!(!plan.is_empty(), "16 nodes × 12 h at 24 h MTTF must crash");
+        assert!(plan.crashes().windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(plan
+            .crashes()
+            .iter()
+            .all(|c| c.at > a.start && c.at < a.end && (c.node.0 as usize) < a.nodes.len()));
+    }
+
+    #[test]
+    fn crash_rate_scales_with_node_count() {
+        let count = |nodes: u32| {
+            let a = alloc(nodes, 24);
+            let mut inj = NodeFaultInjector::new(SimDuration::from_hours(12), 7);
+            (0..50).map(|_| inj.crashes_for(&a).len()).sum::<usize>()
+        };
+        let narrow = count(2);
+        let wide = count(32);
+        assert!(
+            wide > narrow * 4,
+            "32-node allocations must crash far more often than 2-node ones ({wide} vs {narrow})"
+        );
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let a = alloc(8, 6);
+        let run = |seed| NodeFaultInjector::new(SimDuration::from_hours(8), seed).crashes_for(&a);
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn astronomical_mttf_never_crashes() {
+        let a = alloc(4, 2);
+        let mut inj = NodeFaultInjector::new(SimDuration::from_hours(10_000_000), 1);
+        assert!(inj.crashes_for(&a).is_empty());
     }
 }

@@ -120,12 +120,136 @@ impl FsLoad {
     }
 }
 
+/// A transient filesystem stall: for `[start, end)` all I/O progresses at
+/// `1 / slowdown` of its normal rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallWindow {
+    /// Stall onset.
+    pub start: SimTime,
+    /// Stall end (exclusive).
+    pub end: SimTime,
+    /// Slowdown factor during the window (≥ 1; e.g. 8 = eight times
+    /// slower).
+    pub slowdown: f64,
+}
+
+/// Transient filesystem-stall fault model: Poisson-arriving stall windows
+/// (metadata-server hiccups, burst-buffer drains) during which I/O phases
+/// run `slowdown`× slower.
+///
+/// Like [`FsLoad`], a schedule is a pure function of `(spec, seed)` over a
+/// horizon, so every policy/scheduler compared under the same seed faces
+/// the identical weather. Stalls compose with the background-load model:
+/// load shrinks bandwidth continuously, stalls gate it in discrete
+/// episodes — the paper's §V-B "failure rate of the underlying system"
+/// covers both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallSchedule {
+    windows: Vec<StallWindow>,
+}
+
+impl StallSchedule {
+    /// Samples a schedule over `[start, end)`: stalls arrive with
+    /// exponential inter-arrival times of mean `mean_between`, each
+    /// lasting `duration` at `slowdown`×.
+    pub fn sample(
+        mean_between: SimDuration,
+        duration: SimDuration,
+        slowdown: f64,
+        start: SimTime,
+        end: SimTime,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            mean_between > SimDuration::ZERO,
+            "mean gap must be positive"
+        );
+        assert!(
+            duration > SimDuration::ZERO,
+            "stall duration must be positive"
+        );
+        assert!(slowdown >= 1.0, "a stall cannot speed I/O up");
+        let mut windows = Vec::new();
+        let mut t = start;
+        let mut k = 0u64;
+        while t < end {
+            // counter-based exponential draw: deterministic per (seed, k)
+            let bits = splitmix64(seed ^ k.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+            let u = ((bits >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+            let gap = -mean_between.as_secs_f64() * u.ln();
+            t += SimDuration::from_secs_f64(gap.max(1e-6));
+            if t >= end {
+                break;
+            }
+            windows.push(StallWindow {
+                start: t,
+                end: (t + duration).min(end),
+                slowdown,
+            });
+            t += duration;
+            k += 1;
+        }
+        Self { windows }
+    }
+
+    /// A schedule with no stalls.
+    pub fn none() -> Self {
+        Self {
+            windows: Vec::new(),
+        }
+    }
+
+    /// The stall windows, in time order.
+    pub fn windows(&self) -> &[StallWindow] {
+        &self.windows
+    }
+
+    /// Wall-clock duration of an I/O (or I/O-weighted) phase that starts
+    /// at `start` and needs `nominal` of unstalled progress: progress
+    /// accrues at full rate outside stall windows and at `1 / slowdown`
+    /// inside them.
+    pub fn stalled_duration(&self, start: SimTime, nominal: SimDuration) -> SimDuration {
+        if nominal == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let mut now = start;
+        let mut left = nominal.as_secs_f64();
+        for w in &self.windows {
+            if w.end <= now {
+                continue;
+            }
+            // full-rate stretch before the window
+            if w.start > now {
+                let clear = w.start.since(now).as_secs_f64();
+                if left <= clear {
+                    now += SimDuration::from_secs_f64(left);
+                    return now.since(start);
+                }
+                left -= clear;
+                now = w.start;
+            }
+            // slowed stretch inside the window
+            let span = w.end.since(now).as_secs_f64();
+            let progress = span / w.slowdown;
+            if left <= progress {
+                now += SimDuration::from_secs_f64(left * w.slowdown);
+                return now.since(start);
+            }
+            left -= progress;
+            now = w.end;
+        }
+        now += SimDuration::from_secs_f64(left);
+        now.since(start)
+    }
+}
+
 /// The shared filesystem seen by a simulated job.
 #[derive(Debug)]
 pub struct SharedFs {
     /// Aggregate bandwidth in bytes/second when idle.
     pub base_bandwidth_bps: f64,
     load: FsLoad,
+    stalls: StallSchedule,
     seed: u64,
     bytes_written: f64,
     write_time: SimDuration,
@@ -139,10 +263,23 @@ impl SharedFs {
         Self {
             base_bandwidth_bps,
             load,
+            stalls: StallSchedule::none(),
             seed,
             bytes_written: 0.0,
             write_time: SimDuration::ZERO,
         }
+    }
+
+    /// Injects a transient-stall fault schedule; writes overlapping a
+    /// stall window are inflated accordingly. Builder-style.
+    pub fn with_stalls(mut self, stalls: StallSchedule) -> Self {
+        self.stalls = stalls;
+        self
+    }
+
+    /// The active stall schedule.
+    pub fn stalls(&self) -> &StallSchedule {
+        &self.stalls
     }
 
     /// Total bandwidth the job sees at `now` after background load. Never
@@ -173,7 +310,9 @@ impl SharedFs {
         let total_bw = self.effective_total_bandwidth(now);
         let secs = bytes / total_bw;
         self.bytes_written += bytes;
-        let d = SimDuration::from_secs_f64(secs);
+        let d = self
+            .stalls
+            .stalled_duration(now, SimDuration::from_secs_f64(secs));
         self.write_time += d;
         d
     }
@@ -279,6 +418,79 @@ mod tests {
         let a = fs1.write_duration(t, 8e9, 1);
         let b = fs2.write_duration(t, 8e9, 4096);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stall_free_phase_is_nominal() {
+        let s = StallSchedule::none();
+        assert_eq!(
+            s.stalled_duration(SimTime::from_secs(10), SimDuration::from_secs(100)),
+            SimDuration::from_secs(100)
+        );
+    }
+
+    #[test]
+    fn stall_inflates_overlapping_phase_only() {
+        // one 60 s stall at 8× starting at t=100
+        let s = StallSchedule {
+            windows: vec![StallWindow {
+                start: SimTime::from_secs(100),
+                end: SimTime::from_secs(160),
+                slowdown: 8.0,
+            }],
+        };
+        // phase entirely before the stall: unaffected
+        assert_eq!(
+            s.stalled_duration(SimTime::ZERO, SimDuration::from_secs(50)),
+            SimDuration::from_secs(50)
+        );
+        // phase starting inside the stall, needing 10 s of progress: the
+        // window has 60 s / 8 = 7.5 s of progress, the rest runs clear
+        let d = s.stalled_duration(SimTime::from_secs(100), SimDuration::from_secs(10));
+        assert_eq!(d, SimDuration::from_secs_f64(60.0 + 2.5));
+        // phase straddling the onset: 50 s clear + stalled remainder
+        let d2 = s.stalled_duration(SimTime::from_secs(50), SimDuration::from_secs(55));
+        assert_eq!(d2, SimDuration::from_secs_f64(50.0 + 5.0 * 8.0));
+    }
+
+    #[test]
+    fn sampled_stalls_are_deterministic_and_in_horizon() {
+        let sample = |seed| {
+            StallSchedule::sample(
+                SimDuration::from_mins(30),
+                SimDuration::from_mins(2),
+                6.0,
+                SimTime::ZERO,
+                SimTime::from_secs(3600 * 12),
+                seed,
+            )
+        };
+        let a = sample(4);
+        assert_eq!(a, sample(4));
+        assert_ne!(a, sample(5));
+        assert!(!a.windows().is_empty());
+        assert!(a
+            .windows()
+            .iter()
+            .all(|w| w.start < w.end && w.end <= SimTime::from_secs(3600 * 12)));
+        assert!(a.windows().windows(2).all(|p| p[0].end <= p[1].start));
+    }
+
+    #[test]
+    fn stalled_fs_writes_slower() {
+        let stalls = StallSchedule {
+            windows: vec![StallWindow {
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(1000),
+                slowdown: 4.0,
+            }],
+        };
+        let mut plain = SharedFs::new(1e9, FsLoad::quiet(), 1);
+        let mut stalled = SharedFs::new(1e9, FsLoad::quiet(), 1).with_stalls(stalls);
+        let a = plain.write_duration(SimTime::ZERO, 1e9, 1);
+        let b = stalled.write_duration(SimTime::ZERO, 1e9, 1);
+        assert_eq!(a, SimDuration::from_secs(1));
+        assert_eq!(b, SimDuration::from_secs(4));
     }
 
     #[test]

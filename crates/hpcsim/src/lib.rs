@@ -35,7 +35,8 @@ pub mod trace;
 pub use batch::{Allocation, AllocationSeries, BatchJob, BatchQueue};
 pub use cluster::{ClusterSpec, NodeId};
 pub use engine::{EventHandler, Simulation};
-pub use fs::{FsLoad, SharedFs};
+pub use failure::{CrashPlan, FailureModel, NodeCrash, NodeFaultInjector};
+pub use fs::{FsLoad, SharedFs, StallSchedule, StallWindow};
 pub use machine::{simulate_queue, JobOutcome, JobRequest, QueuePolicy};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TimeSeries, UtilizationTrace};

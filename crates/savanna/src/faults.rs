@@ -30,11 +30,13 @@ pub struct FaultSpec {
 }
 
 impl FaultSpec {
-    /// Creates a fault spec.
+    /// Creates a fault spec. The closed interval `[0, 1]` is accepted:
+    /// `p = 1.0` expresses an always-fail stress test (every attempt
+    /// fails, so only retry-budget exhaustion terminates the run).
     pub fn new(failure_probability: f64, seed: u64) -> Self {
         assert!(
-            (0.0..1.0).contains(&failure_probability),
-            "failure probability must be in [0,1)"
+            (0.0..=1.0).contains(&failure_probability),
+            "failure probability must be in [0,1]"
         );
         Self {
             failure_probability,
@@ -43,7 +45,7 @@ impl FaultSpec {
     }
 
     /// Deterministic failure draw for one attempt of one run.
-    fn fails(&self, run_id: &str, attempt: u32) -> bool {
+    pub(crate) fn fails(&self, run_id: &str, attempt: u32) -> bool {
         if self.failure_probability == 0.0 {
             return false;
         }
@@ -351,6 +353,20 @@ mod tests {
             manual.report.total_span,
             auto.report.total_span
         );
+    }
+
+    #[test]
+    fn certain_failure_is_expressible() {
+        // p = 1.0 (closed interval): every draw fails, for any run/attempt
+        let spec = FaultSpec::new(1.0, 3);
+        assert!((1..100).all(|a| spec.fails("g/i-0", a)));
+        assert!(spec.fails("some/other-run", 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn out_of_range_probability_rejected() {
+        FaultSpec::new(1.0001, 1);
     }
 
     #[test]

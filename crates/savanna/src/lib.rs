@@ -21,6 +21,11 @@
 //!   on the [`exec`] work-stealing pool, with the same status-board
 //!   bookkeeping, so examples and integration tests exercise identical
 //!   campaign mechanics end-to-end.
+//!
+//! The [`resilience`] module layers fault tolerance over the simulated
+//! family: injected node crashes and filesystem stalls, retry budgets
+//! with backoff, node quarantine, hang detection, and checkpoint-aware
+//! restart, with full attempt-history reporting.
 
 #![deny(missing_docs)]
 
@@ -28,6 +33,7 @@ pub mod driver;
 pub mod faults;
 pub mod local;
 pub mod pilot;
+pub mod resilience;
 pub mod setsync;
 pub mod task;
 
@@ -36,7 +42,12 @@ pub use driver::{
     PreflightBlocked, PreflightGate,
 };
 pub use faults::{run_campaign_sim_with_faults, FailureHandling, FaultSpec, FaultyCampaignReport};
-pub use local::LocalExecutor;
+pub use local::{LocalExecutor, LocalReport, LocalRunPolicy, ResilientLocalReport};
 pub use pilot::{PilotScheduler, PlacementPolicy};
+pub use resilience::{
+    resilience_lint_plan, run_campaign_resilient, AttemptOutcome, AttemptRecord, FailureCause,
+    FaultPlan, ResiliencePolicy, ResilienceReport, ResilientCampaignReport, RestartStrategy,
+    RunHistory, StallSpec,
+};
 pub use setsync::SetSyncScheduler;
 pub use task::{AllocationScheduler, ScheduleOutcome, SimTask, TaskResult};

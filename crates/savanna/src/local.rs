@@ -9,6 +9,8 @@
 //! so examples and integration tests drive genuine computation through
 //! genuine campaign bookkeeping.
 
+use std::time::{Duration, Instant};
+
 use cheetah::manifest::{CampaignManifest, RunManifest};
 use cheetah::status::{RunStatus, StatusBoard};
 
@@ -21,6 +23,53 @@ pub struct LocalReport {
     pub succeeded: usize,
     /// Runs that returned `Err`.
     pub failed: usize,
+}
+
+/// Summary of a resilient (retrying) local execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilientLocalReport {
+    /// Retry passes executed.
+    pub passes: u32,
+    /// Total attempts across all passes.
+    pub attempts: usize,
+    /// Runs that completed.
+    pub succeeded: usize,
+    /// Runs abandoned with their retry budget exhausted.
+    pub exhausted: Vec<String>,
+}
+
+/// Per-run limits for [`LocalExecutor::run_campaign_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LocalRunPolicy {
+    /// Extra attempts allowed after failures (`0` = single attempt).
+    pub retry_budget: u32,
+    /// Wall-clock deadline per attempt. OS threads cannot be preempted,
+    /// so this is detected *post hoc*: an attempt that overruns is
+    /// recorded as a `deadline` failure even if it eventually returned
+    /// `Ok` — its output is considered untrustworthy straggler work.
+    pub deadline: Option<Duration>,
+}
+
+/// Runs `task` with panic isolation: a panicking run is converted into an
+/// `Err` carrying the panic message instead of tearing down the worker
+/// (and with it the whole campaign pass).
+fn run_guarded<F>(task: &F, run: &RunManifest) -> Result<(), String>
+where
+    F: Fn(&RunManifest) -> Result<(), String> + Sync,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(run))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "opaque panic payload".to_string()
+            };
+            Err(format!("panic: {msg}"))
+        }
+    }
 }
 
 /// Executes campaign runs as in-process closures.
@@ -76,7 +125,10 @@ impl LocalExecutor {
 
     /// Runs every incomplete run in the manifest through `task`, in
     /// parallel, updating `board`. `task` receives the run manifest and
-    /// returns `Ok(())` or an error string (recorded as `Failed`).
+    /// returns `Ok(())` or an error string (recorded as `Failed` with the
+    /// error as the failure cause). Panicking tasks are isolated with
+    /// `catch_unwind` and recorded as failures rather than tearing down
+    /// the pass.
     pub fn run_campaign<F>(
         &self,
         manifest: &CampaignManifest,
@@ -88,18 +140,21 @@ impl LocalExecutor {
     {
         let todo: Vec<&RunManifest> = board.incomplete_runs(manifest);
         let attempted = todo.len();
-        let results: Vec<Result<(), String>> = self.pool.map_index(todo.len(), |i| task(todo[i]));
+        let results: Vec<Result<(), String>> = self
+            .pool
+            .map_index(todo.len(), |i| run_guarded(&task, todo[i]));
         let mut succeeded = 0;
         let mut failed = 0;
         let ids: Vec<String> = todo.iter().map(|r| r.id.clone()).collect();
         for (id, result) in ids.iter().zip(results) {
+            board.record_attempt(id);
             match result {
                 Ok(()) => {
                     board.set(id, RunStatus::Done);
                     succeeded += 1;
                 }
-                Err(_) => {
-                    board.set(id, RunStatus::Failed);
+                Err(cause) => {
+                    board.record_failure(id, cause);
                     failed += 1;
                 }
             }
@@ -108,6 +163,74 @@ impl LocalExecutor {
             attempted,
             succeeded,
             failed,
+        }
+    }
+
+    /// Like [`LocalExecutor::run_campaign`], but failures are retried
+    /// under the policy's budget: passes repeat until every run is done
+    /// or has exhausted its retries. Attempt counts and failure causes
+    /// land on the board ([`StatusBoard::attempts`],
+    /// [`StatusBoard::last_failure_cause`]), mirroring the bookkeeping of
+    /// the simulated resilient driver.
+    pub fn run_campaign_resilient<F>(
+        &self,
+        manifest: &CampaignManifest,
+        board: &mut StatusBoard,
+        policy: LocalRunPolicy,
+        task: F,
+    ) -> ResilientLocalReport
+    where
+        F: Fn(&RunManifest) -> Result<(), String> + Sync,
+    {
+        let mut passes = 0u32;
+        let mut attempts = 0usize;
+        let mut succeeded = 0usize;
+        loop {
+            let todo: Vec<RunManifest> = board
+                .incomplete_runs_with_budget(manifest, policy.retry_budget)
+                .into_iter()
+                .cloned()
+                .collect();
+            if todo.is_empty() {
+                break;
+            }
+            passes += 1;
+            let results: Vec<(Result<(), String>, Duration)> =
+                self.pool.map_index(todo.len(), |i| {
+                    let started = Instant::now();
+                    let result = run_guarded(&task, &todo[i]);
+                    (result, started.elapsed())
+                });
+            for (run, (result, elapsed)) in todo.iter().zip(results) {
+                attempts += 1;
+                board.record_attempt(&run.id);
+                let verdict = match (result, policy.deadline) {
+                    (Ok(()), Some(limit)) if elapsed > limit => Err(format!(
+                        "deadline exceeded: ran {elapsed:.1?} against a {limit:.1?} limit"
+                    )),
+                    (other, _) => other,
+                };
+                match verdict {
+                    Ok(()) => {
+                        board.set(&run.id, RunStatus::Done);
+                        succeeded += 1;
+                    }
+                    Err(cause) => board.record_failure(&run.id, cause),
+                }
+            }
+        }
+        let exhausted: Vec<String> = manifest
+            .groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .filter(|r| board.get(&r.id) == RunStatus::Failed)
+            .map(|r| r.id.clone())
+            .collect();
+        ResilientLocalReport {
+            passes,
+            attempts,
+            succeeded,
+            exhausted,
         }
     }
 }
@@ -219,6 +342,107 @@ mod tests {
         assert_eq!(reloaded.summary().done, 3);
         assert_eq!(reloaded.summary().failed, 1);
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn panics_are_isolated_and_recorded_as_failures() {
+        let m = manifest(6);
+        let mut board = StatusBoard::for_manifest(&m);
+        let exec = LocalExecutor::new(2);
+        let report = exec.run_campaign(&m, &mut board, |run| {
+            let i = run.params.get("i").unwrap().as_int().unwrap();
+            if i == 3 {
+                panic!("worker blew up on {i}");
+            }
+            Ok(())
+        });
+        assert_eq!(report.succeeded, 5);
+        assert_eq!(report.failed, 1);
+        assert_eq!(board.get("g/i-3"), RunStatus::Failed);
+        let cause = board.last_failure_cause("g/i-3").unwrap();
+        assert!(
+            cause.contains("panic") && cause.contains("blew up"),
+            "{cause}"
+        );
+    }
+
+    #[test]
+    fn resilient_retries_flaky_tasks_to_completion() {
+        let m = manifest(12);
+        let mut board = StatusBoard::for_manifest(&m);
+        let exec = LocalExecutor::new(4);
+        // every run fails its first attempt, succeeds after
+        let seen = parking_lot::Mutex::new(std::collections::BTreeSet::new());
+        let report = exec.run_campaign_resilient(
+            &m,
+            &mut board,
+            LocalRunPolicy {
+                retry_budget: 2,
+                deadline: None,
+            },
+            |run| {
+                if seen.lock().insert(run.id.clone()) {
+                    Err("transient".into())
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(report.succeeded, 12);
+        assert!(report.exhausted.is_empty());
+        assert_eq!(report.passes, 2);
+        assert_eq!(report.attempts, 24);
+        assert!(board.summary().is_complete());
+        assert_eq!(board.attempts("g/i-0"), 2);
+        assert_eq!(board.failures("g/i-0"), 1);
+    }
+
+    #[test]
+    fn resilient_exhausts_budget_on_permanent_failures() {
+        let m = manifest(3);
+        let mut board = StatusBoard::for_manifest(&m);
+        let exec = LocalExecutor::new(2);
+        let report = exec.run_campaign_resilient(
+            &m,
+            &mut board,
+            LocalRunPolicy {
+                retry_budget: 2,
+                deadline: None,
+            },
+            |_| Err("permanently broken".into()),
+        );
+        assert_eq!(report.succeeded, 0);
+        assert_eq!(report.exhausted.len(), 3);
+        // budget 2 → exactly 3 attempts per run, then abandonment
+        assert_eq!(board.attempts("g/i-0"), 3);
+        assert_eq!(board.failures("g/i-0"), 3);
+        assert_eq!(report.attempts, 9);
+    }
+
+    #[test]
+    fn deadline_overrun_is_recorded_as_failure() {
+        let m = manifest(2);
+        let mut board = StatusBoard::for_manifest(&m);
+        let exec = LocalExecutor::new(2);
+        let report = exec.run_campaign_resilient(
+            &m,
+            &mut board,
+            LocalRunPolicy {
+                retry_budget: 0,
+                deadline: Some(Duration::from_millis(5)),
+            },
+            |run| {
+                let i = run.params.get("i").unwrap().as_int().unwrap();
+                if i == 1 {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Ok(())
+            },
+        );
+        assert_eq!(report.succeeded, 1);
+        assert_eq!(report.exhausted, vec!["g/i-1".to_string()]);
+        let cause = board.last_failure_cause("g/i-1").unwrap();
+        assert!(cause.contains("deadline"), "{cause}");
     }
 
     #[test]

@@ -1,0 +1,1336 @@
+//! The campaign resilience layer: fault-tolerant execution under injected
+//! node crashes, filesystem stalls, and run errors.
+//!
+//! The paper's workflows live on shared machines where "the failure rate
+//! of the underlying system" (§V-B) is a first-class design input, not an
+//! exception path. This module threads the `hpcsim` fault models through
+//! the pilot driver loop:
+//!
+//! * **node crashes** — a [`hpcsim::NodeFaultInjector`] samples per-node
+//!   exponential crash times for every allocation; a crash kills the run
+//!   on that node mid-flight and shrinks the usable allocation,
+//! * **filesystem stalls** — a [`StallSchedule`] inflates the I/O-bound
+//!   fraction of every run that executes through a stall window,
+//! * **run errors** — the per-attempt [`FaultSpec`] draw from [`crate::faults`],
+//!
+//! and the [`ResiliencePolicy`] decides what happens next: retry budgets,
+//! exponential backoff expressed as *deferred rescheduling*, quarantine of
+//! repeat-offender nodes, straggler/hang detection with a walltime-fraction
+//! timeout, and **checkpoint-aware restart** — a killed run resumes from
+//! its last completed checkpoint boundary
+//! ([`checkpoint::checkpointed_progress`]) instead of from zero.
+//!
+//! [`run_campaign_resilient`] emits a [`ResilienceReport`] (per-run attempt
+//! histories with failure causes, the quarantine set, rework node-hours
+//! lost vs. saved by checkpointing) alongside the usual
+//! [`CampaignSimReport`]. Everything is seeded and deterministic: the same
+//! `(campaign, policy, fault plan, seed)` tuple reproduces the same attempt
+//! histories bit-for-bit.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+
+use cheetah::manifest::CampaignManifest;
+use cheetah::status::{RunStatus, StatusBoard};
+use hpcsim::batch::{Allocation, AllocationSeries};
+use hpcsim::failure::{CrashPlan, NodeFaultInjector};
+use hpcsim::fs::StallSchedule;
+use hpcsim::time::{SimDuration, SimTime};
+use hpcsim::trace::UtilizationTrace;
+
+use crate::driver::{AllocationRecord, CampaignSimReport};
+use crate::faults::FaultSpec;
+use crate::pilot::{PilotScheduler, PlacementPolicy};
+use crate::task::SimTask;
+
+/// Why an attempt was killed or failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailureCause {
+    /// The node hosting the run crashed mid-execution.
+    NodeCrash,
+    /// The run completed but produced a bad result (injected run error).
+    RunError,
+    /// The run exceeded the hang-detection deadline and was killed as a
+    /// straggler.
+    Hang,
+}
+
+impl FailureCause {
+    /// Stable string form, used as the status-board failure cause.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureCause::NodeCrash => "node-crash",
+            FailureCause::RunError => "run-error",
+            FailureCause::Hang => "hang",
+        }
+    }
+}
+
+/// Where a killed run resumes on its next attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartStrategy {
+    /// All progress is lost; the next attempt redoes the whole run.
+    FromScratch,
+    /// The run checkpoints every `interval` of nominal progress; the next
+    /// attempt resumes from the last completed boundary.
+    FromCheckpoint {
+        /// Nominal-progress gap between checkpoints.
+        interval: SimDuration,
+    },
+}
+
+impl RestartStrategy {
+    /// Checkpoint-aware restart at the Young/Daly optimal interval
+    /// `sqrt(2 · dump_cost · mttf)` — closing the loop with
+    /// [`checkpoint::young_daly_interval`].
+    pub fn young_daly(mttf: SimDuration, dump_cost: SimDuration) -> Self {
+        RestartStrategy::FromCheckpoint {
+            interval: checkpoint::young_daly_interval(mttf, dump_cost),
+        }
+    }
+
+    /// Nominal progress that survives a kill after `executed` of nominal
+    /// progress in the killed attempt.
+    pub fn surviving_progress(&self, executed: SimDuration) -> SimDuration {
+        match self {
+            RestartStrategy::FromScratch => SimDuration::ZERO,
+            RestartStrategy::FromCheckpoint { interval } => {
+                checkpoint::checkpointed_progress(executed, *interval)
+            }
+        }
+    }
+}
+
+/// How the driver reacts to failures: the knob set the paper argues a
+/// reusable workflow must expose instead of hard-coding (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Extra attempts allowed after failures. A run is abandoned
+    /// ("exhausted") once its failure count exceeds this budget, so a run
+    /// gets at most `retry_budget + 1` failing attempts.
+    pub retry_budget: u32,
+    /// Base delay before a failed run becomes eligible again
+    /// (`ZERO` = immediate requeue).
+    pub backoff_base: SimDuration,
+    /// Multiplier applied per additional failure: the n-th failure defers
+    /// the run by `backoff_base · backoff_factor^(n-1)`.
+    pub backoff_factor: f64,
+    /// Quarantine a node once this many crashes are attributed to it
+    /// (`0` disables quarantine). Quarantine never empties an allocation:
+    /// the last usable node is kept even past the threshold.
+    pub quarantine_threshold: u32,
+    /// Kill a run as a hung straggler after this fraction of the
+    /// allocation walltime (`1.0` disables hang detection — the walltime
+    /// boundary is the only cut).
+    pub hang_timeout_fraction: f64,
+    /// Where killed runs resume.
+    pub restart: RestartStrategy,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        Self {
+            retry_budget: 3,
+            backoff_base: SimDuration::ZERO,
+            backoff_factor: 2.0,
+            quarantine_threshold: 2,
+            hang_timeout_fraction: 1.0,
+            restart: RestartStrategy::FromScratch,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// The default policy (see [`Default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.backoff_factor >= 1.0,
+            "backoff factor must be >= 1 (backoff never shrinks)"
+        );
+        assert!(
+            self.hang_timeout_fraction > 0.0 && self.hang_timeout_fraction <= 1.0,
+            "hang timeout fraction must be in (0, 1]"
+        );
+    }
+
+    /// Deferral before a run's next attempt after its `failures`-th
+    /// failure.
+    fn backoff_delay(&self, failures: u32) -> SimDuration {
+        if self.backoff_base == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let exp = failures.saturating_sub(1).min(24);
+        self.backoff_base
+            .mul_f64(self.backoff_factor.powi(exp as i32))
+    }
+
+    /// Hang-detection deadline for an allocation, if enabled.
+    fn hang_timeout(&self, alloc: &Allocation) -> Option<SimDuration> {
+        if self.hang_timeout_fraction < 1.0 {
+            Some(alloc.walltime().mul_f64(self.hang_timeout_fraction))
+        } else {
+            None
+        }
+    }
+}
+
+/// Transient filesystem-stall fault shape (see [`StallSchedule::sample`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallSpec {
+    /// Mean gap between stall onsets.
+    pub mean_between: SimDuration,
+    /// Duration of each stall window.
+    pub duration: SimDuration,
+    /// Slowdown factor inside a window (≥ 1).
+    pub slowdown: f64,
+    /// Fraction of each run's nominal duration that is I/O-bound and
+    /// therefore subject to stalls, in `[0, 1]`.
+    pub io_fraction: f64,
+}
+
+/// The complete injected-fault environment for a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Per-attempt run-error model (`p = 0` disables).
+    pub run_faults: FaultSpec,
+    /// Per-node mean time to failure; `None` disables node crashes.
+    pub node_mttf: Option<SimDuration>,
+    /// Filesystem-stall fault; `None` disables stalls.
+    pub stalls: Option<StallSpec>,
+    /// Master seed; per-allocation fault streams are derived from it.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A fault-free environment (the resilient driver then behaves like
+    /// the plain one).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            run_faults: FaultSpec::new(0.0, seed),
+            node_mttf: None,
+            stalls: None,
+            seed,
+        }
+    }
+
+    fn injector(&self) -> Option<NodeFaultInjector> {
+        self.node_mttf
+            .map(|mttf| NodeFaultInjector::new(mttf, self.seed ^ 0x517c_c1b7_2722_0a95))
+    }
+
+    fn stall_schedule(&self, alloc: &Allocation) -> Option<(StallSchedule, f64)> {
+        self.stalls.map(|s| {
+            assert!(
+                (0.0..=1.0).contains(&s.io_fraction),
+                "io fraction must be in [0,1]"
+            );
+            let seed = self.seed ^ (u64::from(alloc.index) + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+            (
+                StallSchedule::sample(
+                    s.mean_between,
+                    s.duration,
+                    s.slowdown,
+                    alloc.start,
+                    alloc.end,
+                    seed,
+                ),
+                s.io_fraction,
+            )
+        })
+    }
+}
+
+/// One attempt of one run, as recorded in the [`ResilienceReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Allocation the attempt ran in.
+    pub allocation: u32,
+    /// Attempt start.
+    pub started_at: SimTime,
+    /// Attempt end (completion, kill, or cut).
+    pub ended_at: SimTime,
+    /// What happened.
+    pub outcome: AttemptOutcome,
+}
+
+/// Terminal state of one attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The attempt completed the run.
+    Completed,
+    /// Cut at the allocation walltime boundary (not a failure; the run
+    /// resumes next allocation with `preserved` progress).
+    WalltimeCut {
+        /// Nominal progress carried into the next attempt.
+        preserved: SimDuration,
+    },
+    /// The attempt failed.
+    Failed {
+        /// Why.
+        cause: FailureCause,
+        /// Nominal progress carried into the next attempt.
+        preserved: SimDuration,
+    },
+}
+
+/// Full history of one run under the resilient driver.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunHistory {
+    /// Attempts in order.
+    pub attempts: Vec<AttemptRecord>,
+    /// True once the run completed.
+    pub completed: bool,
+    /// True if the run was abandoned with its retry budget exhausted.
+    pub exhausted: bool,
+}
+
+/// Resilience accounting emitted alongside the [`CampaignSimReport`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResilienceReport {
+    /// Per-run attempt histories.
+    pub histories: BTreeMap<String, RunHistory>,
+    /// Nodes quarantined by the end of the campaign.
+    pub quarantined: BTreeSet<u32>,
+    /// Node crashes observed (on usable nodes, while the allocation was
+    /// active).
+    pub node_crashes: u32,
+    /// Attempts killed by a node crash.
+    pub crash_kills: u32,
+    /// Attempts killed by hang detection.
+    pub hang_kills: u32,
+    /// Attempts that completed but drew an injected run error.
+    pub run_errors: u32,
+    /// Attempts cut at the walltime boundary (not failures).
+    pub walltime_cuts: u32,
+    /// Total failed attempts (crashes + hangs + run errors).
+    pub failed_attempts: u32,
+    /// Runs abandoned with the retry budget exhausted.
+    pub exhausted: Vec<String>,
+    /// Node-hours of progress destroyed by kills (work past the last
+    /// surviving checkpoint, or everything under
+    /// [`RestartStrategy::FromScratch`]).
+    pub rework_lost_node_hours: f64,
+    /// Node-hours of progress preserved across kills by checkpoint-aware
+    /// restart.
+    pub rework_saved_node_hours: f64,
+}
+
+impl ResilienceReport {
+    /// Total attempts recorded across all runs.
+    pub fn total_attempts(&self) -> usize {
+        self.histories.values().map(|h| h.attempts.len()).sum()
+    }
+}
+
+/// A [`CampaignSimReport`] plus the resilience accounting for the same
+/// execution.
+#[derive(Debug, Clone)]
+pub struct ResilientCampaignReport {
+    /// The base campaign report.
+    pub report: CampaignSimReport,
+    /// Attempt histories, quarantine, and rework accounting.
+    pub resilience: ResilienceReport,
+}
+
+/// Projects a policy + fault plan down to the linter's
+/// [`fair_lint::ResiliencePlan`], so `FW203` (zero retry budget under
+/// injected faults) can gate a resilient campaign before launch via
+/// [`fair_lint::PreflightContext::resilience`].
+pub fn resilience_lint_plan(
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+) -> fair_lint::ResiliencePlan {
+    fair_lint::ResiliencePlan {
+        retry_budget: policy.retry_budget,
+        run_failure_probability: faults.run_faults.failure_probability,
+        node_faults: faults.node_mttf.is_some(),
+    }
+}
+
+/// What happened to one task inside a fault-injected allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SlotOutcome {
+    Completed {
+        started: SimTime,
+        finish: SimTime,
+    },
+    Killed {
+        started: SimTime,
+        at: SimTime,
+        cause: KillCause,
+        /// Nominal progress achieved before the kill.
+        executed: SimDuration,
+    },
+    NotStarted,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KillCause {
+    NodeCrash,
+    Hang,
+    Walltime,
+}
+
+struct FaultScheduleOutcome {
+    /// Per-task results, in input order.
+    results: Vec<(String, SlotOutcome)>,
+    /// Usable-node crashes observed while the allocation was active.
+    crashed_nodes: Vec<u32>,
+    trace: UtilizationTrace,
+    finished_at: SimTime,
+}
+
+fn effective_duration(
+    nominal: SimDuration,
+    start: SimTime,
+    stalls: Option<&(StallSchedule, f64)>,
+) -> SimDuration {
+    match stalls {
+        None => nominal,
+        Some((schedule, io_fraction)) => {
+            let io = nominal.mul_f64(*io_fraction);
+            schedule.stalled_duration(start, io) + (nominal - io)
+        }
+    }
+}
+
+/// Nominal progress after running `[start, until]` of an attempt whose
+/// full effective span is `effective` for `nominal` of progress. The
+/// stall inflation is pro-rated linearly — good enough for rework
+/// accounting without replaying the stall walk.
+fn executed_nominal(
+    nominal: SimDuration,
+    start: SimTime,
+    effective: SimDuration,
+    until: SimTime,
+) -> SimDuration {
+    if effective == SimDuration::ZERO {
+        return nominal;
+    }
+    let frac = until.since(start).as_secs_f64() / effective.as_secs_f64();
+    nominal.mul_f64(frac.min(1.0))
+}
+
+/// Pilot-semantics packing of `tasks` into `alloc` under injected node
+/// crashes, filesystem stalls, a quarantine set, and hang deadlines.
+///
+/// A crash on a busy node kills its task at the crash instant and removes
+/// the node from the allocation; the task's surviving peers' nodes return
+/// to the free pool. Crashes after the allocation quiesces (nothing
+/// running, nothing startable) are not observed — a real pilot has
+/// nothing left to notice them with.
+fn schedule_resilient(
+    tasks: &[SimTask],
+    alloc: &Allocation,
+    quarantined: &BTreeSet<u32>,
+    crashes: &CrashPlan,
+    stalls: Option<&(StallSchedule, f64)>,
+    hang_timeout: Option<SimDuration>,
+    policy: PlacementPolicy,
+) -> FaultScheduleOutcome {
+    let mut alive: BTreeSet<u32> = alloc
+        .nodes
+        .iter()
+        .map(|n| n.0)
+        .filter(|n| !quarantined.contains(n))
+        .collect();
+    let usable = alive.len() as u32;
+    let mut trace = UtilizationTrace::new(usable.max(1), alloc.start);
+    let mut results: Vec<(String, SlotOutcome)> = tasks
+        .iter()
+        .map(|t| (t.id.clone(), SlotOutcome::NotStarted))
+        .collect();
+
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    match policy {
+        PlacementPolicy::Fifo => {}
+        PlacementPolicy::LongestFirst => order.sort_by_key(|&i| Reverse(tasks[i].duration)),
+        PlacementPolicy::WidestFirst => order.sort_by_key(|&i| Reverse(tasks[i].nodes)),
+    }
+    let mut queue: VecDeque<usize> = VecDeque::from(order);
+
+    let crash_events: Vec<(SimTime, u32)> = crashes
+        .crashes()
+        .iter()
+        .filter(|c| c.at < alloc.end)
+        .map(|c| (c.at, c.node.0))
+        .collect();
+    let mut next_crash = 0usize;
+
+    let mut free = alive.clone();
+    let mut owner: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut assigned: Vec<Vec<u32>> = vec![Vec::new(); tasks.len()];
+    let mut started: Vec<Option<(SimTime, SimDuration)>> = vec![None; tasks.len()];
+    // planned end per task; None once completed or killed (lazy heap
+    // invalidation)
+    let mut planned: Vec<Option<(SimTime, KillCause, bool)>> = vec![None; tasks.len()];
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = BinaryHeap::new();
+    let mut crashed_nodes: Vec<u32> = Vec::new();
+    let mut now = alloc.start;
+    let mut last_activity = alloc.start;
+
+    loop {
+        // Start every queued task that fits right now (FIFO head-of-line
+        // blocking intentional, as in the plain pilot).
+        while let Some(&idx) = queue.front() {
+            let task = &tasks[idx];
+            if task.nodes as usize > alive.len() {
+                queue.pop_front(); // can never run on what's left
+                continue;
+            }
+            if task.nodes as usize > free.len() || now >= alloc.end {
+                break;
+            }
+            queue.pop_front();
+            let claim: Vec<u32> = free.iter().take(task.nodes as usize).copied().collect();
+            for n in &claim {
+                free.remove(n);
+                owner.insert(*n, idx);
+                trace.node_busy(now);
+            }
+            let effective = effective_duration(task.duration, now, stalls);
+            let natural = now + effective;
+            let hang_at = hang_timeout.map(|h| now + h);
+            let (end, cause, completes) = match hang_at {
+                Some(h) if h < natural && h < alloc.end => (h, KillCause::Hang, false),
+                _ if natural <= alloc.end => (natural, KillCause::Walltime, true),
+                _ => (alloc.end, KillCause::Walltime, false),
+            };
+            started[idx] = Some((now, effective));
+            planned[idx] = Some((end, cause, completes));
+            assigned[idx] = claim;
+            heap.push(Reverse((end, idx)));
+        }
+
+        // Drop heap entries invalidated by crash kills.
+        while let Some(&Reverse((t, idx))) = heap.peek() {
+            match planned[idx] {
+                Some((end, _, _)) if end == t => break,
+                _ => {
+                    heap.pop();
+                }
+            }
+        }
+
+        let next_end = heap.peek().map(|&Reverse((t, _))| t);
+        if next_end.is_none() {
+            break; // quiet: nothing running, nothing startable
+        }
+        let crash_due = crash_events
+            .get(next_crash)
+            .filter(|(at, _)| Some(*at) < next_end)
+            .copied();
+
+        if let Some((at, node)) = crash_due {
+            next_crash += 1;
+            if !alive.remove(&node) {
+                continue; // node already crashed (double draw)
+            }
+            now = at;
+            crashed_nodes.push(node);
+            free.remove(&node);
+            if let Some(&idx) = owner.get(&node) {
+                let (task_start, effective) =
+                    started[idx].expect("crashed task has a start record");
+                let executed = executed_nominal(tasks[idx].duration, task_start, effective, at);
+                results[idx].1 = SlotOutcome::Killed {
+                    started: task_start,
+                    at,
+                    cause: KillCause::NodeCrash,
+                    executed,
+                };
+                planned[idx] = None;
+                let nodes = std::mem::take(&mut assigned[idx]);
+                for n in nodes {
+                    owner.remove(&n);
+                    if alive.contains(&n) {
+                        free.insert(n);
+                    }
+                    trace.node_idle(at);
+                }
+                last_activity = last_activity.max(at);
+            }
+            continue;
+        }
+
+        // Next event is a (still valid) task end.
+        let Reverse((end, idx)) = heap.pop().expect("peeked entry still present");
+        now = end;
+        let (_, cause, completes) = planned[idx].take().expect("valid heap entry is planned");
+        let (task_start, effective) = started[idx].expect("running task has a start record");
+        let nodes = std::mem::take(&mut assigned[idx]);
+        for n in nodes {
+            owner.remove(&n);
+            if alive.contains(&n) {
+                free.insert(n);
+            }
+            trace.node_idle(end);
+        }
+        last_activity = last_activity.max(end);
+        results[idx].1 = if completes {
+            SlotOutcome::Completed {
+                started: task_start,
+                finish: end,
+            }
+        } else {
+            let executed = executed_nominal(tasks[idx].duration, task_start, effective, end);
+            SlotOutcome::Killed {
+                started: task_start,
+                at: end,
+                cause,
+                executed,
+            }
+        };
+    }
+
+    FaultScheduleOutcome {
+        results,
+        crashed_nodes,
+        trace,
+        finished_at: last_activity,
+    }
+}
+
+/// Simulates a campaign to completion (or exhaustion, or the allocation
+/// cap) under the injected [`FaultPlan`], governed by the
+/// [`ResiliencePolicy`].
+///
+/// The loop extends [`crate::driver::run_campaign_sim`]: each allocation
+/// schedules the still-incomplete, *eligible* runs (failed runs in
+/// backoff sit out until their deferral elapses; if nothing is eligible
+/// the series clock advances to the earliest wake-up instead of burning
+/// an allocation). Kills preserve checkpointed progress per
+/// [`RestartStrategy`]; nodes crossing the quarantine threshold stop
+/// receiving work. Termination is guaranteed: every loop iteration either
+/// completes the campaign, exhausts a budget, or consumes one of the
+/// `max_allocations`.
+#[allow(clippy::too_many_arguments)] // mirrors run_campaign_sim + the resilience knobs
+pub fn run_campaign_resilient(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+) -> ResilientCampaignReport {
+    assert!(max_allocations > 0);
+    policy.validate();
+
+    let scheduler_name = match pilot.policy {
+        PlacementPolicy::Fifo => "pilot-fifo+resilience",
+        PlacementPolicy::LongestFirst => "pilot-lpt+resilience",
+        PlacementPolicy::WidestFirst => "pilot-widest+resilience",
+    };
+
+    let mut injector = faults.injector();
+    let mut remaining: BTreeMap<String, SimDuration> = BTreeMap::new();
+    let mut eligible_at: BTreeMap<String, SimTime> = BTreeMap::new();
+    let mut crash_counts: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut res = ResilienceReport::default();
+
+    let mut allocations = Vec::new();
+    let mut completed_total = 0usize;
+    let first_submission = series.now();
+    let mut last_activity = first_submission;
+
+    for _ in 0..max_allocations {
+        let candidates: Vec<(String, u32)> = board
+            .incomplete_runs_with_budget(manifest, policy.retry_budget)
+            .into_iter()
+            .map(|r| {
+                let group = manifest.group(&r.group).expect("run's group exists");
+                (r.id.clone(), group.per_run_nodes)
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+
+        // Backoff as deferred rescheduling: if every candidate is still
+        // deferred, jump the clock to the earliest wake-up rather than
+        // burning an allocation on an empty queue.
+        let wake = |eligible_at: &BTreeMap<String, SimTime>, id: &str| {
+            eligible_at.get(id).copied().unwrap_or(SimTime::ZERO)
+        };
+        if candidates
+            .iter()
+            .all(|(id, _)| wake(&eligible_at, id) > series.now())
+        {
+            let earliest = candidates
+                .iter()
+                .map(|(id, _)| wake(&eligible_at, id))
+                .min()
+                .expect("candidates nonempty");
+            series.advance(earliest.since(series.now()));
+        }
+        let now = series.now();
+        let ready: Vec<&(String, u32)> = candidates
+            .iter()
+            .filter(|(id, _)| wake(&eligible_at, id) <= now)
+            .collect();
+
+        let tasks: Vec<SimTask> = ready
+            .iter()
+            .map(|(id, width)| {
+                let nominal = remaining.get(id).copied().unwrap_or_else(|| {
+                    *durations
+                        .get(id)
+                        .unwrap_or_else(|| panic!("no duration modeled for run {id:?}"))
+                });
+                SimTask::new(id.clone(), *width, nominal)
+            })
+            .collect();
+
+        let alloc = series.next_allocation();
+        let crashes = injector
+            .as_mut()
+            .map(|i| i.crashes_for(&alloc))
+            .unwrap_or_else(CrashPlan::none);
+        let stalls = faults.stall_schedule(&alloc);
+        let outcome = schedule_resilient(
+            &tasks,
+            &alloc,
+            &res.quarantined,
+            &crashes,
+            stalls.as_ref(),
+            policy.hang_timeout(&alloc),
+            pilot.policy,
+        );
+
+        let mut completed_here = 0usize;
+        let mut timed_out_here = 0usize;
+        for (i, (id, slot)) in outcome.results.iter().enumerate() {
+            let width = f64::from(tasks[i].nodes);
+            let nominal = tasks[i].duration;
+            let history = res.histories.entry(id.clone()).or_default();
+            match slot {
+                SlotOutcome::NotStarted => {
+                    if board.get(id) != RunStatus::Failed {
+                        board.set(id, RunStatus::Pending);
+                    }
+                }
+                SlotOutcome::Completed { started, finish } => {
+                    let attempt = board.record_attempt(id);
+                    if faults.run_faults.fails(id, attempt) {
+                        // Completed but wrong: the output (and any
+                        // checkpoints of the faulty process) are
+                        // untrusted, so the rerun starts from scratch.
+                        board.record_failure(id, FailureCause::RunError.as_str());
+                        res.run_errors += 1;
+                        res.failed_attempts += 1;
+                        res.rework_lost_node_hours += nominal.as_hours_f64() * width;
+                        remaining.insert(
+                            id.clone(),
+                            *durations.get(id).expect("duration known for retried run"),
+                        );
+                        let failures = board.failures(id);
+                        eligible_at.insert(id.clone(), *finish + policy.backoff_delay(failures));
+                        history.attempts.push(AttemptRecord {
+                            attempt,
+                            allocation: alloc.index,
+                            started_at: *started,
+                            ended_at: *finish,
+                            outcome: AttemptOutcome::Failed {
+                                cause: FailureCause::RunError,
+                                preserved: SimDuration::ZERO,
+                            },
+                        });
+                    } else {
+                        board.set(id, RunStatus::Done);
+                        completed_here += 1;
+                        remaining.remove(id);
+                        eligible_at.remove(id);
+                        history.completed = true;
+                        history.attempts.push(AttemptRecord {
+                            attempt,
+                            allocation: alloc.index,
+                            started_at: *started,
+                            ended_at: *finish,
+                            outcome: AttemptOutcome::Completed,
+                        });
+                    }
+                }
+                SlotOutcome::Killed {
+                    started,
+                    at,
+                    cause,
+                    executed,
+                } => {
+                    let attempt = board.record_attempt(id);
+                    let preserved = policy.restart.surviving_progress(*executed);
+                    let lost = executed.saturating_sub(preserved);
+                    res.rework_lost_node_hours += lost.as_hours_f64() * width;
+                    res.rework_saved_node_hours += preserved.as_hours_f64() * width;
+                    remaining.insert(id.clone(), nominal.saturating_sub(preserved));
+                    match cause {
+                        KillCause::Walltime => {
+                            // The walltime boundary is the machine's
+                            // fault, not the run's: no budget consumed,
+                            // no backoff.
+                            board.set(id, RunStatus::TimedOut);
+                            timed_out_here += 1;
+                            res.walltime_cuts += 1;
+                            history.attempts.push(AttemptRecord {
+                                attempt,
+                                allocation: alloc.index,
+                                started_at: *started,
+                                ended_at: *at,
+                                outcome: AttemptOutcome::WalltimeCut { preserved },
+                            });
+                        }
+                        KillCause::NodeCrash | KillCause::Hang => {
+                            let fc = if *cause == KillCause::NodeCrash {
+                                res.crash_kills += 1;
+                                FailureCause::NodeCrash
+                            } else {
+                                res.hang_kills += 1;
+                                FailureCause::Hang
+                            };
+                            board.record_failure(id, fc.as_str());
+                            res.failed_attempts += 1;
+                            let failures = board.failures(id);
+                            eligible_at.insert(id.clone(), *at + policy.backoff_delay(failures));
+                            history.attempts.push(AttemptRecord {
+                                attempt,
+                                allocation: alloc.index,
+                                started_at: *started,
+                                ended_at: *at,
+                                outcome: AttemptOutcome::Failed {
+                                    cause: fc,
+                                    preserved,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        completed_total += completed_here;
+
+        // Quarantine accounting. Node identity is job-local (allocations
+        // in a series grant `0..n` every time), so counts model "the
+        // machine keeps giving us the same flaky rack".
+        for node in &outcome.crashed_nodes {
+            res.node_crashes += 1;
+            let count = crash_counts.entry(*node).or_insert(0);
+            *count += 1;
+            if policy.quarantine_threshold > 0
+                && *count >= policy.quarantine_threshold
+                && !res.quarantined.contains(node)
+                && res.quarantined.len() + 1 < alloc.nodes.len()
+            {
+                res.quarantined.insert(*node);
+            }
+        }
+
+        let active_end = outcome.finished_at.max(alloc.start);
+        if active_end < alloc.end {
+            series.release_early(active_end);
+        }
+        last_activity = last_activity.max(active_end);
+        let span_for_util = if active_end > alloc.start {
+            active_end
+        } else {
+            alloc.end
+        };
+        allocations.push(AllocationRecord {
+            index: alloc.index,
+            start: alloc.start,
+            end: alloc.end,
+            completed: completed_here,
+            timed_out: timed_out_here,
+            utilization: outcome.trace.mean_utilization(alloc.start, span_for_util),
+            idle_node_hours: outcome.trace.idle_node_hours(alloc.start, span_for_util),
+            finished_at: active_end,
+            trace: outcome.trace,
+        });
+    }
+
+    // Runs abandoned with the budget exhausted stay Failed on the board.
+    for group in &manifest.groups {
+        for run in &group.runs {
+            if board.get(&run.id) == RunStatus::Failed
+                && board.failures(&run.id) > policy.retry_budget
+            {
+                res.exhausted.push(run.id.clone());
+                if let Some(history) = res.histories.get_mut(&run.id) {
+                    history.exhausted = true;
+                }
+            }
+        }
+    }
+
+    let remaining_runs = board.incomplete_runs(manifest).len()
+        + board
+            .iter()
+            .filter(|&(_, s)| s == RunStatus::Failed)
+            .count();
+    ResilientCampaignReport {
+        report: CampaignSimReport {
+            scheduler: scheduler_name,
+            allocations,
+            completed_runs: completed_total,
+            remaining_runs,
+            total_span: last_activity.since(first_submission),
+        },
+        resilience: res,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah::campaign::{AppDef, Campaign, SweepGroup};
+    use cheetah::param::SweepSpec;
+    use cheetah::sweep::Sweep;
+    use hpcsim::batch::{BatchJob, BatchQueue};
+    use hpcsim::cluster::NodeId;
+    use hpcsim::failure::NodeCrash;
+
+    fn campaign(runs: i64, per_run_nodes: u32) -> CampaignManifest {
+        Campaign::new("res", "m", AppDef::new("a", "a.exe"))
+            .with_group(SweepGroup::new(
+                "g",
+                Sweep::new().with(
+                    "i",
+                    SweepSpec::IntRange {
+                        start: 0,
+                        end: runs - 1,
+                        step: 1,
+                    },
+                ),
+                8,
+                per_run_nodes,
+                7200,
+            ))
+            .manifest()
+            .unwrap()
+    }
+
+    fn uniform(m: &CampaignManifest, secs: u64) -> BTreeMap<String, SimDuration> {
+        m.groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .map(|r| (r.id.clone(), SimDuration::from_secs(secs)))
+            .collect()
+    }
+
+    fn series(seed: u64) -> AllocationSeries {
+        AllocationSeries::new(
+            BatchJob::new(8, SimDuration::from_hours(2)),
+            SimDuration::from_mins(15),
+            0.3,
+            seed,
+        )
+    }
+
+    fn alloc(nodes: u32, hours: u64) -> Allocation {
+        BatchQueue::instant(1).submit(BatchJob::new(nodes, SimDuration::from_hours(hours)))
+    }
+
+    #[test]
+    fn fault_free_resilient_run_matches_plain_driver() {
+        let m = campaign(24, 1);
+        let d = uniform(&m, 900);
+        let mut board = StatusBoard::for_manifest(&m);
+        let resilient = run_campaign_resilient(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &mut series(5),
+            &mut board,
+            20,
+            &ResiliencePolicy::new(),
+            &FaultPlan::none(1),
+        );
+        let mut board2 = StatusBoard::for_manifest(&m);
+        let plain = crate::driver::run_campaign_sim(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &mut series(5),
+            &mut board2,
+            20,
+        );
+        assert!(resilient.report.is_complete());
+        assert_eq!(resilient.report.completed_runs, plain.completed_runs);
+        assert_eq!(resilient.report.total_span, plain.total_span);
+        assert_eq!(resilient.resilience.failed_attempts, 0);
+        assert!(resilient.resilience.quarantined.is_empty());
+        assert_eq!(resilient.resilience.rework_lost_node_hours, 0.0);
+    }
+
+    #[test]
+    fn crash_kills_run_and_shrinks_allocation() {
+        // 2 nodes, 2 tasks of 30 min; node 0 crashes at +10 min
+        let a = alloc(2, 2);
+        let tasks = vec![
+            SimTask::new("t0", 1, SimDuration::from_mins(30)),
+            SimTask::new("t1", 1, SimDuration::from_mins(30)),
+        ];
+        let crashes = CrashPlan::from_crashes(vec![NodeCrash {
+            at: a.start + SimDuration::from_mins(10),
+            node: NodeId(0),
+        }]);
+        let out = schedule_resilient(
+            &tasks,
+            &a,
+            &BTreeSet::new(),
+            &crashes,
+            None,
+            None,
+            PlacementPolicy::Fifo,
+        );
+        // t0 was on node 0 (lowest-id assignment) → killed a third in
+        match &out.results[0].1 {
+            SlotOutcome::Killed {
+                at,
+                cause,
+                executed,
+                ..
+            } => {
+                assert_eq!(*cause, KillCause::NodeCrash);
+                assert_eq!(*at, a.start + SimDuration::from_mins(10));
+                assert_eq!(*executed, SimDuration::from_mins(10));
+            }
+            other => panic!("expected kill, got {other:?}"),
+        }
+        // t1 on node 1 survives and completes
+        assert!(matches!(out.results[1].1, SlotOutcome::Completed { .. }));
+        assert_eq!(out.crashed_nodes, vec![0]);
+    }
+
+    #[test]
+    fn quarantined_nodes_receive_no_work() {
+        let a = alloc(2, 2);
+        let tasks = vec![
+            SimTask::new("t0", 1, SimDuration::from_mins(10)),
+            SimTask::new("t1", 1, SimDuration::from_mins(10)),
+        ];
+        let quarantined: BTreeSet<u32> = [0u32].into_iter().collect();
+        let out = schedule_resilient(
+            &tasks,
+            &a,
+            &quarantined,
+            &CrashPlan::none(),
+            None,
+            None,
+            PlacementPolicy::Fifo,
+        );
+        // only node 1 usable → tasks run serially
+        let finishes: Vec<SimTime> = out
+            .results
+            .iter()
+            .map(|(_, s)| match s {
+                SlotOutcome::Completed { finish, .. } => *finish,
+                other => panic!("expected completion, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(finishes[0], a.start + SimDuration::from_mins(10));
+        assert_eq!(finishes[1], a.start + SimDuration::from_mins(20));
+    }
+
+    #[test]
+    fn hang_deadline_kills_stragglers() {
+        let a = alloc(1, 2);
+        // task would naturally run 100 min; hang deadline at 25% of 2 h = 30 min
+        let tasks = vec![SimTask::new("slow", 1, SimDuration::from_mins(100))];
+        let out = schedule_resilient(
+            &tasks,
+            &a,
+            &BTreeSet::new(),
+            &CrashPlan::none(),
+            None,
+            Some(SimDuration::from_mins(30)),
+            PlacementPolicy::Fifo,
+        );
+        match &out.results[0].1 {
+            SlotOutcome::Killed { at, cause, .. } => {
+                assert_eq!(*cause, KillCause::Hang);
+                assert_eq!(*at, a.start + SimDuration::from_mins(30));
+            }
+            other => panic!("expected hang kill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalls_inflate_effective_duration_and_can_cause_walltime_cut() {
+        let a = alloc(1, 1);
+        // 40 min of pure I/O under an 8× stall covering the whole hour:
+        // needs 320 min → cut at the walltime
+        let stall = StallSchedule::sample(
+            SimDuration::from_secs(1),
+            SimDuration::from_hours(1),
+            8.0,
+            a.start,
+            a.end,
+            3,
+        );
+        let tasks = vec![SimTask::new("io", 1, SimDuration::from_mins(40))];
+        let out = schedule_resilient(
+            &tasks,
+            &a,
+            &BTreeSet::new(),
+            &CrashPlan::none(),
+            Some(&(stall, 1.0)),
+            None,
+            PlacementPolicy::Fifo,
+        );
+        match &out.results[0].1 {
+            SlotOutcome::Killed {
+                cause, executed, ..
+            } => {
+                assert_eq!(*cause, KillCause::Walltime);
+                assert!(*executed < SimDuration::from_mins(40));
+            }
+            other => panic!("expected walltime cut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_terminates_with_failed_runs() {
+        let m = campaign(6, 1);
+        let d = uniform(&m, 600);
+        let mut board = StatusBoard::for_manifest(&m);
+        let policy = ResiliencePolicy {
+            retry_budget: 2,
+            ..ResiliencePolicy::new()
+        };
+        let faults = FaultPlan {
+            run_faults: FaultSpec::new(1.0, 9), // every attempt fails
+            node_mttf: None,
+            stalls: None,
+            seed: 9,
+        };
+        let report = run_campaign_resilient(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &mut series(2),
+            &mut board,
+            50,
+            &policy,
+            &faults,
+        );
+        assert_eq!(report.report.completed_runs, 0);
+        assert_eq!(report.resilience.exhausted.len(), 6);
+        // budget 2 → exactly 3 attempts each
+        for h in report.resilience.histories.values() {
+            assert_eq!(h.attempts.len(), 3);
+            assert!(h.exhausted && !h.completed);
+        }
+        // far fewer than the cap: exhaustion stopped the loop
+        assert!(report.report.allocations.len() < 50);
+    }
+
+    #[test]
+    fn checkpoint_restart_preserves_progress_across_walltime_cuts() {
+        // one 3 h run in 2 h allocations: from-scratch never finishes,
+        // 30-min checkpoints carry progress across the boundary
+        let m = campaign(1, 1);
+        let d = uniform(&m, 3 * 3600);
+        let run = |restart| {
+            let mut board = StatusBoard::for_manifest(&m);
+            let policy = ResiliencePolicy {
+                restart,
+                ..ResiliencePolicy::new()
+            };
+            run_campaign_resilient(
+                &m,
+                &d,
+                &PilotScheduler::new(),
+                &mut series(4),
+                &mut board,
+                6,
+                &policy,
+                &FaultPlan::none(1),
+            )
+        };
+        let scratch = run(RestartStrategy::FromScratch);
+        let ckpt = run(RestartStrategy::FromCheckpoint {
+            interval: SimDuration::from_mins(30),
+        });
+        assert!(!scratch.report.is_complete(), "3 h can never fit in 2 h");
+        assert!(ckpt.report.is_complete(), "checkpointed restart finishes");
+        assert!(ckpt.resilience.rework_saved_node_hours > 0.0);
+        let history = &ckpt.resilience.histories["g/i-0"];
+        assert!(matches!(
+            history.attempts[0].outcome,
+            AttemptOutcome::WalltimeCut { preserved } if preserved == SimDuration::from_hours(2)
+        ));
+    }
+
+    #[test]
+    fn node_faults_trigger_retries_and_quarantine_counts_are_deterministic() {
+        let m = campaign(32, 1);
+        let d = uniform(&m, 1800);
+        let faults = FaultPlan {
+            run_faults: FaultSpec::new(0.0, 1),
+            node_mttf: Some(SimDuration::from_hours(6)), // aggressive: 8 nodes → crash every 45 min
+            stalls: None,
+            seed: 11,
+        };
+        let policy = ResiliencePolicy {
+            quarantine_threshold: 2,
+            retry_budget: 10,
+            ..ResiliencePolicy::new()
+        };
+        let run = || {
+            let mut board = StatusBoard::for_manifest(&m);
+            run_campaign_resilient(
+                &m,
+                &d,
+                &PilotScheduler::new(),
+                &mut series(7),
+                &mut board,
+                100,
+                &policy,
+                &faults,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert!(
+            a.resilience.node_crashes > 0,
+            "6 h MTTF on 8 nodes must bite"
+        );
+        assert!(a.resilience.crash_kills > 0);
+        assert_eq!(a.resilience.histories, b.resilience.histories);
+        assert_eq!(a.resilience.quarantined, b.resilience.quarantined);
+        assert_eq!(a.report.total_span, b.report.total_span);
+        // quarantine never empties the allocation
+        assert!(a.resilience.quarantined.len() < 8);
+    }
+
+    #[test]
+    fn backoff_defers_rescheduling() {
+        let m = campaign(1, 1);
+        let d = uniform(&m, 600);
+        let mut board = StatusBoard::for_manifest(&m);
+        let policy = ResiliencePolicy {
+            retry_budget: 5,
+            backoff_base: SimDuration::from_hours(4),
+            backoff_factor: 2.0,
+            ..ResiliencePolicy::new()
+        };
+        // fail twice, then succeed (attempts 1 and 2 fail under this seed
+        // search below); easiest deterministic shape: p=1.0 and budget 1
+        // → two attempts separated by ≥ the backoff delay.
+        let faults = FaultPlan {
+            run_faults: FaultSpec::new(1.0, 3),
+            node_mttf: None,
+            stalls: None,
+            seed: 3,
+        };
+        let policy = ResiliencePolicy {
+            retry_budget: 1,
+            ..policy
+        };
+        let report = run_campaign_resilient(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &mut series(1),
+            &mut board,
+            10,
+            &policy,
+            &faults,
+        );
+        let h = &report.resilience.histories["g/i-0"];
+        assert_eq!(h.attempts.len(), 2);
+        let gap = h.attempts[1].started_at.since(h.attempts[0].ended_at);
+        assert!(
+            gap >= SimDuration::from_hours(4),
+            "second attempt must wait out the backoff, gap={gap}"
+        );
+    }
+
+    #[test]
+    fn backoff_delay_grows_geometrically() {
+        let p = ResiliencePolicy {
+            backoff_base: SimDuration::from_mins(10),
+            backoff_factor: 3.0,
+            ..ResiliencePolicy::new()
+        };
+        assert_eq!(p.backoff_delay(1), SimDuration::from_mins(10));
+        assert_eq!(p.backoff_delay(2), SimDuration::from_mins(30));
+        assert_eq!(p.backoff_delay(3), SimDuration::from_mins(90));
+        let zero = ResiliencePolicy::new();
+        assert_eq!(zero.backoff_delay(5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn surviving_progress_matches_strategy() {
+        let executed = SimDuration::from_mins(55);
+        assert_eq!(
+            RestartStrategy::FromScratch.surviving_progress(executed),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            RestartStrategy::FromCheckpoint {
+                interval: SimDuration::from_mins(20)
+            }
+            .surviving_progress(executed),
+            SimDuration::from_mins(40)
+        );
+        // Young/Daly: sqrt(2 · 60 s · 7.5 h) ≈ 1800 s
+        let yd =
+            RestartStrategy::young_daly(SimDuration::from_secs(27000), SimDuration::from_secs(60));
+        match yd {
+            RestartStrategy::FromCheckpoint { interval } => {
+                assert!((interval.as_secs_f64() - 1800.0).abs() < 1.0);
+            }
+            other => panic!("expected checkpoint strategy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fw203_gates_zero_budget_fault_campaigns() {
+        let policy = ResiliencePolicy {
+            retry_budget: 0,
+            ..ResiliencePolicy::new()
+        };
+        let faults = FaultPlan {
+            run_faults: FaultSpec::new(0.3, 1),
+            node_mttf: Some(SimDuration::from_hours(24)),
+            stalls: None,
+            seed: 1,
+        };
+        let plan = resilience_lint_plan(&policy, &faults);
+        let set = fair_lint::lint_resilience_plan(&plan, &fair_lint::LintConfig::new());
+        assert!(!set.is_clean(), "zero budget under faults must block");
+        // with a budget the same faults pass
+        let ok = resilience_lint_plan(&ResiliencePolicy::new(), &faults);
+        assert!(fair_lint::lint_resilience_plan(&ok, &fair_lint::LintConfig::new()).is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "hang timeout fraction")]
+    fn degenerate_hang_fraction_rejected() {
+        let m = campaign(1, 1);
+        let d = uniform(&m, 60);
+        let mut board = StatusBoard::for_manifest(&m);
+        let policy = ResiliencePolicy {
+            hang_timeout_fraction: 0.0,
+            ..ResiliencePolicy::new()
+        };
+        run_campaign_resilient(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &mut series(1),
+            &mut board,
+            1,
+            &policy,
+            &FaultPlan::none(1),
+        );
+    }
+}

@@ -21,4 +21,15 @@ cargo fmt --check
 echo "== ci: offline check + clippy =="
 "$REPO/devtools/offline-check.sh" clippy
 
+# Fault-injection smoke: drive a seeded campaign through node crashes,
+# run errors, and checkpoint-aware restart, asserting the rework
+# advantage. Needs real (non-stubbed) dependencies, so it only runs when
+# a full build is possible; offline it is reported and skipped.
+echo "== ci: fault-injection smoke =="
+if cargo build -q --release -p bench --bin resilience_ablation 2>/dev/null; then
+    cargo run -q --release -p bench --bin resilience_ablation
+else
+    echo "skipped: registry offline — run 'cargo run --release -p bench --bin resilience_ablation' with a warm registry"
+fi
+
 echo "ci: OK"

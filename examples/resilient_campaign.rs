@@ -1,0 +1,171 @@
+//! A campaign that survives its platform: injected node crashes,
+//! filesystem stalls, and p = 0.3 transient run failures, driven to
+//! completion by the resilient pilot — retry budgets with exponential
+//! backoff, node quarantine, and checkpoint-aware restart.
+//!
+//! Everything is seeded, so the run is deterministic: the example
+//! executes the campaign twice and checks that the attempt histories and
+//! quarantine sets are identical.
+//!
+//! ```sh
+//! cargo run --example resilient_campaign
+//! ```
+
+use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use fair_workflows::cheetah::manifest::CampaignManifest;
+use fair_workflows::cheetah::param::SweepSpec;
+use fair_workflows::cheetah::status::StatusBoard;
+use fair_workflows::cheetah::sweep::Sweep;
+use fair_workflows::fair_lint::{lint_resilience_plan, LintConfig};
+use fair_workflows::hpcsim::batch::{AllocationSeries, BatchJob};
+use fair_workflows::hpcsim::dist::LogNormal;
+use fair_workflows::hpcsim::time::SimDuration;
+use fair_workflows::savanna::pilot::PilotScheduler;
+use fair_workflows::savanna::resilience::{
+    resilience_lint_plan, run_campaign_resilient, FaultPlan, ResiliencePolicy,
+    ResilientCampaignReport, RestartStrategy, StallSpec,
+};
+use fair_workflows::savanna::FaultSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+fn manifest() -> CampaignManifest {
+    Campaign::new(
+        "resilient-demo",
+        "institutional",
+        AppDef::new("irf", "irf.exe"),
+    )
+    .with_group(SweepGroup::new(
+        "features",
+        Sweep::new().with(
+            "feature",
+            SweepSpec::IntRange {
+                start: 0,
+                end: 39,
+                step: 1,
+            },
+        ),
+        8,
+        1,
+        2 * 3600,
+    ))
+    .manifest()
+    .expect("valid campaign")
+}
+
+fn durations(manifest: &CampaignManifest) -> BTreeMap<String, SimDuration> {
+    let dist = LogNormal::from_mean_cv(15.0 * 60.0, 0.5);
+    let mut rng = StdRng::seed_from_u64(40);
+    manifest
+        .groups
+        .iter()
+        .flat_map(|g| g.runs.iter())
+        .map(|r| {
+            // keep every run individually inside the 2 h walltime
+            let secs = dist.sample(&mut rng).min(100.0 * 60.0);
+            (r.id.clone(), SimDuration::from_secs_f64(secs))
+        })
+        .collect()
+}
+
+fn execute(
+    manifest: &CampaignManifest,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+) -> ResilientCampaignReport {
+    let durations = durations(manifest);
+    let job = BatchJob::new(8, SimDuration::from_hours(2));
+    let mut series = AllocationSeries::new(job, SimDuration::from_mins(15), 0.4, 5);
+    let mut board = StatusBoard::for_manifest(manifest);
+    run_campaign_resilient(
+        manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        200,
+        policy,
+        faults,
+    )
+}
+
+fn main() {
+    let manifest = manifest();
+    let policy = ResiliencePolicy {
+        retry_budget: 8,
+        backoff_base: SimDuration::from_mins(10),
+        quarantine_threshold: 2,
+        restart: RestartStrategy::FromCheckpoint {
+            interval: SimDuration::from_mins(5),
+        },
+        ..ResiliencePolicy::default()
+    };
+    let faults = FaultPlan {
+        run_faults: FaultSpec::new(0.3, 21),
+        node_mttf: Some(SimDuration::from_hours(6)),
+        stalls: Some(StallSpec {
+            mean_between: SimDuration::from_hours(1),
+            duration: SimDuration::from_mins(5),
+            slowdown: 4.0,
+            io_fraction: 0.2,
+        }),
+        seed: 21,
+    };
+
+    // Pre-flight: FW203 would reject this campaign if the retry budget
+    // were zero while faults are injected. With a budget it is clean.
+    let lint = lint_resilience_plan(&resilience_lint_plan(&policy, &faults), &LintConfig::new());
+    println!(
+        "pre-flight (FW203): {}",
+        if lint.is_clean() { "clean" } else { "BLOCKED" }
+    );
+    assert!(lint.is_clean());
+
+    let run = execute(&manifest, &policy, &faults);
+    let res = &run.resilience;
+    println!(
+        "\ncampaign: {} runs on 8-node / 2 h allocations, p = 0.3 run errors, \
+         MTTF 6 h/node, periodic fs stalls",
+        manifest.total_runs()
+    );
+    println!(
+        "completed {} / {} runs in {} allocations, {:.1} h span",
+        run.report.completed_runs,
+        manifest.total_runs(),
+        run.report.allocations.len(),
+        run.report.total_span.as_hours_f64(),
+    );
+    println!(
+        "attempts: {} total — {} run errors, {} crash kills, {} hang kills, {} walltime cuts",
+        res.total_attempts(),
+        res.run_errors,
+        res.crash_kills,
+        res.hang_kills,
+        res.walltime_cuts,
+    );
+    println!(
+        "nodes crashed {} times; quarantined: {:?}",
+        res.node_crashes, res.quarantined
+    );
+    println!(
+        "rework: {:.2} node-hours lost, {:.2} node-hours preserved by 5-min checkpoints",
+        res.rework_lost_node_hours, res.rework_saved_node_hours
+    );
+    let retried = res
+        .histories
+        .values()
+        .filter(|h| h.attempts.len() > 1)
+        .count();
+    println!("{retried} runs needed more than one attempt");
+    assert!(
+        run.report.is_complete(),
+        "the demo campaign must complete under this budget"
+    );
+
+    // Same seeds, same outcome — resilience does not cost determinism.
+    let rerun = execute(&manifest, &policy, &faults);
+    assert_eq!(res.histories, rerun.resilience.histories);
+    assert_eq!(res.quarantined, rerun.resilience.quarantined);
+    println!("\nrerun with identical seeds: identical attempt histories and quarantine sets");
+}

@@ -1,0 +1,231 @@
+//! Integration: the resilience layer end-to-end through the facade —
+//! termination and bounded-budget invariants under arbitrary seeded fault
+//! schedules, determinism of attempt histories and quarantine sets, the
+//! checkpoint-restart rework advantage, and budget exhaustion at p = 1.
+
+use std::collections::BTreeMap;
+
+use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use fair_workflows::cheetah::manifest::CampaignManifest;
+use fair_workflows::cheetah::param::SweepSpec;
+use fair_workflows::cheetah::status::StatusBoard;
+use fair_workflows::cheetah::sweep::Sweep;
+use fair_workflows::hpcsim::batch::{AllocationSeries, BatchJob};
+use fair_workflows::hpcsim::dist::LogNormal;
+use fair_workflows::hpcsim::time::SimDuration;
+use fair_workflows::savanna::pilot::PilotScheduler;
+use fair_workflows::savanna::resilience::{
+    run_campaign_resilient, AttemptOutcome, FaultPlan, ResiliencePolicy, ResilientCampaignReport,
+    RestartStrategy, StallSpec,
+};
+use fair_workflows::savanna::FaultSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn manifest(features: i64, nodes: u32, walltime_secs: u64) -> CampaignManifest {
+    Campaign::new("resilience", "inst", AppDef::new("irf", "irf.exe"))
+        .with_group(SweepGroup::new(
+            "features",
+            Sweep::new().with(
+                "feature",
+                SweepSpec::IntRange {
+                    start: 0,
+                    end: features - 1,
+                    step: 1,
+                },
+            ),
+            nodes,
+            1,
+            walltime_secs,
+        ))
+        .manifest()
+        .expect("valid campaign")
+}
+
+fn durations(
+    manifest: &CampaignManifest,
+    mean_secs: f64,
+    cap_secs: f64,
+    seed: u64,
+) -> BTreeMap<String, SimDuration> {
+    let dist = LogNormal::from_mean_cv(mean_secs, 0.6);
+    let mut rng = StdRng::seed_from_u64(seed);
+    manifest
+        .groups
+        .iter()
+        .flat_map(|g| g.runs.iter())
+        .map(|r| {
+            let secs = dist.sample(&mut rng).min(cap_secs);
+            (r.id.clone(), SimDuration::from_secs_f64(secs))
+        })
+        .collect()
+}
+
+fn execute(
+    manifest: &CampaignManifest,
+    durs: &BTreeMap<String, SimDuration>,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    max_allocations: u32,
+) -> ResilientCampaignReport {
+    let job = BatchJob::new(8, SimDuration::from_hours(2));
+    let mut series = AllocationSeries::new(job, SimDuration::from_mins(10), 0.4, 5);
+    let mut board = StatusBoard::for_manifest(manifest);
+    run_campaign_resilient(
+        manifest,
+        durs,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        max_allocations,
+        policy,
+        faults,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under *any* seeded fault schedule the driver terminates: every run
+    /// either completes, exhausts its retry budget, or the allocation cap
+    /// is hit — and no run ever records more failing attempts than the
+    /// budget allows.
+    #[test]
+    fn any_fault_schedule_terminates_with_bounded_budgets(
+        seed in any::<u64>(),
+        p in 0.0f64..0.9,
+        mttf_hours in 1u64..48,
+    ) {
+        let m = manifest(12, 8, 2 * 3600);
+        let durs = durations(&m, 10.0 * 60.0, 100.0 * 60.0, 17);
+        let policy = ResiliencePolicy { retry_budget: 2, ..ResiliencePolicy::default() };
+        let faults = FaultPlan {
+            run_faults: FaultSpec::new(p, seed),
+            node_mttf: Some(SimDuration::from_hours(mttf_hours)),
+            stalls: None,
+            seed,
+        };
+        let cap = 40;
+        let run = execute(&m, &durs, &policy, &faults, cap);
+
+        let capped = run.report.allocations.len() == cap as usize;
+        prop_assert!(
+            run.report.is_complete() || !run.resilience.exhausted.is_empty() || capped,
+            "driver stopped without completing, exhausting, or hitting the cap"
+        );
+        for (id, h) in &run.resilience.histories {
+            let failed = h
+                .attempts
+                .iter()
+                .filter(|a| matches!(a.outcome, AttemptOutcome::Failed { .. }))
+                .count();
+            prop_assert!(
+                failed <= policy.retry_budget as usize + 1,
+                "{id} recorded {failed} failing attempts against a budget of {}",
+                policy.retry_budget
+            );
+            prop_assert!(!(h.completed && h.exhausted), "{id} both completed and exhausted");
+        }
+    }
+
+    /// Identical seeds produce identical attempt histories, quarantine
+    /// sets, and campaign spans — fault injection is fully reproducible.
+    #[test]
+    fn identical_seeds_are_bit_identical(seed in any::<u64>()) {
+        let m = manifest(10, 8, 2 * 3600);
+        let durs = durations(&m, 12.0 * 60.0, 100.0 * 60.0, 23);
+        let policy = ResiliencePolicy {
+            retry_budget: 4,
+            quarantine_threshold: 2,
+            ..ResiliencePolicy::default()
+        };
+        let faults = FaultPlan {
+            run_faults: FaultSpec::new(0.25, seed),
+            node_mttf: Some(SimDuration::from_hours(8)),
+            stalls: Some(StallSpec {
+                mean_between: SimDuration::from_mins(45),
+                duration: SimDuration::from_mins(4),
+                slowdown: 4.0,
+                io_fraction: 0.25,
+            }),
+            seed,
+        };
+        let a = execute(&m, &durs, &policy, &faults, 60);
+        let b = execute(&m, &durs, &policy, &faults, 60);
+        prop_assert_eq!(&a.resilience.histories, &b.resilience.histories);
+        prop_assert_eq!(&a.resilience.quarantined, &b.resilience.quarantined);
+        prop_assert_eq!(a.report.total_span, b.report.total_span);
+    }
+}
+
+/// A 3-hour run in 2-hour allocations: restart-from-zero repeats the same
+/// two hours forever and never finishes; checkpoint-aware restart carries
+/// the progress across the cut and completes — with strictly less rework
+/// under the identical (empty-fault) schedule.
+#[test]
+fn checkpoint_restart_beats_restart_from_zero() {
+    let m = manifest(1, 8, 2 * 3600);
+    let durs: BTreeMap<String, SimDuration> = m
+        .groups
+        .iter()
+        .flat_map(|g| g.runs.iter())
+        .map(|r| (r.id.clone(), SimDuration::from_hours(3)))
+        .collect();
+    let faults = FaultPlan::none(3);
+
+    let scratch_policy = ResiliencePolicy {
+        restart: RestartStrategy::FromScratch,
+        ..ResiliencePolicy::default()
+    };
+    let scratch = execute(&m, &durs, &scratch_policy, &faults, 6);
+    assert!(!scratch.report.is_complete());
+    assert!(scratch.resilience.rework_lost_node_hours > 0.0);
+    assert_eq!(scratch.resilience.rework_saved_node_hours, 0.0);
+
+    let ckpt_policy = ResiliencePolicy {
+        restart: RestartStrategy::FromCheckpoint {
+            interval: SimDuration::from_mins(30),
+        },
+        ..ResiliencePolicy::default()
+    };
+    let ckpt = execute(&m, &durs, &ckpt_policy, &faults, 6);
+    assert!(ckpt.report.is_complete());
+    assert!(ckpt.resilience.rework_saved_node_hours > 0.0);
+    assert!(
+        ckpt.resilience.rework_lost_node_hours < scratch.resilience.rework_lost_node_hours,
+        "checkpoint restart must lose strictly less rework ({} vs {})",
+        ckpt.resilience.rework_lost_node_hours,
+        scratch.resilience.rework_lost_node_hours
+    );
+}
+
+/// At p = 1 every attempt fails, so every run burns exactly
+/// `retry_budget + 1` attempts and is reported exhausted.
+#[test]
+fn certain_failure_exhausts_every_budget() {
+    let m = manifest(6, 8, 2 * 3600);
+    let durs = durations(&m, 8.0 * 60.0, 100.0 * 60.0, 31);
+    let policy = ResiliencePolicy {
+        retry_budget: 2,
+        ..ResiliencePolicy::default()
+    };
+    let faults = FaultPlan {
+        run_faults: FaultSpec::new(1.0, 11),
+        node_mttf: None,
+        stalls: None,
+        seed: 11,
+    };
+    let run = execute(&m, &durs, &policy, &faults, 30);
+    assert!(!run.report.is_complete());
+    assert_eq!(run.resilience.exhausted.len(), m.total_runs());
+    for (id, h) in &run.resilience.histories {
+        assert!(h.exhausted, "{id} should be exhausted");
+        assert!(!h.completed);
+        assert_eq!(h.attempts.len(), 3, "{id} should burn budget+1 attempts");
+        assert!(h
+            .attempts
+            .iter()
+            .all(|a| matches!(a.outcome, AttemptOutcome::Failed { .. })));
+    }
+}
