@@ -73,7 +73,8 @@ fn ablation_pilot_policy() {
         let sched = PilotScheduler::with_policy(policy);
         let mut board = StatusBoard::for_manifest(&manifest);
         let mut series = AllocationSeries::new(job, SimDuration::from_mins(30), 0.5, 9);
-        let report = run_campaign_sim(&manifest, &durations, &sched, &mut series, &mut board, 200);
+        let report = run_campaign_sim(&manifest, &durations, &sched, &mut series, &mut board, 200)
+            .expect("durations modeled");
         rows.push((
             name.to_string(),
             format!(

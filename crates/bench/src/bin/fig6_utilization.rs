@@ -107,7 +107,8 @@ fn main() {
             &mut series,
             &mut board,
             100,
-        );
+        )
+        .expect("durations modeled");
         println!(
             "{name:<18} completes 300 features in {:>2} allocations, total span {:>5.1} h",
             report.allocations.len(),

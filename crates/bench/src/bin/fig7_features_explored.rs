@@ -35,6 +35,7 @@ fn main() {
         let mut board = StatusBoard::for_manifest(&manifest);
         let mut series = AllocationSeries::new(job, SimDuration::from_mins(wait_mins), 0.5, seed);
         run_campaign_sim(&manifest, &durations, sched, &mut series, &mut board, 500)
+            .expect("durations modeled")
     };
 
     let baseline = run(
@@ -120,6 +121,7 @@ fn main() {
             faults,
             handling,
         )
+        .expect("durations modeled")
     };
     let baseline_f = run_faulty(
         &SetSyncScheduler::new(20),

@@ -60,6 +60,7 @@ fn run(restart: RestartStrategy) -> ResilientCampaignReport {
         &policy,
         &fault_plan(),
     )
+    .expect("durations modeled")
 }
 
 fn main() {

@@ -1,0 +1,309 @@
+//! Telemetry baselines: the first committed `BENCH_*.json` documents.
+//!
+//! Three seeded scenarios, each exported in the flat metrics format
+//! (`fair-telemetry-metrics/1`) and committed under `results/`:
+//!
+//! * **`BENCH_campaign_throughput.json`** — a plain traced campaign
+//!   (`run_campaign_sim_traced`), the raw allocation/queue-wait profile.
+//! * **`BENCH_checkpoint_sweep.json`** — rework lost/saved across a sweep
+//!   of checkpoint intervals under one fault schedule.
+//! * **`BENCH_resilience_ablation.json`** — the restart-strategy ablation
+//!   (scratch / fixed interval / Young-Daly) reduced to counters.
+//!
+//! Every scenario is driven by fixed seeds and virtual (simulated) time,
+//! so the documents are byte-identical across runs *of the same build*.
+//! The random values (and therefore counter values) depend on the `rand`
+//! implementation, which differs between the real registry build and the
+//! offline stub build — CI therefore diffs the **key sets**, not values
+//! (see `--check`), which are stable across both.
+//!
+//! Usage:
+//!
+//! ```text
+//! telemetry_baselines [OUT_DIR]          # write baselines (default results/)
+//! telemetry_baselines --check DIR [SCHEMAS_DIR]
+//!                                        # regenerate in memory, verify:
+//!                                        #   - determinism (two runs byte-equal)
+//!                                        #   - schema ids match the checked-in
+//!                                        #     schema documents
+//!                                        #   - committed key sets match fresh
+//! ```
+
+use std::collections::BTreeMap;
+
+use bench::{acs_campaign, acs_durations};
+use cheetah::status::StatusBoard;
+use hpcsim::batch::{AllocationSeries, BatchJob};
+use hpcsim::time::SimDuration;
+use savanna::pilot::PilotScheduler;
+use savanna::resilience::{
+    run_campaign_resilient_traced, FaultPlan, ResiliencePolicy, ResilientCampaignReport,
+    RestartStrategy, StallSpec,
+};
+use savanna::{run_campaign_sim_traced, FaultSpec};
+use telemetry::{chrome_trace_json, metrics_json, metrics_keys, Telemetry};
+
+const FAULT_SEED: u64 = 11;
+const METRICS_SCHEMA: &str = "fair-telemetry-metrics/1";
+const TRACE_SCHEMA: &str = "fair-telemetry-trace/1";
+
+/// A baseline scenario: output file name plus its generator.
+type Baseline = (&'static str, fn() -> String);
+
+/// The three baselines, as `(file name, generator)` pairs.
+const BASELINES: [Baseline; 3] = [
+    ("BENCH_campaign_throughput.json", campaign_throughput),
+    ("BENCH_checkpoint_sweep.json", checkpoint_sweep),
+    ("BENCH_resilience_ablation.json", resilience_ablation),
+];
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan {
+        run_faults: FaultSpec::new(0.15, FAULT_SEED),
+        node_mttf: Some(SimDuration::from_hours(10)),
+        stalls: Some(StallSpec {
+            mean_between: SimDuration::from_mins(50),
+            duration: SimDuration::from_mins(4),
+            slowdown: 5.0,
+            io_fraction: 0.2,
+        }),
+        seed: FAULT_SEED,
+    }
+}
+
+fn resilient_arm(restart: RestartStrategy, tel: &Telemetry) -> ResilientCampaignReport {
+    let manifest = acs_campaign(120);
+    let durations = acs_durations(&manifest, 30.0, 0.6, 7);
+    let policy = ResiliencePolicy {
+        retry_budget: 6,
+        backoff_base: SimDuration::from_mins(5),
+        quarantine_threshold: 2,
+        restart,
+        ..ResiliencePolicy::default()
+    };
+    let job = BatchJob::new(20, SimDuration::from_hours(2));
+    let mut series = AllocationSeries::new(job, SimDuration::from_mins(20), 0.5, 9);
+    let mut board = StatusBoard::for_manifest(&manifest);
+    run_campaign_resilient_traced(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        400,
+        &policy,
+        &fault_plan(),
+        tel,
+    )
+    .expect("durations modeled")
+}
+
+/// Counts the arm's headline outcomes into `tel` under `prefix.*` keys,
+/// reducing a full report to flat baseline counters.
+fn count_arm(tel: &Telemetry, prefix: &str, r: &ResilientCampaignReport) {
+    tel.count(
+        &format!("{prefix}.allocations"),
+        r.report.allocations.len() as f64,
+    );
+    tel.count(
+        &format!("{prefix}.completed_runs"),
+        r.report.completed_runs as f64,
+    );
+    tel.count(
+        &format!("{prefix}.span_hours"),
+        r.report.total_span.as_hours_f64(),
+    );
+    tel.count(
+        &format!("{prefix}.crash_kills"),
+        f64::from(r.resilience.crash_kills),
+    );
+    tel.count(
+        &format!("{prefix}.failed_attempts"),
+        f64::from(r.resilience.failed_attempts),
+    );
+    tel.count(
+        &format!("{prefix}.rework_lost_node_hours"),
+        r.resilience.rework_lost_node_hours,
+    );
+    tel.count(
+        &format!("{prefix}.rework_saved_node_hours"),
+        r.resilience.rework_saved_node_hours,
+    );
+}
+
+/// Baseline 1: a fault-free traced campaign — allocation spans, queue
+/// waits, throughput counters straight from the driver.
+fn campaign_throughput() -> String {
+    let manifest = acs_campaign(120);
+    let durations = acs_durations(&manifest, 30.0, 0.6, 7);
+    let job = BatchJob::new(20, SimDuration::from_hours(2));
+    let mut series = AllocationSeries::new(job, SimDuration::from_mins(20), 0.5, 9);
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let (tel, rec) = Telemetry::recording();
+    run_campaign_sim_traced(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        400,
+        &tel,
+    )
+    .expect("durations modeled");
+    metrics_json(&rec.snapshot())
+}
+
+/// Baseline 2: checkpoint-interval sweep, one fault schedule, counters
+/// per interval arm.
+fn checkpoint_sweep() -> String {
+    let (tel, rec) = Telemetry::recording();
+    for mins in [2u64, 5, 10, 20, 40] {
+        let r = resilient_arm(
+            RestartStrategy::FromCheckpoint {
+                interval: SimDuration::from_mins(mins),
+            },
+            &Telemetry::disabled(),
+        );
+        count_arm(&tel, &format!("interval_{mins}m"), &r);
+    }
+    metrics_json(&rec.snapshot())
+}
+
+/// Baseline 3: the restart-strategy ablation reduced to counters. The
+/// Young/Daly arm also records its full per-attempt trace, so the span
+/// aggregates in this document come from the headline arm.
+fn resilience_ablation() -> String {
+    let mttf = SimDuration::from_hours(10);
+    let dump = SimDuration::from_secs(30);
+    let (tel, rec) = Telemetry::recording();
+    let scratch = resilient_arm(RestartStrategy::FromScratch, &Telemetry::disabled());
+    count_arm(&tel, "scratch", &scratch);
+    let fixed = resilient_arm(
+        RestartStrategy::FromCheckpoint {
+            interval: SimDuration::from_mins(5),
+        },
+        &Telemetry::disabled(),
+    );
+    count_arm(&tel, "fixed_5m", &fixed);
+    // the headline arm records its full trace into the same recorder
+    let yd = resilient_arm(RestartStrategy::young_daly(mttf, dump), &tel);
+    count_arm(&tel, "young_daly", &yd);
+    metrics_json(&rec.snapshot())
+}
+
+/// The Chrome trace companion to the throughput baseline, for
+/// `chrome://tracing` / Perfetto (see README "Observability").
+fn throughput_trace() -> String {
+    let manifest = acs_campaign(120);
+    let durations = acs_durations(&manifest, 30.0, 0.6, 7);
+    let job = BatchJob::new(20, SimDuration::from_hours(2));
+    let mut series = AllocationSeries::new(job, SimDuration::from_mins(20), 0.5, 9);
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let (tel, rec) = Telemetry::recording();
+    run_campaign_sim_traced(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        400,
+        &tel,
+    )
+    .expect("durations modeled");
+    chrome_trace_json(&rec.snapshot())
+}
+
+fn generate_all() -> BTreeMap<&'static str, String> {
+    BASELINES.iter().map(|&(name, gen)| (name, gen())).collect()
+}
+
+fn check(results_dir: &str, schemas_dir: &str) {
+    // 1. Determinism: two full generations must be byte-identical.
+    let fresh = generate_all();
+    assert_eq!(
+        fresh,
+        generate_all(),
+        "baseline generation is not deterministic"
+    );
+    let trace = throughput_trace();
+    assert_eq!(
+        trace,
+        throughput_trace(),
+        "trace export is not deterministic"
+    );
+
+    // 2. Schema ids: exports must carry the ids the checked-in schema
+    //    documents declare.
+    let metrics_schema =
+        std::fs::read_to_string(format!("{schemas_dir}/telemetry-metrics.schema.json"))
+            .expect("checked-in metrics schema");
+    assert!(
+        metrics_schema.contains(METRICS_SCHEMA),
+        "schema document does not declare {METRICS_SCHEMA}"
+    );
+    let trace_schema =
+        std::fs::read_to_string(format!("{schemas_dir}/telemetry-trace.schema.json"))
+            .expect("checked-in trace schema");
+    assert!(
+        trace_schema.contains(TRACE_SCHEMA),
+        "schema document does not declare {TRACE_SCHEMA}"
+    );
+    assert!(
+        trace.contains(&format!("\"schema\": \"{TRACE_SCHEMA}\"")),
+        "trace export lost its schema id"
+    );
+
+    // 3. Committed baselines: schema id intact and key sets unchanged.
+    //    Values are allowed to differ (they depend on the rand build);
+    //    a key difference means the recorded surface changed and the
+    //    baselines need regenerating.
+    for (name, doc) in &fresh {
+        let path = format!("{results_dir}/{name}");
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        assert!(
+            committed.contains(&format!("\"schema\": \"{METRICS_SCHEMA}\"")),
+            "{name}: committed baseline lost its schema id"
+        );
+        assert!(
+            doc.contains(&format!("\"schema\": \"{METRICS_SCHEMA}\"")),
+            "{name}: fresh export lost its schema id"
+        );
+        let committed_keys = metrics_keys(&committed);
+        let fresh_keys = metrics_keys(doc);
+        assert!(
+            !fresh_keys.is_empty(),
+            "{name}: fresh export recorded nothing"
+        );
+        assert_eq!(
+            committed_keys, fresh_keys,
+            "{name}: metric keys drifted from the committed baseline — \
+             regenerate with `cargo run -p bench --bin telemetry_baselines`"
+        );
+        println!("check {name}: {} keys OK", fresh_keys.len());
+    }
+    println!("telemetry baselines: OK");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let results_dir = args.get(1).map(String::as_str).unwrap_or("results");
+        let schemas_dir = args
+            .get(2)
+            .map(String::as_str)
+            .unwrap_or("devtools/schemas");
+        check(results_dir, schemas_dir);
+        return;
+    }
+    let out_dir = args.first().map(String::as_str).unwrap_or("results");
+    for (name, doc) in generate_all() {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+    let trace_path = format!("{out_dir}/campaign_throughput.trace.json");
+    std::fs::write(&trace_path, throughput_trace())
+        .unwrap_or_else(|e| panic!("write {trace_path}: {e}"));
+    println!("wrote {trace_path}  (load in chrome://tracing or ui.perfetto.dev)");
+}

@@ -101,6 +101,16 @@ pub enum SweepSpec {
         /// Positive step.
         step: i64,
     },
+    /// Evenly spaced floats `start, start+step, … ≤ end` (inclusive, with
+    /// endpoint rounding tolerance).
+    FloatRange {
+        /// First value.
+        start: f64,
+        /// Inclusive upper bound.
+        end: f64,
+        /// Positive step.
+        step: f64,
+    },
     /// Geometric series `start, start*factor, … ≤ end` (inclusive,
     /// floating point).
     LogRange {
@@ -111,6 +121,17 @@ pub enum SweepSpec {
         /// Factor > 1.
         factor: f64,
     },
+}
+
+/// Inclusive upper-bound check with a relative endpoint tolerance that is
+/// symmetric in sign.
+///
+/// The old form `v <= end * (1.0 + 1e-12)` moves the bound *toward zero*
+/// when `end` is negative, so a sweep ending exactly at `-1.0` silently
+/// dropped its endpoint. Adding `|end| * 1e-12` widens the range on both
+/// sides of zero.
+fn le_with_endpoint_tolerance(v: f64, end: f64) -> bool {
+    v <= end + end.abs() * 1e-12
 }
 
 impl SweepSpec {
@@ -138,7 +159,34 @@ impl SweepSpec {
                 let mut v = *start;
                 while v <= *end {
                     out.push(ParamValue::Int(v));
-                    v += step;
+                    // checked: `v += step` overflowed (and panicked in
+                    // debug) for ranges ending near i64::MAX
+                    match v.checked_add(*step) {
+                        Some(next) => v = next,
+                        None => break,
+                    }
+                }
+                out
+            }
+            SweepSpec::FloatRange { start, end, step } => {
+                assert!(
+                    step.is_finite() && *step > 0.0,
+                    "FloatRange step must be positive and finite"
+                );
+                assert!(
+                    start.is_finite() && end.is_finite(),
+                    "FloatRange bounds must be finite"
+                );
+                let mut out = Vec::new();
+                // index-based so long sweeps don't accumulate rounding
+                let mut i = 0u64;
+                loop {
+                    let v = start + i as f64 * step;
+                    if !le_with_endpoint_tolerance(v, *end) {
+                        break;
+                    }
+                    out.push(ParamValue::Float(v));
+                    i += 1;
                 }
                 out
             }
@@ -148,7 +196,7 @@ impl SweepSpec {
                 let mut out = Vec::new();
                 let mut v = *start;
                 // tiny epsilon so exact endpoints survive rounding
-                while v <= *end * (1.0 + 1e-12) {
+                while le_with_endpoint_tolerance(v, *end) {
                     out.push(ParamValue::Float(v));
                     v *= factor;
                 }
@@ -222,6 +270,79 @@ mod tests {
             .map(|v| v.as_float().unwrap())
             .collect();
         assert_eq!(vals, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn int_range_near_i64_max_terminates() {
+        // Regression: `v += step` overflowed once the cursor passed the
+        // inclusive end near i64::MAX.
+        let spec = SweepSpec::IntRange {
+            start: i64::MAX - 2,
+            end: i64::MAX,
+            step: 2,
+        };
+        assert_eq!(
+            spec.expand(),
+            vec![ParamValue::Int(i64::MAX - 2), ParamValue::Int(i64::MAX)]
+        );
+        let spec = SweepSpec::IntRange {
+            start: i64::MAX,
+            end: i64::MAX,
+            step: 1,
+        };
+        assert_eq!(spec.expand(), vec![ParamValue::Int(i64::MAX)]);
+    }
+
+    #[test]
+    fn float_range_linear() {
+        let spec = SweepSpec::FloatRange {
+            start: 0.0,
+            end: 1.0,
+            step: 0.25,
+        };
+        let vals: Vec<f64> = spec
+            .expand()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect();
+        assert_eq!(vals, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn float_range_negative_end_keeps_endpoint() {
+        // Regression: the asymmetric tolerance `end * (1 + 1e-12)` pulled
+        // a negative bound toward zero, dropping an exactly-reached
+        // endpoint like -1.0.
+        let spec = SweepSpec::FloatRange {
+            start: -2.0,
+            end: -1.0,
+            step: 0.25,
+        };
+        let vals: Vec<f64> = spec
+            .expand()
+            .iter()
+            .map(|v| v.as_float().unwrap())
+            .collect();
+        assert_eq!(vals, vec![-2.0, -1.75, -1.5, -1.25, -1.0]);
+    }
+
+    #[test]
+    fn float_range_endpoint_tolerance_is_sign_symmetric() {
+        // an endpoint reached with rounding error survives on both sides
+        // of zero: 0.1 is inexact in binary, so start + 2*step lands a few
+        // ulps off the written endpoint
+        let positive = SweepSpec::FloatRange {
+            start: 0.1,
+            end: 0.3,
+            step: 0.1,
+        };
+        assert_eq!(positive.cardinality(), 3);
+        let negative = SweepSpec::FloatRange {
+            start: -0.3,
+            end: -0.1,
+            step: 0.1,
+        };
+        assert_eq!(negative.cardinality(), 3);
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub struct StatusBoard {
     /// Human-readable cause of the run's most recent failure.
     #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     last_failure: BTreeMap<String, String>,
+    /// Pointer from each run into the campaign's telemetry export —
+    /// `<artifact>#<track>`, e.g. `trace.json#3` — so status queries can
+    /// jump straight to the run's timeline lane.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    telemetry_refs: BTreeMap<String, String>,
 }
 
 impl StatusBoard {
@@ -90,7 +95,21 @@ impl StatusBoard {
             attempts: BTreeMap::new(),
             failures: BTreeMap::new(),
             last_failure: BTreeMap::new(),
+            telemetry_refs: BTreeMap::new(),
         }
+    }
+
+    /// Records where `run_id`'s telemetry lives (artifact + track, e.g.
+    /// `trace.json#3`). Overwrites any earlier pointer — the latest
+    /// execution owns the run's timeline.
+    pub fn record_telemetry_ref(&mut self, run_id: &str, reference: impl Into<String>) {
+        self.telemetry_refs
+            .insert(run_id.to_string(), reference.into());
+    }
+
+    /// The run's telemetry pointer, if one was recorded.
+    pub fn telemetry_ref(&self, run_id: &str) -> Option<&str> {
+        self.telemetry_refs.get(run_id).map(String::as_str)
     }
 
     /// Records the start of one more attempt of `run_id`; returns the new
@@ -328,6 +347,7 @@ mod tests {
         board.record_attempt("g/n-1");
         board.record_attempt("g/n-1");
         board.record_failure("g/n-1", "fs-stall hang");
+        board.record_telemetry_ref("g/n-1", "trace.json#1");
         board.set("g/n-2", RunStatus::Done);
         let json = serde_json::to_string(&board).expect("serialize");
         let back: StatusBoard = serde_json::from_str(&json).expect("deserialize");
@@ -335,6 +355,8 @@ mod tests {
         assert_eq!(back.attempts("g/n-1"), 2);
         assert_eq!(back.failures("g/n-1"), 1);
         assert_eq!(back.last_failure_cause("g/n-1"), Some("fs-stall hang"));
+        assert_eq!(back.telemetry_ref("g/n-1"), Some("trace.json#1"));
+        assert_eq!(back.telemetry_ref("g/n-2"), None);
     }
 
     #[test]

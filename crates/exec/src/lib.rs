@@ -35,7 +35,7 @@ mod pool;
 mod scope;
 
 pub use latch::CountLatch;
-pub use pool::ThreadPool;
+pub use pool::{PoolStats, ThreadPool};
 pub use scope::Scope;
 
 /// Returns a sensible default parallelism degree for this machine.

@@ -1,6 +1,6 @@
 //! The work-stealing thread pool.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -8,6 +8,22 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A monotonic snapshot of pool activity since construction.
+///
+/// Counters are maintained with relaxed atomics: cheap enough to leave on
+/// permanently, precise enough for telemetry (`jobs_executed` is exact;
+/// `steals` and `park_micros` are exact per worker, summed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Jobs executed to completion (including panicked raw jobs).
+    pub jobs_executed: u64,
+    /// Jobs a worker obtained from a *sibling's* deque rather than its
+    /// own or the injector — the work-stealing balance signal.
+    pub steals: u64,
+    /// Cumulative wall-clock microseconds workers spent parked idle.
+    pub park_micros: u64,
+}
 
 /// Shared state between pool handle and worker threads.
 pub(crate) struct Shared {
@@ -19,6 +35,9 @@ pub(crate) struct Shared {
     /// Mutex/condvar pair used only for parking idle workers.
     sleep_lock: Mutex<()>,
     sleep_cond: Condvar,
+    jobs_executed: AtomicU64,
+    steals: AtomicU64,
+    park_micros: AtomicU64,
 }
 
 impl Shared {
@@ -70,6 +89,9 @@ impl ThreadPool {
             shutdown: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
             sleep_cond: Condvar::new(),
+            jobs_executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            park_micros: AtomicU64::new(0),
         });
         let handles = workers
             .into_iter()
@@ -108,9 +130,27 @@ impl ThreadPool {
     pub(crate) fn shared(&self) -> &Arc<Shared> {
         &self.shared
     }
+
+    /// Activity counters since the pool was created.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            jobs_executed: self.shared.jobs_executed.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            park_micros: self.shared.park_micros.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl Shared {
+    /// Counts one executed job — called by whichever thread runs it (a
+    /// pool worker or a helping waiter in `scope`), *before* the job's
+    /// closure. Counting first means that once a scope's completion latch
+    /// releases (inside the final job), every job of that scope is
+    /// already visible in [`PoolStats::jobs_executed`].
+    pub(crate) fn note_job_executed(&self) {
+        self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Steals one runnable job from the injector or any worker deque —
     /// used by helping waiters (threads blocked in `scope`) so nested
     /// scopes cannot deadlock the pool.
@@ -165,7 +205,10 @@ fn find_job(index: usize, local: &Worker<Job>, shared: &Shared) -> Option<Job> {
                 continue;
             }
             match stealer.steal() {
-                Steal::Success(job) => return Some(job),
+                Steal::Success(job) => {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
                 Steal::Retry => retry = true,
                 Steal::Empty => {}
             }
@@ -183,6 +226,7 @@ fn worker_loop(index: usize, local: Worker<Job>, shared: &Shared) {
             // pool would silently lose capacity. Scope jobs catch their
             // own panics and re-raise at the scope boundary; raw jobs'
             // panics are contained here (the paying caller is gone).
+            shared.note_job_executed();
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
             continue;
         }
@@ -199,9 +243,13 @@ fn worker_loop(index: usize, local: Worker<Job>, shared: &Shared) {
             continue;
         }
         shared.sleepers.fetch_add(1, Ordering::Relaxed);
+        let parked_at = std::time::Instant::now();
         shared
             .sleep_cond
             .wait_for(&mut guard, std::time::Duration::from_millis(50));
+        shared
+            .park_micros
+            .fetch_add(parked_at.elapsed().as_micros() as u64, Ordering::Relaxed);
         shared.sleepers.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -272,6 +320,25 @@ mod tests {
         });
         latch2.wait();
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_count_executed_jobs() {
+        let pool = ThreadPool::new(4);
+        let latch = Arc::new(crate::CountLatch::new());
+        latch.add(50);
+        for _ in 0..50 {
+            let l = Arc::clone(&latch);
+            pool.spawn(move || l.done());
+        }
+        latch.wait();
+        // the latch releases inside the job body, before the worker loop
+        // increments the counter — poll briefly for the tail
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pool.stats().jobs_executed < 50 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.stats().jobs_executed, 50);
     }
 
     #[test]

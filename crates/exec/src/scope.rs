@@ -92,6 +92,7 @@ impl ThreadPool {
                 // contain panics from foreign raw-spawn jobs: they must
                 // not unwind through this unrelated scope
                 Some(job) => {
+                    scope.shared.note_job_executed();
                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                 }
                 None => {

@@ -12,7 +12,7 @@
 //! | Codes | Layer | Checks |
 //! |-------|-------|--------|
 //! | `FW001`–`FW007` | [`rules::graph`] | cycles, dangling/duplicate edges, schema mismatches, unwired ports, isolated nodes, motif near-misses |
-//! | `FW101`–`FW103` | [`rules::campaign`] | dead parameters, empty/explosive sweeps, oversubscribed resource envelopes |
+//! | `FW101`–`FW104` | [`rules::campaign`] | dead parameters, empty/explosive sweeps, oversubscribed resource envelopes, unmodeled runs |
 //! | `FW201`–`FW203` | [`rules::policy`] | infeasible and suboptimal checkpoint plans (vs Young/Daly), zero-retry policies under injected faults |
 //! | `FW301`–`FW302` | [`rules::gauge`] | components below a declared minimum profile, catalog regressions |
 //!

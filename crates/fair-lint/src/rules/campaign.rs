@@ -1,4 +1,4 @@
-//! Campaign-layer rules (`FW101`–`FW103`): sweep and resource checks on
+//! Campaign-layer rules (`FW101`–`FW104`): sweep and resource checks on
 //! `cheetah` campaigns.
 //!
 //! Two entry points: [`lint_campaign_plan`] works on the *pre-expansion*
@@ -27,6 +27,10 @@ pub const DEGENERATE_SWEEP: &str = "FW102";
 /// `FW103` — resource demands the declared envelope or machine cannot
 /// satisfy.
 pub const OVERSUBSCRIBED: &str = "FW103";
+/// `FW104` — a run the supplied duration model does not cover. The
+/// simulated drivers refuse such campaigns with
+/// `SavannaError::UnmodeledRun`; this rule surfaces the hole pre-flight.
+pub const UNMODELED_RUN: &str = "FW104";
 
 /// Lints a pre-expansion campaign definition. Cardinalities come from
 /// [`cheetah::sweep::Sweep::cardinality`], so nothing is expanded.
@@ -114,15 +118,29 @@ pub fn lint_manifest(
         if let Some(durations) = durations {
             let walltime = SimDuration::from_secs(group.walltime_secs);
             for run in &group.runs {
-                if let Some(&d) = durations.get(&run.id) {
-                    if d > walltime {
+                match durations.get(&run.id) {
+                    Some(&d) => {
+                        if d > walltime {
+                            set.report(
+                                config,
+                                OVERSUBSCRIBED,
+                                Severity::Error,
+                                format!(
+                                    "run {:?} is modeled at {d} but group {:?} allocations last only {walltime} — it can never finish",
+                                    run.id, group.name
+                                ),
+                                Location::group(&group.name),
+                            );
+                        }
+                    }
+                    None => {
                         set.report(
                             config,
-                            OVERSUBSCRIBED,
+                            UNMODELED_RUN,
                             Severity::Error,
                             format!(
-                                "run {:?} is modeled at {d} but group {:?} allocations last only {walltime} — it can never finish",
-                                run.id, group.name
+                                "run {:?} has no modeled duration — the driver would refuse it (SavannaError::UnmodeledRun)",
+                                run.id
                             ),
                             Location::group(&group.name),
                         );

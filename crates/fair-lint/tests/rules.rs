@@ -461,6 +461,38 @@ fn fw103_oversubscription_fires_three_ways() {
 }
 
 #[test]
+fn fw104_unmodeled_run_fires_as_error() {
+    // the duration map covers nothing: every run is a hole the driver
+    // would refuse at execution time
+    let m = manifest_with(
+        Sweep::new().with("a", SweepSpec::list([1i64, 2])),
+        4,
+        1,
+        600,
+    );
+    let durations: BTreeMap<String, SimDuration> = BTreeMap::new();
+    let set = lint_manifest(&m, Some(&durations), None, None, &cfg());
+    let findings: Vec<_> = set.with_code(campaign::UNMODELED_RUN).collect();
+    assert_eq!(findings.len(), m.groups[0].runs.len());
+    assert!(findings.iter().all(|d| d.severity == Severity::Error));
+    assert!(
+        findings[0].message.contains("UnmodeledRun"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn fw104_quiet_without_a_duration_model() {
+    // no model supplied at all: nothing to check against, rule stands down
+    let m = manifest_with(Sweep::new().with("a", SweepSpec::fixed(1i64)), 4, 1, 600);
+    assert!(lint_manifest(&m, None, None, None, &cfg())
+        .with_code(campaign::UNMODELED_RUN)
+        .next()
+        .is_none());
+}
+
+#[test]
 fn fw103_quiet_when_resources_fit() {
     let m = manifest_with(Sweep::new().with("a", SweepSpec::fixed(1i64)), 4, 1, 3600);
     let machine = ClusterSpec::institutional(20);

@@ -14,6 +14,8 @@
 //!   ([`fs`]) so overhead-driven checkpoint policies see the same
 //!   fluctuating I/O cost signal they saw on GPFS,
 //! * **failure injection** ([`failure`]) for checkpoint/restart stories,
+//! * **telemetry bridges** ([`telemetry`]) that put jobs, stalls, and
+//!   crashes on the campaign trace timeline,
 //! * **distribution samplers** ([`dist`]) for heavy-tailed task runtimes,
 //! * **time-series traces** ([`trace`]) for utilization figures.
 //!
@@ -29,6 +31,7 @@ pub mod engine;
 pub mod failure;
 pub mod fs;
 pub mod machine;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 

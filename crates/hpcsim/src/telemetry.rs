@@ -1,0 +1,141 @@
+//! Bridges simulator state into the workspace telemetry layer.
+//!
+//! The simulator's native outputs — scheduler outcomes, stall schedules,
+//! crash plans — are plain data. This module renders them onto a
+//! [`telemetry::Telemetry`] handle as spans and instants in **virtual
+//! microseconds**, so a campaign trace shows machine weather (stalls,
+//! crashes) on the same timeline as the attempts it disrupted. All
+//! recorders are no-ops on a disabled handle.
+
+use telemetry::Telemetry;
+
+use crate::failure::CrashPlan;
+use crate::fs::StallSchedule;
+use crate::machine::JobOutcome;
+
+/// Records one span per scheduled job (`cat = "job"`, `ts = start`,
+/// `dur = finish - start`) on `track`, with queue wait, node count, and
+/// backfill status as args. Also bumps the `jobs_completed` and
+/// `backfilled_jobs` counters.
+pub fn record_job_outcomes(tel: &Telemetry, track: u32, outcomes: &[JobOutcome]) {
+    if !tel.is_enabled() {
+        return;
+    }
+    for o in outcomes {
+        tel.span_with(|| telemetry::SpanEvent {
+            category: "job",
+            name: o.id.clone(),
+            track,
+            start_us: o.start.0,
+            dur_us: o.finish.since(o.start).0,
+            args: vec![
+                ("nodes", u64::from(o.nodes).into()),
+                ("wait_us", o.wait().0.into()),
+                ("backfilled", o.backfilled.into()),
+            ],
+        });
+        tel.count("jobs_completed", 1.0);
+        if o.backfilled {
+            tel.count("backfilled_jobs", 1.0);
+        }
+    }
+}
+
+/// Records one span per filesystem stall window (`cat = "fs-stall"`) on
+/// `track`, with the slowdown factor as an arg, and bumps the
+/// `fs_stall_windows` / `fs_stall_us` counters.
+pub fn record_stall_windows(tel: &Telemetry, track: u32, stalls: &StallSchedule) {
+    if !tel.is_enabled() {
+        return;
+    }
+    for w in stalls.windows() {
+        let dur = w.end.since(w.start);
+        tel.span_with(|| telemetry::SpanEvent {
+            category: "fs-stall",
+            name: format!("stall x{}", w.slowdown),
+            track,
+            start_us: w.start.0,
+            dur_us: dur.0,
+            args: vec![("slowdown", w.slowdown.into())],
+        });
+        tel.count("fs_stall_windows", 1.0);
+        tel.count("fs_stall_us", dur.0 as f64);
+    }
+}
+
+/// Records one instant per injected node crash (`cat = "crash"`) on
+/// `track`, with the node id as an arg, and bumps the `node_crashes`
+/// counter.
+pub fn record_crash_plan(tel: &Telemetry, track: u32, plan: &CrashPlan) {
+    if !tel.is_enabled() {
+        return;
+    }
+    for c in plan.crashes() {
+        tel.instant_with(|| telemetry::InstantEvent {
+            category: "crash",
+            name: c.node.to_string(),
+            track,
+            at_us: c.at.0,
+            args: vec![("node", u64::from(c.node.0).into())],
+        });
+        tel.count("node_crashes", 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{BatchJob, BatchQueue};
+    use crate::cluster::ClusterSpec;
+    use crate::failure::NodeFaultInjector;
+    use crate::machine::{simulate_queue, JobRequest, QueuePolicy};
+    use crate::time::{SimDuration, SimTime};
+
+    #[test]
+    fn job_outcomes_become_spans() {
+        let spec = ClusterSpec::new("t", 4, 8, 1e9);
+        let jobs = [JobRequest::new(
+            "a",
+            2,
+            SimDuration::from_mins(30),
+            SimDuration::from_mins(10),
+            SimTime::ZERO,
+        )];
+        let outcomes = simulate_queue(&spec, &jobs, QueuePolicy::EasyBackfill);
+        let (tel, rec) = Telemetry::recording();
+        record_job_outcomes(&tel, 0, &outcomes);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].category, "job");
+        assert_eq!(snap.counters["jobs_completed"], 1.0);
+    }
+
+    #[test]
+    fn weather_becomes_spans_and_instants() {
+        let stalls = StallSchedule::sample(
+            SimDuration::from_mins(30),
+            SimDuration::from_mins(2),
+            6.0,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(12),
+            4,
+        );
+        let alloc = BatchQueue::instant(1).submit(BatchJob::new(16, SimDuration::from_hours(12)));
+        let plan = NodeFaultInjector::new(SimDuration::from_hours(24), 3).crashes_for(&alloc);
+        let (tel, rec) = Telemetry::recording();
+        record_stall_windows(&tel, 1, &stalls);
+        record_crash_plan(&tel, 1, &plan);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), stalls.windows().len());
+        assert_eq!(snap.instants.len(), plan.len());
+        assert_eq!(snap.counters["node_crashes"], plan.len() as f64);
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tel = Telemetry::disabled();
+        record_job_outcomes(&tel, 0, &[]);
+        record_stall_windows(&tel, 0, &StallSchedule::none());
+        record_crash_plan(&tel, 0, &CrashPlan::none());
+    }
+}

@@ -19,6 +19,9 @@ impl SimTime {
     /// The simulation epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The last representable instant (~584 thousand years in).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Instant from whole seconds.
     pub fn from_secs(secs: u64) -> Self {
         SimTime(secs * 1_000_000)
@@ -43,6 +46,9 @@ impl SimTime {
 impl SimDuration {
     /// The zero-length duration.
     pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The longest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
 
     /// Duration from whole seconds.
     pub fn from_secs(secs: u64) -> Self {
@@ -94,18 +100,44 @@ impl SimDuration {
         assert!(factor.is_finite() && factor >= 0.0);
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
+
+    /// Multiplies by an arbitrary non-negative factor, saturating instead
+    /// of panicking: `+inf` (and any product beyond `u64::MAX` µs)
+    /// saturates to [`SimDuration::MAX`], `NaN` is treated as zero. The
+    /// non-panicking twin of [`SimDuration::mul_f64`] for factors computed
+    /// from user-supplied policy knobs (e.g. exponential backoff).
+    pub fn saturating_mul_f64(self, factor: f64) -> SimDuration {
+        if factor.is_nan() || factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let product = self.0 as f64 * factor;
+        if product >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(product.round() as u64)
+        }
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
 }
 
+// Time arithmetic saturates at the representable extremes rather than
+// overflowing: a saturated `u64::MAX` duration (e.g. a capped backoff)
+// added to any instant must yield "the end of time", not a panic in debug
+// builds and a silent wraparound *into the past* in release builds.
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -120,13 +152,13 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimDuration {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -194,6 +226,35 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_duration_rejected() {
         SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn add_saturates_instead_of_overflowing() {
+        // Regression: `SimTime + SimDuration` used unchecked `+`, which
+        // panicked in debug builds and wrapped into the past in release
+        // builds once a capped backoff or far-future deadline pushed the
+        // sum past u64::MAX.
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+        assert_eq!(SimTime(u64::MAX - 1) + SimDuration(5), SimTime::MAX);
+        let mut t = SimTime(u64::MAX - 1);
+        t += SimDuration::from_hours(1);
+        assert_eq!(t, SimTime::MAX);
+
+        assert_eq!(SimDuration::MAX + SimDuration(1), SimDuration::MAX);
+        let mut d = SimDuration(u64::MAX - 1);
+        d += SimDuration(5);
+        assert_eq!(d, SimDuration::MAX);
+    }
+
+    #[test]
+    fn saturating_mul_f64_handles_extremes() {
+        let hour = SimDuration::from_hours(1);
+        assert_eq!(hour.saturating_mul_f64(2.0), SimDuration::from_hours(2));
+        assert_eq!(hour.saturating_mul_f64(f64::INFINITY), SimDuration::MAX);
+        assert_eq!(hour.saturating_mul_f64(1e300), SimDuration::MAX);
+        assert_eq!(hour.saturating_mul_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(hour.saturating_mul_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(hour.saturating_mul_f64(0.0), SimDuration::ZERO);
     }
 
     #[test]

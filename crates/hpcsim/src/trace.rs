@@ -53,12 +53,26 @@ impl TimeSeries {
         }
     }
 
+    /// Value in effect at `t`, treating the window before the first
+    /// recorded point as zero.
+    ///
+    /// This is the *single* definition of before-first-sample semantics:
+    /// both [`TimeSeries::integrate`] and [`TimeSeries::resample`] query
+    /// through it, so an integral and a resampled rendering of the same
+    /// window can never disagree about the leading gap. Zero is the right
+    /// baseline for the occupancy-style series this crate records (busy
+    /// nodes, queue depth): before anything was recorded, nothing was
+    /// running.
+    pub fn value_at_or_baseline(&self, t: SimTime) -> f64 {
+        self.value_at(t).unwrap_or(0.0)
+    }
+
     /// Integral of the series over `[start, end]` (value × seconds).
     pub fn integrate(&self, start: SimTime, end: SimTime) -> f64 {
         assert!(end >= start);
         let mut total = 0.0;
         let mut cursor = start;
-        let mut current = self.value_at(start).unwrap_or(0.0);
+        let mut current = self.value_at_or_baseline(start);
         for &(t, v) in &self.points {
             if t <= cursor {
                 continue;
@@ -101,7 +115,7 @@ impl TimeSeries {
         (0..n)
             .map(|i| {
                 let t = start + SimDuration(span.0 * i as u64 / (n as u64 - 1));
-                (t, self.value_at(t).unwrap_or(0.0))
+                (t, self.value_at_or_baseline(t))
             })
             .collect()
     }

@@ -99,6 +99,44 @@ proptest! {
         prop_assert!((whole - parts).abs() < 1e-6 * (1.0 + whole.abs()));
     }
 
+    // Regression (PR 3): `integrate` and `resample` each had private
+    // before-first-sample semantics; both now query through the single
+    // documented helper `value_at_or_baseline`, so a Riemann sum over any
+    // partition refining the breakpoints reproduces the integral exactly.
+    #[test]
+    fn timeseries_integral_agrees_with_resampled_riemann_sum(
+        points in proptest::collection::vec((1u64..200, -100.0f64..100.0), 1..20),
+    ) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        sorted.dedup_by_key(|&mut (t, _)| t);
+        let mut ts = TimeSeries::new();
+        for &(t, v) in &sorted {
+            // grid-aligned breakpoints so a fine resample lands on them
+            ts.record(SimTime(t * 100), v);
+        }
+        let start = SimTime(0);
+        let end = SimTime(20_000);
+        // one sample per grid cell: every step boundary is a sample point
+        let n = 201usize;
+        let samples = ts.resample(start, end, n);
+        // each sample must agree with the documented helper …
+        for &(t, v) in &samples {
+            prop_assert_eq!(v, ts.value_at_or_baseline(t));
+        }
+        // … and the step-function sum over the sample partition must be
+        // the integral (left-value × cell width, exact for step series)
+        let riemann: f64 = samples
+            .windows(2)
+            .map(|w| w[0].1 * (w[1].0 - w[0].0).as_secs_f64())
+            .sum();
+        let integral = ts.integrate(start, end);
+        prop_assert!(
+            (riemann - integral).abs() < 1e-6 * (1.0 + integral.abs()),
+            "riemann {riemann} vs integral {integral}"
+        );
+    }
+
     #[test]
     fn allocation_series_is_monotone_and_sized(
         nodes in 1u32..100,

@@ -9,13 +9,35 @@
 
 use std::collections::BTreeMap;
 
-use cheetah::manifest::CampaignManifest;
+use cheetah::manifest::{CampaignManifest, RunManifest};
 use cheetah::status::{RunStatus, StatusBoard};
 use hpcsim::batch::AllocationSeries;
 use hpcsim::time::{SimDuration, SimTime};
 use hpcsim::trace::UtilizationTrace;
+use telemetry::Telemetry;
 
+use crate::error::SavannaError;
 use crate::task::{AllocationScheduler, SimTask, TaskResult};
+
+/// Verifies every schedulable run has a modeled duration, *before* any
+/// allocation is consumed.
+///
+/// The set of runs a driver can ever schedule only shrinks as the campaign
+/// progresses, so one check over the initial incomplete set covers every
+/// later allocation; inner lookups become invariants.
+pub(crate) fn ensure_durations_modeled(
+    runs: &[&RunManifest],
+    durations: &BTreeMap<String, SimDuration>,
+) -> Result<(), SavannaError> {
+    for r in runs {
+        if !durations.contains_key(&r.id) {
+            return Err(SavannaError::UnmodeledRun {
+                run_id: r.id.clone(),
+            });
+        }
+    }
+    Ok(())
+}
 
 /// What happened inside one allocation.
 #[derive(Debug, Clone)]
@@ -146,28 +168,28 @@ pub fn run_campaign_sim_gated(
     board: &mut StatusBoard,
     max_allocations: u32,
     gate: &PreflightGate<'_>,
-) -> Result<CampaignSimReport, PreflightBlocked> {
+) -> Result<CampaignSimReport, SavannaError> {
     if let PreflightGate::Enforce { context, config } = gate {
         let diagnostics = fair_lint::preflight_campaign(manifest, Some(durations), context, config);
         if !diagnostics.is_clean() {
-            return Err(PreflightBlocked { diagnostics });
+            return Err(SavannaError::Preflight(PreflightBlocked { diagnostics }));
         }
     }
-    Ok(run_campaign_sim(
+    run_campaign_sim(
         manifest,
         durations,
         scheduler,
         series,
         board,
         max_allocations,
-    ))
+    )
 }
 
 /// Simulates a campaign to completion (or `max_allocations`).
 ///
-/// `durations` maps run ids to modeled execution times; runs missing from
-/// the map are skipped with a panic — a missing duration is a driver bug,
-/// not a runtime condition.
+/// `durations` maps run ids to modeled execution times; a run missing
+/// from the map returns [`SavannaError::UnmodeledRun`] before any
+/// allocation is consumed.
 pub fn run_campaign_sim(
     manifest: &CampaignManifest,
     durations: &BTreeMap<String, SimDuration>,
@@ -175,8 +197,39 @@ pub fn run_campaign_sim(
     series: &mut AllocationSeries,
     board: &mut StatusBoard,
     max_allocations: u32,
-) -> CampaignSimReport {
+) -> Result<CampaignSimReport, SavannaError> {
+    run_campaign_sim_traced(
+        manifest,
+        durations,
+        scheduler,
+        series,
+        board,
+        max_allocations,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_campaign_sim`] with a telemetry handle.
+///
+/// With an enabled handle, each allocation's active window becomes a span
+/// on track 0 ("allocations") and campaign counters (`allocations`,
+/// `completed_runs`, `timed_out_runs`, `queue_wait_us`) accumulate in the
+/// sink. All timestamps are virtual simulation time, so exports are
+/// byte-identical across runs with the same seed. With a disabled handle
+/// this is exactly [`run_campaign_sim`] — event closures never execute.
+#[allow(clippy::too_many_arguments)] // run_campaign_sim plus the telemetry handle
+pub fn run_campaign_sim_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &dyn AllocationScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    tel: &Telemetry,
+) -> Result<CampaignSimReport, SavannaError> {
     assert!(max_allocations > 0);
+    ensure_durations_modeled(&board.incomplete_runs(manifest), durations)?;
+    tel.name_track(0, "allocations");
     let mut allocations = Vec::new();
     let mut completed_total = 0usize;
     let first_submission = series.now();
@@ -192,12 +245,14 @@ pub fn run_campaign_sim(
             .map(|r| {
                 let d = durations
                     .get(&r.id)
-                    .unwrap_or_else(|| panic!("no duration modeled for run {:?}", r.id));
+                    .expect("durations validated at campaign entry");
                 let group = manifest.group(&r.group).expect("run's group exists");
                 SimTask::new(r.id.clone(), group.per_run_nodes, *d)
             })
             .collect();
+        let submitted = series.now();
         let alloc = series.next_allocation();
+        tel.count("queue_wait_us", alloc.start.since(submitted).0 as f64);
         let outcome = scheduler.schedule(&tasks, &alloc);
 
         let mut completed_here = 0usize;
@@ -226,6 +281,20 @@ pub fn run_campaign_sim(
         } else {
             alloc.end
         };
+        tel.span_with(|| telemetry::SpanEvent {
+            category: "allocation",
+            name: format!("alloc-{}", alloc.index),
+            track: 0,
+            start_us: alloc.start.0,
+            dur_us: span_for_util.since(alloc.start).0,
+            args: vec![
+                ("completed", (completed_here as u64).into()),
+                ("timed_out", (timed_out_here as u64).into()),
+            ],
+        });
+        tel.count("allocations", 1.0);
+        tel.count("completed_runs", completed_here as f64);
+        tel.count("timed_out_runs", timed_out_here as f64);
         allocations.push(AllocationRecord {
             index: alloc.index,
             start: alloc.start,
@@ -240,13 +309,13 @@ pub fn run_campaign_sim(
     }
 
     let remaining = board.incomplete_runs(manifest).len();
-    CampaignSimReport {
+    Ok(CampaignSimReport {
         scheduler: scheduler.name(),
         allocations,
         completed_runs: completed_total,
         remaining_runs: remaining,
         total_span: last_activity.since(first_submission),
-    }
+    })
 }
 
 /// Per-group campaign execution: every sweep group runs under its **own**
@@ -266,7 +335,7 @@ pub fn run_campaign_groups_sim(
     seed: u64,
     board: &mut StatusBoard,
     max_allocations_per_group: u32,
-) -> Vec<(String, CampaignSimReport)> {
+) -> Result<Vec<(String, CampaignSimReport)>, SavannaError> {
     use hpcsim::batch::BatchJob;
     manifest
         .groups
@@ -295,8 +364,8 @@ pub fn run_campaign_groups_sim(
                 &mut series,
                 board,
                 max_allocations_per_group,
-            );
-            (group.name.clone(), report)
+            )?;
+            Ok((group.name.clone(), report))
         })
         .collect()
 }
@@ -361,7 +430,8 @@ mod tests {
             &mut series(),
             &mut board,
             10,
-        );
+        )
+        .expect("durations modeled");
         assert!(report.is_complete());
         assert_eq!(report.allocations.len(), 1);
         assert_eq!(report.completed_runs, 8);
@@ -382,7 +452,8 @@ mod tests {
             &mut series(),
             &mut board,
             10,
-        );
+        )
+        .expect("durations modeled");
         assert!(report.is_complete(), "remaining={}", report.remaining_runs);
         assert!(report.allocations.len() >= 2);
         assert_eq!(report.completed_runs, 40);
@@ -402,7 +473,8 @@ mod tests {
             &mut series(),
             &mut board,
             2,
-        );
+        )
+        .expect("durations modeled");
         assert!(!report.is_complete());
         assert_eq!(report.allocations.len(), 2);
         assert_eq!(report.completed_runs + report.remaining_runs, 400);
@@ -425,6 +497,7 @@ mod tests {
         let run = |sched: &dyn AllocationScheduler| {
             let mut board = StatusBoard::for_manifest(&m);
             run_campaign_sim(&m, &durations, sched, &mut series(), &mut board, 50)
+                .expect("durations modeled")
         };
         let pilot = run(&PilotScheduler::new());
         let sync = run(&SetSyncScheduler::new(4));
@@ -440,19 +513,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no duration modeled")]
-    fn missing_duration_is_a_bug() {
+    fn missing_duration_is_a_typed_error_not_a_panic() {
+        // Regression: this used to panic inside the allocation loop; now
+        // it is SavannaError::UnmodeledRun raised before any allocation
+        // is consumed.
         let m = campaign(2);
         let durations = BTreeMap::new();
         let mut board = StatusBoard::for_manifest(&m);
-        run_campaign_sim(
+        let mut s = series();
+        let before = s.now();
+        let err = run_campaign_sim(
             &m,
             &durations,
             &PilotScheduler::new(),
-            &mut series(),
+            &mut s,
             &mut board,
             1,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SavannaError::UnmodeledRun { ref run_id } if run_id.starts_with("features/")),
+            "{err:?}"
         );
+        assert_eq!(s.now(), before, "no allocation consumed on refusal");
+    }
+
+    #[test]
+    fn traced_driver_records_allocation_spans_deterministically() {
+        let m = campaign(8);
+        let durations = uniform_durations(&m, 600);
+        let export = || {
+            let mut board = StatusBoard::for_manifest(&m);
+            let (tel, rec) = Telemetry::recording();
+            run_campaign_sim_traced(
+                &m,
+                &durations,
+                &PilotScheduler::new(),
+                &mut series(),
+                &mut board,
+                10,
+                &tel,
+            )
+            .expect("durations modeled");
+            let snap = rec.snapshot();
+            assert!(!snap.spans.is_empty(), "allocation spans recorded");
+            assert!(snap.counters.contains_key("completed_runs"));
+            telemetry::chrome_trace_json(&snap)
+        };
+        assert_eq!(export(), export(), "seeded exports are byte-identical");
     }
 
     #[test]
@@ -506,7 +614,8 @@ mod tests {
             7,
             &mut board,
             50,
-        );
+        )
+        .expect("durations modeled");
         assert_eq!(reports.len(), 2);
         assert!(board.summary().is_complete());
         let (small_name, small) = &reports[0];
@@ -534,7 +643,8 @@ mod tests {
             &mut s,
             &mut board,
             5,
-        );
+        )
+        .expect("durations modeled");
         assert!(report.is_complete());
         let rec = &report.allocations[0];
         assert!(

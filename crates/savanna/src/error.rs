@@ -1,0 +1,69 @@
+//! Typed errors for the campaign drivers.
+//!
+//! The simulated drivers used to `panic!` when a run had no modeled
+//! duration. A missing duration is a *caller* defect (a hole in the
+//! campaign's duration model), and campaigns are exactly the place where
+//! defects should surface as diagnostics, not aborts — the same reasoning
+//! that gates launches behind `fair-lint`. [`SavannaError`] is the typed
+//! surface: drivers return it, and the `FW104` lint rule catches the same
+//! hole before execution.
+
+use crate::driver::PreflightBlocked;
+
+/// Why a simulated campaign driver refused to (or could not) execute.
+#[derive(Debug)]
+pub enum SavannaError {
+    /// A run the driver would have to schedule has no entry in the
+    /// duration model. Raised before any allocation is consumed.
+    UnmodeledRun {
+        /// The run missing from the `durations` map.
+        run_id: String,
+    },
+    /// The pre-flight lint gate refused the campaign.
+    Preflight(PreflightBlocked),
+}
+
+impl std::fmt::Display for SavannaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SavannaError::UnmodeledRun { run_id } => {
+                write!(
+                    f,
+                    "no duration modeled for run {run_id:?}; every schedulable run needs an \
+                     entry in the campaign's duration map (fair-lint FW104 catches this \
+                     pre-flight)"
+                )
+            }
+            SavannaError::Preflight(blocked) => blocked.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SavannaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SavannaError::Preflight(blocked) => Some(blocked),
+            SavannaError::UnmodeledRun { .. } => None,
+        }
+    }
+}
+
+impl From<PreflightBlocked> for SavannaError {
+    fn from(blocked: PreflightBlocked) -> Self {
+        SavannaError::Preflight(blocked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmodeled_run_message_names_the_run() {
+        let err = SavannaError::UnmodeledRun {
+            run_id: "g/i-3".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("g/i-3") && msg.contains("FW104"), "{msg}");
+    }
+}

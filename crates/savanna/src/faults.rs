@@ -17,7 +17,8 @@ use cheetah::status::{RunStatus, StatusBoard};
 use hpcsim::batch::AllocationSeries;
 use hpcsim::time::SimDuration;
 
-use crate::driver::{AllocationRecord, CampaignSimReport};
+use crate::driver::{ensure_durations_modeled, AllocationRecord, CampaignSimReport};
+use crate::error::SavannaError;
 use crate::task::{AllocationScheduler, SimTask, TaskResult};
 
 /// Per-attempt run-failure model.
@@ -102,8 +103,9 @@ pub fn run_campaign_sim_with_faults(
     max_allocations: u32,
     faults: FaultSpec,
     handling: FailureHandling,
-) -> FaultyCampaignReport {
+) -> Result<FaultyCampaignReport, SavannaError> {
     assert!(max_allocations > 0);
+    ensure_durations_modeled(&board.incomplete_runs(manifest), durations)?;
     let mut allocations = Vec::new();
     let mut completed_total = 0usize;
     let mut failed_attempts = 0u32;
@@ -122,7 +124,7 @@ pub fn run_campaign_sim_with_faults(
             .map(|r| {
                 let d = durations
                     .get(&r.id)
-                    .unwrap_or_else(|| panic!("no duration modeled for run {:?}", r.id));
+                    .expect("durations validated at campaign entry");
                 let group = manifest.group(&r.group).expect("run's group exists");
                 SimTask::new(r.id.clone(), group.per_run_nodes, *d)
             })
@@ -198,7 +200,7 @@ pub fn run_campaign_sim_with_faults(
             .iter()
             .filter(|&(_, s)| s == RunStatus::Failed)
             .count();
-    FaultyCampaignReport {
+    Ok(FaultyCampaignReport {
         report: CampaignSimReport {
             scheduler: scheduler.name(),
             allocations,
@@ -208,7 +210,7 @@ pub fn run_campaign_sim_with_faults(
         },
         failed_attempts,
         curation_rounds,
-    }
+    })
 }
 
 fn requeue_failures(manifest: &CampaignManifest, board: &mut StatusBoard) {
@@ -282,7 +284,8 @@ mod tests {
             20,
             FaultSpec::new(0.0, 1),
             FailureHandling::AutoRequeue,
-        );
+        )
+        .expect("durations modeled");
         let mut board2 = StatusBoard::for_manifest(&m);
         let plain = crate::driver::run_campaign_sim(
             &m,
@@ -291,7 +294,8 @@ mod tests {
             &mut series(1),
             &mut board2,
             20,
-        );
+        )
+        .expect("durations modeled");
         assert_eq!(faulty.failed_attempts, 0);
         assert_eq!(faulty.report.completed_runs, plain.completed_runs);
         assert_eq!(faulty.report.total_span, plain.total_span);
@@ -310,7 +314,8 @@ mod tests {
             60,
             FaultSpec::new(0.3, 7),
             FailureHandling::AutoRequeue,
-        );
+        )
+        .expect("durations modeled");
         assert!(result.failed_attempts > 0, "30% faults must bite");
         assert!(
             result.report.is_complete(),
@@ -336,6 +341,7 @@ mod tests {
                 FaultSpec::new(0.25, 5),
                 handling,
             )
+            .expect("durations modeled")
         };
         let auto = run(FailureHandling::AutoRequeue);
         let manual = run(FailureHandling::ManualCuration {
@@ -367,6 +373,24 @@ mod tests {
     #[should_panic(expected = "failure probability")]
     fn out_of_range_probability_rejected() {
         FaultSpec::new(1.0001, 1);
+    }
+
+    #[test]
+    fn missing_duration_is_a_typed_error_not_a_panic() {
+        let (m, _) = setup(2);
+        let mut board = StatusBoard::for_manifest(&m);
+        let err = run_campaign_sim_with_faults(
+            &m,
+            &BTreeMap::new(),
+            &PilotScheduler::new(),
+            &mut series(1),
+            &mut board,
+            1,
+            FaultSpec::new(0.1, 1),
+            FailureHandling::AutoRequeue,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SavannaError::UnmodeledRun { .. }), "{err:?}");
     }
 
     #[test]

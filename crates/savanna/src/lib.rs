@@ -30,6 +30,7 @@
 #![deny(missing_docs)]
 
 pub mod driver;
+pub mod error;
 pub mod faults;
 pub mod local;
 pub mod pilot;
@@ -38,16 +39,17 @@ pub mod setsync;
 pub mod task;
 
 pub use driver::{
-    run_campaign_sim, run_campaign_sim_gated, AllocationRecord, CampaignSimReport,
-    PreflightBlocked, PreflightGate,
+    run_campaign_groups_sim, run_campaign_sim, run_campaign_sim_gated, run_campaign_sim_traced,
+    AllocationRecord, CampaignSimReport, PreflightBlocked, PreflightGate,
 };
+pub use error::SavannaError;
 pub use faults::{run_campaign_sim_with_faults, FailureHandling, FaultSpec, FaultyCampaignReport};
 pub use local::{LocalExecutor, LocalReport, LocalRunPolicy, ResilientLocalReport};
 pub use pilot::{PilotScheduler, PlacementPolicy};
 pub use resilience::{
-    resilience_lint_plan, run_campaign_resilient, AttemptOutcome, AttemptRecord, FailureCause,
-    FaultPlan, ResiliencePolicy, ResilienceReport, ResilientCampaignReport, RestartStrategy,
-    RunHistory, StallSpec,
+    resilience_lint_plan, run_campaign_resilient, run_campaign_resilient_traced, AttemptOutcome,
+    AttemptRecord, FailureCause, FaultPlan, ResiliencePolicy, ResilienceReport,
+    ResilientCampaignReport, RestartStrategy, RunHistory, StallSpec,
 };
 pub use setsync::SetSyncScheduler;
 pub use task::{AllocationScheduler, ScheduleOutcome, SimTask, TaskResult};

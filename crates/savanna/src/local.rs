@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use cheetah::manifest::{CampaignManifest, RunManifest};
 use cheetah::status::{RunStatus, StatusBoard};
+use telemetry::Telemetry;
 
 /// Summary of one local execution pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,6 +183,31 @@ impl LocalExecutor {
     where
         F: Fn(&RunManifest) -> Result<(), String> + Sync,
     {
+        self.run_campaign_resilient_traced(manifest, board, policy, task, &Telemetry::disabled())
+    }
+
+    /// [`LocalExecutor::run_campaign_resilient`] with a telemetry handle.
+    ///
+    /// Every attempt becomes a span on track 0 (`cat = "attempt"`, named
+    /// by run id) with the pass number and outcome (including the failure
+    /// cause) as args; timestamps are wall-clock microseconds since the
+    /// call started, so local traces are *not* byte-reproducible — real
+    /// execution never is. Pool activity over the call (jobs, steals,
+    /// parked idle time) lands in the `pool_*` counters.
+    pub fn run_campaign_resilient_traced<F>(
+        &self,
+        manifest: &CampaignManifest,
+        board: &mut StatusBoard,
+        policy: LocalRunPolicy,
+        task: F,
+        tel: &Telemetry,
+    ) -> ResilientLocalReport
+    where
+        F: Fn(&RunManifest) -> Result<(), String> + Sync,
+    {
+        let epoch = Instant::now();
+        let pool_before = self.pool.stats();
+        tel.name_track(0, "local-attempts");
         let mut passes = 0u32;
         let mut attempts = 0usize;
         let mut succeeded = 0usize;
@@ -195,27 +221,50 @@ impl LocalExecutor {
                 break;
             }
             passes += 1;
-            let results: Vec<(Result<(), String>, Duration)> =
+            let results: Vec<(Result<(), String>, u64, Duration)> =
                 self.pool.map_index(todo.len(), |i| {
+                    let started_off = epoch.elapsed().as_micros() as u64;
                     let started = Instant::now();
                     let result = run_guarded(&task, &todo[i]);
-                    (result, started.elapsed())
+                    (result, started_off, started.elapsed())
                 });
-            for (run, (result, elapsed)) in todo.iter().zip(results) {
+            for (run, (result, started_off, elapsed)) in todo.iter().zip(results) {
                 attempts += 1;
-                board.record_attempt(&run.id);
+                let attempt = board.record_attempt(&run.id);
                 let verdict = match (result, policy.deadline) {
                     (Ok(()), Some(limit)) if elapsed > limit => Err(format!(
                         "deadline exceeded: ran {elapsed:.1?} against a {limit:.1?} limit"
                     )),
                     (other, _) => other,
                 };
+                tel.span_with(|| telemetry::SpanEvent {
+                    category: "attempt",
+                    name: run.id.clone(),
+                    track: 0,
+                    start_us: started_off,
+                    dur_us: elapsed.as_micros() as u64,
+                    args: vec![
+                        ("attempt", attempt.into()),
+                        ("pass", passes.into()),
+                        (
+                            "outcome",
+                            match &verdict {
+                                Ok(()) => "completed".into(),
+                                Err(cause) => cause.clone().into(),
+                            },
+                        ),
+                    ],
+                });
+                tel.count("attempts", 1.0);
                 match verdict {
                     Ok(()) => {
                         board.set(&run.id, RunStatus::Done);
                         succeeded += 1;
                     }
-                    Err(cause) => board.record_failure(&run.id, cause),
+                    Err(cause) => {
+                        tel.count("failed_attempts", 1.0);
+                        board.record_failure(&run.id, cause);
+                    }
                 }
             }
         }
@@ -226,6 +275,22 @@ impl LocalExecutor {
             .filter(|r| board.get(&r.id) == RunStatus::Failed)
             .map(|r| r.id.clone())
             .collect();
+        if tel.is_enabled() {
+            let pool_after = self.pool.stats();
+            tel.count(
+                "pool_jobs_executed",
+                (pool_after.jobs_executed - pool_before.jobs_executed) as f64,
+            );
+            tel.count(
+                "pool_steals",
+                (pool_after.steals - pool_before.steals) as f64,
+            );
+            tel.count(
+                "pool_park_micros",
+                (pool_after.park_micros - pool_before.park_micros) as f64,
+            );
+            tel.count("exhausted_runs", exhausted.len() as f64);
+        }
         ResilientLocalReport {
             passes,
             attempts,
@@ -443,6 +508,49 @@ mod tests {
         assert_eq!(report.exhausted, vec!["g/i-1".to_string()]);
         let cause = board.last_failure_cause("g/i-1").unwrap();
         assert!(cause.contains("deadline"), "{cause}");
+    }
+
+    #[test]
+    fn traced_local_execution_records_attempt_spans_and_pool_counters() {
+        let m = manifest(8);
+        let mut board = StatusBoard::for_manifest(&m);
+        let exec = LocalExecutor::new(2);
+        let (tel, rec) = Telemetry::recording();
+        let seen = parking_lot::Mutex::new(std::collections::BTreeSet::new());
+        let report = exec.run_campaign_resilient_traced(
+            &m,
+            &mut board,
+            LocalRunPolicy {
+                retry_budget: 1,
+                deadline: None,
+            },
+            |run| {
+                if seen.lock().insert(run.id.clone()) {
+                    Err("transient".into())
+                } else {
+                    Ok(())
+                }
+            },
+            &tel,
+        );
+        assert_eq!(report.succeeded, 8);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 16, "one span per attempt");
+        assert_eq!(snap.counters["attempts"], 16.0);
+        assert_eq!(snap.counters["failed_attempts"], 8.0);
+        // `map_index` submits one counter-balanced job per worker thread,
+        // not one per run, so the job count reflects pool granularity —
+        // assert the pool did work, not a per-attempt total.
+        assert!(snap.counters["pool_jobs_executed"] >= 1.0);
+        assert!(snap.counters.contains_key("pool_park_micros"));
+        assert_eq!(snap.track_names[&0], "local-attempts");
+        // failure causes ride along as span args
+        let failed_span = snap.spans.iter().find(|s| {
+            s.args
+                .iter()
+                .any(|(k, v)| *k == "outcome" && format!("{v:?}").contains("transient"))
+        });
+        assert!(failed_span.is_some(), "a failed attempt names its cause");
     }
 
     #[test]

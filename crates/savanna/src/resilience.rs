@@ -38,7 +38,10 @@ use hpcsim::fs::StallSchedule;
 use hpcsim::time::{SimDuration, SimTime};
 use hpcsim::trace::UtilizationTrace;
 
-use crate::driver::{AllocationRecord, CampaignSimReport};
+use telemetry::Telemetry;
+
+use crate::driver::{ensure_durations_modeled, AllocationRecord, CampaignSimReport};
+use crate::error::SavannaError;
 use crate::faults::FaultSpec;
 use crate::pilot::{PilotScheduler, PlacementPolicy};
 use crate::task::SimTask;
@@ -113,8 +116,14 @@ pub struct ResiliencePolicy {
     /// (`ZERO` = immediate requeue).
     pub backoff_base: SimDuration,
     /// Multiplier applied per additional failure: the n-th failure defers
-    /// the run by `backoff_base · backoff_factor^(n-1)`.
+    /// the run by `backoff_base · backoff_factor^(n-1)`, clamped to
+    /// [`ResiliencePolicy::max_backoff`].
     pub backoff_factor: f64,
+    /// Hard cap on any single backoff deferral. Without the clamp a
+    /// geometric backoff overflows virtual time after a few dozen
+    /// failures (and `backoff_factor.powi` reaches `inf`, which the old
+    /// multiply panicked on).
+    pub max_backoff: SimDuration,
     /// Quarantine a node once this many crashes are attributed to it
     /// (`0` disables quarantine). Quarantine never empties an allocation:
     /// the last usable node is kept even past the threshold.
@@ -133,6 +142,7 @@ impl Default for ResiliencePolicy {
             retry_budget: 3,
             backoff_base: SimDuration::ZERO,
             backoff_factor: 2.0,
+            max_backoff: SimDuration::from_hours(24),
             quarantine_threshold: 2,
             hang_timeout_fraction: 1.0,
             restart: RestartStrategy::FromScratch,
@@ -146,10 +156,21 @@ impl ResiliencePolicy {
         Self::default()
     }
 
-    fn validate(&self) {
+    /// Rejects self-contradictory policies with a panic (a configuration
+    /// defect, not a runtime condition). Called by every resilient driver
+    /// at entry.
+    ///
+    /// # Panics
+    /// On a non-finite or shrinking backoff factor, a backoff cap below
+    /// the base delay, or a hang-timeout fraction outside (0, 1].
+    pub fn validate(&self) {
         assert!(
-            self.backoff_factor >= 1.0,
-            "backoff factor must be >= 1 (backoff never shrinks)"
+            self.backoff_factor.is_finite() && self.backoff_factor >= 1.0,
+            "backoff factor must be finite and >= 1 (backoff never shrinks)"
+        );
+        assert!(
+            self.max_backoff >= self.backoff_base,
+            "max backoff must bound the base delay (cap below base silently disables backoff)"
         );
         assert!(
             self.hang_timeout_fraction > 0.0 && self.hang_timeout_fraction <= 1.0,
@@ -158,14 +179,18 @@ impl ResiliencePolicy {
     }
 
     /// Deferral before a run's next attempt after its `failures`-th
-    /// failure.
-    fn backoff_delay(&self, failures: u32) -> SimDuration {
+    /// failure, clamped to [`ResiliencePolicy::max_backoff`]. Total and
+    /// monotone in `failures` (property-tested in `tests/properties.rs`).
+    pub fn backoff_delay(&self, failures: u32) -> SimDuration {
         if self.backoff_base == SimDuration::ZERO {
             return SimDuration::ZERO;
         }
-        let exp = failures.saturating_sub(1).min(24);
+        // powi saturates to +inf for large exponents; saturating_mul_f64
+        // turns that into SimDuration::MAX, which the cap then bounds.
+        let exp = failures.saturating_sub(1).min(i32::MAX as u32) as i32;
         self.backoff_base
-            .mul_f64(self.backoff_factor.powi(exp as i32))
+            .saturating_mul_f64(self.backoff_factor.powi(exp))
+            .min(self.max_backoff)
     }
 
     /// Hang-detection deadline for an allocation, if enabled.
@@ -620,9 +645,97 @@ pub fn run_campaign_resilient(
     max_allocations: u32,
     policy: &ResiliencePolicy,
     faults: &FaultPlan,
-) -> ResilientCampaignReport {
+) -> Result<ResilientCampaignReport, SavannaError> {
+    run_campaign_resilient_traced(
+        manifest,
+        durations,
+        pilot,
+        series,
+        board,
+        max_allocations,
+        policy,
+        faults,
+        &Telemetry::disabled(),
+    )
+}
+
+/// One attempt's span on the run's timeline track, with its outcome and
+/// surviving progress attached as args. Virtual timestamps keep seeded
+/// exports byte-identical.
+#[allow(clippy::too_many_arguments)] // flat span fields, called from one place per outcome
+fn record_attempt_span(
+    tel: &Telemetry,
+    track: u32,
+    id: &str,
+    attempt: u32,
+    allocation: u32,
+    started: SimTime,
+    ended: SimTime,
+    outcome: &'static str,
+    preserved: SimDuration,
+) {
+    tel.span_with(|| telemetry::SpanEvent {
+        category: "attempt",
+        name: id.to_string(),
+        track,
+        start_us: started.0,
+        dur_us: ended.since(started).0,
+        args: vec![
+            ("attempt", attempt.into()),
+            ("allocation", allocation.into()),
+            ("outcome", outcome.into()),
+            ("preserved_us", preserved.0.into()),
+        ],
+    });
+}
+
+/// [`run_campaign_resilient`] with a telemetry handle.
+///
+/// Track layout: track 0 carries allocation spans, track 1 the injected
+/// machine weather (node crashes, filesystem-stall windows), and each run
+/// gets its own track (2 + manifest order) holding one span per attempt
+/// with the failure cause and preserved progress as args. The run's track
+/// is published on the status board as a `trace#<track>` telemetry ref.
+/// With a disabled handle this is exactly [`run_campaign_resilient`].
+#[allow(clippy::too_many_arguments)] // run_campaign_resilient plus the telemetry handle
+pub fn run_campaign_resilient_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    tel: &Telemetry,
+) -> Result<ResilientCampaignReport, SavannaError> {
     assert!(max_allocations > 0);
     policy.validate();
+    ensure_durations_modeled(
+        &board.incomplete_runs_with_budget(manifest, policy.retry_budget),
+        durations,
+    )?;
+
+    // Track plan: 0 = allocations, 1 = machine weather, 2+i = one per run.
+    let mut run_tracks: BTreeMap<String, u32> = BTreeMap::new();
+    if tel.is_enabled() {
+        tel.name_track(0, "allocations");
+        tel.name_track(1, "machine");
+        for (i, run) in manifest
+            .groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .enumerate()
+        {
+            let track = 2 + i as u32;
+            tel.name_track(track, &run.id);
+            board.record_telemetry_ref(&run.id, format!("trace#{track}"));
+            run_tracks.insert(run.id.clone(), track);
+        }
+    }
+    let track_of = |id: &str| run_tracks.get(id).copied().unwrap_or(1);
+    let mut backoff_wait = SimDuration::ZERO;
+    let mut queue_wait = SimDuration::ZERO;
 
     let scheduler_name = match pilot.policy {
         PlacementPolicy::Fifo => "pilot-fifo+resilience",
@@ -683,18 +796,24 @@ pub fn run_campaign_resilient(
                 let nominal = remaining.get(id).copied().unwrap_or_else(|| {
                     *durations
                         .get(id)
-                        .unwrap_or_else(|| panic!("no duration modeled for run {id:?}"))
+                        .expect("durations validated at campaign entry")
                 });
                 SimTask::new(id.clone(), *width, nominal)
             })
             .collect();
 
+        let submitted = series.now();
         let alloc = series.next_allocation();
+        queue_wait += alloc.start.since(submitted);
         let crashes = injector
             .as_mut()
             .map(|i| i.crashes_for(&alloc))
             .unwrap_or_else(CrashPlan::none);
         let stalls = faults.stall_schedule(&alloc);
+        hpcsim::telemetry::record_crash_plan(tel, 1, &crashes);
+        if let Some((schedule, _)) = &stalls {
+            hpcsim::telemetry::record_stall_windows(tel, 1, schedule);
+        }
         let outcome = schedule_resilient(
             &tasks,
             &alloc,
@@ -732,7 +851,20 @@ pub fn run_campaign_resilient(
                             *durations.get(id).expect("duration known for retried run"),
                         );
                         let failures = board.failures(id);
-                        eligible_at.insert(id.clone(), *finish + policy.backoff_delay(failures));
+                        let delay = policy.backoff_delay(failures);
+                        backoff_wait += delay;
+                        eligible_at.insert(id.clone(), *finish + delay);
+                        record_attempt_span(
+                            tel,
+                            track_of(id),
+                            id,
+                            attempt,
+                            alloc.index,
+                            *started,
+                            *finish,
+                            FailureCause::RunError.as_str(),
+                            SimDuration::ZERO,
+                        );
                         history.attempts.push(AttemptRecord {
                             attempt,
                             allocation: alloc.index,
@@ -749,6 +881,17 @@ pub fn run_campaign_resilient(
                         remaining.remove(id);
                         eligible_at.remove(id);
                         history.completed = true;
+                        record_attempt_span(
+                            tel,
+                            track_of(id),
+                            id,
+                            attempt,
+                            alloc.index,
+                            *started,
+                            *finish,
+                            "completed",
+                            SimDuration::ZERO,
+                        );
                         history.attempts.push(AttemptRecord {
                             attempt,
                             allocation: alloc.index,
@@ -778,6 +921,17 @@ pub fn run_campaign_resilient(
                             board.set(id, RunStatus::TimedOut);
                             timed_out_here += 1;
                             res.walltime_cuts += 1;
+                            record_attempt_span(
+                                tel,
+                                track_of(id),
+                                id,
+                                attempt,
+                                alloc.index,
+                                *started,
+                                *at,
+                                "walltime-cut",
+                                preserved,
+                            );
                             history.attempts.push(AttemptRecord {
                                 attempt,
                                 allocation: alloc.index,
@@ -797,7 +951,20 @@ pub fn run_campaign_resilient(
                             board.record_failure(id, fc.as_str());
                             res.failed_attempts += 1;
                             let failures = board.failures(id);
-                            eligible_at.insert(id.clone(), *at + policy.backoff_delay(failures));
+                            let delay = policy.backoff_delay(failures);
+                            backoff_wait += delay;
+                            eligible_at.insert(id.clone(), *at + delay);
+                            record_attempt_span(
+                                tel,
+                                track_of(id),
+                                id,
+                                attempt,
+                                alloc.index,
+                                *started,
+                                *at,
+                                fc.as_str(),
+                                preserved,
+                            );
                             history.attempts.push(AttemptRecord {
                                 attempt,
                                 allocation: alloc.index,
@@ -841,6 +1008,18 @@ pub fn run_campaign_resilient(
         } else {
             alloc.end
         };
+        tel.span_with(|| telemetry::SpanEvent {
+            category: "allocation",
+            name: format!("alloc-{}", alloc.index),
+            track: 0,
+            start_us: alloc.start.0,
+            dur_us: span_for_util.since(alloc.start).0,
+            args: vec![
+                ("completed", (completed_here as u64).into()),
+                ("timed_out", (timed_out_here as u64).into()),
+                ("crashes", (outcome.crashed_nodes.len() as u64).into()),
+            ],
+        });
         allocations.push(AllocationRecord {
             index: alloc.index,
             start: alloc.start,
@@ -873,7 +1052,26 @@ pub fn run_campaign_resilient(
             .iter()
             .filter(|&(_, s)| s == RunStatus::Failed)
             .count();
-    ResilientCampaignReport {
+    if tel.is_enabled() {
+        tel.count("allocations", allocations.len() as f64);
+        tel.count("completed_runs", completed_total as f64);
+        tel.count("attempts", res.total_attempts() as f64);
+        tel.count("failed_attempts", f64::from(res.failed_attempts));
+        tel.count("crash_kills", f64::from(res.crash_kills));
+        tel.count("hang_kills", f64::from(res.hang_kills));
+        tel.count("run_errors", f64::from(res.run_errors));
+        tel.count("walltime_cuts", f64::from(res.walltime_cuts));
+        // "node_crashes" (injected) is counted by the hpcsim bridge;
+        // this is the subset the pilot actually observed.
+        tel.count("observed_node_crashes", f64::from(res.node_crashes));
+        tel.count("quarantined_nodes", res.quarantined.len() as f64);
+        tel.count("exhausted_runs", res.exhausted.len() as f64);
+        tel.count("rework_lost_node_hours", res.rework_lost_node_hours);
+        tel.count("rework_saved_node_hours", res.rework_saved_node_hours);
+        tel.count("backoff_wait_us", backoff_wait.0 as f64);
+        tel.count("queue_wait_us", queue_wait.0 as f64);
+    }
+    Ok(ResilientCampaignReport {
         report: CampaignSimReport {
             scheduler: scheduler_name,
             allocations,
@@ -882,7 +1080,7 @@ pub fn run_campaign_resilient(
             total_span: last_activity.since(first_submission),
         },
         resilience: res,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -950,7 +1148,8 @@ mod tests {
             20,
             &ResiliencePolicy::new(),
             &FaultPlan::none(1),
-        );
+        )
+        .expect("durations modeled");
         let mut board2 = StatusBoard::for_manifest(&m);
         let plain = crate::driver::run_campaign_sim(
             &m,
@@ -959,7 +1158,8 @@ mod tests {
             &mut series(5),
             &mut board2,
             20,
-        );
+        )
+        .expect("durations modeled");
         assert!(resilient.report.is_complete());
         assert_eq!(resilient.report.completed_runs, plain.completed_runs);
         assert_eq!(resilient.report.total_span, plain.total_span);
@@ -1119,7 +1319,8 @@ mod tests {
             50,
             &policy,
             &faults,
-        );
+        )
+        .expect("durations modeled");
         assert_eq!(report.report.completed_runs, 0);
         assert_eq!(report.resilience.exhausted.len(), 6);
         // budget 2 → exactly 3 attempts each
@@ -1153,6 +1354,7 @@ mod tests {
                 &policy,
                 &FaultPlan::none(1),
             )
+            .expect("durations modeled")
         };
         let scratch = run(RestartStrategy::FromScratch);
         let ckpt = run(RestartStrategy::FromCheckpoint {
@@ -1195,6 +1397,7 @@ mod tests {
                 &policy,
                 &faults,
             )
+            .expect("durations modeled")
         };
         let a = run();
         let b = run();
@@ -1243,7 +1446,8 @@ mod tests {
             10,
             &policy,
             &faults,
-        );
+        )
+        .expect("durations modeled");
         let h = &report.resilience.histories["g/i-0"];
         assert_eq!(h.attempts.len(), 2);
         let gap = h.attempts[1].started_at.since(h.attempts[0].ended_at);
@@ -1322,7 +1526,7 @@ mod tests {
             hang_timeout_fraction: 0.0,
             ..ResiliencePolicy::new()
         };
-        run_campaign_resilient(
+        let _ = run_campaign_resilient(
             &m,
             &d,
             &PilotScheduler::new(),
@@ -1332,5 +1536,110 @@ mod tests {
             &policy,
             &FaultPlan::none(1),
         );
+    }
+
+    #[test]
+    fn backoff_delay_is_clamped_and_panic_free() {
+        // Regression: factor^(n-1) reaches f64::INFINITY long before n
+        // hits u32::MAX, and the old unclamped multiply panicked on it.
+        let p = ResiliencePolicy {
+            backoff_base: SimDuration::from_mins(10),
+            backoff_factor: 10.0,
+            max_backoff: SimDuration::from_hours(6),
+            ..ResiliencePolicy::new()
+        };
+        assert_eq!(p.backoff_delay(1), SimDuration::from_mins(10));
+        assert_eq!(p.backoff_delay(2), SimDuration::from_mins(100));
+        for failures in [3, 10, 400, u32::MAX] {
+            assert_eq!(p.backoff_delay(failures), SimDuration::from_hours(6));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max backoff must bound the base delay")]
+    fn cap_below_base_is_rejected() {
+        let m = campaign(1, 1);
+        let d = uniform(&m, 60);
+        let mut board = StatusBoard::for_manifest(&m);
+        let policy = ResiliencePolicy {
+            backoff_base: SimDuration::from_hours(2),
+            max_backoff: SimDuration::from_mins(1),
+            ..ResiliencePolicy::new()
+        };
+        let _ = run_campaign_resilient(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &mut series(1),
+            &mut board,
+            1,
+            &policy,
+            &FaultPlan::none(1),
+        );
+    }
+
+    #[test]
+    fn missing_duration_is_a_typed_error_not_a_panic() {
+        let m = campaign(2, 1);
+        let mut board = StatusBoard::for_manifest(&m);
+        let mut s = series(1);
+        let before = s.now();
+        let err = run_campaign_resilient(
+            &m,
+            &BTreeMap::new(),
+            &PilotScheduler::new(),
+            &mut s,
+            &mut board,
+            1,
+            &ResiliencePolicy::new(),
+            &FaultPlan::none(1),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SavannaError::UnmodeledRun { ref run_id } if run_id == "g/i-0"),
+            "{err:?}"
+        );
+        assert_eq!(s.now(), before, "no allocation consumed on refusal");
+    }
+
+    #[test]
+    fn traced_resilient_campaign_is_byte_identical_and_publishes_refs() {
+        let m = campaign(8, 1);
+        let d = uniform(&m, 1800);
+        let faults = FaultPlan {
+            run_faults: FaultSpec::new(0.2, 5),
+            node_mttf: Some(SimDuration::from_hours(8)),
+            stalls: None,
+            seed: 5,
+        };
+        let run = || {
+            let mut board = StatusBoard::for_manifest(&m);
+            let (tel, rec) = Telemetry::recording();
+            run_campaign_resilient_traced(
+                &m,
+                &d,
+                &PilotScheduler::new(),
+                &mut series(3),
+                &mut board,
+                50,
+                &ResiliencePolicy::new(),
+                &faults,
+                &tel,
+            )
+            .expect("durations modeled");
+            let snap = rec.snapshot();
+            (
+                telemetry::chrome_trace_json(&snap),
+                telemetry::metrics_json(&snap),
+                board.telemetry_ref("g/i-0").map(str::to_owned),
+            )
+        };
+        let (trace_a, metrics_a, ref_a) = run();
+        let (trace_b, metrics_b, ref_b) = run();
+        assert_eq!(trace_a, trace_b, "seeded trace export is byte-identical");
+        assert_eq!(metrics_a, metrics_b);
+        assert_eq!(ref_a.as_deref(), Some("trace#2"), "first run owns track 2");
+        assert_eq!(ref_a, ref_b);
+        assert!(metrics_a.contains("attempts"));
     }
 }

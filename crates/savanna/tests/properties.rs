@@ -5,6 +5,7 @@ use hpcsim::batch::{Allocation, BatchJob, BatchQueue};
 use hpcsim::time::SimDuration;
 use proptest::prelude::*;
 use savanna::pilot::PilotScheduler;
+use savanna::resilience::ResiliencePolicy;
 use savanna::setsync::SetSyncScheduler;
 use savanna::task::{AllocationScheduler, SimTask, TaskResult};
 
@@ -101,5 +102,56 @@ proptest! {
         let a = alloc(nodes, total.max(1));
         let out = PilotScheduler::new().schedule(&ts, &a);
         prop_assert_eq!(out.completed_count(), ts.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Regression (PR 3): `backoff_base * factor.powi(failures - 1)` used to
+    // overflow into a panic for large failure counts; the delay is now
+    // saturating and clamped to `max_backoff`.
+    #[test]
+    fn backoff_delay_is_bounded_and_panic_free(
+        base_us in 1u64..10u64.pow(12),
+        factor in 1.0f64..100.0,
+        cap_mult in 1u64..10_000,
+        failures in any::<u32>(),
+    ) {
+        let base = SimDuration(base_us);
+        let policy = ResiliencePolicy {
+            backoff_base: base,
+            backoff_factor: factor,
+            max_backoff: SimDuration(base_us.saturating_mul(cap_mult)),
+            ..ResiliencePolicy::default()
+        };
+        policy.validate();
+        let delay = policy.backoff_delay(failures);
+        prop_assert!(delay >= base, "delay {delay} under base {base}");
+        prop_assert!(
+            delay <= policy.max_backoff,
+            "delay {delay} over cap {}",
+            policy.max_backoff
+        );
+    }
+
+    #[test]
+    fn backoff_delay_is_monotone_in_failures(
+        base_us in 1u64..10u64.pow(9),
+        factor in 1.0f64..16.0,
+        failures in 0u32..200,
+    ) {
+        let policy = ResiliencePolicy {
+            backoff_base: SimDuration(base_us),
+            backoff_factor: factor,
+            max_backoff: SimDuration::from_hours(24),
+            ..ResiliencePolicy::default()
+        };
+        policy.validate();
+        prop_assert!(
+            policy.backoff_delay(failures) <= policy.backoff_delay(failures + 1),
+            "backoff shrank between failure {failures} and {}",
+            failures + 1
+        );
     }
 }

@@ -1,0 +1,122 @@
+//! Chrome-trace JSON export.
+//!
+//! Produces the [Trace Event Format] object form: `{"traceEvents": [...]}`
+//! with complete (`"X"`), instant (`"i"`), and thread-name metadata
+//! (`"M"`) events. Load the file in `chrome://tracing` or
+//! <https://ui.perfetto.dev> to see the campaign timeline.
+//!
+//! The output is deterministic: events appear in recording order, track
+//! names in track order, and every number/string uses the canonical
+//! rendering of [`crate::json`]. Two runs of a seeded simulation export
+//! byte-identical traces.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fmt::Write;
+
+use crate::event::ArgValue;
+use crate::sink::Snapshot;
+
+fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::json::write_str(out, key);
+        out.push(':');
+        value.write_json(out);
+    }
+    out.push('}');
+}
+
+/// Renders a snapshot as a Chrome-trace JSON document (trailing newline
+/// included).
+pub fn chrome_trace_json(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n");
+    out.push_str("  \"otherData\": {\"schema\": \"fair-telemetry-trace/1\"},\n");
+    out.push_str("  \"traceEvents\": [\n");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str("    ");
+    };
+    for (&track, name) in &snapshot.track_names {
+        sep(&mut out, &mut first);
+        out.push_str("{\"ph\":\"M\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{track}");
+        out.push_str(",\"name\":\"thread_name\",\"args\":{\"name\":");
+        crate::json::write_str(&mut out, name);
+        out.push_str("}}");
+    }
+    for span in &snapshot.spans {
+        sep(&mut out, &mut first);
+        out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{}", span.track);
+        out.push_str(",\"ts\":");
+        let _ = write!(out, "{}", span.start_us);
+        out.push_str(",\"dur\":");
+        let _ = write!(out, "{}", span.dur_us);
+        out.push_str(",\"cat\":");
+        crate::json::write_str(&mut out, span.category);
+        out.push_str(",\"name\":");
+        crate::json::write_str(&mut out, &span.name);
+        out.push_str(",\"args\":");
+        write_args(&mut out, &span.args);
+        out.push('}');
+    }
+    for inst in &snapshot.instants {
+        sep(&mut out, &mut first);
+        out.push_str("{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{}", inst.track);
+        out.push_str(",\"ts\":");
+        let _ = write!(out, "{}", inst.at_us);
+        out.push_str(",\"cat\":");
+        crate::json::write_str(&mut out, inst.category);
+        out.push_str(",\"name\":");
+        crate::json::write_str(&mut out, &inst.name);
+        out.push_str(",\"args\":");
+        write_args(&mut out, &inst.args);
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanEvent;
+
+    #[test]
+    fn trace_shape_and_determinism() {
+        let mut snap = Snapshot::default();
+        snap.track_names.insert(0, "campaign".to_string());
+        snap.spans.push(SpanEvent {
+            category: "attempt",
+            name: "g/i-0".into(),
+            track: 0,
+            start_us: 10,
+            dur_us: 90,
+            args: vec![("attempt", 1u64.into())],
+        });
+        let a = chrome_trace_json(&snap);
+        let b = chrome_trace_json(&snap);
+        assert_eq!(a, b);
+        assert!(a.contains("\"traceEvents\""));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"ph\":\"M\""));
+        assert!(a.contains("\"tid\":0,\"ts\":10,\"dur\":90"));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let out = chrome_trace_json(&Snapshot::default());
+        assert!(out.contains("\"traceEvents\": [\n\n  ]"));
+    }
+}

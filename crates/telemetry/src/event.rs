@@ -1,0 +1,141 @@
+//! The event model: spans, instants, and argument values.
+//!
+//! All timestamps are **microseconds** on whatever timebase the producer
+//! uses — simulated campaigns record `hpcsim` virtual time, the local
+//! executor records wall-clock time since its own epoch. Telemetry never
+//! reads a clock itself; that is what keeps recordings of seeded
+//! simulations byte-identical across runs.
+
+use std::fmt;
+
+/// A typed argument value attached to an event.
+///
+/// Rendering is deterministic: integers print exactly, floats use Rust's
+/// shortest-roundtrip `Display`, and text is JSON-escaped. That matters
+/// because exported telemetry is diffed byte-for-byte across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer argument.
+    UInt(u64),
+    /// Signed integer argument.
+    Int(i64),
+    /// Floating-point argument.
+    Float(f64),
+    /// Text argument.
+    Text(String),
+    /// Boolean argument.
+    Flag(bool),
+}
+
+impl ArgValue {
+    /// Renders the value as a JSON fragment.
+    pub(crate) fn write_json(&self, out: &mut String) {
+        match self {
+            ArgValue::UInt(v) => {
+                use fmt::Write;
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::Int(v) => {
+                use fmt::Write;
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::Float(v) => crate::json::write_f64(out, *v),
+            ArgValue::Text(v) => crate::json::write_str(out, v),
+            ArgValue::Flag(v) => out.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::UInt(v)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::UInt(u64::from(v))
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Flag(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Text(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Text(v)
+    }
+}
+
+/// A completed span: something that happened over `[start_us,
+/// start_us + dur_us]` on a track.
+///
+/// Tracks map to Chrome-trace thread lanes; producers use them for
+/// whatever axis makes the timeline readable (allocations, nodes, worker
+/// threads). Track 0 is the conventional "campaign" lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Grouping category (Chrome-trace `cat`), e.g. `"attempt"`,
+    /// `"allocation"`, `"stall"`.
+    pub category: &'static str,
+    /// Span name (Chrome-trace `name`), e.g. a run id.
+    pub name: String,
+    /// Timeline lane the span renders on.
+    pub track: u32,
+    /// Span start, microseconds on the producer's timebase.
+    pub start_us: u64,
+    /// Span length in microseconds.
+    pub dur_us: u64,
+    /// Structured arguments, in recording order.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A point event: something that happened at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantEvent {
+    /// Grouping category, e.g. `"fault"`.
+    pub category: &'static str,
+    /// Event name, e.g. `"node-crash"`.
+    pub name: String,
+    /// Timeline lane the marker renders on.
+    pub track: u32,
+    /// Event instant, microseconds on the producer's timebase.
+    pub at_us: u64,
+    /// Structured arguments, in recording order.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_values_render_deterministically() {
+        let mut out = String::new();
+        ArgValue::from(5u64).write_json(&mut out);
+        out.push(',');
+        ArgValue::from(-3i64).write_json(&mut out);
+        out.push(',');
+        ArgValue::from(2.5f64).write_json(&mut out);
+        out.push(',');
+        ArgValue::from(true).write_json(&mut out);
+        out.push(',');
+        ArgValue::from("a\"b").write_json(&mut out);
+        assert_eq!(out, "5,-3,2.5,true,\"a\\\"b\"");
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal deterministic JSON writing.
+//!
+//! The exports in this crate are diffed byte-for-byte across runs and
+//! across PRs, so every formatting decision is pinned down here instead
+//! of delegated to an external serializer:
+//!
+//! * strings escape exactly `"`/`\\` and control characters (`\u00XX`),
+//! * floats use Rust's shortest-roundtrip `Display`, with whole numbers
+//!   printed without a fractional part (`5`, not `5.0`) and non-finite
+//!   values mapped to `null` (JSON has no NaN/inf),
+//! * object keys are emitted in the order the caller provides — callers
+//!   use `BTreeMap` where canonical ordering matters.
+
+use std::fmt::Write;
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number to `out` (`null` for NaN/infinite).
+pub fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{}` on f64 is shortest-roundtrip and prints 5.0 as "5" — already
+    // the canonical form we want.
+    let _ = write!(out, "{v}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn float_forms() {
+        let cases = [(5.0, "5"), (2.5, "2.5"), (-0.125, "-0.125")];
+        for (v, want) in cases {
+            let mut out = String::new();
+            write_f64(&mut out, v);
+            assert_eq!(out, want);
+        }
+        let mut out = String::new();
+        write_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,165 @@
+//! Flat metrics JSON export.
+//!
+//! The second stable format: counters plus per-category span aggregates,
+//! all keys sorted, suitable for committing as `BENCH_*.json` baselines
+//! and diffing across PRs. Where the Chrome trace answers "what happened
+//! when", this answers "how much, in total".
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::sink::Snapshot;
+
+/// Aggregate of every span in one category.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanAggregate {
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Sum of span durations, microseconds.
+    pub total_us: u64,
+    /// Longest single span, microseconds.
+    pub max_us: u64,
+}
+
+/// Folds a snapshot's spans into per-category aggregates (sorted by
+/// category).
+pub fn span_aggregates(snapshot: &Snapshot) -> BTreeMap<&'static str, SpanAggregate> {
+    let mut out: BTreeMap<&'static str, SpanAggregate> = BTreeMap::new();
+    for span in &snapshot.spans {
+        let agg = out.entry(span.category).or_default();
+        agg.count += 1;
+        agg.total_us = agg.total_us.saturating_add(span.dur_us);
+        agg.max_us = agg.max_us.max(span.dur_us);
+    }
+    out
+}
+
+/// Renders a snapshot as the flat metrics JSON document (2-space indent,
+/// sorted keys, trailing newline).
+///
+/// ```json
+/// {
+///   "schema": "fair-telemetry-metrics/1",
+///   "counters": { "name": value, ... },
+///   "spans": { "category": {"count": N, "total_us": T, "max_us": M}, ... }
+/// }
+/// ```
+pub fn metrics_json(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"fair-telemetry-metrics/1\",\n");
+    out.push_str("  \"counters\": {");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        crate::json::write_str(&mut out, name);
+        out.push_str(": ");
+        crate::json::write_f64(&mut out, *value);
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"spans\": {");
+    let aggregates = span_aggregates(snapshot);
+    for (i, (category, agg)) in aggregates.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        crate::json::write_str(&mut out, category);
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"total_us\": {}, \"max_us\": {}}}",
+            agg.count, agg.total_us, agg.max_us
+        );
+    }
+    if !aggregates.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Extracts the top-level key paths of a metrics document produced by
+/// [`metrics_json`] — `counters.<name>` and `spans.<category>` — without
+/// a JSON parser, for baseline key-diffing in CI.
+///
+/// Only understands the exact format this module writes (one key per
+/// indented line), which is all a baseline diff needs.
+pub fn metrics_keys(doc: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut section: Option<&str> = None;
+    for line in doc.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("\"counters\"") {
+            section = Some("counters");
+            continue;
+        }
+        if trimmed.starts_with("\"spans\"") {
+            section = Some("spans");
+            continue;
+        }
+        if trimmed.starts_with('}') {
+            continue;
+        }
+        if let Some(section) = section {
+            if let Some(rest) = trimmed.strip_prefix('"') {
+                if let Some(end) = rest.find('"') {
+                    keys.push(format!("{section}.{}", &rest[..end]));
+                }
+            }
+        }
+    }
+    keys.sort();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanEvent;
+
+    fn snap() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("attempts".into(), 3.0);
+        snap.counters.insert("rework_lost_node_hours".into(), 0.25);
+        for dur in [5u64, 10] {
+            snap.spans.push(SpanEvent {
+                category: "attempt",
+                name: "r".into(),
+                track: 0,
+                start_us: 0,
+                dur_us: dur,
+                args: vec![],
+            });
+        }
+        snap
+    }
+
+    #[test]
+    fn metrics_document_is_canonical() {
+        let doc = metrics_json(&snap());
+        assert_eq!(doc, metrics_json(&snap()));
+        assert!(doc.contains("\"attempts\": 3"));
+        assert!(doc.contains("\"rework_lost_node_hours\": 0.25"));
+        assert!(doc.contains("\"attempt\": {\"count\": 2, \"total_us\": 15, \"max_us\": 10}"));
+    }
+
+    #[test]
+    fn keys_extraction_matches_document() {
+        let doc = metrics_json(&snap());
+        assert_eq!(
+            metrics_keys(&doc),
+            vec![
+                "counters.attempts".to_string(),
+                "counters.rework_lost_node_hours".to_string(),
+                "spans.attempt".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let doc = metrics_json(&Snapshot::default());
+        assert!(doc.contains("\"counters\": {}"));
+        assert!(doc.contains("\"spans\": {}"));
+        assert!(metrics_keys(&doc).is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Where events go: the [`Sink`] trait and the in-memory [`Recorder`].
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::event::{InstantEvent, SpanEvent};
+
+/// Receives telemetry events.
+///
+/// Implementations must be cheap and non-blocking from the producer's
+/// perspective; the built-in [`Recorder`] buffers everything in memory
+/// behind a mutex. The *disabled* path never constructs events at all
+/// (see [`crate::Telemetry`]), so a sink is only ever called when
+/// recording is on.
+pub trait Sink: Send + Sync {
+    /// Records a completed span.
+    fn record_span(&self, span: SpanEvent);
+    /// Records a point event.
+    fn record_instant(&self, event: InstantEvent);
+    /// Adds `delta` to the named counter (created at zero on first use).
+    fn add_to_counter(&self, name: &str, delta: f64);
+    /// Names a timeline track (Chrome-trace thread lane).
+    fn name_track(&self, track: u32, name: &str);
+}
+
+/// Everything a [`Recorder`] has accumulated, in recording order.
+///
+/// Snapshots are plain data: exports ([`crate::chrome_trace_json`],
+/// [`crate::metrics_json`]) and assertions in tests both work from here.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Completed spans, in recording order.
+    pub spans: Vec<SpanEvent>,
+    /// Point events, in recording order.
+    pub instants: Vec<InstantEvent>,
+    /// Counter totals, keyed by name (sorted).
+    pub counters: BTreeMap<String, f64>,
+    /// Track names, keyed by track id (sorted).
+    pub track_names: BTreeMap<u32, String>,
+}
+
+/// The in-memory sink: buffers events for later export.
+///
+/// Clone the [`Arc`] freely; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Mutex<Snapshot>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Copies out everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Number of spans recorded so far.
+    pub fn span_count(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .spans
+            .len()
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+impl Sink for Recorder {
+    fn record_span(&self, span: SpanEvent) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .spans
+            .push(span);
+    }
+
+    fn record_instant(&self, event: InstantEvent) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .instants
+            .push(event);
+    }
+
+    fn add_to_counter(&self, name: &str, delta: f64) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        *inner.counters.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    fn name_track(&self, track: u32, name: &str) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .track_names
+            .insert(track, name.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_accumulates() {
+        let rec = Recorder::new();
+        rec.add_to_counter("x", 1.0);
+        rec.add_to_counter("x", 2.0);
+        rec.record_span(SpanEvent {
+            category: "c",
+            name: "s".into(),
+            track: 0,
+            start_us: 1,
+            dur_us: 2,
+            args: vec![],
+        });
+        rec.name_track(0, "lane");
+        assert_eq!(rec.counter("x"), 3.0);
+        assert_eq!(rec.counter("missing"), 0.0);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.track_names[&0], "lane");
+    }
+}

@@ -32,4 +32,22 @@ else
     echo "skipped: registry offline — run 'cargo run --release -p bench --bin resilience_ablation' with a warm registry"
 fi
 
+# Telemetry smoke: regenerate the three seeded baseline scenarios and
+# verify (a) two in-memory generations are byte-identical, (b) the
+# exports carry the schema ids declared in devtools/schemas/, and
+# (c) the metric key sets match the committed results/BENCH_*.json.
+# Key sets (not values) are compared because counter values depend on
+# the rand implementation, which differs between the real build and the
+# offline stub build. The telemetry_baselines bin needs nothing beyond
+# the functional rand stub at runtime, so offline it runs from the
+# shadow workspace offline-check.sh just built.
+echo "== ci: telemetry smoke =="
+if cargo build -q --release -p bench --bin telemetry_baselines 2>/dev/null; then
+    cargo run -q --release -p bench --bin telemetry_baselines -- --check results devtools/schemas
+else
+    (cd "$REPO/target/offline-check" &&
+        CARGO_NET_OFFLINE=true cargo run -q --release --offline -p bench --bin telemetry_baselines -- \
+            --check "$REPO/results" "$REPO/devtools/schemas")
+fi
+
 echo "ci: OK"

@@ -4,8 +4,9 @@
 //! backoff, node quarantine, and checkpoint-aware restart.
 //!
 //! Everything is seeded, so the run is deterministic: the example
-//! executes the campaign twice and checks that the attempt histories and
-//! quarantine sets are identical.
+//! executes the campaign twice and checks that the attempt histories,
+//! quarantine sets, and telemetry exports are identical. The recorded
+//! Chrome trace is written to the temp dir for `chrome://tracing`.
 //!
 //! ```sh
 //! cargo run --example resilient_campaign
@@ -22,10 +23,11 @@ use fair_workflows::hpcsim::dist::LogNormal;
 use fair_workflows::hpcsim::time::SimDuration;
 use fair_workflows::savanna::pilot::PilotScheduler;
 use fair_workflows::savanna::resilience::{
-    resilience_lint_plan, run_campaign_resilient, FaultPlan, ResiliencePolicy,
+    resilience_lint_plan, run_campaign_resilient_traced, FaultPlan, ResiliencePolicy,
     ResilientCampaignReport, RestartStrategy, StallSpec,
 };
 use fair_workflows::savanna::FaultSpec;
+use fair_workflows::telemetry::{chrome_trace_json, metrics_json, metrics_keys, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -73,12 +75,13 @@ fn execute(
     manifest: &CampaignManifest,
     policy: &ResiliencePolicy,
     faults: &FaultPlan,
-) -> ResilientCampaignReport {
+    tel: &Telemetry,
+) -> (ResilientCampaignReport, StatusBoard) {
     let durations = durations(manifest);
     let job = BatchJob::new(8, SimDuration::from_hours(2));
     let mut series = AllocationSeries::new(job, SimDuration::from_mins(15), 0.4, 5);
     let mut board = StatusBoard::for_manifest(manifest);
-    run_campaign_resilient(
+    let report = run_campaign_resilient_traced(
         manifest,
         &durations,
         &PilotScheduler::new(),
@@ -87,7 +90,10 @@ fn execute(
         200,
         policy,
         faults,
+        tel,
     )
+    .expect("durations modeled");
+    (report, board)
 }
 
 fn main() {
@@ -122,7 +128,8 @@ fn main() {
     );
     assert!(lint.is_clean());
 
-    let run = execute(&manifest, &policy, &faults);
+    let (tel, recorder) = Telemetry::recording();
+    let (run, board) = execute(&manifest, &policy, &faults, &tel);
     let res = &run.resilience;
     println!(
         "\ncampaign: {} runs on 8-node / 2 h allocations, p = 0.3 run errors, \
@@ -163,9 +170,38 @@ fn main() {
         "the demo campaign must complete under this budget"
     );
 
-    // Same seeds, same outcome — resilience does not cost determinism.
-    let rerun = execute(&manifest, &policy, &faults);
+    // The whole campaign was also recorded: allocations on track 0,
+    // machine faults on track 1, one track per run with every attempt
+    // and its failure cause. Write the Chrome trace next to the build
+    // artifacts and summarize the flat metrics.
+    let snapshot = recorder.snapshot();
+    let trace_path = std::env::temp_dir().join("resilient_campaign.trace.json");
+    std::fs::write(&trace_path, chrome_trace_json(&snapshot)).expect("write trace");
+    let metrics = metrics_json(&snapshot);
+    println!(
+        "\ntelemetry: {} spans across {} tracks, {} metric keys",
+        snapshot.spans.len(),
+        snapshot.track_names.len(),
+        metrics_keys(&metrics).len(),
+    );
+    let first_run = &manifest.groups[0].runs[0].id;
+    println!(
+        "run {first_run:?} timeline: {} (load {} in chrome://tracing)",
+        board
+            .telemetry_ref(first_run)
+            .expect("traced run has a ref"),
+        trace_path.display(),
+    );
+
+    // Same seeds, same outcome — resilience does not cost determinism,
+    // and neither does watching it: the rerun's exports are byte-equal.
+    let (tel2, recorder2) = Telemetry::recording();
+    let (rerun, _) = execute(&manifest, &policy, &faults, &tel2);
     assert_eq!(res.histories, rerun.resilience.histories);
     assert_eq!(res.quarantined, rerun.resilience.quarantined);
-    println!("\nrerun with identical seeds: identical attempt histories and quarantine sets");
+    assert_eq!(metrics, metrics_json(&recorder2.snapshot()));
+    println!(
+        "\nrerun with identical seeds: identical attempt histories, quarantine sets, \
+         and telemetry exports"
+    );
 }

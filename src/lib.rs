@@ -18,6 +18,8 @@
 //! * [`iorf`] — iterative random forests and iRF-LOOP.
 //! * [`tabular`] — tables, TSV, two-phase paste, GWAS-lite.
 //! * [`exec`] — work-stealing thread pool.
+//! * [`telemetry`] — spans/counters with Chrome-trace and flat-metrics
+//!   JSON exports (see DESIGN.md "Observability").
 //!
 //! The facade also owns [`bridge`]: conversions between the tabular and
 //! iorf data models plus published result tables.
@@ -38,3 +40,4 @@ pub use iorf;
 pub use savanna;
 pub use skel;
 pub use tabular;
+pub use telemetry;

@@ -62,7 +62,8 @@ fn simulated_codesign_campaign_fills_the_catalog() {
         &mut series,
         &mut board,
         20,
-    );
+    )
+    .expect("durations modeled");
     assert!(report.is_complete());
 
     let mut catalog = ResultCatalog::new();

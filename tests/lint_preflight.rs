@@ -22,6 +22,7 @@ use fair_workflows::hpcsim::cluster::ClusterSpec;
 use fair_workflows::hpcsim::time::SimDuration;
 use fair_workflows::savanna::driver::{run_campaign_sim_gated, PreflightGate};
 use fair_workflows::savanna::pilot::PilotScheduler;
+use fair_workflows::savanna::SavannaError;
 
 fn comp(name: &str, inputs: &[&str], outputs: &[&str]) -> ComponentDescriptor {
     let mut c = ComponentDescriptor::new(name, "1", ComponentKind::Executable);
@@ -129,6 +130,10 @@ fn gate_blocks_defective_campaign_without_consuming_allocations() {
         &PreflightGate::enforce(context),
     )
     .expect_err("defective campaign must be refused");
+    let blocked = match blocked {
+        SavannaError::Preflight(b) => b,
+        other => panic!("expected a preflight refusal, got {other:?}"),
+    };
 
     let diags = &blocked.diagnostics;
     let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();

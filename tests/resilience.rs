@@ -82,6 +82,7 @@ fn execute(
         policy,
         faults,
     )
+    .expect("durations modeled")
 }
 
 proptest! {

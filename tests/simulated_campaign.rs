@@ -73,7 +73,7 @@ fn run(
         0.5,
         seed,
     );
-    run_campaign_sim(m, d, sched, &mut series, &mut board, 300)
+    run_campaign_sim(m, d, sched, &mut series, &mut board, 300).expect("durations modeled")
 }
 
 #[test]
@@ -138,7 +138,8 @@ fn every_run_completes_exactly_once_across_allocations() {
         0.5,
         12,
     );
-    let report = run_campaign_sim(&m, &d, &PilotScheduler::new(), &mut series, &mut board, 300);
+    let report = run_campaign_sim(&m, &d, &PilotScheduler::new(), &mut series, &mut board, 300)
+        .expect("durations modeled");
     assert!(report.is_complete());
     // the status board agrees with the report
     let summary = board.summary();

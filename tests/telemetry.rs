@@ -1,0 +1,182 @@
+//! Integration: the telemetry layer end-to-end through the facade —
+//! a seeded resilient campaign records a full trace whose Chrome-trace
+//! and metrics exports are byte-identical across independent runs, the
+//! StatusBoard publishes per-run trace references, and disabled
+//! telemetry changes nothing about campaign outcomes.
+
+use std::collections::BTreeMap;
+
+use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use fair_workflows::cheetah::manifest::CampaignManifest;
+use fair_workflows::cheetah::param::SweepSpec;
+use fair_workflows::cheetah::status::StatusBoard;
+use fair_workflows::cheetah::sweep::Sweep;
+use fair_workflows::hpcsim::batch::{AllocationSeries, BatchJob};
+use fair_workflows::hpcsim::time::SimDuration;
+use fair_workflows::savanna::pilot::PilotScheduler;
+use fair_workflows::savanna::resilience::{
+    run_campaign_resilient_traced, FaultPlan, ResiliencePolicy, ResilientCampaignReport, StallSpec,
+};
+use fair_workflows::savanna::FaultSpec;
+use fair_workflows::telemetry::{chrome_trace_json, metrics_json, metrics_keys, Telemetry};
+
+fn manifest(features: i64) -> CampaignManifest {
+    Campaign::new("telemetry", "inst", AppDef::new("irf", "irf.exe"))
+        .with_group(SweepGroup::new(
+            "features",
+            Sweep::new().with(
+                "feature",
+                SweepSpec::IntRange {
+                    start: 0,
+                    end: features - 1,
+                    step: 1,
+                },
+            ),
+            8,
+            1,
+            1800,
+        ))
+        .manifest()
+        .expect("valid campaign")
+}
+
+fn uniform_durations(m: &CampaignManifest, secs: u64) -> BTreeMap<String, SimDuration> {
+    m.groups
+        .iter()
+        .flat_map(|g| g.runs.iter())
+        .map(|r| (r.id.clone(), SimDuration::from_secs(secs)))
+        .collect()
+}
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan {
+        run_faults: FaultSpec::new(0.2, 5),
+        node_mttf: Some(SimDuration::from_hours(6)),
+        stalls: Some(StallSpec {
+            mean_between: SimDuration::from_mins(30),
+            duration: SimDuration::from_mins(2),
+            slowdown: 4.0,
+            io_fraction: 0.25,
+        }),
+        seed: 5,
+    }
+}
+
+fn run_traced(tel: &Telemetry) -> (ResilientCampaignReport, StatusBoard) {
+    let m = manifest(24);
+    let durations = uniform_durations(&m, 600);
+    let policy = ResiliencePolicy {
+        retry_budget: 4,
+        backoff_base: SimDuration::from_mins(3),
+        ..ResiliencePolicy::default()
+    };
+    let job = BatchJob::new(8, SimDuration::from_mins(45));
+    let mut series = AllocationSeries::new(job, SimDuration::from_mins(10), 0.5, 3);
+    let mut board = StatusBoard::for_manifest(&m);
+    let report = run_campaign_resilient_traced(
+        &m,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        200,
+        &policy,
+        &fault_plan(),
+        tel,
+    )
+    .expect("durations modeled");
+    (report, board)
+}
+
+#[test]
+fn seeded_exports_are_byte_identical_across_runs() {
+    let (tel_a, rec_a) = Telemetry::recording();
+    let (report_a, _) = run_traced(&tel_a);
+    let (tel_b, rec_b) = Telemetry::recording();
+    let (report_b, _) = run_traced(&tel_b);
+
+    assert_eq!(
+        report_a.report.completed_runs,
+        report_b.report.completed_runs
+    );
+    let snap_a = rec_a.snapshot();
+    let snap_b = rec_b.snapshot();
+    let trace = chrome_trace_json(&snap_a);
+    assert_eq!(trace, chrome_trace_json(&snap_b));
+    let metrics = metrics_json(&snap_a);
+    assert_eq!(metrics, metrics_json(&snap_b));
+
+    // the exports carry their stable schema ids
+    assert!(
+        trace.contains("\"schema\": \"fair-telemetry-trace/1\""),
+        "{trace}"
+    );
+    assert!(metrics.contains("\"schema\": \"fair-telemetry-metrics/1\""));
+    // and a real recording surface: attempt spans plus the core counters
+    let keys = metrics_keys(&metrics);
+    for expected in [
+        "spans.attempt",
+        "spans.allocation",
+        "counters.attempts",
+        "counters.completed_runs",
+        "counters.queue_wait_us",
+    ] {
+        assert!(
+            keys.iter().any(|k| k == expected),
+            "missing {expected} in {keys:?}"
+        );
+    }
+}
+
+#[test]
+fn status_board_publishes_per_run_trace_refs() {
+    let (tel, rec) = Telemetry::recording();
+    let (_, board) = run_traced(&tel);
+    // manifest order fixes the track layout: run i lives on track 2 + i
+    let m = manifest(24);
+    for (i, run) in m.groups[0].runs.iter().enumerate() {
+        assert_eq!(
+            board.telemetry_ref(&run.id),
+            Some(format!("trace#{}", 2 + i).as_str()),
+            "run {}",
+            run.id
+        );
+    }
+    let snap = rec.snapshot();
+    assert_eq!(
+        snap.track_names.get(&0).map(String::as_str),
+        Some("allocations")
+    );
+    assert_eq!(
+        snap.track_names.get(&1).map(String::as_str),
+        Some("machine")
+    );
+}
+
+#[test]
+fn disabled_telemetry_records_nothing_and_changes_no_outcome() {
+    let disabled = Telemetry::disabled();
+    assert!(!disabled.is_enabled());
+    let (plain, board_plain) = run_traced(&disabled);
+
+    let (tel, rec) = Telemetry::recording();
+    let (traced, _) = run_traced(&tel);
+    // identical simulation outcomes whether or not anyone is watching
+    assert_eq!(plain.report.completed_runs, traced.report.completed_runs);
+    assert_eq!(
+        plain.report.allocations.len(),
+        traced.report.allocations.len()
+    );
+    assert_eq!(
+        plain.resilience.failed_attempts,
+        traced.resilience.failed_attempts
+    );
+    assert_eq!(
+        plain.resilience.rework_lost_node_hours,
+        traced.resilience.rework_lost_node_hours
+    );
+    // a disabled run publishes no trace refs and records no events
+    let m = manifest(24);
+    assert!(board_plain.telemetry_ref(&m.groups[0].runs[0].id).is_none());
+    assert!(!rec.snapshot().spans.is_empty());
+}
