@@ -1,0 +1,317 @@
+//! Serial-vs-parallel campaign throughput baseline
+//! (`BENCH_campaign_parallel.json`).
+//!
+//! Measures the same ACS-style campaign-throughput workload the
+//! `BENCH_campaign_throughput.json` baseline uses, three ways:
+//!
+//! * **serial** — the unsharded serial driver (`run_campaign_sim`), one
+//!   allocation series, one thread: the pre-PR-4 execution model;
+//! * **inline** — the sharded driver with `pool = None`: same partition
+//!   and merge, still one thread (isolates the sharding effect);
+//! * **par_t{N}** — the sharded driver on an `exec::ThreadPool` with N
+//!   threads (adds the parallelism effect).
+//!
+//! Wall-clock numbers are machine- and build-dependent (this document
+//! records *this* machine's speedups; it is not diffed byte-wise by CI).
+//! The gain decomposes into two effects the table separates: sharding
+//! bounds every pilot-scheduling pass to one shard's remaining runs
+//! instead of the whole campaign (an algorithmic win, visible even on
+//! one core), and the pool adds multi-core parallelism on hosts that
+//! have the cores (compare `speedup_vs_inline`).
+//! The determinism of the parallel path itself is CI-checked by
+//! `--smoke`, which runs the differential harness at 1 and 4 threads
+//! and fails on any byte difference between the exports.
+//!
+//! Usage:
+//!
+//! ```text
+//! campaign_parallel [--runs N] [--shards N] [--threads 2,4,8] [OUT_DIR]
+//! campaign_parallel --smoke     # differential check, no files written
+//! ```
+
+use std::time::Instant;
+
+use bench::{acs_campaign, acs_durations, print_table};
+use cheetah::manifest::CampaignManifest;
+use cheetah::status::StatusBoard;
+use exec::ThreadPool;
+use hpcsim::batch::{AllocationSeries, BatchJob};
+use hpcsim::time::SimDuration;
+use savanna::pilot::PilotScheduler;
+use savanna::resilience::{FaultPlan, ResiliencePolicy};
+use savanna::{
+    run_campaign_resilient_par_traced, run_campaign_sim, run_campaign_sim_par,
+    run_campaign_sim_par_traced, FaultSpec, SeriesSpec, ShardPlan,
+};
+use telemetry::{metrics_json, Telemetry};
+
+const DEFAULT_RUNS: i64 = 12_000;
+const DURATION_SEED: u64 = 7;
+const SERIES_SEED: u64 = 9;
+const CAMPAIGN_SEED: u64 = 41;
+
+fn job() -> BatchJob {
+    BatchJob::new(20, SimDuration::from_hours(2))
+}
+
+fn spec() -> SeriesSpec {
+    SeriesSpec::new(job(), SimDuration::from_mins(20), 0.5)
+}
+
+/// One serial-driver execution; returns completed runs.
+fn serial_once(
+    manifest: &CampaignManifest,
+    durations: &std::collections::BTreeMap<String, SimDuration>,
+) -> usize {
+    let mut series = AllocationSeries::new(job(), SimDuration::from_mins(20), 0.5, SERIES_SEED);
+    let mut board = StatusBoard::for_manifest(manifest);
+    run_campaign_sim(
+        manifest,
+        durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        4000,
+    )
+    .expect("durations modeled")
+    .completed_runs
+}
+
+/// One sharded execution (inline when `pool` is `None`); returns
+/// completed runs.
+fn sharded_once(
+    manifest: &CampaignManifest,
+    durations: &std::collections::BTreeMap<String, SimDuration>,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+) -> usize {
+    let mut board = StatusBoard::for_manifest(manifest);
+    run_campaign_sim_par(
+        manifest,
+        durations,
+        &PilotScheduler::new(),
+        &spec(),
+        CAMPAIGN_SEED,
+        &mut board,
+        4000,
+        plan,
+        pool,
+    )
+    .expect("durations modeled")
+    .completed_runs
+}
+
+/// Mean wall-clock micros per repetition of `f`.
+fn time_arm(reps: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut completed = 0usize;
+    let start = Instant::now();
+    for _ in 0..reps {
+        completed = f();
+    }
+    (start.elapsed().as_micros() as f64 / reps as f64, completed)
+}
+
+fn bench(out_dir: &str, runs: i64, shards: usize, threads: &[usize]) {
+    let manifest = acs_campaign(runs);
+    let durations = acs_durations(&manifest, 30.0, 0.6, DURATION_SEED);
+    let total_runs = manifest.total_runs();
+    let plan = ShardPlan::contiguous(total_runs, shards);
+
+    // Warm up once, then size repetitions so the serial arm runs for at
+    // least ~200 ms total (stable means on fast sims).
+    let warm = Instant::now();
+    let serial_completed = serial_once(&manifest, &durations);
+    let once_us = warm.elapsed().as_micros().max(1) as usize;
+    let reps = (200_000 / once_us).clamp(3, 200);
+
+    let (tel, rec) = Telemetry::recording();
+    tel.count("workload.runs", total_runs as f64);
+    tel.count("workload.shards", plan.num_shards() as f64);
+    tel.count("workload.reps", reps as f64);
+
+    let (serial_us, _) = time_arm(reps, || serial_once(&manifest, &durations));
+    tel.count("serial.wall_us", serial_us);
+    tel.count(
+        "serial.runs_per_sec",
+        serial_completed as f64 / (serial_us / 1e6),
+    );
+
+    let (inline_us, inline_completed) =
+        time_arm(reps, || sharded_once(&manifest, &durations, &plan, None));
+    assert_eq!(
+        inline_completed, serial_completed,
+        "sharded execution completed a different number of runs"
+    );
+    tel.count("inline.wall_us", inline_us);
+    tel.count("inline.speedup_vs_serial", serial_us / inline_us);
+
+    let mut rows = vec![
+        ("serial".to_string(), format!("{:.0} us", serial_us)),
+        (
+            "inline-sharded".to_string(),
+            format!(
+                "{:.0} us  ({:.2}x vs serial)",
+                inline_us,
+                serial_us / inline_us
+            ),
+        ),
+    ];
+    for &t in threads {
+        let pool = ThreadPool::new(t);
+        let (par_us, par_completed) = time_arm(reps, || {
+            sharded_once(&manifest, &durations, &plan, Some(&pool))
+        });
+        assert_eq!(par_completed, serial_completed);
+        let prefix = format!("par_t{t}");
+        tel.count(&format!("{prefix}.wall_us"), par_us);
+        tel.count(&format!("{prefix}.speedup_vs_serial"), serial_us / par_us);
+        tel.count(&format!("{prefix}.speedup_vs_inline"), inline_us / par_us);
+        rows.push((
+            format!("{t} thread(s)"),
+            format!(
+                "{:.0} us  ({:.2}x vs serial, {:.2}x vs inline)",
+                par_us,
+                serial_us / par_us,
+                inline_us / par_us
+            ),
+        ));
+    }
+
+    print_table(
+        &format!(
+            "campaign_parallel: {total_runs} runs, {} shards, {reps} reps",
+            plan.num_shards()
+        ),
+        ("arm", "wall time"),
+        &rows,
+    );
+
+    let doc = metrics_json(&rec.snapshot());
+    let path = format!("{out_dir}/BENCH_campaign_parallel.json");
+    std::fs::write(&path, doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// One differential export: (board serde JSON, metrics export) for a
+/// plain or fault-injected sharded campaign.
+fn smoke_export(faults_on: bool, pool: Option<&ThreadPool>) -> (String, String) {
+    let manifest = acs_campaign(96);
+    let durations = acs_durations(&manifest, 30.0, 0.6, DURATION_SEED);
+    let plan = ShardPlan::contiguous(manifest.total_runs(), 8);
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let (tel, rec) = Telemetry::recording();
+    if faults_on {
+        let policy = ResiliencePolicy {
+            retry_budget: 4,
+            backoff_base: SimDuration::from_mins(5),
+            ..ResiliencePolicy::default()
+        };
+        let faults = FaultPlan {
+            run_faults: FaultSpec::new(0.2, CAMPAIGN_SEED),
+            node_mttf: Some(SimDuration::from_hours(10)),
+            stalls: None,
+            seed: CAMPAIGN_SEED,
+        };
+        run_campaign_resilient_par_traced(
+            &manifest,
+            &durations,
+            &PilotScheduler::new(),
+            &spec(),
+            CAMPAIGN_SEED,
+            &mut board,
+            400,
+            &policy,
+            &faults,
+            &plan,
+            pool,
+            &tel,
+        )
+        .expect("durations modeled");
+    } else {
+        run_campaign_sim_par_traced(
+            &manifest,
+            &durations,
+            &PilotScheduler::new(),
+            &spec(),
+            CAMPAIGN_SEED,
+            &mut board,
+            400,
+            &plan,
+            pool,
+            &tel,
+        )
+        .expect("durations modeled");
+    }
+    (board.canonical_json(), metrics_json(&rec.snapshot()))
+}
+
+/// The CI differential: serial (inline) vs pooled at 1 and 4 threads,
+/// with and without fault injection; any byte difference fails.
+fn smoke() {
+    let mut failed = false;
+    for faults_on in [false, true] {
+        let label = if faults_on { "faulty" } else { "plain" };
+        let reference = smoke_export(faults_on, None);
+        for threads in [1usize, 4] {
+            let pool = ThreadPool::new(threads);
+            let parallel = smoke_export(faults_on, Some(&pool));
+            if parallel.0 != reference.0 {
+                eprintln!("par-smoke FAIL [{label}, {threads} thread(s)]: StatusBoard JSON differs from serial");
+                failed = true;
+            }
+            if parallel.1 != reference.1 {
+                eprintln!("par-smoke FAIL [{label}, {threads} thread(s)]: metrics export differs from serial");
+                failed = true;
+            }
+            if !failed {
+                println!(
+                    "par-smoke [{label}, {threads} thread(s)]: {} metric bytes identical to serial",
+                    reference.1.len()
+                );
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("par-smoke: OK (parallel output byte-identical to serial)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let mut runs = DEFAULT_RUNS;
+    let mut shards = 48usize;
+    let mut threads: Vec<usize> = vec![2, 4, 8];
+    let mut out_dir = "results".to_string();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--runs" => {
+                runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs takes a positive integer");
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards takes a positive integer");
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .expect("--threads takes a comma-separated list")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("thread counts are integers"))
+                    .collect();
+            }
+            dir => out_dir = dir.to_string(),
+        }
+    }
+    bench(&out_dir, runs, shards, &threads);
+}

@@ -28,6 +28,17 @@ pub enum RunStatus {
 }
 
 impl RunStatus {
+    /// The variant's canonical name — identical to its serde form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Pending => "Pending",
+            RunStatus::Running => "Running",
+            RunStatus::Done => "Done",
+            RunStatus::Failed => "Failed",
+            RunStatus::TimedOut => "TimedOut",
+        }
+    }
+
     /// True for states that no longer occupy resources.
     pub fn is_terminal(self) -> bool {
         matches!(
@@ -174,6 +185,131 @@ impl StatusBoard {
             }
         }
         s
+    }
+
+    /// Extracts the sub-board for a shard's sub-manifest: every run of
+    /// `manifest` with its current state, attempts, failures, cause, and
+    /// telemetry pointer copied over (runs unknown to `self` start
+    /// `Pending`). The sharded campaign drivers hand each shard a
+    /// sub-board so shards never share mutable state, then fold the
+    /// results back with [`StatusBoard::merge_from`].
+    pub fn sub_board(&self, manifest: &CampaignManifest) -> StatusBoard {
+        let mut sub = StatusBoard::for_manifest(manifest);
+        for run in manifest.groups.iter().flat_map(|g| g.runs.iter()) {
+            let id = run.id.as_str();
+            sub.statuses.insert(id.to_string(), self.get(id));
+            if let Some(&n) = self.attempts.get(id) {
+                sub.attempts.insert(id.to_string(), n);
+            }
+            if let Some(&n) = self.failures.get(id) {
+                sub.failures.insert(id.to_string(), n);
+            }
+            if let Some(cause) = self.last_failure.get(id) {
+                sub.last_failure.insert(id.to_string(), cause.clone());
+            }
+            if let Some(r) = self.telemetry_refs.get(id) {
+                sub.telemetry_refs.insert(id.to_string(), r.clone());
+            }
+        }
+        sub
+    }
+
+    /// Folds a shard's sub-board back into this board: every run the
+    /// sub-board knows about overwrites this board's record for that run.
+    /// Because all maps are `BTreeMap`s, the merged board's serialized
+    /// form depends only on the final per-run records — never on merge
+    /// order — which is what makes the merge associative and the parallel
+    /// drivers' output byte-identical to serial execution.
+    pub fn merge_from(&mut self, sub: &StatusBoard) {
+        for (id, &status) in &sub.statuses {
+            self.statuses.insert(id.clone(), status);
+        }
+        for (id, &n) in &sub.attempts {
+            self.attempts.insert(id.clone(), n);
+        }
+        for (id, &n) in &sub.failures {
+            self.failures.insert(id.clone(), n);
+        }
+        for (id, cause) in &sub.last_failure {
+            self.last_failure.insert(id.clone(), cause.clone());
+        }
+        for (id, r) in &sub.telemetry_refs {
+            self.telemetry_refs.insert(id.clone(), r.clone());
+        }
+    }
+
+    /// Serializes the board to compact JSON with a hand-rolled writer,
+    /// byte-identical to `serde_json::to_string` (pinned by a test).
+    /// The golden-fixture corpus and the determinism-differential harness
+    /// compare this form: it is deterministic (all maps are `BTreeMap`s)
+    /// and independent of which JSON backend the build links, so
+    /// committed fixture bytes are stable across environments.
+    pub fn canonical_json(&self) -> String {
+        fn push_str(out: &mut String, s: &str) {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        fn push_map<V>(
+            out: &mut String,
+            name: &str,
+            map: &BTreeMap<String, V>,
+            mut value: impl FnMut(&mut String, &V),
+        ) {
+            if out.len() > 1 {
+                out.push(',');
+            }
+            push_str(out, name);
+            out.push_str(":{");
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_str(out, k);
+                out.push(':');
+                value(out, v);
+            }
+            out.push('}');
+        }
+
+        let mut out = String::from("{");
+        push_map(&mut out, "statuses", &self.statuses, |o, v| {
+            push_str(o, v.as_str());
+        });
+        if !self.attempts.is_empty() {
+            push_map(&mut out, "attempts", &self.attempts, |o, v| {
+                o.push_str(&v.to_string());
+            });
+        }
+        if !self.failures.is_empty() {
+            push_map(&mut out, "failures", &self.failures, |o, v| {
+                o.push_str(&v.to_string());
+            });
+        }
+        if !self.last_failure.is_empty() {
+            push_map(&mut out, "last_failure", &self.last_failure, |o, v| {
+                push_str(o, v);
+            });
+        }
+        if !self.telemetry_refs.is_empty() {
+            push_map(&mut out, "telemetry_refs", &self.telemetry_refs, |o, v| {
+                push_str(o, v);
+            });
+        }
+        out.push('}');
+        out
     }
 
     /// The runs a resubmission must still execute — the heart of "users
@@ -367,6 +503,85 @@ mod tests {
         assert_eq!(board.get("g/n-1"), RunStatus::Done);
         assert_eq!(board.attempts("g/n-2"), 0);
         assert_eq!(board.last_failure_cause("g/n-2"), None);
+    }
+
+    #[test]
+    fn sub_board_and_merge_round_trip() {
+        let m = manifest();
+        let mut board = StatusBoard::for_manifest(&m);
+        board.record_attempt("g/n-1");
+        board.record_failure("g/n-1", "node-crash");
+        board.record_telemetry_ref("g/n-1", "trace#1");
+        board.set("g/n-2", RunStatus::Done);
+
+        // a "shard" holding only runs 1 and 3
+        let mut sub_manifest = m.clone();
+        sub_manifest.groups[0].runs.retain(|r| r.id != "g/n-2");
+        let mut sub = board.sub_board(&sub_manifest);
+        assert_eq!(sub.get("g/n-1"), RunStatus::Failed);
+        assert_eq!(sub.attempts("g/n-1"), 1);
+        assert_eq!(sub.telemetry_ref("g/n-1"), Some("trace#1"));
+        assert_eq!(sub.get("g/n-3"), RunStatus::Pending);
+        // the sub-board must not know about runs outside its manifest
+        assert_eq!(sub.summary().total(), 2);
+
+        // the shard makes progress; merging folds it back
+        sub.record_attempt("g/n-3");
+        sub.set("g/n-3", RunStatus::Done);
+        sub.set("g/n-1", RunStatus::Done);
+        board.merge_from(&sub);
+        assert_eq!(board.get("g/n-1"), RunStatus::Done);
+        assert_eq!(board.get("g/n-2"), RunStatus::Done);
+        assert_eq!(board.get("g/n-3"), RunStatus::Done);
+        assert_eq!(board.attempts("g/n-3"), 1);
+        // untouched provenance survives the merge
+        assert_eq!(board.failures("g/n-1"), 1);
+        assert!(board.summary().is_complete());
+    }
+
+    fn provenance_board() -> StatusBoard {
+        let m = manifest();
+        let mut board = StatusBoard::for_manifest(&m);
+        board.record_attempt("g/n-1");
+        board.record_failure("g/n-1", "fs-stall \"hang\"\n");
+        board.record_telemetry_ref("g/n-1", "trace.json#1");
+        board.set("g/n-2", RunStatus::Done);
+        board
+    }
+
+    #[test]
+    fn canonical_json_is_stable() {
+        // serde-independent golden bytes: this is the exact form the
+        // fixture corpus and the parallel-determinism harness compare
+        let board = provenance_board();
+        assert_eq!(
+            board.canonical_json(),
+            concat!(
+                r#"{"statuses":{"g/n-1":"Failed","g/n-2":"Done","g/n-3":"Pending"},"#,
+                r#""attempts":{"g/n-1":1},"failures":{"g/n-1":1},"#,
+                r#""last_failure":{"g/n-1":"fs-stall \"hang\"\n"},"#,
+                r#""telemetry_refs":{"g/n-1":"trace.json#1"}}"#
+            )
+        );
+        // empty provenance maps are omitted, mirroring the serde skips
+        let empty = StatusBoard::for_manifest(&manifest());
+        assert_eq!(
+            empty.canonical_json(),
+            r#"{"statuses":{"g/n-1":"Pending","g/n-2":"Pending","g/n-3":"Pending"}}"#
+        );
+    }
+
+    #[test]
+    fn canonical_json_matches_serde() {
+        for board in [provenance_board(), StatusBoard::for_manifest(&manifest())] {
+            assert_eq!(
+                board.canonical_json(),
+                serde_json::to_string(&board).expect("serialize"),
+            );
+            let back: StatusBoard =
+                serde_json::from_str(&board.canonical_json()).expect("canonical form parses");
+            assert_eq!(back, board);
+        }
     }
 
     #[test]

@@ -11,9 +11,13 @@ pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A monotonic snapshot of pool activity since construction.
 ///
-/// Counters are maintained with relaxed atomics: cheap enough to leave on
-/// permanently, precise enough for telemetry (`jobs_executed` is exact;
-/// `steals` and `park_micros` are exact per worker, summed).
+/// Counters are maintained with release-ordered atomics: cheap enough to
+/// leave on permanently, precise enough for telemetry (`jobs_executed` is
+/// exact; `steals` and `park_micros` are exact per worker, summed).
+/// [`ThreadPool::stats`] returns a *consistent* snapshot: the three
+/// counters are re-read until two consecutive reads agree, so the triple
+/// is a cut of the counter history rather than three unrelated values
+/// torn across concurrent updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
     /// Jobs executed to completion (including panicked raw jobs).
@@ -131,13 +135,41 @@ impl ThreadPool {
         &self.shared
     }
 
-    /// Activity counters since the pool was created.
+    /// Activity counters since the pool was created, as a consistent
+    /// snapshot.
+    ///
+    /// The three counters are updated independently by many threads, so a
+    /// naive triple of loads can observe a state no single moment ever had
+    /// (e.g. a steal counted but its job not yet, taken from two different
+    /// in-flight updates). Because every counter is monotonic, two
+    /// *consecutive identical* read triples bracket a quiescent point and
+    /// therefore form a consistent cut — `stats()` re-reads until that
+    /// happens. When the pool is shared by nested scopes the caller's own
+    /// happens-before edge (the scope's completion latch) plus the
+    /// acquire loads guarantee that everything the caller waited on is
+    /// included in the snapshot.
+    ///
+    /// Under *continuous* counter churn from unrelated work the loop is
+    /// bounded: after a fixed number of rounds the freshest read is
+    /// returned (still monotonic, merely not provably torn-free — exactly
+    /// the situation where no consistent cut is observable without
+    /// stopping the pool).
     pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            jobs_executed: self.shared.jobs_executed.load(Ordering::Relaxed),
-            steals: self.shared.steals.load(Ordering::Relaxed),
-            park_micros: self.shared.park_micros.load(Ordering::Relaxed),
+        let read = || PoolStats {
+            jobs_executed: self.shared.jobs_executed.load(Ordering::Acquire),
+            steals: self.shared.steals.load(Ordering::Acquire),
+            park_micros: self.shared.park_micros.load(Ordering::Acquire),
+        };
+        let mut prev = read();
+        for _ in 0..1024 {
+            let cur = read();
+            if cur == prev {
+                return cur;
+            }
+            prev = cur;
+            std::hint::spin_loop();
         }
+        prev
     }
 }
 
@@ -148,7 +180,7 @@ impl Shared {
     /// releases (inside the final job), every job of that scope is
     /// already visible in [`PoolStats::jobs_executed`].
     pub(crate) fn note_job_executed(&self) {
-        self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        self.jobs_executed.fetch_add(1, Ordering::Release);
     }
 
     /// Steals one runnable job from the injector or any worker deque —
@@ -206,7 +238,7 @@ fn find_job(index: usize, local: &Worker<Job>, shared: &Shared) -> Option<Job> {
             }
             match stealer.steal() {
                 Steal::Success(job) => {
-                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                    shared.steals.fetch_add(1, Ordering::Release);
                     return Some(job);
                 }
                 Steal::Retry => retry = true,
@@ -249,7 +281,7 @@ fn worker_loop(index: usize, local: Worker<Job>, shared: &Shared) {
             .wait_for(&mut guard, std::time::Duration::from_millis(50));
         shared
             .park_micros
-            .fetch_add(parked_at.elapsed().as_micros() as u64, Ordering::Relaxed);
+            .fetch_add(parked_at.elapsed().as_micros() as u64, Ordering::Release);
         shared.sleepers.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -332,12 +364,9 @@ mod tests {
             pool.spawn(move || l.done());
         }
         latch.wait();
-        // the latch releases inside the job body, before the worker loop
-        // increments the counter — poll briefly for the tail
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while pool.stats().jobs_executed < 50 && std::time::Instant::now() < deadline {
-            std::thread::yield_now();
-        }
+        // jobs are counted *before* their closure runs, so once the latch
+        // (released inside each closure) opens, all 50 increments
+        // happened-before this load — no polling needed
         assert_eq!(pool.stats().jobs_executed, 50);
     }
 

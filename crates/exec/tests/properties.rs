@@ -34,3 +34,78 @@ proptest! {
         prop_assert_eq!(sum.into_inner(), expected);
     }
 }
+
+/// Regression for the `PoolStats` snapshot fix: when one pool is shared
+/// by nested scopes running concurrently, `stats()` read immediately
+/// after the scopes complete must already include every job they spawned
+/// — no polling, no sleeps. Before the fix the three counters were read
+/// as independent relaxed loads, so a reader synchronized only through
+/// scope completion could observe a torn, stale triple.
+#[test]
+fn stats_are_synchronized_with_nested_scope_completion() {
+    let pool = ThreadPool::new(4);
+    let before = pool.stats().jobs_executed;
+    let outer = 8usize;
+    let inner = 16usize;
+    // each outer job opens its own nested scope on the same pool
+    pool.scope(|s| {
+        for _ in 0..outer {
+            s.spawn(|| {
+                pool.scope(|s2| {
+                    for _ in 0..inner {
+                        s2.spawn(|| {
+                            std::hint::black_box(0u64);
+                        });
+                    }
+                });
+            });
+        }
+    });
+    // every nested job happened-before the outer scope returned, so the
+    // very first stats() read must account for all of them
+    let after = pool.stats().jobs_executed;
+    assert_eq!(
+        after - before,
+        (outer + outer * inner) as u64,
+        "stats() missed jobs that completed before the scope returned"
+    );
+}
+
+/// `stats()` must return a consistent cut even while the counters churn:
+/// sample repeatedly under load and require every snapshot to be
+/// monotonically non-decreasing relative to the previous one (a torn
+/// read mixing old and new counter values can violate this across the
+/// triple when correlated with a quiescent re-read).
+#[test]
+fn stats_snapshots_are_monotonic_under_load() {
+    let pool = ThreadPool::new(4);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|ts| {
+        ts.spawn(|| {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                pool.scope(|s| {
+                    for _ in 0..32 {
+                        s.spawn(|| {
+                            std::hint::black_box(0u64);
+                        });
+                    }
+                });
+            }
+        });
+        let mut prev = pool.stats();
+        for _ in 0..200 {
+            let cur = pool.stats();
+            assert!(
+                cur.jobs_executed >= prev.jobs_executed,
+                "jobs went backwards"
+            );
+            assert!(cur.steals >= prev.steals, "steals went backwards");
+            assert!(
+                cur.park_micros >= prev.park_micros,
+                "park time went backwards"
+            );
+            prev = cur;
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+}

@@ -152,6 +152,17 @@ impl AllocationSeries {
         }
     }
 
+    /// A series whose allocations are granted instantly, with no queue
+    /// wait and — crucially — no RNG draws. Golden fixtures use this so
+    /// their committed expectations are independent of the `rand`
+    /// implementation the workspace was built against.
+    pub fn instant(job: BatchJob, seed: u64) -> Self {
+        Self {
+            queue: BatchQueue::instant(seed),
+            job,
+        }
+    }
+
     /// Grants the next allocation in the series.
     pub fn next_allocation(&mut self) -> Allocation {
         self.queue.submit(self.job)

@@ -31,6 +31,7 @@ pub mod engine;
 pub mod failure;
 pub mod fs;
 pub mod machine;
+pub mod seed;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
@@ -41,5 +42,6 @@ pub use engine::{EventHandler, Simulation};
 pub use failure::{CrashPlan, FailureModel, NodeCrash, NodeFaultInjector};
 pub use fs::{FsLoad, SharedFs, StallSchedule, StallWindow};
 pub use machine::{simulate_queue, JobOutcome, JobRequest, QueuePolicy};
+pub use seed::SeedStream;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TimeSeries, UtilizationTrace};

@@ -162,6 +162,60 @@ proptest! {
     }
 }
 
+mod seed_props {
+    use hpcsim::seed::SeedStream;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        // Sharded execution (PR 4): the parallel drivers assume each
+        // shard's derived seed is unique and reproducible. Pairwise
+        // distinctness over arbitrary index sets …
+        #[test]
+        fn seed_children_are_pairwise_distinct(
+            root in any::<u64>(),
+            indices in proptest::collection::btree_set(0u64..1_000_000, 2..64),
+        ) {
+            let stream = SeedStream::new(root);
+            let seeds: BTreeSet<u64> = indices.iter().map(|&i| stream.child(i).seed()).collect();
+            prop_assert_eq!(seeds.len(), indices.len(), "seed collision among children");
+        }
+
+        // … and stability across calls (child() is pure, no hidden state)
+        #[test]
+        fn seed_children_are_stable_across_calls(root in any::<u64>(), index in any::<u64>()) {
+            let a = SeedStream::new(root).child(index).seed();
+            let b = SeedStream::new(root).child(index).seed();
+            prop_assert_eq!(a, b);
+            // and across reuse of one stream value
+            let s = SeedStream::new(root);
+            prop_assert_eq!(s.child(index).seed(), s.child(index).seed());
+        }
+
+        #[test]
+        fn derive_equals_manual_child_chain(
+            root in any::<u64>(),
+            path in proptest::collection::vec(any::<u64>(), 0..6),
+        ) {
+            let manual = path.iter().fold(SeedStream::new(root), |s, &i| s.child(i)).seed();
+            prop_assert_eq!(SeedStream::derive(root, &path), manual);
+        }
+
+        #[test]
+        fn distinct_roots_decorrelate_children(
+            root in any::<u64>(),
+            delta in 1u64..1_000,
+            index in 0u64..1_000,
+        ) {
+            let a = SeedStream::new(root).child(index).seed();
+            let b = SeedStream::new(root.wrapping_add(delta)).child(index).seed();
+            prop_assert_ne!(a, b, "same child under different roots collided");
+        }
+    }
+}
+
 mod machine_props {
     use hpcsim::cluster::ClusterSpec;
     use hpcsim::machine::{simulate_queue, JobRequest, QueuePolicy};

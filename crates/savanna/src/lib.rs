@@ -36,6 +36,7 @@ pub mod local;
 pub mod pilot;
 pub mod resilience;
 pub mod setsync;
+pub mod shard;
 pub mod task;
 
 pub use driver::{
@@ -52,4 +53,9 @@ pub use resilience::{
     ResilientCampaignReport, RestartStrategy, RunHistory, StallSpec,
 };
 pub use setsync::SetSyncScheduler;
+pub use shard::{
+    run_campaign_resilient_par, run_campaign_resilient_par_traced, run_campaign_sim_gated_par,
+    run_campaign_sim_par, run_campaign_sim_par_traced, ParCampaignReport, ParResilientReport,
+    SeriesSpec, ShardPlan, ShardResilientResult, ShardSimResult,
+};
 pub use task::{AllocationScheduler, ScheduleOutcome, SimTask, TaskResult};

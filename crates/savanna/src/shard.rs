@@ -1,0 +1,815 @@
+//! Sharded parallel campaign execution.
+//!
+//! The serial drivers ([`run_campaign_sim`](crate::run_campaign_sim),
+//! [`run_campaign_resilient`](crate::run_campaign_resilient)) walk a
+//! campaign's runs one allocation at a time. Savanna's whole point is the
+//! opposite: campaign members dispatch *concurrently across allocations*
+//! (PAPER §V). This module adds that layer without giving up the
+//! workspace's core invariant — seeded output is byte-identical however
+//! the work is scheduled:
+//!
+//! 1. **Partition** — a [`ShardPlan`] splits the campaign's run indices
+//!    into disjoint shards; each shard becomes a sub-manifest plus a
+//!    sub-[`StatusBoard`] snapshot of the caller's board.
+//! 2. **Derive** — every shard's stochastic inputs (queue waits, fault
+//!    streams) come from [`SeedStream`] children of the campaign seed,
+//!    a pure function of `(seed, shard index)` — never of thread count
+//!    or completion order.
+//! 3. **Execute** — shards run the *unchanged* serial drivers, each on
+//!    its own [`AllocationSeries`], board, and telemetry recorder, on the
+//!    [`exec::ThreadPool`] (or inline when no pool is given).
+//! 4. **Merge** — results fold back in shard-index order: board deltas
+//!    via [`StatusBoard::merge_from`], telemetry via
+//!    [`telemetry::merge_snapshots`] with plan-derived track offsets,
+//!    resilience accounting via field-wise sums/unions over `BTreeMap`s.
+//!
+//! Because each shard's output is a pure function of `(manifest shard,
+//! derived seed, starting board)` and the merge is a pure function of the
+//! ordered shard outputs, the merged result is identical for 1 thread,
+//! N threads, or no pool at all — the property `tests/parallel_determinism.rs`
+//! verifies byte-for-byte, and the test oracle that makes the parallel
+//! path trustworthy for reuse.
+
+use std::collections::BTreeMap;
+
+use cheetah::manifest::CampaignManifest;
+use cheetah::status::StatusBoard;
+use exec::ThreadPool;
+use hpcsim::batch::{AllocationSeries, BatchJob};
+use hpcsim::seed::SeedStream;
+use hpcsim::time::SimDuration;
+use telemetry::{merge_snapshots, replay, Snapshot, Telemetry};
+
+use crate::driver::{
+    ensure_durations_modeled, run_campaign_sim_traced, CampaignSimReport, PreflightBlocked,
+    PreflightGate,
+};
+use crate::error::SavannaError;
+use crate::pilot::PilotScheduler;
+use crate::resilience::{
+    run_campaign_resilient_traced, FaultPlan, ResiliencePolicy, ResilienceReport,
+    ResilientCampaignReport,
+};
+use crate::task::AllocationScheduler;
+
+/// A disjoint partition of a campaign's run indices into shards.
+///
+/// Indices are positions in the manifest's canonical run order (groups in
+/// manifest order, runs in group order) — the same order
+/// [`CampaignManifest::total_runs`] counts. Every run index appears in
+/// exactly one shard; constructors never produce empty shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    assignments: Vec<Vec<usize>>,
+    total_runs: usize,
+}
+
+impl ShardPlan {
+    /// Splits `0..total_runs` into at most `shards` contiguous blocks of
+    /// near-equal size (the first `total_runs % shards` blocks get one
+    /// extra). Empty blocks are dropped, so fewer shards than requested
+    /// may result when `total_runs < shards`.
+    pub fn contiguous(total_runs: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let base = total_runs / shards;
+        let extra = total_runs % shards;
+        let mut assignments = Vec::new();
+        let mut next = 0usize;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            if len == 0 {
+                continue;
+            }
+            assignments.push((next..next + len).collect());
+            next += len;
+        }
+        Self {
+            assignments,
+            total_runs,
+        }
+    }
+
+    /// Deals `0..total_runs` round-robin across at most `shards` shards —
+    /// useful when run durations correlate with manifest position and
+    /// contiguous blocks would be imbalanced.
+    pub fn round_robin(total_runs: usize, shards: usize) -> Self {
+        let shards = shards.max(1).min(total_runs.max(1));
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for i in 0..total_runs {
+            assignments[i % shards].push(i);
+        }
+        assignments.retain(|a| !a.is_empty());
+        Self {
+            assignments,
+            total_runs,
+        }
+    }
+
+    /// Number of (non-empty) shards.
+    pub fn num_shards(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The run indices assigned to `shard`, in ascending order.
+    pub fn assignment(&self, shard: usize) -> &[usize] {
+        &self.assignments[shard]
+    }
+
+    /// Total runs the plan partitions.
+    pub fn total_runs(&self) -> usize {
+        self.total_runs
+    }
+}
+
+/// The allocation-series recipe a sharded driver stamps out per shard.
+///
+/// The serial drivers take a live `&mut AllocationSeries`; a sharded
+/// driver needs one series *per shard*, each with its own derived seed,
+/// so it takes the recipe instead. A zero `mean_queue_wait` builds
+/// [`AllocationSeries::instant`] — no RNG draws at all, which keeps
+/// golden-fixture expectations independent of the `rand` build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSpec {
+    /// The allocation request each shard repeatedly submits.
+    pub job: BatchJob,
+    /// Mean queue wait before each allocation ([`SimDuration::ZERO`] for
+    /// an instant, draw-free queue).
+    pub mean_queue_wait: SimDuration,
+    /// Coefficient of variation of the queue wait (ignored when the mean
+    /// is zero).
+    pub queue_cv: f64,
+}
+
+impl SeriesSpec {
+    /// A spec with lognormal queue waits.
+    pub fn new(job: BatchJob, mean_queue_wait: SimDuration, queue_cv: f64) -> Self {
+        Self {
+            job,
+            mean_queue_wait,
+            queue_cv,
+        }
+    }
+
+    /// A spec whose queue grants instantly and draws no random numbers.
+    pub fn instant(job: BatchJob) -> Self {
+        Self {
+            job,
+            mean_queue_wait: SimDuration::ZERO,
+            queue_cv: 0.0,
+        }
+    }
+
+    /// Builds the series for one shard from its derived seed.
+    pub fn build(&self, seed: u64) -> AllocationSeries {
+        if self.mean_queue_wait == SimDuration::ZERO {
+            AllocationSeries::instant(self.job, seed)
+        } else {
+            AllocationSeries::new(self.job, self.mean_queue_wait, self.queue_cv, seed)
+        }
+    }
+}
+
+/// One shard's slice of a [`ParCampaignReport`].
+#[derive(Debug, Clone)]
+pub struct ShardSimResult {
+    /// Shard index in the plan.
+    pub shard: usize,
+    /// Run ids the shard owned, in manifest order.
+    pub run_ids: Vec<String>,
+    /// The shard's serial-driver report.
+    pub report: CampaignSimReport,
+}
+
+/// The merged result of a sharded plain-campaign execution.
+#[derive(Debug, Clone)]
+pub struct ParCampaignReport {
+    /// Per-shard results, in shard-index order.
+    pub shards: Vec<ShardSimResult>,
+    /// Runs completed across all shards.
+    pub completed_runs: usize,
+    /// Runs still incomplete across all shards.
+    pub remaining_runs: usize,
+    /// Campaign makespan: the maximum shard span. Shards submit to
+    /// *independent* allocation series from the same time origin — the
+    /// model of a campaign fanning out over concurrent allocations — so
+    /// the campaign finishes when the slowest shard does.
+    pub makespan: SimDuration,
+}
+
+impl ParCampaignReport {
+    /// True when every run in every shard completed.
+    pub fn is_complete(&self) -> bool {
+        self.remaining_runs == 0
+    }
+
+    /// Total allocations consumed across all shards.
+    pub fn total_allocations(&self) -> usize {
+        self.shards.iter().map(|s| s.report.allocations.len()).sum()
+    }
+}
+
+/// One shard's slice of a [`ParResilientReport`].
+#[derive(Debug, Clone)]
+pub struct ShardResilientResult {
+    /// Shard index in the plan.
+    pub shard: usize,
+    /// Run ids the shard owned, in manifest order.
+    pub run_ids: Vec<String>,
+    /// The shard's resilient-driver report.
+    pub report: ResilientCampaignReport,
+}
+
+/// The merged result of a sharded resilient-campaign execution.
+#[derive(Debug, Clone)]
+pub struct ParResilientReport {
+    /// Per-shard results, in shard-index order.
+    pub shards: Vec<ShardResilientResult>,
+    /// Merged resilience accounting: histories unioned (run ids are
+    /// disjoint across shards), counters and rework node-hours summed,
+    /// `exhausted` concatenated in shard order, `quarantined` the set
+    /// union (node ids are allocation-local, so the union reads as
+    /// "quarantined in at least one shard").
+    pub resilience: ResilienceReport,
+    /// Runs completed across all shards.
+    pub completed_runs: usize,
+    /// Runs still incomplete across all shards.
+    pub remaining_runs: usize,
+    /// Campaign makespan: the maximum shard span (see
+    /// [`ParCampaignReport::makespan`]).
+    pub makespan: SimDuration,
+}
+
+impl ParResilientReport {
+    /// True when every run in every shard completed.
+    pub fn is_complete(&self) -> bool {
+        self.remaining_runs == 0
+    }
+}
+
+/// Builds the sub-manifest holding exactly the plan's runs for one shard.
+/// Group metadata is preserved; groups left with no runs are dropped.
+fn sub_manifest(manifest: &CampaignManifest, indices: &[usize]) -> CampaignManifest {
+    let mut wanted = indices.iter().copied().peekable();
+    let mut global = 0usize;
+    let mut groups = Vec::new();
+    for group in &manifest.groups {
+        let mut sub_group = group.clone();
+        sub_group.runs = Vec::new();
+        for run in &group.runs {
+            if wanted.peek() == Some(&global) {
+                sub_group.runs.push(run.clone());
+                wanted.next();
+            }
+            global += 1;
+        }
+        if !sub_group.runs.is_empty() {
+            groups.push(sub_group);
+        }
+    }
+    CampaignManifest {
+        campaign: manifest.campaign.clone(),
+        machine: manifest.machine.clone(),
+        app: manifest.app.clone(),
+        schema_version: manifest.schema_version,
+        groups,
+    }
+}
+
+/// Prepared per-shard inputs: `(sub-manifest, starting sub-board,
+/// run ids)` for every shard, in plan order.
+type ShardInputs = Vec<(CampaignManifest, StatusBoard, Vec<String>)>;
+
+fn shard_inputs(manifest: &CampaignManifest, board: &StatusBoard, plan: &ShardPlan) -> ShardInputs {
+    assert_eq!(
+        plan.total_runs(),
+        manifest.total_runs(),
+        "shard plan partitions {} runs but the manifest has {}",
+        plan.total_runs(),
+        manifest.total_runs()
+    );
+    (0..plan.num_shards())
+        .map(|s| {
+            let sub = sub_manifest(manifest, plan.assignment(s));
+            let sub_board = board.sub_board(&sub);
+            let ids = sub
+                .groups
+                .iter()
+                .flat_map(|g| g.runs.iter())
+                .map(|r| r.id.clone())
+                .collect();
+            (sub, sub_board, ids)
+        })
+        .collect()
+}
+
+/// Runs `run_shard` for every shard — on the pool when one is given and
+/// there is more than one shard, inline otherwise — and returns the
+/// outputs **in shard-index order** regardless of completion order
+/// (`map_index` scatters results by index).
+fn execute_shards<T: Send>(
+    pool: Option<&ThreadPool>,
+    shards: usize,
+    run_shard: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    match pool {
+        Some(pool) if shards > 1 => pool.map_index(shards, run_shard),
+        _ => (0..shards).map(run_shard).collect(),
+    }
+}
+
+/// Rewrites a shard's board-published telemetry refs (`trace#<local>`)
+/// to the merged track space (`trace#<local + offset>`).
+fn rebase_telemetry_refs(
+    board: &mut StatusBoard,
+    shard_board: &StatusBoard,
+    run_ids: &[String],
+    offset: u32,
+) {
+    for id in run_ids {
+        if let Some(reference) = shard_board.telemetry_ref(id) {
+            if let Some(local) = reference
+                .strip_prefix("trace#")
+                .and_then(|t| t.parse::<u32>().ok())
+            {
+                board.record_telemetry_ref(id, format!("trace#{}", local + offset));
+            }
+        }
+    }
+}
+
+/// Prefixes a shard snapshot's track names with `shard<index>/` so the
+/// merged timeline keeps one uniquely-named lane per shard track.
+fn prefix_track_names(snapshot: &mut Snapshot, shard: usize) {
+    snapshot.track_names = snapshot
+        .track_names
+        .iter()
+        .map(|(t, n)| (*t, format!("shard{shard}/{n}")))
+        .collect();
+}
+
+struct ShardSimOut {
+    report: CampaignSimReport,
+    board: StatusBoard,
+    snapshot: Option<Snapshot>,
+}
+
+/// Sharded [`run_campaign_sim`](crate::run_campaign_sim): partitions the
+/// campaign per `plan`, executes every shard's sub-campaign with the
+/// serial driver on its own allocation series (seed
+/// `SeedStream::new(campaign_seed).child(shard)`), and merges boards and
+/// reports in shard-index order.
+///
+/// `pool: None` executes the same sharded plan inline — that serial
+/// execution is the reference the determinism harness compares pooled
+/// runs against. `max_allocations_per_shard` bounds each shard
+/// individually (shards draw from independent series).
+#[allow(clippy::too_many_arguments)] // run_campaign_sim plus the sharding inputs
+pub fn run_campaign_sim_par(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &(dyn AllocationScheduler + Sync),
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_shard: u32,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+) -> Result<ParCampaignReport, SavannaError> {
+    run_campaign_sim_par_traced(
+        manifest,
+        durations,
+        scheduler,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_shard,
+        plan,
+        pool,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_campaign_sim_par`] with a telemetry handle.
+///
+/// Each shard records into a private recorder; the shard snapshots are
+/// merged with track offset `shard_index` (the plain driver uses one
+/// track per shard) and replayed into `tel` after all shards finish, so
+/// the caller's sink sees one deterministic, plan-ordered stream.
+#[allow(clippy::too_many_arguments)] // run_campaign_sim_par plus the telemetry handle
+pub fn run_campaign_sim_par_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &(dyn AllocationScheduler + Sync),
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_shard: u32,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+    tel: &Telemetry,
+) -> Result<ParCampaignReport, SavannaError> {
+    ensure_durations_modeled(&board.incomplete_runs(manifest), durations)?;
+    let inputs = shard_inputs(manifest, board, plan);
+    let stream = SeedStream::new(campaign_seed);
+    let traced = tel.is_enabled();
+
+    let run_shard = |s: usize| -> Result<ShardSimOut, SavannaError> {
+        let (sub, sub_board, _) = &inputs[s];
+        let mut shard_board = sub_board.clone();
+        let mut series = spec.build(stream.child(s as u64).seed());
+        let (shard_tel, recorder) = if traced {
+            let (t, r) = Telemetry::recording();
+            (t, Some(r))
+        } else {
+            (Telemetry::disabled(), None)
+        };
+        let report = run_campaign_sim_traced(
+            sub,
+            durations,
+            scheduler,
+            &mut series,
+            &mut shard_board,
+            max_allocations_per_shard,
+            &shard_tel,
+        )?;
+        Ok(ShardSimOut {
+            report,
+            board: shard_board,
+            snapshot: recorder.map(|r| r.snapshot()),
+        })
+    };
+
+    let outputs = execute_shards(pool, inputs.len(), run_shard);
+
+    let mut shards = Vec::with_capacity(outputs.len());
+    let mut snapshots = Vec::new();
+    let mut completed_runs = 0usize;
+    let mut remaining_runs = 0usize;
+    let mut makespan = SimDuration::ZERO;
+    for (s, out) in outputs.into_iter().enumerate() {
+        let out = out?;
+        board.merge_from(&out.board);
+        if let Some(mut snapshot) = out.snapshot {
+            prefix_track_names(&mut snapshot, s);
+            // the plain driver records on exactly one track per shard
+            snapshots.push((s as u32, snapshot));
+        }
+        completed_runs += out.report.completed_runs;
+        remaining_runs += out.report.remaining_runs;
+        makespan = makespan.max(out.report.total_span);
+        shards.push(ShardSimResult {
+            shard: s,
+            run_ids: inputs[s].2.clone(),
+            report: out.report,
+        });
+    }
+    if traced {
+        let parts: Vec<(u32, &Snapshot)> = snapshots.iter().map(|(o, s)| (*o, s)).collect();
+        replay(&merge_snapshots(&parts), tel);
+    }
+    Ok(ParCampaignReport {
+        shards,
+        completed_runs,
+        remaining_runs,
+        makespan,
+    })
+}
+
+/// [`run_campaign_sim_par`] behind the pre-execution lint gate:
+/// the *whole* campaign is linted once up front (the fan-out is an
+/// execution detail the linter never needs to see), then sharded and
+/// executed. Any error-severity finding refuses the launch before a
+/// single shard consumes an allocation.
+#[allow(clippy::too_many_arguments)] // run_campaign_sim_par plus the gate
+pub fn run_campaign_sim_gated_par(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &(dyn AllocationScheduler + Sync),
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_shard: u32,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+    gate: &PreflightGate<'_>,
+) -> Result<ParCampaignReport, SavannaError> {
+    if let PreflightGate::Enforce { context, config } = gate {
+        let diagnostics = fair_lint::preflight_campaign(manifest, Some(durations), context, config);
+        if !diagnostics.is_clean() {
+            return Err(SavannaError::Preflight(PreflightBlocked { diagnostics }));
+        }
+    }
+    run_campaign_sim_par(
+        manifest,
+        durations,
+        scheduler,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_shard,
+        plan,
+        pool,
+    )
+}
+
+struct ShardResilientOut {
+    report: ResilientCampaignReport,
+    board: StatusBoard,
+    snapshot: Option<Snapshot>,
+}
+
+/// Field-wise merge of per-shard resilience accounting (see
+/// [`ParResilientReport::resilience`] for the semantics of each field).
+fn merge_resilience<'a>(parts: impl Iterator<Item = &'a ResilienceReport>) -> ResilienceReport {
+    let mut merged = ResilienceReport::default();
+    for part in parts {
+        for (id, history) in &part.histories {
+            merged.histories.insert(id.clone(), history.clone());
+        }
+        merged.quarantined.extend(part.quarantined.iter().copied());
+        merged.node_crashes += part.node_crashes;
+        merged.crash_kills += part.crash_kills;
+        merged.hang_kills += part.hang_kills;
+        merged.run_errors += part.run_errors;
+        merged.walltime_cuts += part.walltime_cuts;
+        merged.failed_attempts += part.failed_attempts;
+        merged.exhausted.extend(part.exhausted.iter().cloned());
+        merged.rework_lost_node_hours += part.rework_lost_node_hours;
+        merged.rework_saved_node_hours += part.rework_saved_node_hours;
+    }
+    merged
+}
+
+/// Sharded [`run_campaign_resilient`](crate::run_campaign_resilient).
+///
+/// Seed derivation per shard `s`:
+/// * queue waits — `SeedStream::new(campaign_seed).child(s)`,
+/// * node-crash / stall streams — `SeedStream::new(faults.seed).child(s)`
+///   (each shard is its own machine-weather environment, matching its
+///   own allocation series),
+/// * per-run error draws — **unchanged**: [`crate::FaultSpec`] hashes
+///   `(run id, attempt)` statelessly, so a given run fails on the same
+///   attempts in every shard plan.
+#[allow(clippy::too_many_arguments)] // mirrors run_campaign_resilient + the sharding inputs
+pub fn run_campaign_resilient_par(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_shard: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+) -> Result<ParResilientReport, SavannaError> {
+    run_campaign_resilient_par_traced(
+        manifest,
+        durations,
+        pilot,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_shard,
+        policy,
+        faults,
+        plan,
+        pool,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_campaign_resilient_par`] with a telemetry handle.
+///
+/// The resilient driver uses `2 + runs_in_shard` tracks per shard
+/// (allocations, machine weather, one per run), so shard track offsets
+/// are the cumulative sums of those widths — a function of the plan
+/// alone. Shard snapshots are merged at those offsets and replayed into
+/// `tel`, and every run's `trace#<track>` status-board ref is rebased
+/// into the merged track space.
+#[allow(clippy::too_many_arguments)] // run_campaign_resilient_par plus the telemetry handle
+pub fn run_campaign_resilient_par_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_shard: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+    tel: &Telemetry,
+) -> Result<ParResilientReport, SavannaError> {
+    policy.validate();
+    ensure_durations_modeled(
+        &board.incomplete_runs_with_budget(manifest, policy.retry_budget),
+        durations,
+    )?;
+    let inputs = shard_inputs(manifest, board, plan);
+    let series_stream = SeedStream::new(campaign_seed);
+    let fault_stream = SeedStream::new(faults.seed);
+    let traced = tel.is_enabled();
+
+    // Track offsets are a pure function of the plan: cumulative widths
+    // of `2 + runs_in_shard` per shard.
+    let mut offsets = Vec::with_capacity(inputs.len());
+    let mut next_track = 0u32;
+    for (_, _, ids) in &inputs {
+        offsets.push(next_track);
+        next_track += 2 + ids.len() as u32;
+    }
+
+    let run_shard = |s: usize| -> Result<ShardResilientOut, SavannaError> {
+        let (sub, sub_board, _) = &inputs[s];
+        let mut shard_board = sub_board.clone();
+        let mut series = spec.build(series_stream.child(s as u64).seed());
+        let shard_faults = FaultPlan {
+            seed: fault_stream.child(s as u64).seed(),
+            ..*faults
+        };
+        let (shard_tel, recorder) = if traced {
+            let (t, r) = Telemetry::recording();
+            (t, Some(r))
+        } else {
+            (Telemetry::disabled(), None)
+        };
+        let report = run_campaign_resilient_traced(
+            sub,
+            durations,
+            pilot,
+            &mut series,
+            &mut shard_board,
+            max_allocations_per_shard,
+            policy,
+            &shard_faults,
+            &shard_tel,
+        )?;
+        Ok(ShardResilientOut {
+            report,
+            board: shard_board,
+            snapshot: recorder.map(|r| r.snapshot()),
+        })
+    };
+
+    let outputs = execute_shards(pool, inputs.len(), run_shard);
+
+    let mut shards = Vec::with_capacity(outputs.len());
+    let mut snapshots = Vec::new();
+    let mut completed_runs = 0usize;
+    let mut remaining_runs = 0usize;
+    let mut makespan = SimDuration::ZERO;
+    for (s, out) in outputs.into_iter().enumerate() {
+        let out = out?;
+        board.merge_from(&out.board);
+        if traced {
+            rebase_telemetry_refs(board, &out.board, &inputs[s].2, offsets[s]);
+        }
+        if let Some(mut snapshot) = out.snapshot {
+            prefix_track_names(&mut snapshot, s);
+            snapshots.push((offsets[s], snapshot));
+        }
+        completed_runs += out.report.report.completed_runs;
+        remaining_runs += out.report.report.remaining_runs;
+        makespan = makespan.max(out.report.report.total_span);
+        shards.push(ShardResilientResult {
+            shard: s,
+            run_ids: inputs[s].2.clone(),
+            report: out.report,
+        });
+    }
+    if traced {
+        let parts: Vec<(u32, &Snapshot)> = snapshots.iter().map(|(o, s)| (*o, s)).collect();
+        replay(&merge_snapshots(&parts), tel);
+    }
+    let resilience = merge_resilience(shards.iter().map(|s| &s.report.resilience));
+    Ok(ParResilientReport {
+        shards,
+        resilience,
+        completed_runs,
+        remaining_runs,
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah::campaign::{AppDef, Campaign, SweepGroup};
+    use cheetah::param::SweepSpec;
+    use cheetah::sweep::Sweep;
+    use hpcsim::time::SimDuration;
+
+    fn manifest(runs: i64) -> CampaignManifest {
+        Campaign::new("shardtest", "inst", AppDef::new("app", "app.exe"))
+            .with_group(SweepGroup::new(
+                "g",
+                Sweep::new().with(
+                    "n",
+                    SweepSpec::IntRange {
+                        start: 0,
+                        end: runs - 1,
+                        step: 1,
+                    },
+                ),
+                4,
+                1,
+                3600,
+            ))
+            .manifest()
+            .expect("valid campaign")
+    }
+
+    fn durations(m: &CampaignManifest, secs: u64) -> BTreeMap<String, SimDuration> {
+        m.groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .map(|r| (r.id.clone(), SimDuration::from_secs(secs)))
+            .collect()
+    }
+
+    #[test]
+    fn contiguous_plan_partitions_every_run_once() {
+        let plan = ShardPlan::contiguous(10, 3);
+        assert_eq!(plan.num_shards(), 3);
+        let mut seen: Vec<usize> = (0..plan.num_shards())
+            .flat_map(|s| plan.assignment(s).iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plans_drop_empty_shards() {
+        assert_eq!(ShardPlan::contiguous(2, 8).num_shards(), 2);
+        assert_eq!(ShardPlan::round_robin(2, 8).num_shards(), 2);
+        assert_eq!(ShardPlan::contiguous(0, 4).num_shards(), 0);
+    }
+
+    #[test]
+    fn sub_manifest_selects_exactly_the_assigned_runs() {
+        let m = manifest(6);
+        let sub = sub_manifest(&m, &[1, 4, 5]);
+        let ids: Vec<&str> = sub
+            .groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .map(|r| r.id.as_str())
+            .collect();
+        assert_eq!(sub.total_runs(), 3);
+        assert_eq!(ids, ["g/n-1", "g/n-4", "g/n-5"]);
+        assert_eq!(sub.campaign, m.campaign);
+    }
+
+    #[test]
+    fn sharded_run_completes_the_whole_campaign() {
+        let m = manifest(9);
+        let d = durations(&m, 600);
+        let spec = SeriesSpec::instant(BatchJob::new(4, SimDuration::from_hours(2)));
+        let mut board = StatusBoard::for_manifest(&m);
+        let plan = ShardPlan::contiguous(m.total_runs(), 3);
+        let report = run_campaign_sim_par(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &spec,
+            7,
+            &mut board,
+            50,
+            &plan,
+            None,
+        )
+        .expect("modeled");
+        assert!(report.is_complete());
+        assert_eq!(report.completed_runs, 9);
+        assert!(board.summary().is_complete());
+        assert!(report.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unmodeled_run_fails_before_any_shard_executes() {
+        let m = manifest(4);
+        let mut d = durations(&m, 600);
+        d.remove("g/n-2");
+        let spec = SeriesSpec::instant(BatchJob::new(4, SimDuration::from_hours(2)));
+        let mut board = StatusBoard::for_manifest(&m);
+        let plan = ShardPlan::contiguous(m.total_runs(), 2);
+        let err = run_campaign_sim_par(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &spec,
+            7,
+            &mut board,
+            50,
+            &plan,
+            None,
+        )
+        .expect_err("missing duration must refuse");
+        assert!(matches!(err, SavannaError::UnmodeledRun { .. }));
+        // nothing ran
+        assert_eq!(board.summary().pending, 4);
+    }
+}

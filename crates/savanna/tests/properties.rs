@@ -135,6 +135,95 @@ proptest! {
         );
     }
 
+    // Sharded execution (PR 4): a shard plan must be a permutation-free
+    // partition — every run index in exactly one shard, each shard's
+    // assignment in ascending order (the merge relies on plan order, not
+    // on sorting anything at merge time).
+    #[test]
+    fn contiguous_plan_is_a_partition(total in 0usize..500, shards in 1usize..32) {
+        let plan = savanna::ShardPlan::contiguous(total, shards);
+        let mut seen = Vec::new();
+        for s in 0..plan.num_shards() {
+            let a = plan.assignment(s);
+            prop_assert!(!a.is_empty(), "empty shard survived construction");
+            prop_assert!(a.windows(2).all(|w| w[0] < w[1]), "assignment not ascending");
+            seen.extend_from_slice(a);
+        }
+        prop_assert_eq!(seen, (0..total).collect::<Vec<_>>());
+        prop_assert_eq!(plan.total_runs(), total);
+        prop_assert!(plan.num_shards() <= shards);
+    }
+
+    #[test]
+    fn round_robin_plan_is_a_partition(total in 0usize..500, shards in 1usize..32) {
+        let plan = savanna::ShardPlan::round_robin(total, shards);
+        let mut seen = Vec::new();
+        for s in 0..plan.num_shards() {
+            let a = plan.assignment(s);
+            prop_assert!(!a.is_empty(), "empty shard survived construction");
+            prop_assert!(a.windows(2).all(|w| w[0] < w[1]), "assignment not ascending");
+            seen.extend_from_slice(a);
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..total).collect::<Vec<_>>());
+    }
+
+    // The parallel merge folds per-shard boards left-to-right; for the
+    // result to be independent of how shards are grouped (and, with
+    // disjoint shards, of their order), StatusBoard::merge_from must be
+    // associative and — on disjoint key sets — commutative.
+    #[test]
+    fn board_merge_is_associative_and_order_free_on_disjoint_shards(
+        shards in proptest::collection::vec(
+            proptest::collection::vec((0u8..5, 0u32..4, 0u32..4), 1..8),
+            1..6,
+        ),
+        perm_seed in 0usize..720,
+    ) {
+        use cheetah::status::{RunStatus, StatusBoard};
+        let status_of = |k: u8| match k {
+            0 => RunStatus::Pending,
+            1 => RunStatus::Running,
+            2 => RunStatus::Done,
+            3 => RunStatus::Failed,
+            _ => RunStatus::TimedOut,
+        };
+        // disjoint run ids: shard index baked into the id
+        let boards: Vec<StatusBoard> = shards.iter().enumerate().map(|(s, runs)| {
+            let mut b = StatusBoard::default();
+            for (i, &(st, attempts, failures)) in runs.iter().enumerate() {
+                let id = format!("g/s{s}-r{i}");
+                b.set(&id, status_of(st));
+                for _ in 0..attempts { b.record_attempt(&id); }
+                for _ in 0..failures { b.record_failure(&id, "injected"); }
+                b.set(&id, status_of(st)); // record_failure forces Failed; restore
+            }
+            b
+        }).collect();
+
+        // left fold
+        let mut left = StatusBoard::default();
+        for b in &boards { left.merge_from(b); }
+        // right-grouped fold: merge the tail first, then fold into head
+        let mut tail = StatusBoard::default();
+        for b in boards.iter().skip(1) { tail.merge_from(b); }
+        let mut grouped = StatusBoard::default();
+        if let Some(first) = boards.first() { grouped.merge_from(first); }
+        grouped.merge_from(&tail);
+        prop_assert_eq!(&left, &grouped);
+
+        // arbitrary permutation (disjoint shards ⇒ order free)
+        let mut order: Vec<usize> = (0..boards.len()).collect();
+        let mut state = perm_seed;
+        for i in (1..order.len()).rev() {
+            order.swap(i, state % (i + 1));
+            state /= i + 1;
+        }
+        let mut permuted = StatusBoard::default();
+        for &i in &order { permuted.merge_from(&boards[i]); }
+        prop_assert_eq!(&left, &permuted);
+    }
+
     #[test]
     fn backoff_delay_is_monotone_in_failures(
         base_us in 1u64..10u64.pow(9),

@@ -38,6 +38,7 @@
 pub mod chrome;
 pub mod event;
 pub(crate) mod json;
+pub mod merge;
 pub mod metrics;
 pub mod sink;
 
@@ -45,6 +46,7 @@ use std::sync::Arc;
 
 pub use chrome::chrome_trace_json;
 pub use event::{ArgValue, InstantEvent, SpanEvent};
+pub use merge::{merge_snapshots, replay};
 pub use metrics::{metrics_json, metrics_keys, span_aggregates, SpanAggregate};
 pub use sink::{Recorder, Sink, Snapshot};
 

@@ -1,0 +1,146 @@
+//! Deterministic merge of per-shard telemetry snapshots.
+//!
+//! The sharded campaign drivers (`savanna::shard`) give every shard its
+//! own [`Recorder`](crate::Recorder) so recording needs no cross-thread
+//! coordination, then fold the shard snapshots into one campaign-level
+//! snapshot here. The merge is a *pure function of the parts and their
+//! track offsets*: spans and instants are concatenated in part order
+//! with each event's track shifted by the part's offset, counters are
+//! summed, and track names land at their offset position. Nothing
+//! depends on which thread produced a part or when it finished, so the
+//! merged snapshot — and every export derived from it — is byte-identical
+//! however the shards were scheduled.
+
+use crate::sink::Snapshot;
+use crate::Telemetry;
+
+/// Merges per-shard snapshots into one snapshot.
+///
+/// Each part is `(track_offset, snapshot)`: every span, instant, and
+/// track name in the snapshot is shifted up by `track_offset` so shard
+/// lanes occupy disjoint track ranges in the merged timeline. The caller
+/// computes offsets from its shard plan (they are a function of the plan
+/// alone, not of execution), which is what keeps the merge deterministic.
+///
+/// Counters are summed across parts; parts are processed in slice order,
+/// but because addition over per-shard disjoint event streams commutes
+/// (and counters are totals), slice order only dictates the event
+/// ordering within the merged vectors — and callers pass parts in plan
+/// order, so that ordering is itself deterministic.
+pub fn merge_snapshots(parts: &[(u32, &Snapshot)]) -> Snapshot {
+    let mut merged = Snapshot::default();
+    for (offset, part) in parts {
+        for span in &part.spans {
+            let mut span = span.clone();
+            span.track += offset;
+            merged.spans.push(span);
+        }
+        for instant in &part.instants {
+            let mut instant = instant.clone();
+            instant.track += offset;
+            merged.instants.push(instant);
+        }
+        for (name, delta) in &part.counters {
+            *merged.counters.entry(name.clone()).or_insert(0.0) += delta;
+        }
+        for (track, name) in &part.track_names {
+            merged.track_names.insert(track + offset, name.clone());
+        }
+    }
+    merged
+}
+
+/// Replays a snapshot into a live [`Telemetry`] handle: track names
+/// first, then spans, instants, and counters, all in snapshot order.
+///
+/// The sharded drivers use this to forward the merged campaign snapshot
+/// into whatever sink the caller supplied, so a caller-provided recorder
+/// sees exactly the same stream whether the campaign ran serially or
+/// sharded. A disabled handle makes this a no-op.
+pub fn replay(snapshot: &Snapshot, tel: &Telemetry) {
+    if !tel.is_enabled() {
+        return;
+    }
+    for (track, name) in &snapshot.track_names {
+        tel.name_track(*track, name);
+    }
+    for span in &snapshot.spans {
+        tel.span(span.clone());
+    }
+    for instant in &snapshot.instants {
+        tel.instant(instant.clone());
+    }
+    for (name, total) in &snapshot.counters {
+        tel.count(name, *total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{InstantEvent, SpanEvent};
+    use crate::{chrome_trace_json, metrics_json};
+
+    fn span(track: u32, start: u64) -> SpanEvent {
+        SpanEvent {
+            category: "attempt",
+            name: format!("s{track}@{start}"),
+            track,
+            start_us: start,
+            dur_us: 10,
+            args: vec![],
+        }
+    }
+
+    fn part(track_name: &str, starts: &[u64], counter: f64) -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.track_names.insert(0, track_name.to_string());
+        for &s in starts {
+            snap.spans.push(span(0, s));
+        }
+        snap.instants.push(InstantEvent {
+            category: "mark",
+            name: track_name.to_string(),
+            track: 0,
+            at_us: 1,
+            args: vec![],
+        });
+        snap.counters.insert("runs".to_string(), counter);
+        snap
+    }
+
+    #[test]
+    fn merge_shifts_tracks_and_sums_counters() {
+        let a = part("shard0", &[0, 20], 2.0);
+        let b = part("shard1", &[5], 1.0);
+        let merged = merge_snapshots(&[(0, &a), (1, &b)]);
+        assert_eq!(merged.spans.len(), 3);
+        assert_eq!(merged.spans[2].track, 1);
+        assert_eq!(merged.instants[1].track, 1);
+        assert_eq!(merged.counters["runs"], 3.0);
+        assert_eq!(merged.track_names[&0], "shard0");
+        assert_eq!(merged.track_names[&1], "shard1");
+    }
+
+    #[test]
+    fn merge_is_deterministic_in_part_order() {
+        let a = part("shard0", &[0], 1.0);
+        let b = part("shard1", &[5], 1.0);
+        let m1 = merge_snapshots(&[(0, &a), (1, &b)]);
+        let m2 = merge_snapshots(&[(0, &a), (1, &b)]);
+        assert_eq!(chrome_trace_json(&m1), chrome_trace_json(&m2));
+        assert_eq!(metrics_json(&m1), metrics_json(&m2));
+    }
+
+    #[test]
+    fn replay_reproduces_the_snapshot() {
+        let a = part("shard0", &[0, 20], 2.0);
+        let b = part("shard1", &[5], 1.5);
+        let merged = merge_snapshots(&[(0, &a), (2, &b)]);
+        let (tel, rec) = Telemetry::recording();
+        replay(&merged, &tel);
+        assert_eq!(rec.snapshot(), merged);
+        // replaying into a disabled handle is a no-op
+        replay(&merged, &Telemetry::disabled());
+    }
+}

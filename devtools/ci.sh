@@ -50,4 +50,18 @@ else
             --check "$REPO/results" "$REPO/devtools/schemas")
 fi
 
+# Parallel-determinism smoke: execute a sharded campaign serially
+# (inline, no pool) and on thread pools of 1 and 4 workers, with and
+# without fault injection, and byte-compare the canonical StatusBoard
+# JSON and the telemetry metric exports. Any scheduling leak into
+# observable output fails the diff. Like the telemetry smoke, the bin
+# is runnable from the shadow workspace when the registry is offline.
+echo "== ci: parallel-determinism smoke =="
+if cargo build -q --release -p bench --bin campaign_parallel 2>/dev/null; then
+    cargo run -q --release -p bench --bin campaign_parallel -- --smoke
+else
+    (cd "$REPO/target/offline-check" &&
+        CARGO_NET_OFFLINE=true cargo run -q --release --offline -p bench --bin campaign_parallel -- --smoke)
+fi
+
 echo "ci: OK"

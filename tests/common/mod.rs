@@ -1,0 +1,234 @@
+//! Shared helpers for the integration suite: campaign builders and the
+//! golden-fixture corpus under `tests/fixtures/`.
+//!
+//! Three small checked-in campaigns — a plain sweep, a fault-injected
+//! campaign, and a checkpoint-restart campaign — each with committed
+//! expected `StatusBoard` JSON and telemetry metrics. Every fixture is
+//! **rand-free**: instant allocation series (no queue-wait draws) and
+//! hash-based run faults only (no node-crash or stall streams), so the
+//! committed expectations hold under both the real `rand`/`serde` builds
+//! and the offline stubs. Regenerate with:
+//!
+//! ```text
+//! UPDATE_FIXTURES=1 cargo test --test golden_fixtures
+//! ```
+//!
+//! Not every integration binary that mounts this module uses every
+//! helper, hence the file-level `dead_code` allow.
+#![allow(dead_code)]
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use fair_workflows::cheetah::manifest::CampaignManifest;
+use fair_workflows::cheetah::param::SweepSpec;
+use fair_workflows::cheetah::status::StatusBoard;
+use fair_workflows::cheetah::sweep::Sweep;
+use fair_workflows::exec::ThreadPool;
+use fair_workflows::hpcsim::batch::BatchJob;
+use fair_workflows::hpcsim::time::SimDuration;
+use fair_workflows::savanna::pilot::PilotScheduler;
+use fair_workflows::savanna::resilience::{FaultPlan, ResiliencePolicy, RestartStrategy};
+use fair_workflows::savanna::{
+    run_campaign_resilient_par_traced, run_campaign_sim_par_traced, FaultSpec, SeriesSpec,
+    ShardPlan,
+};
+use fair_workflows::telemetry::{metrics_json, Telemetry};
+
+/// Builds a one-group sweep campaign with `runs` integer-swept runs.
+pub fn grid_manifest(name: &str, runs: i64) -> CampaignManifest {
+    Campaign::new(name, "inst", AppDef::new("irf", "irf.exe"))
+        .with_group(SweepGroup::new(
+            "grid",
+            Sweep::new().with(
+                "p",
+                SweepSpec::IntRange {
+                    start: 0,
+                    end: runs - 1,
+                    step: 1,
+                },
+            ),
+            8,
+            1,
+            7200,
+        ))
+        .manifest()
+        .expect("valid campaign")
+}
+
+/// Deterministic per-run durations: `base + step * index` seconds, in
+/// manifest order. No RNG, so fixture expectations are build-independent.
+pub fn ramp_durations(
+    manifest: &CampaignManifest,
+    base_secs: u64,
+    step_secs: u64,
+) -> BTreeMap<String, SimDuration> {
+    manifest
+        .groups
+        .iter()
+        .flat_map(|g| g.runs.iter())
+        .enumerate()
+        .map(|(i, r)| {
+            (
+                r.id.clone(),
+                SimDuration::from_secs(base_secs + step_secs * i as u64),
+            )
+        })
+        .collect()
+}
+
+/// The golden-fixture corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fixture {
+    /// Plain sharded sweep, no faults: 12 runs over 3 shards.
+    Sweep,
+    /// Hash-based injected run errors with a retry budget: 10 runs over
+    /// 2 shards (no node/stall streams — those draw from `rand`).
+    Faulty,
+    /// Runs longer than the allocation walltime, resumed from periodic
+    /// checkpoints across allocations: 4 runs over 2 shards.
+    Checkpointed,
+}
+
+impl Fixture {
+    /// All fixtures, in corpus order.
+    pub const ALL: [Fixture; 3] = [Fixture::Sweep, Fixture::Faulty, Fixture::Checkpointed];
+
+    /// File-name stem under `tests/fixtures/`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fixture::Sweep => "sweep",
+            Fixture::Faulty => "faulty",
+            Fixture::Checkpointed => "checkpointed",
+        }
+    }
+}
+
+/// Executes a fixture campaign through the sharded drivers (inline, no
+/// pool unless one is given) and returns the final board plus the
+/// telemetry metrics export.
+pub fn run_fixture(fixture: Fixture, pool: Option<&ThreadPool>) -> (StatusBoard, String) {
+    let (tel, rec) = Telemetry::recording();
+    let board = match fixture {
+        Fixture::Sweep => {
+            let manifest = grid_manifest("fixture-sweep", 12);
+            let durations = ramp_durations(&manifest, 600, 180);
+            let spec = SeriesSpec::instant(BatchJob::new(8, SimDuration::from_hours(2)));
+            let plan = ShardPlan::contiguous(manifest.total_runs(), 3);
+            let mut board = StatusBoard::for_manifest(&manifest);
+            run_campaign_sim_par_traced(
+                &manifest,
+                &durations,
+                &PilotScheduler::new(),
+                &spec,
+                41,
+                &mut board,
+                64,
+                &plan,
+                pool,
+                &tel,
+            )
+            .expect("fixture durations modeled");
+            board
+        }
+        Fixture::Faulty => {
+            let manifest = grid_manifest("fixture-faulty", 10);
+            let durations = ramp_durations(&manifest, 900, 120);
+            let spec = SeriesSpec::instant(BatchJob::new(8, SimDuration::from_hours(2)));
+            let plan = ShardPlan::contiguous(manifest.total_runs(), 2);
+            let policy = ResiliencePolicy {
+                retry_budget: 3,
+                backoff_base: SimDuration::from_mins(10),
+                ..ResiliencePolicy::default()
+            };
+            // hash-based run errors only: deterministic across rand builds
+            let faults = FaultPlan {
+                run_faults: FaultSpec::new(0.35, 23),
+                node_mttf: None,
+                stalls: None,
+                seed: 23,
+            };
+            let mut board = StatusBoard::for_manifest(&manifest);
+            run_campaign_resilient_par_traced(
+                &manifest,
+                &durations,
+                &PilotScheduler::new(),
+                &spec,
+                41,
+                &mut board,
+                64,
+                &policy,
+                &faults,
+                &plan,
+                pool,
+                &tel,
+            )
+            .expect("fixture durations modeled");
+            board
+        }
+        Fixture::Checkpointed => {
+            let manifest = grid_manifest("fixture-checkpointed", 4);
+            // 3h+ runs inside 2h allocations: every run needs walltime
+            // cuts and checkpoint-preserved resumption to finish
+            let durations = ramp_durations(&manifest, 10_800, 1_800);
+            let spec = SeriesSpec::instant(BatchJob::new(8, SimDuration::from_hours(2)));
+            let plan = ShardPlan::contiguous(manifest.total_runs(), 2);
+            let policy = ResiliencePolicy {
+                restart: RestartStrategy::FromCheckpoint {
+                    interval: SimDuration::from_mins(15),
+                },
+                ..ResiliencePolicy::default()
+            };
+            let faults = FaultPlan::none(7);
+            let mut board = StatusBoard::for_manifest(&manifest);
+            run_campaign_resilient_par_traced(
+                &manifest,
+                &durations,
+                &PilotScheduler::new(),
+                &spec,
+                41,
+                &mut board,
+                64,
+                &policy,
+                &faults,
+                &plan,
+                pool,
+                &tel,
+            )
+            .expect("fixture durations modeled");
+            board
+        }
+    };
+    (board, metrics_json(&rec.snapshot()))
+}
+
+/// Absolute path of a committed fixture artifact.
+pub fn fixture_path(fixture: Fixture, kind: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{}.{kind}.json", fixture.name()))
+}
+
+/// The committed expected board bytes (the canonical-JSON form of
+/// [`StatusBoard::canonical_json`], plus a trailing newline).
+pub fn expected_board_json(fixture: Fixture) -> String {
+    let path = fixture_path(fixture, "board");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run UPDATE_FIXTURES=1 to generate)",
+            path.display()
+        )
+    })
+}
+
+/// The committed expected metrics document, byte-exact.
+pub fn expected_metrics(fixture: Fixture) -> String {
+    let path = fixture_path(fixture, "metrics");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run UPDATE_FIXTURES=1 to generate)",
+            path.display()
+        )
+    })
+}

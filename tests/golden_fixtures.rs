@@ -1,0 +1,79 @@
+//! Golden-fixture regression suite: three small checked-in campaigns
+//! (sweep, faulty, checkpointed) executed through the sharded drivers
+//! and compared against committed expected `StatusBoard` and metrics
+//! JSON under `tests/fixtures/`. Future PRs get campaign-level
+//! regression coverage for free: any behavioral drift in scheduling,
+//! resilience, or telemetry shows up as a fixture diff.
+//!
+//! Regenerate after an *intentional* behavior change with
+//! `UPDATE_FIXTURES=1 cargo test --test golden_fixtures`.
+
+mod common;
+
+use common::{expected_board_json, expected_metrics, fixture_path, run_fixture, Fixture};
+use fair_workflows::exec::ThreadPool;
+
+fn check(fixture: Fixture) {
+    let (board, metrics) = run_fixture(fixture, None);
+    // canonical_json is the board's serde-backend-independent byte form,
+    // so the committed bytes hold in every build environment
+    let board_json = board.canonical_json() + "\n";
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        std::fs::write(fixture_path(fixture, "board"), board_json).expect("write board fixture");
+        std::fs::write(fixture_path(fixture, "metrics"), &metrics).expect("write metrics fixture");
+        return;
+    }
+    assert_eq!(
+        board_json,
+        expected_board_json(fixture),
+        "{}: StatusBoard drifted from the committed fixture",
+        fixture.name()
+    );
+    assert_eq!(
+        metrics,
+        expected_metrics(fixture),
+        "{}: metrics export drifted from the committed fixture",
+        fixture.name()
+    );
+}
+
+#[test]
+fn sweep_matches_committed_golden() {
+    check(Fixture::Sweep);
+}
+
+#[test]
+fn faulty_matches_committed_golden() {
+    check(Fixture::Faulty);
+}
+
+#[test]
+fn checkpointed_matches_committed_golden() {
+    check(Fixture::Checkpointed);
+}
+
+#[test]
+fn fixtures_are_deterministic_across_runs() {
+    for fixture in Fixture::ALL {
+        let a = run_fixture(fixture, None);
+        let b = run_fixture(fixture, None);
+        assert_eq!(a, b, "{}: two runs disagreed", fixture.name());
+    }
+}
+
+#[test]
+fn pooled_execution_reproduces_the_fixtures() {
+    // the committed expectations are produced inline (pool = None); a
+    // pooled execution of the same plan must reproduce them exactly
+    let pool = ThreadPool::new(2);
+    for fixture in Fixture::ALL {
+        let inline = run_fixture(fixture, None);
+        let pooled = run_fixture(fixture, Some(&pool));
+        assert_eq!(
+            inline,
+            pooled,
+            "{}: pooled execution diverged from inline",
+            fixture.name()
+        );
+    }
+}
