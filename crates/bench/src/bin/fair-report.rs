@@ -1,0 +1,162 @@
+//! `fair-report` — offline analysis of exported campaign telemetry.
+//!
+//! Consumes the JSON documents the workspace's campaign drivers export
+//! (`fair-telemetry-trace/1` traces, `fair-telemetry-metrics/1` metrics)
+//! and renders human-readable summaries plus machine-readable derivatives
+//! without re-running any simulation. Everything is a pure function of
+//! the input bytes, so output is byte-identical across runs and hosts.
+//!
+//! Usage:
+//!
+//! ```text
+//! fair-report <trace.json>                 # critical path, digests,
+//!                                          # utilization + stragglers
+//!     [--straggler-factor F]               # flag runs > F x shard median
+//!     [--max-segments N]                   # cap critical-path listing
+//! fair-report --flamegraph <trace.json>    # folded stacks (flamegraph.pl
+//!                                          # compatible) on stdout
+//! fair-report --utilization <trace.json>   # sampled utilization CSV
+//!     [--metric NAME]                      # one metric (default: all)
+//! fair-report --digest <trace.json>        # fair-telemetry-digest/1 JSON
+//! fair-report --compare <old.json> <new.json>
+//!     [--threshold X]                      # regression gate over metrics
+//!                                          # exports (default 0.10)
+//! ```
+//!
+//! Exit status: `0` on success, `1` when `--compare` finds a relative
+//! regression beyond the threshold, `2` on usage or parse errors.
+
+use std::process::ExitCode;
+
+use telemetry::{
+    compare_metrics, digest_json, digests_from_model, folded_stacks, parse_metrics, render_summary,
+    utilization_csv, SummaryOptions, TraceModel,
+};
+
+fn usage() -> &'static str {
+    "usage: fair-report <trace.json> [--straggler-factor F] [--max-segments N]\n\
+     \x20      fair-report --flamegraph <trace.json>\n\
+     \x20      fair-report --utilization <trace.json> [--metric NAME]\n\
+     \x20      fair-report --digest <trace.json>\n\
+     \x20      fair-report --compare <old.json> <new.json> [--threshold X]"
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("fair-report: {message}");
+    eprintln!("{}", usage());
+    ExitCode::from(2)
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_model(path: &str) -> Result<TraceModel, String> {
+    TraceModel::parse(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Pulls `--flag VALUE` out of `args`, parsing VALUE with `parse`.
+fn take_option<T>(
+    args: &mut Vec<String>,
+    flag: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(format!("{flag} needs a value"));
+            }
+            let raw = args.remove(i + 1);
+            args.remove(i);
+            parse(&raw)
+                .map(Some)
+                .ok_or_else(|| format!("invalid value for {flag}: {raw}"))
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err("missing input".to_string());
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--compare") {
+        args.remove(i);
+        let threshold =
+            take_option(&mut args, "--threshold", |s| s.parse::<f64>().ok())?.unwrap_or(0.10);
+        if args.len() != 2 {
+            return Err("--compare needs exactly <old.json> <new.json>".to_string());
+        }
+        let old = parse_metrics(&read_file(&args[0])?).map_err(|e| format!("{}: {e}", args[0]))?;
+        let new = parse_metrics(&read_file(&args[1])?).map_err(|e| format!("{}: {e}", args[1]))?;
+        let report = compare_metrics(&old, &new, threshold);
+        print!("{}", report.render());
+        return Ok(if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        });
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--flamegraph") {
+        args.remove(i);
+        if args.len() != 1 {
+            return Err("--flamegraph needs exactly one trace file".to_string());
+        }
+        print!("{}", folded_stacks(&load_model(&args[0])?));
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--utilization") {
+        args.remove(i);
+        let metric = take_option(&mut args, "--metric", |s| Some(s.to_string()))?;
+        if args.len() != 1 {
+            return Err("--utilization needs exactly one trace file".to_string());
+        }
+        let model = load_model(&args[0])?;
+        match metric {
+            Some(metric) => print!("{}", utilization_csv(&model, &metric)),
+            None => {
+                for metric in telemetry::analysis::utilization_metrics(&model) {
+                    println!("# metric: {metric}");
+                    print!("{}", utilization_csv(&model, &metric));
+                }
+            }
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--digest") {
+        args.remove(i);
+        if args.len() != 1 {
+            return Err("--digest needs exactly one trace file".to_string());
+        }
+        let model = load_model(&args[0])?;
+        print!("{}", digest_json(&digests_from_model(&model)));
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Default mode: the human-readable summary.
+    let mut options = SummaryOptions::default();
+    if let Some(f) = take_option(&mut args, "--straggler-factor", |s| s.parse::<f64>().ok())? {
+        options.straggler_factor = f;
+    }
+    if let Some(n) = take_option(&mut args, "--max-segments", |s| s.parse::<usize>().ok())? {
+        options.max_segments = n;
+    }
+    if args.len() != 1 {
+        return Err("expected exactly one trace file".to_string());
+    }
+    let model = load_model(&args[0])?;
+    print!("{}", render_summary(&model, &options));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => fail(&message),
+    }
+}

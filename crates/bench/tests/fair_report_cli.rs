@@ -1,0 +1,107 @@
+//! End-to-end exit-code contract of the `fair-report` binary.
+//!
+//! `--compare` is a CI regression gate, so its exit status is API:
+//! `0` when every shared metric stays within the threshold, `1` on a
+//! breach, `2` on usage or parse errors. These tests drive the real
+//! binary (via `CARGO_BIN_EXE_fair-report`) over synthetic
+//! `fair-telemetry-metrics/1` documents with an injected regression.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn metrics_doc(attempts: u64, total_us: u64) -> String {
+    format!(
+        "{{\n  \"schema\": \"fair-telemetry-metrics/1\",\n  \"counters\": {{\n    \
+         \"attempts\": {attempts}\n  }},\n  \"spans\": {{\n    \
+         \"attempt\": {{\"count\": {attempts}, \"total_us\": {total_us}, \"max_us\": 900}}\n  \
+         }}\n}}\n"
+    )
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("fair-report-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp metrics doc");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fair-report"))
+        .args(args)
+        .output()
+        .expect("spawn fair-report")
+}
+
+#[test]
+fn compare_exits_nonzero_on_injected_regression() {
+    let old = write_temp("reg-old.json", &metrics_doc(4, 1_000));
+    // attempts doubled: a 100% regression, far past the 10% default
+    let new = write_temp("reg-new.json", &metrics_doc(8, 1_000));
+    let out = run(&[
+        "--compare",
+        old.to_str().expect("utf8 path"),
+        new.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "regression must exit 1, got {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("[BREACH]") && stdout.contains("FAIL"),
+        "breach must be reported: {stdout}"
+    );
+    let _ = std::fs::remove_file(old);
+    let _ = std::fs::remove_file(new);
+}
+
+#[test]
+fn compare_exits_zero_within_threshold() {
+    let old = write_temp("ok-old.json", &metrics_doc(100, 10_000));
+    let new = write_temp("ok-new.json", &metrics_doc(104, 10_400));
+    let out = run(&[
+        "--compare",
+        old.to_str().expect("utf8 path"),
+        new.to_str().expect("utf8 path"),
+        "--threshold",
+        "0.10",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "4% drift under a 10% threshold must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+    let _ = std::fs::remove_file(old);
+    let _ = std::fs::remove_file(new);
+}
+
+#[test]
+fn tightened_threshold_turns_drift_into_a_breach() {
+    let old = write_temp("tight-old.json", &metrics_doc(100, 10_000));
+    let new = write_temp("tight-new.json", &metrics_doc(104, 10_400));
+    let out = run(&[
+        "--compare",
+        old.to_str().expect("utf8 path"),
+        new.to_str().expect("utf8 path"),
+        "--threshold",
+        "0.01",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let _ = std::fs::remove_file(old);
+    let _ = std::fs::remove_file(new);
+}
+
+#[test]
+fn usage_and_parse_errors_exit_two() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2), "no args is a usage error");
+
+    let bogus = write_temp("bogus.json", "not json at all");
+    let out = run(&[bogus.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(2), "unparseable input exits 2");
+    let _ = std::fs::remove_file(bogus);
+}

@@ -90,6 +90,12 @@ pub struct StatusBoard {
     /// jump straight to the run's timeline lane.
     #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     telemetry_refs: BTreeMap<String, String>,
+    /// Pointer from each run into the campaign's percentile-digest
+    /// export — `digest#<key>`, e.g. `digest#span_us.attempt` — naming
+    /// the `fair-telemetry-digest/1` digest that summarizes the run's
+    /// span population.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    digest_refs: BTreeMap<String, String>,
 }
 
 impl StatusBoard {
@@ -107,6 +113,7 @@ impl StatusBoard {
             failures: BTreeMap::new(),
             last_failure: BTreeMap::new(),
             telemetry_refs: BTreeMap::new(),
+            digest_refs: BTreeMap::new(),
         }
     }
 
@@ -121,6 +128,19 @@ impl StatusBoard {
     /// The run's telemetry pointer, if one was recorded.
     pub fn telemetry_ref(&self, run_id: &str) -> Option<&str> {
         self.telemetry_refs.get(run_id).map(String::as_str)
+    }
+
+    /// Records which digest of the campaign's `fair-telemetry-digest/1`
+    /// export summarizes `run_id` (e.g. `digest#span_us.attempt`).
+    /// Overwrites any earlier pointer.
+    pub fn record_digest_ref(&mut self, run_id: &str, reference: impl Into<String>) {
+        self.digest_refs
+            .insert(run_id.to_string(), reference.into());
+    }
+
+    /// The run's digest pointer, if one was recorded.
+    pub fn digest_ref(&self, run_id: &str) -> Option<&str> {
+        self.digest_refs.get(run_id).map(String::as_str)
     }
 
     /// Records the start of one more attempt of `run_id`; returns the new
@@ -210,6 +230,9 @@ impl StatusBoard {
             if let Some(r) = self.telemetry_refs.get(id) {
                 sub.telemetry_refs.insert(id.to_string(), r.clone());
             }
+            if let Some(r) = self.digest_refs.get(id) {
+                sub.digest_refs.insert(id.to_string(), r.clone());
+            }
         }
         sub
     }
@@ -235,6 +258,9 @@ impl StatusBoard {
         }
         for (id, r) in &sub.telemetry_refs {
             self.telemetry_refs.insert(id.clone(), r.clone());
+        }
+        for (id, r) in &sub.digest_refs {
+            self.digest_refs.insert(id.clone(), r.clone());
         }
     }
 
@@ -305,6 +331,11 @@ impl StatusBoard {
         }
         if !self.telemetry_refs.is_empty() {
             push_map(&mut out, "telemetry_refs", &self.telemetry_refs, |o, v| {
+                push_str(o, v);
+            });
+        }
+        if !self.digest_refs.is_empty() {
+            push_map(&mut out, "digest_refs", &self.digest_refs, |o, v| {
                 push_str(o, v);
             });
         }
@@ -484,6 +515,7 @@ mod tests {
         board.record_attempt("g/n-1");
         board.record_failure("g/n-1", "fs-stall hang");
         board.record_telemetry_ref("g/n-1", "trace.json#1");
+        board.record_digest_ref("g/n-1", "digest#span_us.attempt");
         board.set("g/n-2", RunStatus::Done);
         let json = serde_json::to_string(&board).expect("serialize");
         let back: StatusBoard = serde_json::from_str(&json).expect("deserialize");
@@ -493,6 +525,8 @@ mod tests {
         assert_eq!(back.last_failure_cause("g/n-1"), Some("fs-stall hang"));
         assert_eq!(back.telemetry_ref("g/n-1"), Some("trace.json#1"));
         assert_eq!(back.telemetry_ref("g/n-2"), None);
+        assert_eq!(back.digest_ref("g/n-1"), Some("digest#span_us.attempt"));
+        assert_eq!(back.digest_ref("g/n-2"), None);
     }
 
     #[test]
@@ -517,10 +551,12 @@ mod tests {
         // a "shard" holding only runs 1 and 3
         let mut sub_manifest = m.clone();
         sub_manifest.groups[0].runs.retain(|r| r.id != "g/n-2");
+        board.record_digest_ref("g/n-1", "digest#span_us.attempt");
         let mut sub = board.sub_board(&sub_manifest);
         assert_eq!(sub.get("g/n-1"), RunStatus::Failed);
         assert_eq!(sub.attempts("g/n-1"), 1);
         assert_eq!(sub.telemetry_ref("g/n-1"), Some("trace#1"));
+        assert_eq!(sub.digest_ref("g/n-1"), Some("digest#span_us.attempt"));
         assert_eq!(sub.get("g/n-3"), RunStatus::Pending);
         // the sub-board must not know about runs outside its manifest
         assert_eq!(sub.summary().total(), 2);
@@ -529,7 +565,9 @@ mod tests {
         sub.record_attempt("g/n-3");
         sub.set("g/n-3", RunStatus::Done);
         sub.set("g/n-1", RunStatus::Done);
+        sub.record_digest_ref("g/n-3", "digest#span_us.allocation");
         board.merge_from(&sub);
+        assert_eq!(board.digest_ref("g/n-3"), Some("digest#span_us.allocation"));
         assert_eq!(board.get("g/n-1"), RunStatus::Done);
         assert_eq!(board.get("g/n-2"), RunStatus::Done);
         assert_eq!(board.get("g/n-3"), RunStatus::Done);
@@ -545,6 +583,7 @@ mod tests {
         board.record_attempt("g/n-1");
         board.record_failure("g/n-1", "fs-stall \"hang\"\n");
         board.record_telemetry_ref("g/n-1", "trace.json#1");
+        board.record_digest_ref("g/n-1", "digest#span_us.attempt");
         board.set("g/n-2", RunStatus::Done);
         board
     }
@@ -560,7 +599,8 @@ mod tests {
                 r#"{"statuses":{"g/n-1":"Failed","g/n-2":"Done","g/n-3":"Pending"},"#,
                 r#""attempts":{"g/n-1":1},"failures":{"g/n-1":1},"#,
                 r#""last_failure":{"g/n-1":"fs-stall \"hang\"\n"},"#,
-                r#""telemetry_refs":{"g/n-1":"trace.json#1"}}"#
+                r#""telemetry_refs":{"g/n-1":"trace.json#1"},"#,
+                r#""digest_refs":{"g/n-1":"digest#span_us.attempt"}}"#
             )
         );
         // empty provenance maps are omitted, mirroring the serde skips

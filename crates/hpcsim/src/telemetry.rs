@@ -12,6 +12,8 @@ use telemetry::Telemetry;
 use crate::failure::CrashPlan;
 use crate::fs::StallSchedule;
 use crate::machine::JobOutcome;
+use crate::time::SimTime;
+use crate::trace::TimeSeries;
 
 /// Records one span per scheduled job (`cat = "job"`, `ts = start`,
 /// `dur = finish - start`) on `track`, with queue wait, node count, and
@@ -82,6 +84,78 @@ pub fn record_crash_plan(tel: &Telemetry, track: u32, plan: &CrashPlan) {
     }
 }
 
+/// Records a sampled resource step series as `"util"` instants named
+/// `metric` on `track` — one instant per step point, value in the
+/// `value` arg. Instants only: utilization sampling never bumps
+/// counters, so the metrics-export key set (and the committed
+/// `BENCH_*.json` baselines) is unaffected by enabling it.
+pub fn record_utilization_series(
+    tel: &Telemetry,
+    track: u32,
+    metric: &'static str,
+    series: &TimeSeries,
+) {
+    if !tel.is_enabled() {
+        return;
+    }
+    for &(at, value) in series.points() {
+        tel.instant_with(|| telemetry::InstantEvent {
+            category: "util",
+            name: metric.to_string(),
+            track,
+            at_us: at.0,
+            args: vec![("value", value.into())],
+        });
+    }
+}
+
+/// Records one batch-queue-depth sample (`"util"` instant named
+/// `"queue_depth"`) at `at`.
+pub fn record_queue_depth(tel: &Telemetry, track: u32, at: SimTime, depth: f64) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.instant_with(|| telemetry::InstantEvent {
+        category: "util",
+        name: "queue_depth".to_string(),
+        track,
+        at_us: at.0,
+        args: vec![("value", depth.into())],
+    });
+}
+
+/// Records the filesystem bandwidth saturation implied by a stall
+/// schedule over `[start, end]` as a `"util"` series named
+/// `"fs_slowdown"`: the slowdown factor inside each window, `1.0`
+/// outside. Windows outside the span are clipped; out-of-order windows
+/// (which the schedule constructors never produce) are skipped rather
+/// than panicking the series builder.
+pub fn record_fs_saturation(
+    tel: &Telemetry,
+    track: u32,
+    stalls: &StallSchedule,
+    start: SimTime,
+    end: SimTime,
+) {
+    if !tel.is_enabled() {
+        return;
+    }
+    let mut series = TimeSeries::new();
+    series.record(start, 1.0);
+    let mut cursor = start;
+    for w in stalls.windows() {
+        if w.end <= cursor || w.start >= end {
+            continue;
+        }
+        let w_start = w.start.max(cursor);
+        let w_end = w.end.min(end);
+        series.record(w_start, w.slowdown);
+        series.record(w_end, 1.0);
+        cursor = w_end;
+    }
+    record_utilization_series(tel, track, "fs_slowdown", &series);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +211,64 @@ mod tests {
         record_job_outcomes(&tel, 0, &[]);
         record_stall_windows(&tel, 0, &StallSchedule::none());
         record_crash_plan(&tel, 0, &CrashPlan::none());
+        record_utilization_series(&tel, 0, "busy_nodes", &TimeSeries::new());
+        record_queue_depth(&tel, 0, SimTime::ZERO, 1.0);
+        record_fs_saturation(
+            &tel,
+            0,
+            &StallSchedule::none(),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        );
+    }
+
+    #[test]
+    fn utilization_sampling_records_instants_only() {
+        let mut ut = crate::trace::UtilizationTrace::new(4, SimTime::ZERO);
+        ut.node_busy(SimTime::from_secs(1));
+        ut.node_idle(SimTime::from_secs(60));
+        let stalls = StallSchedule::sample(
+            SimDuration::from_mins(30),
+            SimDuration::from_mins(2),
+            6.0,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(4),
+            11,
+        );
+        let (tel, rec) = Telemetry::recording();
+        record_utilization_series(&tel, 1, "busy_nodes", ut.series());
+        record_queue_depth(&tel, 1, SimTime::ZERO, 7.0);
+        record_fs_saturation(
+            &tel,
+            1,
+            &stalls,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(4),
+        );
+        let snap = rec.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(
+            snap.counters.is_empty(),
+            "sampling must not perturb the metrics key set"
+        );
+        assert!(snap.instants.iter().all(|i| i.category == "util"));
+        // busy-node samples carry the step values in recording order
+        let busy: Vec<f64> = snap
+            .instants
+            .iter()
+            .filter(|i| i.name == "busy_nodes")
+            .map(|i| match i.args[0].1 {
+                telemetry::ArgValue::Float(v) => v,
+                _ => panic!("value arg must be a float"),
+            })
+            .collect();
+        assert_eq!(busy, vec![0.0, 1.0, 0.0]);
+        // fs series starts at 1.0 (no stall at t = 0)
+        let fs_first = snap
+            .instants
+            .iter()
+            .find(|i| i.name == "fs_slowdown")
+            .expect("fs series recorded");
+        assert_eq!(fs_first.args[0].1, telemetry::ArgValue::Float(1.0));
     }
 }

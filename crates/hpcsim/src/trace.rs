@@ -44,6 +44,18 @@ impl TimeSeries {
         &self.points
     }
 
+    /// Rebuilds a series from `(microseconds, value)` samples — e.g.
+    /// parsed back from a telemetry `"util"` instant series. Samples
+    /// must be in non-decreasing time order (same panic contract as
+    /// [`TimeSeries::record`]).
+    pub fn from_points(points: impl IntoIterator<Item = (u64, f64)>) -> Self {
+        let mut series = TimeSeries::new();
+        for (at_us, value) in points {
+            series.record(SimTime(at_us), value);
+        }
+        series
+    }
+
     /// Value in effect at `t` (None before the first point).
     pub fn value_at(&self, t: SimTime) -> Option<f64> {
         match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {

@@ -214,9 +214,13 @@ pub fn run_campaign_sim(
 /// With an enabled handle, each allocation's active window becomes a span
 /// on track 0 ("allocations") and campaign counters (`allocations`,
 /// `completed_runs`, `timed_out_runs`, `queue_wait_us`) accumulate in the
-/// sink. All timestamps are virtual simulation time, so exports are
-/// byte-identical across runs with the same seed. With a disabled handle
-/// this is exactly [`run_campaign_sim`] — event closures never execute.
+/// sink. The engine's sampled resource series land on the same track as
+/// `"util"` instants: per-allocation `busy_nodes` occupancy steps and a
+/// `queue_depth` sample at each submission (instants only — the metrics
+/// key set is untouched). All timestamps are virtual simulation time, so
+/// exports are byte-identical across runs with the same seed. With a
+/// disabled handle this is exactly [`run_campaign_sim`] — event closures
+/// never execute.
 #[allow(clippy::too_many_arguments)] // run_campaign_sim plus the telemetry handle
 pub fn run_campaign_sim_traced(
     manifest: &CampaignManifest,
@@ -251,9 +255,11 @@ pub fn run_campaign_sim_traced(
             })
             .collect();
         let submitted = series.now();
+        hpcsim::telemetry::record_queue_depth(tel, 0, submitted, tasks.len() as f64);
         let alloc = series.next_allocation();
         tel.count("queue_wait_us", alloc.start.since(submitted).0 as f64);
         let outcome = scheduler.schedule(&tasks, &alloc);
+        hpcsim::telemetry::record_utilization_series(tel, 0, "busy_nodes", outcome.trace.series());
 
         let mut completed_here = 0usize;
         let mut timed_out_here = 0usize;

@@ -695,8 +695,14 @@ fn record_attempt_span(
 /// machine weather (node crashes, filesystem-stall windows), and each run
 /// gets its own track (2 + manifest order) holding one span per attempt
 /// with the failure cause and preserved progress as args. The run's track
-/// is published on the status board as a `trace#<track>` telemetry ref.
-/// With a disabled handle this is exactly [`run_campaign_resilient`].
+/// is published on the status board as a `trace#<track>` telemetry ref,
+/// and a `digest#span_us.attempt` digest ref points each run at the
+/// campaign digest summarizing attempt durations. The machine track also
+/// carries engine-sampled `"util"` instants: per-allocation `busy_nodes`
+/// occupancy, a `queue_depth` sample at each submission, and the
+/// `fs_slowdown` saturation series when stalls are injected (instants
+/// only — no counters, so metrics baselines are unaffected). With a
+/// disabled handle this is exactly [`run_campaign_resilient`].
 #[allow(clippy::too_many_arguments)] // run_campaign_resilient plus the telemetry handle
 pub fn run_campaign_resilient_traced(
     manifest: &CampaignManifest,
@@ -730,6 +736,8 @@ pub fn run_campaign_resilient_traced(
             let track = 2 + i as u32;
             tel.name_track(track, &run.id);
             board.record_telemetry_ref(&run.id, format!("trace#{track}"));
+            // attempts of every run pool into the one per-category digest
+            board.record_digest_ref(&run.id, "digest#span_us.attempt");
             run_tracks.insert(run.id.clone(), track);
         }
     }
@@ -803,6 +811,7 @@ pub fn run_campaign_resilient_traced(
             .collect();
 
         let submitted = series.now();
+        hpcsim::telemetry::record_queue_depth(tel, 1, submitted, tasks.len() as f64);
         let alloc = series.next_allocation();
         queue_wait += alloc.start.since(submitted);
         let crashes = injector
@@ -813,6 +822,7 @@ pub fn run_campaign_resilient_traced(
         hpcsim::telemetry::record_crash_plan(tel, 1, &crashes);
         if let Some((schedule, _)) = &stalls {
             hpcsim::telemetry::record_stall_windows(tel, 1, schedule);
+            hpcsim::telemetry::record_fs_saturation(tel, 1, schedule, alloc.start, alloc.end);
         }
         let outcome = schedule_resilient(
             &tasks,
@@ -823,6 +833,7 @@ pub fn run_campaign_resilient_traced(
             policy.hang_timeout(&alloc),
             pilot.policy,
         );
+        hpcsim::telemetry::record_utilization_series(tel, 1, "busy_nodes", outcome.trace.series());
 
         let mut completed_here = 0usize;
         let mut timed_out_here = 0usize;

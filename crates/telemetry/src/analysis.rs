@@ -1,0 +1,808 @@
+//! Trace analysis: span-DAG reconstruction, critical path, folded
+//! stacks, utilization series, and straggler detection.
+//!
+//! Everything here operates on a [`TraceModel`] — a parsed, owned view
+//! of a `fair-telemetry-trace/1` export (or, in-process, of a live
+//! [`Snapshot`]). The model keeps the conventions the savanna drivers
+//! and `telemetry::merge` established:
+//!
+//! * tracks are Chrome-trace lanes; merged shard tracks carry a
+//!   `shard{N}/` name prefix,
+//! * `"allocation"` spans chain end-to-end on a shard's allocation
+//!   lane; gaps between them are queue wait (plus retry backoff),
+//! * `"attempt"` spans nest inside allocations on per-run lanes, with
+//!   an `outcome` argument
+//!   (`completed` / `walltime-cut` / `node-crash` / `run-error` / `hang`),
+//! * `"fs-stall"` spans on the machine lane mark filesystem
+//!   degradation windows,
+//! * `"util"` instants carry sampled resource time series (value in the
+//!   `value` argument).
+//!
+//! All derived artifacts are deterministic: stable orderings only, no
+//! clocks, no hashing — byte-identical across runs and thread counts.
+
+use std::collections::BTreeMap;
+
+use crate::event::ArgValue;
+use crate::jsonin::{self, Value};
+use crate::sink::Snapshot;
+
+/// A span in a parsed trace (categories are owned strings here, unlike
+/// [`crate::SpanEvent`], because they come from JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Chrome-trace `cat`.
+    pub category: String,
+    /// Chrome-trace `name` (run id, `alloc-N`, ...).
+    pub name: String,
+    /// Timeline lane.
+    pub track: u32,
+    /// Start, microseconds on the producer's timebase.
+    pub start_us: u64,
+    /// Length in microseconds.
+    pub dur_us: u64,
+    /// Arguments, scalar-rendered as text.
+    pub args: BTreeMap<String, String>,
+}
+
+impl TraceSpan {
+    /// Exclusive end of the span.
+    pub fn end_us(&self) -> u64 {
+        self.start_us.saturating_add(self.dur_us)
+    }
+}
+
+/// A point event in a parsed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceInstant {
+    /// Chrome-trace `cat`.
+    pub category: String,
+    /// Event name.
+    pub name: String,
+    /// Timeline lane.
+    pub track: u32,
+    /// Instant, microseconds on the producer's timebase.
+    pub at_us: u64,
+    /// Arguments, scalar-rendered as text.
+    pub args: BTreeMap<String, String>,
+}
+
+/// An owned, analysis-ready view of one trace document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceModel {
+    /// Spans in recording order.
+    pub spans: Vec<TraceSpan>,
+    /// Instants in recording order.
+    pub instants: Vec<TraceInstant>,
+    /// Track number → lane name.
+    pub track_names: BTreeMap<u32, String>,
+}
+
+fn arg_text(value: &ArgValue) -> String {
+    match value {
+        ArgValue::UInt(v) => v.to_string(),
+        ArgValue::Int(v) => v.to_string(),
+        ArgValue::Float(v) => {
+            let mut out = String::new();
+            crate::json::write_f64(&mut out, *v);
+            out
+        }
+        ArgValue::Text(v) => v.clone(),
+        ArgValue::Flag(v) => (if *v { "true" } else { "false" }).to_string(),
+    }
+}
+
+fn json_arg_text(value: &Value) -> String {
+    match value {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => (if *b { "true" } else { "false" }).to_string(),
+        Value::Num(n) => {
+            let mut out = String::new();
+            crate::json::write_f64(&mut out, *n);
+            out
+        }
+        Value::Str(s) => s.clone(),
+        // composite args do not occur in our writer's output
+        Value::Arr(_) | Value::Obj(_) => String::new(),
+    }
+}
+
+impl TraceModel {
+    /// Builds the model from a live snapshot (no serialization round
+    /// trip). Produces exactly what parsing the snapshot's
+    /// [`crate::chrome_trace_json`] export would.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        TraceModel {
+            spans: snapshot
+                .spans
+                .iter()
+                .map(|s| TraceSpan {
+                    category: s.category.to_string(),
+                    name: s.name.clone(),
+                    track: s.track,
+                    start_us: s.start_us,
+                    dur_us: s.dur_us,
+                    args: s
+                        .args
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), arg_text(v)))
+                        .collect(),
+                })
+                .collect(),
+            instants: snapshot
+                .instants
+                .iter()
+                .map(|i| TraceInstant {
+                    category: i.category.to_string(),
+                    name: i.name.clone(),
+                    track: i.track,
+                    at_us: i.at_us,
+                    args: i
+                        .args
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), arg_text(v)))
+                        .collect(),
+                })
+                .collect(),
+            track_names: snapshot.track_names.clone(),
+        }
+    }
+
+    /// Parses a `fair-telemetry-trace/1` document.
+    pub fn parse(doc: &str) -> Result<Self, String> {
+        let root = jsonin::parse(doc)?;
+        let schema = root
+            .get("otherData")
+            .and_then(|o| o.get("schema"))
+            .and_then(Value::as_str)
+            .unwrap_or("");
+        if schema != "fair-telemetry-trace/1" {
+            return Err(format!(
+                "not a fair-telemetry-trace/1 document (schema: {schema:?})"
+            ));
+        }
+        let events = root
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or("missing traceEvents array")?;
+        let mut model = TraceModel::default();
+        for event in events {
+            let ph = event.get("ph").and_then(Value::as_str).unwrap_or("");
+            let track = event
+                .get("tid")
+                .and_then(Value::as_u64)
+                .and_then(|t| u32::try_from(t).ok())
+                .ok_or("event without integer tid")?;
+            let args: BTreeMap<String, String> = event
+                .get("args")
+                .and_then(Value::as_obj)
+                .map(|members| {
+                    members
+                        .iter()
+                        .map(|(k, v)| (k.clone(), json_arg_text(v)))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let name = event
+                .get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string();
+            let category = event
+                .get("cat")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string();
+            match ph {
+                "M" if name == "thread_name" => {
+                    if let Some(lane) = args.get("name") {
+                        model.track_names.insert(track, lane.clone());
+                    }
+                }
+                "X" => model.spans.push(TraceSpan {
+                    category,
+                    name,
+                    track,
+                    start_us: event.get("ts").and_then(Value::as_u64).unwrap_or(0),
+                    dur_us: event.get("dur").and_then(Value::as_u64).unwrap_or(0),
+                    args,
+                }),
+                "i" => model.instants.push(TraceInstant {
+                    category,
+                    name,
+                    track,
+                    at_us: event.get("ts").and_then(Value::as_u64).unwrap_or(0),
+                    args,
+                }),
+                _ => {}
+            }
+        }
+        Ok(model)
+    }
+
+    /// The lane name of a track (`trackN` for unnamed tracks).
+    pub fn track_name(&self, track: u32) -> String {
+        self.track_names
+            .get(&track)
+            .cloned()
+            .unwrap_or_else(|| format!("track{track}"))
+    }
+
+    /// The shard key of a track: `shardN` for merged `shardN/...`
+    /// lanes, `""` for unprefixed (serial) traces.
+    pub fn shard_of(&self, track: u32) -> String {
+        shard_key(&self.track_name(track))
+    }
+}
+
+/// Extracts the `shardN` prefix of a merged lane name, or `""`.
+pub fn shard_key(track_name: &str) -> String {
+    if let Some(rest) = track_name.strip_prefix("shard") {
+        if let Some(pos) = rest.find('/') {
+            let digits = &rest[..pos];
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                return format!("shard{digits}");
+            }
+        }
+    }
+    String::new()
+}
+
+/// Critical-path phase attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Waiting for the batch system (queue wait and retry backoff both
+    /// surface as gaps between allocations).
+    QueueWait,
+    /// Productive compute inside an allocation.
+    Compute,
+    /// A failed attempt that forced a retry (crash / error / hang).
+    Retry,
+    /// Filesystem-stall overlap inside an allocation.
+    FsStall,
+    /// Checkpoint writing (spans with category `"checkpoint"`).
+    Checkpoint,
+    /// Allocation time not covered by any attempt.
+    AllocIdle,
+}
+
+impl Phase {
+    /// Stable snake_case key, used in reports and phase maps.
+    pub fn key(self) -> &'static str {
+        match self {
+            Phase::QueueWait => "queue_wait",
+            Phase::Compute => "compute",
+            Phase::Retry => "retry",
+            Phase::FsStall => "fs_stall",
+            Phase::Checkpoint => "checkpoint",
+            Phase::AllocIdle => "alloc_idle",
+        }
+    }
+
+    /// All phases, in report order.
+    pub const ALL: [Phase; 6] = [
+        Phase::QueueWait,
+        Phase::Compute,
+        Phase::Retry,
+        Phase::FsStall,
+        Phase::Checkpoint,
+        Phase::AllocIdle,
+    ];
+}
+
+/// One segment of the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSegment {
+    /// Attributed phase.
+    pub phase: Phase,
+    /// Human-readable label (allocation / run the segment covers).
+    pub label: String,
+    /// Segment start, microseconds.
+    pub start_us: u64,
+    /// Segment length, microseconds.
+    pub dur_us: u64,
+}
+
+/// The campaign's critical path: the shard chain that determines the
+/// makespan, segmented and attributed by phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CriticalPath {
+    /// Shard key of the critical chain (`""` for serial traces).
+    pub shard: String,
+    /// Campaign makespan: end of the critical chain, microseconds from
+    /// the campaign origin (t = 0).
+    pub total_us: u64,
+    /// The chain, in time order.
+    pub segments: Vec<PathSegment>,
+    /// Microseconds attributed to each phase (fs-stall overlap is
+    /// carved out of the enclosing attempt's phase here, while the
+    /// segment list keeps attempts whole).
+    pub phase_us: BTreeMap<&'static str, u64>,
+}
+
+fn outcome_phase(outcome: Option<&String>) -> Phase {
+    match outcome.map(String::as_str) {
+        Some("node-crash" | "run-error" | "hang") => Phase::Retry,
+        // completed, walltime-cut (partial progress preserved), unknown
+        _ => Phase::Compute,
+    }
+}
+
+/// Overlap of `[start, end)` with a set of spans, in microseconds.
+fn overlap_us(start: u64, end: u64, windows: &[&TraceSpan]) -> u64 {
+    windows
+        .iter()
+        .map(|w| w.end_us().min(end).saturating_sub(w.start_us.max(start)))
+        .sum()
+}
+
+/// Computes the campaign critical path of a trace.
+///
+/// Each shard's allocation lane is chained from the campaign origin
+/// (t = 0): gaps before/between allocations are queue wait, allocation
+/// interiors are attributed to the busiest run lane's attempts
+/// (compute vs. retry by outcome, fs-stall overlap carved out,
+/// checkpoint spans attributed as checkpoints, uncovered allocation
+/// time as `alloc_idle`). The critical path is the shard chain that
+/// ends last; ties resolve to the lexicographically smallest shard key,
+/// so the result is deterministic.
+pub fn critical_path(model: &TraceModel) -> CriticalPath {
+    // partition span indices by shard
+    let mut shards: BTreeMap<String, Vec<&TraceSpan>> = BTreeMap::new();
+    for span in &model.spans {
+        shards
+            .entry(model.shard_of(span.track))
+            .or_default()
+            .push(span);
+    }
+    if shards.is_empty() {
+        return CriticalPath::default();
+    }
+
+    let mut best: Option<CriticalPath> = None;
+    for (shard, spans) in &shards {
+        let chain = shard_chain(shard, spans);
+        let better = match &best {
+            None => true,
+            Some(b) => chain.total_us > b.total_us,
+        };
+        if better {
+            best = Some(chain);
+        }
+    }
+    best.unwrap_or_default()
+}
+
+fn shard_chain(shard: &str, spans: &[&TraceSpan]) -> CriticalPath {
+    let mut allocations: Vec<&TraceSpan> = spans
+        .iter()
+        .copied()
+        .filter(|s| s.category == "allocation")
+        .collect();
+    allocations.sort_by_key(|s| (s.start_us, s.track));
+    let attempts: Vec<&TraceSpan> = spans
+        .iter()
+        .copied()
+        .filter(|s| s.category == "attempt")
+        .collect();
+    let checkpoints: Vec<&TraceSpan> = spans
+        .iter()
+        .copied()
+        .filter(|s| s.category == "checkpoint")
+        .collect();
+    let stalls: Vec<&TraceSpan> = spans
+        .iter()
+        .copied()
+        .filter(|s| s.category == "fs-stall")
+        .collect();
+
+    let mut path = CriticalPath {
+        shard: shard.to_string(),
+        ..CriticalPath::default()
+    };
+    for phase in Phase::ALL {
+        path.phase_us.insert(phase.key(), 0);
+    }
+    let push = |path: &mut CriticalPath, phase: Phase, label: &str, start: u64, dur: u64| {
+        if dur == 0 {
+            return;
+        }
+        path.segments.push(PathSegment {
+            phase,
+            label: label.to_string(),
+            start_us: start,
+            dur_us: dur,
+        });
+        *path.phase_us.entry(phase.key()).or_insert(0) += dur;
+    };
+
+    if allocations.is_empty() {
+        // degenerate trace: no allocation lane — chain the spans we have
+        let mut all: Vec<&TraceSpan> = spans.to_vec();
+        all.sort_by_key(|s| (s.start_us, s.track));
+        let mut cursor = 0u64;
+        for span in all {
+            if span.start_us > cursor {
+                push(
+                    &mut path,
+                    Phase::QueueWait,
+                    "wait",
+                    cursor,
+                    span.start_us - cursor,
+                );
+                cursor = span.start_us;
+            }
+            if span.end_us() > cursor {
+                let phase = match span.category.as_str() {
+                    "fs-stall" => Phase::FsStall,
+                    "checkpoint" => Phase::Checkpoint,
+                    "attempt" => outcome_phase(span.args.get("outcome")),
+                    _ => Phase::Compute,
+                };
+                push(&mut path, phase, &span.name, cursor, span.end_us() - cursor);
+                cursor = span.end_us();
+            }
+        }
+        path.total_us = cursor;
+        return path;
+    }
+
+    let mut cursor = 0u64;
+    for alloc in &allocations {
+        if alloc.start_us > cursor {
+            push(
+                &mut path,
+                Phase::QueueWait,
+                &format!("wait:{}", alloc.name),
+                cursor,
+                alloc.start_us - cursor,
+            );
+            cursor = alloc.start_us;
+        }
+        let a_end = alloc.end_us();
+        if a_end <= cursor {
+            continue;
+        }
+
+        // attempts inside this allocation, grouped by run lane; the
+        // busiest lane (most covered time, lowest track on ties) is the
+        // chain through the allocation
+        let mut lanes: BTreeMap<u32, Vec<&TraceSpan>> = BTreeMap::new();
+        for attempt in &attempts {
+            if attempt.start_us >= alloc.start_us && attempt.start_us < a_end {
+                lanes.entry(attempt.track).or_default().push(attempt);
+            }
+        }
+        let busiest = lanes
+            .iter()
+            .max_by_key(|(track, lane)| {
+                (
+                    lane.iter().map(|s| s.dur_us).sum::<u64>(),
+                    u32::MAX - **track,
+                )
+            })
+            .map(|(_, lane)| lane.clone())
+            .unwrap_or_default();
+
+        if busiest.is_empty() {
+            // plain (non-resilient) trace: the allocation is the compute
+            let dur = a_end - cursor;
+            let stall = overlap_us(cursor, a_end, &stalls).min(dur);
+            push(&mut path, Phase::Compute, &alloc.name, cursor, dur);
+            *path.phase_us.entry(Phase::Compute.key()).or_insert(0) -= stall;
+            *path.phase_us.entry(Phase::FsStall.key()).or_insert(0) += stall;
+        } else {
+            for attempt in busiest {
+                let a_start = attempt.start_us.max(cursor);
+                if a_start > cursor {
+                    push(
+                        &mut path,
+                        Phase::AllocIdle,
+                        &alloc.name,
+                        cursor,
+                        a_start - cursor,
+                    );
+                    cursor = a_start;
+                }
+                let seg_end = attempt.end_us().clamp(cursor, a_end);
+                if seg_end > cursor {
+                    let phase = outcome_phase(attempt.args.get("outcome"));
+                    let dur = seg_end - cursor;
+                    let stall = overlap_us(cursor, seg_end, &stalls).min(dur);
+                    let ckpt = overlap_us(cursor, seg_end, &checkpoints).min(dur - stall);
+                    push(&mut path, phase, &attempt.name, cursor, dur);
+                    *path.phase_us.entry(phase.key()).or_insert(0) -= stall + ckpt;
+                    *path.phase_us.entry(Phase::FsStall.key()).or_insert(0) += stall;
+                    *path.phase_us.entry(Phase::Checkpoint.key()).or_insert(0) += ckpt;
+                    cursor = seg_end;
+                }
+            }
+            if a_end > cursor {
+                push(
+                    &mut path,
+                    Phase::AllocIdle,
+                    &alloc.name,
+                    cursor,
+                    a_end - cursor,
+                );
+            }
+        }
+        cursor = cursor.max(a_end);
+    }
+    path.total_us = cursor;
+    path
+}
+
+/// Renders the trace as folded stacks for flamegraph tooling: one line
+/// per distinct `campaign;lane;category;name` stack with the summed
+/// span microseconds, sorted lexicographically. Frame text sanitizes
+/// `;` and spaces, which folded-stack parsers treat as structure.
+pub fn folded_stacks(model: &TraceModel) -> String {
+    fn frame(s: &str) -> String {
+        s.chars()
+            .map(|c| match c {
+                ';' => ':',
+                ' ' => '_',
+                c => c,
+            })
+            .collect()
+    }
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for span in &model.spans {
+        let stack = format!(
+            "campaign;{};{};{}",
+            frame(&model.track_name(span.track)),
+            frame(&span.category),
+            frame(&span.name)
+        );
+        *stacks.entry(stack).or_insert(0) += span.dur_us;
+    }
+    let mut out = String::new();
+    for (stack, us) in &stacks {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts a sampled utilization series (`"util"` instants named
+/// `metric`) per lane: lane name → `(at_us, value)` points in
+/// recording (= time) order.
+pub fn utilization_points(model: &TraceModel, metric: &str) -> BTreeMap<String, Vec<(u64, f64)>> {
+    let mut series: BTreeMap<String, Vec<(u64, f64)>> = BTreeMap::new();
+    for inst in &model.instants {
+        if inst.category != "util" || inst.name != metric {
+            continue;
+        }
+        let Some(value) = inst.args.get("value").and_then(|v| v.parse::<f64>().ok()) else {
+            continue;
+        };
+        series
+            .entry(model.track_name(inst.track))
+            .or_default()
+            .push((inst.at_us, value));
+    }
+    series
+}
+
+/// Renders a sampled utilization metric as CSV
+/// (`lane,time_s,value`, one row per sample).
+pub fn utilization_csv(model: &TraceModel, metric: &str) -> String {
+    let mut out = String::from("lane,time_s,value\n");
+    for (lane, points) in utilization_points(model, metric) {
+        for (at_us, value) in points {
+            out.push_str(&lane);
+            out.push(',');
+            crate::json::write_f64(&mut out, at_us as f64 / 1e6);
+            out.push(',');
+            crate::json::write_f64(&mut out, value);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The distinct metric names carried by `"util"` instants, sorted.
+pub fn utilization_metrics(model: &TraceModel) -> Vec<String> {
+    let mut names: Vec<String> = model
+        .instants
+        .iter()
+        .filter(|i| i.category == "util")
+        .map(|i| i.name.clone())
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// A span flagged as anomalously long relative to its shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Straggler {
+    /// Shard key (`""` for serial traces).
+    pub shard: String,
+    /// Span name (run id).
+    pub name: String,
+    /// Lane the span was recorded on.
+    pub track: u32,
+    /// The span's duration.
+    pub dur_us: u64,
+    /// The shard's median duration for the category.
+    pub median_us: u64,
+}
+
+/// Flags spans of `category` whose duration exceeds `factor` times the
+/// shard median (lower median of the sorted durations — deterministic,
+/// no interpolation). Results follow recording order within shards.
+pub fn stragglers(model: &TraceModel, category: &str, factor: f64) -> Vec<Straggler> {
+    let mut by_shard: BTreeMap<String, Vec<&TraceSpan>> = BTreeMap::new();
+    for span in &model.spans {
+        if span.category == category {
+            by_shard
+                .entry(model.shard_of(span.track))
+                .or_default()
+                .push(span);
+        }
+    }
+    let mut out = Vec::new();
+    for (shard, spans) in &by_shard {
+        let mut durs: Vec<u64> = spans.iter().map(|s| s.dur_us).collect();
+        durs.sort_unstable();
+        let median = durs[(durs.len() - 1) / 2];
+        for span in spans {
+            if span.dur_us as f64 > factor * median as f64 {
+                out.push(Straggler {
+                    shard: shard.clone(),
+                    name: span.name.clone(),
+                    track: span.track,
+                    dur_us: span.dur_us,
+                    median_us: median,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanEvent;
+    use crate::{chrome_trace_json, Telemetry};
+
+    fn span(
+        category: &'static str,
+        name: &str,
+        track: u32,
+        start_us: u64,
+        dur_us: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) -> SpanEvent {
+        SpanEvent {
+            category,
+            name: name.to_string(),
+            track,
+            start_us,
+            dur_us,
+            args,
+        }
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let (tel, rec) = Telemetry::recording();
+        tel.name_track(0, "allocations");
+        tel.name_track(1, "machine");
+        tel.name_track(2, "g/a-0");
+        // queue wait 0..10, alloc 10..100 with a failed then a good attempt
+        tel.span(span(
+            "allocation",
+            "alloc-0",
+            0,
+            10,
+            90,
+            vec![("completed", 1u64.into())],
+        ));
+        tel.span(span(
+            "attempt",
+            "g/a-0",
+            2,
+            10,
+            30,
+            vec![("outcome", "run-error".into())],
+        ));
+        tel.span(span(
+            "attempt",
+            "g/a-0",
+            2,
+            50,
+            50,
+            vec![("outcome", "completed".into())],
+        ));
+        tel.span(span("fs-stall", "stall", 1, 60, 10, vec![]));
+        rec.snapshot()
+    }
+
+    #[test]
+    fn parse_round_trips_from_snapshot() {
+        let snap = sample_snapshot();
+        let parsed = TraceModel::parse(&chrome_trace_json(&snap)).expect("parses");
+        assert_eq!(parsed, TraceModel::from_snapshot(&snap));
+    }
+
+    #[test]
+    fn parse_rejects_other_schemas() {
+        assert!(TraceModel::parse("{\"traceEvents\": []}").is_err());
+    }
+
+    #[test]
+    fn critical_path_attributes_phases() {
+        let model = TraceModel::from_snapshot(&sample_snapshot());
+        let path = critical_path(&model);
+        assert_eq!(path.shard, "");
+        assert_eq!(path.total_us, 100);
+        assert_eq!(path.phase_us["queue_wait"], 10);
+        assert_eq!(path.phase_us["retry"], 30);
+        // alloc idle 40..50, completed attempt 50..100 minus 10us stall
+        assert_eq!(path.phase_us["alloc_idle"], 10);
+        assert_eq!(path.phase_us["fs_stall"], 10);
+        assert_eq!(path.phase_us["compute"], 40);
+        let sum: u64 = path.phase_us.values().sum();
+        assert_eq!(sum, path.total_us, "phases partition the path");
+    }
+
+    #[test]
+    fn folded_stacks_are_sorted_and_aggregated() {
+        let model = TraceModel::from_snapshot(&sample_snapshot());
+        let folded = folded_stacks(&model);
+        let lines: Vec<&str> = folded.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+        assert!(folded.contains("campaign;g/a-0;attempt;g/a-0 80\n"));
+    }
+
+    #[test]
+    fn shard_keys_parse_merged_prefixes() {
+        assert_eq!(shard_key("shard3/allocations"), "shard3");
+        assert_eq!(shard_key("allocations"), "");
+        assert_eq!(shard_key("shardX/allocations"), "");
+        assert_eq!(shard_key("shard/allocations"), "");
+    }
+
+    #[test]
+    fn stragglers_use_the_shard_median() {
+        let (tel, rec) = Telemetry::recording();
+        tel.name_track(0, "runs");
+        for (i, dur) in [100u64, 110, 105, 400].iter().enumerate() {
+            tel.span(span("attempt", &format!("r-{i}"), 0, 0, *dur, vec![]));
+        }
+        let model = TraceModel::from_snapshot(&rec.snapshot());
+        let flagged = stragglers(&model, "attempt", 2.0);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].name, "r-3");
+        assert_eq!(flagged[0].median_us, 105);
+    }
+
+    #[test]
+    fn utilization_series_extracts_sampled_points() {
+        let (tel, rec) = Telemetry::recording();
+        tel.name_track(0, "machine");
+        for (t, v) in [(0u64, 0.0f64), (10, 6.0), (25, 2.0)] {
+            tel.instant(crate::InstantEvent {
+                category: "util",
+                name: "busy_nodes".to_string(),
+                track: 0,
+                at_us: t,
+                args: vec![("value", v.into())],
+            });
+        }
+        let model = TraceModel::from_snapshot(&rec.snapshot());
+        let series = utilization_points(&model, "busy_nodes");
+        assert_eq!(series["machine"], vec![(0, 0.0), (10, 6.0), (25, 2.0)]);
+        assert_eq!(utilization_metrics(&model), vec!["busy_nodes".to_string()]);
+        let csv = utilization_csv(&model, "busy_nodes");
+        assert!(csv.starts_with("lane,time_s,value\n"));
+        assert!(csv.contains("machine,0.00001,6\n"));
+    }
+}

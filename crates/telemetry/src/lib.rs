@@ -35,19 +35,32 @@
 
 #![deny(missing_docs)]
 
+pub mod analysis;
 pub mod chrome;
+pub mod digest;
 pub mod event;
 pub(crate) mod json;
+pub(crate) mod jsonin;
 pub mod merge;
 pub mod metrics;
+pub mod report;
 pub mod sink;
 
 use std::sync::Arc;
 
+pub use analysis::{
+    critical_path, folded_stacks, stragglers, utilization_csv, utilization_points, CriticalPath,
+    Phase, Straggler, TraceModel,
+};
 pub use chrome::chrome_trace_json;
+pub use digest::{digest_json, Digest, DigestSet};
 pub use event::{ArgValue, InstantEvent, SpanEvent};
 pub use merge::{merge_snapshots, replay};
 pub use metrics::{metrics_json, metrics_keys, span_aggregates, SpanAggregate};
+pub use report::{
+    compare_metrics, digests_from_model, parse_metrics, render_summary, CompareReport, MetricsDoc,
+    SummaryOptions,
+};
 pub use sink::{Recorder, Sink, Snapshot};
 
 /// The recording handle threaded through executors.

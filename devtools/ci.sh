@@ -64,4 +64,44 @@ else
         CARGO_NET_OFFLINE=true cargo run -q --release --offline -p bench --bin campaign_parallel -- --smoke)
 fi
 
+# Report smoke: run a small seeded campaign, export its trace, and feed
+# it through fair-report — summary, digest, and flamegraph. Checks:
+# (a) the digest export carries the schema id declared in
+#     devtools/schemas/telemetry-digest.schema.json,
+# (b) the flamegraph (folded-stack) export is non-empty,
+# (c) all three derived outputs are byte-stable across two generations.
+# Both bins are rand-free at runtime, so offline they run from the
+# shadow workspace offline-check.sh just built.
+echo "== ci: report smoke =="
+SMOKE_DIR="$REPO/target/report-smoke"
+rm -rf "$SMOKE_DIR" && mkdir -p "$SMOKE_DIR"
+run_report_bin() {
+    local bin="$1"
+    shift
+    if cargo build -q --release -p bench --bin "$bin" 2>/dev/null; then
+        cargo run -q --release -p bench --bin "$bin" -- "$@"
+    else
+        (cd "$REPO/target/offline-check" &&
+            CARGO_NET_OFFLINE=true cargo run -q --release --offline -p bench --bin "$bin" -- "$@")
+    fi
+}
+for gen in 1 2; do
+    run_report_bin report_smoke "$SMOKE_DIR/trace$gen.json"
+    run_report_bin fair-report "$SMOKE_DIR/trace$gen.json" >"$SMOKE_DIR/summary$gen.txt"
+    run_report_bin fair-report --digest "$SMOKE_DIR/trace$gen.json" >"$SMOKE_DIR/digest$gen.json"
+    run_report_bin fair-report --flamegraph "$SMOKE_DIR/trace$gen.json" >"$SMOKE_DIR/folded$gen.txt"
+done
+grep -q '"\$id": "fair-telemetry-digest/1"' "$REPO/devtools/schemas/telemetry-digest.schema.json" ||
+    { echo "report smoke: schema stub missing its \$id"; exit 1; }
+grep -q '"schema": "fair-telemetry-digest/1"' "$SMOKE_DIR/digest1.json" ||
+    { echo "report smoke: digest export lacks the declared schema id"; exit 1; }
+test -s "$SMOKE_DIR/folded1.txt" ||
+    { echo "report smoke: flamegraph export is empty"; exit 1; }
+for artifact in summary digest folded; do
+    ext=txt; [ "$artifact" = digest ] && ext=json
+    cmp -s "$SMOKE_DIR/${artifact}1.$ext" "$SMOKE_DIR/${artifact}2.$ext" ||
+        { echo "report smoke: $artifact not byte-stable across two runs"; exit 1; }
+done
+echo "report smoke: OK"
+
 echo "ci: OK"

@@ -34,7 +34,7 @@ use fair_workflows::savanna::{
     run_campaign_resilient_par_traced, run_campaign_sim_par_traced, FaultSpec, SeriesSpec,
     ShardPlan,
 };
-use fair_workflows::telemetry::{metrics_json, Telemetry};
+use fair_workflows::telemetry::{metrics_json, Snapshot, Telemetry};
 
 /// Builds a one-group sweep campaign with `runs` integer-swept runs.
 pub fn grid_manifest(name: &str, runs: i64) -> CampaignManifest {
@@ -109,6 +109,17 @@ impl Fixture {
 /// pool unless one is given) and returns the final board plus the
 /// telemetry metrics export.
 pub fn run_fixture(fixture: Fixture, pool: Option<&ThreadPool>) -> (StatusBoard, String) {
+    let (board, metrics, _) = run_fixture_full(fixture, pool);
+    (board, metrics)
+}
+
+/// [`run_fixture`] plus the raw telemetry snapshot, for the analysis
+/// layer (`fair-report`) fixtures that derive summaries, digests, and
+/// folded stacks from the trace itself.
+pub fn run_fixture_full(
+    fixture: Fixture,
+    pool: Option<&ThreadPool>,
+) -> (StatusBoard, String, Snapshot) {
     let (tel, rec) = Telemetry::recording();
     let board = match fixture {
         Fixture::Sweep => {
@@ -200,7 +211,9 @@ pub fn run_fixture(fixture: Fixture, pool: Option<&ThreadPool>) -> (StatusBoard,
             board
         }
     };
-    (board, metrics_json(&rec.snapshot()))
+    let snapshot = rec.snapshot();
+    let metrics = metrics_json(&snapshot);
+    (board, metrics, snapshot)
 }
 
 /// Absolute path of a committed fixture artifact.
@@ -208,6 +221,25 @@ pub fn fixture_path(fixture: Fixture, kind: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(format!("{}.{kind}.json", fixture.name()))
+}
+
+/// Absolute path of a committed plain-text fixture artifact (fair-report
+/// summaries, folded flamegraph stacks).
+pub fn fixture_text_path(fixture: Fixture, kind: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{}.{kind}.txt", fixture.name()))
+}
+
+/// A committed expected plain-text artifact, byte-exact.
+pub fn expected_text(fixture: Fixture, kind: &str) -> String {
+    let path = fixture_text_path(fixture, kind);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run UPDATE_FIXTURES=1 to generate)",
+            path.display()
+        )
+    })
 }
 
 /// The committed expected board bytes (the canonical-JSON form of

@@ -1,0 +1,125 @@
+//! Property tests for the streaming quantile digest
+//! (`telemetry::digest`): merge algebra, shard-merge byte identity, and
+//! the documented rank-error bound.
+//!
+//! The digest exists so per-shard recorders can summarize durations
+//! independently and the merge is *exact* — fixed log-bucket boundaries
+//! mean merging shard digests and digesting the concatenated stream are
+//! the same object, byte for byte. These properties are what make the
+//! `fair-telemetry-digest/1` export deterministic under any shard plan.
+
+use fair_workflows::telemetry::digest::RELATIVE_ERROR;
+use fair_workflows::telemetry::{digest_json, Digest, DigestSet, Snapshot, SpanEvent};
+use proptest::prelude::*;
+
+fn digest_of(values: &[u64]) -> Digest {
+    let mut d = Digest::new();
+    for &v in values {
+        d.observe(v);
+    }
+    d
+}
+
+/// Builds a snapshot holding one `"attempt"` span per duration plus a
+/// counter, mimicking what one shard's recorder produces.
+fn snapshot_of(durs: &[u64], counter: f64) -> Snapshot {
+    let mut snap = Snapshot::default();
+    for (i, &d) in durs.iter().enumerate() {
+        snap.spans.push(SpanEvent {
+            category: "attempt",
+            name: format!("run-{i}"),
+            track: 0,
+            start_us: 10 * i as u64,
+            dur_us: d,
+            args: vec![],
+        });
+    }
+    snap.counters.insert("retries".to_string(), counter);
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..50),
+        b in proptest::collection::vec(0u64..1_000_000, 0..50),
+    ) {
+        let (da, db) = (digest_of(&a), digest_of(&b));
+        let mut ab = da.clone();
+        ab.merge_from(&db);
+        let mut ba = db.clone();
+        ba.merge_from(&da);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative_and_equals_single_feed(
+        a in proptest::collection::vec(0u64..1_000_000, 0..40),
+        b in proptest::collection::vec(0u64..1_000_000, 0..40),
+        c in proptest::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let (da, db, dc) = (digest_of(&a), digest_of(&b), digest_of(&c));
+        // (a + b) + c
+        let mut left = da.clone();
+        left.merge_from(&db);
+        left.merge_from(&dc);
+        // a + (b + c)
+        let mut right_inner = db.clone();
+        right_inner.merge_from(&dc);
+        let mut right = da.clone();
+        right.merge_from(&right_inner);
+        prop_assert_eq!(&left, &right);
+        // both equal the digest of the concatenated stream
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &digest_of(&all));
+    }
+
+    #[test]
+    fn shard_merge_is_byte_identical_to_single_recorder(
+        a in proptest::collection::vec(1u64..10_000_000, 1..40),
+        b in proptest::collection::vec(1u64..10_000_000, 0..40),
+        ca in 0f64..100.0,
+        cb in 0f64..100.0,
+    ) {
+        let (sa, sb) = (snapshot_of(&a, ca.round()), snapshot_of(&b, cb.round()));
+        // shard path: digest each shard snapshot, merge the sets
+        let mut sharded = DigestSet::from_snapshot(&sa);
+        sharded.merge_from(&DigestSet::from_snapshot(&sb));
+        // single-recorder path: digest both parts as one stream
+        let single = DigestSet::from_parts(&[&sa, &sb]);
+        prop_assert_eq!(digest_json(&sharded), digest_json(&single));
+    }
+
+    #[test]
+    fn quantile_error_stays_within_documented_bound(
+        mut values in proptest::collection::vec(0u64..100_000_000, 1..120),
+        q in 0f64..=1.0,
+    ) {
+        let digest = digest_of(&values);
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let estimate = digest.quantile(q).expect("non-empty digest");
+        let bound = exact as f64 * RELATIVE_ERROR;
+        prop_assert!(
+            (estimate as f64 - exact as f64).abs() <= bound,
+            "q={} exact={} estimate={} bound={}",
+            q, exact, estimate, bound
+        );
+    }
+
+    #[test]
+    fn count_sum_min_max_are_exact(
+        values in proptest::collection::vec(0u64..1_000_000, 1..80),
+    ) {
+        let digest = digest_of(&values);
+        prop_assert_eq!(digest.count(), values.len() as u64);
+        prop_assert_eq!(digest.sum(), values.iter().map(|&v| u128::from(v)).sum::<u128>());
+        prop_assert_eq!(digest.min(), values.iter().min().copied());
+        prop_assert_eq!(digest.max(), values.iter().max().copied());
+    }
+}

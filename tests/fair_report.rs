@@ -1,0 +1,148 @@
+//! Golden fixtures and acceptance checks for the trace-analysis layer
+//! (`telemetry::analysis` / `fair-report`).
+//!
+//! The same fixture campaigns as `golden_fixtures.rs`, but the committed
+//! artifacts here are the *derived* reports: the human-readable
+//! `fair-report` summary, the folded flamegraph stacks, and the
+//! `fair-telemetry-digest/1` export. Regenerate after an intentional
+//! behavior change with `UPDATE_FIXTURES=1 cargo test --test fair_report`.
+//!
+//! Acceptance properties pinned here (ISSUE 5):
+//! * summary, digest, and folded-stack outputs are **byte-identical**
+//!   at thread counts {1, 2, 8} and inline execution;
+//! * a serial campaign's critical-path total equals the makespan the
+//!   campaign report derives from the same events.
+
+mod common;
+
+use common::{
+    expected_text, fixture_text_path, grid_manifest, ramp_durations, run_fixture_full, Fixture,
+};
+use fair_workflows::cheetah::status::StatusBoard;
+use fair_workflows::exec::ThreadPool;
+use fair_workflows::hpcsim::batch::{AllocationSeries, BatchJob};
+use fair_workflows::hpcsim::time::SimDuration;
+use fair_workflows::savanna::pilot::PilotScheduler;
+use fair_workflows::savanna::run_campaign_sim_traced;
+use fair_workflows::telemetry::{
+    critical_path, digest_json, digests_from_model, folded_stacks, render_summary, DigestSet,
+    SummaryOptions, Telemetry, TraceModel,
+};
+
+/// All three derived artifacts for one fixture execution.
+fn derive(fixture: Fixture, pool: Option<&ThreadPool>) -> (String, String, String) {
+    let (_, _, snapshot) = run_fixture_full(fixture, pool);
+    let model = TraceModel::from_snapshot(&snapshot);
+    let summary = render_summary(&model, &SummaryOptions::default());
+    let folded = folded_stacks(&model);
+    let digest = digest_json(&DigestSet::from_snapshot(&snapshot));
+    (summary, folded, digest)
+}
+
+fn check(fixture: Fixture) {
+    let (summary, folded, digest) = derive(fixture, None);
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        std::fs::write(fixture_text_path(fixture, "summary"), &summary)
+            .expect("write summary fixture");
+        std::fs::write(fixture_text_path(fixture, "folded"), &folded)
+            .expect("write folded fixture");
+        return;
+    }
+    assert_eq!(
+        summary,
+        expected_text(fixture, "summary"),
+        "{}: fair-report summary drifted from the committed fixture",
+        fixture.name()
+    );
+    assert_eq!(
+        folded,
+        expected_text(fixture, "folded"),
+        "{}: folded stacks drifted from the committed fixture",
+        fixture.name()
+    );
+    assert!(
+        digest.contains("\"schema\": \"fair-telemetry-digest/1\""),
+        "{}: digest export lost its schema id",
+        fixture.name()
+    );
+}
+
+#[test]
+fn sweep_report_matches_committed_golden() {
+    check(Fixture::Sweep);
+}
+
+#[test]
+fn faulty_report_matches_committed_golden() {
+    check(Fixture::Faulty);
+}
+
+#[test]
+fn checkpointed_report_matches_committed_golden() {
+    check(Fixture::Checkpointed);
+}
+
+#[test]
+fn reports_are_byte_identical_at_every_thread_count() {
+    for fixture in Fixture::ALL {
+        let inline = derive(fixture, None);
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let pooled = derive(fixture, Some(&pool));
+            assert_eq!(
+                inline,
+                pooled,
+                "{}: derived reports differ at threads={threads}",
+                fixture.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_critical_path_total_equals_campaign_makespan() {
+    // a serial (unsharded) traced campaign: the critical path through
+    // the trace must account for exactly the makespan the driver reports
+    let manifest = grid_manifest("cp-serial", 9);
+    let durations = ramp_durations(&manifest, 600, 240);
+    let mut series = AllocationSeries::instant(BatchJob::new(8, SimDuration::from_hours(2)), 17);
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let (tel, rec) = Telemetry::recording();
+    let report = run_campaign_sim_traced(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        64,
+        &tel,
+    )
+    .expect("durations modeled");
+    assert!(report.is_complete());
+    let model = TraceModel::from_snapshot(&rec.snapshot());
+    let path = critical_path(&model);
+    assert_eq!(
+        path.total_us, report.total_span.0,
+        "critical-path total must equal the reported campaign makespan"
+    );
+    // the phase attribution partitions the total exactly
+    let phase_sum: u64 = path.phase_us.values().sum();
+    assert_eq!(phase_sum, path.total_us);
+}
+
+#[test]
+fn digests_from_model_match_snapshot_span_digests() {
+    // the model-derived digests (what `fair-report --digest` serves) must
+    // agree with digesting the snapshot directly for every span key
+    let (_, _, snapshot) = run_fixture_full(Fixture::Faulty, None);
+    let model = TraceModel::from_snapshot(&snapshot);
+    let from_model = digests_from_model(&model);
+    let from_snapshot = DigestSet::from_snapshot(&snapshot);
+    for (key, digest) in from_model.iter() {
+        assert_eq!(
+            Some(digest),
+            from_snapshot.get(key),
+            "span digest for {key} differs between model and snapshot paths"
+        );
+    }
+}

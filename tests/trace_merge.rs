@@ -1,0 +1,148 @@
+//! Regression coverage for shard-trace merging with *empty* shards.
+//!
+//! The resilient sharded driver computes each shard's track offset as a
+//! pure function of the plan (`2 + runs_in_shard` per shard) and rebases
+//! every run's `trace#<local>` status-board ref by that offset. A shard
+//! whose runs were all already complete when the campaign launched
+//! records **zero spans** — its tracks exist in name only — which is
+//! exactly the case where an off-by-one in offset accounting would slip
+//! past the ordinary determinism tests: the byte-diff oracle only sees
+//! events, and an empty shard contributes none. These tests pin the
+//! ref-to-track mapping itself: every run's rebased `trace#N` must name
+//! a merged track whose (shard-prefixed) name ends with that run's id,
+//! even when earlier shards in the plan are empty.
+
+mod common;
+
+use common::{grid_manifest, ramp_durations};
+use fair_workflows::cheetah::status::{RunStatus, StatusBoard};
+use fair_workflows::exec::ThreadPool;
+use fair_workflows::hpcsim::batch::BatchJob;
+use fair_workflows::hpcsim::time::SimDuration;
+use fair_workflows::savanna::pilot::PilotScheduler;
+use fair_workflows::savanna::resilience::{FaultPlan, ResiliencePolicy};
+use fair_workflows::savanna::{
+    run_campaign_resilient_par_traced, FaultSpec, SeriesSpec, ShardPlan,
+};
+use fair_workflows::telemetry::{chrome_trace_json, metrics_json, Snapshot, Telemetry};
+
+const SEED: u64 = 53;
+
+/// Runs a 10-run / 2-shard resilient campaign in which **every run of
+/// shard 0 is pre-completed** on the starting board, so shard 0 records
+/// an empty trace (track names, no events). Returns the merged board and
+/// snapshot.
+fn run_with_empty_first_shard(pool: Option<&ThreadPool>) -> (StatusBoard, Snapshot) {
+    let manifest = grid_manifest("empty-shard", 10);
+    let durations = ramp_durations(&manifest, 600, 120);
+    let spec = SeriesSpec::instant(BatchJob::new(8, SimDuration::from_hours(2)));
+    let plan = ShardPlan::contiguous(manifest.total_runs(), 2);
+    let policy = ResiliencePolicy {
+        retry_budget: 3,
+        backoff_base: SimDuration::from_mins(5),
+        ..ResiliencePolicy::default()
+    };
+    let faults = FaultPlan {
+        run_faults: FaultSpec::new(0.3, SEED),
+        node_mttf: None,
+        stalls: None,
+        seed: SEED,
+    };
+    let mut board = StatusBoard::for_manifest(&manifest);
+    // shard 0 owns runs 0..5 under the contiguous plan: mark them done
+    // up front so that shard executes nothing.
+    for idx in plan.assignment(0) {
+        board.set(&format!("grid/p-{idx}"), RunStatus::Done);
+    }
+    let (tel, rec) = Telemetry::recording();
+    run_campaign_resilient_par_traced(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &spec,
+        SEED,
+        &mut board,
+        64,
+        &policy,
+        &faults,
+        &plan,
+        pool,
+        &tel,
+    )
+    .expect("durations modeled");
+    (board, rec.snapshot())
+}
+
+#[test]
+fn refs_point_at_the_right_tracks_when_a_shard_is_empty() {
+    let (board, snapshot) = run_with_empty_first_shard(None);
+    assert!(board.summary().is_complete(), "campaign must finish");
+    let manifest = grid_manifest("empty-shard", 10);
+    for group in &manifest.groups {
+        for run in &group.runs {
+            let reference = board
+                .telemetry_ref(&run.id)
+                .unwrap_or_else(|| panic!("{}: no telemetry ref", run.id));
+            let track: u32 = reference
+                .strip_prefix("trace#")
+                .and_then(|t| t.parse().ok())
+                .unwrap_or_else(|| panic!("{}: malformed ref {reference}", run.id));
+            let name = snapshot
+                .track_names
+                .get(&track)
+                .unwrap_or_else(|| panic!("{}: ref {reference} names no merged track", run.id));
+            assert!(
+                name.ends_with(&format!("/{}", run.id)),
+                "{}: ref {reference} resolves to track {name:?}, not the run's own lane",
+                run.id
+            );
+            assert_eq!(
+                board.digest_ref(&run.id),
+                Some("digest#span_us.attempt"),
+                "{}: digest ref missing after merge",
+                run.id
+            );
+        }
+    }
+    // the empty shard contributed its track names but no events on them
+    let shard0_tracks: Vec<u32> = snapshot
+        .track_names
+        .iter()
+        .filter(|(_, n)| n.starts_with("shard0/"))
+        .map(|(t, _)| *t)
+        .collect();
+    assert_eq!(shard0_tracks.len(), 7, "2 fixed + 5 run tracks expected");
+    assert!(
+        snapshot
+            .spans
+            .iter()
+            .all(|s| !shard0_tracks.contains(&s.track)),
+        "pre-completed shard must record no spans"
+    );
+}
+
+#[test]
+fn empty_shard_merge_is_byte_identical_across_thread_counts() {
+    let (serial_board, serial_snap) = run_with_empty_first_shard(None);
+    let serial_trace = chrome_trace_json(&serial_snap);
+    let serial_metrics = metrics_json(&serial_snap);
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let (board, snap) = run_with_empty_first_shard(Some(&pool));
+        assert_eq!(
+            serial_board.canonical_json(),
+            board.canonical_json(),
+            "threads={threads}: board differs"
+        );
+        assert_eq!(
+            serial_trace,
+            chrome_trace_json(&snap),
+            "threads={threads}: trace differs"
+        );
+        assert_eq!(
+            serial_metrics,
+            metrics_json(&snap),
+            "threads={threads}: metrics differ"
+        );
+    }
+}
