@@ -6,6 +6,8 @@
 //! structs here are that schema; `savanna` consumes them without any
 //! knowledge of how they were composed.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use serde::{Deserialize, Serialize};
 
 use crate::campaign::AppDef;
@@ -37,6 +39,40 @@ pub struct GroupManifest {
     pub walltime_secs: u64,
     /// The runs.
     pub runs: Vec<RunManifest>,
+}
+
+impl GroupManifest {
+    /// Parameter census: how many of the group's runs assign each
+    /// parameter name. Names assigned by no run do not appear.
+    pub fn param_census(&self) -> BTreeMap<&str, usize> {
+        let mut census = BTreeMap::new();
+        for run in &self.runs {
+            for name in run.params.params.keys() {
+                *census.entry(name.as_str()).or_insert(0) += 1;
+            }
+        }
+        census
+    }
+
+    /// Parameters that take at least two distinct rendered values across
+    /// the group's runs — the group's *sweep axes*. A parameter pinned to
+    /// one value everywhere is configuration, not a swept dimension.
+    pub fn swept_params(&self) -> BTreeSet<&str> {
+        let mut values: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+        for run in &self.runs {
+            for (name, value) in &run.params.params {
+                values
+                    .entry(name.as_str())
+                    .or_default()
+                    .insert(value.render());
+            }
+        }
+        values
+            .into_iter()
+            .filter(|(_, v)| v.len() >= 2)
+            .map(|(k, _)| k)
+            .collect()
+    }
 }
 
 /// The full campaign manifest.
@@ -74,6 +110,22 @@ impl CampaignManifest {
     /// Finds a group by name.
     pub fn group(&self, name: &str) -> Option<&GroupManifest> {
         self.groups.iter().find(|g| g.name == name)
+    }
+
+    /// Every parameter name assigned by at least one run, across all
+    /// groups.
+    pub fn assigned_params(&self) -> BTreeSet<&str> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.param_census().into_keys())
+            .collect()
+    }
+
+    /// Union of every group's swept (multi-valued) parameter names — the
+    /// campaign's sweep axes, the inputs a reuser must vary to reproduce
+    /// the study.
+    pub fn swept_params(&self) -> BTreeSet<&str> {
+        self.groups.iter().flat_map(|g| g.swept_params()).collect()
     }
 
     /// Serializes to pretty JSON.
@@ -128,6 +180,35 @@ mod tests {
         m.schema_version = 99;
         let err = CampaignManifest::from_json(&m.to_json()).unwrap_err();
         assert!(err.contains("schema version"));
+    }
+
+    #[test]
+    fn param_flow_accessors_distinguish_swept_from_pinned() {
+        // "n" sweeps over two values; "mode" is pinned to one
+        let m = Campaign::new("c", "m", AppDef::new("app", "app.exe"))
+            .with_group(SweepGroup::new(
+                "g1",
+                Sweep::new()
+                    .with("n", SweepSpec::list([1, 2]))
+                    .with("mode", SweepSpec::fixed("fast")),
+                4,
+                1,
+                600,
+            ))
+            .manifest()
+            .unwrap();
+        let group = &m.groups[0];
+        assert_eq!(group.param_census()["n"], 2);
+        assert_eq!(group.param_census()["mode"], 2);
+        assert_eq!(
+            group.swept_params().into_iter().collect::<Vec<_>>(),
+            vec!["n"]
+        );
+        assert_eq!(
+            m.assigned_params().into_iter().collect::<Vec<_>>(),
+            vec!["mode", "n"]
+        );
+        assert_eq!(m.swept_params().into_iter().collect::<Vec<_>>(), vec!["n"]);
     }
 
     #[test]

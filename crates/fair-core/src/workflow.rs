@@ -235,6 +235,79 @@ impl WorkflowGraph {
         }
     }
 
+    /// Nodes with no incoming edge whose endpoints both exist — the
+    /// workflow's entry points. Edges referencing out-of-range nodes are
+    /// ignored, so the answer is meaningful even for graphs assembled
+    /// with [`WorkflowGraph::connect_unchecked`].
+    pub fn source_nodes(&self) -> Vec<NodeIdx> {
+        (0..self.nodes.len())
+            .map(NodeIdx)
+            .filter(|&i| {
+                !self
+                    .edges
+                    .iter()
+                    .any(|e| e.to == i && self.edge_in_bounds(e))
+            })
+            .collect()
+    }
+
+    /// Nodes with no outgoing edge whose endpoints both exist — the
+    /// workflow's exit points (dual of [`WorkflowGraph::source_nodes`]).
+    pub fn sink_nodes(&self) -> Vec<NodeIdx> {
+        (0..self.nodes.len())
+            .map(NodeIdx)
+            .filter(|&i| {
+                !self
+                    .edges
+                    .iter()
+                    .any(|e| e.from == i && self.edge_in_bounds(e))
+            })
+            .collect()
+    }
+
+    /// True when both endpoints of `e` index real nodes.
+    fn edge_in_bounds(&self, e: &Edge) -> bool {
+        e.from.0 < self.nodes.len() && e.to.0 < self.nodes.len()
+    }
+
+    /// Per-node forward reachability from `seeds`: `result[i]` is true
+    /// when node `i` is a seed or some seed reaches it along edges.
+    /// Out-of-range seeds and edges are ignored.
+    pub fn reachable_from(&self, seeds: &[NodeIdx]) -> Vec<bool> {
+        self.flood(seeds, |e| (e.from, e.to))
+    }
+
+    /// Per-node backward reachability: `result[i]` is true when node `i`
+    /// is a seed or can reach some seed along edges. Out-of-range seeds
+    /// and edges are ignored.
+    pub fn reaches(&self, seeds: &[NodeIdx]) -> Vec<bool> {
+        self.flood(seeds, |e| (e.to, e.from))
+    }
+
+    /// Flood fill over edges oriented by `orient` (which returns
+    /// `(tail, head)` per edge). Works on cyclic graphs: every node is
+    /// enqueued at most once.
+    fn flood(&self, seeds: &[NodeIdx], orient: impl Fn(&Edge) -> (NodeIdx, NodeIdx)) -> Vec<bool> {
+        let n = self.nodes.len();
+        let mut marked = vec![false; n];
+        let mut queue: Vec<usize> = seeds
+            .iter()
+            .filter(|s| s.0 < n)
+            .map(|s| s.0)
+            .filter(|&s| !std::mem::replace(&mut marked[s], true))
+            .collect();
+        while let Some(i) = queue.pop() {
+            for e in &self.edges {
+                let (tail, head) = orient(e);
+                if tail.0 == i && head.0 < n && !marked[head.0] {
+                    marked[head.0] = true;
+                    queue.push(head.0);
+                }
+            }
+        }
+        marked
+    }
+
     /// The workflow's gauge profile: the **meet** of the member profiles —
     /// a workflow is only as reusable as its least explicit component.
     pub fn assess(&self) -> GaugeProfile {
@@ -440,6 +513,37 @@ mod tests {
         // b's successor (c) is not a pure sink, and c's predecessor (b) is
         // not a pure source: no motif in a 4-chain.
         assert!(g.find_motifs().is_empty());
+    }
+
+    #[test]
+    fn sources_sinks_and_reachability_on_a_chain() {
+        let mut g = WorkflowGraph::new();
+        let a = g.add(comp("a", &[], &["o"]));
+        let b = g.add(comp("b", &["i"], &["o"]));
+        let c = g.add(comp("c", &["i"], &[]));
+        let loner = g.add(comp("loner", &[], &[]));
+        g.connect(a, "o", b, "i").unwrap();
+        g.connect(b, "o", c, "i").unwrap();
+        assert_eq!(g.source_nodes(), vec![a, loner]);
+        assert_eq!(g.sink_nodes(), vec![c, loner]);
+        let fwd = g.reachable_from(&[a]);
+        assert_eq!(fwd, vec![true, true, true, false]);
+        let back = g.reaches(&[c]);
+        assert_eq!(back, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn reachability_ignores_out_of_range_edges_and_seeds() {
+        let mut g = WorkflowGraph::new();
+        let a = g.add(comp("a", &[], &["o"]));
+        g.connect_unchecked(a, "o", NodeIdx(9), "i");
+        g.connect_unchecked(NodeIdx(9), "o", a, "i");
+        // the dangling edges neither crash nor mark anything
+        assert_eq!(g.reachable_from(&[a, NodeIdx(42)]), vec![true]);
+        assert_eq!(g.reaches(&[a]), vec![true]);
+        // a node is a source/sink only with respect to in-bounds edges
+        assert_eq!(g.source_nodes(), vec![a]);
+        assert_eq!(g.sink_nodes(), vec![a]);
     }
 
     #[test]

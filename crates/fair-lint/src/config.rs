@@ -4,7 +4,57 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::diag::Severity;
+use crate::diag::{DiagnosticSet, Location, Severity};
+
+/// FW000: a configuration override names a rule code no rule defines.
+/// The override is inert, which usually means a typo silently disabled
+/// (or failed to escalate) the rule the user actually meant.
+pub const UNKNOWN_RULE_CODE: &str = "FW000";
+
+/// Every rule code the linter defines, in code order. `FW000` itself is
+/// first: it is reportable (and thus overridable — `--strict` escalates
+/// it to an error) like any other rule.
+pub fn known_codes() -> &'static [&'static str] {
+    &[
+        UNKNOWN_RULE_CODE,
+        // graph structure
+        "FW001",
+        "FW002",
+        "FW003",
+        "FW004",
+        "FW005",
+        "FW006",
+        "FW007",
+        // campaign / manifest
+        "FW101",
+        "FW102",
+        "FW103",
+        "FW104",
+        // checkpoint & resilience policy
+        "FW201",
+        "FW202",
+        "FW203",
+        // reuse gauge
+        "FW301",
+        "FW302",
+        // dataflow
+        "FW401",
+        "FW402",
+        "FW403",
+        "FW404",
+        "FW405",
+        "FW406",
+        "FW407",
+        "FW408",
+        // schedule determinism
+        "FW501",
+        "FW502",
+        "FW503",
+        "FW504",
+        "FW505",
+        "FW506",
+    ]
+}
 
 /// What to do with one rule's findings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +119,34 @@ impl LintConfig {
     pub fn setting(&self, code: &str) -> Option<&RuleSetting> {
         self.overrides.get(code)
     }
+
+    /// The rule codes this configuration overrides, in code order.
+    pub fn override_codes(&self) -> impl Iterator<Item = &str> {
+        self.overrides.keys().map(String::as_str)
+    }
+
+    /// FW000: reports every override whose code no rule defines.
+    ///
+    /// An unknown code is inert — historically it was *silently* inert,
+    /// so `--allow FW402` with a typo (`FW420`) left the user believing
+    /// a rule was suppressed when it was not. Default severity is
+    /// [`Severity::Warn`]; deny `FW000` (the CLI's `--strict`) to make a
+    /// typo fail the gate instead.
+    pub fn lint_unknown_codes(&self) -> DiagnosticSet {
+        let mut set = DiagnosticSet::new();
+        for code in self.override_codes() {
+            if !known_codes().contains(&code) {
+                set.report(
+                    self,
+                    UNKNOWN_RULE_CODE,
+                    Severity::Warn,
+                    format!("configuration overrides unknown rule code {code}"),
+                    Location::none(),
+                );
+            }
+        }
+        set
+    }
 }
 
 #[cfg(test)]
@@ -98,5 +176,37 @@ mod tests {
         let c = LintConfig::default();
         assert_eq!(c.explosion_threshold, 10_000);
         assert!(c.daly_tolerance > 1.0);
+    }
+
+    #[test]
+    fn known_codes_are_sorted_and_unique() {
+        let codes = known_codes();
+        let mut sorted = codes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, &sorted[..]);
+    }
+
+    #[test]
+    fn unknown_override_codes_are_reported_as_fw000() {
+        // a typo'd allow and a typo'd deny both surface; real codes don't
+        let c = LintConfig::new()
+            .allow("FW420")
+            .deny("FW599")
+            .allow("FW005");
+        let diags = c.lint_unknown_codes();
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == UNKNOWN_RULE_CODE));
+        assert!(diags.iter().all(|d| d.severity == Severity::Warn));
+        let messages: Vec<_> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert!(messages[0].contains("FW420"), "{messages:?}");
+        assert!(messages[1].contains("FW599"), "{messages:?}");
+
+        // clean config reports nothing
+        assert!(LintConfig::new().lint_unknown_codes().is_empty());
+
+        // FW000 is itself overridable: denying it escalates the findings
+        let strict = LintConfig::new().allow("FW420").deny(UNKNOWN_RULE_CODE);
+        assert!(!strict.lint_unknown_codes().is_clean());
     }
 }

@@ -59,6 +59,8 @@ pub struct Location {
     pub param: Option<String>,
     /// Sweep group name.
     pub group: Option<String>,
+    /// Shard index in a shard plan (schedule-layer findings).
+    pub shard: Option<u32>,
 }
 
 impl Location {
@@ -101,9 +103,21 @@ impl Location {
         }
     }
 
+    /// A location naming a shard of a shard plan.
+    pub fn shard(index: u32) -> Self {
+        Self {
+            shard: Some(index),
+            ..Self::default()
+        }
+    }
+
     /// True when no field is set.
     pub fn is_empty(&self) -> bool {
-        self.node.is_none() && self.port.is_none() && self.param.is_none() && self.group.is_none()
+        self.node.is_none()
+            && self.port.is_none()
+            && self.param.is_none()
+            && self.group.is_none()
+            && self.shard.is_none()
     }
 
     fn render_text(&self) -> String {
@@ -119,6 +133,9 @@ impl Location {
         }
         if let Some(p) = &self.param {
             parts.push(format!("param {p}"));
+        }
+        if let Some(s) = self.shard {
+            parts.push(format!("shard {s}"));
         }
         parts.join(", ")
     }
@@ -161,7 +178,9 @@ impl DiagnosticSet {
 
     /// Reports a finding at its rule's default severity, applying the
     /// configuration: allowed rules are dropped, overridden rules change
-    /// severity.
+    /// severity. An exact duplicate of a finding already in the set
+    /// (same code, message, and location) is dropped — rule layers
+    /// overlap, and one fault is one finding.
     pub fn report(
         &mut self,
         config: &LintConfig,
@@ -175,25 +194,40 @@ impl DiagnosticSet {
             Some(RuleSetting::Severity(s)) => *s,
             None => default_severity,
         };
-        self.diagnostics.push(Diagnostic {
+        let diagnostic = Diagnostic {
             code: code.to_string(),
             severity,
             message: message.into(),
             location,
-        });
+        };
+        if !self.diagnostics.contains(&diagnostic) {
+            self.diagnostics.push(diagnostic);
+        }
     }
 
-    /// Merges another set into this one.
+    /// Merges another set into this one, dropping findings this set
+    /// already holds (see [`DiagnosticSet::report`] on deduplication).
     pub fn extend(&mut self, other: DiagnosticSet) {
-        self.diagnostics.extend(other.diagnostics);
+        for diagnostic in other.diagnostics {
+            if !self.diagnostics.contains(&diagnostic) {
+                self.diagnostics.push(diagnostic);
+            }
+        }
     }
 
-    /// Sorts findings by code, then message — the canonical order used by
-    /// both renderers (rules already emit deterministically; sorting makes
-    /// merged multi-layer passes stable too).
+    /// Sorts findings into canonical order — by code, then message, then
+    /// location — and drops exact duplicates. Rules already emit
+    /// deterministically; sorting makes merged multi-layer passes stable
+    /// too, and the dedup makes canonical order also canonical *content*.
     pub fn sort(&mut self) {
-        self.diagnostics
-            .sort_by(|a, b| (&a.code, &a.message).cmp(&(&b.code, &b.message)));
+        self.diagnostics.sort_by(|a, b| {
+            (&a.code, &a.message, location_key(&a.location)).cmp(&(
+                &b.code,
+                &b.message,
+                location_key(&b.location),
+            ))
+        });
+        self.diagnostics.dedup();
     }
 
     /// All findings.
@@ -277,12 +311,16 @@ impl DiagnosticSet {
                     ("param", &d.location.param),
                     ("group", &d.location.group),
                 ];
-                let present: Vec<_> = fields
+                // string fields first, then shard as a bare number
+                let mut present: Vec<_> = fields
                     .iter()
-                    .filter_map(|(k, v)| v.as_ref().map(|v| (*k, v)))
+                    .filter_map(|(k, v)| v.as_ref().map(|v| (*k, json_string(v))))
                     .collect();
+                if let Some(s) = d.location.shard {
+                    present.push(("shard", s.to_string()));
+                }
                 for (j, (key, value)) in present.iter().enumerate() {
-                    out.push_str(&format!("      \"{key}\": {}", json_string(value)));
+                    out.push_str(&format!("      \"{key}\": {value}"));
                     out.push_str(if j + 1 < present.len() { ",\n" } else { "\n" });
                 }
                 out.push_str("    }\n");
@@ -306,6 +344,21 @@ impl<'a> IntoIterator for &'a DiagnosticSet {
     fn into_iter(self) -> Self::IntoIter {
         self.diagnostics.iter()
     }
+}
+
+/// Total order on locations for the canonical sort (field order matches
+/// the struct: node, port, param, group, shard).
+#[allow(clippy::type_complexity)]
+fn location_key(
+    l: &Location,
+) -> (
+    &Option<String>,
+    &Option<String>,
+    &Option<String>,
+    &Option<String>,
+    Option<u32>,
+) {
+    (&l.node, &l.port, &l.param, &l.group, l.shard)
 }
 
 /// JSON string literal with the escapes RFC 8259 requires.
@@ -377,6 +430,74 @@ mod tests {
     fn json_escapes_quotes_and_control_chars() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn exact_duplicates_are_dropped_on_report_extend_and_sort() {
+        let config = LintConfig::new();
+        let mut set = DiagnosticSet::new();
+        set.report(
+            &config,
+            "FW005",
+            Severity::Warn,
+            "dead",
+            Location::node("a"),
+        );
+        set.report(
+            &config,
+            "FW005",
+            Severity::Warn,
+            "dead",
+            Location::node("a"),
+        );
+        assert_eq!(set.len(), 1, "report dedups exact repeats");
+        // same code+message at a different location is a distinct finding
+        set.report(
+            &config,
+            "FW005",
+            Severity::Warn,
+            "dead",
+            Location::node("b"),
+        );
+        assert_eq!(set.len(), 2);
+
+        let mut other = DiagnosticSet::new();
+        other.report(
+            &config,
+            "FW005",
+            Severity::Warn,
+            "dead",
+            Location::node("a"),
+        );
+        other.report(&config, "FW001", Severity::Error, "cycle", Location::none());
+        set.extend(other);
+        assert_eq!(set.len(), 3, "extend dedups against existing findings");
+
+        set.sort();
+        assert_eq!(set.len(), 3, "sort keeps distinct findings");
+        let codes: Vec<_> = set.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, ["FW001", "FW005", "FW005"]);
+    }
+
+    #[test]
+    fn shard_location_renders_in_text_and_json() {
+        let config = LintConfig::new();
+        let mut set = DiagnosticSet::new();
+        set.report(
+            &config,
+            "FW502",
+            Severity::Error,
+            "run 3 assigned twice",
+            Location::shard(1),
+        );
+        let text = set.render_text();
+        assert!(text.contains("shard 1"), "{text}");
+        let json = set.to_json();
+        assert!(json.contains("\"shard\": 1"), "{json}");
+        assert!(
+            !json.contains("\"shard\": \"1\""),
+            "shard is a bare number: {json}"
+        );
     }
 
     #[test]

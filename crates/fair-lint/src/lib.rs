@@ -7,14 +7,17 @@
 //! caught **before** any allocation is requested — the same way a
 //! compiler rejects a program before it runs.
 //!
-//! Four rule layers, each with stable `FW` codes:
+//! Six rule layers, each with stable `FW` codes:
 //!
 //! | Codes | Layer | Checks |
 //! |-------|-------|--------|
+//! | `FW000` | [`config`] | configuration overrides naming unknown rule codes |
 //! | `FW001`–`FW007` | [`rules::graph`] | cycles, dangling/duplicate edges, schema mismatches, unwired ports, isolated nodes, motif near-misses |
 //! | `FW101`–`FW104` | [`rules::campaign`] | dead parameters, empty/explosive sweeps, oversubscribed resource envelopes, unmodeled runs |
 //! | `FW201`–`FW203` | [`rules::policy`] | infeasible and suboptimal checkpoint plans (vs Young/Daly), zero-retry policies under injected faults |
 //! | `FW301`–`FW302` | [`rules::gauge`] | components below a declared minimum profile, catalog regressions |
+//! | `FW401`–`FW408` | [`rules::dataflow`] | fixpoint reaching-definitions/liveness over ports: dead outputs, undefined inputs, write-write conflicts, unused sources, unobservable sweep axes, incomplete provenance, unpinned config |
+//! | `FW501`–`FW506` | [`rules::schedule`] | shard-plan determinism: gaps/overlaps in run coverage, telemetry lane collisions, seed-stream collisions, merge-order sensitivity, retry starvation |
 //!
 //! Findings are [`diag::Diagnostic`]s — code, severity, message, and a
 //! structured location — collected into a [`diag::DiagnosticSet`] that
@@ -22,8 +25,11 @@
 //! escalates, or re-levels individual rules and carries the numeric
 //! thresholds.
 //!
-//! [`preflight_campaign`] bundles all four layers; `savanna`'s
-//! `run_campaign_sim_gated` uses it as an opt-out launch gate.
+//! [`preflight_campaign`] bundles all layers; `savanna`'s
+//! `run_campaign_sim_gated` uses it as an opt-out launch gate, and the
+//! `fair-lint` binary exposes the same pass as a CI-enforceable CLI over
+//! JSON bundles (`--json`, `--deny`/`--allow`, exit code 1 on findings
+//! at deny level).
 
 pub mod config;
 pub mod diag;
@@ -39,14 +45,16 @@ use fair_core::workflow::WorkflowGraph;
 use hpcsim::cluster::ClusterSpec;
 use hpcsim::time::SimDuration;
 
-pub use config::{LintConfig, RuleSetting};
+pub use config::{known_codes, LintConfig, RuleSetting, UNKNOWN_RULE_CODE};
 pub use diag::{Diagnostic, DiagnosticSet, Location, Severity};
 pub use rules::campaign::{lint_campaign_plan, lint_manifest};
+pub use rules::dataflow::lint_dataflow;
 pub use rules::gauge::{lint_catalog_regressions, lint_minimum_profile};
 pub use rules::graph::lint_graph;
 pub use rules::policy::{
     lint_checkpoint_plan, lint_resilience_plan, CheckpointPlan, ResiliencePlan,
 };
+pub use rules::schedule::{lint_schedule, SchedulePlan, ShardDriver};
 
 /// Everything the linter may cross-check a campaign against. Each field
 /// is optional; rules that need an absent field are skipped, so callers
@@ -67,6 +75,8 @@ pub struct PreflightContext<'a> {
     pub checkpoint: Option<CheckpointPlan>,
     /// The retry budget vs. the fault environment (FW203).
     pub resilience: Option<ResiliencePlan>,
+    /// The sharded execution plan (schedule-determinism rules).
+    pub schedule: Option<&'a SchedulePlan>,
 }
 
 /// Runs every applicable rule layer over a compiled campaign manifest and
@@ -80,6 +90,7 @@ pub fn preflight_campaign(
     let mut set = lint_manifest(manifest, durations, ctx.app, ctx.machine, config);
     if let Some(graph) = ctx.graph {
         set.extend(lint_graph(graph, config));
+        set.extend(lint_dataflow(graph, Some(manifest), config));
         if let Some(minimum) = ctx.minimum_profile {
             set.extend(lint_minimum_profile(graph, minimum, config));
         }
@@ -93,6 +104,10 @@ pub fn preflight_campaign(
     if let Some(plan) = &ctx.resilience {
         set.extend(lint_resilience_plan(plan, config));
     }
+    if let Some(plan) = ctx.schedule {
+        set.extend(lint_schedule(plan, config));
+    }
+    set.extend(config.lint_unknown_codes());
     set.sort();
     set
 }

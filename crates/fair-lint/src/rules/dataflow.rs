@@ -1,0 +1,450 @@
+//! Dataflow rules (`FW401`–`FW408`): fixpoint reaching-definitions and
+//! liveness over workflow node ports, plus parameter-flow tracking from
+//! sweep axes into the graph.
+//!
+//! The graph rules (`FW001`–`FW007`) check *shape*; this layer checks
+//! *flow*. Two monotone fixpoints are computed over the port graph:
+//!
+//! * **Definedness** (forward): an input port is *defined* when it is
+//!   unfed (an external entry point, the same convention `FW005` uses
+//!   for pure sources) or when some structurally valid edge delivers a
+//!   defined output into it. A node is *executable* when every input is
+//!   defined, and an executable node defines all its outputs.
+//! * **Liveness** (backward): a terminal output (no outgoing valid
+//!   edge) is *live* — it is the workflow's product. A non-terminal
+//!   output is live when some consumer it feeds is *useful*, and a node
+//!   is useful when it is executable and either has no outputs (a pure
+//!   sink) or produces at least one live output.
+//!
+//! Both fixpoints consider only *structurally valid* edges (both nodes
+//! and both ports exist) — `FW002` owns dangling references — and the
+//! whole layer stands down on cyclic graphs, which `FW001` owns.
+//!
+//! The liveness facts double as a static provenance precondition: a
+//! terminal output on a non-executable node (`FW407`) is exactly an
+//! artifact that cannot be re-derived from the declared inputs and
+//! parameters, so content-addressed memoization of that output would
+//! cache something irreproducible.
+
+use std::collections::BTreeMap;
+
+use cheetah::manifest::CampaignManifest;
+use fair_core::workflow::{schemas_compatible, Edge, NodeIdx, WorkflowGraph};
+
+use crate::config::LintConfig;
+use crate::diag::{DiagnosticSet, Location, Severity};
+
+/// `FW401` — a computed output feeds only consumers that can never run
+/// or never reach a live sink; the value is produced and then lost.
+pub const DEAD_OUTPUT: &str = "FW401";
+/// `FW402` — an input port is wired, but no structurally valid edge
+/// produces into it: every would-be producer names a missing node or
+/// port, so the input can never be defined on any path.
+pub const UNDEFINED_INPUT: &str = "FW402";
+/// `FW403` — one input port is fed by multiple producers whose declared
+/// schemas are mutually incompatible: whichever write lands last wins,
+/// and the winner depends on scheduling.
+pub const WRITE_WRITE_CONFLICT: &str = "FW403";
+/// `FW404` — an external (unfed) input feeds a node whose outputs never
+/// reach a live sink: the supplied data cannot affect any result.
+pub const UNUSED_SOURCE_INPUT: &str = "FW404";
+/// `FW405` — a swept parameter only reaches nodes that never affect an
+/// output: the whole sweep axis is unobservable in the results.
+pub const SWEPT_PARAM_NO_EFFECT: &str = "FW405";
+/// `FW406` — a swept parameter is declared by no workflow node at all;
+/// the sweep may work, but nothing records which component consumes it.
+pub const SWEPT_PARAM_UNBOUND: &str = "FW406";
+/// `FW407` — a terminal output sits on a node that can never execute:
+/// the artifact is not derivable from declared inputs and parameters,
+/// so its provenance is incomplete and it must not be memoized.
+pub const PROVENANCE_INCOMPLETE: &str = "FW407";
+/// `FW408` — a node that contributes to the results declares a
+/// configuration variable with no default that the campaign never
+/// assigns; the run depends on out-of-band configuration.
+pub const UNPINNED_CONFIG: &str = "FW408";
+
+/// Runs the dataflow rules. `manifest` enables the parameter-flow rules
+/// (`FW405`/`FW406`/`FW408`); without it only the port-flow rules run.
+///
+/// Cyclic graphs produce no findings — `FW001` reports the cycle, and
+/// fixpoint facts over a cyclic graph would only smear that one fault
+/// across many codes.
+pub fn lint_dataflow(
+    graph: &WorkflowGraph,
+    manifest: Option<&CampaignManifest>,
+    config: &LintConfig,
+) -> DiagnosticSet {
+    let mut set = DiagnosticSet::new();
+    if graph.is_empty() {
+        return set;
+    }
+    let flow = match Flow::analyze(graph) {
+        Some(flow) => flow,
+        None => return set, // cyclic: FW001's finding, not ours
+    };
+    check_port_flow(&flow, config, &mut set);
+    if let Some(manifest) = manifest {
+        check_param_flow(&flow, manifest, config, &mut set);
+    }
+    set
+}
+
+/// The fixpoint facts: which nodes can execute, which are useful.
+struct Flow<'a> {
+    graph: &'a WorkflowGraph,
+    /// Structurally valid edges (both nodes and both ports exist).
+    valid: Vec<&'a Edge>,
+    /// Forward fact: every input defined on some path.
+    executable: Vec<bool>,
+    /// Backward fact: executable and some output is live (or pure sink).
+    useful: Vec<bool>,
+}
+
+impl<'a> Flow<'a> {
+    /// Computes both fixpoints; `None` when the valid-edge subgraph is
+    /// cyclic.
+    fn analyze(graph: &'a WorkflowGraph) -> Option<Self> {
+        let n = graph.len();
+        let valid: Vec<&Edge> = graph
+            .edges()
+            .iter()
+            .filter(|e| edge_is_valid(graph, e))
+            .collect();
+        if is_cyclic(n, &valid) {
+            return None;
+        }
+
+        // Forward: executability. Monotone (bits only flip to true), so
+        // iteration to fixpoint terminates in at most n rounds.
+        let mut executable = vec![false; n];
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if executable[i] {
+                    continue;
+                }
+                let node = graph.node(NodeIdx(i));
+                let all_defined = node.inputs.iter().all(|p| {
+                    if !port_is_fed(graph, i, &p.name) {
+                        return true; // external entry point
+                    }
+                    valid
+                        .iter()
+                        .any(|e| e.to.0 == i && e.to_port == p.name && executable[e.from.0])
+                });
+                if all_defined {
+                    executable[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Backward: usefulness, in terms of the executability facts.
+        let mut flow = Self {
+            graph,
+            valid,
+            executable,
+            useful: vec![false; n],
+        };
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if flow.useful[i] || !flow.executable[i] {
+                    continue;
+                }
+                let node = graph.node(NodeIdx(i));
+                let produces_live = node.outputs.is_empty()
+                    || node.outputs.iter().any(|p| flow.output_is_live(i, &p.name));
+                if produces_live {
+                    flow.useful[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Some(flow)
+    }
+
+    /// Valid edges leaving output port `port` of node `i`.
+    fn consumers<'s>(&'s self, i: usize, port: &'s str) -> impl Iterator<Item = &'s &'a Edge> + 's {
+        self.valid
+            .iter()
+            .filter(move |e| e.from.0 == i && e.from_port == port)
+    }
+
+    /// Valid edges arriving at input port `port` of node `i`.
+    fn producers<'s>(&'s self, i: usize, port: &'s str) -> impl Iterator<Item = &'s &'a Edge> + 's {
+        self.valid
+            .iter()
+            .filter(move |e| e.to.0 == i && e.to_port == port)
+    }
+
+    /// Liveness of one output port: terminal outputs are the workflow's
+    /// products; non-terminal outputs are live iff they feed a useful
+    /// consumer.
+    fn output_is_live(&self, i: usize, port: &str) -> bool {
+        let mut consumers = self.consumers(i, port).peekable();
+        if consumers.peek().is_none() {
+            return true;
+        }
+        consumers.any(|e| self.useful[e.to.0])
+    }
+}
+
+/// Both nodes and both named ports of `e` exist.
+fn edge_is_valid(graph: &WorkflowGraph, e: &Edge) -> bool {
+    e.from.0 < graph.len()
+        && e.to.0 < graph.len()
+        && graph
+            .node(e.from)
+            .outputs
+            .iter()
+            .any(|p| p.name == e.from_port)
+        && graph.node(e.to).inputs.iter().any(|p| p.name == e.to_port)
+}
+
+/// Some edge targets existing input port (`i`, `port`) — even an edge
+/// whose *source* is dangling: the author wired the port, so it is not
+/// an external entry point.
+fn port_is_fed(graph: &WorkflowGraph, i: usize, port: &str) -> bool {
+    graph
+        .edges()
+        .iter()
+        .any(|e| e.to.0 == i && e.to_port == port)
+}
+
+/// Kahn elimination over the valid edges; leftovers mean a cycle.
+fn is_cyclic(n: usize, valid: &[&Edge]) -> bool {
+    let mut indeg = vec![0usize; n];
+    for e in valid {
+        indeg[e.to.0] += 1;
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut removed = 0usize;
+    while let Some(i) = ready.pop() {
+        removed += 1;
+        for e in valid.iter().filter(|e| e.from.0 == i) {
+            indeg[e.to.0] -= 1;
+            if indeg[e.to.0] == 0 {
+                ready.push(e.to.0);
+            }
+        }
+    }
+    removed != n
+}
+
+fn check_port_flow(flow: &Flow<'_>, config: &LintConfig, set: &mut DiagnosticSet) {
+    let graph = flow.graph;
+    for i in 0..graph.len() {
+        let node = graph.node(NodeIdx(i));
+
+        for p in &node.inputs {
+            let fed = port_is_fed(graph, i, &p.name);
+            let valid_producers: Vec<&&Edge> = flow.producers(i, &p.name).collect();
+
+            // FW402: wired, but every producing edge is structurally
+            // invalid — undefined on every path, by construction.
+            if fed && valid_producers.is_empty() {
+                set.report(
+                    config,
+                    UNDEFINED_INPUT,
+                    Severity::Error,
+                    format!(
+                        "input {:?} on node {:?} is wired but no structurally valid edge produces into it",
+                        p.name, node.name
+                    ),
+                    Location::port(&node.name, &p.name),
+                );
+            }
+
+            // FW403: multiple producers with mutually incompatible
+            // declared schemas. Plain fan-in (compatible or undeclared
+            // schemas) is idiomatic — the collect-select-forward motif
+            // depends on it — so only a provable conflict fires.
+            for (a, b) in pairs(&valid_producers) {
+                let schema_of = |e: &Edge| {
+                    graph
+                        .node(e.from)
+                        .outputs
+                        .iter()
+                        .find(|p| p.name == e.from_port)
+                        .and_then(|p| p.data.schema.as_ref())
+                };
+                if let (Some(sa), Some(sb)) = (schema_of(a), schema_of(b)) {
+                    if !schemas_compatible(sa, sb) {
+                        set.report(
+                            config,
+                            WRITE_WRITE_CONFLICT,
+                            Severity::Warn,
+                            format!(
+                                "input {:?} on node {:?} is written by {}.{} and {}.{} with incompatible schemas",
+                                p.name,
+                                node.name,
+                                graph.node(a.from).name,
+                                a.from_port,
+                                graph.node(b.from).name,
+                                b.from_port
+                            ),
+                            Location::port(&node.name, &p.name),
+                        );
+                    }
+                }
+            }
+
+            // FW404: an external entry point whose node never affects a
+            // live output — the supplied data is collected and dropped.
+            if !fed && !flow.useful[i] {
+                set.report(
+                    config,
+                    UNUSED_SOURCE_INPUT,
+                    Severity::Warn,
+                    format!(
+                        "external input {:?} on node {:?} cannot affect any workflow output",
+                        p.name, node.name
+                    ),
+                    Location::port(&node.name, &p.name),
+                );
+            }
+        }
+
+        for p in &node.outputs {
+            let has_consumers = flow.consumers(i, &p.name).next().is_some();
+            if has_consumers {
+                // FW401: computed, consumed, and lost — every consumer
+                // chain is blocked before a live sink.
+                if flow.executable[i] && !flow.output_is_live(i, &p.name) {
+                    set.report(
+                        config,
+                        DEAD_OUTPUT,
+                        Severity::Warn,
+                        format!(
+                            "output {:?} on node {:?} is computed but every consumer path is dead",
+                            p.name, node.name
+                        ),
+                        Location::port(&node.name, &p.name),
+                    );
+                }
+            } else if !flow.executable[i] {
+                // FW407: a workflow product on a node that can never
+                // run — not derivable from declared inputs/parameters.
+                set.report(
+                    config,
+                    PROVENANCE_INCOMPLETE,
+                    Severity::Error,
+                    format!(
+                        "terminal output {:?} on node {:?} is not derivable from declared inputs and parameters",
+                        p.name, node.name
+                    ),
+                    Location::port(&node.name, &p.name),
+                );
+            }
+        }
+    }
+}
+
+/// Parameter flow: sweep axes must land on a declared config variable of
+/// some node that actually contributes to the results.
+///
+/// Stands down entirely when *no* node declares config variables — a
+/// black-box graph carries no parameter metadata to check against, the
+/// same convention `FW101`'s declared-parameter check uses.
+fn check_param_flow(
+    flow: &Flow<'_>,
+    manifest: &CampaignManifest,
+    config: &LintConfig,
+    set: &mut DiagnosticSet,
+) {
+    let graph = flow.graph;
+    let mut declared_by: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for i in 0..graph.len() {
+        for var in &graph.node(NodeIdx(i)).config {
+            declared_by.entry(var.name.as_str()).or_default().push(i);
+        }
+    }
+    if declared_by.is_empty() {
+        return;
+    }
+
+    let assigned = manifest.assigned_params();
+    for param in manifest.swept_params() {
+        match declared_by.get(param) {
+            None => {
+                // FW406: the axis binds to nothing in the graph.
+                set.report(
+                    config,
+                    SWEPT_PARAM_UNBOUND,
+                    Severity::Warn,
+                    format!(
+                        "swept parameter {param:?} is not declared as a configuration variable by any workflow node"
+                    ),
+                    Location {
+                        param: Some(param.to_string()),
+                        ..Location::default()
+                    },
+                );
+            }
+            Some(nodes) if nodes.iter().all(|&i| !flow.useful[i]) => {
+                // FW405: the axis binds only to nodes that never reach
+                // a live output — the whole sweep is unobservable.
+                let names: Vec<&str> = nodes
+                    .iter()
+                    .map(|&i| graph.node(NodeIdx(i)).name.as_str())
+                    .collect();
+                set.report(
+                    config,
+                    SWEPT_PARAM_NO_EFFECT,
+                    Severity::Error,
+                    format!(
+                        "sweeping parameter {param:?} cannot affect any workflow output (declared only by {})",
+                        names.join(", ")
+                    ),
+                    Location {
+                        param: Some(param.to_string()),
+                        ..Location::default()
+                    },
+                );
+            }
+            Some(_) => {}
+        }
+    }
+
+    // FW408: a contributing node's no-default config variable is never
+    // assigned by the campaign — execution depends on out-of-band state.
+    for i in 0..graph.len() {
+        if !flow.useful[i] {
+            continue;
+        }
+        let node = graph.node(NodeIdx(i));
+        for var in &node.config {
+            if var.default.is_none() && !assigned.contains(var.name.as_str()) {
+                set.report(
+                    config,
+                    UNPINNED_CONFIG,
+                    Severity::Warn,
+                    format!(
+                        "config variable {:?} on node {:?} has no default and is never assigned by the campaign",
+                        var.name, node.name
+                    ),
+                    Location {
+                        node: Some(node.name.clone()),
+                        param: Some(var.name.clone()),
+                        ..Location::default()
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// All unordered pairs of a slice, in index order.
+fn pairs<T>(items: &[T]) -> impl Iterator<Item = (&T, &T)> {
+    items
+        .iter()
+        .enumerate()
+        .flat_map(move |(i, a)| items[i + 1..].iter().map(move |b| (a, b)))
+}

@@ -1,6 +1,8 @@
 //! The rule layers. Each module owns the rule codes it implements.
 
 pub mod campaign;
+pub mod dataflow;
 pub mod gauge;
 pub mod graph;
 pub mod policy;
+pub mod schedule;

@@ -1,0 +1,365 @@
+//! Schedule-determinism rules (`FW501`–`FW506`): static analysis of a
+//! sharded execution plan.
+//!
+//! The sharded drivers in `savanna` owe the caller one invariant: a
+//! seeded parallel campaign is byte-identical to the serial one. That
+//! invariant is a *property of the plan*, not of execution — shard
+//! run-ranges must partition the manifest, telemetry track lanes must be
+//! disjoint, per-shard seed streams must be distinct, and the merge must
+//! not depend on shard completion order. This module checks all of it
+//! before a single run executes.
+//!
+//! Like `rules::policy`, the plan is described by a mirror struct
+//! ([`SchedulePlan`]) defined here rather than imported: `savanna`
+//! depends on this crate for its preflight gate, so the linter cannot
+//! depend on `savanna` without a cycle. `savanna`'s `ShardPlan` offers
+//! projections into this shape.
+
+use hpcsim::seed::SeedStream;
+use std::collections::BTreeMap;
+use telemetry::TrackLane;
+
+use crate::config::LintConfig;
+use crate::diag::{DiagnosticSet, Location, Severity};
+
+/// `FW501` — some manifest run index is assigned to no shard (or a shard
+/// names an index outside the manifest): the merged campaign silently
+/// misses runs.
+pub const SHARD_GAP: &str = "FW501";
+/// `FW502` — a run index is assigned to more than one shard: the run
+/// executes twice and the duplicate results race into the merge.
+pub const SHARD_OVERLAP: &str = "FW502";
+/// `FW503` — two shards' telemetry lanes share a merged track (or the
+/// offset table does not match the shard count): `telemetry::merge`
+/// would interleave their events on one timeline row.
+pub const TRACK_COLLISION: &str = "FW503";
+/// `FW504` — two shards derive the same RNG stream (duplicate stream
+/// ids or a SplitMix64 seed collision), or the fault stream reuses the
+/// campaign seed: stochastic inputs are correlated across shards.
+pub const SEED_COLLISION: &str = "FW504";
+/// `FW505` — a shard's run indices are not strictly ascending (the
+/// sub-manifest extractor walks the manifest once in order and silently
+/// drops out-of-order indices), or a shard is empty.
+pub const MERGE_ORDER_SENSITIVE: &str = "FW505";
+/// `FW506` — the retry budget cannot be honored: a shard allows zero
+/// allocations (the driver asserts on it), or faults with a nonzero
+/// retry budget run under a single-allocation cap so deferred reruns are
+/// dropped and the parallel/serial differential breaks.
+pub const RETRY_STARVATION: &str = "FW506";
+
+/// Which sharded driver will execute the plan — they differ in telemetry
+/// shape and retry semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardDriver {
+    /// `run_campaign_sim_par`: one telemetry track per shard, no
+    /// faults, no retries.
+    Sim,
+    /// `run_campaign_resilient_par`: checkpoint/fault-aware; each shard
+    /// records on `2 + runs` tracks and may reschedule failed runs into
+    /// later allocations.
+    Resilient,
+}
+
+/// A sharded execution plan in the linter's own terms (see the module
+/// docs for why this mirrors rather than imports `savanna::ShardPlan`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulePlan {
+    /// Manifest run indices per shard, in intended execution order.
+    pub assignments: Vec<Vec<usize>>,
+    /// Total runs in the manifest the plan must cover.
+    pub total_runs: usize,
+    /// Campaign seed the per-shard queue-wait streams derive from.
+    pub campaign_seed: u64,
+    /// Root seed of the fault streams, when faults are modeled.
+    pub fault_seed: Option<u64>,
+    /// Explicit per-shard stream-derivation ids; `None` means the
+    /// conventional `0..shards` indices.
+    pub stream_ids: Option<Vec<u64>>,
+    /// Explicit per-shard telemetry track offsets; `None` means packed
+    /// cumulative offsets (which are collision-free by construction).
+    pub track_offsets: Option<Vec<u32>>,
+    /// The driver that will execute the plan.
+    pub driver: ShardDriver,
+    /// Retry budget per run under the resilient driver.
+    pub retry_budget: u32,
+    /// Whether fault injection is active.
+    pub faults_enabled: bool,
+    /// Allocation cap per shard (the resilient driver reschedules
+    /// failed runs into later allocations within this cap).
+    pub max_allocations_per_shard: u32,
+}
+
+impl SchedulePlan {
+    /// Telemetry tracks each shard records on: the sim driver uses one
+    /// lane per shard, the resilient driver a machine row, a repair row,
+    /// and one row per run.
+    pub fn track_widths(&self) -> Vec<u32> {
+        self.assignments
+            .iter()
+            .map(|runs| match self.driver {
+                ShardDriver::Sim => 1,
+                ShardDriver::Resilient => 2 + runs.len() as u32,
+            })
+            .collect()
+    }
+
+    /// The merge offset of each shard: the explicit table when given,
+    /// otherwise packed end-to-end in shard order.
+    pub fn planned_offsets(&self) -> Vec<u32> {
+        if let Some(explicit) = &self.track_offsets {
+            return explicit.clone();
+        }
+        let mut offsets = Vec::with_capacity(self.assignments.len());
+        let mut next = 0u32;
+        for width in self.track_widths() {
+            offsets.push(next);
+            next = next.saturating_add(width);
+        }
+        offsets
+    }
+
+    /// The stream-derivation id of each shard: explicit ids when given,
+    /// otherwise the shard index.
+    fn effective_stream_ids(&self) -> Vec<u64> {
+        match &self.stream_ids {
+            Some(ids) => ids.clone(),
+            None => (0..self.assignments.len() as u64).collect(),
+        }
+    }
+}
+
+/// Runs every schedule rule.
+pub fn lint_schedule(plan: &SchedulePlan, config: &LintConfig) -> DiagnosticSet {
+    let mut set = DiagnosticSet::new();
+    check_coverage(plan, config, &mut set);
+    check_track_lanes(plan, config, &mut set);
+    check_seed_streams(plan, config, &mut set);
+    check_merge_order(plan, config, &mut set);
+    check_retry_budget(plan, config, &mut set);
+    set
+}
+
+/// FW501 + FW502: the assignments must partition `0..total_runs`.
+fn check_coverage(plan: &SchedulePlan, config: &LintConfig, set: &mut DiagnosticSet) {
+    let mut owners: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (s, runs) in plan.assignments.iter().enumerate() {
+        for &run in runs {
+            owners.entry(run).or_default().push(s);
+        }
+    }
+    for (run, shards) in &owners {
+        if *run >= plan.total_runs {
+            set.report(
+                config,
+                SHARD_GAP,
+                Severity::Error,
+                format!(
+                    "run index {run} is outside the manifest (total runs: {})",
+                    plan.total_runs
+                ),
+                Location::shard(shards[0] as u32),
+            );
+        }
+        if shards.len() > 1 {
+            let listed: Vec<String> = shards.iter().map(usize::to_string).collect();
+            set.report(
+                config,
+                SHARD_OVERLAP,
+                Severity::Error,
+                format!(
+                    "run index {run} is assigned to {} shards ({})",
+                    shards.len(),
+                    listed.join(", ")
+                ),
+                Location::shard(shards[1] as u32),
+            );
+        }
+    }
+    let missing: Vec<usize> = (0..plan.total_runs)
+        .filter(|run| !owners.contains_key(run))
+        .collect();
+    if !missing.is_empty() {
+        let listed: Vec<String> = missing.iter().take(8).map(usize::to_string).collect();
+        let suffix = if missing.len() > 8 { ", …" } else { "" };
+        set.report(
+            config,
+            SHARD_GAP,
+            Severity::Error,
+            format!(
+                "{} of {} run(s) assigned to no shard: {}{suffix}",
+                missing.len(),
+                plan.total_runs,
+                listed.join(", ")
+            ),
+            Location::none(),
+        );
+    }
+}
+
+/// FW503: the per-shard lanes claimed in the merged telemetry timeline
+/// must be pairwise disjoint (and the offset table must cover exactly
+/// the shards).
+fn check_track_lanes(plan: &SchedulePlan, config: &LintConfig, set: &mut DiagnosticSet) {
+    if let Some(explicit) = &plan.track_offsets {
+        if explicit.len() != plan.assignments.len() {
+            set.report(
+                config,
+                TRACK_COLLISION,
+                Severity::Error,
+                format!(
+                    "track offset table has {} entries for {} shard(s)",
+                    explicit.len(),
+                    plan.assignments.len()
+                ),
+                Location::none(),
+            );
+            return;
+        }
+    }
+    let widths = plan.track_widths();
+    let lanes: Vec<TrackLane> = plan
+        .planned_offsets()
+        .iter()
+        .zip(&widths)
+        .map(|(&offset, &width)| TrackLane::new(offset, width))
+        .collect();
+    for (a, b) in telemetry::lane_collisions(&lanes) {
+        set.report(
+            config,
+            TRACK_COLLISION,
+            Severity::Error,
+            format!(
+                "shards {a} and {b} claim overlapping telemetry lanes \
+                 ([{}, {}) and [{}, {})) — merged events would interleave",
+                lanes[a].offset,
+                u64::from(lanes[a].offset) + u64::from(lanes[a].width),
+                lanes[b].offset,
+                u64::from(lanes[b].offset) + u64::from(lanes[b].width),
+            ),
+            Location::shard(b as u32),
+        );
+    }
+}
+
+/// FW504: every shard must draw from its own RNG stream.
+fn check_seed_streams(plan: &SchedulePlan, config: &LintConfig, set: &mut DiagnosticSet) {
+    let ids = plan.effective_stream_ids();
+    let mut first_by_id: BTreeMap<u64, usize> = BTreeMap::new();
+    for (s, &id) in ids.iter().enumerate() {
+        if let Some(&first) = first_by_id.get(&id) {
+            set.report(
+                config,
+                SEED_COLLISION,
+                Severity::Error,
+                format!("shards {first} and {s} share stream id {id}"),
+                Location::shard(s as u32),
+            );
+        } else {
+            first_by_id.insert(id, s);
+        }
+    }
+    // Distinct ids can still collide after SplitMix64 derivation (it is
+    // a bijection per parent, so only *distinct-parent* paths can meet).
+    let stream = SeedStream::new(plan.campaign_seed);
+    let mut first_by_seed: BTreeMap<u64, usize> = BTreeMap::new();
+    for (s, &id) in ids.iter().enumerate() {
+        let derived = stream.child(id).seed();
+        if let Some(&first) = first_by_seed.get(&derived) {
+            if ids[first] != id {
+                set.report(
+                    config,
+                    SEED_COLLISION,
+                    Severity::Error,
+                    format!(
+                        "shards {first} and {s} derive the same seed from distinct stream ids {} and {id}",
+                        ids[first]
+                    ),
+                    Location::shard(s as u32),
+                );
+            }
+        } else {
+            first_by_seed.insert(derived, s);
+        }
+    }
+    if plan.faults_enabled {
+        if let Some(fault_seed) = plan.fault_seed {
+            if fault_seed == plan.campaign_seed {
+                set.report(
+                    config,
+                    SEED_COLLISION,
+                    Severity::Warn,
+                    format!(
+                        "fault streams reuse the campaign seed {fault_seed}: fault arrivals are \
+                         correlated with queue waits"
+                    ),
+                    Location::none(),
+                );
+            }
+        }
+    }
+}
+
+/// FW505: each shard's indices must be strictly ascending — the
+/// sub-manifest extractor walks the manifest once in order and silently
+/// drops indices that arrive out of order, so an unsorted shard executes
+/// a *subset* of its assignment.
+fn check_merge_order(plan: &SchedulePlan, config: &LintConfig, set: &mut DiagnosticSet) {
+    for (s, runs) in plan.assignments.iter().enumerate() {
+        if runs.is_empty() {
+            set.report(
+                config,
+                MERGE_ORDER_SENSITIVE,
+                Severity::Warn,
+                format!("shard {s} is assigned no runs"),
+                Location::shard(s as u32),
+            );
+            continue;
+        }
+        if let Some(w) = runs.windows(2).find(|w| w[0] >= w[1]) {
+            set.report(
+                config,
+                MERGE_ORDER_SENSITIVE,
+                Severity::Error,
+                format!(
+                    "shard {s} assignment is not strictly ascending ({} then {}): \
+                     out-of-order indices are silently dropped from the sub-manifest",
+                    w[0], w[1]
+                ),
+                Location::shard(s as u32),
+            );
+        }
+    }
+}
+
+/// FW506: the allocation cap must leave room for the retry policy.
+fn check_retry_budget(plan: &SchedulePlan, config: &LintConfig, set: &mut DiagnosticSet) {
+    if plan.max_allocations_per_shard == 0 {
+        set.report(
+            config,
+            RETRY_STARVATION,
+            Severity::Error,
+            "max_allocations_per_shard is 0: the drivers assert on at least one allocation"
+                .to_string(),
+            Location::none(),
+        );
+        return;
+    }
+    if plan.driver == ShardDriver::Resilient
+        && plan.faults_enabled
+        && plan.retry_budget >= 1
+        && plan.max_allocations_per_shard == 1
+    {
+        set.report(
+            config,
+            RETRY_STARVATION,
+            Severity::Error,
+            format!(
+                "retry budget {} under faults needs a later allocation to reschedule into, \
+                 but max_allocations_per_shard is 1: retries are silently dropped and the \
+                 parallel campaign diverges from the serial one",
+                plan.retry_budget
+            ),
+            Location::none(),
+        );
+    }
+}

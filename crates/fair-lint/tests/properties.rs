@@ -96,3 +96,136 @@ proptest! {
         prop_assert_eq!(flagged, g.topo_order().is_err());
     }
 }
+
+// ------------------------------------------------------------- dataflow
+
+/// A random DAG: every edge goes from a lower to a higher node index, so
+/// the valid-edge subgraph is acyclic by construction.
+fn random_dag() -> impl Strategy<Value = WorkflowGraph> {
+    (2..8usize)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n - 1, 0..4usize, 0..n, 0..4usize), 0..16),
+            )
+        })
+        .prop_map(|(n, edges)| {
+            let mut g = WorkflowGraph::new();
+            for i in 0..n {
+                g.add(comp(i, &[0, 1, 2], &[0, 1, 2]));
+            }
+            for (from, fp, to, tp) in edges {
+                let to = (from + 1).max(to.min(n - 1)); // force from < to
+                let fp = PORT_NAMES[fp % PORT_NAMES.len()];
+                let tp = PORT_NAMES[tp % PORT_NAMES.len()];
+                g.connect_unchecked(NodeIdx(from), fp, NodeIdx(to), tp);
+            }
+            g
+        })
+}
+
+proptest! {
+    /// The dataflow fixpoint must terminate and never panic on arbitrary
+    /// graphs (dangling endpoints, unknown ports, cycles, duplicates),
+    /// and its renderers must survive the result.
+    #[test]
+    fn dataflow_never_panics_on_arbitrary_graphs(g in arbitrary_graph()) {
+        let set = fair_lint::lint_dataflow(&g, None, &LintConfig::new());
+        let _ = set.render_text();
+        let _ = set.to_json();
+    }
+
+    /// On random DAGs the analysis terminates and agrees with FW001:
+    /// a graph the cycle rule passes is one the dataflow layer analyzes
+    /// (it only stands down on cyclic graphs).
+    #[test]
+    fn dataflow_terminates_on_random_dags(g in random_dag()) {
+        let set = fair_lint::lint_dataflow(&g, None, &LintConfig::new());
+        let _ = set.render_text();
+        // every node is reachable-from-entry in a DAG built this way,
+        // so FW402 can never fire: all edges are structurally valid
+        prop_assert!(set.with_code(fair_lint::rules::dataflow::UNDEFINED_INPUT).next().is_none());
+    }
+
+    /// Planting a blocked consumer behind a producing edge must always
+    /// surface the planted dead output, wherever the DAG puts it.
+    #[test]
+    fn planted_dead_output_is_found(pre in random_dag(), tag in 100..200usize) {
+        let mut g = pre;
+        let n = g.len();
+        // producer with a fresh output feeding a consumer whose second
+        // input only a ghost edge feeds: the consumer can never run
+        let producer = g.add(comp(tag, &[], &[0]));
+        let consumer = g.add(comp(tag + 1, &[0, 1], &[]));
+        g.connect_unchecked(producer, PORT_NAMES[0], consumer, PORT_NAMES[0]);
+        g.connect_unchecked(NodeIdx(n + 99), PORT_NAMES[2], consumer, PORT_NAMES[1]);
+        let set = fair_lint::lint_dataflow(&g, None, &LintConfig::new());
+        let planted_name = format!("n{tag}");
+        prop_assert!(
+            set.with_code(fair_lint::rules::dataflow::DEAD_OUTPUT)
+                .any(|d| d.location.node.as_deref() == Some(planted_name.as_str())),
+            "planted dead output not found:\n{}", set.render_text()
+        );
+    }
+}
+
+// ------------------------------------------------------------- schedule
+
+/// A well-formed contiguous plan over `total` runs in `shards` shards.
+fn valid_plan(total: usize, shards: usize) -> fair_lint::SchedulePlan {
+    let shards = shards.max(1).min(total);
+    let base = total / shards;
+    let extra = total % shards;
+    let mut assignments = Vec::new();
+    let mut next = 0usize;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        if len == 0 {
+            continue;
+        }
+        assignments.push((next..next + len).collect());
+        next += len;
+    }
+    fair_lint::SchedulePlan {
+        assignments,
+        total_runs: total,
+        campaign_seed: 42,
+        fault_seed: Some(7),
+        stream_ids: None,
+        track_offsets: None,
+        driver: fair_lint::ShardDriver::Resilient,
+        retry_budget: 2,
+        faults_enabled: true,
+        max_allocations_per_shard: 4,
+    }
+}
+
+proptest! {
+    /// Every single-defect mutation of a valid plan must be caught: the
+    /// FW5xx layer kills the whole mutation corpus.
+    #[test]
+    fn schedule_mutations_are_killed(total in 2..24usize, shards in 1..6usize, which in 0..6usize) {
+        let clean = valid_plan(total, shards);
+        prop_assert!(
+            fair_lint::lint_schedule(&clean, &LintConfig::new()).is_clean(),
+            "valid plan must lint clean"
+        );
+        let mut plan = clean;
+        match which {
+            // drop a run index -> FW501
+            0 => { plan.assignments[0].remove(0); }
+            // duplicate a run into another shard -> FW502
+            1 => { let run = plan.assignments[0][0]; plan.assignments.last_mut().unwrap().push(run); }
+            // reverse a shard -> FW505 (or FW502-free single-run shard: swap across)
+            2 => { plan.assignments[0].reverse(); if plan.assignments[0].len() < 2 { plan.assignments[0].insert(0, plan.total_runs); } }
+            // collide every track lane -> FW503
+            3 => { plan.track_offsets = Some(vec![0; plan.assignments.len() + usize::from(plan.assignments.len() == 1)]); }
+            // collide the seed streams -> FW504
+            4 => { plan.stream_ids = Some(vec![9; plan.assignments.len() + usize::from(plan.assignments.len() == 1)]); }
+            // starve the retry budget -> FW506
+            _ => { plan.max_allocations_per_shard = 1; }
+        }
+        let set = fair_lint::lint_schedule(&plan, &LintConfig::new());
+        prop_assert!(!set.is_clean(), "mutation {} survived:\n{:?}", which, plan);
+    }
+}

@@ -14,11 +14,11 @@ use fair_core::component::{
 };
 use fair_core::profile::GaugeProfile;
 use fair_core::workflow::{NodeIdx, WorkflowGraph};
-use fair_lint::rules::{campaign, gauge, graph, policy};
+use fair_lint::rules::{campaign, dataflow, gauge, graph, policy, schedule};
 use fair_lint::{
-    lint_campaign_plan, lint_catalog_regressions, lint_checkpoint_plan, lint_graph, lint_manifest,
-    lint_minimum_profile, lint_resilience_plan, CheckpointPlan, LintConfig, ResiliencePlan,
-    Severity,
+    lint_campaign_plan, lint_catalog_regressions, lint_checkpoint_plan, lint_dataflow, lint_graph,
+    lint_manifest, lint_minimum_profile, lint_resilience_plan, lint_schedule, CheckpointPlan,
+    LintConfig, ResiliencePlan, SchedulePlan, Severity, ShardDriver,
 };
 use hpcsim::cluster::ClusterSpec;
 use hpcsim::time::SimDuration;
@@ -798,4 +798,491 @@ fn json_renders_multi_field_locations_and_no_location() {
   }
 ]"#
     );
+}
+
+// ------------------------------------------------------------- dataflow
+
+/// Adds no-default config variables to a component.
+fn with_config(mut c: ComponentDescriptor, params: &[&str]) -> ComponentDescriptor {
+    for p in params {
+        c.config.push(ConfigVariable {
+            name: (*p).into(),
+            var_type: "int".into(),
+            default: None,
+            description: String::new(),
+            related_to: Vec::new(),
+        });
+    }
+    c
+}
+
+/// `source.o -> blocked.a` is fine, but `blocked.b` is fed only by an
+/// edge from a nonexistent node, so `blocked` can never execute: its
+/// terminal output has no provenance (FW407), its wired input is
+/// undefined on every path (FW402), and `source.o` is computed for a
+/// consumer that can never run (FW401).
+fn dead_path_graph() -> WorkflowGraph {
+    let mut g = WorkflowGraph::new();
+    let source = g.add(comp("source", &[], &["o"]));
+    let blocked = g.add(comp("blocked", &["a", "b"], &["r"]));
+    g.connect_unchecked(source, "o", blocked, "a");
+    g.connect_unchecked(NodeIdx(99), "x", blocked, "b");
+    g
+}
+
+#[test]
+fn fw401_dead_output_fires_behind_blocked_consumer() {
+    let set = lint_dataflow(&dead_path_graph(), None, &cfg());
+    let d = set
+        .with_code(dataflow::DEAD_OUTPUT)
+        .next()
+        .expect("dead output reported");
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.location.node.as_deref(), Some("source"));
+    assert_eq!(d.location.port.as_deref(), Some("o"));
+}
+
+#[test]
+fn fw402_undefined_input_fires_on_invalid_only_producers() {
+    let set = lint_dataflow(&dead_path_graph(), None, &cfg());
+    let d = set
+        .with_code(dataflow::UNDEFINED_INPUT)
+        .next()
+        .expect("undefined input reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.location.node.as_deref(), Some("blocked"));
+    assert_eq!(d.location.port.as_deref(), Some("b"));
+}
+
+#[test]
+fn fw407_provenance_incomplete_fires_on_blocked_terminal() {
+    let set = lint_dataflow(&dead_path_graph(), None, &cfg());
+    let d = set
+        .with_code(dataflow::PROVENANCE_INCOMPLETE)
+        .next()
+        .expect("provenance reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.location.node.as_deref(), Some("blocked"));
+    assert_eq!(d.location.port.as_deref(), Some("r"));
+}
+
+#[test]
+fn fw401_402_407_quiet_on_straight_pipeline() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &[], &["o"]));
+    let b = g.add(comp("b", &["i"], &["o"]));
+    let c = g.add(comp("c", &["i"], &[]));
+    g.connect_unchecked(a, "o", b, "i");
+    g.connect_unchecked(b, "o", c, "i");
+    let set = lint_dataflow(&g, None, &cfg());
+    assert!(set.is_clean(), "{}", set.render_text());
+    assert!(set.iter().next().is_none());
+}
+
+#[test]
+fn fw403_write_write_conflict_fires_on_incompatible_schemas() {
+    let mut g = WorkflowGraph::new();
+    let mut p1 = comp("p1", &[], &["a"]);
+    p1.outputs[0].data.schema = Some(SchemaInfo::Named {
+        format: "csv".into(),
+    });
+    let mut p2 = comp("p2", &[], &["b"]);
+    p2.outputs[0].data.schema = Some(SchemaInfo::Named {
+        format: "hdf5".into(),
+    });
+    let p1 = g.add(p1);
+    let p2 = g.add(p2);
+    let sink = g.add(comp("sink", &["x"], &[]));
+    g.connect_unchecked(p1, "a", sink, "x");
+    g.connect_unchecked(p2, "b", sink, "x");
+    let set = lint_dataflow(&g, None, &cfg());
+    let d = set
+        .with_code(dataflow::WRITE_WRITE_CONFLICT)
+        .next()
+        .expect("conflict reported");
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.location.port.as_deref(), Some("x"));
+    assert!(d.message.contains("p1.a"), "{}", d.message);
+    assert!(d.message.contains("p2.b"), "{}", d.message);
+}
+
+#[test]
+fn fw403_quiet_on_plain_fan_in() {
+    // undeclared schemas: the collect-select-forward motif depends on
+    // multi-writer inputs, so only provable conflicts may fire
+    let mut g = WorkflowGraph::new();
+    let p1 = g.add(comp("p1", &[], &["a"]));
+    let p2 = g.add(comp("p2", &[], &["b"]));
+    let sink = g.add(comp("sink", &["x"], &[]));
+    g.connect_unchecked(p1, "a", sink, "x");
+    g.connect_unchecked(p2, "b", sink, "x");
+    assert!(lint_dataflow(&g, None, &cfg())
+        .with_code(dataflow::WRITE_WRITE_CONFLICT)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw404_unused_source_input_fires_when_node_feeds_nothing_live() {
+    // ingest's external input flows into mixer, but mixer can never
+    // execute (ghost producer on b), so the supplied data is lost
+    let mut g = WorkflowGraph::new();
+    let ingest = g.add(comp("ingest", &["raw"], &["o"]));
+    let mixer = g.add(comp("mixer", &["a", "b"], &[]));
+    g.connect_unchecked(ingest, "o", mixer, "a");
+    g.connect_unchecked(NodeIdx(99), "x", mixer, "b");
+    let set = lint_dataflow(&g, None, &cfg());
+    let d = set
+        .with_code(dataflow::UNUSED_SOURCE_INPUT)
+        .next()
+        .expect("unused source reported");
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.location.node.as_deref(), Some("ingest"));
+    assert_eq!(d.location.port.as_deref(), Some("raw"));
+}
+
+#[test]
+fn fw404_quiet_when_source_reaches_a_sink() {
+    let mut g = WorkflowGraph::new();
+    let ingest = g.add(comp("ingest", &["raw"], &["o"]));
+    let sink = g.add(comp("sink", &["i"], &[]));
+    g.connect_unchecked(ingest, "o", sink, "i");
+    assert!(lint_dataflow(&g, None, &cfg())
+        .with_code(dataflow::UNUSED_SOURCE_INPUT)
+        .next()
+        .is_none());
+}
+
+/// A manifest sweeping `resolution` (two values) with `aggregation`
+/// pinned to one value.
+fn sweeping_manifest() -> CampaignManifest {
+    manifest_with(
+        Sweep::new()
+            .with(
+                "resolution",
+                SweepSpec::IntRange {
+                    start: 1,
+                    end: 2,
+                    step: 1,
+                },
+            )
+            .with("aggregation", SweepSpec::List(vec![7.into()])),
+        4,
+        1,
+        3600,
+    )
+}
+
+#[test]
+fn fw405_swept_param_bound_only_to_dead_node_fires() {
+    // "doomed" declares `resolution` but can never execute (ghost
+    // producer), so the whole sweep axis is unobservable
+    let mut g = WorkflowGraph::new();
+    let doomed = g.add(with_config(
+        comp("doomed", &["in"], &["out"]),
+        &["resolution", "aggregation"],
+    ));
+    g.connect_unchecked(NodeIdx(99), "x", doomed, "in");
+    let set = lint_dataflow(&g, Some(&sweeping_manifest()), &cfg());
+    let d = set
+        .with_code(dataflow::SWEPT_PARAM_NO_EFFECT)
+        .next()
+        .expect("no-effect reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.location.param.as_deref(), Some("resolution"));
+    assert!(d.message.contains("doomed"), "{}", d.message);
+}
+
+#[test]
+fn fw405_quiet_when_a_useful_node_declares_the_axis() {
+    let mut g = WorkflowGraph::new();
+    let sim = g.add(with_config(
+        comp("sim", &[], &["field"]),
+        &["resolution", "aggregation"],
+    ));
+    let sink = g.add(comp("sink", &["i"], &[]));
+    g.connect_unchecked(sim, "field", sink, "i");
+    assert!(lint_dataflow(&g, Some(&sweeping_manifest()), &cfg())
+        .with_code(dataflow::SWEPT_PARAM_NO_EFFECT)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw406_swept_param_declared_by_no_node_fires() {
+    let mut g = WorkflowGraph::new();
+    // declares *a* config var (so the layer is active) but not the axis
+    let sim = g.add(with_config(comp("sim", &[], &["field"]), &["aggregation"]));
+    let sink = g.add(comp("sink", &["i"], &[]));
+    g.connect_unchecked(sim, "field", sink, "i");
+    let set = lint_dataflow(&g, Some(&sweeping_manifest()), &cfg());
+    let d = set
+        .with_code(dataflow::SWEPT_PARAM_UNBOUND)
+        .next()
+        .expect("unbound reported");
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.location.param.as_deref(), Some("resolution"));
+}
+
+#[test]
+fn fw406_stands_down_on_black_box_graphs() {
+    // no node declares any config variable: nothing to check against
+    let mut g = WorkflowGraph::new();
+    let sim = g.add(comp("sim", &[], &["field"]));
+    let sink = g.add(comp("sink", &["i"], &[]));
+    g.connect_unchecked(sim, "field", sink, "i");
+    let set = lint_dataflow(&g, Some(&sweeping_manifest()), &cfg());
+    assert!(set.is_clean(), "{}", set.render_text());
+}
+
+#[test]
+fn fw408_unpinned_config_fires_on_unassigned_no_default_var() {
+    let mut g = WorkflowGraph::new();
+    let sim = g.add(with_config(
+        comp("sim", &[], &["field"]),
+        &["resolution", "aggregation", "tuning"],
+    ));
+    let sink = g.add(comp("sink", &["i"], &[]));
+    g.connect_unchecked(sim, "field", sink, "i");
+    let set = lint_dataflow(&g, Some(&sweeping_manifest()), &cfg());
+    let d = set
+        .with_code(dataflow::UNPINNED_CONFIG)
+        .next()
+        .expect("unpinned reported");
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.location.node.as_deref(), Some("sim"));
+    assert_eq!(d.location.param.as_deref(), Some("tuning"));
+    // resolution and aggregation are assigned by the campaign: quiet
+    assert_eq!(set.with_code(dataflow::UNPINNED_CONFIG).count(), 1);
+}
+
+#[test]
+fn fw408_quiet_when_defaulted() {
+    let mut g = WorkflowGraph::new();
+    let mut node = with_config(comp("sim", &[], &["field"]), &["resolution", "aggregation"]);
+    node.config.push(ConfigVariable {
+        name: "tuning".into(),
+        var_type: "int".into(),
+        default: Some("1".into()),
+        description: String::new(),
+        related_to: Vec::new(),
+    });
+    let sim = g.add(node);
+    let sink = g.add(comp("sink", &["i"], &[]));
+    g.connect_unchecked(sim, "field", sink, "i");
+    assert!(lint_dataflow(&g, Some(&sweeping_manifest()), &cfg())
+        .with_code(dataflow::UNPINNED_CONFIG)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn dataflow_stands_down_on_cyclic_graphs() {
+    let mut g = WorkflowGraph::new();
+    let a = g.add(comp("a", &["i"], &["o"]));
+    let b = g.add(comp("b", &["i"], &["o"]));
+    g.connect_unchecked(a, "o", b, "i");
+    g.connect_unchecked(b, "o", a, "i");
+    // FW001 owns the cycle; the dataflow layer must stay silent
+    assert!(lint_dataflow(&g, None, &cfg()).is_clean());
+}
+
+// ------------------------------------------------------------- schedule
+
+/// A well-formed two-shard sim plan; each test mutates one aspect.
+fn base_plan() -> SchedulePlan {
+    SchedulePlan {
+        assignments: vec![vec![0, 1], vec![2, 3]],
+        total_runs: 4,
+        campaign_seed: 42,
+        fault_seed: None,
+        stream_ids: None,
+        track_offsets: None,
+        driver: ShardDriver::Sim,
+        retry_budget: 0,
+        faults_enabled: false,
+        max_allocations_per_shard: 8,
+    }
+}
+
+#[test]
+fn schedule_base_plan_is_clean() {
+    let set = lint_schedule(&base_plan(), &cfg());
+    assert!(set.is_clean(), "{}", set.render_text());
+    assert!(set.iter().next().is_none());
+}
+
+#[test]
+fn fw501_gap_and_out_of_range_fire() {
+    let mut plan = base_plan();
+    plan.assignments = vec![vec![0, 1], vec![3, 7]]; // 2 missing, 7 beyond
+    let set = lint_schedule(&plan, &cfg());
+    let gaps: Vec<_> = set.with_code(schedule::SHARD_GAP).collect();
+    assert_eq!(gaps.len(), 2, "{}", set.render_text());
+    assert!(gaps.iter().all(|d| d.severity == Severity::Error));
+    assert!(gaps.iter().any(|d| d.message.contains("run index 7")));
+    assert!(gaps
+        .iter()
+        .any(|d| d.message.contains("assigned to no shard: 2")));
+}
+
+#[test]
+fn fw502_overlap_fires_with_owning_shards() {
+    let mut plan = base_plan();
+    plan.assignments = vec![vec![0, 1, 2], vec![2, 3]];
+    let set = lint_schedule(&plan, &cfg());
+    let d = set
+        .with_code(schedule::SHARD_OVERLAP)
+        .next()
+        .expect("overlap reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("run index 2"), "{}", d.message);
+    assert_eq!(d.location.shard, Some(1));
+}
+
+#[test]
+fn fw503_colliding_and_mismatched_offsets_fire() {
+    let mut plan = base_plan();
+    plan.track_offsets = Some(vec![3, 3]);
+    let d = lint_schedule(&plan, &cfg())
+        .with_code(schedule::TRACK_COLLISION)
+        .next()
+        .cloned()
+        .expect("collision reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.message.contains("overlapping telemetry lanes"),
+        "{}",
+        d.message
+    );
+
+    plan.track_offsets = Some(vec![0]); // one entry for two shards
+    let d = lint_schedule(&plan, &cfg())
+        .with_code(schedule::TRACK_COLLISION)
+        .next()
+        .cloned()
+        .expect("mismatch reported");
+    assert!(
+        d.message.contains("1 entries for 2 shard(s)"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn fw503_quiet_on_packed_and_disjoint_offsets() {
+    let mut plan = base_plan();
+    assert!(lint_schedule(&plan, &cfg())
+        .with_code(schedule::TRACK_COLLISION)
+        .next()
+        .is_none());
+    plan.track_offsets = Some(vec![10, 0]); // disjoint, order-free
+    assert!(lint_schedule(&plan, &cfg())
+        .with_code(schedule::TRACK_COLLISION)
+        .next()
+        .is_none());
+}
+
+#[test]
+fn fw504_duplicate_stream_ids_fire() {
+    let mut plan = base_plan();
+    plan.stream_ids = Some(vec![5, 5]);
+    let d = lint_schedule(&plan, &cfg())
+        .with_code(schedule::SEED_COLLISION)
+        .next()
+        .cloned()
+        .expect("collision reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("share stream id 5"), "{}", d.message);
+}
+
+#[test]
+fn fw504_fault_seed_reuse_warns_only_under_faults() {
+    let mut plan = base_plan();
+    plan.driver = ShardDriver::Resilient;
+    plan.fault_seed = Some(plan.campaign_seed);
+    plan.faults_enabled = false;
+    assert!(lint_schedule(&plan, &cfg())
+        .with_code(schedule::SEED_COLLISION)
+        .next()
+        .is_none());
+    plan.faults_enabled = true;
+    let d = lint_schedule(&plan, &cfg())
+        .with_code(schedule::SEED_COLLISION)
+        .next()
+        .cloned()
+        .expect("reuse reported");
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(
+        d.message.contains("reuse the campaign seed"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn fw505_unsorted_and_empty_shards_fire() {
+    let mut plan = base_plan();
+    plan.assignments = vec![vec![1, 0], vec![2, 3], vec![]];
+    let set = lint_schedule(&plan, &cfg());
+    let findings: Vec<_> = set.with_code(schedule::MERGE_ORDER_SENSITIVE).collect();
+    assert_eq!(findings.len(), 2, "{}", set.render_text());
+    let unsorted = findings
+        .iter()
+        .find(|d| d.severity == Severity::Error)
+        .expect("unsorted reported");
+    assert!(
+        unsorted.message.contains("not strictly ascending"),
+        "{}",
+        unsorted.message
+    );
+    assert_eq!(unsorted.location.shard, Some(0));
+    let empty = findings
+        .iter()
+        .find(|d| d.severity == Severity::Warn)
+        .expect("empty reported");
+    assert_eq!(empty.location.shard, Some(2));
+}
+
+#[test]
+fn fw506_retry_starvation_fires_on_single_allocation_cap() {
+    let mut plan = base_plan();
+    plan.driver = ShardDriver::Resilient;
+    plan.faults_enabled = true;
+    plan.fault_seed = Some(7);
+    plan.retry_budget = 3;
+    plan.max_allocations_per_shard = 1;
+    let d = lint_schedule(&plan, &cfg())
+        .with_code(schedule::RETRY_STARVATION)
+        .next()
+        .cloned()
+        .expect("starvation reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("retry budget 3"), "{}", d.message);
+
+    plan.max_allocations_per_shard = 0;
+    assert!(lint_schedule(&plan, &cfg())
+        .with_code(schedule::RETRY_STARVATION)
+        .next()
+        .is_some());
+}
+
+#[test]
+fn fw506_quiet_with_allocation_headroom_or_no_faults() {
+    let mut plan = base_plan();
+    plan.driver = ShardDriver::Resilient;
+    plan.faults_enabled = true;
+    plan.fault_seed = Some(7);
+    plan.retry_budget = 3;
+    plan.max_allocations_per_shard = 2;
+    assert!(lint_schedule(&plan, &cfg())
+        .with_code(schedule::RETRY_STARVATION)
+        .next()
+        .is_none());
+    plan.max_allocations_per_shard = 1;
+    plan.faults_enabled = false;
+    assert!(lint_schedule(&plan, &cfg())
+        .with_code(schedule::RETRY_STARVATION)
+        .next()
+        .is_none());
 }

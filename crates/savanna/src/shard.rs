@@ -35,6 +35,7 @@ use std::collections::BTreeMap;
 use cheetah::manifest::CampaignManifest;
 use cheetah::status::StatusBoard;
 use exec::ThreadPool;
+use fair_lint::{SchedulePlan, ShardDriver};
 use hpcsim::batch::{AllocationSeries, BatchJob};
 use hpcsim::seed::SeedStream;
 use hpcsim::time::SimDuration;
@@ -58,10 +59,19 @@ use crate::task::AllocationScheduler;
 /// manifest order, runs in group order) — the same order
 /// [`CampaignManifest::total_runs`] counts. Every run index appears in
 /// exactly one shard; constructors never produce empty shards.
+///
+/// [`ShardPlan::from_assignments`] and
+/// [`ShardPlan::with_track_offsets`] can describe plans the constructors
+/// never build (gaps, overlaps, colliding telemetry lanes); the sharded
+/// drivers lint every plan with `fair-lint`'s schedule rules
+/// (`FW501`–`FW506`) and refuse defective ones before any run executes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardPlan {
     assignments: Vec<Vec<usize>>,
     total_runs: usize,
+    /// Explicit telemetry track offsets per shard; `None` = the driver's
+    /// packed defaults (collision-free by construction).
+    track_offsets: Option<Vec<u32>>,
 }
 
 impl ShardPlan {
@@ -86,6 +96,7 @@ impl ShardPlan {
         Self {
             assignments,
             total_runs,
+            track_offsets: None,
         }
     }
 
@@ -102,7 +113,34 @@ impl ShardPlan {
         Self {
             assignments,
             total_runs,
+            track_offsets: None,
         }
+    }
+
+    /// Builds a plan directly from explicit per-shard assignments. No
+    /// validation happens here — the sharded drivers lint the plan
+    /// (`FW501`–`FW506`) and refuse a defective one at preflight.
+    pub fn from_assignments(assignments: Vec<Vec<usize>>, total_runs: usize) -> Self {
+        Self {
+            assignments,
+            total_runs,
+            track_offsets: None,
+        }
+    }
+
+    /// Overrides the telemetry track offset of each shard in the merged
+    /// timeline (builder-style). The default packed offsets are always
+    /// collision-free; explicit offsets are linted (`FW503`) before any
+    /// run executes.
+    #[must_use]
+    pub fn with_track_offsets(mut self, offsets: Vec<u32>) -> Self {
+        self.track_offsets = Some(offsets);
+        self
+    }
+
+    /// The explicit track offsets, when set.
+    pub fn track_offsets(&self) -> Option<&[u32]> {
+        self.track_offsets.as_deref()
     }
 
     /// Number of (non-empty) shards.
@@ -118,6 +156,67 @@ impl ShardPlan {
     /// Total runs the plan partitions.
     pub fn total_runs(&self) -> usize {
         self.total_runs
+    }
+
+    /// Projects the plan into `fair-lint`'s schedule-determinism model
+    /// for the plain sim driver (one telemetry track per shard, no
+    /// faults or retries).
+    pub fn schedule_plan_sim(
+        &self,
+        campaign_seed: u64,
+        max_allocations_per_shard: u32,
+    ) -> SchedulePlan {
+        SchedulePlan {
+            assignments: self.assignments.clone(),
+            total_runs: self.total_runs,
+            campaign_seed,
+            fault_seed: None,
+            stream_ids: None,
+            track_offsets: self.track_offsets.clone(),
+            driver: ShardDriver::Sim,
+            retry_budget: 0,
+            faults_enabled: false,
+            max_allocations_per_shard,
+        }
+    }
+
+    /// Projects the plan into `fair-lint`'s schedule-determinism model
+    /// for the resilient driver (`2 + runs` telemetry tracks per shard,
+    /// the policy's retry budget, and the fault plan's seed/streams).
+    pub fn schedule_plan_resilient(
+        &self,
+        campaign_seed: u64,
+        max_allocations_per_shard: u32,
+        policy: &ResiliencePolicy,
+        faults: &FaultPlan,
+    ) -> SchedulePlan {
+        let faults_enabled = faults.run_faults.failure_probability > 0.0
+            || faults.node_mttf.is_some()
+            || faults.stalls.is_some();
+        SchedulePlan {
+            assignments: self.assignments.clone(),
+            total_runs: self.total_runs,
+            campaign_seed,
+            fault_seed: Some(faults.seed),
+            stream_ids: None,
+            track_offsets: self.track_offsets.clone(),
+            driver: ShardDriver::Resilient,
+            retry_budget: policy.retry_budget,
+            faults_enabled,
+            max_allocations_per_shard,
+        }
+    }
+}
+
+/// Lints a projected schedule plan and refuses execution on any
+/// error-severity finding — the static gate that keeps a hand-built
+/// [`ShardPlan`] from corrupting the merge or the seeded differential.
+fn ensure_schedule_clean(plan: &SchedulePlan) -> Result<(), SavannaError> {
+    let diagnostics = fair_lint::lint_schedule(plan, &fair_lint::LintConfig::new());
+    if diagnostics.is_clean() {
+        Ok(())
+    } else {
+        Err(SavannaError::Preflight(PreflightBlocked { diagnostics }))
     }
 }
 
@@ -409,6 +508,9 @@ pub fn run_campaign_sim_par_traced(
     tel: &Telemetry,
 ) -> Result<ParCampaignReport, SavannaError> {
     ensure_durations_modeled(&board.incomplete_runs(manifest), durations)?;
+    let schedule = plan.schedule_plan_sim(campaign_seed, max_allocations_per_shard);
+    ensure_schedule_clean(&schedule)?;
+    let offsets = schedule.planned_offsets();
     let inputs = shard_inputs(manifest, board, plan);
     let stream = SeedStream::new(campaign_seed);
     let traced = tel.is_enabled();
@@ -452,7 +554,7 @@ pub fn run_campaign_sim_par_traced(
         if let Some(mut snapshot) = out.snapshot {
             prefix_track_names(&mut snapshot, s);
             // the plain driver records on exactly one track per shard
-            snapshots.push((s as u32, snapshot));
+            snapshots.push((offsets[s], snapshot));
         }
         completed_runs += out.report.completed_runs;
         remaining_runs += out.report.remaining_runs;
@@ -494,7 +596,13 @@ pub fn run_campaign_sim_gated_par(
     gate: &PreflightGate<'_>,
 ) -> Result<ParCampaignReport, SavannaError> {
     if let PreflightGate::Enforce { context, config } = gate {
-        let diagnostics = fair_lint::preflight_campaign(manifest, Some(durations), context, config);
+        let mut diagnostics =
+            fair_lint::preflight_campaign(manifest, Some(durations), context, config);
+        diagnostics.extend(fair_lint::lint_schedule(
+            &plan.schedule_plan_sim(campaign_seed, max_allocations_per_shard),
+            config,
+        ));
+        diagnostics.sort();
         if !diagnostics.is_clean() {
             return Err(SavannaError::Preflight(PreflightBlocked { diagnostics }));
         }
@@ -608,19 +716,17 @@ pub fn run_campaign_resilient_par_traced(
         &board.incomplete_runs_with_budget(manifest, policy.retry_budget),
         durations,
     )?;
+    let schedule =
+        plan.schedule_plan_resilient(campaign_seed, max_allocations_per_shard, policy, faults);
+    ensure_schedule_clean(&schedule)?;
+    // Track offsets are a pure function of the plan: cumulative widths
+    // of `2 + runs_in_shard` per shard (or the plan's explicit offsets,
+    // which the lint above guarantees are collision-free).
+    let offsets = schedule.planned_offsets();
     let inputs = shard_inputs(manifest, board, plan);
     let series_stream = SeedStream::new(campaign_seed);
     let fault_stream = SeedStream::new(faults.seed);
     let traced = tel.is_enabled();
-
-    // Track offsets are a pure function of the plan: cumulative widths
-    // of `2 + runs_in_shard` per shard.
-    let mut offsets = Vec::with_capacity(inputs.len());
-    let mut next_track = 0u32;
-    for (_, _, ids) in &inputs {
-        offsets.push(next_track);
-        next_track += 2 + ids.len() as u32;
-    }
 
     let run_shard = |s: usize| -> Result<ShardResilientOut, SavannaError> {
         let (sub, sub_board, _) = &inputs[s];
@@ -786,6 +892,99 @@ mod tests {
         assert_eq!(report.completed_runs, 9);
         assert!(board.summary().is_complete());
         assert!(report.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn schedule_projections_reproduce_driver_track_layout() {
+        let plan = ShardPlan::contiguous(7, 3); // shards of 3, 2, 2
+        let sim = plan.schedule_plan_sim(42, 8);
+        // plain driver: one track per shard
+        assert_eq!(sim.planned_offsets(), vec![0, 1, 2]);
+        let policy = ResiliencePolicy::default();
+        let faults = FaultPlan::none(11);
+        let res = plan.schedule_plan_resilient(42, 8, &policy, &faults);
+        // resilient driver: 2 + runs_in_shard tracks per shard
+        assert_eq!(res.planned_offsets(), vec![0, 5, 9]);
+        // explicit offsets pass through verbatim
+        let custom = ShardPlan::contiguous(7, 3).with_track_offsets(vec![0, 10, 20]);
+        assert_eq!(
+            custom.schedule_plan_sim(42, 8).planned_offsets(),
+            vec![0, 10, 20]
+        );
+    }
+
+    #[test]
+    fn constructor_plans_lint_clean() {
+        for plan in [ShardPlan::contiguous(9, 4), ShardPlan::round_robin(9, 4)] {
+            assert!(ensure_schedule_clean(&plan.schedule_plan_sim(7, 50)).is_ok());
+        }
+    }
+
+    #[test]
+    fn colliding_track_offsets_are_rejected_before_any_run() {
+        let m = manifest(6);
+        let d = durations(&m, 600);
+        let spec = SeriesSpec::instant(BatchJob::new(4, SimDuration::from_hours(2)));
+        let mut board = StatusBoard::for_manifest(&m);
+        let plan = ShardPlan::contiguous(m.total_runs(), 2).with_track_offsets(vec![3, 3]);
+        let err = run_campaign_sim_par(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &spec,
+            7,
+            &mut board,
+            50,
+            &plan,
+            None,
+        )
+        .expect_err("colliding lanes must refuse");
+        match err {
+            SavannaError::Preflight(blocked) => {
+                assert!(blocked
+                    .diagnostics
+                    .iter()
+                    .any(|diag| diag.code == fair_lint::rules::schedule::TRACK_COLLISION));
+            }
+            other => panic!("expected Preflight, got {other:?}"),
+        }
+        // nothing ran
+        assert_eq!(board.summary().pending, 6);
+    }
+
+    #[test]
+    fn gapped_assignments_are_rejected_before_any_run() {
+        let m = manifest(4);
+        let d = durations(&m, 600);
+        let spec = SeriesSpec::instant(BatchJob::new(4, SimDuration::from_hours(2)));
+        let mut board = StatusBoard::for_manifest(&m);
+        // run 2 missing, run 1 duplicated
+        let plan = ShardPlan::from_assignments(vec![vec![0, 1], vec![1, 3]], 4);
+        let err = run_campaign_sim_par(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &spec,
+            7,
+            &mut board,
+            50,
+            &plan,
+            None,
+        )
+        .expect_err("gap + overlap must refuse");
+        match err {
+            SavannaError::Preflight(blocked) => {
+                let codes: Vec<&str> = blocked
+                    .diagnostics
+                    .iter()
+                    .map(|diag| diag.code.as_str())
+                    .collect();
+                assert!(codes.contains(&fair_lint::rules::schedule::SHARD_GAP));
+                assert!(codes.contains(&fair_lint::rules::schedule::SHARD_OVERLAP));
+            }
+            other => panic!("expected Preflight, got {other:?}"),
+        }
+        assert_eq!(board.summary().pending, 4);
     }
 
     #[test]

@@ -1,11 +1,14 @@
-//! Minimal JSON parsing for the analysis layer.
+//! Minimal JSON parsing for the analysis layer (and other offline
+//! tooling).
 //!
 //! The exports this crate writes (`fair-telemetry-trace/1`,
 //! `fair-telemetry-metrics/1`) are consumed back by
 //! [`crate::analysis`] and [`crate::report`]. Parsing is done here with
 //! a ~150-line recursive-descent reader instead of an external crate so
 //! the telemetry crate stays dependency-free and `fair-report` runs in
-//! stub-only offline builds.
+//! stub-only offline builds. The module is public because other
+//! dependency-free tools in the workspace (notably the `fair-lint` CLI)
+//! reuse it to read their own JSON inputs under the same constraint.
 //!
 //! This is a general JSON reader (any well-formed document parses), but
 //! it is tuned for our own writer's output: object key order is
@@ -14,7 +17,7 @@
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Value {
+pub enum Value {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -31,7 +34,7 @@ pub(crate) enum Value {
 
 impl Value {
     /// Member lookup on objects (first match).
-    pub(crate) fn get(&self, key: &str) -> Option<&Value> {
+    pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
             Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -39,7 +42,7 @@ impl Value {
     }
 
     /// The string payload, if this is a string.
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
@@ -47,7 +50,7 @@ impl Value {
     }
 
     /// The numeric payload, if this is a number.
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
             _ => None,
@@ -55,13 +58,13 @@ impl Value {
     }
 
     /// The numeric payload as `u64` (must be a non-negative integer).
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    pub fn as_u64(&self) -> Option<u64> {
         let n = self.as_f64()?;
         (n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64).then_some(n as u64)
     }
 
     /// The element list, if this is an array.
-    pub(crate) fn as_arr(&self) -> Option<&[Value]> {
+    pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(items) => Some(items),
             _ => None,
@@ -69,7 +72,7 @@ impl Value {
     }
 
     /// The member list, if this is an object.
-    pub(crate) fn as_obj(&self) -> Option<&[(String, Value)]> {
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
         match self {
             Value::Obj(members) => Some(members),
             _ => None,
@@ -78,7 +81,7 @@ impl Value {
 }
 
 /// Parses a complete JSON document (trailing whitespace allowed).
-pub(crate) fn parse(doc: &str) -> Result<Value, String> {
+pub fn parse(doc: &str) -> Result<Value, String> {
     let mut p = Parser {
         bytes: doc.as_bytes(),
         pos: 0,

@@ -40,7 +40,7 @@ pub mod chrome;
 pub mod digest;
 pub mod event;
 pub(crate) mod json;
-pub(crate) mod jsonin;
+pub mod jsonin;
 pub mod merge;
 pub mod metrics;
 pub mod report;
@@ -55,7 +55,7 @@ pub use analysis::{
 pub use chrome::chrome_trace_json;
 pub use digest::{digest_json, Digest, DigestSet};
 pub use event::{ArgValue, InstantEvent, SpanEvent};
-pub use merge::{merge_snapshots, replay};
+pub use merge::{lane_collisions, merge_snapshots, replay, TrackLane};
 pub use metrics::{metrics_json, metrics_keys, span_aggregates, SpanAggregate};
 pub use report::{
     compare_metrics, digests_from_model, parse_metrics, render_summary, CompareReport, MetricsDoc,

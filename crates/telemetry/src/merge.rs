@@ -50,6 +50,55 @@ pub fn merge_snapshots(parts: &[(u32, &Snapshot)]) -> Snapshot {
     merged
 }
 
+/// A half-open telemetry track range `[offset, offset + width)` one
+/// merge part claims in the merged timeline.
+///
+/// [`merge_snapshots`] itself never checks lanes — it shifts blindly —
+/// so a planner that *computes* offsets (e.g. `savanna`'s sharded
+/// drivers, or a schedule linter) uses [`lane_collisions`] to prove the
+/// claimed lanes are disjoint before any event is recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackLane {
+    /// First track of the lane (the part's merge offset).
+    pub offset: u32,
+    /// Number of tracks the part records on.
+    pub width: u32,
+}
+
+impl TrackLane {
+    /// A lane starting at `offset`, `width` tracks wide.
+    pub fn new(offset: u32, width: u32) -> Self {
+        Self { offset, width }
+    }
+
+    /// True when the two half-open track ranges share any track.
+    /// Zero-width lanes claim nothing and never overlap.
+    pub fn overlaps(&self, other: &TrackLane) -> bool {
+        let end = u64::from(self.offset) + u64::from(self.width);
+        let other_end = u64::from(other.offset) + u64::from(other.width);
+        self.width > 0
+            && other.width > 0
+            && u64::from(self.offset) < other_end
+            && u64::from(other.offset) < end
+    }
+}
+
+/// All pairs of lanes (by slice index, `i < j`) whose track ranges
+/// overlap. An empty result proves the lanes partition the merged
+/// timeline and [`merge_snapshots`] cannot land two parts' events on the
+/// same track.
+pub fn lane_collisions(lanes: &[TrackLane]) -> Vec<(usize, usize)> {
+    let mut collisions = Vec::new();
+    for i in 0..lanes.len() {
+        for j in i + 1..lanes.len() {
+            if lanes[i].overlaps(&lanes[j]) {
+                collisions.push((i, j));
+            }
+        }
+    }
+    collisions
+}
+
 /// Replays a snapshot into a live [`Telemetry`] handle: track names
 /// first, then spans, instants, and counters, all in snapshot order.
 ///
@@ -130,6 +179,27 @@ mod tests {
         let m2 = merge_snapshots(&[(0, &a), (1, &b)]);
         assert_eq!(chrome_trace_json(&m1), chrome_trace_json(&m2));
         assert_eq!(metrics_json(&m1), metrics_json(&m2));
+    }
+
+    #[test]
+    fn lane_collisions_finds_exactly_the_overlapping_pairs() {
+        // [0,3) [3,5) [5,6): disjoint
+        let disjoint = [
+            TrackLane::new(0, 3),
+            TrackLane::new(3, 2),
+            TrackLane::new(5, 1),
+        ];
+        assert!(lane_collisions(&disjoint).is_empty());
+        // [0,3) [2,4) overlap at track 2; [4,5) is clear of both
+        let colliding = [
+            TrackLane::new(0, 3),
+            TrackLane::new(2, 2),
+            TrackLane::new(4, 1),
+        ];
+        assert_eq!(lane_collisions(&colliding), vec![(0, 1)]);
+        // zero-width lanes claim nothing
+        let empty = [TrackLane::new(1, 0), TrackLane::new(1, 0)];
+        assert!(lane_collisions(&empty).is_empty());
     }
 
     #[test]

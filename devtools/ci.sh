@@ -104,4 +104,51 @@ for artifact in summary digest folded; do
 done
 echo "report smoke: OK"
 
+# Lint-corpus gate: the fair-lint CLI over (a) the clean example bundles
+# in examples/campaigns/ — must exit 0 with zero findings — and (b) the
+# seeded defect corpus in tests/fixtures/lint-corpus/ — every fixture
+# must exit 1 and its --json output must be byte-identical to the
+# committed golden. The deny flags promote the corpus's warn-level
+# findings so every fixture fails the gate on its own. Regenerate
+# goldens after an intentional rule change with UPDATE_FIXTURES=1.
+# The CLI reads JSON with telemetry::jsonin and writes its own renderer,
+# so it runs from the stub-built shadow workspace offline.
+echo "== ci: lint corpus =="
+run_fair_lint() {
+    if cargo build -q --release -p fair-lint --bin fair-lint 2>/dev/null; then
+        cargo run -q --release -p fair-lint --bin fair-lint -- "$@"
+    else
+        (cd "$REPO/target/offline-check" &&
+            CARGO_NET_OFFLINE=true cargo run -q --release --offline -p fair-lint --bin fair-lint -- "$@")
+    fi
+}
+CORPUS_FLAGS=(--json --deny FW401 --deny FW403 --deny FW404 --deny FW406 --deny FW408)
+for bundle in "$REPO"/examples/campaigns/*.json; do
+    if ! run_fair_lint --json "$bundle" >"$REPO/target/lint-corpus-out.json"; then
+        echo "lint corpus: clean example $(basename "$bundle") did not exit 0"
+        exit 1
+    fi
+    [ "$(cat "$REPO/target/lint-corpus-out.json")" = "[]" ] ||
+        { echo "lint corpus: clean example $(basename "$bundle") has findings"; exit 1; }
+done
+for bundle in "$REPO"/tests/fixtures/lint-corpus/*.json; do
+    case "$bundle" in *.expected.json) continue ;; esac
+    golden="${bundle%.json}.expected.json"
+    status=0
+    run_fair_lint "${CORPUS_FLAGS[@]}" "$bundle" >"$REPO/target/lint-corpus-out.json" || status=$?
+    if [ "$status" -ne 1 ]; then
+        echo "lint corpus: $(basename "$bundle") exited $status (want 1)"
+        exit 1
+    fi
+    if [ "${UPDATE_FIXTURES:-0}" = 1 ]; then
+        cp "$REPO/target/lint-corpus-out.json" "$golden"
+        echo "updated $(basename "$golden")"
+    elif ! cmp -s "$REPO/target/lint-corpus-out.json" "$golden"; then
+        echo "lint corpus: $(basename "$bundle") diverged from its golden (UPDATE_FIXTURES=1 to regen):"
+        diff "$golden" "$REPO/target/lint-corpus-out.json" || true
+        exit 1
+    fi
+done
+echo "lint corpus: OK"
+
 echo "ci: OK"

@@ -22,6 +22,7 @@ use fair_workflows::hpcsim::cluster::ClusterSpec;
 use fair_workflows::hpcsim::time::SimDuration;
 use fair_workflows::savanna::driver::{run_campaign_sim_gated, PreflightGate};
 use fair_workflows::savanna::pilot::PilotScheduler;
+use fair_workflows::savanna::shard::{run_campaign_sim_par, SeriesSpec, ShardPlan};
 use fair_workflows::savanna::SavannaError;
 
 fn comp(name: &str, inputs: &[&str], outputs: &[&str]) -> ComponentDescriptor {
@@ -265,6 +266,74 @@ fn clean_codesign_campaign_lints_clean_and_executes() {
     .expect("clean campaign launches");
     assert!(report.is_complete());
     assert_eq!(report.completed_runs, 12, "2 × 2 × 3 sweep points");
+}
+
+#[test]
+fn defective_shard_plan_is_rejected_before_any_run_executes() {
+    // A deliberately colliding telemetry track-offset table: both shards
+    // would merge onto lane 3 and `telemetry::merge` would interleave
+    // their events. The *ungated* sharded driver must still refuse it —
+    // the schedule lint (FW503) is wired into preflight, not opt-in.
+    let manifest = Campaign::new(
+        "io-codesign",
+        "institutional",
+        AppDef::new("reaction-diffusion", "rd.exe"),
+    )
+    .with_group(SweepGroup::new("sweep", codesign_sweep(), 4, 1, 3600))
+    .manifest()
+    .expect("valid campaign");
+    let durations = uniform_durations(&manifest, 600);
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let plan = ShardPlan::contiguous(manifest.total_runs(), 2).with_track_offsets(vec![3, 3]);
+    let spec = SeriesSpec::instant(BatchJob::new(4, SimDuration::from_hours(2)));
+
+    let err = run_campaign_sim_par(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &spec,
+        42,
+        &mut board,
+        20,
+        &plan,
+        None,
+    )
+    .expect_err("colliding lanes must refuse");
+    let blocked = match err {
+        SavannaError::Preflight(b) => b,
+        other => panic!("expected a preflight refusal, got {other:?}"),
+    };
+    let d = blocked
+        .diagnostics
+        .with_code("FW503")
+        .next()
+        .expect("track collision reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.message.contains("overlapping telemetry lanes"),
+        "{}",
+        d.message
+    );
+
+    // Refused strictly before execution: the board is untouched.
+    assert_eq!(board.summary().pending, manifest.total_runs());
+
+    // Dropping the bad offsets (back to packed defaults) makes the same
+    // plan execute to completion.
+    let plan = ShardPlan::contiguous(manifest.total_runs(), 2);
+    let report = run_campaign_sim_par(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &spec,
+        42,
+        &mut board,
+        20,
+        &plan,
+        None,
+    )
+    .expect("default offsets execute");
+    assert!(report.is_complete());
 }
 
 #[test]
