@@ -1,0 +1,1306 @@
+//! Crash-safe campaign durability: an append-only, CRC32-framed journal
+//! of [`StatusBoard`] mutations with snapshot compaction and torn-tail
+//! recovery.
+//!
+//! Every driver in the workspace holds campaign state in memory; a crash
+//! loses the campaign. The journal is the durability core under the
+//! ROADMAP's crash-safe daemon item: each state transition the drivers
+//! make (attempt started, failure recorded, status set, shard merged) is
+//! appended as one framed record, and a periodic [`JournalRecord::Snapshot`]
+//! — the board's [`StatusBoard::canonical_json`] — bounds how much of the
+//! log recovery has to replay.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! file   := magic frame*
+//! magic  := "FAIRJNL1"                      (8 bytes)
+//! frame  := len:u32le crc:u32le payload     (payload is `len` bytes)
+//! ```
+//!
+//! `crc` is the IEEE CRC-32 of the payload bytes. The payload is one
+//! compact JSON record (see [`JournalRecord`]) written by a hand-rolled
+//! encoder and read back with `telemetry::jsonin`, so journals are
+//! readable in the stub-only offline workspace where serde_json is
+//! non-functional.
+//!
+//! # Torn tail vs. corruption
+//!
+//! A crash mid-append leaves a *torn tail*: a final frame whose header or
+//! payload does not reach EOF, or whose CRC fails because only part of
+//! the payload hit the disk. [`scan_bytes`] treats any such defect *that
+//! touches EOF* as torn — the valid prefix is recovered and the tail
+//! length reported so the caller can truncate and warn. A CRC or framing
+//! defect strictly *before* the final frame cannot be produced by an
+//! append crash and is reported as hard [`JournalError::Corrupt`].
+//!
+//! Recovery ([`recover`]) replays the last snapshot plus the record
+//! suffix after it; [`recover_for_append`] additionally truncates the
+//! torn tail so the journal is append-clean again.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::status::{push_json_string, RunStatus, StatusBoard};
+
+/// The 8-byte file magic every journal starts with.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"FAIRJNL1";
+
+/// Frame header size: `len:u32le` + `crc:u32le`.
+const FRAME_HEADER: u64 = 8;
+
+/// Upper bound on one record's payload. A frame claiming more than this
+/// is treated as corruption even if the bytes are present — a flipped
+/// length byte must not make the reader swallow the rest of the log as
+/// one giant "record".
+const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven, computed at compile time. Hand-rolled so
+// the journal works under the no-new-dependencies constraint.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 of `bytes` (the polynomial used by gzip/PNG/zlib).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why a journal could not be written, read, or replayed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The log is damaged somewhere a crash cannot explain: bad magic,
+    /// an oversized frame, or a CRC failure strictly before the final
+    /// frame. Recovery refuses to guess past this point.
+    Corrupt {
+        /// Byte offset of the damaged frame (or 0 for the header).
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A frame passed its CRC but its payload is not a valid record —
+    /// a writer bug or a semantic schema mismatch, not bit rot.
+    BadRecord {
+        /// Byte offset of the offending frame.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// During a journaled resume, the deterministic re-simulation
+    /// produced a record stream that disagrees with what the durable
+    /// journal says happened — the campaign inputs (manifest, seeds,
+    /// policy) no longer match the journal.
+    Diverged {
+        /// Index of the first disagreeing record.
+        record: u64,
+        /// What disagreed.
+        detail: String,
+    },
+    /// A [`CrashPoint`] fired: the writer stopped mid-frame to simulate
+    /// a crash at a configured journal offset.
+    CrashInjected {
+        /// Journal length (bytes) at which the simulated crash hit.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Corrupt { offset, detail } => {
+                write!(f, "journal corrupt at byte {offset}: {detail}")
+            }
+            JournalError::BadRecord { offset, detail } => {
+                write!(f, "journal record at byte {offset} is invalid: {detail}")
+            }
+            JournalError::Diverged { record, detail } => {
+                write!(
+                    f,
+                    "journal diverged from re-simulation at record {record}: {detail}"
+                )
+            }
+            JournalError::CrashInjected { offset } => {
+                write!(f, "injected crash at journal offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------
+
+/// One durable StatusBoard mutation (or marker), the unit the journal
+/// frames. Records carry everything needed to re-apply the mutation to a
+/// board; markers ([`JournalRecord::Epoch`], [`JournalRecord::Complete`])
+/// carry progress metadata the resume path validates against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A full board snapshot (the compaction point): recovery replays
+    /// from the *last* snapshot, everything before it is dead weight.
+    Snapshot {
+        /// The complete board at the time of the snapshot.
+        board: StatusBoard,
+    },
+    /// One run's lifecycle state changed.
+    Status {
+        /// Run id.
+        run: String,
+        /// New state.
+        status: RunStatus,
+    },
+    /// One more attempt of a run started.
+    Attempt {
+        /// Run id.
+        run: String,
+    },
+    /// A run failed (state → `Failed`, failure count +1, cause recorded).
+    Failure {
+        /// Run id.
+        run: String,
+        /// Machine-readable failure cause.
+        cause: String,
+    },
+    /// A run's telemetry pointer was recorded.
+    TelemetryRef {
+        /// Run id.
+        run: String,
+        /// `<artifact>#<track>` pointer.
+        reference: String,
+    },
+    /// A run's digest pointer was recorded.
+    DigestRef {
+        /// Run id.
+        run: String,
+        /// `digest#<key>` pointer.
+        reference: String,
+    },
+    /// Marker: one driver epoch (allocation) finished. Carries enough
+    /// progress metadata for a resume to validate it is replaying the
+    /// same campaign.
+    Epoch {
+        /// Zero-based allocation index.
+        index: u64,
+        /// Simulated clock (µs) when the allocation ended.
+        now_us: u64,
+        /// Runs completed in this allocation.
+        completed: u64,
+        /// Runs timed out in this allocation.
+        timed_out: u64,
+    },
+    /// A parallel shard's final sub-board was merged, in plan order.
+    ShardMerged {
+        /// Shard index in the schedule plan.
+        shard: u64,
+        /// The shard's final sub-board.
+        board: StatusBoard,
+    },
+    /// Marker: the campaign driver ran to completion; the journal is
+    /// final.
+    Complete,
+}
+
+fn push_field(out: &mut String, key: &str, value: &str) {
+    out.push(',');
+    push_json_string(out, key);
+    out.push(':');
+    push_json_string(out, value);
+}
+
+fn push_num_field(out: &mut String, key: &str, value: u64) {
+    out.push(',');
+    push_json_string(out, key);
+    out.push(':');
+    out.push_str(&value.to_string());
+}
+
+/// Embeds a board as a raw nested JSON object (`"key":{...}`) — its
+/// canonical form is already JSON, so re-escaping it into a string field
+/// would double the encoding cost of every snapshot.
+fn push_board_field(out: &mut String, key: &str, board: &StatusBoard) {
+    out.push(',');
+    push_json_string(out, key);
+    out.push(':');
+    board.canonical_json_into(out);
+}
+
+impl JournalRecord {
+    /// Encodes the record as its compact JSON payload. Byte-deterministic
+    /// (fixed field order, canonical escaping), which is what lets the
+    /// resume path compare re-derived records against durable ones and
+    /// the framing goldens stay byte-stable.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the encoded payload to `out` without allocating a fresh
+    /// string — the writer's hot path reuses one scratch buffer across
+    /// every append.
+    pub fn encode_into(&self, out: &mut String) {
+        out.push_str("{\"t\":");
+        match self {
+            JournalRecord::Snapshot { board } => {
+                out.push_str("\"snapshot\"");
+                push_board_field(out, "board", board);
+            }
+            JournalRecord::Status { run, status } => {
+                out.push_str("\"status\"");
+                push_field(out, "run", run);
+                push_field(out, "status", status.as_str());
+            }
+            JournalRecord::Attempt { run } => {
+                out.push_str("\"attempt\"");
+                push_field(out, "run", run);
+            }
+            JournalRecord::Failure { run, cause } => {
+                out.push_str("\"failure\"");
+                push_field(out, "run", run);
+                push_field(out, "cause", cause);
+            }
+            JournalRecord::TelemetryRef { run, reference } => {
+                out.push_str("\"telemetry_ref\"");
+                push_field(out, "run", run);
+                push_field(out, "ref", reference);
+            }
+            JournalRecord::DigestRef { run, reference } => {
+                out.push_str("\"digest_ref\"");
+                push_field(out, "run", run);
+                push_field(out, "ref", reference);
+            }
+            JournalRecord::Epoch {
+                index,
+                now_us,
+                completed,
+                timed_out,
+            } => {
+                out.push_str("\"epoch\"");
+                push_num_field(out, "index", *index);
+                push_num_field(out, "now_us", *now_us);
+                push_num_field(out, "completed", *completed);
+                push_num_field(out, "timed_out", *timed_out);
+            }
+            JournalRecord::ShardMerged { shard, board } => {
+                out.push_str("\"shard_merged\"");
+                push_num_field(out, "shard", *shard);
+                push_board_field(out, "board", board);
+            }
+            JournalRecord::Complete => out.push_str("\"complete\""),
+        }
+        out.push('}');
+    }
+
+    /// Decodes one payload. Inverse of [`JournalRecord::encode`]; strict
+    /// about the tag, required fields, and nested board validity.
+    pub fn decode(payload: &str) -> Result<Self, String> {
+        let value = telemetry::jsonin::parse(payload)?;
+        let tag = value
+            .get("t")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| "record has no \"t\" tag".to_string())?;
+        let text = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("{tag} record: missing string field {key:?}"))
+        };
+        let num = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(telemetry::jsonin::Value::as_u64)
+                .ok_or_else(|| format!("{tag} record: missing integer field {key:?}"))
+        };
+        let board = |key: &str| -> Result<StatusBoard, String> {
+            let nested = value
+                .get(key)
+                .ok_or_else(|| format!("{tag} record: missing field {key:?}"))?;
+            StatusBoard::from_json_value(nested)
+        };
+        match tag {
+            "snapshot" => Ok(JournalRecord::Snapshot {
+                board: board("board")?,
+            }),
+            "status" => Ok(JournalRecord::Status {
+                run: text("run")?,
+                status: {
+                    let name = text("status")?;
+                    RunStatus::parse_name(&name)
+                        .ok_or_else(|| format!("status record: unknown status {name:?}"))?
+                },
+            }),
+            "attempt" => Ok(JournalRecord::Attempt { run: text("run")? }),
+            "failure" => Ok(JournalRecord::Failure {
+                run: text("run")?,
+                cause: text("cause")?,
+            }),
+            "telemetry_ref" => Ok(JournalRecord::TelemetryRef {
+                run: text("run")?,
+                reference: text("ref")?,
+            }),
+            "digest_ref" => Ok(JournalRecord::DigestRef {
+                run: text("run")?,
+                reference: text("ref")?,
+            }),
+            "epoch" => Ok(JournalRecord::Epoch {
+                index: num("index")?,
+                now_us: num("now_us")?,
+                completed: num("completed")?,
+                timed_out: num("timed_out")?,
+            }),
+            "shard_merged" => Ok(JournalRecord::ShardMerged {
+                shard: num("shard")?,
+                board: board("board")?,
+            }),
+            "complete" => Ok(JournalRecord::Complete),
+            other => Err(format!("unknown record tag {other:?}")),
+        }
+    }
+
+    /// Re-applies the mutation to `board`. Markers are no-ops.
+    pub fn apply(&self, board: &mut StatusBoard) {
+        match self {
+            JournalRecord::Snapshot { board: snap } => *board = snap.clone(),
+            JournalRecord::Status { run, status } => board.set(run, *status),
+            JournalRecord::Attempt { run } => {
+                board.record_attempt(run);
+            }
+            JournalRecord::Failure { run, cause } => board.record_failure(run, cause.clone()),
+            JournalRecord::TelemetryRef { run, reference } => {
+                board.record_telemetry_ref(run, reference.clone());
+            }
+            JournalRecord::DigestRef { run, reference } => {
+                board.record_digest_ref(run, reference.clone());
+            }
+            JournalRecord::Epoch { .. } | JournalRecord::Complete => {}
+            JournalRecord::ShardMerged { board: sub, .. } => board.merge_from(sub),
+        }
+    }
+
+    /// True for the records that establish a durable recovery point —
+    /// [`FsyncPolicy::PerSnapshot`] syncs after these.
+    pub fn is_sync_point(&self) -> bool {
+        matches!(
+            self,
+            JournalRecord::Snapshot { .. }
+                | JournalRecord::ShardMerged { .. }
+                | JournalRecord::Complete
+        )
+    }
+}
+
+/// Computes the mutation records that turn `old` into `new` — the diff a
+/// journaling driver appends after each epoch instead of a full snapshot.
+///
+/// The board's state is monotone under the drivers (runs are never
+/// removed, counters never decrease), so the diff is: per run, the
+/// attempt-count delta as [`JournalRecord::Attempt`]s, the failure-count
+/// delta as [`JournalRecord::Failure`]s (which imply `Failed` state),
+/// then a [`JournalRecord::Status`] only if the final state differs from
+/// what the failures imply, then ref-pointer updates. Replaying the diff
+/// over `old` reproduces `new` exactly — pinned by tests and, ultimately,
+/// by the crash-differential harness.
+pub fn diff_boards(old: &StatusBoard, new: &StatusBoard) -> Vec<JournalRecord> {
+    let mut records = Vec::new();
+    let runs: BTreeSet<&String> = new
+        .statuses_map()
+        .keys()
+        .chain(new.attempts_map().keys())
+        .chain(new.failures_map().keys())
+        .chain(new.telemetry_refs_map().keys())
+        .chain(new.digest_refs_map().keys())
+        .collect();
+    for run in runs {
+        diff_run(old, new, run, &mut records);
+    }
+    records
+}
+
+/// [`diff_boards`] restricted to the given runs — the fast path for a
+/// journaling driver that knows which runs an epoch touched, so the diff
+/// costs O(touched) instead of O(board). `runs` may be unsorted and hold
+/// duplicates; the records come out in sorted run order either way, so
+/// the result is exactly [`diff_boards`]' when the boards differ only at
+/// the given runs.
+pub fn diff_board_runs<'a>(
+    old: &StatusBoard,
+    new: &StatusBoard,
+    runs: impl IntoIterator<Item = &'a str>,
+) -> Vec<JournalRecord> {
+    let mut sorted: Vec<&str> = runs.into_iter().collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut records = Vec::new();
+    for run in sorted {
+        diff_run(old, new, run, &mut records);
+    }
+    records
+}
+
+/// The per-run diff body shared by [`diff_boards`] and
+/// [`diff_board_runs`].
+fn diff_run(old: &StatusBoard, new: &StatusBoard, run: &str, records: &mut Vec<JournalRecord>) {
+    let old_attempts = old.attempts_map().get(run).copied().unwrap_or(0);
+    let new_attempts = new.attempts_map().get(run).copied().unwrap_or(0);
+    for _ in old_attempts..new_attempts {
+        records.push(JournalRecord::Attempt {
+            run: run.to_string(),
+        });
+    }
+
+    let old_failures = old.failures_map().get(run).copied().unwrap_or(0);
+    let new_failures = new.failures_map().get(run).copied().unwrap_or(0);
+    if new_failures > old_failures {
+        let cause = new.last_failure_map().get(run).cloned().unwrap_or_default();
+        for _ in old_failures..new_failures {
+            records.push(JournalRecord::Failure {
+                run: run.to_string(),
+                cause: cause.clone(),
+            });
+        }
+    }
+
+    // state the board is left in after the failure records replay
+    let implied = if new_failures > old_failures {
+        Some(RunStatus::Failed)
+    } else {
+        old.statuses_map().get(run).copied()
+    };
+    let target = new.statuses_map().get(run).copied();
+    if let Some(status) = target {
+        if implied != Some(status) {
+            records.push(JournalRecord::Status {
+                run: run.to_string(),
+                status,
+            });
+        }
+    }
+
+    let new_ref = new.telemetry_refs_map().get(run);
+    if new_ref.is_some() && new_ref != old.telemetry_refs_map().get(run) {
+        if let Some(reference) = new_ref {
+            records.push(JournalRecord::TelemetryRef {
+                run: run.to_string(),
+                reference: reference.clone(),
+            });
+        }
+    }
+    let new_digest = new.digest_refs_map().get(run);
+    if new_digest.is_some() && new_digest != old.digest_refs_map().get(run) {
+        if let Some(reference) = new_digest {
+            records.push(JournalRecord::DigestRef {
+                run: run.to_string(),
+                reference: reference.clone(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// When the journal writer calls `fsync`.
+///
+/// The writer buffers appended frames in process and writes them
+/// through at sync points, when the buffer crosses
+/// [`FLUSH_THRESHOLD`] bytes, on an explicit [`JournalWriter::sync`],
+/// or on drop. Syncing always flushes first, so a policy's recovery
+/// points are on disk exactly when the policy promises them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never sync explicitly; appends are buffered in process and
+    /// written through at recovery points and in batches, and
+    /// durability rides on the OS page cache.
+    Never,
+    /// Sync after snapshot / shard-merge / complete records — the
+    /// recommended policy: every recovery point is durable, per-record
+    /// appends are not individually synced.
+    PerSnapshot,
+    /// Sync after every record (maximum durability, maximum cost).
+    PerRecord,
+}
+
+/// A simulated crash at a configured journal offset: the writer writes
+/// bytes only up to `at_bytes` of total journal length, then fails with
+/// [`JournalError::CrashInjected`] — leaving a torn tail on disk exactly
+/// as a real mid-append crash would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Journal length (bytes, including the magic) at which to "crash".
+    pub at_bytes: u64,
+}
+
+/// Buffered appends are written through once they cross this size even
+/// between sync points, bounding how much an in-process buffer can hold
+/// back from the page cache.
+pub const FLUSH_THRESHOLD: usize = 64 * 1024;
+
+/// Appends framed records to a journal file, buffering frames in
+/// process and writing them through at sync points, at
+/// [`FLUSH_THRESHOLD`], on [`JournalWriter::sync`], or on drop.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    /// Logical journal length: bytes flushed to the file plus bytes
+    /// still sitting in `buf`.
+    len: u64,
+    /// Frames appended but not yet written to the file.
+    buf: Vec<u8>,
+    /// Scratch payload buffer reused across appends.
+    payload: String,
+    records_appended: u64,
+    fsync: FsyncPolicy,
+    crash: Option<CrashPoint>,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) a journal at `path` and writes the magic.
+    pub fn create(path: &Path, fsync: FsyncPolicy) -> Result<Self, JournalError> {
+        Self::create_with(path, fsync, None)
+    }
+
+    /// Like [`JournalWriter::create`], but with an optional crash point
+    /// active from the very first byte (so even the magic can tear).
+    pub fn create_with(
+        path: &Path,
+        fsync: FsyncPolicy,
+        crash: Option<CrashPoint>,
+    ) -> Result<Self, JournalError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut writer = Self {
+            file,
+            len: 0,
+            buf: Vec::new(),
+            payload: String::new(),
+            records_appended: 0,
+            fsync,
+            crash,
+        };
+        writer.buffer_bytes(JOURNAL_MAGIC)?;
+        writer.flush_buf()?;
+        Ok(writer)
+    }
+
+    /// Installs (or clears) a crash point on an open writer.
+    pub fn set_crash_point(&mut self, crash: Option<CrashPoint>) {
+        self.crash = crash;
+    }
+
+    /// Total logical journal length in bytes (including the magic and
+    /// any frames still buffered in process).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when nothing beyond the magic has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len <= JOURNAL_MAGIC.len() as u64
+    }
+
+    /// Records appended through this writer.
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Appends `bytes` to the in-process buffer, tearing at the exact
+    /// crash offset when a crash point is installed. Torn bytes are
+    /// flushed to the file before the error returns, so the on-disk
+    /// tail looks exactly like a mid-append crash.
+    fn buffer_bytes(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+        if let Some(crash) = self.crash {
+            let room = crash.at_bytes.saturating_sub(self.len);
+            if (bytes.len() as u64) > room {
+                let cut = usize::try_from(room).unwrap_or(bytes.len());
+                self.buf.extend_from_slice(&bytes[..cut]);
+                self.len += cut as u64;
+                self.flush_buf()?;
+                self.file.flush()?;
+                return Err(JournalError::CrashInjected { offset: self.len });
+            }
+        }
+        self.buf.extend_from_slice(bytes);
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Writes every buffered frame through to the file.
+    fn flush_buf(&mut self) -> Result<(), JournalError> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Appends one framed record, honouring the fsync policy and any
+    /// installed crash point.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+        let mut payload = std::mem::take(&mut self.payload);
+        payload.clear();
+        record.encode_into(&mut payload);
+        let result = self.append_payload(payload.as_bytes(), record.is_sync_point());
+        self.payload = payload;
+        result
+    }
+
+    fn append_payload(&mut self, bytes: &[u8], sync_point: bool) -> Result<(), JournalError> {
+        if bytes.len() as u64 > u64::from(MAX_PAYLOAD) {
+            return Err(JournalError::BadRecord {
+                offset: self.len,
+                detail: format!("payload of {} bytes exceeds MAX_PAYLOAD", bytes.len()),
+            });
+        }
+        self.buffer_bytes(&(bytes.len() as u32).to_le_bytes())?;
+        self.buffer_bytes(&crc32(bytes).to_le_bytes())?;
+        self.buffer_bytes(bytes)?;
+        self.records_appended += 1;
+        match self.fsync {
+            // Recovery points always write through to the file even
+            // without fsync, so a reader sees them as soon as the
+            // append returns.
+            FsyncPolicy::Never => {
+                if sync_point || self.buf.len() >= FLUSH_THRESHOLD {
+                    self.flush_buf()?;
+                }
+            }
+            FsyncPolicy::PerSnapshot => {
+                if sync_point {
+                    self.sync()?;
+                } else if self.buf.len() >= FLUSH_THRESHOLD {
+                    self.flush_buf()?;
+                }
+            }
+            FsyncPolicy::PerRecord => self.sync()?,
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered frames and forces the journal to stable
+    /// storage.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.flush_buf()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// End-of-campaign close-out: flushes buffered frames, and forces
+    /// stable storage unless the policy is [`FsyncPolicy::Never`] —
+    /// that policy promises zero fsyncs, with durability riding on the
+    /// OS page cache.
+    pub fn finish(&mut self) -> Result<(), JournalError> {
+        match self.fsync {
+            FsyncPolicy::Never => self.flush_buf(),
+            FsyncPolicy::PerSnapshot | FsyncPolicy::PerRecord => self.sync(),
+        }
+    }
+}
+
+impl Drop for JournalWriter {
+    /// Best-effort flush so cleanly dropped writers never lose
+    /// buffered frames; sync-policy guarantees are unaffected because
+    /// every sync point already flushed.
+    fn drop(&mut self) {
+        let _ = self.flush_buf();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader / recovery
+// ---------------------------------------------------------------------
+
+/// The outcome of scanning a journal's bytes: the valid record prefix
+/// plus how much (if anything) was torn off the tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalScan {
+    /// Every record in the valid prefix, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Length in bytes of the valid prefix (including the magic; 0 for
+    /// an empty or header-torn file).
+    pub valid_len: u64,
+    /// Bytes past the valid prefix that a crash tore (0 = clean file).
+    pub torn_bytes: u64,
+}
+
+/// A recovered journal: the replayed board plus everything a resume
+/// needs to validate and continue it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJournal {
+    /// The board state the journal proves durable: last snapshot plus
+    /// the record suffix after it.
+    pub board: StatusBoard,
+    /// The full valid record sequence (from the file start, snapshots
+    /// included), in append order.
+    pub records: Vec<JournalRecord>,
+    /// Length in bytes of the valid prefix.
+    pub valid_len: u64,
+    /// Bytes truncated (or to truncate) as a torn tail.
+    pub torn_bytes: u64,
+    /// True when the final record is [`JournalRecord::Complete`]: the
+    /// campaign finished and the journal is final.
+    pub complete: bool,
+}
+
+/// Scans raw journal bytes into records, applying the torn-tail rules
+/// documented at module level. Never panics: any input is either a valid
+/// prefix + torn tail or a typed error (pinned by the corruption-fuzz
+/// tests).
+pub fn scan_bytes(bytes: &[u8]) -> Result<JournalScan, JournalError> {
+    let magic_len = JOURNAL_MAGIC.len();
+    if bytes.len() < magic_len {
+        // a partial magic is a torn first write; anything else is not
+        // a journal at all
+        if JOURNAL_MAGIC.starts_with(bytes) {
+            return Ok(JournalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                torn_bytes: bytes.len() as u64,
+            });
+        }
+        return Err(JournalError::Corrupt {
+            offset: 0,
+            detail: "bad magic".to_string(),
+        });
+    }
+    if &bytes[..magic_len] != JOURNAL_MAGIC {
+        return Err(JournalError::Corrupt {
+            offset: 0,
+            detail: "bad magic".to_string(),
+        });
+    }
+
+    let mut records = Vec::new();
+    let mut offset = magic_len as u64;
+    let total = bytes.len() as u64;
+    while offset < total {
+        let remaining = total - offset;
+        if remaining < FRAME_HEADER {
+            // torn frame header
+            return Ok(JournalScan {
+                records,
+                valid_len: offset,
+                torn_bytes: remaining,
+            });
+        }
+        let at = offset as usize;
+        let len_bytes: [u8; 4] = bytes[at..at + 4].try_into().unwrap_or([0; 4]);
+        let crc_bytes: [u8; 4] = bytes[at + 4..at + 8].try_into().unwrap_or([0; 4]);
+        let payload_len = u32::from_le_bytes(len_bytes);
+        let stored_crc = u32::from_le_bytes(crc_bytes);
+        if u64::from(payload_len) > remaining - FRAME_HEADER {
+            // the payload does not fit in the file: torn tail
+            return Ok(JournalScan {
+                records,
+                valid_len: offset,
+                torn_bytes: remaining,
+            });
+        }
+        if payload_len > MAX_PAYLOAD {
+            return Err(JournalError::Corrupt {
+                offset,
+                detail: format!("frame claims {payload_len} payload bytes"),
+            });
+        }
+        let payload_start = at + FRAME_HEADER as usize;
+        let payload = &bytes[payload_start..payload_start + payload_len as usize];
+        let frame_end = offset + FRAME_HEADER + u64::from(payload_len);
+        if crc32(payload) != stored_crc {
+            if frame_end == total {
+                // last frame short on durable bytes: torn tail
+                return Ok(JournalScan {
+                    records,
+                    valid_len: offset,
+                    torn_bytes: remaining,
+                });
+            }
+            return Err(JournalError::Corrupt {
+                offset,
+                detail: "CRC mismatch before the final frame".to_string(),
+            });
+        }
+        let text = std::str::from_utf8(payload).map_err(|e| JournalError::BadRecord {
+            offset,
+            detail: format!("payload is not UTF-8: {e}"),
+        })?;
+        let record = JournalRecord::decode(text)
+            .map_err(|detail| JournalError::BadRecord { offset, detail })?;
+        records.push(record);
+        offset = frame_end;
+    }
+    Ok(JournalScan {
+        records,
+        valid_len: offset,
+        torn_bytes: 0,
+    })
+}
+
+/// Replays a record sequence into a board: state from the last
+/// [`JournalRecord::Snapshot`] (or an empty board), then every record
+/// after it applied in order.
+pub fn replay_records(records: &[JournalRecord]) -> StatusBoard {
+    let base = records
+        .iter()
+        .rposition(|r| matches!(r, JournalRecord::Snapshot { .. }));
+    let mut board = StatusBoard::default();
+    let suffix = match base {
+        Some(i) => &records[i..],
+        None => records,
+    };
+    for record in suffix {
+        record.apply(&mut board);
+    }
+    board
+}
+
+/// Reads and replays the journal at `path`: last snapshot + suffix. A
+/// torn tail is reported (not an error); mid-log corruption is.
+pub fn recover(path: &Path) -> Result<RecoveredJournal, JournalError> {
+    let bytes = std::fs::read(path)?;
+    let scan = scan_bytes(&bytes)?;
+    let board = replay_records(&scan.records);
+    let complete = matches!(scan.records.last(), Some(JournalRecord::Complete));
+    Ok(RecoveredJournal {
+        board,
+        records: scan.records,
+        valid_len: scan.valid_len,
+        torn_bytes: scan.torn_bytes,
+        complete,
+    })
+}
+
+/// [`recover`], then truncates any torn tail and reopens the journal for
+/// appending (rewriting the magic if even the header was torn). Returns
+/// the recovery outcome plus a writer positioned at the valid end.
+pub fn recover_for_append(
+    path: &Path,
+    fsync: FsyncPolicy,
+) -> Result<(RecoveredJournal, JournalWriter), JournalError> {
+    let recovered = recover(path)?;
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let mut len = recovered.valid_len;
+    if recovered.torn_bytes > 0 {
+        eprintln!(
+            "journal {}: truncating torn tail of {} bytes at offset {}",
+            path.display(),
+            recovered.torn_bytes,
+            recovered.valid_len
+        );
+    }
+    file.set_len(len)?;
+    if len < JOURNAL_MAGIC.len() as u64 {
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(JOURNAL_MAGIC)?;
+        len = JOURNAL_MAGIC.len() as u64;
+    } else {
+        file.seek(SeekFrom::End(0))?;
+    }
+    let writer = JournalWriter {
+        file,
+        len,
+        buf: Vec::new(),
+        payload: String::new(),
+        records_appended: 0,
+        fsync,
+        crash: None,
+    };
+    Ok((recovered, writer))
+}
+
+/// Rewrites the journal in place as magic + one snapshot of the
+/// recovered board (+ the `Complete` marker when the log was final) —
+/// the compaction step that drops the replayed prefix. Atomic via a
+/// `.compact` sibling and rename. Returns the new length.
+pub fn compact(path: &Path, fsync: FsyncPolicy) -> Result<u64, JournalError> {
+    let recovered = recover(path)?;
+    let tmp = path.with_extension("compact");
+    let mut writer = JournalWriter::create(&tmp, fsync)?;
+    writer.append(&JournalRecord::Snapshot {
+        board: recovered.board,
+    })?;
+    if recovered.complete {
+        writer.append(&JournalRecord::Complete)?;
+    }
+    writer.sync()?;
+    let len = writer.len();
+    drop(writer);
+    std::fs::rename(&tmp, path)?;
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "fair-journal-test-{}-{tag}-{n}.journal",
+            std::process::id()
+        ))
+    }
+
+    fn sample_board() -> StatusBoard {
+        let mut board = StatusBoard::default();
+        board.set("g/n-1", RunStatus::Done);
+        board.set("g/n-2", RunStatus::Pending);
+        board.record_attempt("g/n-1");
+        board
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Snapshot {
+                board: StatusBoard::default(),
+            },
+            JournalRecord::Attempt {
+                run: "g/n-1".into(),
+            },
+            JournalRecord::Status {
+                run: "g/n-1".into(),
+                status: RunStatus::Done,
+            },
+            JournalRecord::Failure {
+                run: "g/n-2".into(),
+                cause: "node-crash \"x\"\n".into(),
+            },
+            JournalRecord::TelemetryRef {
+                run: "g/n-1".into(),
+                reference: "trace#3".into(),
+            },
+            JournalRecord::DigestRef {
+                run: "g/n-1".into(),
+                reference: "digest#span_us.attempt".into(),
+            },
+            JournalRecord::Epoch {
+                index: 0,
+                now_us: 1_234_567,
+                completed: 1,
+                timed_out: 0,
+            },
+            JournalRecord::Snapshot {
+                board: sample_board(),
+            },
+            JournalRecord::ShardMerged {
+                shard: 2,
+                board: sample_board(),
+            },
+            JournalRecord::Complete,
+        ]
+    }
+
+    fn write_journal(path: &Path, records: &[JournalRecord]) {
+        let mut w = JournalWriter::create(path, FsyncPolicy::Never).unwrap();
+        for r in records {
+            w.append(r).unwrap();
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // the classic IEEE check value
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_encode_decode_round_trip() {
+        for record in sample_records() {
+            let payload = record.encode();
+            let back = JournalRecord::decode(&payload).unwrap_or_else(|e| panic!("{payload}: {e}"));
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        for bad in [
+            "",
+            "{}",
+            "[]",
+            r#"{"t":"nope"}"#,
+            r#"{"t":"status","run":"r"}"#,
+            r#"{"t":"status","run":"r","status":"Nope"}"#,
+            r#"{"t":"attempt"}"#,
+            r#"{"t":"epoch","index":1}"#,
+            r#"{"t":"snapshot","board":"not json"}"#,
+            r#"{"t":"shard_merged","shard":-1,"board":"{}"}"#,
+        ] {
+            assert!(
+                JournalRecord::decode(bad).is_err(),
+                "{bad:?} should not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn write_then_recover_round_trips() {
+        let path = temp_journal("roundtrip");
+        let records = sample_records();
+        write_journal(&path, &records);
+        let recovered = recover(&path).unwrap();
+        assert_eq!(recovered.records, records);
+        assert_eq!(recovered.torn_bytes, 0);
+        assert!(recovered.complete);
+        // replay = last snapshot + suffix
+        let mut expected = sample_board();
+        expected.merge_from(&sample_board());
+        assert_eq!(recovered.board, expected);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_length_journal_recovers_empty() {
+        let path = temp_journal("zero");
+        std::fs::write(&path, b"").unwrap();
+        let recovered = recover(&path).unwrap();
+        assert!(recovered.records.is_empty());
+        assert_eq!(recovered.board, StatusBoard::default());
+        assert_eq!((recovered.valid_len, recovered.torn_bytes), (0, 0));
+        assert!(!recovered.complete);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_only_journal_recovers_the_snapshot() {
+        let path = temp_journal("snaponly");
+        write_journal(
+            &path,
+            &[JournalRecord::Snapshot {
+                board: sample_board(),
+            }],
+        );
+        let recovered = recover(&path).unwrap();
+        assert_eq!(recovered.board, sample_board());
+        assert!(!recovered.complete);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_recovered() {
+        let path = temp_journal("torn");
+        let records = sample_records();
+        write_journal(&path, &records);
+        let clean = std::fs::read(&path).unwrap();
+        // chop the final frame in half: torn tail, full prefix recovered
+        let cut = clean.len() - 5;
+        std::fs::write(&path, &clean[..cut]).unwrap();
+        let recovered = recover(&path).unwrap();
+        assert_eq!(recovered.records.len(), records.len() - 1);
+        assert!(recovered.torn_bytes > 0);
+        assert!(!recovered.complete);
+
+        // recover_for_append truncates the tail and can continue
+        let (_, mut writer) = recover_for_append(&path, FsyncPolicy::Never).unwrap();
+        writer.append(&JournalRecord::Complete).unwrap();
+        let healed = recover(&path).unwrap();
+        assert_eq!(healed.torn_bytes, 0);
+        assert!(healed.complete);
+        assert_eq!(healed.records.len(), records.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_hard_error() {
+        let path = temp_journal("midlog");
+        write_journal(&path, &sample_records());
+        let mut bytes = std::fs::read(&path).unwrap();
+        // flip a byte well inside the first record's payload
+        bytes[20] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match recover(&path) {
+            Err(JournalError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_a_hard_error() {
+        let path = temp_journal("magic");
+        std::fs::write(&path, b"NOTAJRNL").unwrap();
+        assert!(matches!(
+            recover(&path),
+            Err(JournalError::Corrupt { offset: 0, .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_point_tears_the_tail_exactly() {
+        let path = temp_journal("crash");
+        let records = sample_records();
+        // measure the clean length first
+        write_journal(&path, &records);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        // re-run with a crash 3 bytes short of the end
+        let crash = CrashPoint {
+            at_bytes: clean_len - 3,
+        };
+        let mut w = JournalWriter::create_with(&path, FsyncPolicy::Never, Some(crash)).unwrap();
+        let mut failed = None;
+        for r in &records {
+            if let Err(e) = w.append(r) {
+                failed = Some(e);
+                break;
+            }
+        }
+        assert!(
+            matches!(failed, Some(JournalError::CrashInjected { .. })),
+            "{failed:?}"
+        );
+        drop(w);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len - 3);
+        let recovered = recover(&path).unwrap();
+        assert_eq!(recovered.records.len(), records.len() - 1);
+        assert!(recovered.torn_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_point_can_tear_the_magic() {
+        let path = temp_journal("crashmagic");
+        let crash = CrashPoint { at_bytes: 3 };
+        assert!(matches!(
+            JournalWriter::create_with(&path, FsyncPolicy::Never, Some(crash)),
+            Err(JournalError::CrashInjected { offset: 3 })
+        ));
+        let recovered = recover(&path).unwrap();
+        assert_eq!(recovered.valid_len, 0);
+        assert_eq!(recovered.torn_bytes, 3);
+        // recover_for_append rewrites the magic and the log is usable
+        let (_, mut writer) = recover_for_append(&path, FsyncPolicy::Never).unwrap();
+        writer.append(&JournalRecord::Complete).unwrap();
+        assert!(recover(&path).unwrap().complete);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_the_prefix_and_preserves_state() {
+        let path = temp_journal("compact");
+        write_journal(&path, &sample_records());
+        let before = recover(&path).unwrap();
+        let old_len = std::fs::metadata(&path).unwrap().len();
+        let new_len = compact(&path, FsyncPolicy::Never).unwrap();
+        assert!(new_len < old_len, "{new_len} vs {old_len}");
+        let after = recover(&path).unwrap();
+        assert_eq!(after.board, before.board);
+        assert_eq!(after.complete, before.complete);
+        assert_eq!(after.records.len(), 2); // snapshot + complete
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn diff_boards_replays_to_the_new_board() {
+        let old = StatusBoard::default();
+        let mut mid = old.clone();
+        mid.record_attempt("a");
+        mid.set("a", RunStatus::Done);
+        mid.record_attempt("b");
+        mid.record_failure("b", "hang");
+        mid.record_telemetry_ref("b", "trace#1");
+        let mut new = mid.clone();
+        new.record_attempt("b");
+        new.set("b", RunStatus::Done);
+        new.record_digest_ref("b", "digest#span_us.attempt");
+        new.set("c", RunStatus::TimedOut);
+
+        for (from, to) in [(&old, &mid), (&mid, &new), (&old, &new)] {
+            let mut replayed = from.clone();
+            for record in diff_boards(from, to) {
+                record.apply(&mut replayed);
+            }
+            assert_eq!(&replayed, to, "diff {from:?} -> {to:?}");
+            assert_eq!(replayed.canonical_json(), to.canonical_json());
+        }
+        // no-op diff is empty
+        assert!(diff_boards(&new, &new).is_empty());
+    }
+
+    #[test]
+    fn diff_boards_emits_status_after_failures() {
+        // a run that failed and was then retried to Done in the same
+        // epoch needs both the failure and the final status
+        let old = StatusBoard::default();
+        let mut new = StatusBoard::default();
+        new.record_attempt("r");
+        new.record_failure("r", "crash");
+        new.record_attempt("r");
+        new.set("r", RunStatus::Done);
+        let records = diff_boards(&old, &new);
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Failure { .. })));
+        assert!(records.iter().any(|r| matches!(
+            r,
+            JournalRecord::Status {
+                status: RunStatus::Done,
+                ..
+            }
+        )));
+        let mut replayed = old.clone();
+        for r in &records {
+            r.apply(&mut replayed);
+        }
+        assert_eq!(replayed, new);
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`manifest`] — the JSON interop schema consumed by Savanna;
 //! * [`layout`] — the campaign directory schema and per-run metadata;
 //! * [`status`] — run/campaign status tracking and resume support;
+//! * [`journal`] — crash-safe durability: an append-only, CRC32-framed
+//!   log of status mutations with snapshot compaction and torn-tail
+//!   recovery;
 //! * [`objective`] — §II-C codesign objectives and the result catalog
 //!   ("the output of a codesign campaign is a catalog that describes the
 //!   impact of different parameters on different output metrics").
@@ -27,6 +30,7 @@
 #![deny(missing_docs)]
 
 pub mod campaign;
+pub mod journal;
 pub mod layout;
 pub mod manifest;
 pub mod objective;
@@ -35,6 +39,9 @@ pub mod status;
 pub mod sweep;
 
 pub use campaign::{AppDef, Campaign, SweepGroup};
+pub use journal::{
+    CrashPoint, FsyncPolicy, JournalError, JournalRecord, JournalWriter, RecoveredJournal,
+};
 pub use manifest::{CampaignManifest, GroupManifest, RunManifest};
 pub use objective::{Direction, MarginalImpact, Objective, ResultCatalog};
 pub use param::{ParamValue, SweepSpec};

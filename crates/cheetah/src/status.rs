@@ -39,6 +39,21 @@ impl RunStatus {
         }
     }
 
+    /// The inverse of [`RunStatus::as_str`]: parses a canonical variant
+    /// name back into the status. Used by
+    /// [`StatusBoard::from_canonical_json`] and the journal decoder, so
+    /// durable state is readable without serde.
+    pub fn parse_name(name: &str) -> Option<Self> {
+        match name {
+            "Pending" => Some(RunStatus::Pending),
+            "Running" => Some(RunStatus::Running),
+            "Done" => Some(RunStatus::Done),
+            "Failed" => Some(RunStatus::Failed),
+            "TimedOut" => Some(RunStatus::TimedOut),
+            _ => None,
+        }
+    }
+
     /// True for states that no longer occupy resources.
     pub fn is_terminal(self) -> bool {
         matches!(
@@ -65,6 +80,35 @@ impl RunStatus {
             other => other.needs_rerun(),
         }
     }
+}
+
+/// Escapes `s` into `out` as a JSON string literal, using exactly the
+/// escape set the canonical writer has always emitted (pinned by the
+/// `canonical_json_matches_serde` test). Shared with [`crate::journal`]
+/// so journal payloads and snapshots agree byte-for-byte.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    // Copy in unescaped chunks: only `"`, `\`, and control bytes need
+    // escaping, and all three are single bytes in UTF-8, so a byte scan
+    // is safe and the common all-clean string is one memcpy.
+    let mut rest = s;
+    while let Some(pos) = rest
+        .bytes()
+        .position(|b| matches!(b, b'"' | b'\\') || b < 0x20)
+    {
+        out.push_str(&rest[..pos]);
+        match rest.as_bytes()[pos] {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            b => out.push_str(&format!("\\u{:04x}", u32::from(b))),
+        }
+        rest = &rest[pos + 1..];
+    }
+    out.push_str(rest);
+    out.push('"');
 }
 
 /// Status of every run in a campaign.
@@ -146,9 +190,12 @@ impl StatusBoard {
     /// Records the start of one more attempt of `run_id`; returns the new
     /// attempt count (1 for the first attempt).
     pub fn record_attempt(&mut self, run_id: &str) -> u32 {
-        let n = self.attempts.entry(run_id.to_string()).or_insert(0);
-        *n += 1;
-        *n
+        if let Some(n) = self.attempts.get_mut(run_id) {
+            *n += 1;
+            return *n;
+        }
+        self.attempts.insert(run_id.to_string(), 1);
+        1
     }
 
     /// Attempts started so far for `run_id` (0 if never attempted).
@@ -160,8 +207,16 @@ impl StatusBoard {
     /// lifecycle state, the failure count, and the provenance record.
     pub fn record_failure(&mut self, run_id: &str, cause: impl Into<String>) {
         self.set(run_id, RunStatus::Failed);
-        *self.failures.entry(run_id.to_string()).or_insert(0) += 1;
-        self.last_failure.insert(run_id.to_string(), cause.into());
+        if let Some(n) = self.failures.get_mut(run_id) {
+            *n += 1;
+        } else {
+            self.failures.insert(run_id.to_string(), 1);
+        }
+        if let Some(slot) = self.last_failure.get_mut(run_id) {
+            *slot = cause.into();
+        } else {
+            self.last_failure.insert(run_id.to_string(), cause.into());
+        }
     }
 
     /// Failed attempts recorded so far for `run_id` (0 if none).
@@ -176,7 +231,11 @@ impl StatusBoard {
 
     /// Sets one run's status.
     pub fn set(&mut self, run_id: &str, status: RunStatus) {
-        self.statuses.insert(run_id.to_string(), status);
+        if let Some(slot) = self.statuses.get_mut(run_id) {
+            *slot = status;
+        } else {
+            self.statuses.insert(run_id.to_string(), status);
+        }
     }
 
     /// Gets one run's status (`Pending` if unknown).
@@ -271,30 +330,28 @@ impl StatusBoard {
     /// and independent of which JSON backend the build links, so
     /// committed fixture bytes are stable across environments.
     pub fn canonical_json(&self) -> String {
+        let mut out = String::new();
+        self.canonical_json_into(&mut out);
+        out
+    }
+
+    /// Appends the canonical JSON form to `out` without allocating an
+    /// intermediate string — journal snapshots embed boards of
+    /// thousands of runs, where the temporary and its copy are
+    /// measurable.
+    pub fn canonical_json_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
         fn push_str(out: &mut String, s: &str) {
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => {
-                        out.push_str(&format!("\\u{:04x}", c as u32));
-                    }
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
+            push_json_string(out, s);
         }
         fn push_map<V>(
             out: &mut String,
+            open: usize,
             name: &str,
             map: &BTreeMap<String, V>,
             mut value: impl FnMut(&mut String, &V),
         ) {
-            if out.len() > 1 {
+            if out.len() > open + 1 {
                 out.push(',');
             }
             push_str(out, name);
@@ -310,37 +367,150 @@ impl StatusBoard {
             out.push('}');
         }
 
-        let mut out = String::from("{");
-        push_map(&mut out, "statuses", &self.statuses, |o, v| {
+        // Rough per-entry sizing so a large snapshot encodes without
+        // repeated growth copies.
+        let entries = self.statuses.len()
+            + self.attempts.len()
+            + self.failures.len()
+            + self.last_failure.len()
+            + self.telemetry_refs.len()
+            + self.digest_refs.len();
+        out.reserve(entries * 24 + 128);
+        let open = out.len();
+        out.push('{');
+        push_map(out, open, "statuses", &self.statuses, |o, v| {
             push_str(o, v.as_str());
         });
         if !self.attempts.is_empty() {
-            push_map(&mut out, "attempts", &self.attempts, |o, v| {
-                o.push_str(&v.to_string());
+            push_map(out, open, "attempts", &self.attempts, |o, v| {
+                let _ = write!(o, "{v}");
             });
         }
         if !self.failures.is_empty() {
-            push_map(&mut out, "failures", &self.failures, |o, v| {
-                o.push_str(&v.to_string());
+            push_map(out, open, "failures", &self.failures, |o, v| {
+                let _ = write!(o, "{v}");
             });
         }
         if !self.last_failure.is_empty() {
-            push_map(&mut out, "last_failure", &self.last_failure, |o, v| {
+            push_map(out, open, "last_failure", &self.last_failure, |o, v| {
                 push_str(o, v);
             });
         }
         if !self.telemetry_refs.is_empty() {
-            push_map(&mut out, "telemetry_refs", &self.telemetry_refs, |o, v| {
+            push_map(out, open, "telemetry_refs", &self.telemetry_refs, |o, v| {
                 push_str(o, v);
             });
         }
         if !self.digest_refs.is_empty() {
-            push_map(&mut out, "digest_refs", &self.digest_refs, |o, v| {
+            push_map(out, open, "digest_refs", &self.digest_refs, |o, v| {
                 push_str(o, v);
             });
         }
         out.push('}');
-        out
+    }
+
+    /// Parses a board back out of its [`StatusBoard::canonical_json`]
+    /// form without serde, using `telemetry::jsonin` — the same
+    /// dependency-free reader the offline tooling uses. This is the
+    /// snapshot decoder for [`crate::journal`] recovery: a journaled
+    /// campaign must be recoverable even in the stub-only offline
+    /// workspace where serde_json is not functional.
+    ///
+    /// The parser is strict: unknown top-level keys, non-string run ids,
+    /// unknown status names, and non-`u32` counters are all errors, so a
+    /// corrupted snapshot surfaces as a typed failure instead of a
+    /// silently emptier board. `parse(canonical_json(b)) == b` is pinned
+    /// by a proptest.
+    pub fn from_canonical_json(doc: &str) -> Result<Self, String> {
+        let value = telemetry::jsonin::parse(doc)?;
+        Self::from_json_value(&value)
+    }
+
+    /// Like [`StatusBoard::from_canonical_json`], but from an
+    /// already-parsed `telemetry::jsonin` value.
+    pub fn from_json_value(value: &telemetry::jsonin::Value) -> Result<Self, String> {
+        use telemetry::jsonin::Value;
+
+        fn str_map(section: &str, value: &Value) -> Result<BTreeMap<String, String>, String> {
+            let members = value
+                .as_obj()
+                .ok_or_else(|| format!("status board: {section} is not an object"))?;
+            members
+                .iter()
+                .map(|(run, v)| match v.as_str() {
+                    Some(s) => Ok((run.clone(), s.to_string())),
+                    None => Err(format!("status board: {section}[{run:?}] is not a string")),
+                })
+                .collect()
+        }
+        fn count_map(section: &str, value: &Value) -> Result<BTreeMap<String, u32>, String> {
+            let members = value
+                .as_obj()
+                .ok_or_else(|| format!("status board: {section} is not an object"))?;
+            members
+                .iter()
+                .map(
+                    |(run, v)| match v.as_u64().and_then(|n| u32::try_from(n).ok()) {
+                        Some(n) => Ok((run.clone(), n)),
+                        None => Err(format!("status board: {section}[{run:?}] is not a u32")),
+                    },
+                )
+                .collect()
+        }
+
+        let members = value
+            .as_obj()
+            .ok_or_else(|| "status board: document is not an object".to_string())?;
+        let mut board = StatusBoard::default();
+        for (key, section) in members {
+            match key.as_str() {
+                "statuses" => {
+                    for (run, status) in str_map("statuses", section)? {
+                        let status = RunStatus::parse_name(&status).ok_or_else(|| {
+                            format!("status board: statuses[{run:?}] has unknown status {status:?}")
+                        })?;
+                        board.statuses.insert(run, status);
+                    }
+                }
+                "attempts" => board.attempts = count_map("attempts", section)?,
+                "failures" => board.failures = count_map("failures", section)?,
+                "last_failure" => board.last_failure = str_map("last_failure", section)?,
+                "telemetry_refs" => board.telemetry_refs = str_map("telemetry_refs", section)?,
+                "digest_refs" => board.digest_refs = str_map("digest_refs", section)?,
+                other => return Err(format!("status board: unknown section {other:?}")),
+            }
+        }
+        Ok(board)
+    }
+
+    /// The per-run status map (crate-internal: journal board diffing).
+    pub(crate) fn statuses_map(&self) -> &BTreeMap<String, RunStatus> {
+        &self.statuses
+    }
+
+    /// The per-run attempt counts (crate-internal: journal board diffing).
+    pub(crate) fn attempts_map(&self) -> &BTreeMap<String, u32> {
+        &self.attempts
+    }
+
+    /// The per-run failure counts (crate-internal: journal board diffing).
+    pub(crate) fn failures_map(&self) -> &BTreeMap<String, u32> {
+        &self.failures
+    }
+
+    /// The per-run failure causes (crate-internal: journal board diffing).
+    pub(crate) fn last_failure_map(&self) -> &BTreeMap<String, String> {
+        &self.last_failure
+    }
+
+    /// The per-run telemetry refs (crate-internal: journal board diffing).
+    pub(crate) fn telemetry_refs_map(&self) -> &BTreeMap<String, String> {
+        &self.telemetry_refs
+    }
+
+    /// The per-run digest refs (crate-internal: journal board diffing).
+    pub(crate) fn digest_refs_map(&self) -> &BTreeMap<String, String> {
+        &self.digest_refs
     }
 
     /// The runs a resubmission must still execute — the heart of "users
@@ -622,6 +792,52 @@ mod tests {
                 serde_json::from_str(&board.canonical_json()).expect("canonical form parses");
             assert_eq!(back, board);
         }
+    }
+
+    #[test]
+    fn from_canonical_json_round_trips() {
+        for board in [
+            provenance_board(),
+            StatusBoard::for_manifest(&manifest()),
+            StatusBoard::default(),
+        ] {
+            let parsed = StatusBoard::from_canonical_json(&board.canonical_json()).expect("parses");
+            assert_eq!(parsed, board);
+        }
+    }
+
+    #[test]
+    fn from_canonical_json_rejects_malformed_boards() {
+        for (doc, why) in [
+            ("", "empty document"),
+            ("[]", "not an object"),
+            (r#"{"statuses":{"r":"Sleeping"}}"#, "unknown status name"),
+            (r#"{"statuses":{"r":1}}"#, "non-string status"),
+            (r#"{"attempts":{"r":-1}}"#, "negative attempt count"),
+            (r#"{"attempts":{"r":1.5}}"#, "fractional attempt count"),
+            (r#"{"attempts":{"r":4294967296}}"#, "attempt count > u32"),
+            (r#"{"statuses":{},"extra":{}}"#, "unknown section"),
+            (r#"{"last_failure":{"r":null}}"#, "non-string cause"),
+        ] {
+            assert!(
+                StatusBoard::from_canonical_json(doc).is_err(),
+                "{why}: {doc:?} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn run_status_parse_name_inverts_as_str() {
+        for status in [
+            RunStatus::Pending,
+            RunStatus::Running,
+            RunStatus::Done,
+            RunStatus::Failed,
+            RunStatus::TimedOut,
+        ] {
+            assert_eq!(RunStatus::parse_name(status.as_str()), Some(status));
+        }
+        assert_eq!(RunStatus::parse_name("pending"), None);
     }
 
     #[test]

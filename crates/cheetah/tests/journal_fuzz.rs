@@ -1,0 +1,178 @@
+//! Corruption fuzz for journal recovery: `recover` must be total.
+//!
+//! A durability layer that panics on a bad log converts a disk problem
+//! into a lost campaign. These tests build a small, representative
+//! journal and then feed `recover` every single-byte bit-flip and every
+//! truncation of it — recovery must always return (`Ok` with a valid
+//! prefix, or a typed `Corrupt`/`BadRecord` error), never panic, and
+//! whatever prefix it accepts must scan within the file's bounds.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cheetah::journal::{
+    recover, FsyncPolicy, JournalError, JournalRecord, JournalWriter, RecoveredJournal,
+};
+use cheetah::status::{RunStatus, StatusBoard};
+
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "fair-journal-fuzz-{}-{tag}-{n}.journal",
+        std::process::id()
+    ))
+}
+
+fn sample_board() -> StatusBoard {
+    let mut board = StatusBoard::default();
+    board.set("g/a-0", RunStatus::Done);
+    board.set("g/a-1", RunStatus::Pending);
+    board.record_attempt("g/a-0");
+    board.record_failure("g/a-1", "node-crash".to_string());
+    board.record_telemetry_ref("g/a-0", "trace#2".to_string());
+    board.record_digest_ref("g/a-0", "digest#span_us.attempt".to_string());
+    board
+}
+
+/// A small journal exercising every record variant.
+fn sample_journal_bytes() -> Vec<u8> {
+    let path = scratch("sample");
+    let mut writer = JournalWriter::create(&path, FsyncPolicy::Never).expect("create");
+    let board = sample_board();
+    for record in [
+        JournalRecord::Snapshot {
+            board: board.clone(),
+        },
+        JournalRecord::Attempt {
+            run: "g/a-1".to_string(),
+        },
+        JournalRecord::Status {
+            run: "g/a-1".to_string(),
+            status: RunStatus::Running,
+        },
+        JournalRecord::Failure {
+            run: "g/a-1".to_string(),
+            cause: "walltime".to_string(),
+        },
+        JournalRecord::TelemetryRef {
+            run: "g/a-1".to_string(),
+            reference: "trace#3".to_string(),
+        },
+        JournalRecord::Epoch {
+            index: 0,
+            now_us: 3_600_000_000,
+            completed: 1,
+            timed_out: 0,
+        },
+        JournalRecord::ShardMerged {
+            shard: 1,
+            board: board.clone(),
+        },
+        JournalRecord::Snapshot { board },
+        JournalRecord::Complete,
+    ] {
+        writer.append(&record).expect("append");
+    }
+    writer.sync().expect("sync");
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// Recovery on arbitrary bytes must return, never panic, and never claim
+/// a valid prefix longer than the input.
+fn recover_bytes(tag: &str, bytes: &[u8]) -> Result<RecoveredJournal, JournalError> {
+    let path = scratch(tag);
+    std::fs::write(&path, bytes).expect("write fuzz case");
+    let result = recover(&path);
+    std::fs::remove_file(&path).ok();
+    if let Ok(recovered) = &result {
+        assert!(
+            recovered.valid_len <= bytes.len() as u64,
+            "{tag}: valid prefix ({}) exceeds the file ({})",
+            recovered.valid_len,
+            bytes.len()
+        );
+    }
+    result
+}
+
+#[test]
+fn every_single_byte_bitflip_recovers_or_errors_cleanly() {
+    let pristine = sample_journal_bytes();
+    assert!(pristine.len() > 100, "sample journal suspiciously small");
+    // flip one low bit and all eight bits of every byte position
+    for mask in [0x01u8, 0xFF] {
+        for i in 0..pristine.len() {
+            let mut mutated = pristine.clone();
+            mutated[i] ^= mask;
+            // must not panic; both outcomes are acceptable — a CRC'd
+            // frame rejects the flip (torn tail or hard error), or the
+            // flip hides in a torn region
+            let _ = recover_bytes("bitflip", &mutated);
+        }
+    }
+}
+
+#[test]
+fn every_truncation_recovers_a_consistent_prefix() {
+    let pristine = sample_journal_bytes();
+    for cut in 0..=pristine.len() {
+        let result = recover_bytes("truncate", &pristine[..cut]);
+        // a pure truncation is exactly a torn tail: recovery must accept
+        // it (hard errors are reserved for *mid-log* damage)
+        let recovered = result.unwrap_or_else(|err| {
+            panic!(
+                "truncation at {cut}/{} must recover, got {err}",
+                pristine.len()
+            )
+        });
+        assert!(recovered.valid_len <= cut as u64);
+        // the recovered prefix must itself re-scan cleanly
+        let again = recover_bytes("truncate-again", &pristine[..recovered.valid_len as usize])
+            .expect("valid prefix must recover");
+        assert_eq!(again.records, recovered.records);
+        assert_eq!(again.board, recovered.board);
+    }
+}
+
+#[test]
+fn zero_length_journal_recovers_an_empty_board() {
+    let recovered = recover_bytes("empty", &[]).expect("zero-length journal");
+    assert_eq!(recovered.records.len(), 0);
+    assert_eq!(recovered.board, StatusBoard::default());
+    assert!(!recovered.complete);
+}
+
+#[test]
+fn snapshot_only_journal_recovers_the_snapshot() {
+    let path = scratch("snapshot-only");
+    let mut writer = JournalWriter::create(&path, FsyncPolicy::Never).expect("create");
+    let board = sample_board();
+    writer
+        .append(&JournalRecord::Snapshot {
+            board: board.clone(),
+        })
+        .expect("append");
+    writer.sync().expect("sync");
+    let recovered = recover(&path).expect("snapshot-only journal");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(recovered.board, board);
+    assert_eq!(recovered.records.len(), 1);
+    assert!(!recovered.complete);
+}
+
+#[test]
+fn mutated_complete_journals_never_report_false_completion() {
+    // flipping bytes must never turn an incomplete journal into a
+    // "complete" one: completion requires an intact Complete frame
+    let pristine = sample_journal_bytes();
+    // cut the final Complete frame off
+    let without_complete = &pristine[..pristine.len() - 1];
+    let recovered = recover_bytes("no-complete", without_complete).expect("torn complete");
+    assert!(
+        !recovered.complete,
+        "a torn Complete frame must not count as completion"
+    );
+}

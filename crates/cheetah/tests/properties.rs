@@ -99,6 +99,44 @@ proptest! {
     }
 
     #[test]
+    fn canonical_json_parses_back_to_the_same_board(
+        sweep in arb_sweep(),
+        marks in proptest::collection::vec((0u8..5, 0u8..3, 0u8..3), 0..40),
+        cause in "[ -~]{0,12}",
+    ) {
+        let campaign = Campaign::new("prop", "m", AppDef::new("a", "a.exe"))
+            .with_group(SweepGroup::new("g", sweep, 4, 1, 600));
+        let manifest = campaign.manifest().unwrap();
+        let mut board = StatusBoard::for_manifest(&manifest);
+        let ids: Vec<String> = manifest.groups[0].runs.iter().map(|r| r.id.clone()).collect();
+        for (i, &(m, attempts, fails)) in marks.iter().enumerate() {
+            let id = &ids[i % ids.len()];
+            for _ in 0..attempts {
+                board.record_attempt(id);
+            }
+            for _ in 0..fails {
+                board.record_failure(id, cause.clone());
+            }
+            let status = match m {
+                0 => RunStatus::Pending,
+                1 => RunStatus::Running,
+                2 => RunStatus::Done,
+                3 => RunStatus::Failed,
+                _ => RunStatus::TimedOut,
+            };
+            board.set(id, status);
+            if m == 2 {
+                board.record_telemetry_ref(id, format!("trace#{i}"));
+                board.record_digest_ref(id, "digest#span_us.attempt");
+            }
+        }
+        let parsed = StatusBoard::from_canonical_json(&board.canonical_json()).unwrap();
+        prop_assert_eq!(&parsed, &board);
+        // and the parse is exact: re-serializing gives the same bytes
+        prop_assert_eq!(parsed.canonical_json(), board.canonical_json());
+    }
+
+    #[test]
     fn catalog_best_is_extreme_of_ranked(values in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
         let mut cat = ResultCatalog::new();
         for (i, &v) in values.iter().enumerate() {

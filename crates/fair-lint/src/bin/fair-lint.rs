@@ -24,6 +24,9 @@
 //!   indices), `campaign_seed`, `driver` (`"sim"`/`"resilient"`), and
 //!   the optional knobs (`track_offsets`, `stream_ids`, `retry_budget`,
 //!   `faults`, `fault_seed`, `max_allocations_per_shard`).
+//! * `durability` — the journaling setup: `journaling` and `faults`
+//!   booleans, `snapshot_every` epochs between compaction snapshots,
+//!   and `journal_paths` (one per shard) — checked by `FW207`.
 //!
 //! With a `manifest` the full [`preflight_campaign`] pass runs;
 //! otherwise each supplied layer is linted on its own. `--strict` denies
@@ -50,8 +53,9 @@ use fair_core::component::{
 };
 use fair_core::workflow::{NodeIdx, WorkflowGraph};
 use fair_lint::{
-    lint_dataflow, lint_graph, lint_schedule, preflight_campaign, DiagnosticSet, LintConfig,
-    PreflightContext, SchedulePlan, ShardDriver, UNKNOWN_RULE_CODE,
+    lint_dataflow, lint_durability_plan, lint_graph, lint_schedule, preflight_campaign,
+    DiagnosticSet, DurabilityPlan, LintConfig, PreflightContext, SchedulePlan, ShardDriver,
+    UNKNOWN_RULE_CODE,
 };
 use hpcsim::cluster::ClusterSpec;
 use hpcsim::time::SimDuration;
@@ -149,6 +153,7 @@ fn lint_bundle(doc: &str, config: &LintConfig) -> Result<DiagnosticSet, String> 
     let machine = root.get("machine").map(parse_machine).transpose()?;
     let graph = root.get("graph").map(parse_graph).transpose()?;
     let schedule = root.get("schedule").map(parse_schedule).transpose()?;
+    let durability = root.get("durability").map(parse_durability).transpose()?;
     let durations = match (&manifest, root.get("durations_secs")) {
         (Some(manifest), Some(section)) => Some(parse_durations(section, manifest)?),
         (None, Some(_)) => return Err("durations_secs needs a manifest".to_string()),
@@ -161,6 +166,7 @@ fn lint_bundle(doc: &str, config: &LintConfig) -> Result<DiagnosticSet, String> 
             app: app.as_ref(),
             machine: machine.as_ref(),
             schedule: schedule.as_ref(),
+            durability: durability.as_ref(),
             ..PreflightContext::default()
         };
         return Ok(preflight_campaign(
@@ -179,6 +185,9 @@ fn lint_bundle(doc: &str, config: &LintConfig) -> Result<DiagnosticSet, String> 
     }
     if let Some(plan) = &schedule {
         set.extend(lint_schedule(plan, config));
+    }
+    if let Some(plan) = &durability {
+        set.extend(lint_durability_plan(plan, config));
     }
     set.extend(config.lint_unknown_codes());
     set.sort();
@@ -441,6 +450,39 @@ fn parse_schedule(v: &Value) -> Result<SchedulePlan, String> {
         retry_budget: v.get("retry_budget").and_then(Value::as_u64).unwrap_or(0) as u32,
         faults_enabled: matches!(v.get("faults"), Some(Value::Bool(true))),
         max_allocations_per_shard: u64_field(v, "max_allocations_per_shard")? as u32,
+    })
+}
+
+/// The durability setup: `journaling` / `faults` booleans,
+/// `snapshot_every` (an epoch count, or the string `"never"` for a
+/// journal that is never compacted), and the per-shard `journal_paths`.
+fn parse_durability(v: &Value) -> Result<DurabilityPlan, String> {
+    let snapshot_every = match v.get("snapshot_every") {
+        Some(Value::Str(s)) if s == "never" => usize::MAX,
+        Some(n) => n
+            .as_u64()
+            .ok_or("snapshot_every must be an integer or \"never\"")? as usize,
+        None => return Err("missing field \"snapshot_every\"".to_string()),
+    };
+    let journal_paths = match v.get("journal_paths") {
+        None => Vec::new(),
+        Some(list) => list
+            .as_arr()
+            .ok_or("journal_paths must be an array")?
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("journal_paths[{i}] must be a string"))
+            })
+            .collect::<Result<Vec<String>, String>>()?,
+    };
+    Ok(DurabilityPlan {
+        journaling_enabled: matches!(v.get("journaling"), Some(Value::Bool(true))),
+        faults_enabled: matches!(v.get("faults"), Some(Value::Bool(true))),
+        snapshot_every,
+        journal_paths,
     })
 }
 

@@ -30,10 +30,11 @@ pub fn known_codes() -> &'static [&'static str] {
         "FW102",
         "FW103",
         "FW104",
-        // checkpoint & resilience policy
+        // checkpoint, resilience & durability policy
         "FW201",
         "FW202",
         "FW203",
+        "FW207",
         // reuse gauge
         "FW301",
         "FW302",

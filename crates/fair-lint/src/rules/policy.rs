@@ -1,6 +1,7 @@
-//! Resilience-policy rules (`FW201`–`FW203`): failure-model sanity checks
-//! against the Young/Daly analysis in the `checkpoint` crate, and
-//! retry-budget checks against the declared fault environment.
+//! Resilience-policy rules (`FW201`–`FW203`, `FW207`): failure-model
+//! sanity checks against the Young/Daly analysis in the `checkpoint`
+//! crate, retry-budget checks against the declared fault environment,
+//! and durability-configuration checks for journaled campaigns.
 
 use checkpoint::daly::young_daly_interval;
 use hpcsim::time::SimDuration;
@@ -15,6 +16,8 @@ pub const INFEASIBLE_CHECKPOINTING: &str = "FW201";
 pub const SUBOPTIMAL_INTERVAL: &str = "FW202";
 /// `FW203` — a fault environment the resilience policy cannot survive.
 pub const NO_RETRY_UNDER_FAULTS: &str = "FW203";
+/// `FW207` — a durability configuration that defeats its own purpose.
+pub const DURABILITY_MISCONFIGURATION: &str = "FW207";
 
 /// A declared checkpoint plan: how often checkpoints are taken, what one
 /// costs, and the failure rate it must survive.
@@ -145,6 +148,88 @@ pub fn lint_resilience_plan(plan: &ResiliencePlan, config: &LintConfig) -> Diagn
             ),
             Location::none(),
         );
+    }
+    set
+}
+
+/// The durability knobs a campaign declares, as far as the linter needs
+/// them: whether the StatusBoard journal is on, whether faults are
+/// injected, the snapshot-compaction cadence, and the journal paths each
+/// shard appends to. Execution engines (e.g. `savanna`'s `*_journaled`
+/// drivers) project their `JournalSpec` down to this.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DurabilityPlan {
+    /// Whether StatusBoard mutations are journaled to disk.
+    pub journaling_enabled: bool,
+    /// Whether the campaign injects faults (crashes, hangs, run errors).
+    pub faults_enabled: bool,
+    /// Epochs between snapshot records (`0` and `usize::MAX` are both
+    /// misconfigurations — see [`lint_durability_plan`]).
+    pub snapshot_every: usize,
+    /// Journal path per shard (one entry for a serial campaign).
+    pub journal_paths: Vec<String>,
+}
+
+/// Runs the durability rules (`FW207`) on one plan.
+///
+/// Three ways a durability setup defeats itself, all statically visible:
+/// journaling off while faults are on (the campaign most likely to crash
+/// is the one with no durable state to recover), a snapshot interval of
+/// `0` (every epoch is a full snapshot — the "log" is pure overhead) or
+/// `usize::MAX` (compaction never happens and recovery replays the
+/// entire mutation history), and two shards configured to append to the
+/// same journal path (interleaved frames corrupt both logs).
+pub fn lint_durability_plan(plan: &DurabilityPlan, config: &LintConfig) -> DiagnosticSet {
+    let mut set = DiagnosticSet::new();
+    if !plan.journaling_enabled && plan.faults_enabled {
+        set.report(
+            config,
+            DURABILITY_MISCONFIGURATION,
+            Severity::Error,
+            "fault injection is enabled but journaling is disabled — the campaign most \
+             likely to crash has no durable state to recover"
+                .to_string(),
+            Location::none(),
+        );
+    }
+    if plan.journaling_enabled {
+        if plan.snapshot_every == 0 {
+            set.report(
+                config,
+                DURABILITY_MISCONFIGURATION,
+                Severity::Error,
+                "snapshot interval is 0 — every epoch would be a full snapshot, which is \
+                 pure overhead with no incremental log"
+                    .to_string(),
+                Location::none(),
+            );
+        }
+        if plan.snapshot_every == usize::MAX {
+            set.report(
+                config,
+                DURABILITY_MISCONFIGURATION,
+                Severity::Error,
+                "snapshot interval is usize::MAX — compaction never happens and recovery \
+                 replays the campaign's entire mutation history"
+                    .to_string(),
+                Location::none(),
+            );
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for path in &plan.journal_paths {
+        if !seen.insert(path) {
+            set.report(
+                config,
+                DURABILITY_MISCONFIGURATION,
+                Severity::Error,
+                format!(
+                    "journal path {path:?} is assigned to more than one shard — \
+                     interleaved appends would corrupt both logs"
+                ),
+                Location::none(),
+            );
+        }
     }
     set
 }

@@ -16,9 +16,10 @@ use fair_core::profile::GaugeProfile;
 use fair_core::workflow::{NodeIdx, WorkflowGraph};
 use fair_lint::rules::{campaign, dataflow, gauge, graph, policy, schedule};
 use fair_lint::{
-    lint_campaign_plan, lint_catalog_regressions, lint_checkpoint_plan, lint_dataflow, lint_graph,
-    lint_manifest, lint_minimum_profile, lint_resilience_plan, lint_schedule, CheckpointPlan,
-    LintConfig, ResiliencePlan, SchedulePlan, Severity, ShardDriver,
+    lint_campaign_plan, lint_catalog_regressions, lint_checkpoint_plan, lint_dataflow,
+    lint_durability_plan, lint_graph, lint_manifest, lint_minimum_profile, lint_resilience_plan,
+    lint_schedule, CheckpointPlan, DurabilityPlan, LintConfig, ResiliencePlan, SchedulePlan,
+    Severity, ShardDriver,
 };
 use hpcsim::cluster::ClusterSpec;
 use hpcsim::time::SimDuration;
@@ -654,6 +655,83 @@ fn fw203_quiet_with_budget_or_without_faults() {
         node_faults: false,
     };
     assert!(lint_resilience_plan(&plan, &cfg()).is_empty());
+}
+
+#[test]
+fn fw207_journaling_off_under_faults_fires() {
+    let plan = DurabilityPlan {
+        journaling_enabled: false,
+        faults_enabled: true,
+        snapshot_every: 4,
+        journal_paths: vec![],
+    };
+    let set = lint_durability_plan(&plan, &cfg());
+    let d = set
+        .with_code(policy::DURABILITY_MISCONFIGURATION)
+        .next()
+        .expect("flagged");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.message.contains("journaling is disabled"),
+        "{}",
+        d.message
+    );
+    assert!(!set.is_clean());
+}
+
+#[test]
+fn fw207_degenerate_snapshot_intervals_fire() {
+    for every in [0, usize::MAX] {
+        let plan = DurabilityPlan {
+            journaling_enabled: true,
+            faults_enabled: false,
+            snapshot_every: every,
+            journal_paths: vec!["c.journal".into()],
+        };
+        let set = lint_durability_plan(&plan, &cfg());
+        assert!(
+            set.with_code(policy::DURABILITY_MISCONFIGURATION)
+                .any(|d| d.severity == Severity::Error),
+            "snapshot_every={every} should fire"
+        );
+    }
+    // the degenerate interval is moot while journaling is off
+    let plan = DurabilityPlan {
+        journaling_enabled: false,
+        faults_enabled: false,
+        snapshot_every: 0,
+        journal_paths: vec![],
+    };
+    assert!(lint_durability_plan(&plan, &cfg()).is_empty());
+}
+
+#[test]
+fn fw207_shard_journal_path_collision_fires() {
+    let plan = DurabilityPlan {
+        journaling_enabled: true,
+        faults_enabled: true,
+        snapshot_every: 4,
+        journal_paths: vec![
+            "c.journal.shard0".into(),
+            "c.journal.shard1".into(),
+            "c.journal.shard0".into(),
+        ],
+    };
+    let set = lint_durability_plan(&plan, &cfg());
+    assert!(set
+        .with_code(policy::DURABILITY_MISCONFIGURATION)
+        .any(|d| d.message.contains("c.journal.shard0")));
+}
+
+#[test]
+fn fw207_quiet_on_sane_durability() {
+    let plan = DurabilityPlan {
+        journaling_enabled: true,
+        faults_enabled: true,
+        snapshot_every: 4,
+        journal_paths: vec!["c.journal.shard0".into(), "c.journal.shard1".into()],
+    };
+    assert!(lint_durability_plan(&plan, &cfg()).is_empty());
 }
 
 // ---------------------------------------------------------------- gauge

@@ -39,6 +39,40 @@ pub(crate) fn ensure_durations_modeled(
     Ok(())
 }
 
+/// A driver progress event handed to an [`EpochObserver`]: the hook the
+/// journaling layer uses to persist board state at every point the
+/// drivers mutate it. Crate-internal — the public surface is the
+/// `*_journaled` driver variants in [`crate::journal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum EpochEvent<'e> {
+    /// Campaign validated, about to request the first allocation.
+    Setup,
+    /// One allocation (epoch) fully folded into the board.
+    Allocation {
+        /// Allocation index within the campaign.
+        index: u64,
+        /// Simulated clock (µs) when the allocation went quiet.
+        now_us: u64,
+        /// Runs completed in this allocation.
+        completed: u64,
+        /// Runs timed out in this allocation.
+        timed_out: u64,
+        /// Every run id the allocation may have mutated on the board
+        /// (unsorted, duplicates allowed). Lets the journal diff only
+        /// the touched runs instead of scanning the whole board.
+        touched: Vec<&'e str>,
+    },
+    /// The driver loop ended (campaign complete or cap hit).
+    Complete,
+}
+
+/// Observer invoked by the `*_observed` driver variants after every
+/// board mutation point, with the board in its post-event state. An
+/// error aborts the campaign mid-flight — exactly what a journal crash
+/// injection needs.
+pub(crate) type EpochObserver<'o> =
+    &'o mut dyn FnMut(&StatusBoard, &EpochEvent<'_>) -> Result<(), SavannaError>;
+
 /// What happened inside one allocation.
 #[derive(Debug, Clone)]
 pub struct AllocationRecord {
@@ -231,9 +265,35 @@ pub fn run_campaign_sim_traced(
     max_allocations: u32,
     tel: &Telemetry,
 ) -> Result<CampaignSimReport, SavannaError> {
+    run_campaign_sim_observed(
+        manifest,
+        durations,
+        scheduler,
+        series,
+        board,
+        max_allocations,
+        tel,
+        &mut |_, _| Ok(()),
+    )
+}
+
+/// [`run_campaign_sim_traced`] with an [`EpochObserver`] called at every
+/// board mutation point — the seam the journaling layer hangs off.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_campaign_sim_observed(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &dyn AllocationScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    tel: &Telemetry,
+    observer: EpochObserver<'_>,
+) -> Result<CampaignSimReport, SavannaError> {
     assert!(max_allocations > 0);
     ensure_durations_modeled(&board.incomplete_runs(manifest), durations)?;
     tel.name_track(0, "allocations");
+    observer(board, &EpochEvent::Setup)?;
     let mut allocations = Vec::new();
     let mut completed_total = 0usize;
     let first_submission = series.now();
@@ -263,17 +323,29 @@ pub fn run_campaign_sim_traced(
 
         let mut completed_here = 0usize;
         let mut timed_out_here = 0usize;
+        let mut touched: Vec<&str> = Vec::new();
         for (id, result) in &outcome.results {
             match result {
                 TaskResult::Completed { .. } => {
                     board.set(id, RunStatus::Done);
                     completed_here += 1;
+                    touched.push(id.as_str());
                 }
                 TaskResult::TimedOut => {
                     board.set(id, RunStatus::TimedOut);
                     timed_out_here += 1;
+                    touched.push(id.as_str());
                 }
-                TaskResult::NotStarted => board.set(id, RunStatus::Pending),
+                // Most of a large campaign sits in `NotStarted` every
+                // epoch; only record a touch when the write actually
+                // changes the board, so the journal diff stays
+                // O(changed) instead of O(incomplete).
+                TaskResult::NotStarted => {
+                    if board.get(id) != RunStatus::Pending {
+                        board.set(id, RunStatus::Pending);
+                        touched.push(id.as_str());
+                    }
+                }
             }
         }
         completed_total += completed_here;
@@ -312,8 +384,19 @@ pub fn run_campaign_sim_traced(
             finished_at: active_end,
             trace: outcome.trace,
         });
+        observer(
+            board,
+            &EpochEvent::Allocation {
+                index: u64::from(alloc.index),
+                now_us: active_end.0,
+                completed: completed_here as u64,
+                timed_out: timed_out_here as u64,
+                touched,
+            },
+        )?;
     }
 
+    observer(board, &EpochEvent::Complete)?;
     let remaining = board.incomplete_runs(manifest).len();
     Ok(CampaignSimReport {
         scheduler: scheduler.name(),

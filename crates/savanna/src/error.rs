@@ -9,6 +9,7 @@
 //! hole before execution.
 
 use crate::driver::PreflightBlocked;
+use cheetah::journal::JournalError;
 
 /// Why a simulated campaign driver refused to (or could not) execute.
 #[derive(Debug)]
@@ -21,6 +22,11 @@ pub enum SavannaError {
     },
     /// The pre-flight lint gate refused the campaign.
     Preflight(PreflightBlocked),
+    /// The durability journal failed mid-campaign: an I/O error, a
+    /// corrupt log on recovery, a resume whose re-simulation diverged
+    /// from the durable records, or an injected crash from the
+    /// crash-differential harness.
+    Journal(JournalError),
 }
 
 impl std::fmt::Display for SavannaError {
@@ -35,6 +41,7 @@ impl std::fmt::Display for SavannaError {
                 )
             }
             SavannaError::Preflight(blocked) => blocked.fmt(f),
+            SavannaError::Journal(err) => write!(f, "campaign journal failed: {err}"),
         }
     }
 }
@@ -43,6 +50,7 @@ impl std::error::Error for SavannaError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SavannaError::Preflight(blocked) => Some(blocked),
+            SavannaError::Journal(err) => Some(err),
             SavannaError::UnmodeledRun { .. } => None,
         }
     }
@@ -51,6 +59,12 @@ impl std::error::Error for SavannaError {
 impl From<PreflightBlocked> for SavannaError {
     fn from(blocked: PreflightBlocked) -> Self {
         SavannaError::Preflight(blocked)
+    }
+}
+
+impl From<JournalError> for SavannaError {
+    fn from(err: JournalError) -> Self {
+        SavannaError::Journal(err)
     }
 }
 

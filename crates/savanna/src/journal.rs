@@ -1,0 +1,568 @@
+//! Journaled campaign drivers: crash-safe durability for the simulated
+//! campaign family.
+//!
+//! The serial drivers mutate a [`StatusBoard`] in memory; kill the
+//! process mid-campaign and every completed run is forgotten. This module
+//! wires the drivers' [`EpochObserver`](crate::driver) seam to
+//! `cheetah`'s append-only [`journal`](cheetah::journal), so campaign
+//! progress survives a crash and a rerun picks up where the log ends.
+//!
+//! # Recovery model: validated replay-resume
+//!
+//! The simulated drivers are *deterministic*: the full record stream a
+//! campaign produces is a pure function of `(manifest, durations, seed,
+//! policy, initial board)`. Resume exploits that instead of fighting it —
+//! a journaled driver always re-simulates the campaign from its initial
+//! state, and the durable journal is the **oracle**, not the restart
+//! point:
+//!
+//! 1. [`cheetah::journal::recover_for_append`] scans the log, truncates a
+//!    torn tail (a crash mid-`write`), and hands back the durable record
+//!    prefix plus a writer positioned after it.
+//! 2. The driver re-runs; every record it derives is compared against the
+//!    durable prefix in order. A mismatch is a hard
+//!    [`JournalError::Diverged`] — the caller changed the seed, the
+//!    manifest, or the fault plan, and silently "resuming" would fabricate
+//!    history.
+//! 3. Once the cursor passes the durable prefix, derived records are
+//!    *appended*: the journal grows exactly as it would have in the
+//!    uninterrupted run, so the recovered campaign's board, report, and
+//!    journal bytes are all identical to a never-crashed run with the
+//!    same inputs — the property `tests/crash_recovery.rs` checks
+//!    byte-for-byte.
+//!
+//! Re-simulation costs simulated work only (the drivers model time, they
+//! don't sleep through it); what durability buys is the *board* — the
+//! authoritative record of which real runs completed — plus the framed
+//! mutation history auditors can replay.
+//!
+//! A resume therefore takes the same *initial* inputs as the original
+//! launch: a fresh board (`StatusBoard::for_manifest`), a fresh
+//! allocation series with the same seed, and identical manifest,
+//! durations, policy, and telemetry enablement. Passing the partially
+//! mutated board a crashed run left behind would derive a different
+//! record stream and fail the `Diverged` check — by design.
+//!
+//! # Gate
+//!
+//! Every journaled driver projects its [`JournalSpec`] to a `fair-lint`
+//! [`DurabilityPlan`] and refuses launch on any `FW207` finding
+//! (degenerate snapshot cadence, shard journal-path collisions) — the
+//! same preflight posture as the schedule gate in [`crate::shard`].
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use cheetah::journal::{
+    diff_board_runs, recover_for_append, CrashPoint, FsyncPolicy, JournalError, JournalRecord,
+    JournalWriter,
+};
+use cheetah::manifest::CampaignManifest;
+use cheetah::status::StatusBoard;
+use fair_lint::DurabilityPlan;
+use hpcsim::batch::AllocationSeries;
+use telemetry::{SpanEvent, Telemetry};
+
+use crate::driver::{run_campaign_sim_observed, CampaignSimReport, EpochEvent, PreflightBlocked};
+use crate::error::SavannaError;
+use crate::pilot::PilotScheduler;
+use crate::resilience::{
+    run_campaign_resilient_observed, FaultPlan, ResiliencePolicy, ResilientCampaignReport,
+};
+use crate::task::AllocationScheduler;
+use hpcsim::time::SimDuration;
+
+/// Where and how a journaled driver persists campaign state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalSpec {
+    /// The journal file. Parallel drivers derive per-shard sub-logs as
+    /// `<path>.shard<index>`.
+    pub path: PathBuf,
+    /// Epochs (allocations) between snapshot-compaction records. `0` and
+    /// `usize::MAX` are misconfigurations `FW207` refuses.
+    pub snapshot_every: usize,
+    /// When appended frames are fsynced.
+    pub fsync: FsyncPolicy,
+    /// Crash-injection point for the differential harness: the append
+    /// that would cross this absolute journal offset is torn mid-frame
+    /// and the driver aborts with [`JournalError::CrashInjected`].
+    pub crash: Option<CrashPoint>,
+}
+
+impl JournalSpec {
+    /// A spec with the default cadence: snapshot every 8 epochs, fsync
+    /// per snapshot, no crash injection.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            snapshot_every: 8,
+            fsync: FsyncPolicy::PerSnapshot,
+            crash: None,
+        }
+    }
+
+    /// Overrides the snapshot-compaction cadence (builder-style).
+    #[must_use]
+    pub fn with_snapshot_every(mut self, epochs: usize) -> Self {
+        self.snapshot_every = epochs;
+        self
+    }
+
+    /// Overrides the fsync policy (builder-style).
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Installs a crash-injection point (builder-style).
+    #[must_use]
+    pub fn with_crash_point(mut self, crash: CrashPoint) -> Self {
+        self.crash = Some(crash);
+        self
+    }
+
+    /// The sub-log path shard `index` appends to under the parallel
+    /// journaled drivers.
+    pub fn shard_path(&self, index: usize) -> PathBuf {
+        PathBuf::from(format!("{}.shard{index}", self.path.display()))
+    }
+
+    /// Projects the spec down to `fair-lint`'s durability model for a
+    /// serial campaign (one journal path).
+    pub fn durability_plan(&self, faults_enabled: bool) -> DurabilityPlan {
+        DurabilityPlan {
+            journaling_enabled: true,
+            faults_enabled,
+            snapshot_every: self.snapshot_every,
+            journal_paths: vec![self.path.display().to_string()],
+        }
+    }
+
+    /// Projects the spec down to `fair-lint`'s durability model for a
+    /// sharded campaign: the main journal plus every shard sub-log.
+    pub fn durability_plan_sharded(&self, faults_enabled: bool, shards: usize) -> DurabilityPlan {
+        let mut journal_paths = vec![self.path.display().to_string()];
+        journal_paths.extend((0..shards).map(|s| self.shard_path(s).display().to_string()));
+        DurabilityPlan {
+            journaling_enabled: true,
+            faults_enabled,
+            snapshot_every: self.snapshot_every,
+            journal_paths,
+        }
+    }
+}
+
+/// Lints a projected durability plan and refuses execution on any
+/// error-severity finding.
+pub(crate) fn ensure_durability_clean(plan: &DurabilityPlan) -> Result<(), SavannaError> {
+    let diagnostics = fair_lint::lint_durability_plan(plan, &fair_lint::LintConfig::new());
+    if diagnostics.is_clean() {
+        Ok(())
+    } else {
+        Err(SavannaError::Preflight(PreflightBlocked { diagnostics }))
+    }
+}
+
+/// What the journal did during one journaled-driver execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalStats {
+    /// Durable records recovered from an existing log before execution.
+    pub recovered_records: usize,
+    /// Records appended during this execution.
+    pub appended_records: u64,
+    /// Snapshot-compaction records appended during this execution.
+    pub snapshots_taken: usize,
+    /// Bytes of torn tail truncated during recovery.
+    pub torn_bytes: u64,
+    /// Epoch markers validated against the durable prefix (the stretch
+    /// of campaign history this execution replayed rather than appended).
+    pub replayed_epochs: u64,
+    /// Final journal size in bytes.
+    pub bytes: u64,
+}
+
+impl JournalStats {
+    /// Field-wise accumulation — how the parallel drivers fold shard
+    /// sub-log accounting into the main journal's outcome.
+    pub fn absorb(&mut self, other: &JournalStats) {
+        self.recovered_records += other.recovered_records;
+        self.appended_records += other.appended_records;
+        self.snapshots_taken += other.snapshots_taken;
+        self.torn_bytes += other.torn_bytes;
+        self.replayed_epochs += other.replayed_epochs;
+        self.bytes += other.bytes;
+    }
+}
+
+/// A journaled driver's result: the underlying report plus the journal's
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct JournaledOutcome<R> {
+    /// The wrapped driver's report.
+    pub report: R,
+    /// Journal accounting for this execution.
+    pub stats: JournalStats,
+}
+
+/// The catch-up state machine behind every journaled driver: derived
+/// records are validated against the durable prefix while the cursor is
+/// inside it, appended once past it.
+pub(crate) struct JournalSession {
+    writer: JournalWriter,
+    durable: Vec<JournalRecord>,
+    cursor: usize,
+    prev_board: StatusBoard,
+    epoch_count: u64,
+    snapshot_every: usize,
+    snapshots_taken: usize,
+    replayed_epochs: u64,
+    /// Simulated clock (µs) of the last *replayed* epoch — the span of
+    /// history recovery validated instead of re-persisting.
+    replayed_until_us: u64,
+    torn_bytes: u64,
+    recovered_records: usize,
+}
+
+impl JournalSession {
+    /// Opens (or creates) the journal at `spec.path`. An existing file is
+    /// recovered — torn tail truncated with a warning, mid-log corruption
+    /// a hard error — and its records become the validation prefix. The
+    /// crash point installs *after* recovery, so the differential harness
+    /// tears appends, never recovery itself.
+    pub(crate) fn open(spec: &JournalSpec) -> Result<Self, JournalError> {
+        let (durable, torn_bytes, mut writer) = if spec.path.exists() {
+            let (recovered, writer) = recover_for_append(&spec.path, spec.fsync)?;
+            (recovered.records, recovered.torn_bytes, writer)
+        } else {
+            (
+                Vec::new(),
+                0,
+                JournalWriter::create(&spec.path, spec.fsync)?,
+            )
+        };
+        writer.set_crash_point(spec.crash);
+        Ok(Self {
+            writer,
+            recovered_records: durable.len(),
+            durable,
+            cursor: 0,
+            prev_board: StatusBoard::default(),
+            epoch_count: 0,
+            snapshot_every: spec.snapshot_every,
+            snapshots_taken: 0,
+            replayed_epochs: 0,
+            replayed_until_us: 0,
+            torn_bytes,
+        })
+    }
+
+    /// Advances the session by one derived record: validated against the
+    /// durable prefix while the cursor is inside it, appended past it.
+    fn step(&mut self, record: JournalRecord) -> Result<(), JournalError> {
+        if self.cursor < self.durable.len() {
+            if self.durable[self.cursor] != record {
+                return Err(JournalError::Diverged {
+                    record: self.cursor as u64,
+                    detail: format!(
+                        "re-simulation derived {} but the durable journal holds {} — the \
+                         campaign inputs (seed, manifest, durations, or policy) changed \
+                         since the journal was written",
+                        record.encode(),
+                        self.durable[self.cursor].encode()
+                    ),
+                });
+            }
+            if let JournalRecord::Epoch { now_us, .. } = &record {
+                self.replayed_epochs += 1;
+                self.replayed_until_us = (*now_us).max(self.replayed_until_us);
+            }
+            self.cursor += 1;
+            return Ok(());
+        }
+        if matches!(record, JournalRecord::Snapshot { .. }) {
+            self.snapshots_taken += 1;
+        }
+        self.writer.append(&record)
+    }
+
+    /// The driver observer: turns each epoch event into the derived
+    /// record stream and steps through it.
+    pub(crate) fn observe(
+        &mut self,
+        board: &StatusBoard,
+        event: &EpochEvent,
+    ) -> Result<(), SavannaError> {
+        let records = match event {
+            EpochEvent::Setup => {
+                self.prev_board = board.clone();
+                vec![JournalRecord::Snapshot {
+                    board: board.clone(),
+                }]
+            }
+            EpochEvent::Allocation {
+                index,
+                now_us,
+                completed,
+                timed_out,
+                touched,
+            } => {
+                let mut records = diff_board_runs(&self.prev_board, board, touched.iter().copied());
+                // Advance the shadow board by replaying the diff instead
+                // of cloning the full board every epoch: diff ∘ apply
+                // reconstructs the new board exactly (the same invariant
+                // recovery replay depends on), and both the diff and its
+                // replay are sized by what the epoch touched, not by
+                // campaign size.
+                for record in &records {
+                    record.apply(&mut self.prev_board);
+                }
+                debug_assert_eq!(
+                    &self.prev_board, board,
+                    "diff_boards/apply drifted from the live board"
+                );
+                records.push(JournalRecord::Epoch {
+                    index: *index,
+                    now_us: *now_us,
+                    completed: *completed,
+                    timed_out: *timed_out,
+                });
+                self.epoch_count += 1;
+                if self.snapshot_every > 0
+                    && self.epoch_count.is_multiple_of(self.snapshot_every as u64)
+                {
+                    records.push(JournalRecord::Snapshot {
+                        board: board.clone(),
+                    });
+                }
+                records
+            }
+            EpochEvent::Complete => vec![JournalRecord::Complete],
+        };
+        for record in records {
+            self.step(record)?;
+        }
+        Ok(())
+    }
+
+    /// Appends a shard-merge record (parallel drivers only).
+    pub(crate) fn merge_shard(
+        &mut self,
+        shard: u64,
+        board: &StatusBoard,
+    ) -> Result<(), JournalError> {
+        self.step(JournalRecord::ShardMerged {
+            shard,
+            board: board.clone(),
+        })
+    }
+
+    /// Appends the completion marker (parallel drivers only — serial
+    /// drivers emit it through [`EpochEvent::Complete`]).
+    pub(crate) fn complete(&mut self) -> Result<(), JournalError> {
+        self.step(JournalRecord::Complete)
+    }
+
+    /// Syncs the log and closes the session, emitting recovery telemetry
+    /// (when anything was recovered) and returning the accounting.
+    pub(crate) fn finish(mut self, recovery_tel: &Telemetry) -> Result<JournalStats, JournalError> {
+        self.writer.finish()?;
+        let stats = JournalStats {
+            recovered_records: self.recovered_records,
+            appended_records: self.writer.records_appended(),
+            snapshots_taken: self.snapshots_taken,
+            torn_bytes: self.torn_bytes,
+            replayed_epochs: self.replayed_epochs,
+            bytes: self.writer.len(),
+        };
+        if stats.recovered_records > 0 {
+            record_recovery(recovery_tel, &stats, self.replayed_until_us);
+        }
+        Ok(stats)
+    }
+}
+
+/// Records recovery accounting on a dedicated telemetry handle — its own
+/// "recovery" track and `journal_*` counters — so campaign metrics stay
+/// byte-identical between interrupted-then-recovered and uninterrupted
+/// executions.
+fn record_recovery(tel: &Telemetry, stats: &JournalStats, replayed_until_us: u64) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.name_track(0, "recovery");
+    tel.span(SpanEvent {
+        category: "recovery",
+        name: "journal-replay".to_string(),
+        track: 0,
+        start_us: 0,
+        dur_us: replayed_until_us,
+        args: Vec::new(),
+    });
+    tel.count("journal_recovered_records", stats.recovered_records as f64);
+    tel.count("journal_replayed_epochs", stats.replayed_epochs as f64);
+    tel.count("journal_torn_bytes", stats.torn_bytes as f64);
+    tel.count("journal_appended_records", stats.appended_records as f64);
+}
+
+/// [`crate::run_campaign_sim`] with a durable StatusBoard journal at
+/// `spec.path`. Creates the journal on first execution; recovers,
+/// validates, and resumes on reruns (see the module docs for the
+/// replay-resume model).
+pub fn run_campaign_sim_journaled(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &dyn AllocationScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    spec: &JournalSpec,
+) -> Result<JournaledOutcome<CampaignSimReport>, SavannaError> {
+    run_campaign_sim_journaled_traced(
+        manifest,
+        durations,
+        scheduler,
+        series,
+        board,
+        max_allocations,
+        spec,
+        &Telemetry::disabled(),
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_campaign_sim_journaled`] with telemetry handles. Campaign events
+/// go to `tel` exactly as in
+/// [`run_campaign_sim_traced`](crate::run_campaign_sim_traced); recovery
+/// accounting goes to the *separate* `recovery_tel` handle so campaign
+/// metrics stay byte-identical whether or not a recovery happened.
+#[allow(clippy::too_many_arguments)] // run_campaign_sim_traced plus the journal spec
+pub fn run_campaign_sim_journaled_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &dyn AllocationScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    spec: &JournalSpec,
+    tel: &Telemetry,
+    recovery_tel: &Telemetry,
+) -> Result<JournaledOutcome<CampaignSimReport>, SavannaError> {
+    ensure_durability_clean(&spec.durability_plan(false))?;
+    let mut session = JournalSession::open(spec)?;
+    let report = run_campaign_sim_observed(
+        manifest,
+        durations,
+        scheduler,
+        series,
+        board,
+        max_allocations,
+        tel,
+        &mut |board, event| session.observe(board, event),
+    )?;
+    let stats = session.finish(recovery_tel)?;
+    Ok(JournaledOutcome { report, stats })
+}
+
+/// [`crate::run_campaign_resilient`] with a durable StatusBoard journal
+/// at `spec.path` (see the module docs for the replay-resume model).
+/// Because this driver injects faults, the `FW207` gate requires the
+/// journal — which this function always provides — and a sane snapshot
+/// cadence.
+#[allow(clippy::too_many_arguments)] // run_campaign_resilient plus the journal spec
+pub fn run_campaign_resilient_journaled(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    spec: &JournalSpec,
+) -> Result<JournaledOutcome<ResilientCampaignReport>, SavannaError> {
+    run_campaign_resilient_journaled_traced(
+        manifest,
+        durations,
+        pilot,
+        series,
+        board,
+        max_allocations,
+        policy,
+        faults,
+        spec,
+        &Telemetry::disabled(),
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_campaign_resilient_journaled`] with telemetry handles (campaign
+/// events to `tel`, recovery accounting to `recovery_tel` — see
+/// [`run_campaign_sim_journaled_traced`]).
+#[allow(clippy::too_many_arguments)] // run_campaign_resilient_traced plus the journal spec
+pub fn run_campaign_resilient_journaled_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    spec: &JournalSpec,
+    tel: &Telemetry,
+    recovery_tel: &Telemetry,
+) -> Result<JournaledOutcome<ResilientCampaignReport>, SavannaError> {
+    ensure_durability_clean(&spec.durability_plan(faults_enabled(faults)))?;
+    let mut session = JournalSession::open(spec)?;
+    let report = run_campaign_resilient_observed(
+        manifest,
+        durations,
+        pilot,
+        series,
+        board,
+        max_allocations,
+        policy,
+        faults,
+        tel,
+        &mut |board, event| session.observe(board, event),
+    )?;
+    let stats = session.finish(recovery_tel)?;
+    Ok(JournaledOutcome { report, stats })
+}
+
+/// Whether a fault plan injects anything — the `faults_enabled` input to
+/// the `FW207` projection (mirrors
+/// [`ShardPlan::schedule_plan_resilient`](crate::ShardPlan)).
+pub(crate) fn faults_enabled(faults: &FaultPlan) -> bool {
+    faults.run_faults.failure_probability > 0.0
+        || faults.node_mttf.is_some()
+        || faults.stalls.is_some()
+}
+
+/// Removes a campaign's journal files (main log plus any shard sub-logs)
+/// — the "start over" escape hatch when a resume must *not* validate
+/// against old history. Missing files are fine; other I/O errors are not.
+pub fn discard_journal(path: &Path) -> Result<(), JournalError> {
+    let mut targets = vec![path.to_path_buf()];
+    if let (Some(dir), Some(name)) = (path.parent(), path.file_name().and_then(|n| n.to_str())) {
+        let prefix = format!("{name}.shard");
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                if let Some(entry_name) = entry.file_name().to_str() {
+                    if entry_name.starts_with(&prefix) {
+                        targets.push(entry.path());
+                    }
+                }
+            }
+        }
+    }
+    for target in targets {
+        match std::fs::remove_file(&target) {
+            Ok(()) => {}
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+            Err(err) => return Err(JournalError::Io(err)),
+        }
+    }
+    Ok(())
+}

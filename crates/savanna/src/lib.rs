@@ -26,12 +26,20 @@
 //! family: injected node crashes and filesystem stalls, retry budgets
 //! with backoff, node quarantine, hang detection, and checkpoint-aware
 //! restart, with full attempt-history reporting.
+//!
+//! The [`journal`] module makes the simulated family *crash-safe*: the
+//! `*_journaled` driver variants persist every StatusBoard mutation to an
+//! append-only, CRC-framed log with periodic snapshot compaction, and a
+//! rerun after a crash recovers the log, validates it against a
+//! deterministic re-simulation, and resumes appending — yielding output
+//! byte-identical to a never-interrupted run.
 
 #![deny(missing_docs)]
 
 pub mod driver;
 pub mod error;
 pub mod faults;
+pub mod journal;
 pub mod local;
 pub mod pilot;
 pub mod resilience;
@@ -45,6 +53,11 @@ pub use driver::{
 };
 pub use error::SavannaError;
 pub use faults::{run_campaign_sim_with_faults, FailureHandling, FaultSpec, FaultyCampaignReport};
+pub use journal::{
+    discard_journal, run_campaign_resilient_journaled, run_campaign_resilient_journaled_traced,
+    run_campaign_sim_journaled, run_campaign_sim_journaled_traced, JournalSpec, JournalStats,
+    JournaledOutcome,
+};
 pub use local::{LocalExecutor, LocalReport, LocalRunPolicy, ResilientLocalReport};
 pub use pilot::{PilotScheduler, PlacementPolicy};
 pub use resilience::{
@@ -54,8 +67,10 @@ pub use resilience::{
 };
 pub use setsync::SetSyncScheduler;
 pub use shard::{
+    run_campaign_resilient_journaled_par, run_campaign_resilient_journaled_par_traced,
     run_campaign_resilient_par, run_campaign_resilient_par_traced, run_campaign_sim_gated_par,
-    run_campaign_sim_par, run_campaign_sim_par_traced, ParCampaignReport, ParResilientReport,
-    SeriesSpec, ShardPlan, ShardResilientResult, ShardSimResult,
+    run_campaign_sim_journaled_par, run_campaign_sim_journaled_par_traced, run_campaign_sim_par,
+    run_campaign_sim_par_traced, ParCampaignReport, ParResilientReport, SeriesSpec, ShardPlan,
+    ShardResilientResult, ShardSimResult,
 };
 pub use task::{AllocationScheduler, ScheduleOutcome, SimTask, TaskResult};

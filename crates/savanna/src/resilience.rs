@@ -715,6 +715,37 @@ pub fn run_campaign_resilient_traced(
     faults: &FaultPlan,
     tel: &Telemetry,
 ) -> Result<ResilientCampaignReport, SavannaError> {
+    run_campaign_resilient_observed(
+        manifest,
+        durations,
+        pilot,
+        series,
+        board,
+        max_allocations,
+        policy,
+        faults,
+        tel,
+        &mut |_, _| Ok(()),
+    )
+}
+
+/// [`run_campaign_resilient_traced`] with an
+/// [`crate::driver::EpochObserver`] called at every board mutation point
+/// — the seam the journaling layer hangs off.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_campaign_resilient_observed(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    tel: &Telemetry,
+    observer: crate::driver::EpochObserver<'_>,
+) -> Result<ResilientCampaignReport, SavannaError> {
+    use crate::driver::EpochEvent;
     assert!(max_allocations > 0);
     policy.validate();
     ensure_durations_modeled(
@@ -741,6 +772,7 @@ pub fn run_campaign_resilient_traced(
             run_tracks.insert(run.id.clone(), track);
         }
     }
+    observer(board, &EpochEvent::Setup)?;
     let track_of = |id: &str| run_tracks.get(id).copied().unwrap_or(1);
     let mut backoff_wait = SimDuration::ZERO;
     let mut queue_wait = SimDuration::ZERO;
@@ -837,17 +869,25 @@ pub fn run_campaign_resilient_traced(
 
         let mut completed_here = 0usize;
         let mut timed_out_here = 0usize;
+        let mut touched: Vec<&str> = Vec::new();
         for (i, (id, slot)) in outcome.results.iter().enumerate() {
             let width = f64::from(tasks[i].nodes);
             let nominal = tasks[i].duration;
             let history = res.histories.entry(id.clone()).or_default();
             match slot {
+                // Runs that never got a slot dominate large campaigns;
+                // only write (and record a touch) when the reset
+                // actually changes the board, so the journal diff stays
+                // O(changed) instead of O(incomplete).
                 SlotOutcome::NotStarted => {
-                    if board.get(id) != RunStatus::Failed {
+                    let prior = board.get(id);
+                    if prior != RunStatus::Failed && prior != RunStatus::Pending {
                         board.set(id, RunStatus::Pending);
+                        touched.push(id.as_str());
                     }
                 }
                 SlotOutcome::Completed { started, finish } => {
+                    touched.push(id.as_str());
                     let attempt = board.record_attempt(id);
                     if faults.run_faults.fails(id, attempt) {
                         // Completed but wrong: the output (and any
@@ -918,6 +958,7 @@ pub fn run_campaign_resilient_traced(
                     cause,
                     executed,
                 } => {
+                    touched.push(id.as_str());
                     let attempt = board.record_attempt(id);
                     let preserved = policy.restart.surviving_progress(*executed);
                     let lost = executed.saturating_sub(preserved);
@@ -1042,7 +1083,18 @@ pub fn run_campaign_resilient_traced(
             finished_at: active_end,
             trace: outcome.trace,
         });
+        observer(
+            board,
+            &EpochEvent::Allocation {
+                index: u64::from(alloc.index),
+                now_us: active_end.0,
+                completed: completed_here as u64,
+                timed_out: timed_out_here as u64,
+                touched,
+            },
+        )?;
     }
+    observer(board, &EpochEvent::Complete)?;
 
     // Runs abandoned with the budget exhausted stay Failed on the board.
     for group in &manifest.groups {

@@ -42,10 +42,14 @@ use hpcsim::time::SimDuration;
 use telemetry::{merge_snapshots, replay, Snapshot, Telemetry};
 
 use crate::driver::{
-    ensure_durations_modeled, run_campaign_sim_traced, CampaignSimReport, PreflightBlocked,
-    PreflightGate,
+    ensure_durations_modeled, run_campaign_sim_traced, CampaignSimReport, EpochEvent,
+    PreflightBlocked, PreflightGate,
 };
 use crate::error::SavannaError;
+use crate::journal::{
+    ensure_durability_clean, faults_enabled, run_campaign_resilient_journaled_traced,
+    run_campaign_sim_journaled_traced, JournalSession, JournalSpec, JournalStats, JournaledOutcome,
+};
 use crate::pilot::PilotScheduler;
 use crate::resilience::{
     run_campaign_resilient_traced, FaultPlan, ResiliencePolicy, ResilienceReport,
@@ -797,6 +801,339 @@ pub fn run_campaign_resilient_par_traced(
         completed_runs,
         remaining_runs,
         makespan,
+    })
+}
+
+/// [`run_campaign_sim_par`] with a durable journal.
+///
+/// Each shard appends to its own sub-log (`<path>.shard<index>` — the
+/// `FW207` gate refuses colliding assignments) through the serial
+/// journaled driver, so a crash mid-shard loses nothing a shard had
+/// framed. The main journal at `journal.path` records the initial board
+/// snapshot, every shard's final sub-board as a
+/// [`cheetah::journal::JournalRecord::ShardMerged`] in plan order, and
+/// the completion marker — `cheetah::journal::recover` on the main log
+/// alone reproduces the final merged board. `journal.crash` (the
+/// crash-differential hook) tears the *main* journal; shard sub-logs are
+/// exercised by the same recovery code the serial differential covers.
+///
+/// Resume follows the module's replay-resume model
+/// ([`crate::journal`]): rerun with the same initial inputs and every
+/// durable record — per shard and in the merge log — is validated, then
+/// appending continues.
+#[allow(clippy::too_many_arguments)] // run_campaign_sim_par plus the journal spec
+pub fn run_campaign_sim_journaled_par(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &(dyn AllocationScheduler + Sync),
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_shard: u32,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+    journal: &JournalSpec,
+) -> Result<JournaledOutcome<ParCampaignReport>, SavannaError> {
+    run_campaign_sim_journaled_par_traced(
+        manifest,
+        durations,
+        scheduler,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_shard,
+        plan,
+        pool,
+        journal,
+        &Telemetry::disabled(),
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_campaign_sim_journaled_par`] with telemetry handles (campaign
+/// events to `tel`, recovery accounting to `recovery_tel`; the stats
+/// aggregate the main journal and every shard sub-log).
+#[allow(clippy::too_many_arguments)] // run_campaign_sim_par_traced plus the journal spec
+pub fn run_campaign_sim_journaled_par_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &(dyn AllocationScheduler + Sync),
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_shard: u32,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+    journal: &JournalSpec,
+    tel: &Telemetry,
+    recovery_tel: &Telemetry,
+) -> Result<JournaledOutcome<ParCampaignReport>, SavannaError> {
+    ensure_durations_modeled(&board.incomplete_runs(manifest), durations)?;
+    ensure_durability_clean(&journal.durability_plan_sharded(false, plan.num_shards()))?;
+    let schedule = plan.schedule_plan_sim(campaign_seed, max_allocations_per_shard);
+    ensure_schedule_clean(&schedule)?;
+    let offsets = schedule.planned_offsets();
+    let inputs = shard_inputs(manifest, board, plan);
+    let stream = SeedStream::new(campaign_seed);
+    let traced = tel.is_enabled();
+
+    let mut session = JournalSession::open(journal).map_err(SavannaError::from)?;
+    session.observe(board, &EpochEvent::Setup)?;
+
+    let run_shard = |s: usize| -> Result<(ShardSimOut, JournalStats), SavannaError> {
+        let (sub, sub_board, _) = &inputs[s];
+        let mut shard_board = sub_board.clone();
+        let mut series = spec.build(stream.child(s as u64).seed());
+        let shard_journal = JournalSpec {
+            path: journal.shard_path(s),
+            snapshot_every: journal.snapshot_every,
+            fsync: journal.fsync,
+            crash: None,
+        };
+        let (shard_tel, recorder) = if traced {
+            let (t, r) = Telemetry::recording();
+            (t, Some(r))
+        } else {
+            (Telemetry::disabled(), None)
+        };
+        let outcome = run_campaign_sim_journaled_traced(
+            sub,
+            durations,
+            scheduler,
+            &mut series,
+            &mut shard_board,
+            max_allocations_per_shard,
+            &shard_journal,
+            &shard_tel,
+            &Telemetry::disabled(),
+        )?;
+        Ok((
+            ShardSimOut {
+                report: outcome.report,
+                board: shard_board,
+                snapshot: recorder.map(|r| r.snapshot()),
+            },
+            outcome.stats,
+        ))
+    };
+
+    let outputs = execute_shards(pool, inputs.len(), run_shard);
+
+    let mut shards = Vec::with_capacity(outputs.len());
+    let mut snapshots = Vec::new();
+    let mut completed_runs = 0usize;
+    let mut remaining_runs = 0usize;
+    let mut makespan = SimDuration::ZERO;
+    let mut stats = JournalStats::default();
+    for (s, out) in outputs.into_iter().enumerate() {
+        let (out, shard_stats) = out?;
+        stats.absorb(&shard_stats);
+        board.merge_from(&out.board);
+        session.merge_shard(s as u64, &out.board)?;
+        if let Some(mut snapshot) = out.snapshot {
+            prefix_track_names(&mut snapshot, s);
+            // the plain driver records on exactly one track per shard
+            snapshots.push((offsets[s], snapshot));
+        }
+        completed_runs += out.report.completed_runs;
+        remaining_runs += out.report.remaining_runs;
+        makespan = makespan.max(out.report.total_span);
+        shards.push(ShardSimResult {
+            shard: s,
+            run_ids: inputs[s].2.clone(),
+            report: out.report,
+        });
+    }
+    session.complete()?;
+    let main_stats = session.finish(recovery_tel)?;
+    stats.absorb(&main_stats);
+    if traced {
+        let parts: Vec<(u32, &Snapshot)> = snapshots.iter().map(|(o, s)| (*o, s)).collect();
+        replay(&merge_snapshots(&parts), tel);
+    }
+    Ok(JournaledOutcome {
+        report: ParCampaignReport {
+            shards,
+            completed_runs,
+            remaining_runs,
+            makespan,
+        },
+        stats,
+    })
+}
+
+/// [`run_campaign_resilient_par`] with a durable journal (see
+/// [`run_campaign_sim_journaled_par`] for the layout and
+/// [`crate::journal`] for the replay-resume model). The shard boards
+/// journaled into the main log carry their telemetry refs *rebased* into
+/// the merged track space, so a recovery of the main log alone
+/// reproduces the caller-visible board byte-for-byte.
+#[allow(clippy::too_many_arguments)] // run_campaign_resilient_par plus the journal spec
+pub fn run_campaign_resilient_journaled_par(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_shard: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+    journal: &JournalSpec,
+) -> Result<JournaledOutcome<ParResilientReport>, SavannaError> {
+    run_campaign_resilient_journaled_par_traced(
+        manifest,
+        durations,
+        pilot,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_shard,
+        policy,
+        faults,
+        plan,
+        pool,
+        journal,
+        &Telemetry::disabled(),
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_campaign_resilient_journaled_par`] with telemetry handles
+/// (campaign events to `tel`, recovery accounting to `recovery_tel`).
+#[allow(clippy::too_many_arguments)] // run_campaign_resilient_par_traced plus the journal spec
+pub fn run_campaign_resilient_journaled_par_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_shard: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+    journal: &JournalSpec,
+    tel: &Telemetry,
+    recovery_tel: &Telemetry,
+) -> Result<JournaledOutcome<ParResilientReport>, SavannaError> {
+    policy.validate();
+    ensure_durations_modeled(
+        &board.incomplete_runs_with_budget(manifest, policy.retry_budget),
+        durations,
+    )?;
+    ensure_durability_clean(
+        &journal.durability_plan_sharded(faults_enabled(faults), plan.num_shards()),
+    )?;
+    let schedule =
+        plan.schedule_plan_resilient(campaign_seed, max_allocations_per_shard, policy, faults);
+    ensure_schedule_clean(&schedule)?;
+    let offsets = schedule.planned_offsets();
+    let inputs = shard_inputs(manifest, board, plan);
+    let series_stream = SeedStream::new(campaign_seed);
+    let fault_stream = SeedStream::new(faults.seed);
+    let traced = tel.is_enabled();
+
+    let mut session = JournalSession::open(journal).map_err(SavannaError::from)?;
+    session.observe(board, &EpochEvent::Setup)?;
+
+    let run_shard = |s: usize| -> Result<(ShardResilientOut, JournalStats), SavannaError> {
+        let (sub, sub_board, _) = &inputs[s];
+        let mut shard_board = sub_board.clone();
+        let mut series = spec.build(series_stream.child(s as u64).seed());
+        let shard_faults = FaultPlan {
+            seed: fault_stream.child(s as u64).seed(),
+            ..*faults
+        };
+        let shard_journal = JournalSpec {
+            path: journal.shard_path(s),
+            snapshot_every: journal.snapshot_every,
+            fsync: journal.fsync,
+            crash: None,
+        };
+        let (shard_tel, recorder) = if traced {
+            let (t, r) = Telemetry::recording();
+            (t, Some(r))
+        } else {
+            (Telemetry::disabled(), None)
+        };
+        let outcome = run_campaign_resilient_journaled_traced(
+            sub,
+            durations,
+            pilot,
+            &mut series,
+            &mut shard_board,
+            max_allocations_per_shard,
+            policy,
+            &shard_faults,
+            &shard_journal,
+            &shard_tel,
+            &Telemetry::disabled(),
+        )?;
+        Ok((
+            ShardResilientOut {
+                report: outcome.report,
+                board: shard_board,
+                snapshot: recorder.map(|r| r.snapshot()),
+            },
+            outcome.stats,
+        ))
+    };
+
+    let outputs = execute_shards(pool, inputs.len(), run_shard);
+
+    let mut shards = Vec::with_capacity(outputs.len());
+    let mut snapshots = Vec::new();
+    let mut completed_runs = 0usize;
+    let mut remaining_runs = 0usize;
+    let mut makespan = SimDuration::ZERO;
+    let mut stats = JournalStats::default();
+    for (s, out) in outputs.into_iter().enumerate() {
+        let (out, shard_stats) = out?;
+        stats.absorb(&shard_stats);
+        board.merge_from(&out.board);
+        // Journal the shard board with its refs rebased into the merged
+        // track space, so replaying the main log reproduces the final
+        // caller-visible board.
+        let mut journaled_board = out.board.clone();
+        if traced {
+            rebase_telemetry_refs(board, &out.board, &inputs[s].2, offsets[s]);
+            rebase_telemetry_refs(&mut journaled_board, &out.board, &inputs[s].2, offsets[s]);
+        }
+        session.merge_shard(s as u64, &journaled_board)?;
+        if let Some(mut snapshot) = out.snapshot {
+            prefix_track_names(&mut snapshot, s);
+            snapshots.push((offsets[s], snapshot));
+        }
+        completed_runs += out.report.report.completed_runs;
+        remaining_runs += out.report.report.remaining_runs;
+        makespan = makespan.max(out.report.report.total_span);
+        shards.push(ShardResilientResult {
+            shard: s,
+            run_ids: inputs[s].2.clone(),
+            report: out.report,
+        });
+    }
+    session.complete()?;
+    let main_stats = session.finish(recovery_tel)?;
+    stats.absorb(&main_stats);
+    if traced {
+        let parts: Vec<(u32, &Snapshot)> = snapshots.iter().map(|(o, s)| (*o, s)).collect();
+        replay(&merge_snapshots(&parts), tel);
+    }
+    let resilience = merge_resilience(shards.iter().map(|s| &s.report.resilience));
+    Ok(JournaledOutcome {
+        report: ParResilientReport {
+            shards,
+            resilience,
+            completed_runs,
+            remaining_runs,
+            makespan,
+        },
+        stats,
     })
 }
 

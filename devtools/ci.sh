@@ -151,4 +151,38 @@ for bundle in "$REPO"/tests/fixtures/lint-corpus/*.json; do
 done
 echo "lint corpus: OK"
 
+# Crash-durability gate, three layers (README "Durability & recovery"):
+# (a) --smoke: run a journaled resilient campaign in a child process,
+#     kill -9 it mid-write, recover + resume, and byte-compare board
+#     JSON, metrics export, resilience report, and journal bytes
+#     against an uninterrupted run;
+# (b) --check: the committed results/BENCH_journal_overhead.json keeps
+#     the expected metric key set (values are wall-clock and
+#     machine-dependent, so only keys are diffed);
+# (c) the journal wire-format goldens in tests/fixtures/journal/ —
+#     framing bytes and recovered-board JSON must match the committed
+#     fixtures byte-for-byte (UPDATE_FIXTURES=1 regenerates after an
+#     intentional format change).
+# All three are rand-stub-safe at runtime, so offline they run from the
+# shadow workspace offline-check.sh just built.
+echo "== ci: crash-durability smoke =="
+run_journal_bin() {
+    if cargo build -q --release -p bench --bin journal_overhead 2>/dev/null; then
+        cargo run -q --release -p bench --bin journal_overhead -- "$@"
+    else
+        (cd "$REPO/target/offline-check" &&
+            CARGO_NET_OFFLINE=true cargo run -q --release --offline -p bench --bin journal_overhead -- "$@")
+    fi
+}
+run_journal_bin --smoke
+run_journal_bin --check "$REPO/results"
+if cargo build -q --tests 2>/dev/null; then
+    UPDATE_FIXTURES="${UPDATE_FIXTURES:-0}" cargo test -q --test journal_framing_goldens
+else
+    (cd "$REPO/target/offline-check" &&
+        JOURNAL_FIXTURE_DIR="$REPO/tests/fixtures/journal" UPDATE_FIXTURES="${UPDATE_FIXTURES:-0}" \
+            CARGO_NET_OFFLINE=true cargo test -q --offline --test journal_framing_goldens)
+fi
+echo "crash durability: OK"
+
 echo "ci: OK"

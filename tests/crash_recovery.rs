@@ -1,0 +1,639 @@
+//! Crash-injection differential harness for the journaled drivers.
+//!
+//! The durability claim worth testing is not "a journal file exists" but
+//! "interruption is unobservable": a campaign that crashes mid-execution
+//! and is then recovered and resumed must produce **byte-identical**
+//! outputs — `StatusBoard` canonical JSON, telemetry metrics export,
+//! `ResilienceReport`, and the journal file itself — compared to the same
+//! campaign never interrupted. This file checks that differential across
+//! (campaign size × {serial, 2-thread sharded} × faults on/off), two
+//! ways:
+//!
+//! * **Injected crashes** — `CrashPoint` tears the journal mid-frame at
+//!   several absolute offsets (early, middle, just before the completion
+//!   marker), exactly as a power cut mid-`write` would.
+//! * **A real `kill -9`** — the test re-invokes its own binary to run a
+//!   journaled campaign in a child process, kills the child without
+//!   warning once the journal grows past a threshold, then recovers and
+//!   resumes the orphaned journal in-process.
+//!
+//! Resume here is *validated replay* (see `savanna::journal`): the rerun
+//! re-derives the full record stream from the same seed and checks it
+//! against the durable prefix, so a resume against changed inputs fails
+//! loudly (`Diverged`) instead of fabricating history — also covered
+//! below.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use common::{grid_manifest, ramp_durations};
+use fair_workflows::cheetah::journal::{CrashPoint, FsyncPolicy, JournalError};
+use fair_workflows::cheetah::manifest::CampaignManifest;
+use fair_workflows::cheetah::status::StatusBoard;
+use fair_workflows::exec::ThreadPool;
+use fair_workflows::hpcsim::batch::BatchJob;
+use fair_workflows::hpcsim::time::SimDuration;
+use fair_workflows::savanna::pilot::PilotScheduler;
+use fair_workflows::savanna::resilience::{
+    FaultPlan, ResiliencePolicy, ResilienceReport, ResilientCampaignReport, RestartStrategy,
+    StallSpec,
+};
+use fair_workflows::savanna::{
+    discard_journal, run_campaign_resilient_journaled_par_traced,
+    run_campaign_resilient_journaled_traced, run_campaign_sim_journaled_par_traced,
+    run_campaign_sim_journaled_traced, FaultSpec, JournalSpec, JournalStats, SavannaError,
+    SeriesSpec, ShardPlan,
+};
+use fair_workflows::telemetry::{metrics_json, Telemetry};
+
+const SEED: u64 = 41;
+const CAMPAIGN_SIZES: [i64; 2] = [6, 18];
+
+/// Unique scratch path for one journal; unique per test invocation so
+/// parallel test threads never collide.
+fn jpath(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "fair-crash-recovery-{}-{tag}-{n}.journal",
+        std::process::id()
+    ))
+}
+
+fn spec() -> SeriesSpec {
+    // stochastic queue waits on purpose: interrupted and uninterrupted
+    // executions run in the same build, so rand-derived values must match
+    SeriesSpec::new(
+        BatchJob::new(8, SimDuration::from_hours(2)),
+        SimDuration::from_mins(20),
+        0.5,
+    )
+}
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan {
+        run_faults: FaultSpec::new(0.25, SEED),
+        node_mttf: Some(SimDuration::from_hours(8)),
+        stalls: Some(StallSpec {
+            mean_between: SimDuration::from_mins(40),
+            duration: SimDuration::from_mins(5),
+            slowdown: 4.0,
+            io_fraction: 0.25,
+        }),
+        seed: SEED,
+    }
+}
+
+fn policy() -> ResiliencePolicy {
+    ResiliencePolicy {
+        retry_budget: 4,
+        backoff_base: SimDuration::from_mins(5),
+        restart: RestartStrategy::FromCheckpoint {
+            interval: SimDuration::from_mins(10),
+        },
+        ..ResiliencePolicy::default()
+    }
+}
+
+fn journal_spec(path: &Path, crash: Option<CrashPoint>) -> JournalSpec {
+    JournalSpec {
+        path: path.to_path_buf(),
+        snapshot_every: 4,
+        fsync: FsyncPolicy::Never,
+        crash,
+    }
+}
+
+/// One execution's comparable outputs.
+#[derive(Debug)]
+struct Artifacts {
+    board_json: String,
+    metrics: String,
+    journal_bytes: Vec<u8>,
+    stats: JournalStats,
+}
+
+fn read_journal(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_default()
+}
+
+fn cleanup(path: &Path) {
+    discard_journal(path).expect("journal cleanup");
+}
+
+// ---------------------------------------------------------------------
+// Drivers under test, flattened to closures over (path, crash)
+// ---------------------------------------------------------------------
+
+fn run_sim_serial(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    path: &Path,
+    crash: Option<CrashPoint>,
+) -> Result<Artifacts, SavannaError> {
+    let mut board = StatusBoard::for_manifest(manifest);
+    let mut series = spec().build(SEED);
+    let (tel, rec) = Telemetry::recording();
+    let outcome = run_campaign_sim_journaled_traced(
+        manifest,
+        durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        64,
+        &journal_spec(path, crash),
+        &tel,
+        &Telemetry::disabled(),
+    )?;
+    Ok(Artifacts {
+        board_json: board.canonical_json(),
+        metrics: metrics_json(&rec.snapshot()),
+        journal_bytes: read_journal(path),
+        stats: outcome.stats,
+    })
+}
+
+fn run_resilient_serial(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    path: &Path,
+    crash: Option<CrashPoint>,
+) -> Result<(Artifacts, ResilientCampaignReport), SavannaError> {
+    let mut board = StatusBoard::for_manifest(manifest);
+    let mut series = spec().build(SEED);
+    let (tel, rec) = Telemetry::recording();
+    let outcome = run_campaign_resilient_journaled_traced(
+        manifest,
+        durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        64,
+        &policy(),
+        &fault_plan(),
+        &journal_spec(path, crash),
+        &tel,
+        &Telemetry::disabled(),
+    )?;
+    Ok((
+        Artifacts {
+            board_json: board.canonical_json(),
+            metrics: metrics_json(&rec.snapshot()),
+            journal_bytes: read_journal(path),
+            stats: outcome.stats,
+        },
+        outcome.report,
+    ))
+}
+
+fn run_sim_par(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    path: &Path,
+    crash: Option<CrashPoint>,
+) -> Result<Artifacts, SavannaError> {
+    let mut board = StatusBoard::for_manifest(manifest);
+    let plan = ShardPlan::contiguous(manifest.total_runs(), 2);
+    let pool = ThreadPool::new(2);
+    let (tel, rec) = Telemetry::recording();
+    let outcome = run_campaign_sim_journaled_par_traced(
+        manifest,
+        durations,
+        &PilotScheduler::new(),
+        &spec(),
+        SEED,
+        &mut board,
+        64,
+        &plan,
+        Some(&pool),
+        &journal_spec(path, crash),
+        &tel,
+        &Telemetry::disabled(),
+    )?;
+    let mut journal_bytes = read_journal(path);
+    for s in 0..plan.num_shards() {
+        journal_bytes.extend(read_journal(&journal_spec(path, None).shard_path(s)));
+    }
+    Ok(Artifacts {
+        board_json: board.canonical_json(),
+        metrics: metrics_json(&rec.snapshot()),
+        journal_bytes,
+        stats: outcome.stats,
+    })
+}
+
+fn run_resilient_par(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    path: &Path,
+    crash: Option<CrashPoint>,
+) -> Result<(Artifacts, ResilienceReport), SavannaError> {
+    let mut board = StatusBoard::for_manifest(manifest);
+    let plan = ShardPlan::contiguous(manifest.total_runs(), 2);
+    let pool = ThreadPool::new(2);
+    let (tel, rec) = Telemetry::recording();
+    let outcome = run_campaign_resilient_journaled_par_traced(
+        manifest,
+        durations,
+        &PilotScheduler::new(),
+        &spec(),
+        SEED,
+        &mut board,
+        64,
+        &policy(),
+        &fault_plan(),
+        &plan,
+        Some(&pool),
+        &journal_spec(path, crash),
+        &tel,
+        &Telemetry::disabled(),
+    )?;
+    let mut journal_bytes = read_journal(path);
+    for s in 0..plan.num_shards() {
+        journal_bytes.extend(read_journal(&journal_spec(path, None).shard_path(s)));
+    }
+    Ok((
+        Artifacts {
+            board_json: board.canonical_json(),
+            metrics: metrics_json(&rec.snapshot()),
+            journal_bytes,
+            stats: outcome.stats,
+        },
+        outcome.report.resilience,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// The differential
+// ---------------------------------------------------------------------
+
+/// Crash offsets to probe, derived from the uninterrupted journal's final
+/// size: early (inside the first snapshot), middle, and just before the
+/// completion marker.
+fn crash_offsets(final_len: u64) -> [u64; 3] {
+    [final_len / 7, final_len / 2, final_len.saturating_sub(3)]
+}
+
+fn assert_artifacts_identical(label: &str, reference: &Artifacts, recovered: &Artifacts) {
+    assert_eq!(
+        reference.board_json, recovered.board_json,
+        "{label}: recovered StatusBoard differs from uninterrupted run"
+    );
+    assert_eq!(
+        reference.metrics, recovered.metrics,
+        "{label}: recovered metrics export differs from uninterrupted run"
+    );
+    assert_eq!(
+        reference.journal_bytes, recovered.journal_bytes,
+        "{label}: recovered journal bytes differ from uninterrupted run"
+    );
+}
+
+fn assert_crash_was_injected(label: &str, err: SavannaError) {
+    match err {
+        SavannaError::Journal(JournalError::CrashInjected { .. }) => {}
+        other => panic!("{label}: expected CrashInjected, got {other:?}"),
+    }
+}
+
+#[test]
+fn serial_sim_crash_recovery_is_byte_identical() {
+    for &runs in &CAMPAIGN_SIZES {
+        let manifest = grid_manifest("crash-sim", runs);
+        let durations = ramp_durations(&manifest, 600, 90);
+        let ref_path = jpath("sim-ref");
+        let reference =
+            run_sim_serial(&manifest, &durations, &ref_path, None).expect("uninterrupted");
+        assert!(reference.journal_bytes.len() > 8, "journal not written");
+        for at_bytes in crash_offsets(reference.journal_bytes.len() as u64) {
+            let label = format!("sim runs={runs} crash@{at_bytes}");
+            let path = jpath("sim-crash");
+            let err = run_sim_serial(&manifest, &durations, &path, Some(CrashPoint { at_bytes }))
+                .expect_err("crash point must abort the campaign");
+            assert_crash_was_injected(&label, err);
+            let recovered =
+                run_sim_serial(&manifest, &durations, &path, None).expect("recovery + resume");
+            // a crash inside the very first frame legitimately leaves no
+            // durable records; from mid-journal on, resume must recover
+            if at_bytes >= reference.journal_bytes.len() as u64 / 2 {
+                assert!(
+                    recovered.stats.recovered_records > 0,
+                    "{label}: resume recovered nothing"
+                );
+            }
+            assert_artifacts_identical(&label, &reference, &recovered);
+            cleanup(&path);
+        }
+        cleanup(&ref_path);
+    }
+}
+
+#[test]
+fn serial_resilient_crash_recovery_is_byte_identical() {
+    for &runs in &CAMPAIGN_SIZES {
+        let manifest = grid_manifest("crash-res", runs);
+        let durations = ramp_durations(&manifest, 900, 120);
+        let ref_path = jpath("res-ref");
+        let (reference, ref_report) =
+            run_resilient_serial(&manifest, &durations, &ref_path, None).expect("uninterrupted");
+        for at_bytes in crash_offsets(reference.journal_bytes.len() as u64) {
+            let label = format!("resilient runs={runs} crash@{at_bytes}");
+            let path = jpath("res-crash");
+            let err =
+                run_resilient_serial(&manifest, &durations, &path, Some(CrashPoint { at_bytes }))
+                    .expect_err("crash point must abort the campaign");
+            assert_crash_was_injected(&label, err);
+            let (recovered, rec_report) =
+                run_resilient_serial(&manifest, &durations, &path, None).expect("recovery");
+            assert_artifacts_identical(&label, &reference, &recovered);
+            assert_eq!(
+                ref_report.resilience, rec_report.resilience,
+                "{label}: recovered ResilienceReport differs"
+            );
+            cleanup(&path);
+        }
+        cleanup(&ref_path);
+    }
+}
+
+#[test]
+fn par2_sim_crash_recovery_is_byte_identical() {
+    for &runs in &CAMPAIGN_SIZES {
+        let manifest = grid_manifest("crash-psim", runs);
+        let durations = ramp_durations(&manifest, 600, 90);
+        let ref_path = jpath("psim-ref");
+        let reference = run_sim_par(&manifest, &durations, &ref_path, None).expect("uninterrupted");
+        // par crash points tear the main (merge) journal
+        let main_len = read_journal(&ref_path).len() as u64;
+        for at_bytes in crash_offsets(main_len) {
+            let label = format!("par2 sim runs={runs} crash@{at_bytes}");
+            let path = jpath("psim-crash");
+            let err = run_sim_par(&manifest, &durations, &path, Some(CrashPoint { at_bytes }))
+                .expect_err("crash point must abort the campaign");
+            assert_crash_was_injected(&label, err);
+            let recovered = run_sim_par(&manifest, &durations, &path, None).expect("recovery");
+            assert_artifacts_identical(&label, &reference, &recovered);
+            cleanup(&path);
+        }
+        cleanup(&ref_path);
+    }
+}
+
+#[test]
+fn par2_resilient_crash_recovery_is_byte_identical() {
+    for &runs in &CAMPAIGN_SIZES {
+        let manifest = grid_manifest("crash-pres", runs);
+        let durations = ramp_durations(&manifest, 900, 120);
+        let ref_path = jpath("pres-ref");
+        let (reference, ref_report) =
+            run_resilient_par(&manifest, &durations, &ref_path, None).expect("uninterrupted");
+        let main_len = read_journal(&ref_path).len() as u64;
+        for at_bytes in crash_offsets(main_len) {
+            let label = format!("par2 resilient runs={runs} crash@{at_bytes}");
+            let path = jpath("pres-crash");
+            let err =
+                run_resilient_par(&manifest, &durations, &path, Some(CrashPoint { at_bytes }))
+                    .expect_err("crash point must abort the campaign");
+            assert_crash_was_injected(&label, err);
+            let (recovered, rec_report) =
+                run_resilient_par(&manifest, &durations, &path, None).expect("recovery");
+            assert_artifacts_identical(&label, &reference, &recovered);
+            assert_eq!(
+                ref_report, rec_report,
+                "{label}: recovered ResilienceReport differs"
+            );
+            cleanup(&path);
+        }
+        cleanup(&ref_path);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Resume-safety properties
+// ---------------------------------------------------------------------
+
+#[test]
+fn resume_against_changed_inputs_diverges_instead_of_fabricating_history() {
+    let manifest = grid_manifest("crash-div", 6);
+    let durations = ramp_durations(&manifest, 900, 120);
+    let path = jpath("diverge");
+    run_resilient_serial(&manifest, &durations, &path, None).expect("first run");
+    // same journal, different durations => different derived records
+    let skewed = ramp_durations(&manifest, 901, 120);
+    let err = run_resilient_serial(&manifest, &skewed, &path, None)
+        .expect_err("resume with changed inputs must refuse");
+    match err {
+        SavannaError::Journal(JournalError::Diverged { .. }) => {}
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn rerunning_a_completed_journal_validates_and_appends_nothing() {
+    let manifest = grid_manifest("crash-done", 6);
+    let durations = ramp_durations(&manifest, 600, 90);
+    let path = jpath("complete");
+    let first = run_sim_serial(&manifest, &durations, &path, None).expect("first run");
+    assert_eq!(first.stats.recovered_records, 0);
+    assert!(first.stats.appended_records > 0);
+    let second = run_sim_serial(&manifest, &durations, &path, None).expect("revalidation");
+    assert!(second.stats.recovered_records > 0);
+    assert_eq!(
+        second.stats.appended_records, 0,
+        "revalidating a complete journal must append nothing"
+    );
+    assert_eq!(first.board_json, second.board_json);
+    assert_eq!(first.journal_bytes, second.journal_bytes);
+    cleanup(&path);
+}
+
+#[test]
+fn recovery_telemetry_lands_on_its_own_handle() {
+    let manifest = grid_manifest("crash-rtel", 6);
+    let durations = ramp_durations(&manifest, 600, 90);
+    let path = jpath("rtel");
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let mut series = spec().build(SEED);
+    run_campaign_sim_journaled_traced(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        64,
+        &journal_spec(&path, None),
+        &Telemetry::disabled(),
+        &Telemetry::disabled(),
+    )
+    .expect("first run");
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let mut series = spec().build(SEED);
+    let (recovery_tel, rec) = Telemetry::recording();
+    let outcome = run_campaign_sim_journaled_traced(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        64,
+        &journal_spec(&path, None),
+        &Telemetry::disabled(),
+        &recovery_tel,
+    )
+    .expect("revalidation");
+    assert!(outcome.stats.recovered_records > 0 && outcome.stats.replayed_epochs > 0);
+    assert_eq!(
+        rec.counter("journal_recovered_records") as u64,
+        outcome.stats.recovered_records as u64,
+        "recovery counters must report the recovered prefix"
+    );
+    assert_eq!(
+        rec.counter("journal_replayed_epochs") as u64,
+        outcome.stats.replayed_epochs,
+        "recovery counters must report the replayed epochs"
+    );
+    cleanup(&path);
+}
+
+// ---------------------------------------------------------------------
+// The real thing: kill -9
+// ---------------------------------------------------------------------
+
+const KILL_CHILD_ENV: &str = "FAIR_KILL_CHILD_JOURNAL";
+const KILL_RUNS: i64 = 120;
+
+fn kill_manifest() -> CampaignManifest {
+    grid_manifest("crash-kill9", KILL_RUNS)
+}
+
+fn kill_journal_spec(path: &Path) -> JournalSpec {
+    JournalSpec {
+        path: path.to_path_buf(),
+        snapshot_every: 2,
+        // the child fsyncs every record: slows it down (so the parent's
+        // SIGKILL lands mid-campaign) and maximizes the durable prefix
+        fsync: FsyncPolicy::PerRecord,
+        crash: None,
+    }
+}
+
+fn run_kill_campaign(path: &Path, fsync: FsyncPolicy) -> (Artifacts, ResilientCampaignReport) {
+    let manifest = kill_manifest();
+    let durations = ramp_durations(&manifest, 900, 30);
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let mut series = spec().build(SEED);
+    let journal = JournalSpec {
+        fsync,
+        ..kill_journal_spec(path)
+    };
+    let outcome = run_campaign_resilient_journaled_traced(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        64,
+        &policy(),
+        &fault_plan(),
+        &journal,
+        &Telemetry::disabled(),
+        &Telemetry::disabled(),
+    )
+    .expect("kill campaign");
+    (
+        Artifacts {
+            board_json: board.canonical_json(),
+            metrics: String::new(),
+            journal_bytes: read_journal(path),
+            stats: outcome.stats,
+        },
+        outcome.report,
+    )
+}
+
+/// The child half of the `kill -9` test: runs the journaled campaign at
+/// the path named by `FAIR_KILL_CHILD_JOURNAL`. A no-op (instant pass)
+/// in a normal test run; only the re-invoked child executes the body.
+#[test]
+fn crash_child_campaign() {
+    let Ok(path) = std::env::var(KILL_CHILD_ENV) else {
+        return;
+    };
+    run_kill_campaign(Path::new(&path), FsyncPolicy::PerRecord);
+}
+
+#[test]
+fn kill_nine_recovery_is_byte_identical() {
+    use std::process::{Command, Stdio};
+
+    // uninterrupted reference first (also tells us the final journal size)
+    let ref_path = jpath("kill9-ref");
+    let (reference, ref_report) = run_kill_campaign(&ref_path, FsyncPolicy::Never);
+    let final_len = reference.journal_bytes.len() as u64;
+    assert!(final_len > 1024, "kill campaign journal suspiciously small");
+    let threshold = (final_len / 3).clamp(1024, 64 * 1024);
+
+    let path = jpath("kill9");
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = Command::new(&exe)
+        .args(["crash_child_campaign", "--exact", "--nocapture"])
+        .env(KILL_CHILD_ENV, &path)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child campaign");
+
+    // poll the journal and kill the child mid-campaign
+    let start = std::time::Instant::now();
+    let mut child_finished = false;
+    loop {
+        if let Ok(Some(_)) = child.try_wait() {
+            child_finished = true;
+            break;
+        }
+        let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if len >= threshold {
+            break;
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(120),
+            "child campaign never reached {threshold} journal bytes"
+        );
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    if !child_finished {
+        child.kill().expect("kill -9 the child");
+    }
+    let _ = child.wait();
+
+    if child_finished {
+        // the child outran the poller — the journal is complete; recovery
+        // must still validate it end-to-end and append nothing
+        eprintln!("kill -9 test note: child completed before the kill; exercising complete-journal revalidation instead");
+    }
+
+    // recover + resume the orphaned journal in-process
+    let (recovered, rec_report) = run_kill_campaign(&path, FsyncPolicy::Never);
+    assert!(
+        recovered.stats.recovered_records > 0,
+        "resume after kill -9 recovered nothing"
+    );
+    assert_eq!(
+        reference.board_json, recovered.board_json,
+        "kill -9: recovered StatusBoard differs from uninterrupted run"
+    );
+    assert_eq!(
+        reference.journal_bytes, recovered.journal_bytes,
+        "kill -9: recovered journal bytes differ from uninterrupted run"
+    );
+    assert_eq!(
+        ref_report.resilience, rec_report.resilience,
+        "kill -9: recovered ResilienceReport differs"
+    );
+    cleanup(&path);
+    cleanup(&ref_path);
+}

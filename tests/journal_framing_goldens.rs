@@ -1,0 +1,167 @@
+//! Byte-level goldens for the journal wire format.
+//!
+//! The journal's durability story rests on its bytes meaning the same
+//! thing forever: `[len:u32 LE][crc32:u32 LE][payload]` frames after an
+//! 8-byte magic, with byte-deterministic record payloads. These tests
+//! pin that format against a committed fixture
+//! (`tests/fixtures/journal/framing.journal`) so an accidental encoding
+//! change — field order, escaping, framing, CRC — fails CI with a byte
+//! diff instead of silently orphaning every journal written by an older
+//! build. After an *intentional* format change, regenerate with
+//! `UPDATE_FIXTURES=1 cargo test --test journal_framing_goldens` and
+//! review the fixture diff as the review of the compatibility break.
+
+use std::path::{Path, PathBuf};
+
+use fair_workflows::cheetah::journal::{
+    recover, FsyncPolicy, JournalRecord, JournalWriter, JOURNAL_MAGIC,
+};
+use fair_workflows::cheetah::status::StatusBoard;
+use fair_workflows::cheetah::RunStatus;
+
+/// Fixture directory: overridable so the offline CI harness can point a
+/// shadow-workspace build at the real repo's fixtures.
+fn fixture_dir() -> PathBuf {
+    std::env::var_os("JOURNAL_FIXTURE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/journal"))
+}
+
+fn updating() -> bool {
+    std::env::var_os("UPDATE_FIXTURES").is_some_and(|v| v == "1")
+}
+
+fn sample_board() -> StatusBoard {
+    let mut board = StatusBoard::default();
+    board.set("sweep/run-1", RunStatus::Done);
+    board.record_attempt("sweep/run-1");
+    board.set("sweep/run-2", RunStatus::Pending);
+    board.record_attempt("sweep/run-3");
+    board.record_failure("sweep/run-3", "node-crash");
+    board.record_telemetry_ref("sweep/run-1", "trace#2");
+    board.record_digest_ref("sweep/run-1", "digest#span_us.attempt");
+    board
+}
+
+/// One record of every variant, with contents that exercise JSON
+/// escaping and multi-digit integers.
+fn sample_records() -> Vec<JournalRecord> {
+    vec![
+        JournalRecord::Snapshot {
+            board: sample_board(),
+        },
+        JournalRecord::Attempt {
+            run: "sweep/run-2".to_string(),
+        },
+        JournalRecord::Status {
+            run: "sweep/run-2".to_string(),
+            status: RunStatus::Done,
+        },
+        JournalRecord::Failure {
+            run: "sweep/run-3".to_string(),
+            cause: "fs-stall \"hang\"\n".to_string(),
+        },
+        JournalRecord::TelemetryRef {
+            run: "sweep/run-2".to_string(),
+            reference: "trace#3".to_string(),
+        },
+        JournalRecord::DigestRef {
+            run: "sweep/run-2".to_string(),
+            reference: "digest#span_us.attempt".to_string(),
+        },
+        JournalRecord::Epoch {
+            index: 7,
+            now_us: 123_456_789,
+            completed: 12,
+            timed_out: 3,
+        },
+        JournalRecord::ShardMerged {
+            shard: 1,
+            board: sample_board(),
+        },
+        JournalRecord::Complete,
+    ]
+}
+
+fn write_sample_journal(path: &Path) {
+    let mut writer = JournalWriter::create(path, FsyncPolicy::Never).expect("create journal");
+    for record in sample_records() {
+        writer.append(&record).expect("append record");
+    }
+}
+
+#[test]
+fn journal_bytes_match_the_committed_golden() {
+    let dir = fixture_dir();
+    let golden = dir.join("framing.journal");
+    let scratch =
+        std::env::temp_dir().join(format!("framing-golden-{}.journal", std::process::id()));
+    write_sample_journal(&scratch);
+    let generated = std::fs::read(&scratch).expect("read generated journal");
+    std::fs::remove_file(&scratch).ok();
+
+    assert_eq!(&generated[..JOURNAL_MAGIC.len()], JOURNAL_MAGIC);
+    if updating() {
+        std::fs::create_dir_all(&dir).expect("fixture dir");
+        std::fs::write(&golden, &generated).expect("write golden");
+        eprintln!("updated {}", golden.display());
+        return;
+    }
+    let committed = std::fs::read(&golden).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun UPDATE_FIXTURES=1 cargo test --test journal_framing_goldens to generate",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        generated, committed,
+        "journal wire format drifted from the committed golden — an old \
+         journal would no longer replay on this build. If the change is \
+         intentional, regenerate with UPDATE_FIXTURES=1 and review the diff."
+    );
+}
+
+#[test]
+fn golden_journal_recovers_to_the_golden_board() {
+    let dir = fixture_dir();
+    let golden = dir.join("framing.journal");
+    let board_golden = dir.join("framing.recovered.json");
+    if updating() {
+        // journal_bytes_match_the_committed_golden writes the journal
+        // fixture; derive the board golden from the same record set so
+        // the pair can never go out of sync.
+        let mut board = StatusBoard::default();
+        for record in sample_records() {
+            record.apply(&mut board);
+        }
+        std::fs::create_dir_all(&dir).expect("fixture dir");
+        std::fs::write(&board_golden, board.canonical_json()).expect("write board golden");
+        eprintln!("updated {}", board_golden.display());
+        return;
+    }
+    let recovered = recover(&golden).expect("recover golden journal");
+    assert_eq!(recovered.records, sample_records());
+    assert_eq!(recovered.torn_bytes, 0);
+    assert!(recovered.complete);
+    let expected =
+        std::fs::read_to_string(&board_golden).expect("committed framing.recovered.json");
+    assert_eq!(recovered.board.canonical_json(), expected);
+}
+
+#[test]
+fn torn_golden_journal_recovers_the_prefix() {
+    // No extra fixture: chop the committed golden mid-final-frame and
+    // the valid prefix must recover with the tail reported torn.
+    let golden = fixture_dir().join("framing.journal");
+    let bytes = std::fs::read(&golden).expect("committed framing.journal");
+    let scratch = std::env::temp_dir().join(format!("framing-torn-{}.journal", std::process::id()));
+    std::fs::write(&scratch, &bytes[..bytes.len() - 3]).expect("write torn copy");
+    let recovered = recover(&scratch).expect("recover torn journal");
+    std::fs::remove_file(&scratch).ok();
+    let full = sample_records();
+    assert_eq!(recovered.records, full[..full.len() - 1]);
+    // torn = the final frame (8-byte header + payload) minus the chop
+    let last_frame = 8 + full.last().expect("records").encode().len();
+    assert_eq!(recovered.torn_bytes as usize, last_frame - 3);
+    assert!(!recovered.complete);
+}
