@@ -1,0 +1,339 @@
+//! Event-core throughput baseline (`BENCH_event_core.json`).
+//!
+//! Measures the hpcsim discrete-event core on a self-refueling "churn"
+//! workload — a fixed set of event chains that keep rescheduling
+//! themselves with pseudorandom delays until a simulated horizon — two
+//! ways:
+//!
+//! * **heap** — a reference `BinaryHeap` engine (the pre-calendar-queue
+//!   implementation, kept verbatim in this binary as the baseline);
+//! * **calendar** — the production calendar-queue `Simulation`.
+//!
+//! The workload is the event-queue access pattern campaign simulation
+//! produces: a bounded population of in-flight events (one per chain),
+//! each pop scheduling its successor a short hold-time ahead. The heap
+//! pays `O(log n)` per operation plus the sift traffic; the calendar
+//! queue's self-sizing buckets make both operations amortized `O(1)`.
+//! Wall-clock numbers are machine-dependent; the document records this
+//! machine's ratio and is not diffed byte-wise by CI.
+//!
+//! `--smoke` is the CI differential: both engines run the identical
+//! program and must agree on the handled count, an order-sensitive
+//! checksum, and the final clock — any divergence fails. `--check` is
+//! the key-set gate: the committed document must carry exactly the keys
+//! a fresh small regeneration records.
+//!
+//! Usage:
+//!
+//! ```text
+//! event_core [--chains N] [--hours N] [OUT_DIR]
+//! event_core --smoke             # calendar-vs-heap differential, no files written
+//! event_core --check [RESULTS_DIR]  # key-set gate against the committed document
+//! ```
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use bench::print_table;
+use hpcsim::engine::{EventHandler, Simulation};
+use hpcsim::time::{SimDuration, SimTime};
+use telemetry::{metrics_json, metrics_keys, Telemetry};
+
+const DEFAULT_CHAINS: u64 = 4096;
+const DEFAULT_HOURS: u64 = 1;
+const BENCH_NAME: &str = "BENCH_event_core.json";
+/// Mean hold-time between a chain's events: delays are uniform in
+/// `0..2 * HOLD_MEAN_US`, so each chain pops `horizon / HOLD_MEAN_US`
+/// events on average.
+const HOLD_MEAN_US: u64 = 1_500_000;
+
+/// SplitMix64 — the standard 64-bit mixer; enough statistical quality
+/// to stand in for run-duration sampling without pulling in a PRNG.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Next hold delay for the chain event `ev`: uniform in
+/// `0..2 * HOLD_MEAN_US`, derived from the event id so both engines
+/// sample identically.
+fn hold(ev: u64) -> u64 {
+    splitmix64(ev) % (2 * HOLD_MEAN_US)
+}
+
+/// The state both engines thread through the run: every handled event
+/// folds into an order-sensitive checksum and (below the horizon)
+/// schedules its successor.
+struct Churn {
+    horizon: SimTime,
+    handled: u64,
+    checksum: u64,
+}
+
+impl Churn {
+    fn new(horizon: SimTime) -> Self {
+        Self {
+            horizon,
+            handled: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Shared handler body; returns the successor to schedule, if any.
+    fn observe(&mut self, now: SimTime, ev: u64) -> Option<(SimDuration, u64)> {
+        self.handled += 1;
+        self.checksum = self
+            .checksum
+            .wrapping_mul(0x100_0000_01B3)
+            .wrapping_add(ev ^ now.0);
+        let next = splitmix64(ev ^ 0xC0FF_EE00_DEAD_BEEF);
+        let delay = hold(next);
+        (now.0 + delay < self.horizon.0).then_some((SimDuration(delay), next))
+    }
+}
+
+impl EventHandler for Churn {
+    type Event = u64;
+    fn handle(&mut self, now: SimTime, ev: u64, sim: &mut Simulation<u64>) {
+        if let Some((delay, next)) = self.observe(now, ev) {
+            sim.schedule_in(delay, next);
+        }
+    }
+}
+
+// ---- reference engine: the original BinaryHeap implementation ----
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: u64,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct HeapSim {
+    queue: BinaryHeap<Scheduled>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl HeapSim {
+    fn schedule_at(&mut self, at: SimTime, event: u64) {
+        assert!(at >= self.now, "reference: schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    fn run_to_completion(&mut self, churn: &mut Churn) -> u64 {
+        let mut handled = 0;
+        while let Some(item) = self.queue.pop() {
+            self.now = item.at;
+            handled += 1;
+            if let Some((delay, next)) = churn.observe(self.now, item.event) {
+                let at = self.now + delay;
+                self.schedule_at(at, next);
+            }
+        }
+        handled
+    }
+}
+
+/// Seeds `chains` staggered chain heads into a fresh program: chain `c`
+/// starts at `c * (HOLD_MEAN_US / 4)` with id `splitmix64(c)`.
+fn seeds(chains: u64) -> Vec<(SimTime, u64)> {
+    (0..chains)
+        .map(|c| (SimTime(c * (HOLD_MEAN_US / 4)), splitmix64(c)))
+        .collect()
+}
+
+/// One full calendar-queue run; returns (handled, checksum, final clock).
+fn calendar_once(chains: u64, horizon: SimTime) -> (u64, u64, SimTime) {
+    let mut sim: Simulation<u64> = Simulation::new();
+    let mut churn = Churn::new(horizon);
+    for (at, ev) in seeds(chains) {
+        sim.schedule_at(at, ev);
+    }
+    sim.run_to_completion(&mut churn);
+    (churn.handled, churn.checksum, sim.now())
+}
+
+/// One full reference-heap run; returns (handled, checksum, final clock).
+fn heap_once(chains: u64, horizon: SimTime) -> (u64, u64, SimTime) {
+    let mut sim = HeapSim::default();
+    let mut churn = Churn::new(horizon);
+    for (at, ev) in seeds(chains) {
+        sim.schedule_at(at, ev);
+    }
+    sim.run_to_completion(&mut churn);
+    (churn.handled, churn.checksum, sim.now)
+}
+
+/// Fastest wall-clock micros over `reps` repetitions (same estimator as
+/// the other bench documents, so ratios are comparable).
+fn time_arm(reps: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    let mut last = f();
+    best = best.min(start.elapsed().as_micros() as f64);
+    for _ in 1..reps {
+        let start = Instant::now();
+        last = f();
+        best = best.min(start.elapsed().as_micros() as f64);
+    }
+    (best, last)
+}
+
+/// Runs both arms and returns the metrics document.
+fn generate(chains: u64, hours: u64) -> String {
+    let horizon = SimTime(hours * 3_600_000_000);
+
+    // Warm up once (also yields the event count), then size repetitions
+    // so each arm runs for at least ~200 ms total.
+    let warm = Instant::now();
+    let (events, checksum, _) = calendar_once(chains, horizon);
+    let once_us = warm.elapsed().as_micros().max(1) as usize;
+    let reps = (200_000 / once_us).clamp(3, 200);
+
+    let (heap_events, heap_checksum, _) = heap_once(chains, horizon);
+    assert_eq!(
+        events, heap_events,
+        "engines handled different event counts"
+    );
+    assert_eq!(checksum, heap_checksum, "engines diverged in pop order");
+
+    let (tel, rec) = Telemetry::recording();
+    tel.count("workload.chains", chains as f64);
+    tel.count("workload.events", events as f64);
+    tel.count("workload.reps", reps as f64);
+
+    let (heap_us, _) = time_arm(reps, || heap_once(chains, horizon).0);
+    tel.count("heap.wall_us", heap_us);
+    tel.count("heap.events_per_sec", events as f64 / (heap_us / 1e6));
+
+    let (cal_us, _) = time_arm(reps, || calendar_once(chains, horizon).0);
+    tel.count("calendar.wall_us", cal_us);
+    tel.count("calendar.events_per_sec", events as f64 / (cal_us / 1e6));
+    tel.count("calendar.speedup_vs_heap", heap_us / cal_us);
+
+    print_table(
+        &format!("event_core: {chains} chains, {events} events, {reps} reps"),
+        ("arm", "wall time"),
+        &[
+            ("heap".to_string(), format!("{heap_us:.0} us")),
+            (
+                "calendar".to_string(),
+                format!("{cal_us:.0} us  ({:.2}x vs heap)", heap_us / cal_us),
+            ),
+        ],
+    );
+
+    metrics_json(&rec.snapshot())
+}
+
+/// The CI differential: both engines run the identical churn program at
+/// a few sizes and must agree on handled count, order-sensitive
+/// checksum, and final clock.
+fn smoke() {
+    let mut failed = false;
+    for (chains, hours) in [(1u64, 1u64), (8, 1), (64, 2)] {
+        let horizon = SimTime(hours * 3_600_000_000);
+        let cal = calendar_once(chains, horizon);
+        let heap = heap_once(chains, horizon);
+        if cal != heap {
+            eprintln!(
+                "event-core FAIL [{chains} chains, {hours}h]: calendar {cal:?} != heap {heap:?}"
+            );
+            failed = true;
+        } else {
+            println!(
+                "event-core [{chains} chains, {hours}h]: {} events, checksum {:#018x} identical",
+                cal.0, cal.1
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("event-core: OK (calendar queue matches reference heap)");
+}
+
+/// The key-set gate: the committed document must carry exactly the keys
+/// a fresh small regeneration records.
+fn check(results_dir: &str) {
+    let fresh = generate(8, 1);
+    let path = format!("{results_dir}/{BENCH_NAME}");
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    assert!(
+        committed.contains("\"schema\": \"fair-telemetry-metrics/1\""),
+        "{BENCH_NAME}: committed document lost its schema id"
+    );
+    let fresh_keys = metrics_keys(&fresh);
+    assert!(!fresh_keys.is_empty(), "fresh export recorded nothing");
+    assert_eq!(
+        metrics_keys(&committed),
+        fresh_keys,
+        "{BENCH_NAME}: metric keys drifted from the committed document — \
+         regenerate with `cargo run -p bench --bin event_core`"
+    );
+    println!("check {BENCH_NAME}: {} keys OK", fresh_keys.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("--check") {
+        check(args.get(1).map(String::as_str).unwrap_or("results"));
+        return;
+    }
+    let mut chains = DEFAULT_CHAINS;
+    let mut hours = DEFAULT_HOURS;
+    let mut out_dir = "results".to_string();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--chains" => {
+                chains = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--chains takes a positive integer");
+            }
+            "--hours" => {
+                hours = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--hours takes a positive integer");
+            }
+            dir => out_dir = dir.to_string(),
+        }
+    }
+    let doc = generate(chains, hours);
+    let path = format!("{out_dir}/{BENCH_NAME}");
+    std::fs::write(&path, doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}

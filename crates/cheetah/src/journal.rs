@@ -424,7 +424,9 @@ impl JournalRecord {
                 board.record_digest_ref(run, reference.clone());
             }
             JournalRecord::Epoch { .. } | JournalRecord::Complete => {}
-            JournalRecord::ShardMerged { board: sub, .. } => board.merge_from(sub),
+            // Replay borrows the record, so the merged board is cloned
+            // here; recovery is cold, the hot-path merge moves instead.
+            JournalRecord::ShardMerged { board: sub, .. } => board.merge_from(sub.clone()),
         }
     }
 
@@ -1103,7 +1105,7 @@ mod tests {
         assert!(recovered.complete);
         // replay = last snapshot + suffix
         let mut expected = sample_board();
-        expected.merge_from(&sample_board());
+        expected.merge_from(sample_board());
         assert_eq!(recovered.board, expected);
         std::fs::remove_file(&path).unwrap();
     }

@@ -273,7 +273,7 @@ impl StatusBoard {
     /// sub-board so shards never share mutable state, then fold the
     /// results back with [`StatusBoard::merge_from`].
     pub fn sub_board(&self, manifest: &CampaignManifest) -> StatusBoard {
-        let mut sub = StatusBoard::for_manifest(manifest);
+        let mut sub = StatusBoard::default();
         for run in manifest.groups.iter().flat_map(|g| g.runs.iter()) {
             let id = run.id.as_str();
             sub.statuses.insert(id.to_string(), self.get(id));
@@ -298,28 +298,32 @@ impl StatusBoard {
 
     /// Folds a shard's sub-board back into this board: every run the
     /// sub-board knows about overwrites this board's record for that run.
+    /// Consumes the sub-board, so run ids and provenance strings are
+    /// *moved* into this board rather than re-allocated — the shard merge
+    /// path hands each sub-board back by value, and a merge of N runs
+    /// performs zero string allocations.
     /// Because all maps are `BTreeMap`s, the merged board's serialized
     /// form depends only on the final per-run records — never on merge
     /// order — which is what makes the merge associative and the parallel
     /// drivers' output byte-identical to serial execution.
-    pub fn merge_from(&mut self, sub: &StatusBoard) {
-        for (id, &status) in &sub.statuses {
-            self.statuses.insert(id.clone(), status);
+    pub fn merge_from(&mut self, sub: StatusBoard) {
+        for (id, status) in sub.statuses {
+            self.statuses.insert(id, status);
         }
-        for (id, &n) in &sub.attempts {
-            self.attempts.insert(id.clone(), n);
+        for (id, n) in sub.attempts {
+            self.attempts.insert(id, n);
         }
-        for (id, &n) in &sub.failures {
-            self.failures.insert(id.clone(), n);
+        for (id, n) in sub.failures {
+            self.failures.insert(id, n);
         }
-        for (id, cause) in &sub.last_failure {
-            self.last_failure.insert(id.clone(), cause.clone());
+        for (id, cause) in sub.last_failure {
+            self.last_failure.insert(id, cause);
         }
-        for (id, r) in &sub.telemetry_refs {
-            self.telemetry_refs.insert(id.clone(), r.clone());
+        for (id, r) in sub.telemetry_refs {
+            self.telemetry_refs.insert(id, r);
         }
-        for (id, r) in &sub.digest_refs {
-            self.digest_refs.insert(id.clone(), r.clone());
+        for (id, r) in sub.digest_refs {
+            self.digest_refs.insert(id, r);
         }
     }
 
@@ -736,7 +740,7 @@ mod tests {
         sub.set("g/n-3", RunStatus::Done);
         sub.set("g/n-1", RunStatus::Done);
         sub.record_digest_ref("g/n-3", "digest#span_us.allocation");
-        board.merge_from(&sub);
+        board.merge_from(sub);
         assert_eq!(board.digest_ref("g/n-3"), Some("digest#span_us.allocation"));
         assert_eq!(board.get("g/n-1"), RunStatus::Done);
         assert_eq!(board.get("g/n-2"), RunStatus::Done);

@@ -79,6 +79,76 @@ impl ThreadPool {
             .collect()
     }
 
+    /// [`ThreadPool::map_index`] with an explicit handout order: workers
+    /// pull positions from a shared counter and run `f(order[pos])`, so
+    /// the indices *start* in the order given while results are still
+    /// collected by original index.
+    ///
+    /// Use this when per-index costs are known to be skewed: handing the
+    /// heaviest indices out first (LPT list scheduling) keeps a straggler
+    /// from being queued behind cheap work at the tail. Hands out one
+    /// index at a time — the right granularity for few, coarse tasks
+    /// (e.g. campaign shards), where chunking would defeat the ordering.
+    ///
+    /// `order` must be a permutation of `0..n`; each index must appear
+    /// exactly once (violations panic at the collection step).
+    ///
+    /// Worker tasks are capped at the host's available parallelism:
+    /// these are coarse CPU-bound tasks, so running more workers than
+    /// hardware threads only adds context-switch and cache-bounce cost
+    /// (the shared counter already load-balances however few workers
+    /// run). Results are identical at any worker count.
+    pub fn map_index_ordered<T, F>(&self, n: usize, order: &[usize], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        assert_eq!(order.len(), n, "order must be a permutation of 0..n");
+        if n == 0 {
+            return Vec::new();
+        }
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(usize::MAX);
+        let workers = self.num_threads().min(n).min(hw);
+        if workers == 1 {
+            let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for &i in order {
+                out[i] = Some(f(i));
+            }
+            return out
+                .into_iter()
+                .map(|slot| slot.expect("order is not a permutation of 0..n"))
+                .collect();
+        }
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        {
+            let slots = SliceCells::new(&mut out);
+            let next = AtomicUsize::new(0);
+            let f = &f;
+            let next = &next;
+            let slots = &slots;
+            self.scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(move || loop {
+                        let pos = next.fetch_add(1, Ordering::Relaxed);
+                        if pos >= n {
+                            return;
+                        }
+                        let i = order[pos];
+                        // SAFETY (inside SliceCells): a permutation hands
+                        // each index to exactly one worker, so each slot
+                        // is written exactly once.
+                        slots.write(i, Some(f(i)));
+                    });
+                }
+            });
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("order is not a permutation of 0..n"))
+            .collect()
+    }
+
     /// Classic fork–join: runs `a` on the calling thread and `b` on the
     /// pool, returning both results. The building block for recursive
     /// divide-and-conquer parallelism.
@@ -194,6 +264,41 @@ mod tests {
         let pool = ThreadPool::new(4);
         let out: Vec<usize> = pool.map_index(0, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_index_ordered_matches_map_index() {
+        let pool = ThreadPool::new(4);
+        let order: Vec<usize> = (0..500).rev().collect();
+        let out = pool.map_index_ordered(500, &order, |i| i * 3);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn map_index_ordered_single_thread_follows_order() {
+        let pool = ThreadPool::new(1);
+        let visited = parking_lot::Mutex::new(Vec::new());
+        let order = vec![2usize, 0, 3, 1];
+        let out = pool.map_index_ordered(4, &order, |i| {
+            visited.lock().push(i);
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(visited.into_inner(), order);
+    }
+
+    #[test]
+    fn map_index_ordered_empty() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<usize> = pool.map_index_ordered(0, &[], |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn map_index_ordered_rejects_wrong_length() {
+        let pool = ThreadPool::new(2);
+        let _ = pool.map_index_ordered(3, &[0, 1], |i| i);
     }
 
     #[test]

@@ -291,7 +291,24 @@ pub(crate) fn run_campaign_sim_observed(
     observer: EpochObserver<'_>,
 ) -> Result<CampaignSimReport, SavannaError> {
     assert!(max_allocations > 0);
-    ensure_durations_modeled(&board.incomplete_runs(manifest), durations)?;
+    let incomplete = board.incomplete_runs(manifest);
+    ensure_durations_modeled(&incomplete, durations)?;
+    // The schedulable set only shrinks as the campaign progresses
+    // (completions leave; timed-out and never-started runs stay), so the
+    // task list is built exactly once and pruned in place after each
+    // allocation — no per-epoch manifest rescan, group lookup, or run-id
+    // allocation.
+    let mut tasks: Vec<SimTask> = incomplete
+        .iter()
+        .map(|r| {
+            let d = durations
+                .get(&r.id)
+                .expect("durations validated at campaign entry");
+            let group = manifest.group(&r.group).expect("run's group exists");
+            SimTask::new(r.id.clone(), group.per_run_nodes, *d)
+        })
+        .collect();
+    drop(incomplete);
     tel.name_track(0, "allocations");
     observer(board, &EpochEvent::Setup)?;
     let mut allocations = Vec::new();
@@ -300,20 +317,9 @@ pub(crate) fn run_campaign_sim_observed(
     let mut last_activity = first_submission;
 
     for _ in 0..max_allocations {
-        let incomplete = board.incomplete_runs(manifest);
-        if incomplete.is_empty() {
+        if tasks.is_empty() {
             break;
         }
-        let tasks: Vec<SimTask> = incomplete
-            .iter()
-            .map(|r| {
-                let d = durations
-                    .get(&r.id)
-                    .expect("durations validated at campaign entry");
-                let group = manifest.group(&r.group).expect("run's group exists");
-                SimTask::new(r.id.clone(), group.per_run_nodes, *d)
-            })
-            .collect();
         let submitted = series.now();
         hpcsim::telemetry::record_queue_depth(tel, 0, submitted, tasks.len() as f64);
         let alloc = series.next_allocation();
@@ -324,17 +330,18 @@ pub(crate) fn run_campaign_sim_observed(
         let mut completed_here = 0usize;
         let mut timed_out_here = 0usize;
         let mut touched: Vec<&str> = Vec::new();
-        for (id, result) in &outcome.results {
+        for (i, result) in outcome.results.iter().enumerate() {
+            let id = tasks[i].id.as_str();
             match result {
                 TaskResult::Completed { .. } => {
                     board.set(id, RunStatus::Done);
                     completed_here += 1;
-                    touched.push(id.as_str());
+                    touched.push(id);
                 }
                 TaskResult::TimedOut => {
                     board.set(id, RunStatus::TimedOut);
                     timed_out_here += 1;
-                    touched.push(id.as_str());
+                    touched.push(id);
                 }
                 // Most of a large campaign sits in `NotStarted` every
                 // epoch; only record a touch when the write actually
@@ -343,7 +350,7 @@ pub(crate) fn run_campaign_sim_observed(
                 TaskResult::NotStarted => {
                     if board.get(id) != RunStatus::Pending {
                         board.set(id, RunStatus::Pending);
-                        touched.push(id.as_str());
+                        touched.push(id);
                     }
                 }
             }
@@ -394,6 +401,14 @@ pub(crate) fn run_campaign_sim_observed(
                 touched,
             },
         )?;
+        // Drop completed tasks, preserving manifest order — equivalent to
+        // the old per-epoch `incomplete_runs` rescan.
+        let mut i = 0;
+        tasks.retain(|_| {
+            let keep = !matches!(outcome.results[i], TaskResult::Completed { .. });
+            i += 1;
+            keep
+        });
     }
 
     observer(board, &EpochEvent::Complete)?;

@@ -135,10 +135,11 @@ pub fn run_campaign_sim_with_faults(
         let mut completed_here = 0usize;
         let mut timed_out_here = 0usize;
         let mut failed_here = 0u32;
-        for (id, result) in &outcome.results {
+        for (i, result) in outcome.results.iter().enumerate() {
+            let id = tasks[i].id.as_str();
             match result {
                 TaskResult::Completed { .. } => {
-                    let attempt = attempts.entry(id.clone()).or_insert(0);
+                    let attempt = attempts.entry(id.to_string()).or_insert(0);
                     *attempt += 1;
                     if faults.fails(id, *attempt) {
                         failed_here += 1;

@@ -71,10 +71,7 @@ impl AllocationScheduler for PilotScheduler {
             }
         }
 
-        let mut results: Vec<(String, TaskResult)> = tasks
-            .iter()
-            .map(|t| (t.id.clone(), TaskResult::NotStarted))
-            .collect();
+        let mut results = vec![TaskResult::NotStarted; tasks.len()];
         let mut trace = UtilizationTrace::new(total_nodes, alloc.start);
         // (finish_time, task_index, completes) — min-heap by time
         let mut running: BinaryHeap<Reverse<(SimTime, usize, bool)>> = BinaryHeap::new();
@@ -121,7 +118,7 @@ impl AllocationScheduler for PilotScheduler {
                         trace.node_idle(now);
                     }
                     last_activity = last_activity.max(now);
-                    results[idx].1 = if completes {
+                    results[idx] = if completes {
                         TaskResult::Completed { finish }
                     } else {
                         TaskResult::TimedOut
@@ -137,7 +134,7 @@ impl AllocationScheduler for PilotScheduler {
                     for _ in 0..task.nodes {
                         trace.node_idle(alloc.end);
                     }
-                    results[idx].1 = if completes {
+                    results[idx] = if completes {
                         TaskResult::Completed { finish: alloc.end }
                     } else {
                         TaskResult::TimedOut
@@ -208,8 +205,8 @@ mod tests {
         ];
         let a = alloc(2, 1);
         let out = PilotScheduler::new().schedule(&tasks, &a);
-        assert_eq!(out.completed_ids(), ["ok"]);
-        assert_eq!(out.unfinished_ids(), ["cut"]);
+        assert_eq!(out.completed_ids(&tasks), ["ok"]);
+        assert_eq!(out.unfinished_ids(&tasks), ["cut"]);
         assert_eq!(out.finished_at, a.end);
     }
 
@@ -221,13 +218,13 @@ mod tests {
         let a = alloc(1, 2); // one node, 2 h: only 2 tasks fit
         let out = PilotScheduler::new().schedule(&tasks, &a);
         assert_eq!(out.completed_count(), 2);
-        let unfinished = out.unfinished_ids();
+        let unfinished = out.unfinished_ids(&tasks);
         assert_eq!(unfinished.len(), 2);
         // the ones never started are NotStarted, not TimedOut
         assert!(
             out.results
                 .iter()
-                .filter(|(_, r)| matches!(r, TaskResult::NotStarted))
+                .filter(|r| matches!(r, TaskResult::NotStarted))
                 .count()
                 >= 1
         );
@@ -241,8 +238,8 @@ mod tests {
         ];
         let a = alloc(2, 1);
         let out = PilotScheduler::new().schedule(&tasks, &a);
-        assert_eq!(out.completed_ids(), ["fine"]);
-        assert_eq!(out.unfinished_ids(), ["impossible"]);
+        assert_eq!(out.completed_ids(&tasks), ["fine"]);
+        assert_eq!(out.unfinished_ids(&tasks), ["impossible"]);
     }
 
     #[test]

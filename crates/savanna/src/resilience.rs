@@ -403,8 +403,8 @@ enum KillCause {
 }
 
 struct FaultScheduleOutcome {
-    /// Per-task results, in input order.
-    results: Vec<(String, SlotOutcome)>,
+    /// Per-task results, positionally aligned with the scheduled tasks.
+    results: Vec<SlotOutcome>,
     /// Usable-node crashes observed while the allocation was active.
     crashed_nodes: Vec<u32>,
     trace: UtilizationTrace,
@@ -467,10 +467,7 @@ fn schedule_resilient(
         .collect();
     let usable = alive.len() as u32;
     let mut trace = UtilizationTrace::new(usable.max(1), alloc.start);
-    let mut results: Vec<(String, SlotOutcome)> = tasks
-        .iter()
-        .map(|t| (t.id.clone(), SlotOutcome::NotStarted))
-        .collect();
+    let mut results = vec![SlotOutcome::NotStarted; tasks.len()];
 
     let mut order: Vec<usize> = (0..tasks.len()).collect();
     match policy {
@@ -564,7 +561,7 @@ fn schedule_resilient(
                 let (task_start, effective) =
                     started[idx].expect("crashed task has a start record");
                 let executed = executed_nominal(tasks[idx].duration, task_start, effective, at);
-                results[idx].1 = SlotOutcome::Killed {
+                results[idx] = SlotOutcome::Killed {
                     started: task_start,
                     at,
                     cause: KillCause::NodeCrash,
@@ -598,7 +595,7 @@ fn schedule_resilient(
             trace.node_idle(end);
         }
         last_activity = last_activity.max(end);
-        results[idx].1 = if completes {
+        results[idx] = if completes {
             SlotOutcome::Completed {
                 started: task_start,
                 finish: end,
@@ -795,12 +792,15 @@ pub(crate) fn run_campaign_resilient_observed(
     let mut last_activity = first_submission;
 
     for _ in 0..max_allocations {
-        let candidates: Vec<(String, u32)> = board
+        // Candidate ids are borrowed straight from the manifest — the
+        // board only gains statuses during the fold below, so no owned
+        // snapshot of the id set is needed.
+        let candidates: Vec<(&str, u32)> = board
             .incomplete_runs_with_budget(manifest, policy.retry_budget)
             .into_iter()
             .map(|r| {
                 let group = manifest.group(&r.group).expect("run's group exists");
-                (r.id.clone(), group.per_run_nodes)
+                (r.id.as_str(), group.per_run_nodes)
             })
             .collect();
         if candidates.is_empty() {
@@ -825,20 +825,16 @@ pub(crate) fn run_campaign_resilient_observed(
             series.advance(earliest.since(series.now()));
         }
         let now = series.now();
-        let ready: Vec<&(String, u32)> = candidates
+        let tasks: Vec<SimTask> = candidates
             .iter()
             .filter(|(id, _)| wake(&eligible_at, id) <= now)
-            .collect();
-
-        let tasks: Vec<SimTask> = ready
-            .iter()
             .map(|(id, width)| {
-                let nominal = remaining.get(id).copied().unwrap_or_else(|| {
+                let nominal = remaining.get(*id).copied().unwrap_or_else(|| {
                     *durations
-                        .get(id)
+                        .get(*id)
                         .expect("durations validated at campaign entry")
                 });
-                SimTask::new(id.clone(), *width, nominal)
+                SimTask::new(*id, *width, nominal)
             })
             .collect();
 
@@ -870,10 +866,11 @@ pub(crate) fn run_campaign_resilient_observed(
         let mut completed_here = 0usize;
         let mut timed_out_here = 0usize;
         let mut touched: Vec<&str> = Vec::new();
-        for (i, (id, slot)) in outcome.results.iter().enumerate() {
+        for (i, slot) in outcome.results.iter().enumerate() {
+            let id = tasks[i].id.as_str();
             let width = f64::from(tasks[i].nodes);
             let nominal = tasks[i].duration;
-            let history = res.histories.entry(id.clone()).or_default();
+            let history = res.histories.entry(id.to_string()).or_default();
             match slot {
                 // Runs that never got a slot dominate large campaigns;
                 // only write (and record a touch) when the reset
@@ -883,11 +880,11 @@ pub(crate) fn run_campaign_resilient_observed(
                     let prior = board.get(id);
                     if prior != RunStatus::Failed && prior != RunStatus::Pending {
                         board.set(id, RunStatus::Pending);
-                        touched.push(id.as_str());
+                        touched.push(id);
                     }
                 }
                 SlotOutcome::Completed { started, finish } => {
-                    touched.push(id.as_str());
+                    touched.push(id);
                     let attempt = board.record_attempt(id);
                     if faults.run_faults.fails(id, attempt) {
                         // Completed but wrong: the output (and any
@@ -898,13 +895,13 @@ pub(crate) fn run_campaign_resilient_observed(
                         res.failed_attempts += 1;
                         res.rework_lost_node_hours += nominal.as_hours_f64() * width;
                         remaining.insert(
-                            id.clone(),
+                            id.to_string(),
                             *durations.get(id).expect("duration known for retried run"),
                         );
                         let failures = board.failures(id);
                         let delay = policy.backoff_delay(failures);
                         backoff_wait += delay;
-                        eligible_at.insert(id.clone(), *finish + delay);
+                        eligible_at.insert(id.to_string(), *finish + delay);
                         record_attempt_span(
                             tel,
                             track_of(id),
@@ -958,13 +955,13 @@ pub(crate) fn run_campaign_resilient_observed(
                     cause,
                     executed,
                 } => {
-                    touched.push(id.as_str());
+                    touched.push(id);
                     let attempt = board.record_attempt(id);
                     let preserved = policy.restart.surviving_progress(*executed);
                     let lost = executed.saturating_sub(preserved);
                     res.rework_lost_node_hours += lost.as_hours_f64() * width;
                     res.rework_saved_node_hours += preserved.as_hours_f64() * width;
-                    remaining.insert(id.clone(), nominal.saturating_sub(preserved));
+                    remaining.insert(id.to_string(), nominal.saturating_sub(preserved));
                     match cause {
                         KillCause::Walltime => {
                             // The walltime boundary is the machine's
@@ -1005,7 +1002,7 @@ pub(crate) fn run_campaign_resilient_observed(
                             let failures = board.failures(id);
                             let delay = policy.backoff_delay(failures);
                             backoff_wait += delay;
-                            eligible_at.insert(id.clone(), *at + delay);
+                            eligible_at.insert(id.to_string(), *at + delay);
                             record_attempt_span(
                                 tel,
                                 track_of(id),
@@ -1253,7 +1250,7 @@ mod tests {
             PlacementPolicy::Fifo,
         );
         // t0 was on node 0 (lowest-id assignment) → killed a third in
-        match &out.results[0].1 {
+        match &out.results[0] {
             SlotOutcome::Killed {
                 at,
                 cause,
@@ -1267,7 +1264,7 @@ mod tests {
             other => panic!("expected kill, got {other:?}"),
         }
         // t1 on node 1 survives and completes
-        assert!(matches!(out.results[1].1, SlotOutcome::Completed { .. }));
+        assert!(matches!(out.results[1], SlotOutcome::Completed { .. }));
         assert_eq!(out.crashed_nodes, vec![0]);
     }
 
@@ -1292,7 +1289,7 @@ mod tests {
         let finishes: Vec<SimTime> = out
             .results
             .iter()
-            .map(|(_, s)| match s {
+            .map(|s| match s {
                 SlotOutcome::Completed { finish, .. } => *finish,
                 other => panic!("expected completion, got {other:?}"),
             })
@@ -1315,7 +1312,7 @@ mod tests {
             Some(SimDuration::from_mins(30)),
             PlacementPolicy::Fifo,
         );
-        match &out.results[0].1 {
+        match &out.results[0] {
             SlotOutcome::Killed { at, cause, .. } => {
                 assert_eq!(*cause, KillCause::Hang);
                 assert_eq!(*at, a.start + SimDuration::from_mins(30));
@@ -1347,7 +1344,7 @@ mod tests {
             None,
             PlacementPolicy::Fifo,
         );
-        match &out.results[0].1 {
+        match &out.results[0] {
             SlotOutcome::Killed {
                 cause, executed, ..
             } => {

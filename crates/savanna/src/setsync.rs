@@ -44,10 +44,7 @@ impl AllocationScheduler for SetSyncScheduler {
 
     fn schedule(&self, tasks: &[SimTask], alloc: &Allocation) -> ScheduleOutcome {
         let total_nodes = alloc.nodes.len() as u32;
-        let mut results: Vec<(String, TaskResult)> = tasks
-            .iter()
-            .map(|t| (t.id.clone(), TaskResult::NotStarted))
-            .collect();
+        let mut results = vec![TaskResult::NotStarted; tasks.len()];
         // (time, delta): +1 node busy, -1 node idle. Collected out of
         // order (placements are per-node serial chains), replayed sorted.
         let mut events: Vec<(SimTime, i32)> = Vec::new();
@@ -85,11 +82,11 @@ impl AllocationScheduler for SetSyncScheduler {
                 events.push((start, 1));
                 if finish <= alloc.end {
                     events.push((finish, -1));
-                    results[idx].1 = TaskResult::Completed { finish };
+                    results[idx] = TaskResult::Completed { finish };
                     last_activity = last_activity.max(finish);
                 } else {
                     events.push((alloc.end, -1));
-                    results[idx].1 = TaskResult::TimedOut;
+                    results[idx] = TaskResult::TimedOut;
                     last_activity = alloc.end;
                 }
             }
@@ -187,8 +184,8 @@ mod tests {
         ];
         let a = alloc(2, 1);
         let out = SetSyncScheduler::node_sized(&a).schedule(&tasks, &a);
-        assert_eq!(out.completed_ids(), ["ok"]);
-        assert_eq!(out.unfinished_ids(), ["cut"]);
+        assert_eq!(out.completed_ids(&tasks), ["ok"]);
+        assert_eq!(out.unfinished_ids(&tasks), ["cut"]);
     }
 
     #[test]
@@ -204,7 +201,7 @@ mod tests {
         let not_started = out
             .results
             .iter()
-            .filter(|(_, r)| matches!(r, TaskResult::NotStarted))
+            .filter(|r| matches!(r, TaskResult::NotStarted))
             .count();
         assert_eq!(not_started, 2);
     }

@@ -9,8 +9,10 @@
 //! the work is scheduled:
 //!
 //! 1. **Partition** — a [`ShardPlan`] splits the campaign's run indices
-//!    into disjoint shards; each shard becomes a sub-manifest plus a
-//!    sub-[`StatusBoard`] snapshot of the caller's board.
+//!    into disjoint shards; each shard becomes a sub-manifest, and every
+//!    worker derives its own sub-[`StatusBoard`] snapshot of the
+//!    caller's board (no board is built just to be cloned across the
+//!    handoff).
 //! 2. **Derive** — every shard's stochastic inputs (queue waits, fault
 //!    streams) come from [`SeedStream`] children of the campaign seed,
 //!    a pure function of `(seed, shard index)` — never of thread count
@@ -351,13 +353,20 @@ impl ParResilientReport {
 
 /// Builds the sub-manifest holding exactly the plan's runs for one shard.
 /// Group metadata is preserved; groups left with no runs are dropped.
+/// Only the *selected* runs are cloned — group metadata is rebuilt field
+/// by field so the unselected runs of a group are never copied.
 fn sub_manifest(manifest: &CampaignManifest, indices: &[usize]) -> CampaignManifest {
     let mut wanted = indices.iter().copied().peekable();
     let mut global = 0usize;
     let mut groups = Vec::new();
     for group in &manifest.groups {
-        let mut sub_group = group.clone();
-        sub_group.runs = Vec::new();
+        let mut sub_group = cheetah::manifest::GroupManifest {
+            name: group.name.clone(),
+            nodes: group.nodes,
+            per_run_nodes: group.per_run_nodes,
+            walltime_secs: group.walltime_secs,
+            runs: Vec::new(),
+        };
         for run in &group.runs {
             if wanted.peek() == Some(&global) {
                 sub_group.runs.push(run.clone());
@@ -378,11 +387,16 @@ fn sub_manifest(manifest: &CampaignManifest, indices: &[usize]) -> CampaignManif
     }
 }
 
-/// Prepared per-shard inputs: `(sub-manifest, starting sub-board,
-/// run ids)` for every shard, in plan order.
-type ShardInputs = Vec<(CampaignManifest, StatusBoard, Vec<String>)>;
+/// Prepared per-shard inputs: `(sub-manifest, run ids)` for every shard,
+/// in plan order. Run ids are moved (not cloned) into the per-shard
+/// results during the merge, so the vectors are taken by
+/// `std::mem::take` there. Starting sub-boards are *not* prepared here:
+/// each shard derives its own from the caller's board inside the worker
+/// ([`StatusBoard::sub_board`] copies only non-default entries), so no
+/// board is ever built on one thread just to be cloned on another.
+type ShardInputs = Vec<(CampaignManifest, Vec<String>)>;
 
-fn shard_inputs(manifest: &CampaignManifest, board: &StatusBoard, plan: &ShardPlan) -> ShardInputs {
+fn shard_inputs(manifest: &CampaignManifest, plan: &ShardPlan) -> ShardInputs {
     assert_eq!(
         plan.total_runs(),
         manifest.total_runs(),
@@ -393,14 +407,13 @@ fn shard_inputs(manifest: &CampaignManifest, board: &StatusBoard, plan: &ShardPl
     (0..plan.num_shards())
         .map(|s| {
             let sub = sub_manifest(manifest, plan.assignment(s));
-            let sub_board = board.sub_board(&sub);
             let ids = sub
                 .groups
                 .iter()
                 .flat_map(|g| g.runs.iter())
                 .map(|r| r.id.clone())
                 .collect();
-            (sub, sub_board, ids)
+            (sub, ids)
         })
         .collect()
 }
@@ -408,34 +421,46 @@ fn shard_inputs(manifest: &CampaignManifest, board: &StatusBoard, plan: &ShardPl
 /// Runs `run_shard` for every shard — on the pool when one is given and
 /// there is more than one shard, inline otherwise — and returns the
 /// outputs **in shard-index order** regardless of completion order
-/// (`map_index` scatters results by index).
+/// (results are scattered by shard index).
+///
+/// On the pool, shards are handed out one at a time in *longest-first*
+/// order (`sizes[s]` = runs in shard `s`): the classic LPT heuristic, so
+/// the heaviest shard starts first and a straggler cannot end up queued
+/// behind short shards at the tail. Workers that finish early pull the
+/// next shard from the shared handout (and the pool itself work-steals
+/// at job granularity), while the scatter-by-index collection keeps the
+/// merged output identical for any completion order.
 fn execute_shards<T: Send>(
     pool: Option<&ThreadPool>,
-    shards: usize,
+    sizes: &[usize],
     run_shard: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
+    let shards = sizes.len();
     match pool {
-        Some(pool) if shards > 1 => pool.map_index(shards, run_shard),
+        Some(pool) if shards > 1 => {
+            let mut order: Vec<usize> = (0..shards).collect();
+            // Stable sort: equal-size shards keep plan order.
+            order.sort_by_key(|&s| std::cmp::Reverse(sizes[s]));
+            pool.map_index_ordered(shards, &order, run_shard)
+        }
         _ => (0..shards).map(run_shard).collect(),
     }
 }
 
-/// Rewrites a shard's board-published telemetry refs (`trace#<local>`)
-/// to the merged track space (`trace#<local + offset>`).
-fn rebase_telemetry_refs(
-    board: &mut StatusBoard,
-    shard_board: &StatusBoard,
-    run_ids: &[String],
-    offset: u32,
-) {
+/// Rewrites a shard board's own telemetry refs (`trace#<local>`) into
+/// the merged track space (`trace#<local + offset>`), in place — the
+/// rebased board is then *moved* into the caller's board (and, in the
+/// journaled driver, written to the main log), so no second copy of the
+/// refs or the board is ever made.
+fn rebase_telemetry_refs(board: &mut StatusBoard, run_ids: &[String], offset: u32) {
     for id in run_ids {
-        if let Some(reference) = shard_board.telemetry_ref(id) {
-            if let Some(local) = reference
-                .strip_prefix("trace#")
-                .and_then(|t| t.parse::<u32>().ok())
-            {
-                board.record_telemetry_ref(id, format!("trace#{}", local + offset));
-            }
+        let rebased = board
+            .telemetry_ref(id)
+            .and_then(|r| r.strip_prefix("trace#"))
+            .and_then(|t| t.parse::<u32>().ok())
+            .map(|local| format!("trace#{}", local + offset));
+        if let Some(reference) = rebased {
+            board.record_telemetry_ref(id, reference);
         }
     }
 }
@@ -515,13 +540,15 @@ pub fn run_campaign_sim_par_traced(
     let schedule = plan.schedule_plan_sim(campaign_seed, max_allocations_per_shard);
     ensure_schedule_clean(&schedule)?;
     let offsets = schedule.planned_offsets();
-    let inputs = shard_inputs(manifest, board, plan);
+    let mut inputs = shard_inputs(manifest, plan);
+    let sizes: Vec<usize> = inputs.iter().map(|(_, ids)| ids.len()).collect();
     let stream = SeedStream::new(campaign_seed);
     let traced = tel.is_enabled();
+    let board_view: &StatusBoard = board;
 
     let run_shard = |s: usize| -> Result<ShardSimOut, SavannaError> {
-        let (sub, sub_board, _) = &inputs[s];
-        let mut shard_board = sub_board.clone();
+        let (sub, _) = &inputs[s];
+        let mut shard_board = board_view.sub_board(sub);
         let mut series = spec.build(stream.child(s as u64).seed());
         let (shard_tel, recorder) = if traced {
             let (t, r) = Telemetry::recording();
@@ -545,16 +572,16 @@ pub fn run_campaign_sim_par_traced(
         })
     };
 
-    let outputs = execute_shards(pool, inputs.len(), run_shard);
+    let outputs = execute_shards(pool, &sizes, run_shard);
 
     let mut shards = Vec::with_capacity(outputs.len());
-    let mut snapshots = Vec::new();
+    let mut snapshots = Vec::with_capacity(if traced { outputs.len() } else { 0 });
     let mut completed_runs = 0usize;
     let mut remaining_runs = 0usize;
     let mut makespan = SimDuration::ZERO;
     for (s, out) in outputs.into_iter().enumerate() {
         let out = out?;
-        board.merge_from(&out.board);
+        board.merge_from(out.board);
         if let Some(mut snapshot) = out.snapshot {
             prefix_track_names(&mut snapshot, s);
             // the plain driver records on exactly one track per shard
@@ -565,7 +592,7 @@ pub fn run_campaign_sim_par_traced(
         makespan = makespan.max(out.report.total_span);
         shards.push(ShardSimResult {
             shard: s,
-            run_ids: inputs[s].2.clone(),
+            run_ids: std::mem::take(&mut inputs[s].1),
             report: out.report,
         });
     }
@@ -632,8 +659,16 @@ struct ShardResilientOut {
 
 /// Field-wise merge of per-shard resilience accounting (see
 /// [`ParResilientReport::resilience`] for the semantics of each field).
-fn merge_resilience<'a>(parts: impl Iterator<Item = &'a ResilienceReport>) -> ResilienceReport {
+/// The per-shard reports stay in the public [`ParResilientReport`], so
+/// the merged accounting necessarily copies — a single cold-path pass
+/// per campaign, with the growable fields pre-sized from the parts.
+fn merge_resilience<'a>(
+    parts: impl Iterator<Item = &'a ResilienceReport> + Clone,
+) -> ResilienceReport {
     let mut merged = ResilienceReport::default();
+    merged
+        .exhausted
+        .reserve(parts.clone().map(|p| p.exhausted.len()).sum());
     for part in parts {
         for (id, history) in &part.histories {
             merged.histories.insert(id.clone(), history.clone());
@@ -727,14 +762,16 @@ pub fn run_campaign_resilient_par_traced(
     // of `2 + runs_in_shard` per shard (or the plan's explicit offsets,
     // which the lint above guarantees are collision-free).
     let offsets = schedule.planned_offsets();
-    let inputs = shard_inputs(manifest, board, plan);
+    let mut inputs = shard_inputs(manifest, plan);
+    let sizes: Vec<usize> = inputs.iter().map(|(_, ids)| ids.len()).collect();
     let series_stream = SeedStream::new(campaign_seed);
     let fault_stream = SeedStream::new(faults.seed);
     let traced = tel.is_enabled();
+    let board_view: &StatusBoard = board;
 
     let run_shard = |s: usize| -> Result<ShardResilientOut, SavannaError> {
-        let (sub, sub_board, _) = &inputs[s];
-        let mut shard_board = sub_board.clone();
+        let (sub, _) = &inputs[s];
+        let mut shard_board = board_view.sub_board(sub);
         let mut series = spec.build(series_stream.child(s as u64).seed());
         let shard_faults = FaultPlan {
             seed: fault_stream.child(s as u64).seed(),
@@ -764,19 +801,21 @@ pub fn run_campaign_resilient_par_traced(
         })
     };
 
-    let outputs = execute_shards(pool, inputs.len(), run_shard);
+    let outputs = execute_shards(pool, &sizes, run_shard);
 
     let mut shards = Vec::with_capacity(outputs.len());
-    let mut snapshots = Vec::new();
+    let mut snapshots = Vec::with_capacity(if traced { outputs.len() } else { 0 });
     let mut completed_runs = 0usize;
     let mut remaining_runs = 0usize;
     let mut makespan = SimDuration::ZERO;
     for (s, out) in outputs.into_iter().enumerate() {
         let out = out?;
-        board.merge_from(&out.board);
+        let run_ids = std::mem::take(&mut inputs[s].1);
+        let mut shard_board = out.board;
         if traced {
-            rebase_telemetry_refs(board, &out.board, &inputs[s].2, offsets[s]);
+            rebase_telemetry_refs(&mut shard_board, &run_ids, offsets[s]);
         }
+        board.merge_from(shard_board);
         if let Some(mut snapshot) = out.snapshot {
             prefix_track_names(&mut snapshot, s);
             snapshots.push((offsets[s], snapshot));
@@ -786,7 +825,7 @@ pub fn run_campaign_resilient_par_traced(
         makespan = makespan.max(out.report.report.total_span);
         shards.push(ShardResilientResult {
             shard: s,
-            run_ids: inputs[s].2.clone(),
+            run_ids,
             report: out.report,
         });
     }
@@ -873,16 +912,18 @@ pub fn run_campaign_sim_journaled_par_traced(
     let schedule = plan.schedule_plan_sim(campaign_seed, max_allocations_per_shard);
     ensure_schedule_clean(&schedule)?;
     let offsets = schedule.planned_offsets();
-    let inputs = shard_inputs(manifest, board, plan);
+    let mut inputs = shard_inputs(manifest, plan);
+    let sizes: Vec<usize> = inputs.iter().map(|(_, ids)| ids.len()).collect();
     let stream = SeedStream::new(campaign_seed);
     let traced = tel.is_enabled();
 
     let mut session = JournalSession::open(journal).map_err(SavannaError::from)?;
     session.observe(board, &EpochEvent::Setup)?;
+    let board_view: &StatusBoard = board;
 
     let run_shard = |s: usize| -> Result<(ShardSimOut, JournalStats), SavannaError> {
-        let (sub, sub_board, _) = &inputs[s];
-        let mut shard_board = sub_board.clone();
+        let (sub, _) = &inputs[s];
+        let mut shard_board = board_view.sub_board(sub);
         let mut series = spec.build(stream.child(s as u64).seed());
         let shard_journal = JournalSpec {
             path: journal.shard_path(s),
@@ -917,10 +958,10 @@ pub fn run_campaign_sim_journaled_par_traced(
         ))
     };
 
-    let outputs = execute_shards(pool, inputs.len(), run_shard);
+    let outputs = execute_shards(pool, &sizes, run_shard);
 
     let mut shards = Vec::with_capacity(outputs.len());
-    let mut snapshots = Vec::new();
+    let mut snapshots = Vec::with_capacity(if traced { outputs.len() } else { 0 });
     let mut completed_runs = 0usize;
     let mut remaining_runs = 0usize;
     let mut makespan = SimDuration::ZERO;
@@ -928,8 +969,10 @@ pub fn run_campaign_sim_journaled_par_traced(
     for (s, out) in outputs.into_iter().enumerate() {
         let (out, shard_stats) = out?;
         stats.absorb(&shard_stats);
-        board.merge_from(&out.board);
+        // Journal the shard board first (the record borrows it), then
+        // move it into the merged board.
         session.merge_shard(s as u64, &out.board)?;
+        board.merge_from(out.board);
         if let Some(mut snapshot) = out.snapshot {
             prefix_track_names(&mut snapshot, s);
             // the plain driver records on exactly one track per shard
@@ -940,7 +983,7 @@ pub fn run_campaign_sim_journaled_par_traced(
         makespan = makespan.max(out.report.total_span);
         shards.push(ShardSimResult {
             shard: s,
-            run_ids: inputs[s].2.clone(),
+            run_ids: std::mem::take(&mut inputs[s].1),
             report: out.report,
         });
     }
@@ -1032,17 +1075,19 @@ pub fn run_campaign_resilient_journaled_par_traced(
         plan.schedule_plan_resilient(campaign_seed, max_allocations_per_shard, policy, faults);
     ensure_schedule_clean(&schedule)?;
     let offsets = schedule.planned_offsets();
-    let inputs = shard_inputs(manifest, board, plan);
+    let mut inputs = shard_inputs(manifest, plan);
+    let sizes: Vec<usize> = inputs.iter().map(|(_, ids)| ids.len()).collect();
     let series_stream = SeedStream::new(campaign_seed);
     let fault_stream = SeedStream::new(faults.seed);
     let traced = tel.is_enabled();
 
     let mut session = JournalSession::open(journal).map_err(SavannaError::from)?;
     session.observe(board, &EpochEvent::Setup)?;
+    let board_view: &StatusBoard = board;
 
     let run_shard = |s: usize| -> Result<(ShardResilientOut, JournalStats), SavannaError> {
-        let (sub, sub_board, _) = &inputs[s];
-        let mut shard_board = sub_board.clone();
+        let (sub, _) = &inputs[s];
+        let mut shard_board = board_view.sub_board(sub);
         let mut series = spec.build(series_stream.child(s as u64).seed());
         let shard_faults = FaultPlan {
             seed: fault_stream.child(s as u64).seed(),
@@ -1083,10 +1128,10 @@ pub fn run_campaign_resilient_journaled_par_traced(
         ))
     };
 
-    let outputs = execute_shards(pool, inputs.len(), run_shard);
+    let outputs = execute_shards(pool, &sizes, run_shard);
 
     let mut shards = Vec::with_capacity(outputs.len());
-    let mut snapshots = Vec::new();
+    let mut snapshots = Vec::with_capacity(if traced { outputs.len() } else { 0 });
     let mut completed_runs = 0usize;
     let mut remaining_runs = 0usize;
     let mut makespan = SimDuration::ZERO;
@@ -1094,16 +1139,17 @@ pub fn run_campaign_resilient_journaled_par_traced(
     for (s, out) in outputs.into_iter().enumerate() {
         let (out, shard_stats) = out?;
         stats.absorb(&shard_stats);
-        board.merge_from(&out.board);
-        // Journal the shard board with its refs rebased into the merged
-        // track space, so replaying the main log reproduces the final
-        // caller-visible board.
-        let mut journaled_board = out.board.clone();
+        let run_ids = std::mem::take(&mut inputs[s].1);
+        // Rebase the shard board's refs into the merged track space in
+        // place, journal that board (replaying the main log alone then
+        // reproduces the final caller-visible board), and move it into
+        // the merged board — one rebase, zero board copies.
+        let mut shard_board = out.board;
         if traced {
-            rebase_telemetry_refs(board, &out.board, &inputs[s].2, offsets[s]);
-            rebase_telemetry_refs(&mut journaled_board, &out.board, &inputs[s].2, offsets[s]);
+            rebase_telemetry_refs(&mut shard_board, &run_ids, offsets[s]);
         }
-        session.merge_shard(s as u64, &journaled_board)?;
+        session.merge_shard(s as u64, &shard_board)?;
+        board.merge_from(shard_board);
         if let Some(mut snapshot) = out.snapshot {
             prefix_track_names(&mut snapshot, s);
             snapshots.push((offsets[s], snapshot));
@@ -1113,7 +1159,7 @@ pub fn run_campaign_resilient_journaled_par_traced(
         makespan = makespan.max(out.report.report.total_span);
         shards.push(ShardResilientResult {
             shard: s,
-            run_ids: inputs[s].2.clone(),
+            run_ids,
             report: out.report,
         });
     }

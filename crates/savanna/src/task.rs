@@ -47,10 +47,16 @@ pub enum TaskResult {
 }
 
 /// The result of scheduling a task list into one allocation.
+///
+/// Results are *positional*: `results[i]` is the outcome of `tasks[i]`
+/// from the scheduler's input slice. Keeping the outcome id-free means a
+/// scheduling pass allocates no run-id strings — the driver folds results
+/// back into the status board by index against the task list it already
+/// owns. Helpers that want ids take the task slice as an argument.
 #[derive(Debug, Clone)]
 pub struct ScheduleOutcome {
-    /// Per-task results, in input order.
-    pub results: Vec<(String, TaskResult)>,
+    /// Per-task results, positionally aligned with the scheduled tasks.
+    pub results: Vec<TaskResult>,
     /// Busy-node trace across the allocation.
     pub trace: UtilizationTrace,
     /// When the last task activity ended (≤ allocation end). If every
@@ -59,26 +65,32 @@ pub struct ScheduleOutcome {
 }
 
 impl ScheduleOutcome {
-    /// Ids of tasks that completed.
-    pub fn completed_ids(&self) -> Vec<&str> {
+    /// Ids of tasks that completed, borrowed from the scheduled slice.
+    pub fn completed_ids<'t>(&self, tasks: &'t [SimTask]) -> Vec<&'t str> {
         self.results
             .iter()
-            .filter(|(_, r)| matches!(r, TaskResult::Completed { .. }))
-            .map(|(id, _)| id.as_str())
+            .zip(tasks)
+            .filter(|(r, _)| matches!(r, TaskResult::Completed { .. }))
+            .map(|(_, t)| t.id.as_str())
             .collect()
     }
 
     /// Number of completed tasks.
     pub fn completed_count(&self) -> usize {
-        self.completed_ids().len()
-    }
-
-    /// Ids of tasks that must be resubmitted (timed out or never started).
-    pub fn unfinished_ids(&self) -> Vec<&str> {
         self.results
             .iter()
-            .filter(|(_, r)| !matches!(r, TaskResult::Completed { .. }))
-            .map(|(id, _)| id.as_str())
+            .filter(|r| matches!(r, TaskResult::Completed { .. }))
+            .count()
+    }
+
+    /// Ids of tasks that must be resubmitted (timed out or never
+    /// started), borrowed from the scheduled slice.
+    pub fn unfinished_ids<'t>(&self, tasks: &'t [SimTask]) -> Vec<&'t str> {
+        self.results
+            .iter()
+            .zip(tasks)
+            .filter(|(r, _)| !matches!(r, TaskResult::Completed { .. }))
+            .map(|(_, t)| t.id.as_str())
             .collect()
     }
 }
@@ -99,22 +111,24 @@ mod tests {
 
     #[test]
     fn outcome_partitions_ids() {
+        let tasks = [
+            SimTask::new("a", 1, SimDuration::from_secs(5)),
+            SimTask::new("b", 1, SimDuration::from_secs(5)),
+            SimTask::new("c", 1, SimDuration::from_secs(5)),
+        ];
         let outcome = ScheduleOutcome {
             results: vec![
-                (
-                    "a".into(),
-                    TaskResult::Completed {
-                        finish: SimTime::from_secs(5),
-                    },
-                ),
-                ("b".into(), TaskResult::TimedOut),
-                ("c".into(), TaskResult::NotStarted),
+                TaskResult::Completed {
+                    finish: SimTime::from_secs(5),
+                },
+                TaskResult::TimedOut,
+                TaskResult::NotStarted,
             ],
             trace: UtilizationTrace::new(1, SimTime::ZERO),
             finished_at: SimTime::from_secs(5),
         };
-        assert_eq!(outcome.completed_ids(), ["a"]);
-        assert_eq!(outcome.unfinished_ids(), ["b", "c"]);
+        assert_eq!(outcome.completed_ids(&tasks), ["a"]);
+        assert_eq!(outcome.unfinished_ids(&tasks), ["b", "c"]);
         assert_eq!(outcome.completed_count(), 1);
     }
 

@@ -185,4 +185,34 @@ else
 fi
 echo "crash durability: OK"
 
+# Perf-smoke gate, two layers (EXPERIMENTS.md "Event-core rebuild"):
+# (a) event_core --smoke: run the calendar-queue event core and the
+#     reference BinaryHeap engine through identical churn programs and
+#     fail on any divergence in handled count, order-sensitive
+#     checksum, or final clock (the cheap always-on complement to the
+#     proptest differential in crates/hpcsim/tests/);
+# (b) campaign_parallel --check: the committed
+#     results/BENCH_campaign_parallel.json keeps its metric key set AND
+#     every par_t{N}.speedup_vs_inline stays >= 0.95 — the invariant
+#     that the shard handoff never again costs the parallel path more
+#     than 5% against inline sharding (event_core --check guards the
+#     same key-set invariant for BENCH_event_core.json).
+# Both bins are rand-free at runtime, so offline they run from the
+# shadow workspace offline-check.sh just built.
+echo "== ci: perf smoke =="
+run_perf_bin() {
+    local bin="$1"
+    shift
+    if cargo build -q --release -p bench --bin "$bin" 2>/dev/null; then
+        cargo run -q --release -p bench --bin "$bin" -- "$@"
+    else
+        (cd "$REPO/target/offline-check" &&
+            CARGO_NET_OFFLINE=true cargo run -q --release --offline -p bench --bin "$bin" -- "$@")
+    fi
+}
+run_perf_bin event_core --smoke
+run_perf_bin event_core --check "$REPO/results"
+run_perf_bin campaign_parallel --check "$REPO/results"
+echo "perf smoke: OK"
+
 echo "ci: OK"
