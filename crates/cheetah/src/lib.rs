@@ -30,6 +30,7 @@
 #![deny(missing_docs)]
 
 pub mod campaign;
+pub mod cas;
 pub mod journal;
 pub mod layout;
 pub mod manifest;
@@ -39,6 +40,7 @@ pub mod status;
 pub mod sweep;
 
 pub use campaign::{AppDef, Campaign, SweepGroup};
+pub use cas::{discard_store, fair_hash128, CasError, CasScan, CasStore, Hash128};
 pub use journal::{
     CrashPoint, FsyncPolicy, JournalError, JournalRecord, JournalWriter, RecoveredJournal,
 };

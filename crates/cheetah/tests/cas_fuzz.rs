@@ -1,0 +1,176 @@
+//! Corruption fuzz for the content-addressed store: `open` must be total.
+//!
+//! A memoization cache that panics (or errors) on a damaged store turns
+//! a disk problem into an unusable campaign — the whole point of the
+//! advisory corruption policy is that damage only ever *shrinks* the
+//! cache. These tests build a small representative store and feed `open`
+//! every single-byte bit-flip, every truncation, and garbage appends:
+//! opening must always succeed, never claim a valid prefix longer than
+//! the file, only surface CRC-intact entries, and a `put` after damage
+//! must repair the file back to a cleanly-scanning state.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cheetah::cas::{fair_hash128, CasScan, CasStore};
+
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "fair-cas-fuzz-{}-{tag}-{n}.cas",
+        std::process::id()
+    ))
+}
+
+/// `(key, value)` corpus covering empty, short, and larger values.
+fn sample_entries() -> Vec<([u8; 8], Vec<u8>)> {
+    vec![
+        (*b"entry-00", b"".to_vec()),
+        (*b"entry-01", b"{\"schema\":\"fair-memo/1\"}".to_vec()),
+        (*b"entry-02", vec![0xAB; 300]),
+        (*b"entry-03", b"unicode \xE2\x80\x94 payload".to_vec()),
+    ]
+}
+
+/// Builds the sample store and returns its raw bytes.
+fn sample_store_bytes() -> Vec<u8> {
+    let path = scratch("sample");
+    let mut store = CasStore::open(&path).expect("open fresh");
+    for (seed, value) in sample_entries() {
+        store.put(fair_hash128(&seed), &value).expect("put");
+    }
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// Opens a store over arbitrary bytes; asserts the scan stays within the
+/// file's bounds and every surfaced entry is one of the originals.
+fn open_bytes(tag: &str, bytes: &[u8]) -> (usize, CasScan) {
+    let path = scratch(tag);
+    std::fs::write(&path, bytes).expect("write fuzz case");
+    let store = CasStore::open(&path).expect("open must be total");
+    let scan = store.scan();
+    assert!(
+        scan.valid_len <= bytes.len() as u64,
+        "{tag}: valid prefix ({}) exceeds the file ({})",
+        scan.valid_len,
+        bytes.len()
+    );
+    assert_eq!(
+        scan.valid_len + scan.dropped_bytes,
+        bytes.len() as u64,
+        "{tag}: scan must account for every byte"
+    );
+    for (seed, value) in sample_entries() {
+        if let Some(stored) = store.get(fair_hash128(&seed)) {
+            assert_eq!(
+                stored,
+                value.as_slice(),
+                "{tag}: a surfaced entry must be byte-exact (CRC passed)"
+            );
+        }
+    }
+    let len = store.len();
+    std::fs::remove_file(&path).ok();
+    (len, scan)
+}
+
+#[test]
+fn every_single_byte_bitflip_opens_cleanly() {
+    let pristine = sample_store_bytes();
+    assert!(pristine.len() > 100, "sample store suspiciously small");
+    for mask in [0x01u8, 0xFF] {
+        for i in 0..pristine.len() {
+            let mut mutated = pristine.clone();
+            mutated[i] ^= mask;
+            // must not panic; a flipped frame may drop out (CRC) but can
+            // never surface altered bytes (open_bytes asserts that)
+            let _ = open_bytes("bitflip", &mutated);
+        }
+    }
+}
+
+#[test]
+fn every_truncation_keeps_a_consistent_prefix() {
+    let pristine = sample_store_bytes();
+    for cut in 0..=pristine.len() {
+        let (len, scan) = open_bytes("truncate", &pristine[..cut]);
+        // the valid prefix must itself re-scan cleanly, with identical
+        // results — recovery is idempotent
+        let (len2, scan2) = open_bytes("truncate-again", &pristine[..scan.valid_len as usize]);
+        assert_eq!(len, len2, "truncation at {cut}: prefix re-scan diverged");
+        assert_eq!(scan2.dropped_bytes, 0, "a valid prefix has no tail");
+        assert_eq!(scan2.valid_len, scan.valid_len);
+    }
+}
+
+#[test]
+fn garbage_appends_never_reach_the_entries() {
+    let pristine = sample_store_bytes();
+    let full = CasStore::open({
+        let p = scratch("garbage-ref");
+        std::fs::write(&p, &pristine).expect("write");
+        p
+    })
+    .expect("open pristine");
+    for garbage in [
+        b"not a frame".to_vec(),
+        vec![0u8; 64],
+        vec![0xFF; 7],
+        pristine[..9].to_vec(), // a torn copy of the magic + 1 byte
+    ] {
+        let mut mutated = pristine.clone();
+        mutated.extend_from_slice(&garbage);
+        let (len, scan) = open_bytes("garbage", &mutated);
+        assert_eq!(len, full.len(), "garbage tail must not add entries");
+        assert_eq!(scan.valid_len, pristine.len() as u64);
+        assert_eq!(scan.dropped_bytes, garbage.len() as u64);
+    }
+}
+
+#[test]
+fn put_after_damage_repairs_the_store() {
+    let pristine = sample_store_bytes();
+    // tear mid-frame: drop the last 5 bytes, then append junk
+    let mut damaged = pristine[..pristine.len() - 5].to_vec();
+    damaged.extend_from_slice(b"\x00\x00junk");
+    let path = scratch("repair");
+    std::fs::write(&path, &damaged).expect("write damaged");
+
+    let mut store = CasStore::open(&path).expect("open damaged");
+    assert!(store.scan().dropped_bytes > 0, "damage must be observed");
+    let lost = sample_entries().len() - store.len();
+    assert!(lost >= 1, "the torn final frame must be lost");
+
+    // the next put triggers rewrite-to-tmp-then-rename: afterwards the
+    // file scans clean and holds the surviving entries plus the new one
+    store
+        .put(fair_hash128(b"fresh-after-damage"), b"re-executed output")
+        .expect("repairing put");
+    let reopened = CasStore::open(&path).expect("reopen repaired");
+    assert_eq!(
+        reopened.scan().dropped_bytes,
+        0,
+        "repair must leave no tail"
+    );
+    assert_eq!(reopened.len(), store.len());
+    assert_eq!(
+        reopened.get(fair_hash128(b"fresh-after-damage")),
+        Some(b"re-executed output".as_slice())
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn zero_length_and_magic_only_stores_are_empty() {
+    let (len, scan) = open_bytes("empty", &[]);
+    assert_eq!((len, scan.frames), (0, 0));
+    let (len, scan) = open_bytes("magic-only", b"FAIRCAS1");
+    assert_eq!((len, scan.frames), (0, 0));
+    assert_eq!(
+        scan.dropped_bytes, 0,
+        "a bare magic header is a clean store"
+    );
+}

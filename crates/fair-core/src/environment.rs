@@ -1,0 +1,116 @@
+//! Environment identity pins for provenance capture and memoization.
+//!
+//! A cached run result is only reusable if the environment that produced
+//! it is *identified* — the F in FAIR applied to execution context. But
+//! over-pinning is as bad as under-pinning: if the cache key includes the
+//! host OS or CPU architecture, committed key goldens diverge between
+//! developer machines and CI, and a deterministic simulation that is
+//! bit-identical everywhere gets spuriously re-executed.
+//!
+//! [`EnvironmentPins`] therefore distinguishes two capture levels:
+//!
+//! * [`EnvironmentPins::portable`] — the default for memoization keys:
+//!   the workspace toolkit version plus the schema ids the artifact
+//!   depends on. Everything in it is identical on every machine that
+//!   builds this workspace at a given commit, so content-address goldens
+//!   can be committed to the repo.
+//! * [`EnvironmentPins::captured`] — adds host OS and CPU architecture
+//!   for provenance *records*, where "where did this actually run" is
+//!   the point and cross-machine stability is not required.
+
+use std::collections::BTreeMap;
+
+/// Pinned environment identity: what has to match for a prior result to
+/// be trustworthy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvironmentPins {
+    /// Workspace toolkit version (all crates share the workspace
+    /// version, so this pins the code identity of the whole stack).
+    pub toolkit_version: String,
+    /// Schema ids the artifact depends on, keyed by a short name
+    /// (e.g. `"manifest" → "1"`, `"memo-key" → "fair-memo-key/1"`).
+    /// Sorted, so iteration order is canonical.
+    pub schemas: BTreeMap<String, String>,
+    /// Host operating system (`None` in portable pins).
+    pub os: Option<String>,
+    /// Host CPU architecture (`None` in portable pins).
+    pub arch: Option<String>,
+}
+
+impl EnvironmentPins {
+    /// Machine-independent pins: toolkit version + schemas only.
+    ///
+    /// Use for content-address keys, where the same workspace commit
+    /// must produce the same key on every machine.
+    pub fn portable() -> Self {
+        Self {
+            toolkit_version: env!("CARGO_PKG_VERSION").to_string(),
+            schemas: BTreeMap::new(),
+            os: None,
+            arch: None,
+        }
+    }
+
+    /// Portable pins plus the host OS and architecture.
+    ///
+    /// Use for provenance records, where identifying the producing host
+    /// matters more than cross-machine key stability.
+    pub fn captured() -> Self {
+        Self {
+            os: Some(std::env::consts::OS.to_string()),
+            arch: Some(std::env::consts::ARCH.to_string()),
+            ..Self::portable()
+        }
+    }
+
+    /// Adds (or replaces) a schema pin, builder-style.
+    pub fn pin_schema(mut self, name: &str, id: &str) -> Self {
+        self.schemas.insert(name.to_string(), id.to_string());
+        self
+    }
+
+    /// True when the pins contain nothing machine-dependent.
+    pub fn is_portable(&self) -> bool {
+        self.os.is_none() && self.arch.is_none()
+    }
+}
+
+impl Default for EnvironmentPins {
+    fn default() -> Self {
+        Self::portable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_pins_are_machine_independent() {
+        let pins = EnvironmentPins::portable();
+        assert!(pins.is_portable());
+        assert_eq!(pins.toolkit_version, env!("CARGO_PKG_VERSION"));
+        assert!(pins.schemas.is_empty());
+        // two constructions are identical (no hidden entropy)
+        assert_eq!(pins, EnvironmentPins::portable());
+    }
+
+    #[test]
+    fn captured_pins_identify_the_host() {
+        let pins = EnvironmentPins::captured();
+        assert!(!pins.is_portable());
+        assert_eq!(pins.os.as_deref(), Some(std::env::consts::OS));
+        assert_eq!(pins.arch.as_deref(), Some(std::env::consts::ARCH));
+    }
+
+    #[test]
+    fn schema_pins_sort_canonically() {
+        let pins = EnvironmentPins::portable()
+            .pin_schema("z-schema", "2")
+            .pin_schema("a-schema", "1")
+            .pin_schema("z-schema", "3");
+        let keys: Vec<&str> = pins.schemas.keys().map(String::as_str).collect();
+        assert_eq!(keys, ["a-schema", "z-schema"]);
+        assert_eq!(pins.schemas["z-schema"], "3");
+    }
+}

@@ -57,6 +57,7 @@ pub mod assess;
 pub mod catalog;
 pub mod component;
 pub mod debt;
+pub mod environment;
 pub mod error;
 pub mod evolution;
 pub mod gauge;
@@ -72,6 +73,7 @@ pub use component::{
     PortDescriptor, ProvenanceRecord, SchemaInfo, SemanticsAnnotation,
 };
 pub use debt::{DebtItem, DebtReport, ReuseScenario};
+pub use environment::EnvironmentPins;
 pub use error::FairError;
 pub use evolution::{FormatId, FormatRegistry};
 pub use gauge::{Gauge, Tier, ALL_GAUGES};

@@ -27,6 +27,9 @@
 //! * `durability` — the journaling setup: `journaling` and `faults`
 //!   booleans, `snapshot_every` epochs between compaction snapshots,
 //!   and `journal_paths` (one per shard) — checked by `FW207`.
+//! * `memo` — the memoization setup: `store`, `seeds_pinned`,
+//!   `environment_pinned`, `rand_queue_draws`, `rand_fault_streams`,
+//!   and `acknowledged` booleans — checked by `FW208`.
 //!
 //! With a `manifest` the full [`preflight_campaign`] pass runs;
 //! otherwise each supplied layer is linted on its own. `--strict` denies
@@ -53,9 +56,9 @@ use fair_core::component::{
 };
 use fair_core::workflow::{NodeIdx, WorkflowGraph};
 use fair_lint::{
-    lint_dataflow, lint_durability_plan, lint_graph, lint_schedule, preflight_campaign,
-    DiagnosticSet, DurabilityPlan, LintConfig, PreflightContext, SchedulePlan, ShardDriver,
-    UNKNOWN_RULE_CODE,
+    lint_dataflow, lint_durability_plan, lint_graph, lint_memo_plan, lint_schedule,
+    preflight_campaign, DiagnosticSet, DurabilityPlan, LintConfig, MemoPlan, PreflightContext,
+    SchedulePlan, ShardDriver, UNKNOWN_RULE_CODE,
 };
 use hpcsim::cluster::ClusterSpec;
 use hpcsim::time::SimDuration;
@@ -154,6 +157,7 @@ fn lint_bundle(doc: &str, config: &LintConfig) -> Result<DiagnosticSet, String> 
     let graph = root.get("graph").map(parse_graph).transpose()?;
     let schedule = root.get("schedule").map(parse_schedule).transpose()?;
     let durability = root.get("durability").map(parse_durability).transpose()?;
+    let memo = root.get("memo").map(parse_memo).transpose()?;
     let durations = match (&manifest, root.get("durations_secs")) {
         (Some(manifest), Some(section)) => Some(parse_durations(section, manifest)?),
         (None, Some(_)) => return Err("durations_secs needs a manifest".to_string()),
@@ -167,6 +171,7 @@ fn lint_bundle(doc: &str, config: &LintConfig) -> Result<DiagnosticSet, String> 
             machine: machine.as_ref(),
             schedule: schedule.as_ref(),
             durability: durability.as_ref(),
+            memo,
             ..PreflightContext::default()
         };
         return Ok(preflight_campaign(
@@ -188,6 +193,9 @@ fn lint_bundle(doc: &str, config: &LintConfig) -> Result<DiagnosticSet, String> 
     }
     if let Some(plan) = &durability {
         set.extend(lint_durability_plan(plan, config));
+    }
+    if let Some(plan) = &memo {
+        set.extend(lint_memo_plan(plan, config));
     }
     set.extend(config.lint_unknown_codes());
     set.sort();
@@ -483,6 +491,27 @@ fn parse_durability(v: &Value) -> Result<DurabilityPlan, String> {
         faults_enabled: matches!(v.get("faults"), Some(Value::Bool(true))),
         snapshot_every,
         journal_paths,
+    })
+}
+
+/// The memoization setup: all-boolean knobs mirroring [`MemoPlan`].
+/// `store` says whether a content-addressed store path is configured;
+/// `acknowledged` opts into caching despite rand-dependent inputs.
+fn parse_memo(v: &Value) -> Result<MemoPlan, String> {
+    let flag = |key: &str| -> Result<bool, String> {
+        match v.get(key) {
+            None => Ok(false),
+            Some(Value::Bool(b)) => Ok(*b),
+            Some(_) => Err(format!("memo.{key} must be a boolean")),
+        }
+    };
+    Ok(MemoPlan {
+        store_configured: flag("store")?,
+        seeds_pinned: flag("seeds_pinned")?,
+        environment_pinned: flag("environment_pinned")?,
+        rand_queue_draws: flag("rand_queue_draws")?,
+        rand_fault_streams: flag("rand_fault_streams")?,
+        nondeterminism_acknowledged: flag("acknowledged")?,
     })
 }
 

@@ -35,6 +35,7 @@ pub fn known_codes() -> &'static [&'static str] {
         "FW202",
         "FW203",
         "FW207",
+        "FW208",
         // reuse gauge
         "FW301",
         "FW302",

@@ -14,7 +14,7 @@
 //! | `FW000` | [`config`] | configuration overrides naming unknown rule codes |
 //! | `FW001`–`FW007` | [`rules::graph`] | cycles, dangling/duplicate edges, schema mismatches, unwired ports, isolated nodes, motif near-misses |
 //! | `FW101`–`FW104` | [`rules::campaign`] | dead parameters, empty/explosive sweeps, oversubscribed resource envelopes, unmodeled runs |
-//! | `FW201`–`FW203`, `FW207` | [`rules::policy`] | infeasible and suboptimal checkpoint plans (vs Young/Daly), zero-retry policies under injected faults, durability misconfiguration (journaling off under faults, degenerate snapshot intervals, shard journal-path collisions) |
+//! | `FW201`–`FW203`, `FW207`–`FW208` | [`rules::policy`] | infeasible and suboptimal checkpoint plans (vs Young/Daly), zero-retry policies under injected faults, durability misconfiguration (journaling off under faults, degenerate snapshot intervals, shard journal-path collisions), memoization-unsafe campaigns (unpinned seeds/environment, unacknowledged rand-dependent inputs) |
 //! | `FW301`–`FW302` | [`rules::gauge`] | components below a declared minimum profile, catalog regressions |
 //! | `FW401`–`FW408` | [`rules::dataflow`] | fixpoint reaching-definitions/liveness over ports: dead outputs, undefined inputs, write-write conflicts, unused sources, unobservable sweep axes, incomplete provenance, unpinned config |
 //! | `FW501`–`FW506` | [`rules::schedule`] | shard-plan determinism: gaps/overlaps in run coverage, telemetry lane collisions, seed-stream collisions, merge-order sensitivity, retry starvation |
@@ -52,8 +52,8 @@ pub use rules::dataflow::lint_dataflow;
 pub use rules::gauge::{lint_catalog_regressions, lint_minimum_profile};
 pub use rules::graph::lint_graph;
 pub use rules::policy::{
-    lint_checkpoint_plan, lint_durability_plan, lint_resilience_plan, CheckpointPlan,
-    DurabilityPlan, ResiliencePlan,
+    lint_checkpoint_plan, lint_durability_plan, lint_memo_plan, lint_resilience_plan,
+    CheckpointPlan, DurabilityPlan, MemoPlan, ResiliencePlan,
 };
 pub use rules::schedule::{lint_schedule, SchedulePlan, ShardDriver};
 
@@ -82,6 +82,9 @@ pub struct PreflightContext<'a> {
     /// paths (FW207). A reference (like `schedule`) so the context stays
     /// `Copy`.
     pub durability: Option<&'a DurabilityPlan>,
+    /// The memoization setup: store, key pinning, rand-dependent inputs
+    /// (FW208).
+    pub memo: Option<MemoPlan>,
 }
 
 /// Runs every applicable rule layer over a compiled campaign manifest and
@@ -114,6 +117,9 @@ pub fn preflight_campaign(
     }
     if let Some(plan) = ctx.durability {
         set.extend(lint_durability_plan(plan, config));
+    }
+    if let Some(plan) = &ctx.memo {
+        set.extend(lint_memo_plan(plan, config));
     }
     set.extend(config.lint_unknown_codes());
     set.sort();

@@ -1,7 +1,8 @@
-//! Resilience-policy rules (`FW201`–`FW203`, `FW207`): failure-model
-//! sanity checks against the Young/Daly analysis in the `checkpoint`
-//! crate, retry-budget checks against the declared fault environment,
-//! and durability-configuration checks for journaled campaigns.
+//! Resilience-policy rules (`FW201`–`FW203`, `FW207`–`FW208`):
+//! failure-model sanity checks against the Young/Daly analysis in the
+//! `checkpoint` crate, retry-budget checks against the declared fault
+//! environment, durability-configuration checks for journaled
+//! campaigns, and memoization-safety checks for cached campaigns.
 
 use checkpoint::daly::young_daly_interval;
 use hpcsim::time::SimDuration;
@@ -18,6 +19,8 @@ pub const SUBOPTIMAL_INTERVAL: &str = "FW202";
 pub const NO_RETRY_UNDER_FAULTS: &str = "FW203";
 /// `FW207` — a durability configuration that defeats its own purpose.
 pub const DURABILITY_MISCONFIGURATION: &str = "FW207";
+/// `FW208` — a campaign configuration that makes cache reuse unsafe.
+pub const MEMOIZATION_UNSAFE: &str = "FW208";
 
 /// A declared checkpoint plan: how often checkpoints are taken, what one
 /// costs, and the failure rate it must survive.
@@ -230,6 +233,98 @@ pub fn lint_durability_plan(plan: &DurabilityPlan, config: &LintConfig) -> Diagn
                 Location::none(),
             );
         }
+    }
+    set
+}
+
+/// The memoization knobs a campaign declares, as far as the linter needs
+/// them: whether a content-addressed store is configured, whether seeds
+/// and the environment are pinned into the cache key, and which inputs
+/// draw from the `rand` crate at execution time. Execution engines
+/// (e.g. `savanna`'s `*_memo` drivers) project their `MemoConfig` down
+/// to this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoPlan {
+    /// Whether a content-addressed store path is configured.
+    pub store_configured: bool,
+    /// Whether every run's seed derivation is part of the cache key.
+    pub seeds_pinned: bool,
+    /// Whether environment pins (toolkit version, schema ids) are part
+    /// of the cache key.
+    pub environment_pinned: bool,
+    /// Whether allocation queue waits are drawn from the `rand` crate
+    /// (a nonzero mean queue wait).
+    pub rand_queue_draws: bool,
+    /// Whether node-crash or stall streams are drawn from the `rand`
+    /// crate (a node MTTF or stall model is declared).
+    pub rand_fault_streams: bool,
+    /// Whether the caller explicitly acknowledged that `rand`-dependent
+    /// inputs make cached results valid only within one `rand` build.
+    pub nondeterminism_acknowledged: bool,
+}
+
+/// Runs the memoization-safety rules (`FW208`) on one plan.
+///
+/// A cached result is only as trustworthy as the identity of the inputs
+/// that produced it. Three ways a memoized campaign silently serves
+/// wrong answers, all statically visible: an unpinned seed derivation
+/// (two campaigns with different seeds would share cache entries), an
+/// unpinned environment (a key survives schema or toolkit changes that
+/// alter the output), and unacknowledged `rand`-dependent inputs (queue
+/// waits, node crashes, stall windows draw from the `rand` crate, whose
+/// stream is stable within a build but not across `rand` versions — a
+/// persistent cache can outlive the build that filled it).
+pub fn lint_memo_plan(plan: &MemoPlan, config: &LintConfig) -> DiagnosticSet {
+    let mut set = DiagnosticSet::new();
+    if !plan.store_configured {
+        set.report(
+            config,
+            MEMOIZATION_UNSAFE,
+            Severity::Error,
+            "memoization is requested but no content-addressed store is configured".to_string(),
+            Location::none(),
+        );
+    }
+    if !plan.seeds_pinned {
+        set.report(
+            config,
+            MEMOIZATION_UNSAFE,
+            Severity::Error,
+            "run seed derivations are not part of the cache key — campaigns with \
+             different seeds would share cache entries"
+                .to_string(),
+            Location::none(),
+        );
+    }
+    if !plan.environment_pinned {
+        set.report(
+            config,
+            MEMOIZATION_UNSAFE,
+            Severity::Error,
+            "environment pins (toolkit version, schema ids) are not part of the cache \
+             key — a key would survive changes that alter the output"
+                .to_string(),
+            Location::none(),
+        );
+    }
+    if (plan.rand_queue_draws || plan.rand_fault_streams) && !plan.nondeterminism_acknowledged {
+        let source = match (plan.rand_queue_draws, plan.rand_fault_streams) {
+            (true, true) => "queue-wait and fault-stream draws",
+            (true, false) => "queue-wait draws",
+            _ => "fault-stream draws",
+        };
+        set.report(
+            config,
+            MEMOIZATION_UNSAFE,
+            Severity::Error,
+            format!(
+                "campaign inputs include rand-dependent {source}, which are stable \
+                 within one rand build but not across rand versions — a persistent \
+                 cache can outlive the build that filled it; acknowledge explicitly \
+                 to memoize anyway"
+            ),
+            Location::none(),
+        );
     }
     set
 }

@@ -17,9 +17,9 @@ use fair_core::workflow::{NodeIdx, WorkflowGraph};
 use fair_lint::rules::{campaign, dataflow, gauge, graph, policy, schedule};
 use fair_lint::{
     lint_campaign_plan, lint_catalog_regressions, lint_checkpoint_plan, lint_dataflow,
-    lint_durability_plan, lint_graph, lint_manifest, lint_minimum_profile, lint_resilience_plan,
-    lint_schedule, CheckpointPlan, DurabilityPlan, LintConfig, ResiliencePlan, SchedulePlan,
-    Severity, ShardDriver,
+    lint_durability_plan, lint_graph, lint_manifest, lint_memo_plan, lint_minimum_profile,
+    lint_resilience_plan, lint_schedule, CheckpointPlan, DurabilityPlan, LintConfig, MemoPlan,
+    ResiliencePlan, SchedulePlan, Severity, ShardDriver,
 };
 use hpcsim::cluster::ClusterSpec;
 use hpcsim::time::SimDuration;
@@ -732,6 +732,77 @@ fn fw207_quiet_on_sane_durability() {
         journal_paths: vec!["c.journal.shard0".into(), "c.journal.shard1".into()],
     };
     assert!(lint_durability_plan(&plan, &cfg()).is_empty());
+}
+
+fn safe_memo_plan() -> MemoPlan {
+    MemoPlan {
+        store_configured: true,
+        seeds_pinned: true,
+        environment_pinned: true,
+        rand_queue_draws: false,
+        rand_fault_streams: false,
+        nondeterminism_acknowledged: false,
+    }
+}
+
+#[test]
+fn fw208_unpinned_key_inputs_fire() {
+    for (plan, needle) in [
+        (
+            MemoPlan {
+                store_configured: false,
+                ..safe_memo_plan()
+            },
+            "no content-addressed store",
+        ),
+        (
+            MemoPlan {
+                seeds_pinned: false,
+                ..safe_memo_plan()
+            },
+            "seed derivations",
+        ),
+        (
+            MemoPlan {
+                environment_pinned: false,
+                ..safe_memo_plan()
+            },
+            "environment pins",
+        ),
+    ] {
+        let set = lint_memo_plan(&plan, &cfg());
+        let d = set
+            .with_code(policy::MEMOIZATION_UNSAFE)
+            .next()
+            .expect("flagged");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains(needle), "{}", d.message);
+    }
+}
+
+#[test]
+fn fw208_rand_inputs_need_acknowledgement() {
+    // unacknowledged rand-dependent inputs fire, naming the source
+    let plan = MemoPlan {
+        rand_queue_draws: true,
+        rand_fault_streams: true,
+        ..safe_memo_plan()
+    };
+    let set = lint_memo_plan(&plan, &cfg());
+    assert!(set
+        .with_code(policy::MEMOIZATION_UNSAFE)
+        .any(|d| d.message.contains("queue-wait and fault-stream draws")));
+    // the explicit acknowledgement silences exactly that finding
+    let plan = MemoPlan {
+        nondeterminism_acknowledged: true,
+        ..plan
+    };
+    assert!(lint_memo_plan(&plan, &cfg()).is_empty());
+}
+
+#[test]
+fn fw208_quiet_on_sane_memoization() {
+    assert!(lint_memo_plan(&safe_memo_plan(), &cfg()).is_empty());
 }
 
 // ---------------------------------------------------------------- gauge

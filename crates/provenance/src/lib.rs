@@ -1,0 +1,555 @@
+//! **provenance**: the campaign provenance DAG (`fair-provenance/1`).
+//!
+//! The paper's provenance gauge asks a workflow to record *how each
+//! output came to be* in a machine-actionable form. For a simulated
+//! campaign that means, per run: the resolved parameters, the seed
+//! derivation (root seed → per-run child), the fault/resilience
+//! configuration, the content-address key the run was cached under, a
+//! digest of its observable output, and the environment pins
+//! ([`fair_core::EnvironmentPins`]) the result is valid for.
+//!
+//! [`CampaignProvenance`] assembles those [`ProvenanceRecord`]s into a
+//! two-level DAG — one campaign entity with `hasPart` edges to its run
+//! entities, each run carrying a `wasDerivedFrom` back-edge — and
+//! exports it as an RO-Crate-style JSON document: a flat `@graph` of
+//! `@id`/`@type` entities (the COMPSs lightweight-provenance shape,
+//! without the crate packaging). The export is deterministic and
+//! committed as a golden for the fixture corpus, so any drift in what
+//! gets recorded fails CI instead of silently rewriting history.
+//!
+//! `u64` values (seeds, microsecond spans) are encoded as decimal
+//! strings — same discipline as `telemetry::snapjson` — because JSON
+//! readers funnel numbers through `f64`.
+//!
+//! [`validate_provenance_json`] is the strict parse gate used by the
+//! goldens test and by downstream consumers: schema id, graph shape,
+//! edge symmetry, and key/digest hex-format are all checked.
+
+#![deny(missing_docs)]
+
+use std::fmt::Write as _;
+
+pub use fair_core::EnvironmentPins;
+use telemetry::jsonin::{parse, Value};
+
+/// Schema id stamped into every exported provenance document.
+pub const PROVENANCE_SCHEMA: &str = "fair-provenance/1";
+
+/// How one run's seed was derived from the campaign root seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedDerivation {
+    /// The campaign root seed.
+    pub campaign_seed: u64,
+    /// The run's global index in manifest order (the child index).
+    pub index: u64,
+    /// The derived per-run seed actually fed to the simulation.
+    pub derived: u64,
+}
+
+/// Identity of the code that produced a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeIdentity {
+    /// Application name from the campaign manifest.
+    pub app: String,
+    /// Application executable from the campaign manifest.
+    pub executable: String,
+}
+
+/// Resilience policy a run executed under, flattened to plain numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceSummary {
+    /// Retry budget (extra attempts after failures).
+    pub retry_budget: u32,
+    /// Base backoff, microseconds.
+    pub backoff_base_us: u64,
+    /// Backoff multiplier per additional failure.
+    pub backoff_factor: f64,
+    /// Backoff cap, microseconds.
+    pub max_backoff_us: u64,
+    /// Node-quarantine crash threshold (0 = disabled).
+    pub quarantine_threshold: u32,
+    /// Hang-kill fraction of allocation walltime (1.0 = disabled).
+    pub hang_timeout_fraction: f64,
+    /// Restart strategy: `"from-scratch"` or
+    /// `"from-checkpoint/<interval_us>"`.
+    pub restart: String,
+}
+
+/// Filesystem-stall fault model, flattened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallSummary {
+    /// Mean gap between stall onsets, microseconds.
+    pub mean_between_us: u64,
+    /// Stall window length, microseconds.
+    pub duration_us: u64,
+    /// Slowdown factor inside a window.
+    pub slowdown: f64,
+    /// I/O-bound fraction of each run subject to stalls.
+    pub io_fraction: f64,
+}
+
+/// Fault environment a run executed under, flattened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSummary {
+    /// Per-attempt failure probability.
+    pub failure_probability: f64,
+    /// Seed of the per-(run, attempt) failure draws.
+    pub spec_seed: u64,
+    /// Node mean-time-to-failure, microseconds (`None` = no crashes).
+    pub node_mttf_us: Option<u64>,
+    /// Stall model (`None` = no stalls).
+    pub stalls: Option<StallSummary>,
+    /// The fault plan's master seed.
+    pub plan_seed: u64,
+}
+
+/// Everything recorded about one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// Run id from the manifest (e.g. `"g1/n-0"`).
+    pub run_id: String,
+    /// Sweep group the run belongs to.
+    pub group: String,
+    /// Resolved parameters as `(name, type_tag, rendered)` triples, in
+    /// manifest order. Tags: `i`/`f`/`b`/`s`.
+    pub params: Vec<(String, String, String)>,
+    /// Content-address key the run is cached under (32 lowercase hex).
+    pub cache_key: String,
+    /// Digest of the run's observable output (32 lowercase hex).
+    pub output_digest: String,
+    /// Seed derivation chain.
+    pub seed: SeedDerivation,
+    /// Driver family: `"sim"` or `"resilient"`.
+    pub driver: String,
+    /// Whether telemetry was recorded for this run.
+    pub traced: bool,
+    /// Whether this result came from the cache (vs fresh execution).
+    pub cached: bool,
+    /// Terminal status string (e.g. `"done"`).
+    pub status: String,
+    /// Resilience policy, when the resilient driver ran the campaign.
+    pub resilience: Option<ResilienceSummary>,
+    /// Fault environment, when the resilient driver ran the campaign.
+    pub faults: Option<FaultSummary>,
+}
+
+/// The campaign-level provenance DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignProvenance {
+    /// Campaign name.
+    pub campaign: String,
+    /// Target machine name.
+    pub machine: String,
+    /// Code identity (app + executable).
+    pub code: CodeIdentity,
+    /// Campaign root seed.
+    pub campaign_seed: u64,
+    /// Environment pins the results are valid for.
+    pub environment: EnvironmentPins,
+    /// Per-run records, in manifest order.
+    pub runs: Vec<ProvenanceRecord>,
+}
+
+// --- canonical JSON writing ------------------------------------------------
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_u64_str(out: &mut String, v: u64) {
+    let _ = write!(out, "\"{v}\"");
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_opt_str(out: &mut String, v: Option<&str>) {
+    match v {
+        Some(s) => write_str(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+impl CampaignProvenance {
+    /// The campaign entity's `@id`.
+    pub fn campaign_id(&self) -> String {
+        format!("campaign/{}", self.campaign)
+    }
+
+    /// Exports the DAG as a canonical `fair-provenance/1` document.
+    ///
+    /// Deterministic: entities in manifest order, maps in key order,
+    /// 2-space indentation, trailing newline. Committed as goldens.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512 + self.runs.len() * 512);
+        out.push_str("{\n  \"schema\": \"");
+        out.push_str(PROVENANCE_SCHEMA);
+        out.push_str("\",\n  \"@graph\": [\n    {\n      \"@id\": ");
+        write_str(&mut out, &self.campaign_id());
+        out.push_str(",\n      \"@type\": \"Campaign\",\n      \"machine\": ");
+        write_str(&mut out, &self.machine);
+        out.push_str(",\n      \"app\": {\"name\": ");
+        write_str(&mut out, &self.code.app);
+        out.push_str(", \"executable\": ");
+        write_str(&mut out, &self.code.executable);
+        out.push_str("},\n      \"seed\": ");
+        write_u64_str(&mut out, self.campaign_seed);
+        out.push_str(",\n      \"environment\": {\"toolkit\": ");
+        write_str(&mut out, &self.environment.toolkit_version);
+        out.push_str(", \"schemas\": {");
+        for (i, (name, id)) in self.environment.schemas.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_str(&mut out, name);
+            out.push_str(": ");
+            write_str(&mut out, id);
+        }
+        out.push_str("}, \"os\": ");
+        write_opt_str(&mut out, self.environment.os.as_deref());
+        out.push_str(", \"arch\": ");
+        write_opt_str(&mut out, self.environment.arch.as_deref());
+        out.push_str("},\n      \"hasPart\": [");
+        for (i, run) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_str(&mut out, &format!("run/{}", run.run_id));
+        }
+        out.push_str("]\n    }");
+        let campaign_id = self.campaign_id();
+        for run in &self.runs {
+            out.push_str(",\n    {\n      \"@id\": ");
+            write_str(&mut out, &format!("run/{}", run.run_id));
+            out.push_str(",\n      \"@type\": \"Run\",\n      \"wasDerivedFrom\": ");
+            write_str(&mut out, &campaign_id);
+            out.push_str(",\n      \"group\": ");
+            write_str(&mut out, &run.group);
+            out.push_str(",\n      \"params\": [");
+            for (i, (name, tag, rendered)) in run.params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                write_str(&mut out, name);
+                out.push_str(", ");
+                write_str(&mut out, tag);
+                out.push_str(", ");
+                write_str(&mut out, rendered);
+                out.push(']');
+            }
+            out.push_str("],\n      \"cacheKey\": ");
+            write_str(&mut out, &run.cache_key);
+            out.push_str(",\n      \"outputDigest\": ");
+            write_str(&mut out, &run.output_digest);
+            out.push_str(",\n      \"seed\": {\"campaign\": ");
+            write_u64_str(&mut out, run.seed.campaign_seed);
+            out.push_str(", \"index\": ");
+            write_u64_str(&mut out, run.seed.index);
+            out.push_str(", \"derived\": ");
+            write_u64_str(&mut out, run.seed.derived);
+            out.push_str("},\n      \"driver\": ");
+            write_str(&mut out, &run.driver);
+            out.push_str(",\n      \"traced\": ");
+            out.push_str(if run.traced { "true" } else { "false" });
+            out.push_str(",\n      \"cached\": ");
+            out.push_str(if run.cached { "true" } else { "false" });
+            out.push_str(",\n      \"status\": ");
+            write_str(&mut out, &run.status);
+            out.push_str(",\n      \"resilience\": ");
+            match &run.resilience {
+                None => out.push_str("null"),
+                Some(p) => {
+                    let _ = write!(
+                        out,
+                        "{{\"retryBudget\": {}, \"backoffBase\": ",
+                        p.retry_budget
+                    );
+                    write_u64_str(&mut out, p.backoff_base_us);
+                    out.push_str(", \"backoffFactor\": ");
+                    write_f64(&mut out, p.backoff_factor);
+                    out.push_str(", \"maxBackoff\": ");
+                    write_u64_str(&mut out, p.max_backoff_us);
+                    let _ = write!(
+                        out,
+                        ", \"quarantineThreshold\": {}, \"hangTimeoutFraction\": ",
+                        p.quarantine_threshold
+                    );
+                    write_f64(&mut out, p.hang_timeout_fraction);
+                    out.push_str(", \"restart\": ");
+                    write_str(&mut out, &p.restart);
+                    out.push('}');
+                }
+            }
+            out.push_str(",\n      \"faults\": ");
+            match &run.faults {
+                None => out.push_str("null"),
+                Some(f) => {
+                    out.push_str("{\"failureProbability\": ");
+                    write_f64(&mut out, f.failure_probability);
+                    out.push_str(", \"specSeed\": ");
+                    write_u64_str(&mut out, f.spec_seed);
+                    out.push_str(", \"nodeMttf\": ");
+                    match f.node_mttf_us {
+                        Some(us) => write_u64_str(&mut out, us),
+                        None => out.push_str("null"),
+                    }
+                    out.push_str(", \"stalls\": ");
+                    match &f.stalls {
+                        None => out.push_str("null"),
+                        Some(s) => {
+                            out.push_str("{\"meanBetween\": ");
+                            write_u64_str(&mut out, s.mean_between_us);
+                            out.push_str(", \"duration\": ");
+                            write_u64_str(&mut out, s.duration_us);
+                            out.push_str(", \"slowdown\": ");
+                            write_f64(&mut out, s.slowdown);
+                            out.push_str(", \"ioFraction\": ");
+                            write_f64(&mut out, s.io_fraction);
+                            out.push('}');
+                        }
+                    }
+                    out.push_str(", \"planSeed\": ");
+                    write_u64_str(&mut out, f.plan_seed);
+                    out.push('}');
+                }
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+// --- the strict parse gate -------------------------------------------------
+
+/// What [`validate_provenance_json`] learned about a valid document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvenanceCheck {
+    /// Number of run entities in the graph.
+    pub runs: usize,
+    /// Number of run entities marked as cache hits.
+    pub cached_runs: usize,
+}
+
+fn is_hex128(s: &str) -> bool {
+    s.len() == 32 && s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'))
+}
+
+/// Validates a `fair-provenance/1` document: schema id, graph shape,
+/// `hasPart`/`wasDerivedFrom` edge symmetry, and key/digest format.
+pub fn validate_provenance_json(doc: &str) -> Result<ProvenanceCheck, String> {
+    let root = parse(doc)?;
+    match root.get("schema").and_then(Value::as_str) {
+        Some(PROVENANCE_SCHEMA) => {}
+        Some(other) => return Err(format!("provenance: unsupported schema {other:?}")),
+        None => return Err("provenance: missing schema id".into()),
+    }
+    let graph = root
+        .get("@graph")
+        .and_then(Value::as_arr)
+        .ok_or("provenance: missing @graph array")?;
+    let campaign = graph.first().ok_or("provenance: empty @graph")?;
+    if campaign.get("@type").and_then(Value::as_str) != Some("Campaign") {
+        return Err("provenance: first entity is not the Campaign".into());
+    }
+    let campaign_id = campaign
+        .get("@id")
+        .and_then(Value::as_str)
+        .ok_or("provenance: campaign has no @id")?;
+    let parts: Vec<&str> = campaign
+        .get("hasPart")
+        .and_then(Value::as_arr)
+        .ok_or("provenance: campaign has no hasPart")?
+        .iter()
+        .map(|v| v.as_str().ok_or("provenance: non-string hasPart entry"))
+        .collect::<Result<_, _>>()?;
+    let mut runs = 0usize;
+    let mut cached_runs = 0usize;
+    let mut run_ids = Vec::new();
+    for entity in &graph[1..] {
+        if entity.get("@type").and_then(Value::as_str) != Some("Run") {
+            return Err("provenance: non-Run entity after the Campaign".into());
+        }
+        let id = entity
+            .get("@id")
+            .and_then(Value::as_str)
+            .ok_or("provenance: run has no @id")?;
+        run_ids.push(id);
+        if entity.get("wasDerivedFrom").and_then(Value::as_str) != Some(campaign_id) {
+            return Err(format!(
+                "provenance: {id} does not derive from {campaign_id}"
+            ));
+        }
+        for field in ["cacheKey", "outputDigest"] {
+            let hex = entity
+                .get(field)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("provenance: {id} missing {field}"))?;
+            if !is_hex128(hex) {
+                return Err(format!("provenance: {id} {field} is not 128-bit hex"));
+            }
+        }
+        match entity.get("cached") {
+            Some(Value::Bool(c)) => {
+                runs += 1;
+                cached_runs += usize::from(*c);
+            }
+            _ => return Err(format!("provenance: {id} missing cached flag")),
+        }
+    }
+    if parts != run_ids {
+        return Err("provenance: hasPart does not match the run entities".into());
+    }
+    Ok(ProvenanceCheck { runs, cached_runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignProvenance {
+        CampaignProvenance {
+            campaign: "demo".into(),
+            machine: "inst".into(),
+            code: CodeIdentity {
+                app: "irf".into(),
+                executable: "irf.exe".into(),
+            },
+            campaign_seed: 41,
+            environment: EnvironmentPins::portable().pin_schema("manifest", "1"),
+            runs: vec![
+                ProvenanceRecord {
+                    run_id: "g1/p-0".into(),
+                    group: "g1".into(),
+                    params: vec![("p".into(), "i".into(), "0".into())],
+                    cache_key: "0123456789abcdef0123456789abcdef".into(),
+                    output_digest: "fedcba9876543210fedcba9876543210".into(),
+                    seed: SeedDerivation {
+                        campaign_seed: 41,
+                        index: 0,
+                        derived: u64::MAX,
+                    },
+                    driver: "sim".into(),
+                    traced: false,
+                    cached: false,
+                    status: "done".into(),
+                    resilience: None,
+                    faults: None,
+                },
+                ProvenanceRecord {
+                    run_id: "g1/p-1".into(),
+                    group: "g1".into(),
+                    params: vec![("p".into(), "i".into(), "1".into())],
+                    cache_key: "00000000000000000000000000000001".into(),
+                    output_digest: "00000000000000000000000000000002".into(),
+                    seed: SeedDerivation {
+                        campaign_seed: 41,
+                        index: 1,
+                        derived: 7,
+                    },
+                    driver: "resilient".into(),
+                    traced: true,
+                    cached: true,
+                    status: "done".into(),
+                    resilience: Some(ResilienceSummary {
+                        retry_budget: 3,
+                        backoff_base_us: 600_000_000,
+                        backoff_factor: 2.0,
+                        max_backoff_us: 86_400_000_000,
+                        quarantine_threshold: 2,
+                        hang_timeout_fraction: 1.0,
+                        restart: "from-scratch".into(),
+                    }),
+                    faults: Some(FaultSummary {
+                        failure_probability: 0.35,
+                        spec_seed: 23,
+                        node_mttf_us: None,
+                        stalls: Some(StallSummary {
+                            mean_between_us: 3_600_000_000,
+                            duration_us: 60_000_000,
+                            slowdown: 4.0,
+                            io_fraction: 0.25,
+                        }),
+                        plan_seed: 23,
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic_and_validates() {
+        let prov = sample();
+        let doc = prov.to_json();
+        assert_eq!(doc, prov.to_json());
+        let check = validate_provenance_json(&doc).expect("valid");
+        assert_eq!(
+            check,
+            ProvenanceCheck {
+                runs: 2,
+                cached_runs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn seeds_survive_as_decimal_strings() {
+        let doc = sample().to_json();
+        assert!(doc.contains("\"derived\": \"18446744073709551615\""));
+        assert!(doc.contains("\"seed\": \"41\""));
+    }
+
+    #[test]
+    fn tampered_documents_fail_the_gate() {
+        let good = sample().to_json();
+        let cases = [
+            good.replacen("fair-provenance/1", "fair-provenance/2", 1),
+            good.replacen("\"cached\": false", "\"cached\": \"no\"", 1),
+            good.replacen(
+                "run/g1/p-1\",\n      \"@type\"",
+                "run/elsewhere\",\n      \"@type\"",
+                1,
+            ),
+            good.replacen("0123456789abcdef0123456789abcdef", "not-hex", 1),
+            good.replacen(
+                "\"wasDerivedFrom\": \"campaign/demo\"",
+                "\"wasDerivedFrom\": \"campaign/x\"",
+                1,
+            ),
+        ];
+        for bad in &cases {
+            assert!(validate_provenance_json(bad).is_err());
+        }
+        assert!(validate_provenance_json("{}").is_err());
+    }
+
+    #[test]
+    fn empty_campaign_is_a_valid_degenerate_dag() {
+        let prov = CampaignProvenance {
+            runs: vec![],
+            ..sample()
+        };
+        let check = validate_provenance_json(&prov.to_json()).expect("valid");
+        assert_eq!(check.runs, 0);
+    }
+}

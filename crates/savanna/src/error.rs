@@ -9,6 +9,7 @@
 //! hole before execution.
 
 use crate::driver::PreflightBlocked;
+use cheetah::cas::CasError;
 use cheetah::journal::JournalError;
 
 /// Why a simulated campaign driver refused to (or could not) execute.
@@ -27,6 +28,11 @@ pub enum SavannaError {
     /// from the durable records, or an injected crash from the
     /// crash-differential harness.
     Journal(JournalError),
+    /// The content-addressed memoization store failed: an I/O error
+    /// opening, appending to, or compacting the store, or an oversized
+    /// cached payload. Store *corruption* is never an error — a damaged
+    /// frame is a cache miss and the run re-executes.
+    Memo(CasError),
 }
 
 impl std::fmt::Display for SavannaError {
@@ -42,6 +48,7 @@ impl std::fmt::Display for SavannaError {
             }
             SavannaError::Preflight(blocked) => blocked.fmt(f),
             SavannaError::Journal(err) => write!(f, "campaign journal failed: {err}"),
+            SavannaError::Memo(err) => write!(f, "memoization store failed: {err}"),
         }
     }
 }
@@ -51,6 +58,7 @@ impl std::error::Error for SavannaError {
         match self {
             SavannaError::Preflight(blocked) => Some(blocked),
             SavannaError::Journal(err) => Some(err),
+            SavannaError::Memo(err) => Some(err),
             SavannaError::UnmodeledRun { .. } => None,
         }
     }
@@ -65,6 +73,12 @@ impl From<PreflightBlocked> for SavannaError {
 impl From<JournalError> for SavannaError {
     fn from(err: JournalError) -> Self {
         SavannaError::Journal(err)
+    }
+}
+
+impl From<CasError> for SavannaError {
+    fn from(err: CasError) -> Self {
+        SavannaError::Memo(err)
     }
 }
 

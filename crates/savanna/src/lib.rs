@@ -33,6 +33,13 @@
 //! rerun after a crash recovers the log, validates it against a
 //! deterministic re-simulation, and resumes appending — yielding output
 //! byte-identical to a never-interrupted run.
+//!
+//! The [`memo`] module makes campaigns *reusable at run granularity*: the
+//! `*_memo` driver variants key every run by a content hash of its full
+//! input identity (parameters, seeds, policy, environment pins), splice
+//! cache hits from a durable content-addressed store instead of
+//! executing them, and assemble a `fair-provenance/1` DAG — with warm
+//! output byte-identical to cold.
 
 #![deny(missing_docs)]
 
@@ -41,6 +48,7 @@ pub mod error;
 pub mod faults;
 pub mod journal;
 pub mod local;
+pub mod memo;
 pub mod pilot;
 pub mod resilience;
 pub mod setsync;
@@ -59,6 +67,13 @@ pub use journal::{
     JournaledOutcome,
 };
 pub use local::{LocalExecutor, LocalReport, LocalRunPolicy, ResilientLocalReport};
+pub use memo::{
+    memo_lint_plan, run_campaign_resilient_memo, run_campaign_resilient_memo_par,
+    run_campaign_resilient_memo_par_traced, run_campaign_resilient_memo_traced,
+    run_campaign_sim_memo, run_campaign_sim_memo_par, run_campaign_sim_memo_par_traced,
+    run_campaign_sim_memo_traced, MemoCampaignReport, MemoConfig, MemoRunOutcome, MEMO_KEY_SCHEMA,
+    MEMO_PAYLOAD_SCHEMA,
+};
 pub use pilot::{PilotScheduler, PlacementPolicy};
 pub use resilience::{
     resilience_lint_plan, run_campaign_resilient, run_campaign_resilient_traced, AttemptOutcome,

@@ -1,0 +1,1258 @@
+//! Content-addressed campaign memoization with a provenance DAG.
+//!
+//! The FAIR argument for caching is an argument about *identity*: a run's
+//! result is reusable exactly when every input that could change it is
+//! named, pinned, and hashed (PAPER §II, "machine-actionable knowledge").
+//! The `*_memo` drivers make that literal. Before execution, every run in
+//! the campaign is projected to a canonical [`MEMO_KEY_SCHEMA`] JSON
+//! document — resolved parameters, modeled duration, allocation-series
+//! recipe, the full seed-derivation chain, driver family, resilience
+//! policy and fault environment, and the toolkit/schema
+//! [`EnvironmentPins`] — and hashed with
+//! [`fair_hash128`](cheetah::cas::fair_hash128) into its cache key.
+//! Keys are looked up in a [`CasStore`]; hits are spliced back without
+//! executing, misses execute and are stored for next time.
+//!
+//! **The warm/cold invariant.** A memoized rerun must be byte-identical
+//! to a cold one: same StatusBoard canonical JSON, same telemetry
+//! snapshot, same digests. Two design rules buy that property:
+//!
+//! 1. **Unit shards.** The drivers always execute under a one-run-per-
+//!    shard [`ShardPlan`] (shard index == global run index), so every
+//!    run's series seed (`SeedStream::new(campaign_seed).child(i)`),
+//!    fault-stream seed, and telemetry track offset are pure functions
+//!    of the manifest position — independent of which *other* runs hit
+//!    the cache.
+//! 2. **One merge path.** The store holds each run's *local* output
+//!    (unprefixed track names, unrebased board refs). Cached and
+//!    executed runs then flow through the identical merge sequence —
+//!    rebase refs, merge boards, prefix tracks, merge snapshots at
+//!    plan-derived offsets — so a hit is indistinguishable from the
+//!    execution it replaced.
+//!
+//! Corruption of the store is never an error: a frame that fails its CRC,
+//! a payload that does not decode, or an embedded board that does not
+//! round-trip is simply a **miss** and the run re-executes (the same
+//! advisory posture as [`cheetah::journal`] recovery).
+//!
+//! Every memoized campaign also assembles a [`CampaignProvenance`] DAG —
+//! per-run records linking parameters, seeds, cache keys, output digests,
+//! and policy/fault context to the campaign entity — exported as a
+//! canonical `fair-provenance/1` document for archival next to results.
+//!
+//! Safety is gated statically: `fair-lint`'s `FW208` rule refuses
+//! memoization when the key would be unsound (see [`memo_lint_plan`]),
+//! e.g. `rand`-dependent queue waits or fault streams without an explicit
+//! [`MemoConfig::acknowledge_rand_nondeterminism`] opt-in.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use cheetah::cas::{fair_hash128, CasStore, Hash128};
+use cheetah::manifest::{CampaignManifest, GroupManifest, RunManifest};
+use cheetah::param::ParamValue;
+use cheetah::status::StatusBoard;
+use exec::ThreadPool;
+use fair_lint::MemoPlan;
+use hpcsim::seed::SeedStream;
+use hpcsim::time::SimDuration;
+use provenance::{
+    CampaignProvenance, CodeIdentity, EnvironmentPins, FaultSummary, ProvenanceRecord,
+    ResilienceSummary, SeedDerivation, StallSummary,
+};
+use telemetry::{
+    jsonin, merge_snapshots, replay, snapshot_from_json, snapshot_json, Snapshot, Telemetry,
+};
+
+use crate::driver::{ensure_durations_modeled, run_campaign_sim_traced, PreflightBlocked};
+use crate::error::SavannaError;
+use crate::pilot::PilotScheduler;
+use crate::resilience::{
+    run_campaign_resilient_traced, FaultPlan, ResiliencePolicy, RestartStrategy,
+};
+use crate::shard::{
+    ensure_schedule_clean, execute_shards, prefix_track_names, rebase_telemetry_refs, shard_inputs,
+    SeriesSpec, ShardPlan,
+};
+use crate::task::AllocationScheduler;
+
+/// Schema id of the canonical cache-key document.
+pub const MEMO_KEY_SCHEMA: &str = "fair-memo-key/1";
+/// Schema id of the cached run-output payload.
+pub const MEMO_PAYLOAD_SCHEMA: &str = "fair-memo/1";
+
+/// Where and how a campaign memoizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoConfig {
+    /// Path of the content-addressed store file.
+    pub store_path: PathBuf,
+    /// Whether the caller acknowledges that `rand`-dependent inputs
+    /// (queue waits, node-crash/stall streams) pin cached results to the
+    /// `rand` build that produced them. Without this, `FW208` refuses
+    /// such campaigns at preflight.
+    pub allow_rand_nondeterminism: bool,
+}
+
+impl MemoConfig {
+    /// A config storing at `store_path`, with no nondeterminism opt-in.
+    pub fn new(store_path: impl Into<PathBuf>) -> Self {
+        Self {
+            store_path: store_path.into(),
+            allow_rand_nondeterminism: false,
+        }
+    }
+
+    /// Opts into caching `rand`-dependent inputs (builder-style). The
+    /// cache then remains valid only within one `rand` build — see
+    /// `FW208`'s message for why the opt-in is explicit.
+    #[must_use]
+    pub fn acknowledge_rand_nondeterminism(mut self) -> Self {
+        self.allow_rand_nondeterminism = true;
+        self
+    }
+}
+
+/// How one run was satisfied: from the cache or by execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoRunOutcome {
+    /// Run id from the manifest.
+    pub run_id: String,
+    /// The run's cache key, 32 lowercase hex digits.
+    pub key: String,
+    /// True when the result was served from the store.
+    pub cached: bool,
+}
+
+/// The merged result of a memoized campaign.
+///
+/// Unlike the sharded reports, no per-shard [`crate::CampaignSimReport`]
+/// or resilience accounting is carried: a cached run *has* no fresh
+/// allocation records or attempt histories, and inventing them would
+/// break the warm/cold equivalence this layer exists to guarantee. The
+/// board, telemetry, and the totals here are identical either way.
+#[derive(Debug, Clone)]
+pub struct MemoCampaignReport {
+    /// Runs that actually executed (cache misses).
+    pub executed_runs: usize,
+    /// Runs served from the store (cache hits).
+    pub cached_runs: usize,
+    /// Runs completed across the campaign.
+    pub completed_runs: usize,
+    /// Runs still incomplete across the campaign.
+    pub remaining_runs: usize,
+    /// Campaign makespan: the maximum per-run span (unit shards submit
+    /// to independent series from the same time origin).
+    pub makespan: SimDuration,
+    /// Per-run outcome (key + hit/miss), in manifest order.
+    pub runs: Vec<MemoRunOutcome>,
+    /// The campaign's provenance DAG.
+    pub provenance: CampaignProvenance,
+}
+
+impl MemoCampaignReport {
+    /// True when every run completed.
+    pub fn is_complete(&self) -> bool {
+        self.remaining_runs == 0
+    }
+
+    /// True when no run had to execute.
+    pub fn fully_cached(&self) -> bool {
+        self.executed_runs == 0
+    }
+}
+
+/// Projects a memoized campaign's configuration down to the linter's
+/// [`MemoPlan`], so `FW208` can gate it before launch (the drivers call
+/// this internally; it is public for [`fair_lint::PreflightContext`]
+/// users who gate earlier). `faults` is `None` for the sim driver.
+pub fn memo_lint_plan(
+    memo: &MemoConfig,
+    spec: &SeriesSpec,
+    faults: Option<&FaultPlan>,
+) -> MemoPlan {
+    MemoPlan {
+        store_configured: !memo.store_path.as_os_str().is_empty(),
+        // Both are structural properties of these drivers: every key doc
+        // embeds the full seed chain and the environment pins.
+        seeds_pinned: true,
+        environment_pinned: true,
+        rand_queue_draws: spec.mean_queue_wait > SimDuration::ZERO,
+        rand_fault_streams: faults.is_some_and(|f| f.node_mttf.is_some() || f.stalls.is_some()),
+        nondeterminism_acknowledged: memo.allow_rand_nondeterminism,
+    }
+}
+
+fn ensure_memo_clean(plan: &MemoPlan) -> Result<(), SavannaError> {
+    let diagnostics = fair_lint::lint_memo_plan(plan, &fair_lint::LintConfig::new());
+    if diagnostics.is_clean() {
+        Ok(())
+    } else {
+        Err(SavannaError::Preflight(PreflightBlocked { diagnostics }))
+    }
+}
+
+/// The environment pins every memoized run is keyed under: the toolkit
+/// version plus the schema ids of every format that shapes the cached
+/// bytes. Deliberately *portable* (no OS/arch) — the simulation is pure,
+/// so the same inputs yield the same bytes on any machine, and the
+/// committed key goldens stay machine-independent.
+fn memo_environment(manifest: &CampaignManifest) -> EnvironmentPins {
+    EnvironmentPins::portable()
+        .pin_schema("fair-manifest", &manifest.schema_version.to_string())
+        .pin_schema("fair-memo-key", MEMO_KEY_SCHEMA)
+        .pin_schema("fair-memo", MEMO_PAYLOAD_SCHEMA)
+        .pin_schema("fair-telemetry-snapshot", telemetry::SNAPSHOT_SCHEMA)
+}
+
+// --- canonical JSON writing (key docs and payloads) -------------------------
+
+fn js(out: &mut String, s: &str) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// u64 as a quoted decimal string (JSON numbers lose u64 precision).
+fn ju(out: &mut String, v: u64) {
+    use std::fmt::Write;
+    let _ = write!(out, "\"{v}\"");
+}
+
+/// Finite f64 via Rust's shortest-roundtrip `Display` (bit-exact on
+/// reparse, stable across platforms).
+fn jf(out: &mut String, v: f64) {
+    use std::fmt::Write;
+    let _ = write!(out, "{v}");
+}
+
+fn param_tag(value: &ParamValue) -> &'static str {
+    match value {
+        ParamValue::Int(_) => "i",
+        ParamValue::Float(_) => "f",
+        ParamValue::Bool(_) => "b",
+        ParamValue::Str(_) => "s",
+    }
+}
+
+/// Builds the canonical [`MEMO_KEY_SCHEMA`] document for one run: every
+/// input that can change the run's observable output, in a fixed field
+/// order. Hashing this document *is* the cache key.
+#[allow(clippy::too_many_arguments)] // one field per pinned input, by design
+fn run_key_doc(
+    manifest: &CampaignManifest,
+    group: &GroupManifest,
+    run: &RunManifest,
+    duration: SimDuration,
+    spec: &SeriesSpec,
+    seed: SeedDerivation,
+    driver: &str,
+    traced: bool,
+    max_allocations: u32,
+    policy: Option<&ResiliencePolicy>,
+    faults: Option<(&FaultPlan, u64)>,
+    env: &EnvironmentPins,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(768);
+    out.push_str("{\"schema\":\"");
+    out.push_str(MEMO_KEY_SCHEMA);
+    out.push_str("\",\"campaign\":");
+    js(&mut out, &manifest.campaign);
+    out.push_str(",\"machine\":");
+    js(&mut out, &manifest.machine);
+    out.push_str(",\"app\":{\"name\":");
+    js(&mut out, &manifest.app.name);
+    out.push_str(",\"executable\":");
+    js(&mut out, &manifest.app.executable);
+    let _ = write!(out, "}},\"manifest_schema\":{}", manifest.schema_version);
+    out.push_str(",\"run\":{\"id\":");
+    js(&mut out, &run.id);
+    out.push_str(",\"group\":");
+    js(&mut out, &run.group);
+    out.push_str(",\"workdir\":");
+    js(&mut out, &run.workdir);
+    out.push_str(",\"params\":[");
+    for (i, (name, value)) in run.params.params.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        js(&mut out, name);
+        let _ = write!(out, ",\"{}\",", param_tag(value));
+        js(&mut out, &value.render());
+        out.push(']');
+    }
+    let _ = write!(
+        out,
+        "]}},\"group\":{{\"nodes\":{},\"per_run_nodes\":{},\"walltime_secs\":{}}}",
+        group.nodes, group.per_run_nodes, group.walltime_secs
+    );
+    out.push_str(",\"duration_us\":");
+    ju(&mut out, duration.0);
+    let _ = write!(out, ",\"series\":{{\"job_nodes\":{}", spec.job.nodes);
+    out.push_str(",\"job_walltime_us\":");
+    ju(&mut out, spec.job.walltime.0);
+    out.push_str(",\"mean_queue_wait_us\":");
+    ju(&mut out, spec.mean_queue_wait.0);
+    out.push_str(",\"queue_cv\":");
+    jf(&mut out, spec.queue_cv);
+    out.push_str("},\"seed\":{\"campaign\":");
+    ju(&mut out, seed.campaign_seed);
+    out.push_str(",\"index\":");
+    ju(&mut out, seed.index);
+    out.push_str(",\"derived\":");
+    ju(&mut out, seed.derived);
+    let _ = write!(
+        out,
+        "}},\"driver\":\"{driver}\",\"traced\":{traced},\"max_allocations\":{max_allocations}"
+    );
+    out.push_str(",\"policy\":");
+    match policy {
+        None => out.push_str("null"),
+        Some(p) => {
+            let _ = write!(out, "{{\"retry_budget\":{}", p.retry_budget);
+            out.push_str(",\"backoff_base_us\":");
+            ju(&mut out, p.backoff_base.0);
+            out.push_str(",\"backoff_factor\":");
+            jf(&mut out, p.backoff_factor);
+            out.push_str(",\"max_backoff_us\":");
+            ju(&mut out, p.max_backoff.0);
+            let _ = write!(out, ",\"quarantine_threshold\":{}", p.quarantine_threshold);
+            out.push_str(",\"hang_timeout_fraction\":");
+            jf(&mut out, p.hang_timeout_fraction);
+            out.push_str(",\"restart\":");
+            js(&mut out, &restart_name(&p.restart));
+            out.push('}');
+        }
+    }
+    out.push_str(",\"faults\":");
+    match faults {
+        None => out.push_str("null"),
+        Some((f, derived_seed)) => {
+            out.push_str("{\"failure_probability\":");
+            jf(&mut out, f.run_faults.failure_probability);
+            out.push_str(",\"spec_seed\":");
+            ju(&mut out, f.run_faults.seed);
+            out.push_str(",\"node_mttf_us\":");
+            match f.node_mttf {
+                None => out.push_str("null"),
+                Some(mttf) => ju(&mut out, mttf.0),
+            }
+            out.push_str(",\"stalls\":");
+            match &f.stalls {
+                None => out.push_str("null"),
+                Some(s) => {
+                    out.push_str("{\"mean_between_us\":");
+                    ju(&mut out, s.mean_between.0);
+                    out.push_str(",\"duration_us\":");
+                    ju(&mut out, s.duration.0);
+                    out.push_str(",\"slowdown\":");
+                    jf(&mut out, s.slowdown);
+                    out.push_str(",\"io_fraction\":");
+                    jf(&mut out, s.io_fraction);
+                    out.push('}');
+                }
+            }
+            out.push_str(",\"plan_seed\":");
+            ju(&mut out, f.seed);
+            out.push_str(",\"derived_seed\":");
+            ju(&mut out, derived_seed);
+            out.push('}');
+        }
+    }
+    out.push_str(",\"environment\":{\"toolkit\":");
+    js(&mut out, &env.toolkit_version);
+    out.push_str(",\"schemas\":{");
+    for (i, (name, id)) in env.schemas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        js(&mut out, name);
+        out.push(':');
+        js(&mut out, id);
+    }
+    out.push_str("},\"os\":");
+    match &env.os {
+        None => out.push_str("null"),
+        Some(os) => js(&mut out, os),
+    }
+    out.push_str(",\"arch\":");
+    match &env.arch {
+        None => out.push_str("null"),
+        Some(arch) => js(&mut out, arch),
+    }
+    out.push_str("}}");
+    out
+}
+
+fn restart_name(restart: &RestartStrategy) -> String {
+    match restart {
+        RestartStrategy::FromScratch => "from-scratch".to_string(),
+        RestartStrategy::FromCheckpoint { interval } => {
+            format!("from-checkpoint/{}", interval.0)
+        }
+    }
+}
+
+// --- cached payloads --------------------------------------------------------
+
+/// One run's output in its *local* form: the one-run board exactly as
+/// the serial driver left it (no ref rebase, no track prefix), the
+/// report totals, and the run's private telemetry snapshot when traced.
+struct RunOut {
+    completed: usize,
+    remaining: usize,
+    span: SimDuration,
+    board: StatusBoard,
+    snapshot: Option<Snapshot>,
+}
+
+fn encode_payload(run_id: &str, out: &RunOut) -> String {
+    use std::fmt::Write;
+    let mut doc = String::with_capacity(512);
+    doc.push_str("{\"schema\":\"");
+    doc.push_str(MEMO_PAYLOAD_SCHEMA);
+    doc.push_str("\",\"run_id\":");
+    js(&mut doc, run_id);
+    let _ = write!(
+        doc,
+        ",\"completed\":{},\"remaining\":{}",
+        out.completed, out.remaining
+    );
+    doc.push_str(",\"span_us\":");
+    ju(&mut doc, out.span.0);
+    doc.push_str(",\"board\":");
+    js(&mut doc, &out.board.canonical_json());
+    doc.push_str(",\"snapshot\":");
+    match &out.snapshot {
+        None => doc.push_str("null"),
+        Some(snap) => js(&mut doc, &snapshot_json(snap)),
+    }
+    doc.push('}');
+    doc
+}
+
+/// Decodes a stored payload back into a spliceable [`RunOut`]. Any
+/// defect — wrong schema, wrong run, a board that fails strict
+/// canonical-JSON parsing, a snapshot/traced mismatch — yields `None`,
+/// which the driver treats as a cache miss (the entry is poisoned; the
+/// run re-executes and the store heals on the next put).
+fn decode_payload(bytes: &[u8], run_id: &str, traced: bool) -> Option<RunOut> {
+    let doc = std::str::from_utf8(bytes).ok()?;
+    let v = jsonin::parse(doc).ok()?;
+    if v.get("schema")?.as_str()? != MEMO_PAYLOAD_SCHEMA {
+        return None;
+    }
+    if v.get("run_id")?.as_str()? != run_id {
+        return None;
+    }
+    let completed = v.get("completed")?.as_u64()? as usize;
+    let remaining = v.get("remaining")?.as_u64()? as usize;
+    let span = SimDuration(v.get("span_us")?.as_str()?.parse().ok()?);
+    let board = StatusBoard::from_canonical_json(v.get("board")?.as_str()?).ok()?;
+    let snapshot = match v.get("snapshot")? {
+        jsonin::Value::Null => None,
+        snap => Some(snapshot_from_json(snap.as_str()?).ok()?),
+    };
+    // `traced` is part of the key, so a mismatch here means the frame
+    // was poisoned after the fact — miss, don't splice.
+    if traced != snapshot.is_some() {
+        return None;
+    }
+    Some(RunOut {
+        completed,
+        remaining,
+        span,
+        board,
+        snapshot,
+    })
+}
+
+// --- the memoized drivers ---------------------------------------------------
+
+/// Which serial driver executes cache misses.
+enum Backend<'a> {
+    Sim {
+        scheduler: &'a (dyn AllocationScheduler + Sync),
+    },
+    Resilient {
+        pilot: &'a PilotScheduler,
+        policy: &'a ResiliencePolicy,
+        faults: &'a FaultPlan,
+    },
+}
+
+impl Backend<'_> {
+    fn name(&self) -> &'static str {
+        match self {
+            Backend::Sim { .. } => "sim",
+            Backend::Resilient { .. } => "resilient",
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // the union of both serial drivers' inputs
+fn run_campaign_memo_inner(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    backend: &Backend<'_>,
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_run: u32,
+    memo: &MemoConfig,
+    pool: Option<&ThreadPool>,
+    tel: &Telemetry,
+) -> Result<MemoCampaignReport, SavannaError> {
+    // Every run needs a modeled duration — completed ones too, because
+    // the duration is part of every cache key.
+    let all_runs: Vec<&RunManifest> = manifest.groups.iter().flat_map(|g| g.runs.iter()).collect();
+    ensure_durations_modeled(&all_runs, durations)?;
+    let (policy, faults) = match backend {
+        Backend::Sim { .. } => (None, None),
+        Backend::Resilient { policy, faults, .. } => {
+            policy.validate();
+            (Some(*policy), Some(*faults))
+        }
+    };
+    ensure_memo_clean(&memo_lint_plan(memo, spec, faults))?;
+
+    // Unit shard plan: one run per shard, shard index == run index, so
+    // every derived seed and track offset depends only on manifest
+    // position (see the module docs for why that is the whole game).
+    let total = manifest.total_runs();
+    let plan = ShardPlan::contiguous(total, total);
+    let schedule = match backend {
+        Backend::Sim { .. } => plan.schedule_plan_sim(campaign_seed, max_allocations_per_run),
+        Backend::Resilient { policy, faults, .. } => {
+            plan.schedule_plan_resilient(campaign_seed, max_allocations_per_run, policy, faults)
+        }
+    };
+    ensure_schedule_clean(&schedule)?;
+    let offsets = schedule.planned_offsets();
+    let mut inputs = shard_inputs(manifest, &plan);
+    let traced = tel.is_enabled();
+    let env = memo_environment(manifest);
+    let seed_stream = SeedStream::new(campaign_seed);
+    let fault_stream = faults.map(|f| SeedStream::new(f.seed));
+
+    // Key every run.
+    let flat: Vec<(&GroupManifest, &RunManifest)> = manifest
+        .groups
+        .iter()
+        .flat_map(|g| g.runs.iter().map(move |r| (g, r)))
+        .collect();
+    let mut keys: Vec<Hash128> = Vec::with_capacity(total);
+    let mut seeds: Vec<SeedDerivation> = Vec::with_capacity(total);
+    for (i, (group, run)) in flat.iter().enumerate() {
+        let seed = SeedDerivation {
+            campaign_seed,
+            index: i as u64,
+            derived: seed_stream.child(i as u64).seed(),
+        };
+        let run_faults = match (&faults, &fault_stream) {
+            (Some(f), Some(stream)) => Some((*f, stream.child(i as u64).seed())),
+            _ => None,
+        };
+        let doc = run_key_doc(
+            manifest,
+            group,
+            run,
+            durations[&run.id],
+            spec,
+            seed,
+            backend.name(),
+            traced,
+            max_allocations_per_run,
+            policy,
+            run_faults,
+            &env,
+        );
+        keys.push(fair_hash128(doc.as_bytes()));
+        seeds.push(seed);
+    }
+
+    // Probe: decode hits up front (a frame that fails to decode is a
+    // miss, not an error).
+    let mut store = CasStore::open(&memo.store_path)?;
+    let mut cached: Vec<Option<RunOut>> = (0..total)
+        .map(|i| {
+            store
+                .get(keys[i])
+                .and_then(|bytes| decode_payload(bytes, &flat[i].1.id, traced))
+        })
+        .collect();
+    let misses: Vec<usize> = (0..total).filter(|&i| cached[i].is_none()).collect();
+
+    // Execute exactly the misses — same worker body as the sharded
+    // drivers, one run per shard.
+    let board_view: &StatusBoard = board;
+    let run_shard = |j: usize| -> Result<RunOut, SavannaError> {
+        let s = misses[j];
+        let (sub, _) = &inputs[s];
+        let mut shard_board = board_view.sub_board(sub);
+        let mut series = spec.build(seed_stream.child(s as u64).seed());
+        let (shard_tel, recorder) = if traced {
+            let (t, r) = Telemetry::recording();
+            (t, Some(r))
+        } else {
+            (Telemetry::disabled(), None)
+        };
+        let (completed, remaining, span) = match backend {
+            Backend::Sim { scheduler } => {
+                let report = run_campaign_sim_traced(
+                    sub,
+                    durations,
+                    *scheduler,
+                    &mut series,
+                    &mut shard_board,
+                    max_allocations_per_run,
+                    &shard_tel,
+                )?;
+                (
+                    report.completed_runs,
+                    report.remaining_runs,
+                    report.total_span,
+                )
+            }
+            Backend::Resilient {
+                pilot,
+                policy,
+                faults,
+            } => {
+                let shard_faults = FaultPlan {
+                    seed: SeedStream::new(faults.seed).child(s as u64).seed(),
+                    ..**faults
+                };
+                let out = run_campaign_resilient_traced(
+                    sub,
+                    durations,
+                    pilot,
+                    &mut series,
+                    &mut shard_board,
+                    max_allocations_per_run,
+                    policy,
+                    &shard_faults,
+                    &shard_tel,
+                )?;
+                (
+                    out.report.completed_runs,
+                    out.report.remaining_runs,
+                    out.report.total_span,
+                )
+            }
+        };
+        Ok(RunOut {
+            completed,
+            remaining,
+            span,
+            board: shard_board,
+            snapshot: recorder.map(|r| r.snapshot()),
+        })
+    };
+    let sizes = vec![1usize; misses.len()];
+    let outputs = execute_shards(pool, &sizes, run_shard);
+
+    // Store every fresh output (local form — this is what a future warm
+    // run splices), then scatter back to global run index.
+    let mut executed: Vec<Option<RunOut>> = (0..total).map(|_| None).collect();
+    for (j, out) in outputs.into_iter().enumerate() {
+        let out = out?;
+        let s = misses[j];
+        store.put(keys[s], encode_payload(&flat[s].1.id, &out).as_bytes())?;
+        executed[s] = Some(out);
+    }
+    // one fsync for the whole batch — per-put durability would cost an
+    // fsync per run for no benefit (a torn tail is just a future miss)
+    store.sync()?;
+
+    // Merge in full plan order, hits and fresh outputs interleaved on
+    // the identical path.
+    let resilience_summary = policy.map(|p| ResilienceSummary {
+        retry_budget: p.retry_budget,
+        backoff_base_us: p.backoff_base.0,
+        backoff_factor: p.backoff_factor,
+        max_backoff_us: p.max_backoff.0,
+        quarantine_threshold: p.quarantine_threshold,
+        hang_timeout_fraction: p.hang_timeout_fraction,
+        restart: restart_name(&p.restart),
+    });
+    let fault_summary = faults.map(|f| FaultSummary {
+        failure_probability: f.run_faults.failure_probability,
+        spec_seed: f.run_faults.seed,
+        node_mttf_us: f.node_mttf.map(|d| d.0),
+        stalls: f.stalls.as_ref().map(|s| StallSummary {
+            mean_between_us: s.mean_between.0,
+            duration_us: s.duration.0,
+            slowdown: s.slowdown,
+            io_fraction: s.io_fraction,
+        }),
+        plan_seed: f.seed,
+    });
+    let resilient = matches!(backend, Backend::Resilient { .. });
+    let mut snapshots: Vec<(u32, Snapshot)> = Vec::with_capacity(if traced { total } else { 0 });
+    let mut outcomes = Vec::with_capacity(total);
+    let mut records = Vec::with_capacity(total);
+    let mut completed_runs = 0usize;
+    let mut remaining_runs = 0usize;
+    let mut makespan = SimDuration::ZERO;
+    let mut executed_count = 0usize;
+    for i in 0..total {
+        let run_ids = std::mem::take(&mut inputs[i].1);
+        let (out, was_cached) = match (executed[i].take(), cached[i].take()) {
+            (Some(out), _) => {
+                executed_count += 1;
+                (out, false)
+            }
+            (None, Some(hit)) => (hit, true),
+            (None, None) => unreachable!("every run is either cached or executed"),
+        };
+        let run = flat[i].1;
+        // Digest and status come from the *local* board — the same bytes
+        // the store holds, so warm and cold agree.
+        let local_json = out.board.canonical_json();
+        let output_digest = fair_hash128(local_json.as_bytes()).to_hex();
+        let status = out.board.get(&run.id).as_str().to_string();
+        let mut run_board = out.board;
+        if resilient && traced {
+            rebase_telemetry_refs(&mut run_board, &run_ids, offsets[i]);
+        }
+        board.merge_from(run_board);
+        if let Some(mut snap) = out.snapshot {
+            prefix_track_names(&mut snap, i);
+            snapshots.push((offsets[i], snap));
+        }
+        completed_runs += out.completed;
+        remaining_runs += out.remaining;
+        makespan = makespan.max(out.span);
+        outcomes.push(MemoRunOutcome {
+            run_id: run.id.clone(),
+            key: keys[i].to_hex(),
+            cached: was_cached,
+        });
+        records.push(ProvenanceRecord {
+            run_id: run.id.clone(),
+            group: run.group.clone(),
+            params: run
+                .params
+                .params
+                .iter()
+                .map(|(name, value)| (name.clone(), param_tag(value).to_string(), value.render()))
+                .collect(),
+            cache_key: keys[i].to_hex(),
+            output_digest,
+            seed: seeds[i],
+            driver: backend.name().to_string(),
+            traced,
+            cached: was_cached,
+            status,
+            resilience: resilience_summary.clone(),
+            faults: fault_summary.clone(),
+        });
+    }
+    if traced {
+        let parts: Vec<(u32, &Snapshot)> = snapshots.iter().map(|(o, s)| (*o, s)).collect();
+        replay(&merge_snapshots(&parts), tel);
+    }
+    Ok(MemoCampaignReport {
+        executed_runs: executed_count,
+        cached_runs: total - executed_count,
+        completed_runs,
+        remaining_runs,
+        makespan,
+        runs: outcomes,
+        provenance: CampaignProvenance {
+            campaign: manifest.campaign.clone(),
+            machine: manifest.machine.clone(),
+            code: CodeIdentity {
+                app: manifest.app.name.clone(),
+                executable: manifest.app.executable.clone(),
+            },
+            campaign_seed,
+            environment: env,
+            runs: records,
+        },
+    })
+}
+
+/// Memoized [`run_campaign_sim`](crate::run_campaign_sim): keys every
+/// run of the campaign, executes only cache misses (serially), splices
+/// hits from the store, and assembles the provenance DAG. The final
+/// board and report totals are byte-identical whether a run executed or
+/// was served from the cache.
+#[allow(clippy::too_many_arguments)] // run_campaign_sim plus the memo config
+pub fn run_campaign_sim_memo(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &(dyn AllocationScheduler + Sync),
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_run: u32,
+    memo: &MemoConfig,
+) -> Result<MemoCampaignReport, SavannaError> {
+    run_campaign_sim_memo_par(
+        manifest,
+        durations,
+        scheduler,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_run,
+        memo,
+        None,
+    )
+}
+
+/// [`run_campaign_sim_memo`] with a telemetry handle. Cached runs replay
+/// their stored snapshots into `tel` at the same plan-derived track
+/// offsets execution would have used, so the merged timeline is
+/// warm/cold identical.
+#[allow(clippy::too_many_arguments)] // run_campaign_sim_memo plus the telemetry handle
+pub fn run_campaign_sim_memo_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &(dyn AllocationScheduler + Sync),
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_run: u32,
+    memo: &MemoConfig,
+    tel: &Telemetry,
+) -> Result<MemoCampaignReport, SavannaError> {
+    run_campaign_sim_memo_par_traced(
+        manifest,
+        durations,
+        scheduler,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_run,
+        memo,
+        None,
+        tel,
+    )
+}
+
+/// [`run_campaign_sim_memo`] with cache misses executed on a pool.
+/// Memoization always uses the unit shard plan, so the pool changes
+/// wall-clock only — never the output.
+#[allow(clippy::too_many_arguments)] // run_campaign_sim_memo plus the pool
+pub fn run_campaign_sim_memo_par(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &(dyn AllocationScheduler + Sync),
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_run: u32,
+    memo: &MemoConfig,
+    pool: Option<&ThreadPool>,
+) -> Result<MemoCampaignReport, SavannaError> {
+    run_campaign_sim_memo_par_traced(
+        manifest,
+        durations,
+        scheduler,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_run,
+        memo,
+        pool,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_campaign_sim_memo_par`] with a telemetry handle.
+#[allow(clippy::too_many_arguments)] // run_campaign_sim_memo_par plus the telemetry handle
+pub fn run_campaign_sim_memo_par_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &(dyn AllocationScheduler + Sync),
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_run: u32,
+    memo: &MemoConfig,
+    pool: Option<&ThreadPool>,
+    tel: &Telemetry,
+) -> Result<MemoCampaignReport, SavannaError> {
+    run_campaign_memo_inner(
+        manifest,
+        durations,
+        &Backend::Sim { scheduler },
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_run,
+        memo,
+        pool,
+        tel,
+    )
+}
+
+/// Memoized [`run_campaign_resilient`](crate::run_campaign_resilient):
+/// like [`run_campaign_sim_memo`], with the resilience policy and fault
+/// environment pinned into every cache key (a different retry budget or
+/// fault seed is a different run). The per-run resilience accounting is
+/// deliberately *not* returned — a cached run has no fresh attempt
+/// history, and the report must be warm/cold identical.
+#[allow(clippy::too_many_arguments)] // run_campaign_resilient plus the memo config
+pub fn run_campaign_resilient_memo(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_run: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    memo: &MemoConfig,
+) -> Result<MemoCampaignReport, SavannaError> {
+    run_campaign_resilient_memo_par(
+        manifest,
+        durations,
+        pilot,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_run,
+        policy,
+        faults,
+        memo,
+        None,
+    )
+}
+
+/// [`run_campaign_resilient_memo`] with a telemetry handle.
+#[allow(clippy::too_many_arguments)] // run_campaign_resilient_memo plus the telemetry handle
+pub fn run_campaign_resilient_memo_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_run: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    memo: &MemoConfig,
+    tel: &Telemetry,
+) -> Result<MemoCampaignReport, SavannaError> {
+    run_campaign_resilient_memo_par_traced(
+        manifest,
+        durations,
+        pilot,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_run,
+        policy,
+        faults,
+        memo,
+        None,
+        tel,
+    )
+}
+
+/// [`run_campaign_resilient_memo`] with cache misses executed on a pool.
+#[allow(clippy::too_many_arguments)] // run_campaign_resilient_memo plus the pool
+pub fn run_campaign_resilient_memo_par(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_run: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    memo: &MemoConfig,
+    pool: Option<&ThreadPool>,
+) -> Result<MemoCampaignReport, SavannaError> {
+    run_campaign_resilient_memo_par_traced(
+        manifest,
+        durations,
+        pilot,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_run,
+        policy,
+        faults,
+        memo,
+        pool,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_campaign_resilient_memo_par`] with a telemetry handle.
+#[allow(clippy::too_many_arguments)] // run_campaign_resilient_memo_par plus the telemetry handle
+pub fn run_campaign_resilient_memo_par_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_run: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    memo: &MemoConfig,
+    pool: Option<&ThreadPool>,
+    tel: &Telemetry,
+) -> Result<MemoCampaignReport, SavannaError> {
+    run_campaign_memo_inner(
+        manifest,
+        durations,
+        &Backend::Resilient {
+            pilot,
+            policy,
+            faults,
+        },
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_run,
+        memo,
+        pool,
+        tel,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah::campaign::{AppDef, Campaign, SweepGroup};
+    use cheetah::param::SweepSpec;
+    use cheetah::sweep::Sweep;
+    use hpcsim::batch::BatchJob;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch_store(tag: &str) -> PathBuf {
+        let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("savanna-memo-{tag}-{}-{n}.cas", std::process::id()))
+    }
+
+    fn manifest(runs: i64) -> CampaignManifest {
+        Campaign::new("memotest", "inst", AppDef::new("app", "app.exe"))
+            .with_group(SweepGroup::new(
+                "g",
+                Sweep::new().with(
+                    "n",
+                    SweepSpec::IntRange {
+                        start: 0,
+                        end: runs - 1,
+                        step: 1,
+                    },
+                ),
+                4,
+                1,
+                3600,
+            ))
+            .manifest()
+            .expect("valid campaign")
+    }
+
+    fn durations(m: &CampaignManifest, secs: u64) -> BTreeMap<String, SimDuration> {
+        m.groups
+            .iter()
+            .flat_map(|g| g.runs.iter())
+            .map(|r| (r.id.clone(), SimDuration::from_secs(secs)))
+            .collect()
+    }
+
+    fn spec() -> SeriesSpec {
+        SeriesSpec::instant(BatchJob::new(4, SimDuration::from_hours(2)))
+    }
+
+    #[test]
+    fn warm_rerun_executes_nothing_and_matches_cold() {
+        let m = manifest(6);
+        let d = durations(&m, 600);
+        let store = scratch_store("warm");
+        let memo = MemoConfig::new(&store);
+
+        let mut cold_board = StatusBoard::for_manifest(&m);
+        let cold = run_campaign_sim_memo(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &spec(),
+            7,
+            &mut cold_board,
+            50,
+            &memo,
+        )
+        .expect("cold run");
+        assert_eq!(cold.executed_runs, 6);
+        assert_eq!(cold.cached_runs, 0);
+        assert!(cold.is_complete());
+
+        let mut warm_board = StatusBoard::for_manifest(&m);
+        let warm = run_campaign_sim_memo(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &spec(),
+            7,
+            &mut warm_board,
+            50,
+            &memo,
+        )
+        .expect("warm run");
+        assert!(warm.fully_cached());
+        assert_eq!(warm.cached_runs, 6);
+        assert_eq!(warm_board.canonical_json(), cold_board.canonical_json());
+        assert_eq!(warm.completed_runs, cold.completed_runs);
+        assert_eq!(warm.makespan, cold.makespan);
+        let _ = std::fs::remove_file(&store);
+    }
+
+    #[test]
+    fn distinct_seeds_and_trace_modes_never_share_keys() {
+        let m = manifest(3);
+        let d = durations(&m, 600);
+        let store = scratch_store("keys");
+        let memo = MemoConfig::new(&store);
+        let run = |seed: u64, traced: bool| -> Vec<String> {
+            let mut board = StatusBoard::for_manifest(&m);
+            let tel = if traced {
+                Telemetry::recording().0
+            } else {
+                Telemetry::disabled()
+            };
+            run_campaign_sim_memo_traced(
+                &m,
+                &d,
+                &PilotScheduler::new(),
+                &spec(),
+                seed,
+                &mut board,
+                50,
+                &memo,
+                &tel,
+            )
+            .expect("run")
+            .runs
+            .into_iter()
+            .map(|r| r.key)
+            .collect()
+        };
+        let a = run(7, false);
+        let b = run(8, false);
+        let c = run(7, true);
+        assert!(a.iter().all(|k| !b.contains(k)), "seed must change keys");
+        assert!(a.iter().all(|k| !c.contains(k)), "tracing must change keys");
+        let _ = std::fs::remove_file(&store);
+    }
+
+    #[test]
+    fn provenance_dag_validates_and_marks_cached_runs() {
+        let m = manifest(4);
+        let d = durations(&m, 600);
+        let store = scratch_store("prov");
+        let memo = MemoConfig::new(&store);
+        let mut board = StatusBoard::for_manifest(&m);
+        let cold = run_campaign_sim_memo(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &spec(),
+            7,
+            &mut board,
+            50,
+            &memo,
+        )
+        .expect("cold run");
+        let check = provenance::validate_provenance_json(&cold.provenance.to_json())
+            .expect("valid provenance doc");
+        assert_eq!(check.runs, 4);
+        assert_eq!(check.cached_runs, 0);
+
+        let mut warm_board = StatusBoard::for_manifest(&m);
+        let warm = run_campaign_sim_memo(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &spec(),
+            7,
+            &mut warm_board,
+            50,
+            &memo,
+        )
+        .expect("warm run");
+        let check = provenance::validate_provenance_json(&warm.provenance.to_json())
+            .expect("valid provenance doc");
+        assert_eq!(check.cached_runs, 4);
+        // cached-ness is the *only* provenance difference
+        for (a, b) in cold.provenance.runs.iter().zip(&warm.provenance.runs) {
+            assert_eq!(a.output_digest, b.output_digest);
+            assert_eq!(a.cache_key, b.cache_key);
+        }
+        let _ = std::fs::remove_file(&store);
+    }
+
+    #[test]
+    fn rand_dependent_inputs_are_refused_without_acknowledgement() {
+        let m = manifest(2);
+        let d = durations(&m, 600);
+        let store = scratch_store("fw208");
+        let stochastic = SeriesSpec::new(
+            BatchJob::new(4, SimDuration::from_hours(2)),
+            SimDuration::from_mins(5),
+            0.5,
+        );
+        let mut board = StatusBoard::for_manifest(&m);
+        let err = run_campaign_sim_memo(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &stochastic,
+            7,
+            &mut board,
+            50,
+            &MemoConfig::new(&store),
+        )
+        .expect_err("unacknowledged rand inputs must refuse");
+        match err {
+            SavannaError::Preflight(blocked) => {
+                assert!(blocked
+                    .diagnostics
+                    .iter()
+                    .any(|diag| diag.code == fair_lint::rules::policy::MEMOIZATION_UNSAFE));
+            }
+            other => panic!("expected Preflight, got {other:?}"),
+        }
+        // the explicit opt-in unlocks execution
+        let mut board = StatusBoard::for_manifest(&m);
+        run_campaign_sim_memo(
+            &m,
+            &d,
+            &PilotScheduler::new(),
+            &stochastic,
+            7,
+            &mut board,
+            50,
+            &MemoConfig::new(&store).acknowledge_rand_nondeterminism(),
+        )
+        .expect("acknowledged run");
+        let _ = std::fs::remove_file(&store);
+    }
+}

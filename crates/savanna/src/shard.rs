@@ -217,7 +217,7 @@ impl ShardPlan {
 /// Lints a projected schedule plan and refuses execution on any
 /// error-severity finding — the static gate that keeps a hand-built
 /// [`ShardPlan`] from corrupting the merge or the seeded differential.
-fn ensure_schedule_clean(plan: &SchedulePlan) -> Result<(), SavannaError> {
+pub(crate) fn ensure_schedule_clean(plan: &SchedulePlan) -> Result<(), SavannaError> {
     let diagnostics = fair_lint::lint_schedule(plan, &fair_lint::LintConfig::new());
     if diagnostics.is_clean() {
         Ok(())
@@ -355,7 +355,7 @@ impl ParResilientReport {
 /// Group metadata is preserved; groups left with no runs are dropped.
 /// Only the *selected* runs are cloned — group metadata is rebuilt field
 /// by field so the unselected runs of a group are never copied.
-fn sub_manifest(manifest: &CampaignManifest, indices: &[usize]) -> CampaignManifest {
+pub(crate) fn sub_manifest(manifest: &CampaignManifest, indices: &[usize]) -> CampaignManifest {
     let mut wanted = indices.iter().copied().peekable();
     let mut global = 0usize;
     let mut groups = Vec::new();
@@ -394,9 +394,9 @@ fn sub_manifest(manifest: &CampaignManifest, indices: &[usize]) -> CampaignManif
 /// each shard derives its own from the caller's board inside the worker
 /// ([`StatusBoard::sub_board`] copies only non-default entries), so no
 /// board is ever built on one thread just to be cloned on another.
-type ShardInputs = Vec<(CampaignManifest, Vec<String>)>;
+pub(crate) type ShardInputs = Vec<(CampaignManifest, Vec<String>)>;
 
-fn shard_inputs(manifest: &CampaignManifest, plan: &ShardPlan) -> ShardInputs {
+pub(crate) fn shard_inputs(manifest: &CampaignManifest, plan: &ShardPlan) -> ShardInputs {
     assert_eq!(
         plan.total_runs(),
         manifest.total_runs(),
@@ -430,7 +430,7 @@ fn shard_inputs(manifest: &CampaignManifest, plan: &ShardPlan) -> ShardInputs {
 /// next shard from the shared handout (and the pool itself work-steals
 /// at job granularity), while the scatter-by-index collection keeps the
 /// merged output identical for any completion order.
-fn execute_shards<T: Send>(
+pub(crate) fn execute_shards<T: Send>(
     pool: Option<&ThreadPool>,
     sizes: &[usize],
     run_shard: impl Fn(usize) -> T + Sync,
@@ -452,7 +452,7 @@ fn execute_shards<T: Send>(
 /// rebased board is then *moved* into the caller's board (and, in the
 /// journaled driver, written to the main log), so no second copy of the
 /// refs or the board is ever made.
-fn rebase_telemetry_refs(board: &mut StatusBoard, run_ids: &[String], offset: u32) {
+pub(crate) fn rebase_telemetry_refs(board: &mut StatusBoard, run_ids: &[String], offset: u32) {
     for id in run_ids {
         let rebased = board
             .telemetry_ref(id)
@@ -467,7 +467,7 @@ fn rebase_telemetry_refs(board: &mut StatusBoard, run_ids: &[String], offset: u3
 
 /// Prefixes a shard snapshot's track names with `shard<index>/` so the
 /// merged timeline keeps one uniquely-named lane per shard track.
-fn prefix_track_names(snapshot: &mut Snapshot, shard: usize) {
+pub(crate) fn prefix_track_names(snapshot: &mut Snapshot, shard: usize) {
     snapshot.track_names = snapshot
         .track_names
         .iter()

@@ -45,6 +45,7 @@ pub mod merge;
 pub mod metrics;
 pub mod report;
 pub mod sink;
+pub mod snapjson;
 
 use std::sync::Arc;
 
@@ -62,6 +63,7 @@ pub use report::{
     SummaryOptions,
 };
 pub use sink::{Recorder, Sink, Snapshot};
+pub use snapjson::{snapshot_from_json, snapshot_json, SNAPSHOT_SCHEMA};
 
 /// The recording handle threaded through executors.
 ///

@@ -1,0 +1,395 @@
+//! Lossless snapshot persistence: `fair-telemetry-snapshot/1`.
+//!
+//! The memoization layer (`savanna::memo`) caches a run's telemetry
+//! [`Snapshot`] alongside its `StatusBoard` entry and replays it on a
+//! cache hit. For the warm-vs-cold differential to hold byte-for-byte,
+//! the codec here must be **exact**: decoding an encoded snapshot yields
+//! a `Snapshot` that is `==` the original, including every `u64`
+//! timestamp and every `f64` counter bit pattern.
+//!
+//! The existing exports ([`crate::chrome_trace_json`],
+//! [`crate::metrics_json`]) are *presentation* formats and lossy by
+//! design (aggregation, lane packing). This module is the storage
+//! format, and it side-steps the two lossy spots in plain JSON numbers:
+//!
+//! * `u64` values are encoded as **decimal strings** — JSON readers
+//!   (including our own [`crate::jsonin`]) funnel numbers through `f64`,
+//!   which cannot represent every `u64`;
+//! * `f64` values are encoded as **shortest-roundtrip `Display`
+//!   strings** — Rust guarantees `format!("{v}").parse::<f64>()`
+//!   returns the identical bits for every finite value, and `NaN`/`inf`
+//!   survive via their `Display`/`FromStr` forms.
+//!
+//! Event arguments are `[name, tag, value]` triples with one-letter
+//! type tags (`u`/`i`/`f`/`t`/`b`), so the typed [`ArgValue`] enum
+//! round-trips without guessing. `&'static str` fields (categories,
+//! argument names) are re-materialised through a process-global intern
+//! pool; the set of category/argument names in a process is tiny and
+//! fixed, so the leak is bounded.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::{Mutex, PoisonError};
+
+use crate::event::{ArgValue, InstantEvent, SpanEvent};
+use crate::json::write_str;
+use crate::jsonin::{parse, Value};
+use crate::sink::Snapshot;
+
+/// Schema id stamped into every encoded snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "fair-telemetry-snapshot/1";
+
+/// Interns `s`, returning a `&'static str` with the same contents.
+///
+/// Decoding needs `&'static str` for [`SpanEvent::category`] and
+/// argument names; the pool guarantees each distinct string leaks at
+/// most once per process.
+fn intern(s: &str) -> &'static str {
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(existing) = pool.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+fn write_u64_str(out: &mut String, v: u64) {
+    out.push('"');
+    let _ = write!(out, "{v}");
+    out.push('"');
+}
+
+fn write_f64_str(out: &mut String, v: f64) {
+    out.push('"');
+    let _ = write!(out, "{v}");
+    out.push('"');
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('[');
+    for (i, (name, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        write_str(out, name);
+        out.push(',');
+        match value {
+            ArgValue::UInt(v) => {
+                out.push_str("\"u\",");
+                write_u64_str(out, *v);
+            }
+            ArgValue::Int(v) => {
+                out.push_str("\"i\",\"");
+                let _ = write!(out, "{v}");
+                out.push('"');
+            }
+            ArgValue::Float(v) => {
+                out.push_str("\"f\",");
+                write_f64_str(out, *v);
+            }
+            ArgValue::Text(v) => {
+                out.push_str("\"t\",");
+                write_str(out, v);
+            }
+            ArgValue::Flag(v) => {
+                out.push_str("\"b\",");
+                out.push_str(if *v { "true" } else { "false" });
+            }
+        }
+        out.push(']');
+    }
+    out.push(']');
+}
+
+/// Encodes a [`Snapshot`] as a canonical `fair-telemetry-snapshot/1`
+/// document.
+///
+/// The encoding is deterministic (events in recording order, maps in
+/// key order) and exact: [`snapshot_from_json`] inverts it bit-for-bit.
+pub fn snapshot_json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(256 + snap.spans.len() * 96);
+    out.push_str("{\"schema\":\"");
+    out.push_str(SNAPSHOT_SCHEMA);
+    out.push_str("\",\"spans\":[");
+    for (i, span) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        write_str(&mut out, span.category);
+        out.push(',');
+        write_str(&mut out, &span.name);
+        let _ = write!(out, ",{},", span.track);
+        write_u64_str(&mut out, span.start_us);
+        out.push(',');
+        write_u64_str(&mut out, span.dur_us);
+        out.push(',');
+        write_args(&mut out, &span.args);
+        out.push(']');
+    }
+    out.push_str("],\"instants\":[");
+    for (i, event) in snap.instants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        write_str(&mut out, event.category);
+        out.push(',');
+        write_str(&mut out, &event.name);
+        let _ = write!(out, ",{},", event.track);
+        write_u64_str(&mut out, event.at_us);
+        out.push(',');
+        write_args(&mut out, &event.args);
+        out.push(']');
+    }
+    out.push_str("],\"counters\":[");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        write_str(&mut out, name);
+        out.push(',');
+        write_f64_str(&mut out, *value);
+        out.push(']');
+    }
+    out.push_str("],\"tracks\":[");
+    for (i, (track, name)) in snap.track_names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{track},");
+        write_str(&mut out, name);
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn need_str(v: &Value, what: &str) -> Result<String, String> {
+    v.as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| format!("snapshot: {what} is not a string"))
+}
+
+fn need_u64_str(v: &Value, what: &str) -> Result<u64, String> {
+    v.as_str()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| format!("snapshot: {what} is not a u64 string"))
+}
+
+fn need_f64_str(v: &Value, what: &str) -> Result<f64, String> {
+    v.as_str()
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or_else(|| format!("snapshot: {what} is not an f64 string"))
+}
+
+fn need_u32(v: &Value, what: &str) -> Result<u32, String> {
+    v.as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| format!("snapshot: {what} is not a u32"))
+}
+
+fn need_arr<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], String> {
+    v.as_arr()
+        .ok_or_else(|| format!("snapshot: {what} is not an array"))
+}
+
+fn parse_args(v: &Value) -> Result<Vec<(&'static str, ArgValue)>, String> {
+    let mut args = Vec::new();
+    for item in need_arr(v, "args")? {
+        let triple = need_arr(item, "arg entry")?;
+        if triple.len() != 3 {
+            return Err("snapshot: arg entry is not a [name, tag, value] triple".into());
+        }
+        let name = intern(&need_str(&triple[0], "arg name")?);
+        let tag = need_str(&triple[1], "arg tag")?;
+        let value = match tag.as_str() {
+            "u" => ArgValue::UInt(need_u64_str(&triple[2], "u arg")?),
+            "i" => ArgValue::Int(
+                triple[2]
+                    .as_str()
+                    .and_then(|s| s.parse::<i64>().ok())
+                    .ok_or("snapshot: i arg is not an i64 string")?,
+            ),
+            "f" => ArgValue::Float(need_f64_str(&triple[2], "f arg")?),
+            "t" => ArgValue::Text(need_str(&triple[2], "t arg")?),
+            "b" => match &triple[2] {
+                Value::Bool(b) => ArgValue::Flag(*b),
+                _ => return Err("snapshot: b arg is not a bool".into()),
+            },
+            other => return Err(format!("snapshot: unknown arg tag {other:?}")),
+        };
+        args.push((name, value));
+    }
+    Ok(args)
+}
+
+/// Decodes a `fair-telemetry-snapshot/1` document.
+///
+/// The parse is strict — wrong schema id, missing sections, or
+/// mistyped fields are errors, so a corrupted cache payload surfaces as
+/// a decode failure (= cache miss) rather than a silently-wrong replay.
+pub fn snapshot_from_json(doc: &str) -> Result<Snapshot, String> {
+    let root = parse(doc)?;
+    match root.get("schema").and_then(Value::as_str) {
+        Some(SNAPSHOT_SCHEMA) => {}
+        Some(other) => return Err(format!("snapshot: unsupported schema {other:?}")),
+        None => return Err("snapshot: missing schema id".into()),
+    }
+    let mut snap = Snapshot::default();
+    for item in need_arr(root.get("spans").ok_or("snapshot: missing spans")?, "spans")? {
+        let fields = need_arr(item, "span entry")?;
+        if fields.len() != 6 {
+            return Err("snapshot: span entry is not a 6-tuple".into());
+        }
+        snap.spans.push(SpanEvent {
+            category: intern(&need_str(&fields[0], "span category")?),
+            name: need_str(&fields[1], "span name")?,
+            track: need_u32(&fields[2], "span track")?,
+            start_us: need_u64_str(&fields[3], "span start_us")?,
+            dur_us: need_u64_str(&fields[4], "span dur_us")?,
+            args: parse_args(&fields[5])?,
+        });
+    }
+    for item in need_arr(
+        root.get("instants").ok_or("snapshot: missing instants")?,
+        "instants",
+    )? {
+        let fields = need_arr(item, "instant entry")?;
+        if fields.len() != 5 {
+            return Err("snapshot: instant entry is not a 5-tuple".into());
+        }
+        snap.instants.push(InstantEvent {
+            category: intern(&need_str(&fields[0], "instant category")?),
+            name: need_str(&fields[1], "instant name")?,
+            track: need_u32(&fields[2], "instant track")?,
+            at_us: need_u64_str(&fields[3], "instant at_us")?,
+            args: parse_args(&fields[4])?,
+        });
+    }
+    for item in need_arr(
+        root.get("counters").ok_or("snapshot: missing counters")?,
+        "counters",
+    )? {
+        let pair = need_arr(item, "counter entry")?;
+        if pair.len() != 2 {
+            return Err("snapshot: counter entry is not a [name, value] pair".into());
+        }
+        snap.counters.insert(
+            need_str(&pair[0], "counter name")?,
+            need_f64_str(&pair[1], "counter value")?,
+        );
+    }
+    for item in need_arr(
+        root.get("tracks").ok_or("snapshot: missing tracks")?,
+        "tracks",
+    )? {
+        let pair = need_arr(item, "track entry")?;
+        if pair.len() != 2 {
+            return Err("snapshot: track entry is not a [track, name] pair".into());
+        }
+        snap.track_names.insert(
+            need_u32(&pair[0], "track id")?,
+            need_str(&pair[1], "track name")?,
+        );
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.spans.push(SpanEvent {
+            category: "attempt",
+            name: "g1/n-0".into(),
+            track: 3,
+            start_us: u64::MAX,
+            dur_us: (1u64 << 54) + 1, // not representable as f64
+            args: vec![
+                ("attempt", ArgValue::UInt(u64::MAX - 1)),
+                ("delta", ArgValue::Int(-42)),
+                ("frac", ArgValue::Float(0.1 + 0.2)),
+                ("cause", ArgValue::Text("node \"7\" down\n".into())),
+                ("rework", ArgValue::Flag(true)),
+            ],
+        });
+        snap.instants.push(InstantEvent {
+            category: "fault",
+            name: "crash".into(),
+            track: 0,
+            at_us: 9_007_199_254_740_993, // 2^53 + 1
+            args: vec![],
+        });
+        snap.counters.insert("sim.span_us".into(), 1e300);
+        snap.counters.insert("tiny".into(), f64::MIN_POSITIVE);
+        snap.counters.insert("neg".into(), -0.125);
+        snap.track_names.insert(0, "campaign".into());
+        snap.track_names.insert(7, "shard1/alloc".into());
+        snap
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let snap = sample();
+        let doc = snapshot_json(&snap);
+        let back = snapshot_from_json(&doc).expect("decodes");
+        assert_eq!(back, snap);
+        // re-encode is byte-identical (canonical form)
+        assert_eq!(snapshot_json(&back), doc);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let doc = snapshot_json(&Snapshot::default());
+        let back = snapshot_from_json(&doc).expect("decodes");
+        assert_eq!(back, Snapshot::default());
+    }
+
+    #[test]
+    fn u64_precision_survives_where_f64_would_not() {
+        let snap = sample();
+        let back = snapshot_from_json(&snapshot_json(&snap)).expect("decodes");
+        assert_eq!(back.spans[0].start_us, u64::MAX);
+        assert_eq!(back.spans[0].dur_us, (1u64 << 54) + 1);
+        assert_eq!(back.instants[0].at_us, 9_007_199_254_740_993);
+        // sanity: that instant would be lossy through an f64
+        let through_f64 = 9_007_199_254_740_993u64 as f64 as u64;
+        assert_ne!(through_f64, 9_007_199_254_740_993);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        let good = snapshot_json(&sample());
+        for bad in [
+            "",
+            "{}",
+            "{\"schema\":\"other/1\",\"spans\":[],\"instants\":[],\"counters\":[],\"tracks\":[]}",
+            good.replacen("\"u\"", "\"x\"", 1).as_str(),
+            good.replacen("attempt", "", 1).trim_start_matches('{'),
+        ] {
+            assert!(
+                snapshot_from_json(bad).is_err(),
+                "{bad:?} should not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn interned_statics_compare_equal() {
+        let snap = sample();
+        let back = snapshot_from_json(&snapshot_json(&snap)).expect("decodes");
+        assert_eq!(back.spans[0].category, "attempt");
+        assert_eq!(back.spans[0].args[0].0, "attempt");
+        // interning the same string twice yields the same pointer
+        let a = intern("memo-intern-test");
+        let b = intern("memo-intern-test");
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -215,4 +215,41 @@ run_perf_bin event_core --check "$REPO/results"
 run_perf_bin campaign_parallel --check "$REPO/results"
 echo "perf smoke: OK"
 
+# Memoization gate, three layers (README "Provenance & memoization"):
+# (a) memo_overhead --smoke: cold-execute a checkpointed campaign into a
+#     fresh content-addressed store, replay it warm, and fail unless the
+#     warm replay executes zero runs with a byte-identical StatusBoard;
+# (b) memo_overhead --check: the committed
+#     results/BENCH_memo_overhead.json keeps its metric key set AND the
+#     two contractual gates hold on a fresh measurement — warm replays
+#     execute nothing at >= 10x over cold, cold bookkeeping stays
+#     within 50% of the un-memoized baseline;
+# (c) the warm/cold differential + hash-stability goldens in
+#     tests/memo_differential.rs and tests/memo_goldens.rs — cache keys
+#     and the fair-provenance/1 DAG export must match the committed
+#     fixtures byte-for-byte (UPDATE_FIXTURES=1 regenerates after an
+#     intentional schema change).
+# All layers are rand-stub-safe at runtime (instant series, hash-based
+# faults), so offline they run from the shadow workspace.
+echo "== ci: memo smoke =="
+run_memo_bin() {
+    if cargo build -q --release -p bench --bin memo_overhead 2>/dev/null; then
+        cargo run -q --release -p bench --bin memo_overhead -- "$@"
+    else
+        (cd "$REPO/target/offline-check" &&
+            CARGO_NET_OFFLINE=true cargo run -q --release --offline -p bench --bin memo_overhead -- "$@")
+    fi
+}
+run_memo_bin --smoke
+run_memo_bin --check "$REPO/results"
+if cargo build -q --tests 2>/dev/null; then
+    UPDATE_FIXTURES="${UPDATE_FIXTURES:-0}" cargo test -q --test memo_differential
+    UPDATE_FIXTURES="${UPDATE_FIXTURES:-0}" cargo test -q --test memo_goldens
+else
+    (cd "$REPO/target/offline-check" &&
+        UPDATE_FIXTURES="${UPDATE_FIXTURES:-0}" CARGO_NET_OFFLINE=true \
+            cargo test -q --offline --test memo_differential --test memo_goldens)
+fi
+echo "memo smoke: OK"
+
 echo "ci: OK"

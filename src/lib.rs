@@ -20,6 +20,8 @@
 //! * [`exec`] — work-stealing thread pool.
 //! * [`telemetry`] — spans/counters with Chrome-trace and flat-metrics
 //!   JSON exports (see DESIGN.md "Observability").
+//! * [`provenance`] — the campaign provenance DAG (`fair-provenance/1`)
+//!   behind `savanna`'s memoized drivers (see DESIGN.md §6g).
 //!
 //! The facade also owns [`bridge`]: conversions between the tabular and
 //! iorf data models plus published result tables.
@@ -37,6 +39,7 @@ pub use fair_core;
 pub use fair_lint;
 pub use hpcsim;
 pub use iorf;
+pub use provenance;
 pub use savanna;
 pub use skel;
 pub use tabular;

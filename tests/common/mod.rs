@@ -18,7 +18,7 @@
 #![allow(dead_code)]
 
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
 use fair_workflows::cheetah::manifest::CampaignManifest;
@@ -31,8 +31,9 @@ use fair_workflows::hpcsim::time::SimDuration;
 use fair_workflows::savanna::pilot::PilotScheduler;
 use fair_workflows::savanna::resilience::{FaultPlan, ResiliencePolicy, RestartStrategy};
 use fair_workflows::savanna::{
-    run_campaign_resilient_par_traced, run_campaign_sim_par_traced, FaultSpec, SeriesSpec,
-    ShardPlan,
+    run_campaign_resilient_memo_par_traced, run_campaign_resilient_par_traced,
+    run_campaign_sim_memo_par_traced, run_campaign_sim_par_traced, FaultSpec, MemoCampaignReport,
+    MemoConfig, SeriesSpec, ShardPlan,
 };
 use fair_workflows::telemetry::{metrics_json, Snapshot, Telemetry};
 
@@ -214,6 +215,121 @@ pub fn run_fixture_full(
     let snapshot = rec.snapshot();
     let metrics = metrics_json(&snapshot);
     (board, metrics, snapshot)
+}
+
+/// The fixture's resilience policy, when the resilient driver runs it.
+fn fixture_policy(fixture: Fixture) -> Option<ResiliencePolicy> {
+    match fixture {
+        Fixture::Sweep => None,
+        Fixture::Faulty => Some(ResiliencePolicy {
+            retry_budget: 3,
+            backoff_base: SimDuration::from_mins(10),
+            ..ResiliencePolicy::default()
+        }),
+        Fixture::Checkpointed => Some(ResiliencePolicy {
+            restart: RestartStrategy::FromCheckpoint {
+                interval: SimDuration::from_mins(15),
+            },
+            ..ResiliencePolicy::default()
+        }),
+    }
+}
+
+/// The fixture's campaign inputs (manifest + durations), shared by the
+/// sharded and memoized runners so both execute the identical campaign.
+pub fn fixture_inputs(fixture: Fixture) -> (CampaignManifest, BTreeMap<String, SimDuration>) {
+    match fixture {
+        Fixture::Sweep => {
+            let m = grid_manifest("fixture-sweep", 12);
+            let d = ramp_durations(&m, 600, 180);
+            (m, d)
+        }
+        Fixture::Faulty => {
+            let m = grid_manifest("fixture-faulty", 10);
+            let d = ramp_durations(&m, 900, 120);
+            (m, d)
+        }
+        Fixture::Checkpointed => {
+            let m = grid_manifest("fixture-checkpointed", 4);
+            let d = ramp_durations(&m, 10_800, 1_800);
+            (m, d)
+        }
+    }
+}
+
+/// Executes a fixture campaign through the *memoized* drivers against
+/// the content-addressed store at `store_path` (tracing on), and returns
+/// the final board, the metrics export, the raw snapshot, and the memo
+/// report. Campaign inputs are [`fixture_inputs`] with the same seeds,
+/// policies, and fault plans as [`run_fixture_full`]; only the execution
+/// layer differs (unit shards + cache).
+pub fn run_fixture_memo(
+    fixture: Fixture,
+    store_path: &Path,
+    pool: Option<&ThreadPool>,
+) -> (StatusBoard, String, Snapshot, MemoCampaignReport) {
+    let (manifest, durations) = fixture_inputs(fixture);
+    run_memo_campaign(fixture, &manifest, &durations, store_path, pool)
+}
+
+/// [`run_fixture_memo`] over caller-edited campaign inputs — the
+/// partial-warm differential edits one run's duration or extends the
+/// sweep and must drive the memo layer with the modified campaign.
+pub fn run_memo_campaign(
+    fixture: Fixture,
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    store_path: &Path,
+    pool: Option<&ThreadPool>,
+) -> (StatusBoard, String, Snapshot, MemoCampaignReport) {
+    let (tel, rec) = Telemetry::recording();
+    let spec = SeriesSpec::instant(BatchJob::new(8, SimDuration::from_hours(2)));
+    let memo = MemoConfig::new(store_path);
+    let mut board = StatusBoard::for_manifest(manifest);
+    let report = match fixture_policy(fixture) {
+        None => run_campaign_sim_memo_par_traced(
+            manifest,
+            durations,
+            &PilotScheduler::new(),
+            &spec,
+            41,
+            &mut board,
+            64,
+            &memo,
+            pool,
+            &tel,
+        )
+        .expect("fixture durations modeled"),
+        Some(policy) => {
+            let faults = match fixture {
+                Fixture::Faulty => FaultPlan {
+                    run_faults: FaultSpec::new(0.35, 23),
+                    node_mttf: None,
+                    stalls: None,
+                    seed: 23,
+                },
+                _ => FaultPlan::none(7),
+            };
+            run_campaign_resilient_memo_par_traced(
+                manifest,
+                durations,
+                &PilotScheduler::new(),
+                &spec,
+                41,
+                &mut board,
+                64,
+                &policy,
+                &faults,
+                &memo,
+                pool,
+                &tel,
+            )
+            .expect("fixture durations modeled")
+        }
+    };
+    let snapshot = rec.snapshot();
+    let metrics = metrics_json(&snapshot);
+    (board, metrics, snapshot, report)
 }
 
 /// Absolute path of a committed fixture artifact.

@@ -1,0 +1,108 @@
+//! Hash-stability goldens for the memoization layer.
+//!
+//! The cache key of every fixture run and the full `fair-provenance/1`
+//! DAG export are committed under `tests/fixtures/` — any change to the
+//! key document, the hand-rolled 128-bit hash, or the provenance codec
+//! shows up here as a byte diff. Keys are derived from *portable*
+//! environment pins (no os/arch capture), so the committed hex values
+//! hold on every machine and build flavor. Regenerate after an
+//! intentional schema change with:
+//!
+//! ```text
+//! UPDATE_FIXTURES=1 cargo test --test memo_goldens
+//! ```
+
+mod common;
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use common::{fixture_path, run_fixture_memo, Fixture};
+use fair_workflows::provenance::validate_provenance_json;
+use fair_workflows::savanna::MemoCampaignReport;
+
+fn scratch_store(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "fair-memo-golden-{}-{tag}-{n}.cas",
+        std::process::id()
+    ))
+}
+
+/// Renders the per-run cache keys as a small committed document.
+fn memo_keys_doc(campaign: &str, report: &MemoCampaignReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"fair-memo-keys/1\",\n  \"campaign\": \"");
+    out.push_str(campaign);
+    out.push_str("\",\n  \"keys\": [\n");
+    for (i, run) in report.runs.iter().enumerate() {
+        assert!(
+            run.run_id.bytes().all(|b| b != b'"' && b != b'\\'),
+            "fixture run ids stay escape-free"
+        );
+        out.push_str("    {\"run\": \"");
+        out.push_str(&run.run_id);
+        out.push_str("\", \"key\": \"");
+        out.push_str(&run.key);
+        out.push_str("\"}");
+        if i + 1 < report.runs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs a fixture cold against a fresh store and returns its memo
+/// report (so every committed provenance golden has `cached: false`
+/// everywhere — the cold baseline).
+fn cold_report(fixture: Fixture) -> MemoCampaignReport {
+    let store = scratch_store(fixture.name());
+    let (_, _, _, report) = run_fixture_memo(fixture, &store, None);
+    std::fs::remove_file(&store).ok();
+    report
+}
+
+fn check_golden(path: PathBuf, actual: &str) {
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run UPDATE_FIXTURES=1 to generate)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "{} drifted — if the key/provenance schema changed on purpose, \
+         regenerate with UPDATE_FIXTURES=1",
+        path.display()
+    );
+}
+
+#[test]
+fn cache_keys_match_the_committed_goldens() {
+    for fixture in Fixture::ALL {
+        let report = cold_report(fixture);
+        let doc = memo_keys_doc(&report.provenance.campaign, &report);
+        check_golden(fixture_path(fixture, "memokeys"), &doc);
+    }
+}
+
+#[test]
+fn provenance_dags_match_the_committed_goldens_and_validate() {
+    for fixture in Fixture::ALL {
+        let report = cold_report(fixture);
+        let doc = report.provenance.to_json();
+        let check = validate_provenance_json(&doc)
+            .unwrap_or_else(|e| panic!("{}: invalid provenance: {e}", fixture.name()));
+        assert_eq!(check.runs, report.runs.len());
+        assert_eq!(check.cached_runs, 0, "cold baseline has no hits");
+        check_golden(fixture_path(fixture, "provenance"), &doc);
+    }
+}

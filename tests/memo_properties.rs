@@ -1,0 +1,309 @@
+//! Property tests for the memoization cache key (`savanna::memo`).
+//!
+//! The key must be *exactly* as discriminating as the run spec: any
+//! field that can change simulated output changes the key (no stale
+//! hits), and representation details that cannot change output — param
+//! insertion order, manifest JSON round-trips, duration-map insertion
+//! order — leave it untouched (no spurious misses). The third family
+//! closes the loop end-to-end: after a random subset of runs is edited,
+//! a warm replay hits exactly the unedited runs.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use common::ramp_durations;
+use fair_workflows::cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use fair_workflows::cheetah::manifest::CampaignManifest;
+use fair_workflows::cheetah::param::SweepSpec;
+use fair_workflows::cheetah::status::StatusBoard;
+use fair_workflows::cheetah::sweep::Sweep;
+use fair_workflows::hpcsim::batch::BatchJob;
+use fair_workflows::hpcsim::time::SimDuration;
+use fair_workflows::savanna::pilot::PilotScheduler;
+use fair_workflows::savanna::{run_campaign_sim_memo, MemoCampaignReport, MemoConfig, SeriesSpec};
+use proptest::prelude::*;
+
+fn scratch_store(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "fair-memo-prop-{}-{tag}-{n}.cas",
+        std::process::id()
+    ))
+}
+
+/// One memoizable campaign configuration; every field that feeds the
+/// cache key is explicit so properties can mutate them one at a time.
+#[derive(Debug, Clone, PartialEq)]
+struct Config {
+    name: String,
+    runs: i64,
+    nodes: u32,
+    walltime_secs: u64,
+    dur_base_secs: u64,
+    dur_step_secs: u64,
+    campaign_seed: u64,
+    max_allocations: u32,
+    job_hours: u64,
+}
+
+impl Config {
+    fn base() -> Self {
+        Config {
+            name: "prop-sweep".into(),
+            runs: 3,
+            nodes: 8,
+            walltime_secs: 7200,
+            dur_base_secs: 600,
+            dur_step_secs: 180,
+            campaign_seed: 41,
+            max_allocations: 64,
+            job_hours: 2,
+        }
+    }
+
+    fn manifest(&self) -> CampaignManifest {
+        Campaign::new(&self.name, "inst", AppDef::new("irf", "irf.exe"))
+            .with_group(SweepGroup::new(
+                "g",
+                Sweep::new().with(
+                    "p",
+                    SweepSpec::IntRange {
+                        start: 0,
+                        end: self.runs - 1,
+                        step: 1,
+                    },
+                ),
+                self.nodes,
+                1,
+                self.walltime_secs,
+            ))
+            .manifest()
+            .expect("valid property campaign")
+    }
+
+    fn durations(&self, manifest: &CampaignManifest) -> BTreeMap<String, SimDuration> {
+        ramp_durations(manifest, self.dur_base_secs, self.dur_step_secs)
+    }
+}
+
+/// Runs the config cold (fresh store, untraced serial driver) and
+/// returns its memo report — the per-run cache keys.
+fn cold_report_for(
+    cfg: &Config,
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+) -> MemoCampaignReport {
+    let store = scratch_store("keys");
+    let spec = SeriesSpec::instant(BatchJob::new(8, SimDuration::from_hours(cfg.job_hours)));
+    let mut board = StatusBoard::for_manifest(manifest);
+    let report = run_campaign_sim_memo(
+        manifest,
+        durations,
+        &PilotScheduler::new(),
+        &spec,
+        cfg.campaign_seed,
+        &mut board,
+        cfg.max_allocations,
+        &MemoConfig::new(&store),
+    )
+    .expect("property campaign runs");
+    std::fs::remove_file(&store).ok();
+    report
+}
+
+fn keys_of(cfg: &Config) -> Vec<(String, String)> {
+    let manifest = cfg.manifest();
+    let durations = cfg.durations(&manifest);
+    cold_report_for(cfg, &manifest, &durations)
+        .runs
+        .into_iter()
+        .map(|r| (r.run_id, r.key))
+        .collect()
+}
+
+/// Applies one of the campaign-global single-field mutations. Every
+/// branch changes a value that feeds simulated output, so every run's
+/// key must change.
+fn mutate(cfg: &Config, field: u8, delta: u64) -> Config {
+    let mut m = cfg.clone();
+    match field {
+        0 => m.campaign_seed = cfg.campaign_seed.wrapping_add(delta),
+        1 => m.dur_base_secs += delta,
+        2 => m.walltime_secs += delta,
+        3 => m.max_allocations += (delta % 100) as u32 + 1,
+        4 => m.name = format!("{}-{delta}", cfg.name),
+        5 => m.job_hours += delta % 5 + 1,
+        _ => unreachable!("field index out of range"),
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distinct_runs_have_distinct_keys_and_global_mutations_change_them_all(
+        field in 0u8..6,
+        delta in 1u64..1_000,
+    ) {
+        let base = Config::base();
+        let base_keys = keys_of(&base);
+        // within one campaign no two runs may ever collide
+        for (i, (_, ki)) in base_keys.iter().enumerate() {
+            for (_, kj) in &base_keys[i + 1..] {
+                prop_assert_ne!(ki, kj, "two runs share a cache key");
+            }
+        }
+        let mutated = mutate(&base, field, delta);
+        prop_assert_ne!(&mutated, &base, "mutation must not be the identity");
+        for ((id, base_key), (mid, mutated_key)) in
+            base_keys.iter().zip(keys_of(&mutated).iter())
+        {
+            if field != 4 {
+                prop_assert_eq!(id, mid);
+            }
+            prop_assert_ne!(
+                base_key, mutated_key,
+                "field {} mutation left run {}'s key stale", field, id
+            );
+        }
+    }
+
+    #[test]
+    fn editing_one_runs_duration_changes_only_its_key(
+        which in 0usize..3,
+        delta_secs in 1u64..100_000,
+    ) {
+        let cfg = Config::base();
+        let manifest = cfg.manifest();
+        let durations = cfg.durations(&manifest);
+        let before = cold_report_for(&cfg, &manifest, &durations);
+
+        let mut edited = durations.clone();
+        let target = before.runs[which].run_id.clone();
+        edited.insert(
+            target.clone(),
+            SimDuration(durations[&target].0 + delta_secs * 1_000_000),
+        );
+        let after = cold_report_for(&cfg, &manifest, &edited);
+        for (b, a) in before.runs.iter().zip(after.runs.iter()) {
+            prop_assert_eq!(&b.run_id, &a.run_id);
+            if b.run_id == target {
+                prop_assert_ne!(&b.key, &a.key, "edited run kept a stale key");
+            } else {
+                prop_assert_eq!(&b.key, &a.key, "untouched run's key drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_hit_set_is_exactly_the_unedited_runs(
+        mask in proptest::collection::vec(any::<bool>(), 4),
+        delta_secs in 1u64..10_000,
+    ) {
+        let mut cfg = Config::base();
+        cfg.runs = 4;
+        let manifest = cfg.manifest();
+        let durations = cfg.durations(&manifest);
+        let store = scratch_store("hits");
+        let spec = SeriesSpec::instant(BatchJob::new(8, SimDuration::from_hours(cfg.job_hours)));
+        let run = |durs: &BTreeMap<String, SimDuration>| {
+            let mut board = StatusBoard::for_manifest(&manifest);
+            run_campaign_sim_memo(
+                &manifest,
+                durs,
+                &PilotScheduler::new(),
+                &spec,
+                cfg.campaign_seed,
+                &mut board,
+                cfg.max_allocations,
+                &MemoConfig::new(&store),
+            )
+            .expect("property campaign runs")
+        };
+        let cold = run(&durations);
+        prop_assert_eq!(cold.executed_runs, 4);
+
+        let mut edited = durations.clone();
+        for (i, run_out) in cold.runs.iter().enumerate() {
+            if mask[i] {
+                edited.insert(
+                    run_out.run_id.clone(),
+                    SimDuration(durations[&run_out.run_id].0 + delta_secs * 1_000_000),
+                );
+            }
+        }
+        let warm = run(&edited);
+        let edits = mask.iter().filter(|&&m| m).count();
+        prop_assert_eq!(warm.executed_runs, edits, "misses must equal edited runs");
+        prop_assert_eq!(warm.cached_runs, 4 - edits);
+        for (i, run_out) in warm.runs.iter().enumerate() {
+            prop_assert_eq!(
+                run_out.cached, !mask[i],
+                "run {} cached-state disagrees with the edit mask", run_out.run_id
+            );
+        }
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
+    fn keys_ignore_param_insertion_order(
+        a_vals in 1i64..5,
+        b_vals in 1i64..5,
+    ) {
+        let build = |sweep: Sweep| {
+            Campaign::new("order-sweep", "inst", AppDef::new("irf", "irf.exe"))
+                .with_group(SweepGroup::new("g", sweep, 8, 1, 7200))
+                .manifest()
+                .expect("valid campaign")
+        };
+        let ab = build(
+            Sweep::new()
+                .with("a", SweepSpec::IntRange { start: 0, end: a_vals - 1, step: 1 })
+                .with("b", SweepSpec::IntRange { start: 0, end: b_vals - 1, step: 1 }),
+        );
+        let ba = build(
+            Sweep::new()
+                .with("b", SweepSpec::IntRange { start: 0, end: b_vals - 1, step: 1 })
+                .with("a", SweepSpec::IntRange { start: 0, end: a_vals - 1, step: 1 }),
+        );
+        let cfg = Config::base();
+        let durations = ramp_durations(&ab, 600, 120);
+        let keys_ab = cold_report_for(&cfg, &ab, &durations);
+        let keys_ba = cold_report_for(&cfg, &ba, &durations);
+        for (x, y) in keys_ab.runs.iter().zip(keys_ba.runs.iter()) {
+            prop_assert_eq!(&x.run_id, &y.run_id);
+            prop_assert_eq!(&x.key, &y.key, "param order leaked into the key");
+        }
+    }
+}
+
+/// Manifest JSON round-trips must not move the key: the key hashes the
+/// campaign's *content*, not its serialized representation. Skipped
+/// under the offline serde stubs (which cannot round-trip manifests —
+/// the same limitation the handshake tests have there).
+#[test]
+fn keys_survive_manifest_json_round_trips() {
+    let cfg = Config::base();
+    let manifest = cfg.manifest();
+    let round_tripped =
+        match std::panic::catch_unwind(|| CampaignManifest::from_json(&manifest.to_json())) {
+            Ok(Ok(m)) => m,
+            Ok(Err(e)) => panic!("manifest round-trip failed: {e}"),
+            Err(_) => {
+                eprintln!("skipping: serde stubs cannot round-trip manifests");
+                return;
+            }
+        };
+    let durations = cfg.durations(&manifest);
+    let direct = cold_report_for(&cfg, &manifest, &durations);
+    let via_json = cold_report_for(&cfg, &round_tripped, &durations);
+    for (a, b) in direct.runs.iter().zip(via_json.runs.iter()) {
+        assert_eq!(a.run_id, b.run_id);
+        assert_eq!(a.key, b.key, "JSON round-trip moved run {}'s key", a.run_id);
+    }
+}
