@@ -13,6 +13,9 @@
 //!                                          # utilization + stragglers
 //!     [--straggler-factor F]               # flag runs > F x shard median
 //!     [--max-segments N]                   # cap critical-path listing
+//!     [--mode auto|term|text]              # themed vs byte-stable output
+//!                                          # (auto: term iff stdout is
+//!                                          # a tty; default)
 //! fair-report --flamegraph <trace.json>    # folded stacks (flamegraph.pl
 //!                                          # compatible) on stdout
 //! fair-report --utilization <trace.json>   # sampled utilization CSV
@@ -29,12 +32,13 @@
 use std::process::ExitCode;
 
 use telemetry::{
-    compare_metrics, digest_json, digests_from_model, folded_stacks, parse_metrics, render_summary,
-    utilization_csv, SummaryOptions, TraceModel,
+    compare_metrics, digest_json, digests_from_model, folded_stacks, parse_metrics,
+    render_summary_with_theme, utilization_csv, OutputMode, SummaryOptions, Theme, TraceModel,
 };
 
 fn usage() -> &'static str {
-    "usage: fair-report <trace.json> [--straggler-factor F] [--max-segments N]\n\
+    "usage: fair-report <trace.json> [--straggler-factor F] [--max-segments N] \
+     [--mode auto|term|text]\n\
      \x20      fair-report --flamegraph <trace.json>\n\
      \x20      fair-report --utilization <trace.json> [--metric NAME]\n\
      \x20      fair-report --digest <trace.json>\n\
@@ -146,11 +150,17 @@ fn run() -> Result<ExitCode, String> {
     if let Some(n) = take_option(&mut args, "--max-segments", |s| s.parse::<usize>().ok())? {
         options.max_segments = n;
     }
+    let mode = take_option(&mut args, "--mode", OutputMode::parse)?
+        .unwrap_or(OutputMode::Auto)
+        .resolve();
     if args.len() != 1 {
         return Err("expected exactly one trace file".to_string());
     }
     let model = load_model(&args[0])?;
-    print!("{}", render_summary(&model, &options));
+    print!(
+        "{}",
+        render_summary_with_theme(&model, &options, &Theme::for_mode(mode))
+    );
     Ok(ExitCode::SUCCESS)
 }
 

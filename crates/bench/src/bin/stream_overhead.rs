@@ -1,0 +1,363 @@
+//! Live-stream overhead baseline (`BENCH_stream_overhead.json`) and the
+//! deterministic observability smoke (`--smoke`).
+//!
+//! The live telemetry stream's bargain is "pay a little wall-clock for a
+//! campaign you can watch"; this bin measures the "little" on the
+//! `campaign_throughput` workload (the same fault-free traced campaign
+//! `BENCH_campaign_throughput.json` baselines), two ways:
+//!
+//! * **recorder** — `run_campaign_sim_traced` into an in-memory
+//!   `Recorder` alone: the pre-stream recording model and the baseline;
+//! * **stream** — `run_campaign_sim_stream_traced`: the same recorder
+//!   with a `StreamSink` tap attached (default buffered options), whose
+//!   writer thread exports the recorder's log to a CRC-framed
+//!   `fair-telemetry-stream/1` file as the campaign runs.
+//!
+//! Wall-clock numbers are machine- and build-dependent; CI compares the
+//! metric *key set* against the committed document (`--check`) and
+//! additionally gates the contractual budget: streaming overhead vs
+//! recorder-only stays <= 10% on a fresh min-of-reps measurement. Both
+//! arms must leave byte-identical recorder snapshots, and the stream's
+//! replay must equal that snapshot byte-for-byte — measured runs double
+//! as differential runs.
+//!
+//! `--smoke` is the observability gate's producer: it runs a small,
+//! fully deterministic streamed campaign — instant allocation series and
+//! hash-based run faults only, the golden-fixture recipe, so the stream
+//! bytes are identical under the real and offline-stub builds — verifies
+//! the stream's replay and fold against the end-of-run snapshot, and
+//! leaves the stream file at the given path for `fair-top --once
+//! --mode text` golden comparison in `devtools/ci.sh`.
+//!
+//! Usage:
+//!
+//! ```text
+//! stream_overhead [--runs N] [OUT_DIR]
+//! stream_overhead --check [RESULTS_DIR]   # key-set + overhead gate
+//! stream_overhead --smoke OUT_STREAM      # deterministic streamed campaign
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use bench::{acs_campaign, acs_durations, print_table};
+use cheetah::campaign::{AppDef, Campaign, SweepGroup};
+use cheetah::manifest::CampaignManifest;
+use cheetah::param::SweepSpec;
+use cheetah::status::StatusBoard;
+use cheetah::sweep::Sweep;
+use hpcsim::batch::BatchJob;
+use hpcsim::time::SimDuration;
+use savanna::pilot::PilotScheduler;
+use savanna::resilience::{FaultPlan, ResiliencePolicy};
+use savanna::{
+    run_campaign_resilient_stream_traced, run_campaign_sim_stream_traced, run_campaign_sim_traced,
+    FaultSpec, SeriesSpec, StreamSpec,
+};
+use telemetry::{
+    metrics_json, metrics_keys, read_stream, replay_stream, snapshot_json, LiveModel, Snapshot,
+    Telemetry,
+};
+
+// Large enough to amortize the tap's fixed costs (one thread spawn and
+// join per campaign) the way a real campaign would; the per-record
+// streaming cost is what the budget polices.
+const DEFAULT_RUNS: i64 = 4_800;
+const DURATION_SEED: u64 = 7;
+const SERIES_SEED: u64 = 9;
+const BENCH_NAME: &str = "BENCH_stream_overhead.json";
+const OVERHEAD_BUDGET_PCT: f64 = 10.0;
+
+fn spec() -> SeriesSpec {
+    SeriesSpec::new(
+        BatchJob::new(20, SimDuration::from_hours(2)),
+        SimDuration::from_mins(20),
+        0.5,
+    )
+}
+
+fn scratch_stream(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fair-stream-overhead-{}-{tag}.stream",
+        std::process::id()
+    ))
+}
+
+/// One recorder-only execution of the campaign_throughput workload.
+fn recorder_once(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+) -> Snapshot {
+    let mut series = spec().build(SERIES_SEED);
+    let mut board = StatusBoard::for_manifest(manifest);
+    let (tel, rec) = Telemetry::recording();
+    run_campaign_sim_traced(
+        manifest,
+        durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        400,
+        &tel,
+    )
+    .expect("durations modeled");
+    rec.snapshot()
+}
+
+/// The same execution with a `StreamSink` tap attached; returns the recorder
+/// snapshot and the stream's final size in bytes.
+fn streamed_once(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    path: &Path,
+) -> (Snapshot, u64, u64) {
+    let mut series = spec().build(SERIES_SEED);
+    let mut board = StatusBoard::for_manifest(manifest);
+    let (tel, rec) = Telemetry::recording();
+    let outcome = run_campaign_sim_stream_traced(
+        manifest,
+        durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        400,
+        &tel,
+        &StreamSpec::new(path),
+    )
+    .expect("durations modeled");
+    (rec.snapshot(), outcome.stream.bytes, outcome.stream.records)
+}
+
+/// Runs both arms; returns the metrics document and the overhead.
+fn generate(runs: i64) -> (String, f64) {
+    let manifest = acs_campaign(runs);
+    let durations = acs_durations(&manifest, 30.0, 0.6, DURATION_SEED);
+    let path = scratch_stream("bench");
+
+    // Warm up once, then size repetitions for ~800 ms of laps per arm:
+    // the overhead budget is a CI gate, so the interleaved minima need
+    // enough laps to converge on a loaded box.
+    let warm = Instant::now();
+    let baseline = recorder_once(&manifest, &durations);
+    let once_us = warm.elapsed().as_micros().max(1) as usize;
+    let reps = (800_000 / once_us).clamp(8, 200);
+
+    let (tel, rec) = Telemetry::recording();
+    tel.count("workload.runs", manifest.total_runs() as f64);
+    tel.count("workload.reps", reps as f64);
+
+    // Interleave the arms lap-by-lap and keep each arm's fastest lap:
+    // the minimum is the least noise-contaminated estimate on a shared
+    // box, and interleaving makes slow drift (CPU frequency, neighbour
+    // cache pressure) bias both minima equally instead of whichever arm
+    // happened to run second.
+    let mut recorder_us = f64::MAX;
+    let mut stream_us = f64::MAX;
+    let mut streamed = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        recorder_once(&manifest, &durations);
+        recorder_us = recorder_us.min(start.elapsed().as_micros() as f64);
+        let start = Instant::now();
+        let out = streamed_once(&manifest, &durations, &path);
+        stream_us = stream_us.min(start.elapsed().as_micros() as f64);
+        streamed = Some(out);
+    }
+    let (snapshot, bytes, records) = streamed.expect("reps >= 1");
+    tel.count("recorder.wall_us", recorder_us);
+    let overhead_pct = (stream_us - recorder_us) / recorder_us * 100.0;
+    tel.count("stream.wall_us", stream_us);
+    tel.count("stream.overhead_pct", overhead_pct);
+    tel.count("stream.bytes", bytes as f64);
+    tel.count("stream.records", records as f64);
+
+    // The measured runs double as the differential: the tap must not
+    // perturb the recording, and the stream must replay to it exactly.
+    assert_eq!(
+        snapshot_json(&snapshot),
+        snapshot_json(&baseline),
+        "streaming changed what the recorder observed"
+    );
+    let scan = read_stream(&path).expect("bench stream scans cleanly");
+    assert!(scan.complete, "bench stream missing Complete record");
+    assert_eq!(
+        snapshot_json(&replay_stream(&scan.records)),
+        snapshot_json(&snapshot),
+        "stream replay differs from the end-of-run recorder snapshot"
+    );
+    std::fs::remove_file(&path).ok();
+
+    print_table(
+        &format!(
+            "stream_overhead: {} runs, {reps} reps",
+            manifest.total_runs()
+        ),
+        ("arm", "wall time"),
+        &[
+            (
+                "recorder".to_string(),
+                format!("{recorder_us:.0} us  (baseline)"),
+            ),
+            (
+                "stream".to_string(),
+                format!(
+                    "{stream_us:.0} us  ({overhead_pct:+.1}% vs recorder, {bytes} stream bytes)"
+                ),
+            ),
+        ],
+    );
+    (metrics_json(&rec.snapshot()), overhead_pct)
+}
+
+/// The CI gate: the key set must match the committed document, and a
+/// fresh measurement must stay within the streaming overhead budget.
+fn check(results_dir: &str) {
+    let (fresh, overhead_pct) = generate(DEFAULT_RUNS);
+    let path = format!("{results_dir}/{BENCH_NAME}");
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    assert!(
+        committed.contains("\"schema\": \"fair-telemetry-metrics/1\""),
+        "{BENCH_NAME}: committed document lost its schema id"
+    );
+    let fresh_keys = metrics_keys(&fresh);
+    assert!(!fresh_keys.is_empty(), "fresh export recorded nothing");
+    assert_eq!(
+        metrics_keys(&committed),
+        fresh_keys,
+        "{BENCH_NAME}: metric keys drifted from the committed document — \
+         regenerate with `cargo run -p bench --bin stream_overhead`"
+    );
+    assert!(
+        overhead_pct <= OVERHEAD_BUDGET_PCT,
+        "{BENCH_NAME}: streaming overhead {overhead_pct:+.1}% exceeds the \
+         {OVERHEAD_BUDGET_PCT}% budget vs recorder-only"
+    );
+    println!(
+        "check {BENCH_NAME}: {} keys OK, overhead {overhead_pct:+.1}% within {OVERHEAD_BUDGET_PCT}%",
+        fresh_keys.len()
+    );
+}
+
+// ---- deterministic observability smoke -------------------------------
+
+/// The smoke campaign: 8 retried runs with hash-based faults, serial so
+/// the stream's event order is the recorder's — the rand-free recipe
+/// the golden fixtures use, byte-stable under real and stub builds.
+fn smoke_manifest() -> CampaignManifest {
+    Campaign::new("observe-smoke", "inst", AppDef::new("irf", "irf.exe"))
+        .with_group(SweepGroup::new(
+            "grid",
+            Sweep::new().with(
+                "p",
+                SweepSpec::IntRange {
+                    start: 0,
+                    end: 7,
+                    step: 1,
+                },
+            ),
+            8,
+            1,
+            7200,
+        ))
+        .manifest()
+        .expect("valid campaign")
+}
+
+/// Runs the deterministic streamed smoke campaign, leaving the stream
+/// file at `out` for `fair-top` to render.
+fn smoke(out: &str) {
+    let manifest = smoke_manifest();
+    let durations: BTreeMap<String, SimDuration> = manifest
+        .groups
+        .iter()
+        .flat_map(|g| g.runs.iter())
+        .enumerate()
+        .map(|(i, r)| (r.id.clone(), SimDuration::from_secs(900 + 150 * i as u64)))
+        .collect();
+    let mut series = SeriesSpec::instant(BatchJob::new(8, SimDuration::from_hours(2))).build(41);
+    let policy = ResiliencePolicy {
+        retry_budget: 3,
+        backoff_base: SimDuration::from_mins(10),
+        ..ResiliencePolicy::default()
+    };
+    // hash-based run errors only: deterministic across rand builds
+    let faults = FaultPlan {
+        run_faults: FaultSpec::new(0.35, 23),
+        node_mttf: None,
+        stalls: None,
+        seed: 23,
+    };
+    let mut board = StatusBoard::for_manifest(&manifest);
+    let (tel, rec) = Telemetry::recording();
+    let outcome = run_campaign_resilient_stream_traced(
+        &manifest,
+        &durations,
+        &PilotScheduler::new(),
+        &mut series,
+        &mut board,
+        64,
+        &policy,
+        &faults,
+        &tel,
+        &StreamSpec::new(out),
+    )
+    .expect("smoke campaign");
+
+    // The stream must be the truth before fair-top renders it: replay
+    // equals the end-of-run snapshot, and the fold's headline numbers
+    // equal the board's.
+    let scan = read_stream(Path::new(out)).expect("smoke stream scans cleanly");
+    assert!(scan.complete, "smoke stream missing Complete record");
+    assert_eq!(
+        snapshot_json(&replay_stream(&scan.records)),
+        snapshot_json(&rec.snapshot()),
+        "smoke stream replay differs from the end-of-run recorder snapshot"
+    );
+    let mut model = LiveModel::new();
+    model.fold_all(&scan.records);
+    let summary = board.summary();
+    assert_eq!(model.runs_done(), summary.done as u64);
+    assert_eq!(model.runs_failed(), summary.failed as u64);
+    println!(
+        "stream smoke: wrote {out} ({} records, {} bytes, {} runs done)",
+        outcome.stream.records,
+        outcome.stream.bytes,
+        model.runs_done()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--smoke") => {
+            return smoke(
+                args.get(1)
+                    .map(String::as_str)
+                    .unwrap_or_else(|| panic!("--smoke takes the output stream path")),
+            );
+        }
+        Some("--check") => {
+            return check(args.get(1).map(String::as_str).unwrap_or("results"));
+        }
+        _ => {}
+    }
+    let mut runs = DEFAULT_RUNS;
+    let mut out_dir = "results".to_string();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--runs" => {
+                runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs takes a positive integer");
+            }
+            dir => out_dir = dir.to_string(),
+        }
+    }
+    let (doc, _) = generate(runs);
+    let path = format!("{out_dir}/{BENCH_NAME}");
+    std::fs::write(&path, doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -58,41 +58,10 @@ const FRAME_HEADER: u64 = 8;
 /// one giant "record".
 const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
 
-// ---------------------------------------------------------------------
-// CRC-32 (IEEE), table-driven, computed at compile time. Hand-rolled so
-// the journal works under the no-new-dependencies constraint.
-// ---------------------------------------------------------------------
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC32_TABLE: [u32; 256] = crc32_table();
-
-/// IEEE CRC-32 of `bytes` (the polynomial used by gzip/PNG/zlib).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+// The CRC-32 lives in `telemetry::framing` so the journal and the live
+// telemetry stream (`telemetry::stream`) can never drift apart; the
+// symbol is re-exported here for API compatibility.
+pub use telemetry::framing::crc32;
 
 // ---------------------------------------------------------------------
 // Errors

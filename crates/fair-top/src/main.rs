@@ -1,0 +1,152 @@
+//! `fair-top` — live view of a running (or finished) campaign.
+//!
+//! Tails a `fair-telemetry-stream/1` file as the campaign's driver
+//! appends to it (see `savanna::stream`), folds the frames into a
+//! [`telemetry::LiveModel`], and renders progress, throughput, ETA,
+//! utilization, and straggler candidates. A torn tail — the frame the
+//! writer is mid-append on — is never an error; the reader waits for
+//! the rest of it.
+//!
+//! Usage:
+//!
+//! ```text
+//! fair-top <campaign.stream>               # follow until Complete
+//!     [--interval-ms N]                    # poll cadence (default 200)
+//! fair-top --once <campaign.stream>        # one snapshot of the
+//!                                          # stream as it is now
+//! fair-top --mode auto|term|text ...       # output mode (default auto:
+//!                                          # term iff stdout is a tty)
+//! fair-top --theme savanna|plain|mono ...  # term-mode theme
+//! ```
+//!
+//! `--once --mode text` is byte-stable for a given stream prefix — CI
+//! goldens pin it. In term mode, `--follow` repaints the screen on each
+//! poll; in text mode it prints one snapshot per fold that changed the
+//! model, separated by form feeds, so a piped follow stays parseable.
+//!
+//! Exit status: `0` on success (including a clean `Complete`), `2` on
+//! usage errors or a corrupt/unreadable stream.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use telemetry::render::{render_live, CLEAR_SCREEN};
+use telemetry::{LiveModel, OutputMode, RenderMode, StreamReader, Theme};
+
+fn usage() -> &'static str {
+    "usage: fair-top [--follow] <campaign.stream> [--interval-ms N]\n\
+     \x20      fair-top --once <campaign.stream>\n\
+     \x20  options: --mode auto|term|text   output mode (default auto)\n\
+     \x20           --theme NAME            term theme (savanna|plain|mono)"
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("fair-top: {message}");
+    eprintln!("{}", usage());
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag VALUE` out of `args`, parsing VALUE with `parse`.
+fn take_option<T>(
+    args: &mut Vec<String>,
+    flag: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(format!("{flag} needs a value"));
+            }
+            let raw = args.remove(i + 1);
+            args.remove(i);
+            parse(&raw)
+                .map(Some)
+                .ok_or_else(|| format!("invalid value for {flag}: {raw}"))
+        }
+    }
+}
+
+/// Removes `flag` from `args`, reporting whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err("missing stream path".to_string());
+    }
+
+    let once = take_flag(&mut args, "--once");
+    let _ = take_flag(&mut args, "--follow"); // follow is the default
+    let mode = take_option(&mut args, "--mode", OutputMode::parse)?
+        .unwrap_or(OutputMode::Auto)
+        .resolve();
+    let theme = match take_option(&mut args, "--theme", |s| Some(s.to_string()))? {
+        // An explicit theme only matters when escapes are emitted at all.
+        Some(name) if mode == RenderMode::Term => {
+            Theme::named(&name).ok_or_else(|| format!("unknown theme {name:?}"))?
+        }
+        _ => Theme::for_mode(mode),
+    };
+    let interval = take_option(&mut args, "--interval-ms", |s| s.parse::<u64>().ok())?
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(200));
+    if args.len() != 1 {
+        return Err("expected exactly one stream path".to_string());
+    }
+
+    let path = std::path::Path::new(&args[0]);
+    let mut reader =
+        StreamReader::open(path).map_err(|e| format!("cannot open {}: {e}", args[0]))?;
+    let mut model = LiveModel::new();
+
+    if once {
+        // Fold whatever the stream holds right now; a torn tail is
+        // simply data not yet written.
+        let records = reader.poll().map_err(|e| format!("{}: {e}", args[0]))?;
+        model.fold_all(&records);
+        print!("{}", render_live(&model, &theme));
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut rendered = false;
+    loop {
+        let records = reader.poll().map_err(|e| format!("{}: {e}", args[0]))?;
+        let advanced = !records.is_empty();
+        model.fold_all(&records);
+        if advanced || !rendered {
+            rendered = true;
+            match mode {
+                RenderMode::Term => {
+                    print!("{CLEAR_SCREEN}{}", render_live(&model, &theme));
+                }
+                RenderMode::Text => {
+                    // Form-feed-separated snapshots keep a piped follow
+                    // machine-splittable.
+                    print!("{}\u{c}", render_live(&model, &theme));
+                }
+            }
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        if reader.is_complete() {
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => fail(&message),
+    }
+}

@@ -11,6 +11,7 @@
 use crate::driver::PreflightBlocked;
 use cheetah::cas::CasError;
 use cheetah::journal::JournalError;
+use telemetry::stream::StreamError;
 
 /// Why a simulated campaign driver refused to (or could not) execute.
 #[derive(Debug)]
@@ -33,6 +34,15 @@ pub enum SavannaError {
     /// cached payload. Store *corruption* is never an error — a damaged
     /// frame is a cache miss and the run re-executes.
     Memo(CasError),
+    /// The live telemetry stream failed: an I/O error creating or
+    /// appending to the stream file, or (on the read side) structural
+    /// damage strictly before the final frame. A torn tail is never an
+    /// error — readers treat it as data not yet written.
+    Stream(StreamError),
+    /// A live stream was requested on a [`telemetry::Telemetry`]
+    /// handle that is not backed by the in-memory recorder the stream
+    /// taps. Create the handle with `Telemetry::recording()`.
+    StreamNeedsRecorder,
 }
 
 impl std::fmt::Display for SavannaError {
@@ -49,6 +59,14 @@ impl std::fmt::Display for SavannaError {
             SavannaError::Preflight(blocked) => blocked.fmt(f),
             SavannaError::Journal(err) => write!(f, "campaign journal failed: {err}"),
             SavannaError::Memo(err) => write!(f, "memoization store failed: {err}"),
+            SavannaError::Stream(err) => write!(f, "telemetry stream failed: {err}"),
+            SavannaError::StreamNeedsRecorder => {
+                write!(
+                    f,
+                    "live streaming taps the in-memory recorder; create the telemetry \
+                     handle with Telemetry::recording()"
+                )
+            }
         }
     }
 }
@@ -59,7 +77,8 @@ impl std::error::Error for SavannaError {
             SavannaError::Preflight(blocked) => Some(blocked),
             SavannaError::Journal(err) => Some(err),
             SavannaError::Memo(err) => Some(err),
-            SavannaError::UnmodeledRun { .. } => None,
+            SavannaError::Stream(err) => Some(err),
+            SavannaError::UnmodeledRun { .. } | SavannaError::StreamNeedsRecorder => None,
         }
     }
 }
@@ -79,6 +98,12 @@ impl From<JournalError> for SavannaError {
 impl From<CasError> for SavannaError {
     fn from(err: CasError) -> Self {
         SavannaError::Memo(err)
+    }
+}
+
+impl From<StreamError> for SavannaError {
+    fn from(err: StreamError) -> Self {
+        SavannaError::Stream(err)
     }
 }
 

@@ -53,6 +53,7 @@ pub mod pilot;
 pub mod resilience;
 pub mod setsync;
 pub mod shard;
+pub mod stream;
 pub mod task;
 
 pub use driver::{
@@ -87,5 +88,10 @@ pub use shard::{
     run_campaign_sim_journaled_par, run_campaign_sim_journaled_par_traced, run_campaign_sim_par,
     run_campaign_sim_par_traced, ParCampaignReport, ParResilientReport, SeriesSpec, ShardPlan,
     ShardResilientResult, ShardSimResult,
+};
+pub use stream::{
+    attach_stream, fold_stream, run_campaign_resilient_par_stream_traced,
+    run_campaign_resilient_stream_traced, run_campaign_sim_par_stream_traced,
+    run_campaign_sim_stream_traced, StreamSpec, StreamedOutcome,
 };
 pub use task::{AllocationScheduler, ScheduleOutcome, SimTask, TaskResult};

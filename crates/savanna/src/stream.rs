@@ -1,0 +1,249 @@
+//! Live streaming variants of the traced drivers.
+//!
+//! The `*_traced` drivers record into whatever [`Telemetry`] sink the
+//! caller supplies — in-memory by convention. The `*_stream_traced`
+//! wrappers here additionally attach a [`StreamSink`]: a tap on the
+//! caller's recorder whose writer thread exports every telemetry event
+//! to an append-only `fair-telemetry-stream/1` file *while the
+//! campaign runs*, so `fair-top` (or any [`telemetry::StreamReader`])
+//! in another process can follow progress live. The stream's `Meta`
+//! record carries the manifest's run total (for ETA) and the terminal
+//! `Complete` record marks a clean finish.
+//!
+//! Because the tap drains the recorder's own event log — the same log
+//! [`telemetry::Recorder::snapshot`] folds — replaying a completed
+//! stream reconstructs a snapshot equal to the caller's recorder
+//! snapshot byte-for-byte, and the campaign's hot path is untouched:
+//! producers record exactly as they would without a stream attached.
+//! The differential tests pin the equality. The par drivers record
+//! per-shard into private recorders and replay the merged snapshot
+//! into the caller's handle at the end, so streams carry the same
+//! merged, deterministic event order as the in-memory recording.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use cheetah::manifest::CampaignManifest;
+use cheetah::status::StatusBoard;
+use exec::ThreadPool;
+use hpcsim::batch::AllocationSeries;
+use hpcsim::time::SimDuration;
+use telemetry::stream::{StreamOptions, StreamSink, StreamStats};
+use telemetry::Telemetry;
+
+use crate::driver::{run_campaign_sim_traced, CampaignSimReport};
+use crate::error::SavannaError;
+use crate::pilot::PilotScheduler;
+use crate::resilience::{
+    run_campaign_resilient_traced, FaultPlan, ResiliencePolicy, ResilientCampaignReport,
+};
+use crate::shard::{
+    run_campaign_resilient_par_traced, run_campaign_sim_par_traced, ParCampaignReport,
+    ParResilientReport, SeriesSpec, ShardPlan,
+};
+use crate::task::AllocationScheduler;
+
+/// Where (and how) a campaign's live telemetry stream is written.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Stream file path (created/truncated at campaign start).
+    pub path: PathBuf,
+    /// Writer tuning (flush threshold, periodic sync).
+    pub options: StreamOptions,
+}
+
+impl StreamSpec {
+    /// A spec with default writer options.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            options: StreamOptions::default(),
+        }
+    }
+
+    /// A write-through spec: every record is flushed as it is
+    /// appended. Crash tests (and very patient tails) want this.
+    pub fn write_through(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            options: StreamOptions::write_through(),
+        }
+    }
+}
+
+/// A streamed campaign's result: the driver report plus the stream's
+/// final totals.
+#[derive(Debug)]
+pub struct StreamedOutcome<R> {
+    /// The wrapped driver's report.
+    pub report: R,
+    /// Stream totals after the final flush.
+    pub stream: StreamStats,
+}
+
+/// Creates the stream at `spec.path` (with the `Meta` record from
+/// `manifest` already durable) and attaches it as a tap on the
+/// recorder behind `tel` — which must have been created with
+/// [`Telemetry::recording`], else [`SavannaError::StreamNeedsRecorder`].
+///
+/// The campaign keeps using `tel` unchanged; the tap exports the
+/// recorder's log from a writer thread. Most callers want the
+/// `run_campaign_*_stream_traced` wrappers; this seam exists for
+/// drivers not wrapped here (journaled, memoized) — attach, run the
+/// driver with `tel`, then call [`StreamSink::finish`].
+pub fn attach_stream(
+    manifest: &CampaignManifest,
+    tel: &Telemetry,
+    spec: &StreamSpec,
+) -> Result<Arc<StreamSink>, SavannaError> {
+    let recorder = tel.recorder().ok_or(SavannaError::StreamNeedsRecorder)?;
+    StreamSink::attach(
+        &spec.path,
+        spec.options,
+        Arc::clone(recorder),
+        &manifest.campaign,
+        manifest.total_runs() as u64,
+    )
+    .map_err(SavannaError::from)
+}
+
+fn finish_stream<R>(sink: &StreamSink, report: R) -> Result<StreamedOutcome<R>, SavannaError> {
+    let stream = sink.finish()?;
+    Ok(StreamedOutcome { report, stream })
+}
+
+/// [`run_campaign_sim_traced`] with a live stream tapping `tel`'s recorder.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_sim_stream_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &dyn AllocationScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    tel: &Telemetry,
+    spec: &StreamSpec,
+) -> Result<StreamedOutcome<CampaignSimReport>, SavannaError> {
+    let sink = attach_stream(manifest, tel, spec)?;
+    let report = run_campaign_sim_traced(
+        manifest,
+        durations,
+        scheduler,
+        series,
+        board,
+        max_allocations,
+        tel,
+    )?;
+    finish_stream(&sink, report)
+}
+
+/// [`run_campaign_resilient_traced`] with a live stream tapping `tel`'s
+/// recorder.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_resilient_stream_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    series: &mut AllocationSeries,
+    board: &mut StatusBoard,
+    max_allocations: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    tel: &Telemetry,
+    spec: &StreamSpec,
+) -> Result<StreamedOutcome<ResilientCampaignReport>, SavannaError> {
+    let sink = attach_stream(manifest, tel, spec)?;
+    let report = run_campaign_resilient_traced(
+        manifest,
+        durations,
+        pilot,
+        series,
+        board,
+        max_allocations,
+        policy,
+        faults,
+        tel,
+    )?;
+    finish_stream(&sink, report)
+}
+
+/// [`run_campaign_sim_par_traced`] with a live stream tapping `tel`'s
+/// recorder. Shards record privately and the merged snapshot is
+/// replayed into `tel` at the end, so the stream observes the same
+/// deterministic merged order as the in-memory recorder.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_sim_par_stream_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    scheduler: &(dyn AllocationScheduler + Sync),
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_shard: u32,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+    tel: &Telemetry,
+    stream: &StreamSpec,
+) -> Result<StreamedOutcome<ParCampaignReport>, SavannaError> {
+    let sink = attach_stream(manifest, tel, stream)?;
+    let report = run_campaign_sim_par_traced(
+        manifest,
+        durations,
+        scheduler,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_shard,
+        plan,
+        pool,
+        tel,
+    )?;
+    finish_stream(&sink, report)
+}
+
+/// [`run_campaign_resilient_par_traced`] with a live stream tapping
+/// `tel`'s recorder (merged-replay semantics as in
+/// [`run_campaign_sim_par_stream_traced`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_resilient_par_stream_traced(
+    manifest: &CampaignManifest,
+    durations: &BTreeMap<String, SimDuration>,
+    pilot: &PilotScheduler,
+    spec: &SeriesSpec,
+    campaign_seed: u64,
+    board: &mut StatusBoard,
+    max_allocations_per_shard: u32,
+    policy: &ResiliencePolicy,
+    faults: &FaultPlan,
+    plan: &ShardPlan,
+    pool: Option<&ThreadPool>,
+    tel: &Telemetry,
+    stream: &StreamSpec,
+) -> Result<StreamedOutcome<ParResilientReport>, SavannaError> {
+    let sink = attach_stream(manifest, tel, stream)?;
+    let report = run_campaign_resilient_par_traced(
+        manifest,
+        durations,
+        pilot,
+        spec,
+        campaign_seed,
+        board,
+        max_allocations_per_shard,
+        policy,
+        faults,
+        plan,
+        pool,
+        tel,
+    )?;
+    finish_stream(&sink, report)
+}
+
+/// Convenience for tests and tools: scans the stream at `path` and
+/// folds it into a [`telemetry::LiveModel`].
+pub fn fold_stream(path: &Path) -> Result<telemetry::LiveModel, SavannaError> {
+    let scan = telemetry::read_stream(path)?;
+    let mut model = telemetry::LiveModel::new();
+    model.fold_all(&scan.records);
+    Ok(model)
+}

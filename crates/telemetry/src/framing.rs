@@ -1,0 +1,105 @@
+//! Shared binary framing primitives: the IEEE CRC-32 used by every
+//! append-only artifact in the workspace.
+//!
+//! Both durable log formats — `cheetah::journal`'s `FAIRJNL1` StatusBoard
+//! journal and [`crate::stream`]'s `fair-telemetry-stream/1` live
+//! telemetry stream — frame records as `len:u32le crc:u32le payload` and
+//! checksum payloads with the same polynomial. The table lives here once
+//! so the two formats can never drift apart; `cheetah` re-exports
+//! [`crc32`] for backwards compatibility.
+
+/// Slice-by-8 lookup tables: `TABLES[0]` is the classic byte-at-a-time
+/// table; `TABLES[t]` advances a CRC over a byte followed by `t` zero
+/// bytes, letting the hot loop fold eight input bytes per iteration
+/// with no loop-carried dependency between table lookups.
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+static CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
+
+/// IEEE CRC-32 of `bytes` (the polynomial used by gzip/PNG/zlib).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC32_TABLES;
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Frame header size shared by the framed formats: `len:u32le` +
+/// `crc:u32le`.
+pub const FRAME_HEADER: u64 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // the classic IEEE check value
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // incremental property sanity: crc depends on every byte
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    /// The slice-by-8 fold must agree with the byte-at-a-time reference
+    /// on every input length around the 8-byte chunk boundary.
+    #[test]
+    fn crc32_slice_by_8_matches_bytewise_reference() {
+        fn reference(bytes: &[u8]) -> u32 {
+            let mut c = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                c = CRC32_TABLES[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+            }
+            c ^ 0xFFFF_FFFF
+        }
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(31) ^ 0xA5) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
+    }
+}

@@ -16,20 +16,49 @@ use std::fmt::Write;
 /// Appends `s` as a JSON string literal (with quotes) to `out`.
 pub fn write_str(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+    // Escapes are needed only for `"`, `\`, and control bytes; every
+    // other byte (including multi-byte UTF-8, whose bytes are >= 0x80)
+    // passes through verbatim — so clean strings, the overwhelmingly
+    // common case on the live-stream hot path, append in one copy.
+    if s.bytes().all(|b| b >= 0x20 && b != b'"' && b != b'\\') {
+        out.push_str(s);
+    } else {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
             }
-            c => out.push(c),
         }
     }
     out.push('"');
+}
+
+/// Appends `v`'s decimal digits to `out` directly, bypassing the
+/// `core::fmt` machinery — the live-stream encoder formats several
+/// integers per record and the formatter plumbing dominates that
+/// profile. Output is identical to `Display` for every `u64`.
+pub fn write_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // Decimal digits are pure ASCII, so the slice is always valid UTF-8.
+    if let Ok(digits) = std::str::from_utf8(&buf[i..]) {
+        out.push_str(digits);
+    }
 }
 
 /// Appends `v` as a JSON number to `out` (`null` for NaN/infinite).
@@ -39,7 +68,17 @@ pub fn write_f64(out: &mut String, v: f64) {
         return;
     }
     // `{}` on f64 is shortest-roundtrip and prints 5.0 as "5" — already
-    // the canonical form we want.
+    // the canonical form we want. Integral values below 2^53 (exactly
+    // representable, so `Display` prints their plain digits) go through
+    // the direct integer formatter: counter values are almost always
+    // integral, and the float formatter is the expensive path.
+    if v.trunc() == v && v.abs() < 9_007_199_254_740_992.0 {
+        if v.is_sign_negative() {
+            out.push('-');
+        }
+        write_u64(out, v.abs() as u64);
+        return;
+    }
     let _ = write!(out, "{v}");
 }
 
@@ -55,6 +94,22 @@ mod tests {
     }
 
     #[test]
+    fn unescaped_fast_path_matches() {
+        let mut out = String::new();
+        write_str(&mut out, "g1/n-0 plain ascii and ünïcode");
+        assert_eq!(out, "\"g1/n-0 plain ascii and ünïcode\"");
+    }
+
+    #[test]
+    fn u64_matches_display() {
+        for v in [0u64, 9, 10, 99, 100, 12_345, u64::MAX - 1, u64::MAX] {
+            let mut out = String::new();
+            write_u64(&mut out, v);
+            assert_eq!(out, format!("{v}"));
+        }
+    }
+
+    #[test]
     fn float_forms() {
         let cases = [(5.0, "5"), (2.5, "2.5"), (-0.125, "-0.125")];
         for (v, want) in cases {
@@ -65,5 +120,30 @@ mod tests {
         let mut out = String::new();
         write_f64(&mut out, f64::NAN);
         assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn f64_integral_fast_path_matches_display() {
+        // Every finite value must print exactly as `{}` would — the
+        // fast path is an optimization, never a format change.
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            42.0,
+            1e15,
+            9_007_199_254_740_991.0,
+            -9_007_199_254_740_991.0,
+            9_007_199_254_740_992.0,
+            2.5,
+            0.1,
+            f64::MIN_POSITIVE,
+            1e300,
+        ] {
+            let mut out = String::new();
+            write_f64(&mut out, v);
+            assert_eq!(out, format!("{v}"), "for {v:?}");
+        }
     }
 }

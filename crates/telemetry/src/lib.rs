@@ -39,13 +39,16 @@ pub mod analysis;
 pub mod chrome;
 pub mod digest;
 pub mod event;
+pub mod framing;
 pub(crate) mod json;
 pub mod jsonin;
 pub mod merge;
 pub mod metrics;
+pub mod render;
 pub mod report;
 pub mod sink;
 pub mod snapjson;
+pub mod stream;
 
 use std::sync::Arc;
 
@@ -58,12 +61,17 @@ pub use digest::{digest_json, Digest, DigestSet};
 pub use event::{ArgValue, InstantEvent, SpanEvent};
 pub use merge::{lane_collisions, merge_snapshots, replay, TrackLane};
 pub use metrics::{metrics_json, metrics_keys, span_aggregates, SpanAggregate};
+pub use render::{OutputMode, RenderMode, Theme};
 pub use report::{
-    compare_metrics, digests_from_model, parse_metrics, render_summary, CompareReport, MetricsDoc,
-    SummaryOptions,
+    compare_metrics, digests_from_model, parse_metrics, render_summary, render_summary_with_theme,
+    CompareReport, MetricsDoc, SummaryOptions,
 };
-pub use sink::{Recorder, Sink, Snapshot};
+pub use sink::{Fanout, Recorder, Sink, Snapshot};
 pub use snapjson::{snapshot_from_json, snapshot_json, SNAPSHOT_SCHEMA};
+pub use stream::{
+    read_stream, replay_stream, scan_stream_bytes, LiveModel, StreamError, StreamOptions,
+    StreamReader, StreamRecord, StreamScan, StreamSink, StreamStats, StreamWriter, STREAM_SCHEMA,
+};
 
 /// The recording handle threaded through executors.
 ///
@@ -75,6 +83,9 @@ pub use snapjson::{snapshot_from_json, snapshot_json, SNAPSHOT_SCHEMA};
 #[derive(Clone, Default)]
 pub struct Telemetry {
     sink: Option<Arc<dyn Sink>>,
+    /// Present when the handle is backed by (or tees through) the
+    /// built-in [`Recorder`] — the hook live streaming taps.
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -88,7 +99,10 @@ impl std::fmt::Debug for Telemetry {
 impl Telemetry {
     /// A no-op handle: nothing is recorded, nothing is allocated.
     pub fn disabled() -> Self {
-        Self { sink: None }
+        Self {
+            sink: None,
+            recorder: None,
+        }
     }
 
     /// An enabled handle backed by a fresh in-memory [`Recorder`];
@@ -98,6 +112,7 @@ impl Telemetry {
         (
             Self {
                 sink: Some(recorder.clone()),
+                recorder: Some(recorder.clone()),
             },
             recorder,
         )
@@ -105,7 +120,35 @@ impl Telemetry {
 
     /// An enabled handle backed by a caller-provided sink.
     pub fn with_sink(sink: Arc<dyn Sink>) -> Self {
-        Self { sink: Some(sink) }
+        Self {
+            sink: Some(sink),
+            recorder: None,
+        }
+    }
+
+    /// The [`Recorder`] behind this handle, when it was created by
+    /// [`Telemetry::recording`] (tees preserve it). Live streaming
+    /// ([`stream::StreamSink`]) attaches here: the stream exports the
+    /// recorder's event log rather than intercepting producer calls, so
+    /// recording stays exactly as cheap with a stream attached as
+    /// without.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// A handle that records to this handle's sink **and** `other`, in
+    /// that order (a [`Fanout`]); both sinks observe the identical call
+    /// sequence. On a disabled handle the result records to `other`
+    /// alone. The [`Recorder`] association (if any) is preserved.
+    pub fn tee(&self, other: Arc<dyn Sink>) -> Telemetry {
+        let sink = match &self.sink {
+            Some(existing) => Fanout::new(vec![existing.clone(), other]) as Arc<dyn Sink>,
+            None => other,
+        };
+        Telemetry {
+            sink: Some(sink),
+            recorder: self.recorder.clone(),
+        }
     }
 
     /// True when events are actually recorded. Use to guard expensive

@@ -64,9 +64,28 @@ impl Default for SummaryOptions {
 }
 
 /// Renders the deterministic human-readable summary of a trace.
+///
+/// Equivalent to [`render_summary_with_theme`] with the plain theme —
+/// goldens pin these bytes.
 pub fn render_summary(model: &TraceModel, options: &SummaryOptions) -> String {
+    render_summary_with_theme(model, options, &crate::render::Theme::plain())
+}
+
+/// [`render_summary`] with themed headings. The plain theme paints
+/// nothing, so `render_summary_with_theme(m, o, &Theme::plain())` is
+/// byte-identical to the historical un-themed output.
+pub fn render_summary_with_theme(
+    model: &TraceModel,
+    options: &SummaryOptions,
+    theme: &crate::render::Theme,
+) -> String {
     let mut out = String::new();
-    out.push_str("== fair-report: campaign trace summary ==\n");
+    theme.paint(
+        theme.header,
+        "== fair-report: campaign trace summary ==",
+        &mut out,
+    );
+    out.push('\n');
     let _ = writeln!(
         out,
         "tracks: {}  spans: {}  instants: {}",
@@ -83,7 +102,9 @@ pub fn render_summary(model: &TraceModel, options: &SummaryOptions) -> String {
         entry.1 += span.dur_us;
         entry.2 = entry.2.max(span.dur_us);
     }
-    out.push_str("\n-- span categories --\n");
+    out.push('\n');
+    theme.paint(theme.section, "-- span categories --", &mut out);
+    out.push('\n');
     if cats.is_empty() {
         out.push_str("  (none)\n");
     }
@@ -102,7 +123,13 @@ pub fn render_summary(model: &TraceModel, options: &SummaryOptions) -> String {
     } else {
         path.shard.clone()
     };
-    let _ = write!(out, "\n-- critical path ({shard_label}) --\n  total: ");
+    out.push('\n');
+    theme.paint(
+        theme.section,
+        &format!("-- critical path ({shard_label}) --"),
+        &mut out,
+    );
+    out.push_str("\n  total: ");
     write_us(&mut out, path.total_us);
     out.push('\n');
     for phase in Phase::ALL {
@@ -138,7 +165,9 @@ pub fn render_summary(model: &TraceModel, options: &SummaryOptions) -> String {
 
     // span-duration digests
     let digests = digests_from_model(model);
-    out.push_str("\n-- span duration digests --\n");
+    out.push('\n');
+    theme.paint(theme.section, "-- span duration digests --", &mut out);
+    out.push('\n');
     if digests.is_empty() {
         out.push_str("  (none)\n");
     }
@@ -157,7 +186,9 @@ pub fn render_summary(model: &TraceModel, options: &SummaryOptions) -> String {
     // sampled utilization
     let metrics = utilization_metrics(model);
     if !metrics.is_empty() {
-        out.push_str("\n-- sampled utilization metrics --\n");
+        out.push('\n');
+        theme.paint(theme.section, "-- sampled utilization metrics --", &mut out);
+        out.push('\n');
         for metric in &metrics {
             let samples = model
                 .instants
@@ -170,11 +201,16 @@ pub fn render_summary(model: &TraceModel, options: &SummaryOptions) -> String {
 
     // stragglers
     let flagged = stragglers(model, &options.straggler_category, options.straggler_factor);
-    let _ = writeln!(
-        out,
-        "\n-- stragglers ({} > {}x shard median) --",
-        options.straggler_category, options.straggler_factor
+    out.push('\n');
+    theme.paint(
+        theme.section,
+        &format!(
+            "-- stragglers ({} > {}x shard median) --",
+            options.straggler_category, options.straggler_factor
+        ),
+        &mut out,
     );
+    out.push('\n');
     if flagged.is_empty() {
         out.push_str("  none\n");
     }
@@ -477,6 +513,14 @@ mod tests {
         let options = SummaryOptions::default();
         let a = render_summary(&model, &options);
         assert_eq!(a, render_summary(&model, &options));
+        // the plain theme is the identity on bytes; a color theme only
+        // ever adds escape sequences around existing text
+        assert_eq!(
+            a,
+            render_summary_with_theme(&model, &options, &crate::render::Theme::plain())
+        );
+        let themed = render_summary_with_theme(&model, &options, &crate::render::Theme::savanna());
+        assert!(themed.contains('\x1b'));
         assert!(a.contains("critical path (serial)"));
         assert!(a.contains("total: 100 us"));
         assert!(a.contains("queue_wait: 5 us [5.0%]"));

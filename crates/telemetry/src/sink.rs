@@ -1,9 +1,25 @@
 //! Where events go: the [`Sink`] trait and the in-memory [`Recorder`].
+//!
+//! The recorder is *log-structured*: every sink call appends one
+//! [`StreamRecord`] to an ordered in-memory log, and a [`Snapshot`] is
+//! a fold over that log. That single decision buys two properties the
+//! rest of the workspace leans on:
+//!
+//! * **Live streaming is free for producers.** `stream::StreamSink`
+//!   exports the recorder's log to disk from a writer thread, by
+//!   cursor — it never intercepts producer calls, so a campaign with a
+//!   stream attached records at exactly the cost of one without.
+//! * **Replay equality is structural.** Replaying a completed stream
+//!   and snapshotting the recorder run the *same fold* over the *same
+//!   record sequence* ([`fold_event`]), so the differential tests
+//!   compare two applications of one function, not two
+//!   implementations.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::event::{InstantEvent, SpanEvent};
+use crate::stream::StreamRecord;
 
 /// Receives telemetry events.
 ///
@@ -12,6 +28,31 @@ use crate::event::{InstantEvent, SpanEvent};
 /// behind a mutex. The *disabled* path never constructs events at all
 /// (see [`crate::Telemetry`]), so a sink is only ever called when
 /// recording is on.
+///
+/// # Poison tolerance
+///
+/// Sinks are shared across producer threads, and a producer may panic
+/// at any point — including while a sink method is on its stack. The
+/// contract is that a panicking producer **must not wedge or corrupt
+/// the sink for the surviving threads**:
+///
+/// * a sink method must never panic itself (so it can never poison its
+///   own locks mid-mutation);
+/// * internal mutexes must be recovered with
+///   [`PoisonError::into_inner`] rather than unwrapped, because a
+///   producer can panic *between* sink calls while holding no sink
+///   state at all yet still poison a lock it shares via `catch_unwind`
+///   boundaries elsewhere;
+/// * every mutation must be applied atomically from the lock's point
+///   of view: build the full event/frame first, then publish it under
+///   the lock in one step, so a recovered-from-poison state never
+///   contains a half-written record.
+///
+/// [`Recorder`] follows this contract, and the stream tap
+/// (`stream::StreamSink`) recovers the recorder's lock the same way on
+/// its writer thread; the regression tests in this module pin it.
+///
+/// [`PoisonError::into_inner`]: std::sync::PoisonError::into_inner
 pub trait Sink: Send + Sync {
     /// Records a completed span.
     fn record_span(&self, span: SpanEvent);
@@ -39,12 +80,38 @@ pub struct Snapshot {
     pub track_names: BTreeMap<u32, String>,
 }
 
-/// The in-memory sink: buffers events for later export.
+/// Applies one event record to a snapshot, exactly as the recorder
+/// does: spans and instants append in order, counter deltas sum in
+/// arrival order (bit-exact `f64` accumulation), track namings upsert.
+/// Stream control records (`Meta`/`Complete`) are ignored — they carry
+/// no snapshot state. Both [`Recorder::snapshot`] and
+/// `stream::replay_stream` are folds of this function, which is what
+/// makes "replay a complete stream" and "snapshot the recorder"
+/// provably the same computation.
+pub(crate) fn fold_event(snap: &mut Snapshot, record: &StreamRecord) {
+    match record {
+        StreamRecord::Meta { .. } | StreamRecord::Complete => {}
+        StreamRecord::Span(span) => snap.spans.push(span.clone()),
+        StreamRecord::Instant(event) => snap.instants.push(event.clone()),
+        StreamRecord::Count { name, delta } => {
+            *snap.counters.entry(name.clone()).or_insert(0.0) += delta;
+        }
+        StreamRecord::Track { track, name } => {
+            snap.track_names.insert(*track, name.clone());
+        }
+    }
+}
+
+/// The in-memory sink: an ordered event log, folded into a
+/// [`Snapshot`] on demand.
 ///
-/// Clone the [`Arc`] freely; all methods take `&self`.
+/// Clone the [`Arc`] freely; all methods take `&self`. The log only
+/// ever holds event records ([`StreamRecord::Span`] / `Instant` /
+/// `Count` / `Track`) — stream control records are written by the
+/// stream tap itself, never recorded.
 #[derive(Debug, Default)]
 pub struct Recorder {
-    inner: Mutex<Snapshot>,
+    log: Mutex<Vec<StreamRecord>>,
 }
 
 impl Recorder {
@@ -53,63 +120,143 @@ impl Recorder {
         Arc::new(Self::default())
     }
 
-    /// Copies out everything recorded so far.
+    /// Folds everything recorded so far into a [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
-        self.inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+        let log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut snap = Snapshot::default();
+        for record in log.iter() {
+            fold_event(&mut snap, record);
+        }
+        snap
     }
 
     /// Number of spans recorded so far.
     pub fn span_count(&self) -> usize {
-        self.inner
+        self.log
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .spans
-            .len()
+            .iter()
+            .filter(|r| matches!(r, StreamRecord::Span(_)))
+            .count()
     }
 
-    /// Current value of a counter (0 if never touched).
+    /// Current value of a counter (0 if never touched). Deltas are
+    /// summed in arrival order, so this agrees bit-for-bit with
+    /// [`snapshot`](Self::snapshot).
     pub fn counter(&self, name: &str) -> f64 {
-        self.inner
+        self.log
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .counters
-            .get(name)
-            .copied()
-            .unwrap_or(0.0)
+            .iter()
+            .filter_map(|r| match r {
+                StreamRecord::Count { name: n, delta } if n == name => Some(*delta),
+                _ => None,
+            })
+            .fold(0.0, |acc, d| acc + d)
+    }
+
+    /// Runs `f` over the log entries at index `from` onward (possibly
+    /// empty) and returns the log length it observed. This is the
+    /// stream tap's drain primitive: the writer thread encodes new
+    /// records under the recorder's lock — briefly stalling producers
+    /// rather than cloning — and advances its cursor to the returned
+    /// length.
+    pub(crate) fn with_log_from<R>(
+        &self,
+        from: usize,
+        f: impl FnOnce(&[StreamRecord]) -> R,
+    ) -> (usize, R) {
+        let log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        let upto = log.len();
+        let out = f(&log[from.min(upto)..]);
+        (upto, out)
     }
 }
 
 impl Sink for Recorder {
     fn record_span(&self, span: SpanEvent) {
-        self.inner
+        self.log
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .spans
-            .push(span);
+            .push(StreamRecord::Span(span));
     }
 
     fn record_instant(&self, event: InstantEvent) {
-        self.inner
+        self.log
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .instants
-            .push(event);
+            .push(StreamRecord::Instant(event));
     }
 
     fn add_to_counter(&self, name: &str, delta: f64) {
-        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        *inner.counters.entry(name.to_string()).or_insert(0.0) += delta;
+        self.log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(StreamRecord::Count {
+                name: name.to_string(),
+                delta,
+            });
     }
 
     fn name_track(&self, track: u32, name: &str) {
-        self.inner
+        self.log
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .track_names
-            .insert(track, name.to_string());
+            .push(StreamRecord::Track {
+                track,
+                name: name.to_string(),
+            });
+    }
+}
+
+/// Broadcasts every event to each of a set of sinks, in order.
+///
+/// The generic fan-out combinator behind [`crate::Telemetry::tee`]:
+/// every sink observes the identical call sequence, so two recorders
+/// fed through one fanout end with equal snapshots. (Live streaming
+/// does *not* go through a fanout — the stream taps the recorder's log
+/// directly, see `stream::StreamSink` — so a tee is only ever paid for
+/// when a caller explicitly asks for a second sink.)
+pub struct Fanout {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl Fanout {
+    /// A fanout over `sinks`; events are delivered in the given order.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Arc<Self> {
+        Arc::new(Self { sinks })
+    }
+}
+
+impl Sink for Fanout {
+    fn record_span(&self, span: SpanEvent) {
+        if let Some((last, rest)) = self.sinks.split_last() {
+            for sink in rest {
+                sink.record_span(span.clone());
+            }
+            last.record_span(span);
+        }
+    }
+
+    fn record_instant(&self, event: InstantEvent) {
+        if let Some((last, rest)) = self.sinks.split_last() {
+            for sink in rest {
+                sink.record_instant(event.clone());
+            }
+            last.record_instant(event);
+        }
+    }
+
+    fn add_to_counter(&self, name: &str, delta: f64) {
+        for sink in &self.sinks {
+            sink.add_to_counter(name, delta);
+        }
+    }
+
+    fn name_track(&self, track: u32, name: &str) {
+        for sink in &self.sinks {
+            sink.name_track(track, name);
+        }
     }
 }
 
@@ -136,5 +283,81 @@ mod tests {
         let snap = rec.snapshot();
         assert_eq!(snap.spans.len(), 1);
         assert_eq!(snap.track_names[&0], "lane");
+    }
+
+    fn span(name: &str, start_us: u64) -> SpanEvent {
+        SpanEvent {
+            category: "attempt",
+            name: name.into(),
+            track: 0,
+            start_us,
+            dur_us: 10,
+            args: vec![],
+        }
+    }
+
+    /// Poison-tolerance regression (the `Sink` contract): a producer
+    /// thread that panics while holding the recorder's lock must not
+    /// wedge recording for surviving threads, and the snapshot must not
+    /// contain a half-written record.
+    #[test]
+    fn panicking_producer_does_not_wedge_recorder() {
+        let rec = Recorder::new();
+        rec.record_span(span("before", 1));
+        rec.add_to_counter("ok", 1.0);
+
+        let poisoner = Arc::clone(&rec);
+        let handle = std::thread::spawn(move || {
+            // Take the lock directly and panic while holding it — the
+            // worst case a panicking producer can inflict on the sink.
+            let _guard = poisoner.log.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("producer dies mid-recording");
+        });
+        assert!(handle.join().is_err(), "poisoner thread must panic");
+
+        // Every sink method still works after the poison.
+        rec.record_span(span("after", 2));
+        rec.record_instant(InstantEvent {
+            category: "fault",
+            name: "survivor".into(),
+            track: 0,
+            at_us: 3,
+            args: vec![],
+        });
+        rec.add_to_counter("ok", 2.0);
+        rec.name_track(1, "post-poison");
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].name, "before");
+        assert_eq!(snap.spans[1].name, "after");
+        assert_eq!(snap.instants.len(), 1);
+        assert_eq!(snap.counters["ok"], 3.0);
+        assert_eq!(snap.track_names[&1], "post-poison");
+        assert_eq!(rec.counter("ok"), 3.0);
+        assert_eq!(rec.span_count(), 2);
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_sink_in_order() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let fan = Fanout::new(vec![
+            Arc::clone(&a) as Arc<dyn Sink>,
+            Arc::clone(&b) as Arc<dyn Sink>,
+        ]);
+        fan.record_span(span("s", 5));
+        fan.add_to_counter("n", 2.5);
+        fan.name_track(0, "lane");
+        fan.record_instant(InstantEvent {
+            category: "util",
+            name: "queue_depth".into(),
+            track: 0,
+            at_us: 6,
+            args: vec![],
+        });
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot().spans.len(), 1);
+        assert_eq!(a.counter("n"), 2.5);
     }
 }

@@ -32,7 +32,7 @@ use std::fmt::Write as _;
 use std::sync::{Mutex, PoisonError};
 
 use crate::event::{ArgValue, InstantEvent, SpanEvent};
-use crate::json::write_str;
+use crate::json::{write_str, write_u64};
 use crate::jsonin::{parse, Value};
 use crate::sink::Snapshot;
 
@@ -44,7 +44,7 @@ pub const SNAPSHOT_SCHEMA: &str = "fair-telemetry-snapshot/1";
 /// Decoding needs `&'static str` for [`SpanEvent::category`] and
 /// argument names; the pool guarantees each distinct string leaks at
 /// most once per process.
-fn intern(s: &str) -> &'static str {
+pub(crate) fn intern(s: &str) -> &'static str {
     static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
     let mut pool = POOL.lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(existing) = pool.get(s) {
@@ -55,19 +55,31 @@ fn intern(s: &str) -> &'static str {
     leaked
 }
 
-fn write_u64_str(out: &mut String, v: u64) {
+pub(crate) fn write_u64_str(out: &mut String, v: u64) {
     out.push('"');
-    let _ = write!(out, "{v}");
-    out.push('"');
-}
-
-fn write_f64_str(out: &mut String, v: f64) {
-    out.push('"');
-    let _ = write!(out, "{v}");
+    write_u64(out, v);
     out.push('"');
 }
 
-fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+pub(crate) fn write_f64_str(out: &mut String, v: f64) {
+    out.push('"');
+    // Integral values below 2^53 print identically to `Display` through
+    // the direct integer formatter — the common case for counter deltas
+    // and `*_us` totals on the stream hot path. Non-finite values keep
+    // their `Display` forms (`NaN`, `inf`): unlike plain-JSON numbers,
+    // the quoted-string codec round-trips them.
+    if v.is_finite() && v.trunc() == v && v.abs() < 9_007_199_254_740_992.0 {
+        if v.is_sign_negative() {
+            out.push('-');
+        }
+        write_u64(out, v.abs() as u64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+    out.push('"');
+}
+
+pub(crate) fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
     out.push('[');
     for (i, (name, value)) in args.iter().enumerate() {
         if i > 0 {
@@ -104,6 +116,40 @@ fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
     out.push(']');
 }
 
+/// Encodes a [`SpanEvent`] as the canonical 6-tuple used by both the
+/// snapshot document and the live stream format.
+pub(crate) fn write_span_tuple(out: &mut String, span: &SpanEvent) {
+    out.push('[');
+    write_str(out, span.category);
+    out.push(',');
+    write_str(out, &span.name);
+    out.push(',');
+    write_u64(out, u64::from(span.track));
+    out.push(',');
+    write_u64_str(out, span.start_us);
+    out.push(',');
+    write_u64_str(out, span.dur_us);
+    out.push(',');
+    write_args(out, &span.args);
+    out.push(']');
+}
+
+/// Encodes an [`InstantEvent`] as the canonical 5-tuple used by both
+/// the snapshot document and the live stream format.
+pub(crate) fn write_instant_tuple(out: &mut String, event: &InstantEvent) {
+    out.push('[');
+    write_str(out, event.category);
+    out.push(',');
+    write_str(out, &event.name);
+    out.push(',');
+    write_u64(out, u64::from(event.track));
+    out.push(',');
+    write_u64_str(out, event.at_us);
+    out.push(',');
+    write_args(out, &event.args);
+    out.push(']');
+}
+
 /// Encodes a [`Snapshot`] as a canonical `fair-telemetry-snapshot/1`
 /// document.
 ///
@@ -118,32 +164,14 @@ pub fn snapshot_json(snap: &Snapshot) -> String {
         if i > 0 {
             out.push(',');
         }
-        out.push('[');
-        write_str(&mut out, span.category);
-        out.push(',');
-        write_str(&mut out, &span.name);
-        let _ = write!(out, ",{},", span.track);
-        write_u64_str(&mut out, span.start_us);
-        out.push(',');
-        write_u64_str(&mut out, span.dur_us);
-        out.push(',');
-        write_args(&mut out, &span.args);
-        out.push(']');
+        write_span_tuple(&mut out, span);
     }
     out.push_str("],\"instants\":[");
     for (i, event) in snap.instants.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push('[');
-        write_str(&mut out, event.category);
-        out.push(',');
-        write_str(&mut out, &event.name);
-        let _ = write!(out, ",{},", event.track);
-        write_u64_str(&mut out, event.at_us);
-        out.push(',');
-        write_args(&mut out, &event.args);
-        out.push(']');
+        write_instant_tuple(&mut out, event);
     }
     out.push_str("],\"counters\":[");
     for (i, (name, value)) in snap.counters.iter().enumerate() {
@@ -169,36 +197,36 @@ pub fn snapshot_json(snap: &Snapshot) -> String {
     out
 }
 
-fn need_str(v: &Value, what: &str) -> Result<String, String> {
+pub(crate) fn need_str(v: &Value, what: &str) -> Result<String, String> {
     v.as_str()
         .map(str::to_owned)
         .ok_or_else(|| format!("snapshot: {what} is not a string"))
 }
 
-fn need_u64_str(v: &Value, what: &str) -> Result<u64, String> {
+pub(crate) fn need_u64_str(v: &Value, what: &str) -> Result<u64, String> {
     v.as_str()
         .and_then(|s| s.parse::<u64>().ok())
         .ok_or_else(|| format!("snapshot: {what} is not a u64 string"))
 }
 
-fn need_f64_str(v: &Value, what: &str) -> Result<f64, String> {
+pub(crate) fn need_f64_str(v: &Value, what: &str) -> Result<f64, String> {
     v.as_str()
         .and_then(|s| s.parse::<f64>().ok())
         .ok_or_else(|| format!("snapshot: {what} is not an f64 string"))
 }
 
-fn need_u32(v: &Value, what: &str) -> Result<u32, String> {
+pub(crate) fn need_u32(v: &Value, what: &str) -> Result<u32, String> {
     v.as_u64()
         .and_then(|n| u32::try_from(n).ok())
         .ok_or_else(|| format!("snapshot: {what} is not a u32"))
 }
 
-fn need_arr<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], String> {
+pub(crate) fn need_arr<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], String> {
     v.as_arr()
         .ok_or_else(|| format!("snapshot: {what} is not an array"))
 }
 
-fn parse_args(v: &Value) -> Result<Vec<(&'static str, ArgValue)>, String> {
+pub(crate) fn parse_args(v: &Value) -> Result<Vec<(&'static str, ArgValue)>, String> {
     let mut args = Vec::new();
     for item in need_arr(v, "args")? {
         let triple = need_arr(item, "arg entry")?;
@@ -228,6 +256,38 @@ fn parse_args(v: &Value) -> Result<Vec<(&'static str, ArgValue)>, String> {
     Ok(args)
 }
 
+/// Decodes the canonical span 6-tuple written by [`write_span_tuple`].
+pub(crate) fn parse_span_tuple(item: &Value) -> Result<SpanEvent, String> {
+    let fields = need_arr(item, "span entry")?;
+    if fields.len() != 6 {
+        return Err("snapshot: span entry is not a 6-tuple".into());
+    }
+    Ok(SpanEvent {
+        category: intern(&need_str(&fields[0], "span category")?),
+        name: need_str(&fields[1], "span name")?,
+        track: need_u32(&fields[2], "span track")?,
+        start_us: need_u64_str(&fields[3], "span start_us")?,
+        dur_us: need_u64_str(&fields[4], "span dur_us")?,
+        args: parse_args(&fields[5])?,
+    })
+}
+
+/// Decodes the canonical instant 5-tuple written by
+/// [`write_instant_tuple`].
+pub(crate) fn parse_instant_tuple(item: &Value) -> Result<InstantEvent, String> {
+    let fields = need_arr(item, "instant entry")?;
+    if fields.len() != 5 {
+        return Err("snapshot: instant entry is not a 5-tuple".into());
+    }
+    Ok(InstantEvent {
+        category: intern(&need_str(&fields[0], "instant category")?),
+        name: need_str(&fields[1], "instant name")?,
+        track: need_u32(&fields[2], "instant track")?,
+        at_us: need_u64_str(&fields[3], "instant at_us")?,
+        args: parse_args(&fields[4])?,
+    })
+}
+
 /// Decodes a `fair-telemetry-snapshot/1` document.
 ///
 /// The parse is strict — wrong schema id, missing sections, or
@@ -242,34 +302,13 @@ pub fn snapshot_from_json(doc: &str) -> Result<Snapshot, String> {
     }
     let mut snap = Snapshot::default();
     for item in need_arr(root.get("spans").ok_or("snapshot: missing spans")?, "spans")? {
-        let fields = need_arr(item, "span entry")?;
-        if fields.len() != 6 {
-            return Err("snapshot: span entry is not a 6-tuple".into());
-        }
-        snap.spans.push(SpanEvent {
-            category: intern(&need_str(&fields[0], "span category")?),
-            name: need_str(&fields[1], "span name")?,
-            track: need_u32(&fields[2], "span track")?,
-            start_us: need_u64_str(&fields[3], "span start_us")?,
-            dur_us: need_u64_str(&fields[4], "span dur_us")?,
-            args: parse_args(&fields[5])?,
-        });
+        snap.spans.push(parse_span_tuple(item)?);
     }
     for item in need_arr(
         root.get("instants").ok_or("snapshot: missing instants")?,
         "instants",
     )? {
-        let fields = need_arr(item, "instant entry")?;
-        if fields.len() != 5 {
-            return Err("snapshot: instant entry is not a 5-tuple".into());
-        }
-        snap.instants.push(InstantEvent {
-            category: intern(&need_str(&fields[0], "instant category")?),
-            name: need_str(&fields[1], "instant name")?,
-            track: need_u32(&fields[2], "instant track")?,
-            at_us: need_u64_str(&fields[3], "instant at_us")?,
-            args: parse_args(&fields[4])?,
-        });
+        snap.instants.push(parse_instant_tuple(item)?);
     }
     for item in need_arr(
         root.get("counters").ok_or("snapshot: missing counters")?,
@@ -333,6 +372,25 @@ mod tests {
         snap.track_names.insert(0, "campaign".into());
         snap.track_names.insert(7, "shard1/alloc".into());
         snap
+    }
+
+    #[test]
+    fn f64_strings_match_display_forms() {
+        for v in [
+            0.0,
+            -0.0,
+            7.0,
+            -7.0,
+            1e15,
+            0.3,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let mut out = String::new();
+            write_f64_str(&mut out, v);
+            assert_eq!(out, format!("\"{v}\""), "for {v:?}");
+        }
     }
 
     #[test]

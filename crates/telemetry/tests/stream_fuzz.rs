@@ -1,0 +1,214 @@
+//! Corruption fuzz for the live telemetry stream: scanning and tailing
+//! must be total.
+//!
+//! A live monitor that panics on a half-written frame dies exactly when
+//! it is most needed — mid-campaign, mid-append. These tests build a
+//! small, representative stream and feed the scanner every single-byte
+//! bit-flip and every truncation of it: scanning must always return
+//! (`Ok` with a valid prefix, or a typed `Corrupt`/`BadRecord` error),
+//! never panic, and whatever prefix it accepts must re-scan to the same
+//! records. The tail tests drive [`StreamReader`] over a file that
+//! grows byte-by-byte, proving a torn tail is "wait", never "crash".
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use telemetry::stream::{StreamOptions, StreamWriter};
+use telemetry::{scan_stream_bytes, ArgValue, InstantEvent, SpanEvent, StreamReader, StreamRecord};
+
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "fair-stream-fuzz-{}-{tag}-{n}.stream",
+        std::process::id()
+    ))
+}
+
+/// A small stream exercising every record variant.
+fn sample_records() -> Vec<StreamRecord> {
+    vec![
+        StreamRecord::Meta {
+            campaign: "fuzz-campaign".to_string(),
+            total_runs: 12,
+        },
+        StreamRecord::Track {
+            track: 0,
+            name: "allocations".to_string(),
+        },
+        StreamRecord::Span(SpanEvent {
+            category: "allocation",
+            name: "alloc-0".into(),
+            track: 0,
+            start_us: 0,
+            dur_us: 3_600_000_000,
+            args: vec![("completed", 4u64.into()), ("timed_out", 1u64.into())],
+        }),
+        StreamRecord::Span(SpanEvent {
+            category: "attempt",
+            name: "g/i-0".into(),
+            track: 1,
+            start_us: 100,
+            dur_us: 900_000_000,
+            args: vec![],
+        }),
+        StreamRecord::Instant(InstantEvent {
+            category: "util",
+            name: "busy_nodes".into(),
+            track: 0,
+            at_us: 1_800_000_000,
+            args: vec![("value", ArgValue::Float(3.0))],
+        }),
+        StreamRecord::Count {
+            name: "completed_runs".to_string(),
+            delta: 4.0,
+        },
+        StreamRecord::Complete,
+    ]
+}
+
+fn sample_stream_bytes() -> Vec<u8> {
+    let path = scratch("sample");
+    let mut writer = StreamWriter::create(&path, StreamOptions::default()).expect("create");
+    for record in sample_records() {
+        // `finish` would append its own Complete; the sample carries one
+        // explicitly so truncations can cut it off.
+        writer.append(&record).expect("append");
+    }
+    writer.flush().expect("flush");
+    drop(writer);
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+#[test]
+fn every_single_byte_bitflip_scans_or_errors_cleanly() {
+    let pristine = sample_stream_bytes();
+    assert!(pristine.len() > 100, "sample stream suspiciously small");
+    for mask in [0x01u8, 0xFF] {
+        for i in 0..pristine.len() {
+            let mut mutated = pristine.clone();
+            mutated[i] ^= mask;
+            // must not panic; either the CRC rejects the flip (torn tail
+            // or typed error) or the flip hides in a torn region
+            if let Ok(scan) = scan_stream_bytes(&mutated) {
+                assert!(
+                    scan.valid_len + scan.torn_bytes <= mutated.len() as u64,
+                    "flip at {i}: scan accounts for more bytes than exist"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_scans_a_consistent_prefix() {
+    let pristine = sample_stream_bytes();
+    for cut in 0..=pristine.len() {
+        // a pure truncation is exactly a torn tail: the scan must accept
+        // it (hard errors are reserved for mid-stream damage)
+        let scan = scan_stream_bytes(&pristine[..cut]).unwrap_or_else(|err| {
+            panic!(
+                "truncation at {cut}/{} must scan, got {err}",
+                pristine.len()
+            )
+        });
+        assert!(scan.valid_len <= cut as u64);
+        assert_eq!(scan.valid_len + scan.torn_bytes, cut as u64);
+        // the accepted prefix must itself re-scan to the same records
+        let again = scan_stream_bytes(&pristine[..scan.valid_len as usize])
+            .expect("valid prefix must scan");
+        assert_eq!(again.records, scan.records);
+        assert_eq!(again.torn_bytes, 0);
+        // completion requires an intact final Complete frame
+        assert_eq!(
+            scan.complete,
+            cut == pristine.len(),
+            "truncation at {cut} misreported completion"
+        );
+    }
+}
+
+#[test]
+fn garbage_appended_after_a_clean_stream_is_a_torn_tail_or_typed_error() {
+    let pristine = sample_stream_bytes();
+    for garbage in [
+        &b"\x00"[..],
+        &b"\xFF\xFF\xFF\xFF"[..],      // short header: torn
+        &b"not a frame at all"[..],    // decodes as an oversize length claim
+        &[0x10, 0x00, 0x00, 0x00][..], // plausible length, missing payload
+    ] {
+        let mut bytes = pristine.clone();
+        bytes.extend_from_slice(garbage);
+        match scan_stream_bytes(&bytes) {
+            Ok(scan) => {
+                // the whole sample must survive; only the garbage is torn
+                assert_eq!(scan.records, sample_records());
+                assert_eq!(scan.valid_len, pristine.len() as u64);
+            }
+            // an impossible frame (length claim beyond MAX_PAYLOAD) is a
+            // typed error — acceptable, as long as it is not a panic
+            Err(telemetry::StreamError::Corrupt { offset, .. }) => {
+                assert_eq!(offset, pristine.len() as u64);
+            }
+            Err(err) => panic!("garbage tail must be torn or Corrupt, got {err}"),
+        }
+    }
+}
+
+/// The live-tail contract: a reader following a file that grows one
+/// byte at a time sees exactly the sample records, in order, without
+/// ever erroring on the partial frames in between.
+#[test]
+fn reader_tails_a_byte_by_byte_append_without_errors() {
+    let pristine = sample_stream_bytes();
+    let path = scratch("tail");
+    std::fs::write(&path, b"").expect("create empty");
+    let mut reader = StreamReader::open(&path).expect("open");
+    let mut seen = Vec::new();
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("append handle");
+    for (i, byte) in pristine.iter().enumerate() {
+        file.write_all(std::slice::from_ref(byte)).expect("append");
+        file.flush().expect("flush");
+        let records = reader
+            .poll()
+            .unwrap_or_else(|err| panic!("poll after byte {i} errored: {err}"));
+        seen.extend(records);
+    }
+    std::fs::remove_file(&path).ok();
+    assert_eq!(seen, sample_records());
+    assert!(reader.is_complete());
+}
+
+/// Tail-then-append resume: a reader that drained a live stream picks
+/// up records appended afterwards, and a torn frame at its tail is
+/// retried — not skipped, not duplicated — once the rest arrives.
+#[test]
+fn reader_resumes_cleanly_after_draining_a_live_stream() {
+    let path = scratch("resume");
+    let mut writer = StreamWriter::create(&path, StreamOptions::write_through()).expect("create");
+    let records = sample_records();
+    let (head, tail) = records.split_at(3);
+    for record in head {
+        writer.append(record).expect("append head");
+    }
+
+    let mut reader = StreamReader::open(&path).expect("open");
+    assert_eq!(reader.poll().expect("first drain"), head);
+    assert!(reader.poll().expect("idle poll").is_empty());
+
+    for record in tail {
+        writer.append(record).expect("append tail");
+    }
+    let mut resumed = Vec::new();
+    while !reader.is_complete() {
+        resumed.extend(reader.poll().expect("resume poll"));
+    }
+    std::fs::remove_file(&path).ok();
+    assert_eq!(resumed, tail);
+}

@@ -252,4 +252,68 @@ else
 fi
 echo "memo smoke: OK"
 
+# Observability gate, three layers (README "Live observability"):
+# (a) stream_overhead --smoke: stream the deterministic smoke campaign
+#     twice, byte-compare the two stream files, render each with
+#     `fair-top --once --mode text`, byte-compare the renders, and diff
+#     them against the committed golden
+#     tests/fixtures/stream/smoke.top.txt (UPDATE_FIXTURES=1
+#     regenerates after an intentional render change);
+# (b) stream_overhead --check: the committed
+#     results/BENCH_stream_overhead.json keeps its metric key set AND a
+#     fresh interleaved measurement keeps the StreamSink tap's overhead
+#     <= 10% vs recorder-only;
+# (c) the in-process golden + torn-tail fuzz + stream/snapshot
+#     differential suites (tests/fair_top_goldens.rs,
+#     crates/telemetry/tests/stream_fuzz.rs, tests/stream_differential.rs).
+# The smoke campaign is rand-free at runtime (instant series, hash-based
+# faults), so offline everything runs from the shadow workspace.
+echo "== ci: observe smoke =="
+run_stream_bin() {
+    if cargo build -q --release -p bench --bin stream_overhead 2>/dev/null; then
+        cargo run -q --release -p bench --bin stream_overhead -- "$@"
+    else
+        (cd "$REPO/target/offline-check" &&
+            CARGO_NET_OFFLINE=true cargo run -q --release --offline -p bench --bin stream_overhead -- "$@")
+    fi
+}
+run_fair_top() {
+    if cargo build -q --release -p fair-top --bin fair-top 2>/dev/null; then
+        cargo run -q --release -p fair-top --bin fair-top -- "$@"
+    else
+        (cd "$REPO/target/offline-check" &&
+            CARGO_NET_OFFLINE=true cargo run -q --release --offline -p fair-top --bin fair-top -- "$@")
+    fi
+}
+OBS_DIR="$REPO/target/observe-smoke"
+rm -rf "$OBS_DIR" && mkdir -p "$OBS_DIR"
+run_stream_bin --smoke "$OBS_DIR/smoke1.stream"
+run_stream_bin --smoke "$OBS_DIR/smoke2.stream"
+cmp -s "$OBS_DIR/smoke1.stream" "$OBS_DIR/smoke2.stream" ||
+    { echo "observe smoke: stream bytes not stable across two runs"; exit 1; }
+run_fair_top --once --mode text "$OBS_DIR/smoke1.stream" >"$OBS_DIR/top1.txt"
+run_fair_top --once --mode text "$OBS_DIR/smoke2.stream" >"$OBS_DIR/top2.txt"
+cmp -s "$OBS_DIR/top1.txt" "$OBS_DIR/top2.txt" ||
+    { echo "observe smoke: fair-top render not stable across two runs"; exit 1; }
+TOP_GOLDEN="$REPO/tests/fixtures/stream/smoke.top.txt"
+if [ "${UPDATE_FIXTURES:-0}" = 1 ]; then
+    cp "$OBS_DIR/top1.txt" "$TOP_GOLDEN"
+    echo "updated $(basename "$TOP_GOLDEN")"
+elif ! cmp -s "$OBS_DIR/top1.txt" "$TOP_GOLDEN"; then
+    echo "observe smoke: fair-top render diverged from its golden (UPDATE_FIXTURES=1 to regen):"
+    diff "$TOP_GOLDEN" "$OBS_DIR/top1.txt" || true
+    exit 1
+fi
+run_stream_bin --check "$REPO/results"
+if cargo build -q --tests 2>/dev/null; then
+    UPDATE_FIXTURES="${UPDATE_FIXTURES:-0}" cargo test -q --test fair_top_goldens --test stream_differential
+    cargo test -q -p telemetry --test stream_fuzz
+else
+    (cd "$REPO/target/offline-check" &&
+        STREAM_FIXTURE_DIR="$REPO/tests/fixtures/stream" UPDATE_FIXTURES="${UPDATE_FIXTURES:-0}" \
+            CARGO_NET_OFFLINE=true cargo test -q --offline --test fair_top_goldens --test stream_differential &&
+        CARGO_NET_OFFLINE=true cargo test -q --offline -p telemetry --test stream_fuzz)
+fi
+echo "observe smoke: OK"
+
 echo "ci: OK"
